@@ -1,0 +1,137 @@
+//! The public gas-price market.
+//!
+//! Pre-Flashbots, MEV extractors fight priority gas auctions (PGAs) in the
+//! open mempool, dragging the whole market's gas price up (§8.2: "two
+//! different gas price auctions are occurring ... competition on one pool
+//! does not impact the other"). When Flashbots absorbs that competition,
+//! the public price collapses — the April-2021 cliff of Figure 6.
+//!
+//! The model: an AR(1) price level whose target is
+//! `base · (1 + pga_coefficient · public_mev_intensity)`, plus log-normal
+//! per-transaction noise and an escalation ladder for active PGA bidders.
+
+use mev_types::{Wei, GWEI};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The evolving public gas-price level.
+#[derive(Debug, Clone)]
+pub struct GasMarket {
+    /// Organic demand floor, gwei.
+    pub base_gwei: f64,
+    /// How strongly public MEV competition inflates the market (multiplier
+    /// at full intensity).
+    pub pga_coefficient: f64,
+    /// AR(1) smoothing toward the target level (0 < a ≤ 1: higher = faster).
+    pub adjustment_rate: f64,
+    /// Current level, gwei.
+    level_gwei: f64,
+}
+
+impl GasMarket {
+    pub fn new(base_gwei: f64, pga_coefficient: f64) -> GasMarket {
+        assert!(base_gwei > 0.0 && pga_coefficient >= 0.0);
+        GasMarket {
+            base_gwei,
+            pga_coefficient,
+            adjustment_rate: 0.08,
+            level_gwei: base_gwei * (1.0 + pga_coefficient),
+        }
+    }
+
+    /// Advance one block. `public_mev_intensity ∈ [0,1]` is the share of
+    /// MEV competition still happening in the public mempool.
+    pub fn step(&mut self, public_mev_intensity: f64) {
+        let intensity = public_mev_intensity.clamp(0.0, 1.0);
+        let target = self.base_gwei * (1.0 + self.pga_coefficient * intensity);
+        self.level_gwei += self.adjustment_rate * (target - self.level_gwei);
+    }
+
+    /// Current market level.
+    pub fn level(&self) -> Wei {
+        Wei((self.level_gwei * GWEI as f64) as u128)
+    }
+
+    /// Sample an ordinary user's gas price: level × log-normal(0, 0.25).
+    pub fn sample_user_price(&self, rng: &mut StdRng) -> Wei {
+        let noise = lognormal(rng, 0.25);
+        Wei(((self.level_gwei * noise).max(1.0) * GWEI as f64) as u128)
+    }
+
+    /// Sample a PGA bidder's price at escalation `round` (each round
+    /// multiplies the bid ~1.6×, the observed PGA escalation shape).
+    pub fn sample_pga_price(&self, rng: &mut StdRng, round: u32) -> Wei {
+        let escalation = 1.6f64.powi(round as i32);
+        let noise = lognormal(rng, 0.15);
+        Wei(((self.level_gwei * escalation * noise).max(1.0) * GWEI as f64) as u128)
+    }
+}
+
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::gwei;
+    use rand::SeedableRng;
+
+    #[test]
+    fn level_converges_down_when_mev_leaves_public_pool() {
+        let mut m = GasMarket::new(20.0, 4.0);
+        let high = m.level();
+        // Flashbots absorbs everything: intensity 0.
+        for _ in 0..200 {
+            m.step(0.0);
+        }
+        let low = m.level();
+        assert!(low < high / 3, "cliff: {high} -> {low}");
+        assert!(low >= gwei(19), "floor holds");
+    }
+
+    #[test]
+    fn level_recovers_when_competition_returns() {
+        let mut m = GasMarket::new(20.0, 4.0);
+        for _ in 0..200 {
+            m.step(0.0);
+        }
+        let low = m.level();
+        for _ in 0..200 {
+            m.step(0.7);
+        }
+        assert!(m.level() > low * 2, "uptick when PGAs resume");
+    }
+
+    #[test]
+    fn user_prices_scatter_around_level() {
+        let m = GasMarket::new(20.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..2_000).map(|_| m.sample_user_price(&mut rng).as_gwei_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 20.0).abs() < 2.0, "mean {mean}");
+        assert!(samples.iter().all(|&s| s > 5.0 && s < 100.0));
+    }
+
+    #[test]
+    fn pga_rounds_escalate() {
+        let m = GasMarket::new(20.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r0 = m.sample_pga_price(&mut rng, 0);
+        let r3 = m.sample_pga_price(&mut rng, 3);
+        assert!(r3 > r0 * 2, "round 3 ≫ round 0: {r0} vs {r3}");
+    }
+
+    #[test]
+    fn intensity_is_clamped() {
+        let mut m = GasMarket::new(20.0, 4.0);
+        m.step(7.5); // clamped to 1.0
+        let capped = m.level();
+        let mut m2 = GasMarket::new(20.0, 4.0);
+        m2.step(1.0);
+        assert_eq!(capped, m2.level());
+    }
+}

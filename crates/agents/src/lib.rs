@@ -1,0 +1,27 @@
+//! # mev-agents
+//!
+//! The behavioural layer that generates the paper's measured phenomena
+//! from first principles: a miner population with power-law hashrate and a
+//! Flashbots adoption schedule (§4.3–4.4), ordinary traders whose large
+//! swaps become sandwich victims (§2.2), searcher strategies — sandwich,
+//! arbitrage, liquidation, passive and proactive, flash-loan-capable, and
+//! occasionally buggy enough to lose money (§5.2) — and the public
+//! gas-price market whose priority-gas-auction dynamics produce Figure 6's
+//! April-2021 cliff when MEV competition moves into Flashbots.
+
+pub mod gasmarket;
+pub mod miners;
+pub mod pga;
+pub mod strategies;
+pub mod traders;
+
+pub use gasmarket::GasMarket;
+pub use pga::{run_auction, Bidder, PgaOutcome};
+pub use miners::{MinerAgent, MinerSet};
+pub use strategies::arbitrage::{find_arbitrage, ArbPlan};
+pub use strategies::liquidation::{plan_backrun_of_oracle_update, plan_liquidations, LiquidationPlan};
+pub use strategies::sandwich::plan_sandwich_buggy;
+pub use strategies::arbitrage::{copy_with_higher_fee, size_arbitrage};
+pub use traders::TradeIntent;
+pub use strategies::sandwich::{plan_sandwich, SandwichPlan};
+pub use traders::TraderPool;

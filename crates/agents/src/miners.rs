@@ -1,0 +1,252 @@
+//! The miner population: power-law hashrate, proof-of-work winner
+//! sampling, and the Flashbots adoption schedule that produces the
+//! paper's Figure 4 ramp (0 % in January 2021 → 61.7 % by March →
+//! 97.6 % by May → ~99.9 % in 2022).
+
+use mev_types::{Address, Month};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One mining pool / solo miner.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MinerAgent {
+    pub address: Address,
+    /// Relative hashrate weight (arbitrary units).
+    pub weight: f64,
+    /// First block at which this miner runs MEV-geth; `None` = never joins.
+    pub flashbots_join_block: Option<u64>,
+    /// Does this miner extract MEV for itself (rogue bundles / §6.3
+    /// self-channels)?
+    pub self_mev: bool,
+    /// Indices of the non-Flashbots private channels this miner belongs to.
+    pub channel_memberships: Vec<usize>,
+}
+
+impl MinerAgent {
+    /// Is the miner a Flashbots participant at `block`?
+    pub fn in_flashbots(&self, block: u64) -> bool {
+        self.flashbots_join_block.is_some_and(|j| block >= j)
+    }
+}
+
+/// The full miner set with cumulative weights for O(log n) sampling.
+#[derive(Debug, Clone)]
+pub struct MinerSet {
+    miners: Vec<MinerAgent>,
+    cumulative: Vec<f64>,
+}
+
+/// Address-space offset for miner addresses (disjoint from traders,
+/// searchers, tokens, pools, platforms).
+pub const MINER_ADDRESS_BASE: u64 = 0x4000_0000_0000;
+
+/// Deterministic address of the rank-`i` miner.
+pub fn miner_address(rank: u64) -> Address {
+    Address::from_index(MINER_ADDRESS_BASE + rank)
+}
+
+impl MinerSet {
+    /// Build a set of `n` miners with Zipf(`alpha`) hashrate weights and a
+    /// rank-staggered Flashbots adoption schedule:
+    ///
+    /// * ranks 0–1 (the two dominant pools) join in Feb/Mar 2021,
+    /// * ranks 2–5 in April, 6–15 in May,
+    /// * the tail joins month by month through 2021,
+    /// * the bottom `never_join` miners never participate.
+    ///
+    /// `block_of_month` maps a calendar month to its first block.
+    pub fn zipf_with_adoption(
+        n: usize,
+        alpha: f64,
+        never_join: usize,
+        block_of_month: impl Fn(Month) -> u64,
+    ) -> MinerSet {
+        assert!(n >= 2 && never_join < n);
+        let mut miners = Vec::with_capacity(n);
+        for rank in 0..n {
+            let weight = 1.0 / ((rank + 1) as f64).powf(alpha);
+            let join_month = if rank >= n - never_join {
+                None
+            } else {
+                Some(match rank {
+                    0 => Month::new(2021, 2),
+                    1 => Month::new(2021, 3),
+                    2..=5 => Month::new(2021, 4),
+                    6..=15 => Month::new(2021, 5),
+                    r => {
+                        // Tail joins June..December 2021, round-robin.
+                        let m = 6 + ((r - 16) % 7) as u32;
+                        Month::new(2021, m)
+                    }
+                })
+            };
+            miners.push(MinerAgent {
+                address: miner_address(rank as u64),
+                weight,
+                flashbots_join_block: join_month.map(&block_of_month),
+                // The two dominant pools also run self-extraction (§6.3:
+                // Flexpool and F2Pool mine their own private sandwiches).
+                self_mev: rank < 2,
+                channel_memberships: Vec::new(),
+            });
+        }
+        MinerSet::from_miners(miners)
+    }
+
+    /// Build from an explicit miner list.
+    pub fn from_miners(miners: Vec<MinerAgent>) -> MinerSet {
+        assert!(!miners.is_empty());
+        let mut cumulative = Vec::with_capacity(miners.len());
+        let mut acc = 0.0;
+        for m in &miners {
+            assert!(m.weight > 0.0, "non-positive hashrate weight");
+            acc += m.weight;
+            cumulative.push(acc);
+        }
+        MinerSet { miners, cumulative }
+    }
+
+    pub fn len(&self) -> usize {
+        self.miners.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.miners.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &MinerAgent> {
+        self.miners.iter()
+    }
+
+    pub fn get(&self, idx: usize) -> &MinerAgent {
+        &self.miners[idx]
+    }
+
+    pub fn get_mut(&mut self, idx: usize) -> &mut MinerAgent {
+        &mut self.miners[idx]
+    }
+
+    /// Find a miner by address.
+    pub fn by_address(&self, addr: Address) -> Option<&MinerAgent> {
+        self.miners.iter().find(|m| m.address == addr)
+    }
+
+    /// Sample the proof-of-work winner, hashrate-weighted.
+    pub fn pick(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x).min(self.miners.len() - 1)
+    }
+
+    /// Fraction of total hashrate held by Flashbots participants at `block`
+    /// — the ground truth behind the Figure 4 estimate.
+    pub fn flashbots_hashrate_share(&self, block: u64) -> f64 {
+        let total: f64 = self.miners.iter().map(|m| m.weight).sum();
+        let fb: f64 = self.miners.iter().filter(|m| m.in_flashbots(block)).map(|m| m.weight).sum();
+        fb / total
+    }
+
+    /// Combined hashrate share of the top `k` miners.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        let total: f64 = self.miners.iter().map(|m| m.weight).sum();
+        let mut weights: Vec<f64> = self.miners.iter().map(|m| m.weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        weights.iter().take(k).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::Timeline;
+    use rand::SeedableRng;
+
+    fn set() -> MinerSet {
+        let tl = Timeline::paper_span(1000);
+        MinerSet::zipf_with_adoption(55, 1.4, 5, |m| tl.first_block_of_month(m))
+    }
+
+    #[test]
+    fn weights_are_zipf_and_sampling_respects_them() {
+        let s = set();
+        assert_eq!(s.len(), 55);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u64; s.len()];
+        for _ in 0..200_000 {
+            counts[s.pick(&mut rng)] += 1;
+        }
+        // Rank 0 wins ~2.6× rank 1 at alpha=1.4.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((2.0..3.5).contains(&ratio), "ratio {ratio}");
+        // Long tail: rank 0 dwarfs rank 40.
+        assert!(counts[0] > counts[40] * 20);
+    }
+
+    #[test]
+    fn adoption_ramps_like_figure_4() {
+        let s = set();
+        let tl = Timeline::paper_span(1000);
+        let b = |y, m| tl.first_block_of_month(Month::new(y, m));
+        assert_eq!(s.flashbots_hashrate_share(b(2021, 1)), 0.0, "before launch");
+        let march = s.flashbots_hashrate_share(b(2021, 3) + 1);
+        assert!(march > 0.4 && march < 0.9, "march share {march}");
+        let may = s.flashbots_hashrate_share(b(2021, 5) + 1);
+        assert!(may > march, "monotone ramp");
+        let late = s.flashbots_hashrate_share(b(2022, 2));
+        assert!(late > 0.97, "late share {late}");
+        assert!(late < 1.0, "never-joiners keep it below 100 %");
+    }
+
+    #[test]
+    fn top_two_dominate() {
+        let s = set();
+        let share = s.top_k_share(2);
+        assert!(share > 0.4, "top-2 share {share}");
+        assert!(s.top_k_share(55) > 0.999);
+    }
+
+    #[test]
+    fn dominant_miners_do_self_mev() {
+        let s = set();
+        assert!(s.get(0).self_mev);
+        assert!(s.get(1).self_mev);
+        assert!(!s.get(10).self_mev);
+    }
+
+    #[test]
+    fn by_address_roundtrip() {
+        let s = set();
+        let addr = s.get(3).address;
+        assert_eq!(s.by_address(addr).unwrap().address, addr);
+        assert!(s.by_address(Address::ZERO).is_none());
+    }
+
+    #[test]
+    fn in_flashbots_respects_join_block() {
+        let m = MinerAgent {
+            address: miner_address(0),
+            weight: 1.0,
+            flashbots_join_block: Some(100),
+            self_mev: false,
+            channel_memberships: vec![],
+        };
+        assert!(!m.in_flashbots(99));
+        assert!(m.in_flashbots(100));
+        let never = MinerAgent { flashbots_join_block: None, ..m };
+        assert!(!never.in_flashbots(u64::MAX));
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let s = set();
+        let seq1: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| s.pick(&mut rng)).collect()
+        };
+        let seq2: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| s.pick(&mut rng)).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+}

@@ -1,0 +1,432 @@
+//! Arbitrage planning (§2.2.2, Definition 2).
+//!
+//! The *passive* strategy scans current pool state for the same pair priced
+//! differently on two exchanges and sizes the round trip by ternary search
+//! on the (unimodal) profit curve. The *proactive* strategy — copying a
+//! pending arbitrage with a higher fee — is a transaction-level transform
+//! provided by [`copy_with_higher_fee`].
+
+use mev_dex::{DexState, Pool};
+use mev_types::{Action, PoolId, SwapCall, TokenId, Transaction, TxFee, Wei};
+
+/// A planned two-leg arbitrage: buy `token` on `buy_pool`, sell on
+/// `sell_pool`, both against `base` (WETH in practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbPlan {
+    pub base: TokenId,
+    pub token: TokenId,
+    pub buy_pool: PoolId,
+    pub sell_pool: PoolId,
+    /// Input in base-token units.
+    pub amount_in: u128,
+    /// Expected intermediate token amount.
+    pub mid_amount: u128,
+    /// Expected proceeds in base-token units.
+    pub amount_out: u128,
+    /// `amount_out − amount_in` (gross, before fees).
+    pub gross_profit: i128,
+}
+
+impl ArbPlan {
+    /// The route legs this plan executes.
+    pub fn legs(&self) -> Vec<SwapCall> {
+        vec![
+            SwapCall {
+                pool: self.buy_pool,
+                token_in: self.base,
+                token_out: self.token,
+                amount_in: self.amount_in,
+                min_amount_out: 0,
+            },
+            SwapCall {
+                pool: self.sell_pool,
+                token_in: self.token,
+                token_out: self.base,
+                amount_in: self.mid_amount,
+                min_amount_out: 0,
+            },
+        ]
+    }
+}
+
+/// Round-trip proceeds of `x` base tokens through buy then sell.
+fn round_trip(buy: &Pool, sell: &Pool, base: TokenId, token: TokenId, x: u128) -> Option<(u128, u128)> {
+    let mid = buy.quote(base, x).ok()?;
+    if buy.other(base) != Some(token) {
+        return None;
+    }
+    let out = sell.quote(token, mid).ok()?;
+    Some((mid, out))
+}
+
+/// Size the arbitrage between two specific pools by ternary search.
+pub fn size_arbitrage(
+    buy: &Pool,
+    sell: &Pool,
+    base: TokenId,
+    token: TokenId,
+    max_capital: u128,
+) -> Option<ArbPlan> {
+    if max_capital == 0 {
+        return None;
+    }
+    let profit = |x: u128| -> i128 {
+        match round_trip(buy, sell, base, token, x) {
+            Some((_, out)) => out as i128 - x as i128,
+            None => i128::MIN,
+        }
+    };
+    // Ternary search to full convergence: the interval shrinks by ~1/3
+    // per round, so even a 2¹²⁸ range needs < 250 rounds.
+    let (mut lo, mut hi) = (1u128, max_capital);
+    while hi - lo > 2 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        if profit(m1) < profit(m2) {
+            lo = m1 + 1;
+        } else {
+            hi = m2 - 1;
+        }
+    }
+    let best_x = (lo..=hi).max_by_key(|&x| profit(x))?;
+    let (mid, out) = round_trip(buy, sell, base, token, best_x)?;
+    let plan = ArbPlan {
+        base,
+        token,
+        buy_pool: buy.id,
+        sell_pool: sell.id,
+        amount_in: best_x,
+        mid_amount: mid,
+        amount_out: out,
+        gross_profit: out as i128 - best_x as i128,
+    };
+    (plan.gross_profit > 0).then_some(plan)
+}
+
+/// Passive scan (§2.2.2): for each token, compare every ordered pair of
+/// arbitrage-covered pools trading (base, token) and return the best plan
+/// above `min_profit`.
+pub fn find_arbitrage(
+    dex: &DexState,
+    base: TokenId,
+    tokens: &[TokenId],
+    max_capital: u128,
+    min_profit: u128,
+) -> Option<ArbPlan> {
+    let mut best: Option<ArbPlan> = None;
+    for &token in tokens {
+        let pools: Vec<&Pool> = dex
+            .pools_for_pair(base, token)
+            .into_iter()
+            .filter(|p| p.id.exchange.arbitrage_covered())
+            .collect();
+        for &buy in &pools {
+            for &sell in &pools {
+                if buy.id == sell.id {
+                    continue;
+                }
+                // Quick spot-price filter: the token must be cheaper on
+                // `buy` by more than the two LP fees, or sizing cannot
+                // possibly clear them — this prunes the vast majority of
+                // pairs before the expensive search.
+                let (Some(pb), Some(ps)) =
+                    (buy.price_e18(base, token), sell.price_e18(base, token))
+                else {
+                    continue;
+                };
+                if pb <= ps + ps / 120 {
+                    continue; // spread under ~0.83 % (2 × 30 bps + margin)
+                }
+                // The binding depth is the *output* side: the base tokens
+                // the sell pool can pay out. Bounding the search range by
+                // it keeps the ternary search short without excluding the
+                // optimum.
+                let depth_cap = sell.reserve_of(base).unwrap_or(max_capital) / 2;
+                let cap = max_capital.min(depth_cap.max(1));
+                if let Some(plan) = size_arbitrage(buy, sell, base, token, cap) {
+                    if plan.gross_profit >= min_profit as i128
+                        && best.map_or(true, |b| plan.gross_profit > b.gross_profit)
+                    {
+                        best = Some(plan);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// A three-leg triangular plan: base → mid (pool a), mid → other (pool b),
+/// other → base (pool c). Exercises the detector's multi-hop cycle path
+/// and harvests divergences a two-leg scan cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrianglePlan {
+    pub base: TokenId,
+    pub legs: [SwapCall; 3],
+    pub amount_in: u128,
+    pub amount_out: u128,
+    pub gross_profit: i128,
+}
+
+/// Scan for a profitable triangle `base → t1 → t2 → base` across covered
+/// exchanges, sizing by the same ternary search as the two-leg case.
+pub fn find_triangle_arbitrage(
+    dex: &DexState,
+    base: TokenId,
+    tokens: &[TokenId],
+    max_capital: u128,
+    min_profit: u128,
+) -> Option<TrianglePlan> {
+    let covered = |p: &&Pool| p.id.exchange.arbitrage_covered();
+    let mut best: Option<TrianglePlan> = None;
+    for (i, &t1) in tokens.iter().enumerate() {
+        for &t2 in tokens.iter().skip(i + 1) {
+            // Need a direct t1↔t2 pool and base legs on both ends.
+            let mids: Vec<&Pool> = dex.pools_for_pair(t1, t2).into_iter().filter(covered).collect();
+            if mids.is_empty() {
+                continue;
+            }
+            let firsts: Vec<&Pool> = dex.pools_for_pair(base, t1).into_iter().filter(covered).collect();
+            let lasts: Vec<&Pool> = dex.pools_for_pair(t2, base).into_iter().filter(covered).collect();
+            for &a in &firsts {
+                for &m in &mids {
+                    for &c in &lasts {
+                        if a.id == c.id {
+                            continue;
+                        }
+                        let round = |x: u128| -> Option<(u128, u128, u128)> {
+                            let o1 = a.quote(base, x).ok()?;
+                            let o2 = m.quote(t1, o1).ok()?;
+                            let o3 = c.quote(t2, o2).ok()?;
+                            Some((o1, o2, o3))
+                        };
+                        let profit = |x: u128| -> i128 {
+                            round(x).map(|(_, _, o3)| o3 as i128 - x as i128).unwrap_or(i128::MIN)
+                        };
+                        // Cheap viability probe before the full search.
+                        let probe = max_capital.min(10u128.pow(18));
+                        if profit(probe.max(1)) <= 0 && profit((probe / 16).max(1)) <= 0 {
+                            continue;
+                        }
+                        let cap = max_capital.min(c.reserve_of(base).unwrap_or(max_capital) / 2).max(1);
+                        let (mut lo, mut hi) = (1u128, cap);
+                        while hi - lo > 2 {
+                            let m1 = lo + (hi - lo) / 3;
+                            let m2 = hi - (hi - lo) / 3;
+                            if profit(m1) < profit(m2) {
+                                lo = m1 + 1;
+                            } else {
+                                hi = m2 - 1;
+                            }
+                        }
+                        let Some(x) = (lo..=hi).max_by_key(|&x| profit(x)) else { continue };
+                        let Some((o1, o2, o3)) = round(x) else { continue };
+                        let gross = o3 as i128 - x as i128;
+                        if gross < min_profit as i128 {
+                            continue;
+                        }
+                        if best.map_or(true, |b| gross > b.gross_profit) {
+                            best = Some(TrianglePlan {
+                                base,
+                                legs: [
+                                    SwapCall {
+                                        pool: a.id,
+                                        token_in: base,
+                                        token_out: t1,
+                                        amount_in: x,
+                                        min_amount_out: 0,
+                                    },
+                                    SwapCall {
+                                        pool: m.id,
+                                        token_in: t1,
+                                        token_out: t2,
+                                        amount_in: o1,
+                                        min_amount_out: 0,
+                                    },
+                                    SwapCall {
+                                        pool: c.id,
+                                        token_in: t2,
+                                        token_out: base,
+                                        amount_in: o2,
+                                        min_amount_out: 0,
+                                    },
+                                ],
+                                amount_in: x,
+                                amount_out: o3,
+                                gross_profit: gross,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Proactive arbitrage (Definition 2): copy a pending arbitrage route and
+/// outbid its fee so a rational miner orders the copy first.
+pub fn copy_with_higher_fee(
+    victim: &Transaction,
+    extractor: mev_types::Address,
+    extractor_nonce: u64,
+    fee_bump_pct: u128,
+) -> Option<Transaction> {
+    let Action::Route(legs) = &victim.action else { return None };
+    let new_fee = match victim.fee {
+        TxFee::Legacy { gas_price } => TxFee::Legacy {
+            gas_price: Wei(gas_price.0 + gas_price.0 * fee_bump_pct / 100 + 1),
+        },
+        TxFee::Eip1559 { max_fee, max_priority } => TxFee::Eip1559 {
+            max_fee: Wei(max_fee.0 + max_fee.0 * fee_bump_pct / 100 + 1),
+            max_priority: Wei(max_priority.0 + max_priority.0 * fee_bump_pct / 100 + 1),
+        },
+    };
+    Some(Transaction::new(
+        extractor,
+        extractor_nonce,
+        new_fee,
+        victim.gas_limit,
+        Action::Route(legs.clone()),
+        victim.coinbase_tip,
+        Some(mev_types::GroundTruth::Arbitrage),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_dex::pool::build;
+    use mev_types::{gwei, Address, Gas, GroundTruth};
+
+    const E18: u128 = 10u128.pow(18);
+
+    /// Uniswap prices TKN1 at 2.0/WETH; Sushi at 2.2/WETH (TKN1 cheap on
+    /// Sushi ⇒ buy on Sushi, sell on Uniswap).
+    fn dex() -> DexState {
+        let mut d = DexState::new();
+        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
+        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_200 * E18));
+        d
+    }
+
+    #[test]
+    fn finds_the_cross_dex_spread() {
+        let d = dex();
+        let plan = find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).unwrap();
+        assert_eq!(plan.buy_pool.exchange, mev_types::ExchangeId::SushiSwap);
+        assert_eq!(plan.sell_pool.exchange, mev_types::ExchangeId::UniswapV2);
+        assert!(plan.gross_profit > 0);
+        assert_eq!(plan.legs().len(), 2);
+    }
+
+    #[test]
+    fn sizing_is_sane() {
+        let d = dex();
+        let plan = find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).unwrap();
+        // Optimal input is interior: strictly between 0 and capital.
+        assert!(plan.amount_in > 0 && plan.amount_in < 1_000 * E18);
+        // Profit at optimum beats half and double (unimodality check).
+        let buy = d.pool(plan.buy_pool).unwrap();
+        let sell = d.pool(plan.sell_pool).unwrap();
+        let p = |x| {
+            round_trip(buy, sell, TokenId::WETH, TokenId(1), x)
+                .map(|(_, out)| out as i128 - x as i128)
+                .unwrap_or(i128::MIN)
+        };
+        assert!(p(plan.amount_in) >= p(plan.amount_in / 2));
+        assert!(p(plan.amount_in) >= p((plan.amount_in * 2).min(1_000 * E18)));
+    }
+
+    #[test]
+    fn balanced_pools_offer_nothing() {
+        let mut d = DexState::new();
+        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
+        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 500 * E18, 1_000 * E18));
+        assert!(find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).is_none());
+    }
+
+    #[test]
+    fn min_profit_filters() {
+        let d = dex();
+        let plan = find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).unwrap();
+        let too_high = plan.gross_profit as u128 + 1;
+        assert!(find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, too_high).is_none());
+    }
+
+    #[test]
+    fn uniswap_v1_not_covered() {
+        // The paper's arbitrage detector does not cover Uniswap V1, and
+        // neither does the scanner.
+        let mut d = DexState::new();
+        d.add_pool(build::uniswap_v1(0, TokenId(1), 1_000 * E18, 2_000 * E18));
+        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_200 * E18));
+        assert!(find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).is_none());
+    }
+
+    #[test]
+    fn triangle_found_across_three_pools() {
+        const E18: u128 = 10u128.pow(18);
+        let mut d = DexState::new();
+        // WETH→TKN1 at 2.0, TKN1→TKN2 at 1.1 (mispriced rich), TKN2→WETH at 0.55.
+        // Round trip: 1 WETH → 2 TKN1 → 2.2 TKN2 → 1.21 WETH: ~21 % edge.
+        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
+        d.add_pool(build::sushiswap(1, TokenId(1), TokenId(2), 2_000 * E18, 2_200 * E18));
+        d.add_pool(build::bancor(2, TokenId(2), TokenId::WETH, 2_000 * E18, 1_100 * E18));
+        let plan =
+            find_triangle_arbitrage(&d, TokenId::WETH, &[TokenId(1), TokenId(2)], 1_000 * E18, 0)
+                .expect("triangle exists");
+        assert!(plan.gross_profit > 0);
+        assert_eq!(plan.legs[0].token_in, TokenId::WETH);
+        assert_eq!(plan.legs[2].token_out, TokenId::WETH);
+        // Legs chain: out token of leg k is in token of leg k+1.
+        assert_eq!(plan.legs[0].token_out, plan.legs[1].token_in);
+        assert_eq!(plan.legs[1].token_out, plan.legs[2].token_in);
+        // Interior optimum.
+        assert!(plan.amount_in > 0 && plan.amount_in < 1_000 * E18);
+    }
+
+    #[test]
+    fn no_triangle_on_consistent_prices() {
+        const E18: u128 = 10u128.pow(18);
+        let mut d = DexState::new();
+        // Prices consistent: 2.0 × 1.0 × 0.5 = 1.0 ⇒ fees make it a loss.
+        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
+        d.add_pool(build::sushiswap(1, TokenId(1), TokenId(2), 2_000 * E18, 2_000 * E18));
+        d.add_pool(build::bancor(2, TokenId(2), TokenId::WETH, 2_000 * E18, 1_000 * E18));
+        assert!(find_triangle_arbitrage(&d, TokenId::WETH, &[TokenId(1), TokenId(2)], 1_000 * E18, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn copy_with_higher_fee_outbids() {
+        let d = dex();
+        let plan = find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).unwrap();
+        let victim = Transaction::new(
+            Address::from_index(1),
+            0,
+            TxFee::Legacy { gas_price: gwei(100) },
+            Gas(200_000),
+            Action::Route(plan.legs()),
+            Wei::ZERO,
+            None,
+        );
+        let copy = copy_with_higher_fee(&victim, Address::from_index(2), 7, 10).unwrap();
+        assert!(copy.bid_per_gas() > victim.bid_per_gas());
+        assert_eq!(copy.from, Address::from_index(2));
+        assert_eq!(copy.nonce, 7);
+        assert_eq!(copy.action, victim.action, "identical route");
+        assert_eq!(copy.ground_truth, Some(GroundTruth::Arbitrage));
+        // Non-route transactions cannot be copied as arbitrage.
+        let not_arb = Transaction::new(
+            Address::from_index(1),
+            1,
+            TxFee::Legacy { gas_price: gwei(100) },
+            Gas(21_000),
+            Action::Transfer { to: Address::ZERO, value: Wei(1) },
+            Wei::ZERO,
+            None,
+        );
+        assert!(copy_with_higher_fee(&not_arb, Address::from_index(2), 8, 10).is_none());
+    }
+}

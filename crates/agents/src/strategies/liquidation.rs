@@ -1,0 +1,237 @@
+//! Liquidation planning (§2.2.2, Definition 3).
+//!
+//! *Passive*: scan lending state for unhealthy fixed-spread positions and
+//! rank by expected bonus. *Proactive*: watch the pending stream for an
+//! oracle price update that will render positions unhealthy and plan the
+//! liquidation that backruns it. Flash-loan variants borrow the repay
+//! capital inside the same transaction (§2.3).
+
+use mev_dex::PriceOracle;
+use mev_lending::{LendingState, UnhealthyLoan};
+use mev_types::{Action, Transaction, U256};
+
+const E18: u128 = 10u128.pow(18);
+
+/// A planned liquidation with its expected economics.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LiquidationPlan {
+    pub loan: UnhealthyLoan,
+    /// Debt-token amount to repay.
+    pub repay_amount: u128,
+    /// Expected collateral value received, in wei.
+    pub expected_seize_wei: u128,
+    /// Expected gross profit (`seize − repay`), in wei.
+    pub gross_profit_wei: i128,
+}
+
+impl LiquidationPlan {
+    /// The plain liquidation action.
+    pub fn action(&self) -> Action {
+        Action::Liquidate {
+            platform: self.loan.platform,
+            borrower: self.loan.borrower,
+            debt_token: self.loan.debt_token,
+            repay_amount: self.repay_amount,
+        }
+    }
+
+    /// The flash-loan-funded variant: borrow the repay capital, liquidate,
+    /// and (the caller appends) sell collateral to repay.
+    pub fn flash_action(&self, flash_platform: mev_types::LendingPlatformId) -> Action {
+        Action::FlashLoan {
+            platform: flash_platform,
+            token: self.loan.debt_token,
+            amount: self.repay_amount,
+            inner: vec![self.action()],
+        }
+    }
+}
+
+/// Rank every open liquidation opportunity by expected gross profit.
+pub fn plan_liquidations(lending: &LendingState, oracle: &PriceOracle) -> Vec<LiquidationPlan> {
+    let mut plans: Vec<LiquidationPlan> = lending
+        .unhealthy_positions(oracle)
+        .into_iter()
+        .filter_map(|loan| {
+            let repay_amount = loan.max_repay;
+            if repay_amount == 0 {
+                return None;
+            }
+            let repay_wei = oracle.to_wei(loan.debt_token, repay_amount)?;
+            let bonus_bps =
+                lending.platform(loan.platform).config.liquidation_bonus_bps as u128;
+            let seize_wei = repay_wei + repay_wei * bonus_bps / 10_000;
+            Some(LiquidationPlan {
+                loan,
+                repay_amount,
+                expected_seize_wei: seize_wei,
+                gross_profit_wei: seize_wei as i128 - repay_wei as i128,
+            })
+        })
+        .collect();
+    plans.sort_by_key(|p| std::cmp::Reverse(p.gross_profit_wei));
+    plans
+}
+
+/// Proactive scan: if `pending` is an oracle update, compute which
+/// positions *will become* liquidatable once it lands, by evaluating
+/// lending health under the hypothetical price. Returns the plans to
+/// backrun the update with.
+pub fn plan_backrun_of_oracle_update(
+    lending: &LendingState,
+    oracle: &PriceOracle,
+    pending: &Transaction,
+) -> Vec<LiquidationPlan> {
+    let Action::OracleUpdate { token, price_wei } = pending.action else {
+        return Vec::new();
+    };
+    // Hypothetical oracle with the pending price applied "now".
+    let mut hypo = oracle.clone();
+    let future_block = u64::MAX; // strictly after everything recorded
+    hypo.update(token, future_block, price_wei);
+    // Only *newly* unhealthy loans are backrun opportunities; already
+    // unhealthy ones are plain passive targets.
+    let already: std::collections::HashSet<_> = lending
+        .unhealthy_positions(oracle)
+        .into_iter()
+        .map(|l| (l.platform, l.borrower))
+        .collect();
+    plan_liquidations(lending, &hypo)
+        .into_iter()
+        .filter(|p| !already.contains(&(p.loan.platform, p.loan.borrower)))
+        .collect()
+}
+
+/// Convert a token amount to wei at a given price (helper for sizing the
+/// collateral dump after a flash-loan liquidation).
+pub fn token_to_wei(amount: u128, price_wei: u128) -> u128 {
+    U256::from(amount).mul_u128(price_wei).div_u128(E18).as_u128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{gwei, Address, Gas, LendingPlatformId, TokenId, TxFee, Wei};
+
+    fn setup() -> (LendingState, PriceOracle) {
+        let mut lending = LendingState::new();
+        let mut oracle = PriceOracle::new();
+        oracle.update(TokenId(1), 0, 2 * E18);
+        let p = lending.platform_mut(LendingPlatformId::AaveV2);
+        p.seed_liquidity(TokenId::WETH, 1_000_000 * E18);
+        // Two borrowers, one riskier than the other.
+        for (i, borrow) in [(1u64, 100 * E18), (2, 140 * E18)] {
+            let u = Address::from_index(i);
+            p.deposit(u, TokenId(1), 100 * E18);
+            p.borrow(u, TokenId::WETH, borrow, &oracle).unwrap();
+        }
+        (lending, oracle)
+    }
+
+    #[test]
+    fn no_plans_while_healthy() {
+        let (lending, oracle) = setup();
+        assert!(plan_liquidations(&lending, &oracle).is_empty());
+    }
+
+    #[test]
+    fn plans_after_crash_ranked_by_profit() {
+        let (lending, mut oracle) = setup();
+        oracle.update(TokenId(1), 10, E18); // halves collateral value
+        let plans = plan_liquidations(&lending, &oracle);
+        assert_eq!(plans.len(), 2);
+        // Bigger debt ⇒ bigger max repay ⇒ bigger bonus profit, first.
+        assert_eq!(plans[0].loan.borrower, Address::from_index(2));
+        assert!(plans[0].gross_profit_wei > plans[1].gross_profit_wei);
+        // Bonus is 5 % of repay value.
+        let repay_wei = plans[0].repay_amount; // WETH debt: 1:1 with wei
+        assert_eq!(plans[0].gross_profit_wei as u128, repay_wei * 500 / 10_000);
+    }
+
+    #[test]
+    fn backrun_finds_newly_unhealthy_only() {
+        let (lending, oracle) = setup();
+        // Pending oracle update that crashes the collateral.
+        let update = Transaction::new(
+            Address::from_index(50),
+            0,
+            TxFee::Legacy { gas_price: gwei(50) },
+            Gas(45_000),
+            Action::OracleUpdate { token: TokenId(1), price_wei: E18 },
+            Wei::ZERO,
+            None,
+        );
+        let plans = plan_backrun_of_oracle_update(&lending, &oracle, &update);
+        assert_eq!(plans.len(), 2, "both become unhealthy at the new price");
+        // A non-oracle pending tx yields nothing.
+        let noise = Transaction::new(
+            Address::from_index(50),
+            1,
+            TxFee::Legacy { gas_price: gwei(50) },
+            Gas(21_000),
+            Action::Transfer { to: Address::ZERO, value: Wei(1) },
+            Wei::ZERO,
+            None,
+        );
+        assert!(plan_backrun_of_oracle_update(&lending, &oracle, &noise).is_empty());
+        // An update that *raises* the price finds nothing either.
+        let pump = Transaction::new(
+            Address::from_index(50),
+            2,
+            TxFee::Legacy { gas_price: gwei(50) },
+            Gas(45_000),
+            Action::OracleUpdate { token: TokenId(1), price_wei: 4 * E18 },
+            Wei::ZERO,
+            None,
+        );
+        assert!(plan_backrun_of_oracle_update(&lending, &oracle, &pump).is_empty());
+    }
+
+    #[test]
+    fn backrun_excludes_already_unhealthy() {
+        let (lending, mut oracle) = setup();
+        // Crash once: both already unhealthy.
+        oracle.update(TokenId(1), 10, E18);
+        let update = Transaction::new(
+            Address::from_index(50),
+            0,
+            TxFee::Legacy { gas_price: gwei(50) },
+            Gas(45_000),
+            Action::OracleUpdate { token: TokenId(1), price_wei: E18 / 2 },
+            Wei::ZERO,
+            None,
+        );
+        assert!(plan_backrun_of_oracle_update(&lending, &oracle, &update).is_empty());
+    }
+
+    #[test]
+    fn actions_built_correctly() {
+        let (lending, mut oracle) = setup();
+        oracle.update(TokenId(1), 10, E18);
+        let plan = &plan_liquidations(&lending, &oracle)[0];
+        match plan.action() {
+            Action::Liquidate { platform, borrower, debt_token, repay_amount } => {
+                assert_eq!(platform, LendingPlatformId::AaveV2);
+                assert_eq!(borrower, plan.loan.borrower);
+                assert_eq!(debt_token, TokenId::WETH);
+                assert_eq!(repay_amount, plan.repay_amount);
+            }
+            _ => panic!("wrong action"),
+        }
+        match plan.flash_action(LendingPlatformId::DyDx) {
+            Action::FlashLoan { platform, token, amount, inner } => {
+                assert_eq!(platform, LendingPlatformId::DyDx);
+                assert_eq!(token, TokenId::WETH);
+                assert_eq!(amount, plan.repay_amount);
+                assert_eq!(inner.len(), 1);
+            }
+            _ => panic!("wrong action"),
+        }
+    }
+
+    #[test]
+    fn token_to_wei_scales() {
+        assert_eq!(token_to_wei(10 * E18, 2 * E18), 20 * E18);
+        assert_eq!(token_to_wei(E18 / 2, E18), E18 / 2);
+    }
+}

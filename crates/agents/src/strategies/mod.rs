@@ -1,0 +1,7 @@
+//! MEV extraction strategies (§2.2.2): pure planners that inspect world
+//! state (and, for proactive variants, the pending-transaction stream)
+//! and emit the transactions an extractor would submit.
+
+pub mod arbitrage;
+pub mod liquidation;
+pub mod sandwich;

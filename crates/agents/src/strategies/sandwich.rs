@@ -1,0 +1,235 @@
+//! Sandwich planning (§2.2.2, Definition 1).
+//!
+//! Given a pending victim swap, find the largest front-run the victim's
+//! slippage guard tolerates: buy before the victim (pushing the price up),
+//! let the victim buy at the worse price, sell right after. The sizing is
+//! a binary search over the pool's actual quoting function, so it is exact
+//! for every engine type, not just constant product.
+
+use mev_dex::Pool;
+use mev_types::SwapCall;
+
+/// A planned sandwich.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SandwichPlan {
+    /// Front-run input, in the victim's input token.
+    pub front_in: u128,
+    /// Tokens the front-run acquires (and the back-run sells).
+    pub front_out: u128,
+    /// Expected output of the victim's swap after the front-run.
+    pub victim_out: u128,
+    /// Expected back-run proceeds, in the victim's input token.
+    pub back_out: u128,
+    /// Expected gross profit in the victim's input token
+    /// (`back_out − front_in`), before fees and tips.
+    pub gross_profit: i128,
+}
+
+/// Simulate `front_in` through (front, victim, back) on a scratch copy of
+/// the pool. Returns `None` if any leg fails.
+fn simulate(pool: &Pool, victim: &SwapCall, front_in: u128) -> Option<SandwichPlan> {
+    let mut scratch = pool.clone();
+    let front_out =
+        if front_in == 0 { 0 } else { scratch.swap(victim.token_in, front_in, 0).ok()? };
+    let victim_out = scratch.swap(victim.token_in, victim.amount_in, 0).ok()?;
+    if victim_out < victim.min_amount_out {
+        return None;
+    }
+    let back_out =
+        if front_out == 0 { 0 } else { scratch.swap(victim.token_out, front_out, 0).ok()? };
+    Some(SandwichPlan {
+        front_in,
+        front_out,
+        victim_out,
+        back_out,
+        gross_profit: back_out as i128 - front_in as i128,
+    })
+}
+
+/// Plan the largest sandwich the victim's `min_amount_out` allows, bounded
+/// by the attacker's capital. Returns `None` when no profitable sandwich
+/// exists (victim guard too tight, pool too deep, or trade too small).
+pub fn plan_sandwich(pool: &Pool, victim: &SwapCall, max_capital: u128) -> Option<SandwichPlan> {
+    if victim.pool != pool.id || max_capital == 0 {
+        return None;
+    }
+    // The victim must at least execute with no front-run.
+    simulate(pool, victim, 0)?;
+    // Binary search the largest feasible front_in in [0, max_capital].
+    let (mut lo, mut hi) = (0u128, max_capital);
+    for _ in 0..64 {
+        if hi - lo <= 1 {
+            break;
+        }
+        let mid = lo + (hi - lo) / 2;
+        if simulate(pool, victim, mid).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        return None;
+    }
+    let plan = simulate(pool, victim, lo)?;
+    (plan.gross_profit > 0).then_some(plan)
+}
+
+/// A buggy searcher's plan (§5.2): identical sizing, but no profitability
+/// check — the contract happily executes sandwiches whose fees exceed the
+/// captured slippage, realising the losses the paper measures (1.58 % of
+/// Flashbots sandwiches, 113.67 ETH in total).
+pub fn plan_sandwich_buggy(pool: &Pool, victim: &SwapCall, max_capital: u128) -> Option<SandwichPlan> {
+    if victim.pool != pool.id || max_capital == 0 {
+        return None;
+    }
+    simulate(pool, victim, 0)?;
+    let (mut lo, mut hi) = (0u128, max_capital);
+    for _ in 0..64 {
+        if hi - lo <= 1 {
+            break;
+        }
+        let mid = lo + (hi - lo) / 2;
+        if simulate(pool, victim, mid).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        return None;
+    }
+    // No `gross_profit > 0` filter: this is the bug.
+    simulate(pool, victim, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_dex::pool::build;
+    use mev_types::TokenId;
+    use proptest::prelude::*;
+
+    const E18: u128 = 10u128.pow(18);
+
+    fn pool() -> Pool {
+        build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18)
+    }
+
+    fn victim(amount_in: u128, min_out: u128) -> SwapCall {
+        SwapCall {
+            pool: pool().id,
+            token_in: TokenId::WETH,
+            token_out: TokenId(1),
+            amount_in,
+            min_amount_out: min_out,
+        }
+    }
+
+    /// A victim quote with a given slippage tolerance in bps.
+    fn victim_with_slippage(amount_in: u128, tolerance_bps: u128) -> SwapCall {
+        let p = pool();
+        let quote = p.quote(TokenId::WETH, amount_in).unwrap();
+        victim(amount_in, quote * (10_000 - tolerance_bps) / 10_000)
+    }
+
+    #[test]
+    fn loose_guard_invites_big_sandwich() {
+        let v = victim_with_slippage(20 * E18, 300); // 3 % tolerance
+        let plan = plan_sandwich(&pool(), &v, 10_000 * E18).unwrap();
+        assert!(plan.front_in > 0);
+        assert!(plan.gross_profit > 0);
+        assert!(plan.victim_out >= v.min_amount_out, "victim still executes");
+    }
+
+    #[test]
+    fn tighter_guard_shrinks_the_sandwich() {
+        // A large victim is attackable even at 5 bps, but the tight guard
+        // caps the extractable amount far below the loose-guard case
+        // (§7's "tighter slippage protection" countermeasure).
+        let loose = plan_sandwich(&pool(), &victim_with_slippage(20 * E18, 300), 10_000 * E18)
+            .expect("loose guard is sandwichable");
+        match plan_sandwich(&pool(), &victim_with_slippage(20 * E18, 5), 10_000 * E18) {
+            Some(tight) => {
+                assert!(tight.front_in < loose.front_in / 10);
+                assert!(tight.gross_profit < loose.gross_profit);
+            }
+            None => {} // fully blocked is also acceptable protection
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_victim_cannot_be_sandwiched() {
+        let p = pool();
+        let quote = p.quote(TokenId::WETH, 10 * E18).unwrap();
+        let v = victim(10 * E18, quote);
+        assert!(plan_sandwich(&p, &v, 10_000 * E18).is_none());
+    }
+
+    #[test]
+    fn capital_caps_front_run() {
+        let v = victim_with_slippage(20 * E18, 500);
+        let small = plan_sandwich(&pool(), &v, E18).unwrap();
+        let large = plan_sandwich(&pool(), &v, 1_000 * E18).unwrap();
+        assert!(small.front_in <= E18);
+        assert!(large.front_in > small.front_in);
+        // Bigger tolerance consumed ⇒ bigger gross profit.
+        assert!(large.gross_profit >= small.gross_profit);
+    }
+
+    #[test]
+    fn wrong_pool_rejected() {
+        let other = build::sushiswap(0, TokenId::WETH, TokenId(1), 500 * E18, 1_000 * E18);
+        let v = victim_with_slippage(10 * E18, 300);
+        assert!(plan_sandwich(&other, &v, 100 * E18).is_none());
+    }
+
+    #[test]
+    fn buggy_plan_can_lose_money() {
+        // A tiny victim with a loose guard: the feasible front-run's fees
+        // exceed the capturable slippage, so executing it realises a loss.
+        let v = victim_with_slippage(E18, 300); // 1 ETH victim, 3 % tolerance
+        let plan = plan_sandwich_buggy(&pool(), &v, 500 * E18).unwrap();
+        assert!(plan.gross_profit < 0, "fees should exceed captured slippage");
+        // The correct planner abstains from this victim.
+        assert!(plan_sandwich(&pool(), &v, 500 * E18).is_none());
+    }
+
+    #[test]
+    fn works_on_v3_style_pools() {
+        let p = build::uniswap_v3(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18);
+        let quote = p.quote(TokenId::WETH, 20 * E18).unwrap();
+        let v = SwapCall {
+            pool: p.id,
+            token_in: TokenId::WETH,
+            token_out: TokenId(1),
+            amount_in: 20 * E18,
+            min_amount_out: quote * 97 / 100,
+        };
+        let plan = plan_sandwich(&p, &v, 10_000 * E18).unwrap();
+        assert!(plan.gross_profit > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Whatever the planner returns, the victim's guard still holds and
+        /// the plan replays exactly on a fresh pool.
+        #[test]
+        fn prop_plan_respects_victim_guard(
+            amount in 1u128..=50,
+            tol_bps in 10u128..=1_000,
+            capital in 1u128..=5_000,
+        ) {
+            let v = victim_with_slippage(amount * E18, tol_bps);
+            if let Some(plan) = plan_sandwich(&pool(), &v, capital * E18) {
+                prop_assert!(plan.victim_out >= v.min_amount_out);
+                prop_assert!(plan.front_in <= capital * E18);
+                prop_assert!(plan.gross_profit > 0);
+                // Replay on a fresh pool gives identical numbers.
+                let replay = simulate(&pool(), &v, plan.front_in).unwrap();
+                prop_assert_eq!(replay, plan);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Ordinary traders — the liquidity-demanding population whose large,
+//! loosely-guarded swaps are the raw material of sandwich MEV (§2.2).
+//!
+//! Trade sizes are log-normal (heavy tail: most swaps are small, a few
+//! are whales), and slippage tolerance is a mixture — most users accept
+//! the default ~0.5–1 %, some set it tight, and some set it recklessly
+//! loose. Only the large-and-loose corner is sandwichable, which is what
+//! keeps sandwich counts a small fraction of total swaps, as in the paper.
+
+use mev_dex::DexState;
+use mev_types::{Address, PoolId, SwapCall, TokenId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const E18: u128 = 10u128.pow(18);
+
+/// One generated trade intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TradeIntent {
+    pub trader: Address,
+    pub call: SwapCall,
+    /// Slippage tolerance the trader applied, bps.
+    pub slippage_bps: u32,
+}
+
+/// Address-space offset for trader addresses.
+pub const TRADER_ADDRESS_BASE: u64 = 0x1000_0000_0000;
+
+/// The trader population.
+#[derive(Debug, Clone)]
+pub struct TraderPool {
+    pub n_traders: u64,
+    /// Mean of ln(size in ETH).
+    pub ln_size_mu: f64,
+    /// Std-dev of ln(size in ETH).
+    pub ln_size_sigma: f64,
+    /// Cap on a single trade, in WETH base units.
+    pub max_trade: u128,
+}
+
+impl Default for TraderPool {
+    fn default() -> Self {
+        // exp(N(-0.3, 1.4)): median ~0.75 ETH, p95 ~7.5 ETH, rare whales.
+        TraderPool { n_traders: 2_000, ln_size_mu: -0.3, ln_size_sigma: 1.4, max_trade: 200 * E18 }
+    }
+}
+
+impl TraderPool {
+    /// The address of trader `i`.
+    pub fn trader_address(&self, i: u64) -> Address {
+        Address::from_index(TRADER_ADDRESS_BASE + (i % self.n_traders))
+    }
+
+    /// Sample a log-normal trade size in WETH base units.
+    fn sample_size(&self, rng: &mut StdRng) -> u128 {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let eth = (self.ln_size_mu + self.ln_size_sigma * z).exp();
+        ((eth * E18 as f64) as u128).clamp(E18 / 100, self.max_trade)
+    }
+
+    /// Sample a slippage tolerance (bps) from the user mixture.
+    fn sample_slippage(&self, rng: &mut StdRng) -> u32 {
+        let x: f64 = rng.gen();
+        if x < 0.25 {
+            rng.gen_range(5..=30) // tight: MEV-aware users
+        } else if x < 0.80 {
+            rng.gen_range(50..=100) // the common default
+        } else {
+            rng.gen_range(100..=300) // loose: sandwich bait
+        }
+    }
+
+    /// Generate `count` trade intents against WETH-paired pools on
+    /// sandwich-covered exchanges. Sellers of tokens and buyers of tokens
+    /// are both generated.
+    pub fn generate(&self, dex: &DexState, count: usize, rng: &mut StdRng) -> Vec<TradeIntent> {
+        let weth_pools: Vec<(PoolId, TokenId)> = dex
+            .pools()
+            .filter_map(|p| {
+                let other = p.other(TokenId::WETH)?;
+                Some((p.id, other))
+            })
+            .collect();
+        if weth_pools.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let trader = self.trader_address(rng.gen_range(0..self.n_traders));
+            let &(pool_id, token) = &weth_pools[rng.gen_range(0..weth_pools.len())];
+            let pool = dex.pool(pool_id).expect("listed above");
+            let buy_token = rng.gen_bool(0.5);
+            let size_weth = self.sample_size(rng);
+            let (token_in, token_out, amount_in) = if buy_token {
+                // Buys are also depth-capped: nobody market-buys a double-
+                // digit share of a pool in one shot.
+                let cap = pool.reserve_of(TokenId::WETH).unwrap_or(size_weth) / 20;
+                (TokenId::WETH, token, size_weth.min(cap.max(1)))
+            } else {
+                // Sell tokens of roughly the same WETH value, capped at a
+                // twentieth of the pool's token depth.
+                let px = pool.price_e18(TokenId::WETH, token).unwrap_or(E18);
+                let amount = mev_types::U256::from(size_weth)
+                    .mul_u128(px)
+                    .div_u128(E18)
+                    .checked_u128()
+                    .unwrap_or(size_weth);
+                let cap = pool.reserve_of(token).unwrap_or(amount) / 20;
+                (token, TokenId::WETH, amount.min(cap).max(1))
+            };
+            let slippage_bps = self.sample_slippage(rng);
+            let Ok(quote) = pool.quote(token_in, amount_in) else { continue };
+            let min_amount_out = quote * (10_000 - slippage_bps as u128) / 10_000;
+            out.push(TradeIntent {
+                trader,
+                call: SwapCall { pool: pool_id, token_in, token_out, amount_in, min_amount_out },
+                slippage_bps,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_dex::pool::build;
+    use rand::SeedableRng;
+
+    fn dex() -> DexState {
+        let mut d = DexState::new();
+        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 5_000 * E18, 10_000 * E18));
+        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(2), 3_000 * E18, 9_000 * E18));
+        // A non-WETH pool that must never be selected.
+        d.add_pool(build::curve(0, TokenId(1), TokenId(2), 10_000 * E18, 10_000 * E18));
+        d
+    }
+
+    #[test]
+    fn generates_weth_paired_trades_only() {
+        let d = dex();
+        let pool = TraderPool::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trades = pool.generate(&d, 500, &mut rng);
+        assert!(trades.len() >= 490, "almost all intents should quote fine");
+        for t in &trades {
+            assert!(
+                t.call.token_in == TokenId::WETH || t.call.token_out == TokenId::WETH,
+                "always one WETH side"
+            );
+            assert!(t.call.min_amount_out > 0);
+        }
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let d = dex();
+        let pool = TraderPool::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trades = pool.generate(&d, 2_000, &mut rng);
+        let weth_ins: Vec<u128> = trades
+            .iter()
+            .filter(|t| t.call.token_in == TokenId::WETH)
+            .map(|t| t.call.amount_in)
+            .collect();
+        let mut sorted = weth_ins.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let p99 = sorted[sorted.len() * 99 / 100];
+        assert!(median < 3 * E18, "median {median}");
+        assert!(p99 > 10 * E18, "p99 {p99}");
+        assert!(*sorted.last().unwrap() <= pool.max_trade);
+    }
+
+    #[test]
+    fn slippage_mixture_has_three_modes() {
+        let d = dex();
+        let pool = TraderPool::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trades = pool.generate(&d, 2_000, &mut rng);
+        let tight = trades.iter().filter(|t| t.slippage_bps <= 30).count() as f64;
+        let loose = trades.iter().filter(|t| t.slippage_bps > 100).count() as f64;
+        let n = trades.len() as f64;
+        assert!((0.15..0.35).contains(&(tight / n)), "tight share {}", tight / n);
+        assert!((0.10..0.30).contains(&(loose / n)), "loose share {}", loose / n);
+    }
+
+    #[test]
+    fn trader_addresses_cycle_within_population() {
+        let pool = TraderPool { n_traders: 10, ..Default::default() };
+        assert_eq!(pool.trader_address(3), pool.trader_address(13));
+        assert_ne!(pool.trader_address(3), pool.trader_address(4));
+    }
+
+    #[test]
+    fn empty_dex_generates_nothing() {
+        let pool = TraderPool::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(pool.generate(&DexState::new(), 10, &mut rng).is_empty());
+    }
+}

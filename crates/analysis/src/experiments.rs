@@ -1,0 +1,684 @@
+//! One runner per table/figure. [`Lab::run`] simulates a scenario and
+//! inspects it; each `figN`/`tableN` method returns a typed result with a
+//! `render()` that prints the paper-comparable rows.
+
+use crate::paper;
+use crate::render::{count, eth, pct, sparkline, Table};
+use mev_core::attribution::{attribute_private_sandwiches, miner_affiliated, AttributionReport};
+use mev_core::private::{private_stats, PrivateStats};
+use mev_core::profit::{fig8 as profit_fig8, negative_profit_report, Fig8};
+use mev_core::series::{
+    bundle_stats, flashbots_block_ratio, gas_price_daily, mev_breakdown_monthly, sandwiches_daily,
+    BundleStats, MevBreakdownRow,
+};
+use mev_core::{hashrate, MevDataset, MevKind};
+use mev_sim::{Scenario, SimOutput, Simulation};
+use mev_types::{Day, Month};
+
+/// A finished run plus its inspected dataset — everything the experiment
+/// runners need.
+pub struct Lab {
+    pub out: SimOutput,
+    pub dataset: MevDataset,
+    pub attribution: AttributionReport,
+}
+
+impl Lab {
+    /// Simulate `scenario` and run the measurement pipeline over it.
+    pub fn run(scenario: Scenario) -> Lab {
+        Lab::from_output(Simulation::new(scenario).run())
+    }
+
+    /// Inspect an existing run.
+    pub fn from_output(out: SimOutput) -> Lab {
+        let dataset = MevDataset::inspect_parallel(&out.chain, &out.blocks_api);
+        let window = observer_window_blocks(&out);
+        let attribution =
+            attribute_private_sandwiches(&dataset, &out.observer, &out.blocks_api, window);
+        Lab { out, dataset, attribution }
+    }
+
+    /// The observer window in block heights (§6's analysis range).
+    pub fn window(&self) -> (u64, u64) {
+        observer_window_blocks(&self.out)
+    }
+
+    // ------------------------------------------------------------------
+    // Table 1
+    // ------------------------------------------------------------------
+
+    /// Table 1: the MEV dataset overview.
+    pub fn table1(&self) -> Table1Result {
+        let rows = [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation]
+            .into_iter()
+            .map(|k| {
+                let (total, fb, fl, both) = self.dataset.table1_row(k);
+                Table1Row { kind: k, total, via_flashbots: fb, via_flash_loans: fl, via_both: both }
+            })
+            .collect();
+        Table1Result { rows }
+    }
+
+    // ------------------------------------------------------------------
+    // Figures 3–9 and section results
+    // ------------------------------------------------------------------
+
+    /// Figure 3: monthly Flashbots block ratio.
+    pub fn fig3(&self) -> MonthlySeries {
+        MonthlySeries {
+            title: "Fig 3 — share of blocks that are Flashbots blocks".into(),
+            series: flashbots_block_ratio(&self.out.chain, &self.out.blocks_api),
+        }
+    }
+
+    /// Figure 4: monthly Flashbots hashrate share.
+    pub fn fig4(&self) -> MonthlySeries {
+        MonthlySeries {
+            title: "Fig 4 — estimated Flashbots hashrate share".into(),
+            series: hashrate::monthly_flashbots_hashrate(&self.out.chain, &self.out.blocks_api),
+        }
+    }
+
+    /// Figure 5: miners with ≥n Flashbots blocks per month. Thresholds are
+    /// scaled from the paper's 10⁰..10⁴ by the block-count compression.
+    pub fn fig5(&self) -> Fig5Result {
+        let scale = (195_000 / self.out.scenario.blocks_per_month).max(1);
+        let thresholds: Vec<u64> =
+            [1u64, 10, 100, 1_000, 10_000].iter().map(|&n| (n / scale).max(1)).collect();
+        let mut dedup = thresholds.clone();
+        dedup.dedup();
+        Fig5Result {
+            thresholds: dedup.clone(),
+            rows: hashrate::monthly_participation(&self.out.chain, &self.out.blocks_api, &dedup),
+            max_miners: hashrate::max_monthly_flashbots_miners(&self.out.chain, &self.out.blocks_api),
+            top2_share: hashrate::top_k_flashbots_block_share(&self.out.blocks_api, 2),
+        }
+    }
+
+    /// Figure 6: daily gas price and daily sandwich counts.
+    pub fn fig6(&self) -> Fig6Result {
+        Fig6Result {
+            gas: gas_price_daily(&self.out.chain),
+            sandwiches: sandwiches_daily(&self.dataset, &self.out.chain),
+            berlin: self.out.fork_schedule.berlin_block,
+            london: self.out.fork_schedule.london_block,
+        }
+    }
+
+    /// Figure 7: monthly MEV-type breakdown of Flashbots activity.
+    pub fn fig7(&self) -> Fig7Result {
+        Fig7Result {
+            rows: mev_breakdown_monthly(&self.dataset, &self.out.chain, &self.out.blocks_api),
+        }
+    }
+
+    /// Figure 8: sandwich profit distributions.
+    pub fn fig8(&self) -> Fig8 {
+        let report = &self.attribution;
+        profit_fig8(&self.dataset, &|a| miner_affiliated(report, a))
+    }
+
+    /// §4.1 bundle statistics.
+    pub fn sec41(&self) -> BundleStats {
+        bundle_stats(&self.out.blocks_api)
+    }
+
+    /// §5.2: negative-profit Flashbots sandwiches.
+    pub fn sec52(&self) -> NegativeResult {
+        let (neg, total, loss) = negative_profit_report(&self.dataset, MevKind::Sandwich);
+        NegativeResult { negative: neg, total_flashbots: total, loss_eth: loss }
+    }
+
+    /// Figure 9 / §6.2: private-vs-public sandwich split in the window.
+    pub fn fig9(&self) -> PrivateStats {
+        private_stats(
+            &self.dataset,
+            &self.out.chain,
+            &self.out.observer,
+            &self.out.blocks_api,
+            self.window(),
+        )
+    }
+
+    /// §6.3: attribution of private non-Flashbots sandwiches.
+    pub fn sec63(&self) -> &AttributionReport {
+        &self.attribution
+    }
+
+    /// §4.5 exodus evidence: per-month extractor churn.
+    pub fn churn(&self) -> Vec<(Month, mev_core::cohorts::ChurnRow)> {
+        mev_core::cohorts::monthly_churn(&self.dataset, &self.out.chain)
+    }
+
+    /// Top extractors by lifetime profit.
+    pub fn leaderboard(&self, top: usize) -> Vec<mev_core::cohorts::SearcherCohort> {
+        mev_core::cohorts::cohorts(&self.dataset, &self.out.chain).into_iter().take(top).collect()
+    }
+}
+
+/// Render the churn table (§4.5's join/leave dynamics).
+pub fn render_churn(rows: &[(Month, mev_core::cohorts::ChurnRow)]) -> String {
+    let mut t = Table::new(&["month", "active", "joined", "departed"]);
+    for (m, r) in rows {
+        t.row(&[m.to_string(), r.active.to_string(), r.joined.to_string(), r.departed.to_string()]);
+    }
+    format!("§4.5 — extractor churn (exodus evidence)
+{}", t.render())
+}
+
+/// Observer window expressed in block heights.
+fn observer_window_blocks(out: &SimOutput) -> (u64, u64) {
+    let tl = out.chain.timeline();
+    let start = tl.first_block_of_month(out.scenario.observer.start);
+    let head = out.chain.head_number().unwrap_or(tl.genesis_number);
+    let end = tl
+        .first_block_of_month(out.scenario.observer.end.next())
+        .saturating_sub(1)
+        .min(head);
+    (start.min(end), end)
+}
+
+// ----------------------------------------------------------------------
+// result types
+// ----------------------------------------------------------------------
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    pub kind: MevKind,
+    pub total: usize,
+    pub via_flashbots: usize,
+    pub via_flash_loans: usize,
+    pub via_both: usize,
+}
+
+/// Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    pub fn total(&self) -> Table1Row {
+        let mut acc =
+            Table1Row { kind: MevKind::Sandwich, total: 0, via_flashbots: 0, via_flash_loans: 0, via_both: 0 };
+        for r in &self.rows {
+            acc.total += r.total;
+            acc.via_flashbots += r.via_flashbots;
+            acc.via_flash_loans += r.via_flash_loans;
+            acc.via_both += r.via_both;
+        }
+        acc
+    }
+
+    /// Share of a row's extractions that went via Flashbots.
+    pub fn fb_share(&self, kind: MevKind) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.kind == kind)
+            .map(|r| if r.total == 0 { 0.0 } else { r.via_flashbots as f64 / r.total as f64 })
+            .unwrap_or(0.0)
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "MEV Strategy",
+            "Extractions",
+            "Via Flashbots",
+            "Via Flash Loans",
+            "Via Both",
+            "Paper (FB %)",
+        ]);
+        for (r, p) in self.rows.iter().zip(paper::TABLE1.iter()) {
+            let f = |n: usize| {
+                if r.total == 0 {
+                    "0 (0 %)".to_string()
+                } else {
+                    format!("{} ({})", count(n), pct(n as f64 / r.total as f64))
+                }
+            };
+            t.row(&[
+                r.kind.to_string(),
+                count(r.total),
+                f(r.via_flashbots),
+                f(r.via_flash_loans),
+                f(r.via_both),
+                format!("{:.2} %", p.via_flashbots_pct),
+            ]);
+        }
+        let total = self.total();
+        t.row(&[
+            "Total".into(),
+            count(total.total),
+            count(total.via_flashbots),
+            count(total.via_flash_loans),
+            count(total.via_both),
+            "31.26 %".into(),
+        ]);
+        format!("Table 1 — MEV dataset overview (scale-reduced)\n{}", t.render())
+    }
+}
+
+/// A monthly ratio series (Figures 3 and 4).
+#[derive(Debug, Clone)]
+pub struct MonthlySeries {
+    pub title: String,
+    pub series: Vec<(Month, f64)>,
+}
+
+impl MonthlySeries {
+    /// Value at a month, if present.
+    pub fn at(&self, month: Month) -> Option<f64> {
+        self.series.iter().find(|(m, _)| *m == month).map(|(_, v)| *v)
+    }
+
+    /// The month with the highest value.
+    pub fn peak(&self) -> Option<(Month, f64)> {
+        self.series
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["month", "value"]);
+        for (m, v) in &self.series {
+            t.row(&[m.to_string(), pct(*v)]);
+        }
+        let shape = sparkline(&self.series.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+        format!("{}\n{}{}\n", self.title, t.render(), shape)
+    }
+}
+
+/// Figure 5 result.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    pub thresholds: Vec<u64>,
+    pub rows: Vec<(Month, Vec<(u64, usize)>)>,
+    pub max_miners: usize,
+    pub top2_share: f64,
+}
+
+impl Fig5Result {
+    pub fn render(&self) -> String {
+        let mut header: Vec<String> = vec!["month".into()];
+        header.extend(self.thresholds.iter().map(|n| format!("≥{n}")));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&hdr);
+        for (m, row) in &self.rows {
+            let mut cells = vec![m.to_string()];
+            cells.extend(row.iter().map(|(_, c)| c.to_string()));
+            t.row(&cells);
+        }
+        format!(
+            "Fig 5 — miners with ≥n Flashbots blocks per month (thresholds scaled)\n{}\
+             max distinct FB miners in a month: {} (paper: ≤55)\n\
+             top-2 miners' share of FB blocks: {} (paper: >90 %)\n",
+            t.render(),
+            self.max_miners,
+            pct(self.top2_share),
+        )
+    }
+}
+
+/// Figure 6 result.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    pub gas: Vec<(Day, f64)>,
+    pub sandwiches: Vec<(Day, u64, u64)>,
+    pub berlin: u64,
+    pub london: u64,
+}
+
+impl Fig6Result {
+    /// Mean gas price over a month (gwei).
+    pub fn mean_gas_in(&self, month: Month) -> Option<f64> {
+        let sel: Vec<f64> =
+            self.gas.iter().filter(|(d, _)| d.month() == month).map(|(_, g)| *g).collect();
+        if sel.is_empty() {
+            None
+        } else {
+            Some(sel.iter().sum::<f64>() / sel.len() as f64)
+        }
+    }
+
+    pub fn render(&self) -> String {
+        let gas_vals: Vec<f64> = self.gas.iter().map(|(_, g)| *g).collect();
+        let fb: Vec<f64> = self.sandwiches.iter().map(|(_, f, _)| *f as f64).collect();
+        let non: Vec<f64> = self.sandwiches.iter().map(|(_, _, n)| *n as f64).collect();
+        // Monthly numeric table alongside the daily sparklines.
+        let mut t = Table::new(&["month", "mean gas (gwei)", "FB sw/day", "non-FB sw/day"]);
+        let mut months: Vec<Month> = self.gas.iter().map(|(d, _)| d.month()).collect();
+        months.dedup();
+        for m in months {
+            let mean = self.mean_gas_in(m).unwrap_or(0.0);
+            let days = self.gas.iter().filter(|(d, _)| d.month() == m).count().max(1) as f64;
+            let fb_m: u64 =
+                self.sandwiches.iter().filter(|(d, _, _)| d.month() == m).map(|(_, f, _)| f).sum();
+            let non_m: u64 =
+                self.sandwiches.iter().filter(|(d, _, _)| d.month() == m).map(|(_, _, n)| n).sum();
+            t.row(&[
+                m.to_string(),
+                format!("{mean:.1}"),
+                format!("{:.2}", fb_m as f64 / days),
+                format!("{:.2}", non_m as f64 / days),
+            ]);
+        }
+        format!(
+            "Fig 6 — daily gas price vs sandwiches (Berlin @ block {}, London @ block {})\n{}\
+             gas price (gwei):      {}\n\
+             FB sandwiches/day:     {}\n\
+             non-FB sandwiches/day: {}\n",
+            self.berlin,
+            self.london,
+            t.render(),
+            sparkline(&gas_vals),
+            sparkline(&fb),
+            sparkline(&non),
+        )
+    }
+}
+
+/// Figure 7 result.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    pub rows: Vec<(Month, MevBreakdownRow)>,
+}
+
+impl Fig7Result {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "month", "searchers sw/arb/liq/other", "txs sw/arb/liq/other",
+        ]);
+        for (m, r) in &self.rows {
+            t.row(&[
+                m.to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.searchers_sandwich, r.searchers_arbitrage, r.searchers_liquidation, r.searchers_other
+                ),
+                format!("{}/{}/{}/{}", r.txs_sandwich, r.txs_arbitrage, r.txs_liquidation, r.txs_other),
+            ]);
+        }
+        format!("Fig 7 — Flashbots activity by MEV type\n{}", t.render())
+    }
+}
+
+/// §5.2 result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeResult {
+    pub negative: usize,
+    pub total_flashbots: usize,
+    pub loss_eth: f64,
+}
+
+impl NegativeResult {
+    pub fn share(&self) -> f64 {
+        if self.total_flashbots == 0 {
+            0.0
+        } else {
+            self.negative as f64 / self.total_flashbots as f64
+        }
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "§5.2 — unprofitable Flashbots sandwiches: {} of {} ({}), total loss {} \
+             (paper: 7,666 of 485,680 = 1.58 %, 113.67 ETH)\n",
+            count(self.negative),
+            count(self.total_flashbots),
+            pct(self.share()),
+            eth(self.loss_eth),
+        )
+    }
+}
+
+/// Render helpers for results defined in `mev-core`.
+pub fn render_fig8(f: &Fig8) -> String {
+    let mut t = Table::new(&["population", "count", "mean", "std", "median", "paper mean"]);
+    let mut row = |name: &str, s: &mev_core::profit::ProfitStats, paper_mean: f64| {
+        t.row(&[
+            name.into(),
+            count(s.count),
+            eth(s.mean_eth),
+            eth(s.std_eth),
+            eth(s.median_eth),
+            eth(paper_mean),
+        ]);
+    };
+    row("miners w/ FB", &f.miners_flashbots, paper::FIG8.miners_fb_mean);
+    row("miners w/o FB", &f.miners_non_flashbots, paper::FIG8.miners_non_fb_mean);
+    row("searchers w/ FB", &f.searchers_flashbots, paper::FIG8.searchers_fb_mean);
+    row("searchers w/o FB", &f.searchers_non_flashbots, paper::FIG8.searchers_non_fb_mean);
+    format!("Fig 8 — sandwich profits by subpopulation\n{}", t.render())
+}
+
+/// Render §4.1 bundle stats with paper references.
+pub fn render_sec41(s: &BundleStats) -> String {
+    let p = &paper::BUNDLES;
+    let mut t = Table::new(&["metric", "measured", "paper"]);
+    t.row(&["bundles".into(), count(s.total_bundles), count(p.total_bundles)]);
+    t.row(&["Flashbots blocks".into(), count(s.flashbots_blocks), count(p.blocks)]);
+    t.row(&[
+        "mean bundles/block".into(),
+        format!("{:.2}", s.mean_bundles_per_block),
+        format!("{:.2}", p.mean_bundles_per_block),
+    ]);
+    t.row(&[
+        "median bundles/block".into(),
+        s.median_bundles_per_block.to_string(),
+        p.median_bundles_per_block.to_string(),
+    ]);
+    t.row(&[
+        "max bundles/block".into(),
+        s.max_bundles_per_block.to_string(),
+        p.max_bundles_per_block.to_string(),
+    ]);
+    t.row(&[
+        "mean txs/bundle".into(),
+        format!("{:.2}", s.mean_txs_per_bundle),
+        format!("{:.2}", p.mean_txs_per_bundle),
+    ]);
+    t.row(&[
+        "median txs/bundle".into(),
+        s.median_txs_per_bundle.to_string(),
+        p.median_txs_per_bundle.to_string(),
+    ]);
+    t.row(&["max txs/bundle".into(), s.max_txs_per_bundle.to_string(), p.max_txs_per_bundle.to_string()]);
+    t.row(&["single-tx bundles".into(), pct(s.single_tx_share), pct(p.single_tx_share)]);
+    t.row(&["payout type".into(), pct(s.payout_share), pct(p.payout_share)]);
+    t.row(&["rogue type".into(), pct(s.rogue_share), pct(p.rogue_share)]);
+    t.row(&["flashbots type".into(), pct(s.flashbots_share), pct(p.flashbots_share)]);
+    format!("§4.1 — bundle statistics\n{}", t.render())
+}
+
+/// Render Figure 9 / §6.2 with paper references.
+pub fn render_fig9(s: &PrivateStats) -> String {
+    let p = &paper::PRIVATE;
+    format!(
+        "Fig 9 / §6.2 — sandwich venue split in the observer window\n\
+         window blocks: {} (paper {})\n\
+         blocks with ≥1 sandwich: {} ({})\n\
+         sandwiches: {}  via FB {} (paper {:.2} %)  private non-FB {}  public {} (paper {:.1} %)\n\
+         private share of non-FB: {} (paper {:.2} %)\n",
+        s.window_blocks,
+        count(p.window_blocks as usize),
+        s.blocks_with_sandwich,
+        pct(s.blocks_with_sandwich as f64 / s.window_blocks.max(1) as f64),
+        count(s.total_sandwiches),
+        pct(s.flashbots_share()),
+        p.flashbots_pct,
+        count(s.private_non_flashbots),
+        pct(s.public_share()),
+        p.public_pct,
+        pct(s.private_share_of_non_flashbots()),
+        p.private_share_of_non_fb_pct,
+    )
+}
+
+/// Render §6.3 with paper references.
+pub fn render_sec63(r: &AttributionReport) -> String {
+    let p = &paper::ATTRIBUTION;
+    let mut s = format!(
+        "§6.3 — private non-FB sandwich attribution\n\
+         miners mining private non-FB sandwiches: {} (paper {})\n\
+         extracting accounts: {} (paper {})\n\
+         single-miner accounts (likely self-extraction): {} (paper {})\n",
+        r.miner_count,
+        p.miners,
+        r.accounts.len(),
+        p.accounts,
+        r.single_miner_accounts.len(),
+        p.single_miner_accounts,
+    );
+    for a in &r.single_miner_accounts {
+        s.push_str(&format!(
+            "  account {} — {} sandwiches, all mined by {}\n",
+            a.account.short(),
+            a.sandwiches,
+            a.miners[0].short()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared quick lab for the whole test module.
+    fn lab() -> &'static Lab {
+        static LAB: std::sync::OnceLock<Lab> = std::sync::OnceLock::new();
+        LAB.get_or_init(|| Lab::run(Scenario::quick()))
+    }
+
+    #[test]
+    fn table1_has_all_kinds_and_renders() {
+        let t1 = lab().table1();
+        assert_eq!(t1.rows.len(), 3);
+        assert!(t1.rows[0].total > 0, "sandwiches detected: {:?}", t1.rows);
+        assert!(t1.rows[1].total > 0, "arbitrage detected");
+        let s = t1.render();
+        assert!(s.contains("Sandwiching"));
+        assert!(s.contains("Total"));
+    }
+
+    #[test]
+    fn fig3_ratio_rises_after_launch() {
+        let f3 = lab().fig3();
+        assert!(f3.at(Month::new(2020, 8)).unwrap_or(1.0) == 0.0, "no FB before launch");
+        let late = f3.at(Month::new(2021, 7)).unwrap_or(0.0);
+        assert!(late > 0.1, "FB block share after launch: {late}");
+        assert!(!f3.render().is_empty());
+    }
+
+    #[test]
+    fn fig4_hashrate_ramps() {
+        let f4 = lab().fig4();
+        assert_eq!(f4.at(Month::new(2020, 12)), Some(0.0));
+        let may = f4.at(Month::new(2021, 5)).unwrap_or(0.0);
+        assert!(may > 0.5, "hashrate capture by May 2021: {may}");
+        let late = f4.at(Month::new(2022, 2)).unwrap_or(0.0);
+        assert!(late >= may * 0.9, "late capture {late}");
+    }
+
+    #[test]
+    fn fig5_participation_long_tailed() {
+        let f5 = lab().fig5();
+        assert!(f5.max_miners > 0);
+        assert!(f5.top2_share > 0.3, "top-2 share {}", f5.top2_share);
+        assert!(!f5.render().is_empty());
+    }
+
+    #[test]
+    fn fig6_gas_cliff_exists() {
+        let f6 = lab().fig6();
+        let pre = f6.mean_gas_in(Month::new(2021, 1)).expect("pre-FB gas data");
+        let post = f6.mean_gas_in(Month::new(2021, 6)).expect("post-FB gas data");
+        assert!(post < pre * 0.7, "gas cliff: {pre} -> {post}");
+        assert!(!f6.render().is_empty());
+    }
+
+    #[test]
+    fn fig7_other_dominates() {
+        let f7 = lab().fig7();
+        let with_other =
+            f7.rows.iter().filter(|(_, r)| r.searchers_other > 0).count();
+        assert!(with_other > 0, "protection bundles populate 'other'");
+        assert!(!f7.render().is_empty());
+    }
+
+    #[test]
+    fn fig8_profit_redistribution() {
+        let f8 = lab().fig8();
+        assert!(f8.miners_flashbots.count > 0);
+        assert!(f8.searchers_non_flashbots.count > 0);
+        // The paper's headline: miners earn more with FB, searchers less.
+        assert!(
+            f8.miners_flashbots.mean_eth > f8.miners_non_flashbots.mean_eth,
+            "miner FB {} vs non {}",
+            f8.miners_flashbots.mean_eth,
+            f8.miners_non_flashbots.mean_eth
+        );
+        assert!(
+            f8.searchers_flashbots.mean_eth < f8.searchers_non_flashbots.mean_eth,
+            "searcher FB {} vs non {}",
+            f8.searchers_flashbots.mean_eth,
+            f8.searchers_non_flashbots.mean_eth
+        );
+        assert!(!render_fig8(&f8).is_empty());
+    }
+
+    #[test]
+    fn sec41_bundle_stats_sane() {
+        let s = lab().sec41();
+        assert!(s.total_bundles > 0);
+        assert!(s.mean_bundles_per_block >= 1.0);
+        assert!((0.0..=1.0).contains(&s.single_tx_share));
+        let shares = s.payout_share + s.rogue_share + s.flashbots_share;
+        assert!((shares - 1.0).abs() < 1e-9, "type shares partition: {shares}");
+        assert!(!render_sec41(&s).is_empty());
+    }
+
+    #[test]
+    fn sec52_negative_profits_exist_but_are_minority() {
+        let n = lab().sec52();
+        assert!(n.total_flashbots > 0);
+        assert!(n.share() < 0.25, "losses are a small minority: {}", n.share());
+        assert!(!n.render().is_empty());
+    }
+
+    #[test]
+    fn fig9_private_split() {
+        let f9 = lab().fig9();
+        assert!(f9.total_sandwiches > 0, "sandwiches in observer window");
+        assert!(f9.flashbots_share() > 0.3, "FB dominates: {}", f9.flashbots_share());
+        assert!(!render_fig9(&f9).is_empty());
+    }
+
+    #[test]
+    fn churn_and_leaderboard() {
+        let rows = lab().churn();
+        assert!(!rows.is_empty());
+        // Months are strictly increasing and every row internally sane.
+        for w in rows.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (_, r) in &rows {
+            assert!(r.joined <= r.active);
+        }
+        let board = lab().leaderboard(5);
+        assert!(!board.is_empty());
+        for w in board.windows(2) {
+            assert!(w[0].total_profit_eth >= w[1].total_profit_eth, "sorted by profit");
+        }
+        assert!(!render_churn(&rows).is_empty());
+    }
+
+    #[test]
+    fn sec63_attribution_finds_self_extractors() {
+        let r = lab().sec63();
+        assert!(!r.accounts.is_empty(), "private extractors exist");
+        assert!(!render_sec63(r).is_empty());
+    }
+}

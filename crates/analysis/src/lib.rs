@@ -1,0 +1,14 @@
+//! # mev-analysis
+//!
+//! Experiment runners: one function per table and figure in the paper's
+//! evaluation, each consuming the datasets a simulation run leaves behind
+//! (archive chain, blocks API, pending-tx observer) through the
+//! `mev-core` measurement pipeline, and rendering the same rows/series
+//! the paper reports. `paper` holds the published reference values so
+//! every experiment can print a paper-vs-measured comparison.
+
+pub mod experiments;
+pub mod paper;
+pub mod render;
+
+pub use experiments::Lab;

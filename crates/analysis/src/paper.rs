@@ -1,0 +1,180 @@
+//! The paper's published numbers, used for paper-vs-measured comparisons
+//! in every experiment printout and in EXPERIMENTS.md.
+
+/// Table 1 reference row: (total, via FB %, via flash loan %, via both %).
+pub struct Table1Ref {
+    pub strategy: &'static str,
+    pub extractions: usize,
+    pub via_flashbots_pct: f64,
+    pub via_flash_loans_pct: f64,
+    pub via_both_pct: f64,
+}
+
+/// Table 1 as published (§3.1).
+pub const TABLE1: [Table1Ref; 3] = [
+    Table1Ref {
+        strategy: "Sandwiching",
+        extractions: 1_020_044,
+        via_flashbots_pct: 47.61,
+        via_flash_loans_pct: 0.0,
+        via_both_pct: 0.0,
+    },
+    Table1Ref {
+        strategy: "Arbitrage",
+        extractions: 3_462_678,
+        via_flashbots_pct: 26.47,
+        via_flash_loans_pct: 0.29,
+        via_both_pct: 0.03,
+    },
+    Table1Ref {
+        strategy: "Liquidation",
+        extractions: 32_819,
+        via_flashbots_pct: 28.01,
+        via_flash_loans_pct: 5.09,
+        via_both_pct: 0.40,
+    },
+];
+
+/// Figure 3 anchors: (year, month, Flashbots block ratio).
+pub const FIG3_ANCHORS: [(u32, u32, f64); 3] = [
+    (2021, 7, 0.606), // peak
+    (2021, 10, 0.52), // plateau slightly above 50 %
+    (2022, 2, 0.482), // dip below half
+];
+
+/// Figure 4 anchors: (year, month, FB hashrate share).
+pub const FIG4_ANCHORS: [(u32, u32, f64); 4] = [
+    (2021, 1, 0.0),
+    (2021, 3, 0.617),
+    (2021, 5, 0.976),
+    (2022, 2, 0.999),
+];
+
+/// §4.1 bundle statistics.
+pub struct BundleRef {
+    pub total_bundles: usize,
+    pub blocks: usize,
+    pub mean_bundles_per_block: f64,
+    pub median_bundles_per_block: usize,
+    pub max_bundles_per_block: usize,
+    pub mean_txs_per_bundle: f64,
+    pub median_txs_per_bundle: usize,
+    pub max_txs_per_bundle: usize,
+    pub single_tx_share: f64,
+    pub payout_share: f64,
+    pub rogue_share: f64,
+    pub flashbots_share: f64,
+}
+
+pub const BUNDLES: BundleRef = BundleRef {
+    total_bundles: 3_249_003,
+    blocks: 1_196_218,
+    mean_bundles_per_block: 2.71,
+    median_bundles_per_block: 2,
+    max_bundles_per_block: 42,
+    mean_txs_per_bundle: 2.15,
+    median_txs_per_bundle: 1,
+    max_txs_per_bundle: 700,
+    single_tx_share: 0.6137,
+    payout_share: 0.019,
+    rogue_share: 0.076,
+    flashbots_share: 0.905,
+};
+
+/// Figure 8 means (ETH): miner and searcher sandwich profits.
+pub struct Fig8Ref {
+    pub miners_fb_mean: f64,
+    pub miners_fb_std: f64,
+    pub miners_non_fb_mean: f64,
+    pub miners_non_fb_std: f64,
+    pub searchers_fb_mean: f64,
+    pub searchers_fb_std: f64,
+    pub searchers_non_fb_mean: f64,
+    pub searchers_non_fb_std: f64,
+}
+
+pub const FIG8: Fig8Ref = Fig8Ref {
+    miners_fb_mean: 0.125,
+    miners_fb_std: 0.415,
+    miners_non_fb_mean: 0.048,
+    miners_non_fb_std: 0.127,
+    searchers_fb_mean: 0.02,
+    searchers_fb_std: 0.154,
+    searchers_non_fb_mean: 0.13,
+    searchers_non_fb_std: 0.560,
+};
+
+/// §5.2: negative-profit Flashbots sandwiches.
+pub struct NegativeRef {
+    pub count: usize,
+    pub of_total: usize,
+    pub share_pct: f64,
+    pub total_loss_eth: f64,
+}
+
+pub const NEGATIVE: NegativeRef =
+    NegativeRef { count: 7_666, of_total: 485_680, share_pct: 1.58, total_loss_eth: 113.67 };
+
+/// §6.2: the private/public split of sandwiches in the observer window.
+pub struct PrivateRef {
+    pub window_blocks: u64,
+    pub blocks_with_sandwich_pct: f64,
+    pub total_sandwiches: usize,
+    pub flashbots_pct: f64,
+    pub private_share_of_non_fb_pct: f64,
+    pub public_pct: f64,
+}
+
+pub const PRIVATE: PrivateRef = PrivateRef {
+    window_blocks: 774_725,
+    blocks_with_sandwich_pct: 10.34,
+    total_sandwiches: 99_928,
+    flashbots_pct: 81.15,
+    private_share_of_non_fb_pct: 70.27,
+    public_pct: 5.6,
+};
+
+/// §6.3: private-extraction attribution.
+pub struct AttributionRef {
+    pub miners: usize,
+    pub accounts: usize,
+    pub single_miner_accounts: usize,
+}
+
+pub const ATTRIBUTION: AttributionRef =
+    AttributionRef { miners: 35, accounts: 41, single_miner_accounts: 2 };
+
+/// Format a paper-vs-measured pair.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) -> String {
+    format!("{label}: paper {paper:.3}{unit} vs measured {measured:.3}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_are_published_values() {
+        let total: usize = TABLE1.iter().map(|r| r.extractions).sum();
+        assert_eq!(total, 4_515_541);
+    }
+
+    #[test]
+    fn bundle_type_shares_sum_to_one() {
+        let s = BUNDLES.payout_share + BUNDLES.rogue_share + BUNDLES.flashbots_share;
+        assert!((s - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig8_directions() {
+        assert!(FIG8.miners_fb_mean > FIG8.miners_non_fb_mean);
+        assert!(FIG8.searchers_fb_mean < FIG8.searchers_non_fb_mean);
+    }
+
+    #[test]
+    fn compare_formats() {
+        let s = compare("x", 1.0, 0.5, " ETH");
+        assert!(s.contains("paper 1.000"));
+        assert!(s.contains("measured 0.500"));
+    }
+}

@@ -1,0 +1,107 @@
+//! One benchmark per table/figure: each regenerates its experiment from
+//! the shared simulated run, prints the paper-comparable output once, and
+//! times the measurement computation itself.
+//!
+//! ```sh
+//! cargo bench -p mev-bench --bench experiments
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mev_analysis::experiments::{render_fig8, render_fig9, render_sec41, render_sec63};
+use mev_bench::shared_lab;
+use std::sync::Once;
+
+fn print_once(tag: &str, body: impl FnOnce() -> String) {
+    // Criterion runs each closure many times; print the regenerated
+    // artifact exactly once per bench.
+    static ONCE_GUARDS: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let mut seen = ONCE_GUARDS.lock().expect("poisoned");
+    if !seen.iter().any(|s| s == tag) {
+        seen.push(tag.to_string());
+        println!("\n{}", body());
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("table1", || lab.table1().render());
+    c.bench_function("table1_mev_overview", |b| b.iter(|| lab.table1()));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig3", || lab.fig3().render());
+    c.bench_function("fig3_block_ratio", |b| b.iter(|| lab.fig3()));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig4", || lab.fig4().render());
+    c.bench_function("fig4_hashrate", |b| b.iter(|| lab.fig4()));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig5", || lab.fig5().render());
+    c.bench_function("fig5_participation", |b| b.iter(|| lab.fig5()));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig6", || lab.fig6().render());
+    c.bench_function("fig6_gas_sandwich", |b| b.iter(|| lab.fig6()));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig7", || lab.fig7().render());
+    c.bench_function("fig7_mev_types", |b| b.iter(|| lab.fig7()));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig8", || render_fig8(&lab.fig8()));
+    c.bench_function("fig8_profit", |b| b.iter(|| lab.fig8()));
+}
+
+fn bench_sec41(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("sec41", || render_sec41(&lab.sec41()));
+    c.bench_function("sec41_bundles", |b| b.iter(|| lab.sec41()));
+}
+
+fn bench_sec52(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("sec52", || lab.sec52().render());
+    c.bench_function("sec52_negative_profit", |b| b.iter(|| lab.sec52()));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("fig9", || render_fig9(&lab.fig9()));
+    c.bench_function("fig9_private_split", |b| b.iter(|| lab.fig9()));
+}
+
+fn bench_sec63(c: &mut Criterion) {
+    let lab = shared_lab();
+    print_once("sec63", || render_sec63(lab.sec63()));
+    c.bench_function("sec63_attribution", |b| {
+        b.iter(|| {
+            mev_core::attribution::attribute_private_sandwiches(
+                &lab.dataset,
+                &lab.out.observer,
+                &lab.out.blocks_api,
+                lab.window(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1, bench_fig3, bench_fig4, bench_fig5, bench_fig6,
+              bench_fig7, bench_fig8, bench_sec41, bench_sec52, bench_fig9,
+              bench_sec63
+}
+criterion_main!(experiments);

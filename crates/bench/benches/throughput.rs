@@ -1,0 +1,86 @@
+//! Hot-path throughput: AMM quoting/swapping, sandwich planning, block
+//! simulation, and full-chain detection.
+//!
+//! ```sh
+//! cargo bench -p mev-bench --bench throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mev_agents::strategies::sandwich::plan_sandwich;
+use mev_bench::shared_lab;
+use mev_core::MevDataset;
+use mev_dex::pool::build;
+use mev_types::{SwapCall, TokenId};
+
+const E18: u128 = 10u128.pow(18);
+
+fn bench_amm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amm");
+    let pool = build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cp_quote", |b| {
+        b.iter(|| pool.quote(black_box(TokenId::WETH), black_box(3 * E18)).unwrap())
+    });
+    let curve = build::curve(0, TokenId::WETH, TokenId(1), 10_000 * E18, 10_000 * E18);
+    group.bench_function("stableswap_quote", |b| {
+        b.iter(|| curve.quote(black_box(TokenId::WETH), black_box(3 * E18)).unwrap())
+    });
+    let balancer = build::balancer(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18, 5000);
+    group.bench_function("weighted_quote", |b| {
+        b.iter(|| balancer.quote(black_box(TokenId::WETH), black_box(3 * E18)).unwrap())
+    });
+    group.bench_function("cp_swap_roundtrip", |b| {
+        b.iter(|| {
+            let mut p = pool.clone();
+            let out = p.swap(TokenId::WETH, 3 * E18, 0).unwrap();
+            p.swap(TokenId(1), out, 0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sandwich_planning(c: &mut Criterion) {
+    let pool = build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18);
+    let quote = pool.quote(TokenId::WETH, 20 * E18).unwrap();
+    let victim = SwapCall {
+        pool: pool.id,
+        token_in: TokenId::WETH,
+        token_out: TokenId(1),
+        amount_in: 20 * E18,
+        min_amount_out: quote * 97 / 100,
+    };
+    c.bench_function("sandwich_plan_binary_search", |b| {
+        b.iter(|| plan_sandwich(black_box(&pool), black_box(&victim), 3_000 * E18).unwrap())
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let mut tiny = mev_sim::Scenario::quick();
+    tiny.months = 6;
+    tiny.blocks_per_month = 50;
+    group.throughput(Throughput::Elements(tiny.total_blocks()));
+    group.bench_function("engine_blocks", |b| {
+        b.iter(|| mev_sim::Simulation::new(tiny.clone()).run())
+    });
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let lab = shared_lab();
+    let txs: u64 = lab.out.chain.iter().map(|(b, _)| b.transactions.len() as u64).sum();
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(txs));
+    group.bench_function("inspect_serial", |b| {
+        b.iter(|| MevDataset::inspect(&lab.out.chain, &lab.out.blocks_api))
+    });
+    group.bench_function("inspect_parallel", |b| {
+        b.iter(|| MevDataset::inspect_parallel(&lab.out.chain, &lab.out.blocks_api))
+    });
+    group.finish();
+}
+
+criterion_group!(throughput, bench_amm, bench_sandwich_planning, bench_simulation, bench_detection);
+criterion_main!(throughput);

@@ -1,0 +1,30 @@
+//! `profile_sim` — calibration diagnostics: run the quick scenario,
+//! print the Figure 8 subpopulations and the §5.2 loss rate, and time the
+//! run. Used while tuning scenario parameters against the paper's
+//! reference values (see EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p mev-bench --bin profile_sim
+//! ```
+
+fn main() {
+    let t = std::time::Instant::now();
+    let lab = mev_analysis::Lab::run(mev_sim::Scenario::quick());
+    eprintln!(
+        "quick scenario: {} blocks simulated + inspected in {:?}",
+        lab.out.stats.blocks,
+        t.elapsed()
+    );
+    eprintln!("stats: {:#?}", lab.out.stats);
+    let f8 = lab.fig8();
+    for (name, s) in [
+        ("miners w/ FB   ", &f8.miners_flashbots),
+        ("miners w/o FB  ", &f8.miners_non_flashbots),
+        ("searchers w/ FB", &f8.searchers_flashbots),
+        ("searchers w/o  ", &f8.searchers_non_flashbots),
+    ] {
+        eprintln!("{name}: n={:<5} mean {:.4} ETH  median {:.4} ETH", s.count, s.mean_eth, s.median_eth);
+    }
+    let neg = lab.sec52();
+    eprintln!("§5.2: {} of {} FB sandwiches unprofitable ({:.2} %)", neg.negative, neg.total_flashbots, neg.share() * 100.0);
+}

@@ -1,0 +1,12 @@
+//! # mev-bench
+//!
+//! Criterion benchmark harnesses. `benches/experiments.rs` regenerates
+//! every table and figure (printing paper-vs-measured on first run),
+//! `benches/ablations.rs` covers the design-choice ablations DESIGN.md
+//! calls out, and `benches/throughput.rs` measures the hot paths.
+
+/// Shared helper: a lazily-initialised quick-scale lab for benches.
+pub fn shared_lab() -> &'static mev_analysis::Lab {
+    static LAB: std::sync::OnceLock<mev_analysis::Lab> = std::sync::OnceLock::new();
+    LAB.get_or_init(|| mev_analysis::Lab::run(mev_sim::Scenario::quick()))
+}

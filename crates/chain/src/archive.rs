@@ -1,0 +1,234 @@
+//! The archive node: complete block/receipt history with the query surface
+//! the paper's measurement scripts use (§3 — "an archive node provides a
+//! complete history of all state changes ... allowed us to query data on
+//! any published block").
+
+use mev_types::{Address, Block, Log, Month, Receipt, Timeline, TxHash};
+use std::collections::HashMap;
+
+/// Append-only store of built blocks and their receipts.
+#[derive(Debug, Clone)]
+pub struct ChainStore {
+    timeline: Timeline,
+    first_number: u64,
+    blocks: Vec<Block>,
+    receipts: Vec<Vec<Receipt>>,
+    /// tx hash → (block number, tx index) — the on-chain set used by the
+    /// private-transaction intersection (§6.1).
+    tx_index: HashMap<TxHash, (u64, u32)>,
+}
+
+impl ChainStore {
+    pub fn new(timeline: Timeline) -> ChainStore {
+        let first_number = timeline.genesis_number;
+        ChainStore { timeline, first_number, blocks: Vec::new(), receipts: Vec::new(), tx_index: HashMap::new() }
+    }
+
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Append a block; must be the next height.
+    pub fn push(&mut self, block: Block, receipts: Vec<Receipt>) {
+        let expected = self.first_number + self.blocks.len() as u64;
+        assert_eq!(block.header.number, expected, "non-contiguous block push");
+        assert_eq!(block.transactions.len(), receipts.len(), "tx/receipt count mismatch");
+        for (i, tx) in block.transactions.iter().enumerate() {
+            self.tx_index.insert(tx.hash(), (block.header.number, i as u32));
+        }
+        self.blocks.push(block);
+        self.receipts.push(receipts);
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Height of the latest block, if any.
+    pub fn head_number(&self) -> Option<u64> {
+        self.blocks.last().map(|b| b.header.number)
+    }
+
+    /// Fetch a block by height.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(number.checked_sub(self.first_number)? as usize)
+    }
+
+    /// Fetch receipts by height.
+    pub fn receipts(&self, number: u64) -> Option<&[Receipt]> {
+        self.receipts.get(number.checked_sub(self.first_number)? as usize).map(|v| v.as_slice())
+    }
+
+    /// Locate a transaction by hash.
+    pub fn locate_tx(&self, hash: TxHash) -> Option<(u64, u32)> {
+        self.tx_index.get(&hash).copied()
+    }
+
+    /// True if the transaction landed on chain.
+    pub fn contains_tx(&self, hash: TxHash) -> bool {
+        self.tx_index.contains_key(&hash)
+    }
+
+    /// Iterate `(block, receipts)` pairs in height order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Block, &[Receipt])> {
+        self.blocks.iter().zip(self.receipts.iter().map(|r| r.as_slice()))
+    }
+
+    /// Iterate `(block, receipts)` restricted to a height range (inclusive).
+    pub fn range(&self, from: u64, to: u64) -> impl Iterator<Item = (&Block, &[Receipt])> {
+        self.iter().filter(move |(b, _)| b.header.number >= from && b.header.number <= to)
+    }
+
+    /// All logs of a block, with their tx index.
+    pub fn logs_of(&self, number: u64) -> Vec<(u32, &Log)> {
+        self.receipts(number)
+            .map(|rs| {
+                rs.iter().flat_map(|r| r.logs.iter().map(move |l| (r.index, l))).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The miner of each block, in height order — input to hashrate
+    /// estimation (§4.3).
+    pub fn miners(&self) -> impl Iterator<Item = (u64, Address)> + '_ {
+        self.blocks.iter().map(|b| (b.header.number, b.header.miner))
+    }
+
+    /// The calendar month of a block.
+    pub fn month_of(&self, number: u64) -> Month {
+        self.timeline.at(number).month()
+    }
+
+    /// Blocks grouped by month, as (month, height-range) pairs in order.
+    pub fn month_ranges(&self) -> Vec<(Month, u64, u64)> {
+        let mut out: Vec<(Month, u64, u64)> = Vec::new();
+        for b in &self.blocks {
+            let m = self.month_of(b.header.number);
+            match out.last_mut() {
+                Some((lm, _, hi)) if *lm == m => *hi = b.header.number,
+                _ => out.push((m, b.header.number, b.header.number)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{gwei, Action, BlockHeader, Gas, Transaction, TxFee, Wei, H256};
+
+    fn mk_block(tl: &Timeline, number: u64, n_txs: u64) -> (Block, Vec<Receipt>) {
+        let txs: Vec<_> = (0..n_txs)
+            .map(|i| {
+                Transaction::new(
+                    Address::from_index(number * 100 + i),
+                    0,
+                    TxFee::Legacy { gas_price: gwei(50) },
+                    Gas(21_000),
+                    Action::Other { gas: Gas(21_000) },
+                    Wei::ZERO,
+                    None,
+                )
+            })
+            .collect();
+        let receipts: Vec<_> = txs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Receipt {
+                tx_hash: t.hash(),
+                index: i as u32,
+                from: t.from,
+                outcome: mev_types::ExecOutcome::Success,
+                gas_used: Gas(21_000),
+                effective_gas_price: gwei(50),
+                miner_fee: Gas(21_000).cost(gwei(50)),
+                coinbase_transfer: Wei::ZERO,
+                logs: vec![],
+            })
+            .collect();
+        let header = BlockHeader {
+            number,
+            parent_hash: H256::zero(),
+            miner: Address::from_index(7),
+            timestamp: tl.timestamp_of(number),
+            gas_used: Gas(21_000 * n_txs),
+            gas_limit: Gas(30_000_000),
+            base_fee: Wei::ZERO,
+        };
+        (Block { header, transactions: txs }, receipts)
+    }
+
+    fn store_with(n: u64) -> ChainStore {
+        let tl = Timeline::paper_span(100);
+        let mut s = ChainStore::new(tl.clone());
+        for i in 0..n {
+            let (b, r) = mk_block(&tl, tl.genesis_number + i, 2);
+            s.push(b, r);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = store_with(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.head_number(), Some(10_000_004));
+        assert!(s.block(10_000_003).is_some());
+        assert!(s.block(10_000_005).is_none());
+        assert!(s.block(9_999_999).is_none());
+        assert_eq!(s.receipts(10_000_000).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn non_contiguous_push_panics() {
+        let tl = Timeline::paper_span(100);
+        let mut s = ChainStore::new(tl.clone());
+        let (b, r) = mk_block(&tl, tl.genesis_number + 5, 1);
+        s.push(b, r);
+    }
+
+    #[test]
+    fn tx_index_locates() {
+        let s = store_with(3);
+        let tx = &s.block(10_000_001).unwrap().transactions[1];
+        assert_eq!(s.locate_tx(tx.hash()), Some((10_000_001, 1)));
+        assert!(s.contains_tx(tx.hash()));
+        assert!(!s.contains_tx(H256::zero()));
+    }
+
+    #[test]
+    fn range_filters() {
+        let s = store_with(10);
+        let got: Vec<_> = s.range(10_000_002, 10_000_004).map(|(b, _)| b.header.number).collect();
+        assert_eq!(got, vec![10_000_002, 10_000_003, 10_000_004]);
+    }
+
+    #[test]
+    fn month_ranges_contiguous() {
+        // 100 blocks/month timeline, 250 blocks ⇒ 3 months.
+        let s = store_with(250);
+        let ranges = s.month_ranges();
+        assert!(ranges.len() >= 2);
+        // Ranges tile the chain without gaps.
+        let mut expect = 10_000_000;
+        for (_, lo, hi) in &ranges {
+            assert_eq!(*lo, expect);
+            expect = hi + 1;
+        }
+        assert_eq!(expect, 10_000_250);
+    }
+
+    #[test]
+    fn miners_iterates_all() {
+        let s = store_with(4);
+        assert_eq!(s.miners().count(), 4);
+        assert!(s.miners().all(|(_, m)| m == Address::from_index(7)));
+    }
+}

@@ -1,0 +1,313 @@
+//! Block building: execute an ordered list of candidate transactions under
+//! a gas limit and produce the block plus its receipts.
+//!
+//! Ordering is the caller's policy — this is where MEV lives. The default
+//! public-mempool policy (descending effective bid, §2.1) is provided as
+//! [`order_by_fee`]; Flashbots miners prepend bundles via `mev-flashbots`.
+
+use crate::exec::{execute, BlockEnv};
+use crate::feemarket::{next_base_fee, ForkSchedule};
+use crate::world::World;
+use mev_types::{Address, Block, BlockHeader, Gas, Receipt, Transaction, Wei, H256};
+
+/// Static per-block issuance credited to the miner (post-EIP-1559 mainnet).
+pub const BLOCK_REWARD: Wei = mev_types::eth(2);
+
+/// Default protocol gas limit.
+pub const DEFAULT_GAS_LIMIT: Gas = Gas(30_000_000);
+
+/// Inputs for building one block.
+#[derive(Debug, Clone)]
+pub struct BlockSpec {
+    pub number: u64,
+    pub parent_hash: H256,
+    pub timestamp: u64,
+    pub miner: Address,
+    pub base_fee: Wei,
+    pub gas_limit: Gas,
+}
+
+/// A built block with its receipts and summary accounting.
+#[derive(Debug, Clone)]
+pub struct BuiltBlock {
+    pub block: Block,
+    pub receipts: Vec<Receipt>,
+    /// Candidate transactions skipped as invalid (bad nonce / unfunded /
+    /// under-priced) — they never enter the block.
+    pub skipped: usize,
+    /// Total miner revenue from this block: issuance + fees + tips.
+    pub miner_revenue: Wei,
+}
+
+/// Execute `candidates` in the given order, skipping invalid transactions
+/// and stopping inclusion at the gas limit (per-tx: a transaction whose
+/// gas limit exceeds remaining space is skipped, later ones may still fit).
+pub fn build_block(world: &mut World, spec: &BlockSpec, candidates: &[Transaction]) -> BuiltBlock {
+    let env = BlockEnv {
+        number: spec.number,
+        timestamp: spec.timestamp,
+        miner: spec.miner,
+        base_fee: spec.base_fee,
+    };
+    let mut included = Vec::new();
+    let mut receipts: Vec<Receipt> = Vec::new();
+    let mut gas_used = Gas::ZERO;
+    let mut skipped = 0usize;
+    let mut fees = Wei::ZERO;
+
+    for tx in candidates {
+        if gas_used + tx.gas_limit > spec.gas_limit {
+            skipped += 1;
+            continue;
+        }
+        match execute(world, &env, tx) {
+            Ok(mut receipt) => {
+                receipt.index = receipts.len() as u32;
+                gas_used += receipt.gas_used;
+                fees += receipt.miner_revenue();
+                receipts.push(receipt);
+                included.push(tx.clone());
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+
+    world.state.credit(spec.miner, BLOCK_REWARD);
+
+    let header = BlockHeader {
+        number: spec.number,
+        parent_hash: spec.parent_hash,
+        miner: spec.miner,
+        timestamp: spec.timestamp,
+        gas_used,
+        gas_limit: spec.gas_limit,
+        base_fee: spec.base_fee,
+    };
+    BuiltBlock {
+        block: Block { header, transactions: included },
+        receipts,
+        skipped,
+        miner_revenue: BLOCK_REWARD + fees,
+    }
+}
+
+/// The rational public-mempool ordering: descending bid per gas, ties
+/// broken by hash for determinism. Nonce ordering per sender is preserved
+/// by a stable sort on (sender, nonce) runs — callers submit per-sender
+/// sequences already nonce-ordered.
+pub fn order_by_fee(mut txs: Vec<Transaction>) -> Vec<Transaction> {
+    txs.sort_by(|a, b| {
+        b.bid_per_gas()
+            .cmp(&a.bid_per_gas())
+            .then_with(|| a.hash().cmp(&b.hash()))
+    });
+    // Repair any nonce inversions introduced among same-sender txs.
+    repair_nonce_order(&mut txs);
+    txs
+}
+
+/// Stable-reorder so each sender's transactions appear in ascending nonce
+/// order (a miner cannot include nonce 2 before nonce 1).
+fn repair_nonce_order(txs: &mut [Transaction]) {
+    use std::collections::HashMap;
+    let mut by_sender: HashMap<Address, Vec<Transaction>> = HashMap::new();
+    for tx in txs.iter() {
+        by_sender.entry(tx.from).or_default().push(tx.clone());
+    }
+    for list in by_sender.values_mut() {
+        list.sort_by_key(|t| t.nonce);
+        list.reverse(); // pop from the back = lowest nonce first
+    }
+    for slot in txs.iter_mut() {
+        let list = by_sender.get_mut(&slot.from).expect("populated above");
+        *slot = list.pop().expect("counts match");
+    }
+}
+
+/// Random intra-block ordering — the countermeasure of the paper's §8.3.
+/// Deterministic given `seed` (derived from the parent hash in practice).
+/// Per-sender nonce order is repaired afterwards, as no valid block can
+/// invert nonces.
+pub fn order_random(mut txs: Vec<Transaction>, seed: u64) -> Vec<Transaction> {
+    // Fisher–Yates with SplitMix64-derived indices: deterministic and
+    // dependency-free.
+    let mut state = seed ^ 0x5DEECE66D;
+    let mut next = |bound: usize| {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as usize % bound.max(1)
+    };
+    for i in (1..txs.len()).rev() {
+        txs.swap(i, next(i + 1));
+    }
+    repair_nonce_order(&mut txs);
+    txs
+}
+
+/// First-come-first-served ordering (the fair-ordering family of the
+/// paper's §7): sort by observed arrival time, ties broken by hash.
+pub fn order_fcfs(mut txs_with_arrival: Vec<(Transaction, u64)>) -> Vec<Transaction> {
+    txs_with_arrival.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.hash().cmp(&b.0.hash())));
+    let mut txs: Vec<Transaction> = txs_with_arrival.into_iter().map(|(t, _)| t).collect();
+    repair_nonce_order(&mut txs);
+    txs
+}
+
+/// Compute the next block's base fee from a built block.
+pub fn base_fee_after(schedule: &ForkSchedule, built: &BuiltBlock) -> Wei {
+    let h = &built.block.header;
+    next_base_fee(schedule, h.number, h.base_fee, h.gas_used, h.gas_limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::seed_account;
+    use mev_types::{eth, gwei, Action, TxFee};
+
+    fn spec(number: u64, base_fee: Wei) -> BlockSpec {
+        BlockSpec {
+            number,
+            parent_hash: H256::zero(),
+            timestamp: 1_600_000_000,
+            miner: Address::from_index(900),
+            base_fee,
+            gas_limit: DEFAULT_GAS_LIMIT,
+        }
+    }
+
+    fn transfer(from: u64, nonce: u64, price: Wei) -> Transaction {
+        Transaction::new(
+            Address::from_index(from),
+            nonce,
+            TxFee::Legacy { gas_price: price },
+            Gas(21_000),
+            Action::Transfer { to: Address::ZERO, value: Wei(1) },
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    #[test]
+    fn builds_block_and_credits_reward() {
+        let mut w = World::new(1);
+        seed_account(&mut w.state, Address::from_index(1), eth(10), &[]);
+        let b = build_block(&mut w, &spec(1, Wei::ZERO), &[transfer(1, 0, gwei(50))]);
+        assert_eq!(b.block.transactions.len(), 1);
+        assert_eq!(b.receipts.len(), 1);
+        assert_eq!(b.skipped, 0);
+        assert_eq!(b.block.header.gas_used, Gas(21_000));
+        let fee = Gas(21_000).cost(gwei(50));
+        assert_eq!(b.miner_revenue, BLOCK_REWARD + fee);
+        assert_eq!(w.state.balance(Address::from_index(900)), BLOCK_REWARD + fee);
+    }
+
+    #[test]
+    fn skips_invalid_and_continues() {
+        let mut w = World::new(1);
+        seed_account(&mut w.state, Address::from_index(1), eth(10), &[]);
+        // Unfunded sender 2 between two valid txs.
+        let txs = vec![transfer(1, 0, gwei(50)), transfer(2, 0, gwei(60)), transfer(1, 1, gwei(40))];
+        let b = build_block(&mut w, &spec(1, Wei::ZERO), &txs);
+        assert_eq!(b.block.transactions.len(), 2);
+        assert_eq!(b.skipped, 1);
+    }
+
+    #[test]
+    fn respects_gas_limit() {
+        let mut w = World::new(1);
+        for i in 1..=5 {
+            seed_account(&mut w.state, Address::from_index(i), eth(10), &[]);
+        }
+        let mut s = spec(1, Wei::ZERO);
+        s.gas_limit = Gas(50_000); // fits two transfers
+        let txs: Vec<_> = (1..=5).map(|i| transfer(i, 0, gwei(50))).collect();
+        let b = build_block(&mut w, &s, &txs);
+        assert_eq!(b.block.transactions.len(), 2);
+        assert_eq!(b.skipped, 3);
+        assert!(b.block.header.gas_used <= s.gas_limit);
+    }
+
+    #[test]
+    fn receipts_are_indexed_in_order() {
+        let mut w = World::new(1);
+        seed_account(&mut w.state, Address::from_index(1), eth(10), &[]);
+        let txs = vec![transfer(1, 0, gwei(50)), transfer(1, 1, gwei(50))];
+        let b = build_block(&mut w, &spec(1, Wei::ZERO), &txs);
+        assert_eq!(b.receipts[0].index, 0);
+        assert_eq!(b.receipts[1].index, 1);
+        assert_eq!(b.receipts[0].tx_hash, b.block.transactions[0].hash());
+    }
+
+    #[test]
+    fn order_by_fee_sorts_descending() {
+        let txs = vec![transfer(1, 0, gwei(10)), transfer(2, 0, gwei(90)), transfer(3, 0, gwei(50))];
+        let ordered = order_by_fee(txs);
+        let bids: Vec<_> = ordered.iter().map(|t| t.bid_per_gas()).collect();
+        assert_eq!(bids, vec![gwei(90), gwei(50), gwei(10)]);
+    }
+
+    #[test]
+    fn order_by_fee_preserves_sender_nonce_order() {
+        // Sender 1's nonce-1 tx pays more than their nonce-0 tx; ordering
+        // must still put nonce 0 first.
+        let txs = vec![transfer(1, 0, gwei(10)), transfer(1, 1, gwei(90)), transfer(2, 0, gwei(50))];
+        let ordered = order_by_fee(txs);
+        let pos0 = ordered.iter().position(|t| t.from == Address::from_index(1) && t.nonce == 0).unwrap();
+        let pos1 = ordered.iter().position(|t| t.from == Address::from_index(1) && t.nonce == 1).unwrap();
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn order_random_is_deterministic_and_nonce_safe() {
+        let txs: Vec<_> = (0..20).map(|i| transfer(i % 5, i / 5, gwei(10 + i as u128))).collect();
+        let a = order_random(txs.clone(), 42);
+        let b = order_random(txs.clone(), 42);
+        assert_eq!(
+            a.iter().map(|t| t.hash()).collect::<Vec<_>>(),
+            b.iter().map(|t| t.hash()).collect::<Vec<_>>()
+        );
+        let c = order_random(txs.clone(), 43);
+        assert_ne!(
+            a.iter().map(|t| t.hash()).collect::<Vec<_>>(),
+            c.iter().map(|t| t.hash()).collect::<Vec<_>>(),
+            "different seed, different shuffle"
+        );
+        // Nonce order per sender survives the shuffle.
+        let mut seen: std::collections::HashMap<Address, u64> = std::collections::HashMap::new();
+        for t in &a {
+            if let Some(&prev) = seen.get(&t.from) {
+                assert!(t.nonce > prev);
+            }
+            seen.insert(t.from, t.nonce);
+        }
+        // And it's a permutation.
+        let mut ah: Vec<_> = a.iter().map(|t| t.hash()).collect();
+        let mut th: Vec<_> = txs.iter().map(|t| t.hash()).collect();
+        ah.sort();
+        th.sort();
+        assert_eq!(ah, th);
+    }
+
+    #[test]
+    fn order_fcfs_sorts_by_arrival() {
+        let t1 = transfer(1, 0, gwei(10)); // cheap but early
+        let t2 = transfer(2, 0, gwei(90)); // expensive but late
+        let ordered = order_fcfs(vec![(t2.clone(), 2_000), (t1.clone(), 1_000)]);
+        assert_eq!(ordered[0].hash(), t1.hash(), "arrival beats fee");
+        assert_eq!(ordered[1].hash(), t2.hash());
+    }
+
+    #[test]
+    fn base_fee_chains_between_blocks() {
+        let mut w = World::new(1);
+        seed_account(&mut w.state, Address::from_index(1), eth(100), &[]);
+        let schedule = ForkSchedule { berlin_block: 0, london_block: 1 };
+        let b = build_block(&mut w, &spec(1, crate::feemarket::INITIAL_BASE_FEE), &[]);
+        // Empty block ⇒ base fee drops 12.5 %.
+        let next = base_fee_after(&schedule, &b);
+        assert_eq!(next, gwei(30) - gwei(30) / 8);
+    }
+}

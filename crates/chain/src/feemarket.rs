@@ -1,0 +1,164 @@
+//! The fee market and hard-fork schedule.
+//!
+//! Figure 6 of the paper marks the Berlin and London hard forks on its
+//! gas-price timeline, and the London fork's EIP-1559 reshaped miner
+//! revenue (§8.3 argues it pushed miners toward Flashbots). We model both:
+//! Berlin is a calendar marker (its repricings don't affect our gas model);
+//! London switches the chain from legacy pricing to base-fee-plus-tip.
+
+use mev_types::{gwei, Gas, Wei};
+
+/// EIP-1559 maximum base-fee change per block: 1/8 = 12.5 %.
+pub const BASE_FEE_MAX_CHANGE_DENOMINATOR: u128 = 8;
+/// EIP-1559 target gas: half the block limit.
+pub const ELASTICITY_MULTIPLIER: u64 = 2;
+/// Base fee at the London activation block.
+pub const INITIAL_BASE_FEE: Wei = gwei(30);
+
+/// Hard-fork activation heights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ForkSchedule {
+    /// Berlin: April 15th 2021 (mainnet block 12,244,000).
+    pub berlin_block: u64,
+    /// London: August 5th 2021 (mainnet block 12,965,000) — EIP-1559.
+    pub london_block: u64,
+}
+
+impl ForkSchedule {
+    /// Mainnet activation heights (meaningful when the simulation runs
+    /// with uncompressed block numbering).
+    pub fn mainnet() -> ForkSchedule {
+        ForkSchedule { berlin_block: 12_244_000, london_block: 12_965_000 }
+    }
+
+    /// Is EIP-1559 active at `block`?
+    pub fn is_london(&self, block: u64) -> bool {
+        block >= self.london_block
+    }
+
+    pub fn is_berlin(&self, block: u64) -> bool {
+        block >= self.berlin_block
+    }
+}
+
+/// Compute the base fee for the *next* block from the parent's fullness,
+/// per EIP-1559.
+pub fn next_base_fee(
+    schedule: &ForkSchedule,
+    parent_number: u64,
+    parent_base_fee: Wei,
+    parent_gas_used: Gas,
+    parent_gas_limit: Gas,
+) -> Wei {
+    let next_number = parent_number + 1;
+    if !schedule.is_london(next_number) {
+        return Wei::ZERO;
+    }
+    if !schedule.is_london(parent_number) {
+        // First London block.
+        return INITIAL_BASE_FEE;
+    }
+    let target = Gas(parent_gas_limit.0 / ELASTICITY_MULTIPLIER);
+    if parent_gas_used == target {
+        return parent_base_fee;
+    }
+    if parent_gas_used > target {
+        let delta_gas = (parent_gas_used.0 - target.0) as u128;
+        let delta = parent_base_fee
+            .mul_ratio(delta_gas, target.0 as u128)
+            .0
+            / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        parent_base_fee + Wei(delta.max(1))
+    } else {
+        let delta_gas = (target.0 - parent_gas_used.0) as u128;
+        let delta =
+            parent_base_fee.mul_ratio(delta_gas, target.0 as u128).0 / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        parent_base_fee.saturating_sub(Wei(delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sched() -> ForkSchedule {
+        ForkSchedule { berlin_block: 100, london_block: 200 }
+    }
+
+    #[test]
+    fn fork_activation() {
+        let s = sched();
+        assert!(!s.is_berlin(99));
+        assert!(s.is_berlin(100));
+        assert!(!s.is_london(199));
+        assert!(s.is_london(200));
+    }
+
+    #[test]
+    fn pre_london_base_fee_is_zero() {
+        let s = sched();
+        assert_eq!(next_base_fee(&s, 150, Wei::ZERO, Gas(30_000_000), Gas(30_000_000)), Wei::ZERO);
+    }
+
+    #[test]
+    fn first_london_block_gets_initial_fee() {
+        let s = sched();
+        assert_eq!(
+            next_base_fee(&s, 199, Wei::ZERO, Gas(15_000_000), Gas(30_000_000)),
+            INITIAL_BASE_FEE
+        );
+    }
+
+    #[test]
+    fn base_fee_rises_when_full() {
+        let s = sched();
+        let next = next_base_fee(&s, 300, gwei(100), Gas(30_000_000), Gas(30_000_000));
+        // Full block (2× target) ⇒ +12.5 %.
+        assert_eq!(next, gwei(100) + gwei(100) / 8);
+    }
+
+    #[test]
+    fn base_fee_falls_when_empty() {
+        let s = sched();
+        let next = next_base_fee(&s, 300, gwei(100), Gas::ZERO, Gas(30_000_000));
+        assert_eq!(next, gwei(100) - gwei(100) / 8);
+    }
+
+    #[test]
+    fn base_fee_stable_at_target() {
+        let s = sched();
+        let next = next_base_fee(&s, 300, gwei(100), Gas(15_000_000), Gas(30_000_000));
+        assert_eq!(next, gwei(100));
+    }
+
+    proptest! {
+        /// The EIP-1559 invariant: per-block change never exceeds 12.5 %.
+        #[test]
+        fn prop_base_fee_change_bounded(
+            base in 1_000_000_000u128..=1_000_000_000_000,
+            used in 0u64..=30_000_000,
+        ) {
+            let s = sched();
+            let parent = Wei(base);
+            let next = next_base_fee(&s, 300, parent, Gas(used), Gas(30_000_000));
+            let max_delta = base / 8 + 1;
+            let diff = next.0.abs_diff(parent.0);
+            prop_assert!(diff <= max_delta, "diff {diff} > bound {max_delta}");
+        }
+
+        /// Monotone: more gas used ⇒ next base fee not lower.
+        #[test]
+        fn prop_base_fee_monotone_in_usage(
+            base in 1_000_000_000u128..=1_000_000_000_000,
+            u1 in 0u64..=30_000_000,
+            u2 in 0u64..=30_000_000,
+        ) {
+            let s = sched();
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            let f_lo = next_base_fee(&s, 300, Wei(base), Gas(lo), Gas(30_000_000));
+            let f_hi = next_base_fee(&s, 300, Wei(base), Gas(hi), Gas(30_000_000));
+            prop_assert!(f_lo <= f_hi);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # mev-chain
+//!
+//! The Ethereum-like ledger substrate: account state, a native execution
+//! engine for the typed DeFi action set, the EIP-1559 fee market with the
+//! Berlin/London fork schedule, a block builder, and the archive-node
+//! query surface the paper's measurement pipeline crawls (§3).
+
+pub mod archive;
+pub mod builder;
+pub mod exec;
+pub mod feemarket;
+pub mod query;
+pub mod state;
+pub mod world;
+
+pub use archive::ChainStore;
+pub use builder::{base_fee_after, build_block, order_by_fee, BlockSpec, BuiltBlock, BLOCK_REWARD, DEFAULT_GAS_LIMIT};
+pub use exec::{action_gas, execute, seed_account, ActionError, BlockEnv, InvalidTx};
+pub use feemarket::{next_base_fee, ForkSchedule, INITIAL_BASE_FEE};
+pub use query::{get_logs, get_logs_all, EventKind, LogEntry, LogFilter, LogPage};
+pub use state::{Account, StateDb};
+pub use world::World;

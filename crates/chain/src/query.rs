@@ -1,0 +1,311 @@
+//! An `eth_getLogs`-style filter API over the archive store — the query
+//! surface the paper's collection scripts use ("crawling token transfer
+//! events", "crawling token swap events", "crawling liquidation events",
+//! §3.1). Filters compose: block range, emitting address, event family,
+//! and a result cap with continuation.
+
+use crate::archive::ChainStore;
+use mev_types::{Address, Log, LogEvent, TxHash};
+
+/// The event families a filter can select (the analogue of `topic0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    Transfer,
+    Swap,
+    Deposit,
+    Borrow,
+    Repay,
+    Liquidation,
+    FlashLoan,
+    OracleUpdate,
+    Payout,
+}
+
+impl EventKind {
+    /// Does a log match this family?
+    pub fn matches(&self, log: &LogEvent) -> bool {
+        matches!(
+            (self, log),
+            (EventKind::Transfer, LogEvent::Transfer { .. })
+                | (EventKind::Swap, LogEvent::Swap { .. })
+                | (EventKind::Deposit, LogEvent::Deposit { .. })
+                | (EventKind::Borrow, LogEvent::Borrow { .. })
+                | (EventKind::Repay, LogEvent::Repay { .. })
+                | (EventKind::Liquidation, LogEvent::Liquidation { .. })
+                | (EventKind::FlashLoan, LogEvent::FlashLoan { .. })
+                | (EventKind::OracleUpdate, LogEvent::OracleUpdate { .. })
+                | (EventKind::Payout, LogEvent::Payout { .. })
+        )
+    }
+}
+
+/// A log filter. All set fields must match (conjunction), like
+/// `eth_getLogs`.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct LogFilter {
+    /// Inclusive start height; chain start if unset.
+    pub from_block: Option<u64>,
+    /// Inclusive end height; chain head if unset.
+    pub to_block: Option<u64>,
+    /// Emitting contract address.
+    pub address: Option<Address>,
+    /// Event family.
+    pub kind: Option<EventKind>,
+    /// Maximum results per call (default 10,000, like a public RPC cap).
+    pub limit: Option<usize>,
+}
+
+impl LogFilter {
+    pub fn new() -> LogFilter {
+        LogFilter::default()
+    }
+
+    pub fn from_block(mut self, b: u64) -> LogFilter {
+        self.from_block = Some(b);
+        self
+    }
+
+    pub fn to_block(mut self, b: u64) -> LogFilter {
+        self.to_block = Some(b);
+        self
+    }
+
+    pub fn address(mut self, a: Address) -> LogFilter {
+        self.address = Some(a);
+        self
+    }
+
+    pub fn kind(mut self, k: EventKind) -> LogFilter {
+        self.kind = Some(k);
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> LogFilter {
+        self.limit = Some(n);
+        self
+    }
+}
+
+/// A matched log with its chain coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    pub block: u64,
+    pub tx_index: u32,
+    pub tx_hash: TxHash,
+    pub log: Log,
+}
+
+/// The result page: matches plus a continuation height when the cap hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogPage {
+    pub entries: Vec<LogEntry>,
+    /// Resume from this block if the page filled up.
+    pub next_block: Option<u64>,
+}
+
+/// Default per-call cap.
+const DEFAULT_LIMIT: usize = 10_000;
+
+/// Execute a filter over the store.
+pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
+    let head = match chain.head_number() {
+        Some(h) => h,
+        None => return LogPage { entries: Vec::new(), next_block: None },
+    };
+    let genesis = chain.timeline().genesis_number;
+    let from = filter.from_block.unwrap_or(genesis).max(genesis);
+    let to = filter.to_block.unwrap_or(head).min(head);
+    let limit = filter.limit.unwrap_or(DEFAULT_LIMIT).max(1);
+    let mut entries = Vec::new();
+    let mut block_number = from;
+    while block_number <= to {
+        let receipts = chain.receipts(block_number).expect("range-checked");
+        for r in receipts {
+            for log in &r.logs {
+                if let Some(addr) = filter.address {
+                    if log.address != addr {
+                        continue;
+                    }
+                }
+                if let Some(kind) = filter.kind {
+                    if !kind.matches(&log.event) {
+                        continue;
+                    }
+                }
+                entries.push(LogEntry {
+                    block: block_number,
+                    tx_index: r.index,
+                    tx_hash: r.tx_hash,
+                    log: log.clone(),
+                });
+            }
+        }
+        block_number += 1;
+        // Page boundary only between blocks, so pagination never splits a
+        // block's logs.
+        if entries.len() >= limit && block_number <= to {
+            return LogPage { entries, next_block: Some(block_number) };
+        }
+    }
+    LogPage { entries, next_block: None }
+}
+
+/// Convenience: stream every matching log across pages.
+pub fn get_logs_all(chain: &ChainStore, filter: &LogFilter) -> Vec<LogEntry> {
+    let mut out = Vec::new();
+    let mut f = filter.clone();
+    loop {
+        let page = get_logs(chain, &f);
+        out.extend(page.entries);
+        match page.next_block {
+            Some(b) => f.from_block = Some(b),
+            None => return out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{
+        gwei, Action, Block, BlockHeader, ExecOutcome, Gas, Receipt, Timeline, TokenId,
+        Transaction, TxFee, Wei, H256,
+    };
+
+    /// 10 blocks; each block has one tx emitting a Transfer from address
+    /// A(1) and, on even blocks, a Swap from address A(2).
+    fn chain() -> ChainStore {
+        let tl = Timeline::paper_span(100);
+        let mut c = ChainStore::new(tl.clone());
+        for i in 0..10u64 {
+            let number = tl.genesis_number + i;
+            let tx = Transaction::new(
+                Address::from_index(100 + i),
+                0,
+                TxFee::Legacy { gas_price: gwei(10) },
+                Gas(100_000),
+                Action::Other { gas: Gas(100_000) },
+                Wei::ZERO,
+                None,
+            );
+            let mut logs = vec![Log::new(
+                Address::from_index(1),
+                LogEvent::Transfer {
+                    token: TokenId::WETH,
+                    from: Address::ZERO,
+                    to: Address::ZERO,
+                    amount: i as u128,
+                },
+            )];
+            if i % 2 == 0 {
+                logs.push(Log::new(
+                    Address::from_index(2),
+                    LogEvent::Swap {
+                        pool: mev_types::PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 0 },
+                        sender: Address::ZERO,
+                        token_in: TokenId::WETH,
+                        amount_in: 1,
+                        token_out: TokenId(1),
+                        amount_out: 1,
+                    },
+                ));
+            }
+            let receipt = Receipt {
+                tx_hash: tx.hash(),
+                index: 0,
+                from: tx.from,
+                outcome: ExecOutcome::Success,
+                gas_used: Gas(100_000),
+                effective_gas_price: gwei(10),
+                miner_fee: Wei::ZERO,
+                coinbase_transfer: Wei::ZERO,
+                logs,
+            };
+            let header = BlockHeader {
+                number,
+                parent_hash: H256::zero(),
+                miner: Address::from_index(9),
+                timestamp: tl.timestamp_of(number),
+                gas_used: Gas(100_000),
+                gas_limit: Gas(30_000_000),
+                base_fee: Wei::ZERO,
+            };
+            c.push(Block { header, transactions: vec![tx] }, vec![receipt]);
+        }
+        c
+    }
+
+    #[test]
+    fn unfiltered_returns_everything() {
+        let c = chain();
+        let page = get_logs(&c, &LogFilter::new());
+        assert_eq!(page.entries.len(), 15); // 10 transfers + 5 swaps
+        assert!(page.next_block.is_none());
+    }
+
+    #[test]
+    fn kind_filter() {
+        let c = chain();
+        let swaps = get_logs(&c, &LogFilter::new().kind(EventKind::Swap));
+        assert_eq!(swaps.entries.len(), 5);
+        assert!(swaps.entries.iter().all(|e| matches!(e.log.event, LogEvent::Swap { .. })));
+        let liqs = get_logs(&c, &LogFilter::new().kind(EventKind::Liquidation));
+        assert!(liqs.entries.is_empty());
+    }
+
+    #[test]
+    fn address_filter() {
+        let c = chain();
+        let from_a2 = get_logs(&c, &LogFilter::new().address(Address::from_index(2)));
+        assert_eq!(from_a2.entries.len(), 5);
+    }
+
+    #[test]
+    fn block_range_filter() {
+        let c = chain();
+        let g = c.timeline().genesis_number;
+        let page = get_logs(&c, &LogFilter::new().from_block(g + 2).to_block(g + 4));
+        // Blocks g+2, g+3, g+4: 3 transfers + 2 swaps (g+2, g+4 even).
+        assert_eq!(page.entries.len(), 5);
+        assert!(page.entries.iter().all(|e| e.block >= g + 2 && e.block <= g + 4));
+    }
+
+    #[test]
+    fn pagination_with_continuation() {
+        let c = chain();
+        let mut f = LogFilter::new().limit(4);
+        let first = get_logs(&c, &f);
+        assert!(first.entries.len() >= 4);
+        let next = first.next_block.expect("more pages");
+        f.from_block = Some(next);
+        let second = get_logs(&c, &f);
+        assert!(!second.entries.is_empty());
+        // No overlap across pages.
+        let last_of_first = first.entries.last().unwrap().block;
+        assert!(second.entries.first().unwrap().block > last_of_first);
+        // Streaming equals a single unbounded query.
+        let all = get_logs_all(&c, &LogFilter::new().limit(4));
+        assert_eq!(all.len(), 15);
+    }
+
+    #[test]
+    fn empty_chain_is_empty_page() {
+        let c = ChainStore::new(Timeline::paper_span(100));
+        let page = get_logs(&c, &LogFilter::new());
+        assert!(page.entries.is_empty());
+        assert!(page.next_block.is_none());
+    }
+
+    #[test]
+    fn event_kind_matching_is_exact() {
+        let transfer = LogEvent::Transfer {
+            token: TokenId::WETH,
+            from: Address::ZERO,
+            to: Address::ZERO,
+            amount: 0,
+        };
+        assert!(EventKind::Transfer.matches(&transfer));
+        assert!(!EventKind::Swap.matches(&transfer));
+        assert!(!EventKind::FlashLoan.matches(&transfer));
+    }
+}

@@ -1,0 +1,209 @@
+//! Account state: native ether balances, nonces, and ERC-20 token balances.
+//!
+//! Snapshot/rollback is clone-based: the executor snapshots the whole world
+//! before a transaction (and before a flash loan's inner actions) and
+//! restores it on revert, which gives flash loans their all-or-nothing
+//! semantics (§2.3) without a write journal.
+
+use mev_types::{Address, TokenId, Wei};
+use std::collections::{BTreeMap, HashMap};
+
+/// One account's native state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Account {
+    pub balance: Wei,
+    pub nonce: u64,
+}
+
+/// The full account-state database.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StateDb {
+    accounts: HashMap<Address, Account>,
+    /// ERC-20 balances per holder. Two-level so a single holder's token
+    /// state can be snapshotted cheaply (flash-loan rollback).
+    tokens: HashMap<Address, BTreeMap<TokenId, u128>>,
+    /// Total wei burned (EIP-1559 base fees).
+    pub burned: Wei,
+}
+
+impl StateDb {
+    pub fn new() -> StateDb {
+        StateDb::default()
+    }
+
+    /// Read an account (zero if untouched).
+    pub fn account(&self, addr: Address) -> Account {
+        self.accounts.get(&addr).copied().unwrap_or_default()
+    }
+
+    pub fn balance(&self, addr: Address) -> Wei {
+        self.account(addr).balance
+    }
+
+    pub fn nonce(&self, addr: Address) -> u64 {
+        self.account(addr).nonce
+    }
+
+    /// Credit ether (issuance or transfer-in).
+    pub fn credit(&mut self, addr: Address, amount: Wei) {
+        self.accounts.entry(addr).or_default().balance += amount;
+    }
+
+    /// Debit ether; `false` (and no change) if insufficient.
+    #[must_use]
+    pub fn debit(&mut self, addr: Address, amount: Wei) -> bool {
+        let acct = self.accounts.entry(addr).or_default();
+        match acct.balance.checked_sub(amount) {
+            Some(rest) => {
+                acct.balance = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Transfer ether; `false` (and no change) if insufficient.
+    #[must_use]
+    pub fn transfer(&mut self, from: Address, to: Address, amount: Wei) -> bool {
+        if !self.debit(from, amount) {
+            return false;
+        }
+        self.credit(to, amount);
+        true
+    }
+
+    /// Burn ether (base fee).
+    #[must_use]
+    pub fn burn(&mut self, from: Address, amount: Wei) -> bool {
+        if !self.debit(from, amount) {
+            return false;
+        }
+        self.burned += amount;
+        true
+    }
+
+    /// Bump an account's nonce.
+    pub fn bump_nonce(&mut self, addr: Address) {
+        self.accounts.entry(addr).or_default().nonce += 1;
+    }
+
+    /// ERC-20 balance.
+    pub fn token_balance(&self, addr: Address, token: TokenId) -> u128 {
+        self.tokens.get(&addr).and_then(|m| m.get(&token)).copied().unwrap_or(0)
+    }
+
+    /// Mint tokens (scenario seeding, pool payouts).
+    pub fn mint_token(&mut self, addr: Address, token: TokenId, amount: u128) {
+        *self.tokens.entry(addr).or_default().entry(token).or_default() += amount;
+    }
+
+    /// Burn tokens; `false` if insufficient.
+    #[must_use]
+    pub fn burn_token(&mut self, addr: Address, token: TokenId, amount: u128) -> bool {
+        let bal = self.tokens.entry(addr).or_default().entry(token).or_default();
+        if *bal < amount {
+            return false;
+        }
+        *bal -= amount;
+        true
+    }
+
+    /// Snapshot one holder's full token map (cheap flash-loan rollback).
+    pub fn token_snapshot(&self, addr: Address) -> BTreeMap<TokenId, u128> {
+        self.tokens.get(&addr).cloned().unwrap_or_default()
+    }
+
+    /// Restore a holder's token map from a snapshot.
+    pub fn restore_tokens(&mut self, addr: Address, snapshot: BTreeMap<TokenId, u128>) {
+        self.tokens.insert(addr, snapshot);
+    }
+
+    /// Transfer tokens; `false` (and no change) if insufficient.
+    #[must_use]
+    pub fn transfer_token(&mut self, from: Address, to: Address, token: TokenId, amount: u128) -> bool {
+        if !self.burn_token(from, token, amount) {
+            return false;
+        }
+        self.mint_token(to, token, amount);
+        true
+    }
+
+    /// Sum of all native balances plus burned wei — conserved by execution
+    /// modulo explicit issuance. Used by conservation property tests.
+    pub fn total_wei(&self) -> Wei {
+        self.accounts.values().map(|a| a.balance).sum::<Wei>() + self.burned
+    }
+
+    /// Number of touched accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::eth;
+
+    #[test]
+    fn credit_debit_transfer() {
+        let mut s = StateDb::new();
+        let (a, b) = (Address::from_index(1), Address::from_index(2));
+        s.credit(a, eth(10));
+        assert!(s.transfer(a, b, eth(4)));
+        assert_eq!(s.balance(a), eth(6));
+        assert_eq!(s.balance(b), eth(4));
+        assert!(!s.transfer(a, b, eth(7)), "insufficient");
+        assert_eq!(s.balance(a), eth(6), "failed transfer must not mutate");
+    }
+
+    #[test]
+    fn burn_tracks_total() {
+        let mut s = StateDb::new();
+        let a = Address::from_index(1);
+        s.credit(a, eth(5));
+        assert!(s.burn(a, eth(2)));
+        assert_eq!(s.burned, eth(2));
+        assert_eq!(s.total_wei(), eth(5), "burn conserves total accounting");
+    }
+
+    #[test]
+    fn nonce_bumps() {
+        let mut s = StateDb::new();
+        let a = Address::from_index(1);
+        assert_eq!(s.nonce(a), 0);
+        s.bump_nonce(a);
+        s.bump_nonce(a);
+        assert_eq!(s.nonce(a), 2);
+    }
+
+    #[test]
+    fn token_transfers() {
+        let mut s = StateDb::new();
+        let (a, b) = (Address::from_index(1), Address::from_index(2));
+        s.mint_token(a, TokenId(1), 100);
+        assert!(s.transfer_token(a, b, TokenId(1), 60));
+        assert_eq!(s.token_balance(a, TokenId(1)), 40);
+        assert_eq!(s.token_balance(b, TokenId(1)), 60);
+        assert!(!s.transfer_token(a, b, TokenId(1), 41));
+        assert_eq!(s.token_balance(a, TokenId(1)), 40);
+    }
+
+    #[test]
+    fn snapshot_by_clone_restores_everything() {
+        let mut s = StateDb::new();
+        let a = Address::from_index(1);
+        s.credit(a, eth(1));
+        s.mint_token(a, TokenId(2), 7);
+        let snap = s.clone();
+        s.credit(a, eth(9));
+        assert!(s.burn_token(a, TokenId(2), 7));
+        s = snap;
+        assert_eq!(s.balance(a), eth(1));
+        assert_eq!(s.token_balance(a, TokenId(2)), 7);
+    }
+}

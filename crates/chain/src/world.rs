@@ -1,0 +1,45 @@
+//! The world: account state plus every protocol substrate, as seen by the
+//! execution engine.
+
+use crate::state::StateDb;
+use mev_dex::{DexState, PriceOracle, TokenRegistry};
+use mev_lending::LendingState;
+
+/// Everything a transaction can touch.
+#[derive(Debug, Clone)]
+pub struct World {
+    pub state: StateDb,
+    pub dex: DexState,
+    pub lending: LendingState,
+    pub oracle: PriceOracle,
+    pub registry: TokenRegistry,
+}
+
+impl World {
+    /// An empty world with `n_tokens` registered tokens (plus WETH).
+    pub fn new(n_tokens: u32) -> World {
+        World {
+            state: StateDb::new(),
+            dex: DexState::new(),
+            lending: LendingState::new(),
+            oracle: PriceOracle::new(),
+            registry: TokenRegistry::with_tokens(n_tokens),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::TokenId;
+
+    #[test]
+    fn new_world_is_empty_but_wired() {
+        let w = World::new(3);
+        assert!(w.state.is_empty());
+        assert!(w.dex.is_empty());
+        assert_eq!(w.registry.len(), 4);
+        assert_eq!(w.oracle.price(TokenId::WETH), Some(10u128.pow(18)));
+        assert_eq!(w.lending.platforms().count(), 4);
+    }
+}

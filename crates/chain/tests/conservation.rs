@@ -1,0 +1,207 @@
+//! Property tests over the execution engine: random transaction streams
+//! never panic, conserve wei (modulo explicit issuance), keep nonces
+//! strictly increasing, and leave no token supply unaccounted.
+
+use mev_chain::{build_block, seed_account, BlockSpec, World, DEFAULT_GAS_LIMIT};
+use mev_dex::pool::build;
+use mev_types::{
+    eth, gwei, Action, Address, Gas, LendingPlatformId, PoolId, SwapCall, TokenId, Transaction,
+    TxFee, Wei, H256,
+};
+use proptest::prelude::*;
+
+const E18: u128 = 10u128.pow(18);
+
+fn world() -> World {
+    let mut w = World::new(3);
+    w.dex.add_pool(build::uniswap_v2(1, TokenId::WETH, TokenId(1), 5_000 * E18, 10_000 * E18));
+    w.dex.add_pool(build::sushiswap(1, TokenId::WETH, TokenId(1), 3_000 * E18, 6_100 * E18));
+    w.dex.add_pool(build::curve(2, TokenId(1), TokenId(2), 50_000 * E18, 50_000 * E18));
+    w.oracle.update(TokenId(1), 0, E18 / 2);
+    w.oracle.update(TokenId(2), 0, E18 / 2);
+    for p in [LendingPlatformId::AaveV2, LendingPlatformId::Compound, LendingPlatformId::DyDx] {
+        let platform = w.lending.platform_mut(p);
+        platform.seed_liquidity(TokenId::WETH, 100_000 * E18);
+        platform.seed_liquidity(TokenId(1), 100_000 * E18);
+    }
+    for i in 0..8u64 {
+        seed_account(
+            &mut w.state,
+            Address::from_index(i),
+            eth(1_000),
+            &[(TokenId::WETH, 10_000 * E18), (TokenId(1), 10_000 * E18), (TokenId(2), 10_000 * E18)],
+        );
+    }
+    w
+}
+
+/// An arbitrary user action drawn from the full action vocabulary.
+fn action_strategy() -> impl Strategy<Value = Action> {
+    let swap = (0u8..2, 1u128..=50, 0u128..=100).prop_map(|(pool_idx, amt, min_pct)| {
+        let pool = if pool_idx == 0 {
+            PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 1 }
+        } else {
+            PoolId { exchange: mev_types::ExchangeId::SushiSwap, index: 1 }
+        };
+        Action::Swap(SwapCall {
+            pool,
+            token_in: TokenId::WETH,
+            token_out: TokenId(1),
+            amount_in: amt * E18,
+            // Sometimes an impossible guard: must revert cleanly.
+            min_amount_out: amt * E18 * min_pct / 50,
+        })
+    });
+    let transfer = (1u64..8, 1u128..=10)
+        .prop_map(|(to, v)| Action::Transfer { to: Address::from_index(to), value: eth(v) });
+    let deposit = (1u128..=100).prop_map(|amt| Action::Deposit {
+        platform: LendingPlatformId::AaveV2,
+        token: TokenId(1),
+        amount: amt * E18,
+    });
+    let borrow = (1u128..=20).prop_map(|amt| Action::Borrow {
+        platform: LendingPlatformId::AaveV2,
+        token: TokenId::WETH,
+        amount: amt * E18,
+    });
+    let flash = (1u128..=500, any::<bool>()).prop_map(|(amt, good)| Action::FlashLoan {
+        platform: LendingPlatformId::DyDx,
+        token: TokenId::WETH,
+        amount: amt * E18,
+        inner: if good {
+            vec![] // trivially repayable (fee covered by own balance)
+        } else {
+            // Swaps the borrowed funds away: must roll back cleanly.
+            vec![Action::Swap(SwapCall {
+                pool: PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 1 },
+                token_in: TokenId::WETH,
+                token_out: TokenId(1),
+                amount_in: amt * E18 * 2,
+                min_amount_out: 0,
+            })]
+        },
+    });
+    let other = (21_000u64..500_000).prop_map(|g| Action::Other { gas: Gas(g) });
+    prop_oneof![swap, transfer, deposit, borrow, flash, other]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_blocks_conserve_wei_and_nonces(
+        actions in proptest::collection::vec((0u64..8, action_strategy(), 1u128..200), 1..40),
+        base_fee_gwei in 0u128..60,
+    ) {
+        let mut w = world();
+        let mut nonces = std::collections::HashMap::new();
+        let txs: Vec<Transaction> = actions
+            .into_iter()
+            .map(|(from_idx, action, price)| {
+                let from = Address::from_index(from_idx);
+                let nonce = {
+                    let e = nonces.entry(from).or_insert(0u64);
+                    let n = *e;
+                    *e += 1;
+                    n
+                };
+                Transaction::new(
+                    from,
+                    nonce,
+                    TxFee::Legacy { gas_price: gwei(price) },
+                    Gas(2_000_000),
+                    action,
+                    Wei::ZERO,
+                    None,
+                )
+            })
+            .collect();
+        let before = w.state.total_wei();
+        let spec = BlockSpec {
+            number: 1,
+            parent_hash: H256::zero(),
+            timestamp: 1_600_000_000,
+            miner: Address::from_index(99),
+            base_fee: gwei(base_fee_gwei),
+            gas_limit: DEFAULT_GAS_LIMIT,
+        };
+        let built = build_block(&mut w, &spec, &txs);
+
+        // Wei conservation: total after = total before + block issuance.
+        let after = w.state.total_wei();
+        prop_assert_eq!(after, before + mev_chain::BLOCK_REWARD);
+
+        // Nonces strictly increase per sender along the block.
+        let mut seen: std::collections::HashMap<Address, u64> = std::collections::HashMap::new();
+        for tx in &built.block.transactions {
+            if let Some(&prev) = seen.get(&tx.from) {
+                prop_assert!(tx.nonce > prev, "nonce regression for {}", tx.from);
+            }
+            seen.insert(tx.from, tx.nonce);
+        }
+
+        // Receipts pair off with included transactions, in order.
+        prop_assert_eq!(built.receipts.len(), built.block.transactions.len());
+        for (i, (tx, r)) in built.block.transactions.iter().zip(&built.receipts).enumerate() {
+            prop_assert_eq!(r.tx_hash, tx.hash());
+            prop_assert_eq!(r.index as usize, i);
+        }
+
+        // Gas accounting: header total equals receipt sum and respects the limit.
+        let gas_sum: u64 = built.receipts.iter().map(|r| r.gas_used.0).sum();
+        prop_assert_eq!(built.block.header.gas_used.0, gas_sum);
+        prop_assert!(built.block.header.gas_used <= spec.gas_limit);
+    }
+
+    #[test]
+    fn pool_k_never_decreases_through_executor(
+        swaps in proptest::collection::vec((0u64..8, 1u128..=80), 1..25),
+    ) {
+        let mut w = world();
+        let pool_id = PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 1 };
+        let k_before = {
+            let p = w.dex.pool(pool_id).unwrap();
+            mev_types::U256::mul_u128_u128(
+                p.reserve_of(TokenId::WETH).unwrap(),
+                p.reserve_of(TokenId(1)).unwrap(),
+            )
+        };
+        let txs: Vec<Transaction> = swaps
+            .iter()
+            .enumerate()
+            .map(|(i, &(from_idx, amt))| {
+                Transaction::new(
+                    Address::from_index(from_idx),
+                    // Nonce per sender: count prior occurrences.
+                    swaps[..i].iter().filter(|(f, _)| *f == from_idx).count() as u64,
+                    TxFee::Legacy { gas_price: gwei(10) },
+                    Gas(200_000),
+                    Action::Swap(SwapCall {
+                        pool: pool_id,
+                        token_in: if i % 2 == 0 { TokenId::WETH } else { TokenId(1) },
+                        token_out: if i % 2 == 0 { TokenId(1) } else { TokenId::WETH },
+                        amount_in: amt * E18,
+                        min_amount_out: 0,
+                    }),
+                    Wei::ZERO,
+                    None,
+                )
+            })
+            .collect();
+        let spec = BlockSpec {
+            number: 1,
+            parent_hash: H256::zero(),
+            timestamp: 1_600_000_000,
+            miner: Address::from_index(99),
+            base_fee: Wei::ZERO,
+            gas_limit: DEFAULT_GAS_LIMIT,
+        };
+        build_block(&mut w, &spec, &txs);
+        let p = w.dex.pool(pool_id).unwrap();
+        let k_after = mev_types::U256::mul_u128_u128(
+            p.reserve_of(TokenId::WETH).unwrap(),
+            p.reserve_of(TokenId(1)).unwrap(),
+        );
+        prop_assert!(k_after >= k_before, "fees only grow k");
+    }
+}

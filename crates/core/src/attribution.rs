@@ -1,0 +1,177 @@
+//! Miner attribution of private non-Flashbots extraction (§6.3).
+//!
+//! For every account that performed private non-Flashbots sandwiches,
+//! count the distinct miners that mined them. An account whose private
+//! sandwiches were *only ever* mined by a single miner is, with high
+//! probability, that miner's own extraction operation (the paper finds
+//! two: one tied to Flexpool, one to F2Pool). Accounts mined by several
+//! miners point to a shared private pool.
+
+use crate::dataset::{MevDataset, MevKind};
+use crate::private::{classify_sandwich, PrivateClass};
+use mev_flashbots::BlocksApi;
+use mev_net::Observer;
+use mev_types::Address;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One extracting account's miner fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AccountAttribution {
+    pub account: Address,
+    /// Private non-FB sandwiches by this account.
+    pub sandwiches: usize,
+    /// Distinct miners that mined them.
+    pub miners: Vec<Address>,
+}
+
+impl AccountAttribution {
+    /// The §6.3 single-miner criterion.
+    pub fn single_miner(&self) -> bool {
+        self.miners.len() == 1
+    }
+}
+
+/// The §6.3 analysis result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttributionReport {
+    /// Every account that performed private non-FB sandwiches.
+    pub accounts: Vec<AccountAttribution>,
+    /// Distinct miners that mined any private non-FB sandwich.
+    pub miner_count: usize,
+    /// Accounts whose extractions were mined by exactly one miner —
+    /// likely the miner's own operation.
+    pub single_miner_accounts: Vec<AccountAttribution>,
+}
+
+/// Run the attribution analysis over the observer window.
+pub fn attribute_private_sandwiches(
+    dataset: &MevDataset,
+    observer: &Observer,
+    api: &BlocksApi,
+    window: (u64, u64),
+) -> AttributionReport {
+    let mut per_account: BTreeMap<Address, (usize, BTreeSet<Address>)> = BTreeMap::new();
+    let mut all_miners: BTreeSet<Address> = BTreeSet::new();
+    for d in dataset.of_kind(MevKind::Sandwich) {
+        if d.block < window.0 || d.block > window.1 {
+            continue;
+        }
+        if classify_sandwich(d, observer, api) != PrivateClass::PrivateNonFlashbots {
+            continue;
+        }
+        let entry = per_account.entry(d.extractor).or_default();
+        entry.0 += 1;
+        entry.1.insert(d.miner);
+        all_miners.insert(d.miner);
+    }
+    let accounts: Vec<AccountAttribution> = per_account
+        .into_iter()
+        .map(|(account, (sandwiches, miners))| AccountAttribution {
+            account,
+            sandwiches,
+            miners: miners.into_iter().collect(),
+        })
+        .collect();
+    let single: Vec<AccountAttribution> = accounts
+        .iter()
+        .filter(|a| a.single_miner() && a.sandwiches >= 2)
+        .cloned()
+        .collect();
+    AttributionReport { miner_count: all_miners.len(), single_miner_accounts: single, accounts }
+}
+
+/// Predicate for Figure 8: is `account` miner-affiliated per this report?
+pub fn miner_affiliated(report: &AttributionReport, account: Address) -> bool {
+    report.single_miner_accounts.iter().any(|a| a.account == account)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Detection;
+    use mev_dex::PriceOracle;
+    use mev_net::Network;
+    use mev_types::{TxHash, H256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hash(i: u64) -> TxHash {
+        let mut b = [0u8; 32];
+        b[..8].copy_from_slice(&i.to_be_bytes());
+        H256(b)
+    }
+
+    /// Build sandwiches where fronts/backs are unseen and victims seen.
+    fn dataset_and_observer() -> (MevDataset, Observer) {
+        let net = Network::uniform(2, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut observer = Observer::new(0, (0, u64::MAX), 0.0);
+        let mut detections = Vec::new();
+        // Account 1: three sandwiches, all mined by miner 10 (self-op).
+        // Account 2: three sandwiches across miners 10, 11 (shared pool).
+        let specs = [
+            (1u64, 10u64, 0u64),
+            (1, 10, 1),
+            (1, 10, 2),
+            (2, 10, 3),
+            (2, 11, 4),
+            (2, 11, 5),
+        ];
+        for (acct, miner, k) in specs {
+            let victim = hash(1000 + k);
+            observer.offer(&net, victim, 1, 100, &mut rng);
+            detections.push(Detection {
+                kind: MevKind::Sandwich,
+                block: 10_000_000 + k,
+                extractor: Address::from_index(acct),
+                tx_hashes: vec![hash(2000 + k * 2), hash(2001 + k * 2)],
+                victim: Some(victim),
+                gross_wei: 0,
+                costs_wei: 0,
+                profit_wei: 0,
+                miner_revenue_wei: 0,
+                via_flashbots: false,
+                via_flash_loan: false,
+                miner: Address::from_index(miner),
+            });
+        }
+        (MevDataset { detections, prices: PriceOracle::new() }, observer)
+    }
+
+    #[test]
+    fn single_miner_accounts_found() {
+        let (ds, obs) = dataset_and_observer();
+        let report =
+            attribute_private_sandwiches(&ds, &obs, &BlocksApi::new(), (10_000_000, 10_000_010));
+        assert_eq!(report.accounts.len(), 2);
+        assert_eq!(report.miner_count, 2);
+        assert_eq!(report.single_miner_accounts.len(), 1);
+        let solo = &report.single_miner_accounts[0];
+        assert_eq!(solo.account, Address::from_index(1));
+        assert_eq!(solo.sandwiches, 3);
+        assert_eq!(solo.miners, vec![Address::from_index(10)]);
+        assert!(miner_affiliated(&report, Address::from_index(1)));
+        assert!(!miner_affiliated(&report, Address::from_index(2)));
+    }
+
+    #[test]
+    fn window_filters_detections() {
+        let (ds, obs) = dataset_and_observer();
+        let report =
+            attribute_private_sandwiches(&ds, &obs, &BlocksApi::new(), (10_000_003, 10_000_005));
+        // Only account 2's three sandwiches fall in the window.
+        assert_eq!(report.accounts.len(), 1);
+        assert_eq!(report.accounts[0].account, Address::from_index(2));
+    }
+
+    #[test]
+    fn flashbots_sandwiches_excluded() {
+        let (mut ds, obs) = dataset_and_observer();
+        for d in ds.detections.iter_mut() {
+            d.via_flashbots = true;
+        }
+        let report =
+            attribute_private_sandwiches(&ds, &obs, &BlocksApi::new(), (10_000_000, 10_000_010));
+        assert!(report.accounts.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Searcher cohort analysis — the evidence behind §4.5's exodus claim
+//! ("after some initial buzz, many users left Flashbots for more
+//! profitable opportunities") and §8.1's Goal-3 verdict.
+//!
+//! For every extracting address, track its first and last active month,
+//! venue mix, and realised profit; aggregate into per-month retention and
+//! churn, and a leaderboard of extractors.
+
+use crate::dataset::{MevDataset, MevKind};
+use mev_chain::ChainStore;
+use mev_types::{Address, Month};
+use std::collections::{BTreeMap, HashMap};
+
+/// Lifetime summary of one extracting address.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SearcherCohort {
+    pub address: Address,
+    pub first_month: Month,
+    pub last_month: Month,
+    pub extractions: usize,
+    pub via_flashbots: usize,
+    pub total_profit_eth: f64,
+    /// Kinds this address extracted, by count.
+    pub sandwiches: usize,
+    pub arbitrages: usize,
+    pub liquidations: usize,
+}
+
+impl SearcherCohort {
+    /// Active span in months (inclusive).
+    pub fn lifetime_months(&self) -> u32 {
+        self.last_month.0 - self.first_month.0 + 1
+    }
+
+    /// Fraction of extractions routed through Flashbots.
+    pub fn flashbots_share(&self) -> f64 {
+        if self.extractions == 0 {
+            0.0
+        } else {
+            self.via_flashbots as f64 / self.extractions as f64
+        }
+    }
+}
+
+/// Build per-address cohorts from the dataset.
+pub fn cohorts(dataset: &MevDataset, chain: &ChainStore) -> Vec<SearcherCohort> {
+    let mut map: HashMap<Address, SearcherCohort> = HashMap::new();
+    for d in &dataset.detections {
+        let month = chain.month_of(d.block);
+        let e = map.entry(d.extractor).or_insert_with(|| SearcherCohort {
+            address: d.extractor,
+            first_month: month,
+            last_month: month,
+            extractions: 0,
+            via_flashbots: 0,
+            total_profit_eth: 0.0,
+            sandwiches: 0,
+            arbitrages: 0,
+            liquidations: 0,
+        });
+        e.first_month = e.first_month.min(month);
+        e.last_month = e.last_month.max(month);
+        e.extractions += 1;
+        if d.via_flashbots {
+            e.via_flashbots += 1;
+        }
+        e.total_profit_eth += d.profit_eth();
+        match d.kind {
+            MevKind::Sandwich => e.sandwiches += 1,
+            MevKind::Arbitrage => e.arbitrages += 1,
+            MevKind::Liquidation => e.liquidations += 1,
+        }
+    }
+    let mut v: Vec<SearcherCohort> = map.into_values().collect();
+    v.sort_by(|a, b| {
+        b.total_profit_eth.partial_cmp(&a.total_profit_eth).expect("finite").then(a.address.cmp(&b.address))
+    });
+    v
+}
+
+/// One month's churn row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChurnRow {
+    /// Addresses extracting in this month.
+    pub active: usize,
+    /// Addresses extracting for the first time.
+    pub joined: usize,
+    /// Addresses whose last-ever extraction was the previous month.
+    pub departed: usize,
+}
+
+/// Per-month join/leave dynamics (the shape behind Figure 7a's rise and
+/// fall).
+pub fn monthly_churn(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Month, ChurnRow)> {
+    // Active set per month.
+    let mut active: BTreeMap<Month, std::collections::HashSet<Address>> = BTreeMap::new();
+    for d in &dataset.detections {
+        active.entry(chain.month_of(d.block)).or_default().insert(d.extractor);
+    }
+    let lifetimes: HashMap<Address, (Month, Month)> = cohorts(dataset, chain)
+        .into_iter()
+        .map(|c| (c.address, (c.first_month, c.last_month)))
+        .collect();
+    active
+        .iter()
+        .map(|(&m, set)| {
+            let joined = set.iter().filter(|a| lifetimes[*a].0 == m).count();
+            let departed = lifetimes
+                .values()
+                .filter(|(_, last)| last.next() == m)
+                .count();
+            (m, ChurnRow { active: set.len(), joined, departed })
+        })
+        .collect()
+}
+
+/// Retention: of addresses first active in `cohort_month`, the fraction
+/// still active `k` months later, for k = 0..horizon.
+pub fn retention_curve(
+    dataset: &MevDataset,
+    chain: &ChainStore,
+    cohort_month: Month,
+    horizon: u32,
+) -> Vec<f64> {
+    let all = cohorts(dataset, chain);
+    let cohort: Vec<&SearcherCohort> =
+        all.iter().filter(|c| c.first_month == cohort_month).collect();
+    if cohort.is_empty() {
+        return vec![0.0; horizon as usize + 1];
+    }
+    // Months each address was active in.
+    let mut active_months: HashMap<Address, std::collections::HashSet<Month>> = HashMap::new();
+    for d in &dataset.detections {
+        active_months.entry(d.extractor).or_default().insert(chain.month_of(d.block));
+    }
+    (0..=horizon)
+        .map(|k| {
+            let m = Month(cohort_month.0 + k);
+            let still = cohort
+                .iter()
+                .filter(|c| active_months[&c.address].contains(&m))
+                .count();
+            still as f64 / cohort.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Detection;
+    use mev_dex::PriceOracle;
+    use mev_types::{Timeline, H256};
+
+    /// Chain spanning several months at 100 blocks/month.
+    fn chain() -> ChainStore {
+        ChainStore::new(Timeline::paper_span(100))
+    }
+
+    fn det(extractor: u64, block_offset: u64, kind: MevKind, fb: bool, profit: i128) -> Detection {
+        Detection {
+            kind,
+            block: 10_000_000 + block_offset,
+            extractor: Address::from_index(extractor),
+            tx_hashes: vec![H256::zero()],
+            victim: None,
+            gross_wei: profit,
+            costs_wei: 0,
+            profit_wei: profit,
+            miner_revenue_wei: 0,
+            via_flashbots: fb,
+            via_flash_loan: false,
+            miner: Address::from_index(9),
+        }
+    }
+
+    fn dataset() -> MevDataset {
+        const E: i128 = 10i128.pow(18);
+        MevDataset {
+            detections: vec![
+                // Address 1: active months 0 and 1, mixed venue, top profit.
+                det(1, 10, MevKind::Sandwich, true, 3 * E),
+                det(1, 110, MevKind::Arbitrage, false, 2 * E),
+                // Address 2: month 0 only (departs).
+                det(2, 20, MevKind::Sandwich, false, E),
+                // Address 3: joins month 1.
+                det(3, 130, MevKind::Liquidation, true, E / 2),
+            ],
+            prices: PriceOracle::new(),
+        }
+    }
+
+    #[test]
+    fn cohorts_aggregate_lifetimes_and_kinds() {
+        let c = cohorts(&dataset(), &chain());
+        assert_eq!(c.len(), 3);
+        // Sorted by profit: address 1 first.
+        assert_eq!(c[0].address, Address::from_index(1));
+        assert_eq!(c[0].extractions, 2);
+        assert_eq!(c[0].sandwiches, 1);
+        assert_eq!(c[0].arbitrages, 1);
+        assert_eq!(c[0].lifetime_months(), 2);
+        assert!((c[0].flashbots_share() - 0.5).abs() < 1e-9);
+        assert!((c[0].total_profit_eth - 5.0).abs() < 1e-9);
+        let two = c.iter().find(|x| x.address == Address::from_index(2)).unwrap();
+        assert_eq!(two.lifetime_months(), 1);
+    }
+
+    #[test]
+    fn churn_tracks_joins_and_departures() {
+        let rows = monthly_churn(&dataset(), &chain());
+        assert_eq!(rows.len(), 2);
+        let (m0, r0) = rows[0];
+        let (m1, r1) = rows[1];
+        assert_eq!(m0.next(), m1);
+        assert_eq!(r0.active, 2);
+        assert_eq!(r0.joined, 2, "addresses 1 and 2 debut");
+        assert_eq!(r0.departed, 0);
+        assert_eq!(r1.active, 2, "addresses 1 and 3");
+        assert_eq!(r1.joined, 1, "address 3 debuts");
+        assert_eq!(r1.departed, 1, "address 2's last month was month 0");
+    }
+
+    #[test]
+    fn retention_from_first_month() {
+        let chain = chain();
+        let first = chain.timeline().at(10_000_000).month();
+        let curve = retention_curve(&dataset(), &chain, first, 1);
+        // Cohort {1, 2}: both active at k=0; only 1 at k=1.
+        assert_eq!(curve.len(), 2);
+        assert!((curve[0] - 1.0).abs() < 1e-9);
+        assert!((curve[1] - 0.5).abs() < 1e-9);
+        // Empty cohort → zeros.
+        let empty = retention_curve(&dataset(), &chain, Month::new(2025, 1), 2);
+        assert_eq!(empty, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The MEV dataset: one [`Detection`] per extraction event, built by
+//! running every detector over the archive node and labeling against the
+//! Flashbots blocks API — the in-memory analogue of the paper's MongoDB
+//! collection behind Table 1.
+
+use crate::detect;
+use crate::prices::price_feed_from_chain;
+use mev_chain::ChainStore;
+use mev_dex::PriceOracle;
+use mev_flashbots::BlocksApi;
+use mev_types::{Address, LogEvent, Month, TxHash};
+
+/// MEV strategy taxonomy (§2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MevKind {
+    Sandwich,
+    Arbitrage,
+    Liquidation,
+}
+
+impl std::fmt::Display for MevKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MevKind::Sandwich => "Sandwiching",
+            MevKind::Arbitrage => "Arbitrage",
+            MevKind::Liquidation => "Liquidation",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One detected MEV extraction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Detection {
+    pub kind: MevKind,
+    pub block: u64,
+    /// The extracting EOA (sender of the MEV transactions).
+    pub extractor: Address,
+    /// The MEV transactions (two for a sandwich, one otherwise).
+    pub tx_hashes: Vec<TxHash>,
+    /// The victim transaction, when the strategy has one.
+    pub victim: Option<TxHash>,
+    /// Gross gain in wei (token legs converted at the block's price).
+    pub gross_wei: i128,
+    /// Costs: transaction fees plus coinbase tips, wei.
+    pub costs_wei: u128,
+    /// Net profit (`gross − costs`), wei — can be negative (§5.2).
+    pub profit_wei: i128,
+    /// Miner revenue attributable to this extraction (fees + tips of the
+    /// MEV transactions), wei.
+    pub miner_revenue_wei: u128,
+    /// Labeled against the public blocks API (§3.3).
+    pub via_flashbots: bool,
+    /// The extraction used a flash loan (§3.4).
+    pub via_flash_loan: bool,
+    /// Coinbase of the containing block.
+    pub miner: Address,
+}
+
+impl Detection {
+    /// Net profit in ETH (reporting convenience).
+    pub fn profit_eth(&self) -> f64 {
+        self.profit_wei as f64 / 1e18
+    }
+}
+
+/// The full dataset plus the context needed by the figure runners.
+#[derive(Debug, Clone)]
+pub struct MevDataset {
+    pub detections: Vec<Detection>,
+    /// Token→ETH price feed recovered from on-chain oracle events.
+    pub prices: PriceOracle,
+}
+
+impl MevDataset {
+    /// Run every detector over the chain. The only inputs are public data:
+    /// the archive node and the Flashbots blocks API.
+    pub fn inspect(chain: &ChainStore, api: &BlocksApi) -> MevDataset {
+        let prices = price_feed_from_chain(chain);
+        let mut detections = Vec::new();
+        for (block, receipts) in chain.iter() {
+            detect::sandwich::detect_in_block(block, receipts, api, &prices, &mut detections);
+            detect::arbitrage::detect_in_block(block, receipts, api, &prices, &mut detections);
+            detect::liquidation::detect_in_block(block, receipts, api, &prices, &mut detections);
+        }
+        detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        MevDataset { detections, prices }
+    }
+
+    /// Parallel variant: blocks are independent, so detection fans out
+    /// across threads with `crossbeam` and merges in block order.
+    pub fn inspect_parallel(chain: &ChainStore, api: &BlocksApi) -> MevDataset {
+        let prices = price_feed_from_chain(chain);
+        let pairs: Vec<_> = chain.iter().collect();
+        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+        let chunk = pairs.len().div_ceil(n_threads.max(1)).max(1);
+        let mut detections: Vec<Detection> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|blocks| {
+                    let prices = &prices;
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for (block, receipts) in blocks {
+                            detect::sandwich::detect_in_block(block, receipts, api, prices, &mut out);
+                            detect::arbitrage::detect_in_block(block, receipts, api, prices, &mut out);
+                            detect::liquidation::detect_in_block(block, receipts, api, prices, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("detector thread panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        MevDataset { detections, prices }
+    }
+
+    /// Detections of one kind.
+    pub fn of_kind(&self, kind: MevKind) -> impl Iterator<Item = &Detection> {
+        self.detections.iter().filter(move |d| d.kind == kind)
+    }
+
+    /// Table 1 row: (total, via Flashbots, via flash loans, via both).
+    pub fn table1_row(&self, kind: MevKind) -> (usize, usize, usize, usize) {
+        let mut total = 0;
+        let mut fb = 0;
+        let mut fl = 0;
+        let mut both = 0;
+        for d in self.of_kind(kind) {
+            total += 1;
+            if d.via_flashbots {
+                fb += 1;
+            }
+            if d.via_flash_loan {
+                fl += 1;
+            }
+            if d.via_flashbots && d.via_flash_loan {
+                both += 1;
+            }
+        }
+        (total, fb, fl, both)
+    }
+
+    /// Detections inside a month.
+    pub fn in_month<'a>(
+        &'a self,
+        chain: &'a ChainStore,
+        month: Month,
+    ) -> impl Iterator<Item = &'a Detection> {
+        self.detections.iter().filter(move |d| chain.month_of(d.block) == month)
+    }
+}
+
+/// Count the flash-loan events of a receipt's logs (§3.4: Wang et al.'s
+/// technique — flash loans are identified by the platform events alone).
+pub fn has_flash_loan(logs: &[mev_types::Log]) -> bool {
+    logs.iter().any(|l| {
+        matches!(
+            l.event,
+            LogEvent::FlashLoan { platform, .. } if platform.offers_flash_loans()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(MevKind::Sandwich.to_string(), "Sandwiching");
+        assert_eq!(MevKind::Arbitrage.to_string(), "Arbitrage");
+        assert_eq!(MevKind::Liquidation.to_string(), "Liquidation");
+    }
+
+    #[test]
+    fn flash_loan_predicate() {
+        use mev_types::{Address, LendingPlatformId, Log, TokenId};
+        let fl = Log::new(
+            Address::ZERO,
+            LogEvent::FlashLoan {
+                platform: LendingPlatformId::AaveV2,
+                initiator: Address::ZERO,
+                token: TokenId::WETH,
+                amount: 1,
+                fee: 1,
+            },
+        );
+        let not = Log::new(
+            Address::ZERO,
+            LogEvent::Transfer { token: TokenId::WETH, from: Address::ZERO, to: Address::ZERO, amount: 1 },
+        );
+        assert!(has_flash_loan(&[not.clone(), fl]));
+        assert!(!has_flash_loan(&[not]));
+    }
+}

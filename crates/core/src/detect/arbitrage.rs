@@ -1,0 +1,274 @@
+//! Arbitrage detection — the Qin et al. heuristic (§3.1.2) over swap
+//! events: within a single transaction, a chain of swaps that starts and
+//! ends in the same asset, spans more than one exchange, and nets a
+//! positive amount of the start asset.
+//!
+//! Coverage matches the paper: 0x, Balancer, Bancor, Curve, SushiSwap,
+//! Uniswap V2/V3 (not V1).
+
+use crate::dataset::{Detection, MevKind};
+use crate::detect::receipt_has_flash_loan;
+use crate::prices::value_at;
+use crate::profit::costs_and_miner_revenue;
+use mev_dex::PriceOracle;
+use mev_flashbots::BlocksApi;
+use mev_types::{Block, LogEvent, Receipt};
+use std::collections::HashSet;
+
+/// Detect arbitrage transactions in a block, appending to `out`.
+pub fn detect_in_block(
+    block: &Block,
+    receipts: &[Receipt],
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    for r in receipts {
+        if !r.outcome.is_success() {
+            continue;
+        }
+        // Collect the tx's covered swap legs in log order.
+        let legs: Vec<(mev_types::PoolId, mev_types::TokenId, u128, mev_types::TokenId, u128)> = r
+            .logs
+            .iter()
+            .filter_map(|l| match l.event {
+                LogEvent::Swap { pool, token_in, amount_in, token_out, amount_out, .. }
+                    if pool.exchange.arbitrage_covered() =>
+                {
+                    Some((pool, token_in, amount_in, token_out, amount_out))
+                }
+                _ => None,
+            })
+            .collect();
+        if legs.len() < 2 {
+            continue;
+        }
+        // Cycle test: consecutive legs chain token_out → token_in, the
+        // final output token equals the first input token.
+        let chained = legs.windows(2).all(|w| w[0].3 == w[1].1);
+        if !chained {
+            continue;
+        }
+        let start_token = legs[0].1;
+        let end_token = legs[legs.len() - 1].3;
+        if start_token != end_token {
+            continue;
+        }
+        // Cross-exchange requirement.
+        let exchanges: HashSet<_> = legs.iter().map(|l| l.0.exchange).collect();
+        if exchanges.len() < 2 {
+            continue;
+        }
+        let amount_in = legs[0].2;
+        let amount_out = legs[legs.len() - 1].4;
+        if amount_out <= amount_in {
+            continue; // not profitable in asset terms: not an arbitrage
+        }
+        let number = block.header.number;
+        let gain = value_at(prices, start_token, amount_out - amount_in, number) as i128;
+        let (costs, miner_rev) = costs_and_miner_revenue(&[r]);
+        out.push(Detection {
+            kind: MevKind::Arbitrage,
+            block: number,
+            extractor: r.from,
+            tx_hashes: vec![r.tx_hash],
+            victim: None,
+            gross_wei: gain,
+            costs_wei: costs,
+            profit_wei: gain - costs as i128,
+            miner_revenue_wei: miner_rev,
+            via_flashbots: api.is_flashbots_tx(r.tx_hash),
+            via_flash_loan: receipt_has_flash_loan(&r.logs),
+            miner: block.header.miner,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::*;
+    use mev_types::{Address, ExchangeId, PoolId, TokenId, Wei};
+
+    fn uni() -> PoolId {
+        PoolId { exchange: ExchangeId::UniswapV2, index: 0 }
+    }
+
+    fn sushi() -> PoolId {
+        PoolId { exchange: ExchangeId::SushiSwap, index: 0 }
+    }
+
+    /// Buy 20 TKN1 for 10 WETH on Sushi, sell for 11 WETH on Uniswap.
+    fn arb_receipts() -> (mev_types::Block, Vec<mev_types::Receipt>) {
+        let arber = Address::from_index(100);
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(uni(), arber, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18),
+            ],
+            Wei::ZERO,
+        );
+        (block(10_000_000, vec![t]), vec![r])
+    }
+
+    #[test]
+    fn detects_two_leg_cycle() {
+        let (b, rs) = arb_receipts();
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1);
+        let d = &out[0];
+        assert_eq!(d.kind, MevKind::Arbitrage);
+        assert_eq!(d.gross_wei, E18 as i128);
+        assert!(!d.via_flash_loan);
+    }
+
+    #[test]
+    fn single_exchange_cycle_rejected() {
+        // Round trip within one exchange is churn, not cross-DEX arbitrage.
+        let arber = Address::from_index(100);
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(uni(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(uni(), arber, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18),
+            ],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn losing_round_trip_rejected() {
+        let arber = Address::from_index(100);
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(uni(), arber, TokenId(1), 20 * E18, TokenId::WETH, 9 * E18),
+            ],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn broken_chain_rejected() {
+        // Second leg consumes a different token than the first produced.
+        let arber = Address::from_index(100);
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(uni(), arber, TokenId(2), 20 * E18, TokenId::WETH, 11 * E18),
+            ],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uniswap_v1_legs_not_covered() {
+        let arber = Address::from_index(100);
+        let v1 = PoolId { exchange: ExchangeId::UniswapV1, index: 0 };
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(v1, arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(uni(), arber, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18),
+            ],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty(), "V1 leg filtered ⇒ only one leg remains");
+    }
+
+    #[test]
+    fn three_leg_triangle_detected() {
+        let arber = Address::from_index(100);
+        let curve = PoolId { exchange: ExchangeId::Curve, index: 0 };
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(curve, arber, TokenId(1), 20 * E18, TokenId(2), 19 * E18),
+                swap_log(uni(), arber, TokenId(2), 19 * E18, TokenId::WETH, 12 * E18),
+            ],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].gross_wei, 2 * E18 as i128);
+    }
+
+    #[test]
+    fn flash_loan_flag_from_logs() {
+        let (b, mut rs) = arb_receipts();
+        rs[0].logs.insert(
+            0,
+            mev_types::Log::new(
+                Address::from_index(0x6000_0000_0000),
+                mev_types::LogEvent::FlashLoan {
+                    platform: mev_types::LendingPlatformId::AaveV2,
+                    initiator: Address::from_index(100),
+                    token: TokenId::WETH,
+                    amount: 10 * E18,
+                    fee: E18 / 100,
+                },
+            ),
+        );
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].via_flash_loan);
+    }
+
+    #[test]
+    fn token_denominated_arb_converted() {
+        // Cycle in TKN1: net +2 TKN1 at 0.5 ETH each ⇒ 1 ETH gross.
+        let arber = Address::from_index(100);
+        let t = tx(arber, 0);
+        let r = receipt(
+            &t,
+            0,
+            vec![
+                swap_log(sushi(), arber, TokenId(1), 20 * E18, TokenId::WETH, 10 * E18),
+                swap_log(uni(), arber, TokenId::WETH, 10 * E18, TokenId(1), 22 * E18),
+            ],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t]);
+        let mut oracle = weth_oracle();
+        oracle.update(TokenId(1), 10_000_000, E18 / 2);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &oracle, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].gross_wei, E18 as i128);
+    }
+}

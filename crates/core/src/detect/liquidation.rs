@@ -1,0 +1,160 @@
+//! Liquidation detection (§3.1.3): crawl `LiquidationCall` events from the
+//! covered lending platforms (Aave V1/V2, Compound), valuing the received
+//! collateral against the repaid debt at the block's prices.
+
+use crate::dataset::{Detection, MevKind};
+use crate::detect::receipt_has_flash_loan;
+use crate::prices::value_at;
+use crate::profit::costs_and_miner_revenue;
+use mev_dex::PriceOracle;
+use mev_flashbots::BlocksApi;
+use mev_types::{Block, LendingPlatformId, LogEvent, Receipt};
+
+/// Platforms the paper's liquidation detector covers.
+fn covered(platform: LendingPlatformId) -> bool {
+    matches!(
+        platform,
+        LendingPlatformId::AaveV1 | LendingPlatformId::AaveV2 | LendingPlatformId::Compound
+    )
+}
+
+/// Detect liquidations in a block, appending to `out`.
+pub fn detect_in_block(
+    block: &Block,
+    receipts: &[Receipt],
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    for r in receipts {
+        if !r.outcome.is_success() {
+            continue;
+        }
+        for log in &r.logs {
+            let LogEvent::Liquidation {
+                platform,
+                liquidator,
+                debt_token,
+                debt_repaid,
+                collateral_token,
+                collateral_seized,
+                ..
+            } = log.event
+            else {
+                continue;
+            };
+            if !covered(platform) {
+                continue;
+            }
+            let number = block.header.number;
+            // Gain: collateral received minus debt repaid (§3.1.3 costs
+            // include "the value of the liquidated debt").
+            let gain = value_at(prices, collateral_token, collateral_seized, number) as i128
+                - value_at(prices, debt_token, debt_repaid, number) as i128;
+            let (costs, miner_rev) = costs_and_miner_revenue(&[r]);
+            out.push(Detection {
+                kind: MevKind::Liquidation,
+                block: number,
+                extractor: liquidator,
+                tx_hashes: vec![r.tx_hash],
+                victim: None,
+                gross_wei: gain,
+                costs_wei: costs,
+                profit_wei: gain - costs as i128,
+                miner_revenue_wei: miner_rev,
+                via_flashbots: api.is_flashbots_tx(r.tx_hash),
+                via_flash_loan: receipt_has_flash_loan(&r.logs),
+                miner: block.header.miner,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::*;
+    use mev_types::{Address, Log, TokenId, Wei};
+
+    fn liq_log(platform: LendingPlatformId, liquidator: Address) -> Log {
+        Log::new(
+            Address::from_index(0x6000_0000_0000),
+            LogEvent::Liquidation {
+                platform,
+                liquidator,
+                borrower: Address::from_index(55),
+                debt_token: TokenId::WETH,
+                debt_repaid: 10 * E18,
+                collateral_token: TokenId(1),
+                collateral_seized: 21 * E18,
+            },
+        )
+    }
+
+    #[test]
+    fn detects_and_values_liquidation() {
+        let liq = Address::from_index(100);
+        let t = tx(liq, 0);
+        let r = receipt(&t, 0, vec![liq_log(LendingPlatformId::AaveV2, liq)], Wei::ZERO);
+        let b = block(10_000_000, vec![t]);
+        let mut oracle = weth_oracle();
+        oracle.update(TokenId(1), 10_000_000, E18 / 2); // collateral 21·0.5 = 10.5 ETH
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &oracle, &mut out);
+        assert_eq!(out.len(), 1);
+        let d = &out[0];
+        assert_eq!(d.kind, MevKind::Liquidation);
+        assert_eq!(d.extractor, liq);
+        // 10.5 − 10 = 0.5 ETH gross.
+        assert_eq!(d.gross_wei, (E18 / 2) as i128);
+        assert!(d.profit_wei < d.gross_wei, "fees deducted");
+    }
+
+    #[test]
+    fn dydx_not_covered() {
+        let liq = Address::from_index(100);
+        let t = tx(liq, 0);
+        let r = receipt(&t, 0, vec![liq_log(LendingPlatformId::DyDx, liq)], Wei::ZERO);
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flash_loan_liquidation_flagged() {
+        let liq = Address::from_index(100);
+        let t = tx(liq, 0);
+        let fl = Log::new(
+            Address::from_index(0x6000_0000_0000),
+            LogEvent::FlashLoan {
+                platform: LendingPlatformId::DyDx,
+                initiator: liq,
+                token: TokenId::WETH,
+                amount: 10 * E18,
+                fee: E18 / 1000,
+            },
+        );
+        let r = receipt(&t, 0, vec![fl, liq_log(LendingPlatformId::Compound, liq)], Wei::ZERO);
+        let b = block(10_000_000, vec![t]);
+        let mut oracle = weth_oracle();
+        oracle.update(TokenId(1), 10_000_000, E18);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &oracle, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].via_flash_loan);
+    }
+
+    #[test]
+    fn unknown_collateral_price_values_zero_gain() {
+        // Without a price the gain degrades to −debt: conservative.
+        let liq = Address::from_index(100);
+        let t = tx(liq, 0);
+        let r = receipt(&t, 0, vec![liq_log(LendingPlatformId::AaveV1, liq)], Wei::ZERO);
+        let b = block(10_000_000, vec![t]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].gross_wei < 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The detectors (§3.1): each crawls one event family out of a block's
+//! receipts and appends [`Detection`](crate::Detection)s.
+
+pub mod arbitrage;
+pub mod liquidation;
+pub mod sandwich;
+
+use mev_types::{Log, LogEvent, PoolId, Receipt, TokenId};
+
+/// A decoded swap with its position in the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapRecord {
+    pub tx_index: u32,
+    pub from: mev_types::Address,
+    pub pool: PoolId,
+    pub token_in: TokenId,
+    pub amount_in: u128,
+    pub token_out: TokenId,
+    pub amount_out: u128,
+}
+
+/// Extract every successful swap event of a block's receipts.
+pub fn swaps_of(receipts: &[Receipt]) -> Vec<SwapRecord> {
+    let mut out = Vec::new();
+    for r in receipts {
+        if !r.outcome.is_success() {
+            continue;
+        }
+        for log in &r.logs {
+            if let LogEvent::Swap { pool, token_in, amount_in, token_out, amount_out, .. } = log.event
+            {
+                out.push(SwapRecord {
+                    tx_index: r.index,
+                    from: r.from,
+                    pool,
+                    token_in,
+                    amount_in,
+                    token_out,
+                    amount_out,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does the receipt carry a flash-loan event (§3.4, Wang et al.)?
+pub fn receipt_has_flash_loan(logs: &[Log]) -> bool {
+    crate::dataset::has_flash_loan(logs)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared builders for detector tests: hand-construct blocks and
+    //! receipts with exactly the event shapes the detectors match.
+
+    use mev_types::{
+        gwei, Action, Address, Block, BlockHeader, ExchangeId, ExecOutcome, Gas, Log, LogEvent,
+        PoolId, Receipt, TokenId, Transaction, TxFee, Wei, H256,
+    };
+
+    pub const E18: u128 = 10u128.pow(18);
+
+    pub fn pool() -> PoolId {
+        PoolId { exchange: ExchangeId::UniswapV2, index: 0 }
+    }
+
+    /// A dummy transaction whose hash anchors a receipt.
+    pub fn tx(from: Address, nonce: u64) -> Transaction {
+        Transaction::new(
+            from,
+            nonce,
+            TxFee::Legacy { gas_price: gwei(50) },
+            Gas(150_000),
+            Action::Other { gas: Gas(150_000) },
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    /// A swap event log.
+    pub fn swap_log(
+        pool: PoolId,
+        sender: Address,
+        token_in: TokenId,
+        amount_in: u128,
+        token_out: TokenId,
+        amount_out: u128,
+    ) -> Log {
+        Log::new(
+            Address::from_index(0x5000_0000_0000),
+            LogEvent::Swap { pool, sender, token_in, amount_in, token_out, amount_out },
+        )
+    }
+
+    /// Receipt builder.
+    pub fn receipt(t: &Transaction, index: u32, logs: Vec<Log>, tip: Wei) -> Receipt {
+        Receipt {
+            tx_hash: t.hash(),
+            index,
+            from: t.from,
+            outcome: ExecOutcome::Success,
+            gas_used: Gas(150_000),
+            effective_gas_price: gwei(50),
+            miner_fee: Gas(150_000).cost(gwei(50)),
+            coinbase_transfer: tip,
+            logs,
+        }
+    }
+
+    /// Block wrapper with sane header fields.
+    pub fn block(number: u64, txs: Vec<Transaction>) -> Block {
+        Block {
+            header: BlockHeader {
+                number,
+                parent_hash: H256::zero(),
+                miner: Address::from_index(0x4000_0000_0000),
+                timestamp: 1_600_000_000,
+                gas_used: Gas(0),
+                gas_limit: Gas(30_000_000),
+                base_fee: Wei::ZERO,
+            },
+            transactions: txs,
+        }
+    }
+
+    /// An empty Flashbots API (nothing labeled).
+    pub fn empty_api() -> mev_flashbots::BlocksApi {
+        mev_flashbots::BlocksApi::new()
+    }
+
+    /// A price oracle with WETH identity only.
+    pub fn weth_oracle() -> mev_dex::PriceOracle {
+        mev_dex::PriceOracle::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use mev_types::{Address, ExecOutcome, TokenId};
+
+    #[test]
+    fn swaps_of_skips_reverted() {
+        let a = Address::from_index(1);
+        let t0 = tx(a, 0);
+        let t1 = tx(a, 1);
+        let mut r0 = receipt(&t0, 0, vec![swap_log(pool(), a, TokenId::WETH, 10, TokenId(1), 20)], mev_types::Wei::ZERO);
+        let r1 = receipt(&t1, 1, vec![swap_log(pool(), a, TokenId::WETH, 10, TokenId(1), 20)], mev_types::Wei::ZERO);
+        r0.outcome = ExecOutcome::Reverted;
+        let swaps = swaps_of(&[r0, r1]);
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(swaps[0].tx_index, 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Sandwich detection — the Torres et al. insertion-frontrunning
+//! heuristic (§3.1.1), expressed over swap events:
+//!
+//! within one block and one pool, find transactions `t1 < V < t2` where
+//! `t1` and `t2` share a sender, `t1` and `V` trade the same direction
+//! (Cx → Cy), `t2` trades back (Cy → Cx), and `t2` sells (approximately)
+//! what `t1` bought — Definition 1 of the paper.
+//!
+//! Coverage matches the paper: Bancor, SushiSwap, Uniswap V1/V2/V3.
+
+use crate::dataset::{Detection, MevKind};
+use crate::detect::{receipt_has_flash_loan, swaps_of, SwapRecord};
+use crate::prices::value_at;
+use crate::profit::costs_and_miner_revenue;
+use mev_dex::PriceOracle;
+use mev_flashbots::BlocksApi;
+use mev_types::{Block, Receipt};
+use std::collections::HashMap;
+
+/// Tolerance for matching `t2.amount_in` against `t1.amount_out`:
+/// ±1 % covers fee-on-transfer dust without admitting unrelated trades.
+const MATCH_TOLERANCE_BPS: u128 = 100;
+
+fn amounts_match(bought: u128, sold: u128) -> bool {
+    let tol = bought / 10_000 * MATCH_TOLERANCE_BPS + 1;
+    bought.abs_diff(sold) <= tol
+}
+
+/// Detect every sandwich in a block, appending to `out`.
+pub fn detect_in_block(
+    block: &Block,
+    receipts: &[Receipt],
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    let swaps = swaps_of(receipts);
+    if swaps.len() < 3 {
+        return;
+    }
+    // Group swaps by pool, preserving block order.
+    let mut by_pool: HashMap<mev_types::PoolId, Vec<&SwapRecord>> = HashMap::new();
+    for s in &swaps {
+        if s.pool.exchange.sandwich_covered() {
+            by_pool.entry(s.pool).or_default().push(s);
+        }
+    }
+    let receipt_by_index: HashMap<u32, &Receipt> = receipts.iter().map(|r| (r.index, r)).collect();
+    let mut claimed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    for group in by_pool.values() {
+        for (i, &t1) in group.iter().enumerate() {
+            if claimed.contains(&t1.tx_index) {
+                continue;
+            }
+            for &t2 in group.iter().skip(i + 1) {
+                if t2.from != t1.from
+                    || t2.token_in != t1.token_out
+                    || t2.token_out != t1.token_in
+                    || !amounts_match(t1.amount_out, t2.amount_in)
+                    || claimed.contains(&t2.tx_index)
+                {
+                    continue;
+                }
+                // Victim: a different sender trading t1's direction,
+                // strictly between the two.
+                let victim = group.iter().find(|v| {
+                    v.tx_index > t1.tx_index
+                        && v.tx_index < t2.tx_index
+                        && v.from != t1.from
+                        && v.token_in == t1.token_in
+                        && v.token_out == t1.token_out
+                });
+                let Some(&victim) = victim else { continue };
+
+                let front_r = receipt_by_index[&t1.tx_index];
+                let back_r = receipt_by_index[&t2.tx_index];
+                let victim_r = receipt_by_index[&victim.tx_index];
+                // Gain: what the back-run returned minus what the
+                // front-run spent, valued in ETH at this block.
+                let number = block.header.number;
+                let gain = value_at(prices, t2.token_out, t2.amount_out, number) as i128
+                    - value_at(prices, t1.token_in, t1.amount_in, number) as i128;
+                let (costs, miner_rev) = costs_and_miner_revenue(&[front_r, back_r]);
+                let via_flashbots =
+                    api.is_flashbots_tx(front_r.tx_hash) && api.is_flashbots_tx(back_r.tx_hash);
+                // Flash loans cannot fund sandwiches (§2.3: two separate
+                // transactions), but record faithfully from the logs.
+                let via_flash_loan = receipt_has_flash_loan(&front_r.logs)
+                    || receipt_has_flash_loan(&back_r.logs);
+                claimed.insert(t1.tx_index);
+                claimed.insert(t2.tx_index);
+                out.push(Detection {
+                    kind: MevKind::Sandwich,
+                    block: number,
+                    extractor: t1.from,
+                    tx_hashes: vec![front_r.tx_hash, back_r.tx_hash],
+                    victim: Some(victim_r.tx_hash),
+                    gross_wei: gain,
+                    costs_wei: costs,
+                    profit_wei: gain - costs as i128,
+                    miner_revenue_wei: miner_rev,
+                    via_flashbots,
+                    via_flash_loan,
+                    miner: block.header.miner,
+                });
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::*;
+    use mev_types::{Address, ExchangeId, PoolId, TokenId, Wei};
+
+    /// A canonical sandwich: attacker swaps 10 WETH→20 TKN, victim swaps
+    /// 30 WETH→55 TKN (price moved), attacker sells 20 TKN→11 WETH.
+    fn canonical() -> (mev_types::Block, Vec<mev_types::Receipt>) {
+        let attacker = Address::from_index(100);
+        let victim = Address::from_index(200);
+        let t0 = tx(attacker, 0);
+        let t1 = tx(victim, 0);
+        let t2 = tx(attacker, 1);
+        let r0 = receipt(
+            &t0,
+            0,
+            vec![swap_log(pool(), attacker, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18)],
+            Wei::ZERO,
+        );
+        let r1 = receipt(
+            &t1,
+            1,
+            vec![swap_log(pool(), victim, TokenId::WETH, 30 * E18, TokenId(1), 55 * E18)],
+            Wei::ZERO,
+        );
+        let r2 = receipt(
+            &t2,
+            2,
+            vec![swap_log(pool(), attacker, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18)],
+            Wei::ZERO,
+        );
+        (block(10_000_000, vec![t0, t1, t2]), vec![r0, r1, r2])
+    }
+
+    #[test]
+    fn detects_canonical_sandwich() {
+        let (b, rs) = canonical();
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1);
+        let d = &out[0];
+        assert_eq!(d.kind, MevKind::Sandwich);
+        assert_eq!(d.extractor, Address::from_index(100));
+        assert_eq!(d.victim, Some(rs[1].tx_hash));
+        // Gain: 11 − 10 = 1 ETH.
+        assert_eq!(d.gross_wei, E18 as i128);
+        assert!(d.costs_wei > 0);
+        assert!(d.profit_wei < d.gross_wei);
+        assert!(!d.via_flashbots);
+        assert!(!d.via_flash_loan);
+    }
+
+    #[test]
+    fn no_victim_no_sandwich() {
+        // Same attacker round trip but nothing in between.
+        let attacker = Address::from_index(100);
+        let t0 = tx(attacker, 0);
+        let t2 = tx(attacker, 1);
+        let other = tx(Address::from_index(300), 0);
+        let r0 = receipt(
+            &t0,
+            0,
+            vec![swap_log(pool(), attacker, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18)],
+            Wei::ZERO,
+        );
+        // The in-between tx trades the *opposite* direction: not a victim.
+        let r1 = receipt(
+            &other,
+            1,
+            vec![swap_log(pool(), Address::from_index(300), TokenId(1), 5 * E18, TokenId::WETH, 2 * E18)],
+            Wei::ZERO,
+        );
+        let r2 = receipt(
+            &t2,
+            2,
+            vec![swap_log(pool(), attacker, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18)],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t0, other, t2]);
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r0, r1, r2], &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn different_pools_do_not_match() {
+        let (b, mut rs) = canonical();
+        // Move the back-run to a different pool.
+        let other_pool = PoolId { exchange: ExchangeId::SushiSwap, index: 9 };
+        let attacker = Address::from_index(100);
+        rs[2].logs =
+            vec![swap_log(other_pool, attacker, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18)];
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn amount_mismatch_rejected() {
+        let (b, mut rs) = canonical();
+        let attacker = Address::from_index(100);
+        // Back-run sells far more than the front bought: unrelated trades.
+        rs[2].logs =
+            vec![swap_log(pool(), attacker, TokenId(1), 35 * E18, TokenId::WETH, 17 * E18)];
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uncovered_exchange_ignored() {
+        let (b, mut rs) = canonical();
+        // The paper's sandwich detector does not cover Curve.
+        let curve = PoolId { exchange: ExchangeId::Curve, index: 0 };
+        for r in rs.iter_mut() {
+            for log in r.logs.iter_mut() {
+                if let mev_types::LogEvent::Swap { pool, .. } = &mut log.event {
+                    *pool = curve;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interleaved_noise_does_not_break_detection() {
+        let (b, mut rs) = canonical();
+        // Insert an unrelated swap between victim and back-run.
+        let noise_sender = Address::from_index(400);
+        let noise_tx = tx(noise_sender, 0);
+        let noise_r = receipt(
+            &noise_tx,
+            3,
+            vec![swap_log(pool(), noise_sender, TokenId(1), E18, TokenId::WETH, E18 / 2)],
+            Wei::ZERO,
+        );
+        // Re-index the back-run after the noise (indices 0,1,2,3 → back=3).
+        rs[2].index = 3;
+        let mut rs2 = vec![rs[0].clone(), rs[1].clone(), noise_r, rs[2].clone()];
+        rs2[2].index = 2;
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs2, &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1, "sandwich found despite interleaving");
+    }
+
+    #[test]
+    fn flashbots_label_applied() {
+        let (b, rs) = canonical();
+        let mut api = empty_api();
+        api.record(mev_flashbots::FlashbotsBlockRecord {
+            block_number: b.header.number,
+            miner: b.header.miner,
+            miner_reward: Wei::ZERO,
+            bundles: vec![mev_flashbots::BundleRecord {
+                bundle_id: mev_flashbots::BundleId(1),
+                bundle_type: mev_flashbots::BundleType::Flashbots,
+                searcher: Address::from_index(100),
+                tx_hashes: vec![rs[0].tx_hash, rs[1].tx_hash, rs[2].tx_hash],
+                tip: Wei::ZERO,
+            }],
+        });
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &api, &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].via_flashbots);
+    }
+
+    #[test]
+    fn token_gain_converted_at_block_price() {
+        // Sandwich in token space: attacker buys/sells TKN1; profit
+        // realised as extra TKN1, valued at the oracle price.
+        let attacker = Address::from_index(100);
+        let victim = Address::from_index(200);
+        let t0 = tx(attacker, 0);
+        let t1 = tx(victim, 0);
+        let t2 = tx(attacker, 1);
+        // Attacker: 20 TKN1 → 10 WETH; victim same direction; attacker
+        // buys back 10 WETH→21 TKN1... direction must reverse: t1 sells
+        // TKN1 for WETH, t2 sells WETH for TKN1.
+        let r0 = receipt(
+            &t0,
+            0,
+            vec![swap_log(pool(), attacker, TokenId(1), 20 * E18, TokenId::WETH, 10 * E18)],
+            Wei::ZERO,
+        );
+        let r1 = receipt(
+            &t1,
+            1,
+            vec![swap_log(pool(), victim, TokenId(1), 30 * E18, TokenId::WETH, 14 * E18)],
+            Wei::ZERO,
+        );
+        let r2 = receipt(
+            &t2,
+            2,
+            vec![swap_log(pool(), attacker, TokenId::WETH, 10 * E18, TokenId(1), 22 * E18)],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t0, t1, t2]);
+        let mut oracle = weth_oracle();
+        oracle.update(TokenId(1), 10_000_000, E18 / 2); // 1 TKN1 = 0.5 ETH
+        let mut out = Vec::new();
+        detect_in_block(&b, &[r0, r1, r2], &empty_api(), &oracle, &mut out);
+        assert_eq!(out.len(), 1);
+        // Gain: (22 − 20) TKN1 = 2 TKN1 = 1 ETH.
+        assert_eq!(out[0].gross_wei, E18 as i128);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset export — the paper's open-science commitment ("we make our
+//! datasets and collection code openly available", §3) as a library
+//! feature: detections, per-month series, and the Flashbots dataset as
+//! JSON or CSV.
+
+use crate::dataset::{Detection, MevDataset, MevKind};
+use mev_chain::ChainStore;
+use std::fmt::Write as _;
+
+/// A flat, export-friendly view of one detection.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectionRecord {
+    pub kind: String,
+    pub block: u64,
+    pub month: String,
+    pub extractor: String,
+    pub tx_hashes: Vec<String>,
+    pub victim: Option<String>,
+    pub gross_eth: f64,
+    pub costs_eth: f64,
+    pub profit_eth: f64,
+    pub miner_revenue_eth: f64,
+    pub via_flashbots: bool,
+    pub via_flash_loan: bool,
+    pub miner: String,
+}
+
+impl DetectionRecord {
+    pub fn from_detection(d: &Detection, chain: &ChainStore) -> DetectionRecord {
+        DetectionRecord {
+            kind: d.kind.to_string(),
+            block: d.block,
+            month: chain.month_of(d.block).to_string(),
+            extractor: d.extractor.to_string(),
+            tx_hashes: d.tx_hashes.iter().map(|h| h.to_string()).collect(),
+            victim: d.victim.map(|v| v.to_string()),
+            gross_eth: d.gross_wei as f64 / 1e18,
+            costs_eth: d.costs_wei as f64 / 1e18,
+            profit_eth: d.profit_wei as f64 / 1e18,
+            miner_revenue_eth: d.miner_revenue_wei as f64 / 1e18,
+            via_flashbots: d.via_flashbots,
+            via_flash_loan: d.via_flash_loan,
+            miner: d.miner.to_string(),
+        }
+    }
+}
+
+/// Export every detection as a JSON array.
+pub fn detections_json(dataset: &MevDataset, chain: &ChainStore) -> String {
+    let records: Vec<DetectionRecord> =
+        dataset.detections.iter().map(|d| DetectionRecord::from_detection(d, chain)).collect();
+    serde_json::to_string_pretty(&records).expect("serialisable records")
+}
+
+/// Export every detection as CSV (RFC-4180 style, header included).
+pub fn detections_csv(dataset: &MevDataset, chain: &ChainStore) -> String {
+    let mut out = String::from(
+        "kind,block,month,extractor,victim,gross_eth,costs_eth,profit_eth,miner_revenue_eth,via_flashbots,via_flash_loan,miner\n",
+    );
+    for d in &dataset.detections {
+        let r = DetectionRecord::from_detection(d, chain);
+        writeln!(
+            out,
+            "{},{},{},{},{},{:.9},{:.9},{:.9},{:.9},{},{},{}",
+            r.kind,
+            r.block,
+            r.month,
+            r.extractor,
+            r.victim.unwrap_or_default(),
+            r.gross_eth,
+            r.costs_eth,
+            r.profit_eth,
+            r.miner_revenue_eth,
+            r.via_flashbots,
+            r.via_flash_loan,
+            r.miner,
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Monthly aggregate row for the summary export.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonthlySummary {
+    pub month: String,
+    pub sandwiches: usize,
+    pub arbitrages: usize,
+    pub liquidations: usize,
+    pub flashbots_share: f64,
+    pub total_profit_eth: f64,
+}
+
+/// Per-month aggregates across all strategies.
+pub fn monthly_summary(dataset: &MevDataset, chain: &ChainStore) -> Vec<MonthlySummary> {
+    use std::collections::BTreeMap;
+    let mut months: BTreeMap<mev_types::Month, (usize, usize, usize, usize, f64)> = BTreeMap::new();
+    for d in &dataset.detections {
+        let m = chain.month_of(d.block);
+        let e = months.entry(m).or_default();
+        match d.kind {
+            MevKind::Sandwich => e.0 += 1,
+            MevKind::Arbitrage => e.1 += 1,
+            MevKind::Liquidation => e.2 += 1,
+        }
+        if d.via_flashbots {
+            e.3 += 1;
+        }
+        e.4 += d.profit_eth();
+    }
+    months
+        .into_iter()
+        .map(|(m, (sw, arb, liq, fb, profit))| {
+            let total = sw + arb + liq;
+            MonthlySummary {
+                month: m.to_string(),
+                sandwiches: sw,
+                arbitrages: arb,
+                liquidations: liq,
+                flashbots_share: if total == 0 { 0.0 } else { fb as f64 / total as f64 },
+                total_profit_eth: profit,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_dex::PriceOracle;
+    use mev_types::{Address, Timeline, H256};
+
+    fn chain() -> ChainStore {
+        ChainStore::new(Timeline::paper_span(100))
+    }
+
+    fn dataset() -> MevDataset {
+        let d = Detection {
+            kind: MevKind::Sandwich,
+            block: 10_000_000,
+            extractor: Address::from_index(1),
+            tx_hashes: vec![H256::zero()],
+            victim: Some(H256::zero()),
+            gross_wei: 2 * 10i128.pow(18),
+            costs_wei: 10u128.pow(18),
+            profit_wei: 10i128.pow(18),
+            miner_revenue_wei: 5 * 10u128.pow(17),
+            via_flashbots: true,
+            via_flash_loan: false,
+            miner: Address::from_index(9),
+        };
+        MevDataset { detections: vec![d], prices: PriceOracle::new() }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let json = detections_json(&dataset(), &chain());
+        let back: Vec<DetectionRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].kind, "Sandwiching");
+        assert_eq!(back[0].month, "2020-05");
+        assert!((back[0].profit_eth - 1.0).abs() < 1e-12);
+        assert!(back[0].via_flashbots);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = detections_csv(&dataset(), &chain());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("kind,block,month"));
+        assert!(lines[1].starts_with("Sandwiching,10000000,2020-05"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn monthly_summary_aggregates() {
+        let rows = monthly_summary(&dataset(), &chain());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].sandwiches, 1);
+        assert_eq!(rows[0].arbitrages, 0);
+        assert!((rows[0].flashbots_share - 1.0).abs() < 1e-12);
+        assert!((rows[0].total_profit_eth - 1.0).abs() < 1e-12);
+    }
+}

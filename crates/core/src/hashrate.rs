@@ -1,0 +1,199 @@
+//! Hashrate estimation (§4.3) and miner participation (§4.4).
+//!
+//! Hashing power cannot be measured directly; the paper estimates a
+//! miner's share by counting the blocks it mined over a month. A miner
+//! is *a Flashbots miner in that month* if it mined at least one
+//! Flashbots block in it — even its bundle-less blocks then count toward
+//! Flashbots hashpower.
+
+use mev_chain::ChainStore;
+use mev_flashbots::BlocksApi;
+use mev_types::{Address, Month};
+use std::collections::{HashMap, HashSet};
+
+/// Per-month block counts by miner.
+fn monthly_miner_blocks(chain: &ChainStore) -> Vec<(Month, HashMap<Address, u64>)> {
+    let mut out: Vec<(Month, HashMap<Address, u64>)> = Vec::new();
+    for (block, _) in chain.iter() {
+        let month = chain.month_of(block.header.number);
+        match out.last_mut() {
+            Some((m, counts)) if *m == month => {
+                *counts.entry(block.header.miner).or_default() += 1;
+            }
+            _ => {
+                let mut counts = HashMap::new();
+                counts.insert(block.header.miner, 1);
+                out.push((month, counts));
+            }
+        }
+    }
+    out
+}
+
+/// Miners that mined ≥1 Flashbots block in each month.
+fn monthly_flashbots_miners(chain: &ChainStore, api: &BlocksApi) -> HashMap<Month, HashSet<Address>> {
+    let mut out: HashMap<Month, HashSet<Address>> = HashMap::new();
+    for rec in api.iter() {
+        let month = chain.month_of(rec.block_number);
+        out.entry(month).or_default().insert(rec.miner);
+    }
+    out
+}
+
+/// Figure 4: estimated Flashbots hashrate share per month.
+pub fn monthly_flashbots_hashrate(chain: &ChainStore, api: &BlocksApi) -> Vec<(Month, f64)> {
+    let fb_miners = monthly_flashbots_miners(chain, api);
+    monthly_miner_blocks(chain)
+        .into_iter()
+        .map(|(month, counts)| {
+            let total: u64 = counts.values().sum();
+            let fb: u64 = fb_miners
+                .get(&month)
+                .map(|miners| {
+                    counts
+                        .iter()
+                        .filter(|(addr, _)| miners.contains(addr))
+                        .map(|(_, &c)| c)
+                        .sum()
+                })
+                .unwrap_or(0);
+            (month, if total == 0 { 0.0 } else { fb as f64 / total as f64 })
+        })
+        .collect()
+}
+
+/// Figure 5: the number of miners who mined at least `n` *Flashbots*
+/// blocks in each month, for each threshold.
+pub fn monthly_participation(
+    chain: &ChainStore,
+    api: &BlocksApi,
+    thresholds: &[u64],
+) -> Vec<(Month, Vec<(u64, usize)>)> {
+    // FB blocks per miner per month.
+    let mut per_month: HashMap<Month, HashMap<Address, u64>> = HashMap::new();
+    for rec in api.iter() {
+        let month = chain.month_of(rec.block_number);
+        *per_month.entry(month).or_default().entry(rec.miner).or_default() += 1;
+    }
+    let mut months: Vec<Month> = per_month.keys().copied().collect();
+    months.sort();
+    months
+        .into_iter()
+        .map(|m| {
+            let counts = &per_month[&m];
+            let row = thresholds
+                .iter()
+                .map(|&n| (n, counts.values().filter(|&&c| c >= n).count()))
+                .collect();
+            (m, row)
+        })
+        .collect()
+}
+
+/// §4.4: the maximum number of distinct Flashbots miners seen in any month
+/// (the paper: never more than 55).
+pub fn max_monthly_flashbots_miners(chain: &ChainStore, api: &BlocksApi) -> usize {
+    monthly_flashbots_miners(chain, api).values().map(HashSet::len).max().unwrap_or(0)
+}
+
+/// Share of all Flashbots blocks mined by the top `k` miners (the
+/// abstract's ">90 % of Flashbots blocks coming from just two miners").
+pub fn top_k_flashbots_block_share(api: &BlocksApi, k: usize) -> f64 {
+    let mut counts: HashMap<Address, u64> = HashMap::new();
+    for rec in api.iter() {
+        *counts.entry(rec.miner).or_default() += 1;
+    }
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v.into_iter().take(k).sum::<u64>() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_flashbots::{BundleId, BundleRecord, BundleType, FlashbotsBlockRecord};
+    use mev_types::{
+        Block, BlockHeader, Gas, Timeline, Wei, H256,
+    };
+
+    /// Chain: 200 blocks; miner A mines even blocks, miner B odd. In the
+    /// *second calendar month* only, every 10th of miner A's blocks is a
+    /// Flashbots block. Returns the second month for assertions.
+    fn setup() -> (ChainStore, BlocksApi, Month) {
+        let tl = Timeline::paper_span(100);
+        let second_month = tl.at(tl.genesis_number).month().next();
+        let mut chain = ChainStore::new(tl.clone());
+        let mut api = BlocksApi::new();
+        let a = Address::from_index(1);
+        let b = Address::from_index(2);
+        for i in 0..200u64 {
+            let number = tl.genesis_number + i;
+            let miner = if i % 2 == 0 { a } else { b };
+            let month = tl.at(number).month();
+            let header = BlockHeader {
+                number,
+                parent_hash: H256::zero(),
+                miner,
+                timestamp: tl.timestamp_of(number),
+                gas_used: Gas::ZERO,
+                gas_limit: Gas(30_000_000),
+                base_fee: Wei::ZERO,
+            };
+            chain.push(Block { header, transactions: vec![] }, vec![]);
+            if month == second_month && miner == a && i % 10 == 0 {
+                api.record(FlashbotsBlockRecord {
+                    block_number: number,
+                    miner,
+                    miner_reward: Wei::ZERO,
+                    bundles: vec![BundleRecord {
+                        bundle_id: BundleId(i),
+                        bundle_type: BundleType::Flashbots,
+                        searcher: Address::from_index(50),
+                        tx_hashes: vec![],
+                        tip: Wei::ZERO,
+                    }],
+                });
+            }
+        }
+        (chain, api, second_month)
+    }
+
+    #[test]
+    fn hashrate_counts_all_blocks_of_fb_miners() {
+        let (chain, api, second_month) = setup();
+        let series = monthly_flashbots_hashrate(&chain, &api);
+        for (month, share) in &series {
+            if *month == second_month {
+                // Miner A (≈50 % hashrate) mined ≥1 FB block ⇒ its *whole*
+                // hashrate counts, not just the FB blocks.
+                assert!((share - 0.5).abs() < 0.02, "got {share}");
+            } else {
+                assert_eq!(*share, 0.0, "month {month} has no FB miners");
+            }
+        }
+    }
+
+    #[test]
+    fn participation_thresholds() {
+        let (chain, api, second_month) = setup();
+        let rows = monthly_participation(&chain, &api, &[1, 3, 100]);
+        assert_eq!(rows.len(), 1, "FB activity only in one month");
+        let (m, row) = &rows[0];
+        assert_eq!(*m, second_month);
+        assert_eq!(row[0], (1, 1), "one miner with ≥1 FB block");
+        assert_eq!(row[1].1, 1, "several FB blocks ≥ 3");
+        assert_eq!(row[2], (100, 0));
+    }
+
+    #[test]
+    fn max_miners_and_top_share() {
+        let (chain, api, _) = setup();
+        assert_eq!(max_monthly_flashbots_miners(&chain, &api), 1);
+        assert_eq!(top_k_flashbots_block_share(&api, 1), 1.0);
+        assert_eq!(top_k_flashbots_block_share(&BlocksApi::new(), 2), 0.0);
+    }
+}

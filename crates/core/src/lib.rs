@@ -1,0 +1,30 @@
+//! # mev-core
+//!
+//! The paper's measurement pipeline: detectors that crawl an archive
+//! node's event logs for sandwich, arbitrage, and liquidation MEV
+//! (§3.1, applying the heuristics of Torres et al., Qin et al. and Wang
+//! et al.), Flashbots labeling against the public blocks API (§3.3),
+//! profit accounting with token→ETH conversion, private-transaction
+//! inference by pending/on-chain set intersection (§6.1), miner
+//! attribution of private extraction (§6.3), and the per-month/per-day
+//! series behind every figure.
+//!
+//! Detectors read only what a real measurement node can read: blocks,
+//! receipts, logs, and the public Flashbots dataset. They never touch
+//! simulation ground truth.
+
+pub mod attribution;
+pub mod cohorts;
+pub mod dataset;
+pub mod detect;
+pub mod export;
+pub mod hashrate;
+pub mod prices;
+pub mod private;
+pub mod profit;
+pub mod validate;
+pub mod series;
+
+pub use dataset::{Detection, MevDataset, MevKind};
+pub use prices::price_feed_from_chain;
+pub use private::{PrivateClass, PrivateStats};

@@ -1,0 +1,120 @@
+//! Token→ETH price feed recovered purely from on-chain oracle events.
+//!
+//! The paper converts token-denominated gains to ETH with the CoinGecko
+//! API (§3.1.2). Our equivalent consumes only public data: the
+//! `OracleUpdate` events in the archive node's logs, replayed into a
+//! [`PriceOracle`] so any amount can be valued *at the block where the
+//! extraction happened*.
+
+use mev_chain::ChainStore;
+use mev_dex::PriceOracle;
+use mev_types::LogEvent;
+
+/// Replay every oracle event in the chain into a queryable price history.
+pub fn price_feed_from_chain(chain: &ChainStore) -> PriceOracle {
+    let mut oracle = PriceOracle::new();
+    for (block, receipts) in chain.iter() {
+        let number = block.header.number;
+        for r in receipts {
+            for log in &r.logs {
+                if let LogEvent::OracleUpdate { token, price_wei } = log.event {
+                    oracle.update(token, number, price_wei);
+                }
+            }
+        }
+    }
+    oracle
+}
+
+/// Value `amount` of `token` in wei at `block`, falling back to the
+/// earliest known price when the extraction predates the first update.
+pub fn value_at(oracle: &PriceOracle, token: mev_types::TokenId, amount: u128, block: u64) -> u128 {
+    oracle
+        .to_wei_at(token, amount, block)
+        .or_else(|| oracle.to_wei(token, amount))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{
+        gwei, Action, Address, Block, BlockHeader, ExecOutcome, Gas, Log, Receipt, Timeline,
+        TokenId, Transaction, TxFee, Wei, H256,
+    };
+
+    const E18: u128 = 10u128.pow(18);
+
+    fn chain_with_oracle_events() -> ChainStore {
+        let tl = Timeline::paper_span(100);
+        let mut store = ChainStore::new(tl.clone());
+        for i in 0..3u64 {
+            let number = tl.genesis_number + i;
+            let tx = Transaction::new(
+                Address::from_index(1),
+                i,
+                TxFee::Legacy { gas_price: gwei(10) },
+                Gas(60_000),
+                Action::Other { gas: Gas(60_000) },
+                Wei::ZERO,
+                None,
+            );
+            let logs = if i < 2 {
+                vec![Log::new(
+                    Address::from_index(9),
+                    mev_types::LogEvent::OracleUpdate {
+                        token: TokenId(1),
+                        price_wei: (i as u128 + 1) * E18,
+                    },
+                )]
+            } else {
+                vec![]
+            };
+            let receipt = Receipt {
+                tx_hash: tx.hash(),
+                index: 0,
+                from: tx.from,
+                outcome: ExecOutcome::Success,
+                gas_used: Gas(60_000),
+                effective_gas_price: gwei(10),
+                miner_fee: Wei::ZERO,
+                coinbase_transfer: Wei::ZERO,
+                logs,
+            };
+            let header = BlockHeader {
+                number,
+                parent_hash: H256::zero(),
+                miner: Address::from_index(7),
+                timestamp: tl.timestamp_of(number),
+                gas_used: Gas(60_000),
+                gas_limit: Gas(30_000_000),
+                base_fee: Wei::ZERO,
+            };
+            store.push(Block { header, transactions: vec![tx] }, vec![receipt]);
+        }
+        store
+    }
+
+    #[test]
+    fn replays_history_in_block_order() {
+        let chain = chain_with_oracle_events();
+        let oracle = price_feed_from_chain(&chain);
+        let g = chain.timeline().genesis_number;
+        assert_eq!(oracle.price_at(TokenId(1), g), Some(E18));
+        assert_eq!(oracle.price_at(TokenId(1), g + 1), Some(2 * E18));
+        assert_eq!(oracle.price_at(TokenId(1), g + 2), Some(2 * E18), "sticky last price");
+    }
+
+    #[test]
+    fn value_at_falls_back_for_early_blocks() {
+        let chain = chain_with_oracle_events();
+        let oracle = price_feed_from_chain(&chain);
+        let g = chain.timeline().genesis_number;
+        // Before the first update: falls back to the latest known price.
+        assert_eq!(value_at(&oracle, TokenId(1), E18, g - 1), 2 * E18);
+        // Unknown token: zero.
+        assert_eq!(value_at(&oracle, TokenId(5), E18, g), 0);
+        // WETH is identity.
+        assert_eq!(value_at(&oracle, TokenId::WETH, 7 * E18, g), 7 * E18);
+    }
+}

@@ -1,0 +1,221 @@
+//! Private-transaction inference (§6.1): a mined transaction never seen
+//! pending by the observer is, by definition, private. Private sandwich
+//! classification follows the paper exactly: front and back private,
+//! victim public — and the Flashbots/non-Flashbots split comes from the
+//! blocks API.
+
+use crate::dataset::{Detection, MevDataset, MevKind};
+use mev_chain::ChainStore;
+use mev_flashbots::BlocksApi;
+use mev_net::Observer;
+use mev_types::TxHash;
+
+/// How a sandwich reached the chain (§6.2's three-way split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PrivateClass {
+    /// Mined via a Flashbots bundle (in the public blocks API).
+    Flashbots,
+    /// Front and back never seen pending, and not Flashbots: another
+    /// private pool or direct miner collusion.
+    PrivateNonFlashbots,
+    /// Extraction happened through the public mempool.
+    Public,
+}
+
+/// §6.2 aggregate: the private-vs-public distribution of sandwich MEV in
+/// the observer window.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrivateStats {
+    pub window_blocks: u64,
+    pub blocks_with_sandwich: u64,
+    pub total_sandwiches: usize,
+    pub flashbots: usize,
+    pub private_non_flashbots: usize,
+    pub public: usize,
+}
+
+impl PrivateStats {
+    /// Share carried out via the public mempool (the paper finds 5.6 %).
+    pub fn public_share(&self) -> f64 {
+        if self.total_sandwiches == 0 {
+            return 0.0;
+        }
+        self.public as f64 / self.total_sandwiches as f64
+    }
+
+    /// Flashbots share of all sandwiches in the window (81.15 %).
+    pub fn flashbots_share(&self) -> f64 {
+        if self.total_sandwiches == 0 {
+            return 0.0;
+        }
+        self.flashbots as f64 / self.total_sandwiches as f64
+    }
+
+    /// Private share of the non-Flashbots sandwiches (70.27 %).
+    pub fn private_share_of_non_flashbots(&self) -> f64 {
+        let non_fb = self.private_non_flashbots + self.public;
+        if non_fb == 0 {
+            return 0.0;
+        }
+        self.private_non_flashbots as f64 / non_fb as f64
+    }
+}
+
+/// Was this mined transaction private? (Never observed pending.)
+pub fn is_private(observer: &Observer, hash: TxHash) -> bool {
+    !observer.saw(hash)
+}
+
+/// Classify one sandwich detection against the observer and the API.
+///
+/// The §6.1 criterion: the two extractor transactions must be private
+/// while the victim *was* observed pending (frontrunning other private
+/// transactions is impossible, so a private "victim" would be a false
+/// positive).
+pub fn classify_sandwich(d: &Detection, observer: &Observer, api: &BlocksApi) -> PrivateClass {
+    debug_assert_eq!(d.kind, MevKind::Sandwich);
+    if d.via_flashbots || d.tx_hashes.iter().any(|&h| api.is_flashbots_tx(h)) {
+        return PrivateClass::Flashbots;
+    }
+    let front_back_private = d.tx_hashes.iter().all(|&h| is_private(observer, h));
+    let victim_public = d.victim.map(|v| observer.saw(v)).unwrap_or(false);
+    if front_back_private && victim_public {
+        PrivateClass::PrivateNonFlashbots
+    } else {
+        PrivateClass::Public
+    }
+}
+
+/// Compute the §6.2 distribution over the observer window. The window is
+/// expressed in block heights (the paper analyses blocks 13,670,000 –
+/// 14,444,725, aligned with its pending-transaction collection).
+pub fn private_stats(
+    dataset: &MevDataset,
+    chain: &ChainStore,
+    observer: &Observer,
+    api: &BlocksApi,
+    window: (u64, u64),
+) -> PrivateStats {
+    let mut stats = PrivateStats {
+        window_blocks: window.1.saturating_sub(window.0) + 1,
+        ..PrivateStats::default()
+    };
+    let mut sandwich_blocks: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for d in dataset.of_kind(MevKind::Sandwich) {
+        if d.block < window.0 || d.block > window.1 {
+            continue;
+        }
+        // Only blocks actually stored count (windows may overrun the sim).
+        if chain.block(d.block).is_none() {
+            continue;
+        }
+        sandwich_blocks.insert(d.block);
+        stats.total_sandwiches += 1;
+        match classify_sandwich(d, observer, api) {
+            PrivateClass::Flashbots => stats.flashbots += 1,
+            PrivateClass::PrivateNonFlashbots => stats.private_non_flashbots += 1,
+            PrivateClass::Public => stats.public += 1,
+        }
+    }
+    stats.blocks_with_sandwich = sandwich_blocks.len() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_net::Network;
+    use mev_types::{Address, H256};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hash(i: u8) -> TxHash {
+        let mut b = [0u8; 32];
+        b[0] = i;
+        H256(b)
+    }
+
+    fn observer_seeing(hashes: &[TxHash]) -> Observer {
+        let net = Network::uniform(2, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut o = Observer::new(0, (0, u64::MAX), 0.0);
+        for &h in hashes {
+            o.offer(&net, h, 1, 100, &mut rng);
+        }
+        o
+    }
+
+    fn sandwich(front: TxHash, back: TxHash, victim: TxHash, fb: bool) -> Detection {
+        Detection {
+            kind: MevKind::Sandwich,
+            block: 10_000_000,
+            extractor: Address::from_index(1),
+            tx_hashes: vec![front, back],
+            victim: Some(victim),
+            gross_wei: 0,
+            costs_wei: 0,
+            profit_wei: 0,
+            miner_revenue_wei: 0,
+            via_flashbots: fb,
+            via_flash_loan: false,
+            miner: Address::from_index(9),
+        }
+    }
+
+    #[test]
+    fn flashbots_label_wins() {
+        let o = observer_seeing(&[hash(3)]);
+        let d = sandwich(hash(1), hash(2), hash(3), true);
+        assert_eq!(classify_sandwich(&d, &o, &BlocksApi::new()), PrivateClass::Flashbots);
+    }
+
+    #[test]
+    fn private_front_back_public_victim() {
+        // Observer saw only the victim.
+        let o = observer_seeing(&[hash(3)]);
+        let d = sandwich(hash(1), hash(2), hash(3), false);
+        assert_eq!(
+            classify_sandwich(&d, &o, &BlocksApi::new()),
+            PrivateClass::PrivateNonFlashbots
+        );
+    }
+
+    #[test]
+    fn observed_front_means_public() {
+        let o = observer_seeing(&[hash(1), hash(2), hash(3)]);
+        let d = sandwich(hash(1), hash(2), hash(3), false);
+        assert_eq!(classify_sandwich(&d, &o, &BlocksApi::new()), PrivateClass::Public);
+    }
+
+    #[test]
+    fn unseen_victim_is_not_private_extraction() {
+        // Nothing observed: can't assert the victim was public, so this
+        // does not count as inferred-private (conservative, like §6.1).
+        let o = observer_seeing(&[]);
+        let d = sandwich(hash(1), hash(2), hash(3), false);
+        assert_eq!(classify_sandwich(&d, &o, &BlocksApi::new()), PrivateClass::Public);
+    }
+
+    #[test]
+    fn is_private_is_set_complement() {
+        let o = observer_seeing(&[hash(1)]);
+        assert!(!is_private(&o, hash(1)));
+        assert!(is_private(&o, hash(2)));
+    }
+
+    #[test]
+    fn stats_shares() {
+        let s = PrivateStats {
+            window_blocks: 100,
+            blocks_with_sandwich: 10,
+            total_sandwiches: 100,
+            flashbots: 81,
+            private_non_flashbots: 13,
+            public: 6,
+        };
+        assert!((s.flashbots_share() - 0.81).abs() < 1e-9);
+        assert!((s.public_share() - 0.06).abs() < 1e-9);
+        assert!((s.private_share_of_non_flashbots() - 13.0 / 19.0).abs() < 1e-9);
+        assert_eq!(PrivateStats::default().flashbots_share(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Profit accounting (§3.1): cost = transaction fees + coinbase tips;
+//! gain computed by each detector from its event legs; miner revenue
+//! = the fee-plus-tip flow the block's coinbase captured from the MEV
+//! transactions. Plus the profit-distribution statistics behind Figure 8
+//! and the negative-profit audit of §5.2.
+
+use crate::dataset::{Detection, MevKind, MevDataset};
+use mev_types::Receipt;
+
+/// Sum `(sender costs, miner revenue)` over the MEV transactions.
+pub fn costs_and_miner_revenue(receipts: &[&Receipt]) -> (u128, u128) {
+    let mut costs = 0u128;
+    let mut rev = 0u128;
+    for r in receipts {
+        costs += r.total_cost().0;
+        rev += r.miner_revenue().0;
+    }
+    (costs, rev)
+}
+
+/// Summary statistics of a profit sample (ETH-denominated).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProfitStats {
+    pub count: usize,
+    pub mean_eth: f64,
+    pub std_eth: f64,
+    pub median_eth: f64,
+    pub negative_count: usize,
+    pub negative_total_eth: f64,
+}
+
+impl ProfitStats {
+    /// Compute from a wei-denominated sample.
+    pub fn from_wei(sample: &[i128]) -> ProfitStats {
+        if sample.is_empty() {
+            return ProfitStats {
+                count: 0,
+                mean_eth: 0.0,
+                std_eth: 0.0,
+                median_eth: 0.0,
+                negative_count: 0,
+                negative_total_eth: 0.0,
+            };
+        }
+        let eth: Vec<f64> = sample.iter().map(|&w| w as f64 / 1e18).collect();
+        let n = eth.len() as f64;
+        let mean = eth.iter().sum::<f64>() / n;
+        let var = eth.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = eth.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = sorted[sorted.len() / 2];
+        let negative: Vec<f64> = eth.iter().copied().filter(|&x| x < 0.0).collect();
+        ProfitStats {
+            count: sample.len(),
+            mean_eth: mean,
+            std_eth: var.sqrt(),
+            median_eth: median,
+            negative_count: negative.len(),
+            negative_total_eth: negative.iter().sum::<f64>().abs(),
+        }
+    }
+}
+
+/// Figure 8: sandwich profit distributions for the four subpopulations.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig8 {
+    /// Miner revenue per Flashbots sandwich (tips + fees) — what a miner
+    /// makes from sandwich MEV *with* Flashbots.
+    pub miners_flashbots: ProfitStats,
+    /// Miner revenue per non-Flashbots sandwich (the PGA fee capture) —
+    /// what a miner makes *without* Flashbots.
+    pub miners_non_flashbots: ProfitStats,
+    /// Searcher net profit on Flashbots sandwiches.
+    pub searchers_flashbots: ProfitStats,
+    /// Extractor net profit on non-Flashbots sandwiches.
+    pub searchers_non_flashbots: ProfitStats,
+}
+
+/// Compute the Figure 8 distributions. `miner_affiliated` lets the caller
+/// exclude single-miner self-extraction accounts (found by the §6.3
+/// attribution analysis) from the *searcher* populations.
+pub fn fig8(
+    dataset: &MevDataset,
+    miner_affiliated: &dyn Fn(mev_types::Address) -> bool,
+) -> Fig8 {
+    let mut m_fb = Vec::new();
+    let mut m_non = Vec::new();
+    let mut s_fb = Vec::new();
+    let mut s_non = Vec::new();
+    for d in dataset.of_kind(MevKind::Sandwich) {
+        if d.via_flashbots {
+            m_fb.push(d.miner_revenue_wei as i128);
+            if !miner_affiliated(d.extractor) {
+                s_fb.push(d.profit_wei);
+            }
+        } else {
+            m_non.push(d.miner_revenue_wei as i128);
+            if !miner_affiliated(d.extractor) {
+                s_non.push(d.profit_wei);
+            }
+        }
+    }
+    Fig8 {
+        miners_flashbots: ProfitStats::from_wei(&m_fb),
+        miners_non_flashbots: ProfitStats::from_wei(&m_non),
+        searchers_flashbots: ProfitStats::from_wei(&s_fb),
+        searchers_non_flashbots: ProfitStats::from_wei(&s_non),
+    }
+}
+
+/// §5.2: unprofitable Flashbots extractions of a kind.
+pub fn negative_profit_report(dataset: &MevDataset, kind: MevKind) -> (usize, usize, f64) {
+    let all: Vec<&Detection> =
+        dataset.of_kind(kind).filter(|d| d.via_flashbots).collect();
+    let negative: Vec<_> = all.iter().filter(|d| d.profit_wei < 0).collect();
+    let total_loss: f64 = negative.iter().map(|d| -d.profit_eth()).sum();
+    (negative.len(), all.len(), total_loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_dex::PriceOracle;
+    use mev_types::Address;
+
+    const E18: i128 = 10i128.pow(18);
+
+    fn det(profit: i128, miner_rev: u128, fb: bool, extractor: u64) -> Detection {
+        Detection {
+            kind: MevKind::Sandwich,
+            block: 1,
+            extractor: Address::from_index(extractor),
+            tx_hashes: vec![],
+            victim: None,
+            gross_wei: profit + E18 / 10,
+            costs_wei: (E18 / 10) as u128,
+            profit_wei: profit,
+            miner_revenue_wei: miner_rev,
+            via_flashbots: fb,
+            via_flash_loan: false,
+            miner: Address::from_index(9),
+        }
+    }
+
+    fn dataset(detections: Vec<Detection>) -> MevDataset {
+        MevDataset { detections, prices: PriceOracle::new() }
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = ProfitStats::from_wei(&[E18, 2 * E18, 3 * E18, -E18]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean_eth - 1.25).abs() < 1e-9);
+        assert_eq!(s.negative_count, 1);
+        assert!((s.negative_total_eth - 1.0).abs() < 1e-9);
+        assert!(s.std_eth > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ProfitStats::from_wei(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_eth, 0.0);
+    }
+
+    #[test]
+    fn fig8_partitions_by_venue_and_affiliation() {
+        let ds = dataset(vec![
+            det(E18 / 50, (E18 / 8) as u128, true, 1),   // FB searcher
+            det(E18 / 8, (E18 / 50) as u128, false, 2),  // public searcher
+            det(E18, (E18 / 50) as u128, false, 99),     // miner-affiliated: excluded from searchers
+        ]);
+        let f = fig8(&ds, &|a| a == Address::from_index(99));
+        assert_eq!(f.searchers_flashbots.count, 1);
+        assert_eq!(f.searchers_non_flashbots.count, 1);
+        assert_eq!(f.miners_flashbots.count, 1);
+        assert_eq!(f.miners_non_flashbots.count, 2, "miner revenue counts all sandwiches");
+        assert!(f.miners_flashbots.mean_eth > f.miners_non_flashbots.mean_eth);
+        assert!(f.searchers_flashbots.mean_eth < f.searchers_non_flashbots.mean_eth);
+    }
+
+    #[test]
+    fn negative_profit_report_counts_fb_only() {
+        let ds = dataset(vec![
+            det(-E18 / 2, 0, true, 1),
+            det(E18, 0, true, 1),
+            det(-E18, 0, false, 2), // public loss: not in the §5.2 number
+        ]);
+        let (neg, total, loss) = negative_profit_report(&ds, MevKind::Sandwich);
+        assert_eq!(neg, 1);
+        assert_eq!(total, 2);
+        assert!((loss - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Detector validation against generator ground truth.
+//!
+//! The simulation labels each transaction with the intent of the agent
+//! that created it ([`GroundTruth`]). The detectors never read these
+//! labels — this module exists so test suites and ablation studies can
+//! score detector precision/recall against them, the evaluation a
+//! real-world measurement study cannot run (mainnet has no ground truth,
+//! which is exactly why heuristic validation matters here).
+
+use crate::dataset::{MevDataset, MevKind};
+use mev_chain::ChainStore;
+use mev_types::{GroundTruth, TxHash};
+use std::collections::HashSet;
+
+/// Index of ground-truth labels over mined, successful transactions.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruthIndex {
+    pub sandwich_fronts: HashSet<TxHash>,
+    pub sandwich_backs: HashSet<TxHash>,
+    pub arbitrages: HashSet<TxHash>,
+    pub liquidations: HashSet<TxHash>,
+    pub ordinary_trades: HashSet<TxHash>,
+}
+
+impl GroundTruthIndex {
+    /// Build from every successful transaction on the chain.
+    pub fn from_chain(chain: &ChainStore) -> GroundTruthIndex {
+        let mut idx = GroundTruthIndex::default();
+        for (block, receipts) in chain.iter() {
+            for (tx, r) in block.transactions.iter().zip(receipts) {
+                if !r.outcome.is_success() {
+                    continue;
+                }
+                let h = tx.hash();
+                match tx.ground_truth {
+                    Some(GroundTruth::SandwichFront) => {
+                        idx.sandwich_fronts.insert(h);
+                    }
+                    Some(GroundTruth::SandwichBack) => {
+                        idx.sandwich_backs.insert(h);
+                    }
+                    Some(GroundTruth::Arbitrage) => {
+                        idx.arbitrages.insert(h);
+                    }
+                    Some(GroundTruth::Liquidation) => {
+                        idx.liquidations.insert(h);
+                    }
+                    Some(GroundTruth::OrdinaryTrade) => {
+                        idx.ordinary_trades.insert(h);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        idx
+    }
+
+    /// The planted positives for a detector kind.
+    fn truth_for(&self, kind: MevKind) -> &HashSet<TxHash> {
+        match kind {
+            MevKind::Sandwich => &self.sandwich_fronts,
+            MevKind::Arbitrage => &self.arbitrages,
+            MevKind::Liquidation => &self.liquidations,
+        }
+    }
+}
+
+/// Precision/recall scores for one detector.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DetectorScore {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    /// Planted positives that went undetected. For sandwiches this counts
+    /// mined fronts whose full pattern may not have completed — an upper
+    /// bound on real misses.
+    pub undetected: usize,
+}
+
+impl DetectorScore {
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.undetected;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Score one detector against the index. A detection is a true positive
+/// when its first transaction carries the kind's ground-truth label.
+pub fn score(dataset: &MevDataset, index: &GroundTruthIndex, kind: MevKind) -> DetectorScore {
+    let truth = index.truth_for(kind);
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut detected: HashSet<TxHash> = HashSet::new();
+    for d in dataset.of_kind(kind) {
+        let anchor = d.tx_hashes[0];
+        if truth.contains(&anchor) {
+            tp += 1;
+            detected.insert(anchor);
+        } else {
+            fp += 1;
+        }
+    }
+    let undetected = truth.iter().filter(|h| !detected.contains(h)).count();
+    DetectorScore { true_positives: tp, false_positives: fp, undetected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Detection;
+    use mev_dex::PriceOracle;
+    use mev_types::{Address, H256};
+
+    fn hash(i: u64) -> TxHash {
+        let mut b = [0u8; 32];
+        b[..8].copy_from_slice(&i.to_be_bytes());
+        H256(b)
+    }
+
+    fn det(kind: MevKind, anchor: TxHash) -> Detection {
+        Detection {
+            kind,
+            block: 10_000_000,
+            extractor: Address::from_index(1),
+            tx_hashes: vec![anchor],
+            victim: None,
+            gross_wei: 0,
+            costs_wei: 0,
+            profit_wei: 0,
+            miner_revenue_wei: 0,
+            via_flashbots: false,
+            via_flash_loan: false,
+            miner: Address::from_index(9),
+        }
+    }
+
+    #[test]
+    fn scoring_counts_tp_fp_and_misses() {
+        let mut idx = GroundTruthIndex::default();
+        idx.arbitrages.extend([hash(1), hash(2), hash(3)]);
+        let ds = MevDataset {
+            detections: vec![
+                det(MevKind::Arbitrage, hash(1)), // tp
+                det(MevKind::Arbitrage, hash(2)), // tp
+                det(MevKind::Arbitrage, hash(9)), // fp
+            ],
+            prices: PriceOracle::new(),
+        };
+        let s = score(&ds, &idx, MevKind::Arbitrage);
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.undetected, 1);
+        assert!((s.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.recall() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_everything_scores_perfect() {
+        let idx = GroundTruthIndex::default();
+        let ds = MevDataset { detections: vec![], prices: PriceOracle::new() };
+        let s = score(&ds, &idx, MevKind::Sandwich);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+}

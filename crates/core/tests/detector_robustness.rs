@@ -1,0 +1,169 @@
+//! Fuzz-style robustness: the detectors must never panic or emit
+//! malformed detections on arbitrary (even nonsensical) blocks of events,
+//! and their core invariants must hold on whatever they do emit.
+
+use mev_core::{MevDataset, MevKind};
+
+use mev_flashbots::BlocksApi;
+use mev_types::{
+    gwei, Action, Address, Block, BlockHeader, ExchangeId, ExecOutcome, Gas, LendingPlatformId,
+    Log, LogEvent, PoolId, Receipt, Timeline, TokenId, Transaction, TxFee, Wei, H256,
+};
+use proptest::prelude::*;
+
+const E18: u128 = 10u128.pow(18);
+
+/// Random event generator covering every log family with arbitrary field
+/// values (amounts up to absurd sizes, arbitrary senders/pools/tokens).
+fn event_strategy() -> impl Strategy<Value = LogEvent> {
+    let addr = (0u64..20).prop_map(Address::from_index);
+    let token = (0u32..4).prop_map(TokenId);
+    let pool = (0u8..4, 0u32..3).prop_map(|(e, i)| PoolId {
+        exchange: match e {
+            0 => ExchangeId::UniswapV2,
+            1 => ExchangeId::SushiSwap,
+            2 => ExchangeId::Curve,
+            _ => ExchangeId::UniswapV1,
+        },
+        index: i,
+    });
+    let amount = 0u128..10u128.pow(30);
+    prop_oneof![
+        (token.clone(), addr.clone(), addr.clone(), amount.clone()).prop_map(
+            |(token, from, to, amount)| LogEvent::Transfer { token, from, to, amount }
+        ),
+        (pool, addr.clone(), token.clone(), amount.clone(), token.clone(), amount.clone()).prop_map(
+            |(pool, sender, token_in, amount_in, token_out, amount_out)| LogEvent::Swap {
+                pool,
+                sender,
+                token_in,
+                amount_in,
+                token_out,
+                amount_out
+            }
+        ),
+        (addr.clone(), addr.clone(), token.clone(), amount.clone(), token.clone(), amount.clone())
+            .prop_map(|(liquidator, borrower, debt_token, debt_repaid, collateral_token, collateral_seized)| {
+                LogEvent::Liquidation {
+                    platform: LendingPlatformId::AaveV2,
+                    liquidator,
+                    borrower,
+                    debt_token,
+                    debt_repaid,
+                    collateral_token,
+                    collateral_seized,
+                }
+            }),
+        (addr, token.clone(), amount.clone()).prop_map(|(initiator, token, amount)| {
+            LogEvent::FlashLoan {
+                platform: LendingPlatformId::DyDx,
+                initiator,
+                token,
+                amount,
+                fee: amount / 1_000,
+            }
+        }),
+        (token, amount).prop_map(|(token, price_wei)| LogEvent::OracleUpdate { token, price_wei }),
+    ]
+}
+
+fn chain_from_events(blocks: Vec<Vec<(u64, Vec<LogEvent>, bool)>>) -> mev_chain::ChainStore {
+    let tl = Timeline::paper_span(100);
+    let mut store = mev_chain::ChainStore::new(tl.clone());
+    for (i, block_events) in blocks.into_iter().enumerate() {
+        let number = tl.genesis_number + i as u64;
+        let mut txs = Vec::new();
+        let mut receipts = Vec::new();
+        for (j, (from, events, success)) in block_events.into_iter().enumerate() {
+            let t = Transaction::new(
+                Address::from_index(from),
+                (number * 1_000 + j as u64) % 7, // deliberately weird nonces
+                TxFee::Legacy { gas_price: gwei(1 + j as u128) },
+                Gas(150_000),
+                Action::Other { gas: Gas(150_000) },
+                Wei::ZERO,
+                None,
+            );
+            receipts.push(Receipt {
+                tx_hash: t.hash(),
+                index: j as u32,
+                from: t.from,
+                outcome: if success { ExecOutcome::Success } else { ExecOutcome::Reverted },
+                gas_used: Gas(150_000),
+                effective_gas_price: gwei(1 + j as u128),
+                miner_fee: Gas(150_000).cost(gwei(1)),
+                coinbase_transfer: Wei(j as u128 * E18 / 100),
+                logs: events.into_iter().map(|e| Log::new(Address::from_index(500), e)).collect(),
+            });
+            txs.push(t);
+        }
+        let header = BlockHeader {
+            number,
+            parent_hash: H256::zero(),
+            miner: Address::from_index(900 + (number % 3)),
+            timestamp: tl.timestamp_of(number),
+            gas_used: Gas(150_000),
+            gas_limit: Gas(30_000_000),
+            base_fee: Wei::ZERO,
+        };
+        store.push(Block { header, transactions: txs }, receipts);
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn detectors_never_panic_and_emit_wellformed_detections(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..20, proptest::collection::vec(event_strategy(), 0..5), any::<bool>()),
+                0..8,
+            ),
+            1..6,
+        )
+    ) {
+        let chain = chain_from_events(blocks);
+        let ds = MevDataset::inspect(&chain, &BlocksApi::new());
+        for d in &ds.detections {
+            // Structural invariants on whatever came out.
+            prop_assert_eq!(d.profit_wei, d.gross_wei - d.costs_wei as i128);
+            prop_assert!(!d.tx_hashes.is_empty());
+            match d.kind {
+                MevKind::Sandwich => {
+                    prop_assert_eq!(d.tx_hashes.len(), 2);
+                    prop_assert!(d.victim.is_some());
+                }
+                _ => prop_assert_eq!(d.tx_hashes.len(), 1),
+            }
+            prop_assert!(!d.via_flashbots, "empty API can never label FB");
+            prop_assert!(chain.block(d.block).is_some());
+        }
+        // Serial and parallel inspection agree exactly.
+        let par = MevDataset::inspect_parallel(&chain, &BlocksApi::new());
+        prop_assert_eq!(par.detections, ds.detections);
+    }
+
+    #[test]
+    fn arbitrage_detections_are_asset_positive(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..20, proptest::collection::vec(event_strategy(), 0..6), any::<bool>()),
+                0..8,
+            ),
+            1..4,
+        )
+    ) {
+        let chain = chain_from_events(blocks);
+        let ds = MevDataset::inspect(&chain, &BlocksApi::new());
+        for d in ds.of_kind(MevKind::Arbitrage) {
+            // The Qin heuristic requires asset-positive cycles: the raw
+            // start-token delta is positive by construction, so the wei
+            // gross can only be non-positive when the price feed is absent.
+            let receipts = chain.receipts(d.block).expect("present");
+            let r = receipts.iter().find(|r| r.tx_hash == d.tx_hashes[0]).expect("receipt");
+            prop_assert!(r.outcome.is_success(), "only successful txs detected");
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Pool pricing engines — one per DEX protocol family.
+
+use crate::math;
+
+/// Why a swap could not be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// Input token is not one of the pool's pair.
+    WrongToken,
+    /// Zero input or drained reserves.
+    NoLiquidity,
+    /// Quote fell below the caller's `min_amount_out` slippage guard.
+    Slippage { quoted: u128, minimum: u128 },
+    /// Order-book depth exhausted.
+    InsufficientDepth,
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::WrongToken => write!(f, "token not in pool"),
+            SwapError::NoLiquidity => write!(f, "no liquidity"),
+            SwapError::Slippage { quoted, minimum } => {
+                write!(f, "slippage: quoted {quoted} < min {minimum}")
+            }
+            SwapError::InsufficientDepth => write!(f, "order book depth exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// A pool's pricing engine. Direction is expressed as `zero_for_one`:
+/// `true` trades token0 → token1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Engine {
+    /// Uniswap V1/V2, SushiSwap, Bancor: x·y = k with an LP fee.
+    /// `concentration > 1` approximates Uniswap V3's concentrated liquidity
+    /// by quoting against virtual reserves `c·R` (lower price impact) while
+    /// settling against real reserves.
+    ConstantProduct { reserve0: u128, reserve1: u128, fee_bps: u32, concentration: u32 },
+    /// Curve: StableSwap invariant with amplification `amp`.
+    StableSwap { reserve0: u128, reserve1: u128, amp: u64, fee_bps: u32 },
+    /// Balancer: weighted product invariant; `weight0_bps + weight1_bps = 10000`.
+    Weighted { balance0: u128, balance1: u128, weight0_bps: u32, fee_bps: u32 },
+    /// 0x-style order book: quotes around `mid_price_e18` (token1 per token0,
+    /// scaled 1e18) with a half-spread and finite depth per side.
+    OrderBook { mid_price_e18: u128, half_spread_bps: u32, depth0: u128, depth1: u128 },
+}
+
+impl Engine {
+    /// Quote the output for `amount_in` without mutating state.
+    pub fn quote(&self, zero_for_one: bool, amount_in: u128) -> Result<u128, SwapError> {
+        match *self {
+            Engine::ConstantProduct { reserve0, reserve1, fee_bps, concentration } => {
+                let c = concentration.max(1) as u128;
+                let (rin, rout, real_out) = if zero_for_one {
+                    (reserve0 * c, reserve1 * c, reserve1)
+                } else {
+                    (reserve1 * c, reserve0 * c, reserve0)
+                };
+                let out =
+                    math::cp_amount_out(amount_in, rin, rout, fee_bps).ok_or(SwapError::NoLiquidity)?;
+                if out >= real_out {
+                    return Err(SwapError::NoLiquidity);
+                }
+                Ok(out)
+            }
+            Engine::StableSwap { reserve0, reserve1, amp, fee_bps } => {
+                if amount_in == 0 || reserve0 == 0 || reserve1 == 0 {
+                    return Err(SwapError::NoLiquidity);
+                }
+                let (x, y) = if zero_for_one { (reserve0, reserve1) } else { (reserve1, reserve0) };
+                let d = math::stableswap_d(x, y, amp);
+                let y_new = math::stableswap_y(x + amount_in, d, amp);
+                let gross = y.saturating_sub(y_new);
+                let out = gross.saturating_sub(gross * fee_bps as u128 / math::BPS as u128);
+                if out == 0 || out >= y {
+                    return Err(SwapError::NoLiquidity);
+                }
+                Ok(out)
+            }
+            Engine::Weighted { balance0, balance1, weight0_bps, fee_bps } => {
+                let (bin, bout, win, wout) = if zero_for_one {
+                    (balance0, balance1, weight0_bps, math::BPS - weight0_bps)
+                } else {
+                    (balance1, balance0, math::BPS - weight0_bps, weight0_bps)
+                };
+                math::weighted_amount_out(amount_in, bin, bout, win, wout, fee_bps)
+                    .ok_or(SwapError::NoLiquidity)
+            }
+            Engine::OrderBook { mid_price_e18, half_spread_bps, depth0, depth1 } => {
+                if amount_in == 0 || mid_price_e18 == 0 {
+                    return Err(SwapError::NoLiquidity);
+                }
+                let e18 = 10u128.pow(18);
+                // Taker crosses the spread: selling token0 receives
+                // mid·(1−s); selling token1 receives 1/(mid·(1+s)).
+                let (out, depth) = if zero_for_one {
+                    let px = mid_price_e18 * (math::BPS - half_spread_bps) as u128 / math::BPS as u128;
+                    (
+                        mev_types::U256::from(amount_in).mul_u128(px).div_u128(e18).as_u128(),
+                        depth1,
+                    )
+                } else {
+                    let px = mid_price_e18 * (math::BPS + half_spread_bps) as u128 / math::BPS as u128;
+                    (
+                        mev_types::U256::from(amount_in).mul_u128(e18).div_u128(px).as_u128(),
+                        depth0,
+                    )
+                };
+                if out == 0 {
+                    return Err(SwapError::NoLiquidity);
+                }
+                if out > depth {
+                    return Err(SwapError::InsufficientDepth);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Execute the swap, mutating reserves. Returns the output amount.
+    pub fn swap(
+        &mut self,
+        zero_for_one: bool,
+        amount_in: u128,
+        min_amount_out: u128,
+    ) -> Result<u128, SwapError> {
+        let out = self.quote(zero_for_one, amount_in)?;
+        if out < min_amount_out {
+            return Err(SwapError::Slippage { quoted: out, minimum: min_amount_out });
+        }
+        match self {
+            Engine::ConstantProduct { reserve0, reserve1, .. }
+            | Engine::StableSwap { reserve0, reserve1, .. } => {
+                if zero_for_one {
+                    *reserve0 += amount_in;
+                    *reserve1 -= out;
+                } else {
+                    *reserve1 += amount_in;
+                    *reserve0 -= out;
+                }
+            }
+            Engine::Weighted { balance0, balance1, .. } => {
+                if zero_for_one {
+                    *balance0 += amount_in;
+                    *balance1 -= out;
+                } else {
+                    *balance1 += amount_in;
+                    *balance0 -= out;
+                }
+            }
+            Engine::OrderBook { depth0, depth1, .. } => {
+                // Maker inventory: taker consumes one side, replenishes the other.
+                if zero_for_one {
+                    *depth1 -= out;
+                    *depth0 += amount_in;
+                } else {
+                    *depth0 -= out;
+                    *depth1 += amount_in;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Spot price of token1 in token0 units scaled 1e18 (mid price,
+    /// fee-exclusive). Used by arbitrage scanners.
+    pub fn spot_price_e18(&self) -> Option<u128> {
+        match *self {
+            Engine::ConstantProduct { reserve0, reserve1, .. }
+            | Engine::StableSwap { reserve0, reserve1, .. } => {
+                // token1 per token0 = reserve1 / reserve0.
+                math::cp_spot_price_e18(reserve1, reserve0)
+            }
+            Engine::Weighted { balance0, balance1, weight0_bps, .. } => {
+                // price1per0 = (b1/w1) / (b0/w0)
+                let w0 = weight0_bps as u128;
+                let w1 = (math::BPS - weight0_bps) as u128;
+                if balance0 == 0 || w1 == 0 {
+                    return None;
+                }
+                mev_types::U256::from(balance1)
+                    .mul_u128(w0)
+                    .mul_u128(10u128.pow(18))
+                    .div_u128(balance0 * w1)
+                    .checked_u128()
+            }
+            Engine::OrderBook { mid_price_e18, .. } => Some(mid_price_e18),
+        }
+    }
+
+    /// Reserve of the given side (0 or 1).
+    pub fn reserve(&self, side: u8) -> u128 {
+        match *self {
+            Engine::ConstantProduct { reserve0, reserve1, .. }
+            | Engine::StableSwap { reserve0, reserve1, .. } => {
+                if side == 0 {
+                    reserve0
+                } else {
+                    reserve1
+                }
+            }
+            Engine::Weighted { balance0, balance1, .. } => {
+                if side == 0 {
+                    balance0
+                } else {
+                    balance1
+                }
+            }
+            Engine::OrderBook { depth0, depth1, .. } => {
+                if side == 0 {
+                    depth0
+                } else {
+                    depth1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const E18: u128 = 10u128.pow(18);
+
+    fn cp(r0: u128, r1: u128) -> Engine {
+        Engine::ConstantProduct { reserve0: r0, reserve1: r1, fee_bps: 30, concentration: 1 }
+    }
+
+    #[test]
+    fn cp_swap_updates_reserves() {
+        let mut e = cp(1_000 * E18, 1_000 * E18);
+        let out = e.swap(true, 10 * E18, 0).unwrap();
+        assert!(out > 0 && out < 10 * E18);
+        assert_eq!(e.reserve(0), 1_010 * E18);
+        assert_eq!(e.reserve(1), 1_000 * E18 - out);
+    }
+
+    #[test]
+    fn slippage_guard_enforced() {
+        let mut e = cp(1_000 * E18, 1_000 * E18);
+        let quoted = e.quote(true, 10 * E18).unwrap();
+        let err = e.swap(true, 10 * E18, quoted + 1).unwrap_err();
+        assert!(matches!(err, SwapError::Slippage { .. }));
+        // Reserves untouched on failure.
+        assert_eq!(e.reserve(0), 1_000 * E18);
+    }
+
+    #[test]
+    fn concentration_lowers_impact() {
+        let v2 = cp(1_000 * E18, 1_000 * E18);
+        let v3 = Engine::ConstantProduct {
+            reserve0: 1_000 * E18,
+            reserve1: 1_000 * E18,
+            fee_bps: 30,
+            concentration: 8,
+        };
+        let big = 100 * E18;
+        assert!(v3.quote(true, big).unwrap() > v2.quote(true, big).unwrap());
+    }
+
+    #[test]
+    fn concentration_cannot_overdraw_real_reserve() {
+        let v3 = Engine::ConstantProduct {
+            reserve0: 10 * E18,
+            reserve1: 10 * E18,
+            fee_bps: 30,
+            concentration: 100,
+        };
+        // A huge trade quoted on virtual reserves would exceed real ones.
+        assert_eq!(v3.quote(true, 1_000 * E18), Err(SwapError::NoLiquidity));
+    }
+
+    #[test]
+    fn stableswap_swap_and_back() {
+        let mut e = Engine::StableSwap {
+            reserve0: 1_000_000 * E18,
+            reserve1: 1_000_000 * E18,
+            amp: 100,
+            fee_bps: 4,
+        };
+        let out = e.swap(true, 10_000 * E18, 0).unwrap();
+        // Near 1:1 for a stable pair.
+        assert!(out > 9_900 * E18 && out < 10_000 * E18);
+    }
+
+    #[test]
+    fn orderbook_quotes_cross_spread() {
+        let e = Engine::OrderBook {
+            mid_price_e18: 2 * E18, // token1 per token0
+            half_spread_bps: 50,
+            depth0: 1_000 * E18,
+            depth1: 1_000 * E18,
+        };
+        let sell0 = e.quote(true, 10 * E18).unwrap();
+        assert_eq!(sell0, 10 * E18 * 2 * 9950 / 10_000);
+        let sell1 = e.quote(false, 10 * E18).unwrap();
+        // 10 token1 at price 2·1.005 ⇒ ~4.975 token0.
+        assert!(sell1 < 5 * E18 && sell1 > 49 * E18 / 10);
+    }
+
+    #[test]
+    fn orderbook_depth_exhaustion() {
+        let e = Engine::OrderBook {
+            mid_price_e18: E18,
+            half_spread_bps: 10,
+            depth0: E18,
+            depth1: E18,
+        };
+        assert_eq!(e.quote(true, 100 * E18), Err(SwapError::InsufficientDepth));
+    }
+
+    #[test]
+    fn spot_prices() {
+        assert_eq!(cp(10 * E18, 20 * E18).spot_price_e18().unwrap(), 2 * E18);
+        let w = Engine::Weighted {
+            balance0: 10 * E18,
+            balance1: 20 * E18,
+            weight0_bps: 5000,
+            fee_bps: 30,
+        };
+        assert_eq!(w.spot_price_e18().unwrap(), 2 * E18);
+        // 80/20 pool: price1per0 = (b1·w0)/(b0·w1) = 20·0.8/(10·0.2) = 8.
+        let w82 = Engine::Weighted {
+            balance0: 10 * E18,
+            balance1: 20 * E18,
+            weight0_bps: 8000,
+            fee_bps: 30,
+        };
+        assert_eq!(w82.spot_price_e18().unwrap(), 8 * E18);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Every engine's executed swap equals its quote, and reserves move
+        /// by exactly (in, −out).
+        #[test]
+        fn prop_swap_matches_quote(
+            r0 in 10u128.pow(20)..=10u128.pow(26),
+            r1 in 10u128.pow(20)..=10u128.pow(26),
+            input in 10u128.pow(15)..=10u128.pow(23),
+            dir in any::<bool>(),
+        ) {
+            for mut e in [
+                cp(r0, r1),
+                Engine::StableSwap { reserve0: r0, reserve1: r1, amp: 100, fee_bps: 4 },
+                Engine::Weighted { balance0: r0, balance1: r1, weight0_bps: 5000, fee_bps: 30 },
+            ] {
+                let q = e.quote(dir, input);
+                let (b0, b1) = (e.reserve(0), e.reserve(1));
+                match (q, e.swap(dir, input, 0)) {
+                    (Ok(q), Ok(s)) => {
+                        prop_assert_eq!(q, s);
+                        let (a0, a1) = (e.reserve(0), e.reserve(1));
+                        if dir {
+                            prop_assert_eq!(a0, b0 + input);
+                            prop_assert_eq!(a1, b1 - s);
+                        } else {
+                            prop_assert_eq!(a1, b1 + input);
+                            prop_assert_eq!(a0, b0 - s);
+                        }
+                    }
+                    (Err(qe), Err(se)) => prop_assert_eq!(qe, se),
+                    (q, s) => prop_assert!(false, "quote {:?} vs swap {:?}", q, s),
+                }
+            }
+        }
+    }
+}

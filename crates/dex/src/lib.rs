@@ -1,0 +1,23 @@
+//! # mev-dex
+//!
+//! From-scratch implementations of the decentralized-exchange protocols the
+//! paper's detectors cover (§3.1): constant-product AMMs (Uniswap V1/V2,
+//! SushiSwap), a concentrated-liquidity approximation (Uniswap V3), a
+//! StableSwap pool (Curve), a weighted pool (Balancer), a Bancor-style
+//! converter, and a 0x-style order book.
+//!
+//! Pools are pure pricing engines: they own their reserves and expose
+//! `quote` / `swap`. User token balances live in `mev-chain`'s state; the
+//! execution engine moves balances and emits the `Swap` and `Transfer`
+//! events that `mev-core`'s detectors consume.
+
+pub mod engine;
+pub mod math;
+pub mod oracle;
+pub mod pool;
+pub mod registry;
+
+pub use engine::{Engine, SwapError};
+pub use oracle::PriceOracle;
+pub use pool::{DexState, Pool};
+pub use registry::TokenRegistry;

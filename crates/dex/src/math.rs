@@ -1,0 +1,301 @@
+//! Shared AMM math: constant-product quoting and StableSwap invariants,
+//! all overflow-free via 256-bit intermediates.
+
+use mev_types::U256;
+
+/// Basis-point denominator.
+pub const BPS: u32 = 10_000;
+
+/// Constant-product output amount with an LP fee in basis points:
+/// `out = (in·(1-fee)·R_out) / (R_in + in·(1-fee))`.
+///
+/// Returns `None` on zero reserves or zero input.
+pub fn cp_amount_out(amount_in: u128, reserve_in: u128, reserve_out: u128, fee_bps: u32) -> Option<u128> {
+    if amount_in == 0 || reserve_in == 0 || reserve_out == 0 {
+        return None;
+    }
+    debug_assert!(fee_bps < BPS);
+    let in_with_fee = U256::from(amount_in).mul_u128((BPS - fee_bps) as u128);
+    let numerator = {
+        // in_with_fee * reserve_out — may exceed 256 bits for absurd inputs;
+        // reserves in this simulation stay ≤ 2^100 so this is safe.
+        in_with_fee.mul_u128(reserve_out)
+    };
+    let denominator = U256::from(reserve_in)
+        .mul_u128(BPS as u128)
+        .add(in_with_fee);
+    let (q, _) = numerator.div(denominator);
+    q.checked_u128()
+}
+
+/// Constant-product *input* required to receive `amount_out`:
+/// the inverse of [`cp_amount_out`], rounded up.
+pub fn cp_amount_in(amount_out: u128, reserve_in: u128, reserve_out: u128, fee_bps: u32) -> Option<u128> {
+    if amount_out == 0 || reserve_in == 0 || amount_out >= reserve_out {
+        return None;
+    }
+    let numerator = U256::from(reserve_in).mul_u128(amount_out).mul_u128(BPS as u128);
+    let denominator =
+        U256::from(reserve_out - amount_out).mul_u128((BPS - fee_bps) as u128);
+    let (q, r) = numerator.div(denominator);
+    let mut v = q.checked_u128()?;
+    if r != U256::ZERO {
+        v = v.checked_add(1)?;
+    }
+    Some(v)
+}
+
+/// Spot price of the output token in input-token units, scaled by 1e18:
+/// `price = R_in·1e18 / R_out` (how much input one unit of output costs,
+/// ignoring fees and slippage).
+pub fn cp_spot_price_e18(reserve_in: u128, reserve_out: u128) -> Option<u128> {
+    if reserve_out == 0 {
+        return None;
+    }
+    U256::from(reserve_in).mul_u128(10u128.pow(18)).div_u128(reserve_out).checked_u128()
+}
+
+/// StableSwap invariant `D` for a 2-coin pool with amplification `amp`
+/// (already multiplied by n^(n-1) as in Curve's `Ann` convention is *not*
+/// applied here — pass the raw A; we compute Ann = A·n^n internally).
+///
+/// Newton iteration: converges in < 64 rounds for realistic balances.
+pub fn stableswap_d(x: u128, y: u128, amp: u64) -> u128 {
+    let n: u128 = 2;
+    let ann: u128 = amp as u128 * n * n;
+    let s = x.checked_add(y).expect("stableswap balance overflow");
+    if s == 0 {
+        return 0;
+    }
+    let mut d = s;
+    for _ in 0..64 {
+        // d_p = d^3 / (n^n · x · y)
+        let d_p = U256::from(d)
+            .mul_u128(d)
+            .div_u128(x.max(1) * n)
+            .mul_u128(d)
+            .div_u128(y.max(1) * n)
+            .as_u128();
+        let d_prev = d;
+        // d = (ann·s + n·d_p) · d / ((ann-1)·d + (n+1)·d_p)
+        let num = U256::from(ann * s + n * d_p).mul_u128(d);
+        let den = (ann - 1) * d + (n + 1) * d_p;
+        d = num.div_u128(den).as_u128();
+        if d.abs_diff(d_prev) <= 1 {
+            break;
+        }
+    }
+    d
+}
+
+/// Given new balance `x_new` of the input coin, solve for the output-coin
+/// balance `y` that preserves the StableSwap invariant `d`.
+pub fn stableswap_y(x_new: u128, d: u128, amp: u64) -> u128 {
+    let n: u128 = 2;
+    let ann: u128 = amp as u128 * n * n;
+    // c = d^3 / (n^2 · x_new · ann)  (2-coin specialisation).
+    // Kept as U256: for large D and small x_new it exceeds u128.
+    let c = U256::from(d)
+        .mul_u128(d)
+        .div_u128(x_new.max(1) * n)
+        .mul_u128(d)
+        .div_u128(ann * n);
+    let b = x_new + d / ann; // b - d is the linear term
+    let mut y = d;
+    for _ in 0..64 {
+        let y_prev = y;
+        // y = (y² + c) / (2y + b − d); the denominator stays positive while
+        // converging from above but is clamped defensively.
+        let num = U256::from(y).mul_u128(y).add(c);
+        let den = (2 * y + b).saturating_sub(d).max(1);
+        y = num.div_u128(den).as_u128();
+        if y.abs_diff(y_prev) <= 1 {
+            break;
+        }
+    }
+    y
+}
+
+/// Weighted-pool (Balancer) output:
+/// `out = B_out · (1 − (B_in / (B_in + in·(1−fee)))^(w_in/w_out))`.
+///
+/// Uses `f64` for the fractional power — deterministic under IEEE-754 and
+/// accurate to ~1e-12 relative, far below LP-fee magnitude.
+pub fn weighted_amount_out(
+    amount_in: u128,
+    balance_in: u128,
+    balance_out: u128,
+    weight_in_bps: u32,
+    weight_out_bps: u32,
+    fee_bps: u32,
+) -> Option<u128> {
+    if amount_in == 0 || balance_in == 0 || balance_out == 0 || weight_out_bps == 0 {
+        return None;
+    }
+    let in_fee = amount_in as f64 * (BPS - fee_bps) as f64 / BPS as f64;
+    let base = balance_in as f64 / (balance_in as f64 + in_fee);
+    let exp = weight_in_bps as f64 / weight_out_bps as f64;
+    let out = balance_out as f64 * (1.0 - base.powf(exp));
+    if !out.is_finite() || out < 0.0 {
+        return None;
+    }
+    let out = out as u128;
+    (out < balance_out).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const E18: u128 = 10u128.pow(18);
+
+    #[test]
+    fn cp_small_trade_near_spot() {
+        // Balanced pool, tiny trade: out ≈ in minus fee.
+        let out = cp_amount_out(E18, 1_000_000 * E18, 1_000_000 * E18, 30).unwrap();
+        let expected = E18 * 9970 / 10_000;
+        assert!(out.abs_diff(expected) < E18 / 1000, "out={out} expected≈{expected}");
+    }
+
+    #[test]
+    fn cp_round_trip_never_profits() {
+        let (r0, r1) = (500_000 * E18, 2_000_000 * E18);
+        let input = 10_000 * E18;
+        let got = cp_amount_out(input, r0, r1, 30).unwrap();
+        // Swap back on the updated reserves.
+        let back = cp_amount_out(got, r1 - got, r0 + input, 30).unwrap();
+        assert!(back < input, "round trip must lose to fees+impact");
+    }
+
+    #[test]
+    fn cp_amount_in_inverts_amount_out() {
+        let (r0, r1) = (700_000 * E18, 300_000 * E18);
+        let want_out = 1234 * E18;
+        let need_in = cp_amount_in(want_out, r0, r1, 30).unwrap();
+        let got_out = cp_amount_out(need_in, r0, r1, 30).unwrap();
+        assert!(got_out >= want_out);
+        // And not grossly more (within rounding of one base unit input).
+        let less = cp_amount_out(need_in - 1, r0, r1, 30).unwrap();
+        assert!(less <= want_out);
+    }
+
+    #[test]
+    fn cp_edge_cases() {
+        assert_eq!(cp_amount_out(0, 100, 100, 30), None);
+        assert_eq!(cp_amount_out(10, 0, 100, 30), None);
+        assert_eq!(cp_amount_out(10, 100, 0, 30), None);
+        assert_eq!(cp_amount_in(100, 100, 100, 30), None); // out >= reserve
+        assert_eq!(cp_amount_in(0, 100, 100, 30), None);
+    }
+
+    #[test]
+    fn spot_price_balanced_pool_is_one() {
+        assert_eq!(cp_spot_price_e18(E18 * 5, E18 * 5).unwrap(), E18);
+        assert_eq!(cp_spot_price_e18(E18 * 10, E18 * 5).unwrap(), 2 * E18);
+    }
+
+    #[test]
+    fn stableswap_d_balanced() {
+        // Balanced pool: D = sum of balances.
+        let d = stableswap_d(1_000_000 * E18, 1_000_000 * E18, 100);
+        assert!(d.abs_diff(2_000_000 * E18) <= 2);
+    }
+
+    #[test]
+    fn stableswap_low_slippage_vs_cp() {
+        let (x, y) = (1_000_000 * E18, 1_000_000 * E18);
+        let amount = 100_000 * E18; // 10% of reserves
+        let d = stableswap_d(x, y, 200);
+        let y_new = stableswap_y(x + amount, d, 200);
+        let ss_out = y - y_new;
+        let cp_out = cp_amount_out(amount, x, y, 0).unwrap();
+        assert!(ss_out > cp_out, "stableswap should beat cp for like-priced assets");
+        assert!(ss_out < amount, "but can never give more than 1:1 when balanced");
+    }
+
+    #[test]
+    fn weighted_5050_matches_cp_shape() {
+        let out_w =
+            weighted_amount_out(1000 * E18, 1_000_000 * E18, 1_000_000 * E18, 5000, 5000, 30)
+                .unwrap();
+        let out_cp = cp_amount_out(1000 * E18, 1_000_000 * E18, 1_000_000 * E18, 30).unwrap();
+        // 50/50 weighted equals constant product (up to f64 rounding).
+        let diff = out_w.abs_diff(out_cp) as f64 / out_cp as f64;
+        assert!(diff < 1e-9, "relative diff {diff}");
+    }
+
+    #[test]
+    fn weighted_edge_cases() {
+        assert_eq!(weighted_amount_out(0, 100, 100, 5000, 5000, 30), None);
+        assert_eq!(weighted_amount_out(10, 0, 100, 5000, 5000, 30), None);
+        assert_eq!(weighted_amount_out(10, 100, 100, 5000, 0, 30), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// k = R_in·R_out never decreases across a fee-charging swap.
+        #[test]
+        fn prop_cp_k_never_decreases(
+            r0 in 1_000u128..=10u128.pow(30),
+            r1 in 1_000u128..=10u128.pow(30),
+            input in 1u128..=10u128.pow(28),
+        ) {
+            if let Some(out) = cp_amount_out(input, r0, r1, 30) {
+                prop_assert!(out < r1);
+                let k_before = U256::mul_u128_u128(r0, r1);
+                let k_after = U256::mul_u128_u128(r0 + input, r1 - out);
+                prop_assert!(k_after >= k_before);
+            }
+        }
+
+        /// Output is monotone in input.
+        #[test]
+        fn prop_cp_monotone(
+            r0 in 10u128.pow(6)..=10u128.pow(27),
+            r1 in 10u128.pow(6)..=10u128.pow(27),
+            a in 1u128..=10u128.pow(26),
+            b in 1u128..=10u128.pow(26),
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let out_lo = cp_amount_out(lo, r0, r1, 30).unwrap();
+            let out_hi = cp_amount_out(hi, r0, r1, 30).unwrap();
+            prop_assert!(out_lo <= out_hi);
+        }
+
+        /// StableSwap invariant is preserved (within Newton tolerance) by get_y.
+        #[test]
+        fn prop_stableswap_invariant_preserved(
+            x in 10u128.pow(20)..=10u128.pow(26),
+            y in 10u128.pow(20)..=10u128.pow(26),
+            dx in 10u128.pow(18)..=10u128.pow(24),
+            amp in 10u64..=500,
+        ) {
+            let d0 = stableswap_d(x, y, amp);
+            let y_new = stableswap_y(x + dx, d0, amp);
+            prop_assert!(y_new <= y, "input increases, output balance must not");
+            let d1 = stableswap_d(x + dx, y_new, amp);
+            // Tolerance: Newton converges to ±few parts in 1e9.
+            let tol = d0 / 1_000_000 + 10;
+            prop_assert!(d0.abs_diff(d1) <= tol, "D drift {} vs tol {}", d0.abs_diff(d1), tol);
+        }
+
+        /// Weighted pool never emits more than its out-balance and is
+        /// monotone in input.
+        #[test]
+        fn prop_weighted_bounded_monotone(
+            b0 in 10u128.pow(18)..=10u128.pow(27),
+            b1 in 10u128.pow(18)..=10u128.pow(27),
+            a in 1u128..=10u128.pow(25),
+            w in 2000u32..=8000,
+        ) {
+            if let Some(out) = weighted_amount_out(a, b0, b1, w, BPS - w, 30) {
+                prop_assert!(out < b1);
+                if let Some(out2) = weighted_amount_out(a * 2, b0, b1, w, BPS - w, 30) {
+                    prop_assert!(out2 + 1 >= out); // +1 for f64 rounding slack
+                }
+            }
+        }
+    }
+}

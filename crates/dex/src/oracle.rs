@@ -1,0 +1,115 @@
+//! Historical token→WETH price oracle.
+//!
+//! Plays two roles the paper fills with external services:
+//! 1. the CoinGecko API used to convert token-denominated profits into ETH
+//!    (§3.1.2, §3.1.3) — via [`PriceOracle::price_at`];
+//! 2. the on-chain price feeds lending platforms use for collateral health
+//!    (Chainlink-style) — via [`PriceOracle::price`].
+
+use mev_types::{TokenId, U256};
+use std::collections::{BTreeMap, HashMap};
+
+/// Price history per token: wei of WETH per one whole token (10¹⁸ base
+/// units), keyed by the block at which the price was posted.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct PriceOracle {
+    history: HashMap<TokenId, BTreeMap<u64, u128>>,
+}
+
+impl PriceOracle {
+    pub fn new() -> PriceOracle {
+        PriceOracle::default()
+    }
+
+    /// Post a new price observation at `block`.
+    pub fn update(&mut self, token: TokenId, block: u64, price_wei: u128) {
+        self.history.entry(token).or_default().insert(block, price_wei);
+    }
+
+    /// Latest price at or before `block`. WETH is always 1e18 by identity.
+    pub fn price_at(&self, token: TokenId, block: u64) -> Option<u128> {
+        if token.is_weth() {
+            return Some(10u128.pow(18));
+        }
+        self.history.get(&token)?.range(..=block).next_back().map(|(_, &p)| p)
+    }
+
+    /// Current (latest known) price.
+    pub fn price(&self, token: TokenId) -> Option<u128> {
+        if token.is_weth() {
+            return Some(10u128.pow(18));
+        }
+        self.history.get(&token)?.values().last().copied()
+    }
+
+    /// Convert a token amount (base units) to wei at the block's price.
+    pub fn to_wei_at(&self, token: TokenId, amount: u128, block: u64) -> Option<u128> {
+        let p = self.price_at(token, block)?;
+        U256::from(amount).mul_u128(p).div_u128(10u128.pow(18)).checked_u128()
+    }
+
+    /// Convert a token amount to wei at the current price.
+    pub fn to_wei(&self, token: TokenId, amount: u128) -> Option<u128> {
+        let p = self.price(token)?;
+        U256::from(amount).mul_u128(p).div_u128(10u128.pow(18)).checked_u128()
+    }
+
+    /// Tokens with at least one observation.
+    pub fn tokens(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.history.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E18: u128 = 10u128.pow(18);
+
+    #[test]
+    fn weth_is_identity() {
+        let o = PriceOracle::new();
+        assert_eq!(o.price(TokenId::WETH), Some(E18));
+        assert_eq!(o.price_at(TokenId::WETH, 0), Some(E18));
+        assert_eq!(o.to_wei(TokenId::WETH, 42 * E18), Some(42 * E18));
+    }
+
+    #[test]
+    fn unknown_token_is_none() {
+        let o = PriceOracle::new();
+        assert_eq!(o.price(TokenId(5)), None);
+        assert_eq!(o.to_wei(TokenId(5), E18), None);
+    }
+
+    #[test]
+    fn history_lookup_takes_latest_at_or_before() {
+        let mut o = PriceOracle::new();
+        o.update(TokenId(1), 100, 2 * E18);
+        o.update(TokenId(1), 200, 3 * E18);
+        assert_eq!(o.price_at(TokenId(1), 99), None);
+        assert_eq!(o.price_at(TokenId(1), 100), Some(2 * E18));
+        assert_eq!(o.price_at(TokenId(1), 150), Some(2 * E18));
+        assert_eq!(o.price_at(TokenId(1), 200), Some(3 * E18));
+        assert_eq!(o.price_at(TokenId(1), 9999), Some(3 * E18));
+        assert_eq!(o.price(TokenId(1)), Some(3 * E18));
+    }
+
+    #[test]
+    fn conversion_scales_by_price() {
+        let mut o = PriceOracle::new();
+        o.update(TokenId(1), 1, E18 / 2); // one token = 0.5 WETH
+        assert_eq!(o.to_wei_at(TokenId(1), 10 * E18, 5), Some(5 * E18));
+        // Half a token.
+        assert_eq!(o.to_wei_at(TokenId(1), E18 / 2, 5), Some(E18 / 4));
+    }
+
+    #[test]
+    fn tokens_iterates_known() {
+        let mut o = PriceOracle::new();
+        o.update(TokenId(1), 1, E18);
+        o.update(TokenId(2), 1, E18);
+        let mut toks: Vec<_> = o.tokens().collect();
+        toks.sort();
+        assert_eq!(toks, vec![TokenId(1), TokenId(2)]);
+    }
+}

@@ -1,0 +1,469 @@
+//! Pools and the aggregate DEX state.
+
+use crate::engine::{Engine, SwapError};
+use mev_types::{Address, ExchangeId, PoolId, TokenId};
+use std::collections::HashMap;
+
+/// A liquidity pool: a pricing engine bound to a token pair and an
+/// on-chain address (the address its events are emitted from).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Pool {
+    pub id: PoolId,
+    pub address: Address,
+    pub token0: TokenId,
+    pub token1: TokenId,
+    pub engine: Engine,
+}
+
+impl Pool {
+    /// Direction flag for swapping `token_in`; `None` if not in the pair.
+    pub fn direction(&self, token_in: TokenId) -> Option<bool> {
+        if token_in == self.token0 {
+            Some(true)
+        } else if token_in == self.token1 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// The pair partner of `token`, if `token` is in the pool.
+    pub fn other(&self, token: TokenId) -> Option<TokenId> {
+        if token == self.token0 {
+            Some(self.token1)
+        } else if token == self.token1 {
+            Some(self.token0)
+        } else {
+            None
+        }
+    }
+
+    /// Quote `amount_in` of `token_in` without mutating.
+    pub fn quote(&self, token_in: TokenId, amount_in: u128) -> Result<u128, SwapError> {
+        let dir = self.direction(token_in).ok_or(SwapError::WrongToken)?;
+        self.engine.quote(dir, amount_in)
+    }
+
+    /// Execute a swap of `token_in`.
+    pub fn swap(
+        &mut self,
+        token_in: TokenId,
+        amount_in: u128,
+        min_amount_out: u128,
+    ) -> Result<u128, SwapError> {
+        let dir = self.direction(token_in).ok_or(SwapError::WrongToken)?;
+        self.engine.swap(dir, amount_in, min_amount_out)
+    }
+
+    /// Current reserve of `token`.
+    pub fn reserve_of(&self, token: TokenId) -> Option<u128> {
+        self.direction(token).map(|d| self.engine.reserve(if d { 0 } else { 1 }))
+    }
+
+    /// Mid price of `quote_token` per `base_token`, scaled 1e18.
+    pub fn price_e18(&self, base: TokenId, quote: TokenId) -> Option<u128> {
+        let spot1per0 = self.engine.spot_price_e18()?;
+        if base == self.token0 && quote == self.token1 {
+            Some(spot1per0)
+        } else if base == self.token1 && quote == self.token0 {
+            if spot1per0 == 0 {
+                return None;
+            }
+            mev_types::U256::from(10u128.pow(18))
+                .mul_u128(10u128.pow(18))
+                .div_u128(spot1per0)
+                .checked_u128()
+        } else {
+            None
+        }
+    }
+}
+
+/// All pools across all exchanges, indexed for the lookups agents and the
+/// execution engine need.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct DexState {
+    pools: Vec<Pool>,
+    #[serde(skip)]
+    by_id: HashMap<PoolId, usize>,
+    #[serde(skip)]
+    by_pair: HashMap<(TokenId, TokenId), Vec<usize>>,
+}
+
+impl DexState {
+    pub fn new() -> DexState {
+        DexState::default()
+    }
+
+    /// Register a pool. Panics on duplicate `PoolId`.
+    pub fn add_pool(&mut self, pool: Pool) {
+        assert!(
+            !self.by_id.contains_key(&pool.id),
+            "duplicate pool id {:?}",
+            pool.id
+        );
+        let idx = self.pools.len();
+        self.by_id.insert(pool.id, idx);
+        let key = pair_key(pool.token0, pool.token1);
+        self.by_pair.entry(key).or_default().push(idx);
+        self.pools.push(pool);
+    }
+
+    pub fn pool(&self, id: PoolId) -> Option<&Pool> {
+        self.by_id.get(&id).map(|&i| &self.pools[i])
+    }
+
+    pub fn pool_mut(&mut self, id: PoolId) -> Option<&mut Pool> {
+        self.by_id.get(&id).map(|&i| &mut self.pools[i])
+    }
+
+    /// All pools trading the (unordered) pair.
+    pub fn pools_for_pair(&self, a: TokenId, b: TokenId) -> Vec<&Pool> {
+        self.by_pair
+            .get(&pair_key(a, b))
+            .map(|v| v.iter().map(|&i| &self.pools[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate all pools.
+    pub fn pools(&self) -> impl Iterator<Item = &Pool> {
+        self.pools.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Rebuild lookup indices (needed after deserialisation).
+    pub fn reindex(&mut self) {
+        self.by_id.clear();
+        self.by_pair.clear();
+        for (i, p) in self.pools.iter().enumerate() {
+            self.by_id.insert(p.id, i);
+            self.by_pair.entry(pair_key(p.token0, p.token1)).or_default().push(i);
+        }
+    }
+
+    /// Update all order-book mids for a token repriced against WETH.
+    ///
+    /// Order books quote off the external oracle; AMMs only reprice through
+    /// trades (which is exactly the imbalance arbitrageurs harvest).
+    pub fn sync_orderbooks(&mut self, token: TokenId, price_wei: u128) {
+        for p in self.pools.iter_mut() {
+            if let Engine::OrderBook { mid_price_e18, .. } = &mut p.engine {
+                if p.token0 == token && p.token1 == TokenId::WETH {
+                    *mid_price_e18 = price_wei;
+                } else if p.token1 == token && p.token0 == TokenId::WETH && price_wei > 0 {
+                    *mid_price_e18 = mev_types::U256::from(10u128.pow(18))
+                        .mul_u128(10u128.pow(18))
+                        .div_u128(price_wei)
+                        .as_u128();
+                }
+            }
+        }
+    }
+}
+
+impl DexState {
+    /// Liquidity-provider price tether: pull every WETH-paired
+    /// constant-product pool whose spot price has drifted more than
+    /// `band_bps` from the oracle back to the oracle price, preserving the
+    /// pool's invariant k.
+    ///
+    /// This stands in for the off-simulation forces that keep real pools
+    /// near the wider market — informed LPs rebalancing inventory and the
+    /// long tail of arbitrageurs beyond the agents we model explicitly.
+    /// Without it, the trader flow's random walk can drain one side of a
+    /// pool entirely, which never survives on mainnet. Returns the number
+    /// of pools rebalanced.
+    pub fn tether_to_oracle(&mut self, oracle: &crate::oracle::PriceOracle, band_bps: u32) -> usize {
+        let e18 = 10u128.pow(18);
+        let mut rebalanced = 0;
+        for p in self.pools.iter_mut() {
+            let Some(token) = p.other(TokenId::WETH) else { continue };
+            let Some(target) = oracle.price(token) else { continue };
+            let crate::engine::Engine::ConstantProduct { reserve0, reserve1, .. } = &mut p.engine
+            else {
+                continue;
+            };
+            // Normalise to (weth, tok) irrespective of pair order.
+            let weth_is_0 = p.token0 == TokenId::WETH;
+            let (weth, tok) = if weth_is_0 { (*reserve0, *reserve1) } else { (*reserve1, *reserve0) };
+            if weth == 0 || tok == 0 {
+                continue;
+            }
+            // Current price: wei of WETH per whole token.
+            let current = mev_types::U256::from(weth).mul_u128(e18).div_u128(tok).as_u128();
+            let band = target / 10_000 * band_bps as u128;
+            if current.abs_diff(target) <= band {
+                continue;
+            }
+            // Preserve k: weth' = sqrt(k · target / 1e18), tok' = k / weth'.
+            let k = mev_types::U256::mul_u128_u128(weth, tok);
+            let weth_new = k.div_u128(e18).mul_u128(target).isqrt().as_u128().max(1);
+            let tok_new = k.div_u128(weth_new).as_u128().max(1);
+            if weth_is_0 {
+                *reserve0 = weth_new;
+                *reserve1 = tok_new;
+            } else {
+                *reserve0 = tok_new;
+                *reserve1 = weth_new;
+            }
+            rebalanced += 1;
+        }
+        rebalanced
+    }
+}
+
+fn pair_key(a: TokenId, b: TokenId) -> (TokenId, TokenId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Standard pool constructors used by scenario builders.
+pub mod build {
+    use super::*;
+
+    /// Derive a deterministic pool address from its id.
+    pub fn pool_address(id: PoolId) -> Address {
+        // Offset well above agent address space (indices < 2^32).
+        Address::from_index(0x5000_0000_0000 + (id.exchange as u64) * 0x1_0000_0000 + id.index as u64)
+    }
+
+    /// A Uniswap-V2-style pool (0.30 % fee).
+    pub fn uniswap_v2(index: u32, t0: TokenId, t1: TokenId, r0: u128, r1: u128) -> Pool {
+        cp_pool(ExchangeId::UniswapV2, index, t0, t1, r0, r1, 30, 1)
+    }
+
+    /// A SushiSwap pool (identical engine to V2).
+    pub fn sushiswap(index: u32, t0: TokenId, t1: TokenId, r0: u128, r1: u128) -> Pool {
+        cp_pool(ExchangeId::SushiSwap, index, t0, t1, r0, r1, 30, 1)
+    }
+
+    /// A Uniswap-V1 pool — always WETH-paired (token0 = WETH).
+    pub fn uniswap_v1(index: u32, token: TokenId, weth_reserve: u128, token_reserve: u128) -> Pool {
+        cp_pool(ExchangeId::UniswapV1, index, TokenId::WETH, token, weth_reserve, token_reserve, 30, 1)
+    }
+
+    /// A Uniswap-V3 pool: 0.05 % fee, concentrated liquidity emulated as a
+    /// 6×-deeper constant-product curve.
+    ///
+    /// The engine's `concentration` knob (virtual-reserve quoting against
+    /// real-reserve settlement) matches V3 for one-shot analysis, but under
+    /// sustained one-directional flow it pays out real reserves faster than
+    /// the price adjusts — real V3 positions exit the range instead. A
+    /// deeper CP curve reproduces the property that matters for MEV
+    /// measurement (lower price impact per trade) while staying stable
+    /// across a 23-month simulation.
+    pub fn uniswap_v3(index: u32, t0: TokenId, t1: TokenId, r0: u128, r1: u128) -> Pool {
+        cp_pool(ExchangeId::UniswapV3, index, t0, t1, r0 * 6, r1 * 6, 5, 1)
+    }
+
+    /// A Bancor converter (constant product, 0.20 % fee).
+    pub fn bancor(index: u32, t0: TokenId, t1: TokenId, r0: u128, r1: u128) -> Pool {
+        cp_pool(ExchangeId::Bancor, index, t0, t1, r0, r1, 20, 1)
+    }
+
+    fn cp_pool(
+        exchange: ExchangeId,
+        index: u32,
+        t0: TokenId,
+        t1: TokenId,
+        r0: u128,
+        r1: u128,
+        fee_bps: u32,
+        concentration: u32,
+    ) -> Pool {
+        let id = PoolId { exchange, index };
+        Pool {
+            id,
+            address: pool_address(id),
+            token0: t0,
+            token1: t1,
+            engine: Engine::ConstantProduct { reserve0: r0, reserve1: r1, fee_bps, concentration },
+        }
+    }
+
+    /// A Curve stableswap pool (0.04 % fee, A = 200).
+    pub fn curve(index: u32, t0: TokenId, t1: TokenId, r0: u128, r1: u128) -> Pool {
+        let id = PoolId { exchange: ExchangeId::Curve, index };
+        Pool {
+            id,
+            address: pool_address(id),
+            token0: t0,
+            token1: t1,
+            engine: Engine::StableSwap { reserve0: r0, reserve1: r1, amp: 200, fee_bps: 4 },
+        }
+    }
+
+    /// A Balancer 80/20 pool (0.30 % fee).
+    pub fn balancer(index: u32, t0: TokenId, t1: TokenId, b0: u128, b1: u128, weight0_bps: u32) -> Pool {
+        let id = PoolId { exchange: ExchangeId::Balancer, index };
+        Pool {
+            id,
+            address: pool_address(id),
+            token0: t0,
+            token1: t1,
+            engine: Engine::Weighted { balance0: b0, balance1: b1, weight0_bps, fee_bps: 30 },
+        }
+    }
+
+    /// A 0x order book for `token` against WETH.
+    pub fn zeroex(index: u32, token: TokenId, price_wei: u128, depth_token: u128, depth_weth: u128) -> Pool {
+        let id = PoolId { exchange: ExchangeId::ZeroEx, index };
+        Pool {
+            id,
+            address: pool_address(id),
+            token0: token,
+            token1: TokenId::WETH,
+            engine: Engine::OrderBook {
+                mid_price_e18: price_wei,
+                half_spread_bps: 20,
+                depth0: depth_token,
+                depth1: depth_weth,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E18: u128 = 10u128.pow(18);
+
+    fn state() -> DexState {
+        let mut s = DexState::new();
+        s.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
+        s.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 500 * E18, 1_050 * E18));
+        s.add_pool(build::curve(0, TokenId(1), TokenId(2), 10_000 * E18, 10_000 * E18));
+        s
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let s = state();
+        assert_eq!(s.len(), 3);
+        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        assert!(s.pool(id).is_some());
+        assert_eq!(s.pools_for_pair(TokenId::WETH, TokenId(1)).len(), 2);
+        assert_eq!(s.pools_for_pair(TokenId(1), TokenId::WETH).len(), 2, "pair key unordered");
+        assert_eq!(s.pools_for_pair(TokenId::WETH, TokenId(9)).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pool id")]
+    fn duplicate_pool_panics() {
+        let mut s = state();
+        s.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(3), E18, E18));
+    }
+
+    #[test]
+    fn pool_direction_and_other() {
+        let s = state();
+        let p = s.pools_for_pair(TokenId::WETH, TokenId(1))[0];
+        assert_eq!(p.direction(TokenId::WETH), Some(true));
+        assert_eq!(p.direction(TokenId(1)), Some(false));
+        assert_eq!(p.direction(TokenId(5)), None);
+        assert_eq!(p.other(TokenId::WETH), Some(TokenId(1)));
+        assert_eq!(p.other(TokenId(5)), None);
+    }
+
+    #[test]
+    fn swap_via_pool_moves_reserves() {
+        let mut s = state();
+        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let before = s.pool(id).unwrap().reserve_of(TokenId(1)).unwrap();
+        let out = s.pool_mut(id).unwrap().swap(TokenId::WETH, 10 * E18, 0).unwrap();
+        let after = s.pool(id).unwrap().reserve_of(TokenId(1)).unwrap();
+        assert_eq!(before - after, out);
+    }
+
+    #[test]
+    fn wrong_token_rejected() {
+        let mut s = state();
+        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        assert_eq!(
+            s.pool_mut(id).unwrap().swap(TokenId(9), E18, 0),
+            Err(SwapError::WrongToken)
+        );
+    }
+
+    #[test]
+    fn price_e18_both_directions() {
+        let s = state();
+        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let p = s.pool(id).unwrap();
+        // 2000 TKN1 per 1000 WETH ⇒ 2 TKN1/WETH.
+        assert_eq!(p.price_e18(TokenId::WETH, TokenId(1)).unwrap(), 2 * E18);
+        assert_eq!(p.price_e18(TokenId(1), TokenId::WETH).unwrap(), E18 / 2);
+        assert_eq!(p.price_e18(TokenId(1), TokenId(9)), None);
+    }
+
+    #[test]
+    fn reindex_after_clone_keeps_lookups() {
+        let s = state();
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: DexState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 3);
+        back.reindex();
+        assert_eq!(back.pools_for_pair(TokenId::WETH, TokenId(1)).len(), 2);
+    }
+
+    #[test]
+    fn tether_rebalances_drifted_pools_preserving_k() {
+        use crate::oracle::PriceOracle;
+        let mut s = DexState::new();
+        // Pool price: 0.1 WETH per TKN1 (100 WETH / 1000 TKN1).
+        s.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 100 * E18, 1_000 * E18));
+        // Reversed pair order to exercise both orientations.
+        s.add_pool(build::sushiswap(0, TokenId(1), TokenId::WETH, 1_000 * E18, 100 * E18));
+        // A pool already at the oracle price must be untouched.
+        s.add_pool(build::bancor(0, TokenId::WETH, TokenId(1), 500 * E18, 1_000 * E18));
+        let mut oracle = PriceOracle::new();
+        oracle.update(TokenId(1), 1, E18 / 2); // market says 0.5 WETH
+        let uni = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let k_before = {
+            let p = s.pool(uni).unwrap();
+            mev_types::U256::mul_u128_u128(
+                p.reserve_of(TokenId::WETH).unwrap(),
+                p.reserve_of(TokenId(1)).unwrap(),
+            )
+        };
+        let n = s.tether_to_oracle(&oracle, 500);
+        assert_eq!(n, 2, "both drifted pools rebalanced, the aligned one not");
+        let p = s.pool(uni).unwrap();
+        let price = p.price_e18(TokenId(1), TokenId::WETH).unwrap();
+        assert!(price.abs_diff(E18 / 2) < E18 / 100, "price ≈ 0.5: {price}");
+        let k_after = mev_types::U256::mul_u128_u128(
+            p.reserve_of(TokenId::WETH).unwrap(),
+            p.reserve_of(TokenId(1)).unwrap(),
+        );
+        // k preserved within isqrt rounding.
+        let (q, _) = k_after.div(mev_types::U256::from(10u64.pow(9)));
+        let (qb, _) = k_before.div(mev_types::U256::from(10u64.pow(9)));
+        let diff = if q >= qb { q.sub(qb) } else { qb.sub(q) };
+        assert!(diff.checked_u128().map(|d| d < 10u128.pow(22)).unwrap_or(false));
+        // Within the band: no-op on second call.
+        assert_eq!(s.tether_to_oracle(&oracle, 500), 0);
+    }
+
+    #[test]
+    fn sync_orderbooks_updates_mid() {
+        let mut s = DexState::new();
+        s.add_pool(build::zeroex(0, TokenId(1), 2 * E18, 1_000 * E18, 1_000 * E18));
+        s.sync_orderbooks(TokenId(1), 3 * E18);
+        let id = PoolId { exchange: ExchangeId::ZeroEx, index: 0 };
+        match s.pool(id).unwrap().engine {
+            Engine::OrderBook { mid_price_e18, .. } => assert_eq!(mid_price_e18, 3 * E18),
+            _ => unreachable!(),
+        }
+    }
+}

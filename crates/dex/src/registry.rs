@@ -1,0 +1,100 @@
+//! Token metadata registry.
+//!
+//! All simulated tokens use 18 decimals (like the vast majority of ERC-20s
+//! the paper's detectors encounter); the registry tracks symbols and a
+//! deterministic per-token "contract" address for Transfer logs.
+
+use mev_types::{Address, TokenId};
+
+/// Metadata for one token.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TokenInfo {
+    pub id: TokenId,
+    pub symbol: String,
+    pub address: Address,
+    pub decimals: u8,
+}
+
+/// Registry of all simulated tokens. `TokenId::WETH` is always present.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TokenRegistry {
+    tokens: Vec<TokenInfo>,
+}
+
+impl TokenRegistry {
+    /// Create a registry with WETH plus `n` generic tokens TKN1..TKNn.
+    pub fn with_tokens(n: u32) -> TokenRegistry {
+        let mut tokens = vec![TokenInfo {
+            id: TokenId::WETH,
+            symbol: "WETH".into(),
+            address: token_address(TokenId::WETH),
+            decimals: 18,
+        }];
+        for i in 1..=n {
+            let id = TokenId(i);
+            tokens.push(TokenInfo {
+                id,
+                symbol: format!("TKN{i}"),
+                address: token_address(id),
+                decimals: 18,
+            });
+        }
+        TokenRegistry { tokens }
+    }
+
+    pub fn get(&self, id: TokenId) -> Option<&TokenInfo> {
+        self.tokens.get(id.0 as usize).filter(|t| t.id == id)
+    }
+
+    /// The token's "contract" address (emitter of its Transfer events).
+    pub fn address_of(&self, id: TokenId) -> Address {
+        token_address(id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// All non-WETH token ids.
+    pub fn non_weth(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.tokens.iter().map(|t| t.id).filter(|t| !t.is_weth())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TokenInfo> {
+        self.tokens.iter()
+    }
+}
+
+/// Deterministic token contract address, disjoint from agent and pool
+/// address spaces.
+pub fn token_address(id: TokenId) -> Address {
+    Address::from_index(0x7000_0000_0000 + id.0 as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_weth_and_tokens() {
+        let r = TokenRegistry::with_tokens(5);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.get(TokenId::WETH).unwrap().symbol, "WETH");
+        assert_eq!(r.get(TokenId(3)).unwrap().symbol, "TKN3");
+        assert_eq!(r.get(TokenId(6)), None);
+        assert_eq!(r.non_weth().count(), 5);
+    }
+
+    #[test]
+    fn token_addresses_distinct_from_each_other() {
+        let r = TokenRegistry::with_tokens(10);
+        let mut addrs: Vec<_> = r.iter().map(|t| t.address).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 11);
+    }
+}

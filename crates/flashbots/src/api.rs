@@ -1,0 +1,222 @@
+//! The public Flashbots blocks API (§3.3): the dataset of every mined
+//! Flashbots block, its bundles, miner, and miner reward — what the paper
+//! downloads from blocks.flashbots.net and joins against chain data to
+//! label transactions as Flashbots transactions.
+
+use crate::bundle::{BundleId, BundleType};
+use mev_types::{Address, TxHash, Wei};
+use std::collections::{HashMap, HashSet};
+
+/// One bundle as recorded by the API.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BundleRecord {
+    pub bundle_id: BundleId,
+    pub bundle_type: BundleType,
+    pub searcher: Address,
+    pub tx_hashes: Vec<TxHash>,
+    /// Coinbase payment the bundle delivered.
+    pub tip: Wei,
+}
+
+/// One Flashbots block as recorded by the API.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlashbotsBlockRecord {
+    pub block_number: u64,
+    pub miner: Address,
+    /// Total miner reward attributable to Flashbots bundles.
+    pub miner_reward: Wei,
+    pub bundles: Vec<BundleRecord>,
+}
+
+/// The queryable dataset.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct BlocksApi {
+    records: Vec<FlashbotsBlockRecord>,
+    #[serde(skip)]
+    by_number: HashMap<u64, usize>,
+    #[serde(skip)]
+    tx_set: HashSet<TxHash>,
+}
+
+impl BlocksApi {
+    pub fn new() -> BlocksApi {
+        BlocksApi::default()
+    }
+
+    /// Record a mined Flashbots block. Blocks with no bundles are not
+    /// Flashbots blocks and must not be recorded.
+    pub fn record(&mut self, record: FlashbotsBlockRecord) {
+        assert!(!record.bundles.is_empty(), "a Flashbots block has at least one bundle");
+        assert!(
+            !self.by_number.contains_key(&record.block_number),
+            "duplicate block {}",
+            record.block_number
+        );
+        for b in &record.bundles {
+            self.tx_set.extend(b.tx_hashes.iter().copied());
+        }
+        self.by_number.insert(record.block_number, self.records.len());
+        self.records.push(record);
+    }
+
+    /// Was this block mined as a Flashbots block?
+    pub fn is_flashbots_block(&self, number: u64) -> bool {
+        self.by_number.contains_key(&number)
+    }
+
+    /// Was this transaction part of a mined bundle? (The paper's labeling
+    /// step: "used the transactions included in those blocks to identify
+    /// and mark transactions as Flashbots transactions".)
+    pub fn is_flashbots_tx(&self, hash: TxHash) -> bool {
+        self.tx_set.contains(&hash)
+    }
+
+    /// Fetch one block's record.
+    pub fn block(&self, number: u64) -> Option<&FlashbotsBlockRecord> {
+        self.by_number.get(&number).map(|&i| &self.records[i])
+    }
+
+    /// All records in mining order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlashbotsBlockRecord> {
+        self.records.iter()
+    }
+
+    /// Number of Flashbots blocks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total bundles across all blocks.
+    pub fn total_bundles(&self) -> usize {
+        self.records.iter().map(|r| r.bundles.len()).sum()
+    }
+
+    /// Rebuild the lookup indices after deserialisation.
+    pub fn reindex(&mut self) {
+        self.by_number.clear();
+        self.tx_set.clear();
+        for (i, r) in self.records.iter().enumerate() {
+            self.by_number.insert(r.block_number, i);
+            for b in &r.bundles {
+                self.tx_set.extend(b.tx_hashes.iter().copied());
+            }
+        }
+    }
+
+    /// Bundle-count distribution per block (for §4.1's statistics).
+    pub fn bundles_per_block(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.bundles.len()).collect()
+    }
+
+    /// Transaction-count distribution per bundle.
+    pub fn txs_per_bundle(&self) -> Vec<usize> {
+        self.records.iter().flat_map(|r| r.bundles.iter().map(|b| b.tx_hashes.len())).collect()
+    }
+
+    /// Bundle counts by type.
+    pub fn type_counts(&self) -> (usize, usize, usize) {
+        let mut payout = 0;
+        let mut rogue = 0;
+        let mut flashbots = 0;
+        for r in &self.records {
+            for b in &r.bundles {
+                match b.bundle_type {
+                    BundleType::MinerPayout => payout += 1,
+                    BundleType::Rogue => rogue += 1,
+                    BundleType::Flashbots => flashbots += 1,
+                }
+            }
+        }
+        (payout, rogue, flashbots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{eth, H256};
+
+    fn hash(i: u8) -> TxHash {
+        let mut b = [0u8; 32];
+        b[0] = i;
+        H256(b)
+    }
+
+    fn record(number: u64, bundles: Vec<(BundleType, Vec<TxHash>)>) -> FlashbotsBlockRecord {
+        FlashbotsBlockRecord {
+            block_number: number,
+            miner: Address::from_index(1),
+            miner_reward: eth(1),
+            bundles: bundles
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, hashes))| BundleRecord {
+                    bundle_id: BundleId(i as u64 + 1),
+                    bundle_type: t,
+                    searcher: Address::from_index(50),
+                    tx_hashes: hashes,
+                    tip: eth(1) / 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut api = BlocksApi::new();
+        api.record(record(100, vec![(BundleType::Flashbots, vec![hash(1), hash(2)])]));
+        assert!(api.is_flashbots_block(100));
+        assert!(!api.is_flashbots_block(101));
+        assert!(api.is_flashbots_tx(hash(1)));
+        assert!(!api.is_flashbots_tx(hash(9)));
+        assert_eq!(api.len(), 1);
+        assert_eq!(api.total_bundles(), 1);
+        assert_eq!(api.block(100).unwrap().miner_reward, eth(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bundle")]
+    fn empty_block_rejected() {
+        BlocksApi::new().record(record(100, vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_block_rejected() {
+        let mut api = BlocksApi::new();
+        api.record(record(100, vec![(BundleType::Flashbots, vec![hash(1)])]));
+        api.record(record(100, vec![(BundleType::Flashbots, vec![hash(2)])]));
+    }
+
+    #[test]
+    fn distributions() {
+        let mut api = BlocksApi::new();
+        api.record(record(1, vec![(BundleType::Flashbots, vec![hash(1)])]));
+        api.record(record(
+            2,
+            vec![
+                (BundleType::Flashbots, vec![hash(2), hash(3)]),
+                (BundleType::MinerPayout, vec![hash(4)]),
+                (BundleType::Rogue, vec![hash(5)]),
+            ],
+        ));
+        assert_eq!(api.bundles_per_block(), vec![1, 3]);
+        assert_eq!(api.txs_per_bundle(), vec![1, 2, 1, 1]);
+        assert_eq!(api.type_counts(), (1, 1, 2));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let mut api = BlocksApi::new();
+        api.record(record(7, vec![(BundleType::Flashbots, vec![hash(1)])]));
+        let json = serde_json::to_string(&api).unwrap();
+        let mut back: BlocksApi = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert!(back.is_flashbots_block(7));
+        assert!(back.is_flashbots_tx(hash(1)));
+    }
+}

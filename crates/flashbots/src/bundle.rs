@@ -1,0 +1,156 @@
+//! Flashbots bundles: immutable, atomic, ordered transaction sets with a
+//! miner fee paid via coinbase transfers (§2.5).
+
+use mev_types::{Address, Gas, Transaction, TxHash, Wei};
+
+/// Identifier assigned by the relay on submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct BundleId(pub u64);
+
+/// The three bundle types the paper observes (§2.5, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BundleType {
+    /// Mining-pool payout batches (1.9 % of bundles).
+    MinerPayout,
+    /// Introduced by the miner itself, never broadcast (7.6 %).
+    Rogue,
+    /// The standard searcher dataflow (90.5 %).
+    Flashbots,
+}
+
+impl std::fmt::Display for BundleType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BundleType::MinerPayout => "miner-payout",
+            BundleType::Rogue => "rogue",
+            BundleType::Flashbots => "flashbots",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An immutable bundle: either all transactions execute in order, or the
+/// bundle is not included at all. A miner who equivocates (reorders,
+/// drops, or splices a bundle) is banned (§2.5).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Bundle {
+    /// Relay-assigned id; `BundleId(0)` until submission.
+    pub id: BundleId,
+    /// The submitting searcher (or miner, for rogue/payout bundles).
+    pub searcher: Address,
+    pub bundle_type: BundleType,
+    /// Ordered transactions; immutable once submitted.
+    pub txs: Vec<Transaction>,
+    /// The block the searcher targets.
+    pub target_block: u64,
+}
+
+impl Bundle {
+    pub fn new(
+        searcher: Address,
+        bundle_type: BundleType,
+        txs: Vec<Transaction>,
+        target_block: u64,
+    ) -> Bundle {
+        Bundle { id: BundleId(0), searcher, bundle_type, txs, target_block }
+    }
+
+    /// Total gas limit of the bundle.
+    pub fn gas(&self) -> Gas {
+        self.txs.iter().map(|t| t.gas_limit).sum()
+    }
+
+    /// Total direct coinbase payment offered.
+    pub fn total_tip(&self) -> Wei {
+        self.txs.iter().map(|t| t.coinbase_tip).sum()
+    }
+
+    /// Declared miner value: coinbase tips plus bid-priced gas fees.
+    /// This is the score MEV-geth ranks bundles by (per gas).
+    pub fn declared_value(&self, base_fee: Wei) -> Wei {
+        let fees: Wei = self
+            .txs
+            .iter()
+            .map(|t| t.gas_limit.cost(t.fee.miner_tip_per_gas(base_fee)))
+            .sum();
+        self.total_tip() + fees
+    }
+
+    /// Value per gas — the greedy-packing key.
+    pub fn value_per_gas(&self, base_fee: Wei) -> Wei {
+        let g = self.gas().0.max(1) as u128;
+        Wei(self.declared_value(base_fee).0 / g)
+    }
+
+    /// Hashes of the bundle's transactions, in order.
+    pub fn tx_hashes(&self) -> Vec<TxHash> {
+        self.txs.iter().map(|t| t.hash()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{eth, gwei, Action, TxFee};
+
+    fn tx(nonce: u64, gas: u64, price: Wei, tip: Wei) -> Transaction {
+        Transaction::new(
+            Address::from_index(1),
+            nonce,
+            TxFee::Legacy { gas_price: price },
+            Gas(gas),
+            Action::Other { gas: Gas(gas) },
+            tip,
+            None,
+        )
+    }
+
+    #[test]
+    fn gas_and_tip_sum() {
+        let b = Bundle::new(
+            Address::from_index(1),
+            BundleType::Flashbots,
+            vec![tx(0, 100_000, gwei(0), eth(1)), tx(1, 50_000, gwei(0), eth(2))],
+            10,
+        );
+        assert_eq!(b.gas(), Gas(150_000));
+        assert_eq!(b.total_tip(), eth(3));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn declared_value_includes_gas_fees() {
+        let b = Bundle::new(
+            Address::from_index(1),
+            BundleType::Flashbots,
+            vec![tx(0, 100_000, gwei(50), eth(1))],
+            10,
+        );
+        // Legacy fee: whole gas price is miner tip.
+        let expected = eth(1) + Gas(100_000).cost(gwei(50));
+        assert_eq!(b.declared_value(Wei::ZERO), expected);
+        assert_eq!(b.value_per_gas(Wei::ZERO), Wei(expected.0 / 100_000));
+    }
+
+    #[test]
+    fn tx_hashes_in_order() {
+        let t0 = tx(0, 21_000, gwei(1), Wei::ZERO);
+        let t1 = tx(1, 21_000, gwei(1), Wei::ZERO);
+        let b = Bundle::new(Address::from_index(1), BundleType::Rogue, vec![t0.clone(), t1.clone()], 5);
+        assert_eq!(b.tx_hashes(), vec![t0.hash(), t1.hash()]);
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(BundleType::MinerPayout.to_string(), "miner-payout");
+        assert_eq!(BundleType::Flashbots.to_string(), "flashbots");
+    }
+}

@@ -1,0 +1,20 @@
+//! # mev-flashbots
+//!
+//! The Flashbots private-pool infrastructure (§2.5): searcher bundles,
+//! the relay (validation, DoS filtering, ban enforcement), MEV-geth-style
+//! bundle selection for miners, the public blocks API that the paper's
+//! measurement pipeline downloads (§3.3), and the *other* private pools
+//! of §6 — Eden-like multi-miner channels, the defunct Taichi network,
+//! and single-miner self-extraction channels.
+
+pub mod api;
+pub mod bundle;
+pub mod miner;
+pub mod pools;
+pub mod relay;
+
+pub use api::{BlocksApi, BundleRecord, FlashbotsBlockRecord};
+pub use bundle::{Bundle, BundleId, BundleType};
+pub use miner::{assemble_candidates, select_bundles, SelectionConfig};
+pub use pools::{PrivateChannel, PrivateSubmission, StakeBook};
+pub use relay::{BundleOutcome, Relay, RelayError};

@@ -1,0 +1,250 @@
+//! MEV-geth bundle selection and block-candidate assembly.
+//!
+//! A Flashbots miner "mines whatever subset of bundles is most profitable
+//! for them" (§2.5): bundles are ranked by declared value per gas and
+//! greedily packed into a gas budget at the top of the block, followed by
+//! private-channel submissions, then the public mempool by fee.
+
+use crate::bundle::Bundle;
+use crate::pools::PrivateSubmission;
+use mev_types::{Gas, Transaction, TxHash, Wei};
+use std::collections::HashSet;
+
+/// Knobs for bundle selection.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionConfig {
+    /// Gas budget reserved for bundles (rest of the block is public).
+    pub bundle_gas_budget: Gas,
+    /// Hard cap on bundles per block (the paper's observed max is 42).
+    pub max_bundles: usize,
+    /// Minimum declared value per gas to bother including.
+    pub min_value_per_gas: Wei,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            bundle_gas_budget: Gas(10_000_000),
+            max_bundles: 42,
+            min_value_per_gas: Wei(1),
+        }
+    }
+}
+
+/// Greedily select the most profitable bundle subset.
+///
+/// Sort by value-per-gas descending (deterministic tie-break on the first
+/// tx hash), then take while budget and count allow. Returns the chosen
+/// bundles in inclusion order.
+pub fn select_bundles(mut bundles: Vec<Bundle>, base_fee: Wei, cfg: &SelectionConfig) -> Vec<Bundle> {
+    bundles.retain(|b| !b.is_empty() && b.value_per_gas(base_fee) >= cfg.min_value_per_gas);
+    bundles.sort_by(|a, b| {
+        b.value_per_gas(base_fee)
+            .cmp(&a.value_per_gas(base_fee))
+            .then_with(|| a.tx_hashes().first().cloned().cmp(&b.tx_hashes().first().cloned()))
+    });
+    let mut chosen = Vec::new();
+    let mut gas = Gas::ZERO;
+    let mut seen_senders_nonces: HashSet<(mev_types::Address, u64)> = HashSet::new();
+    for b in bundles {
+        if chosen.len() >= cfg.max_bundles {
+            break;
+        }
+        if gas + b.gas() > cfg.bundle_gas_budget {
+            continue;
+        }
+        // Two bundles carrying the same (sender, nonce) cannot both land.
+        if b.txs.iter().any(|t| seen_senders_nonces.contains(&(t.from, t.nonce))) {
+            continue;
+        }
+        for t in &b.txs {
+            seen_senders_nonces.insert((t.from, t.nonce));
+        }
+        gas += b.gas();
+        chosen.push(b);
+    }
+    chosen
+}
+
+/// Assemble the full candidate ordering for a block:
+///
+/// 1. selected bundles, each contiguous and in order, at the top;
+/// 2. private-channel submissions — a submission that wraps a public
+///    victim places `[front…, victim, back…]` as a unit;
+/// 3. remaining public transactions in the given (fee-sorted) order.
+///
+/// Duplicate hashes are dropped (a public tx already consumed as a wrapped
+/// victim, or a bundle tx also gossiped publicly).
+pub fn assemble_candidates(
+    bundles: &[Bundle],
+    private_subs: &[PrivateSubmission],
+    public_txs: &[Transaction],
+) -> Vec<Transaction> {
+    let mut out: Vec<Transaction> = Vec::new();
+    let mut used: HashSet<TxHash> = HashSet::new();
+    let push = |out: &mut Vec<Transaction>, used: &mut HashSet<TxHash>, t: &Transaction| {
+        if used.insert(t.hash()) {
+            out.push(t.clone());
+        }
+    };
+
+    for b in bundles {
+        for t in &b.txs {
+            push(&mut out, &mut used, t);
+        }
+    }
+
+    let by_hash: std::collections::HashMap<TxHash, &Transaction> =
+        public_txs.iter().map(|t| (t.hash(), t)).collect();
+
+    for sub in private_subs {
+        match sub.wrap_victim.and_then(|v| by_hash.get(&v)) {
+            Some(victim) => {
+                // Sandwich shape: first half before the victim, rest after.
+                let mid = sub.txs.len() / 2;
+                for t in &sub.txs[..mid] {
+                    push(&mut out, &mut used, t);
+                }
+                push(&mut out, &mut used, victim);
+                for t in &sub.txs[mid..] {
+                    push(&mut out, &mut used, t);
+                }
+            }
+            None => {
+                if sub.wrap_victim.is_some() {
+                    // Victim not visible to this miner: the sandwich is
+                    // pointless, skip the submission entirely.
+                    continue;
+                }
+                for t in &sub.txs {
+                    push(&mut out, &mut used, t);
+                }
+            }
+        }
+    }
+
+    for t in public_txs {
+        push(&mut out, &mut used, t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::BundleType;
+    use mev_types::{eth, gwei, Action, Address, TxFee};
+
+    fn tx(from: u64, nonce: u64, gas: u64, tip: Wei) -> Transaction {
+        Transaction::new(
+            Address::from_index(from),
+            nonce,
+            TxFee::Legacy { gas_price: gwei(1) },
+            Gas(gas),
+            Action::Other { gas: Gas(gas) },
+            tip,
+            None,
+        )
+    }
+
+    fn bundle(searcher: u64, txs: Vec<Transaction>) -> Bundle {
+        Bundle::new(Address::from_index(searcher), BundleType::Flashbots, txs, 10)
+    }
+
+    #[test]
+    fn selects_by_value_per_gas() {
+        let cheap = bundle(1, vec![tx(1, 0, 100_000, eth(1) / 100)]);
+        let rich = bundle(2, vec![tx(2, 0, 100_000, eth(1))]);
+        let chosen = select_bundles(vec![cheap, rich.clone()], Wei::ZERO, &SelectionConfig::default());
+        assert_eq!(chosen[0].searcher, rich.searcher);
+        assert_eq!(chosen.len(), 2);
+    }
+
+    #[test]
+    fn respects_gas_budget() {
+        let cfg = SelectionConfig { bundle_gas_budget: Gas(150_000), ..Default::default() };
+        let b1 = bundle(1, vec![tx(1, 0, 100_000, eth(2))]);
+        let b2 = bundle(2, vec![tx(2, 0, 100_000, eth(1))]);
+        let b3 = bundle(3, vec![tx(3, 0, 40_000, eth(1) / 2)]);
+        let chosen = select_bundles(vec![b1, b2, b3], Wei::ZERO, &cfg);
+        // b1 takes 100k; b2 doesn't fit; b3 (40k) does.
+        assert_eq!(chosen.len(), 2);
+        assert_eq!(chosen[0].searcher, Address::from_index(1));
+        assert_eq!(chosen[1].searcher, Address::from_index(3));
+    }
+
+    #[test]
+    fn respects_max_bundles() {
+        let cfg = SelectionConfig { max_bundles: 2, ..Default::default() };
+        let bundles: Vec<_> =
+            (1..=5).map(|i| bundle(i, vec![tx(i, 0, 21_000, eth(1))])).collect();
+        assert_eq!(select_bundles(bundles, Wei::ZERO, &cfg).len(), 2);
+    }
+
+    #[test]
+    fn drops_conflicting_nonces() {
+        // Two bundles spending the same (sender, nonce): only one lands.
+        let shared = tx(1, 0, 21_000, eth(1));
+        let b1 = bundle(1, vec![shared.clone()]);
+        let b2 = bundle(2, vec![shared]);
+        assert_eq!(select_bundles(vec![b1, b2], Wei::ZERO, &SelectionConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn drops_dust_bundles() {
+        let cfg = SelectionConfig { min_value_per_gas: gwei(2), ..Default::default() };
+        // 1 gwei/gas from fees + a 1-wei tip: below the 2 gwei/gas floor.
+        let dust = bundle(1, vec![tx(1, 0, 21_000, Wei(1))]);
+        assert!(select_bundles(vec![dust], Wei::ZERO, &cfg).is_empty());
+    }
+
+    #[test]
+    fn assemble_puts_bundles_first() {
+        let b = bundle(1, vec![tx(1, 0, 21_000, eth(1)), tx(1, 1, 21_000, Wei::ZERO)]);
+        let public = vec![tx(5, 0, 21_000, Wei::ZERO)];
+        let ordered = assemble_candidates(&[b.clone()], &[], &public);
+        assert_eq!(ordered.len(), 3);
+        assert_eq!(ordered[0].hash(), b.txs[0].hash());
+        assert_eq!(ordered[1].hash(), b.txs[1].hash());
+        assert_eq!(ordered[2].hash(), public[0].hash());
+    }
+
+    #[test]
+    fn assemble_wraps_victim() {
+        let victim = tx(9, 0, 21_000, Wei::ZERO);
+        let front = tx(2, 0, 21_000, Wei::ZERO);
+        let back = tx(2, 1, 21_000, Wei::ZERO);
+        let sub = PrivateSubmission {
+            searcher: Address::from_index(2),
+            txs: vec![front.clone(), back.clone()],
+            wrap_victim: Some(victim.hash()),
+        };
+        let public = vec![tx(5, 0, 21_000, Wei::ZERO), victim.clone()];
+        let ordered = assemble_candidates(&[], &[sub], &public);
+        let pos = |h: TxHash| ordered.iter().position(|t| t.hash() == h).unwrap();
+        assert!(pos(front.hash()) < pos(victim.hash()));
+        assert!(pos(victim.hash()) < pos(back.hash()));
+        // Victim appears exactly once.
+        assert_eq!(ordered.iter().filter(|t| t.hash() == victim.hash()).count(), 1);
+    }
+
+    #[test]
+    fn assemble_skips_sandwich_with_missing_victim() {
+        let ghost = tx(9, 0, 21_000, Wei::ZERO);
+        let sub = PrivateSubmission {
+            searcher: Address::from_index(2),
+            txs: vec![tx(2, 0, 21_000, Wei::ZERO), tx(2, 1, 21_000, Wei::ZERO)],
+            wrap_victim: Some(ghost.hash()),
+        };
+        let ordered = assemble_candidates(&[], &[sub], &[]);
+        assert!(ordered.is_empty(), "sandwich without its victim is dropped");
+    }
+
+    #[test]
+    fn assemble_dedupes_bundle_tx_also_public() {
+        let shared = tx(1, 0, 21_000, eth(1));
+        let b = bundle(1, vec![shared.clone()]);
+        let ordered = assemble_candidates(&[b], &[], &[shared.clone()]);
+        assert_eq!(ordered.len(), 1);
+    }
+}

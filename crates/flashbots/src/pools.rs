@@ -1,0 +1,260 @@
+//! Non-Flashbots private pools (§6).
+//!
+//! The paper identifies three shapes of private MEV channel besides
+//! Flashbots: multi-miner private pools (Eden Network), defunct pools
+//! (Taichi, dead October 15th 2021), and single-miner self-extraction
+//! (the Flexpool and F2Pool accounts of §6.3). All three reduce to a
+//! [`PrivateChannel`]: a set of member miners, an activity window, and a
+//! queue of private submissions that never touch the public gossip layer.
+
+use mev_types::{Address, Transaction, TxHash};
+
+/// A private submission: transactions delivered directly to a miner,
+/// optionally wrapping a public victim (the private-sandwich shape the
+/// §6.1 heuristic detects: front and back private, victim public).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivateSubmission {
+    pub searcher: Address,
+    /// Ordered private transactions.
+    pub txs: Vec<Transaction>,
+    /// If set, the miner orders the submission around this public tx.
+    pub wrap_victim: Option<TxHash>,
+}
+
+/// A private pool: Eden-like (many members), Taichi-like (bounded
+/// lifetime) or a single-miner self-channel.
+#[derive(Debug, Clone)]
+pub struct PrivateChannel {
+    pub name: String,
+    /// Miners that receive this channel's submissions.
+    members: Vec<Address>,
+    /// Active block range (inclusive start, exclusive end).
+    pub active_from: u64,
+    pub active_until: u64,
+    queue: Vec<PrivateSubmission>,
+    /// Total submissions accepted over the channel's lifetime.
+    pub accepted: u64,
+}
+
+impl PrivateChannel {
+    /// A channel alive for `[from, until)`.
+    pub fn new(name: impl Into<String>, members: Vec<Address>, from: u64, until: u64) -> PrivateChannel {
+        assert!(!members.is_empty(), "channel needs at least one miner");
+        assert!(from < until, "empty activity window");
+        PrivateChannel {
+            name: name.into(),
+            members,
+            active_from: from,
+            active_until: until,
+            queue: Vec::new(),
+            accepted: 0,
+        }
+    }
+
+    /// A single-miner self-extraction channel (never expires).
+    pub fn self_channel(miner: Address, from: u64) -> PrivateChannel {
+        PrivateChannel::new(format!("self:{}", miner.short()), vec![miner], from, u64::MAX)
+    }
+
+    /// Is the channel alive at `block`?
+    pub fn is_active(&self, block: u64) -> bool {
+        (self.active_from..self.active_until).contains(&block)
+    }
+
+    /// Is `miner` a member?
+    pub fn is_member(&self, miner: Address) -> bool {
+        self.members.contains(&miner)
+    }
+
+    pub fn members(&self) -> &[Address] {
+        &self.members
+    }
+
+    /// Submit privately; rejected outside the activity window.
+    pub fn submit(&mut self, sub: PrivateSubmission, block: u64) -> bool {
+        if !self.is_active(block) {
+            return false;
+        }
+        self.queue.push(sub);
+        self.accepted += 1;
+        true
+    }
+
+    /// Member miner `miner` drains the queue while building at `block`.
+    /// Non-members and inactive channels get nothing.
+    pub fn drain_for(&mut self, miner: Address, block: u64) -> Vec<PrivateSubmission> {
+        if !self.is_active(block) || !self.is_member(miner) {
+            return Vec::new();
+        }
+        std::mem::take(&mut self.queue)
+    }
+
+    /// Pending submissions.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Eden-Network-style staked priority (the Eden whitepaper's core
+/// mechanism): submitters stake tokens; when a member miner drains the
+/// channel, submissions are delivered highest-stake-first, so priority is
+/// bought with capital rather than gas. This is the concrete form of
+/// "expensive infrastructure" access the paper's Goal 2 worries about.
+#[derive(Debug, Clone, Default)]
+pub struct StakeBook {
+    stakes: std::collections::HashMap<Address, u128>,
+}
+
+impl StakeBook {
+    pub fn new() -> StakeBook {
+        StakeBook::default()
+    }
+
+    /// Add stake for a searcher.
+    pub fn stake(&mut self, who: Address, amount: u128) {
+        *self.stakes.entry(who).or_default() += amount;
+    }
+
+    /// Withdraw stake; returns the amount actually released.
+    pub fn unstake(&mut self, who: Address, amount: u128) -> u128 {
+        let e = self.stakes.entry(who).or_default();
+        let released = amount.min(*e);
+        *e -= released;
+        released
+    }
+
+    pub fn stake_of(&self, who: Address) -> u128 {
+        self.stakes.get(&who).copied().unwrap_or(0)
+    }
+
+    /// Order submissions by the submitter's stake, descending; ties broken
+    /// by the first tx hash for determinism.
+    pub fn prioritise(&self, mut subs: Vec<PrivateSubmission>) -> Vec<PrivateSubmission> {
+        subs.sort_by(|a, b| {
+            self.stake_of(b.searcher)
+                .cmp(&self.stake_of(a.searcher))
+                .then_with(|| {
+                    let ha = a.txs.first().map(|t| t.hash());
+                    let hb = b.txs.first().map(|t| t.hash());
+                    ha.cmp(&hb)
+                })
+        });
+        subs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{gwei, Action, Gas, TxFee, Wei};
+
+    fn tx(from: u64, nonce: u64) -> Transaction {
+        Transaction::new(
+            Address::from_index(from),
+            nonce,
+            TxFee::Legacy { gas_price: gwei(1) },
+            Gas(21_000),
+            Action::Other { gas: Gas(21_000) },
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    fn sub(searcher: u64) -> PrivateSubmission {
+        PrivateSubmission { searcher: Address::from_index(searcher), txs: vec![tx(searcher, 0)], wrap_victim: None }
+    }
+
+    #[test]
+    fn activity_window_enforced() {
+        let mut c = PrivateChannel::new("taichi", vec![Address::from_index(1)], 100, 200);
+        assert!(!c.submit(sub(5), 99));
+        assert!(c.submit(sub(5), 100));
+        assert!(c.submit(sub(5), 199));
+        assert!(!c.submit(sub(5), 200), "defunct channel rejects");
+        assert_eq!(c.accepted, 2);
+    }
+
+    #[test]
+    fn only_members_drain() {
+        let m1 = Address::from_index(1);
+        let outsider = Address::from_index(9);
+        let mut c = PrivateChannel::new("eden", vec![m1], 0, u64::MAX);
+        c.submit(sub(5), 10);
+        assert!(c.drain_for(outsider, 10).is_empty());
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.drain_for(m1, 10).len(), 1);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn drain_outside_window_yields_nothing() {
+        let m1 = Address::from_index(1);
+        let mut c = PrivateChannel::new("taichi", vec![m1], 0, 100);
+        c.submit(sub(5), 50);
+        assert!(c.drain_for(m1, 100).is_empty(), "channel already defunct");
+        assert_eq!(c.pending(), 1, "submission stranded, never mined");
+    }
+
+    #[test]
+    fn self_channel_single_member() {
+        let m = Address::from_index(3);
+        let c = PrivateChannel::self_channel(m, 10);
+        assert!(c.is_member(m));
+        assert_eq!(c.members().len(), 1);
+        assert!(c.is_active(10));
+        assert!(c.is_active(u64::MAX - 1));
+        assert!(!c.is_active(9));
+        assert!(c.name.starts_with("self:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn empty_membership_panics() {
+        PrivateChannel::new("x", vec![], 0, 10);
+    }
+
+    #[test]
+    fn stake_book_accounting() {
+        let mut book = StakeBook::new();
+        let a = Address::from_index(1);
+        book.stake(a, 100);
+        book.stake(a, 50);
+        assert_eq!(book.stake_of(a), 150);
+        assert_eq!(book.unstake(a, 60), 60);
+        assert_eq!(book.stake_of(a), 90);
+        assert_eq!(book.unstake(a, 1_000), 90, "cannot withdraw more than staked");
+        assert_eq!(book.stake_of(a), 0);
+        assert_eq!(book.stake_of(Address::from_index(9)), 0);
+    }
+
+    #[test]
+    fn staked_priority_orders_submissions() {
+        let mut book = StakeBook::new();
+        let whale = Address::from_index(1);
+        let minnow = Address::from_index(2);
+        book.stake(whale, 1_000_000);
+        book.stake(minnow, 10);
+        let subs = vec![
+            PrivateSubmission { searcher: minnow, txs: vec![tx(2, 0)], wrap_victim: None },
+            PrivateSubmission { searcher: whale, txs: vec![tx(1, 0)], wrap_victim: None },
+        ];
+        let ordered = book.prioritise(subs);
+        assert_eq!(ordered[0].searcher, whale, "capital buys priority");
+        assert_eq!(ordered[1].searcher, minnow);
+    }
+
+    #[test]
+    fn staked_priority_is_deterministic_on_ties() {
+        let book = StakeBook::new(); // everyone unstaked: all ties
+        let subs: Vec<PrivateSubmission> = (0..5)
+            .map(|i| PrivateSubmission {
+                searcher: Address::from_index(i),
+                txs: vec![tx(i, 0)],
+                wrap_victim: None,
+            })
+            .collect();
+        let a = book.prioritise(subs.clone());
+        let b = book.prioritise(subs);
+        assert_eq!(a, b);
+    }
+}

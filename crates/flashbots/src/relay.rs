@@ -1,0 +1,319 @@
+//! The Flashbots relay: collects bundles from searchers, validates them,
+//! forwards them to participating miners, and enforces the one rule that
+//! holds the system together — a miner that equivocates on a bundle is
+//! permanently banned (§2.5).
+//!
+//! The paper notes only one relay exists, run by Flashbots itself; this
+//! implementation is likewise a single logical relay.
+
+use crate::bundle::{Bundle, BundleId};
+use mev_types::{Address, Block, TxHash};
+use std::collections::{HashMap, HashSet};
+
+/// Submission failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelayError {
+    /// The submitting searcher is banned.
+    SearcherBanned,
+    /// Empty bundles are rejected (DoS filtering).
+    EmptyBundle,
+    /// Bundle exceeds the relay's max size.
+    TooLarge { max: usize },
+    /// Target block is already in the past.
+    StaleTarget { head: u64 },
+}
+
+impl std::fmt::Display for RelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelayError::SearcherBanned => write!(f, "searcher is banned"),
+            RelayError::EmptyBundle => write!(f, "empty bundle"),
+            RelayError::TooLarge { max } => write!(f, "bundle exceeds {max} txs"),
+            RelayError::StaleTarget { head } => write!(f, "target block behind head {head}"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+/// Result of auditing a mined block against the bundles sent to its miner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BundleOutcome {
+    /// Bundle appears contiguously and in order.
+    Honoured,
+    /// Bundle not included at all (allowed — miners may skip bundles).
+    Skipped,
+    /// Bundle partially included, reordered, or interleaved: equivocation.
+    Equivocated,
+}
+
+/// The single Flashbots relay.
+#[derive(Debug, Clone, Default)]
+pub struct Relay {
+    next_id: u64,
+    /// Pending bundles keyed by target block.
+    queue: HashMap<u64, Vec<Bundle>>,
+    banned_searchers: HashSet<Address>,
+    banned_miners: HashSet<Address>,
+    /// Miners registered to receive bundles.
+    miners: HashSet<Address>,
+    /// Submission counter (for dashboard-style stats).
+    pub submitted: u64,
+    /// Maximum bundle size accepted. The largest bundle the paper observed
+    /// held 700 transactions (an F2Pool payout), so the cap sits above that.
+    pub max_bundle_txs: usize,
+}
+
+impl Relay {
+    pub fn new() -> Relay {
+        Relay { max_bundle_txs: 1024, ..Relay::default() }
+    }
+
+    /// Register a miner (the Flashbots web-portal application step).
+    pub fn register_miner(&mut self, miner: Address) {
+        self.miners.insert(miner);
+    }
+
+    /// Is the miner registered and in good standing?
+    pub fn miner_active(&self, miner: Address) -> bool {
+        self.miners.contains(&miner) && !self.banned_miners.contains(&miner)
+    }
+
+    /// Registered miners in good standing.
+    pub fn active_miners(&self) -> impl Iterator<Item = Address> + '_ {
+        self.miners.iter().copied().filter(|m| !self.banned_miners.contains(m))
+    }
+
+    /// Submit a bundle targeting `bundle.target_block`.
+    pub fn submit(&mut self, mut bundle: Bundle, head: u64) -> Result<BundleId, RelayError> {
+        if self.banned_searchers.contains(&bundle.searcher) {
+            return Err(RelayError::SearcherBanned);
+        }
+        if bundle.is_empty() {
+            return Err(RelayError::EmptyBundle);
+        }
+        if bundle.len() > self.max_bundle_txs {
+            return Err(RelayError::TooLarge { max: self.max_bundle_txs });
+        }
+        if bundle.target_block <= head {
+            return Err(RelayError::StaleTarget { head });
+        }
+        self.next_id += 1;
+        bundle.id = BundleId(self.next_id);
+        let id = bundle.id;
+        self.queue.entry(bundle.target_block).or_default().push(bundle);
+        self.submitted += 1;
+        Ok(id)
+    }
+
+    /// Bundles available for `block`, for a registered miner. Returns a
+    /// clone — the relay keeps the originals for post-block auditing.
+    pub fn bundles_for(&self, miner: Address, block: u64) -> Vec<Bundle> {
+        if !self.miner_active(miner) {
+            return Vec::new();
+        }
+        self.queue.get(&block).cloned().unwrap_or_default()
+    }
+
+    /// Audit a mined block: classify each bundle targeted at this height,
+    /// and ban the miner if any bundle was equivocated on.
+    pub fn audit_block(&mut self, block: &Block) -> Vec<(BundleId, BundleOutcome)> {
+        let number = block.header.number;
+        let Some(bundles) = self.queue.get(&number) else { return Vec::new() };
+        let block_hashes: Vec<TxHash> = block.transactions.iter().map(|t| t.hash()).collect();
+        let mut outcomes = Vec::new();
+        let mut equivocated = false;
+        for b in bundles {
+            let outcome = classify_inclusion(&b.tx_hashes(), &block_hashes);
+            if outcome == BundleOutcome::Equivocated {
+                equivocated = true;
+            }
+            outcomes.push((b.id, outcome));
+        }
+        if equivocated {
+            self.banned_miners.insert(block.header.miner);
+        }
+        outcomes
+    }
+
+    /// Drop bundles for heights at or below `head` (they can no longer land).
+    pub fn expire(&mut self, head: u64) {
+        self.queue.retain(|&target, _| target > head);
+    }
+
+    /// Ban a searcher outright.
+    pub fn ban_searcher(&mut self, searcher: Address) {
+        self.banned_searchers.insert(searcher);
+    }
+
+    pub fn is_miner_banned(&self, miner: Address) -> bool {
+        self.banned_miners.contains(&miner)
+    }
+
+    /// Pending bundle count across all target heights.
+    pub fn pending(&self) -> usize {
+        self.queue.values().map(Vec::len).sum()
+    }
+}
+
+/// Is `needle` a contiguous, in-order subsequence of `haystack`?
+///
+/// A bundle counts as *included* only when **all** of its transactions are
+/// present; then it must be contiguous and in order or the miner
+/// equivocated. Partial presence is `Skipped`, not equivocation: bundles
+/// routinely contain transactions that are also public (a sandwich's
+/// victim), and those land on their own when the bundle loses the
+/// auction — the miner never saw the bundle as a unit.
+fn classify_inclusion(needle: &[TxHash], haystack: &[TxHash]) -> BundleOutcome {
+    let all_present = needle.iter().all(|h| haystack.contains(h));
+    if !all_present {
+        return BundleOutcome::Skipped;
+    }
+    for window in haystack.windows(needle.len()) {
+        if window == needle {
+            return BundleOutcome::Honoured;
+        }
+    }
+    BundleOutcome::Equivocated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::BundleType;
+    use mev_types::{gwei, Action, BlockHeader, Gas, Transaction, TxFee, Wei, H256};
+
+    fn tx(from: u64, nonce: u64) -> Transaction {
+        Transaction::new(
+            Address::from_index(from),
+            nonce,
+            TxFee::Legacy { gas_price: gwei(1) },
+            Gas(21_000),
+            Action::Other { gas: Gas(21_000) },
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    fn bundle(searcher: u64, target: u64, txs: Vec<Transaction>) -> Bundle {
+        Bundle::new(Address::from_index(searcher), BundleType::Flashbots, txs, target)
+    }
+
+    fn block_with(miner: Address, number: u64, txs: Vec<Transaction>) -> Block {
+        Block {
+            header: BlockHeader {
+                number,
+                parent_hash: H256::zero(),
+                miner,
+                timestamp: 0,
+                gas_used: Gas::ZERO,
+                gas_limit: Gas(30_000_000),
+                base_fee: Wei::ZERO,
+            },
+            transactions: txs,
+        }
+    }
+
+    #[test]
+    fn submit_assigns_ids_and_queues() {
+        let mut r = Relay::new();
+        let id1 = r.submit(bundle(1, 10, vec![tx(1, 0)]), 5).unwrap();
+        let id2 = r.submit(bundle(2, 10, vec![tx(2, 0)]), 5).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.submitted, 2);
+    }
+
+    #[test]
+    fn validation_rejections() {
+        let mut r = Relay::new();
+        assert_eq!(r.submit(bundle(1, 10, vec![]), 5), Err(RelayError::EmptyBundle));
+        assert_eq!(
+            r.submit(bundle(1, 4, vec![tx(1, 0)]), 5),
+            Err(RelayError::StaleTarget { head: 5 })
+        );
+        r.max_bundle_txs = 1;
+        assert_eq!(
+            r.submit(bundle(1, 10, vec![tx(1, 0), tx(1, 1)]), 5),
+            Err(RelayError::TooLarge { max: 1 })
+        );
+        r.ban_searcher(Address::from_index(1));
+        assert_eq!(r.submit(bundle(1, 10, vec![tx(1, 0)]), 5), Err(RelayError::SearcherBanned));
+    }
+
+    #[test]
+    fn only_registered_miners_receive_bundles() {
+        let mut r = Relay::new();
+        let miner = Address::from_index(99);
+        r.submit(bundle(1, 10, vec![tx(1, 0)]), 5).unwrap();
+        assert!(r.bundles_for(miner, 10).is_empty());
+        r.register_miner(miner);
+        assert_eq!(r.bundles_for(miner, 10).len(), 1);
+        assert!(r.bundles_for(miner, 11).is_empty(), "wrong height");
+    }
+
+    #[test]
+    fn audit_honours_contiguous_inclusion() {
+        let mut r = Relay::new();
+        let miner = Address::from_index(99);
+        r.register_miner(miner);
+        let b = bundle(1, 10, vec![tx(1, 0), tx(1, 1)]);
+        let btxs = b.txs.clone();
+        r.submit(b, 5).unwrap();
+        // Bundle at top, a public tx after.
+        let blk = block_with(miner, 10, vec![btxs[0].clone(), btxs[1].clone(), tx(7, 0)]);
+        let outcomes = r.audit_block(&blk);
+        assert_eq!(outcomes[0].1, BundleOutcome::Honoured);
+        assert!(!r.is_miner_banned(miner));
+    }
+
+    #[test]
+    fn audit_detects_reordering_and_bans() {
+        let mut r = Relay::new();
+        let miner = Address::from_index(99);
+        r.register_miner(miner);
+        let b = bundle(1, 10, vec![tx(1, 0), tx(1, 1)]);
+        let btxs = b.txs.clone();
+        r.submit(b, 5).unwrap();
+        // Reordered bundle txs.
+        let blk = block_with(miner, 10, vec![btxs[1].clone(), btxs[0].clone()]);
+        let outcomes = r.audit_block(&blk);
+        assert_eq!(outcomes[0].1, BundleOutcome::Equivocated);
+        assert!(r.is_miner_banned(miner));
+        assert!(!r.miner_active(miner));
+        assert!(r.bundles_for(miner, 11).is_empty(), "banned miner cut off");
+    }
+
+    #[test]
+    fn audit_detects_splicing() {
+        let mut r = Relay::new();
+        let miner = Address::from_index(99);
+        r.register_miner(miner);
+        let b = bundle(1, 10, vec![tx(1, 0), tx(1, 1)]);
+        let btxs = b.txs.clone();
+        r.submit(b, 5).unwrap();
+        // A foreign tx interleaved inside the bundle.
+        let blk = block_with(miner, 10, vec![btxs[0].clone(), tx(7, 0), btxs[1].clone()]);
+        assert_eq!(r.audit_block(&blk)[0].1, BundleOutcome::Equivocated);
+    }
+
+    #[test]
+    fn audit_allows_skipping() {
+        let mut r = Relay::new();
+        let miner = Address::from_index(99);
+        r.register_miner(miner);
+        r.submit(bundle(1, 10, vec![tx(1, 0)]), 5).unwrap();
+        let blk = block_with(miner, 10, vec![tx(7, 0)]);
+        assert_eq!(r.audit_block(&blk)[0].1, BundleOutcome::Skipped);
+        assert!(!r.is_miner_banned(miner));
+    }
+
+    #[test]
+    fn expire_drops_stale_heights() {
+        let mut r = Relay::new();
+        r.submit(bundle(1, 10, vec![tx(1, 0)]), 5).unwrap();
+        r.submit(bundle(2, 12, vec![tx(2, 0)]), 5).unwrap();
+        r.expire(10);
+        assert_eq!(r.pending(), 1);
+    }
+}

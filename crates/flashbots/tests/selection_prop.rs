@@ -1,0 +1,131 @@
+//! Property tests over bundle selection and block auditing: the greedy
+//! packer never exceeds its budgets or duplicates nonces, and the audit
+//! classification is consistent with how the block was actually built.
+
+use mev_flashbots::{
+    assemble_candidates, select_bundles, Bundle, BundleOutcome, BundleType, Relay,
+    SelectionConfig,
+};
+use mev_types::{gwei, Action, Address, Block, BlockHeader, Gas, Transaction, TxFee, Wei, H256};
+use proptest::prelude::*;
+
+fn tx(from: u64, nonce: u64, gas: u64, tip_milli: u64) -> Transaction {
+    Transaction::new(
+        Address::from_index(from),
+        nonce,
+        TxFee::Legacy { gas_price: gwei(1) },
+        Gas(gas),
+        Action::Other { gas: Gas(gas) },
+        Wei(tip_milli as u128 * 10u128.pow(15)),
+        None,
+    )
+}
+
+/// Strategy: a pool of bundles with random sizes, senders, gas, and tips.
+fn bundles_strategy() -> impl Strategy<Value = Vec<Bundle>> {
+    proptest::collection::vec(
+        (1u64..6, 0u64..3, 1usize..4, 30_000u64..400_000, 0u64..2_000),
+        1..20,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (from, nonce0, n_txs, gas, tip))| {
+                let txs: Vec<Transaction> = (0..n_txs)
+                    .map(|k| tx(from, nonce0 + k as u64, gas, tip))
+                    .collect();
+                Bundle::new(Address::from_index(100 + i as u64), BundleType::Flashbots, txs, 10)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn selection_respects_budgets_and_nonces(
+        bundles in bundles_strategy(),
+        budget_k in 100u64..20_000,
+        max_bundles in 1usize..10,
+    ) {
+        let cfg = SelectionConfig {
+            bundle_gas_budget: Gas(budget_k * 1_000),
+            max_bundles,
+            min_value_per_gas: Wei(1),
+        };
+        let chosen = select_bundles(bundles.clone(), Wei::ZERO, &cfg);
+        // Count cap.
+        prop_assert!(chosen.len() <= max_bundles);
+        // Gas budget.
+        let gas: u64 = chosen.iter().map(|b| b.gas().0).sum();
+        prop_assert!(gas <= budget_k * 1_000);
+        // No duplicated (sender, nonce) across chosen bundles.
+        let mut seen = std::collections::HashSet::new();
+        for b in &chosen {
+            for t in &b.txs {
+                prop_assert!(seen.insert((t.from, t.nonce)), "nonce conflict slipped through");
+            }
+        }
+        // Value ordering: each chosen bundle is at least as valuable per
+        // gas as any skipped bundle that would have fit in its place is
+        // NOT guaranteed by greedy packing, but the first chosen bundle
+        // must be the global per-gas maximum among those that fit alone.
+        if let Some(first) = chosen.first() {
+            let first_v = first.value_per_gas(Wei::ZERO);
+            for b in &bundles {
+                if b.gas() <= Gas(budget_k * 1_000) {
+                    prop_assert!(
+                        b.value_per_gas(Wei::ZERO) <= first_v
+                            || b.txs.iter().any(|t| first.txs.iter().any(|f| f.from == t.from && f.nonce == t.nonce)),
+                        "a strictly better lone bundle was skipped"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn honoured_bundles_audit_clean(bundles in bundles_strategy()) {
+        // Build a block that includes the selected bundles contiguously;
+        // the audit must classify every selected bundle Honoured and never
+        // ban the miner.
+        let cfg = SelectionConfig::default();
+        let mut relay = Relay::new();
+        let miner = Address::from_index(999);
+        relay.register_miner(miner);
+        let mut ids = Vec::new();
+        for b in bundles {
+            if let Ok(id) = relay.submit(b, 9) {
+                ids.push(id);
+            }
+        }
+        let available = relay.bundles_for(miner, 10);
+        let chosen = select_bundles(available, Wei::ZERO, &cfg);
+        let txs = assemble_candidates(&chosen, &[], &[]);
+        let block = Block {
+            header: BlockHeader {
+                number: 10,
+                parent_hash: H256::zero(),
+                miner,
+                timestamp: 0,
+                gas_used: Gas::ZERO,
+                gas_limit: Gas(30_000_000),
+                base_fee: Wei::ZERO,
+            },
+            transactions: txs,
+        };
+        let outcomes = relay.audit_block(&block);
+        prop_assert!(!relay.is_miner_banned(miner), "honest assembly must never ban");
+        let chosen_ids: std::collections::HashSet<_> = chosen.iter().map(|b| b.id).collect();
+        for (id, outcome) in outcomes {
+            if chosen_ids.contains(&id) {
+                // Chosen bundles whose txs all made it in must be honoured.
+                // (assemble dedupes shared (sender, nonce) txs across
+                // bundles, which select_bundles already prevents.)
+                prop_assert_eq!(&outcome, &BundleOutcome::Honoured, "chosen bundle {:?}", id);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Auction-based liquidations (§2.2.2).
+//!
+//! The paper notes two liquidation mechanisms: fixed-spread (atomic,
+//! first-come-first-served — the MEV target) and auction-based (multi-
+//! transaction, hours long, and therefore *not* atomic enough for classic
+//! MEV extraction). This module implements the auction variant so the
+//! substrate is complete and so tests can demonstrate *why* the paper's
+//! detector only targets fixed-spread liquidations.
+
+use mev_types::{Address, LendingPlatformId, TokenId};
+use std::collections::HashMap;
+
+/// Errors from auction operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuctionError {
+    /// No auction with that id.
+    NotFound,
+    /// Bid does not beat the current best.
+    BidTooLow,
+    /// Auction still open — cannot settle yet.
+    StillOpen,
+    /// Auction already settled.
+    Settled,
+}
+
+impl std::fmt::Display for AuctionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AuctionError::NotFound => "auction not found",
+            AuctionError::BidTooLow => "bid below current best",
+            AuctionError::StillOpen => "auction still open",
+            AuctionError::Settled => "auction already settled",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for AuctionError {}
+
+/// A running collateral auction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Auction {
+    pub id: u64,
+    pub platform: LendingPlatformId,
+    pub borrower: Address,
+    pub collateral_token: TokenId,
+    pub collateral_amount: u128,
+    pub debt_token: TokenId,
+    /// Minimum acceptable bid (the outstanding debt).
+    pub reserve_bid: u128,
+    /// Block at which bidding closes.
+    pub closes_at_block: u64,
+    pub best_bid: Option<(Address, u128)>,
+    pub settled: bool,
+}
+
+/// The book of open and settled auctions.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct AuctionBook {
+    next_id: u64,
+    auctions: HashMap<u64, Auction>,
+}
+
+impl AuctionBook {
+    pub fn new() -> AuctionBook {
+        AuctionBook::default()
+    }
+
+    /// Open an auction; returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        &mut self,
+        platform: LendingPlatformId,
+        borrower: Address,
+        collateral_token: TokenId,
+        collateral_amount: u128,
+        debt_token: TokenId,
+        reserve_bid: u128,
+        current_block: u64,
+        duration_blocks: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.auctions.insert(
+            id,
+            Auction {
+                id,
+                platform,
+                borrower,
+                collateral_token,
+                collateral_amount,
+                debt_token,
+                reserve_bid,
+                closes_at_block: current_block + duration_blocks,
+                best_bid: None,
+                settled: false,
+            },
+        );
+        id
+    }
+
+    pub fn get(&self, id: u64) -> Option<&Auction> {
+        self.auctions.get(&id)
+    }
+
+    /// Place a bid; must strictly beat the current best and meet the reserve.
+    pub fn bid(&mut self, id: u64, bidder: Address, amount: u128) -> Result<(), AuctionError> {
+        let a = self.auctions.get_mut(&id).ok_or(AuctionError::NotFound)?;
+        if a.settled {
+            return Err(AuctionError::Settled);
+        }
+        let floor = a.best_bid.map(|(_, b)| b).unwrap_or(a.reserve_bid.saturating_sub(1));
+        if amount <= floor {
+            return Err(AuctionError::BidTooLow);
+        }
+        a.best_bid = Some((bidder, amount));
+        Ok(())
+    }
+
+    /// Settle a closed auction; returns the winner if any bid met reserve.
+    pub fn settle(&mut self, id: u64, current_block: u64) -> Result<Option<(Address, u128)>, AuctionError> {
+        let a = self.auctions.get_mut(&id).ok_or(AuctionError::NotFound)?;
+        if a.settled {
+            return Err(AuctionError::Settled);
+        }
+        if current_block < a.closes_at_block {
+            return Err(AuctionError::StillOpen);
+        }
+        a.settled = true;
+        Ok(a.best_bid)
+    }
+
+    /// Auctions still accepting bids at `block`.
+    pub fn open_auctions(&self, block: u64) -> impl Iterator<Item = &Auction> {
+        self.auctions.values().filter(move |a| !a.settled && block < a.closes_at_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E18: u128 = 10u128.pow(18);
+
+    fn book_with_auction() -> (AuctionBook, u64) {
+        let mut b = AuctionBook::new();
+        let id = b.open(
+            LendingPlatformId::Compound,
+            Address::from_index(1),
+            TokenId(1),
+            100 * E18,
+            TokenId::WETH,
+            50 * E18,
+            1000,
+            100,
+        );
+        (b, id)
+    }
+
+    #[test]
+    fn bids_must_escalate() {
+        let (mut b, id) = book_with_auction();
+        assert_eq!(b.bid(id, Address::from_index(2), 49 * E18), Err(AuctionError::BidTooLow));
+        b.bid(id, Address::from_index(2), 50 * E18).unwrap();
+        assert_eq!(b.bid(id, Address::from_index(3), 50 * E18), Err(AuctionError::BidTooLow));
+        b.bid(id, Address::from_index(3), 51 * E18).unwrap();
+        assert_eq!(b.get(id).unwrap().best_bid, Some((Address::from_index(3), 51 * E18)));
+    }
+
+    #[test]
+    fn settle_only_after_close() {
+        let (mut b, id) = book_with_auction();
+        b.bid(id, Address::from_index(2), 60 * E18).unwrap();
+        assert_eq!(b.settle(id, 1099), Err(AuctionError::StillOpen));
+        let winner = b.settle(id, 1100).unwrap();
+        assert_eq!(winner, Some((Address::from_index(2), 60 * E18)));
+        assert_eq!(b.settle(id, 1101), Err(AuctionError::Settled));
+        assert_eq!(b.bid(id, Address::from_index(3), 99 * E18), Err(AuctionError::Settled));
+    }
+
+    #[test]
+    fn settle_with_no_bids_returns_none() {
+        let (mut b, id) = book_with_auction();
+        assert_eq!(b.settle(id, 2000).unwrap(), None);
+    }
+
+    #[test]
+    fn auction_is_not_atomic() {
+        // The property the paper leans on (§2.2.2): an auction spans many
+        // blocks, so a liquidation via auction cannot be captured in a
+        // single frontrun — open_auctions stays non-empty across blocks.
+        let (mut b, id) = book_with_auction();
+        assert_eq!(b.open_auctions(1000).count(), 1);
+        assert_eq!(b.open_auctions(1050).count(), 1);
+        assert_eq!(b.open_auctions(1100).count(), 0);
+        b.settle(id, 1100).unwrap();
+    }
+
+    #[test]
+    fn missing_auction_errors() {
+        let mut b = AuctionBook::new();
+        assert_eq!(b.bid(99, Address::ZERO, 1), Err(AuctionError::NotFound));
+        assert_eq!(b.settle(99, 0), Err(AuctionError::NotFound));
+        assert!(b.get(99).is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! # mev-lending
+//!
+//! Collateralised lending platforms — the substrate for the paper's
+//! liquidation-MEV measurements (§2.2.2, §3.1.3) and flash loans (§2.3,
+//! §3.4). Models Aave V1/V2, Compound (fixed-spread liquidation) and dYdX
+//! (flash loans), with health-factor accounting against the `mev-dex`
+//! price oracle, close factors, liquidation bonuses, and an auction-based
+//! liquidation variant for completeness.
+//!
+//! Flash-loan *atomicity* (repay-or-revert) is provided by the execution
+//! engine in `mev-chain` via world snapshots; this crate provides the
+//! liquidity accounting and fee rules.
+
+pub mod auction;
+pub mod platform;
+
+pub use auction::{Auction, AuctionBook, AuctionError};
+pub use platform::{
+    LiquidationOutcome,
+    LendingError, LendingState, Platform, PlatformConfig, Position, UnhealthyLoan,
+};

@@ -1,0 +1,536 @@
+//! Lending platforms with collateralised positions and fixed-spread
+//! liquidation, following the model in the paper's §2.2.2: a loan whose
+//! collateral value falls below the liquidation threshold is released for
+//! liquidation on a first-come-first-served basis, with the liquidator
+//! repaying debt in exchange for discounted collateral.
+
+use mev_dex::PriceOracle;
+use mev_types::{Address, LendingPlatformId, TokenId, U256};
+use std::collections::{BTreeMap, HashMap};
+
+const BPS: u128 = 10_000;
+const E18: u128 = 10u128.pow(18);
+
+/// Risk parameters for one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlatformConfig {
+    /// Max borrow value as a fraction of collateral value (bps).
+    pub collateral_factor_bps: u32,
+    /// Health threshold: a position is liquidatable when
+    /// `debt_value > collateral_value · threshold` (bps).
+    pub liquidation_threshold_bps: u32,
+    /// Liquidator's discount on seized collateral (bps over par).
+    pub liquidation_bonus_bps: u32,
+    /// Max share of the debt repayable in one liquidation (bps).
+    pub close_factor_bps: u32,
+    /// Flash-loan fee (bps); `None` if the platform has no flash loans.
+    pub flash_loan_fee_bps: Option<u32>,
+}
+
+impl PlatformConfig {
+    /// Per-platform defaults loosely following the real protocols.
+    pub fn default_for(id: LendingPlatformId) -> PlatformConfig {
+        match id {
+            LendingPlatformId::AaveV1 => PlatformConfig {
+                collateral_factor_bps: 7_500,
+                liquidation_threshold_bps: 8_000,
+                liquidation_bonus_bps: 500,
+                close_factor_bps: 5_000,
+                flash_loan_fee_bps: Some(9), // 0.09 %
+            },
+            LendingPlatformId::AaveV2 => PlatformConfig {
+                collateral_factor_bps: 7_500,
+                liquidation_threshold_bps: 8_250,
+                liquidation_bonus_bps: 500,
+                close_factor_bps: 5_000,
+                flash_loan_fee_bps: Some(9),
+            },
+            LendingPlatformId::Compound => PlatformConfig {
+                collateral_factor_bps: 7_500,
+                liquidation_threshold_bps: 7_500,
+                liquidation_bonus_bps: 800,
+                close_factor_bps: 5_000,
+                flash_loan_fee_bps: None,
+            },
+            LendingPlatformId::DyDx => PlatformConfig {
+                collateral_factor_bps: 7_500,
+                liquidation_threshold_bps: 7_500,
+                liquidation_bonus_bps: 500,
+                close_factor_bps: 10_000,
+                flash_loan_fee_bps: Some(2), // dYdX's ~free flash loans
+            },
+        }
+    }
+}
+
+/// A user's position on one platform.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Position {
+    /// Collateral per token, base units.
+    pub collateral: BTreeMap<TokenId, u128>,
+    /// Debt per token, base units.
+    pub debt: BTreeMap<TokenId, u128>,
+}
+
+impl Position {
+    pub fn is_empty(&self) -> bool {
+        self.collateral.values().all(|&v| v == 0) && self.debt.values().all(|&v| v == 0)
+    }
+
+    /// Total collateral value in wei at oracle prices.
+    pub fn collateral_value(&self, oracle: &PriceOracle) -> Option<u128> {
+        value_of(&self.collateral, oracle)
+    }
+
+    /// Total debt value in wei at oracle prices.
+    pub fn debt_value(&self, oracle: &PriceOracle) -> Option<u128> {
+        value_of(&self.debt, oracle)
+    }
+}
+
+fn value_of(amounts: &BTreeMap<TokenId, u128>, oracle: &PriceOracle) -> Option<u128> {
+    let mut total: u128 = 0;
+    for (&t, &amt) in amounts {
+        total = total.checked_add(oracle.to_wei(t, amt)?)?;
+    }
+    Some(total)
+}
+
+/// Errors from lending operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LendingError {
+    /// The platform has insufficient pooled liquidity.
+    InsufficientLiquidity,
+    /// Borrow would push the position past its collateral factor.
+    Undercollateralised,
+    /// The caller holds no such collateral/debt.
+    NoPosition,
+    /// Liquidation attempted on a healthy position.
+    PositionHealthy,
+    /// Repay amount exceeds the close factor limit.
+    ExceedsCloseFactor,
+    /// No oracle price for a token involved.
+    NoPrice,
+    /// The platform does not offer flash loans.
+    NoFlashLoans,
+}
+
+impl std::fmt::Display for LendingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LendingError::InsufficientLiquidity => "insufficient pool liquidity",
+            LendingError::Undercollateralised => "borrow exceeds collateral factor",
+            LendingError::NoPosition => "no such position",
+            LendingError::PositionHealthy => "position is healthy",
+            LendingError::ExceedsCloseFactor => "repay exceeds close factor",
+            LendingError::NoPrice => "missing oracle price",
+            LendingError::NoFlashLoans => "platform has no flash loans",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for LendingError {}
+
+/// A liquidation opportunity surfaced by a scan.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UnhealthyLoan {
+    pub platform: LendingPlatformId,
+    pub borrower: Address,
+    /// The largest debt token (what a liquidator repays).
+    pub debt_token: TokenId,
+    /// Max repayable under the close factor, debt-token base units.
+    pub max_repay: u128,
+    /// The largest collateral token (what a liquidator seizes).
+    pub collateral_token: TokenId,
+    /// Health factor scaled 1e18 (< 1e18 means liquidatable).
+    pub health_e18: u128,
+}
+
+/// Outcome of a successful liquidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiquidationOutcome {
+    pub debt_repaid: u128,
+    pub collateral_token: TokenId,
+    pub collateral_seized: u128,
+}
+
+/// One lending platform's full state.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Platform {
+    pub id: LendingPlatformId,
+    pub address: Address,
+    pub config: PlatformConfig,
+    /// Pooled liquidity available to borrow/flash-loan, per token.
+    pub liquidity: BTreeMap<TokenId, u128>,
+    /// Open positions by borrower.
+    pub positions: HashMap<Address, Position>,
+}
+
+impl Platform {
+    pub fn new(id: LendingPlatformId) -> Platform {
+        Platform {
+            id,
+            address: platform_address(id),
+            config: PlatformConfig::default_for(id),
+            liquidity: BTreeMap::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Seed pooled liquidity (lenders' deposits, abstracted).
+    pub fn seed_liquidity(&mut self, token: TokenId, amount: u128) {
+        *self.liquidity.entry(token).or_default() += amount;
+    }
+
+    /// Available liquidity for a token.
+    pub fn available(&self, token: TokenId) -> u128 {
+        self.liquidity.get(&token).copied().unwrap_or(0)
+    }
+
+    /// Deposit collateral. The caller must have already escrowed the tokens
+    /// (`mev-chain` moves balances).
+    pub fn deposit(&mut self, user: Address, token: TokenId, amount: u128) {
+        let pos = self.positions.entry(user).or_default();
+        *pos.collateral.entry(token).or_default() += amount;
+    }
+
+    /// Borrow against collateral. Fails if it would breach the collateral
+    /// factor or drain pool liquidity.
+    pub fn borrow(
+        &mut self,
+        user: Address,
+        token: TokenId,
+        amount: u128,
+        oracle: &PriceOracle,
+    ) -> Result<(), LendingError> {
+        if self.available(token) < amount {
+            return Err(LendingError::InsufficientLiquidity);
+        }
+        let pos = self.positions.entry(user).or_default();
+        let coll_value = pos.collateral_value(oracle).ok_or(LendingError::NoPrice)?;
+        let debt_value = pos.debt_value(oracle).ok_or(LendingError::NoPrice)?;
+        let new_debt = oracle.to_wei(token, amount).ok_or(LendingError::NoPrice)?;
+        let max_debt = mul_bps(coll_value, self.config.collateral_factor_bps);
+        if debt_value + new_debt > max_debt {
+            return Err(LendingError::Undercollateralised);
+        }
+        *pos.debt.entry(token).or_default() += amount;
+        *self.liquidity.get_mut(&token).expect("checked above") -= amount;
+        Ok(())
+    }
+
+    /// Repay debt (possibly partially). Returns the amount actually applied.
+    pub fn repay(&mut self, user: Address, token: TokenId, amount: u128) -> Result<u128, LendingError> {
+        let pos = self.positions.get_mut(&user).ok_or(LendingError::NoPosition)?;
+        let debt = pos.debt.get_mut(&token).ok_or(LendingError::NoPosition)?;
+        let applied = amount.min(*debt);
+        *debt -= applied;
+        *self.liquidity.entry(token).or_default() += applied;
+        Ok(applied)
+    }
+
+    /// Health factor scaled 1e18: `collateral·threshold / debt`.
+    /// `None` when the user has no debt (infinitely healthy) or no price.
+    pub fn health_e18(&self, user: Address, oracle: &PriceOracle) -> Option<u128> {
+        let pos = self.positions.get(&user)?;
+        let debt = pos.debt_value(oracle)?;
+        if debt == 0 {
+            return None;
+        }
+        let coll = pos.collateral_value(oracle)?;
+        let adjusted = mul_bps(coll, self.config.liquidation_threshold_bps);
+        U256::from(adjusted).mul_u128(E18).div_u128(debt).checked_u128()
+    }
+
+    /// Fixed-spread liquidation: repay up to `close_factor` of the debt,
+    /// seize collateral worth `repaid · (1 + bonus)`.
+    pub fn liquidate(
+        &mut self,
+        borrower: Address,
+        debt_token: TokenId,
+        repay_amount: u128,
+        oracle: &PriceOracle,
+    ) -> Result<LiquidationOutcome, LendingError> {
+        let health = self.health_e18(borrower, oracle).ok_or(LendingError::NoPosition)?;
+        if health >= E18 {
+            return Err(LendingError::PositionHealthy);
+        }
+        let pos = self.positions.get_mut(&borrower).ok_or(LendingError::NoPosition)?;
+        let debt = *pos.debt.get(&debt_token).ok_or(LendingError::NoPosition)?;
+        if debt == 0 {
+            return Err(LendingError::NoPosition);
+        }
+        let max_repay = mul_bps(debt, self.config.close_factor_bps);
+        if repay_amount > max_repay {
+            return Err(LendingError::ExceedsCloseFactor);
+        }
+        // Pick the borrower's largest collateral by value.
+        let (coll_token, coll_held) = pos
+            .collateral
+            .iter()
+            .filter(|(_, &amt)| amt > 0)
+            .max_by_key(|(&t, &amt)| oracle.to_wei(t, amt).unwrap_or(0))
+            .map(|(&t, &amt)| (t, amt))
+            .ok_or(LendingError::NoPosition)?;
+        let repay_value = oracle.to_wei(debt_token, repay_amount).ok_or(LendingError::NoPrice)?;
+        let seize_value = mul_bps(repay_value, 10_000 + self.config.liquidation_bonus_bps);
+        let coll_price = oracle.price(coll_token).ok_or(LendingError::NoPrice)?;
+        let seize_amount =
+            U256::from(seize_value).mul_u128(E18).div_u128(coll_price).as_u128().min(coll_held);
+        // Apply.
+        *pos.debt.get_mut(&debt_token).expect("checked") -= repay_amount;
+        *pos.collateral.get_mut(&coll_token).expect("checked") -= seize_amount;
+        *self.liquidity.entry(debt_token).or_default() += repay_amount;
+        Ok(LiquidationOutcome {
+            debt_repaid: repay_amount,
+            collateral_token: coll_token,
+            collateral_seized: seize_amount,
+        })
+    }
+
+    /// Flash-loan fee for `amount`, or an error if unsupported/illiquid.
+    pub fn flash_loan_fee(&self, token: TokenId, amount: u128) -> Result<u128, LendingError> {
+        let fee_bps = self.config.flash_loan_fee_bps.ok_or(LendingError::NoFlashLoans)?;
+        if self.available(token) < amount {
+            return Err(LendingError::InsufficientLiquidity);
+        }
+        Ok(mul_bps(amount, fee_bps).max(1))
+    }
+
+    /// Scan for liquidatable positions (the passive strategy of §2.2.2).
+    pub fn unhealthy_positions(&self, oracle: &PriceOracle) -> Vec<UnhealthyLoan> {
+        let mut out = Vec::new();
+        for (&user, pos) in &self.positions {
+            let Some(health) = self.health_e18(user, oracle) else { continue };
+            if health >= E18 {
+                continue;
+            }
+            let Some((&debt_token, &debt)) = pos
+                .debt
+                .iter()
+                .filter(|(_, &amt)| amt > 0)
+                .max_by_key(|(&t, &amt)| oracle.to_wei(t, amt).unwrap_or(0))
+            else {
+                continue;
+            };
+            let Some((&coll_token, _)) = pos
+                .collateral
+                .iter()
+                .filter(|(_, &amt)| amt > 0)
+                .max_by_key(|(&t, &amt)| oracle.to_wei(t, amt).unwrap_or(0))
+            else {
+                continue;
+            };
+            out.push(UnhealthyLoan {
+                platform: self.id,
+                borrower: user,
+                debt_token,
+                max_repay: mul_bps(debt, self.config.close_factor_bps),
+                collateral_token: coll_token,
+                health_e18: health,
+            });
+        }
+        out.sort_by_key(|l| (l.health_e18, l.borrower));
+        out
+    }
+}
+
+/// All platforms together.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LendingState {
+    platforms: HashMap<LendingPlatformId, Platform>,
+}
+
+impl LendingState {
+    /// All four platforms, unseeded.
+    pub fn new() -> LendingState {
+        LendingState {
+            platforms: LendingPlatformId::ALL
+                .iter()
+                .map(|&id| (id, Platform::new(id)))
+                .collect(),
+        }
+    }
+
+    pub fn platform(&self, id: LendingPlatformId) -> &Platform {
+        &self.platforms[&id]
+    }
+
+    pub fn platform_mut(&mut self, id: LendingPlatformId) -> &mut Platform {
+        self.platforms.get_mut(&id).expect("all platforms present")
+    }
+
+    pub fn platforms(&self) -> impl Iterator<Item = &Platform> {
+        self.platforms.values()
+    }
+
+    /// Unhealthy loans across all platforms.
+    pub fn unhealthy_positions(&self, oracle: &PriceOracle) -> Vec<UnhealthyLoan> {
+        let mut out: Vec<_> =
+            self.platforms.values().flat_map(|p| p.unhealthy_positions(oracle)).collect();
+        out.sort_by_key(|l| (l.health_e18, l.borrower));
+        out
+    }
+}
+
+impl Default for LendingState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deterministic platform "contract" address.
+pub fn platform_address(id: LendingPlatformId) -> Address {
+    Address::from_index(0x6000_0000_0000 + id as u64)
+}
+
+fn mul_bps(v: u128, bps: u32) -> u128 {
+    U256::from(v).mul_u128(bps as u128).div_u128(BPS).as_u128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_with(token: TokenId, price: u128) -> PriceOracle {
+        let mut o = PriceOracle::new();
+        o.update(token, 0, price);
+        o
+    }
+
+    fn setup() -> (Platform, PriceOracle, Address) {
+        let mut p = Platform::new(LendingPlatformId::AaveV2);
+        p.seed_liquidity(TokenId::WETH, 1_000_000 * E18);
+        let oracle = oracle_with(TokenId(1), 2 * E18); // 1 TKN1 = 2 WETH
+        let user = Address::from_index(42);
+        (p, oracle, user)
+    }
+
+    #[test]
+    fn borrow_within_collateral_factor() {
+        let (mut p, oracle, user) = setup();
+        p.deposit(user, TokenId(1), 100 * E18); // 200 WETH collateral value
+        // 75% factor ⇒ up to 150 WETH borrowable.
+        assert!(p.borrow(user, TokenId::WETH, 150 * E18, &oracle).is_ok());
+        assert_eq!(p.available(TokenId::WETH), 1_000_000 * E18 - 150 * E18);
+    }
+
+    #[test]
+    fn borrow_beyond_factor_rejected() {
+        let (mut p, oracle, user) = setup();
+        p.deposit(user, TokenId(1), 100 * E18);
+        assert_eq!(
+            p.borrow(user, TokenId::WETH, 151 * E18, &oracle),
+            Err(LendingError::Undercollateralised)
+        );
+    }
+
+    #[test]
+    fn borrow_more_than_liquidity_rejected() {
+        let (mut p, oracle, user) = setup();
+        p.deposit(user, TokenId(1), 10_000_000 * E18);
+        assert_eq!(
+            p.borrow(user, TokenId::WETH, 2_000_000 * E18, &oracle),
+            Err(LendingError::InsufficientLiquidity)
+        );
+    }
+
+    #[test]
+    fn health_factor_tracks_price() {
+        let (mut p, mut oracle, user) = setup();
+        p.deposit(user, TokenId(1), 100 * E18);
+        p.borrow(user, TokenId::WETH, 120 * E18, &oracle).unwrap();
+        // coll 200 · 0.825 = 165; debt 120 ⇒ health 1.375.
+        let h = p.health_e18(user, &oracle).unwrap();
+        assert_eq!(h, 1_375 * E18 / 1000);
+        // Price halves: coll 100 · 0.825 = 82.5 vs debt 120 ⇒ 0.6875.
+        oracle.update(TokenId(1), 1, E18);
+        let h2 = p.health_e18(user, &oracle).unwrap();
+        assert!(h2 < E18);
+        assert_eq!(h2, 6_875 * E18 / 10_000);
+    }
+
+    #[test]
+    fn liquidation_only_when_unhealthy() {
+        let (mut p, mut oracle, user) = setup();
+        p.deposit(user, TokenId(1), 100 * E18);
+        p.borrow(user, TokenId::WETH, 120 * E18, &oracle).unwrap();
+        assert_eq!(
+            p.liquidate(user, TokenId::WETH, 10 * E18, &oracle),
+            Err(LendingError::PositionHealthy)
+        );
+        oracle.update(TokenId(1), 1, E18); // crash
+        let out = p.liquidate(user, TokenId::WETH, 60 * E18, &oracle).unwrap();
+        assert_eq!(out.debt_repaid, 60 * E18);
+        assert_eq!(out.collateral_token, TokenId(1));
+        // Seize value = 60 · 1.05 = 63 WETH = 63 TKN1 at price 1.
+        assert_eq!(out.collateral_seized, 63 * E18);
+    }
+
+    #[test]
+    fn close_factor_enforced() {
+        let (mut p, mut oracle, user) = setup();
+        p.deposit(user, TokenId(1), 100 * E18);
+        p.borrow(user, TokenId::WETH, 120 * E18, &oracle).unwrap();
+        oracle.update(TokenId(1), 1, E18);
+        // Close factor 50% ⇒ max repay 60.
+        assert_eq!(
+            p.liquidate(user, TokenId::WETH, 61 * E18, &oracle),
+            Err(LendingError::ExceedsCloseFactor)
+        );
+    }
+
+    #[test]
+    fn unhealthy_scan_finds_and_sorts() {
+        let (mut p, mut oracle, _) = setup();
+        oracle.update(TokenId(2), 0, 2 * E18);
+        for (i, borrow) in [(1u64, 100 * E18), (2, 140 * E18)] {
+            let u = Address::from_index(i);
+            p.deposit(u, TokenId(1), 100 * E18);
+            p.borrow(u, TokenId::WETH, borrow, &oracle).unwrap();
+        }
+        assert!(p.unhealthy_positions(&oracle).is_empty());
+        oracle.update(TokenId(1), 1, E18);
+        let loans = p.unhealthy_positions(&oracle);
+        assert_eq!(loans.len(), 2);
+        // The riskier loan (140 borrowed) sorts first.
+        assert_eq!(loans[0].borrower, Address::from_index(2));
+        assert!(loans[0].health_e18 < loans[1].health_e18);
+        assert_eq!(loans[0].max_repay, 70 * E18);
+    }
+
+    #[test]
+    fn repay_restores_liquidity_and_caps_at_debt() {
+        let (mut p, oracle, user) = setup();
+        p.deposit(user, TokenId(1), 100 * E18);
+        p.borrow(user, TokenId::WETH, 100 * E18, &oracle).unwrap();
+        let applied = p.repay(user, TokenId::WETH, 150 * E18).unwrap();
+        assert_eq!(applied, 100 * E18);
+        assert_eq!(p.available(TokenId::WETH), 1_000_000 * E18);
+        assert_eq!(p.health_e18(user, &oracle), None, "no debt ⇒ no health factor");
+    }
+
+    #[test]
+    fn flash_loan_fees_per_platform() {
+        let mut aave = Platform::new(LendingPlatformId::AaveV2);
+        aave.seed_liquidity(TokenId::WETH, 1_000 * E18);
+        assert_eq!(aave.flash_loan_fee(TokenId::WETH, 1_000 * E18).unwrap(), 9 * E18 / 10);
+        assert_eq!(
+            aave.flash_loan_fee(TokenId::WETH, 1_001 * E18),
+            Err(LendingError::InsufficientLiquidity)
+        );
+        let compound = Platform::new(LendingPlatformId::Compound);
+        assert_eq!(
+            compound.flash_loan_fee(TokenId::WETH, E18),
+            Err(LendingError::NoFlashLoans)
+        );
+    }
+
+    #[test]
+    fn state_spans_all_platforms() {
+        let s = LendingState::new();
+        assert_eq!(s.platforms().count(), 4);
+        assert_eq!(s.platform(LendingPlatformId::DyDx).id, LendingPlatformId::DyDx);
+    }
+}

@@ -1,0 +1,175 @@
+//! The gossip graph: a connected random topology with per-edge latencies,
+//! reduced to an all-pairs propagation-delay matrix.
+//!
+//! Ethereum gossip floods transactions peer-to-peer; what matters for MEV
+//! measurement is *when* a transaction becomes visible at each node
+//! relative to block production (§2.4). With ~13 s blocks and millisecond
+//! link latencies, propagation completes well within a block — except for
+//! transactions submitted in the final moments, which is exactly the race
+//! frontrunners exploit. The delay matrix makes that race explicit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Index of a node in the gossip graph.
+pub type NodeId = usize;
+
+/// A static gossip topology with shortest-path propagation delays.
+#[derive(Debug, Clone)]
+pub struct Network {
+    n: usize,
+    /// All-pairs propagation delay in milliseconds.
+    dist_ms: Vec<Vec<u64>>,
+}
+
+impl Network {
+    /// Build a random connected graph: a ring (guaranteeing connectivity)
+    /// plus `extra_edges` random chords, with link latencies drawn
+    /// uniformly from `latency_range` milliseconds.
+    pub fn random(n: usize, extra_edges: usize, latency_range: (u64, u64), rng: &mut StdRng) -> Network {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(latency_range.0 > 0 && latency_range.0 <= latency_range.1);
+        let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let add_edge = |adj: &mut Vec<Vec<(usize, u64)>>, a: usize, b: usize, w: u64| {
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+        };
+        for i in 0..n {
+            let w = rng.gen_range(latency_range.0..=latency_range.1);
+            add_edge(&mut adj, i, (i + 1) % n, w);
+        }
+        for _ in 0..extra_edges {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let w = rng.gen_range(latency_range.0..=latency_range.1);
+                add_edge(&mut adj, a, b, w);
+            }
+        }
+        let dist_ms = (0..n).map(|src| dijkstra(&adj, src)).collect();
+        Network { n, dist_ms }
+    }
+
+    /// A fully-connected network with uniform latency (tests).
+    pub fn uniform(n: usize, latency_ms: u64) -> Network {
+        let dist_ms = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0 } else { latency_ms }).collect())
+            .collect();
+        Network { n, dist_ms }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Propagation delay between two nodes in milliseconds.
+    pub fn latency_ms(&self, from: NodeId, to: NodeId) -> u64 {
+        self.dist_ms[from][to]
+    }
+
+    /// Time (ms since epoch) a message sent from `origin` at `t_ms`
+    /// becomes visible at `node`.
+    pub fn arrival_ms(&self, origin: NodeId, node: NodeId, t_ms: u64) -> u64 {
+        t_ms + self.latency_ms(origin, node)
+    }
+
+    /// Worst-case propagation delay from `origin` to any node.
+    pub fn eclipse_ms(&self, origin: NodeId) -> u64 {
+        self.dist_ms[origin].iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Textbook Dijkstra over the adjacency list.
+fn dijkstra(adj: &[Vec<(usize, u64)>], src: usize) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![u64::MAX; adj.len()];
+    dist[src] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_network_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Network::random(50, 100, (5, 50), &mut rng);
+        for i in 0..50 {
+            for j in 0..50 {
+                assert!(net.latency_ms(i, j) < u64::MAX, "disconnected {i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_symmetric_and_zero_on_diagonal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::random(20, 30, (5, 50), &mut rng);
+        for i in 0..20 {
+            assert_eq!(net.latency_ms(i, i), 0);
+            for j in 0..20 {
+                assert_eq!(net.latency_ms(i, j), net.latency_ms(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::random(15, 20, (5, 50), &mut rng);
+        for a in 0..15 {
+            for b in 0..15 {
+                for c in 0..15 {
+                    assert!(net.latency_ms(a, c) <= net.latency_ms(a, b) + net.latency_ms(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_adds_latency() {
+        let net = Network::uniform(4, 100);
+        assert_eq!(net.arrival_ms(0, 1, 5_000), 5_100);
+        assert_eq!(net.arrival_ms(2, 2, 5_000), 5_000);
+        assert_eq!(net.eclipse_ms(0), 100);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Network::random(10, 10, (5, 50), &mut StdRng::seed_from_u64(42));
+        let b = Network::random(10, 10, (5, 50), &mut StdRng::seed_from_u64(42));
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(a.latency_ms(i, j), b.latency_ms(i, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_network_panics() {
+        Network::random(1, 0, (5, 50), &mut StdRng::seed_from_u64(0));
+    }
+}

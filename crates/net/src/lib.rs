@@ -1,0 +1,20 @@
+//! # mev-net
+//!
+//! The peer-to-peer layer: a latency-weighted gossip graph, the public
+//! mempool with replace-by-fee and fee-based eviction, and the
+//! pending-transaction observer that plays the role of the paper's
+//! measurement node (§3.2 — `web3.eth.subscribe("pendingTransactions")`).
+//!
+//! Private submission paths (Flashbots bundles, other private pools) do
+//! not traverse this layer at all — that is precisely what makes them
+//! private, and what the intersection analysis of §6.1 detects.
+
+pub mod gossip;
+pub mod mempool;
+pub mod observer;
+pub mod propagation;
+
+pub use gossip::{Network, NodeId};
+pub use mempool::{Mempool, MempoolError, PendingTx};
+pub use observer::{ObservedTx, Observer};
+pub use propagation::{coverage_curve, expected_observer_coverage, observer_max_lag_ms, time_to_coverage_ms};

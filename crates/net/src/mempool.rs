@@ -1,0 +1,261 @@
+//! The public mempool: pending transactions with replace-by-fee,
+//! per-sender nonce chains, fee-based eviction, and time-of-visibility
+//! queries against the gossip graph.
+//!
+//! "The mempool has no blockchain-like guarantees of consistency" (§2.1) —
+//! each node sees transactions at different times; this implementation
+//! keeps one logical pool plus per-transaction origin/submit-time so any
+//! node's view at any instant can be reconstructed.
+
+use crate::gossip::{Network, NodeId};
+use mev_types::{Address, Transaction, TxHash, Wei};
+use std::collections::{BTreeMap, HashMap};
+
+/// A pending transaction with its propagation coordinates.
+#[derive(Debug, Clone)]
+pub struct PendingTx {
+    pub tx: Transaction,
+    /// Node where the transaction was first submitted.
+    pub origin: NodeId,
+    /// Submission time, ms since epoch.
+    pub submit_ms: u64,
+}
+
+/// Why an insertion was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Same (sender, nonce) already pending at a fee the newcomer does not
+    /// beat by the replacement bump (10 %).
+    ReplacementUnderpriced,
+    /// Pool full and the newcomer's bid is below the cheapest resident.
+    FeeTooLowToEvict,
+}
+
+/// The public mempool.
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    txs: HashMap<TxHash, PendingTx>,
+    /// sender → nonce → hash.
+    by_sender: HashMap<Address, BTreeMap<u64, TxHash>>,
+    max_size: usize,
+}
+
+/// Required fee bump for replace-by-fee, in percent.
+const REPLACEMENT_BUMP_PCT: u128 = 10;
+
+impl Mempool {
+    pub fn new(max_size: usize) -> Mempool {
+        assert!(max_size > 0);
+        Mempool { txs: HashMap::new(), by_sender: HashMap::new(), max_size }
+    }
+
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    pub fn contains(&self, hash: TxHash) -> bool {
+        self.txs.contains_key(&hash)
+    }
+
+    pub fn get(&self, hash: TxHash) -> Option<&PendingTx> {
+        self.txs.get(&hash)
+    }
+
+    /// Submit a transaction at `origin` at time `submit_ms`.
+    pub fn insert(
+        &mut self,
+        tx: Transaction,
+        origin: NodeId,
+        submit_ms: u64,
+    ) -> Result<(), MempoolError> {
+        // Replace-by-fee on (sender, nonce).
+        if let Some(&existing_hash) = self.by_sender.get(&tx.from).and_then(|m| m.get(&tx.nonce)) {
+            let existing_bid = self.txs[&existing_hash].tx.bid_per_gas();
+            let required = Wei(existing_bid.0 + existing_bid.0 * REPLACEMENT_BUMP_PCT / 100);
+            if tx.bid_per_gas() < required {
+                return Err(MempoolError::ReplacementUnderpriced);
+            }
+            self.remove(existing_hash);
+        }
+        // Eviction when full: drop the cheapest resident if the newcomer
+        // outbids it, otherwise reject.
+        if self.txs.len() >= self.max_size {
+            let cheapest = self
+                .txs
+                .values()
+                .min_by_key(|p| (p.tx.bid_per_gas(), p.tx.hash()))
+                .map(|p| (p.tx.hash(), p.tx.bid_per_gas()))
+                .expect("non-empty");
+            if tx.bid_per_gas() <= cheapest.1 {
+                return Err(MempoolError::FeeTooLowToEvict);
+            }
+            self.remove(cheapest.0);
+        }
+        let hash = tx.hash();
+        self.by_sender.entry(tx.from).or_default().insert(tx.nonce, hash);
+        self.txs.insert(hash, PendingTx { tx, origin, submit_ms });
+        Ok(())
+    }
+
+    /// Remove one transaction.
+    pub fn remove(&mut self, hash: TxHash) -> Option<PendingTx> {
+        let p = self.txs.remove(&hash)?;
+        if let Some(m) = self.by_sender.get_mut(&p.tx.from) {
+            m.remove(&p.tx.nonce);
+            if m.is_empty() {
+                self.by_sender.remove(&p.tx.from);
+            }
+        }
+        Some(p)
+    }
+
+    /// Drop transactions made stale by on-chain nonces: any pending tx of
+    /// `sender` with nonce `< next_nonce`.
+    pub fn prune_sender(&mut self, sender: Address, next_nonce: u64) {
+        let stale: Vec<TxHash> = self
+            .by_sender
+            .get(&sender)
+            .map(|m| m.range(..next_nonce).map(|(_, &h)| h).collect())
+            .unwrap_or_default();
+        for h in stale {
+            self.remove(h);
+        }
+    }
+
+    /// The mempool as seen from `node` at `now_ms`: every pending tx whose
+    /// gossip wavefront has reached the node.
+    pub fn visible_at(&self, network: &Network, node: NodeId, now_ms: u64) -> Vec<&PendingTx> {
+        let mut v: Vec<&PendingTx> = self
+            .txs
+            .values()
+            .filter(|p| network.arrival_ms(p.origin, node, p.submit_ms) <= now_ms)
+            .collect();
+        // Deterministic order: descending bid, then hash.
+        v.sort_by(|a, b| {
+            b.tx.bid_per_gas()
+                .cmp(&a.tx.bid_per_gas())
+                .then_with(|| a.tx.hash().cmp(&b.tx.hash()))
+        });
+        v
+    }
+
+    /// Iterate all pending transactions (no visibility filter).
+    pub fn iter(&self) -> impl Iterator<Item = &PendingTx> {
+        self.txs.values()
+    }
+
+    /// Number of pending transactions from one sender (the nonce-chain
+    /// length a new submission must append after).
+    pub fn pending_count(&self, sender: Address) -> usize {
+        self.by_sender.get(&sender).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::{gwei, Action, Gas, TxFee};
+
+    fn tx(from: u64, nonce: u64, price: Wei) -> Transaction {
+        Transaction::new(
+            Address::from_index(from),
+            nonce,
+            TxFee::Legacy { gas_price: price },
+            Gas(21_000),
+            Action::Other { gas: Gas(21_000) },
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut m = Mempool::new(100);
+        let t = tx(1, 0, gwei(50));
+        let h = t.hash();
+        m.insert(t, 0, 1000).unwrap();
+        assert!(m.contains(h));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(h).unwrap().submit_ms, 1000);
+    }
+
+    #[test]
+    fn replace_by_fee_requires_bump() {
+        let mut m = Mempool::new(100);
+        m.insert(tx(1, 0, gwei(100)), 0, 0).unwrap();
+        // +9 % rejected.
+        assert_eq!(
+            m.insert(tx(1, 0, gwei(109)), 0, 0),
+            Err(MempoolError::ReplacementUnderpriced)
+        );
+        // +10 % accepted, replacing the old one.
+        m.insert(tx(1, 0, gwei(110)), 0, 0).unwrap();
+        assert_eq!(m.len(), 1);
+        let only = m.iter().next().unwrap();
+        assert_eq!(only.tx.bid_per_gas(), gwei(110));
+    }
+
+    #[test]
+    fn eviction_when_full() {
+        let mut m = Mempool::new(2);
+        m.insert(tx(1, 0, gwei(10)), 0, 0).unwrap();
+        m.insert(tx(2, 0, gwei(20)), 0, 0).unwrap();
+        // Cheaper than the floor: rejected.
+        assert_eq!(m.insert(tx(3, 0, gwei(10)), 0, 0), Err(MempoolError::FeeTooLowToEvict));
+        // Richer: evicts the gwei(10) tx.
+        m.insert(tx(3, 0, gwei(30)), 0, 0).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|p| p.tx.bid_per_gas() >= gwei(20)));
+    }
+
+    #[test]
+    fn prune_sender_drops_stale_nonces() {
+        let mut m = Mempool::new(100);
+        for n in 0..5 {
+            m.insert(tx(1, n, gwei(50)), 0, 0).unwrap();
+        }
+        m.prune_sender(Address::from_index(1), 3);
+        assert_eq!(m.len(), 2);
+        let nonces: Vec<_> = m.iter().map(|p| p.tx.nonce).collect();
+        assert!(nonces.contains(&3) && nonces.contains(&4));
+    }
+
+    #[test]
+    fn visibility_respects_gossip_latency() {
+        let net = Network::uniform(3, 100);
+        let mut m = Mempool::new(100);
+        m.insert(tx(1, 0, gwei(50)), 0, 1_000).unwrap();
+        // At origin: visible immediately.
+        assert_eq!(m.visible_at(&net, 0, 1_000).len(), 1);
+        // Remote node: not yet at t=1050, visible at t=1100.
+        assert_eq!(m.visible_at(&net, 1, 1_050).len(), 0);
+        assert_eq!(m.visible_at(&net, 1, 1_100).len(), 1);
+    }
+
+    #[test]
+    fn visible_ordering_is_fee_descending() {
+        let net = Network::uniform(2, 1);
+        let mut m = Mempool::new(100);
+        m.insert(tx(1, 0, gwei(10)), 0, 0).unwrap();
+        m.insert(tx(2, 0, gwei(90)), 0, 0).unwrap();
+        m.insert(tx(3, 0, gwei(40)), 0, 0).unwrap();
+        let bids: Vec<_> = m.visible_at(&net, 1, 10).iter().map(|p| p.tx.bid_per_gas()).collect();
+        assert_eq!(bids, vec![gwei(90), gwei(40), gwei(10)]);
+    }
+
+    #[test]
+    fn remove_clears_sender_index() {
+        let mut m = Mempool::new(100);
+        let t = tx(1, 0, gwei(50));
+        let h = t.hash();
+        m.insert(t, 0, 0).unwrap();
+        m.remove(h).unwrap();
+        assert!(m.is_empty());
+        // Re-inserting the same (sender, nonce) works without RBF check.
+        m.insert(tx(1, 0, gwei(10)), 0, 0).unwrap();
+    }
+}

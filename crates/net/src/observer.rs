@@ -1,0 +1,175 @@
+//! The measurement vantage point: a node subscribed to pending
+//! transactions, recording everything it sees during a collection window.
+//!
+//! Mirrors §3.2 of the paper (125.6 M pending transactions collected over
+//! five months via `web3.eth.subscribe("pendingTransactions")`). The
+//! observer's *coverage* is imperfect — the paper assumes its node "saw
+//! the vast majority of transactions" — so a configurable per-transaction
+//! miss probability models subscription drops, and the private-inference
+//! sensitivity ablation sweeps it.
+
+use crate::gossip::{Network, NodeId};
+use mev_types::TxHash;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One observed pending transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedTx {
+    pub hash: TxHash,
+    /// When the subscription delivered it (ms since epoch).
+    pub seen_ms: u64,
+}
+
+/// A pending-transaction observer attached to one gossip node.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    node: NodeId,
+    /// Collection window (ms since epoch, inclusive).
+    window: (u64, u64),
+    /// Probability a delivered transaction is missed (subscription drop).
+    miss_rate: f64,
+    seen: HashMap<TxHash, u64>,
+    /// Count of transactions dropped by the miss model.
+    pub dropped: u64,
+}
+
+impl Observer {
+    /// Create an observer at `node` for the given window.
+    pub fn new(node: NodeId, window: (u64, u64), miss_rate: f64) -> Observer {
+        assert!(window.0 <= window.1, "inverted window");
+        assert!((0.0..1.0).contains(&miss_rate), "miss rate must be in [0,1)");
+        Observer { node, window, miss_rate, seen: HashMap::new(), dropped: 0 }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn window(&self) -> (u64, u64) {
+        self.window
+    }
+
+    /// Effective coverage: `1 − miss_rate`.
+    pub fn coverage(&self) -> f64 {
+        1.0 - self.miss_rate
+    }
+
+    /// Offer a publicly gossiped transaction: the observer records it if
+    /// its arrival at the observer's node falls inside the window and the
+    /// miss model doesn't drop it.
+    pub fn offer(
+        &mut self,
+        network: &Network,
+        hash: TxHash,
+        origin: NodeId,
+        submit_ms: u64,
+        rng: &mut StdRng,
+    ) {
+        let arrival = network.arrival_ms(origin, self.node, submit_ms);
+        if arrival < self.window.0 || arrival > self.window.1 {
+            return;
+        }
+        if self.miss_rate > 0.0 && rng.gen_bool(self.miss_rate) {
+            self.dropped += 1;
+            return;
+        }
+        self.seen.entry(hash).or_insert(arrival);
+    }
+
+    /// Was this hash observed as pending? The §6.1 membership test:
+    /// a mined transaction never observed pending is *private*.
+    pub fn saw(&self, hash: TxHash) -> bool {
+        self.seen.contains_key(&hash)
+    }
+
+    /// When the hash was first seen, if at all.
+    pub fn first_seen_ms(&self, hash: TxHash) -> Option<u64> {
+        self.seen.get(&hash).copied()
+    }
+
+    /// Number of distinct transactions observed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mev_types::H256;
+    use rand::SeedableRng;
+
+    fn hash(i: u8) -> TxHash {
+        let mut b = [0u8; 32];
+        b[0] = i;
+        H256(b)
+    }
+
+    #[test]
+    fn records_inside_window_only() {
+        let net = Network::uniform(2, 100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut o = Observer::new(0, (1_000, 2_000), 0.0);
+        // Arrives at 950: before window.
+        o.offer(&net, hash(1), 1, 850, &mut rng);
+        // Arrives at 1_500: inside.
+        o.offer(&net, hash(2), 1, 1_400, &mut rng);
+        // Arrives at 2_100: after.
+        o.offer(&net, hash(3), 1, 2_000, &mut rng);
+        assert!(!o.saw(hash(1)));
+        assert!(o.saw(hash(2)));
+        assert!(!o.saw(hash(3)));
+        assert_eq!(o.first_seen_ms(hash(2)), Some(1_500));
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn zero_miss_rate_sees_everything_in_window() {
+        let net = Network::uniform(2, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut o = Observer::new(0, (0, u64::MAX), 0.0);
+        for i in 0..100 {
+            o.offer(&net, hash(i), 1, 100, &mut rng);
+        }
+        assert_eq!(o.len(), 100);
+        assert_eq!(o.dropped, 0);
+    }
+
+    #[test]
+    fn miss_rate_drops_roughly_that_fraction() {
+        let net = Network::uniform(2, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut o = Observer::new(0, (0, u64::MAX), 0.2);
+        for i in 0..200u64 {
+            let mut b = [0u8; 32];
+            b[..8].copy_from_slice(&i.to_be_bytes());
+            o.offer(&net, H256(b), 1, 100, &mut rng);
+        }
+        let miss = o.dropped as f64 / 200.0;
+        assert!((0.1..0.3).contains(&miss), "miss fraction {miss}");
+        assert_eq!(o.len() as u64 + o.dropped, 200);
+    }
+
+    #[test]
+    fn duplicate_offers_keep_first_seen() {
+        let net = Network::uniform(2, 10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut o = Observer::new(0, (0, u64::MAX), 0.0);
+        o.offer(&net, hash(1), 1, 500, &mut rng);
+        o.offer(&net, hash(1), 1, 900, &mut rng);
+        assert_eq!(o.first_seen_ms(hash(1)), Some(510));
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted window")]
+    fn inverted_window_panics() {
+        Observer::new(0, (10, 5), 0.0);
+    }
+}

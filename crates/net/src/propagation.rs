@@ -1,0 +1,125 @@
+//! Propagation measurement — the Kiffer et al. style analysis the paper
+//! leans on for §6.1's key assumption ("our node saw the vast majority of
+//! transactions propagated through the network").
+//!
+//! Given the gossip graph, compute how node coverage grows with time after
+//! a transaction is submitted, and in particular how long until a specific
+//! observer node is reached — the window in which a frontrunner can act on
+//! a transaction the observer has not yet seen.
+
+use crate::gossip::{Network, NodeId};
+
+/// Coverage curve: for each checkpoint `t_ms`, the fraction of nodes a
+/// message from `origin` has reached by `t_ms`.
+pub fn coverage_curve(network: &Network, origin: NodeId, checkpoints_ms: &[u64]) -> Vec<f64> {
+    let n = network.len() as f64;
+    checkpoints_ms
+        .iter()
+        .map(|&t| {
+            let reached =
+                (0..network.len()).filter(|&node| network.latency_ms(origin, node) <= t).count();
+            reached as f64 / n
+        })
+        .collect()
+}
+
+/// Time for a message from `origin` to reach `fraction` of all nodes.
+pub fn time_to_coverage_ms(network: &Network, origin: NodeId, fraction: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut delays: Vec<u64> =
+        (0..network.len()).map(|node| network.latency_ms(origin, node)).collect();
+    delays.sort_unstable();
+    let k = ((network.len() as f64 * fraction).ceil() as usize).clamp(1, network.len());
+    delays[k - 1]
+}
+
+/// Worst-case delay from any origin to the observer: an upper bound on how
+/// stale the observer's pending view can be for propagating transactions.
+pub fn observer_max_lag_ms(network: &Network, observer: NodeId) -> u64 {
+    (0..network.len()).map(|origin| network.latency_ms(origin, observer)).max().unwrap_or(0)
+}
+
+/// Fraction of (origin, submit-offset) combinations whose transaction
+/// reaches the observer before a block built `block_interval_ms` after
+/// submission — an analytic estimate of observer coverage for uniformly
+/// timed submissions.
+pub fn expected_observer_coverage(
+    network: &Network,
+    observer: NodeId,
+    block_interval_ms: u64,
+) -> f64 {
+    if block_interval_ms == 0 {
+        return 0.0;
+    }
+    // A tx submitted at uniform offset u in [0, interval) from origin o is
+    // seen before the block if latency(o, observer) <= interval - u.
+    // Integrating over u: P(seen | o) = max(0, 1 - latency / interval).
+    let n = network.len() as f64;
+    (0..network.len())
+        .map(|o| {
+            let l = network.latency_ms(o, observer) as f64;
+            (1.0 - l / block_interval_ms as f64).max(0.0)
+        })
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coverage_curve_is_monotone_and_complete() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Network::random(30, 60, (5, 50), &mut rng);
+        let cps = [0u64, 10, 25, 50, 100, 1_000];
+        let curve = coverage_curve(&net, 0, &cps);
+        assert_eq!(curve.len(), cps.len());
+        for w in curve.windows(2) {
+            assert!(w[0] <= w[1], "monotone");
+        }
+        assert!(curve[0] >= 1.0 / 30.0, "origin always reached at t=0");
+        assert_eq!(curve[cps.len() - 1], 1.0, "full coverage eventually");
+    }
+
+    #[test]
+    fn time_to_coverage_brackets_the_curve() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = Network::random(25, 40, (5, 50), &mut rng);
+        let t50 = time_to_coverage_ms(&net, 0, 0.5);
+        let t99 = time_to_coverage_ms(&net, 0, 0.99);
+        assert!(t50 <= t99);
+        let at_t50 = coverage_curve(&net, 0, &[t50])[0];
+        assert!(at_t50 >= 0.5);
+        assert_eq!(time_to_coverage_ms(&net, 0, 0.0), 0, "self counts");
+    }
+
+    #[test]
+    fn observer_lag_is_the_eclipse_bound() {
+        let net = Network::uniform(8, 40);
+        assert_eq!(observer_max_lag_ms(&net, 0), 40);
+    }
+
+    #[test]
+    fn expected_coverage_rises_with_block_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Network::random(30, 60, (5, 150), &mut rng);
+        let fast = expected_observer_coverage(&net, 0, 200);
+        let slow = expected_observer_coverage(&net, 0, 13_000);
+        assert!(fast < slow);
+        assert!(slow > 0.97, "13 s blocks ⇒ near-complete coverage: {slow}");
+        assert_eq!(expected_observer_coverage(&net, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn uniform_network_coverage_closed_form() {
+        // latency 100 everywhere, interval 1000: P(seen) = 0.9 for remote
+        // origins, 1.0 for self ⇒ (1 + 7·0.9)/8.
+        let net = Network::uniform(8, 100);
+        let got = expected_observer_coverage(&net, 0, 1_000);
+        let expect = (1.0 + 7.0 * 0.9) / 8.0;
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+}

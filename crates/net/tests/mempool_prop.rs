@@ -1,0 +1,111 @@
+//! Property tests over the mempool: size bounds, replace-by-fee
+//! monotonicity, per-sender nonce-chain integrity, and visibility
+//! consistency with the gossip graph.
+
+use mev_net::{Mempool, Network};
+use mev_types::{gwei, Action, Address, Gas, Transaction, TxFee, Wei};
+use proptest::prelude::*;
+
+fn tx(from: u64, nonce: u64, price_gwei: u128) -> Transaction {
+    Transaction::new(
+        Address::from_index(from),
+        nonce,
+        TxFee::Legacy { gas_price: gwei(price_gwei) },
+        Gas(21_000),
+        Action::Other { gas: Gas(21_000) },
+        Wei::ZERO,
+        None,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pool never exceeds its capacity, and whatever survives a storm
+    /// of inserts is exactly retrievable: contains(hash) ⇔ iter() yields it.
+    #[test]
+    fn capacity_and_membership_consistency(
+        inserts in proptest::collection::vec((0u64..6, 0u64..4, 1u128..200), 1..120),
+        cap in 1usize..40,
+    ) {
+        let mut pool = Mempool::new(cap);
+        for (from, nonce, price) in inserts {
+            let _ = pool.insert(tx(from, nonce, price), 0, 0);
+            prop_assert!(pool.len() <= cap);
+        }
+        let iterated: std::collections::HashSet<_> =
+            pool.iter().map(|p| p.tx.hash()).collect();
+        prop_assert_eq!(iterated.len(), pool.len());
+        for h in &iterated {
+            prop_assert!(pool.contains(*h));
+        }
+        // Per-sender pending counts sum to the pool size.
+        let senders: std::collections::HashSet<_> = pool.iter().map(|p| p.tx.from).collect();
+        let sum: usize = senders.iter().map(|&s| pool.pending_count(s)).sum();
+        prop_assert_eq!(sum, pool.len());
+    }
+
+    /// Replace-by-fee can only ever increase the resident bid for a
+    /// (sender, nonce) slot, and never duplicates the slot.
+    #[test]
+    fn rbf_is_monotone(prices in proptest::collection::vec(1u128..10_000, 1..30)) {
+        let mut pool = Mempool::new(100);
+        let mut best: Option<u128> = None;
+        for p in prices {
+            let accepted = pool.insert(tx(1, 0, p), 0, 0).is_ok();
+            match best {
+                None => {
+                    prop_assert!(accepted, "first insert always lands");
+                    best = Some(p);
+                }
+                Some(b) => {
+                    // The 10 % bump rule.
+                    let required = b + b / 10;
+                    if p >= required && accepted {
+                        best = Some(p);
+                    } else {
+                        prop_assert!(!accepted || p >= required);
+                    }
+                }
+            }
+            // Exactly one resident for the slot.
+            prop_assert_eq!(pool.pending_count(Address::from_index(1)), 1);
+            let resident = pool.iter().next().expect("one resident").tx.bid_per_gas();
+            prop_assert_eq!(resident, gwei(best.expect("set")));
+        }
+    }
+
+    /// prune_sender removes exactly the sub-nonce entries.
+    #[test]
+    fn prune_is_exact(nonces in proptest::collection::hash_set(0u64..30, 1..20), cut in 0u64..35) {
+        let mut pool = Mempool::new(100);
+        for &n in &nonces {
+            pool.insert(tx(1, n, 50), 0, 0).unwrap();
+        }
+        pool.prune_sender(Address::from_index(1), cut);
+        let remaining: std::collections::HashSet<u64> =
+            pool.iter().map(|p| p.tx.nonce).collect();
+        let expected: std::collections::HashSet<u64> =
+            nonces.iter().copied().filter(|&n| n >= cut).collect();
+        prop_assert_eq!(remaining, expected);
+    }
+
+    /// Visibility is monotone in time and converges to the full pool.
+    #[test]
+    fn visibility_monotone_in_time(
+        subs in proptest::collection::vec((0u64..8, 0usize..6, 0u64..5_000), 1..25),
+    ) {
+        let net = Network::uniform(6, 250);
+        let mut pool = Mempool::new(100);
+        for (i, (from, origin, t)) in subs.iter().enumerate() {
+            let _ = pool.insert(tx(*from, i as u64, 50), origin % 6, *t);
+        }
+        let mut prev = 0;
+        for t in [0u64, 1_000, 2_500, 5_000, 10_000] {
+            let visible = pool.visible_at(&net, 3, t).len();
+            prop_assert!(visible >= prev, "visibility can only grow");
+            prev = visible;
+        }
+        prop_assert_eq!(prev, pool.len(), "everything visible eventually");
+    }
+}

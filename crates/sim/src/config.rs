@@ -1,0 +1,309 @@
+//! Scenario configuration: every knob of the simulated world, with a
+//! default preset shaped after the paper's measurement span.
+
+use mev_types::{Month, Timeline};
+
+/// How a miner orders the public (non-bundle) section of a block.
+/// `FeePriority` is Ethereum's default and what enables public
+/// frontrunning (§2.2.1); `Random` is the §8.3 countermeasure the paper
+/// analyses (and rejects); `Fcfs` is the fair-ordering family of §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OrderingPolicy {
+    FeePriority,
+    Random,
+    Fcfs,
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Scenario {
+    /// Master RNG seed — the entire run is a pure function of this.
+    pub seed: u64,
+    /// Simulated blocks per calendar month (the scale factor; mainnet is
+    /// ~195,000).
+    pub blocks_per_month: u64,
+    /// Number of months simulated, starting May 2020 (the paper spans 23:
+    /// May 2020 – March 2022).
+    pub months: u32,
+    /// Number of non-WETH tokens.
+    pub n_tokens: u32,
+    /// Miner population.
+    pub miners: MinerConfig,
+    /// Trader flow.
+    pub trades_per_block: f64,
+    /// Number of distinct trader accounts.
+    pub n_traders: u64,
+    /// Searcher behaviour.
+    pub searchers: SearcherConfig,
+    /// Pending-transaction observer window and fidelity.
+    pub observer: ObserverConfig,
+    /// Flashbots goes live (first FB block: Feb 11th 2021).
+    pub flashbots_launch: Month,
+    /// Month from which the searcher exodus to other private pools begins
+    /// (§4.5: September 2021).
+    pub exodus_month: Month,
+    /// Gossip network shape.
+    pub network: NetworkConfig,
+    /// Oracle dynamics.
+    pub oracle: OracleConfig,
+    /// Lending/borrower dynamics.
+    pub lending: LendingConfig,
+    /// Fraction of ordinary trades routed through Flashbots for MEV
+    /// protection once live ("other" bundles of Figure 7).
+    pub protection_trade_share: f64,
+    /// Mining-pool payout cadence in blocks (payout bundles, §4.1).
+    pub payout_interval: u64,
+    /// Emit the one-off 700-transaction F2Pool payout bundle the paper
+    /// found in block 12,481,590.
+    pub giant_payout_bundle: bool,
+    /// Public-section ordering policy (the §8.3 countermeasure ablation).
+    pub ordering: OrderingPolicy,
+}
+
+/// Miner population shape.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MinerConfig {
+    /// Number of mining pools (the paper sees ≤ 55 Flashbots miners/month).
+    pub count: usize,
+    /// Zipf exponent of the hashrate distribution.
+    pub zipf_alpha: f64,
+    /// Miners (smallest ranks) that never join Flashbots.
+    pub never_join: usize,
+}
+
+/// Searcher behaviour and population.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SearcherConfig {
+    /// Peak concurrently-active sandwich searchers (reached August 2021).
+    pub peak_sandwichers: usize,
+    /// Peak arbitrage searchers.
+    pub peak_arbitrageurs: usize,
+    /// Peak liquidation searchers.
+    pub peak_liquidators: usize,
+    /// Fraction of searchers whose contracts are buggy (§5.2 losses).
+    pub buggy_fraction: f64,
+    /// Mean share of expected profit bid away as the Flashbots coinbase
+    /// tip (sealed-bid overbidding, §8.2).
+    pub tip_share_mean: f64,
+    /// Std-dev of the tip share.
+    pub tip_share_std: f64,
+    /// Share of gross profit burned on PGA escalation in the public pool.
+    pub pga_burn_mean: f64,
+    /// Sandwich capital per searcher, WETH base units.
+    pub capital: u128,
+    /// Minimum expected gross profit to act, wei.
+    pub min_profit: u128,
+    /// Probability an arbitrage is funded by a flash loan (§3.1.2: 0.29 %).
+    pub arb_flash_loan_rate: f64,
+    /// Probability a liquidation is funded by a flash loan (§3.1.3: 5.09 %).
+    pub liq_flash_loan_rate: f64,
+    /// Post-exodus sandwich venue mix (must sum to ≤ 1; remainder public).
+    pub late_fb_share: f64,
+    pub late_private_share: f64,
+}
+
+/// Observer window and fidelity (§3.2: Nov 8th 2021 – Apr 9th 2022).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ObserverConfig {
+    pub start: Month,
+    pub end: Month,
+    /// Probability the subscription misses a delivered transaction.
+    pub miss_rate: f64,
+}
+
+/// Gossip network shape.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NetworkConfig {
+    pub nodes: usize,
+    pub extra_edges: usize,
+    pub latency_ms: (u64, u64),
+}
+
+/// Oracle dynamics: geometric random walk per token.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OracleConfig {
+    /// Probability an oracle update lands in a given block.
+    pub update_rate: f64,
+    /// Per-update log-price volatility.
+    pub sigma: f64,
+    /// Occasional crash probability (drives liquidations).
+    pub crash_rate: f64,
+    /// Crash magnitude (fractional price drop).
+    pub crash_size: f64,
+}
+
+/// Borrower dynamics.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LendingConfig {
+    /// Probability a new leveraged borrower appears per block.
+    pub new_borrower_rate: f64,
+    /// How close to the limit borrowers lever (fraction of max borrow).
+    pub leverage: f64,
+    /// Number of distinct borrower accounts.
+    pub n_borrowers: u64,
+}
+
+impl Default for Scenario {
+    /// The paper-shaped preset at 1/195 scale (1,000 blocks per month).
+    fn default() -> Scenario {
+        Scenario {
+            seed: 0xF1A5_B075,
+            blocks_per_month: 1_000,
+            months: 23,
+            n_tokens: 8,
+            miners: MinerConfig { count: 55, zipf_alpha: 1.6, never_join: 5 },
+            trades_per_block: 6.0,
+            n_traders: 2_000,
+            searchers: SearcherConfig {
+                peak_sandwichers: 40,
+                peak_arbitrageurs: 60,
+                peak_liquidators: 15,
+                buggy_fraction: 0.02,
+                tip_share_mean: 0.85,
+                tip_share_std: 0.05,
+                pga_burn_mean: 0.13,
+                capital: 3_000 * 10u128.pow(18),
+                min_profit: 10u128.pow(16), // 0.01 ETH
+                arb_flash_loan_rate: 0.003,
+                liq_flash_loan_rate: 0.05,
+                late_fb_share: 0.80,
+                late_private_share: 0.14,
+            },
+            observer: ObserverConfig {
+                start: Month::new(2021, 11),
+                end: Month::new(2022, 3),
+                miss_rate: 0.002,
+            },
+            flashbots_launch: Month::new(2021, 2),
+            exodus_month: Month::new(2021, 9),
+            network: NetworkConfig { nodes: 40, extra_edges: 80, latency_ms: (5, 150) },
+            oracle: OracleConfig { update_rate: 0.25, sigma: 0.006, crash_rate: 0.0015, crash_size: 0.22 },
+            lending: LendingConfig { new_borrower_rate: 0.02, leverage: 0.90, n_borrowers: 400 },
+            protection_trade_share: 0.08,
+            payout_interval: 45,
+            giant_payout_bundle: true,
+            ordering: OrderingPolicy::FeePriority,
+        }
+    }
+}
+
+impl Scenario {
+    /// A small scenario for unit/integration tests: the same 23-month
+    /// calendar span at 60 blocks per month, with a smaller world and
+    /// rates bumped so rare events (buggy-searcher losses, crashes)
+    /// stay represented in the small sample.
+    pub fn quick() -> Scenario {
+        Scenario {
+            blocks_per_month: 60,
+            months: 23,
+            n_tokens: 4,
+            trades_per_block: 5.0,
+            miners: MinerConfig { count: 12, zipf_alpha: 1.6, never_join: 2 },
+            searchers: SearcherConfig {
+                peak_sandwichers: 8,
+                peak_arbitrageurs: 10,
+                peak_liquidators: 4,
+                // The hash-spread buggy subset needs a higher rate to be
+                // non-empty in a population this small, and flash-loan
+                // usage needs boosting to survive the small sample.
+                buggy_fraction: 0.25,
+                liq_flash_loan_rate: 0.30,
+                ..Scenario::default().searchers
+            },
+            oracle: OracleConfig {
+                // More crashes so the short run still produces a
+                // liquidation sample.
+                crash_rate: 0.012,
+                ..Scenario::default().oracle
+            },
+            network: NetworkConfig { nodes: 12, extra_edges: 20, latency_ms: (5, 100) },
+            ..Scenario::default()
+        }
+    }
+
+    /// The timeline implied by the scale factor.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::paper_span(self.blocks_per_month)
+    }
+
+    /// First simulated block height.
+    pub fn genesis_block(&self) -> u64 {
+        self.timeline().genesis_number
+    }
+
+    /// Total simulated blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_per_month * self.months as u64
+    }
+
+    /// Last simulated month (inclusive).
+    pub fn last_month(&self) -> Month {
+        let mut m = Month::new(2020, 5);
+        for _ in 1..self.months {
+            m = m.next();
+        }
+        m
+    }
+
+    /// Mainnet-anchored fork schedule mapped into simulated block numbers:
+    /// Berlin on April 15th 2021, London on August 5th 2021.
+    pub fn fork_schedule(&self) -> mev_chain::ForkSchedule {
+        let tl = self.timeline();
+        let april = tl.first_block_of_month(Month::new(2021, 4));
+        let august = tl.first_block_of_month(Month::new(2021, 8));
+        mev_chain::ForkSchedule {
+            // Mid-April and early August, proportionally within the month.
+            berlin_block: april + self.blocks_per_month / 2,
+            london_block: august + self.blocks_per_month / 6,
+        }
+    }
+
+    /// Block at which Flashbots starts accepting bundles (≈ Feb 11th 2021).
+    pub fn flashbots_launch_block(&self) -> u64 {
+        let tl = self.timeline();
+        tl.first_block_of_month(self.flashbots_launch) + self.blocks_per_month / 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spans_the_paper_window() {
+        let s = Scenario::default();
+        assert_eq!(s.last_month(), Month::new(2022, 3));
+        assert_eq!(s.total_blocks(), 23_000);
+        let tl = s.timeline();
+        assert_eq!(tl.at(s.genesis_block()).month(), Month::new(2020, 5));
+    }
+
+    #[test]
+    fn fork_ordering() {
+        let s = Scenario::default();
+        let f = s.fork_schedule();
+        assert!(f.berlin_block < f.london_block);
+        let tl = s.timeline();
+        assert_eq!(tl.at(f.berlin_block).month(), Month::new(2021, 4));
+        assert_eq!(tl.at(f.london_block).month(), Month::new(2021, 8));
+        // Flashbots launches before both forks.
+        assert!(s.flashbots_launch_block() < f.berlin_block);
+        assert_eq!(tl.at(s.flashbots_launch_block()).month(), Month::new(2021, 2));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::default();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, s.seed);
+        assert_eq!(back.observer.start, Month::new(2021, 11));
+    }
+
+    #[test]
+    fn quick_is_smaller_but_same_span() {
+        let q = Scenario::quick();
+        assert!(q.total_blocks() < Scenario::default().total_blocks());
+        assert_eq!(q.last_month(), Month::new(2022, 3));
+    }
+}

@@ -1,0 +1,1609 @@
+//! The simulation engine: wires every substrate together and replays the
+//! paper's 23-month history block by block.
+//!
+//! Each iteration: the gas market moves, the oracle walks, borrowers
+//! lever up, traders swap, searchers extract MEV through their venue of
+//! the epoch (public PGA → Flashbots bundle → other private pool), a
+//! hashrate-weighted miner assembles and executes the block, and the
+//! three recorders (archive node, observer, blocks API) log what the
+//! measurement pipeline will later crawl.
+
+use crate::config::Scenario;
+use crate::output::{SimOutput, SimStats};
+use crate::population::{
+    searcher_address, SearcherPopulation, Strategy, Venue, PRIVATE_EXTRACTOR_BASE,
+};
+use mev_agents::strategies::arbitrage::{copy_with_higher_fee, find_arbitrage, find_triangle_arbitrage, ArbPlan};
+use mev_agents::strategies::liquidation::{plan_backrun_of_oracle_update, plan_liquidations, LiquidationPlan};
+use mev_agents::strategies::sandwich::{plan_sandwich, plan_sandwich_buggy};
+use mev_agents::{GasMarket, MinerSet, TraderPool};
+use mev_chain::{base_fee_after, build_block, BlockSpec, BuiltBlock, ChainStore, ForkSchedule, World};
+use mev_dex::pool::build as pool_build;
+use mev_flashbots::{
+    assemble_candidates, select_bundles, BlocksApi, Bundle, BundleRecord, BundleType,
+    FlashbotsBlockRecord, PrivateChannel, PrivateSubmission, Relay, SelectionConfig,
+};
+use mev_net::{Mempool, Network, Observer};
+use mev_types::{
+    eth, gwei, Action, Address, Gas, GroundTruth, Month, SwapCall, TokenId, Transaction, TxFee,
+    TxHash, Wei, H256,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+const E18: u128 = 10u128.pow(18);
+const ORACLE_ADMIN: u64 = 0x8000_0000_0000;
+const BORROWER_BASE: u64 = 0x9000_0000_0000;
+const PAYOUT_RECIPIENT_BASE: u64 = 0xA000_0000_0000;
+
+/// Channel indices into `Simulation::channels`. The two dominant miners'
+/// self-channels occupy slots 1 and 2; their self-extraction is delivered
+/// as ephemeral private submissions when they win a block, so only the
+/// shared pools are addressed by index.
+const CH_EDEN: usize = 0;
+const CH_TAICHI: usize = 3;
+
+/// The live simulation.
+pub struct Simulation {
+    s: Scenario,
+    rng: StdRng,
+    world: World,
+    chain: ChainStore,
+    mempool: Mempool,
+    network: Network,
+    observer: Observer,
+    relay: Relay,
+    blocks_api: BlocksApi,
+    channels: Vec<PrivateChannel>,
+    miners: MinerSet,
+    gas_market: GasMarket,
+    population: SearcherPopulation,
+    traders: TraderPool,
+    forks: ForkSchedule,
+    base_fee: Wei,
+    /// Per-block speculative nonce offsets: bundle/private transactions
+    /// never enter the mempool, so their nonce reservations must expire
+    /// with the block they were planned for (otherwise an unmined bundle
+    /// would wedge its sender's nonce chain forever).
+    block_nonce_offset: HashMap<Address, u64>,
+    /// Walk state of each token's oracle price (wei per whole token).
+    token_prices: HashMap<TokenId, u128>,
+    /// Victims already claimed by a sandwich.
+    targeted: HashSet<TxHash>,
+    /// Round-robin cursors.
+    arb_rotor: usize,
+    liq_rotor: usize,
+    borrower_rotor: u64,
+    stats: SimStats,
+    sel_cfg: SelectionConfig,
+    fb_launch_block: u64,
+    giant_payout_done: bool,
+}
+
+impl Simulation {
+    /// Build the world from a scenario. Deterministic in `scenario.seed`.
+    pub fn new(s: Scenario) -> Simulation {
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let timeline = s.timeline();
+        let forks = s.fork_schedule();
+        let mut world = World::new(s.n_tokens);
+
+        // --- tokens & initial prices ---
+        let mut token_prices = HashMap::new();
+        for i in 1..=s.n_tokens {
+            let token = TokenId(i);
+            // Spread of prices; the last token is WETH-pegged (stETH-like)
+            // so the Curve pool makes sense.
+            let price = if i == s.n_tokens {
+                E18
+            } else {
+                (E18 / 5) + (i as u128 * 37 * E18 / 100)
+            };
+            token_prices.insert(token, price);
+            world.oracle.update(token, timeline.genesis_number, price);
+        }
+
+        // --- pools ---
+        for i in 1..=s.n_tokens {
+            let token = TokenId(i);
+            let price = token_prices[&token];
+            let weth_side =
+                |r: &mut StdRng| (600 + r.gen_range(0..900)) as u128 * E18;
+            let tok_for = |weth: u128| {
+                mev_types::U256::from(weth).mul_u128(E18).div_u128(price).as_u128()
+            };
+            let w1 = weth_side(&mut rng);
+            world.dex.add_pool(pool_build::uniswap_v2(i, TokenId::WETH, token, w1, tok_for(w1)));
+            // Sushi slightly mispriced: seeds arbitrage.
+            let w2 = weth_side(&mut rng);
+            let skew = 98 + rng.gen_range(0..5) as u128; // 98–102 %
+            world.dex.add_pool(pool_build::sushiswap(
+                i,
+                TokenId::WETH,
+                token,
+                w2,
+                tok_for(w2) * skew / 100,
+            ));
+            if i % 2 == 0 {
+                let w = weth_side(&mut rng);
+                world.dex.add_pool(pool_build::uniswap_v3(i, TokenId::WETH, token, w, tok_for(w)));
+            }
+            if i % 3 == 0 {
+                let w = weth_side(&mut rng);
+                world.dex.add_pool(pool_build::bancor(i, TokenId::WETH, token, w, tok_for(w)));
+            }
+            if i % 3 == 1 {
+                let w = weth_side(&mut rng);
+                world.dex.add_pool(pool_build::balancer(i, TokenId::WETH, token, w, tok_for(w), 5000));
+            }
+            if i % 4 == 0 {
+                world.dex.add_pool(pool_build::zeroex(i, token, price, 2_000 * E18, 2_000 * E18));
+            }
+            if i % 4 == 1 {
+                let w = weth_side(&mut rng);
+                world.dex.add_pool(pool_build::uniswap_v1(i, token, w, tok_for(w)));
+            }
+            if i == s.n_tokens {
+                // Curve stable pool: WETH vs the pegged token.
+                world.dex.add_pool(pool_build::curve(
+                    i,
+                    TokenId::WETH,
+                    token,
+                    3_000 * E18,
+                    3_000 * E18,
+                ));
+            }
+            // Token-token cross pools (every second adjacent pair): the
+            // substrate for triangular arbitrage.
+            if i >= 2 && i % 2 == 0 {
+                let prev = TokenId(i - 1);
+                let p_prev = token_prices[&prev];
+                let weth_equiv = weth_side(&mut rng);
+                // Reserves sized so the cross price is consistent with the
+                // two WETH legs (arbitrage then comes from drift, not
+                // construction).
+                let r_prev =
+                    mev_types::U256::from(weth_equiv).mul_u128(E18).div_u128(p_prev).as_u128();
+                let r_this =
+                    mev_types::U256::from(weth_equiv).mul_u128(E18).div_u128(price).as_u128();
+                world.dex.add_pool(pool_build::sushiswap(1_000 + i, prev, token, r_prev, r_this));
+            }
+        }
+
+        // --- lending liquidity ---
+        for platform in mev_types::LendingPlatformId::ALL {
+            let p = world.lending.platform_mut(platform);
+            p.seed_liquidity(TokenId::WETH, 500_000 * E18);
+            for i in 1..=s.n_tokens {
+                p.seed_liquidity(TokenId(i), 500_000 * E18);
+            }
+        }
+
+        // --- accounts ---
+        let traders = TraderPool { n_traders: s.n_traders, ..TraderPool::default() };
+        let all_tokens: Vec<(TokenId, u128)> = (0..=s.n_tokens)
+            .map(|i| (TokenId(i), 1_000_000 * E18))
+            .collect();
+        for t in 0..s.n_traders {
+            mev_chain::seed_account(&mut world.state, traders.trader_address(t), eth(10_000), &all_tokens);
+        }
+        for (strategy, peak) in [
+            (Strategy::Sandwich, s.searchers.peak_sandwichers),
+            (Strategy::Arbitrage, s.searchers.peak_arbitrageurs),
+            (Strategy::Liquidation, s.searchers.peak_liquidators),
+        ] {
+            for i in 0..peak {
+                mev_chain::seed_account(
+                    &mut world.state,
+                    searcher_address(strategy, i),
+                    eth(100_000),
+                    &all_tokens,
+                );
+            }
+        }
+        for rank in 0..2u64 {
+            mev_chain::seed_account(
+                &mut world.state,
+                Address::from_index(PRIVATE_EXTRACTOR_BASE + rank),
+                eth(100_000),
+                &all_tokens,
+            );
+        }
+        for b in 0..s.lending.n_borrowers {
+            mev_chain::seed_account(&mut world.state, Address::from_index(BORROWER_BASE + b), eth(1_000), &all_tokens);
+        }
+        mev_chain::seed_account(&mut world.state, Address::from_index(ORACLE_ADMIN), eth(1_000_000), &[]);
+
+        // --- miners, relay, channels ---
+        let tl = timeline.clone();
+        let miners = MinerSet::zipf_with_adoption(s.miners.count, s.miners.zipf_alpha, s.miners.never_join, |m| {
+            tl.first_block_of_month(m)
+        });
+        let mut relay = Relay::new();
+        for m in miners.iter() {
+            if m.flashbots_join_block.is_some() {
+                relay.register_miner(m.address);
+            }
+        }
+        let exodus_block = timeline.first_block_of_month(s.exodus_month);
+        let taichi_death = timeline.first_block_of_month(Month::new(2021, 10)) + s.blocks_per_month / 2;
+        let eden_members: Vec<Address> =
+            miners.iter().take(35.min(s.miners.count)).map(|m| m.address).collect();
+        let channels = vec![
+            PrivateChannel::new("eden", eden_members, exodus_block, u64::MAX),
+            PrivateChannel::self_channel(miners.get(0).address, timeline.genesis_number),
+            PrivateChannel::self_channel(miners.get(1).address, timeline.genesis_number),
+            PrivateChannel::new(
+                "taichi",
+                miners.iter().skip(2).take(8).map(|m| m.address).collect(),
+                timeline.first_block_of_month(Month::new(2020, 12)),
+                taichi_death,
+            ),
+        ];
+
+        // --- network & observer ---
+        let network = Network::random(s.network.nodes, s.network.extra_edges, s.network.latency_ms, &mut rng);
+        let obs_start = timeline.timestamp_of(timeline.first_block_of_month(s.observer.start)) * 1000;
+        let obs_end_block = timeline
+            .first_block_of_month(s.observer.end.next())
+            .min(timeline.genesis_number + s.total_blocks());
+        let obs_end = timeline.timestamp_of(obs_end_block) * 1000;
+        // Short scenarios can end before the observer window opens; clamp
+        // to an empty window rather than an inverted one.
+        let observer = Observer::new(0, (obs_start.min(obs_end), obs_end), s.observer.miss_rate);
+
+        let gas_market = GasMarket::new(18.0, 4.5);
+        let population = SearcherPopulation::from_scenario(&s);
+        let sel_cfg = SelectionConfig {
+            bundle_gas_budget: Gas(20_000_000),
+            max_bundles: 42,
+            min_value_per_gas: Wei(1),
+        };
+        let fb_launch_block = s.flashbots_launch_block();
+
+        Simulation {
+            chain: ChainStore::new(timeline),
+            mempool: Mempool::new(200_000),
+            blocks_api: BlocksApi::new(),
+            rng,
+            world,
+            network,
+            observer,
+            relay,
+            channels,
+            miners,
+            gas_market,
+            population,
+            traders,
+            forks,
+            base_fee: Wei::ZERO,
+            block_nonce_offset: HashMap::new(),
+            token_prices,
+            targeted: HashSet::new(),
+            arb_rotor: 0,
+            liq_rotor: 0,
+            borrower_rotor: 0,
+            stats: SimStats::default(),
+            sel_cfg,
+            fb_launch_block,
+            s,
+            giant_payout_done: false,
+        }
+    }
+
+    /// Run to completion and return the recorded datasets.
+    pub fn run(mut self) -> SimOutput {
+        let genesis = self.s.genesis_block();
+        let total = self.s.total_blocks();
+        let mut parent_hash = H256::zero();
+        for i in 0..total {
+            let number = genesis + i;
+            parent_hash = self.step(number, parent_hash);
+        }
+        self.stats.mempool_remaining = self.mempool.len() as u64;
+        self.stats.banned_miners =
+            self.miners.iter().filter(|m| self.relay.is_miner_banned(m.address)).count() as u64;
+        SimOutput {
+            miner_addresses: self.miners.iter().map(|m| m.address).collect(),
+            scenario: self.s,
+            chain: self.chain,
+            blocks_api: self.blocks_api,
+            observer: self.observer,
+            fork_schedule: self.forks,
+            stats: self.stats,
+        }
+    }
+
+    /// One block: generate activity, plan MEV, build, commit, record.
+    fn step(&mut self, number: u64, parent_hash: H256) -> H256 {
+        let ts = self.chain.timeline().timestamp_of(number);
+        let month = self.chain.timeline().at(number).month();
+        let now_ms = ts * 1000;
+        let spb_ms = self.chain.timeline().seconds_per_block * 1000;
+        let submit_ms = now_ms.saturating_sub(spb_ms / 2);
+
+        self.block_nonce_offset.clear();
+        // LP price tether: informed liquidity keeps pools near the wider
+        // market between our explicit agents' interventions.
+        if number % 25 == 3 {
+            self.stats.pools_tethered +=
+                self.world.dex.tether_to_oracle(&self.world.oracle, 500) as u64;
+        }
+        self.step_gas_market(number, month);
+        self.generate_oracle_update(number, submit_ms);
+        self.generate_borrower(submit_ms);
+        self.generate_trades(number, month, submit_ms);
+        self.generate_payouts(number, month, submit_ms);
+        self.plan_mev(number, month, submit_ms);
+        self.build_and_commit(number, ts, parent_hash)
+    }
+
+    // ------------------------------------------------------------------
+    // market & activity generation
+    // ------------------------------------------------------------------
+
+    /// Advance the public gas market. PGA intensity falls with Flashbots
+    /// hashrate capture; organic demand rises into the late-2021 bull run
+    /// (Figure 6's post-drop uptick).
+    fn step_gas_market(&mut self, number: u64, month: Month) {
+        let fb_capture = if number >= self.fb_launch_block {
+            self.miners.flashbots_hashrate_share(number)
+        } else {
+            0.0
+        };
+        let intensity = 1.0 - fb_capture;
+        self.gas_market.base_gwei = 18.0 * organic_demand(month);
+        self.gas_market.step(intensity);
+    }
+
+    /// Next usable nonce: on-chain nonce, plus the sender's pending
+    /// mempool chain, plus this block's speculative reservations.
+    fn take_nonce(&mut self, addr: Address) -> u64 {
+        let chain_nonce = self.world.state.nonce(addr);
+        let pending = self.mempool.pending_count(addr) as u64;
+        let offset = self.block_nonce_offset.entry(addr).or_insert(0);
+        let n = chain_nonce + pending + *offset;
+        *offset += 1;
+        n
+    }
+
+    /// Market-rate legacy fee, floored above the base fee.
+    fn market_fee(&mut self) -> TxFee {
+        let p = self.gas_market.sample_user_price(&mut self.rng);
+        TxFee::Legacy { gas_price: p.max(self.base_fee + gwei(1)) }
+    }
+
+    /// Is the Flashbots relay accepting bundles for `number`?
+    fn fb_live(&self, number: u64) -> bool {
+        number >= self.fb_launch_block
+    }
+
+    /// The near-zero gas price Flashbots bundle txs ride on.
+    fn bundle_fee(&self) -> TxFee {
+        TxFee::Legacy { gas_price: self.base_fee + gwei(1) }
+    }
+
+    /// Submit a transaction publicly: into the mempool at a random origin
+    /// node, and offered to the observer.
+    fn submit_public(&mut self, tx: Transaction, submit_ms: u64) {
+        let origin = self.rng.gen_range(0..self.network.len());
+        let hash = tx.hash();
+        let sender = tx.from;
+        if self.mempool.insert(tx, origin, submit_ms).is_ok() {
+            self.observer.offer(&self.network, hash, origin, submit_ms, &mut self.rng);
+            self.stats.public_txs += 1;
+        }
+        // The reservation either became a pending mempool entry (counted
+        // by pending_count from now on) or was rejected; release it.
+        if let Some(o) = self.block_nonce_offset.get_mut(&sender) {
+            *o = o.saturating_sub(1);
+        }
+    }
+
+    /// Geometric oracle walk with occasional crashes (liquidation fuel).
+    fn generate_oracle_update(&mut self, _number: u64, submit_ms: u64) {
+        if !self.rng.gen_bool(self.s.oracle.update_rate) {
+            return;
+        }
+        let token = TokenId(self.rng.gen_range(1..=self.s.n_tokens));
+        let old = self.token_prices[&token];
+        let new = if self.rng.gen_bool(self.s.oracle.crash_rate / self.s.oracle.update_rate) {
+            (old as f64 * (1.0 - self.s.oracle.crash_size)) as u128
+        } else {
+            let z = normal(&mut self.rng);
+            ((old as f64) * (self.s.oracle.sigma * z).exp()) as u128
+        }
+        .max(E18 / 100);
+        self.token_prices.insert(token, new);
+        let from = Address::from_index(ORACLE_ADMIN);
+        let nonce = self.take_nonce(from);
+        let fee = self.market_fee();
+        let tx = Transaction::new(
+            from,
+            nonce,
+            fee,
+            Gas(60_000),
+            Action::OracleUpdate { token, price_wei: new },
+            Wei::ZERO,
+            None,
+        );
+        self.submit_public(tx, submit_ms);
+        self.stats.oracle_updates += 1;
+    }
+
+    /// A new borrower levers up near the collateral-factor limit, so the
+    /// next downward price move can make the loan liquidatable.
+    fn generate_borrower(&mut self, submit_ms: u64) {
+        if !self.rng.gen_bool(self.s.lending.new_borrower_rate) {
+            return;
+        }
+        let from = Address::from_index(BORROWER_BASE + self.borrower_rotor % self.s.lending.n_borrowers);
+        self.borrower_rotor += 1;
+        let token = TokenId(self.rng.gen_range(1..=self.s.n_tokens));
+        let platform = mev_types::LendingPlatformId::ALL[self.rng.gen_range(0..3)]; // no dYdX loans
+        let deposit_tokens = self.rng.gen_range(20..200) as u128 * E18;
+        let price = self.token_prices[&token];
+        let coll_value = mev_types::U256::from(deposit_tokens).mul_u128(price).div_u128(E18).as_u128();
+        let factor = self.world.lending.platform(platform).config.collateral_factor_bps as u128;
+        let borrow_weth =
+            coll_value * factor / 10_000 * (self.s.lending.leverage * 1000.0) as u128 / 1000;
+        let n0 = self.take_nonce(from);
+        let fee = self.market_fee();
+        let deposit = Transaction::new(
+            from,
+            n0,
+            fee,
+            Gas(200_000),
+            Action::Deposit { platform, token, amount: deposit_tokens },
+            Wei::ZERO,
+            None,
+        );
+        let n1 = self.take_nonce(from);
+        let fee2 = self.market_fee();
+        let borrow = Transaction::new(
+            from,
+            n1,
+            fee2,
+            Gas(250_000),
+            Action::Borrow { platform, token: TokenId::WETH, amount: borrow_weth },
+            Wei::ZERO,
+            None,
+        );
+        self.submit_public(deposit, submit_ms);
+        self.submit_public(borrow, submit_ms);
+        self.stats.borrowers_created += 1;
+    }
+
+    /// Ordinary trader flow; a slice routes through Flashbots as
+    /// protection ("other") bundles once live.
+    fn generate_trades(&mut self, number: u64, month: Month, submit_ms: u64) {
+        let n = poisson(&mut self.rng, self.s.trades_per_block);
+        let intents = self.traders.generate(&self.world.dex, n, &mut self.rng);
+        let fb_live = self.fb_live(number);
+        for intent in intents {
+            let from = intent.trader;
+            let nonce = self.take_nonce(from);
+            // Protection usage follows overall Flashbots engagement: it
+            // ramps with adoption and thins out with the exodus — the
+            // declining bundle availability behind Figure 3's dip.
+            let engagement = crate::population::activity_factor(month, Month::new(2021, 7));
+            let protect = fb_live
+                && self.population.epoch(month) != crate::population::Epoch::PreFlashbots
+                && self.rng.gen_bool(self.s.protection_trade_share * engagement.clamp(0.0, 1.0));
+            if protect {
+                let tx = Transaction::new(
+                    from,
+                    nonce,
+                    self.bundle_fee(),
+                    Gas(200_000),
+                    Action::Swap(intent.call),
+                    eth(1) / 500, // 0.002 ETH protection tip
+                    Some(GroundTruth::OrdinaryTrade),
+                );
+                let bundle = Bundle::new(from, BundleType::Flashbots, vec![tx], number);
+                if self.relay.submit(bundle, number - 1).is_ok() {
+                    self.stats.protection_bundles += 1;
+                    self.stats.bundles_submitted += 1;
+                }
+            } else {
+                let fee = self.market_fee();
+                let tx = Transaction::new(
+                    from,
+                    nonce,
+                    fee,
+                    Gas(200_000),
+                    Action::Swap(intent.call),
+                    Wei::ZERO,
+                    Some(GroundTruth::OrdinaryTrade),
+                );
+                self.submit_public(tx, submit_ms);
+            }
+        }
+    }
+
+    /// Mining-pool payout batches (§4.1): bundles when the pool runs
+    /// MEV-geth, plain public transactions otherwise.
+    fn generate_payouts(&mut self, number: u64, month: Month, submit_ms: u64) {
+        // The one-off 700-transaction F2Pool payout bundle.
+        if self.s.giant_payout_bundle
+            && !self.giant_payout_done
+            && month == Month::new(2021, 5)
+            && self.miners.get(1).in_flashbots(number)
+            && self.fb_live(number)
+        {
+            let miner = self.miners.get(1).address;
+            if self.world.state.balance(miner) > eth(20) {
+                let mut txs = Vec::with_capacity(700);
+                for k in 0..700u64 {
+                    let nonce = self.take_nonce(miner);
+                    txs.push(Transaction::new(
+                        miner,
+                        nonce,
+                        self.bundle_fee(),
+                        Gas(21_000),
+                        Action::Payout {
+                            recipients: vec![(
+                                Address::from_index(PAYOUT_RECIPIENT_BASE + k),
+                                eth(1) / 100,
+                            )],
+                        },
+                        Wei::ZERO,
+                        Some(GroundTruth::Payout),
+                    ));
+                }
+                let bundle = Bundle::new(miner, BundleType::MinerPayout, txs, number);
+                if self.relay.submit(bundle, number - 1).is_ok() {
+                    self.stats.payout_bundles += 1;
+                    self.stats.bundles_submitted += 1;
+                    self.giant_payout_done = true;
+                }
+            }
+            return;
+        }
+        if number % self.s.payout_interval != 17 % self.s.payout_interval {
+            return;
+        }
+        let rank = self.miners.pick(&mut self.rng);
+        let miner = self.miners.get(rank).address;
+        let balance = self.world.state.balance(miner);
+        if balance < eth(30) {
+            return;
+        }
+        let n_recipients = self.rng.gen_range(5..20u64);
+        let per = eth(10) / n_recipients as u128;
+        let recipients: Vec<_> = (0..n_recipients)
+            .map(|k| (Address::from_index(PAYOUT_RECIPIENT_BASE + k), per))
+            .collect();
+        let nonce = self.take_nonce(miner);
+        if self.miners.get(rank).in_flashbots(number) && self.fb_live(number) {
+            let tx = Transaction::new(
+                miner,
+                nonce,
+                self.bundle_fee(),
+                Gas(21_000 * n_recipients),
+                Action::Payout { recipients },
+                Wei::ZERO,
+                Some(GroundTruth::Payout),
+            );
+            let bundle = Bundle::new(miner, BundleType::MinerPayout, vec![tx], number);
+            if self.relay.submit(bundle, number - 1).is_ok() {
+                self.stats.payout_bundles += 1;
+                self.stats.bundles_submitted += 1;
+            }
+        } else {
+            let fee = self.market_fee();
+            let tx = Transaction::new(
+                miner,
+                nonce,
+                fee,
+                Gas(21_000 * n_recipients),
+                Action::Payout { recipients },
+                Wei::ZERO,
+                Some(GroundTruth::Payout),
+            );
+            self.submit_public(tx, submit_ms);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MEV planning
+    // ------------------------------------------------------------------
+
+    fn plan_mev(&mut self, number: u64, month: Month, submit_ms: u64) {
+        let claimed_pools = self.plan_sandwiches(number, month, submit_ms);
+        self.plan_arbitrages(number, month, submit_ms, &claimed_pools);
+        self.plan_liquidations_step(number, month, submit_ms);
+    }
+
+    /// Pending public swaps that could be sandwich victims.
+    fn victim_candidates(&self) -> Vec<(TxHash, SwapCall, Wei)> {
+        let mut v: Vec<(TxHash, SwapCall, Wei)> = self
+            .mempool
+            .iter()
+            .filter(|p| p.tx.ground_truth == Some(GroundTruth::OrdinaryTrade))
+            .filter(|p| !self.targeted.contains(&p.tx.hash()))
+            .filter_map(|p| match &p.tx.action {
+                Action::Swap(call) if call.pool.exchange.sandwich_covered() => {
+                    Some((p.tx.hash(), *call, p.tx.bid_per_gas()))
+                }
+                _ => None,
+            })
+            .collect();
+        // Largest trades first: juiciest victims.
+        v.sort_by(|a, b| b.1.amount_in.cmp(&a.1.amount_in).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Returns the pools claimed by this block's sandwiches so other
+    /// strategies avoid poisoning them (real searchers simulate at the
+    /// head and would never fire a plan whose pool is about to move).
+    fn plan_sandwiches(&mut self, number: u64, month: Month, submit_ms: u64) -> HashSet<mev_types::PoolId> {
+        let mut claimed: HashSet<mev_types::PoolId> = HashSet::new();
+        let (n_sandwichers, _, _) = self.population.active(month);
+        if n_sandwichers == 0 {
+            return claimed;
+        }
+        let candidates = self.victim_candidates();
+        let mut taken = 0usize;
+        for (victim_hash, call, victim_bid) in candidates {
+            if taken >= n_sandwichers.min(4) {
+                break;
+            }
+            if claimed.contains(&call.pool) {
+                continue; // one sandwich per pool per block
+            }
+            let searcher_idx = (number as usize + taken) % n_sandwichers;
+            let searcher = searcher_address(Strategy::Sandwich, searcher_idx);
+            // Buggy searchers are a fixed, hash-spread subset of the
+            // population, independent of how many are currently active.
+            let buggy = is_buggy(searcher_idx, self.s.searchers.buggy_fraction);
+            let pool = match self.world.dex.pool(call.pool) {
+                Some(p) => p.clone(),
+                None => continue,
+            };
+            let plan = if buggy {
+                plan_sandwich_buggy(&pool, &call, self.s.searchers.capital)
+            } else {
+                plan_sandwich(&pool, &call, self.s.searchers.capital)
+            };
+            let Some(plan) = plan else { continue };
+            let to_wei = |amount: i128, oracle: &mev_dex::PriceOracle| {
+                oracle.to_wei(call.token_in, amount.unsigned_abs()).unwrap_or(0) as i128
+                    * amount.signum()
+            };
+            let gross_wei = to_wei(plan.gross_profit, &self.world.oracle);
+            // The §5.2 contract bug: the profit check forgets the pool's LP
+            // fees, so marginal sandwiches look (barely) profitable and
+            // execute at a small realised loss.
+            let fee_drag = (plan.front_in * 60 / 10_000) as i128; // 2 × 0.30 %
+            let perceived_wei = if buggy {
+                to_wei(plan.gross_profit + fee_drag, &self.world.oracle)
+            } else {
+                gross_wei
+            };
+            if (perceived_wei.max(0) as u128) < self.s.searchers.min_profit {
+                continue;
+            }
+            if gross_wei < 0 {
+                self.stats.sandwiches_negative += 1;
+            }
+            let venue = self.population.sandwich_venue(&self.s, month, searcher_idx);
+            self.targeted.insert(victim_hash);
+            claimed.insert(call.pool);
+            taken += 1;
+            // The tip is bid off the true expected gross; the bug is in the
+            // go/no-go decision, so losses are confined to plans whose real
+            // gross was negative all along — small and sparse, like §5.2's.
+            self.emit_sandwich(number, venue, searcher, &call, plan, gross_wei, victim_hash, victim_bid, submit_ms);
+        }
+        // Miner self-extraction is planned at build time (needs the winner).
+        claimed
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_sandwich(
+        &mut self,
+        number: u64,
+        venue: Venue,
+        searcher: Address,
+        call: &SwapCall,
+        plan: mev_agents::SandwichPlan,
+        gross_wei: i128,
+        victim_hash: TxHash,
+        victim_bid: Wei,
+        submit_ms: u64,
+    ) {
+        let front_call = SwapCall {
+            pool: call.pool,
+            token_in: call.token_in,
+            token_out: call.token_out,
+            amount_in: plan.front_in,
+            min_amount_out: plan.front_out * 95 / 100,
+        };
+        let back_call = SwapCall {
+            pool: call.pool,
+            token_in: call.token_out,
+            token_out: call.token_in,
+            amount_in: plan.front_out,
+            min_amount_out: 0,
+        };
+        let venue = if venue == Venue::Flashbots && !self.fb_live(number) {
+            Venue::Public
+        } else {
+            venue
+        };
+        match venue {
+            Venue::Public => {
+                // PGA: the front outbids the victim by enough to burn
+                // ~pga_burn of the gross profit in fees; the back slots in
+                // just under the victim's price.
+                let burn = (gross_wei.max(0) as u128 * (self.s.searchers.pga_burn_mean * 1000.0) as u128)
+                    / 1000;
+                let extra = Wei(burn / 110_000);
+                let front_fee = TxFee::Legacy { gas_price: victim_bid + extra + gwei(1) };
+                let back_fee = TxFee::Legacy {
+                    gas_price: victim_bid.saturating_sub(Wei(1)).max(self.base_fee + gwei(1)),
+                };
+                let n0 = self.take_nonce(searcher);
+                let front = Transaction::new(
+                    searcher,
+                    n0,
+                    front_fee,
+                    Gas(150_000),
+                    Action::Swap(front_call),
+                    Wei::ZERO,
+                    Some(GroundTruth::SandwichFront),
+                );
+                let n1 = self.take_nonce(searcher);
+                let back = Transaction::new(
+                    searcher,
+                    n1,
+                    back_fee,
+                    Gas(150_000),
+                    Action::Swap(back_call),
+                    Wei::ZERO,
+                    Some(GroundTruth::SandwichBack),
+                );
+                self.submit_public(front, submit_ms);
+                self.submit_public(back, submit_ms + 1);
+                self.stats.sandwiches_public += 1;
+            }
+            Venue::Flashbots => {
+                let tip_share = (self.s.searchers.tip_share_mean
+                    + self.s.searchers.tip_share_std * normal(&mut self.rng))
+                .clamp(0.5, 0.98);
+                // Bid the tip off a conservatively discounted profit: the
+                // pool can still move under the bundle.
+                let tip =
+                    Wei(((gross_wei.max(0) as f64) * tip_share * 0.95) as u128).max(gwei(100_000));
+                let Some(victim_tx) = self.mempool.get(victim_hash).map(|p| p.tx.clone()) else {
+                    return;
+                };
+                let n0 = self.take_nonce(searcher);
+                let front = Transaction::new(
+                    searcher,
+                    n0,
+                    self.bundle_fee(),
+                    Gas(150_000),
+                    Action::Swap(front_call),
+                    Wei::ZERO,
+                    Some(GroundTruth::SandwichFront),
+                );
+                let n1 = self.take_nonce(searcher);
+                let back = Transaction::new(
+                    searcher,
+                    n1,
+                    self.bundle_fee(),
+                    Gas(150_000),
+                    Action::Swap(back_call),
+                    tip,
+                    Some(GroundTruth::SandwichBack),
+                );
+                let bundle =
+                    Bundle::new(searcher, BundleType::Flashbots, vec![front, victim_tx, back], number);
+                if self.relay.submit(bundle, number - 1).is_ok() {
+                    self.stats.sandwiches_flashbots += 1;
+                    self.stats.bundles_submitted += 1;
+                }
+            }
+            Venue::PrivateChannel => {
+                let fee = self.market_fee();
+                let n0 = self.take_nonce(searcher);
+                let front = Transaction::new(
+                    searcher,
+                    n0,
+                    fee,
+                    Gas(150_000),
+                    Action::Swap(front_call),
+                    Wei::ZERO,
+                    Some(GroundTruth::SandwichFront),
+                );
+                let n1 = self.take_nonce(searcher);
+                let back = Transaction::new(
+                    searcher,
+                    n1,
+                    fee,
+                    Gas(150_000),
+                    Action::Swap(back_call),
+                    Wei::ZERO,
+                    Some(GroundTruth::SandwichBack),
+                );
+                let sub = PrivateSubmission {
+                    searcher,
+                    txs: vec![front, back],
+                    wrap_victim: Some(victim_hash),
+                };
+                // Taichi while alive, Eden after.
+                let ch = if self.channels[CH_TAICHI].is_active(number) && !self.channels[CH_EDEN].is_active(number)
+                {
+                    CH_TAICHI
+                } else {
+                    CH_EDEN
+                };
+                if self.channels[ch].submit(sub, number) {
+                    self.stats.sandwiches_private += 1;
+                }
+            }
+        }
+    }
+
+    fn plan_arbitrages(
+        &mut self,
+        number: u64,
+        month: Month,
+        submit_ms: u64,
+        claimed_pools: &HashSet<mev_types::PoolId>,
+    ) {
+        let (_, n_arbs, _) = self.population.active(month);
+        if n_arbs == 0 {
+            return;
+        }
+        let tokens: Vec<TokenId> = (1..=self.s.n_tokens).map(TokenId).collect();
+        let mut scratch = self.world.dex.clone();
+        let max_rounds = 4.min(n_arbs);
+        for _ in 0..max_rounds {
+            let Some(plan) = find_arbitrage(
+                &scratch,
+                TokenId::WETH,
+                &tokens,
+                self.s.searchers.capital,
+                self.s.searchers.min_profit,
+            ) else {
+                break;
+            };
+            if claimed_pools.contains(&plan.buy_pool) || claimed_pools.contains(&plan.sell_pool) {
+                // A sandwich is about to move this pool: a head-simulating
+                // arbitrageur would not fire on soon-stale prices. Mark the
+                // divergence consumed and move on.
+                let _ = scratch
+                    .pool_mut(plan.buy_pool)
+                    .and_then(|p| p.swap(plan.base, plan.amount_in, 0).ok());
+                let _ = scratch
+                    .pool_mut(plan.sell_pool)
+                    .and_then(|p| p.swap(plan.token, plan.mid_amount, 0).ok());
+                continue;
+            }
+            // Apply to the scratch state so the next round finds the next
+            // divergence rather than re-planning this one.
+            let _ = scratch
+                .pool_mut(plan.buy_pool)
+                .and_then(|p| p.swap(plan.base, plan.amount_in, 0).ok());
+            let _ = scratch
+                .pool_mut(plan.sell_pool)
+                .and_then(|p| p.swap(plan.token, plan.mid_amount, 0).ok());
+            let searcher_idx = self.arb_rotor % n_arbs;
+            self.arb_rotor += 1;
+            let searcher = searcher_address(Strategy::Arbitrage, searcher_idx);
+            let venue = self.population.arbitrage_venue(month, searcher_idx);
+            self.emit_arbitrage(number, venue, searcher, &plan, submit_ms);
+        }
+        // Triangular scan: exercised less often (it is pricier to compute
+        // and real bots specialise), emitting a three-leg route when a
+        // cross-pool divergence appears.
+        if self.rng.gen_bool(0.25) {
+            let tokens: Vec<TokenId> = (1..=self.s.n_tokens).map(TokenId).collect();
+            if let Some(tri) = find_triangle_arbitrage(
+                &self.world.dex,
+                TokenId::WETH,
+                &tokens,
+                self.s.searchers.capital,
+                self.s.searchers.min_profit,
+            ) {
+                let idx = self.arb_rotor % n_arbs;
+                self.arb_rotor += 1;
+                let searcher = searcher_address(Strategy::Arbitrage, idx);
+                let mut legs = tri.legs.to_vec();
+                legs[2].min_amount_out = tri.amount_in + 1; // profit guard
+                let fee = self.market_fee();
+                let nonce = self.take_nonce(searcher);
+                let tx = Transaction::new(
+                    searcher,
+                    nonce,
+                    fee,
+                    Gas(400_000),
+                    Action::Route(legs),
+                    Wei::ZERO,
+                    Some(GroundTruth::Arbitrage),
+                );
+                self.submit_public(tx, submit_ms);
+                self.stats.arbitrages_public += 1;
+            }
+        }
+
+        // Proactive copying: occasionally frontrun a pending public arb.
+        if self.rng.gen_bool(0.2) {
+            // Deterministic pick: the lowest-hash pending route.
+            let pending_arb = self
+                .mempool
+                .iter()
+                .filter(|p| matches!(p.tx.action, Action::Route(_)))
+                .min_by_key(|p| p.tx.hash())
+                .map(|p| p.tx.clone());
+            if let Some(victim) = pending_arb {
+                let idx = self.arb_rotor % n_arbs;
+                self.arb_rotor += 1;
+                let copier = searcher_address(Strategy::Arbitrage, idx);
+                if copier != victim.from {
+                    let nonce = self.take_nonce(copier);
+                    if let Some(copy) = copy_with_higher_fee(&victim, copier, nonce, 15) {
+                        self.submit_public(copy, submit_ms);
+                        self.stats.arbitrage_copies += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_arbitrage(&mut self, number: u64, venue: Venue, searcher: Address, plan: &ArbPlan, submit_ms: u64) {
+        let use_flash = self.rng.gen_bool(self.s.searchers.arb_flash_loan_rate);
+        let mut legs = plan.legs();
+        // Profit guard on the final leg: revert rather than lose.
+        let flash_fee = if use_flash { plan.amount_in * 9 / 10_000 + 1 } else { 0 };
+        legs[1].min_amount_out = plan.amount_in + flash_fee + 1;
+        let action = if use_flash {
+            self.stats.flash_loan_arbs += 1;
+            Action::FlashLoan {
+                platform: mev_types::LendingPlatformId::AaveV2,
+                token: plan.base,
+                amount: plan.amount_in,
+                inner: vec![Action::Route(legs)],
+            }
+        } else {
+            Action::Route(legs)
+        };
+        let gas = Gas(300_000);
+        let venue = if venue == Venue::Flashbots && !self.fb_live(number) {
+            Venue::Public
+        } else {
+            venue
+        };
+        match venue {
+            Venue::Flashbots => {
+                let tip_share = (self.s.searchers.tip_share_mean
+                    + self.s.searchers.tip_share_std * normal(&mut self.rng))
+                .clamp(0.5, 0.98);
+                let tip = Wei(((plan.gross_profit.max(0) as f64) * tip_share) as u128).max(gwei(100_000));
+                let nonce = self.take_nonce(searcher);
+                let tx = Transaction::new(
+                    searcher,
+                    nonce,
+                    self.bundle_fee(),
+                    gas,
+                    action,
+                    tip,
+                    Some(GroundTruth::Arbitrage),
+                );
+                let bundle = Bundle::new(searcher, BundleType::Flashbots, vec![tx], number);
+                if self.relay.submit(bundle, number - 1).is_ok() {
+                    self.stats.arbitrages_flashbots += 1;
+                    self.stats.bundles_submitted += 1;
+                }
+            }
+            _ => {
+                let fee = self.market_fee();
+                let nonce = self.take_nonce(searcher);
+                let tx = Transaction::new(
+                    searcher,
+                    nonce,
+                    fee,
+                    gas,
+                    action,
+                    Wei::ZERO,
+                    Some(GroundTruth::Arbitrage),
+                );
+                self.submit_public(tx, submit_ms);
+                self.stats.arbitrages_public += 1;
+            }
+        }
+    }
+
+    fn plan_liquidations_step(&mut self, number: u64, month: Month, submit_ms: u64) {
+        let (_, _, n_liq) = self.population.active(month);
+        if n_liq == 0 {
+            return;
+        }
+        // Passive: already-unhealthy loans above the profitability floor.
+        let min_profit = self.s.searchers.min_profit as i128;
+        let plans = plan_liquidations(&self.world.lending, &self.world.oracle);
+        for plan in plans.into_iter().filter(|p| p.gross_profit_wei >= min_profit).take(2) {
+            let idx = self.liq_rotor % n_liq;
+            self.liq_rotor += 1;
+            let searcher = searcher_address(Strategy::Liquidation, idx);
+            let venue = self.population.liquidation_venue(month, idx);
+            self.emit_liquidation(number, venue, searcher, &plan, None, submit_ms);
+        }
+        // Proactive: backrun a pending oracle update.
+        // Deterministic pick: the lowest-hash pending oracle update.
+        let pending_oracle = self
+            .mempool
+            .iter()
+            .filter(|p| matches!(p.tx.action, Action::OracleUpdate { .. }))
+            .min_by_key(|p| p.tx.hash())
+            .map(|p| p.tx.clone());
+        if let Some(update) = pending_oracle {
+            let plans = plan_backrun_of_oracle_update(&self.world.lending, &self.world.oracle, &update);
+            if let Some(plan) =
+                plans.into_iter().find(|p| p.gross_profit_wei >= min_profit)
+            {
+                let idx = self.liq_rotor % n_liq;
+                self.liq_rotor += 1;
+                let searcher = searcher_address(Strategy::Liquidation, idx);
+                let venue = self.population.liquidation_venue(month, idx);
+                self.emit_liquidation(number, venue, searcher, &plan, Some(update), submit_ms);
+            }
+        }
+    }
+
+    /// Build the liquidation transaction; `backrun_of` carries the oracle
+    /// update being backrun (bundled in front for Flashbots, undercut by
+    /// fee publicly).
+    fn emit_liquidation(
+        &mut self,
+        number: u64,
+        venue: Venue,
+        searcher: Address,
+        plan: &LiquidationPlan,
+        backrun_of: Option<Transaction>,
+        submit_ms: u64,
+    ) {
+        let use_flash = self.rng.gen_bool(self.s.searchers.liq_flash_loan_rate)
+            && plan.loan.debt_token == TokenId::WETH;
+        let action = if use_flash {
+            self.stats.flash_loan_liqs += 1;
+            // Borrow the repay capital, liquidate, dump the collateral for
+            // WETH to repay the loan.
+            let coll = plan.loan.collateral_token;
+            let est_seize = estimate_seize(plan, &self.world);
+            let sell_pool = self
+                .world
+                .dex
+                .pools_for_pair(TokenId::WETH, coll)
+                .into_iter()
+                .max_by_key(|p| p.quote(coll, est_seize).unwrap_or(0))
+                .map(|p| p.id);
+            let mut inner = vec![plan.action()];
+            if let Some(pool) = sell_pool {
+                inner.push(Action::Swap(SwapCall {
+                    pool,
+                    token_in: coll,
+                    token_out: TokenId::WETH,
+                    amount_in: est_seize,
+                    min_amount_out: 0,
+                }));
+            }
+            Action::FlashLoan {
+                platform: mev_types::LendingPlatformId::DyDx,
+                token: TokenId::WETH,
+                amount: plan.repay_amount,
+                inner,
+            }
+        } else {
+            plan.action()
+        };
+        let gas = Gas(500_000);
+        let venue = if venue == Venue::Flashbots && !self.fb_live(number) {
+            Venue::Public
+        } else {
+            venue
+        };
+        match (venue, backrun_of) {
+            (Venue::Flashbots, oracle_tx) => {
+                let tip_share = (self.s.searchers.tip_share_mean
+                    + self.s.searchers.tip_share_std * normal(&mut self.rng))
+                .clamp(0.5, 0.98);
+                let tip =
+                    Wei(((plan.gross_profit_wei.max(0) as f64) * tip_share) as u128).max(gwei(100_000));
+                let nonce = self.take_nonce(searcher);
+                let tx = Transaction::new(
+                    searcher,
+                    nonce,
+                    self.bundle_fee(),
+                    gas,
+                    action,
+                    tip,
+                    Some(GroundTruth::Liquidation),
+                );
+                let txs = match oracle_tx {
+                    Some(update) => vec![update, tx],
+                    None => vec![tx],
+                };
+                let bundle = Bundle::new(searcher, BundleType::Flashbots, txs, number);
+                if self.relay.submit(bundle, number - 1).is_ok() {
+                    self.stats.liquidations_flashbots += 1;
+                    self.stats.bundles_submitted += 1;
+                }
+            }
+            (_, oracle_tx) => {
+                // Public backrun: price just under the oracle update's.
+                let fee = match &oracle_tx {
+                    Some(u) => TxFee::Legacy {
+                        gas_price: u.bid_per_gas().saturating_sub(Wei(1)).max(self.base_fee + gwei(1)),
+                    },
+                    None => self.market_fee(),
+                };
+                let nonce = self.take_nonce(searcher);
+                let tx = Transaction::new(
+                    searcher,
+                    nonce,
+                    fee,
+                    gas,
+                    action,
+                    Wei::ZERO,
+                    Some(GroundTruth::Liquidation),
+                );
+                self.submit_public(tx, submit_ms);
+                self.stats.liquidations_public += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // block building
+    // ------------------------------------------------------------------
+
+    fn build_and_commit(&mut self, number: u64, ts: u64, parent_hash: H256) -> H256 {
+        let rank = self.miners.pick(&mut self.rng);
+        let miner = self.miners.get(rank).clone();
+        let month = self.chain.timeline().at(number).month();
+        let now_ms = ts * 1000;
+        let miner_node = 1 + rank % (self.network.len() - 1);
+
+        // Flashbots bundles for this miner.
+        let mut bundles = if miner.in_flashbots(number)
+            && self.fb_live(number)
+            && self.relay.miner_active(miner.address)
+        {
+            select_bundles(self.relay.bundles_for(miner.address, number), self.base_fee, &self.sel_cfg)
+        } else {
+            Vec::new()
+        };
+
+        // Private channel deliveries.
+        let mut private_subs: Vec<PrivateSubmission> = Vec::new();
+        for ch in self.channels.iter_mut() {
+            private_subs.extend(ch.drain_for(miner.address, number));
+        }
+
+        // Miner self-MEV (§6.3): the two dominant pools run their own
+        // extraction accounts. Pre-Flashbots and post-exodus it flows as
+        // truly private ordering; during the boom it rides rogue bundles.
+        if miner.self_mev && rank < 2 {
+            let epoch = self.population.epoch(month);
+            // Self-extraction intensifies post-exodus (§6.3's private
+            // channels), giving the attribution analysis a sample.
+            let p_act =
+                if epoch == crate::population::Epoch::Exodus { 0.65 } else { 0.35 };
+            if self.rng.gen_bool(p_act) {
+                if let Some((victim_hash, call, _)) = self
+                    .victim_candidates()
+                    .into_iter()
+                    .find(|(h, _, _)| !self.targeted.contains(h))
+                {
+                    let extractor = Address::from_index(PRIVATE_EXTRACTOR_BASE + rank as u64);
+                    if let Some(pool) = self.world.dex.pool(call.pool).cloned() {
+                        if let Some(plan) = plan_sandwich(&pool, &call, self.s.searchers.capital) {
+                            let gross_wei = self
+                                .world
+                                .oracle
+                                .to_wei(call.token_in, plan.gross_profit.unsigned_abs())
+                                .unwrap_or(0);
+                            if gross_wei >= self.s.searchers.min_profit {
+                                self.targeted.insert(victim_hash);
+                                let n0 = self.take_nonce(extractor);
+                                let front = Transaction::new(
+                                    extractor,
+                                    n0,
+                                    self.bundle_fee(),
+                                    Gas(150_000),
+                                    Action::Swap(SwapCall {
+                                        pool: call.pool,
+                                        token_in: call.token_in,
+                                        token_out: call.token_out,
+                                        amount_in: plan.front_in,
+                                        min_amount_out: plan.front_out * 95 / 100,
+                                    }),
+                                    Wei::ZERO,
+                                    Some(GroundTruth::SandwichFront),
+                                );
+                                let n1 = self.take_nonce(extractor);
+                                let back = Transaction::new(
+                                    extractor,
+                                    n1,
+                                    self.bundle_fee(),
+                                    Gas(150_000),
+                                    Action::Swap(SwapCall {
+                                        pool: call.pool,
+                                        token_in: call.token_out,
+                                        token_out: call.token_in,
+                                        amount_in: plan.front_out,
+                                        min_amount_out: 0,
+                                    }),
+                                    Wei::ZERO,
+                                    Some(GroundTruth::SandwichBack),
+                                );
+                                let in_boom = epoch == crate::population::Epoch::FlashbotsBoom
+                                    && miner.in_flashbots(number)
+                                    && self.fb_live(number);
+                                if in_boom {
+                                    // Rogue bundle: appears in the blocks API.
+                                    if let Some(victim_tx) =
+                                        self.mempool.get(victim_hash).map(|p| p.tx.clone())
+                                    {
+                                        bundles.push(Bundle::new(
+                                            extractor,
+                                            BundleType::Rogue,
+                                            vec![front, victim_tx, back],
+                                            number,
+                                        ));
+                                        self.stats.rogue_bundles += 1;
+                                    }
+                                } else {
+                                    // Truly private: never in the API.
+                                    private_subs.push(PrivateSubmission {
+                                        searcher: extractor,
+                                        txs: vec![front, back],
+                                        wrap_victim: Some(victim_hash),
+                                    });
+                                    self.stats.sandwiches_private += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rogue bundles (§4.1's 7.6 %): miners slip their own unbroadcast
+        // transactions in as single-tx bundles.
+        if miner.in_flashbots(number) && self.fb_live(number) && self.rng.gen_bool(0.12) {
+            let nonce = self.take_nonce(miner.address);
+            let tx = Transaction::new(
+                miner.address,
+                nonce,
+                self.bundle_fee(),
+                Gas(90_000),
+                Action::Other { gas: Gas(90_000) },
+                Wei::ZERO,
+                None,
+            );
+            bundles.push(Bundle::new(miner.address, BundleType::Rogue, vec![tx], number));
+            self.stats.rogue_bundles += 1;
+        }
+
+        // Public mempool as this miner sees it, ordered per the scenario's
+        // policy (fee priority by default; Random/Fcfs for the §8.3 and §7
+        // countermeasure ablations).
+        let visible: Vec<(Transaction, u64)> = self
+            .mempool
+            .visible_at(&self.network, miner_node, now_ms)
+            .into_iter()
+            .filter(|p| p.tx.fee.is_includable(self.base_fee))
+            .map(|p| (p.tx.clone(), self.network.arrival_ms(p.origin, miner_node, p.submit_ms)))
+            .collect();
+        let public = match self.s.ordering {
+            crate::config::OrderingPolicy::FeePriority => {
+                mev_chain::order_by_fee(visible.into_iter().map(|(t, _)| t).collect())
+            }
+            crate::config::OrderingPolicy::Random => mev_chain::builder::order_random(
+                visible.into_iter().map(|(t, _)| t).collect(),
+                parent_hash.prefix_u64() ^ number,
+            ),
+            crate::config::OrderingPolicy::Fcfs => mev_chain::builder::order_fcfs(visible),
+        };
+
+        // Pre-flight, as MEV-geth does by simulation: drop any bundle or
+        // private submission whose transactions cannot all execute given
+        // the assembled nonce ordering — partial inclusion would read as
+        // equivocation and get the miner banned.
+        let n_before = bundles.len();
+        let (bundles, private_subs) = prune_unexecutable(&self.world, bundles, private_subs, &public);
+        self.stats.bundles_preflight_dropped += (n_before - bundles.len()) as u64;
+        let candidates = assemble_candidates(&bundles, &private_subs, &public);
+        let spec = BlockSpec {
+            number,
+            parent_hash,
+            timestamp: ts,
+            miner: miner.address,
+            base_fee: self.base_fee,
+            gas_limit: mev_chain::DEFAULT_GAS_LIMIT,
+        };
+        let built = build_block(&mut self.world, &spec, &candidates);
+
+        self.record_flashbots_block(number, &miner.address, &bundles, &built);
+
+        // Mempool hygiene: drop everything mined, and anything staled by
+        // advanced nonces.
+        let mut senders: HashSet<Address> = HashSet::new();
+        for tx in &built.block.transactions {
+            self.mempool.remove(tx.hash());
+            senders.insert(tx.from);
+        }
+        for sender in senders {
+            let next = self.world.state.nonce(sender);
+            self.mempool.prune_sender(sender, next);
+        }
+        self.relay.audit_block(&built.block);
+        let pending_before = self.relay.pending() as u64;
+        self.relay.expire(number);
+        self.stats.bundles_expired += pending_before - self.relay.pending() as u64;
+
+        self.base_fee = base_fee_after(&self.forks, &built);
+        let hash = built.block.hash();
+        self.chain.push(built.block, built.receipts);
+        self.stats.blocks += 1;
+        hash
+    }
+
+    /// Record the block in the public blocks API if any bundle landed.
+    fn record_flashbots_block(
+        &mut self,
+        number: u64,
+        miner: &Address,
+        bundles: &[Bundle],
+        built: &BuiltBlock,
+    ) {
+        if bundles.is_empty() {
+            return;
+        }
+        let receipt_of: HashMap<TxHash, &mev_types::Receipt> =
+            built.receipts.iter().map(|r| (r.tx_hash, r)).collect();
+        let mut records = Vec::new();
+        let mut total_reward = Wei::ZERO;
+        for (i, b) in bundles.iter().enumerate() {
+            // A bundle counts as mined if all of its txs are in the block.
+            let hashes = b.tx_hashes();
+            if !hashes.iter().all(|h| receipt_of.contains_key(h)) {
+                continue;
+            }
+            let tip: Wei = hashes
+                .iter()
+                .filter_map(|h| receipt_of.get(h))
+                .map(|r| r.miner_revenue())
+                .sum();
+            total_reward += tip;
+            records.push(BundleRecord {
+                bundle_id: if b.id.0 != 0 {
+                    b.id
+                } else {
+                    mev_flashbots::BundleId(1_000_000 + number * 100 + i as u64)
+                },
+                bundle_type: b.bundle_type,
+                searcher: b.searcher,
+                tx_hashes: hashes,
+                tip,
+            });
+        }
+        if records.is_empty() {
+            return;
+        }
+        self.blocks_api.record(FlashbotsBlockRecord {
+            block_number: number,
+            miner: *miner,
+            miner_reward: total_reward,
+            bundles: records,
+        });
+    }
+}
+
+/// Is searcher `i` one of the buggy-contract operators? Hash-spread so
+/// the subset is stable as the active population grows and shrinks.
+fn is_buggy(i: usize, fraction: f64) -> bool {
+    let h = (i as u64 + 17).wrapping_mul(2_654_435_761) % 1000;
+    (h as f64) < fraction * 1000.0
+}
+
+/// Drop bundles / private submissions whose transactions would fail the
+/// nonce check in the assembled ordering. Iterates to a fixed point since
+/// removing one bundle shifts the nonce chains of later ones.
+fn prune_unexecutable(
+    world: &World,
+    mut bundles: Vec<Bundle>,
+    mut subs: Vec<PrivateSubmission>,
+    public: &[Transaction],
+) -> (Vec<Bundle>, Vec<PrivateSubmission>) {
+    loop {
+        let candidates = assemble_candidates(&bundles, &subs, public);
+        let mut nonces: HashMap<Address, u64> = HashMap::new();
+        let mut bad_hash: Option<TxHash> = None;
+        for tx in &candidates {
+            let e = nonces.entry(tx.from).or_insert_with(|| world.state.nonce(tx.from));
+            if tx.nonce == *e {
+                *e += 1;
+            } else {
+                bad_hash = Some(tx.hash());
+                break;
+            }
+        }
+        let Some(bad) = bad_hash else { return (bundles, subs) };
+        let before = (bundles.len(), subs.len());
+        if let Some(i) = bundles.iter().position(|b| b.tx_hashes().contains(&bad)) {
+            bundles.remove(i);
+        } else if let Some(i) = subs.iter().position(|sub| sub.txs.iter().any(|t| t.hash() == bad)) {
+            subs.remove(i);
+        } else {
+            // A public transaction: the block builder will skip it without
+            // consequence, but everything after it still executes — treat
+            // the gap as consumed so later checks stay aligned.
+            // (Builder-level skip means later same-sender txs fail too;
+            // they are public and safe to fail.)
+            return (bundles, subs);
+        }
+        if (bundles.len(), subs.len()) == before {
+            return (bundles, subs);
+        }
+    }
+}
+
+/// Exact collateral the platform will hand over for this plan right now.
+fn estimate_seize(plan: &LiquidationPlan, world: &World) -> u128 {
+    let platform = world.lending.platform(plan.loan.platform);
+    let held = platform
+        .positions
+        .get(&plan.loan.borrower)
+        .and_then(|p| p.collateral.get(&plan.loan.collateral_token))
+        .copied()
+        .unwrap_or(0);
+    let coll_price = world.oracle.price(plan.loan.collateral_token).unwrap_or(E18);
+    let seize = mev_types::U256::from(plan.expected_seize_wei)
+        .mul_u128(E18)
+        .div_u128(coll_price)
+        .as_u128();
+    seize.min(held)
+}
+
+/// Organic demand multiplier per month: flat through mid-2021, a bull-run
+/// swell into winter, easing in 2022 (Figure 6's uptick).
+fn organic_demand(m: Month) -> f64 {
+    let x = m.0 as i64 - Month::new(2021, 6).0 as i64;
+    if x <= 0 {
+        1.0
+    } else if x <= 6 {
+        1.0 + 0.28 * x as f64 // up to ~2.7× by Dec 2021
+    } else {
+        (2.68 - 0.2 * (x - 6) as f64).max(1.6)
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Small-λ Poisson by inversion.
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l || k > 1000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared quick run: the sim is deterministic, so every test can
+    /// read the same output (running it once keeps the suite fast).
+    fn quick_output() -> &'static SimOutput {
+        static OUT: std::sync::OnceLock<SimOutput> = std::sync::OnceLock::new();
+        OUT.get_or_init(|| Simulation::new(Scenario::quick()).run())
+    }
+
+    #[test]
+    fn runs_to_completion_and_is_deterministic() {
+        let a = quick_output();
+        // A tiny second scenario re-run checks bit-identical replay
+        // without paying for the full quick scenario twice.
+        let mut tiny = Scenario::quick();
+        tiny.months = 11;
+        tiny.blocks_per_month = 30;
+        let r1 = Simulation::new(tiny.clone()).run();
+        let r2 = Simulation::new(tiny).run();
+        assert_eq!(a.stats.blocks, Scenario::quick().total_blocks());
+        assert_eq!(a.chain.len() as u64, a.stats.blocks);
+        let head = r1.chain.head_number().unwrap();
+        assert_eq!(r1.chain.block(head).unwrap().hash(), r2.chain.block(head).unwrap().hash());
+        assert_eq!(r1.stats.public_txs, r2.stats.public_txs);
+        assert_eq!(r1.blocks_api.len(), r2.blocks_api.len());
+    }
+
+    #[test]
+    fn flashbots_blocks_appear_only_after_launch() {
+        let out = quick_output();
+        let launch = out.scenario.flashbots_launch_block();
+        assert!(out.blocks_api.len() > 0, "some Flashbots blocks mined");
+        for rec in out.blocks_api.iter() {
+            assert!(rec.block_number >= launch);
+        }
+    }
+
+    #[test]
+    fn mev_of_every_type_happens() {
+        let out = quick_output();
+        assert!(out.planned_sandwiches() > 0, "sandwiches: {:?}", out.stats);
+        assert!(out.planned_arbitrages() > 0, "arbs: {:?}", out.stats);
+        assert!(out.stats.oracle_updates > 0);
+        assert!(out.stats.borrowers_created > 0);
+    }
+
+    #[test]
+    fn observer_sees_public_but_never_bundle_txs() {
+        let out = quick_output();
+        assert!(out.observer.len() > 0, "observer recorded pending txs");
+        // No bundle-only tx hash may appear in the observer.
+        // Sandwich fronts/backs submitted via Flashbots are private.
+        let mut private_fronts = 0;
+        for rec in out.blocks_api.iter() {
+            for b in &rec.bundles {
+                if b.bundle_type == BundleType::Flashbots && b.tx_hashes.len() == 3 {
+                    // [front, victim, back]: front must be unobserved,
+                    // victim (public trade) should usually be observed.
+                    assert!(!out.observer.saw(b.tx_hashes[0]), "bundle front leaked to observer");
+                    assert!(!out.observer.saw(b.tx_hashes[2]), "bundle back leaked to observer");
+                    private_fronts += 1;
+                }
+            }
+        }
+        assert!(private_fronts > 0, "no 3-tx sandwich bundles mined");
+    }
+
+    #[test]
+    fn chain_wei_conservation() {
+        let out = quick_output();
+        // Every block credits 2 ETH issuance; everything else conserves.
+        // Spot-check: miners earned at least the issuance.
+        let total_reward = eth(2) * out.stats.blocks as u128;
+        assert!(total_reward.0 > 0);
+        // And gas was actually consumed.
+        let gas_used: u64 = out
+            .chain
+            .iter()
+            .map(|(b, _)| b.header.gas_used.0)
+            .sum();
+        assert!(gas_used > 0);
+    }
+
+    #[test]
+    fn base_fee_activates_at_london() {
+        let out = quick_output();
+        let london = out.fork_schedule.london_block;
+        let before = out.chain.block(london - 1).unwrap();
+        let at = out.chain.block(london).unwrap();
+        assert_eq!(before.header.base_fee, Wei::ZERO);
+        assert!(at.header.base_fee > Wei::ZERO);
+    }
+
+    #[test]
+    fn private_channel_sandwiches_reach_chain() {
+        let out = quick_output();
+        assert!(out.stats.sandwiches_private > 0, "self-MEV/private sandwiches planned");
+    }
+}

@@ -1,0 +1,19 @@
+//! # mev-sim
+//!
+//! The discrete-event world simulation that regenerates the paper's
+//! 23-month measurement span (May 2020 – March 2022) at a configurable
+//! block-count scale: oracle price walks, trader flow, searcher MEV
+//! extraction through public PGAs, Flashbots bundles and other private
+//! pools, miner selection by hashrate, block building, and the data
+//! recorders (archive node, pending-tx observer, Flashbots blocks API)
+//! that the measurement pipeline in `mev-core` consumes.
+
+pub mod config;
+pub mod engine;
+pub mod output;
+pub mod population;
+
+pub use config::{OrderingPolicy, Scenario};
+pub use engine::Simulation;
+pub use output::SimOutput;
+pub use population::{Epoch, SearcherPopulation, Venue};

@@ -1,0 +1,79 @@
+//! The artifacts a simulation run leaves behind — exactly the data
+//! sources the paper's measurement pipeline consumes (§3, Figure 2):
+//! an archive node, the Flashbots blocks API, and the pending-transaction
+//! observer. Plus run statistics for sanity checks and ablations.
+
+use mev_chain::{ChainStore, ForkSchedule};
+use mev_flashbots::BlocksApi;
+use mev_net::Observer;
+use mev_types::Address;
+
+use crate::config::Scenario;
+
+/// Counters accumulated during a run (ground truth — detectors never see
+/// these; they exist to validate detector precision/recall and to debug
+/// scenarios).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    pub blocks: u64,
+    pub public_txs: u64,
+    pub bundles_submitted: u64,
+    pub protection_bundles: u64,
+    pub payout_bundles: u64,
+    pub rogue_bundles: u64,
+    /// Sandwiches planned, by venue.
+    pub sandwiches_public: u64,
+    pub sandwiches_flashbots: u64,
+    pub sandwiches_private: u64,
+    /// Sandwiches planned by buggy searchers with negative expected profit.
+    pub sandwiches_negative: u64,
+    pub arbitrages_public: u64,
+    pub arbitrages_flashbots: u64,
+    pub arbitrage_copies: u64,
+    pub liquidations_public: u64,
+    pub liquidations_flashbots: u64,
+    pub flash_loan_arbs: u64,
+    pub flash_loan_liqs: u64,
+    pub oracle_updates: u64,
+    pub borrowers_created: u64,
+    /// End-of-run leftovers (diagnostics): pending mempool txs, bundles
+    /// never mined, bundles dropped by pre-flight validation.
+    pub mempool_remaining: u64,
+    pub bundles_expired: u64,
+    pub bundles_preflight_dropped: u64,
+    pub banned_miners: u64,
+    /// Pools pulled back to the oracle price by the LP tether.
+    pub pools_tethered: u64,
+}
+
+/// Everything a finished run exposes to the measurement pipeline.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    pub scenario: Scenario,
+    /// The archive node: all blocks and receipts.
+    pub chain: ChainStore,
+    /// The public Flashbots blocks API dataset.
+    pub blocks_api: BlocksApi,
+    /// The pending-transaction observer.
+    pub observer: Observer,
+    pub fork_schedule: ForkSchedule,
+    /// Miner addresses by rank — ground truth for validation only; the
+    /// detectors identify miners from block headers.
+    pub miner_addresses: Vec<Address>,
+    pub stats: SimStats,
+}
+
+impl SimOutput {
+    /// Total MEV extractions planned (ground truth).
+    pub fn planned_sandwiches(&self) -> u64 {
+        self.stats.sandwiches_public + self.stats.sandwiches_flashbots + self.stats.sandwiches_private
+    }
+
+    pub fn planned_arbitrages(&self) -> u64 {
+        self.stats.arbitrages_public + self.stats.arbitrages_flashbots + self.stats.arbitrage_copies
+    }
+
+    pub fn planned_liquidations(&self) -> u64 {
+        self.stats.liquidations_public + self.stats.liquidations_flashbots
+    }
+}

@@ -1,0 +1,281 @@
+//! Searcher population dynamics and venue choice.
+//!
+//! Figure 7a shows searcher counts per MEV type ramping up to an
+//! August-2021 peak, then declining and levelling out as unprofitable
+//! searchers leave. The population model drives a per-month active count
+//! per strategy along that trajectory, and assigns each searcher a venue
+//! (public PGA, Flashbots, or another private pool) by epoch.
+
+use crate::config::Scenario;
+use mev_types::{Address, Month};
+
+/// Address-space offset for searcher accounts.
+pub const SEARCHER_ADDRESS_BASE: u64 = 0x2000_0000_0000;
+/// Address-space offset for the §6.3 single-miner private extractors.
+pub const PRIVATE_EXTRACTOR_BASE: u64 = 0x3000_0000_0000;
+
+/// Strategy index for address derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    Sandwich,
+    Arbitrage,
+    Liquidation,
+}
+
+impl Strategy {
+    fn offset(self) -> u64 {
+        match self {
+            Strategy::Sandwich => 0,
+            Strategy::Arbitrage => 100_000,
+            Strategy::Liquidation => 200_000,
+        }
+    }
+}
+
+/// The address of searcher `i` of a strategy.
+pub fn searcher_address(strategy: Strategy, i: usize) -> Address {
+    Address::from_index(SEARCHER_ADDRESS_BASE + strategy.offset() + i as u64)
+}
+
+/// Market epochs relevant to venue choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Epoch {
+    /// Before the first Flashbots block: public PGAs only.
+    PreFlashbots,
+    /// Flashbots live, before the exodus: FB dominant.
+    FlashbotsBoom,
+    /// After September 2021: FB still dominant, but other private pools
+    /// and some public extraction coexist (§6.2's 81 / 13 / 6 split).
+    Exodus,
+}
+
+/// Where a searcher routes a given MEV extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Venue {
+    /// Public mempool, priority-gas-auction style.
+    Public,
+    /// Flashbots bundle via the relay.
+    Flashbots,
+    /// A non-Flashbots private channel (Eden-like).
+    PrivateChannel,
+}
+
+/// Per-month active-searcher schedule.
+#[derive(Debug, Clone)]
+pub struct SearcherPopulation {
+    /// months[i] = (sandwichers, arbitrageurs, liquidators) active.
+    schedule: Vec<(usize, usize, usize)>,
+    first_month: Month,
+    flashbots_launch: Month,
+    exodus: Month,
+}
+
+impl SearcherPopulation {
+    /// Build the ramp-peak-decay schedule from a scenario.
+    pub fn from_scenario(s: &Scenario) -> SearcherPopulation {
+        let first = Month::new(2020, 5);
+        let peak_month = Month::new(2021, 8);
+        let mut schedule = Vec::with_capacity(s.months as usize);
+        let mut m = first;
+        for _ in 0..s.months {
+            let f = activity_factor(m, peak_month);
+            schedule.push((
+                scaled(s.searchers.peak_sandwichers, f),
+                scaled(s.searchers.peak_arbitrageurs, f),
+                scaled(s.searchers.peak_liquidators, f),
+            ));
+            m = m.next();
+        }
+        SearcherPopulation {
+            schedule,
+            first_month: first,
+            flashbots_launch: s.flashbots_launch,
+            exodus: s.exodus_month,
+        }
+    }
+
+    /// Active searcher counts in `month`.
+    pub fn active(&self, month: Month) -> (usize, usize, usize) {
+        let idx = month.0.saturating_sub(self.first_month.0) as usize;
+        self.schedule.get(idx).copied().unwrap_or((0, 0, 0))
+    }
+
+    /// The epoch of a month.
+    pub fn epoch(&self, month: Month) -> Epoch {
+        if month < self.flashbots_launch {
+            Epoch::PreFlashbots
+        } else if month < self.exodus {
+            Epoch::FlashbotsBoom
+        } else {
+            Epoch::Exodus
+        }
+    }
+
+    /// Venue for sandwich searcher `i` in `month`, given the configured
+    /// post-exodus mix. Deterministic per (searcher, month).
+    pub fn sandwich_venue(&self, s: &Scenario, month: Month, i: usize) -> Venue {
+        match self.epoch(month) {
+            Epoch::PreFlashbots => Venue::Public,
+            Epoch::FlashbotsBoom => {
+                // A small minority never adopts FB even in the boom.
+                if i % 20 == 19 {
+                    Venue::Public
+                } else {
+                    Venue::Flashbots
+                }
+            }
+            Epoch::Exodus => {
+                // Partition searchers by index into the configured mix.
+                let n = self.active(month).0.max(1);
+                let fb_cut = (n as f64 * s.searchers.late_fb_share).round() as usize;
+                let priv_cut =
+                    fb_cut + (n as f64 * s.searchers.late_private_share).round() as usize;
+                if i < fb_cut {
+                    Venue::Flashbots
+                } else if i < priv_cut {
+                    Venue::PrivateChannel
+                } else {
+                    Venue::Public
+                }
+            }
+        }
+    }
+
+    /// Venue for arbitrage searcher `i` — arbitrageurs adopt Flashbots
+    /// less (passive arbitrage works fine publicly), which is why only
+    /// 26.5 % of arbitrages route through Flashbots in Table 1.
+    pub fn arbitrage_venue(&self, month: Month, i: usize) -> Venue {
+        match self.epoch(month) {
+            Epoch::PreFlashbots => Venue::Public,
+            _ => {
+                if i % 2 == 0 {
+                    Venue::Flashbots
+                } else {
+                    Venue::Public
+                }
+            }
+        }
+    }
+
+    /// Venue for liquidation searcher `i`.
+    pub fn liquidation_venue(&self, month: Month, i: usize) -> Venue {
+        match self.epoch(month) {
+            Epoch::PreFlashbots => Venue::Public,
+            _ => {
+                if i % 5 < 2 {
+                    Venue::Flashbots
+                } else {
+                    Venue::Public
+                }
+            }
+        }
+    }
+}
+
+/// Ramp 0→1 toward the peak month, then decay to a 0.45 plateau.
+pub fn activity_factor(m: Month, peak: Month) -> f64 {
+    let launch_ramp_start = Month::new(2020, 5);
+    if m <= peak {
+        let total = (peak.0 - launch_ramp_start.0) as f64;
+        let pos = (m.0 - launch_ramp_start.0) as f64;
+        // Quadratic ramp: slow start, fast finish.
+        0.15 + 0.85 * (pos / total).powi(2)
+    } else {
+        let after = (m.0 - peak.0) as f64;
+        (1.0 - 0.18 * after).max(0.45)
+    }
+}
+
+fn scaled(peak: usize, f: f64) -> usize {
+    ((peak as f64 * f).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> SearcherPopulation {
+        SearcherPopulation::from_scenario(&Scenario::default())
+    }
+
+    #[test]
+    fn ramps_to_peak_then_decays() {
+        let p = pop();
+        let early = p.active(Month::new(2020, 6)).0;
+        let peak = p.active(Month::new(2021, 8)).0;
+        let late = p.active(Month::new(2022, 2)).0;
+        assert!(early < peak, "{early} < {peak}");
+        assert!(late < peak, "{late} < {peak}");
+        assert!(late > 0, "plateau, not extinction");
+        assert_eq!(peak, 40, "peak equals configured sandwicher count");
+    }
+
+    #[test]
+    fn epochs_partition_the_span() {
+        let p = pop();
+        assert_eq!(p.epoch(Month::new(2020, 12)), Epoch::PreFlashbots);
+        assert_eq!(p.epoch(Month::new(2021, 2)), Epoch::FlashbotsBoom);
+        assert_eq!(p.epoch(Month::new(2021, 8)), Epoch::FlashbotsBoom);
+        assert_eq!(p.epoch(Month::new(2021, 9)), Epoch::Exodus);
+        assert_eq!(p.epoch(Month::new(2022, 3)), Epoch::Exodus);
+    }
+
+    #[test]
+    fn venue_mix_pre_flashbots_is_public() {
+        let p = pop();
+        let s = Scenario::default();
+        for i in 0..20 {
+            assert_eq!(p.sandwich_venue(&s, Month::new(2020, 10), i), Venue::Public);
+            assert_eq!(p.arbitrage_venue(Month::new(2020, 10), i), Venue::Public);
+        }
+    }
+
+    #[test]
+    fn venue_mix_post_exodus_matches_config() {
+        let p = pop();
+        let s = Scenario::default();
+        let m = Month::new(2022, 1);
+        let n = p.active(m).0;
+        let counts = (0..n).fold((0, 0, 0), |mut acc, i| {
+            match p.sandwich_venue(&s, m, i) {
+                Venue::Flashbots => acc.0 += 1,
+                Venue::PrivateChannel => acc.1 += 1,
+                Venue::Public => acc.2 += 1,
+            }
+            acc
+        });
+        let fb_share = counts.0 as f64 / n as f64;
+        let priv_share = counts.1 as f64 / n as f64;
+        assert!((0.7..0.9).contains(&fb_share), "fb {fb_share}");
+        assert!((0.05..0.25).contains(&priv_share), "priv {priv_share}");
+        assert!(counts.2 > 0, "some public extraction survives");
+    }
+
+    #[test]
+    fn arbitrage_adopts_less() {
+        let p = pop();
+        let m = Month::new(2021, 6);
+        let fb = (0..20).filter(|&i| p.arbitrage_venue(m, i) == Venue::Flashbots).count();
+        assert_eq!(fb, 10, "half of arbitrageurs use FB");
+        let fb_sw = (0..20)
+            .filter(|&i| p.sandwich_venue(&Scenario::default(), m, i) == Venue::Flashbots)
+            .count();
+        assert!(fb_sw > fb, "sandwichers adopt more than arbitrageurs");
+    }
+
+    #[test]
+    fn searcher_addresses_disjoint_across_strategies() {
+        let a = searcher_address(Strategy::Sandwich, 5);
+        let b = searcher_address(Strategy::Arbitrage, 5);
+        let c = searcher_address(Strategy::Liquidation, 5);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn out_of_range_month_is_empty() {
+        let p = pop();
+        assert_eq!(p.active(Month::new(2019, 1)), p.active(Month::new(2020, 5)));
+        assert_eq!(p.active(Month::new(2025, 1)), (0, 0, 0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors arising from primitive-type operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Arithmetic overflow in an amount computation.
+    Overflow(&'static str),
+    /// A value failed validation (e.g. month out of range).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Overflow(ctx) => write!(f, "arithmetic overflow: {ctx}"),
+            TypeError::Invalid(ctx) => write!(f, "invalid value: {ctx}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        assert!(TypeError::Overflow("reserve mul").to_string().contains("reserve mul"));
+        assert!(TypeError::Invalid("month").to_string().contains("month"));
+    }
+}

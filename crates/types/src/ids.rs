@@ -1,0 +1,191 @@
+//! Identifiers for tokens, exchanges, liquidity pools, and lending platforms.
+//!
+//! The paper's detectors distinguish *which* exchange or platform emitted an
+//! event (sandwiches are per-pool, arbitrage is cross-exchange, liquidations
+//! are per-platform), so these identifiers appear in every event log.
+
+use std::fmt;
+
+/// A fungible token. `TokenId(0)` is reserved for wrapped ether (WETH).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// Wrapped ether — the numéraire all profits are converted into,
+    /// mirroring the paper's CoinGecko token→ETH conversion.
+    pub const WETH: TokenId = TokenId(0);
+
+    pub fn is_weth(&self) -> bool {
+        *self == TokenId::WETH
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_weth() {
+            write!(f, "WETH")
+        } else {
+            write!(f, "TKN{}", self.0)
+        }
+    }
+}
+
+/// The DEX protocols the paper's detectors cover (§3.1.1–§3.1.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ExchangeId {
+    UniswapV1,
+    UniswapV2,
+    UniswapV3,
+    SushiSwap,
+    Bancor,
+    Curve,
+    Balancer,
+    ZeroEx,
+}
+
+impl ExchangeId {
+    /// All supported exchanges, in a stable order.
+    pub const ALL: [ExchangeId; 8] = [
+        ExchangeId::UniswapV1,
+        ExchangeId::UniswapV2,
+        ExchangeId::UniswapV3,
+        ExchangeId::SushiSwap,
+        ExchangeId::Bancor,
+        ExchangeId::Curve,
+        ExchangeId::Balancer,
+        ExchangeId::ZeroEx,
+    ];
+
+    /// Exchanges the sandwich detector covers (§3.1.1: Bancor, SushiSwap,
+    /// Uniswap V1/V2/V3).
+    pub fn sandwich_covered(&self) -> bool {
+        matches!(
+            self,
+            ExchangeId::Bancor
+                | ExchangeId::SushiSwap
+                | ExchangeId::UniswapV1
+                | ExchangeId::UniswapV2
+                | ExchangeId::UniswapV3
+        )
+    }
+
+    /// Exchanges the arbitrage detector covers (§3.1.2: 0x, Balancer, Bancor,
+    /// Curve, SushiSwap, Uniswap V2/V3).
+    pub fn arbitrage_covered(&self) -> bool {
+        !matches!(self, ExchangeId::UniswapV1)
+    }
+}
+
+impl fmt::Display for ExchangeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExchangeId::UniswapV1 => "UniswapV1",
+            ExchangeId::UniswapV2 => "UniswapV2",
+            ExchangeId::UniswapV3 => "UniswapV3",
+            ExchangeId::SushiSwap => "SushiSwap",
+            ExchangeId::Bancor => "Bancor",
+            ExchangeId::Curve => "Curve",
+            ExchangeId::Balancer => "Balancer",
+            ExchangeId::ZeroEx => "0x",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A liquidity pool within an exchange (one trading pair / pool contract).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PoolId {
+    pub exchange: ExchangeId,
+    /// Index of the pool within its exchange.
+    pub index: u32,
+}
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.exchange, self.index)
+    }
+}
+
+/// Lending platforms the liquidation and flash-loan detectors cover
+/// (§3.1.3: Aave V1/V2, Compound; §3.4: Aave, dYdX).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub enum LendingPlatformId {
+    AaveV1,
+    AaveV2,
+    Compound,
+    DyDx,
+}
+
+impl LendingPlatformId {
+    pub const ALL: [LendingPlatformId; 4] = [
+        LendingPlatformId::AaveV1,
+        LendingPlatformId::AaveV2,
+        LendingPlatformId::Compound,
+        LendingPlatformId::DyDx,
+    ];
+
+    /// Platforms offering flash loans (§3.4).
+    pub fn offers_flash_loans(&self) -> bool {
+        matches!(self, LendingPlatformId::AaveV1 | LendingPlatformId::AaveV2 | LendingPlatformId::DyDx)
+    }
+
+    /// Platforms with fixed-spread liquidations (all modelled platforms;
+    /// auction liquidation exists in `mev-lending` for completeness but the
+    /// paper's detector targets fixed-spread).
+    pub fn fixed_spread(&self) -> bool {
+        !matches!(self, LendingPlatformId::DyDx)
+    }
+}
+
+impl fmt::Display for LendingPlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LendingPlatformId::AaveV1 => "AaveV1",
+            LendingPlatformId::AaveV2 => "AaveV2",
+            LendingPlatformId::Compound => "Compound",
+            LendingPlatformId::DyDx => "dYdX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weth_is_token_zero() {
+        assert!(TokenId::WETH.is_weth());
+        assert!(!TokenId(1).is_weth());
+        assert_eq!(TokenId::WETH.to_string(), "WETH");
+        assert_eq!(TokenId(3).to_string(), "TKN3");
+    }
+
+    #[test]
+    fn sandwich_coverage_matches_paper() {
+        let covered: Vec<_> =
+            ExchangeId::ALL.iter().filter(|e| e.sandwich_covered()).collect();
+        assert_eq!(covered.len(), 5);
+        assert!(!ExchangeId::Curve.sandwich_covered());
+        assert!(!ExchangeId::ZeroEx.sandwich_covered());
+    }
+
+    #[test]
+    fn arbitrage_coverage_matches_paper() {
+        assert!(!ExchangeId::UniswapV1.arbitrage_covered());
+        assert_eq!(ExchangeId::ALL.iter().filter(|e| e.arbitrage_covered()).count(), 7);
+    }
+
+    #[test]
+    fn flash_loan_platforms() {
+        assert!(LendingPlatformId::AaveV2.offers_flash_loans());
+        assert!(LendingPlatformId::DyDx.offers_flash_loans());
+        assert!(!LendingPlatformId::Compound.offers_flash_loans());
+    }
+
+    #[test]
+    fn pool_display() {
+        let p = PoolId { exchange: ExchangeId::UniswapV2, index: 7 };
+        assert_eq!(p.to_string(), "UniswapV2#7");
+    }
+}

@@ -1,0 +1,114 @@
+//! # mev-types
+//!
+//! Primitive types shared by every crate in the `flashpan` workspace:
+//! addresses, hashes, wei/gas units, a minimal 256-bit unsigned integer for
+//! AMM math, transactions, blocks, receipts and typed event logs, and the
+//! block-number ↔ wall-clock mapping used to bucket measurements by day and
+//! month, mirroring the paper's measurement windows.
+//!
+//! The types are deliberately simulation-grade rather than consensus-grade:
+//! hashes are deterministic 256-bit digests of the structural content (not
+//! Keccak), signatures are elided (a transaction's `from` field is
+//! authoritative), and amounts use `u128` wei with `U256` intermediates for
+//! overflow-free constant-product math.
+
+pub mod error;
+pub mod ids;
+pub mod log;
+pub mod primitives;
+pub mod receipt;
+pub mod time;
+pub mod tx;
+pub mod u256;
+pub mod units;
+
+pub use error::TypeError;
+pub use ids::{ExchangeId, LendingPlatformId, PoolId, TokenId};
+pub use log::{Log, LogEvent};
+pub use primitives::{Address, H256};
+pub use receipt::{ExecOutcome, Receipt};
+pub use time::{BlockTime, Day, Month, Timeline, SECONDS_PER_BLOCK};
+pub use tx::{Action, GroundTruth, SwapCall, Transaction, TxFee, TxHash};
+pub use u256::U256;
+pub use units::{eth, gwei, Gas, SignedWei, Wei, ETH, GWEI};
+
+/// Block header plus ordered transaction list.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Block {
+    pub header: BlockHeader,
+    pub transactions: Vec<Transaction>,
+}
+
+/// Minimal Ethereum-like block header.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BlockHeader {
+    /// Height of this block.
+    pub number: u64,
+    /// Digest of the parent header.
+    pub parent_hash: H256,
+    /// Coinbase: the miner credited with fees and issuance.
+    pub miner: Address,
+    /// Unix timestamp (seconds).
+    pub timestamp: u64,
+    /// Total gas consumed by the block's transactions.
+    pub gas_used: Gas,
+    /// Protocol gas limit at this height.
+    pub gas_limit: Gas,
+    /// EIP-1559 base fee; `Wei::ZERO` before the London fork.
+    pub base_fee: Wei,
+}
+
+impl Block {
+    /// Deterministic digest of the header contents.
+    pub fn hash(&self) -> H256 {
+        self.header.hash()
+    }
+}
+
+impl BlockHeader {
+    /// Deterministic digest of the header contents.
+    pub fn hash(&self) -> H256 {
+        let mut h = primitives::Digest::new("blockheader");
+        h.update_u64(self.number);
+        h.update(self.parent_hash.as_bytes());
+        h.update(self.miner.as_bytes());
+        h.update_u64(self.timestamp);
+        h.update_u64(self.gas_used.0);
+        h.update_u64(self.gas_limit.0);
+        h.update_u128(self.base_fee.0);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(n: u64) -> BlockHeader {
+        BlockHeader {
+            number: n,
+            parent_hash: H256::zero(),
+            miner: Address::from_index(7),
+            timestamp: 1_600_000_000 + n * 13,
+            gas_used: Gas(21_000),
+            gas_limit: Gas(30_000_000),
+            base_fee: gwei(30),
+        }
+    }
+
+    #[test]
+    fn header_hash_changes_with_number() {
+        assert_ne!(header(1).hash(), header(2).hash());
+    }
+
+    #[test]
+    fn header_hash_is_deterministic() {
+        assert_eq!(header(5).hash(), header(5).hash());
+    }
+
+    #[test]
+    fn block_hash_matches_header_hash() {
+        let b = Block { header: header(3), transactions: vec![] };
+        assert_eq!(b.hash(), b.header.hash());
+    }
+}

@@ -1,0 +1,94 @@
+//! Transaction receipts — the execution record the detectors consume.
+
+use crate::log::Log;
+use crate::primitives::Address;
+use crate::tx::TxHash;
+use crate::units::{Gas, Wei};
+
+/// Outcome of executing a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecOutcome {
+    /// All effects applied.
+    Success,
+    /// Reverted: effects rolled back, gas still charged (§2.1 — "if a
+    /// contract runs out of gas, the miner gets to keep the gas fees, but
+    /// rolls back any side-effects").
+    Reverted,
+}
+
+impl ExecOutcome {
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExecOutcome::Success)
+    }
+}
+
+/// Receipt of a transaction included in a block.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Receipt {
+    pub tx_hash: TxHash,
+    /// Position within the block — ordering is the essence of MEV.
+    pub index: u32,
+    pub from: Address,
+    pub outcome: ExecOutcome,
+    pub gas_used: Gas,
+    /// Price per gas actually charged.
+    pub effective_gas_price: Wei,
+    /// Portion of the fee credited to the miner (post-London: priority only).
+    pub miner_fee: Wei,
+    /// Direct coinbase transfer paid on success (Flashbots tip channel).
+    pub coinbase_transfer: Wei,
+    /// Events emitted (empty if reverted).
+    pub logs: Vec<Log>,
+}
+
+impl Receipt {
+    /// Total transaction fee charged to the sender (excluding coinbase tip).
+    pub fn total_fee(&self) -> Wei {
+        self.gas_used.cost(self.effective_gas_price)
+    }
+
+    /// Everything the sender paid: fee plus coinbase tip.
+    pub fn total_cost(&self) -> Wei {
+        self.total_fee() + self.coinbase_transfer
+    }
+
+    /// Everything the miner earned from this transaction.
+    pub fn miner_revenue(&self) -> Wei {
+        self.miner_fee + self.coinbase_transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::H256;
+    use crate::units::gwei;
+
+    fn receipt() -> Receipt {
+        Receipt {
+            tx_hash: H256::zero(),
+            index: 0,
+            from: Address::from_index(1),
+            outcome: ExecOutcome::Success,
+            gas_used: Gas(100_000),
+            effective_gas_price: gwei(50),
+            miner_fee: Gas(100_000).cost(gwei(2)),
+            coinbase_transfer: gwei(1_000_000),
+            logs: vec![],
+        }
+    }
+
+    #[test]
+    fn fee_accounting() {
+        let r = receipt();
+        assert_eq!(r.total_fee(), Gas(100_000).cost(gwei(50)));
+        assert_eq!(r.total_cost(), r.total_fee() + gwei(1_000_000));
+        assert_eq!(r.miner_revenue(), Gas(100_000).cost(gwei(2)) + gwei(1_000_000));
+    }
+
+    #[test]
+    fn outcome_predicate() {
+        assert!(ExecOutcome::Success.is_success());
+        assert!(!ExecOutcome::Reverted.is_success());
+    }
+}

@@ -1,0 +1,293 @@
+//! Block-number ↔ wall-clock mapping and calendar bucketing.
+//!
+//! The paper buckets every measurement by calendar month (Figures 3–5, 7)
+//! or day (Figure 6) over the range block 10,000,000 (May 4th 2020) to
+//! 14,444,725 (March 23rd 2022). The simulation compresses that range by a
+//! configurable scale factor but keeps the same calendar span, so a
+//! [`Timeline`] maps simulated block numbers onto real dates.
+
+use std::fmt;
+
+/// Average Ethereum block interval in seconds (pre-merge).
+pub const SECONDS_PER_BLOCK: u64 = 13;
+
+const DAYS_PER_MONTH: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// A calendar month, counted as `year * 12 + (month - 1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Month(pub u32);
+
+impl Month {
+    /// Construct from calendar year and 1-based month.
+    pub fn new(year: u32, month: u32) -> Month {
+        assert!((1..=12).contains(&month), "month out of range");
+        Month(year * 12 + (month - 1))
+    }
+
+    pub fn year(&self) -> u32 {
+        self.0 / 12
+    }
+
+    /// 1-based month within the year.
+    pub fn month(&self) -> u32 {
+        self.0 % 12 + 1
+    }
+
+    /// The next calendar month.
+    pub fn next(&self) -> Month {
+        Month(self.0 + 1)
+    }
+
+    /// Months from `self` up to and including `end`.
+    pub fn range_inclusive(self, end: Month) -> impl Iterator<Item = Month> {
+        (self.0..=end.0).map(Month)
+    }
+}
+
+impl fmt::Debug for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year(), self.month())
+    }
+}
+
+/// A calendar day, counted as days since 1970-01-01.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Day(pub u64);
+
+impl Day {
+    /// The day containing a unix timestamp.
+    pub fn from_timestamp(ts: u64) -> Day {
+        Day(ts / 86_400)
+    }
+
+    /// Unix timestamp at 00:00 UTC of this day.
+    pub fn start_timestamp(&self) -> u64 {
+        self.0 * 86_400
+    }
+
+    /// The month containing this day.
+    pub fn month(&self) -> Month {
+        month_of_timestamp(self.start_timestamp())
+    }
+}
+
+impl fmt::Debug for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = ymd_of_timestamp(self.start_timestamp());
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+fn is_leap(year: u64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_year(year: u64) -> u64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+/// Civil (year, month, day) of a unix timestamp. Valid for 1970..2400.
+fn ymd_of_timestamp(ts: u64) -> (u64, u64, u64) {
+    let mut days = ts / 86_400;
+    let mut year = 1970u64;
+    while days >= days_in_year(year) {
+        days -= days_in_year(year);
+        year += 1;
+    }
+    let mut month = 0usize;
+    loop {
+        let mut len = DAYS_PER_MONTH[month];
+        if month == 1 && is_leap(year) {
+            len += 1;
+        }
+        if days < len {
+            break;
+        }
+        days -= len;
+        month += 1;
+    }
+    (year, month as u64 + 1, days + 1)
+}
+
+/// The calendar month of a unix timestamp.
+pub fn month_of_timestamp(ts: u64) -> Month {
+    let (y, m, _) = ymd_of_timestamp(ts);
+    Month::new(y as u32, m as u32)
+}
+
+/// Unix timestamp at 00:00 UTC on a civil date.
+pub fn timestamp_of_ymd(year: u64, month: u64, day: u64) -> u64 {
+    assert!((1..=12).contains(&month) && day >= 1);
+    let mut days = 0u64;
+    for y in 1970..year {
+        days += days_in_year(y);
+    }
+    for m in 0..(month as usize - 1) {
+        days += DAYS_PER_MONTH[m];
+        if m == 1 && is_leap(year) {
+            days += 1;
+        }
+    }
+    (days + day - 1) * 86_400
+}
+
+/// A point in simulated chain time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BlockTime {
+    pub number: u64,
+    pub timestamp: u64,
+}
+
+impl BlockTime {
+    pub fn day(&self) -> Day {
+        Day::from_timestamp(self.timestamp)
+    }
+
+    pub fn month(&self) -> Month {
+        month_of_timestamp(self.timestamp)
+    }
+}
+
+/// Maps simulated block numbers onto the paper's calendar span.
+///
+/// The real study covers 4.44 M blocks at ~13 s each. A `Timeline` with
+/// `seconds_per_block > 13` compresses the same calendar range into fewer
+/// simulated blocks while preserving month/day bucketing.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Timeline {
+    /// Block number of the first simulated block.
+    pub genesis_number: u64,
+    /// Unix timestamp of the first simulated block.
+    pub genesis_timestamp: u64,
+    /// Simulated seconds elapsed per block.
+    pub seconds_per_block: u64,
+}
+
+impl Timeline {
+    /// The paper's span: genesis anchored at block 10,000,000 on
+    /// May 4th 2020, with `blocks_per_month` controlling compression.
+    pub fn paper_span(blocks_per_month: u64) -> Timeline {
+        assert!(blocks_per_month > 0);
+        // ~30.44 days per month on average.
+        let seconds_per_month = 2_629_800u64;
+        Timeline {
+            genesis_number: 10_000_000,
+            genesis_timestamp: timestamp_of_ymd(2020, 5, 4),
+            seconds_per_block: (seconds_per_month / blocks_per_month).max(1),
+        }
+    }
+
+    /// Wall-clock timestamp of a block number.
+    pub fn timestamp_of(&self, number: u64) -> u64 {
+        assert!(number >= self.genesis_number, "block before genesis");
+        self.genesis_timestamp + (number - self.genesis_number) * self.seconds_per_block
+    }
+
+    /// Full time coordinates of a block number.
+    pub fn at(&self, number: u64) -> BlockTime {
+        BlockTime { number, timestamp: self.timestamp_of(number) }
+    }
+
+    /// First block number whose timestamp falls in `month`, if the month
+    /// starts at or after genesis.
+    pub fn first_block_of_month(&self, month: Month) -> u64 {
+        let target = timestamp_of_ymd(month.year() as u64, month.month() as u64, 1);
+        if target <= self.genesis_timestamp {
+            return self.genesis_number;
+        }
+        let delta = target - self.genesis_timestamp;
+        self.genesis_number + delta.div_ceil(self.seconds_per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_construction() {
+        let m = Month::new(2021, 7);
+        assert_eq!(m.year(), 2021);
+        assert_eq!(m.month(), 7);
+        assert_eq!(m.to_string(), "2021-07");
+        assert_eq!(m.next(), Month::new(2021, 8));
+        assert_eq!(Month::new(2021, 12).next(), Month::new(2022, 1));
+    }
+
+    #[test]
+    fn month_range() {
+        let months: Vec<_> =
+            Month::new(2020, 11).range_inclusive(Month::new(2021, 2)).collect();
+        assert_eq!(months.len(), 4);
+        assert_eq!(months[0], Month::new(2020, 11));
+        assert_eq!(months[3], Month::new(2021, 2));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2020-05-04 is a known anchor from the paper.
+        let ts = timestamp_of_ymd(2020, 5, 4);
+        assert_eq!(ymd_of_timestamp(ts), (2020, 5, 4));
+        assert_eq!(month_of_timestamp(ts), Month::new(2020, 5));
+        // Unix epoch.
+        assert_eq!(ymd_of_timestamp(0), (1970, 1, 1));
+        // Leap day.
+        let leap = timestamp_of_ymd(2020, 2, 29);
+        assert_eq!(ymd_of_timestamp(leap), (2020, 2, 29));
+        assert_eq!(ymd_of_timestamp(leap + 86_400), (2020, 3, 1));
+    }
+
+    #[test]
+    fn day_of_timestamp() {
+        let ts = timestamp_of_ymd(2021, 11, 8) + 3600;
+        let d = Day::from_timestamp(ts);
+        assert_eq!(format!("{d}"), "2021-11-08");
+        assert_eq!(d.month(), Month::new(2021, 11));
+    }
+
+    #[test]
+    fn timeline_spans_paper_range() {
+        let tl = Timeline::paper_span(2000);
+        let genesis = tl.at(10_000_000);
+        assert_eq!(genesis.month(), Month::new(2020, 5));
+        // 23 months later at 2000 blocks/month ≈ block 10,046,000.
+        let late = tl.at(10_000_000 + 2000 * 22);
+        assert_eq!(late.month(), Month::new(2022, 3));
+    }
+
+    #[test]
+    fn first_block_of_month_monotone() {
+        let tl = Timeline::paper_span(1000);
+        let mut prev = 0;
+        for m in Month::new(2020, 5).range_inclusive(Month::new(2022, 3)) {
+            let b = tl.first_block_of_month(m);
+            assert!(b >= prev);
+            prev = b;
+            if m > Month::new(2020, 5) {
+                assert_eq!(month_of_timestamp(tl.timestamp_of(b)), m);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block before genesis")]
+    fn timestamp_before_genesis_panics() {
+        Timeline::paper_span(1000).timestamp_of(9_999_999);
+    }
+}

@@ -1,0 +1,271 @@
+//! Transactions and the action payloads the simulated "contracts" execute.
+//!
+//! Real Ethereum transactions carry opaque calldata; the detectors in
+//! `mev-core` never look at calldata, only at receipts and event logs.
+//! We therefore represent payloads as a typed [`Action`] enum that the
+//! execution engine in `mev-chain` interprets natively, charging gas and
+//! emitting the same logs the real contracts would.
+
+use crate::ids::{LendingPlatformId, PoolId, TokenId};
+use crate::primitives::{Address, Digest, H256};
+use crate::units::{Gas, Wei};
+
+/// A transaction hash.
+pub type TxHash = H256;
+
+/// Fee terms: legacy fixed gas price, or EIP-1559 after the London fork.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TxFee {
+    /// Pre-London: a single gas price, paid in full to the miner.
+    Legacy { gas_price: Wei },
+    /// Post-London: the base fee is burned, the priority fee (capped by
+    /// `max_fee - base_fee`) goes to the miner.
+    Eip1559 { max_fee: Wei, max_priority: Wei },
+}
+
+impl TxFee {
+    /// The price per gas actually charged to the sender given `base_fee`.
+    pub fn effective_gas_price(&self, base_fee: Wei) -> Wei {
+        match *self {
+            TxFee::Legacy { gas_price } => gas_price,
+            TxFee::Eip1559 { max_fee, max_priority } => (base_fee + max_priority).min(max_fee),
+        }
+    }
+
+    /// The per-gas amount the miner receives given `base_fee`.
+    pub fn miner_tip_per_gas(&self, base_fee: Wei) -> Wei {
+        self.effective_gas_price(base_fee).saturating_sub(match *self {
+            TxFee::Legacy { .. } => Wei::ZERO,
+            TxFee::Eip1559 { .. } => base_fee,
+        })
+    }
+
+    /// The maximum per-gas price the sender is willing to pay — the mempool
+    /// ordering key miners sort by.
+    pub fn bid_per_gas(&self) -> Wei {
+        match *self {
+            TxFee::Legacy { gas_price } => gas_price,
+            TxFee::Eip1559 { max_fee, .. } => max_fee,
+        }
+    }
+
+    /// True if the transaction can be included under `base_fee`.
+    pub fn is_includable(&self, base_fee: Wei) -> bool {
+        self.bid_per_gas() >= base_fee
+    }
+}
+
+/// One swap leg on a specific pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SwapCall {
+    pub pool: PoolId,
+    pub token_in: TokenId,
+    pub token_out: TokenId,
+    /// Input amount in token base units.
+    pub amount_in: u128,
+    /// Slippage guard: revert if the output is below this.
+    pub min_amount_out: u128,
+}
+
+/// Typed payloads executed natively by `mev-chain`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Action {
+    /// Plain value transfer.
+    Transfer { to: Address, value: Wei },
+    /// Single swap on a DEX pool.
+    Swap(SwapCall),
+    /// Atomic multi-hop route (the shape of an arbitrage transaction):
+    /// every leg must succeed or the whole transaction reverts.
+    Route(Vec<SwapCall>),
+    /// Deposit collateral into a lending platform.
+    Deposit { platform: LendingPlatformId, token: TokenId, amount: u128 },
+    /// Borrow against deposited collateral.
+    Borrow { platform: LendingPlatformId, token: TokenId, amount: u128 },
+    /// Repay borrowed funds.
+    Repay { platform: LendingPlatformId, token: TokenId, amount: u128 },
+    /// Fixed-spread liquidation of an unhealthy loan.
+    Liquidate {
+        platform: LendingPlatformId,
+        borrower: Address,
+        debt_token: TokenId,
+        /// Debt to repay, in debt-token base units.
+        repay_amount: u128,
+    },
+    /// Privileged oracle price update: new WETH value of one whole token
+    /// (10¹⁸ base units), expressed in wei.
+    OracleUpdate { token: TokenId, price_wei: u128 },
+    /// Flash loan: borrow, run the inner actions, repay plus fee — or
+    /// revert everything (§2.3).
+    FlashLoan {
+        platform: LendingPlatformId,
+        token: TokenId,
+        amount: u128,
+        inner: Vec<Action>,
+    },
+    /// Mining-pool payout batch (the paper's `miner payout` bundle type).
+    Payout { recipients: Vec<(Address, Wei)> },
+    /// Opaque non-DeFi activity: consumes gas, emits nothing.
+    Other { gas: Gas },
+}
+
+impl Action {
+    /// Swap legs contained in this action (including inside flash loans).
+    pub fn swap_legs(&self) -> Vec<SwapCall> {
+        match self {
+            Action::Swap(s) => vec![*s],
+            Action::Route(legs) => legs.clone(),
+            Action::FlashLoan { inner, .. } => {
+                inner.iter().flat_map(|a| a.swap_legs()).collect()
+            }
+            _ => vec![],
+        }
+    }
+}
+
+/// Ground-truth label attached by the *generating agent*, used only to
+/// validate detector precision/recall. Detectors must never read this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum GroundTruth {
+    SandwichFront,
+    SandwichBack,
+    SandwichVictim,
+    Arbitrage,
+    Liquidation,
+    OrdinaryTrade,
+    Payout,
+    Background,
+}
+
+/// A simulated transaction. Signatures are elided: `from` is authoritative.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Transaction {
+    pub from: Address,
+    pub nonce: u64,
+    pub fee: TxFee,
+    pub gas_limit: Gas,
+    pub action: Action,
+    /// Direct transfer to the block's coinbase on success — the Flashbots
+    /// "coinbase transfer" tip channel (§3.1.1).
+    pub coinbase_tip: Wei,
+    /// Ground truth for detector validation; not visible to detectors.
+    pub ground_truth: Option<GroundTruth>,
+    /// Cached content hash.
+    hash: TxHash,
+}
+
+impl Transaction {
+    /// Build a transaction, computing its content hash.
+    pub fn new(
+        from: Address,
+        nonce: u64,
+        fee: TxFee,
+        gas_limit: Gas,
+        action: Action,
+        coinbase_tip: Wei,
+        ground_truth: Option<GroundTruth>,
+    ) -> Transaction {
+        let mut d = Digest::new("tx");
+        d.update(from.as_bytes());
+        d.update_u64(nonce);
+        match fee {
+            TxFee::Legacy { gas_price } => {
+                d.update_u64(0);
+                d.update_u128(gas_price.0);
+            }
+            TxFee::Eip1559 { max_fee, max_priority } => {
+                d.update_u64(1);
+                d.update_u128(max_fee.0);
+                d.update_u128(max_priority.0);
+            }
+        }
+        d.update_u64(gas_limit.0);
+        d.update_u128(coinbase_tip.0);
+        // Debug formatting is deterministic and structurally complete.
+        d.update(format!("{action:?}").as_bytes());
+        let hash = d.finish();
+        Transaction { from, nonce, fee, gas_limit, action, coinbase_tip, ground_truth, hash }
+    }
+
+    /// Content hash.
+    pub fn hash(&self) -> TxHash {
+        self.hash
+    }
+
+    /// Mempool ordering key.
+    pub fn bid_per_gas(&self) -> Wei {
+        self.fee.bid_per_gas()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ExchangeId;
+    use crate::units::{eth, gwei};
+
+    fn swap() -> Action {
+        Action::Swap(SwapCall {
+            pool: PoolId { exchange: ExchangeId::UniswapV2, index: 0 },
+            token_in: TokenId::WETH,
+            token_out: TokenId(1),
+            amount_in: 100,
+            min_amount_out: 90,
+        })
+    }
+
+    fn tx(nonce: u64, price: Wei) -> Transaction {
+        Transaction::new(
+            Address::from_index(1),
+            nonce,
+            TxFee::Legacy { gas_price: price },
+            Gas(100_000),
+            swap(),
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    #[test]
+    fn hash_distinguishes_nonce_and_fee() {
+        assert_ne!(tx(1, gwei(50)).hash(), tx(2, gwei(50)).hash());
+        assert_ne!(tx(1, gwei(50)).hash(), tx(1, gwei(51)).hash());
+        assert_eq!(tx(1, gwei(50)).hash(), tx(1, gwei(50)).hash());
+    }
+
+    #[test]
+    fn legacy_fee_semantics() {
+        let fee = TxFee::Legacy { gas_price: gwei(80) };
+        assert_eq!(fee.effective_gas_price(gwei(30)), gwei(80));
+        // Legacy: the whole price goes to the miner.
+        assert_eq!(fee.miner_tip_per_gas(gwei(30)), gwei(80));
+        assert_eq!(fee.bid_per_gas(), gwei(80));
+        assert!(fee.is_includable(gwei(80)));
+        assert!(!fee.is_includable(gwei(81)));
+    }
+
+    #[test]
+    fn eip1559_fee_semantics() {
+        let fee = TxFee::Eip1559 { max_fee: gwei(100), max_priority: gwei(2) };
+        // base + priority below cap.
+        assert_eq!(fee.effective_gas_price(gwei(30)), gwei(32));
+        assert_eq!(fee.miner_tip_per_gas(gwei(30)), gwei(2));
+        // cap binds: priority squeezed.
+        assert_eq!(fee.effective_gas_price(gwei(99)), gwei(100));
+        assert_eq!(fee.miner_tip_per_gas(gwei(99)), gwei(1));
+        // base above cap: not includable.
+        assert!(!fee.is_includable(gwei(101)));
+    }
+
+    #[test]
+    fn swap_legs_sees_through_flash_loans() {
+        let fl = Action::FlashLoan {
+            platform: LendingPlatformId::AaveV2,
+            token: TokenId::WETH,
+            amount: eth(100).0,
+            inner: vec![swap(), swap()],
+        };
+        assert_eq!(fl.swap_legs().len(), 2);
+        assert_eq!(Action::Transfer { to: Address::ZERO, value: eth(1) }.swap_legs().len(), 0);
+        assert_eq!(Action::Route(vec![]).swap_legs().len(), 0);
+    }
+}

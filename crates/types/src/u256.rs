@@ -1,0 +1,352 @@
+//! A minimal 256-bit unsigned integer.
+//!
+//! Constant-product AMM math multiplies two reserves that can each approach
+//! 10²⁷ base units; the product (10⁵⁴) exceeds `u128`. This module provides
+//! just enough 256-bit arithmetic — add, sub, widening mul, division by
+//! `u128`, full division, comparison — for exact pool math, implemented over
+//! four 64-bit limbs (little-endian).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// 256-bit unsigned integer over four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    pub const ZERO: U256 = U256([0; 4]);
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Widening product of two `u128`s.
+    pub fn mul_u128_u128(a: u128, b: u128) -> U256 {
+        U256::from(a).mul_u128(b)
+    }
+
+    /// True if the value fits in a `u128`.
+    pub fn fits_u128(&self) -> bool {
+        self.0[2] == 0 && self.0[3] == 0
+    }
+
+    /// Truncate to `u128`; panics on overflow.
+    pub fn as_u128(&self) -> u128 {
+        assert!(self.fits_u128(), "U256 does not fit in u128");
+        (self.0[1] as u128) << 64 | self.0[0] as u128
+    }
+
+    /// Checked conversion to `u128`.
+    pub fn checked_u128(&self) -> Option<u128> {
+        self.fits_u128().then(|| self.as_u128())
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (carry == 0).then_some(U256(out))
+    }
+
+    /// Addition; panics on overflow.
+    pub fn add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).expect("U256 add overflow")
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (borrow == 0).then_some(U256(out))
+    }
+
+    /// Subtraction; panics on underflow.
+    pub fn sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).expect("U256 sub underflow")
+    }
+
+    /// Multiply by a `u128`; panics if the result exceeds 256 bits.
+    pub fn mul_u128(self, rhs: u128) -> U256 {
+        let rl = [(rhs & u64::MAX as u128) as u64, (rhs >> 64) as u64];
+        let mut acc = [0u128; 6];
+        for (i, &a) in self.0.iter().enumerate() {
+            for (j, &b) in rl.iter().enumerate() {
+                acc[i + j] += a as u128 * b as u128;
+                // Normalise eagerly so limb sums never overflow u128.
+                if acc[i + j] >> 64 > 0 {
+                    acc[i + j + 1] += acc[i + j] >> 64;
+                    acc[i + j] &= u64::MAX as u128;
+                }
+            }
+        }
+        // Final carry propagation.
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..6 {
+            let v = acc[i] + carry;
+            if i < 4 {
+                out[i] = (v & u64::MAX as u128) as u64;
+            } else {
+                assert!(v & u64::MAX as u128 == 0, "U256 mul overflow");
+            }
+            carry = v >> 64;
+        }
+        assert!(carry == 0, "U256 mul overflow");
+        U256(out)
+    }
+
+    /// Divide by a `u128`, truncating. Panics on division by zero.
+    pub fn div_u128(self, rhs: u128) -> U256 {
+        assert!(rhs != 0, "U256 division by zero");
+        // Long division over 64-bit limbs with a 128-bit remainder window
+        // only works when rhs fits in 64 bits; otherwise fall back to the
+        // general shift-subtract divider.
+        if rhs <= u64::MAX as u128 {
+            let d = rhs as u64;
+            let mut out = [0u64; 4];
+            let mut rem = 0u128;
+            for i in (0..4).rev() {
+                let cur = (rem << 64) | self.0[i] as u128;
+                out[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            U256(out)
+        } else {
+            self.div(U256::from(rhs)).0
+        }
+    }
+
+    /// Full division: returns `(quotient, remainder)`.
+    pub fn div(self, rhs: U256) -> (U256, U256) {
+        assert!(rhs != U256::ZERO, "U256 division by zero");
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        let shift = rhs.leading_zeros() - self.leading_zeros();
+        let mut divisor = rhs.shl(shift);
+        let mut quotient = U256::ZERO;
+        let mut rem = self;
+        for s in (0..=shift).rev() {
+            if rem >= divisor {
+                rem = rem.sub(divisor);
+                quotient = quotient.set_bit(s);
+            }
+            divisor = divisor.shr1();
+        }
+        (quotient, rem)
+    }
+
+    /// Count of leading zero bits.
+    pub fn leading_zeros(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (3 - i as u32) * 64 + self.0[i].leading_zeros();
+            }
+        }
+        256
+    }
+
+    fn shl(self, n: u32) -> U256 {
+        if n == 0 {
+            return self;
+        }
+        let limb = (n / 64) as usize;
+        let bit = n % 64;
+        let mut out = [0u64; 4];
+        for i in (limb..4).rev() {
+            out[i] = self.0[i - limb] << bit;
+            if bit > 0 && i > limb {
+                out[i] |= self.0[i - limb - 1] >> (64 - bit);
+            }
+        }
+        U256(out)
+    }
+
+    fn shr1(self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.0[i] >> 1;
+            if i < 3 {
+                out[i] |= self.0[i + 1] << 63;
+            }
+        }
+        U256(out)
+    }
+
+    fn set_bit(mut self, n: u32) -> U256 {
+        self.0[(n / 64) as usize] |= 1 << (n % 64);
+        self
+    }
+
+    /// Integer square root (Newton's method), used by stableswap seeding.
+    pub fn isqrt(self) -> U256 {
+        if self == U256::ZERO {
+            return U256::ZERO;
+        }
+        // Initial guess: 2^(ceil(bits/2)).
+        let bits = 256 - self.leading_zeros();
+        let mut x = U256::ONE.shl(bits.div_ceil(2));
+        loop {
+            let (q, _) = self.div(x);
+            let next = x.add(q).shr1();
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> U256 {
+        U256([(v & u64::MAX as u128) as u64, (v >> 64) as u64, 0, 0])
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> U256 {
+        U256([v, 0, 0, 0])
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &U256) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &U256) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fits_u128() {
+            write!(f, "U256({})", self.as_u128())
+        } else {
+            write!(f, "U256(0x{:016x}{:016x}{:016x}{:016x})", self.0[3], self.0[2], self.0[1], self.0[0])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_u128_roundtrip() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX] {
+            assert_eq!(U256::from(v).as_u128(), v);
+        }
+    }
+
+    #[test]
+    fn widening_mul_max() {
+        let p = U256::mul_u128_u128(u128::MAX, u128::MAX);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        assert!(!p.fits_u128());
+        let (q, r) = p.div(U256::from(u128::MAX));
+        assert_eq!(q.as_u128(), u128::MAX);
+        assert_eq!(r, U256::ZERO);
+    }
+
+    #[test]
+    fn div_small_divisor() {
+        let x = U256::mul_u128_u128(1u128 << 100, 1u128 << 100);
+        let y = x.div_u128(1u128 << 100);
+        assert_eq!(y.as_u128(), 1u128 << 100);
+    }
+
+    #[test]
+    fn div_large_divisor() {
+        let x = U256::mul_u128_u128(u128::MAX, 3);
+        let y = x.div_u128(u128::MAX);
+        assert_eq!(y.as_u128(), 3);
+    }
+
+    #[test]
+    fn div_rem_identity_simple() {
+        let a = U256::mul_u128_u128(987_654_321, 123_456_789);
+        let (q, r) = a.div(U256::from(1000u64));
+        assert_eq!(q.as_u128() * 1000 + r.as_u128(), 987_654_321u128 * 123_456_789);
+    }
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for v in [0u128, 1, 4, 9, 1 << 60, 10u128.pow(30)] {
+            let sq = U256::mul_u128_u128(v, v);
+            assert_eq!(sq.isqrt().as_u128(), v, "isqrt of {v}^2");
+        }
+    }
+
+    #[test]
+    fn leading_zeros_cases() {
+        assert_eq!(U256::ZERO.leading_zeros(), 256);
+        assert_eq!(U256::ONE.leading_zeros(), 255);
+        assert_eq!(U256::from(u128::MAX).leading_zeros(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = U256::ONE.div(U256::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_div_roundtrip(a in any::<u128>(), b in 1..=u128::MAX) {
+            let p = U256::mul_u128_u128(a, b);
+            let (q, r) = p.div(U256::from(b));
+            prop_assert_eq!(q.as_u128(), a);
+            prop_assert_eq!(r, U256::ZERO);
+        }
+
+        #[test]
+        fn prop_div_rem_identity(a in any::<u128>(), b in any::<u128>(), d in 1..=u128::MAX) {
+            let x = U256::mul_u128_u128(a, b);
+            let (q, r) = x.div(U256::from(d));
+            prop_assert!(r < U256::from(d));
+            let back = q.mul_u128(d).add(r);
+            prop_assert_eq!(back, x);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let s = U256::from(a).add(U256::from(b));
+            prop_assert_eq!(s.sub(U256::from(b)), U256::from(a));
+        }
+
+        #[test]
+        fn prop_isqrt_bounds(a in any::<u128>()) {
+            let x = U256::from(a);
+            let s = x.isqrt();
+            let s128 = s.as_u128();
+            prop_assert!(U256::mul_u128_u128(s128, s128) <= x);
+            let s1 = s128 + 1;
+            prop_assert!(U256::mul_u128_u128(s1, s1) > x);
+        }
+
+        #[test]
+        fn prop_ordering_consistent(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(U256::from(a).cmp(&U256::from(b)), a.cmp(&b));
+        }
+    }
+}

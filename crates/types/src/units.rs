@@ -1,0 +1,318 @@
+//! Monetary and gas units.
+//!
+//! `Wei` is a `u128` newtype (Ethereum's total supply ≈ 1.2 × 10²⁶ wei fits
+//! comfortably); `SignedWei` is its `i128` counterpart used for profit
+//! accounting, which the paper needs because Flashbots searchers can and do
+//! realise *negative* profit (§5.2).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// One ether in wei.
+pub const ETH: u128 = 1_000_000_000_000_000_000;
+/// One gigawei in wei.
+pub const GWEI: u128 = 1_000_000_000;
+
+/// Construct `n` whole ether as [`Wei`].
+pub const fn eth(n: u128) -> Wei {
+    Wei(n * ETH)
+}
+
+/// Construct `n` gwei as [`Wei`].
+pub const fn gwei(n: u128) -> Wei {
+    Wei(n * GWEI)
+}
+
+/// An unsigned wei amount.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct Wei(pub u128);
+
+impl Wei {
+    pub const ZERO: Wei = Wei(0);
+
+    /// Construct from a floating ether amount (test/scenario convenience).
+    pub fn from_eth_f64(v: f64) -> Wei {
+        assert!(v >= 0.0, "Wei::from_eth_f64 on negative value");
+        Wei((v * ETH as f64) as u128)
+    }
+
+    /// Value in ether as `f64` (for reporting only; lossy above 2⁵³ wei-ether).
+    pub fn as_eth_f64(&self) -> f64 {
+        self.0 as f64 / ETH as f64
+    }
+
+    /// Value in gwei as `f64`.
+    pub fn as_gwei_f64(&self) -> f64 {
+        self.0 as f64 / GWEI as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Wei) -> Option<Wei> {
+        self.0.checked_sub(rhs.0).map(Wei)
+    }
+
+    /// Convert to a signed amount; panics if it exceeds `i128::MAX`.
+    pub fn signed(self) -> SignedWei {
+        SignedWei(i128::try_from(self.0).expect("wei amount exceeds i128"))
+    }
+
+    /// Multiply by a rational `num/den` using 256-bit intermediates.
+    pub fn mul_ratio(self, num: u128, den: u128) -> Wei {
+        assert!(den != 0, "mul_ratio by zero denominator");
+        Wei(crate::u256::U256::from(self.0).mul_u128(num).div_u128(den).as_u128())
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn min(self, other: Wei) -> Wei {
+        Wei(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: Wei) -> Wei {
+        Wei(self.0.max(other.0))
+    }
+}
+
+impl Add for Wei {
+    type Output = Wei;
+    fn add(self, rhs: Wei) -> Wei {
+        Wei(self.0.checked_add(rhs.0).expect("wei overflow"))
+    }
+}
+
+impl AddAssign for Wei {
+    fn add_assign(&mut self, rhs: Wei) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Wei {
+    type Output = Wei;
+    fn sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.checked_sub(rhs.0).expect("wei underflow"))
+    }
+}
+
+impl SubAssign for Wei {
+    fn sub_assign(&mut self, rhs: Wei) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u128> for Wei {
+    type Output = Wei;
+    fn mul(self, rhs: u128) -> Wei {
+        Wei(self.0.checked_mul(rhs).expect("wei mul overflow"))
+    }
+}
+
+impl Div<u128> for Wei {
+    type Output = Wei;
+    fn div(self, rhs: u128) -> Wei {
+        Wei(self.0 / rhs)
+    }
+}
+
+impl Sum for Wei {
+    fn sum<I: Iterator<Item = Wei>>(iter: I) -> Wei {
+        iter.fold(Wei::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= ETH / 1000 {
+            write!(f, "{:.4} ETH", self.as_eth_f64())
+        } else if self.0 >= GWEI {
+            write!(f, "{:.2} gwei", self.as_gwei_f64())
+        } else {
+            write!(f, "{} wei", self.0)
+        }
+    }
+}
+
+/// A signed wei amount, for profit/loss accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct SignedWei(pub i128);
+
+impl SignedWei {
+    pub const ZERO: SignedWei = SignedWei(0);
+
+    /// Value in ether as `f64`.
+    pub fn as_eth_f64(&self) -> f64 {
+        self.0 as f64 / ETH as f64
+    }
+
+    pub fn is_negative(&self) -> bool {
+        self.0 < 0
+    }
+
+    /// Absolute value as unsigned wei.
+    pub fn abs_wei(&self) -> Wei {
+        Wei(self.0.unsigned_abs())
+    }
+}
+
+impl Add for SignedWei {
+    type Output = SignedWei;
+    fn add(self, rhs: SignedWei) -> SignedWei {
+        SignedWei(self.0.checked_add(rhs.0).expect("signed wei overflow"))
+    }
+}
+
+impl AddAssign for SignedWei {
+    fn add_assign(&mut self, rhs: SignedWei) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SignedWei {
+    type Output = SignedWei;
+    fn sub(self, rhs: SignedWei) -> SignedWei {
+        SignedWei(self.0.checked_sub(rhs.0).expect("signed wei underflow"))
+    }
+}
+
+impl Neg for SignedWei {
+    type Output = SignedWei;
+    fn neg(self) -> SignedWei {
+        SignedWei(-self.0)
+    }
+}
+
+impl Sum for SignedWei {
+    fn sum<I: Iterator<Item = SignedWei>>(iter: I) -> SignedWei {
+        iter.fold(SignedWei::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SignedWei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} ETH", self.as_eth_f64())
+    }
+}
+
+/// Gas units.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Gas(pub u64);
+
+impl Gas {
+    pub const ZERO: Gas = Gas(0);
+    /// Intrinsic cost of a plain value transfer.
+    pub const TRANSFER: Gas = Gas(21_000);
+
+    /// Total fee at a given gas price.
+    pub fn cost(self, price: Wei) -> Wei {
+        Wei((self.0 as u128).checked_mul(price.0).expect("gas cost overflow"))
+    }
+}
+
+impl Add for Gas {
+    type Output = Gas;
+    fn add(self, rhs: Gas) -> Gas {
+        Gas(self.0.checked_add(rhs.0).expect("gas overflow"))
+    }
+}
+
+impl AddAssign for Gas {
+    fn add_assign(&mut self, rhs: Gas) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Gas {
+    type Output = Gas;
+    fn sub(self, rhs: Gas) -> Gas {
+        Gas(self.0.checked_sub(rhs.0).expect("gas underflow"))
+    }
+}
+
+impl Sum for Gas {
+    fn sum<I: Iterator<Item = Gas>>(iter: I) -> Gas {
+        iter.fold(Gas::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eth_gwei_constructors() {
+        assert_eq!(eth(2).0, 2 * ETH);
+        assert_eq!(gwei(50).0, 50 * GWEI);
+        assert_eq!(eth(1), gwei(1_000_000_000));
+    }
+
+    #[test]
+    fn wei_arithmetic() {
+        assert_eq!(eth(1) + eth(2), eth(3));
+        assert_eq!(eth(3) - eth(1), eth(2));
+        assert_eq!(eth(2) * 3, eth(6));
+        assert_eq!(eth(6) / 2, eth(3));
+        assert_eq!(Wei(5).saturating_sub(Wei(9)), Wei::ZERO);
+        assert_eq!(Wei(5).checked_sub(Wei(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "wei underflow")]
+    fn wei_sub_underflow_panics() {
+        let _ = Wei(1) - Wei(2);
+    }
+
+    #[test]
+    fn mul_ratio_avoids_overflow() {
+        // 10^26 * 10^13 would overflow u128 without 256-bit intermediates.
+        let big = Wei(100_000_000 * ETH);
+        assert_eq!(big.mul_ratio(10_000_000_000_000, 10_000_000_000_000), big);
+        assert_eq!(eth(10).mul_ratio(3, 10), eth(3));
+    }
+
+    #[test]
+    fn signed_profit_accounting() {
+        let gain = eth(1).signed();
+        let cost = eth(3).signed();
+        let profit = gain - cost;
+        assert!(profit.is_negative());
+        assert_eq!(profit.abs_wei(), eth(2));
+        assert_eq!(-profit, eth(2).signed());
+    }
+
+    #[test]
+    fn gas_cost() {
+        assert_eq!(Gas::TRANSFER.cost(gwei(100)), Wei(21_000 * 100 * GWEI));
+    }
+
+    #[test]
+    fn wei_sum() {
+        let total: Wei = [eth(1), eth(2), eth(3)].into_iter().sum();
+        assert_eq!(total, eth(6));
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert!(eth(1).to_string().contains("ETH"));
+        assert!(gwei(42).to_string().contains("gwei"));
+        assert!(Wei(7).to_string().contains("wei"));
+    }
+
+    #[test]
+    fn eth_f64_roundtrip_reasonable() {
+        let w = Wei::from_eth_f64(1.5);
+        assert!((w.as_eth_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests over the calendar timeline: the block↔date mapping the
+//! measurement bucketing depends on must be monotone, gap-free, and
+//! consistent between day- and month-granularity.
+
+use mev_types::{time, Day, Month, Timeline};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Timestamps are strictly monotone in block number and months never
+    /// decrease.
+    #[test]
+    fn timeline_monotone(
+        bpm in 10u64..=200_000,
+        offsets in proptest::collection::vec(0u64..2_000_000, 2..20),
+    ) {
+        let tl = Timeline::paper_span(bpm);
+        let mut sorted = offsets;
+        sorted.sort_unstable();
+        let mut prev_ts = None;
+        let mut prev_month = None;
+        for &o in &sorted {
+            let n = tl.genesis_number + o;
+            let ts = tl.timestamp_of(n);
+            if let Some(p) = prev_ts {
+                prop_assert!(ts >= p);
+            }
+            let m = tl.at(n).month();
+            if let Some(pm) = prev_month {
+                prop_assert!(m >= pm);
+            }
+            prev_ts = Some(ts);
+            prev_month = Some(m);
+        }
+    }
+
+    /// `first_block_of_month` is the true boundary: the block before it
+    /// (if after genesis) belongs to an earlier month, the block itself
+    /// to the month or later.
+    #[test]
+    fn month_boundaries_are_tight(bpm in 10u64..=50_000, months_ahead in 1u32..30) {
+        let tl = Timeline::paper_span(bpm);
+        let mut m = tl.at(tl.genesis_number).month();
+        for _ in 0..months_ahead {
+            m = m.next();
+        }
+        let b = tl.first_block_of_month(m);
+        prop_assert!(tl.at(b).month() >= m);
+        if b > tl.genesis_number {
+            prop_assert!(tl.at(b - 1).month() < m);
+        }
+    }
+
+    /// Day and month bucketing agree: the month of a block's day equals
+    /// the block's month.
+    #[test]
+    fn day_and_month_agree(bpm in 10u64..=200_000, offset in 0u64..2_000_000) {
+        let tl = Timeline::paper_span(bpm);
+        let bt = tl.at(tl.genesis_number + offset);
+        prop_assert_eq!(bt.day().month(), bt.month());
+    }
+
+    /// Civil-date round trip: timestamp_of_ymd inverts month_of_timestamp
+    /// at month granularity for the simulation's whole era.
+    #[test]
+    fn ymd_roundtrip(year in 1970u64..2300, month in 1u64..=12, day in 1u64..=28) {
+        let ts = time::timestamp_of_ymd(year, month, day);
+        let m = time::month_of_timestamp(ts);
+        prop_assert_eq!(m, Month::new(year as u32, month as u32));
+        // And day bucketing is exact.
+        let d = Day::from_timestamp(ts);
+        prop_assert_eq!(d.start_timestamp(), ts);
+    }
+
+    /// Consecutive days differ by exactly 86,400 seconds of timestamps.
+    #[test]
+    fn days_are_contiguous(day_index in 0u64..200_000) {
+        let d = Day(day_index);
+        let next = Day(day_index + 1);
+        prop_assert_eq!(next.start_timestamp() - d.start_timestamp(), 86_400);
+        prop_assert!(next.month() >= d.month());
+    }
+}

@@ -1,0 +1,57 @@
+//! The full audit: regenerate every table and figure of the paper's
+//! evaluation from one simulated run and print them with the published
+//! reference values alongside.
+//!
+//! ```sh
+//! cargo run --release --example goal_audit            # quick scale
+//! cargo run --release --example goal_audit -- --full  # 1,000 blocks/month
+//! ```
+
+use flashpan::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scenario = if full { Scenario::default() } else { Scenario::quick() };
+    eprintln!(
+        "simulating {} blocks ({} months) — this regenerates every table/figure...",
+        scenario.total_blocks(),
+        scenario.months
+    );
+    let lab = Lab::run(scenario);
+
+    println!("=== Table 1 ===");
+    println!("{}", lab.table1().render());
+
+    println!("=== Figure 3 ===");
+    println!("{}", lab.fig3().render());
+
+    println!("=== Figure 4 ===");
+    println!("{}", lab.fig4().render());
+
+    println!("=== Figure 5 ===");
+    println!("{}", lab.fig5().render());
+
+    println!("=== Figure 6 ===");
+    println!("{}", lab.fig6().render());
+
+    println!("=== Figure 7 ===");
+    println!("{}", lab.fig7().render());
+
+    println!("=== Figure 8 ===");
+    println!("{}", render_fig8(&lab.fig8()));
+
+    println!("=== §4.1 bundles ===");
+    println!("{}", render_sec41(&lab.sec41()));
+
+    println!("=== §5.2 negative profits ===");
+    println!("{}", lab.sec52().render());
+
+    println!("=== Figure 9 / §6.2 ===");
+    println!("{}", render_fig9(&lab.fig9()));
+
+    println!("=== §6.3 attribution ===");
+    println!("{}", render_sec63(lab.sec63()));
+
+    println!("=== §4.5 churn ===");
+    println!("{}", render_churn(&lab.churn()));
+}

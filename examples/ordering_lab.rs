@@ -1,0 +1,43 @@
+//! Ordering-policy laboratory: §8.3 asks whether randomised transaction
+//! ordering would stop sandwiches (the paper argues no — ~25 % survive),
+//! and §7 surveys fair-ordering consensus. This example runs the same
+//! pre-Flashbots world under all three public-ordering policies and
+//! measures what the sandwich detector still finds.
+//!
+//! ```sh
+//! cargo run --release --example ordering_lab
+//! ```
+
+use flashpan::prelude::*;
+use flashpan::sim::OrderingPolicy;
+
+fn main() {
+    println!("ordering policy → completed public sandwiches (pre-Flashbots world)\n");
+    let mut baseline = None;
+    for (name, policy) in [
+        ("fee-priority (mainnet default)", OrderingPolicy::FeePriority),
+        ("random shuffle (§8.3)", OrderingPolicy::Random),
+        ("first-come-first-served (§7)", OrderingPolicy::Fcfs),
+    ] {
+        let mut s = Scenario::quick();
+        s.months = 9; // before the Flashbots launch: public extraction only
+        s.ordering = policy;
+        let lab = Lab::run(s);
+        let t1 = lab.table1();
+        let sandwiches = t1.rows[0].total;
+        let arbs = t1.rows[1].total;
+        if baseline.is_none() {
+            baseline = Some(sandwiches.max(1));
+        }
+        let survival = sandwiches as f64 / *baseline.as_ref().unwrap() as f64;
+        println!(
+            "{name:<32} sandwiches {sandwiches:>4} (survival {:>5.1} %)   arbitrages {arbs:>5}",
+            survival * 100.0
+        );
+    }
+    println!(
+        "\nThe paper's §8.3 estimate: even under random ordering, a sandwich\n\
+         lands with ~25 % probability (and single-tx MEV like arbitrage is\n\
+         barely affected) — randomisation is not a viable countermeasure."
+    );
+}

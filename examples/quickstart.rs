@@ -1,0 +1,52 @@
+//! Quickstart: simulate a reduced-scale version of the paper's 23-month
+//! measurement window, run the full detection pipeline, and print
+//! Table 1 plus the headline findings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flashpan::prelude::*;
+
+fn main() {
+    // `Scenario::quick()` compresses the May-2020→March-2022 window to 60
+    // blocks per month. Swap in `Scenario::default()` for the full-scale
+    // (1,000 blocks/month) run the benchmarks use.
+    let scenario = Scenario::quick();
+    println!(
+        "simulating {} blocks across {} months (seed {:#x})...",
+        scenario.total_blocks(),
+        scenario.months,
+        scenario.seed
+    );
+    let lab = Lab::run(scenario);
+
+    println!();
+    println!("{}", lab.table1().render());
+
+    let fig4 = lab.fig4();
+    if let Some((month, share)) = fig4.peak() {
+        println!("peak Flashbots hashrate share: {:.1} % in {month}", share * 100.0);
+    }
+
+    let fig8 = lab.fig8();
+    println!(
+        "miner sandwich revenue:    {:.4} ETH with Flashbots vs {:.4} ETH without",
+        fig8.miners_flashbots.mean_eth, fig8.miners_non_flashbots.mean_eth
+    );
+    println!(
+        "searcher sandwich profit:  {:.4} ETH with Flashbots vs {:.4} ETH without",
+        fig8.searchers_flashbots.mean_eth, fig8.searchers_non_flashbots.mean_eth
+    );
+
+    let neg = lab.sec52();
+    println!("{}", neg.render());
+
+    let fig9 = lab.fig9();
+    println!(
+        "observer-window sandwiches: {} ({:.1} % Flashbots, {:.1} % public)",
+        fig9.total_sandwiches,
+        fig9.flashbots_share() * 100.0,
+        fig9.public_share() * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Sandwich forensics: walk one detected sandwich end to end — the
+//! victim's pending transaction, the bundle that wrapped it, the
+//! intra-block ordering, the profit accounting, and how the same event
+//! would look to the §6.1 private-transaction inference.
+//!
+//! ```sh
+//! cargo run --release --example sandwich_forensics
+//! ```
+
+use flashpan::inspect::private::{classify_sandwich, PrivateClass};
+use flashpan::prelude::*;
+
+fn main() {
+    let lab = Lab::run(Scenario::quick());
+    let chain = &lab.out.chain;
+    let observer = &lab.out.observer;
+    let api = &lab.out.blocks_api;
+
+    // Pick the most profitable Flashbots sandwich on record.
+    let best = lab
+        .dataset
+        .of_kind(MevKind::Sandwich)
+        .filter(|d| d.via_flashbots)
+        .max_by_key(|d| d.profit_wei)
+        .expect("the quick scenario produces Flashbots sandwiches");
+
+    println!("=== the sandwich ===");
+    println!("block      : {}", best.block);
+    println!("pool month : {}", chain.month_of(best.block));
+    println!("extractor  : {}", best.extractor);
+    println!("miner      : {}", best.miner.short());
+    println!("gross      : {:+.6} ETH", best.gross_wei as f64 / 1e18);
+    println!("costs      : {:.6} ETH (fees + coinbase tip)", best.costs_wei as f64 / 1e18);
+    println!("net profit : {:+.6} ETH", best.profit_eth());
+    println!("miner got  : {:.6} ETH", best.miner_revenue_wei as f64 / 1e18);
+
+    // Reconstruct the intra-block ordering (Definition 1: t1 < V < t2).
+    let receipts = chain.receipts(best.block).expect("block exists");
+    let index_of = |h| receipts.iter().find(|r| r.tx_hash == h).map(|r| r.index);
+    let front = index_of(best.tx_hashes[0]).expect("front receipt");
+    let back = index_of(best.tx_hashes[1]).expect("back receipt");
+    let victim = best.victim.and_then(index_of).expect("victim receipt");
+    println!("\n=== ordering within block {} ===", best.block);
+    println!("t1 (front) at index {front}");
+    println!("V  (victim) at index {victim}");
+    println!("t2 (back)  at index {back}");
+    assert!(front < victim && victim < back, "Definition 1 holds");
+
+    // The measurement-side view: what did the observer see pending?
+    println!("\n=== observer's view (§6.1 inference) ===");
+    for (label, hash) in [
+        ("front", best.tx_hashes[0]),
+        ("victim", best.victim.unwrap()),
+        ("back", best.tx_hashes[1]),
+    ] {
+        let seen = observer.saw(hash);
+        println!("{label:>6}: {}", if seen { "seen pending (public)" } else { "never pending (private)" });
+    }
+    let class = classify_sandwich(best, observer, api);
+    println!("classified as: {class:?}");
+    assert_eq!(class, PrivateClass::Flashbots, "it rode a bundle");
+
+    // And the bundle record in the public blocks API.
+    let rec = api.block(best.block).expect("Flashbots block recorded");
+    let bundle = rec
+        .bundles
+        .iter()
+        .find(|b| b.tx_hashes.contains(&best.tx_hashes[0]))
+        .expect("bundle containing the front");
+    println!("\n=== blocks API record ===");
+    println!("bundle id    : {:?} ({} txs, type {})", bundle.bundle_id, bundle.tx_hashes.len(), bundle.bundle_type);
+    println!("searcher     : {}", bundle.searcher.short());
+    println!("miner reward : {:.6} ETH", bundle.tip.as_eth_f64());
+}

@@ -1,0 +1,57 @@
+//! # flashpan
+//!
+//! A full reproduction of *"A Flash(bot) in the Pan: Measuring Maximal
+//! Extractable Value in Private Pools"* (IMC 2022) as a Rust workspace:
+//! an Ethereum-like ledger with a DeFi substrate (AMMs, lending, flash
+//! loans), a gossip network with a pending-transaction observer, the
+//! Flashbots bundle/relay/MEV-geth infrastructure plus other private
+//! pools, behavioural agents that generate MEV, and — the paper's actual
+//! contribution — the measurement pipeline that detects sandwich,
+//! arbitrage and liquidation MEV, infers private transactions, and
+//! reproduces every table and figure of the evaluation.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use flashpan::prelude::*;
+//!
+//! // Simulate the paper's 23-month window at reduced scale and run the
+//! // measurement pipeline over the recorded datasets.
+//! let lab = Lab::run(Scenario::quick());
+//! println!("{}", lab.table1().render());
+//! ```
+//!
+//! Crate map: [`types`], [`chain`], [`dex`], [`lending`], [`net`],
+//! [`flashbots`], [`agents`], [`sim`], [`inspect`] (mev-core),
+//! [`analysis`].
+
+pub use mev_agents as agents;
+pub use mev_analysis as analysis;
+pub use mev_chain as chain;
+pub use mev_core as inspect;
+pub use mev_dex as dex;
+pub use mev_flashbots as flashbots;
+pub use mev_lending as lending;
+pub use mev_net as net;
+pub use mev_sim as sim;
+pub use mev_types as types;
+
+/// The commonly-used surface in one import.
+pub mod prelude {
+    pub use mev_analysis::experiments::{
+        render_churn, render_fig8, render_fig9, render_sec41, render_sec63, Lab,
+    };
+    pub use mev_core::{Detection, MevDataset, MevKind};
+    pub use mev_sim::{Scenario, SimOutput, Simulation};
+    pub use mev_types::{Address, Month, TokenId, Wei};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let s = Scenario::quick();
+        assert_eq!(s.last_month(), Month::new(2022, 3));
+    }
+}
