@@ -110,7 +110,9 @@ mod tests {
     fn user_prices_scatter_around_level() {
         let m = GasMarket::new(20.0, 0.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..2_000).map(|_| m.sample_user_price(&mut rng).as_gwei_f64()).collect();
+        let samples: Vec<f64> = (0..2_000)
+            .map(|_| m.sample_user_price(&mut rng).as_gwei_f64())
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 20.0).abs() < 2.0, "mean {mean}");
         assert!(samples.iter().all(|&s| s > 5.0 && s < 100.0));

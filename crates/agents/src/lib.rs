@@ -16,12 +16,14 @@ pub mod strategies;
 pub mod traders;
 
 pub use gasmarket::GasMarket;
-pub use pga::{run_auction, Bidder, PgaOutcome};
 pub use miners::{MinerAgent, MinerSet};
-pub use strategies::arbitrage::{find_arbitrage, ArbPlan};
-pub use strategies::liquidation::{plan_backrun_of_oracle_update, plan_liquidations, LiquidationPlan};
-pub use strategies::sandwich::plan_sandwich_buggy;
+pub use pga::{run_auction, Bidder, PgaOutcome};
 pub use strategies::arbitrage::{copy_with_higher_fee, size_arbitrage};
-pub use traders::TradeIntent;
+pub use strategies::arbitrage::{find_arbitrage, ArbPlan};
+pub use strategies::liquidation::{
+    plan_backrun_of_oracle_update, plan_liquidations, LiquidationPlan,
+};
+pub use strategies::sandwich::plan_sandwich_buggy;
 pub use strategies::sandwich::{plan_sandwich, SandwichPlan};
+pub use traders::TradeIntent;
 pub use traders::TraderPool;

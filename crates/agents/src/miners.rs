@@ -135,14 +135,21 @@ impl MinerSet {
     pub fn pick(&self, rng: &mut StdRng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c <= x).min(self.miners.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.miners.len() - 1)
     }
 
     /// Fraction of total hashrate held by Flashbots participants at `block`
     /// — the ground truth behind the Figure 4 estimate.
     pub fn flashbots_hashrate_share(&self, block: u64) -> f64 {
         let total: f64 = self.miners.iter().map(|m| m.weight).sum();
-        let fb: f64 = self.miners.iter().filter(|m| m.in_flashbots(block)).map(|m| m.weight).sum();
+        let fb: f64 = self
+            .miners
+            .iter()
+            .filter(|m| m.in_flashbots(block))
+            .map(|m| m.weight)
+            .sum();
         fb / total
     }
 
@@ -232,7 +239,10 @@ mod tests {
         };
         assert!(!m.in_flashbots(99));
         assert!(m.in_flashbots(100));
-        let never = MinerAgent { flashbots_join_block: None, ..m };
+        let never = MinerAgent {
+            flashbots_join_block: None,
+            ..m
+        };
         assert!(!never.in_flashbots(u64::MAX));
     }
 

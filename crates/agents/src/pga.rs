@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn single_bidder_pays_just_over_floor() {
-        let b = [Bidder { valuation: eth(1), max_burn_share: 0.3 }];
+        let b = [Bidder {
+            valuation: eth(1),
+            max_burn_share: 0.3,
+        }];
         let out = run_auction(&b, Gas(150_000), gwei(30), &mut rng()).unwrap();
         assert_eq!(out.winner, 0);
         // One uncontested raise over the floor.
@@ -141,22 +144,43 @@ mod tests {
     #[test]
     fn symmetric_bidders_escalate_to_their_caps() {
         let b = [
-            Bidder { valuation: eth(1), max_burn_share: 0.3 },
-            Bidder { valuation: eth(1), max_burn_share: 0.3 },
+            Bidder {
+                valuation: eth(1),
+                max_burn_share: 0.3,
+            },
+            Bidder {
+                valuation: eth(1),
+                max_burn_share: 0.3,
+            },
         ];
         let out = run_auction(&b, Gas(150_000), gwei(30), &mut rng()).unwrap();
         // The winning fee approaches the common cap (0.3 ETH).
         let cap = (eth(1).0 as f64 * 0.3) as u128;
-        assert!(out.winning_fee.0 > cap / 2, "fee {} vs cap {}", out.winning_fee.0, cap);
+        assert!(
+            out.winning_fee.0 > cap / 2,
+            "fee {} vs cap {}",
+            out.winning_fee.0,
+            cap
+        );
         assert!(out.winning_fee.0 <= cap);
-        assert!(out.rounds > 5, "real escalation happened: {} rounds", out.rounds);
+        assert!(
+            out.rounds > 5,
+            "real escalation happened: {} rounds",
+            out.rounds
+        );
     }
 
     #[test]
     fn richer_valuation_wins() {
         let b = [
-            Bidder { valuation: eth(1), max_burn_share: 0.3 },
-            Bidder { valuation: eth(10), max_burn_share: 0.3 },
+            Bidder {
+                valuation: eth(1),
+                max_burn_share: 0.3,
+            },
+            Bidder {
+                valuation: eth(10),
+                max_burn_share: 0.3,
+            },
         ];
         let out = run_auction(&b, Gas(150_000), gwei(30), &mut rng()).unwrap();
         assert_eq!(out.winner, 1);
@@ -165,13 +189,20 @@ mod tests {
         // far below the winner's own.
         let loser_cap = (eth(1).0 as f64 * 0.3) as u128;
         let winner_cap = (eth(10).0 as f64 * 0.3) as u128;
-        assert!(out.winning_fee.0 >= loser_cap * 7 / 10, "fee {}", out.winning_fee.0);
+        assert!(
+            out.winning_fee.0 >= loser_cap * 7 / 10,
+            "fee {}",
+            out.winning_fee.0
+        );
         assert!(out.winning_fee.0 < winner_cap / 2);
     }
 
     #[test]
     fn nobody_beats_an_absurd_floor() {
-        let b = [Bidder { valuation: Wei(1_000), max_burn_share: 0.5 }];
+        let b = [Bidder {
+            valuation: Wei(1_000),
+            max_burn_share: 0.5,
+        }];
         assert!(run_auction(&b, Gas(150_000), gwei(1_000), &mut rng()).is_none());
         assert!(run_auction(&[], Gas(150_000), gwei(1), &mut rng()).is_none());
     }
@@ -179,12 +210,21 @@ mod tests {
     #[test]
     fn gas_price_consistent_with_fee() {
         let b = [
-            Bidder { valuation: eth(2), max_burn_share: 0.25 },
-            Bidder { valuation: eth(2), max_burn_share: 0.25 },
+            Bidder {
+                valuation: eth(2),
+                max_burn_share: 0.25,
+            },
+            Bidder {
+                valuation: eth(2),
+                max_burn_share: 0.25,
+            },
         ];
         let out = run_auction(&b, Gas(300_000), gwei(20), &mut rng()).unwrap();
         let reconstructed = out.winning_gas_price.0 * 300_000;
-        assert!(out.winning_fee.0.abs_diff(reconstructed) < 300_000, "rounding only");
+        assert!(
+            out.winning_fee.0.abs_diff(reconstructed) < 300_000,
+            "rounding only"
+        );
     }
 
     #[test]
@@ -196,8 +236,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let b = [
-            Bidder { valuation: eth(1), max_burn_share: 0.3 },
-            Bidder { valuation: eth(1), max_burn_share: 0.35 },
+            Bidder {
+                valuation: eth(1),
+                max_burn_share: 0.3,
+            },
+            Bidder {
+                valuation: eth(1),
+                max_burn_share: 0.35,
+            },
         ];
         let a1 = run_auction(&b, Gas(150_000), gwei(30), &mut StdRng::seed_from_u64(3));
         let a2 = run_auction(&b, Gas(150_000), gwei(30), &mut StdRng::seed_from_u64(3));

@@ -50,7 +50,13 @@ impl ArbPlan {
 }
 
 /// Round-trip proceeds of `x` base tokens through buy then sell.
-fn round_trip(buy: &Pool, sell: &Pool, base: TokenId, token: TokenId, x: u128) -> Option<(u128, u128)> {
+fn round_trip(
+    buy: &Pool,
+    sell: &Pool,
+    base: TokenId,
+    token: TokenId,
+    x: u128,
+) -> Option<(u128, u128)> {
     let mid = buy.quote(base, x).ok()?;
     if buy.other(base) != Some(token) {
         return None;
@@ -182,12 +188,24 @@ pub fn find_triangle_arbitrage(
     for (i, &t1) in tokens.iter().enumerate() {
         for &t2 in tokens.iter().skip(i + 1) {
             // Need a direct t1↔t2 pool and base legs on both ends.
-            let mids: Vec<&Pool> = dex.pools_for_pair(t1, t2).into_iter().filter(covered).collect();
+            let mids: Vec<&Pool> = dex
+                .pools_for_pair(t1, t2)
+                .into_iter()
+                .filter(covered)
+                .collect();
             if mids.is_empty() {
                 continue;
             }
-            let firsts: Vec<&Pool> = dex.pools_for_pair(base, t1).into_iter().filter(covered).collect();
-            let lasts: Vec<&Pool> = dex.pools_for_pair(t2, base).into_iter().filter(covered).collect();
+            let firsts: Vec<&Pool> = dex
+                .pools_for_pair(base, t1)
+                .into_iter()
+                .filter(covered)
+                .collect();
+            let lasts: Vec<&Pool> = dex
+                .pools_for_pair(t2, base)
+                .into_iter()
+                .filter(covered)
+                .collect();
             for &a in &firsts {
                 for &m in &mids {
                     for &c in &lasts {
@@ -201,14 +219,18 @@ pub fn find_triangle_arbitrage(
                             Some((o1, o2, o3))
                         };
                         let profit = |x: u128| -> i128 {
-                            round(x).map(|(_, _, o3)| o3 as i128 - x as i128).unwrap_or(i128::MIN)
+                            round(x)
+                                .map(|(_, _, o3)| o3 as i128 - x as i128)
+                                .unwrap_or(i128::MIN)
                         };
                         // Cheap viability probe before the full search.
                         let probe = max_capital.min(10u128.pow(18));
                         if profit(probe.max(1)) <= 0 && profit((probe / 16).max(1)) <= 0 {
                             continue;
                         }
-                        let cap = max_capital.min(c.reserve_of(base).unwrap_or(max_capital) / 2).max(1);
+                        let cap = max_capital
+                            .min(c.reserve_of(base).unwrap_or(max_capital) / 2)
+                            .max(1);
                         let (mut lo, mut hi) = (1u128, cap);
                         while hi - lo > 2 {
                             let m1 = lo + (hi - lo) / 3;
@@ -219,8 +241,12 @@ pub fn find_triangle_arbitrage(
                                 hi = m2 - 1;
                             }
                         }
-                        let Some(x) = (lo..=hi).max_by_key(|&x| profit(x)) else { continue };
-                        let Some((o1, o2, o3)) = round(x) else { continue };
+                        let Some(x) = (lo..=hi).max_by_key(|&x| profit(x)) else {
+                            continue;
+                        };
+                        let Some((o1, o2, o3)) = round(x) else {
+                            continue;
+                        };
                         let gross = o3 as i128 - x as i128;
                         if gross < min_profit as i128 {
                             continue;
@@ -272,12 +298,17 @@ pub fn copy_with_higher_fee(
     extractor_nonce: u64,
     fee_bump_pct: u128,
 ) -> Option<Transaction> {
-    let Action::Route(legs) = &victim.action else { return None };
+    let Action::Route(legs) = &victim.action else {
+        return None;
+    };
     let new_fee = match victim.fee {
         TxFee::Legacy { gas_price } => TxFee::Legacy {
             gas_price: Wei(gas_price.0 + gas_price.0 * fee_bump_pct / 100 + 1),
         },
-        TxFee::Eip1559 { max_fee, max_priority } => TxFee::Eip1559 {
+        TxFee::Eip1559 {
+            max_fee,
+            max_priority,
+        } => TxFee::Eip1559 {
             max_fee: Wei(max_fee.0 + max_fee.0 * fee_bump_pct / 100 + 1),
             max_priority: Wei(max_priority.0 + max_priority.0 * fee_bump_pct / 100 + 1),
         },
@@ -305,8 +336,20 @@ mod tests {
     /// Sushi ⇒ buy on Sushi, sell on Uniswap).
     fn dex() -> DexState {
         let mut d = DexState::new();
-        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
-        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_200 * E18));
+        d.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_000 * E18,
+        ));
+        d.add_pool(build::sushiswap(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_200 * E18,
+        ));
         d
     }
 
@@ -341,8 +384,20 @@ mod tests {
     #[test]
     fn balanced_pools_offer_nothing() {
         let mut d = DexState::new();
-        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
-        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 500 * E18, 1_000 * E18));
+        d.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_000 * E18,
+        ));
+        d.add_pool(build::sushiswap(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            500 * E18,
+            1_000 * E18,
+        ));
         assert!(find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).is_none());
     }
 
@@ -360,7 +415,13 @@ mod tests {
         // neither does the scanner.
         let mut d = DexState::new();
         d.add_pool(build::uniswap_v1(0, TokenId(1), 1_000 * E18, 2_000 * E18));
-        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_200 * E18));
+        d.add_pool(build::sushiswap(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_200 * E18,
+        ));
         assert!(find_arbitrage(&d, TokenId::WETH, &[TokenId(1)], 1_000 * E18, 0).is_none());
     }
 
@@ -370,9 +431,27 @@ mod tests {
         let mut d = DexState::new();
         // WETH→TKN1 at 2.0, TKN1→TKN2 at 1.1 (mispriced rich), TKN2→WETH at 0.55.
         // Round trip: 1 WETH → 2 TKN1 → 2.2 TKN2 → 1.21 WETH: ~21 % edge.
-        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
-        d.add_pool(build::sushiswap(1, TokenId(1), TokenId(2), 2_000 * E18, 2_200 * E18));
-        d.add_pool(build::bancor(2, TokenId(2), TokenId::WETH, 2_000 * E18, 1_100 * E18));
+        d.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_000 * E18,
+        ));
+        d.add_pool(build::sushiswap(
+            1,
+            TokenId(1),
+            TokenId(2),
+            2_000 * E18,
+            2_200 * E18,
+        ));
+        d.add_pool(build::bancor(
+            2,
+            TokenId(2),
+            TokenId::WETH,
+            2_000 * E18,
+            1_100 * E18,
+        ));
         let plan =
             find_triangle_arbitrage(&d, TokenId::WETH, &[TokenId(1), TokenId(2)], 1_000 * E18, 0)
                 .expect("triangle exists");
@@ -391,11 +470,35 @@ mod tests {
         const E18: u128 = 10u128.pow(18);
         let mut d = DexState::new();
         // Prices consistent: 2.0 × 1.0 × 0.5 = 1.0 ⇒ fees make it a loss.
-        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
-        d.add_pool(build::sushiswap(1, TokenId(1), TokenId(2), 2_000 * E18, 2_000 * E18));
-        d.add_pool(build::bancor(2, TokenId(2), TokenId::WETH, 2_000 * E18, 1_000 * E18));
-        assert!(find_triangle_arbitrage(&d, TokenId::WETH, &[TokenId(1), TokenId(2)], 1_000 * E18, 0)
-            .is_none());
+        d.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_000 * E18,
+        ));
+        d.add_pool(build::sushiswap(
+            1,
+            TokenId(1),
+            TokenId(2),
+            2_000 * E18,
+            2_000 * E18,
+        ));
+        d.add_pool(build::bancor(
+            2,
+            TokenId(2),
+            TokenId::WETH,
+            2_000 * E18,
+            1_000 * E18,
+        ));
+        assert!(find_triangle_arbitrage(
+            &d,
+            TokenId::WETH,
+            &[TokenId(1), TokenId(2)],
+            1_000 * E18,
+            0
+        )
+        .is_none());
     }
 
     #[test]
@@ -405,7 +508,9 @@ mod tests {
         let victim = Transaction::new(
             Address::from_index(1),
             0,
-            TxFee::Legacy { gas_price: gwei(100) },
+            TxFee::Legacy {
+                gas_price: gwei(100),
+            },
             Gas(200_000),
             Action::Route(plan.legs()),
             Wei::ZERO,
@@ -421,9 +526,14 @@ mod tests {
         let not_arb = Transaction::new(
             Address::from_index(1),
             1,
-            TxFee::Legacy { gas_price: gwei(100) },
+            TxFee::Legacy {
+                gas_price: gwei(100),
+            },
             Gas(21_000),
-            Action::Transfer { to: Address::ZERO, value: Wei(1) },
+            Action::Transfer {
+                to: Address::ZERO,
+                value: Wei(1),
+            },
             Wei::ZERO,
             None,
         );

@@ -58,8 +58,7 @@ pub fn plan_liquidations(lending: &LendingState, oracle: &PriceOracle) -> Vec<Li
                 return None;
             }
             let repay_wei = oracle.to_wei(loan.debt_token, repay_amount)?;
-            let bonus_bps =
-                lending.platform(loan.platform).config.liquidation_bonus_bps as u128;
+            let bonus_bps = lending.platform(loan.platform).config.liquidation_bonus_bps as u128;
             let seize_wei = repay_wei + repay_wei * bonus_bps / 10_000;
             Some(LiquidationPlan {
                 loan,
@@ -105,7 +104,10 @@ pub fn plan_backrun_of_oracle_update(
 /// Convert a token amount to wei at a given price (helper for sizing the
 /// collateral dump after a flash-loan liquidation).
 pub fn token_to_wei(amount: u128, price_wei: u128) -> u128 {
-    U256::from(amount).mul_u128(price_wei).div_u128(E18).as_u128()
+    U256::from(amount)
+        .mul_u128(price_wei)
+        .div_u128(E18)
+        .as_u128()
 }
 
 #[cfg(test)]
@@ -155,9 +157,14 @@ mod tests {
         let update = Transaction::new(
             Address::from_index(50),
             0,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(45_000),
-            Action::OracleUpdate { token: TokenId(1), price_wei: E18 },
+            Action::OracleUpdate {
+                token: TokenId(1),
+                price_wei: E18,
+            },
             Wei::ZERO,
             None,
         );
@@ -167,9 +174,14 @@ mod tests {
         let noise = Transaction::new(
             Address::from_index(50),
             1,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(21_000),
-            Action::Transfer { to: Address::ZERO, value: Wei(1) },
+            Action::Transfer {
+                to: Address::ZERO,
+                value: Wei(1),
+            },
             Wei::ZERO,
             None,
         );
@@ -178,9 +190,14 @@ mod tests {
         let pump = Transaction::new(
             Address::from_index(50),
             2,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(45_000),
-            Action::OracleUpdate { token: TokenId(1), price_wei: 4 * E18 },
+            Action::OracleUpdate {
+                token: TokenId(1),
+                price_wei: 4 * E18,
+            },
             Wei::ZERO,
             None,
         );
@@ -195,9 +212,14 @@ mod tests {
         let update = Transaction::new(
             Address::from_index(50),
             0,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(45_000),
-            Action::OracleUpdate { token: TokenId(1), price_wei: E18 / 2 },
+            Action::OracleUpdate {
+                token: TokenId(1),
+                price_wei: E18 / 2,
+            },
             Wei::ZERO,
             None,
         );
@@ -210,7 +232,12 @@ mod tests {
         oracle.update(TokenId(1), 10, E18);
         let plan = &plan_liquidations(&lending, &oracle)[0];
         match plan.action() {
-            Action::Liquidate { platform, borrower, debt_token, repay_amount } => {
+            Action::Liquidate {
+                platform,
+                borrower,
+                debt_token,
+                repay_amount,
+            } => {
                 assert_eq!(platform, LendingPlatformId::AaveV2);
                 assert_eq!(borrower, plan.loan.borrower);
                 assert_eq!(debt_token, TokenId::WETH);
@@ -219,7 +246,12 @@ mod tests {
             _ => panic!("wrong action"),
         }
         match plan.flash_action(LendingPlatformId::DyDx) {
-            Action::FlashLoan { platform, token, amount, inner } => {
+            Action::FlashLoan {
+                platform,
+                token,
+                amount,
+                inner,
+            } => {
                 assert_eq!(platform, LendingPlatformId::DyDx);
                 assert_eq!(token, TokenId::WETH);
                 assert_eq!(amount, plan.repay_amount);

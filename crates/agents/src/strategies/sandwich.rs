@@ -29,14 +29,20 @@ pub struct SandwichPlan {
 /// the pool. Returns `None` if any leg fails.
 fn simulate(pool: &Pool, victim: &SwapCall, front_in: u128) -> Option<SandwichPlan> {
     let mut scratch = pool.clone();
-    let front_out =
-        if front_in == 0 { 0 } else { scratch.swap(victim.token_in, front_in, 0).ok()? };
+    let front_out = if front_in == 0 {
+        0
+    } else {
+        scratch.swap(victim.token_in, front_in, 0).ok()?
+    };
     let victim_out = scratch.swap(victim.token_in, victim.amount_in, 0).ok()?;
     if victim_out < victim.min_amount_out {
         return None;
     }
-    let back_out =
-        if front_out == 0 { 0 } else { scratch.swap(victim.token_out, front_out, 0).ok()? };
+    let back_out = if front_out == 0 {
+        0
+    } else {
+        scratch.swap(victim.token_out, front_out, 0).ok()?
+    };
     Some(SandwichPlan {
         front_in,
         front_out,
@@ -79,7 +85,11 @@ pub fn plan_sandwich(pool: &Pool, victim: &SwapCall, max_capital: u128) -> Optio
 /// check — the contract happily executes sandwiches whose fees exceed the
 /// captured slippage, realising the losses the paper measures (1.58 % of
 /// Flashbots sandwiches, 113.67 ETH in total).
-pub fn plan_sandwich_buggy(pool: &Pool, victim: &SwapCall, max_capital: u128) -> Option<SandwichPlan> {
+pub fn plan_sandwich_buggy(
+    pool: &Pool,
+    victim: &SwapCall,
+    max_capital: u128,
+) -> Option<SandwichPlan> {
     if victim.pool != pool.id || max_capital == 0 {
         return None;
     }
@@ -190,7 +200,10 @@ mod tests {
         // exceed the capturable slippage, so executing it realises a loss.
         let v = victim_with_slippage(E18, 300); // 1 ETH victim, 3 % tolerance
         let plan = plan_sandwich_buggy(&pool(), &v, 500 * E18).unwrap();
-        assert!(plan.gross_profit < 0, "fees should exceed captured slippage");
+        assert!(
+            plan.gross_profit < 0,
+            "fees should exceed captured slippage"
+        );
         // The correct planner abstains from this victim.
         assert!(plan_sandwich(&pool(), &v, 500 * E18).is_none());
     }

@@ -41,7 +41,12 @@ pub struct TraderPool {
 impl Default for TraderPool {
     fn default() -> Self {
         // exp(N(-0.3, 1.4)): median ~0.75 ETH, p95 ~7.5 ETH, rare whales.
-        TraderPool { n_traders: 2_000, ln_size_mu: -0.3, ln_size_sigma: 1.4, max_trade: 200 * E18 }
+        TraderPool {
+            n_traders: 2_000,
+            ln_size_mu: -0.3,
+            ln_size_sigma: 1.4,
+            max_trade: 200 * E18,
+        }
     }
 }
 
@@ -112,11 +117,19 @@ impl TraderPool {
                 (token, TokenId::WETH, amount.min(cap).max(1))
             };
             let slippage_bps = self.sample_slippage(rng);
-            let Ok(quote) = pool.quote(token_in, amount_in) else { continue };
+            let Ok(quote) = pool.quote(token_in, amount_in) else {
+                continue;
+            };
             let min_amount_out = quote * (10_000 - slippage_bps as u128) / 10_000;
             out.push(TradeIntent {
                 trader,
-                call: SwapCall { pool: pool_id, token_in, token_out, amount_in, min_amount_out },
+                call: SwapCall {
+                    pool: pool_id,
+                    token_in,
+                    token_out,
+                    amount_in,
+                    min_amount_out,
+                },
                 slippage_bps,
             });
         }
@@ -132,10 +145,28 @@ mod tests {
 
     fn dex() -> DexState {
         let mut d = DexState::new();
-        d.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 5_000 * E18, 10_000 * E18));
-        d.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(2), 3_000 * E18, 9_000 * E18));
+        d.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            5_000 * E18,
+            10_000 * E18,
+        ));
+        d.add_pool(build::sushiswap(
+            0,
+            TokenId::WETH,
+            TokenId(2),
+            3_000 * E18,
+            9_000 * E18,
+        ));
         // A non-WETH pool that must never be selected.
-        d.add_pool(build::curve(0, TokenId(1), TokenId(2), 10_000 * E18, 10_000 * E18));
+        d.add_pool(build::curve(
+            0,
+            TokenId(1),
+            TokenId(2),
+            10_000 * E18,
+            10_000 * E18,
+        ));
         d
     }
 
@@ -184,13 +215,24 @@ mod tests {
         let tight = trades.iter().filter(|t| t.slippage_bps <= 30).count() as f64;
         let loose = trades.iter().filter(|t| t.slippage_bps > 100).count() as f64;
         let n = trades.len() as f64;
-        assert!((0.15..0.35).contains(&(tight / n)), "tight share {}", tight / n);
-        assert!((0.10..0.30).contains(&(loose / n)), "loose share {}", loose / n);
+        assert!(
+            (0.15..0.35).contains(&(tight / n)),
+            "tight share {}",
+            tight / n
+        );
+        assert!(
+            (0.10..0.30).contains(&(loose / n)),
+            "loose share {}",
+            loose / n
+        );
     }
 
     #[test]
     fn trader_addresses_cycle_within_population() {
-        let pool = TraderPool { n_traders: 10, ..Default::default() };
+        let pool = TraderPool {
+            n_traders: 10,
+            ..Default::default()
+        };
         assert_eq!(pool.trader_address(3), pool.trader_address(13));
         assert_ne!(pool.trader_address(3), pool.trader_address(4));
     }

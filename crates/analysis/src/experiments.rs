@@ -8,10 +8,10 @@ use mev_core::attribution::{attribute_private_sandwiches, miner_affiliated, Attr
 use mev_core::private::{private_stats, PrivateStats};
 use mev_core::profit::{fig8 as profit_fig8, negative_profit_report, Fig8};
 use mev_core::series::{
-    bundle_stats, flashbots_block_ratio, gas_price_daily, mev_breakdown_monthly, sandwiches_daily,
-    BundleStats, MevBreakdownRow,
+    bundle_stats, flashbots_block_ratio_indexed, gas_price_daily_indexed, mev_breakdown_monthly,
+    sandwiches_daily_indexed, BundleStats, MevBreakdownRow,
 };
-use mev_core::{hashrate, MevDataset, MevKind};
+use mev_core::{hashrate, Inspector, MevDataset, MevKind};
 use mev_sim::{Scenario, SimOutput, Simulation};
 use mev_types::{Day, Month};
 
@@ -29,13 +29,21 @@ impl Lab {
         Lab::from_output(Simulation::new(scenario).run())
     }
 
-    /// Inspect an existing run.
+    /// Inspect an existing run. Detection goes through the [`Inspector`],
+    /// which decodes the archive once into a shared block index; the
+    /// figure runners reuse that index instead of re-crawling receipts.
     pub fn from_output(out: SimOutput) -> Lab {
-        let dataset = MevDataset::inspect_parallel(&out.chain, &out.blocks_api);
+        let dataset = Inspector::new(&out.chain, &out.blocks_api)
+            .run()
+            .expect("detection worker panicked");
         let window = observer_window_blocks(&out);
         let attribution =
             attribute_private_sandwiches(&dataset, &out.observer, &out.blocks_api, window);
-        Lab { out, dataset, attribution }
+        Lab {
+            out,
+            dataset,
+            attribution,
+        }
     }
 
     /// The observer window in block heights (§6's analysis range).
@@ -53,7 +61,13 @@ impl Lab {
             .into_iter()
             .map(|k| {
                 let (total, fb, fl, both) = self.dataset.table1_row(k);
-                Table1Row { kind: k, total, via_flashbots: fb, via_flash_loans: fl, via_both: both }
+                Table1Row {
+                    kind: k,
+                    total,
+                    via_flashbots: fb,
+                    via_flash_loans: fl,
+                    via_both: both,
+                }
             })
             .collect();
         Table1Result { rows }
@@ -67,7 +81,7 @@ impl Lab {
     pub fn fig3(&self) -> MonthlySeries {
         MonthlySeries {
             title: "Fig 3 — share of blocks that are Flashbots blocks".into(),
-            series: flashbots_block_ratio(&self.out.chain, &self.out.blocks_api),
+            series: flashbots_block_ratio_indexed(&self.dataset.index, &self.out.blocks_api),
         }
     }
 
@@ -83,14 +97,19 @@ impl Lab {
     /// scaled from the paper's 10⁰..10⁴ by the block-count compression.
     pub fn fig5(&self) -> Fig5Result {
         let scale = (195_000 / self.out.scenario.blocks_per_month).max(1);
-        let thresholds: Vec<u64> =
-            [1u64, 10, 100, 1_000, 10_000].iter().map(|&n| (n / scale).max(1)).collect();
+        let thresholds: Vec<u64> = [1u64, 10, 100, 1_000, 10_000]
+            .iter()
+            .map(|&n| (n / scale).max(1))
+            .collect();
         let mut dedup = thresholds.clone();
         dedup.dedup();
         Fig5Result {
             thresholds: dedup.clone(),
             rows: hashrate::monthly_participation(&self.out.chain, &self.out.blocks_api, &dedup),
-            max_miners: hashrate::max_monthly_flashbots_miners(&self.out.chain, &self.out.blocks_api),
+            max_miners: hashrate::max_monthly_flashbots_miners(
+                &self.out.chain,
+                &self.out.blocks_api,
+            ),
             top2_share: hashrate::top_k_flashbots_block_share(&self.out.blocks_api, 2),
         }
     }
@@ -98,8 +117,8 @@ impl Lab {
     /// Figure 6: daily gas price and daily sandwich counts.
     pub fn fig6(&self) -> Fig6Result {
         Fig6Result {
-            gas: gas_price_daily(&self.out.chain),
-            sandwiches: sandwiches_daily(&self.dataset, &self.out.chain),
+            gas: gas_price_daily_indexed(&self.dataset.index),
+            sandwiches: sandwiches_daily_indexed(&self.dataset),
             berlin: self.out.fork_schedule.berlin_block,
             london: self.out.fork_schedule.london_block,
         }
@@ -126,14 +145,17 @@ impl Lab {
     /// §5.2: negative-profit Flashbots sandwiches.
     pub fn sec52(&self) -> NegativeResult {
         let (neg, total, loss) = negative_profit_report(&self.dataset, MevKind::Sandwich);
-        NegativeResult { negative: neg, total_flashbots: total, loss_eth: loss }
+        NegativeResult {
+            negative: neg,
+            total_flashbots: total,
+            loss_eth: loss,
+        }
     }
 
     /// Figure 9 / §6.2: private-vs-public sandwich split in the window.
     pub fn fig9(&self) -> PrivateStats {
         private_stats(
             &self.dataset,
-            &self.out.chain,
             &self.out.observer,
             &self.out.blocks_api,
             self.window(),
@@ -152,7 +174,10 @@ impl Lab {
 
     /// Top extractors by lifetime profit.
     pub fn leaderboard(&self, top: usize) -> Vec<mev_core::cohorts::SearcherCohort> {
-        mev_core::cohorts::cohorts(&self.dataset, &self.out.chain).into_iter().take(top).collect()
+        mev_core::cohorts::cohorts(&self.dataset, &self.out.chain)
+            .into_iter()
+            .take(top)
+            .collect()
     }
 }
 
@@ -160,10 +185,18 @@ impl Lab {
 pub fn render_churn(rows: &[(Month, mev_core::cohorts::ChurnRow)]) -> String {
     let mut t = Table::new(&["month", "active", "joined", "departed"]);
     for (m, r) in rows {
-        t.row(&[m.to_string(), r.active.to_string(), r.joined.to_string(), r.departed.to_string()]);
+        t.row(&[
+            m.to_string(),
+            r.active.to_string(),
+            r.joined.to_string(),
+            r.departed.to_string(),
+        ]);
     }
-    format!("§4.5 — extractor churn (exodus evidence)
-{}", t.render())
+    format!(
+        "§4.5 — extractor churn (exodus evidence)
+{}",
+        t.render()
+    )
 }
 
 /// Observer window expressed in block heights.
@@ -200,8 +233,13 @@ pub struct Table1Result {
 
 impl Table1Result {
     pub fn total(&self) -> Table1Row {
-        let mut acc =
-            Table1Row { kind: MevKind::Sandwich, total: 0, via_flashbots: 0, via_flash_loans: 0, via_both: 0 };
+        let mut acc = Table1Row {
+            kind: MevKind::Sandwich,
+            total: 0,
+            via_flashbots: 0,
+            via_flash_loans: 0,
+            via_both: 0,
+        };
         for r in &self.rows {
             acc.total += r.total;
             acc.via_flashbots += r.via_flashbots;
@@ -216,7 +254,13 @@ impl Table1Result {
         self.rows
             .iter()
             .find(|r| r.kind == kind)
-            .map(|r| if r.total == 0 { 0.0 } else { r.via_flashbots as f64 / r.total as f64 })
+            .map(|r| {
+                if r.total == 0 {
+                    0.0
+                } else {
+                    r.via_flashbots as f64 / r.total as f64
+                }
+            })
             .unwrap_or(0.0)
     }
 
@@ -255,7 +299,10 @@ impl Table1Result {
             count(total.via_both),
             "31.26 %".into(),
         ]);
-        format!("Table 1 — MEV dataset overview (scale-reduced)\n{}", t.render())
+        format!(
+            "Table 1 — MEV dataset overview (scale-reduced)\n{}",
+            t.render()
+        )
     }
 }
 
@@ -269,7 +316,10 @@ pub struct MonthlySeries {
 impl MonthlySeries {
     /// Value at a month, if present.
     pub fn at(&self, month: Month) -> Option<f64> {
-        self.series.iter().find(|(m, _)| *m == month).map(|(_, v)| *v)
+        self.series
+            .iter()
+            .find(|(m, _)| *m == month)
+            .map(|(_, v)| *v)
     }
 
     /// The month with the highest value.
@@ -333,8 +383,12 @@ pub struct Fig6Result {
 impl Fig6Result {
     /// Mean gas price over a month (gwei).
     pub fn mean_gas_in(&self, month: Month) -> Option<f64> {
-        let sel: Vec<f64> =
-            self.gas.iter().filter(|(d, _)| d.month() == month).map(|(_, g)| *g).collect();
+        let sel: Vec<f64> = self
+            .gas
+            .iter()
+            .filter(|(d, _)| d.month() == month)
+            .map(|(_, g)| *g)
+            .collect();
         if sel.is_empty() {
             None
         } else {
@@ -352,11 +406,24 @@ impl Fig6Result {
         months.dedup();
         for m in months {
             let mean = self.mean_gas_in(m).unwrap_or(0.0);
-            let days = self.gas.iter().filter(|(d, _)| d.month() == m).count().max(1) as f64;
-            let fb_m: u64 =
-                self.sandwiches.iter().filter(|(d, _, _)| d.month() == m).map(|(_, f, _)| f).sum();
-            let non_m: u64 =
-                self.sandwiches.iter().filter(|(d, _, _)| d.month() == m).map(|(_, _, n)| n).sum();
+            let days = self
+                .gas
+                .iter()
+                .filter(|(d, _)| d.month() == m)
+                .count()
+                .max(1) as f64;
+            let fb_m: u64 = self
+                .sandwiches
+                .iter()
+                .filter(|(d, _, _)| d.month() == m)
+                .map(|(_, f, _)| f)
+                .sum();
+            let non_m: u64 = self
+                .sandwiches
+                .iter()
+                .filter(|(d, _, _)| d.month() == m)
+                .map(|(_, _, n)| n)
+                .sum();
             t.row(&[
                 m.to_string(),
                 format!("{mean:.1}"),
@@ -388,16 +455,24 @@ pub struct Fig7Result {
 impl Fig7Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(&[
-            "month", "searchers sw/arb/liq/other", "txs sw/arb/liq/other",
+            "month",
+            "searchers sw/arb/liq/other",
+            "txs sw/arb/liq/other",
         ]);
         for (m, r) in &self.rows {
             t.row(&[
                 m.to_string(),
                 format!(
                     "{}/{}/{}/{}",
-                    r.searchers_sandwich, r.searchers_arbitrage, r.searchers_liquidation, r.searchers_other
+                    r.searchers_sandwich,
+                    r.searchers_arbitrage,
+                    r.searchers_liquidation,
+                    r.searchers_other
                 ),
-                format!("{}/{}/{}/{}", r.txs_sandwich, r.txs_arbitrage, r.txs_liquidation, r.txs_other),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.txs_sandwich, r.txs_arbitrage, r.txs_liquidation, r.txs_other
+                ),
             ]);
         }
         format!("Fig 7 — Flashbots activity by MEV type\n{}", t.render())
@@ -446,10 +521,26 @@ pub fn render_fig8(f: &Fig8) -> String {
             eth(paper_mean),
         ]);
     };
-    row("miners w/ FB", &f.miners_flashbots, paper::FIG8.miners_fb_mean);
-    row("miners w/o FB", &f.miners_non_flashbots, paper::FIG8.miners_non_fb_mean);
-    row("searchers w/ FB", &f.searchers_flashbots, paper::FIG8.searchers_fb_mean);
-    row("searchers w/o FB", &f.searchers_non_flashbots, paper::FIG8.searchers_non_fb_mean);
+    row(
+        "miners w/ FB",
+        &f.miners_flashbots,
+        paper::FIG8.miners_fb_mean,
+    );
+    row(
+        "miners w/o FB",
+        &f.miners_non_flashbots,
+        paper::FIG8.miners_non_fb_mean,
+    );
+    row(
+        "searchers w/ FB",
+        &f.searchers_flashbots,
+        paper::FIG8.searchers_fb_mean,
+    );
+    row(
+        "searchers w/o FB",
+        &f.searchers_non_flashbots,
+        paper::FIG8.searchers_non_fb_mean,
+    );
     format!("Fig 8 — sandwich profits by subpopulation\n{}", t.render())
 }
 
@@ -457,8 +548,16 @@ pub fn render_fig8(f: &Fig8) -> String {
 pub fn render_sec41(s: &BundleStats) -> String {
     let p = &paper::BUNDLES;
     let mut t = Table::new(&["metric", "measured", "paper"]);
-    t.row(&["bundles".into(), count(s.total_bundles), count(p.total_bundles)]);
-    t.row(&["Flashbots blocks".into(), count(s.flashbots_blocks), count(p.blocks)]);
+    t.row(&[
+        "bundles".into(),
+        count(s.total_bundles),
+        count(p.total_bundles),
+    ]);
+    t.row(&[
+        "Flashbots blocks".into(),
+        count(s.flashbots_blocks),
+        count(p.blocks),
+    ]);
     t.row(&[
         "mean bundles/block".into(),
         format!("{:.2}", s.mean_bundles_per_block),
@@ -484,11 +583,27 @@ pub fn render_sec41(s: &BundleStats) -> String {
         s.median_txs_per_bundle.to_string(),
         p.median_txs_per_bundle.to_string(),
     ]);
-    t.row(&["max txs/bundle".into(), s.max_txs_per_bundle.to_string(), p.max_txs_per_bundle.to_string()]);
-    t.row(&["single-tx bundles".into(), pct(s.single_tx_share), pct(p.single_tx_share)]);
-    t.row(&["payout type".into(), pct(s.payout_share), pct(p.payout_share)]);
+    t.row(&[
+        "max txs/bundle".into(),
+        s.max_txs_per_bundle.to_string(),
+        p.max_txs_per_bundle.to_string(),
+    ]);
+    t.row(&[
+        "single-tx bundles".into(),
+        pct(s.single_tx_share),
+        pct(p.single_tx_share),
+    ]);
+    t.row(&[
+        "payout type".into(),
+        pct(s.payout_share),
+        pct(p.payout_share),
+    ]);
     t.row(&["rogue type".into(), pct(s.rogue_share), pct(p.rogue_share)]);
-    t.row(&["flashbots type".into(), pct(s.flashbots_share), pct(p.flashbots_share)]);
+    t.row(&[
+        "flashbots type".into(),
+        pct(s.flashbots_share),
+        pct(p.flashbots_share),
+    ]);
     format!("§4.1 — bundle statistics\n{}", t.render())
 }
 
@@ -566,7 +681,10 @@ mod tests {
     #[test]
     fn fig3_ratio_rises_after_launch() {
         let f3 = lab().fig3();
-        assert!(f3.at(Month::new(2020, 8)).unwrap_or(1.0) == 0.0, "no FB before launch");
+        assert!(
+            f3.at(Month::new(2020, 8)).unwrap_or(1.0) == 0.0,
+            "no FB before launch"
+        );
         let late = f3.at(Month::new(2021, 7)).unwrap_or(0.0);
         assert!(late > 0.1, "FB block share after launch: {late}");
         assert!(!f3.render().is_empty());
@@ -593,8 +711,12 @@ mod tests {
     #[test]
     fn fig6_gas_cliff_exists() {
         let f6 = lab().fig6();
-        let pre = f6.mean_gas_in(Month::new(2021, 1)).expect("pre-FB gas data");
-        let post = f6.mean_gas_in(Month::new(2021, 6)).expect("post-FB gas data");
+        let pre = f6
+            .mean_gas_in(Month::new(2021, 1))
+            .expect("pre-FB gas data");
+        let post = f6
+            .mean_gas_in(Month::new(2021, 6))
+            .expect("post-FB gas data");
         assert!(post < pre * 0.7, "gas cliff: {pre} -> {post}");
         assert!(!f6.render().is_empty());
     }
@@ -602,8 +724,11 @@ mod tests {
     #[test]
     fn fig7_other_dominates() {
         let f7 = lab().fig7();
-        let with_other =
-            f7.rows.iter().filter(|(_, r)| r.searchers_other > 0).count();
+        let with_other = f7
+            .rows
+            .iter()
+            .filter(|(_, r)| r.searchers_other > 0)
+            .count();
         assert!(with_other > 0, "protection bundles populate 'other'");
         assert!(!f7.render().is_empty());
     }
@@ -636,7 +761,10 @@ mod tests {
         assert!(s.mean_bundles_per_block >= 1.0);
         assert!((0.0..=1.0).contains(&s.single_tx_share));
         let shares = s.payout_share + s.rogue_share + s.flashbots_share;
-        assert!((shares - 1.0).abs() < 1e-9, "type shares partition: {shares}");
+        assert!(
+            (shares - 1.0).abs() < 1e-9,
+            "type shares partition: {shares}"
+        );
         assert!(!render_sec41(&s).is_empty());
     }
 
@@ -644,7 +772,11 @@ mod tests {
     fn sec52_negative_profits_exist_but_are_minority() {
         let n = lab().sec52();
         assert!(n.total_flashbots > 0);
-        assert!(n.share() < 0.25, "losses are a small minority: {}", n.share());
+        assert!(
+            n.share() < 0.25,
+            "losses are a small minority: {}",
+            n.share()
+        );
         assert!(!n.render().is_empty());
     }
 
@@ -652,7 +784,11 @@ mod tests {
     fn fig9_private_split() {
         let f9 = lab().fig9();
         assert!(f9.total_sandwiches > 0, "sandwiches in observer window");
-        assert!(f9.flashbots_share() > 0.3, "FB dominates: {}", f9.flashbots_share());
+        assert!(
+            f9.flashbots_share() > 0.3,
+            "FB dominates: {}",
+            f9.flashbots_share()
+        );
         assert!(!render_fig9(&f9).is_empty());
     }
 
@@ -670,7 +806,10 @@ mod tests {
         let board = lab().leaderboard(5);
         assert!(!board.is_empty());
         for w in board.windows(2) {
-            assert!(w[0].total_profit_eth >= w[1].total_profit_eth, "sorted by profit");
+            assert!(
+                w[0].total_profit_eth >= w[1].total_profit_eth,
+                "sorted by profit"
+            );
         }
         assert!(!render_churn(&rows).is_empty());
     }

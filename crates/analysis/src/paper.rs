@@ -112,8 +112,12 @@ pub struct NegativeRef {
     pub total_loss_eth: f64,
 }
 
-pub const NEGATIVE: NegativeRef =
-    NegativeRef { count: 7_666, of_total: 485_680, share_pct: 1.58, total_loss_eth: 113.67 };
+pub const NEGATIVE: NegativeRef = NegativeRef {
+    count: 7_666,
+    of_total: 485_680,
+    share_pct: 1.58,
+    total_loss_eth: 113.67,
+};
 
 /// §6.2: the private/public split of sandwiches in the observer window.
 pub struct PrivateRef {
@@ -141,8 +145,11 @@ pub struct AttributionRef {
     pub single_miner_accounts: usize,
 }
 
-pub const ATTRIBUTION: AttributionRef =
-    AttributionRef { miners: 35, accounts: 41, single_miner_accounts: 2 };
+pub const ATTRIBUTION: AttributionRef = AttributionRef {
+    miners: 35,
+    accounts: 41,
+    single_miner_accounts: 2,
+};
 
 /// Format a paper-vs-measured pair.
 pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) -> String {

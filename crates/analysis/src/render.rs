@@ -11,7 +11,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: &[String]) -> &mut Table {

@@ -122,7 +122,9 @@ fn bench_ordering_policy(c: &mut Criterion) {
         println!("  → randomised/fair ordering break the deterministic t1<V<t2 placement that fee priority hands attackers; residual successes match the paper's §8.3 probability analysis.");
     });
     let lab = mev_bench::shared_lab();
-    c.bench_function("ablation_ordering_policy_table1", |b| b.iter(|| lab.table1()));
+    c.bench_function("ablation_ordering_policy_table1", |b| {
+        b.iter(|| lab.table1())
+    });
 }
 
 criterion_group! {

@@ -7,10 +7,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mev_agents::strategies::sandwich::plan_sandwich;
-use mev_bench::shared_lab;
-use mev_core::MevDataset;
+use mev_bench::{chunked_baseline, shared_lab};
+use mev_core::{BlockIndex, Inspector};
 use mev_dex::pool::build;
 use mev_types::{SwapCall, TokenId};
+use std::sync::Arc;
 
 const E18: u128 = 10u128.pow(18);
 
@@ -19,15 +20,26 @@ fn bench_amm(c: &mut Criterion) {
     let pool = build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18);
     group.throughput(Throughput::Elements(1));
     group.bench_function("cp_quote", |b| {
-        b.iter(|| pool.quote(black_box(TokenId::WETH), black_box(3 * E18)).unwrap())
+        b.iter(|| {
+            pool.quote(black_box(TokenId::WETH), black_box(3 * E18))
+                .unwrap()
+        })
     });
     let curve = build::curve(0, TokenId::WETH, TokenId(1), 10_000 * E18, 10_000 * E18);
     group.bench_function("stableswap_quote", |b| {
-        b.iter(|| curve.quote(black_box(TokenId::WETH), black_box(3 * E18)).unwrap())
+        b.iter(|| {
+            curve
+                .quote(black_box(TokenId::WETH), black_box(3 * E18))
+                .unwrap()
+        })
     });
     let balancer = build::balancer(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18, 5000);
     group.bench_function("weighted_quote", |b| {
-        b.iter(|| balancer.quote(black_box(TokenId::WETH), black_box(3 * E18)).unwrap())
+        b.iter(|| {
+            balancer
+                .quote(black_box(TokenId::WETH), black_box(3 * E18))
+                .unwrap()
+        })
     });
     group.bench_function("cp_swap_roundtrip", |b| {
         b.iter(|| {
@@ -69,18 +81,40 @@ fn bench_simulation(c: &mut Criterion) {
 
 fn bench_detection(c: &mut Criterion) {
     let lab = shared_lab();
-    let txs: u64 = lab.out.chain.iter().map(|(b, _)| b.transactions.len() as u64).sum();
+    let chain = &lab.out.chain;
+    let api = &lab.out.blocks_api;
+    let txs: u64 = chain.iter().map(|(b, _)| b.transactions.len() as u64).sum();
     let mut group = c.benchmark_group("detection");
     group.sample_size(10);
     group.throughput(Throughput::Elements(txs));
-    group.bench_function("inspect_serial", |b| {
-        b.iter(|| MevDataset::inspect(&lab.out.chain, &lab.out.blocks_api))
+    // Seed comparison point: the pre-index fixed-chunk strategy.
+    group.bench_function("chunked_baseline", |b| {
+        b.iter(|| chunked_baseline(chain, api))
     });
-    group.bench_function("inspect_parallel", |b| {
-        b.iter(|| MevDataset::inspect_parallel(&lab.out.chain, &lab.out.blocks_api))
+    group.bench_function("index_build", |b| b.iter(|| BlockIndex::build(chain)));
+    group.bench_function("inspect_serial", |b| {
+        b.iter(|| Inspector::new(chain, api).threads(1).run().unwrap())
+    });
+    group.bench_function("inspect_pool", |b| {
+        b.iter(|| Inspector::new(chain, api).run().unwrap())
+    });
+    let index = Arc::new(BlockIndex::build(chain));
+    group.bench_function("inspect_pool_prebuilt_index", |b| {
+        b.iter(|| {
+            Inspector::new(chain, api)
+                .with_index(index.clone())
+                .run()
+                .unwrap()
+        })
     });
     group.finish();
 }
 
-criterion_group!(throughput, bench_amm, bench_sandwich_planning, bench_simulation, bench_detection);
+criterion_group!(
+    throughput,
+    bench_amm,
+    bench_sandwich_planning,
+    bench_simulation,
+    bench_detection
+);
 criterion_main!(throughput);

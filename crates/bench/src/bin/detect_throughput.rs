@@ -1,0 +1,70 @@
+//! Before/after detection throughput, emitted as JSON for
+//! `BENCH_DETECTION.json`:
+//!
+//! ```sh
+//! cargo run -p mev-bench --release --bin detect_throughput
+//! ```
+//!
+//! Compares the seed's fixed-chunk strategy (re-decoding receipts per
+//! detector) against the indexed worker-pool `Inspector`, and checks the
+//! two produce identical detections.
+
+use mev_bench::chunked_baseline;
+use mev_core::{BlockIndex, Inspector};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let api = &out.blocks_api;
+    let blocks = chain.iter().count();
+    let txs: usize = chain.iter().map(|(b, _)| b.transactions.len()).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+
+    let baseline = chunked_baseline(chain, api);
+    let pooled = Inspector::new(chain, api).run().expect("inspection");
+    let identical = baseline.detections == pooled.detections;
+
+    let reps = 5;
+    let baseline_ms = time_ms(reps, || chunked_baseline(chain, api));
+    let serial_ms = time_ms(reps, || {
+        Inspector::new(chain, api).threads(1).run().unwrap()
+    });
+    let pool_ms = time_ms(reps, || Inspector::new(chain, api).run().unwrap());
+    let index = Arc::new(BlockIndex::build(chain));
+    let index_build_ms = time_ms(reps, || BlockIndex::build(chain));
+    let prebuilt_ms = time_ms(reps, || {
+        Inspector::new(chain, api)
+            .with_index(index.clone())
+            .run()
+            .unwrap()
+    });
+
+    println!(
+        "{{\n  \"scenario\": \"quick\",\n  \"blocks\": {blocks},\n  \"txs\": {txs},\n  \
+         \"threads\": {threads},\n  \"chunked_baseline_ms\": {baseline_ms:.3},\n  \
+         \"inspector_serial_ms\": {serial_ms:.3},\n  \"inspector_pool_ms\": {pool_ms:.3},\n  \
+         \"index_build_ms\": {index_build_ms:.3},\n  \
+         \"inspector_pool_prebuilt_index_ms\": {prebuilt_ms:.3},\n  \
+         \"speedup_pool_vs_baseline\": {:.3},\n  \
+         \"speedup_prebuilt_vs_baseline\": {:.3},\n  \"identical_detections\": {identical}\n}}",
+        baseline_ms / pool_ms,
+        baseline_ms / prebuilt_ms,
+    );
+    assert!(identical, "baseline and Inspector detections diverged");
+}

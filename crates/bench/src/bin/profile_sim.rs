@@ -23,8 +23,16 @@ fn main() {
         ("searchers w/ FB", &f8.searchers_flashbots),
         ("searchers w/o  ", &f8.searchers_non_flashbots),
     ] {
-        eprintln!("{name}: n={:<5} mean {:.4} ETH  median {:.4} ETH", s.count, s.mean_eth, s.median_eth);
+        eprintln!(
+            "{name}: n={:<5} mean {:.4} ETH  median {:.4} ETH",
+            s.count, s.mean_eth, s.median_eth
+        );
     }
     let neg = lab.sec52();
-    eprintln!("§5.2: {} of {} FB sandwiches unprofitable ({:.2} %)", neg.negative, neg.total_flashbots, neg.share() * 100.0);
+    eprintln!(
+        "§5.2: {} of {} FB sandwiches unprofitable ({:.2} %)",
+        neg.negative,
+        neg.total_flashbots,
+        neg.share() * 100.0
+    );
 }

@@ -5,8 +5,54 @@
 //! `benches/ablations.rs` covers the design-choice ablations DESIGN.md
 //! calls out, and `benches/throughput.rs` measures the hot paths.
 
+use mev_chain::ChainStore;
+use mev_core::{Detection, MevDataset};
+use mev_flashbots::BlocksApi;
+
 /// Shared helper: a lazily-initialised quick-scale lab for benches.
 pub fn shared_lab() -> &'static mev_analysis::Lab {
     static LAB: std::sync::OnceLock<mev_analysis::Lab> = std::sync::OnceLock::new();
     LAB.get_or_init(|| mev_analysis::Lab::run(mev_sim::Scenario::quick()))
+}
+
+/// The seed's detection strategy, kept as the before/after comparison
+/// point for `BENCH_DETECTION.json`: fixed block chunks (one per thread,
+/// no stealing), each chunk decoding its receipts per detector.
+pub fn chunked_baseline(chain: &ChainStore, api: &BlocksApi) -> MevDataset {
+    let prices = mev_core::price_feed_from_chain(chain);
+    let pairs: Vec<_> = chain.iter().collect();
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let chunk = pairs.len().div_ceil(n_threads.max(1)).max(1);
+    let mut detections: Vec<Detection> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|blocks| {
+                let prices = &prices;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (block, receipts) in blocks {
+                        mev_core::detect::sandwich::detect_in_block(
+                            block, receipts, api, prices, &mut out,
+                        );
+                        mev_core::detect::arbitrage::detect_in_block(
+                            block, receipts, api, prices, &mut out,
+                        );
+                        mev_core::detect::liquidation::detect_in_block(
+                            block, receipts, api, prices, &mut out,
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("detector thread panicked"))
+            .collect()
+    });
+    detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+    MevDataset::from_parts(detections, prices)
 }

@@ -21,7 +21,13 @@ pub struct ChainStore {
 impl ChainStore {
     pub fn new(timeline: Timeline) -> ChainStore {
         let first_number = timeline.genesis_number;
-        ChainStore { timeline, first_number, blocks: Vec::new(), receipts: Vec::new(), tx_index: HashMap::new() }
+        ChainStore {
+            timeline,
+            first_number,
+            blocks: Vec::new(),
+            receipts: Vec::new(),
+            tx_index: HashMap::new(),
+        }
     }
 
     pub fn timeline(&self) -> &Timeline {
@@ -32,9 +38,14 @@ impl ChainStore {
     pub fn push(&mut self, block: Block, receipts: Vec<Receipt>) {
         let expected = self.first_number + self.blocks.len() as u64;
         assert_eq!(block.header.number, expected, "non-contiguous block push");
-        assert_eq!(block.transactions.len(), receipts.len(), "tx/receipt count mismatch");
+        assert_eq!(
+            block.transactions.len(),
+            receipts.len(),
+            "tx/receipt count mismatch"
+        );
         for (i, tx) in block.transactions.iter().enumerate() {
-            self.tx_index.insert(tx.hash(), (block.header.number, i as u32));
+            self.tx_index
+                .insert(tx.hash(), (block.header.number, i as u32));
         }
         self.blocks.push(block);
         self.receipts.push(receipts);
@@ -56,12 +67,15 @@ impl ChainStore {
 
     /// Fetch a block by height.
     pub fn block(&self, number: u64) -> Option<&Block> {
-        self.blocks.get(number.checked_sub(self.first_number)? as usize)
+        self.blocks
+            .get(number.checked_sub(self.first_number)? as usize)
     }
 
     /// Fetch receipts by height.
     pub fn receipts(&self, number: u64) -> Option<&[Receipt]> {
-        self.receipts.get(number.checked_sub(self.first_number)? as usize).map(|v| v.as_slice())
+        self.receipts
+            .get(number.checked_sub(self.first_number)? as usize)
+            .map(|v| v.as_slice())
     }
 
     /// Locate a transaction by hash.
@@ -76,19 +90,24 @@ impl ChainStore {
 
     /// Iterate `(block, receipts)` pairs in height order.
     pub fn iter(&self) -> impl Iterator<Item = (&Block, &[Receipt])> {
-        self.blocks.iter().zip(self.receipts.iter().map(|r| r.as_slice()))
+        self.blocks
+            .iter()
+            .zip(self.receipts.iter().map(|r| r.as_slice()))
     }
 
     /// Iterate `(block, receipts)` restricted to a height range (inclusive).
     pub fn range(&self, from: u64, to: u64) -> impl Iterator<Item = (&Block, &[Receipt])> {
-        self.iter().filter(move |(b, _)| b.header.number >= from && b.header.number <= to)
+        self.iter()
+            .filter(move |(b, _)| b.header.number >= from && b.header.number <= to)
     }
 
     /// All logs of a block, with their tx index.
     pub fn logs_of(&self, number: u64) -> Vec<(u32, &Log)> {
         self.receipts(number)
             .map(|rs| {
-                rs.iter().flat_map(|r| r.logs.iter().map(move |l| (r.index, l))).collect()
+                rs.iter()
+                    .flat_map(|r| r.logs.iter().map(move |l| (r.index, l)))
+                    .collect()
             })
             .unwrap_or_default()
     }
@@ -96,7 +115,9 @@ impl ChainStore {
     /// The miner of each block, in height order — input to hashrate
     /// estimation (§4.3).
     pub fn miners(&self) -> impl Iterator<Item = (u64, Address)> + '_ {
-        self.blocks.iter().map(|b| (b.header.number, b.header.miner))
+        self.blocks
+            .iter()
+            .map(|b| (b.header.number, b.header.miner))
     }
 
     /// The calendar month of a block.
@@ -129,7 +150,9 @@ mod tests {
                 Transaction::new(
                     Address::from_index(number * 100 + i),
                     0,
-                    TxFee::Legacy { gas_price: gwei(50) },
+                    TxFee::Legacy {
+                        gas_price: gwei(50),
+                    },
                     Gas(21_000),
                     Action::Other { gas: Gas(21_000) },
                     Wei::ZERO,
@@ -161,7 +184,13 @@ mod tests {
             gas_limit: Gas(30_000_000),
             base_fee: Wei::ZERO,
         };
-        (Block { header, transactions: txs }, receipts)
+        (
+            Block {
+                header,
+                transactions: txs,
+            },
+            receipts,
+        )
     }
 
     fn store_with(n: u64) -> ChainStore {
@@ -206,7 +235,10 @@ mod tests {
     #[test]
     fn range_filters() {
         let s = store_with(10);
-        let got: Vec<_> = s.range(10_000_002, 10_000_004).map(|(b, _)| b.header.number).collect();
+        let got: Vec<_> = s
+            .range(10_000_002, 10_000_004)
+            .map(|(b, _)| b.header.number)
+            .collect();
         assert_eq!(got, vec![10_000_002, 10_000_003, 10_000_004]);
     }
 

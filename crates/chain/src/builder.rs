@@ -84,7 +84,10 @@ pub fn build_block(world: &mut World, spec: &BlockSpec, candidates: &[Transactio
         base_fee: spec.base_fee,
     };
     BuiltBlock {
-        block: Block { header, transactions: included },
+        block: Block {
+            header,
+            transactions: included,
+        },
         receipts,
         skipped,
         miner_revenue: BLOCK_REWARD + fees,
@@ -184,7 +187,10 @@ mod tests {
             nonce,
             TxFee::Legacy { gas_price: price },
             Gas(21_000),
-            Action::Transfer { to: Address::ZERO, value: Wei(1) },
+            Action::Transfer {
+                to: Address::ZERO,
+                value: Wei(1),
+            },
             Wei::ZERO,
             None,
         )
@@ -201,7 +207,10 @@ mod tests {
         assert_eq!(b.block.header.gas_used, Gas(21_000));
         let fee = Gas(21_000).cost(gwei(50));
         assert_eq!(b.miner_revenue, BLOCK_REWARD + fee);
-        assert_eq!(w.state.balance(Address::from_index(900)), BLOCK_REWARD + fee);
+        assert_eq!(
+            w.state.balance(Address::from_index(900)),
+            BLOCK_REWARD + fee
+        );
     }
 
     #[test]
@@ -209,7 +218,11 @@ mod tests {
         let mut w = World::new(1);
         seed_account(&mut w.state, Address::from_index(1), eth(10), &[]);
         // Unfunded sender 2 between two valid txs.
-        let txs = vec![transfer(1, 0, gwei(50)), transfer(2, 0, gwei(60)), transfer(1, 1, gwei(40))];
+        let txs = vec![
+            transfer(1, 0, gwei(50)),
+            transfer(2, 0, gwei(60)),
+            transfer(1, 1, gwei(40)),
+        ];
         let b = build_block(&mut w, &spec(1, Wei::ZERO), &txs);
         assert_eq!(b.block.transactions.len(), 2);
         assert_eq!(b.skipped, 1);
@@ -243,7 +256,11 @@ mod tests {
 
     #[test]
     fn order_by_fee_sorts_descending() {
-        let txs = vec![transfer(1, 0, gwei(10)), transfer(2, 0, gwei(90)), transfer(3, 0, gwei(50))];
+        let txs = vec![
+            transfer(1, 0, gwei(10)),
+            transfer(2, 0, gwei(90)),
+            transfer(3, 0, gwei(50)),
+        ];
         let ordered = order_by_fee(txs);
         let bids: Vec<_> = ordered.iter().map(|t| t.bid_per_gas()).collect();
         assert_eq!(bids, vec![gwei(90), gwei(50), gwei(10)]);
@@ -253,16 +270,28 @@ mod tests {
     fn order_by_fee_preserves_sender_nonce_order() {
         // Sender 1's nonce-1 tx pays more than their nonce-0 tx; ordering
         // must still put nonce 0 first.
-        let txs = vec![transfer(1, 0, gwei(10)), transfer(1, 1, gwei(90)), transfer(2, 0, gwei(50))];
+        let txs = vec![
+            transfer(1, 0, gwei(10)),
+            transfer(1, 1, gwei(90)),
+            transfer(2, 0, gwei(50)),
+        ];
         let ordered = order_by_fee(txs);
-        let pos0 = ordered.iter().position(|t| t.from == Address::from_index(1) && t.nonce == 0).unwrap();
-        let pos1 = ordered.iter().position(|t| t.from == Address::from_index(1) && t.nonce == 1).unwrap();
+        let pos0 = ordered
+            .iter()
+            .position(|t| t.from == Address::from_index(1) && t.nonce == 0)
+            .unwrap();
+        let pos1 = ordered
+            .iter()
+            .position(|t| t.from == Address::from_index(1) && t.nonce == 1)
+            .unwrap();
         assert!(pos0 < pos1);
     }
 
     #[test]
     fn order_random_is_deterministic_and_nonce_safe() {
-        let txs: Vec<_> = (0..20).map(|i| transfer(i % 5, i / 5, gwei(10 + i as u128))).collect();
+        let txs: Vec<_> = (0..20)
+            .map(|i| transfer(i % 5, i / 5, gwei(10 + i as u128)))
+            .collect();
         let a = order_random(txs.clone(), 42);
         let b = order_random(txs.clone(), 42);
         assert_eq!(
@@ -304,7 +333,10 @@ mod tests {
     fn base_fee_chains_between_blocks() {
         let mut w = World::new(1);
         seed_account(&mut w.state, Address::from_index(1), eth(100), &[]);
-        let schedule = ForkSchedule { berlin_block: 0, london_block: 1 };
+        let schedule = ForkSchedule {
+            berlin_block: 0,
+            london_block: 1,
+        };
         let b = build_block(&mut w, &spec(1, crate::feemarket::INITIAL_BASE_FEE), &[]);
         // Empty block ⇒ base fee drops 12.5 %.
         let next = base_fee_after(&schedule, &b);

@@ -39,7 +39,9 @@ pub enum InvalidTx {
 impl std::fmt::Display for InvalidTx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InvalidTx::BadNonce { expected, got } => write!(f, "bad nonce {got}, expected {expected}"),
+            InvalidTx::BadNonce { expected, got } => {
+                write!(f, "bad nonce {got}, expected {expected}")
+            }
             InvalidTx::FeeTooLow => write!(f, "max fee below base fee"),
             InvalidTx::InsufficientFunds => write!(f, "insufficient funds for gas + value"),
         }
@@ -59,9 +61,7 @@ pub fn action_gas(action: &Action) -> Gas {
         Action::Repay { .. } => Gas(120_000),
         Action::Liquidate { .. } => Gas(280_000),
         Action::OracleUpdate { .. } => Gas(45_000),
-        Action::FlashLoan { inner, .. } => {
-            Gas(90_000) + inner.iter().map(action_gas).sum::<Gas>()
-        }
+        Action::FlashLoan { inner, .. } => Gas(90_000) + inner.iter().map(action_gas).sum::<Gas>(),
         Action::Payout { recipients } => Gas(21_000 * recipients.len().max(1) as u64),
         Action::Other { gas } => *gas,
     }
@@ -86,7 +86,10 @@ pub fn execute(world: &mut World, env: &BlockEnv, tx: &Transaction) -> Result<Re
     // txpool-level validity.
     let expected = world.state.nonce(tx.from);
     if tx.nonce != expected {
-        return Err(InvalidTx::BadNonce { expected, got: tx.nonce });
+        return Err(InvalidTx::BadNonce {
+            expected,
+            got: tx.nonce,
+        });
     }
     if !tx.fee.is_includable(env.base_fee) {
         return Err(InvalidTx::FeeTooLow);
@@ -103,15 +106,21 @@ pub fn execute(world: &mut World, env: &BlockEnv, tx: &Transaction) -> Result<Re
     // under-provisioned gas limit is an out-of-gas revert that consumes
     // the entire limit.
     let needed = action_gas(&tx.action);
-    let (gas_used, out_of_gas) =
-        if needed > tx.gas_limit { (tx.gas_limit, true) } else { (needed, false) };
+    let (gas_used, out_of_gas) = if needed > tx.gas_limit {
+        (tx.gas_limit, true)
+    } else {
+        (needed, false)
+    };
 
     // Charge fees: burn the base-fee share (London), credit the miner the rest.
     let fee_total = gas_used.cost(price);
     let tip_per_gas = tx.fee.miner_tip_per_gas(env.base_fee);
     let miner_fee = gas_used.cost(tip_per_gas);
     let burn = fee_total - miner_fee;
-    assert!(world.state.debit(tx.from, fee_total), "upfront check guarantees fee");
+    assert!(
+        world.state.debit(tx.from, fee_total),
+        "upfront check guarantees fee"
+    );
     world.state.burned += burn;
     world.state.credit(env.miner, miner_fee);
 
@@ -179,23 +188,44 @@ fn run_action(
         }
         Action::Swap(call) => run_swap(world, sender, call, logs),
         Action::Route(legs) => run_route(world, sender, legs, logs),
-        Action::Deposit { platform, token, amount } => {
+        Action::Deposit {
+            platform,
+            token,
+            amount,
+        } => {
             if !world.state.burn_token(sender, *token, *amount) {
                 return Err(ActionError::InsufficientBalance);
             }
-            world.lending.platform_mut(*platform).deposit(sender, *token, *amount);
+            world
+                .lending
+                .platform_mut(*platform)
+                .deposit(sender, *token, *amount);
             let addr = platform_address(*platform);
             logs.push(Log::new(
                 world.registry.address_of(*token),
-                LogEvent::Transfer { token: *token, from: sender, to: addr, amount: *amount },
+                LogEvent::Transfer {
+                    token: *token,
+                    from: sender,
+                    to: addr,
+                    amount: *amount,
+                },
             ));
             logs.push(Log::new(
                 addr,
-                LogEvent::Deposit { platform: *platform, user: sender, token: *token, amount: *amount },
+                LogEvent::Deposit {
+                    platform: *platform,
+                    user: sender,
+                    token: *token,
+                    amount: *amount,
+                },
             ));
             Ok(())
         }
-        Action::Borrow { platform, token, amount } => {
+        Action::Borrow {
+            platform,
+            token,
+            amount,
+        } => {
             let oracle = &world.oracle;
             world
                 .lending
@@ -206,15 +236,29 @@ fn run_action(
             let addr = platform_address(*platform);
             logs.push(Log::new(
                 world.registry.address_of(*token),
-                LogEvent::Transfer { token: *token, from: addr, to: sender, amount: *amount },
+                LogEvent::Transfer {
+                    token: *token,
+                    from: addr,
+                    to: sender,
+                    amount: *amount,
+                },
             ));
             logs.push(Log::new(
                 addr,
-                LogEvent::Borrow { platform: *platform, user: sender, token: *token, amount: *amount },
+                LogEvent::Borrow {
+                    platform: *platform,
+                    user: sender,
+                    token: *token,
+                    amount: *amount,
+                },
             ));
             Ok(())
         }
-        Action::Repay { platform, token, amount } => {
+        Action::Repay {
+            platform,
+            token,
+            amount,
+        } => {
             if world.state.token_balance(sender, *token) < *amount {
                 return Err(ActionError::InsufficientBalance);
             }
@@ -223,19 +267,37 @@ fn run_action(
                 .platform_mut(*platform)
                 .repay(sender, *token, *amount)
                 .map_err(|e| ActionError::Lending(e.to_string()))?;
-            assert!(world.state.burn_token(sender, *token, applied), "balance checked");
+            assert!(
+                world.state.burn_token(sender, *token, applied),
+                "balance checked"
+            );
             let addr = platform_address(*platform);
             logs.push(Log::new(
                 world.registry.address_of(*token),
-                LogEvent::Transfer { token: *token, from: sender, to: addr, amount: applied },
+                LogEvent::Transfer {
+                    token: *token,
+                    from: sender,
+                    to: addr,
+                    amount: applied,
+                },
             ));
             logs.push(Log::new(
                 addr,
-                LogEvent::Repay { platform: *platform, user: sender, token: *token, amount: applied },
+                LogEvent::Repay {
+                    platform: *platform,
+                    user: sender,
+                    token: *token,
+                    amount: applied,
+                },
             ));
             Ok(())
         }
-        Action::Liquidate { platform, borrower, debt_token, repay_amount } => {
+        Action::Liquidate {
+            platform,
+            borrower,
+            debt_token,
+            repay_amount,
+        } => {
             if world.state.token_balance(sender, *debt_token) < *repay_amount {
                 return Err(ActionError::InsufficientBalance);
             }
@@ -245,12 +307,22 @@ fn run_action(
                 .platform_mut(*platform)
                 .liquidate(*borrower, *debt_token, *repay_amount, &oracle)
                 .map_err(|e| ActionError::Lending(e.to_string()))?;
-            assert!(world.state.burn_token(sender, *debt_token, *repay_amount), "balance checked");
-            world.state.mint_token(sender, outcome.collateral_token, outcome.collateral_seized);
+            assert!(
+                world.state.burn_token(sender, *debt_token, *repay_amount),
+                "balance checked"
+            );
+            world
+                .state
+                .mint_token(sender, outcome.collateral_token, outcome.collateral_seized);
             let addr = platform_address(*platform);
             logs.push(Log::new(
                 world.registry.address_of(*debt_token),
-                LogEvent::Transfer { token: *debt_token, from: sender, to: addr, amount: *repay_amount },
+                LogEvent::Transfer {
+                    token: *debt_token,
+                    from: sender,
+                    to: addr,
+                    amount: *repay_amount,
+                },
             ));
             logs.push(Log::new(
                 world.registry.address_of(outcome.collateral_token),
@@ -280,13 +352,19 @@ fn run_action(
             world.dex.sync_orderbooks(*token, *price_wei);
             logs.push(Log::new(
                 world.registry.address_of(*token),
-                LogEvent::OracleUpdate { token: *token, price_wei: *price_wei },
+                LogEvent::OracleUpdate {
+                    token: *token,
+                    price_wei: *price_wei,
+                },
             ));
             Ok(())
         }
-        Action::FlashLoan { platform, token, amount, inner } => {
-            run_flash_loan(world, env, sender, *platform, *token, *amount, inner, logs)
-        }
+        Action::FlashLoan {
+            platform,
+            token,
+            amount,
+            inner,
+        } => run_flash_loan(world, env, sender, *platform, *token, *amount, inner, logs),
         Action::Payout { recipients } => {
             let mut total = Wei::ZERO;
             for (to, value) in recipients {
@@ -297,7 +375,11 @@ fn run_action(
             }
             logs.push(Log::new(
                 sender,
-                LogEvent::Payout { payer: sender, recipients: recipients.len() as u32, total },
+                LogEvent::Payout {
+                    payer: sender,
+                    recipients: recipients.len() as u32,
+                    total,
+                },
             ));
             Ok(())
         }
@@ -325,15 +407,30 @@ fn run_swap(
         .swap(call.token_in, call.amount_in, call.min_amount_out)
         .map_err(|e| ActionError::Swap(e.to_string()))?;
     let pool_addr = pool_address(call.pool);
-    assert!(world.state.burn_token(sender, call.token_in, call.amount_in), "balance checked");
+    assert!(
+        world
+            .state
+            .burn_token(sender, call.token_in, call.amount_in),
+        "balance checked"
+    );
     world.state.mint_token(sender, call.token_out, out);
     logs.push(Log::new(
         world.registry.address_of(call.token_in),
-        LogEvent::Transfer { token: call.token_in, from: sender, to: pool_addr, amount: call.amount_in },
+        LogEvent::Transfer {
+            token: call.token_in,
+            from: sender,
+            to: pool_addr,
+            amount: call.amount_in,
+        },
     ));
     logs.push(Log::new(
         world.registry.address_of(call.token_out),
-        LogEvent::Transfer { token: call.token_out, from: pool_addr, to: sender, amount: out },
+        LogEvent::Transfer {
+            token: call.token_out,
+            from: pool_addr,
+            to: sender,
+            amount: out,
+        },
     ));
     logs.push(Log::new(
         pool_addr,
@@ -397,7 +494,10 @@ fn run_flash_loan(
     // sender's token balances. Inner actions are restricted to the
     // DeFi action set, which touches exactly this scope.
     for a in inner {
-        if matches!(a, Action::Transfer { .. } | Action::Payout { .. } | Action::FlashLoan { .. }) {
+        if matches!(
+            a,
+            Action::Transfer { .. } | Action::Payout { .. } | Action::FlashLoan { .. }
+        ) {
             return Err(ActionError::UnsupportedInner);
         }
     }
@@ -414,7 +514,10 @@ fn run_flash_loan(
     };
 
     // Disburse the loan.
-    world.lending.platform_mut(platform).seed_liquidity(token, 0); // ensure entry
+    world
+        .lending
+        .platform_mut(platform)
+        .seed_liquidity(token, 0); // ensure entry
     world.state.mint_token(sender, token, amount);
 
     for a in inner {
@@ -431,16 +534,30 @@ fn run_flash_loan(
         return Err(ActionError::FlashLoanNotRepaid);
     }
     // Fee accrues to the platform's pooled liquidity.
-    world.lending.platform_mut(platform).seed_liquidity(token, fee);
+    world
+        .lending
+        .platform_mut(platform)
+        .seed_liquidity(token, fee);
     logs.push(Log::new(
         platform_address(platform),
-        LogEvent::FlashLoan { platform, initiator: sender, token, amount, fee },
+        LogEvent::FlashLoan {
+            platform,
+            initiator: sender,
+            token,
+            amount,
+            fee,
+        },
     ));
     Ok(())
 }
 
 /// Seed helper: fund an account with ether and tokens (tests, scenarios).
-pub fn seed_account(state: &mut StateDb, addr: Address, ether: Wei, tokens: &[(mev_types::TokenId, u128)]) {
+pub fn seed_account(
+    state: &mut StateDb,
+    addr: Address,
+    ether: Wei,
+    tokens: &[(mev_types::TokenId, u128)],
+) {
     state.credit(addr, ether);
     for &(t, amt) in tokens {
         state.mint_token(addr, t, amt);
@@ -457,8 +574,20 @@ mod tests {
 
     fn world() -> World {
         let mut w = World::new(3);
-        w.dex.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 10_000 * E18, 20_000 * E18));
-        w.dex.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 5_000 * E18, 10_500 * E18));
+        w.dex.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            10_000 * E18,
+            20_000 * E18,
+        ));
+        w.dex.add_pool(build::sushiswap(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            5_000 * E18,
+            10_500 * E18,
+        ));
         w.oracle.update(TokenId(1), 0, E18 / 2);
         w.lending
             .platform_mut(mev_types::LendingPlatformId::AaveV2)
@@ -479,7 +608,9 @@ mod tests {
         Transaction::new(
             from,
             nonce,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(1_000_000),
             action,
             Wei::ZERO,
@@ -489,7 +620,10 @@ mod tests {
 
     fn swap_call(amount_in: u128) -> SwapCall {
         SwapCall {
-            pool: PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 0 },
+            pool: PoolId {
+                exchange: mev_types::ExchangeId::UniswapV2,
+                index: 0,
+            },
             token_in: TokenId::WETH,
             token_out: TokenId(1),
             amount_in,
@@ -502,14 +636,25 @@ mod tests {
         let mut w = world();
         let (a, b) = (Address::from_index(1), Address::from_index(2));
         seed_account(&mut w.state, a, eth(10), &[]);
-        let tx = legacy_tx(a, 0, Action::Transfer { to: b, value: eth(1) });
+        let tx = legacy_tx(
+            a,
+            0,
+            Action::Transfer {
+                to: b,
+                value: eth(1),
+            },
+        );
         let r = execute(&mut w, &env(), &tx).unwrap();
         assert!(r.outcome.is_success());
         assert_eq!(r.gas_used, Gas(21_000));
         assert_eq!(w.state.balance(b), eth(1));
         let fee = Gas(21_000).cost(gwei(50));
         assert_eq!(w.state.balance(a), eth(9) - fee);
-        assert_eq!(w.state.balance(env().miner), fee, "legacy fee fully to miner");
+        assert_eq!(
+            w.state.balance(env().miner),
+            fee,
+            "legacy fee fully to miner"
+        );
         assert_eq!(w.state.nonce(a), 1);
     }
 
@@ -518,8 +663,21 @@ mod tests {
         let mut w = world();
         let a = Address::from_index(1);
         seed_account(&mut w.state, a, eth(10), &[]);
-        let tx = legacy_tx(a, 5, Action::Transfer { to: Address::ZERO, value: eth(1) });
-        assert_eq!(execute(&mut w, &env(), &tx), Err(InvalidTx::BadNonce { expected: 0, got: 5 }));
+        let tx = legacy_tx(
+            a,
+            5,
+            Action::Transfer {
+                to: Address::ZERO,
+                value: eth(1),
+            },
+        );
+        assert_eq!(
+            execute(&mut w, &env(), &tx),
+            Err(InvalidTx::BadNonce {
+                expected: 0,
+                got: 5
+            })
+        );
         assert_eq!(w.state.balance(a), eth(10));
     }
 
@@ -528,8 +686,18 @@ mod tests {
         let mut w = world();
         let a = Address::from_index(1);
         seed_account(&mut w.state, a, gwei(1), &[]);
-        let tx = legacy_tx(a, 0, Action::Transfer { to: Address::ZERO, value: eth(1) });
-        assert_eq!(execute(&mut w, &env(), &tx), Err(InvalidTx::InsufficientFunds));
+        let tx = legacy_tx(
+            a,
+            0,
+            Action::Transfer {
+                to: Address::ZERO,
+                value: eth(1),
+            },
+        );
+        assert_eq!(
+            execute(&mut w, &env(), &tx),
+            Err(InvalidTx::InsufficientFunds)
+        );
     }
 
     #[test]
@@ -537,13 +705,22 @@ mod tests {
         let mut w = world();
         let a = Address::from_index(1);
         seed_account(&mut w.state, a, eth(10), &[]);
-        let e = BlockEnv { base_fee: gwei(30), ..env() };
+        let e = BlockEnv {
+            base_fee: gwei(30),
+            ..env()
+        };
         let tx = Transaction::new(
             a,
             0,
-            TxFee::Eip1559 { max_fee: gwei(100), max_priority: gwei(2) },
+            TxFee::Eip1559 {
+                max_fee: gwei(100),
+                max_priority: gwei(2),
+            },
             Gas(1_000_000),
-            Action::Transfer { to: Address::ZERO, value: eth(1) },
+            Action::Transfer {
+                to: Address::ZERO,
+                value: eth(1),
+            },
             Wei::ZERO,
             None,
         );
@@ -559,8 +736,18 @@ mod tests {
         let mut w = world();
         let a = Address::from_index(1);
         seed_account(&mut w.state, a, eth(10), &[]);
-        let e = BlockEnv { base_fee: gwei(100), ..env() };
-        let tx = legacy_tx(a, 0, Action::Transfer { to: Address::ZERO, value: eth(1) });
+        let e = BlockEnv {
+            base_fee: gwei(100),
+            ..env()
+        };
+        let tx = legacy_tx(
+            a,
+            0,
+            Action::Transfer {
+                to: Address::ZERO,
+                value: eth(1),
+            },
+        );
         assert_eq!(execute(&mut w, &e, &tx), Err(InvalidTx::FeeTooLow));
     }
 
@@ -573,7 +760,13 @@ mod tests {
         let r = execute(&mut w, &env(), &tx).unwrap();
         assert!(r.outcome.is_success());
         assert_eq!(r.logs.len(), 3);
-        assert!(matches!(r.logs[0].event, LogEvent::Transfer { token: TokenId::WETH, .. }));
+        assert!(matches!(
+            r.logs[0].event,
+            LogEvent::Transfer {
+                token: TokenId::WETH,
+                ..
+            }
+        ));
         assert!(matches!(r.logs[2].event, LogEvent::Swap { .. }));
         assert!(w.state.token_balance(a, TokenId(1)) > 0);
         assert_eq!(w.state.token_balance(a, TokenId::WETH), 90 * E18);
@@ -590,7 +783,11 @@ mod tests {
         let r = execute(&mut w, &env(), &tx).unwrap();
         assert_eq!(r.outcome, ExecOutcome::Reverted);
         assert!(r.logs.is_empty());
-        assert_eq!(w.state.token_balance(a, TokenId::WETH), 100 * E18, "no token movement");
+        assert_eq!(
+            w.state.token_balance(a, TokenId::WETH),
+            100 * E18,
+            "no token movement"
+        );
         assert!(w.state.balance(a) < eth(10), "gas still charged");
         assert_eq!(w.state.nonce(a), 1, "nonce consumed by revert");
     }
@@ -603,7 +800,9 @@ mod tests {
         let tx = Transaction::new(
             a,
             0,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(50_000), // below the 110k a swap needs
             Action::Swap(swap_call(10 * E18)),
             Wei::ZERO,
@@ -621,15 +820,27 @@ mod tests {
         seed_account(&mut w.state, a, eth(10), &[(TokenId::WETH, 100 * E18)]);
         let good = swap_call(10 * E18);
         let mut bad = swap_call(10 * E18);
-        bad.pool = PoolId { exchange: mev_types::ExchangeId::SushiSwap, index: 0 };
+        bad.pool = PoolId {
+            exchange: mev_types::ExchangeId::SushiSwap,
+            index: 0,
+        };
         bad.min_amount_out = u128::MAX;
         let pool_id = good.pool;
-        let reserve_before = w.dex.pool(pool_id).unwrap().reserve_of(TokenId::WETH).unwrap();
+        let reserve_before = w
+            .dex
+            .pool(pool_id)
+            .unwrap()
+            .reserve_of(TokenId::WETH)
+            .unwrap();
         let tx = legacy_tx(a, 0, Action::Route(vec![good, bad]));
         let r = execute(&mut w, &env(), &tx).unwrap();
         assert_eq!(r.outcome, ExecOutcome::Reverted);
         assert_eq!(
-            w.dex.pool(pool_id).unwrap().reserve_of(TokenId::WETH).unwrap(),
+            w.dex
+                .pool(pool_id)
+                .unwrap()
+                .reserve_of(TokenId::WETH)
+                .unwrap(),
             reserve_before,
             "first leg rolled back"
         );
@@ -645,7 +856,9 @@ mod tests {
         let ok_tx = Transaction::new(
             a,
             0,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(1_000_000),
             Action::Swap(swap_call(E18)),
             tip,
@@ -659,7 +872,9 @@ mod tests {
         let fail_tx = Transaction::new(
             a,
             1,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(1_000_000),
             Action::Swap(bad),
             tip,
@@ -680,8 +895,14 @@ mod tests {
         seed_account(&mut w.state, a, eth(10), &[]);
         // The pools disagree: 2.1 TKN1/WETH on Sushi vs 2.0 on Uniswap,
         // so TKN1 is cheap on Sushi. Buy there, sell on Uniswap.
-        let uni = PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 0 };
-        let sushi = PoolId { exchange: mev_types::ExchangeId::SushiSwap, index: 0 };
+        let uni = PoolId {
+            exchange: mev_types::ExchangeId::UniswapV2,
+            index: 0,
+        };
+        let sushi = PoolId {
+            exchange: mev_types::ExchangeId::SushiSwap,
+            index: 0,
+        };
         let borrowed = 100 * E18;
         let tx = legacy_tx(
             a,
@@ -709,9 +930,14 @@ mod tests {
             },
         );
         let r = execute(&mut w, &env(), &tx).unwrap();
-        assert!(r.outcome.is_success(), "arb across mispriced pools repays the loan");
         assert!(
-            r.logs.iter().any(|l| matches!(l.event, LogEvent::FlashLoan { .. })),
+            r.outcome.is_success(),
+            "arb across mispriced pools repays the loan"
+        );
+        assert!(
+            r.logs
+                .iter()
+                .any(|l| matches!(l.event, LogEvent::FlashLoan { .. })),
             "flash loan event emitted"
         );
         assert!(w.state.token_balance(a, TokenId::WETH) > 0, "profit kept");
@@ -722,7 +948,10 @@ mod tests {
         let mut w = world();
         let a = Address::from_index(1);
         seed_account(&mut w.state, a, eth(10), &[]);
-        let uni = PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 0 };
+        let uni = PoolId {
+            exchange: mev_types::ExchangeId::UniswapV2,
+            index: 0,
+        };
         let reserve_before = w.dex.pool(uni).unwrap().reserve_of(TokenId::WETH).unwrap();
         // Borrow, swap away the funds, never swap back ⇒ cannot repay.
         let tx = legacy_tx(
@@ -748,7 +977,11 @@ mod tests {
             reserve_before,
             "pool rolled back"
         );
-        assert_eq!(w.state.token_balance(a, TokenId(1)), 0, "tokens rolled back");
+        assert_eq!(
+            w.state.token_balance(a, TokenId(1)),
+            0,
+            "tokens rolled back"
+        );
     }
 
     #[test]
@@ -763,7 +996,10 @@ mod tests {
                 platform: mev_types::LendingPlatformId::AaveV2,
                 token: TokenId::WETH,
                 amount: E18,
-                inner: vec![Action::Transfer { to: Address::ZERO, value: eth(1) }],
+                inner: vec![Action::Transfer {
+                    to: Address::ZERO,
+                    value: eth(1),
+                }],
             },
         );
         let r = execute(&mut w, &env(), &tx).unwrap();
@@ -776,7 +1012,13 @@ mod tests {
         let a = Address::from_index(1);
         seed_account(&mut w.state, a, eth(100), &[]);
         let recipients: Vec<_> = (10..15).map(|i| (Address::from_index(i), eth(1))).collect();
-        let tx = legacy_tx(a, 0, Action::Payout { recipients: recipients.clone() });
+        let tx = legacy_tx(
+            a,
+            0,
+            Action::Payout {
+                recipients: recipients.clone(),
+            },
+        );
         let r = execute(&mut w, &env(), &tx).unwrap();
         assert!(r.outcome.is_success());
         assert_eq!(r.gas_used, Gas(21_000 * 5));
@@ -795,12 +1037,25 @@ mod tests {
         let borrower = Address::from_index(1);
         let liquidator = Address::from_index(2);
         seed_account(&mut w.state, borrower, eth(10), &[(TokenId(1), 100 * E18)]);
-        seed_account(&mut w.state, liquidator, eth(10), &[(TokenId::WETH, 100 * E18)]);
+        seed_account(
+            &mut w.state,
+            liquidator,
+            eth(10),
+            &[(TokenId::WETH, 100 * E18)],
+        );
         let platform = mev_types::LendingPlatformId::AaveV2;
         // Borrower deposits 100 TKN1 (worth 50 WETH at 0.5) and borrows 30 WETH.
         for (n, action) in [
-            Action::Deposit { platform, token: TokenId(1), amount: 100 * E18 },
-            Action::Borrow { platform, token: TokenId::WETH, amount: 30 * E18 },
+            Action::Deposit {
+                platform,
+                token: TokenId(1),
+                amount: 100 * E18,
+            },
+            Action::Borrow {
+                platform,
+                token: TokenId::WETH,
+                amount: 30 * E18,
+            },
         ]
         .into_iter()
         .enumerate()
@@ -812,7 +1067,12 @@ mod tests {
         let premature = legacy_tx(
             liquidator,
             0,
-            Action::Liquidate { platform, borrower, debt_token: TokenId::WETH, repay_amount: 15 * E18 },
+            Action::Liquidate {
+                platform,
+                borrower,
+                debt_token: TokenId::WETH,
+                repay_amount: 15 * E18,
+            },
         );
         let r = execute(&mut w, &env(), &premature).unwrap();
         assert_eq!(r.outcome, ExecOutcome::Reverted);
@@ -820,20 +1080,37 @@ mod tests {
         let crash = legacy_tx(
             Address::from_index(77),
             0,
-            Action::OracleUpdate { token: TokenId(1), price_wei: 3 * E18 / 10 },
+            Action::OracleUpdate {
+                token: TokenId(1),
+                price_wei: 3 * E18 / 10,
+            },
         );
         seed_account(&mut w.state, Address::from_index(77), eth(1), &[]);
-        assert!(execute(&mut w, &env(), &crash).unwrap().outcome.is_success());
+        assert!(execute(&mut w, &env(), &crash)
+            .unwrap()
+            .outcome
+            .is_success());
         // Now liquidation succeeds and emits the event.
         let liq = legacy_tx(
             liquidator,
             1,
-            Action::Liquidate { platform, borrower, debt_token: TokenId::WETH, repay_amount: 15 * E18 },
+            Action::Liquidate {
+                platform,
+                borrower,
+                debt_token: TokenId::WETH,
+                repay_amount: 15 * E18,
+            },
         );
         let r = execute(&mut w, &env(), &liq).unwrap();
         assert!(r.outcome.is_success());
-        assert!(r.logs.iter().any(|l| matches!(l.event, LogEvent::Liquidation { .. })));
-        assert!(w.state.token_balance(liquidator, TokenId(1)) > 0, "seized collateral");
+        assert!(r
+            .logs
+            .iter()
+            .any(|l| matches!(l.event, LogEvent::Liquidation { .. })));
+        assert!(
+            w.state.token_balance(liquidator, TokenId(1)) > 0,
+            "seized collateral"
+        );
     }
 
     #[test]
@@ -843,12 +1120,18 @@ mod tests {
         seed_account(&mut w.state, a, eth(100), &[(TokenId::WETH, 100 * E18)]);
         seed_account(&mut w.state, env().miner, Wei::ZERO, &[]);
         let total_before = w.state.total_wei();
-        let e = BlockEnv { base_fee: gwei(20), ..env() };
+        let e = BlockEnv {
+            base_fee: gwei(20),
+            ..env()
+        };
         let txs = [
             Transaction::new(
                 a,
                 0,
-                TxFee::Eip1559 { max_fee: gwei(100), max_priority: gwei(3) },
+                TxFee::Eip1559 {
+                    max_fee: gwei(100),
+                    max_priority: gwei(3),
+                },
                 Gas(1_000_000),
                 Action::Swap(swap_call(E18)),
                 eth(1) / 100,
@@ -857,9 +1140,15 @@ mod tests {
             Transaction::new(
                 a,
                 1,
-                TxFee::Eip1559 { max_fee: gwei(100), max_priority: gwei(3) },
+                TxFee::Eip1559 {
+                    max_fee: gwei(100),
+                    max_priority: gwei(3),
+                },
                 Gas(1_000_000),
-                Action::Transfer { to: Address::from_index(5), value: eth(2) },
+                Action::Transfer {
+                    to: Address::from_index(5),
+                    value: eth(2),
+                },
                 Wei::ZERO,
                 None,
             ),
@@ -867,6 +1156,10 @@ mod tests {
         for tx in &txs {
             execute(&mut w, &e, tx).unwrap();
         }
-        assert_eq!(w.state.total_wei(), total_before, "wei conserved (burn included)");
+        assert_eq!(
+            w.state.total_wei(),
+            total_before,
+            "wei conserved (burn included)"
+        );
     }
 }

@@ -28,7 +28,10 @@ impl ForkSchedule {
     /// Mainnet activation heights (meaningful when the simulation runs
     /// with uncompressed block numbering).
     pub fn mainnet() -> ForkSchedule {
-        ForkSchedule { berlin_block: 12_244_000, london_block: 12_965_000 }
+        ForkSchedule {
+            berlin_block: 12_244_000,
+            london_block: 12_965_000,
+        }
     }
 
     /// Is EIP-1559 active at `block`?
@@ -64,15 +67,13 @@ pub fn next_base_fee(
     }
     if parent_gas_used > target {
         let delta_gas = (parent_gas_used.0 - target.0) as u128;
-        let delta = parent_base_fee
-            .mul_ratio(delta_gas, target.0 as u128)
-            .0
+        let delta = parent_base_fee.mul_ratio(delta_gas, target.0 as u128).0
             / BASE_FEE_MAX_CHANGE_DENOMINATOR;
         parent_base_fee + Wei(delta.max(1))
     } else {
         let delta_gas = (target.0 - parent_gas_used.0) as u128;
-        let delta =
-            parent_base_fee.mul_ratio(delta_gas, target.0 as u128).0 / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        let delta = parent_base_fee.mul_ratio(delta_gas, target.0 as u128).0
+            / BASE_FEE_MAX_CHANGE_DENOMINATOR;
         parent_base_fee.saturating_sub(Wei(delta))
     }
 }
@@ -83,7 +84,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn sched() -> ForkSchedule {
-        ForkSchedule { berlin_block: 100, london_block: 200 }
+        ForkSchedule {
+            berlin_block: 100,
+            london_block: 200,
+        }
     }
 
     #[test]
@@ -98,7 +102,10 @@ mod tests {
     #[test]
     fn pre_london_base_fee_is_zero() {
         let s = sched();
-        assert_eq!(next_base_fee(&s, 150, Wei::ZERO, Gas(30_000_000), Gas(30_000_000)), Wei::ZERO);
+        assert_eq!(
+            next_base_fee(&s, 150, Wei::ZERO, Gas(30_000_000), Gas(30_000_000)),
+            Wei::ZERO
+        );
     }
 
     #[test]

@@ -14,9 +14,12 @@ pub mod state;
 pub mod world;
 
 pub use archive::ChainStore;
-pub use builder::{base_fee_after, build_block, order_by_fee, BlockSpec, BuiltBlock, BLOCK_REWARD, DEFAULT_GAS_LIMIT};
+pub use builder::{
+    base_fee_after, build_block, order_by_fee, BlockSpec, BuiltBlock, BLOCK_REWARD,
+    DEFAULT_GAS_LIMIT,
+};
 pub use exec::{action_gas, execute, seed_account, ActionError, BlockEnv, InvalidTx};
 pub use feemarket::{next_base_fee, ForkSchedule, INITIAL_BASE_FEE};
-pub use query::{get_logs, get_logs_all, EventKind, LogEntry, LogFilter, LogPage};
+pub use query::{get_logs, get_logs_all, Cursor, EventKind, LogEntry, LogFilter, LogPage};
 pub use state::{Account, StateDb};
 pub use world::World;

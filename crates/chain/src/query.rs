@@ -84,6 +84,26 @@ impl LogFilter {
         self.limit = Some(n);
         self
     }
+
+    /// Continue a paginated query from where a previous page stopped.
+    /// Equivalent to `from_block(cursor.next_block())`.
+    pub fn after(self, cursor: Cursor) -> LogFilter {
+        self.from_block(cursor.next_block)
+    }
+}
+
+/// A typed continuation token: where the next page starts. Serializable,
+/// so a crawl can checkpoint and resume across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Cursor {
+    next_block: u64,
+}
+
+impl Cursor {
+    /// The first block height the next page will read.
+    pub fn next_block(&self) -> u64 {
+        self.next_block
+    }
 }
 
 /// A matched log with its chain coordinates.
@@ -95,12 +115,12 @@ pub struct LogEntry {
     pub log: Log,
 }
 
-/// The result page: matches plus a continuation height when the cap hit.
+/// The result page: matches plus a continuation cursor when the cap hit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogPage {
     pub entries: Vec<LogEntry>,
-    /// Resume from this block if the page filled up.
-    pub next_block: Option<u64>,
+    /// Resume with [`LogFilter::after`] if the page filled up.
+    pub next: Option<Cursor>,
 }
 
 /// Default per-call cap.
@@ -110,7 +130,12 @@ const DEFAULT_LIMIT: usize = 10_000;
 pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
     let head = match chain.head_number() {
         Some(h) => h,
-        None => return LogPage { entries: Vec::new(), next_block: None },
+        None => {
+            return LogPage {
+                entries: Vec::new(),
+                next: None,
+            }
+        }
     };
     let genesis = chain.timeline().genesis_number;
     let from = filter.from_block.unwrap_or(genesis).max(genesis);
@@ -144,21 +169,30 @@ pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
         // Page boundary only between blocks, so pagination never splits a
         // block's logs.
         if entries.len() >= limit && block_number <= to {
-            return LogPage { entries, next_block: Some(block_number) };
+            return LogPage {
+                entries,
+                next: Some(Cursor {
+                    next_block: block_number,
+                }),
+            };
         }
     }
-    LogPage { entries, next_block: None }
+    LogPage {
+        entries,
+        next: None,
+    }
 }
 
-/// Convenience: stream every matching log across pages.
+/// Convenience: stream every matching log by looping [`get_logs`] pages
+/// through their cursors.
 pub fn get_logs_all(chain: &ChainStore, filter: &LogFilter) -> Vec<LogEntry> {
     let mut out = Vec::new();
     let mut f = filter.clone();
     loop {
         let page = get_logs(chain, &f);
         out.extend(page.entries);
-        match page.next_block {
-            Some(b) => f.from_block = Some(b),
+        match page.next {
+            Some(cursor) => f = f.after(cursor),
             None => return out,
         }
     }
@@ -182,7 +216,9 @@ mod tests {
             let tx = Transaction::new(
                 Address::from_index(100 + i),
                 0,
-                TxFee::Legacy { gas_price: gwei(10) },
+                TxFee::Legacy {
+                    gas_price: gwei(10),
+                },
                 Gas(100_000),
                 Action::Other { gas: Gas(100_000) },
                 Wei::ZERO,
@@ -201,7 +237,10 @@ mod tests {
                 logs.push(Log::new(
                     Address::from_index(2),
                     LogEvent::Swap {
-                        pool: mev_types::PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 0 },
+                        pool: mev_types::PoolId {
+                            exchange: mev_types::ExchangeId::UniswapV2,
+                            index: 0,
+                        },
                         sender: Address::ZERO,
                         token_in: TokenId::WETH,
                         amount_in: 1,
@@ -230,7 +269,13 @@ mod tests {
                 gas_limit: Gas(30_000_000),
                 base_fee: Wei::ZERO,
             };
-            c.push(Block { header, transactions: vec![tx] }, vec![receipt]);
+            c.push(
+                Block {
+                    header,
+                    transactions: vec![tx],
+                },
+                vec![receipt],
+            );
         }
         c
     }
@@ -240,7 +285,7 @@ mod tests {
         let c = chain();
         let page = get_logs(&c, &LogFilter::new());
         assert_eq!(page.entries.len(), 15); // 10 transfers + 5 swaps
-        assert!(page.next_block.is_none());
+        assert!(page.next.is_none());
     }
 
     #[test]
@@ -248,7 +293,10 @@ mod tests {
         let c = chain();
         let swaps = get_logs(&c, &LogFilter::new().kind(EventKind::Swap));
         assert_eq!(swaps.entries.len(), 5);
-        assert!(swaps.entries.iter().all(|e| matches!(e.log.event, LogEvent::Swap { .. })));
+        assert!(swaps
+            .entries
+            .iter()
+            .all(|e| matches!(e.log.event, LogEvent::Swap { .. })));
         let liqs = get_logs(&c, &LogFilter::new().kind(EventKind::Liquidation));
         assert!(liqs.entries.is_empty());
     }
@@ -267,18 +315,20 @@ mod tests {
         let page = get_logs(&c, &LogFilter::new().from_block(g + 2).to_block(g + 4));
         // Blocks g+2, g+3, g+4: 3 transfers + 2 swaps (g+2, g+4 even).
         assert_eq!(page.entries.len(), 5);
-        assert!(page.entries.iter().all(|e| e.block >= g + 2 && e.block <= g + 4));
+        assert!(page
+            .entries
+            .iter()
+            .all(|e| e.block >= g + 2 && e.block <= g + 4));
     }
 
     #[test]
     fn pagination_with_continuation() {
         let c = chain();
-        let mut f = LogFilter::new().limit(4);
+        let f = LogFilter::new().limit(4);
         let first = get_logs(&c, &f);
         assert!(first.entries.len() >= 4);
-        let next = first.next_block.expect("more pages");
-        f.from_block = Some(next);
-        let second = get_logs(&c, &f);
+        let cursor = first.next.expect("more pages");
+        let second = get_logs(&c, &f.clone().after(cursor));
         assert!(!second.entries.is_empty());
         // No overlap across pages.
         let last_of_first = first.entries.last().unwrap().block;
@@ -289,11 +339,25 @@ mod tests {
     }
 
     #[test]
+    fn cursor_survives_serialization() {
+        // A crawl can checkpoint its cursor and resume in a new process.
+        let c = chain();
+        let first = get_logs(&c, &LogFilter::new().limit(4));
+        let cursor = first.next.expect("more pages");
+        let json = serde_json::to_string(&cursor).unwrap();
+        let restored: Cursor = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, cursor);
+        let resumed = get_logs_all(&c, &LogFilter::new().limit(4).after(restored));
+        assert_eq!(first.entries.len() + resumed.len(), 15);
+        assert_eq!(resumed.first().unwrap().block, restored.next_block());
+    }
+
+    #[test]
     fn empty_chain_is_empty_page() {
         let c = ChainStore::new(Timeline::paper_span(100));
         let page = get_logs(&c, &LogFilter::new());
         assert!(page.entries.is_empty());
-        assert!(page.next_block.is_none());
+        assert!(page.next.is_none());
     }
 
     #[test]

@@ -89,18 +89,32 @@ impl StateDb {
 
     /// ERC-20 balance.
     pub fn token_balance(&self, addr: Address, token: TokenId) -> u128 {
-        self.tokens.get(&addr).and_then(|m| m.get(&token)).copied().unwrap_or(0)
+        self.tokens
+            .get(&addr)
+            .and_then(|m| m.get(&token))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Mint tokens (scenario seeding, pool payouts).
     pub fn mint_token(&mut self, addr: Address, token: TokenId, amount: u128) {
-        *self.tokens.entry(addr).or_default().entry(token).or_default() += amount;
+        *self
+            .tokens
+            .entry(addr)
+            .or_default()
+            .entry(token)
+            .or_default() += amount;
     }
 
     /// Burn tokens; `false` if insufficient.
     #[must_use]
     pub fn burn_token(&mut self, addr: Address, token: TokenId, amount: u128) -> bool {
-        let bal = self.tokens.entry(addr).or_default().entry(token).or_default();
+        let bal = self
+            .tokens
+            .entry(addr)
+            .or_default()
+            .entry(token)
+            .or_default();
         if *bal < amount {
             return false;
         }
@@ -120,7 +134,13 @@ impl StateDb {
 
     /// Transfer tokens; `false` (and no change) if insufficient.
     #[must_use]
-    pub fn transfer_token(&mut self, from: Address, to: Address, token: TokenId, amount: u128) -> bool {
+    pub fn transfer_token(
+        &mut self,
+        from: Address,
+        to: Address,
+        token: TokenId,
+        amount: u128,
+    ) -> bool {
         if !self.burn_token(from, token, amount) {
             return false;
         }

@@ -14,12 +14,34 @@ const E18: u128 = 10u128.pow(18);
 
 fn world() -> World {
     let mut w = World::new(3);
-    w.dex.add_pool(build::uniswap_v2(1, TokenId::WETH, TokenId(1), 5_000 * E18, 10_000 * E18));
-    w.dex.add_pool(build::sushiswap(1, TokenId::WETH, TokenId(1), 3_000 * E18, 6_100 * E18));
-    w.dex.add_pool(build::curve(2, TokenId(1), TokenId(2), 50_000 * E18, 50_000 * E18));
+    w.dex.add_pool(build::uniswap_v2(
+        1,
+        TokenId::WETH,
+        TokenId(1),
+        5_000 * E18,
+        10_000 * E18,
+    ));
+    w.dex.add_pool(build::sushiswap(
+        1,
+        TokenId::WETH,
+        TokenId(1),
+        3_000 * E18,
+        6_100 * E18,
+    ));
+    w.dex.add_pool(build::curve(
+        2,
+        TokenId(1),
+        TokenId(2),
+        50_000 * E18,
+        50_000 * E18,
+    ));
     w.oracle.update(TokenId(1), 0, E18 / 2);
     w.oracle.update(TokenId(2), 0, E18 / 2);
-    for p in [LendingPlatformId::AaveV2, LendingPlatformId::Compound, LendingPlatformId::DyDx] {
+    for p in [
+        LendingPlatformId::AaveV2,
+        LendingPlatformId::Compound,
+        LendingPlatformId::DyDx,
+    ] {
         let platform = w.lending.platform_mut(p);
         platform.seed_liquidity(TokenId::WETH, 100_000 * E18);
         platform.seed_liquidity(TokenId(1), 100_000 * E18);
@@ -29,7 +51,11 @@ fn world() -> World {
             &mut w.state,
             Address::from_index(i),
             eth(1_000),
-            &[(TokenId::WETH, 10_000 * E18), (TokenId(1), 10_000 * E18), (TokenId(2), 10_000 * E18)],
+            &[
+                (TokenId::WETH, 10_000 * E18),
+                (TokenId(1), 10_000 * E18),
+                (TokenId(2), 10_000 * E18),
+            ],
         );
     }
     w
@@ -39,9 +65,15 @@ fn world() -> World {
 fn action_strategy() -> impl Strategy<Value = Action> {
     let swap = (0u8..2, 1u128..=50, 0u128..=100).prop_map(|(pool_idx, amt, min_pct)| {
         let pool = if pool_idx == 0 {
-            PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 1 }
+            PoolId {
+                exchange: mev_types::ExchangeId::UniswapV2,
+                index: 1,
+            }
         } else {
-            PoolId { exchange: mev_types::ExchangeId::SushiSwap, index: 1 }
+            PoolId {
+                exchange: mev_types::ExchangeId::SushiSwap,
+                index: 1,
+            }
         };
         Action::Swap(SwapCall {
             pool,
@@ -52,8 +84,10 @@ fn action_strategy() -> impl Strategy<Value = Action> {
             min_amount_out: amt * E18 * min_pct / 50,
         })
     });
-    let transfer = (1u64..8, 1u128..=10)
-        .prop_map(|(to, v)| Action::Transfer { to: Address::from_index(to), value: eth(v) });
+    let transfer = (1u64..8, 1u128..=10).prop_map(|(to, v)| Action::Transfer {
+        to: Address::from_index(to),
+        value: eth(v),
+    });
     let deposit = (1u128..=100).prop_map(|amt| Action::Deposit {
         platform: LendingPlatformId::AaveV2,
         token: TokenId(1),
@@ -73,7 +107,10 @@ fn action_strategy() -> impl Strategy<Value = Action> {
         } else {
             // Swaps the borrowed funds away: must roll back cleanly.
             vec![Action::Swap(SwapCall {
-                pool: PoolId { exchange: mev_types::ExchangeId::UniswapV2, index: 1 },
+                pool: PoolId {
+                    exchange: mev_types::ExchangeId::UniswapV2,
+                    index: 1,
+                },
                 token_in: TokenId::WETH,
                 token_out: TokenId(1),
                 amount_in: amt * E18 * 2,

@@ -77,12 +77,19 @@ pub fn attribute_private_sandwiches(
         .filter(|a| a.single_miner() && a.sandwiches >= 2)
         .cloned()
         .collect();
-    AttributionReport { miner_count: all_miners.len(), single_miner_accounts: single, accounts }
+    AttributionReport {
+        miner_count: all_miners.len(),
+        single_miner_accounts: single,
+        accounts,
+    }
 }
 
 /// Predicate for Figure 8: is `account` miner-affiliated per this report?
 pub fn miner_affiliated(report: &AttributionReport, account: Address) -> bool {
-    report.single_miner_accounts.iter().any(|a| a.account == account)
+    report
+        .single_miner_accounts
+        .iter()
+        .any(|a| a.account == account)
 }
 
 #[cfg(test)]
@@ -135,7 +142,10 @@ mod tests {
                 miner: Address::from_index(miner),
             });
         }
-        (MevDataset { detections, prices: PriceOracle::new() }, observer)
+        (
+            MevDataset::from_parts(detections, PriceOracle::new()),
+            observer,
+        )
     }
 
     #[test]

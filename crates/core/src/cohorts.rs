@@ -73,7 +73,10 @@ pub fn cohorts(dataset: &MevDataset, chain: &ChainStore) -> Vec<SearcherCohort> 
     }
     let mut v: Vec<SearcherCohort> = map.into_values().collect();
     v.sort_by(|a, b| {
-        b.total_profit_eth.partial_cmp(&a.total_profit_eth).expect("finite").then(a.address.cmp(&b.address))
+        b.total_profit_eth
+            .partial_cmp(&a.total_profit_eth)
+            .expect("finite")
+            .then(a.address.cmp(&b.address))
     });
     v
 }
@@ -95,7 +98,10 @@ pub fn monthly_churn(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Month, Ch
     // Active set per month.
     let mut active: BTreeMap<Month, std::collections::HashSet<Address>> = BTreeMap::new();
     for d in &dataset.detections {
-        active.entry(chain.month_of(d.block)).or_default().insert(d.extractor);
+        active
+            .entry(chain.month_of(d.block))
+            .or_default()
+            .insert(d.extractor);
     }
     let lifetimes: HashMap<Address, (Month, Month)> = cohorts(dataset, chain)
         .into_iter()
@@ -109,7 +115,14 @@ pub fn monthly_churn(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Month, Ch
                 .values()
                 .filter(|(_, last)| last.next() == m)
                 .count();
-            (m, ChurnRow { active: set.len(), joined, departed })
+            (
+                m,
+                ChurnRow {
+                    active: set.len(),
+                    joined,
+                    departed,
+                },
+            )
         })
         .collect()
 }
@@ -123,15 +136,20 @@ pub fn retention_curve(
     horizon: u32,
 ) -> Vec<f64> {
     let all = cohorts(dataset, chain);
-    let cohort: Vec<&SearcherCohort> =
-        all.iter().filter(|c| c.first_month == cohort_month).collect();
+    let cohort: Vec<&SearcherCohort> = all
+        .iter()
+        .filter(|c| c.first_month == cohort_month)
+        .collect();
     if cohort.is_empty() {
         return vec![0.0; horizon as usize + 1];
     }
     // Months each address was active in.
     let mut active_months: HashMap<Address, std::collections::HashSet<Month>> = HashMap::new();
     for d in &dataset.detections {
-        active_months.entry(d.extractor).or_default().insert(chain.month_of(d.block));
+        active_months
+            .entry(d.extractor)
+            .or_default()
+            .insert(chain.month_of(d.block));
     }
     (0..=horizon)
         .map(|k| {
@@ -176,8 +194,8 @@ mod tests {
 
     fn dataset() -> MevDataset {
         const E: i128 = 10i128.pow(18);
-        MevDataset {
-            detections: vec![
+        MevDataset::from_parts(
+            vec![
                 // Address 1: active months 0 and 1, mixed venue, top profit.
                 det(1, 10, MevKind::Sandwich, true, 3 * E),
                 det(1, 110, MevKind::Arbitrage, false, 2 * E),
@@ -186,8 +204,8 @@ mod tests {
                 // Address 3: joins month 1.
                 det(3, 130, MevKind::Liquidation, true, E / 2),
             ],
-            prices: PriceOracle::new(),
-        }
+            PriceOracle::new(),
+        )
     }
 
     #[test]
@@ -202,7 +220,10 @@ mod tests {
         assert_eq!(c[0].lifetime_months(), 2);
         assert!((c[0].flashbots_share() - 0.5).abs() < 1e-9);
         assert!((c[0].total_profit_eth - 5.0).abs() < 1e-9);
-        let two = c.iter().find(|x| x.address == Address::from_index(2)).unwrap();
+        let two = c
+            .iter()
+            .find(|x| x.address == Address::from_index(2))
+            .unwrap();
         assert_eq!(two.lifetime_months(), 1);
     }
 

@@ -3,12 +3,13 @@
 //! Flashbots blocks API — the in-memory analogue of the paper's MongoDB
 //! collection behind Table 1.
 
-use crate::detect;
-use crate::prices::price_feed_from_chain;
+use crate::index::BlockIndex;
+use crate::inspector::Inspector;
 use mev_chain::ChainStore;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
 use mev_types::{Address, LogEvent, Month, TxHash};
+use std::sync::Arc;
 
 /// MEV strategy taxonomy (§2.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -70,51 +71,45 @@ pub struct MevDataset {
     pub detections: Vec<Detection>,
     /// Token→ETH price feed recovered from on-chain oracle events.
     pub prices: PriceOracle,
+    /// The decoded block-event index the detections were computed from —
+    /// shared with the series runners and private/profit accounting.
+    /// Empty for hand-assembled datasets (see [`MevDataset::from_parts`]).
+    pub index: Arc<BlockIndex>,
 }
 
 impl MevDataset {
-    /// Run every detector over the chain. The only inputs are public data:
-    /// the archive node and the Flashbots blocks API.
-    pub fn inspect(chain: &ChainStore, api: &BlocksApi) -> MevDataset {
-        let prices = price_feed_from_chain(chain);
-        let mut detections = Vec::new();
-        for (block, receipts) in chain.iter() {
-            detect::sandwich::detect_in_block(block, receipts, api, &prices, &mut detections);
-            detect::arbitrage::detect_in_block(block, receipts, api, &prices, &mut detections);
-            detect::liquidation::detect_in_block(block, receipts, api, &prices, &mut detections);
+    /// Assemble a dataset from pre-computed detections (imports, tests).
+    /// The index is left empty; detection runs go through
+    /// [`Inspector`](crate::Inspector) instead.
+    pub fn from_parts(detections: Vec<Detection>, prices: PriceOracle) -> MevDataset {
+        MevDataset {
+            detections,
+            prices,
+            index: Arc::new(BlockIndex::empty()),
         }
-        detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
-        MevDataset { detections, prices }
     }
 
-    /// Parallel variant: blocks are independent, so detection fans out
-    /// across threads with `crossbeam` and merges in block order.
+    /// Run every detector over the chain. The only inputs are public data:
+    /// the archive node and the Flashbots blocks API.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Inspector::new(chain, api).threads(1).run()`"
+    )]
+    pub fn inspect(chain: &ChainStore, api: &BlocksApi) -> MevDataset {
+        Inspector::new(chain, api)
+            .threads(1)
+            .run()
+            .expect("serial inspection propagates panics directly")
+    }
+
+    /// Parallel variant of [`MevDataset::inspect`].
+    #[deprecated(since = "0.2.0", note = "use `Inspector::new(chain, api).run()`")]
     pub fn inspect_parallel(chain: &ChainStore, api: &BlocksApi) -> MevDataset {
-        let prices = price_feed_from_chain(chain);
-        let pairs: Vec<_> = chain.iter().collect();
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-        let chunk = pairs.len().div_ceil(n_threads.max(1)).max(1);
-        let mut detections: Vec<Detection> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk)
-                .map(|blocks| {
-                    let prices = &prices;
-                    scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for (block, receipts) in blocks {
-                            detect::sandwich::detect_in_block(block, receipts, api, prices, &mut out);
-                            detect::arbitrage::detect_in_block(block, receipts, api, prices, &mut out);
-                            detect::liquidation::detect_in_block(block, receipts, api, prices, &mut out);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("detector thread panicked")).collect()
-        })
-        .expect("crossbeam scope");
-        detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
-        MevDataset { detections, prices }
+        // The old API aborted on a worker panic; the shim keeps that
+        // behaviour while `Inspector::run` reports it as an error.
+        Inspector::new(chain, api)
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Detections of one kind.
@@ -149,7 +144,9 @@ impl MevDataset {
         chain: &'a ChainStore,
         month: Month,
     ) -> impl Iterator<Item = &'a Detection> {
-        self.detections.iter().filter(move |d| chain.month_of(d.block) == month)
+        self.detections
+            .iter()
+            .filter(move |d| chain.month_of(d.block) == month)
     }
 }
 
@@ -190,7 +187,12 @@ mod tests {
         );
         let not = Log::new(
             Address::ZERO,
-            LogEvent::Transfer { token: TokenId::WETH, from: Address::ZERO, to: Address::ZERO, amount: 1 },
+            LogEvent::Transfer {
+                token: TokenId::WETH,
+                from: Address::ZERO,
+                to: Address::ZERO,
+                amount: 1,
+            },
         );
         assert!(has_flash_loan(&[not.clone(), fl]));
         assert!(!has_flash_loan(&[not]));

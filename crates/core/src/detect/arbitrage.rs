@@ -7,15 +7,17 @@
 //! Uniswap V2/V3 (not V1).
 
 use crate::dataset::{Detection, MevKind};
-use crate::detect::receipt_has_flash_loan;
+use crate::detect::SwapRecord;
+use crate::index::BlockRecord;
 use crate::prices::value_at;
-use crate::profit::costs_and_miner_revenue;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
-use mev_types::{Block, LogEvent, Receipt};
+use mev_types::{Block, Receipt};
 use std::collections::HashSet;
 
 /// Detect arbitrage transactions in a block, appending to `out`.
+/// Convenience wrapper over [`detect_in_record`]; batch callers should
+/// build a [`BlockIndex`](crate::BlockIndex) once.
 pub fn detect_in_block(
     block: &Block,
     receipts: &[Receipt],
@@ -23,63 +25,78 @@ pub fn detect_in_block(
     prices: &PriceOracle,
     out: &mut Vec<Detection>,
 ) {
-    for r in receipts {
-        if !r.outcome.is_success() {
-            continue;
+    let month = mev_types::time::month_of_timestamp(block.header.timestamp);
+    detect_in_record(
+        &BlockRecord::decode(block, receipts, month),
+        api,
+        prices,
+        out,
+    );
+}
+
+/// Detect arbitrage transactions in an indexed block, appending to `out`.
+pub fn detect_in_record(
+    rec: &BlockRecord,
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    // The swap column is grouped by transaction already (block order,
+    // then log order); walk it one transaction at a time.
+    let mut start = 0;
+    while start < rec.swaps.len() {
+        let tx_index = rec.swaps[start].tx_index;
+        let mut end = start;
+        while end < rec.swaps.len() && rec.swaps[end].tx_index == tx_index {
+            end += 1;
         }
-        // Collect the tx's covered swap legs in log order.
-        let legs: Vec<(mev_types::PoolId, mev_types::TokenId, u128, mev_types::TokenId, u128)> = r
-            .logs
+        // Covered swap legs of this transaction, in log order. The index
+        // only records successful swaps, so no outcome check is needed.
+        let legs: Vec<&SwapRecord> = rec.swaps[start..end]
             .iter()
-            .filter_map(|l| match l.event {
-                LogEvent::Swap { pool, token_in, amount_in, token_out, amount_out, .. }
-                    if pool.exchange.arbitrage_covered() =>
-                {
-                    Some((pool, token_in, amount_in, token_out, amount_out))
-                }
-                _ => None,
-            })
+            .filter(|s| s.pool.exchange.arbitrage_covered())
             .collect();
+        start = end;
         if legs.len() < 2 {
             continue;
         }
         // Cycle test: consecutive legs chain token_out → token_in, the
         // final output token equals the first input token.
-        let chained = legs.windows(2).all(|w| w[0].3 == w[1].1);
+        let chained = legs.windows(2).all(|w| w[0].token_out == w[1].token_in);
         if !chained {
             continue;
         }
-        let start_token = legs[0].1;
-        let end_token = legs[legs.len() - 1].3;
+        let start_token = legs[0].token_in;
+        let end_token = legs[legs.len() - 1].token_out;
         if start_token != end_token {
             continue;
         }
         // Cross-exchange requirement.
-        let exchanges: HashSet<_> = legs.iter().map(|l| l.0.exchange).collect();
+        let exchanges: HashSet<_> = legs.iter().map(|l| l.pool.exchange).collect();
         if exchanges.len() < 2 {
             continue;
         }
-        let amount_in = legs[0].2;
-        let amount_out = legs[legs.len() - 1].4;
+        let amount_in = legs[0].amount_in;
+        let amount_out = legs[legs.len() - 1].amount_out;
         if amount_out <= amount_in {
             continue; // not profitable in asset terms: not an arbitrage
         }
-        let number = block.header.number;
+        let number = rec.number;
+        let t = rec.tx(tx_index).expect("indexed swap has a tx column");
         let gain = value_at(prices, start_token, amount_out - amount_in, number) as i128;
-        let (costs, miner_rev) = costs_and_miner_revenue(&[r]);
         out.push(Detection {
             kind: MevKind::Arbitrage,
             block: number,
-            extractor: r.from,
-            tx_hashes: vec![r.tx_hash],
+            extractor: t.from,
+            tx_hashes: vec![t.hash],
             victim: None,
             gross_wei: gain,
-            costs_wei: costs,
-            profit_wei: gain - costs as i128,
-            miner_revenue_wei: miner_rev,
-            via_flashbots: api.is_flashbots_tx(r.tx_hash),
-            via_flash_loan: receipt_has_flash_loan(&r.logs),
-            miner: block.header.miner,
+            costs_wei: t.cost_wei,
+            profit_wei: gain - t.cost_wei as i128,
+            miner_revenue_wei: t.miner_revenue_wei,
+            via_flashbots: api.is_flashbots_tx(t.hash),
+            via_flash_loan: t.has_flash_loan,
+            miner: rec.miner,
         });
     }
 }
@@ -91,11 +108,17 @@ mod tests {
     use mev_types::{Address, ExchangeId, PoolId, TokenId, Wei};
 
     fn uni() -> PoolId {
-        PoolId { exchange: ExchangeId::UniswapV2, index: 0 }
+        PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        }
     }
 
     fn sushi() -> PoolId {
-        PoolId { exchange: ExchangeId::SushiSwap, index: 0 }
+        PoolId {
+            exchange: ExchangeId::SushiSwap,
+            index: 0,
+        }
     }
 
     /// Buy 20 TKN1 for 10 WETH on Sushi, sell for 11 WETH on Uniswap.
@@ -106,7 +129,14 @@ mod tests {
             &t,
             0,
             vec![
-                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(
+                    sushi(),
+                    arber,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                ),
                 swap_log(uni(), arber, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18),
             ],
             Wei::ZERO,
@@ -154,7 +184,14 @@ mod tests {
             &t,
             0,
             vec![
-                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(
+                    sushi(),
+                    arber,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                ),
                 swap_log(uni(), arber, TokenId(1), 20 * E18, TokenId::WETH, 9 * E18),
             ],
             Wei::ZERO,
@@ -174,7 +211,14 @@ mod tests {
             &t,
             0,
             vec![
-                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(
+                    sushi(),
+                    arber,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                ),
                 swap_log(uni(), arber, TokenId(2), 20 * E18, TokenId::WETH, 11 * E18),
             ],
             Wei::ZERO,
@@ -188,7 +232,10 @@ mod tests {
     #[test]
     fn uniswap_v1_legs_not_covered() {
         let arber = Address::from_index(100);
-        let v1 = PoolId { exchange: ExchangeId::UniswapV1, index: 0 };
+        let v1 = PoolId {
+            exchange: ExchangeId::UniswapV1,
+            index: 0,
+        };
         let t = tx(arber, 0);
         let r = receipt(
             &t,
@@ -208,13 +255,23 @@ mod tests {
     #[test]
     fn three_leg_triangle_detected() {
         let arber = Address::from_index(100);
-        let curve = PoolId { exchange: ExchangeId::Curve, index: 0 };
+        let curve = PoolId {
+            exchange: ExchangeId::Curve,
+            index: 0,
+        };
         let t = tx(arber, 0);
         let r = receipt(
             &t,
             0,
             vec![
-                swap_log(sushi(), arber, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                swap_log(
+                    sushi(),
+                    arber,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                ),
                 swap_log(curve, arber, TokenId(1), 20 * E18, TokenId(2), 19 * E18),
                 swap_log(uni(), arber, TokenId(2), 19 * E18, TokenId::WETH, 12 * E18),
             ],
@@ -258,7 +315,14 @@ mod tests {
             &t,
             0,
             vec![
-                swap_log(sushi(), arber, TokenId(1), 20 * E18, TokenId::WETH, 10 * E18),
+                swap_log(
+                    sushi(),
+                    arber,
+                    TokenId(1),
+                    20 * E18,
+                    TokenId::WETH,
+                    10 * E18,
+                ),
                 swap_log(uni(), arber, TokenId::WETH, 10 * E18, TokenId(1), 22 * E18),
             ],
             Wei::ZERO,

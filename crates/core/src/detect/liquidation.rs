@@ -3,12 +3,11 @@
 //! collateral against the repaid debt at the block's prices.
 
 use crate::dataset::{Detection, MevKind};
-use crate::detect::receipt_has_flash_loan;
+use crate::index::BlockRecord;
 use crate::prices::value_at;
-use crate::profit::costs_and_miner_revenue;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
-use mev_types::{Block, LendingPlatformId, LogEvent, Receipt};
+use mev_types::{Block, LendingPlatformId, Receipt};
 
 /// Platforms the paper's liquidation detector covers.
 fn covered(platform: LendingPlatformId) -> bool {
@@ -19,6 +18,8 @@ fn covered(platform: LendingPlatformId) -> bool {
 }
 
 /// Detect liquidations in a block, appending to `out`.
+/// Convenience wrapper over [`detect_in_record`]; batch callers should
+/// build a [`BlockIndex`](crate::BlockIndex) once.
 pub fn detect_in_block(
     block: &Block,
     receipts: &[Receipt],
@@ -26,47 +27,49 @@ pub fn detect_in_block(
     prices: &PriceOracle,
     out: &mut Vec<Detection>,
 ) {
-    for r in receipts {
-        if !r.outcome.is_success() {
+    let month = mev_types::time::month_of_timestamp(block.header.timestamp);
+    detect_in_record(
+        &BlockRecord::decode(block, receipts, month),
+        api,
+        prices,
+        out,
+    );
+}
+
+/// Detect liquidations in an indexed block, appending to `out`.
+pub fn detect_in_record(
+    rec: &BlockRecord,
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    // The index only records liquidations from successful transactions.
+    for l in &rec.liquidations {
+        if !covered(l.platform) {
             continue;
         }
-        for log in &r.logs {
-            let LogEvent::Liquidation {
-                platform,
-                liquidator,
-                debt_token,
-                debt_repaid,
-                collateral_token,
-                collateral_seized,
-                ..
-            } = log.event
-            else {
-                continue;
-            };
-            if !covered(platform) {
-                continue;
-            }
-            let number = block.header.number;
-            // Gain: collateral received minus debt repaid (§3.1.3 costs
-            // include "the value of the liquidated debt").
-            let gain = value_at(prices, collateral_token, collateral_seized, number) as i128
-                - value_at(prices, debt_token, debt_repaid, number) as i128;
-            let (costs, miner_rev) = costs_and_miner_revenue(&[r]);
-            out.push(Detection {
-                kind: MevKind::Liquidation,
-                block: number,
-                extractor: liquidator,
-                tx_hashes: vec![r.tx_hash],
-                victim: None,
-                gross_wei: gain,
-                costs_wei: costs,
-                profit_wei: gain - costs as i128,
-                miner_revenue_wei: miner_rev,
-                via_flashbots: api.is_flashbots_tx(r.tx_hash),
-                via_flash_loan: receipt_has_flash_loan(&r.logs),
-                miner: block.header.miner,
-            });
-        }
+        let number = rec.number;
+        // Gain: collateral received minus debt repaid (§3.1.3 costs
+        // include "the value of the liquidated debt").
+        let gain = value_at(prices, l.collateral_token, l.collateral_seized, number) as i128
+            - value_at(prices, l.debt_token, l.debt_repaid, number) as i128;
+        let t = rec
+            .tx(l.tx_index)
+            .expect("indexed liquidation has a tx column");
+        out.push(Detection {
+            kind: MevKind::Liquidation,
+            block: number,
+            extractor: l.liquidator,
+            tx_hashes: vec![t.hash],
+            victim: None,
+            gross_wei: gain,
+            costs_wei: t.cost_wei,
+            profit_wei: gain - t.cost_wei as i128,
+            miner_revenue_wei: t.miner_revenue_wei,
+            via_flashbots: api.is_flashbots_tx(t.hash),
+            via_flash_loan: t.has_flash_loan,
+            miner: rec.miner,
+        });
     }
 }
 
@@ -95,7 +98,12 @@ mod tests {
     fn detects_and_values_liquidation() {
         let liq = Address::from_index(100);
         let t = tx(liq, 0);
-        let r = receipt(&t, 0, vec![liq_log(LendingPlatformId::AaveV2, liq)], Wei::ZERO);
+        let r = receipt(
+            &t,
+            0,
+            vec![liq_log(LendingPlatformId::AaveV2, liq)],
+            Wei::ZERO,
+        );
         let b = block(10_000_000, vec![t]);
         let mut oracle = weth_oracle();
         oracle.update(TokenId(1), 10_000_000, E18 / 2); // collateral 21·0.5 = 10.5 ETH
@@ -114,7 +122,12 @@ mod tests {
     fn dydx_not_covered() {
         let liq = Address::from_index(100);
         let t = tx(liq, 0);
-        let r = receipt(&t, 0, vec![liq_log(LendingPlatformId::DyDx, liq)], Wei::ZERO);
+        let r = receipt(
+            &t,
+            0,
+            vec![liq_log(LendingPlatformId::DyDx, liq)],
+            Wei::ZERO,
+        );
         let b = block(10_000_000, vec![t]);
         let mut out = Vec::new();
         detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);
@@ -135,7 +148,12 @@ mod tests {
                 fee: E18 / 1000,
             },
         );
-        let r = receipt(&t, 0, vec![fl, liq_log(LendingPlatformId::Compound, liq)], Wei::ZERO);
+        let r = receipt(
+            &t,
+            0,
+            vec![fl, liq_log(LendingPlatformId::Compound, liq)],
+            Wei::ZERO,
+        );
         let b = block(10_000_000, vec![t]);
         let mut oracle = weth_oracle();
         oracle.update(TokenId(1), 10_000_000, E18);
@@ -150,7 +168,12 @@ mod tests {
         // Without a price the gain degrades to −debt: conservative.
         let liq = Address::from_index(100);
         let t = tx(liq, 0);
-        let r = receipt(&t, 0, vec![liq_log(LendingPlatformId::AaveV1, liq)], Wei::ZERO);
+        let r = receipt(
+            &t,
+            0,
+            vec![liq_log(LendingPlatformId::AaveV1, liq)],
+            Wei::ZERO,
+        );
         let b = block(10_000_000, vec![t]);
         let mut out = Vec::new();
         detect_in_block(&b, &[r], &empty_api(), &weth_oracle(), &mut out);

@@ -27,7 +27,14 @@ pub fn swaps_of(receipts: &[Receipt]) -> Vec<SwapRecord> {
             continue;
         }
         for log in &r.logs {
-            if let LogEvent::Swap { pool, token_in, amount_in, token_out, amount_out, .. } = log.event
+            if let LogEvent::Swap {
+                pool,
+                token_in,
+                amount_in,
+                token_out,
+                amount_out,
+                ..
+            } = log.event
             {
                 out.push(SwapRecord {
                     tx_index: r.index,
@@ -62,7 +69,10 @@ pub(crate) mod testutil {
     pub const E18: u128 = 10u128.pow(18);
 
     pub fn pool() -> PoolId {
-        PoolId { exchange: ExchangeId::UniswapV2, index: 0 }
+        PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        }
     }
 
     /// A dummy transaction whose hash anchors a receipt.
@@ -70,7 +80,9 @@ pub(crate) mod testutil {
         Transaction::new(
             from,
             nonce,
-            TxFee::Legacy { gas_price: gwei(50) },
+            TxFee::Legacy {
+                gas_price: gwei(50),
+            },
             Gas(150_000),
             Action::Other { gas: Gas(150_000) },
             Wei::ZERO,
@@ -89,7 +101,14 @@ pub(crate) mod testutil {
     ) -> Log {
         Log::new(
             Address::from_index(0x5000_0000_0000),
-            LogEvent::Swap { pool, sender, token_in, amount_in, token_out, amount_out },
+            LogEvent::Swap {
+                pool,
+                sender,
+                token_in,
+                amount_in,
+                token_out,
+                amount_out,
+            },
         )
     }
 
@@ -146,8 +165,18 @@ mod tests {
         let a = Address::from_index(1);
         let t0 = tx(a, 0);
         let t1 = tx(a, 1);
-        let mut r0 = receipt(&t0, 0, vec![swap_log(pool(), a, TokenId::WETH, 10, TokenId(1), 20)], mev_types::Wei::ZERO);
-        let r1 = receipt(&t1, 1, vec![swap_log(pool(), a, TokenId::WETH, 10, TokenId(1), 20)], mev_types::Wei::ZERO);
+        let mut r0 = receipt(
+            &t0,
+            0,
+            vec![swap_log(pool(), a, TokenId::WETH, 10, TokenId(1), 20)],
+            mev_types::Wei::ZERO,
+        );
+        let r1 = receipt(
+            &t1,
+            1,
+            vec![swap_log(pool(), a, TokenId::WETH, 10, TokenId(1), 20)],
+            mev_types::Wei::ZERO,
+        );
         r0.outcome = ExecOutcome::Reverted;
         let swaps = swaps_of(&[r0, r1]);
         assert_eq!(swaps.len(), 1);

@@ -9,9 +9,9 @@
 //! Coverage matches the paper: Bancor, SushiSwap, Uniswap V1/V2/V3.
 
 use crate::dataset::{Detection, MevKind};
-use crate::detect::{receipt_has_flash_loan, swaps_of, SwapRecord};
+use crate::detect::SwapRecord;
+use crate::index::BlockRecord;
 use crate::prices::value_at;
-use crate::profit::costs_and_miner_revenue;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
 use mev_types::{Block, Receipt};
@@ -26,7 +26,10 @@ fn amounts_match(bought: u128, sold: u128) -> bool {
     bought.abs_diff(sold) <= tol
 }
 
-/// Detect every sandwich in a block, appending to `out`.
+/// Detect every sandwich in a block, appending to `out`. Convenience
+/// wrapper that decodes the block into a [`BlockRecord`] first; batch
+/// callers should build a [`BlockIndex`](crate::BlockIndex) once and use
+/// [`detect_in_record`].
 pub fn detect_in_block(
     block: &Block,
     receipts: &[Receipt],
@@ -34,18 +37,32 @@ pub fn detect_in_block(
     prices: &PriceOracle,
     out: &mut Vec<Detection>,
 ) {
-    let swaps = swaps_of(receipts);
-    if swaps.len() < 3 {
+    let month = mev_types::time::month_of_timestamp(block.header.timestamp);
+    detect_in_record(
+        &BlockRecord::decode(block, receipts, month),
+        api,
+        prices,
+        out,
+    );
+}
+
+/// Detect every sandwich in an indexed block, appending to `out`.
+pub fn detect_in_record(
+    rec: &BlockRecord,
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    if rec.swaps.len() < 3 {
         return;
     }
     // Group swaps by pool, preserving block order.
     let mut by_pool: HashMap<mev_types::PoolId, Vec<&SwapRecord>> = HashMap::new();
-    for s in &swaps {
+    for s in &rec.swaps {
         if s.pool.exchange.sandwich_covered() {
             by_pool.entry(s.pool).or_default().push(s);
         }
     }
-    let receipt_by_index: HashMap<u32, &Receipt> = receipts.iter().map(|r| (r.index, r)).collect();
     let mut claimed: std::collections::HashSet<u32> = std::collections::HashSet::new();
 
     for group in by_pool.values() {
@@ -73,36 +90,38 @@ pub fn detect_in_block(
                 });
                 let Some(&victim) = victim else { continue };
 
-                let front_r = receipt_by_index[&t1.tx_index];
-                let back_r = receipt_by_index[&t2.tx_index];
-                let victim_r = receipt_by_index[&victim.tx_index];
+                let front = rec.tx(t1.tx_index).expect("indexed swap has a tx column");
+                let back = rec.tx(t2.tx_index).expect("indexed swap has a tx column");
+                let victim_tx = rec
+                    .tx(victim.tx_index)
+                    .expect("indexed swap has a tx column");
                 // Gain: what the back-run returned minus what the
                 // front-run spent, valued in ETH at this block.
-                let number = block.header.number;
+                let number = rec.number;
                 let gain = value_at(prices, t2.token_out, t2.amount_out, number) as i128
                     - value_at(prices, t1.token_in, t1.amount_in, number) as i128;
-                let (costs, miner_rev) = costs_and_miner_revenue(&[front_r, back_r]);
+                let costs = front.cost_wei + back.cost_wei;
+                let miner_rev = front.miner_revenue_wei + back.miner_revenue_wei;
                 let via_flashbots =
-                    api.is_flashbots_tx(front_r.tx_hash) && api.is_flashbots_tx(back_r.tx_hash);
+                    api.is_flashbots_tx(front.hash) && api.is_flashbots_tx(back.hash);
                 // Flash loans cannot fund sandwiches (§2.3: two separate
                 // transactions), but record faithfully from the logs.
-                let via_flash_loan = receipt_has_flash_loan(&front_r.logs)
-                    || receipt_has_flash_loan(&back_r.logs);
+                let via_flash_loan = front.has_flash_loan || back.has_flash_loan;
                 claimed.insert(t1.tx_index);
                 claimed.insert(t2.tx_index);
                 out.push(Detection {
                     kind: MevKind::Sandwich,
                     block: number,
                     extractor: t1.from,
-                    tx_hashes: vec![front_r.tx_hash, back_r.tx_hash],
-                    victim: Some(victim_r.tx_hash),
+                    tx_hashes: vec![front.hash, back.hash],
+                    victim: Some(victim_tx.hash),
                     gross_wei: gain,
                     costs_wei: costs,
                     profit_wei: gain - costs as i128,
                     miner_revenue_wei: miner_rev,
                     via_flashbots,
                     via_flash_loan,
-                    miner: block.header.miner,
+                    miner: rec.miner,
                 });
                 break;
             }
@@ -127,19 +146,40 @@ mod tests {
         let r0 = receipt(
             &t0,
             0,
-            vec![swap_log(pool(), attacker, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18)],
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId::WETH,
+                10 * E18,
+                TokenId(1),
+                20 * E18,
+            )],
             Wei::ZERO,
         );
         let r1 = receipt(
             &t1,
             1,
-            vec![swap_log(pool(), victim, TokenId::WETH, 30 * E18, TokenId(1), 55 * E18)],
+            vec![swap_log(
+                pool(),
+                victim,
+                TokenId::WETH,
+                30 * E18,
+                TokenId(1),
+                55 * E18,
+            )],
             Wei::ZERO,
         );
         let r2 = receipt(
             &t2,
             2,
-            vec![swap_log(pool(), attacker, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18)],
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId(1),
+                20 * E18,
+                TokenId::WETH,
+                11 * E18,
+            )],
             Wei::ZERO,
         );
         (block(10_000_000, vec![t0, t1, t2]), vec![r0, r1, r2])
@@ -173,20 +213,41 @@ mod tests {
         let r0 = receipt(
             &t0,
             0,
-            vec![swap_log(pool(), attacker, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18)],
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId::WETH,
+                10 * E18,
+                TokenId(1),
+                20 * E18,
+            )],
             Wei::ZERO,
         );
         // The in-between tx trades the *opposite* direction: not a victim.
         let r1 = receipt(
             &other,
             1,
-            vec![swap_log(pool(), Address::from_index(300), TokenId(1), 5 * E18, TokenId::WETH, 2 * E18)],
+            vec![swap_log(
+                pool(),
+                Address::from_index(300),
+                TokenId(1),
+                5 * E18,
+                TokenId::WETH,
+                2 * E18,
+            )],
             Wei::ZERO,
         );
         let r2 = receipt(
             &t2,
             2,
-            vec![swap_log(pool(), attacker, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18)],
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId(1),
+                20 * E18,
+                TokenId::WETH,
+                11 * E18,
+            )],
             Wei::ZERO,
         );
         let b = block(10_000_000, vec![t0, other, t2]);
@@ -199,10 +260,19 @@ mod tests {
     fn different_pools_do_not_match() {
         let (b, mut rs) = canonical();
         // Move the back-run to a different pool.
-        let other_pool = PoolId { exchange: ExchangeId::SushiSwap, index: 9 };
+        let other_pool = PoolId {
+            exchange: ExchangeId::SushiSwap,
+            index: 9,
+        };
         let attacker = Address::from_index(100);
-        rs[2].logs =
-            vec![swap_log(other_pool, attacker, TokenId(1), 20 * E18, TokenId::WETH, 11 * E18)];
+        rs[2].logs = vec![swap_log(
+            other_pool,
+            attacker,
+            TokenId(1),
+            20 * E18,
+            TokenId::WETH,
+            11 * E18,
+        )];
         let mut out = Vec::new();
         detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
         assert!(out.is_empty());
@@ -213,8 +283,14 @@ mod tests {
         let (b, mut rs) = canonical();
         let attacker = Address::from_index(100);
         // Back-run sells far more than the front bought: unrelated trades.
-        rs[2].logs =
-            vec![swap_log(pool(), attacker, TokenId(1), 35 * E18, TokenId::WETH, 17 * E18)];
+        rs[2].logs = vec![swap_log(
+            pool(),
+            attacker,
+            TokenId(1),
+            35 * E18,
+            TokenId::WETH,
+            17 * E18,
+        )];
         let mut out = Vec::new();
         detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
         assert!(out.is_empty());
@@ -224,7 +300,10 @@ mod tests {
     fn uncovered_exchange_ignored() {
         let (b, mut rs) = canonical();
         // The paper's sandwich detector does not cover Curve.
-        let curve = PoolId { exchange: ExchangeId::Curve, index: 0 };
+        let curve = PoolId {
+            exchange: ExchangeId::Curve,
+            index: 0,
+        };
         for r in rs.iter_mut() {
             for log in r.logs.iter_mut() {
                 if let mev_types::LogEvent::Swap { pool, .. } = &mut log.event {
@@ -246,7 +325,14 @@ mod tests {
         let noise_r = receipt(
             &noise_tx,
             3,
-            vec![swap_log(pool(), noise_sender, TokenId(1), E18, TokenId::WETH, E18 / 2)],
+            vec![swap_log(
+                pool(),
+                noise_sender,
+                TokenId(1),
+                E18,
+                TokenId::WETH,
+                E18 / 2,
+            )],
             Wei::ZERO,
         );
         // Re-index the back-run after the noise (indices 0,1,2,3 → back=3).
@@ -295,19 +381,40 @@ mod tests {
         let r0 = receipt(
             &t0,
             0,
-            vec![swap_log(pool(), attacker, TokenId(1), 20 * E18, TokenId::WETH, 10 * E18)],
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId(1),
+                20 * E18,
+                TokenId::WETH,
+                10 * E18,
+            )],
             Wei::ZERO,
         );
         let r1 = receipt(
             &t1,
             1,
-            vec![swap_log(pool(), victim, TokenId(1), 30 * E18, TokenId::WETH, 14 * E18)],
+            vec![swap_log(
+                pool(),
+                victim,
+                TokenId(1),
+                30 * E18,
+                TokenId::WETH,
+                14 * E18,
+            )],
             Wei::ZERO,
         );
         let r2 = receipt(
             &t2,
             2,
-            vec![swap_log(pool(), attacker, TokenId::WETH, 10 * E18, TokenId(1), 22 * E18)],
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId::WETH,
+                10 * E18,
+                TokenId(1),
+                22 * E18,
+            )],
             Wei::ZERO,
         );
         let b = block(10_000_000, vec![t0, t1, t2]);

@@ -47,8 +47,11 @@ impl DetectionRecord {
 
 /// Export every detection as a JSON array.
 pub fn detections_json(dataset: &MevDataset, chain: &ChainStore) -> String {
-    let records: Vec<DetectionRecord> =
-        dataset.detections.iter().map(|d| DetectionRecord::from_detection(d, chain)).collect();
+    let records: Vec<DetectionRecord> = dataset
+        .detections
+        .iter()
+        .map(|d| DetectionRecord::from_detection(d, chain))
+        .collect();
     serde_json::to_string_pretty(&records).expect("serialisable records")
 }
 
@@ -117,7 +120,11 @@ pub fn monthly_summary(dataset: &MevDataset, chain: &ChainStore) -> Vec<MonthlyS
                 sandwiches: sw,
                 arbitrages: arb,
                 liquidations: liq,
-                flashbots_share: if total == 0 { 0.0 } else { fb as f64 / total as f64 },
+                flashbots_share: if total == 0 {
+                    0.0
+                } else {
+                    fb as f64 / total as f64
+                },
                 total_profit_eth: profit,
             }
         })
@@ -149,7 +156,7 @@ mod tests {
             via_flash_loan: false,
             miner: Address::from_index(9),
         };
-        MevDataset { detections: vec![d], prices: PriceOracle::new() }
+        MevDataset::from_parts(vec![d], PriceOracle::new())
     }
 
     #[test]

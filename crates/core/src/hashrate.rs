@@ -31,7 +31,10 @@ fn monthly_miner_blocks(chain: &ChainStore) -> Vec<(Month, HashMap<Address, u64>
 }
 
 /// Miners that mined ≥1 Flashbots block in each month.
-fn monthly_flashbots_miners(chain: &ChainStore, api: &BlocksApi) -> HashMap<Month, HashSet<Address>> {
+fn monthly_flashbots_miners(
+    chain: &ChainStore,
+    api: &BlocksApi,
+) -> HashMap<Month, HashSet<Address>> {
     let mut out: HashMap<Month, HashSet<Address>> = HashMap::new();
     for rec in api.iter() {
         let month = chain.month_of(rec.block_number);
@@ -57,7 +60,14 @@ pub fn monthly_flashbots_hashrate(chain: &ChainStore, api: &BlocksApi) -> Vec<(M
                         .sum()
                 })
                 .unwrap_or(0);
-            (month, if total == 0 { 0.0 } else { fb as f64 / total as f64 })
+            (
+                month,
+                if total == 0 {
+                    0.0
+                } else {
+                    fb as f64 / total as f64
+                },
+            )
         })
         .collect()
 }
@@ -73,7 +83,11 @@ pub fn monthly_participation(
     let mut per_month: HashMap<Month, HashMap<Address, u64>> = HashMap::new();
     for rec in api.iter() {
         let month = chain.month_of(rec.block_number);
-        *per_month.entry(month).or_default().entry(rec.miner).or_default() += 1;
+        *per_month
+            .entry(month)
+            .or_default()
+            .entry(rec.miner)
+            .or_default() += 1;
     }
     let mut months: Vec<Month> = per_month.keys().copied().collect();
     months.sort();
@@ -93,7 +107,11 @@ pub fn monthly_participation(
 /// §4.4: the maximum number of distinct Flashbots miners seen in any month
 /// (the paper: never more than 55).
 pub fn max_monthly_flashbots_miners(chain: &ChainStore, api: &BlocksApi) -> usize {
-    monthly_flashbots_miners(chain, api).values().map(HashSet::len).max().unwrap_or(0)
+    monthly_flashbots_miners(chain, api)
+        .values()
+        .map(HashSet::len)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Share of all Flashbots blocks mined by the top `k` miners (the
@@ -116,9 +134,7 @@ pub fn top_k_flashbots_block_share(api: &BlocksApi, k: usize) -> f64 {
 mod tests {
     use super::*;
     use mev_flashbots::{BundleId, BundleRecord, BundleType, FlashbotsBlockRecord};
-    use mev_types::{
-        Block, BlockHeader, Gas, Timeline, Wei, H256,
-    };
+    use mev_types::{Block, BlockHeader, Gas, Timeline, Wei, H256};
 
     /// Chain: 200 blocks; miner A mines even blocks, miner B odd. In the
     /// *second calendar month* only, every 10th of miner A's blocks is a
@@ -143,7 +159,13 @@ mod tests {
                 gas_limit: Gas(30_000_000),
                 base_fee: Wei::ZERO,
             };
-            chain.push(Block { header, transactions: vec![] }, vec![]);
+            chain.push(
+                Block {
+                    header,
+                    transactions: vec![],
+                },
+                vec![],
+            );
             if month == second_month && miner == a && i % 10 == 0 {
                 api.record(FlashbotsBlockRecord {
                     block_number: number,

@@ -1,0 +1,369 @@
+//! The single entry point for detection: [`Inspector`] builds (or reuses)
+//! a [`BlockIndex`], fans the detectors out over its records on a
+//! work-stealing worker pool, and merges the per-block results in block
+//! order — so serial and parallel runs are bit-identical.
+//!
+//! This replaces the old `MevDataset::inspect` / `inspect_parallel` pair:
+//! one builder, one code path, with thread count, block range, and
+//! detector selection as knobs.
+
+use crate::dataset::{Detection, MevDataset, MevKind};
+use crate::detect;
+use crate::index::{BlockIndex, BlockRecord};
+use mev_chain::ChainStore;
+use mev_dex::PriceOracle;
+use mev_flashbots::BlocksApi;
+use std::ops::RangeInclusive;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Detection failed. Workers catch detector panics and surface them as
+/// this error instead of aborting the whole analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectError {
+    /// A detector panicked. `block` is the lowest block height whose
+    /// detection panicked, when known.
+    WorkerPanic { block: Option<u64> },
+}
+
+impl std::fmt::Display for InspectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InspectError::WorkerPanic { block: Some(n) } => {
+                write!(f, "detection worker panicked while inspecting block {n}")
+            }
+            InspectError::WorkerPanic { block: None } => {
+                write!(f, "detection worker panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InspectError {}
+
+/// Every detector, in the canonical (deterministic) per-block order.
+const ALL_KINDS: [MevKind; 3] = [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation];
+
+/// Builder for a detection run over an archive.
+///
+/// ```ignore
+/// let dataset = Inspector::new(&chain, &api)
+///     .threads(8)
+///     .block_range(13_000_000..=13_100_000)
+///     .kinds([MevKind::Sandwich])
+///     .run()?;
+/// ```
+#[derive(Clone)]
+pub struct Inspector<'a> {
+    chain: &'a ChainStore,
+    api: &'a BlocksApi,
+    threads: Option<usize>,
+    range: Option<RangeInclusive<u64>>,
+    kinds: Vec<MevKind>,
+    index: Option<Arc<BlockIndex>>,
+}
+
+impl<'a> Inspector<'a> {
+    /// An inspector over the whole archive, all detectors, with the
+    /// thread count chosen from the hardware.
+    pub fn new(chain: &'a ChainStore, api: &'a BlocksApi) -> Inspector<'a> {
+        Inspector {
+            chain,
+            api,
+            threads: None,
+            range: None,
+            kinds: ALL_KINDS.to_vec(),
+            index: None,
+        }
+    }
+
+    /// Worker-pool size. `1` runs serially on the calling thread. The
+    /// pool is additionally capped at the number of blocks to inspect, so
+    /// tiny chains never spawn idle workers.
+    pub fn threads(mut self, n: usize) -> Inspector<'a> {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Restrict detection to a block-height range (inclusive). Prices are
+    /// still recovered from the whole archive.
+    pub fn block_range(mut self, range: RangeInclusive<u64>) -> Inspector<'a> {
+        self.range = Some(range);
+        self
+    }
+
+    /// Run only these detectors. The selection is normalised to the
+    /// canonical per-block order (sandwich, arbitrage, liquidation), so
+    /// the caller's ordering cannot change the output.
+    pub fn kinds(mut self, kinds: impl IntoIterator<Item = MevKind>) -> Inspector<'a> {
+        let requested: Vec<MevKind> = kinds.into_iter().collect();
+        self.kinds = ALL_KINDS
+            .iter()
+            .copied()
+            .filter(|k| requested.contains(k))
+            .collect();
+        self
+    }
+
+    /// Reuse a prebuilt [`BlockIndex`] instead of decoding the archive
+    /// again. The index must have been built from the same chain.
+    pub fn with_index(mut self, index: Arc<BlockIndex>) -> Inspector<'a> {
+        self.index = Some(index);
+        self
+    }
+
+    /// Run the detectors and assemble the dataset.
+    ///
+    /// Deterministic: for a given chain, API, range, and kinds, the
+    /// resulting `detections` vector is bit-identical regardless of the
+    /// thread count.
+    pub fn run(self) -> Result<MevDataset, InspectError> {
+        let index = self
+            .index
+            .clone()
+            .unwrap_or_else(|| Arc::new(BlockIndex::build(self.chain)));
+        let prices = index.price_feed();
+        let records: Vec<&BlockRecord> = index
+            .records()
+            .iter()
+            .filter(|r| self.range.as_ref().map_or(true, |g| g.contains(&r.number)))
+            .collect();
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        // Bugfix over the old `inspect_parallel`: never more workers than
+        // blocks (tiny chains used to spawn idle threads).
+        let threads = self.threads.unwrap_or(hw).max(1).min(records.len().max(1));
+        let kinds = &self.kinds;
+        let api = self.api;
+
+        let mut detections = if threads <= 1 {
+            // Serial: run inline; a detector panic propagates to the
+            // caller as it always did.
+            let mut out = Vec::new();
+            for rec in &records {
+                detect_record(rec, kinds, api, &prices, &mut out);
+            }
+            out
+        } else {
+            run_pool(&records, threads, kinds, api, &prices)?
+        };
+        detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        Ok(MevDataset {
+            detections,
+            prices,
+            index,
+        })
+    }
+}
+
+/// Run the selected detectors over one block record, in canonical order.
+fn detect_record(
+    rec: &BlockRecord,
+    kinds: &[MevKind],
+    api: &BlocksApi,
+    prices: &PriceOracle,
+    out: &mut Vec<Detection>,
+) {
+    for kind in kinds {
+        match kind {
+            MevKind::Sandwich => detect::sandwich::detect_in_record(rec, api, prices, out),
+            MevKind::Arbitrage => detect::arbitrage::detect_in_record(rec, api, prices, out),
+            MevKind::Liquidation => detect::liquidation::detect_in_record(rec, api, prices, out),
+        }
+    }
+}
+
+/// Work-stealing pool: a shared atomic cursor hands out one block at a
+/// time, so a slow block never gates a whole fixed chunk. Each worker
+/// tags its per-block output with the block's position; the merge sorts
+/// by position, which makes the concatenation independent of scheduling.
+fn run_pool(
+    records: &[&BlockRecord],
+    threads: usize,
+    kinds: &[MevKind],
+    api: &BlocksApi,
+    prices: &PriceOracle,
+) -> Result<Vec<Detection>, InspectError> {
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let mut tagged: Vec<(usize, Vec<Detection>)> = Vec::with_capacity(records.len());
+    let mut panicked: Option<u64> = None;
+    let mut join_failed = false;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move |_| -> Result<Vec<(usize, Vec<Detection>)>, u64> {
+                    let mut local = Vec::new();
+                    loop {
+                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(rec) = records.get(pos) else { break };
+                        let mut out = Vec::new();
+                        catch_unwind(AssertUnwindSafe(|| {
+                            detect_record(rec, kinds, api, prices, &mut out);
+                        }))
+                        .map_err(|_| rec.number)?;
+                        local.push((pos, out));
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(pairs)) => tagged.extend(pairs),
+                Ok(Err(block)) => {
+                    panicked = Some(panicked.map_or(block, |b| b.min(block)));
+                }
+                Err(_) => join_failed = true,
+            }
+        }
+    })
+    .expect("all workers joined");
+    if let Some(block) = panicked {
+        return Err(InspectError::WorkerPanic { block: Some(block) });
+    }
+    if join_failed {
+        return Err(InspectError::WorkerPanic { block: None });
+    }
+    tagged.sort_by_key(|(pos, _)| *pos);
+    Ok(tagged.into_iter().flat_map(|(_, out)| out).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::*;
+    use mev_chain::ChainStore;
+    use mev_types::{Address, Timeline, TokenId, Wei};
+
+    /// A small chain with one sandwich per block.
+    fn sandwich_chain(blocks: u64) -> ChainStore {
+        let mut chain = ChainStore::new(Timeline::paper_span(100));
+        let attacker = Address::from_index(7);
+        let victim = Address::from_index(8);
+        for i in 0..blocks {
+            let t0 = tx(attacker, 2 * i);
+            let t1 = tx(victim, i);
+            let t2 = tx(attacker, 2 * i + 1);
+            let r0 = receipt(
+                &t0,
+                0,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                )],
+                Wei::ZERO,
+            );
+            let r1 = receipt(
+                &t1,
+                1,
+                vec![swap_log(
+                    pool(),
+                    victim,
+                    TokenId::WETH,
+                    5 * E18,
+                    TokenId(1),
+                    9 * E18,
+                )],
+                Wei::ZERO,
+            );
+            let r2 = receipt(
+                &t2,
+                2,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId(1),
+                    20 * E18,
+                    TokenId::WETH,
+                    11 * E18,
+                )],
+                Wei::ZERO,
+            );
+            chain.push(block(10_000_000 + i, vec![t0, t1, t2]), vec![r0, r1, r2]);
+        }
+        chain
+    }
+
+    #[test]
+    fn serial_and_pool_agree() {
+        let chain = sandwich_chain(7);
+        let api = BlocksApi::new();
+        let serial = Inspector::new(&chain, &api).threads(1).run().unwrap();
+        let pooled = Inspector::new(&chain, &api).threads(4).run().unwrap();
+        assert_eq!(serial.detections, pooled.detections);
+        assert_eq!(serial.detections.len(), 7);
+    }
+
+    #[test]
+    fn block_range_restricts_detection() {
+        let chain = sandwich_chain(5);
+        let api = BlocksApi::new();
+        let ds = Inspector::new(&chain, &api)
+            .block_range(10_000_001..=10_000_002)
+            .run()
+            .unwrap();
+        assert_eq!(ds.detections.len(), 2);
+        assert!(ds
+            .detections
+            .iter()
+            .all(|d| (10_000_001..=10_000_002).contains(&d.block)));
+    }
+
+    #[test]
+    fn kinds_filter_and_normalise() {
+        let chain = sandwich_chain(3);
+        let api = BlocksApi::new();
+        let none = Inspector::new(&chain, &api)
+            .kinds([MevKind::Liquidation])
+            .run()
+            .unwrap();
+        assert!(none.detections.is_empty());
+        // Reversed selection produces the same output as the canonical one.
+        let a = Inspector::new(&chain, &api)
+            .kinds([MevKind::Arbitrage, MevKind::Sandwich])
+            .run()
+            .unwrap();
+        let b = Inspector::new(&chain, &api)
+            .kinds([MevKind::Sandwich, MevKind::Arbitrage])
+            .run()
+            .unwrap();
+        assert_eq!(a.detections, b.detections);
+    }
+
+    #[test]
+    fn prebuilt_index_is_reused() {
+        let chain = sandwich_chain(4);
+        let api = BlocksApi::new();
+        let index = Arc::new(BlockIndex::build(&chain));
+        let ds = Inspector::new(&chain, &api)
+            .with_index(index.clone())
+            .run()
+            .unwrap();
+        assert!(Arc::ptr_eq(&ds.index, &index));
+        assert_eq!(ds.detections.len(), 4);
+    }
+
+    #[test]
+    fn worker_cap_handles_more_threads_than_blocks() {
+        let chain = sandwich_chain(2);
+        let api = BlocksApi::new();
+        let ds = Inspector::new(&chain, &api).threads(64).run().unwrap();
+        assert_eq!(ds.detections.len(), 2);
+    }
+
+    #[test]
+    fn empty_chain_inspects_cleanly() {
+        let chain = ChainStore::new(Timeline::paper_span(100));
+        let api = BlocksApi::new();
+        let ds = Inspector::new(&chain, &api).threads(8).run().unwrap();
+        assert!(ds.detections.is_empty());
+    }
+}

@@ -19,12 +19,16 @@ pub mod dataset;
 pub mod detect;
 pub mod export;
 pub mod hashrate;
+pub mod index;
+pub mod inspector;
 pub mod prices;
 pub mod private;
 pub mod profit;
-pub mod validate;
 pub mod series;
+pub mod validate;
 
 pub use dataset::{Detection, MevDataset, MevKind};
+pub use index::{BlockIndex, BlockRecord};
+pub use inspector::{InspectError, Inspector};
 pub use prices::price_feed_from_chain;
 pub use private::{PrivateClass, PrivateStats};

@@ -53,7 +53,9 @@ mod tests {
             let tx = Transaction::new(
                 Address::from_index(1),
                 i,
-                TxFee::Legacy { gas_price: gwei(10) },
+                TxFee::Legacy {
+                    gas_price: gwei(10),
+                },
                 Gas(60_000),
                 Action::Other { gas: Gas(60_000) },
                 Wei::ZERO,
@@ -90,7 +92,13 @@ mod tests {
                 gas_limit: Gas(30_000_000),
                 base_fee: Wei::ZERO,
             };
-            store.push(Block { header, transactions: vec![tx] }, vec![receipt]);
+            store.push(
+                Block {
+                    header,
+                    transactions: vec![tx],
+                },
+                vec![receipt],
+            );
         }
         store
     }
@@ -102,7 +110,11 @@ mod tests {
         let g = chain.timeline().genesis_number;
         assert_eq!(oracle.price_at(TokenId(1), g), Some(E18));
         assert_eq!(oracle.price_at(TokenId(1), g + 1), Some(2 * E18));
-        assert_eq!(oracle.price_at(TokenId(1), g + 2), Some(2 * E18), "sticky last price");
+        assert_eq!(
+            oracle.price_at(TokenId(1), g + 2),
+            Some(2 * E18),
+            "sticky last price"
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! blocks API.
 
 use crate::dataset::{Detection, MevDataset, MevKind};
-use mev_chain::ChainStore;
 use mev_flashbots::BlocksApi;
 use mev_net::Observer;
 use mev_types::TxHash;
@@ -89,9 +88,12 @@ pub fn classify_sandwich(d: &Detection, observer: &Observer, api: &BlocksApi) ->
 /// Compute the §6.2 distribution over the observer window. The window is
 /// expressed in block heights (the paper analyses blocks 13,670,000 –
 /// 14,444,725, aligned with its pending-transaction collection).
+///
+/// Block presence comes from the dataset's own
+/// [`BlockIndex`](crate::BlockIndex) — no archive access. Hand-assembled datasets (empty index) skip the
+/// presence filter and trust their detections.
 pub fn private_stats(
     dataset: &MevDataset,
-    chain: &ChainStore,
     observer: &Observer,
     api: &BlocksApi,
     window: (u64, u64),
@@ -105,8 +107,8 @@ pub fn private_stats(
         if d.block < window.0 || d.block > window.1 {
             continue;
         }
-        // Only blocks actually stored count (windows may overrun the sim).
-        if chain.block(d.block).is_none() {
+        // Only blocks actually indexed count (windows may overrun the sim).
+        if !dataset.index.is_empty() && dataset.index.record(d.block).is_none() {
             continue;
         }
         sandwich_blocks.insert(d.block);
@@ -166,7 +168,10 @@ mod tests {
     fn flashbots_label_wins() {
         let o = observer_seeing(&[hash(3)]);
         let d = sandwich(hash(1), hash(2), hash(3), true);
-        assert_eq!(classify_sandwich(&d, &o, &BlocksApi::new()), PrivateClass::Flashbots);
+        assert_eq!(
+            classify_sandwich(&d, &o, &BlocksApi::new()),
+            PrivateClass::Flashbots
+        );
     }
 
     #[test]
@@ -184,7 +189,10 @@ mod tests {
     fn observed_front_means_public() {
         let o = observer_seeing(&[hash(1), hash(2), hash(3)]);
         let d = sandwich(hash(1), hash(2), hash(3), false);
-        assert_eq!(classify_sandwich(&d, &o, &BlocksApi::new()), PrivateClass::Public);
+        assert_eq!(
+            classify_sandwich(&d, &o, &BlocksApi::new()),
+            PrivateClass::Public
+        );
     }
 
     #[test]
@@ -193,7 +201,10 @@ mod tests {
         // does not count as inferred-private (conservative, like §6.1).
         let o = observer_seeing(&[]);
         let d = sandwich(hash(1), hash(2), hash(3), false);
-        assert_eq!(classify_sandwich(&d, &o, &BlocksApi::new()), PrivateClass::Public);
+        assert_eq!(
+            classify_sandwich(&d, &o, &BlocksApi::new()),
+            PrivateClass::Public
+        );
     }
 
     #[test]

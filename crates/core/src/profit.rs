@@ -4,7 +4,7 @@
 //! transactions. Plus the profit-distribution statistics behind Figure 8
 //! and the negative-profit audit of §5.2.
 
-use crate::dataset::{Detection, MevKind, MevDataset};
+use crate::dataset::{Detection, MevDataset, MevKind};
 use mev_types::Receipt;
 
 /// Sum `(sender costs, miner revenue)` over the MEV transactions.
@@ -79,10 +79,7 @@ pub struct Fig8 {
 /// Compute the Figure 8 distributions. `miner_affiliated` lets the caller
 /// exclude single-miner self-extraction accounts (found by the §6.3
 /// attribution analysis) from the *searcher* populations.
-pub fn fig8(
-    dataset: &MevDataset,
-    miner_affiliated: &dyn Fn(mev_types::Address) -> bool,
-) -> Fig8 {
+pub fn fig8(dataset: &MevDataset, miner_affiliated: &dyn Fn(mev_types::Address) -> bool) -> Fig8 {
     let mut m_fb = Vec::new();
     let mut m_non = Vec::new();
     let mut s_fb = Vec::new();
@@ -110,8 +107,7 @@ pub fn fig8(
 
 /// §5.2: unprofitable Flashbots extractions of a kind.
 pub fn negative_profit_report(dataset: &MevDataset, kind: MevKind) -> (usize, usize, f64) {
-    let all: Vec<&Detection> =
-        dataset.of_kind(kind).filter(|d| d.via_flashbots).collect();
+    let all: Vec<&Detection> = dataset.of_kind(kind).filter(|d| d.via_flashbots).collect();
     let negative: Vec<_> = all.iter().filter(|d| d.profit_wei < 0).collect();
     let total_loss: f64 = negative.iter().map(|d| -d.profit_eth()).sum();
     (negative.len(), all.len(), total_loss)
@@ -143,7 +139,7 @@ mod tests {
     }
 
     fn dataset(detections: Vec<Detection>) -> MevDataset {
-        MevDataset { detections, prices: PriceOracle::new() }
+        MevDataset::from_parts(detections, PriceOracle::new())
     }
 
     #[test]
@@ -166,15 +162,18 @@ mod tests {
     #[test]
     fn fig8_partitions_by_venue_and_affiliation() {
         let ds = dataset(vec![
-            det(E18 / 50, (E18 / 8) as u128, true, 1),   // FB searcher
-            det(E18 / 8, (E18 / 50) as u128, false, 2),  // public searcher
-            det(E18, (E18 / 50) as u128, false, 99),     // miner-affiliated: excluded from searchers
+            det(E18 / 50, (E18 / 8) as u128, true, 1),  // FB searcher
+            det(E18 / 8, (E18 / 50) as u128, false, 2), // public searcher
+            det(E18, (E18 / 50) as u128, false, 99),    // miner-affiliated: excluded from searchers
         ]);
         let f = fig8(&ds, &|a| a == Address::from_index(99));
         assert_eq!(f.searchers_flashbots.count, 1);
         assert_eq!(f.searchers_non_flashbots.count, 1);
         assert_eq!(f.miners_flashbots.count, 1);
-        assert_eq!(f.miners_non_flashbots.count, 2, "miner revenue counts all sandwiches");
+        assert_eq!(
+            f.miners_non_flashbots.count, 2,
+            "miner revenue counts all sandwiches"
+        );
         assert!(f.miners_flashbots.mean_eth > f.miners_non_flashbots.mean_eth);
         assert!(f.searchers_flashbots.mean_eth < f.searchers_non_flashbots.mean_eth);
     }

@@ -3,6 +3,7 @@
 //! MEV-type breakdown of Flashbots activity.
 
 use crate::dataset::{MevDataset, MevKind};
+use crate::index::BlockIndex;
 use mev_chain::ChainStore;
 use mev_flashbots::BlocksApi;
 use mev_types::{Address, Day, Month, TxHash};
@@ -21,7 +22,42 @@ pub fn flashbots_block_ratio(chain: &ChainStore, api: &BlocksApi) -> Vec<(Month,
     }
     per_month
         .into_iter()
-        .map(|(m, (total, fb))| (m, if total == 0 { 0.0 } else { fb as f64 / total as f64 }))
+        .map(|(m, (total, fb))| {
+            (
+                m,
+                if total == 0 {
+                    0.0
+                } else {
+                    fb as f64 / total as f64
+                },
+            )
+        })
+        .collect()
+}
+
+/// Figure 3 over a prebuilt [`BlockIndex`] — same output as
+/// [`flashbots_block_ratio`], no archive pass.
+pub fn flashbots_block_ratio_indexed(index: &BlockIndex, api: &BlocksApi) -> Vec<(Month, f64)> {
+    let mut per_month: BTreeMap<Month, (u64, u64)> = BTreeMap::new();
+    for rec in index.records() {
+        let e = per_month.entry(rec.month).or_default();
+        e.0 += 1;
+        if api.is_flashbots_block(rec.number) {
+            e.1 += 1;
+        }
+    }
+    per_month
+        .into_iter()
+        .map(|(m, (total, fb))| {
+            (
+                m,
+                if total == 0 {
+                    0.0
+                } else {
+                    fb as f64 / total as f64
+                },
+            )
+        })
         .collect()
 }
 
@@ -45,11 +81,33 @@ pub fn gas_price_daily(chain: &ChainStore) -> Vec<(Day, f64)> {
         .collect()
 }
 
+/// Figure 6 (top) over a prebuilt [`BlockIndex`]: the per-block gas-price
+/// sums were accumulated during the decode pass, so this only aggregates
+/// per day — no receipt traversal.
+pub fn gas_price_daily_indexed(index: &BlockIndex) -> Vec<(Day, f64)> {
+    let mut per_day: BTreeMap<Day, (f64, u64)> = BTreeMap::new();
+    for rec in index.records() {
+        if rec.tx_count() == 0 {
+            continue; // match the receipt traversal: no receipts, no entry
+        }
+        let day = Day::from_timestamp(rec.timestamp);
+        let e = per_day.entry(day).or_default();
+        e.0 += rec.gas_price_sum_gwei;
+        e.1 += rec.tx_count() as u64;
+    }
+    per_day
+        .into_iter()
+        .map(|(d, (sum, n))| (d, if n == 0 { 0.0 } else { sum / n as f64 }))
+        .collect()
+}
+
 /// Figure 6 (bottom): sandwiches per day, split Flashbots vs not.
 pub fn sandwiches_daily(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Day, u64, u64)> {
     let mut per_day: BTreeMap<Day, (u64, u64)> = BTreeMap::new();
     for d in dataset.of_kind(MevKind::Sandwich) {
-        let Some(block) = chain.block(d.block) else { continue };
+        let Some(block) = chain.block(d.block) else {
+            continue;
+        };
         let day = Day::from_timestamp(block.header.timestamp);
         let e = per_day.entry(day).or_default();
         if d.via_flashbots {
@@ -58,7 +116,31 @@ pub fn sandwiches_daily(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Day, u
             e.1 += 1;
         }
     }
-    per_day.into_iter().map(|(d, (fb, non))| (d, fb, non)).collect()
+    per_day
+        .into_iter()
+        .map(|(d, (fb, non))| (d, fb, non))
+        .collect()
+}
+
+/// Figure 6 (bottom) from the dataset's own index — no chain needed.
+pub fn sandwiches_daily_indexed(dataset: &MevDataset) -> Vec<(Day, u64, u64)> {
+    let mut per_day: BTreeMap<Day, (u64, u64)> = BTreeMap::new();
+    for d in dataset.of_kind(MevKind::Sandwich) {
+        let Some(rec) = dataset.index.record(d.block) else {
+            continue;
+        };
+        let day = Day::from_timestamp(rec.timestamp);
+        let e = per_day.entry(day).or_default();
+        if d.via_flashbots {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+    per_day
+        .into_iter()
+        .map(|(d, (fb, non))| (d, fb, non))
+        .collect()
 }
 
 /// One month's Figure 7 row.
@@ -178,7 +260,8 @@ pub fn bundle_stats(api: &BlocksApi) -> BundleStats {
     BundleStats {
         total_bundles: per_bundle.len(),
         flashbots_blocks: per_block.len(),
-        mean_bundles_per_block: per_block.iter().sum::<usize>() as f64 / per_block.len().max(1) as f64,
+        mean_bundles_per_block: per_block.iter().sum::<usize>() as f64
+            / per_block.len().max(1) as f64,
         median_bundles_per_block: median(&mut pb),
         max_bundles_per_block: per_block.iter().copied().max().unwrap_or(0),
         mean_txs_per_bundle: per_bundle.iter().sum::<usize>() as f64 / total as f64,
@@ -211,7 +294,13 @@ mod tests {
                 gas_limit: Gas(30_000_000),
                 base_fee: Wei::ZERO,
             };
-            c.push(Block { header, transactions: vec![] }, vec![]);
+            c.push(
+                Block {
+                    header,
+                    transactions: vec![],
+                },
+                vec![],
+            );
         }
         c
     }
@@ -231,7 +320,9 @@ mod tests {
                     tx_hashes: (0..n)
                         .map(|k| {
                             let mut b = [0u8; 32];
-                            b[..8].copy_from_slice(&(number * 1000 + i as u64 * 10 + k as u64).to_be_bytes());
+                            b[..8].copy_from_slice(
+                                &(number * 1000 + i as u64 * 10 + k as u64).to_be_bytes(),
+                            );
                             H256(b)
                         })
                         .collect(),
@@ -258,7 +349,10 @@ mod tests {
             .zip(&ratios)
             .map(|((_, lo, hi), (_, r))| r * (hi - lo + 1) as f64)
             .sum();
-        assert!((total - 50.0).abs() < 1e-6, "reconstructed FB blocks {total}");
+        assert!(
+            (total - 50.0).abs() < 1e-6,
+            "reconstructed FB blocks {total}"
+        );
         for (_, r) in &ratios {
             assert!((0.2..=0.3).contains(r), "ratio {r}");
         }
@@ -317,7 +411,9 @@ mod tests {
                 mev_types::Transaction::new(
                     Address::from_index(10 + i),
                     0,
-                    mev_types::TxFee::Legacy { gas_price: mev_types::gwei(10) },
+                    mev_types::TxFee::Legacy {
+                        gas_price: mev_types::gwei(10),
+                    },
                     Gas(21_000),
                     mev_types::Action::Other { gas: Gas(21_000) },
                     Wei::ZERO,
@@ -325,9 +421,40 @@ mod tests {
                 )
             })
             .collect();
-        c.push(Block { header, transactions: txs }, vec![mk(0, 10), mk(1, 30)]);
+        c.push(
+            Block {
+                header,
+                transactions: txs,
+            },
+            vec![mk(0, 10), mk(1, 30)],
+        );
         let daily = gas_price_daily(&c);
         assert_eq!(daily.len(), 1);
         assert!((daily[0].1 - 20.0).abs() < 1e-9);
+        // The indexed variant aggregates the same means from the
+        // per-block sums accumulated at decode time.
+        let index = crate::index::BlockIndex::build(&c);
+        let indexed = gas_price_daily_indexed(&index);
+        assert_eq!(indexed.len(), 1);
+        assert_eq!(indexed[0].0, daily[0].0);
+        assert!((indexed[0].1 - daily[0].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexed_block_ratio_agrees_with_chain_traversal() {
+        let c = chain(200);
+        let mut api = BlocksApi::new();
+        for i in (0..200).step_by(4) {
+            api.record(record(c.timeline().genesis_number + i, &[1]));
+        }
+        let index = crate::index::BlockIndex::build(&c);
+        assert_eq!(
+            flashbots_block_ratio(&c, &api),
+            flashbots_block_ratio_indexed(&index, &api)
+        );
+        // Blocks with no transactions produce no gas-price entries in
+        // either variant.
+        assert!(gas_price_daily_indexed(&index).is_empty());
+        assert!(gas_price_daily(&c).is_empty());
     }
 }

@@ -113,7 +113,11 @@ pub fn score(dataset: &MevDataset, index: &GroundTruthIndex, kind: MevKind) -> D
         }
     }
     let undetected = truth.iter().filter(|h| !detected.contains(h)).count();
-    DetectorScore { true_positives: tp, false_positives: fp, undetected }
+    DetectorScore {
+        true_positives: tp,
+        false_positives: fp,
+        undetected,
+    }
 }
 
 #[cfg(test)]
@@ -150,14 +154,14 @@ mod tests {
     fn scoring_counts_tp_fp_and_misses() {
         let mut idx = GroundTruthIndex::default();
         idx.arbitrages.extend([hash(1), hash(2), hash(3)]);
-        let ds = MevDataset {
-            detections: vec![
+        let ds = MevDataset::from_parts(
+            vec![
                 det(MevKind::Arbitrage, hash(1)), // tp
                 det(MevKind::Arbitrage, hash(2)), // tp
                 det(MevKind::Arbitrage, hash(9)), // fp
             ],
-            prices: PriceOracle::new(),
-        };
+            PriceOracle::new(),
+        );
         let s = score(&ds, &idx, MevKind::Arbitrage);
         assert_eq!(s.true_positives, 2);
         assert_eq!(s.false_positives, 1);
@@ -169,7 +173,7 @@ mod tests {
     #[test]
     fn empty_everything_scores_perfect() {
         let idx = GroundTruthIndex::default();
-        let ds = MevDataset { detections: vec![], prices: PriceOracle::new() };
+        let ds = MevDataset::from_parts(vec![], PriceOracle::new());
         let s = score(&ds, &idx, MevKind::Sandwich);
         assert_eq!(s.precision(), 1.0);
         assert_eq!(s.recall(), 1.0);

@@ -2,7 +2,7 @@
 //! malformed detections on arbitrary (even nonsensical) blocks of events,
 //! and their core invariants must hold on whatever they do emit.
 
-use mev_core::{MevDataset, MevKind};
+use mev_core::{Inspector, MevKind};
 
 use mev_flashbots::BlocksApi;
 use mev_types::{
@@ -30,30 +30,59 @@ fn event_strategy() -> impl Strategy<Value = LogEvent> {
     let amount = 0u128..10u128.pow(30);
     prop_oneof![
         (token.clone(), addr.clone(), addr.clone(), amount.clone()).prop_map(
-            |(token, from, to, amount)| LogEvent::Transfer { token, from, to, amount }
-        ),
-        (pool, addr.clone(), token.clone(), amount.clone(), token.clone(), amount.clone()).prop_map(
-            |(pool, sender, token_in, amount_in, token_out, amount_out)| LogEvent::Swap {
-                pool,
-                sender,
-                token_in,
-                amount_in,
-                token_out,
-                amount_out
+            |(token, from, to, amount)| LogEvent::Transfer {
+                token,
+                from,
+                to,
+                amount
             }
         ),
-        (addr.clone(), addr.clone(), token.clone(), amount.clone(), token.clone(), amount.clone())
-            .prop_map(|(liquidator, borrower, debt_token, debt_repaid, collateral_token, collateral_seized)| {
-                LogEvent::Liquidation {
-                    platform: LendingPlatformId::AaveV2,
+        (
+            pool,
+            addr.clone(),
+            token.clone(),
+            amount.clone(),
+            token.clone(),
+            amount.clone()
+        )
+            .prop_map(
+                |(pool, sender, token_in, amount_in, token_out, amount_out)| LogEvent::Swap {
+                    pool,
+                    sender,
+                    token_in,
+                    amount_in,
+                    token_out,
+                    amount_out
+                }
+            ),
+        (
+            addr.clone(),
+            addr.clone(),
+            token.clone(),
+            amount.clone(),
+            token.clone(),
+            amount.clone()
+        )
+            .prop_map(
+                |(
                     liquidator,
                     borrower,
                     debt_token,
                     debt_repaid,
                     collateral_token,
                     collateral_seized,
+                )| {
+                    LogEvent::Liquidation {
+                        platform: LendingPlatformId::AaveV2,
+                        liquidator,
+                        borrower,
+                        debt_token,
+                        debt_repaid,
+                        collateral_token,
+                        collateral_seized,
+                    }
                 }
-            }),
+            ),
         (addr, token.clone(), amount.clone()).prop_map(|(initiator, token, amount)| {
             LogEvent::FlashLoan {
                 platform: LendingPlatformId::DyDx,
@@ -78,7 +107,9 @@ fn chain_from_events(blocks: Vec<Vec<(u64, Vec<LogEvent>, bool)>>) -> mev_chain:
             let t = Transaction::new(
                 Address::from_index(from),
                 (number * 1_000 + j as u64) % 7, // deliberately weird nonces
-                TxFee::Legacy { gas_price: gwei(1 + j as u128) },
+                TxFee::Legacy {
+                    gas_price: gwei(1 + j as u128),
+                },
                 Gas(150_000),
                 Action::Other { gas: Gas(150_000) },
                 Wei::ZERO,
@@ -88,12 +119,19 @@ fn chain_from_events(blocks: Vec<Vec<(u64, Vec<LogEvent>, bool)>>) -> mev_chain:
                 tx_hash: t.hash(),
                 index: j as u32,
                 from: t.from,
-                outcome: if success { ExecOutcome::Success } else { ExecOutcome::Reverted },
+                outcome: if success {
+                    ExecOutcome::Success
+                } else {
+                    ExecOutcome::Reverted
+                },
                 gas_used: Gas(150_000),
                 effective_gas_price: gwei(1 + j as u128),
                 miner_fee: Gas(150_000).cost(gwei(1)),
                 coinbase_transfer: Wei(j as u128 * E18 / 100),
-                logs: events.into_iter().map(|e| Log::new(Address::from_index(500), e)).collect(),
+                logs: events
+                    .into_iter()
+                    .map(|e| Log::new(Address::from_index(500), e))
+                    .collect(),
             });
             txs.push(t);
         }
@@ -106,7 +144,13 @@ fn chain_from_events(blocks: Vec<Vec<(u64, Vec<LogEvent>, bool)>>) -> mev_chain:
             gas_limit: Gas(30_000_000),
             base_fee: Wei::ZERO,
         };
-        store.push(Block { header, transactions: txs }, receipts);
+        store.push(
+            Block {
+                header,
+                transactions: txs,
+            },
+            receipts,
+        );
     }
     store
 }
@@ -125,7 +169,8 @@ proptest! {
         )
     ) {
         let chain = chain_from_events(blocks);
-        let ds = MevDataset::inspect(&chain, &BlocksApi::new());
+        let api = BlocksApi::new();
+        let ds = Inspector::new(&chain, &api).threads(1).run().expect("serial run");
         for d in &ds.detections {
             // Structural invariants on whatever came out.
             prop_assert_eq!(d.profit_wei, d.gross_wei - d.costs_wei as i128);
@@ -141,7 +186,7 @@ proptest! {
             prop_assert!(chain.block(d.block).is_some());
         }
         // Serial and parallel inspection agree exactly.
-        let par = MevDataset::inspect_parallel(&chain, &BlocksApi::new());
+        let par = Inspector::new(&chain, &api).threads(8).run().expect("pooled run");
         prop_assert_eq!(par.detections, ds.detections);
     }
 
@@ -156,7 +201,7 @@ proptest! {
         )
     ) {
         let chain = chain_from_events(blocks);
-        let ds = MevDataset::inspect(&chain, &BlocksApi::new());
+        let ds = Inspector::new(&chain, &BlocksApi::new()).run().expect("run");
         for d in ds.of_kind(MevKind::Arbitrage) {
             // The Qin heuristic requires asset-positive cycles: the raw
             // start-token delta is positive by construction, so the wei

@@ -1,0 +1,212 @@
+//! Determinism guard for the worker-pool pipeline: on randomized
+//! scenarios, serial and parallel `Inspector` runs must produce
+//! bit-identical `Detection` vectors, and the `BlockIndex` columns must
+//! agree with direct `swaps_of` decoding of the raw receipts.
+
+use mev_core::{BlockIndex, Inspector};
+use mev_flashbots::BlocksApi;
+use mev_types::{
+    gwei, Action, Address, Block, BlockHeader, ExchangeId, ExecOutcome, Gas, LendingPlatformId,
+    Log, LogEvent, PoolId, Receipt, Timeline, TokenId, Transaction, TxFee, Wei, H256,
+};
+use proptest::prelude::*;
+
+const E18: u128 = 10u128.pow(18);
+
+/// Random event generator covering every log family the index decodes.
+fn event_strategy() -> impl Strategy<Value = LogEvent> {
+    let addr = (0u64..20).prop_map(Address::from_index);
+    let token = (0u32..4).prop_map(TokenId);
+    let pool = (0u8..4, 0u32..3).prop_map(|(e, i)| PoolId {
+        exchange: match e {
+            0 => ExchangeId::UniswapV2,
+            1 => ExchangeId::SushiSwap,
+            2 => ExchangeId::Curve,
+            _ => ExchangeId::UniswapV1,
+        },
+        index: i,
+    });
+    let amount = 0u128..10u128.pow(30);
+    prop_oneof![
+        (
+            pool,
+            addr.clone(),
+            token.clone(),
+            amount.clone(),
+            token.clone(),
+            amount.clone()
+        )
+            .prop_map(
+                |(pool, sender, token_in, amount_in, token_out, amount_out)| LogEvent::Swap {
+                    pool,
+                    sender,
+                    token_in,
+                    amount_in,
+                    token_out,
+                    amount_out
+                }
+            ),
+        (
+            addr.clone(),
+            addr.clone(),
+            token.clone(),
+            amount.clone(),
+            token.clone(),
+            amount.clone()
+        )
+            .prop_map(
+                |(
+                    liquidator,
+                    borrower,
+                    debt_token,
+                    debt_repaid,
+                    collateral_token,
+                    collateral_seized,
+                )| {
+                    LogEvent::Liquidation {
+                        platform: LendingPlatformId::AaveV2,
+                        liquidator,
+                        borrower,
+                        debt_token,
+                        debt_repaid,
+                        collateral_token,
+                        collateral_seized,
+                    }
+                }
+            ),
+        (addr, token.clone(), amount.clone()).prop_map(|(initiator, token, amount)| {
+            LogEvent::FlashLoan {
+                platform: LendingPlatformId::AaveV2,
+                initiator,
+                token,
+                amount,
+                fee: amount / 1_000,
+            }
+        }),
+        (token, amount).prop_map(|(token, price_wei)| LogEvent::OracleUpdate { token, price_wei }),
+    ]
+}
+
+fn chain_from_events(blocks: Vec<Vec<(u64, Vec<LogEvent>, bool)>>) -> mev_chain::ChainStore {
+    let tl = Timeline::paper_span(100);
+    let mut store = mev_chain::ChainStore::new(tl.clone());
+    for (i, block_events) in blocks.into_iter().enumerate() {
+        let number = tl.genesis_number + i as u64;
+        let mut txs = Vec::new();
+        let mut receipts = Vec::new();
+        for (j, (from, events, success)) in block_events.into_iter().enumerate() {
+            let t = Transaction::new(
+                Address::from_index(from),
+                (number * 1_000 + j as u64) % 7,
+                TxFee::Legacy {
+                    gas_price: gwei(1 + j as u128),
+                },
+                Gas(150_000),
+                Action::Other { gas: Gas(150_000) },
+                Wei::ZERO,
+                None,
+            );
+            receipts.push(Receipt {
+                tx_hash: t.hash(),
+                index: j as u32,
+                from: t.from,
+                outcome: if success {
+                    ExecOutcome::Success
+                } else {
+                    ExecOutcome::Reverted
+                },
+                gas_used: Gas(150_000),
+                effective_gas_price: gwei(1 + j as u128),
+                miner_fee: Gas(150_000).cost(gwei(1)),
+                coinbase_transfer: Wei(j as u128 * E18 / 100),
+                logs: events
+                    .into_iter()
+                    .map(|e| Log::new(Address::from_index(500), e))
+                    .collect(),
+            });
+            txs.push(t);
+        }
+        let header = BlockHeader {
+            number,
+            parent_hash: H256::zero(),
+            miner: Address::from_index(900 + (number % 3)),
+            timestamp: tl.timestamp_of(number),
+            gas_used: Gas(150_000),
+            gas_limit: Gas(30_000_000),
+            base_fee: Wei::ZERO,
+        };
+        store.push(
+            Block {
+                header,
+                transactions: txs,
+            },
+            receipts,
+        );
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The new pool's determinism contract: the detection vector is a
+    /// pure function of (chain, api, range, kinds) — never of scheduling.
+    #[test]
+    fn serial_and_pooled_runs_are_bit_identical(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..20, proptest::collection::vec(event_strategy(), 0..6), any::<bool>()),
+                0..8,
+            ),
+            1..10,
+        ),
+        threads in 2usize..9,
+    ) {
+        let chain = chain_from_events(blocks);
+        let api = BlocksApi::new();
+        let serial = Inspector::new(&chain, &api).threads(1).run().expect("serial");
+        let pooled = Inspector::new(&chain, &api).threads(threads).run().expect("pooled");
+        prop_assert_eq!(&serial.detections, &pooled.detections);
+        // Re-running over the serial run's own index changes nothing.
+        let reused = Inspector::new(&chain, &api)
+            .threads(threads)
+            .with_index(serial.index.clone())
+            .run()
+            .expect("reused index");
+        prop_assert_eq!(&serial.detections, &reused.detections);
+    }
+
+    /// The index's swap column is exactly `swaps_of` over the raw
+    /// receipts, block by block, and the tx columns match the receipts.
+    #[test]
+    fn block_index_agrees_with_direct_decoding(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..20, proptest::collection::vec(event_strategy(), 0..6), any::<bool>()),
+                0..8,
+            ),
+            1..8,
+        )
+    ) {
+        let chain = chain_from_events(blocks);
+        let index = BlockIndex::build(&chain);
+        prop_assert_eq!(index.len(), chain.iter().count());
+        for (block, receipts) in chain.iter() {
+            let rec = index.record(block.header.number).expect("indexed");
+            prop_assert_eq!(&rec.swaps, &mev_core::detect::swaps_of(receipts));
+            prop_assert_eq!(rec.tx_count(), receipts.len());
+            for r in receipts {
+                let t = rec.tx(r.index).expect("tx column");
+                prop_assert_eq!(t.hash, r.tx_hash);
+                prop_assert_eq!(t.from, r.from);
+                prop_assert_eq!(t.cost_wei, r.total_cost().0);
+                prop_assert_eq!(t.miner_revenue_wei, r.miner_revenue().0);
+                prop_assert_eq!(t.success, r.outcome.is_success());
+                prop_assert_eq!(
+                    t.has_flash_loan,
+                    mev_core::detect::receipt_has_flash_loan(&r.logs)
+                );
+            }
+        }
+    }
+}

@@ -38,39 +38,73 @@ pub enum Engine {
     /// `concentration > 1` approximates Uniswap V3's concentrated liquidity
     /// by quoting against virtual reserves `c·R` (lower price impact) while
     /// settling against real reserves.
-    ConstantProduct { reserve0: u128, reserve1: u128, fee_bps: u32, concentration: u32 },
+    ConstantProduct {
+        reserve0: u128,
+        reserve1: u128,
+        fee_bps: u32,
+        concentration: u32,
+    },
     /// Curve: StableSwap invariant with amplification `amp`.
-    StableSwap { reserve0: u128, reserve1: u128, amp: u64, fee_bps: u32 },
+    StableSwap {
+        reserve0: u128,
+        reserve1: u128,
+        amp: u64,
+        fee_bps: u32,
+    },
     /// Balancer: weighted product invariant; `weight0_bps + weight1_bps = 10000`.
-    Weighted { balance0: u128, balance1: u128, weight0_bps: u32, fee_bps: u32 },
+    Weighted {
+        balance0: u128,
+        balance1: u128,
+        weight0_bps: u32,
+        fee_bps: u32,
+    },
     /// 0x-style order book: quotes around `mid_price_e18` (token1 per token0,
     /// scaled 1e18) with a half-spread and finite depth per side.
-    OrderBook { mid_price_e18: u128, half_spread_bps: u32, depth0: u128, depth1: u128 },
+    OrderBook {
+        mid_price_e18: u128,
+        half_spread_bps: u32,
+        depth0: u128,
+        depth1: u128,
+    },
 }
 
 impl Engine {
     /// Quote the output for `amount_in` without mutating state.
     pub fn quote(&self, zero_for_one: bool, amount_in: u128) -> Result<u128, SwapError> {
         match *self {
-            Engine::ConstantProduct { reserve0, reserve1, fee_bps, concentration } => {
+            Engine::ConstantProduct {
+                reserve0,
+                reserve1,
+                fee_bps,
+                concentration,
+            } => {
                 let c = concentration.max(1) as u128;
                 let (rin, rout, real_out) = if zero_for_one {
                     (reserve0 * c, reserve1 * c, reserve1)
                 } else {
                     (reserve1 * c, reserve0 * c, reserve0)
                 };
-                let out =
-                    math::cp_amount_out(amount_in, rin, rout, fee_bps).ok_or(SwapError::NoLiquidity)?;
+                let out = math::cp_amount_out(amount_in, rin, rout, fee_bps)
+                    .ok_or(SwapError::NoLiquidity)?;
                 if out >= real_out {
                     return Err(SwapError::NoLiquidity);
                 }
                 Ok(out)
             }
-            Engine::StableSwap { reserve0, reserve1, amp, fee_bps } => {
+            Engine::StableSwap {
+                reserve0,
+                reserve1,
+                amp,
+                fee_bps,
+            } => {
                 if amount_in == 0 || reserve0 == 0 || reserve1 == 0 {
                     return Err(SwapError::NoLiquidity);
                 }
-                let (x, y) = if zero_for_one { (reserve0, reserve1) } else { (reserve1, reserve0) };
+                let (x, y) = if zero_for_one {
+                    (reserve0, reserve1)
+                } else {
+                    (reserve1, reserve0)
+                };
                 let d = math::stableswap_d(x, y, amp);
                 let y_new = math::stableswap_y(x + amount_in, d, amp);
                 let gross = y.saturating_sub(y_new);
@@ -80,7 +114,12 @@ impl Engine {
                 }
                 Ok(out)
             }
-            Engine::Weighted { balance0, balance1, weight0_bps, fee_bps } => {
+            Engine::Weighted {
+                balance0,
+                balance1,
+                weight0_bps,
+                fee_bps,
+            } => {
                 let (bin, bout, win, wout) = if zero_for_one {
                     (balance0, balance1, weight0_bps, math::BPS - weight0_bps)
                 } else {
@@ -89,7 +128,12 @@ impl Engine {
                 math::weighted_amount_out(amount_in, bin, bout, win, wout, fee_bps)
                     .ok_or(SwapError::NoLiquidity)
             }
-            Engine::OrderBook { mid_price_e18, half_spread_bps, depth0, depth1 } => {
+            Engine::OrderBook {
+                mid_price_e18,
+                half_spread_bps,
+                depth0,
+                depth1,
+            } => {
                 if amount_in == 0 || mid_price_e18 == 0 {
                     return Err(SwapError::NoLiquidity);
                 }
@@ -97,15 +141,23 @@ impl Engine {
                 // Taker crosses the spread: selling token0 receives
                 // mid·(1−s); selling token1 receives 1/(mid·(1+s)).
                 let (out, depth) = if zero_for_one {
-                    let px = mid_price_e18 * (math::BPS - half_spread_bps) as u128 / math::BPS as u128;
+                    let px =
+                        mid_price_e18 * (math::BPS - half_spread_bps) as u128 / math::BPS as u128;
                     (
-                        mev_types::U256::from(amount_in).mul_u128(px).div_u128(e18).as_u128(),
+                        mev_types::U256::from(amount_in)
+                            .mul_u128(px)
+                            .div_u128(e18)
+                            .as_u128(),
                         depth1,
                     )
                 } else {
-                    let px = mid_price_e18 * (math::BPS + half_spread_bps) as u128 / math::BPS as u128;
+                    let px =
+                        mid_price_e18 * (math::BPS + half_spread_bps) as u128 / math::BPS as u128;
                     (
-                        mev_types::U256::from(amount_in).mul_u128(e18).div_u128(px).as_u128(),
+                        mev_types::U256::from(amount_in)
+                            .mul_u128(e18)
+                            .div_u128(px)
+                            .as_u128(),
                         depth0,
                     )
                 };
@@ -129,11 +181,18 @@ impl Engine {
     ) -> Result<u128, SwapError> {
         let out = self.quote(zero_for_one, amount_in)?;
         if out < min_amount_out {
-            return Err(SwapError::Slippage { quoted: out, minimum: min_amount_out });
+            return Err(SwapError::Slippage {
+                quoted: out,
+                minimum: min_amount_out,
+            });
         }
         match self {
-            Engine::ConstantProduct { reserve0, reserve1, .. }
-            | Engine::StableSwap { reserve0, reserve1, .. } => {
+            Engine::ConstantProduct {
+                reserve0, reserve1, ..
+            }
+            | Engine::StableSwap {
+                reserve0, reserve1, ..
+            } => {
                 if zero_for_one {
                     *reserve0 += amount_in;
                     *reserve1 -= out;
@@ -142,7 +201,9 @@ impl Engine {
                     *reserve0 -= out;
                 }
             }
-            Engine::Weighted { balance0, balance1, .. } => {
+            Engine::Weighted {
+                balance0, balance1, ..
+            } => {
                 if zero_for_one {
                     *balance0 += amount_in;
                     *balance1 -= out;
@@ -169,12 +230,21 @@ impl Engine {
     /// fee-exclusive). Used by arbitrage scanners.
     pub fn spot_price_e18(&self) -> Option<u128> {
         match *self {
-            Engine::ConstantProduct { reserve0, reserve1, .. }
-            | Engine::StableSwap { reserve0, reserve1, .. } => {
+            Engine::ConstantProduct {
+                reserve0, reserve1, ..
+            }
+            | Engine::StableSwap {
+                reserve0, reserve1, ..
+            } => {
                 // token1 per token0 = reserve1 / reserve0.
                 math::cp_spot_price_e18(reserve1, reserve0)
             }
-            Engine::Weighted { balance0, balance1, weight0_bps, .. } => {
+            Engine::Weighted {
+                balance0,
+                balance1,
+                weight0_bps,
+                ..
+            } => {
                 // price1per0 = (b1/w1) / (b0/w0)
                 let w0 = weight0_bps as u128;
                 let w1 = (math::BPS - weight0_bps) as u128;
@@ -194,15 +264,21 @@ impl Engine {
     /// Reserve of the given side (0 or 1).
     pub fn reserve(&self, side: u8) -> u128 {
         match *self {
-            Engine::ConstantProduct { reserve0, reserve1, .. }
-            | Engine::StableSwap { reserve0, reserve1, .. } => {
+            Engine::ConstantProduct {
+                reserve0, reserve1, ..
+            }
+            | Engine::StableSwap {
+                reserve0, reserve1, ..
+            } => {
                 if side == 0 {
                     reserve0
                 } else {
                     reserve1
                 }
             }
-            Engine::Weighted { balance0, balance1, .. } => {
+            Engine::Weighted {
+                balance0, balance1, ..
+            } => {
                 if side == 0 {
                     balance0
                 } else {
@@ -228,7 +304,12 @@ mod tests {
     const E18: u128 = 10u128.pow(18);
 
     fn cp(r0: u128, r1: u128) -> Engine {
-        Engine::ConstantProduct { reserve0: r0, reserve1: r1, fee_bps: 30, concentration: 1 }
+        Engine::ConstantProduct {
+            reserve0: r0,
+            reserve1: r1,
+            fee_bps: 30,
+            concentration: 1,
+        }
     }
 
     #[test]

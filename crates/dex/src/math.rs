@@ -10,7 +10,12 @@ pub const BPS: u32 = 10_000;
 /// `out = (in·(1-fee)·R_out) / (R_in + in·(1-fee))`.
 ///
 /// Returns `None` on zero reserves or zero input.
-pub fn cp_amount_out(amount_in: u128, reserve_in: u128, reserve_out: u128, fee_bps: u32) -> Option<u128> {
+pub fn cp_amount_out(
+    amount_in: u128,
+    reserve_in: u128,
+    reserve_out: u128,
+    fee_bps: u32,
+) -> Option<u128> {
     if amount_in == 0 || reserve_in == 0 || reserve_out == 0 {
         return None;
     }
@@ -30,13 +35,19 @@ pub fn cp_amount_out(amount_in: u128, reserve_in: u128, reserve_out: u128, fee_b
 
 /// Constant-product *input* required to receive `amount_out`:
 /// the inverse of [`cp_amount_out`], rounded up.
-pub fn cp_amount_in(amount_out: u128, reserve_in: u128, reserve_out: u128, fee_bps: u32) -> Option<u128> {
+pub fn cp_amount_in(
+    amount_out: u128,
+    reserve_in: u128,
+    reserve_out: u128,
+    fee_bps: u32,
+) -> Option<u128> {
     if amount_out == 0 || reserve_in == 0 || amount_out >= reserve_out {
         return None;
     }
-    let numerator = U256::from(reserve_in).mul_u128(amount_out).mul_u128(BPS as u128);
-    let denominator =
-        U256::from(reserve_out - amount_out).mul_u128((BPS - fee_bps) as u128);
+    let numerator = U256::from(reserve_in)
+        .mul_u128(amount_out)
+        .mul_u128(BPS as u128);
+    let denominator = U256::from(reserve_out - amount_out).mul_u128((BPS - fee_bps) as u128);
     let (q, r) = numerator.div(denominator);
     let mut v = q.checked_u128()?;
     if r != U256::ZERO {
@@ -52,7 +63,10 @@ pub fn cp_spot_price_e18(reserve_in: u128, reserve_out: u128) -> Option<u128> {
     if reserve_out == 0 {
         return None;
     }
-    U256::from(reserve_in).mul_u128(10u128.pow(18)).div_u128(reserve_out).checked_u128()
+    U256::from(reserve_in)
+        .mul_u128(10u128.pow(18))
+        .div_u128(reserve_out)
+        .checked_u128()
 }
 
 /// StableSwap invariant `D` for a 2-coin pool with amplification `amp`
@@ -155,7 +169,10 @@ mod tests {
         // Balanced pool, tiny trade: out ≈ in minus fee.
         let out = cp_amount_out(E18, 1_000_000 * E18, 1_000_000 * E18, 30).unwrap();
         let expected = E18 * 9970 / 10_000;
-        assert!(out.abs_diff(expected) < E18 / 1000, "out={out} expected≈{expected}");
+        assert!(
+            out.abs_diff(expected) < E18 / 1000,
+            "out={out} expected≈{expected}"
+        );
     }
 
     #[test]
@@ -210,8 +227,14 @@ mod tests {
         let y_new = stableswap_y(x + amount, d, 200);
         let ss_out = y - y_new;
         let cp_out = cp_amount_out(amount, x, y, 0).unwrap();
-        assert!(ss_out > cp_out, "stableswap should beat cp for like-priced assets");
-        assert!(ss_out < amount, "but can never give more than 1:1 when balanced");
+        assert!(
+            ss_out > cp_out,
+            "stableswap should beat cp for like-priced assets"
+        );
+        assert!(
+            ss_out < amount,
+            "but can never give more than 1:1 when balanced"
+        );
     }
 
     #[test]

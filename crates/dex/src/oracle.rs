@@ -23,7 +23,10 @@ impl PriceOracle {
 
     /// Post a new price observation at `block`.
     pub fn update(&mut self, token: TokenId, block: u64, price_wei: u128) {
-        self.history.entry(token).or_default().insert(block, price_wei);
+        self.history
+            .entry(token)
+            .or_default()
+            .insert(block, price_wei);
     }
 
     /// Latest price at or before `block`. WETH is always 1e18 by identity.
@@ -31,7 +34,11 @@ impl PriceOracle {
         if token.is_weth() {
             return Some(10u128.pow(18));
         }
-        self.history.get(&token)?.range(..=block).next_back().map(|(_, &p)| p)
+        self.history
+            .get(&token)?
+            .range(..=block)
+            .next_back()
+            .map(|(_, &p)| p)
     }
 
     /// Current (latest known) price.
@@ -45,13 +52,19 @@ impl PriceOracle {
     /// Convert a token amount (base units) to wei at the block's price.
     pub fn to_wei_at(&self, token: TokenId, amount: u128, block: u64) -> Option<u128> {
         let p = self.price_at(token, block)?;
-        U256::from(amount).mul_u128(p).div_u128(10u128.pow(18)).checked_u128()
+        U256::from(amount)
+            .mul_u128(p)
+            .div_u128(10u128.pow(18))
+            .checked_u128()
     }
 
     /// Convert a token amount to wei at the current price.
     pub fn to_wei(&self, token: TokenId, amount: u128) -> Option<u128> {
         let p = self.price(token)?;
-        U256::from(amount).mul_u128(p).div_u128(10u128.pow(18)).checked_u128()
+        U256::from(amount)
+            .mul_u128(p)
+            .div_u128(10u128.pow(18))
+            .checked_u128()
     }
 
     /// Tokens with at least one observation.

@@ -57,7 +57,8 @@ impl Pool {
 
     /// Current reserve of `token`.
     pub fn reserve_of(&self, token: TokenId) -> Option<u128> {
-        self.direction(token).map(|d| self.engine.reserve(if d { 0 } else { 1 }))
+        self.direction(token)
+            .map(|d| self.engine.reserve(if d { 0 } else { 1 }))
     }
 
     /// Mid price of `quote_token` per `base_token`, scaled 1e18.
@@ -144,7 +145,10 @@ impl DexState {
         self.by_pair.clear();
         for (i, p) in self.pools.iter().enumerate() {
             self.by_id.insert(p.id, i);
-            self.by_pair.entry(pair_key(p.token0, p.token1)).or_default().push(i);
+            self.by_pair
+                .entry(pair_key(p.token0, p.token1))
+                .or_default()
+                .push(i);
         }
     }
 
@@ -180,24 +184,41 @@ impl DexState {
     /// Without it, the trader flow's random walk can drain one side of a
     /// pool entirely, which never survives on mainnet. Returns the number
     /// of pools rebalanced.
-    pub fn tether_to_oracle(&mut self, oracle: &crate::oracle::PriceOracle, band_bps: u32) -> usize {
+    pub fn tether_to_oracle(
+        &mut self,
+        oracle: &crate::oracle::PriceOracle,
+        band_bps: u32,
+    ) -> usize {
         let e18 = 10u128.pow(18);
         let mut rebalanced = 0;
         for p in self.pools.iter_mut() {
-            let Some(token) = p.other(TokenId::WETH) else { continue };
-            let Some(target) = oracle.price(token) else { continue };
-            let crate::engine::Engine::ConstantProduct { reserve0, reserve1, .. } = &mut p.engine
+            let Some(token) = p.other(TokenId::WETH) else {
+                continue;
+            };
+            let Some(target) = oracle.price(token) else {
+                continue;
+            };
+            let crate::engine::Engine::ConstantProduct {
+                reserve0, reserve1, ..
+            } = &mut p.engine
             else {
                 continue;
             };
             // Normalise to (weth, tok) irrespective of pair order.
             let weth_is_0 = p.token0 == TokenId::WETH;
-            let (weth, tok) = if weth_is_0 { (*reserve0, *reserve1) } else { (*reserve1, *reserve0) };
+            let (weth, tok) = if weth_is_0 {
+                (*reserve0, *reserve1)
+            } else {
+                (*reserve1, *reserve0)
+            };
             if weth == 0 || tok == 0 {
                 continue;
             }
             // Current price: wei of WETH per whole token.
-            let current = mev_types::U256::from(weth).mul_u128(e18).div_u128(tok).as_u128();
+            let current = mev_types::U256::from(weth)
+                .mul_u128(e18)
+                .div_u128(tok)
+                .as_u128();
             let band = target / 10_000 * band_bps as u128;
             if current.abs_diff(target) <= band {
                 continue;
@@ -234,7 +255,9 @@ pub mod build {
     /// Derive a deterministic pool address from its id.
     pub fn pool_address(id: PoolId) -> Address {
         // Offset well above agent address space (indices < 2^32).
-        Address::from_index(0x5000_0000_0000 + (id.exchange as u64) * 0x1_0000_0000 + id.index as u64)
+        Address::from_index(
+            0x5000_0000_0000 + (id.exchange as u64) * 0x1_0000_0000 + id.index as u64,
+        )
     }
 
     /// A Uniswap-V2-style pool (0.30 % fee).
@@ -249,7 +272,16 @@ pub mod build {
 
     /// A Uniswap-V1 pool — always WETH-paired (token0 = WETH).
     pub fn uniswap_v1(index: u32, token: TokenId, weth_reserve: u128, token_reserve: u128) -> Pool {
-        cp_pool(ExchangeId::UniswapV1, index, TokenId::WETH, token, weth_reserve, token_reserve, 30, 1)
+        cp_pool(
+            ExchangeId::UniswapV1,
+            index,
+            TokenId::WETH,
+            token,
+            weth_reserve,
+            token_reserve,
+            30,
+            1,
+        )
     }
 
     /// A Uniswap-V3 pool: 0.05 % fee, concentrated liquidity emulated as a
@@ -287,37 +319,74 @@ pub mod build {
             address: pool_address(id),
             token0: t0,
             token1: t1,
-            engine: Engine::ConstantProduct { reserve0: r0, reserve1: r1, fee_bps, concentration },
+            engine: Engine::ConstantProduct {
+                reserve0: r0,
+                reserve1: r1,
+                fee_bps,
+                concentration,
+            },
         }
     }
 
     /// A Curve stableswap pool (0.04 % fee, A = 200).
     pub fn curve(index: u32, t0: TokenId, t1: TokenId, r0: u128, r1: u128) -> Pool {
-        let id = PoolId { exchange: ExchangeId::Curve, index };
+        let id = PoolId {
+            exchange: ExchangeId::Curve,
+            index,
+        };
         Pool {
             id,
             address: pool_address(id),
             token0: t0,
             token1: t1,
-            engine: Engine::StableSwap { reserve0: r0, reserve1: r1, amp: 200, fee_bps: 4 },
+            engine: Engine::StableSwap {
+                reserve0: r0,
+                reserve1: r1,
+                amp: 200,
+                fee_bps: 4,
+            },
         }
     }
 
     /// A Balancer 80/20 pool (0.30 % fee).
-    pub fn balancer(index: u32, t0: TokenId, t1: TokenId, b0: u128, b1: u128, weight0_bps: u32) -> Pool {
-        let id = PoolId { exchange: ExchangeId::Balancer, index };
+    pub fn balancer(
+        index: u32,
+        t0: TokenId,
+        t1: TokenId,
+        b0: u128,
+        b1: u128,
+        weight0_bps: u32,
+    ) -> Pool {
+        let id = PoolId {
+            exchange: ExchangeId::Balancer,
+            index,
+        };
         Pool {
             id,
             address: pool_address(id),
             token0: t0,
             token1: t1,
-            engine: Engine::Weighted { balance0: b0, balance1: b1, weight0_bps, fee_bps: 30 },
+            engine: Engine::Weighted {
+                balance0: b0,
+                balance1: b1,
+                weight0_bps,
+                fee_bps: 30,
+            },
         }
     }
 
     /// A 0x order book for `token` against WETH.
-    pub fn zeroex(index: u32, token: TokenId, price_wei: u128, depth_token: u128, depth_weth: u128) -> Pool {
-        let id = PoolId { exchange: ExchangeId::ZeroEx, index };
+    pub fn zeroex(
+        index: u32,
+        token: TokenId,
+        price_wei: u128,
+        depth_token: u128,
+        depth_weth: u128,
+    ) -> Pool {
+        let id = PoolId {
+            exchange: ExchangeId::ZeroEx,
+            index,
+        };
         Pool {
             id,
             address: pool_address(id),
@@ -341,9 +410,27 @@ mod tests {
 
     fn state() -> DexState {
         let mut s = DexState::new();
-        s.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 1_000 * E18, 2_000 * E18));
-        s.add_pool(build::sushiswap(0, TokenId::WETH, TokenId(1), 500 * E18, 1_050 * E18));
-        s.add_pool(build::curve(0, TokenId(1), TokenId(2), 10_000 * E18, 10_000 * E18));
+        s.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            1_000 * E18,
+            2_000 * E18,
+        ));
+        s.add_pool(build::sushiswap(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            500 * E18,
+            1_050 * E18,
+        ));
+        s.add_pool(build::curve(
+            0,
+            TokenId(1),
+            TokenId(2),
+            10_000 * E18,
+            10_000 * E18,
+        ));
         s
     }
 
@@ -351,10 +438,17 @@ mod tests {
     fn add_and_lookup() {
         let s = state();
         assert_eq!(s.len(), 3);
-        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let id = PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        };
         assert!(s.pool(id).is_some());
         assert_eq!(s.pools_for_pair(TokenId::WETH, TokenId(1)).len(), 2);
-        assert_eq!(s.pools_for_pair(TokenId(1), TokenId::WETH).len(), 2, "pair key unordered");
+        assert_eq!(
+            s.pools_for_pair(TokenId(1), TokenId::WETH).len(),
+            2,
+            "pair key unordered"
+        );
         assert_eq!(s.pools_for_pair(TokenId::WETH, TokenId(9)).len(), 0);
     }
 
@@ -379,9 +473,16 @@ mod tests {
     #[test]
     fn swap_via_pool_moves_reserves() {
         let mut s = state();
-        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let id = PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        };
         let before = s.pool(id).unwrap().reserve_of(TokenId(1)).unwrap();
-        let out = s.pool_mut(id).unwrap().swap(TokenId::WETH, 10 * E18, 0).unwrap();
+        let out = s
+            .pool_mut(id)
+            .unwrap()
+            .swap(TokenId::WETH, 10 * E18, 0)
+            .unwrap();
         let after = s.pool(id).unwrap().reserve_of(TokenId(1)).unwrap();
         assert_eq!(before - after, out);
     }
@@ -389,7 +490,10 @@ mod tests {
     #[test]
     fn wrong_token_rejected() {
         let mut s = state();
-        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let id = PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        };
         assert_eq!(
             s.pool_mut(id).unwrap().swap(TokenId(9), E18, 0),
             Err(SwapError::WrongToken)
@@ -399,7 +503,10 @@ mod tests {
     #[test]
     fn price_e18_both_directions() {
         let s = state();
-        let id = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let id = PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        };
         let p = s.pool(id).unwrap();
         // 2000 TKN1 per 1000 WETH ⇒ 2 TKN1/WETH.
         assert_eq!(p.price_e18(TokenId::WETH, TokenId(1)).unwrap(), 2 * E18);
@@ -422,14 +529,35 @@ mod tests {
         use crate::oracle::PriceOracle;
         let mut s = DexState::new();
         // Pool price: 0.1 WETH per TKN1 (100 WETH / 1000 TKN1).
-        s.add_pool(build::uniswap_v2(0, TokenId::WETH, TokenId(1), 100 * E18, 1_000 * E18));
+        s.add_pool(build::uniswap_v2(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            100 * E18,
+            1_000 * E18,
+        ));
         // Reversed pair order to exercise both orientations.
-        s.add_pool(build::sushiswap(0, TokenId(1), TokenId::WETH, 1_000 * E18, 100 * E18));
+        s.add_pool(build::sushiswap(
+            0,
+            TokenId(1),
+            TokenId::WETH,
+            1_000 * E18,
+            100 * E18,
+        ));
         // A pool already at the oracle price must be untouched.
-        s.add_pool(build::bancor(0, TokenId::WETH, TokenId(1), 500 * E18, 1_000 * E18));
+        s.add_pool(build::bancor(
+            0,
+            TokenId::WETH,
+            TokenId(1),
+            500 * E18,
+            1_000 * E18,
+        ));
         let mut oracle = PriceOracle::new();
         oracle.update(TokenId(1), 1, E18 / 2); // market says 0.5 WETH
-        let uni = PoolId { exchange: ExchangeId::UniswapV2, index: 0 };
+        let uni = PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 0,
+        };
         let k_before = {
             let p = s.pool(uni).unwrap();
             mev_types::U256::mul_u128_u128(
@@ -450,7 +578,10 @@ mod tests {
         let (q, _) = k_after.div(mev_types::U256::from(10u64.pow(9)));
         let (qb, _) = k_before.div(mev_types::U256::from(10u64.pow(9)));
         let diff = if q >= qb { q.sub(qb) } else { qb.sub(q) };
-        assert!(diff.checked_u128().map(|d| d < 10u128.pow(22)).unwrap_or(false));
+        assert!(diff
+            .checked_u128()
+            .map(|d| d < 10u128.pow(22))
+            .unwrap_or(false));
         // Within the band: no-op on second call.
         assert_eq!(s.tether_to_oracle(&oracle, 500), 0);
     }
@@ -458,9 +589,18 @@ mod tests {
     #[test]
     fn sync_orderbooks_updates_mid() {
         let mut s = DexState::new();
-        s.add_pool(build::zeroex(0, TokenId(1), 2 * E18, 1_000 * E18, 1_000 * E18));
+        s.add_pool(build::zeroex(
+            0,
+            TokenId(1),
+            2 * E18,
+            1_000 * E18,
+            1_000 * E18,
+        ));
         s.sync_orderbooks(TokenId(1), 3 * E18);
-        let id = PoolId { exchange: ExchangeId::ZeroEx, index: 0 };
+        let id = PoolId {
+            exchange: ExchangeId::ZeroEx,
+            index: 0,
+        };
         match s.pool(id).unwrap().engine {
             Engine::OrderBook { mid_price_e18, .. } => assert_eq!(mid_price_e18, 3 * E18),
             _ => unreachable!(),

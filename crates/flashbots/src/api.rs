@@ -46,7 +46,10 @@ impl BlocksApi {
     /// Record a mined Flashbots block. Blocks with no bundles are not
     /// Flashbots blocks and must not be recorded.
     pub fn record(&mut self, record: FlashbotsBlockRecord) {
-        assert!(!record.bundles.is_empty(), "a Flashbots block has at least one bundle");
+        assert!(
+            !record.bundles.is_empty(),
+            "a Flashbots block has at least one bundle"
+        );
         assert!(
             !self.by_number.contains_key(&record.block_number),
             "duplicate block {}",
@@ -55,7 +58,8 @@ impl BlocksApi {
         for b in &record.bundles {
             self.tx_set.extend(b.tx_hashes.iter().copied());
         }
-        self.by_number.insert(record.block_number, self.records.len());
+        self.by_number
+            .insert(record.block_number, self.records.len());
         self.records.push(record);
     }
 
@@ -114,7 +118,10 @@ impl BlocksApi {
 
     /// Transaction-count distribution per bundle.
     pub fn txs_per_bundle(&self) -> Vec<usize> {
-        self.records.iter().flat_map(|r| r.bundles.iter().map(|b| b.tx_hashes.len())).collect()
+        self.records
+            .iter()
+            .flat_map(|r| r.bundles.iter().map(|b| b.tx_hashes.len()))
+            .collect()
     }
 
     /// Bundle counts by type.
@@ -168,7 +175,10 @@ mod tests {
     #[test]
     fn record_and_query() {
         let mut api = BlocksApi::new();
-        api.record(record(100, vec![(BundleType::Flashbots, vec![hash(1), hash(2)])]));
+        api.record(record(
+            100,
+            vec![(BundleType::Flashbots, vec![hash(1), hash(2)])],
+        ));
         assert!(api.is_flashbots_block(100));
         assert!(!api.is_flashbots_block(101));
         assert!(api.is_flashbots_tx(hash(1)));

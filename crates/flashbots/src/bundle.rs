@@ -4,7 +4,9 @@
 use mev_types::{Address, Gas, Transaction, TxHash, Wei};
 
 /// Identifier assigned by the relay on submission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct BundleId(pub u64);
 
 /// The three bundle types the paper observes (§2.5, §4.1).
@@ -52,7 +54,13 @@ impl Bundle {
         txs: Vec<Transaction>,
         target_block: u64,
     ) -> Bundle {
-        Bundle { id: BundleId(0), searcher, bundle_type, txs, target_block }
+        Bundle {
+            id: BundleId(0),
+            searcher,
+            bundle_type,
+            txs,
+            target_block,
+        }
     }
 
     /// Total gas limit of the bundle.
@@ -118,7 +126,10 @@ mod tests {
         let b = Bundle::new(
             Address::from_index(1),
             BundleType::Flashbots,
-            vec![tx(0, 100_000, gwei(0), eth(1)), tx(1, 50_000, gwei(0), eth(2))],
+            vec![
+                tx(0, 100_000, gwei(0), eth(1)),
+                tx(1, 50_000, gwei(0), eth(2)),
+            ],
             10,
         );
         assert_eq!(b.gas(), Gas(150_000));
@@ -144,7 +155,12 @@ mod tests {
     fn tx_hashes_in_order() {
         let t0 = tx(0, 21_000, gwei(1), Wei::ZERO);
         let t1 = tx(1, 21_000, gwei(1), Wei::ZERO);
-        let b = Bundle::new(Address::from_index(1), BundleType::Rogue, vec![t0.clone(), t1.clone()], 5);
+        let b = Bundle::new(
+            Address::from_index(1),
+            BundleType::Rogue,
+            vec![t0.clone(), t1.clone()],
+            5,
+        );
         assert_eq!(b.tx_hashes(), vec![t0.hash(), t1.hash()]);
     }
 

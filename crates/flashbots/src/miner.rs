@@ -36,12 +36,21 @@ impl Default for SelectionConfig {
 /// Sort by value-per-gas descending (deterministic tie-break on the first
 /// tx hash), then take while budget and count allow. Returns the chosen
 /// bundles in inclusion order.
-pub fn select_bundles(mut bundles: Vec<Bundle>, base_fee: Wei, cfg: &SelectionConfig) -> Vec<Bundle> {
+pub fn select_bundles(
+    mut bundles: Vec<Bundle>,
+    base_fee: Wei,
+    cfg: &SelectionConfig,
+) -> Vec<Bundle> {
     bundles.retain(|b| !b.is_empty() && b.value_per_gas(base_fee) >= cfg.min_value_per_gas);
     bundles.sort_by(|a, b| {
         b.value_per_gas(base_fee)
             .cmp(&a.value_per_gas(base_fee))
-            .then_with(|| a.tx_hashes().first().cloned().cmp(&b.tx_hashes().first().cloned()))
+            .then_with(|| {
+                a.tx_hashes()
+                    .first()
+                    .cloned()
+                    .cmp(&b.tx_hashes().first().cloned())
+            })
     });
     let mut chosen = Vec::new();
     let mut gas = Gas::ZERO;
@@ -54,7 +63,10 @@ pub fn select_bundles(mut bundles: Vec<Bundle>, base_fee: Wei, cfg: &SelectionCo
             continue;
         }
         // Two bundles carrying the same (sender, nonce) cannot both land.
-        if b.txs.iter().any(|t| seen_senders_nonces.contains(&(t.from, t.nonce))) {
+        if b.txs
+            .iter()
+            .any(|t| seen_senders_nonces.contains(&(t.from, t.nonce)))
+        {
             continue;
         }
         for t in &b.txs {
@@ -148,21 +160,33 @@ mod tests {
     }
 
     fn bundle(searcher: u64, txs: Vec<Transaction>) -> Bundle {
-        Bundle::new(Address::from_index(searcher), BundleType::Flashbots, txs, 10)
+        Bundle::new(
+            Address::from_index(searcher),
+            BundleType::Flashbots,
+            txs,
+            10,
+        )
     }
 
     #[test]
     fn selects_by_value_per_gas() {
         let cheap = bundle(1, vec![tx(1, 0, 100_000, eth(1) / 100)]);
         let rich = bundle(2, vec![tx(2, 0, 100_000, eth(1))]);
-        let chosen = select_bundles(vec![cheap, rich.clone()], Wei::ZERO, &SelectionConfig::default());
+        let chosen = select_bundles(
+            vec![cheap, rich.clone()],
+            Wei::ZERO,
+            &SelectionConfig::default(),
+        );
         assert_eq!(chosen[0].searcher, rich.searcher);
         assert_eq!(chosen.len(), 2);
     }
 
     #[test]
     fn respects_gas_budget() {
-        let cfg = SelectionConfig { bundle_gas_budget: Gas(150_000), ..Default::default() };
+        let cfg = SelectionConfig {
+            bundle_gas_budget: Gas(150_000),
+            ..Default::default()
+        };
         let b1 = bundle(1, vec![tx(1, 0, 100_000, eth(2))]);
         let b2 = bundle(2, vec![tx(2, 0, 100_000, eth(1))]);
         let b3 = bundle(3, vec![tx(3, 0, 40_000, eth(1) / 2)]);
@@ -175,9 +199,13 @@ mod tests {
 
     #[test]
     fn respects_max_bundles() {
-        let cfg = SelectionConfig { max_bundles: 2, ..Default::default() };
-        let bundles: Vec<_> =
-            (1..=5).map(|i| bundle(i, vec![tx(i, 0, 21_000, eth(1))])).collect();
+        let cfg = SelectionConfig {
+            max_bundles: 2,
+            ..Default::default()
+        };
+        let bundles: Vec<_> = (1..=5)
+            .map(|i| bundle(i, vec![tx(i, 0, 21_000, eth(1))]))
+            .collect();
         assert_eq!(select_bundles(bundles, Wei::ZERO, &cfg).len(), 2);
     }
 
@@ -187,12 +215,18 @@ mod tests {
         let shared = tx(1, 0, 21_000, eth(1));
         let b1 = bundle(1, vec![shared.clone()]);
         let b2 = bundle(2, vec![shared]);
-        assert_eq!(select_bundles(vec![b1, b2], Wei::ZERO, &SelectionConfig::default()).len(), 1);
+        assert_eq!(
+            select_bundles(vec![b1, b2], Wei::ZERO, &SelectionConfig::default()).len(),
+            1
+        );
     }
 
     #[test]
     fn drops_dust_bundles() {
-        let cfg = SelectionConfig { min_value_per_gas: gwei(2), ..Default::default() };
+        let cfg = SelectionConfig {
+            min_value_per_gas: gwei(2),
+            ..Default::default()
+        };
         // 1 gwei/gas from fees + a 1-wei tip: below the 2 gwei/gas floor.
         let dust = bundle(1, vec![tx(1, 0, 21_000, Wei(1))]);
         assert!(select_bundles(vec![dust], Wei::ZERO, &cfg).is_empty());
@@ -200,7 +234,10 @@ mod tests {
 
     #[test]
     fn assemble_puts_bundles_first() {
-        let b = bundle(1, vec![tx(1, 0, 21_000, eth(1)), tx(1, 1, 21_000, Wei::ZERO)]);
+        let b = bundle(
+            1,
+            vec![tx(1, 0, 21_000, eth(1)), tx(1, 1, 21_000, Wei::ZERO)],
+        );
         let public = vec![tx(5, 0, 21_000, Wei::ZERO)];
         let ordered = assemble_candidates(&[b.clone()], &[], &public);
         assert_eq!(ordered.len(), 3);
@@ -225,7 +262,10 @@ mod tests {
         assert!(pos(front.hash()) < pos(victim.hash()));
         assert!(pos(victim.hash()) < pos(back.hash()));
         // Victim appears exactly once.
-        assert_eq!(ordered.iter().filter(|t| t.hash() == victim.hash()).count(), 1);
+        assert_eq!(
+            ordered.iter().filter(|t| t.hash() == victim.hash()).count(),
+            1
+        );
     }
 
     #[test]

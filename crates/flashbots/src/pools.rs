@@ -38,7 +38,12 @@ pub struct PrivateChannel {
 
 impl PrivateChannel {
     /// A channel alive for `[from, until)`.
-    pub fn new(name: impl Into<String>, members: Vec<Address>, from: u64, until: u64) -> PrivateChannel {
+    pub fn new(
+        name: impl Into<String>,
+        members: Vec<Address>,
+        from: u64,
+        until: u64,
+    ) -> PrivateChannel {
         assert!(!members.is_empty(), "channel needs at least one miner");
         assert!(from < until, "empty activity window");
         PrivateChannel {
@@ -53,7 +58,12 @@ impl PrivateChannel {
 
     /// A single-miner self-extraction channel (never expires).
     pub fn self_channel(miner: Address, from: u64) -> PrivateChannel {
-        PrivateChannel::new(format!("self:{}", miner.short()), vec![miner], from, u64::MAX)
+        PrivateChannel::new(
+            format!("self:{}", miner.short()),
+            vec![miner],
+            from,
+            u64::MAX,
+        )
     }
 
     /// Is the channel alive at `block`?
@@ -161,7 +171,11 @@ mod tests {
     }
 
     fn sub(searcher: u64) -> PrivateSubmission {
-        PrivateSubmission { searcher: Address::from_index(searcher), txs: vec![tx(searcher, 0)], wrap_victim: None }
+        PrivateSubmission {
+            searcher: Address::from_index(searcher),
+            txs: vec![tx(searcher, 0)],
+            wrap_victim: None,
+        }
     }
 
     #[test]
@@ -222,7 +236,11 @@ mod tests {
         assert_eq!(book.stake_of(a), 150);
         assert_eq!(book.unstake(a, 60), 60);
         assert_eq!(book.stake_of(a), 90);
-        assert_eq!(book.unstake(a, 1_000), 90, "cannot withdraw more than staked");
+        assert_eq!(
+            book.unstake(a, 1_000),
+            90,
+            "cannot withdraw more than staked"
+        );
         assert_eq!(book.stake_of(a), 0);
         assert_eq!(book.stake_of(Address::from_index(9)), 0);
     }
@@ -235,8 +253,16 @@ mod tests {
         book.stake(whale, 1_000_000);
         book.stake(minnow, 10);
         let subs = vec![
-            PrivateSubmission { searcher: minnow, txs: vec![tx(2, 0)], wrap_victim: None },
-            PrivateSubmission { searcher: whale, txs: vec![tx(1, 0)], wrap_victim: None },
+            PrivateSubmission {
+                searcher: minnow,
+                txs: vec![tx(2, 0)],
+                wrap_victim: None,
+            },
+            PrivateSubmission {
+                searcher: whale,
+                txs: vec![tx(1, 0)],
+                wrap_victim: None,
+            },
         ];
         let ordered = book.prioritise(subs);
         assert_eq!(ordered[0].searcher, whale, "capital buys priority");

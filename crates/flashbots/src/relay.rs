@@ -66,7 +66,10 @@ pub struct Relay {
 
 impl Relay {
     pub fn new() -> Relay {
-        Relay { max_bundle_txs: 1024, ..Relay::default() }
+        Relay {
+            max_bundle_txs: 1024,
+            ..Relay::default()
+        }
     }
 
     /// Register a miner (the Flashbots web-portal application step).
@@ -81,7 +84,10 @@ impl Relay {
 
     /// Registered miners in good standing.
     pub fn active_miners(&self) -> impl Iterator<Item = Address> + '_ {
-        self.miners.iter().copied().filter(|m| !self.banned_miners.contains(m))
+        self.miners
+            .iter()
+            .copied()
+            .filter(|m| !self.banned_miners.contains(m))
     }
 
     /// Submit a bundle targeting `bundle.target_block`.
@@ -93,7 +99,9 @@ impl Relay {
             return Err(RelayError::EmptyBundle);
         }
         if bundle.len() > self.max_bundle_txs {
-            return Err(RelayError::TooLarge { max: self.max_bundle_txs });
+            return Err(RelayError::TooLarge {
+                max: self.max_bundle_txs,
+            });
         }
         if bundle.target_block <= head {
             return Err(RelayError::StaleTarget { head });
@@ -101,7 +109,10 @@ impl Relay {
         self.next_id += 1;
         bundle.id = BundleId(self.next_id);
         let id = bundle.id;
-        self.queue.entry(bundle.target_block).or_default().push(bundle);
+        self.queue
+            .entry(bundle.target_block)
+            .or_default()
+            .push(bundle);
         self.submitted += 1;
         Ok(id)
     }
@@ -119,7 +130,9 @@ impl Relay {
     /// and ban the miner if any bundle was equivocated on.
     pub fn audit_block(&mut self, block: &Block) -> Vec<(BundleId, BundleOutcome)> {
         let number = block.header.number;
-        let Some(bundles) = self.queue.get(&number) else { return Vec::new() };
+        let Some(bundles) = self.queue.get(&number) else {
+            return Vec::new();
+        };
         let block_hashes: Vec<TxHash> = block.transactions.iter().map(|t| t.hash()).collect();
         let mut outcomes = Vec::new();
         let mut equivocated = false;
@@ -196,7 +209,12 @@ mod tests {
     }
 
     fn bundle(searcher: u64, target: u64, txs: Vec<Transaction>) -> Bundle {
-        Bundle::new(Address::from_index(searcher), BundleType::Flashbots, txs, target)
+        Bundle::new(
+            Address::from_index(searcher),
+            BundleType::Flashbots,
+            txs,
+            target,
+        )
     }
 
     fn block_with(miner: Address, number: u64, txs: Vec<Transaction>) -> Block {
@@ -227,7 +245,10 @@ mod tests {
     #[test]
     fn validation_rejections() {
         let mut r = Relay::new();
-        assert_eq!(r.submit(bundle(1, 10, vec![]), 5), Err(RelayError::EmptyBundle));
+        assert_eq!(
+            r.submit(bundle(1, 10, vec![]), 5),
+            Err(RelayError::EmptyBundle)
+        );
         assert_eq!(
             r.submit(bundle(1, 4, vec![tx(1, 0)]), 5),
             Err(RelayError::StaleTarget { head: 5 })
@@ -238,7 +259,10 @@ mod tests {
             Err(RelayError::TooLarge { max: 1 })
         );
         r.ban_searcher(Address::from_index(1));
-        assert_eq!(r.submit(bundle(1, 10, vec![tx(1, 0)]), 5), Err(RelayError::SearcherBanned));
+        assert_eq!(
+            r.submit(bundle(1, 10, vec![tx(1, 0)]), 5),
+            Err(RelayError::SearcherBanned)
+        );
     }
 
     #[test]

@@ -3,8 +3,7 @@
 //! classification is consistent with how the block was actually built.
 
 use mev_flashbots::{
-    assemble_candidates, select_bundles, Bundle, BundleOutcome, BundleType, Relay,
-    SelectionConfig,
+    assemble_candidates, select_bundles, Bundle, BundleOutcome, BundleType, Relay, SelectionConfig,
 };
 use mev_types::{gwei, Action, Address, Block, BlockHeader, Gas, Transaction, TxFee, Wei, H256};
 use proptest::prelude::*;
@@ -35,7 +34,12 @@ fn bundles_strategy() -> impl Strategy<Value = Vec<Bundle>> {
                 let txs: Vec<Transaction> = (0..n_txs)
                     .map(|k| tx(from, nonce0 + k as u64, gas, tip))
                     .collect();
-                Bundle::new(Address::from_index(100 + i as u64), BundleType::Flashbots, txs, 10)
+                Bundle::new(
+                    Address::from_index(100 + i as u64),
+                    BundleType::Flashbots,
+                    txs,
+                    10,
+                )
             })
             .collect()
     })

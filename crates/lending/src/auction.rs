@@ -109,7 +109,10 @@ impl AuctionBook {
         if a.settled {
             return Err(AuctionError::Settled);
         }
-        let floor = a.best_bid.map(|(_, b)| b).unwrap_or(a.reserve_bid.saturating_sub(1));
+        let floor = a
+            .best_bid
+            .map(|(_, b)| b)
+            .unwrap_or(a.reserve_bid.saturating_sub(1));
         if amount <= floor {
             return Err(AuctionError::BidTooLow);
         }
@@ -118,7 +121,11 @@ impl AuctionBook {
     }
 
     /// Settle a closed auction; returns the winner if any bid met reserve.
-    pub fn settle(&mut self, id: u64, current_block: u64) -> Result<Option<(Address, u128)>, AuctionError> {
+    pub fn settle(
+        &mut self,
+        id: u64,
+        current_block: u64,
+    ) -> Result<Option<(Address, u128)>, AuctionError> {
         let a = self.auctions.get_mut(&id).ok_or(AuctionError::NotFound)?;
         if a.settled {
             return Err(AuctionError::Settled);
@@ -132,7 +139,9 @@ impl AuctionBook {
 
     /// Auctions still accepting bids at `block`.
     pub fn open_auctions(&self, block: u64) -> impl Iterator<Item = &Auction> {
-        self.auctions.values().filter(move |a| !a.settled && block < a.closes_at_block)
+        self.auctions
+            .values()
+            .filter(move |a| !a.settled && block < a.closes_at_block)
     }
 }
 
@@ -160,11 +169,20 @@ mod tests {
     #[test]
     fn bids_must_escalate() {
         let (mut b, id) = book_with_auction();
-        assert_eq!(b.bid(id, Address::from_index(2), 49 * E18), Err(AuctionError::BidTooLow));
+        assert_eq!(
+            b.bid(id, Address::from_index(2), 49 * E18),
+            Err(AuctionError::BidTooLow)
+        );
         b.bid(id, Address::from_index(2), 50 * E18).unwrap();
-        assert_eq!(b.bid(id, Address::from_index(3), 50 * E18), Err(AuctionError::BidTooLow));
+        assert_eq!(
+            b.bid(id, Address::from_index(3), 50 * E18),
+            Err(AuctionError::BidTooLow)
+        );
         b.bid(id, Address::from_index(3), 51 * E18).unwrap();
-        assert_eq!(b.get(id).unwrap().best_bid, Some((Address::from_index(3), 51 * E18)));
+        assert_eq!(
+            b.get(id).unwrap().best_bid,
+            Some((Address::from_index(3), 51 * E18))
+        );
     }
 
     #[test]
@@ -175,7 +193,10 @@ mod tests {
         let winner = b.settle(id, 1100).unwrap();
         assert_eq!(winner, Some((Address::from_index(2), 60 * E18)));
         assert_eq!(b.settle(id, 1101), Err(AuctionError::Settled));
-        assert_eq!(b.bid(id, Address::from_index(3), 99 * E18), Err(AuctionError::Settled));
+        assert_eq!(
+            b.bid(id, Address::from_index(3), 99 * E18),
+            Err(AuctionError::Settled)
+        );
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod platform;
 
 pub use auction::{Auction, AuctionBook, AuctionError};
 pub use platform::{
-    LiquidationOutcome,
-    LendingError, LendingState, Platform, PlatformConfig, Position, UnhealthyLoan,
+    LendingError, LendingState, LiquidationOutcome, Platform, PlatformConfig, Position,
+    UnhealthyLoan,
 };

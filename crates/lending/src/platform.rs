@@ -221,8 +221,16 @@ impl Platform {
     }
 
     /// Repay debt (possibly partially). Returns the amount actually applied.
-    pub fn repay(&mut self, user: Address, token: TokenId, amount: u128) -> Result<u128, LendingError> {
-        let pos = self.positions.get_mut(&user).ok_or(LendingError::NoPosition)?;
+    pub fn repay(
+        &mut self,
+        user: Address,
+        token: TokenId,
+        amount: u128,
+    ) -> Result<u128, LendingError> {
+        let pos = self
+            .positions
+            .get_mut(&user)
+            .ok_or(LendingError::NoPosition)?;
         let debt = pos.debt.get_mut(&token).ok_or(LendingError::NoPosition)?;
         let applied = amount.min(*debt);
         *debt -= applied;
@@ -240,7 +248,10 @@ impl Platform {
         }
         let coll = pos.collateral_value(oracle)?;
         let adjusted = mul_bps(coll, self.config.liquidation_threshold_bps);
-        U256::from(adjusted).mul_u128(E18).div_u128(debt).checked_u128()
+        U256::from(adjusted)
+            .mul_u128(E18)
+            .div_u128(debt)
+            .checked_u128()
     }
 
     /// Fixed-spread liquidation: repay up to `close_factor` of the debt,
@@ -252,11 +263,16 @@ impl Platform {
         repay_amount: u128,
         oracle: &PriceOracle,
     ) -> Result<LiquidationOutcome, LendingError> {
-        let health = self.health_e18(borrower, oracle).ok_or(LendingError::NoPosition)?;
+        let health = self
+            .health_e18(borrower, oracle)
+            .ok_or(LendingError::NoPosition)?;
         if health >= E18 {
             return Err(LendingError::PositionHealthy);
         }
-        let pos = self.positions.get_mut(&borrower).ok_or(LendingError::NoPosition)?;
+        let pos = self
+            .positions
+            .get_mut(&borrower)
+            .ok_or(LendingError::NoPosition)?;
         let debt = *pos.debt.get(&debt_token).ok_or(LendingError::NoPosition)?;
         if debt == 0 {
             return Err(LendingError::NoPosition);
@@ -273,11 +289,16 @@ impl Platform {
             .max_by_key(|(&t, &amt)| oracle.to_wei(t, amt).unwrap_or(0))
             .map(|(&t, &amt)| (t, amt))
             .ok_or(LendingError::NoPosition)?;
-        let repay_value = oracle.to_wei(debt_token, repay_amount).ok_or(LendingError::NoPrice)?;
+        let repay_value = oracle
+            .to_wei(debt_token, repay_amount)
+            .ok_or(LendingError::NoPrice)?;
         let seize_value = mul_bps(repay_value, 10_000 + self.config.liquidation_bonus_bps);
         let coll_price = oracle.price(coll_token).ok_or(LendingError::NoPrice)?;
-        let seize_amount =
-            U256::from(seize_value).mul_u128(E18).div_u128(coll_price).as_u128().min(coll_held);
+        let seize_amount = U256::from(seize_value)
+            .mul_u128(E18)
+            .div_u128(coll_price)
+            .as_u128()
+            .min(coll_held);
         // Apply.
         *pos.debt.get_mut(&debt_token).expect("checked") -= repay_amount;
         *pos.collateral.get_mut(&coll_token).expect("checked") -= seize_amount;
@@ -291,7 +312,10 @@ impl Platform {
 
     /// Flash-loan fee for `amount`, or an error if unsupported/illiquid.
     pub fn flash_loan_fee(&self, token: TokenId, amount: u128) -> Result<u128, LendingError> {
-        let fee_bps = self.config.flash_loan_fee_bps.ok_or(LendingError::NoFlashLoans)?;
+        let fee_bps = self
+            .config
+            .flash_loan_fee_bps
+            .ok_or(LendingError::NoFlashLoans)?;
         if self.available(token) < amount {
             return Err(LendingError::InsufficientLiquidity);
         }
@@ -302,7 +326,9 @@ impl Platform {
     pub fn unhealthy_positions(&self, oracle: &PriceOracle) -> Vec<UnhealthyLoan> {
         let mut out = Vec::new();
         for (&user, pos) in &self.positions {
-            let Some(health) = self.health_e18(user, oracle) else { continue };
+            let Some(health) = self.health_e18(user, oracle) else {
+                continue;
+            };
             if health >= E18 {
                 continue;
             }
@@ -367,8 +393,11 @@ impl LendingState {
 
     /// Unhealthy loans across all platforms.
     pub fn unhealthy_positions(&self, oracle: &PriceOracle) -> Vec<UnhealthyLoan> {
-        let mut out: Vec<_> =
-            self.platforms.values().flat_map(|p| p.unhealthy_positions(oracle)).collect();
+        let mut out: Vec<_> = self
+            .platforms
+            .values()
+            .flat_map(|p| p.unhealthy_positions(oracle))
+            .collect();
         out.sort_by_key(|l| (l.health_e18, l.borrower));
         out
     }
@@ -411,7 +440,7 @@ mod tests {
     fn borrow_within_collateral_factor() {
         let (mut p, oracle, user) = setup();
         p.deposit(user, TokenId(1), 100 * E18); // 200 WETH collateral value
-        // 75% factor ⇒ up to 150 WETH borrowable.
+                                                // 75% factor ⇒ up to 150 WETH borrowable.
         assert!(p.borrow(user, TokenId::WETH, 150 * E18, &oracle).is_ok());
         assert_eq!(p.available(TokenId::WETH), 1_000_000 * E18 - 150 * E18);
     }
@@ -508,14 +537,21 @@ mod tests {
         let applied = p.repay(user, TokenId::WETH, 150 * E18).unwrap();
         assert_eq!(applied, 100 * E18);
         assert_eq!(p.available(TokenId::WETH), 1_000_000 * E18);
-        assert_eq!(p.health_e18(user, &oracle), None, "no debt ⇒ no health factor");
+        assert_eq!(
+            p.health_e18(user, &oracle),
+            None,
+            "no debt ⇒ no health factor"
+        );
     }
 
     #[test]
     fn flash_loan_fees_per_platform() {
         let mut aave = Platform::new(LendingPlatformId::AaveV2);
         aave.seed_liquidity(TokenId::WETH, 1_000 * E18);
-        assert_eq!(aave.flash_loan_fee(TokenId::WETH, 1_000 * E18).unwrap(), 9 * E18 / 10);
+        assert_eq!(
+            aave.flash_loan_fee(TokenId::WETH, 1_000 * E18).unwrap(),
+            9 * E18 / 10
+        );
         assert_eq!(
             aave.flash_loan_fee(TokenId::WETH, 1_001 * E18),
             Err(LendingError::InsufficientLiquidity)
@@ -531,6 +567,9 @@ mod tests {
     fn state_spans_all_platforms() {
         let s = LendingState::new();
         assert_eq!(s.platforms().count(), 4);
-        assert_eq!(s.platform(LendingPlatformId::DyDx).id, LendingPlatformId::DyDx);
+        assert_eq!(
+            s.platform(LendingPlatformId::DyDx).id,
+            LendingPlatformId::DyDx
+        );
     }
 }

@@ -26,7 +26,12 @@ impl Network {
     /// Build a random connected graph: a ring (guaranteeing connectivity)
     /// plus `extra_edges` random chords, with link latencies drawn
     /// uniformly from `latency_range` milliseconds.
-    pub fn random(n: usize, extra_edges: usize, latency_range: (u64, u64), rng: &mut StdRng) -> Network {
+    pub fn random(
+        n: usize,
+        extra_edges: usize,
+        latency_range: (u64, u64),
+        rng: &mut StdRng,
+    ) -> Network {
         assert!(n >= 2, "need at least two nodes");
         assert!(latency_range.0 > 0 && latency_range.0 <= latency_range.1);
         let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
@@ -53,7 +58,11 @@ impl Network {
     /// A fully-connected network with uniform latency (tests).
     pub fn uniform(n: usize, latency_ms: u64) -> Network {
         let dist_ms = (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 0 } else { latency_ms }).collect())
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { 0 } else { latency_ms })
+                    .collect()
+            })
             .collect();
         Network { n, dist_ms }
     }

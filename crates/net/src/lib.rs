@@ -17,4 +17,6 @@ pub mod propagation;
 pub use gossip::{Network, NodeId};
 pub use mempool::{Mempool, MempoolError, PendingTx};
 pub use observer::{ObservedTx, Observer};
-pub use propagation::{coverage_curve, expected_observer_coverage, observer_max_lag_ms, time_to_coverage_ms};
+pub use propagation::{
+    coverage_curve, expected_observer_coverage, observer_max_lag_ms, time_to_coverage_ms,
+};

@@ -46,7 +46,11 @@ const REPLACEMENT_BUMP_PCT: u128 = 10;
 impl Mempool {
     pub fn new(max_size: usize) -> Mempool {
         assert!(max_size > 0);
-        Mempool { txs: HashMap::new(), by_sender: HashMap::new(), max_size }
+        Mempool {
+            txs: HashMap::new(),
+            by_sender: HashMap::new(),
+            max_size,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -96,8 +100,18 @@ impl Mempool {
             self.remove(cheapest.0);
         }
         let hash = tx.hash();
-        self.by_sender.entry(tx.from).or_default().insert(tx.nonce, hash);
-        self.txs.insert(hash, PendingTx { tx, origin, submit_ms });
+        self.by_sender
+            .entry(tx.from)
+            .or_default()
+            .insert(tx.nonce, hash);
+        self.txs.insert(
+            hash,
+            PendingTx {
+                tx,
+                origin,
+                submit_ms,
+            },
+        );
         Ok(())
     }
 
@@ -205,7 +219,10 @@ mod tests {
         m.insert(tx(1, 0, gwei(10)), 0, 0).unwrap();
         m.insert(tx(2, 0, gwei(20)), 0, 0).unwrap();
         // Cheaper than the floor: rejected.
-        assert_eq!(m.insert(tx(3, 0, gwei(10)), 0, 0), Err(MempoolError::FeeTooLowToEvict));
+        assert_eq!(
+            m.insert(tx(3, 0, gwei(10)), 0, 0),
+            Err(MempoolError::FeeTooLowToEvict)
+        );
         // Richer: evicts the gwei(10) tx.
         m.insert(tx(3, 0, gwei(30)), 0, 0).unwrap();
         assert_eq!(m.len(), 2);
@@ -243,7 +260,11 @@ mod tests {
         m.insert(tx(1, 0, gwei(10)), 0, 0).unwrap();
         m.insert(tx(2, 0, gwei(90)), 0, 0).unwrap();
         m.insert(tx(3, 0, gwei(40)), 0, 0).unwrap();
-        let bids: Vec<_> = m.visible_at(&net, 1, 10).iter().map(|p| p.tx.bid_per_gas()).collect();
+        let bids: Vec<_> = m
+            .visible_at(&net, 1, 10)
+            .iter()
+            .map(|p| p.tx.bid_per_gas())
+            .collect();
         assert_eq!(bids, vec![gwei(90), gwei(40), gwei(10)]);
     }
 

@@ -39,8 +39,17 @@ impl Observer {
     /// Create an observer at `node` for the given window.
     pub fn new(node: NodeId, window: (u64, u64), miss_rate: f64) -> Observer {
         assert!(window.0 <= window.1, "inverted window");
-        assert!((0.0..1.0).contains(&miss_rate), "miss rate must be in [0,1)");
-        Observer { node, window, miss_rate, seen: HashMap::new(), dropped: 0 }
+        assert!(
+            (0.0..1.0).contains(&miss_rate),
+            "miss rate must be in [0,1)"
+        );
+        Observer {
+            node,
+            window,
+            miss_rate,
+            seen: HashMap::new(),
+            dropped: 0,
+        }
     }
 
     pub fn node(&self) -> NodeId {

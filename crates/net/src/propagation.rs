@@ -16,8 +16,9 @@ pub fn coverage_curve(network: &Network, origin: NodeId, checkpoints_ms: &[u64])
     checkpoints_ms
         .iter()
         .map(|&t| {
-            let reached =
-                (0..network.len()).filter(|&node| network.latency_ms(origin, node) <= t).count();
+            let reached = (0..network.len())
+                .filter(|&node| network.latency_ms(origin, node) <= t)
+                .count();
             reached as f64 / n
         })
         .collect()
@@ -26,8 +27,9 @@ pub fn coverage_curve(network: &Network, origin: NodeId, checkpoints_ms: &[u64])
 /// Time for a message from `origin` to reach `fraction` of all nodes.
 pub fn time_to_coverage_ms(network: &Network, origin: NodeId, fraction: f64) -> u64 {
     assert!((0.0..=1.0).contains(&fraction));
-    let mut delays: Vec<u64> =
-        (0..network.len()).map(|node| network.latency_ms(origin, node)).collect();
+    let mut delays: Vec<u64> = (0..network.len())
+        .map(|node| network.latency_ms(origin, node))
+        .collect();
     delays.sort_unstable();
     let k = ((network.len() as f64 * fraction).ceil() as usize).clamp(1, network.len());
     delays[k - 1]
@@ -36,7 +38,10 @@ pub fn time_to_coverage_ms(network: &Network, origin: NodeId, fraction: f64) -> 
 /// Worst-case delay from any origin to the observer: an upper bound on how
 /// stale the observer's pending view can be for propagating transactions.
 pub fn observer_max_lag_ms(network: &Network, observer: NodeId) -> u64 {
-    (0..network.len()).map(|origin| network.latency_ms(origin, observer)).max().unwrap_or(0)
+    (0..network.len())
+        .map(|origin| network.latency_ms(origin, observer))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Fraction of (origin, submit-offset) combinations whose transaction

@@ -10,7 +10,9 @@ fn tx(from: u64, nonce: u64, price_gwei: u128) -> Transaction {
     Transaction::new(
         Address::from_index(from),
         nonce,
-        TxFee::Legacy { gas_price: gwei(price_gwei) },
+        TxFee::Legacy {
+            gas_price: gwei(price_gwei),
+        },
         Gas(21_000),
         Action::Other { gas: Gas(21_000) },
         Wei::ZERO,

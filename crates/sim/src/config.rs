@@ -151,7 +151,11 @@ impl Default for Scenario {
             blocks_per_month: 1_000,
             months: 23,
             n_tokens: 8,
-            miners: MinerConfig { count: 55, zipf_alpha: 1.6, never_join: 5 },
+            miners: MinerConfig {
+                count: 55,
+                zipf_alpha: 1.6,
+                never_join: 5,
+            },
             trades_per_block: 6.0,
             n_traders: 2_000,
             searchers: SearcherConfig {
@@ -176,9 +180,22 @@ impl Default for Scenario {
             },
             flashbots_launch: Month::new(2021, 2),
             exodus_month: Month::new(2021, 9),
-            network: NetworkConfig { nodes: 40, extra_edges: 80, latency_ms: (5, 150) },
-            oracle: OracleConfig { update_rate: 0.25, sigma: 0.006, crash_rate: 0.0015, crash_size: 0.22 },
-            lending: LendingConfig { new_borrower_rate: 0.02, leverage: 0.90, n_borrowers: 400 },
+            network: NetworkConfig {
+                nodes: 40,
+                extra_edges: 80,
+                latency_ms: (5, 150),
+            },
+            oracle: OracleConfig {
+                update_rate: 0.25,
+                sigma: 0.006,
+                crash_rate: 0.0015,
+                crash_size: 0.22,
+            },
+            lending: LendingConfig {
+                new_borrower_rate: 0.02,
+                leverage: 0.90,
+                n_borrowers: 400,
+            },
             protection_trade_share: 0.08,
             payout_interval: 45,
             giant_payout_bundle: true,
@@ -198,7 +215,11 @@ impl Scenario {
             months: 23,
             n_tokens: 4,
             trades_per_block: 5.0,
-            miners: MinerConfig { count: 12, zipf_alpha: 1.6, never_join: 2 },
+            miners: MinerConfig {
+                count: 12,
+                zipf_alpha: 1.6,
+                never_join: 2,
+            },
             searchers: SearcherConfig {
                 peak_sandwichers: 8,
                 peak_arbitrageurs: 10,
@@ -216,7 +237,11 @@ impl Scenario {
                 crash_rate: 0.012,
                 ..Scenario::default().oracle
             },
-            network: NetworkConfig { nodes: 12, extra_edges: 20, latency_ms: (5, 100) },
+            network: NetworkConfig {
+                nodes: 12,
+                extra_edges: 20,
+                latency_ms: (5, 100),
+            },
             ..Scenario::default()
         }
     }
@@ -288,7 +313,10 @@ mod tests {
         assert_eq!(tl.at(f.london_block).month(), Month::new(2021, 8));
         // Flashbots launches before both forks.
         assert!(s.flashbots_launch_block() < f.berlin_block);
-        assert_eq!(tl.at(s.flashbots_launch_block()).month(), Month::new(2021, 2));
+        assert_eq!(
+            tl.at(s.flashbots_launch_block()).month(),
+            Month::new(2021, 2)
+        );
     }
 
     #[test]

@@ -13,11 +13,17 @@ use crate::output::{SimOutput, SimStats};
 use crate::population::{
     searcher_address, SearcherPopulation, Strategy, Venue, PRIVATE_EXTRACTOR_BASE,
 };
-use mev_agents::strategies::arbitrage::{copy_with_higher_fee, find_arbitrage, find_triangle_arbitrage, ArbPlan};
-use mev_agents::strategies::liquidation::{plan_backrun_of_oracle_update, plan_liquidations, LiquidationPlan};
+use mev_agents::strategies::arbitrage::{
+    copy_with_higher_fee, find_arbitrage, find_triangle_arbitrage, ArbPlan,
+};
+use mev_agents::strategies::liquidation::{
+    plan_backrun_of_oracle_update, plan_liquidations, LiquidationPlan,
+};
 use mev_agents::strategies::sandwich::{plan_sandwich, plan_sandwich_buggy};
 use mev_agents::{GasMarket, MinerSet, TraderPool};
-use mev_chain::{base_fee_after, build_block, BlockSpec, BuiltBlock, ChainStore, ForkSchedule, World};
+use mev_chain::{
+    base_fee_after, build_block, BlockSpec, BuiltBlock, ChainStore, ForkSchedule, World,
+};
 use mev_dex::pool::build as pool_build;
 use mev_flashbots::{
     assemble_candidates, select_bundles, BlocksApi, Bundle, BundleRecord, BundleType,
@@ -108,13 +114,21 @@ impl Simulation {
         for i in 1..=s.n_tokens {
             let token = TokenId(i);
             let price = token_prices[&token];
-            let weth_side =
-                |r: &mut StdRng| (600 + r.gen_range(0..900)) as u128 * E18;
+            let weth_side = |r: &mut StdRng| (600 + r.gen_range(0..900)) as u128 * E18;
             let tok_for = |weth: u128| {
-                mev_types::U256::from(weth).mul_u128(E18).div_u128(price).as_u128()
+                mev_types::U256::from(weth)
+                    .mul_u128(E18)
+                    .div_u128(price)
+                    .as_u128()
             };
             let w1 = weth_side(&mut rng);
-            world.dex.add_pool(pool_build::uniswap_v2(i, TokenId::WETH, token, w1, tok_for(w1)));
+            world.dex.add_pool(pool_build::uniswap_v2(
+                i,
+                TokenId::WETH,
+                token,
+                w1,
+                tok_for(w1),
+            ));
             // Sushi slightly mispriced: seeds arbitrage.
             let w2 = weth_side(&mut rng);
             let skew = 98 + rng.gen_range(0..5) as u128; // 98–102 %
@@ -127,22 +141,45 @@ impl Simulation {
             ));
             if i % 2 == 0 {
                 let w = weth_side(&mut rng);
-                world.dex.add_pool(pool_build::uniswap_v3(i, TokenId::WETH, token, w, tok_for(w)));
+                world.dex.add_pool(pool_build::uniswap_v3(
+                    i,
+                    TokenId::WETH,
+                    token,
+                    w,
+                    tok_for(w),
+                ));
             }
             if i % 3 == 0 {
                 let w = weth_side(&mut rng);
-                world.dex.add_pool(pool_build::bancor(i, TokenId::WETH, token, w, tok_for(w)));
+                world
+                    .dex
+                    .add_pool(pool_build::bancor(i, TokenId::WETH, token, w, tok_for(w)));
             }
             if i % 3 == 1 {
                 let w = weth_side(&mut rng);
-                world.dex.add_pool(pool_build::balancer(i, TokenId::WETH, token, w, tok_for(w), 5000));
+                world.dex.add_pool(pool_build::balancer(
+                    i,
+                    TokenId::WETH,
+                    token,
+                    w,
+                    tok_for(w),
+                    5000,
+                ));
             }
             if i % 4 == 0 {
-                world.dex.add_pool(pool_build::zeroex(i, token, price, 2_000 * E18, 2_000 * E18));
+                world.dex.add_pool(pool_build::zeroex(
+                    i,
+                    token,
+                    price,
+                    2_000 * E18,
+                    2_000 * E18,
+                ));
             }
             if i % 4 == 1 {
                 let w = weth_side(&mut rng);
-                world.dex.add_pool(pool_build::uniswap_v1(i, token, w, tok_for(w)));
+                world
+                    .dex
+                    .add_pool(pool_build::uniswap_v1(i, token, w, tok_for(w)));
             }
             if i == s.n_tokens {
                 // Curve stable pool: WETH vs the pegged token.
@@ -163,11 +200,21 @@ impl Simulation {
                 // Reserves sized so the cross price is consistent with the
                 // two WETH legs (arbitrage then comes from drift, not
                 // construction).
-                let r_prev =
-                    mev_types::U256::from(weth_equiv).mul_u128(E18).div_u128(p_prev).as_u128();
-                let r_this =
-                    mev_types::U256::from(weth_equiv).mul_u128(E18).div_u128(price).as_u128();
-                world.dex.add_pool(pool_build::sushiswap(1_000 + i, prev, token, r_prev, r_this));
+                let r_prev = mev_types::U256::from(weth_equiv)
+                    .mul_u128(E18)
+                    .div_u128(p_prev)
+                    .as_u128();
+                let r_this = mev_types::U256::from(weth_equiv)
+                    .mul_u128(E18)
+                    .div_u128(price)
+                    .as_u128();
+                world.dex.add_pool(pool_build::sushiswap(
+                    1_000 + i,
+                    prev,
+                    token,
+                    r_prev,
+                    r_this,
+                ));
             }
         }
 
@@ -181,12 +228,20 @@ impl Simulation {
         }
 
         // --- accounts ---
-        let traders = TraderPool { n_traders: s.n_traders, ..TraderPool::default() };
+        let traders = TraderPool {
+            n_traders: s.n_traders,
+            ..TraderPool::default()
+        };
         let all_tokens: Vec<(TokenId, u128)> = (0..=s.n_tokens)
             .map(|i| (TokenId(i), 1_000_000 * E18))
             .collect();
         for t in 0..s.n_traders {
-            mev_chain::seed_account(&mut world.state, traders.trader_address(t), eth(10_000), &all_tokens);
+            mev_chain::seed_account(
+                &mut world.state,
+                traders.trader_address(t),
+                eth(10_000),
+                &all_tokens,
+            );
         }
         for (strategy, peak) in [
             (Strategy::Sandwich, s.searchers.peak_sandwichers),
@@ -211,15 +266,28 @@ impl Simulation {
             );
         }
         for b in 0..s.lending.n_borrowers {
-            mev_chain::seed_account(&mut world.state, Address::from_index(BORROWER_BASE + b), eth(1_000), &all_tokens);
+            mev_chain::seed_account(
+                &mut world.state,
+                Address::from_index(BORROWER_BASE + b),
+                eth(1_000),
+                &all_tokens,
+            );
         }
-        mev_chain::seed_account(&mut world.state, Address::from_index(ORACLE_ADMIN), eth(1_000_000), &[]);
+        mev_chain::seed_account(
+            &mut world.state,
+            Address::from_index(ORACLE_ADMIN),
+            eth(1_000_000),
+            &[],
+        );
 
         // --- miners, relay, channels ---
         let tl = timeline.clone();
-        let miners = MinerSet::zipf_with_adoption(s.miners.count, s.miners.zipf_alpha, s.miners.never_join, |m| {
-            tl.first_block_of_month(m)
-        });
+        let miners = MinerSet::zipf_with_adoption(
+            s.miners.count,
+            s.miners.zipf_alpha,
+            s.miners.never_join,
+            |m| tl.first_block_of_month(m),
+        );
         let mut relay = Relay::new();
         for m in miners.iter() {
             if m.flashbots_join_block.is_some() {
@@ -227,9 +295,13 @@ impl Simulation {
             }
         }
         let exodus_block = timeline.first_block_of_month(s.exodus_month);
-        let taichi_death = timeline.first_block_of_month(Month::new(2021, 10)) + s.blocks_per_month / 2;
-        let eden_members: Vec<Address> =
-            miners.iter().take(35.min(s.miners.count)).map(|m| m.address).collect();
+        let taichi_death =
+            timeline.first_block_of_month(Month::new(2021, 10)) + s.blocks_per_month / 2;
+        let eden_members: Vec<Address> = miners
+            .iter()
+            .take(35.min(s.miners.count))
+            .map(|m| m.address)
+            .collect();
         let channels = vec![
             PrivateChannel::new("eden", eden_members, exodus_block, u64::MAX),
             PrivateChannel::self_channel(miners.get(0).address, timeline.genesis_number),
@@ -243,8 +315,14 @@ impl Simulation {
         ];
 
         // --- network & observer ---
-        let network = Network::random(s.network.nodes, s.network.extra_edges, s.network.latency_ms, &mut rng);
-        let obs_start = timeline.timestamp_of(timeline.first_block_of_month(s.observer.start)) * 1000;
+        let network = Network::random(
+            s.network.nodes,
+            s.network.extra_edges,
+            s.network.latency_ms,
+            &mut rng,
+        );
+        let obs_start =
+            timeline.timestamp_of(timeline.first_block_of_month(s.observer.start)) * 1000;
         let obs_end_block = timeline
             .first_block_of_month(s.observer.end.next())
             .min(timeline.genesis_number + s.total_blocks());
@@ -302,8 +380,11 @@ impl Simulation {
             parent_hash = self.step(number, parent_hash);
         }
         self.stats.mempool_remaining = self.mempool.len() as u64;
-        self.stats.banned_miners =
-            self.miners.iter().filter(|m| self.relay.is_miner_banned(m.address)).count() as u64;
+        self.stats.banned_miners = self
+            .miners
+            .iter()
+            .filter(|m| self.relay.is_miner_banned(m.address))
+            .count() as u64;
         SimOutput {
             miner_addresses: self.miners.iter().map(|m| m.address).collect(),
             scenario: self.s,
@@ -371,7 +452,9 @@ impl Simulation {
     /// Market-rate legacy fee, floored above the base fee.
     fn market_fee(&mut self) -> TxFee {
         let p = self.gas_market.sample_user_price(&mut self.rng);
-        TxFee::Legacy { gas_price: p.max(self.base_fee + gwei(1)) }
+        TxFee::Legacy {
+            gas_price: p.max(self.base_fee + gwei(1)),
+        }
     }
 
     /// Is the Flashbots relay accepting bundles for `number`?
@@ -381,7 +464,9 @@ impl Simulation {
 
     /// The near-zero gas price Flashbots bundle txs ride on.
     fn bundle_fee(&self) -> TxFee {
-        TxFee::Legacy { gas_price: self.base_fee + gwei(1) }
+        TxFee::Legacy {
+            gas_price: self.base_fee + gwei(1),
+        }
     }
 
     /// Submit a transaction publicly: into the mempool at a random origin
@@ -391,7 +476,8 @@ impl Simulation {
         let hash = tx.hash();
         let sender = tx.from;
         if self.mempool.insert(tx, origin, submit_ms).is_ok() {
-            self.observer.offer(&self.network, hash, origin, submit_ms, &mut self.rng);
+            self.observer
+                .offer(&self.network, hash, origin, submit_ms, &mut self.rng);
             self.stats.public_txs += 1;
         }
         // The reservation either became a pending mempool entry (counted
@@ -408,7 +494,10 @@ impl Simulation {
         }
         let token = TokenId(self.rng.gen_range(1..=self.s.n_tokens));
         let old = self.token_prices[&token];
-        let new = if self.rng.gen_bool(self.s.oracle.crash_rate / self.s.oracle.update_rate) {
+        let new = if self
+            .rng
+            .gen_bool(self.s.oracle.crash_rate / self.s.oracle.update_rate)
+        {
             (old as f64 * (1.0 - self.s.oracle.crash_size)) as u128
         } else {
             let z = normal(&mut self.rng);
@@ -424,7 +513,10 @@ impl Simulation {
             nonce,
             fee,
             Gas(60_000),
-            Action::OracleUpdate { token, price_wei: new },
+            Action::OracleUpdate {
+                token,
+                price_wei: new,
+            },
             Wei::ZERO,
             None,
         );
@@ -438,14 +530,23 @@ impl Simulation {
         if !self.rng.gen_bool(self.s.lending.new_borrower_rate) {
             return;
         }
-        let from = Address::from_index(BORROWER_BASE + self.borrower_rotor % self.s.lending.n_borrowers);
+        let from =
+            Address::from_index(BORROWER_BASE + self.borrower_rotor % self.s.lending.n_borrowers);
         self.borrower_rotor += 1;
         let token = TokenId(self.rng.gen_range(1..=self.s.n_tokens));
         let platform = mev_types::LendingPlatformId::ALL[self.rng.gen_range(0..3)]; // no dYdX loans
         let deposit_tokens = self.rng.gen_range(20..200) as u128 * E18;
         let price = self.token_prices[&token];
-        let coll_value = mev_types::U256::from(deposit_tokens).mul_u128(price).div_u128(E18).as_u128();
-        let factor = self.world.lending.platform(platform).config.collateral_factor_bps as u128;
+        let coll_value = mev_types::U256::from(deposit_tokens)
+            .mul_u128(price)
+            .div_u128(E18)
+            .as_u128();
+        let factor = self
+            .world
+            .lending
+            .platform(platform)
+            .config
+            .collateral_factor_bps as u128;
         let borrow_weth =
             coll_value * factor / 10_000 * (self.s.lending.leverage * 1000.0) as u128 / 1000;
         let n0 = self.take_nonce(from);
@@ -455,7 +556,11 @@ impl Simulation {
             n0,
             fee,
             Gas(200_000),
-            Action::Deposit { platform, token, amount: deposit_tokens },
+            Action::Deposit {
+                platform,
+                token,
+                amount: deposit_tokens,
+            },
             Wei::ZERO,
             None,
         );
@@ -466,7 +571,11 @@ impl Simulation {
             n1,
             fee2,
             Gas(250_000),
-            Action::Borrow { platform, token: TokenId::WETH, amount: borrow_weth },
+            Action::Borrow {
+                platform,
+                token: TokenId::WETH,
+                amount: borrow_weth,
+            },
             Wei::ZERO,
             None,
         );
@@ -490,7 +599,9 @@ impl Simulation {
             let engagement = crate::population::activity_factor(month, Month::new(2021, 7));
             let protect = fb_live
                 && self.population.epoch(month) != crate::population::Epoch::PreFlashbots
-                && self.rng.gen_bool(self.s.protection_trade_share * engagement.clamp(0.0, 1.0));
+                && self
+                    .rng
+                    .gen_bool(self.s.protection_trade_share * engagement.clamp(0.0, 1.0));
             if protect {
                 let tx = Transaction::new(
                     from,
@@ -638,7 +749,12 @@ impl Simulation {
     /// Returns the pools claimed by this block's sandwiches so other
     /// strategies avoid poisoning them (real searchers simulate at the
     /// head and would never fire a plan whose pool is about to move).
-    fn plan_sandwiches(&mut self, number: u64, month: Month, submit_ms: u64) -> HashSet<mev_types::PoolId> {
+    fn plan_sandwiches(
+        &mut self,
+        number: u64,
+        month: Month,
+        submit_ms: u64,
+    ) -> HashSet<mev_types::PoolId> {
         let mut claimed: HashSet<mev_types::PoolId> = HashSet::new();
         let (n_sandwichers, _, _) = self.population.active(month);
         if n_sandwichers == 0 {
@@ -669,7 +785,9 @@ impl Simulation {
             };
             let Some(plan) = plan else { continue };
             let to_wei = |amount: i128, oracle: &mev_dex::PriceOracle| {
-                oracle.to_wei(call.token_in, amount.unsigned_abs()).unwrap_or(0) as i128
+                oracle
+                    .to_wei(call.token_in, amount.unsigned_abs())
+                    .unwrap_or(0) as i128
                     * amount.signum()
             };
             let gross_wei = to_wei(plan.gross_profit, &self.world.oracle);
@@ -695,7 +813,17 @@ impl Simulation {
             // The tip is bid off the true expected gross; the bug is in the
             // go/no-go decision, so losses are confined to plans whose real
             // gross was negative all along — small and sparse, like §5.2's.
-            self.emit_sandwich(number, venue, searcher, &call, plan, gross_wei, victim_hash, victim_bid, submit_ms);
+            self.emit_sandwich(
+                number,
+                venue,
+                searcher,
+                &call,
+                plan,
+                gross_wei,
+                victim_hash,
+                victim_bid,
+                submit_ms,
+            );
         }
         // Miner self-extraction is planned at build time (needs the winner).
         claimed
@@ -738,12 +866,17 @@ impl Simulation {
                 // PGA: the front outbids the victim by enough to burn
                 // ~pga_burn of the gross profit in fees; the back slots in
                 // just under the victim's price.
-                let burn = (gross_wei.max(0) as u128 * (self.s.searchers.pga_burn_mean * 1000.0) as u128)
+                let burn = (gross_wei.max(0) as u128
+                    * (self.s.searchers.pga_burn_mean * 1000.0) as u128)
                     / 1000;
                 let extra = Wei(burn / 110_000);
-                let front_fee = TxFee::Legacy { gas_price: victim_bid + extra + gwei(1) };
+                let front_fee = TxFee::Legacy {
+                    gas_price: victim_bid + extra + gwei(1),
+                };
                 let back_fee = TxFee::Legacy {
-                    gas_price: victim_bid.saturating_sub(Wei(1)).max(self.base_fee + gwei(1)),
+                    gas_price: victim_bid
+                        .saturating_sub(Wei(1))
+                        .max(self.base_fee + gwei(1)),
                 };
                 let n0 = self.take_nonce(searcher);
                 let front = Transaction::new(
@@ -800,8 +933,12 @@ impl Simulation {
                     tip,
                     Some(GroundTruth::SandwichBack),
                 );
-                let bundle =
-                    Bundle::new(searcher, BundleType::Flashbots, vec![front, victim_tx, back], number);
+                let bundle = Bundle::new(
+                    searcher,
+                    BundleType::Flashbots,
+                    vec![front, victim_tx, back],
+                    number,
+                );
                 if self.relay.submit(bundle, number - 1).is_ok() {
                     self.stats.sandwiches_flashbots += 1;
                     self.stats.bundles_submitted += 1;
@@ -835,7 +972,8 @@ impl Simulation {
                     wrap_victim: Some(victim_hash),
                 };
                 // Taichi while alive, Eden after.
-                let ch = if self.channels[CH_TAICHI].is_active(number) && !self.channels[CH_EDEN].is_active(number)
+                let ch = if self.channels[CH_TAICHI].is_active(number)
+                    && !self.channels[CH_EDEN].is_active(number)
                 {
                     CH_TAICHI
                 } else {
@@ -955,11 +1093,22 @@ impl Simulation {
         }
     }
 
-    fn emit_arbitrage(&mut self, number: u64, venue: Venue, searcher: Address, plan: &ArbPlan, submit_ms: u64) {
+    fn emit_arbitrage(
+        &mut self,
+        number: u64,
+        venue: Venue,
+        searcher: Address,
+        plan: &ArbPlan,
+        submit_ms: u64,
+    ) {
         let use_flash = self.rng.gen_bool(self.s.searchers.arb_flash_loan_rate);
         let mut legs = plan.legs();
         // Profit guard on the final leg: revert rather than lose.
-        let flash_fee = if use_flash { plan.amount_in * 9 / 10_000 + 1 } else { 0 };
+        let flash_fee = if use_flash {
+            plan.amount_in * 9 / 10_000 + 1
+        } else {
+            0
+        };
         legs[1].min_amount_out = plan.amount_in + flash_fee + 1;
         let action = if use_flash {
             self.stats.flash_loan_arbs += 1;
@@ -983,7 +1132,8 @@ impl Simulation {
                 let tip_share = (self.s.searchers.tip_share_mean
                     + self.s.searchers.tip_share_std * normal(&mut self.rng))
                 .clamp(0.5, 0.98);
-                let tip = Wei(((plan.gross_profit.max(0) as f64) * tip_share) as u128).max(gwei(100_000));
+                let tip =
+                    Wei(((plan.gross_profit.max(0) as f64) * tip_share) as u128).max(gwei(100_000));
                 let nonce = self.take_nonce(searcher);
                 let tx = Transaction::new(
                     searcher,
@@ -1026,7 +1176,11 @@ impl Simulation {
         // Passive: already-unhealthy loans above the profitability floor.
         let min_profit = self.s.searchers.min_profit as i128;
         let plans = plan_liquidations(&self.world.lending, &self.world.oracle);
-        for plan in plans.into_iter().filter(|p| p.gross_profit_wei >= min_profit).take(2) {
+        for plan in plans
+            .into_iter()
+            .filter(|p| p.gross_profit_wei >= min_profit)
+            .take(2)
+        {
             let idx = self.liq_rotor % n_liq;
             self.liq_rotor += 1;
             let searcher = searcher_address(Strategy::Liquidation, idx);
@@ -1042,10 +1196,9 @@ impl Simulation {
             .min_by_key(|p| p.tx.hash())
             .map(|p| p.tx.clone());
         if let Some(update) = pending_oracle {
-            let plans = plan_backrun_of_oracle_update(&self.world.lending, &self.world.oracle, &update);
-            if let Some(plan) =
-                plans.into_iter().find(|p| p.gross_profit_wei >= min_profit)
-            {
+            let plans =
+                plan_backrun_of_oracle_update(&self.world.lending, &self.world.oracle, &update);
+            if let Some(plan) = plans.into_iter().find(|p| p.gross_profit_wei >= min_profit) {
                 let idx = self.liq_rotor % n_liq;
                 self.liq_rotor += 1;
                 let searcher = searcher_address(Strategy::Liquidation, idx);
@@ -1112,8 +1265,8 @@ impl Simulation {
                 let tip_share = (self.s.searchers.tip_share_mean
                     + self.s.searchers.tip_share_std * normal(&mut self.rng))
                 .clamp(0.5, 0.98);
-                let tip =
-                    Wei(((plan.gross_profit_wei.max(0) as f64) * tip_share) as u128).max(gwei(100_000));
+                let tip = Wei(((plan.gross_profit_wei.max(0) as f64) * tip_share) as u128)
+                    .max(gwei(100_000));
                 let nonce = self.take_nonce(searcher);
                 let tx = Transaction::new(
                     searcher,
@@ -1138,7 +1291,10 @@ impl Simulation {
                 // Public backrun: price just under the oracle update's.
                 let fee = match &oracle_tx {
                     Some(u) => TxFee::Legacy {
-                        gas_price: u.bid_per_gas().saturating_sub(Wei(1)).max(self.base_fee + gwei(1)),
+                        gas_price: u
+                            .bid_per_gas()
+                            .saturating_sub(Wei(1))
+                            .max(self.base_fee + gwei(1)),
                     },
                     None => self.market_fee(),
                 };
@@ -1174,7 +1330,11 @@ impl Simulation {
             && self.fb_live(number)
             && self.relay.miner_active(miner.address)
         {
-            select_bundles(self.relay.bundles_for(miner.address, number), self.base_fee, &self.sel_cfg)
+            select_bundles(
+                self.relay.bundles_for(miner.address, number),
+                self.base_fee,
+                &self.sel_cfg,
+            )
         } else {
             Vec::new()
         };
@@ -1192,8 +1352,11 @@ impl Simulation {
             let epoch = self.population.epoch(month);
             // Self-extraction intensifies post-exodus (§6.3's private
             // channels), giving the attribution analysis a sample.
-            let p_act =
-                if epoch == crate::population::Epoch::Exodus { 0.65 } else { 0.35 };
+            let p_act = if epoch == crate::population::Epoch::Exodus {
+                0.65
+            } else {
+                0.35
+            };
             if self.rng.gen_bool(p_act) {
                 if let Some((victim_hash, call, _)) = self
                     .victim_candidates()
@@ -1287,7 +1450,12 @@ impl Simulation {
                 Wei::ZERO,
                 None,
             );
-            bundles.push(Bundle::new(miner.address, BundleType::Rogue, vec![tx], number));
+            bundles.push(Bundle::new(
+                miner.address,
+                BundleType::Rogue,
+                vec![tx],
+                number,
+            ));
             self.stats.rogue_bundles += 1;
         }
 
@@ -1299,7 +1467,12 @@ impl Simulation {
             .visible_at(&self.network, miner_node, now_ms)
             .into_iter()
             .filter(|p| p.tx.fee.is_includable(self.base_fee))
-            .map(|p| (p.tx.clone(), self.network.arrival_ms(p.origin, miner_node, p.submit_ms)))
+            .map(|p| {
+                (
+                    p.tx.clone(),
+                    self.network.arrival_ms(p.origin, miner_node, p.submit_ms),
+                )
+            })
             .collect();
         let public = match self.s.ordering {
             crate::config::OrderingPolicy::FeePriority => {
@@ -1317,7 +1490,8 @@ impl Simulation {
         // the assembled nonce ordering — partial inclusion would read as
         // equivocation and get the miner banned.
         let n_before = bundles.len();
-        let (bundles, private_subs) = prune_unexecutable(&self.world, bundles, private_subs, &public);
+        let (bundles, private_subs) =
+            prune_unexecutable(&self.world, bundles, private_subs, &public);
         self.stats.bundles_preflight_dropped += (n_before - bundles.len()) as u64;
         let candidates = assemble_candidates(&bundles, &private_subs, &public);
         let spec = BlockSpec {
@@ -1427,7 +1601,9 @@ fn prune_unexecutable(
         let mut nonces: HashMap<Address, u64> = HashMap::new();
         let mut bad_hash: Option<TxHash> = None;
         for tx in &candidates {
-            let e = nonces.entry(tx.from).or_insert_with(|| world.state.nonce(tx.from));
+            let e = nonces
+                .entry(tx.from)
+                .or_insert_with(|| world.state.nonce(tx.from));
             if tx.nonce == *e {
                 *e += 1;
             } else {
@@ -1435,11 +1611,16 @@ fn prune_unexecutable(
                 break;
             }
         }
-        let Some(bad) = bad_hash else { return (bundles, subs) };
+        let Some(bad) = bad_hash else {
+            return (bundles, subs);
+        };
         let before = (bundles.len(), subs.len());
         if let Some(i) = bundles.iter().position(|b| b.tx_hashes().contains(&bad)) {
             bundles.remove(i);
-        } else if let Some(i) = subs.iter().position(|sub| sub.txs.iter().any(|t| t.hash() == bad)) {
+        } else if let Some(i) = subs
+            .iter()
+            .position(|sub| sub.txs.iter().any(|t| t.hash() == bad))
+        {
             subs.remove(i);
         } else {
             // A public transaction: the block builder will skip it without
@@ -1464,7 +1645,10 @@ fn estimate_seize(plan: &LiquidationPlan, world: &World) -> u128 {
         .and_then(|p| p.collateral.get(&plan.loan.collateral_token))
         .copied()
         .unwrap_or(0);
-    let coll_price = world.oracle.price(plan.loan.collateral_token).unwrap_or(E18);
+    let coll_price = world
+        .oracle
+        .price(plan.loan.collateral_token)
+        .unwrap_or(E18);
     let seize = mev_types::U256::from(plan.expected_seize_wei)
         .mul_u128(E18)
         .div_u128(coll_price)
@@ -1530,7 +1714,10 @@ mod tests {
         assert_eq!(a.stats.blocks, Scenario::quick().total_blocks());
         assert_eq!(a.chain.len() as u64, a.stats.blocks);
         let head = r1.chain.head_number().unwrap();
-        assert_eq!(r1.chain.block(head).unwrap().hash(), r2.chain.block(head).unwrap().hash());
+        assert_eq!(
+            r1.chain.block(head).unwrap().hash(),
+            r2.chain.block(head).unwrap().hash()
+        );
         assert_eq!(r1.stats.public_txs, r2.stats.public_txs);
         assert_eq!(r1.blocks_api.len(), r2.blocks_api.len());
     }
@@ -1566,8 +1753,14 @@ mod tests {
                 if b.bundle_type == BundleType::Flashbots && b.tx_hashes.len() == 3 {
                     // [front, victim, back]: front must be unobserved,
                     // victim (public trade) should usually be observed.
-                    assert!(!out.observer.saw(b.tx_hashes[0]), "bundle front leaked to observer");
-                    assert!(!out.observer.saw(b.tx_hashes[2]), "bundle back leaked to observer");
+                    assert!(
+                        !out.observer.saw(b.tx_hashes[0]),
+                        "bundle front leaked to observer"
+                    );
+                    assert!(
+                        !out.observer.saw(b.tx_hashes[2]),
+                        "bundle back leaked to observer"
+                    );
                     private_fronts += 1;
                 }
             }
@@ -1583,11 +1776,7 @@ mod tests {
         let total_reward = eth(2) * out.stats.blocks as u128;
         assert!(total_reward.0 > 0);
         // And gas was actually consumed.
-        let gas_used: u64 = out
-            .chain
-            .iter()
-            .map(|(b, _)| b.header.gas_used.0)
-            .sum();
+        let gas_used: u64 = out.chain.iter().map(|(b, _)| b.header.gas_used.0).sum();
         assert!(gas_used > 0);
     }
 
@@ -1604,6 +1793,9 @@ mod tests {
     #[test]
     fn private_channel_sandwiches_reach_chain() {
         let out = quick_output();
-        assert!(out.stats.sandwiches_private > 0, "self-MEV/private sandwiches planned");
+        assert!(
+            out.stats.sandwiches_private > 0,
+            "self-MEV/private sandwiches planned"
+        );
     }
 }

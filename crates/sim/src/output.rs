@@ -66,7 +66,9 @@ pub struct SimOutput {
 impl SimOutput {
     /// Total MEV extractions planned (ground truth).
     pub fn planned_sandwiches(&self) -> u64 {
-        self.stats.sandwiches_public + self.stats.sandwiches_flashbots + self.stats.sandwiches_private
+        self.stats.sandwiches_public
+            + self.stats.sandwiches_flashbots
+            + self.stats.sandwiches_private
     }
 
     pub fn planned_arbitrages(&self) -> u64 {

@@ -255,7 +255,9 @@ mod tests {
     fn arbitrage_adopts_less() {
         let p = pop();
         let m = Month::new(2021, 6);
-        let fb = (0..20).filter(|&i| p.arbitrage_venue(m, i) == Venue::Flashbots).count();
+        let fb = (0..20)
+            .filter(|&i| p.arbitrage_venue(m, i) == Venue::Flashbots)
+            .count();
         assert_eq!(fb, 10, "half of arbitrageurs use FB");
         let fb_sw = (0..20)
             .filter(|&i| p.sandwich_venue(&Scenario::default(), m, i) == Venue::Flashbots)

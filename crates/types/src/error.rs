@@ -28,7 +28,9 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        assert!(TypeError::Overflow("reserve mul").to_string().contains("reserve mul"));
+        assert!(TypeError::Overflow("reserve mul")
+            .to_string()
+            .contains("reserve mul"));
         assert!(TypeError::Invalid("month").to_string().contains("month"));
     }
 }

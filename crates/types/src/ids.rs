@@ -7,7 +7,9 @@
 use std::fmt;
 
 /// A fungible token. `TokenId(0)` is reserved for wrapped ether (WETH).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct TokenId(pub u32);
 
 impl TokenId {
@@ -31,7 +33,9 @@ impl fmt::Display for TokenId {
 }
 
 /// The DEX protocols the paper's detectors cover (§3.1.1–§3.1.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub enum ExchangeId {
     UniswapV1,
     UniswapV2,
@@ -93,7 +97,9 @@ impl fmt::Display for ExchangeId {
 }
 
 /// A liquidity pool within an exchange (one trading pair / pool contract).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct PoolId {
     pub exchange: ExchangeId,
     /// Index of the pool within its exchange.
@@ -108,7 +114,9 @@ impl fmt::Display for PoolId {
 
 /// Lending platforms the liquidation and flash-loan detectors cover
 /// (§3.1.3: Aave V1/V2, Compound; §3.4: Aave, dYdX).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub enum LendingPlatformId {
     AaveV1,
     AaveV2,
@@ -126,7 +134,10 @@ impl LendingPlatformId {
 
     /// Platforms offering flash loans (§3.4).
     pub fn offers_flash_loans(&self) -> bool {
-        matches!(self, LendingPlatformId::AaveV1 | LendingPlatformId::AaveV2 | LendingPlatformId::DyDx)
+        matches!(
+            self,
+            LendingPlatformId::AaveV1 | LendingPlatformId::AaveV2 | LendingPlatformId::DyDx
+        )
     }
 
     /// Platforms with fixed-spread liquidations (all modelled platforms;
@@ -163,8 +174,10 @@ mod tests {
 
     #[test]
     fn sandwich_coverage_matches_paper() {
-        let covered: Vec<_> =
-            ExchangeId::ALL.iter().filter(|e| e.sandwich_covered()).collect();
+        let covered: Vec<_> = ExchangeId::ALL
+            .iter()
+            .filter(|e| e.sandwich_covered())
+            .collect();
         assert_eq!(covered.len(), 5);
         assert!(!ExchangeId::Curve.sandwich_covered());
         assert!(!ExchangeId::ZeroEx.sandwich_covered());
@@ -173,7 +186,13 @@ mod tests {
     #[test]
     fn arbitrage_coverage_matches_paper() {
         assert!(!ExchangeId::UniswapV1.arbitrage_covered());
-        assert_eq!(ExchangeId::ALL.iter().filter(|e| e.arbitrage_covered()).count(), 7);
+        assert_eq!(
+            ExchangeId::ALL
+                .iter()
+                .filter(|e| e.arbitrage_covered())
+                .count(),
+            7
+        );
     }
 
     #[test]
@@ -185,7 +204,10 @@ mod tests {
 
     #[test]
     fn pool_display() {
-        let p = PoolId { exchange: ExchangeId::UniswapV2, index: 7 };
+        let p = PoolId {
+            exchange: ExchangeId::UniswapV2,
+            index: 7,
+        };
         assert_eq!(p.to_string(), "UniswapV2#7");
     }
 }

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn block_hash_matches_header_hash() {
-        let b = Block { header: header(3), transactions: vec![] };
+        let b = Block {
+            header: header(3),
+            transactions: vec![],
+        };
         assert_eq!(b.hash(), b.header.hash());
     }
 }

@@ -14,7 +14,12 @@ use crate::units::Wei;
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum LogEvent {
     /// ERC-20 `Transfer(from, to, amount)`.
-    Transfer { token: TokenId, from: Address, to: Address, amount: u128 },
+    Transfer {
+        token: TokenId,
+        from: Address,
+        to: Address,
+        amount: u128,
+    },
     /// DEX `Swap(sender, token_in, amount_in, token_out, amount_out)`.
     Swap {
         pool: PoolId,
@@ -25,11 +30,26 @@ pub enum LogEvent {
         amount_out: u128,
     },
     /// Lending `Deposit`.
-    Deposit { platform: LendingPlatformId, user: Address, token: TokenId, amount: u128 },
+    Deposit {
+        platform: LendingPlatformId,
+        user: Address,
+        token: TokenId,
+        amount: u128,
+    },
     /// Lending `Borrow`.
-    Borrow { platform: LendingPlatformId, user: Address, token: TokenId, amount: u128 },
+    Borrow {
+        platform: LendingPlatformId,
+        user: Address,
+        token: TokenId,
+        amount: u128,
+    },
     /// Lending `Repay`.
-    Repay { platform: LendingPlatformId, user: Address, token: TokenId, amount: u128 },
+    Repay {
+        platform: LendingPlatformId,
+        user: Address,
+        token: TokenId,
+        amount: u128,
+    },
     /// Fixed-spread `LiquidationCall` — the event the liquidation detector crawls.
     Liquidation {
         platform: LendingPlatformId,
@@ -52,7 +72,11 @@ pub enum LogEvent {
     /// Oracle posted a new WETH price for `token`.
     OracleUpdate { token: TokenId, price_wei: u128 },
     /// Mining-pool payout batch summary.
-    Payout { payer: Address, recipients: u32, total: Wei },
+    Payout {
+        payer: Address,
+        recipients: u32,
+        total: Wei,
+    },
 }
 
 impl LogEvent {
@@ -102,7 +126,10 @@ mod tests {
             amount: 0,
         };
         let b = LogEvent::Swap {
-            pool: PoolId { exchange: ExchangeId::Curve, index: 0 },
+            pool: PoolId {
+                exchange: ExchangeId::Curve,
+                index: 0,
+            },
             sender: Address::ZERO,
             token_in: TokenId::WETH,
             amount_in: 0,

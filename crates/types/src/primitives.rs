@@ -9,7 +9,9 @@
 use std::fmt;
 
 /// A 20-byte account address, displayed as `0x`-prefixed hex like Ethereum's.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {
@@ -43,7 +45,10 @@ impl Address {
 
     /// Short display form (first 4 bytes) for dense tables.
     pub fn short(&self) -> String {
-        format!("0x{:02x}{:02x}{:02x}{:02x}…", self.0[0], self.0[1], self.0[2], self.0[3])
+        format!(
+            "0x{:02x}{:02x}{:02x}{:02x}…",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -101,7 +106,9 @@ impl fmt::Display for Address {
 }
 
 /// A 32-byte digest.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct H256(pub [u8; 32]);
 
 impl H256 {
@@ -159,7 +166,10 @@ pub struct Digest {
 impl Digest {
     /// Create a digest with a domain-separation tag.
     pub fn new(domain: &str) -> Digest {
-        let mut d = Digest { lanes: [0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a], counter: 0 };
+        let mut d = Digest {
+            lanes: [0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a],
+            counter: 0,
+        };
         d.update(domain.as_bytes());
         d
     }
@@ -272,10 +282,16 @@ mod tests {
         }
         // Bare hex (no prefix) accepted too.
         let a = Address::from_index(7);
-        assert_eq!(Address::from_str(a.to_string().trim_start_matches("0x")).unwrap(), a);
+        assert_eq!(
+            Address::from_str(a.to_string().trim_start_matches("0x")).unwrap(),
+            a
+        );
         // Rejections.
         assert!(Address::from_str("0x1234").is_err(), "too short");
-        assert!(Address::from_str(&("0x".to_string() + &"zz".repeat(20))).is_err(), "non-hex");
+        assert!(
+            Address::from_str(&("0x".to_string() + &"zz".repeat(20))).is_err(),
+            "non-hex"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ mod tests {
         let r = receipt();
         assert_eq!(r.total_fee(), Gas(100_000).cost(gwei(50)));
         assert_eq!(r.total_cost(), r.total_fee() + gwei(1_000_000));
-        assert_eq!(r.miner_revenue(), Gas(100_000).cost(gwei(2)) + gwei(1_000_000));
+        assert_eq!(
+            r.miner_revenue(),
+            Gas(100_000).cost(gwei(2)) + gwei(1_000_000)
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub const SECONDS_PER_BLOCK: u64 = 13;
 const DAYS_PER_MONTH: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
 
 /// A calendar month, counted as `year * 12 + (month - 1)`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Month(pub u32);
 
 impl Month {
@@ -57,7 +59,9 @@ impl fmt::Display for Month {
 }
 
 /// A calendar day, counted as days since 1970-01-01.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Day(pub u64);
 
 impl Day {
@@ -148,7 +152,9 @@ pub fn timestamp_of_ymd(year: u64, month: u64, day: u64) -> u64 {
 }
 
 /// A point in simulated chain time.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct BlockTime {
     pub number: u64,
     pub timestamp: u64,
@@ -201,7 +207,10 @@ impl Timeline {
 
     /// Full time coordinates of a block number.
     pub fn at(&self, number: u64) -> BlockTime {
-        BlockTime { number, timestamp: self.timestamp_of(number) }
+        BlockTime {
+            number,
+            timestamp: self.timestamp_of(number),
+        }
     }
 
     /// First block number whose timestamp falls in `month`, if the month
@@ -232,8 +241,9 @@ mod tests {
 
     #[test]
     fn month_range() {
-        let months: Vec<_> =
-            Month::new(2020, 11).range_inclusive(Month::new(2021, 2)).collect();
+        let months: Vec<_> = Month::new(2020, 11)
+            .range_inclusive(Month::new(2021, 2))
+            .collect();
         assert_eq!(months.len(), 4);
         assert_eq!(months[0], Month::new(2020, 11));
         assert_eq!(months[3], Month::new(2021, 2));

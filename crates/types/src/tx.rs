@@ -28,16 +28,20 @@ impl TxFee {
     pub fn effective_gas_price(&self, base_fee: Wei) -> Wei {
         match *self {
             TxFee::Legacy { gas_price } => gas_price,
-            TxFee::Eip1559 { max_fee, max_priority } => (base_fee + max_priority).min(max_fee),
+            TxFee::Eip1559 {
+                max_fee,
+                max_priority,
+            } => (base_fee + max_priority).min(max_fee),
         }
     }
 
     /// The per-gas amount the miner receives given `base_fee`.
     pub fn miner_tip_per_gas(&self, base_fee: Wei) -> Wei {
-        self.effective_gas_price(base_fee).saturating_sub(match *self {
-            TxFee::Legacy { .. } => Wei::ZERO,
-            TxFee::Eip1559 { .. } => base_fee,
-        })
+        self.effective_gas_price(base_fee)
+            .saturating_sub(match *self {
+                TxFee::Legacy { .. } => Wei::ZERO,
+                TxFee::Eip1559 { .. } => base_fee,
+            })
     }
 
     /// The maximum per-gas price the sender is willing to pay — the mempool
@@ -78,11 +82,23 @@ pub enum Action {
     /// every leg must succeed or the whole transaction reverts.
     Route(Vec<SwapCall>),
     /// Deposit collateral into a lending platform.
-    Deposit { platform: LendingPlatformId, token: TokenId, amount: u128 },
+    Deposit {
+        platform: LendingPlatformId,
+        token: TokenId,
+        amount: u128,
+    },
     /// Borrow against deposited collateral.
-    Borrow { platform: LendingPlatformId, token: TokenId, amount: u128 },
+    Borrow {
+        platform: LendingPlatformId,
+        token: TokenId,
+        amount: u128,
+    },
     /// Repay borrowed funds.
-    Repay { platform: LendingPlatformId, token: TokenId, amount: u128 },
+    Repay {
+        platform: LendingPlatformId,
+        token: TokenId,
+        amount: u128,
+    },
     /// Fixed-spread liquidation of an unhealthy loan.
     Liquidate {
         platform: LendingPlatformId,
@@ -114,9 +130,7 @@ impl Action {
         match self {
             Action::Swap(s) => vec![*s],
             Action::Route(legs) => legs.clone(),
-            Action::FlashLoan { inner, .. } => {
-                inner.iter().flat_map(|a| a.swap_legs()).collect()
-            }
+            Action::FlashLoan { inner, .. } => inner.iter().flat_map(|a| a.swap_legs()).collect(),
             _ => vec![],
         }
     }
@@ -172,7 +186,10 @@ impl Transaction {
                 d.update_u64(0);
                 d.update_u128(gas_price.0);
             }
-            TxFee::Eip1559 { max_fee, max_priority } => {
+            TxFee::Eip1559 {
+                max_fee,
+                max_priority,
+            } => {
                 d.update_u64(1);
                 d.update_u128(max_fee.0);
                 d.update_u128(max_priority.0);
@@ -183,7 +200,16 @@ impl Transaction {
         // Debug formatting is deterministic and structurally complete.
         d.update(format!("{action:?}").as_bytes());
         let hash = d.finish();
-        Transaction { from, nonce, fee, gas_limit, action, coinbase_tip, ground_truth, hash }
+        Transaction {
+            from,
+            nonce,
+            fee,
+            gas_limit,
+            action,
+            coinbase_tip,
+            ground_truth,
+            hash,
+        }
     }
 
     /// Content hash.
@@ -205,7 +231,10 @@ mod tests {
 
     fn swap() -> Action {
         Action::Swap(SwapCall {
-            pool: PoolId { exchange: ExchangeId::UniswapV2, index: 0 },
+            pool: PoolId {
+                exchange: ExchangeId::UniswapV2,
+                index: 0,
+            },
             token_in: TokenId::WETH,
             token_out: TokenId(1),
             amount_in: 100,
@@ -234,7 +263,9 @@ mod tests {
 
     #[test]
     fn legacy_fee_semantics() {
-        let fee = TxFee::Legacy { gas_price: gwei(80) };
+        let fee = TxFee::Legacy {
+            gas_price: gwei(80),
+        };
         assert_eq!(fee.effective_gas_price(gwei(30)), gwei(80));
         // Legacy: the whole price goes to the miner.
         assert_eq!(fee.miner_tip_per_gas(gwei(30)), gwei(80));
@@ -245,7 +276,10 @@ mod tests {
 
     #[test]
     fn eip1559_fee_semantics() {
-        let fee = TxFee::Eip1559 { max_fee: gwei(100), max_priority: gwei(2) };
+        let fee = TxFee::Eip1559 {
+            max_fee: gwei(100),
+            max_priority: gwei(2),
+        };
         // base + priority below cap.
         assert_eq!(fee.effective_gas_price(gwei(30)), gwei(32));
         assert_eq!(fee.miner_tip_per_gas(gwei(30)), gwei(2));
@@ -265,7 +299,15 @@ mod tests {
             inner: vec![swap(), swap()],
         };
         assert_eq!(fl.swap_legs().len(), 2);
-        assert_eq!(Action::Transfer { to: Address::ZERO, value: eth(1) }.swap_legs().len(), 0);
+        assert_eq!(
+            Action::Transfer {
+                to: Address::ZERO,
+                value: eth(1)
+            }
+            .swap_legs()
+            .len(),
+            0
+        );
         assert_eq!(Action::Route(vec![]).swap_legs().len(), 0);
     }
 }

@@ -241,7 +241,11 @@ impl fmt::Debug for U256 {
         if self.fits_u128() {
             write!(f, "U256({})", self.as_u128())
         } else {
-            write!(f, "U256(0x{:016x}{:016x}{:016x}{:016x})", self.0[3], self.0[2], self.0[1], self.0[0])
+            write!(
+                f,
+                "U256(0x{:016x}{:016x}{:016x}{:016x})",
+                self.0[3], self.0[2], self.0[1], self.0[0]
+            )
         }
     }
 }
@@ -286,7 +290,10 @@ mod tests {
     fn div_rem_identity_simple() {
         let a = U256::mul_u128_u128(987_654_321, 123_456_789);
         let (q, r) = a.div(U256::from(1000u64));
-        assert_eq!(q.as_u128() * 1000 + r.as_u128(), 987_654_321u128 * 123_456_789);
+        assert_eq!(
+            q.as_u128() * 1000 + r.as_u128(),
+            987_654_321u128 * 123_456_789
+        );
     }
 
     #[test]

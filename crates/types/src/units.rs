@@ -25,7 +25,9 @@ pub const fn gwei(n: u128) -> Wei {
 }
 
 /// An unsigned wei amount.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Wei(pub u128);
 
 impl Wei {
@@ -65,7 +67,10 @@ impl Wei {
     /// Multiply by a rational `num/den` using 256-bit intermediates.
     pub fn mul_ratio(self, num: u128, den: u128) -> Wei {
         assert!(den != 0, "mul_ratio by zero denominator");
-        Wei(crate::u256::U256::from(self.0).mul_u128(num).div_u128(den).as_u128())
+        Wei(crate::u256::U256::from(self.0)
+            .mul_u128(num)
+            .div_u128(den)
+            .as_u128())
     }
 
     pub fn is_zero(&self) -> bool {
@@ -146,7 +151,9 @@ impl fmt::Display for Wei {
 }
 
 /// A signed wei amount, for profit/loss accounting.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SignedWei(pub i128);
 
 impl SignedWei {
@@ -207,7 +214,19 @@ impl fmt::Debug for SignedWei {
 }
 
 /// Gas units.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    Debug,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Gas(pub u64);
 
 impl Gas {
@@ -217,7 +236,9 @@ impl Gas {
 
     /// Total fee at a given gas price.
     pub fn cost(self, price: Wei) -> Wei {
-        Wei((self.0 as u128).checked_mul(price.0).expect("gas cost overflow"))
+        Wei((self.0 as u128)
+            .checked_mul(price.0)
+            .expect("gas cost overflow"))
     }
 }
 

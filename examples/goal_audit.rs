@@ -11,7 +11,11 @@ use flashpan::prelude::*;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let scenario = if full { Scenario::default() } else { Scenario::quick() };
+    let scenario = if full {
+        Scenario::default()
+    } else {
+        Scenario::quick()
+    };
     eprintln!(
         "simulating {} blocks ({} months) — this regenerates every table/figure...",
         scenario.total_blocks(),

@@ -15,7 +15,10 @@ fn main() {
     println!("ordering policy → completed public sandwiches (pre-Flashbots world)\n");
     let mut baseline = None;
     for (name, policy) in [
-        ("fee-priority (mainnet default)", OrderingPolicy::FeePriority),
+        (
+            "fee-priority (mainnet default)",
+            OrderingPolicy::FeePriority,
+        ),
         ("random shuffle (§8.3)", OrderingPolicy::Random),
         ("first-come-first-served (§7)", OrderingPolicy::Fcfs),
     ] {

@@ -50,7 +50,11 @@ fn main() {
             a.account.short(),
             a.sandwiches,
             a.miners.len(),
-            if a.single_miner() { "  ← single-miner (likely self-extraction)" } else { "" }
+            if a.single_miner() {
+                "  ← single-miner (likely self-extraction)"
+            } else {
+                ""
+            }
         );
     }
 }

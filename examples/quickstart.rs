@@ -26,7 +26,10 @@ fn main() {
 
     let fig4 = lab.fig4();
     if let Some((month, share)) = fig4.peak() {
-        println!("peak Flashbots hashrate share: {:.1} % in {month}", share * 100.0);
+        println!(
+            "peak Flashbots hashrate share: {:.1} % in {month}",
+            share * 100.0
+        );
     }
 
     let fig8 = lab.fig8();
@@ -48,5 +51,24 @@ fn main() {
         fig9.total_sandwiches,
         fig9.flashbots_share() * 100.0,
         fig9.public_share() * 100.0
+    );
+
+    // The `Inspector` builder is the direct entry point to the detection
+    // pipeline `Lab` runs internally: pick detector kinds, a block range,
+    // and a thread count, and share the already-decoded block index so the
+    // receipts are never re-read.
+    let genesis = lab.out.chain.timeline().genesis_number;
+    let sandwiches_only = Inspector::new(&lab.out.chain, &lab.out.blocks_api)
+        .kinds([MevKind::Sandwich])
+        .block_range(genesis..=genesis + 199)
+        .threads(4)
+        .with_index(lab.dataset.index.clone())
+        .run()
+        .expect("detection worker panicked");
+    println!(
+        "first 200 blocks, sandwich detector only: {} detections \
+         ({} blocks indexed, decoded once)",
+        sandwiches_only.detections.len(),
+        lab.dataset.index.len()
     );
 }

@@ -30,9 +30,15 @@ fn main() {
     println!("extractor  : {}", best.extractor);
     println!("miner      : {}", best.miner.short());
     println!("gross      : {:+.6} ETH", best.gross_wei as f64 / 1e18);
-    println!("costs      : {:.6} ETH (fees + coinbase tip)", best.costs_wei as f64 / 1e18);
+    println!(
+        "costs      : {:.6} ETH (fees + coinbase tip)",
+        best.costs_wei as f64 / 1e18
+    );
     println!("net profit : {:+.6} ETH", best.profit_eth());
-    println!("miner got  : {:.6} ETH", best.miner_revenue_wei as f64 / 1e18);
+    println!(
+        "miner got  : {:.6} ETH",
+        best.miner_revenue_wei as f64 / 1e18
+    );
 
     // Reconstruct the intra-block ordering (Definition 1: t1 < V < t2).
     let receipts = chain.receipts(best.block).expect("block exists");
@@ -54,7 +60,14 @@ fn main() {
         ("back", best.tx_hashes[1]),
     ] {
         let seen = observer.saw(hash);
-        println!("{label:>6}: {}", if seen { "seen pending (public)" } else { "never pending (private)" });
+        println!(
+            "{label:>6}: {}",
+            if seen {
+                "seen pending (public)"
+            } else {
+                "never pending (private)"
+            }
+        );
     }
     let class = classify_sandwich(best, observer, api);
     println!("classified as: {class:?}");
@@ -68,7 +81,12 @@ fn main() {
         .find(|b| b.tx_hashes.contains(&best.tx_hashes[0]))
         .expect("bundle containing the front");
     println!("\n=== blocks API record ===");
-    println!("bundle id    : {:?} ({} txs, type {})", bundle.bundle_id, bundle.tx_hashes.len(), bundle.bundle_type);
+    println!(
+        "bundle id    : {:?} ({} txs, type {})",
+        bundle.bundle_id,
+        bundle.tx_hashes.len(),
+        bundle.bundle_type
+    );
     println!("searcher     : {}", bundle.searcher.short());
     println!("miner reward : {:.6} ETH", bundle.tip.as_eth_f64());
 }

@@ -41,7 +41,7 @@ pub mod prelude {
     pub use mev_analysis::experiments::{
         render_churn, render_fig8, render_fig9, render_sec41, render_sec63, Lab,
     };
-    pub use mev_core::{Detection, MevDataset, MevKind};
+    pub use mev_core::{BlockIndex, Detection, InspectError, Inspector, MevDataset, MevKind};
     pub use mev_sim::{Scenario, SimOutput, Simulation};
     pub use mev_types::{Address, Month, TokenId, Wei};
 }

@@ -17,7 +17,11 @@ fn identical_scenarios_produce_identical_worlds() {
     let b = Simulation::new(tiny()).run();
     assert_eq!(a.chain.len(), b.chain.len());
     let head = a.chain.head_number().unwrap();
-    for n in [a.chain.timeline().genesis_number, head / 2 + 5_000_000, head] {
+    for n in [
+        a.chain.timeline().genesis_number,
+        head / 2 + 5_000_000,
+        head,
+    ] {
         let (ba, bb) = (a.chain.block(n), b.chain.block(n));
         match (ba, bb) {
             (Some(x), Some(y)) => assert_eq!(x.hash(), y.hash(), "block {n}"),
@@ -28,8 +32,8 @@ fn identical_scenarios_produce_identical_worlds() {
     assert_eq!(a.blocks_api.len(), b.blocks_api.len());
     assert_eq!(a.observer.len(), b.observer.len());
     // And the downstream detections agree exactly.
-    let da = MevDataset::inspect(&a.chain, &a.blocks_api);
-    let db = MevDataset::inspect(&b.chain, &b.blocks_api);
+    let da = Inspector::new(&a.chain, &a.blocks_api).run().unwrap();
+    let db = Inspector::new(&b.chain, &b.blocks_api).run().unwrap();
     assert_eq!(da.detections, db.detections);
 }
 
@@ -55,16 +59,40 @@ fn scenario_json_roundtrip_reproduces_the_run() {
     let a = Simulation::new(s).run();
     let b = Simulation::new(back).run();
     let head = a.chain.head_number().unwrap();
-    assert_eq!(a.chain.block(head).unwrap().hash(), b.chain.block(head).unwrap().hash());
+    assert_eq!(
+        a.chain.block(head).unwrap().hash(),
+        b.chain.block(head).unwrap().hash()
+    );
 }
 
 #[test]
 fn serial_and_parallel_inspection_agree() {
     let out = Simulation::new(tiny()).run();
-    let serial = MevDataset::inspect(&out.chain, &out.blocks_api);
-    let parallel = MevDataset::inspect_parallel(&out.chain, &out.blocks_api);
+    let serial = Inspector::new(&out.chain, &out.blocks_api)
+        .threads(1)
+        .run()
+        .unwrap();
+    let parallel = Inspector::new(&out.chain, &out.blocks_api)
+        .threads(8)
+        .run()
+        .unwrap();
     assert_eq!(serial.detections, parallel.detections);
-    assert!(!serial.detections.is_empty(), "tiny scenario still detects MEV");
+    assert!(
+        !serial.detections.is_empty(),
+        "tiny scenario still detects MEV"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_inspect_shims_match_inspector() {
+    // The compatibility shims must stay faithful to the new pipeline.
+    let out = Simulation::new(tiny()).run();
+    let via_shim = MevDataset::inspect(&out.chain, &out.blocks_api);
+    let via_shim_par = MevDataset::inspect_parallel(&out.chain, &out.blocks_api);
+    let via_builder = Inspector::new(&out.chain, &out.blocks_api).run().unwrap();
+    assert_eq!(via_shim.detections, via_builder.detections);
+    assert_eq!(via_shim_par.detections, via_builder.detections);
 }
 
 #[test]
@@ -72,11 +100,14 @@ fn multi_leg_routes_reach_the_detector() {
     // The triangular scanner emits 3-leg routes; at least some should land
     // and be detected as (multi-exchange) arbitrage across a full tiny run.
     let out = Simulation::new(tiny()).run();
-    let ds = MevDataset::inspect(&out.chain, &out.blocks_api);
+    let ds = Inspector::new(&out.chain, &out.blocks_api).run().unwrap();
     let mut multi_leg = 0;
     for d in ds.of_kind(MevKind::Arbitrage) {
         let receipts = out.chain.receipts(d.block).expect("present");
-        let r = receipts.iter().find(|r| r.tx_hash == d.tx_hashes[0]).expect("receipt");
+        let r = receipts
+            .iter()
+            .find(|r| r.tx_hash == d.tx_hashes[0])
+            .expect("receipt");
         let swaps = r
             .logs
             .iter()
@@ -87,5 +118,8 @@ fn multi_leg_routes_reach_the_detector() {
         }
     }
     // Triangles are rare by construction; existence is the claim.
-    assert!(multi_leg >= 1, "no 3-leg arbitrage detected in the whole run");
+    assert!(
+        multi_leg >= 1,
+        "no 3-leg arbitrage detected in the whole run"
+    );
 }

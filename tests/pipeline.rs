@@ -56,8 +56,11 @@ fn detector_precision_sandwiches_match_ground_truth() {
     // Recall: how many successful planted fronts were found? Not every
     // mined front completes a sandwich (partial inclusion), so recall is
     // measured against detections' own fronts being a subset.
-    let detected_fronts: HashSet<_> =
-        lab.dataset.of_kind(MevKind::Sandwich).map(|d| d.tx_hashes[0]).collect();
+    let detected_fronts: HashSet<_> = lab
+        .dataset
+        .of_kind(MevKind::Sandwich)
+        .map(|d| d.tx_hashes[0])
+        .collect();
     let recall = detected_fronts.intersection(&truth_fronts).count() as f64
         / truth_fronts.len().max(1) as f64;
     assert!(recall > 0.6, "recall {recall}");
@@ -84,7 +87,10 @@ fn detector_precision_arbitrage() {
         }
     }
     assert!(tp > 50, "substantial arb detections: {tp}");
-    assert!(fp as f64 / ((tp + fp).max(1) as f64) < 0.02, "fp {fp} vs tp {tp}");
+    assert!(
+        fp as f64 / ((tp + fp).max(1) as f64) < 0.02,
+        "fp {fp} vs tp {tp}"
+    );
 }
 
 #[test]
@@ -107,8 +113,10 @@ fn detected_profits_are_economically_consistent() {
 fn flashbots_labels_agree_with_api() {
     let lab = lab();
     for d in &lab.dataset.detections {
-        let api_says =
-            d.tx_hashes.iter().all(|&h| lab.out.blocks_api.is_flashbots_tx(h));
+        let api_says = d
+            .tx_hashes
+            .iter()
+            .all(|&h| lab.out.blocks_api.is_flashbots_tx(h));
         if d.via_flashbots {
             assert!(api_says, "label implies API membership");
         }
@@ -122,7 +130,11 @@ fn bundles_honoured_never_banned() {
     // containing its bundles contiguously.
     let lab = lab();
     for rec in lab.out.blocks_api.iter() {
-        let block = lab.out.chain.block(rec.block_number).expect("recorded block exists");
+        let block = lab
+            .out
+            .chain
+            .block(rec.block_number)
+            .expect("recorded block exists");
         assert_eq!(block.header.miner, rec.miner);
         let hashes: Vec<_> = block.transactions.iter().map(|t| t.hash()).collect();
         for b in &rec.bundles {
@@ -130,7 +142,11 @@ fn bundles_honoured_never_banned() {
             let found = hashes
                 .windows(b.tx_hashes.len().max(1))
                 .any(|w| w == b.tx_hashes.as_slice());
-            assert!(found, "bundle {:?} contiguous in block {}", b.bundle_id, rec.block_number);
+            assert!(
+                found,
+                "bundle {:?} contiguous in block {}",
+                b.bundle_id, rec.block_number
+            );
         }
     }
 }
@@ -195,13 +211,26 @@ fn table1_shape_matches_paper_ordering() {
     let liq = &t1.rows[2];
     // Arbitrage is the most common strategy; liquidations the rarest MEV
     // with substantial volume.
-    assert!(arb.total > sw.total, "arb {} > sandwich {}", arb.total, sw.total);
-    assert!(liq.total < sw.total, "liq {} < sandwich {}", liq.total, sw.total);
+    assert!(
+        arb.total > sw.total,
+        "arb {} > sandwich {}",
+        arb.total,
+        sw.total
+    );
+    assert!(
+        liq.total < sw.total,
+        "liq {} < sandwich {}",
+        liq.total,
+        sw.total
+    );
     // Flash loans: used for liquidations at a higher *rate* than arbitrage
     // (5.09 % vs 0.29 % in the paper).
     let liq_fl_rate = liq.via_flash_loans as f64 / liq.total.max(1) as f64;
     let arb_fl_rate = arb.via_flash_loans as f64 / arb.total.max(1) as f64;
-    assert!(liq_fl_rate > arb_fl_rate, "liq FL {liq_fl_rate} > arb FL {arb_fl_rate}");
+    assert!(
+        liq_fl_rate > arb_fl_rate,
+        "liq FL {liq_fl_rate} > arb FL {arb_fl_rate}"
+    );
     // Sandwiches cannot use flash loans (§2.3).
     assert_eq!(sw.via_flash_loans, 0);
 }
@@ -249,5 +278,8 @@ fn private_sandwiches_have_public_victims() {
             assert!(lab.out.observer.saw(d.victim.unwrap()));
         }
     }
-    assert!(private_found > 0, "private non-FB extraction exists in the window");
+    assert!(
+        private_found > 0,
+        "private non-FB extraction exists in the window"
+    );
 }
