@@ -33,6 +33,7 @@ impl Lab {
     /// which decodes the archive once into a shared block index; the
     /// figure runners reuse that index instead of re-crawling receipts.
     pub fn from_output(out: SimOutput) -> Lab {
+        let _t = mev_obs::span("analysis.lab_inspect.ns");
         let dataset = Inspector::new(&out.chain, &out.blocks_api)
             .run()
             .expect("detection worker panicked");

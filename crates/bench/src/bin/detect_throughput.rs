@@ -3,11 +3,14 @@
 //!
 //! ```sh
 //! cargo run -p mev-bench --release --bin detect_throughput
+//! cargo run -p mev-bench --release --bin detect_throughput -- --report runreport.json
 //! ```
 //!
 //! Compares the seed's fixed-chunk strategy (re-decoding receipts per
 //! detector) against the indexed worker-pool `Inspector`, and checks the
-//! two produce identical detections.
+//! two produce identical detections. With `--report <path>`, the
+//! `mev-obs` RunReport accumulated across all runs (worker histograms,
+//! span timings, per-kind detection counters) is written as JSON.
 
 use mev_bench::chunked_baseline;
 use mev_core::{BlockIndex, Inspector};
@@ -26,6 +29,11 @@ fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report_path = args
+        .windows(2)
+        .find(|w| w[0] == "--report")
+        .map(|w| w[1].clone());
     let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
     let chain = &out.chain;
     let api = &out.blocks_api;
@@ -67,4 +75,15 @@ fn main() {
         baseline_ms / prebuilt_ms,
     );
     assert!(identical, "baseline and Inspector detections diverged");
+
+    if let Some(path) = report_path {
+        let report = mev_obs::report();
+        // Sanity: a populated report, not an empty shell.
+        assert!(report.counter("inspector.runs").unwrap_or(0) > 0);
+        assert!(report.histogram("inspector.worker_blocks").is_some());
+        report
+            .write_to(std::path::Path::new(&path))
+            .expect("write RunReport");
+        eprintln!("RunReport written to {path}");
+    }
 }

@@ -74,6 +74,13 @@ pub fn build_block(world: &mut World, spec: &BlockSpec, candidates: &[Transactio
 
     world.state.credit(spec.miner, BLOCK_REWARD);
 
+    // Per-block accounting (mev-obs): one handle lookup + add per metric
+    // per block, never per transaction.
+    mev_obs::counter("chain.blocks_built").inc();
+    mev_obs::counter("chain.gas_used").add(gas_used.0);
+    mev_obs::counter("chain.receipts").add(receipts.len() as u64);
+    mev_obs::counter("chain.txs_skipped").add(skipped as u64);
+
     let header = BlockHeader {
         number: spec.number,
         parent_hash: spec.parent_hash,

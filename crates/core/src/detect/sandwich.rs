@@ -14,7 +14,7 @@ use crate::index::BlockRecord;
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
-use mev_types::{Block, Receipt};
+use mev_types::{Block, Receipt, U256};
 use std::collections::HashMap;
 
 /// Tolerance for matching `t2.amount_in` against `t1.amount_out`:
@@ -22,7 +22,13 @@ use std::collections::HashMap;
 const MATCH_TOLERANCE_BPS: u128 = 100;
 
 fn amounts_match(bought: u128, sold: u128) -> bool {
-    let tol = bought / 10_000 * MATCH_TOLERANCE_BPS + 1;
+    // Widened multiply-then-divide: `bought / 10_000 * BPS` would collapse
+    // the ±1 % band to the `+1` floor for amounts below 10,000, and
+    // `bought * BPS` alone can overflow `u128` for extreme amounts.
+    let tol = U256::mul_u128_u128(bought, MATCH_TOLERANCE_BPS)
+        .div_u128(10_000)
+        .as_u128()
+        + 1;
     bought.abs_diff(sold) <= tol
 }
 
@@ -342,6 +348,172 @@ mod tests {
         let mut out = Vec::new();
         detect_in_block(&b, &rs2, &empty_api(), &weth_oracle(), &mut out);
         assert_eq!(out.len(), 1, "sandwich found despite interleaving");
+    }
+
+    /// Regression: one front-run must claim exactly one back-run. If the
+    /// inner loop failed to `break` once `t1` is claimed, the already-used
+    /// front would pair with a second amount-matching back-run in the same
+    /// pool and emit a duplicate detection with the same front hash.
+    #[test]
+    fn one_front_claims_only_one_back() {
+        let attacker = Address::from_index(100);
+        let victim = Address::from_index(200);
+        let t0 = tx(attacker, 0);
+        let t1 = tx(victim, 0);
+        let t2 = tx(attacker, 1);
+        let t3 = tx(attacker, 2);
+        let r0 = receipt(
+            &t0,
+            0,
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId::WETH,
+                10 * E18,
+                TokenId(1),
+                20 * E18,
+            )],
+            Wei::ZERO,
+        );
+        let r1 = receipt(
+            &t1,
+            1,
+            vec![swap_log(
+                pool(),
+                victim,
+                TokenId::WETH,
+                30 * E18,
+                TokenId(1),
+                55 * E18,
+            )],
+            Wei::ZERO,
+        );
+        // Two back-runs, both amount-matching the front's 20 TKN.
+        let r2 = receipt(
+            &t2,
+            2,
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId(1),
+                20 * E18,
+                TokenId::WETH,
+                11 * E18,
+            )],
+            Wei::ZERO,
+        );
+        let r3 = receipt(
+            &t3,
+            3,
+            vec![swap_log(
+                pool(),
+                attacker,
+                TokenId(1),
+                20 * E18,
+                TokenId::WETH,
+                11 * E18,
+            )],
+            Wei::ZERO,
+        );
+        let b = block(10_000_000, vec![t0, t1, t2, t3]);
+        let mut out = Vec::new();
+        detect_in_block(
+            &b,
+            &[r0.clone(), r1.clone(), r2.clone(), r3],
+            &empty_api(),
+            &weth_oracle(),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "a front-run pairs with exactly one back-run");
+        assert_eq!(
+            out[0].tx_hashes,
+            vec![r0.tx_hash, r2.tx_hash],
+            "the earliest matching back-run is the pair"
+        );
+        assert_eq!(out[0].victim, Some(r1.tx_hash));
+    }
+
+    /// Two complete, disjoint sandwiches in the same pool are both found —
+    /// claiming must not suppress independent extractions.
+    #[test]
+    fn disjoint_sandwiches_in_one_pool_both_detected() {
+        let attacker = Address::from_index(100);
+        let victim = Address::from_index(200);
+        let mut txs = Vec::new();
+        let mut rs = Vec::new();
+        for round in 0u32..2 {
+            let base = round * 3;
+            let t_front = tx(attacker, 2 * round as u64);
+            let t_victim = tx(victim, round as u64);
+            let t_back = tx(attacker, 2 * round as u64 + 1);
+            rs.push(receipt(
+                &t_front,
+                base,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                )],
+                Wei::ZERO,
+            ));
+            rs.push(receipt(
+                &t_victim,
+                base + 1,
+                vec![swap_log(
+                    pool(),
+                    victim,
+                    TokenId::WETH,
+                    30 * E18,
+                    TokenId(1),
+                    55 * E18,
+                )],
+                Wei::ZERO,
+            ));
+            rs.push(receipt(
+                &t_back,
+                base + 2,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId(1),
+                    20 * E18,
+                    TokenId::WETH,
+                    11 * E18,
+                )],
+                Wei::ZERO,
+            ));
+            txs.extend([t_front, t_victim, t_back]);
+        }
+        let b = block(10_000_000, txs);
+        let mut out = Vec::new();
+        detect_in_block(&b, &rs, &empty_api(), &weth_oracle(), &mut out);
+        assert_eq!(out.len(), 2, "independent sandwiches both detected");
+        assert_ne!(out[0].tx_hashes, out[1].tx_hashes);
+    }
+
+    #[test]
+    fn tolerance_is_one_percent_below_ten_thousand() {
+        // tol(5_000) = 5_000·100/10_000 + 1 = 51. The old divide-first
+        // arithmetic collapsed this to 1.
+        assert!(amounts_match(5_000, 5_051));
+        assert!(!amounts_match(5_000, 5_052));
+        assert!(amounts_match(9_999, 10_099));
+        assert!(!amounts_match(9_999, 10_100));
+        // The +1 floor still admits off-by-one dust at tiny amounts.
+        assert!(amounts_match(0, 1));
+        assert!(!amounts_match(0, 2));
+    }
+
+    #[test]
+    fn tolerance_does_not_overflow_extreme_amounts() {
+        // bought·BPS overflows u128 without widening; the widened path
+        // must stay exact at the top of the range.
+        assert!(amounts_match(u128::MAX, u128::MAX));
+        assert!(amounts_match(u128::MAX, u128::MAX - u128::MAX / 100));
+        assert!(!amounts_match(u128::MAX, u128::MAX / 2));
     }
 
     #[test]

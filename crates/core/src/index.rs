@@ -171,6 +171,17 @@ impl BlockRecord {
     pub fn tx_count(&self) -> usize {
         self.txs.len()
     }
+
+    /// Approximate decoded size of the record's columns, in bytes (the
+    /// memory the index trades for single-pass decoding).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<BlockRecord>()
+            + self.txs.len() * std::mem::size_of::<TxRecord>()
+            + self.swaps.len() * std::mem::size_of::<SwapRecord>()
+            + self.liquidations.len() * std::mem::size_of::<LiquidationRecord>()
+            + self.repays.len() * std::mem::size_of::<RepayRecord>()
+            + self.oracle_updates.len() * std::mem::size_of::<(TokenId, u128)>()
+    }
 }
 
 /// The full decoded index: one [`BlockRecord`] per stored block, in
@@ -184,13 +195,21 @@ pub struct BlockIndex {
 impl BlockIndex {
     /// One pass over the archive: decode every block's receipts.
     pub fn build(chain: &ChainStore) -> BlockIndex {
+        let _timer = mev_obs::span("index.build.ns");
         let first_number = chain.timeline().genesis_number;
-        let records = chain
+        let records: Vec<BlockRecord> = chain
             .iter()
             .map(|(block, receipts)| {
                 BlockRecord::decode(block, receipts, chain.month_of(block.header.number))
             })
             .collect();
+        // Decode accounting: length sums only, after the hot loop.
+        mev_obs::counter("index.blocks").add(records.len() as u64);
+        mev_obs::counter("index.txs").add(records.iter().map(|r| r.txs.len() as u64).sum());
+        mev_obs::counter("index.swaps").add(records.iter().map(|r| r.swaps.len() as u64).sum());
+        mev_obs::counter("index.liquidations")
+            .add(records.iter().map(|r| r.liquidations.len() as u64).sum());
+        mev_obs::counter("index.bytes").add(records.iter().map(|r| r.approx_bytes() as u64).sum());
         BlockIndex {
             first_number,
             records,

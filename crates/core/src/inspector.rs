@@ -17,6 +17,7 @@ use std::ops::RangeInclusive;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Detection failed. Workers catch detector panics and surface them as
 /// this error instead of aborting the whole analysis.
@@ -119,10 +120,11 @@ impl<'a> Inspector<'a> {
     /// resulting `detections` vector is bit-identical regardless of the
     /// thread count.
     pub fn run(self) -> Result<MevDataset, InspectError> {
-        let index = self
-            .index
-            .clone()
-            .unwrap_or_else(|| Arc::new(BlockIndex::build(self.chain)));
+        let _run_timer = mev_obs::span("inspector.run.ns");
+        let index = self.index.clone().unwrap_or_else(|| {
+            let _t = mev_obs::span("inspector.index_build.ns");
+            Arc::new(BlockIndex::build(self.chain))
+        });
         let prices = index.price_feed();
         let records: Vec<&BlockRecord> = index
             .records()
@@ -138,6 +140,8 @@ impl<'a> Inspector<'a> {
         let threads = self.threads.unwrap_or(hw).max(1).min(records.len().max(1));
         let kinds = &self.kinds;
         let api = self.api;
+        mev_obs::counter("inspector.runs").inc();
+        mev_obs::counter("inspector.blocks").add(records.len() as u64);
 
         let mut detections = if threads <= 1 {
             // Serial: run inline; a detector panic propagates to the
@@ -150,7 +154,21 @@ impl<'a> Inspector<'a> {
         } else {
             run_pool(&records, threads, kinds, api, &prices)?
         };
-        detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        {
+            let _t = mev_obs::span("inspector.merge.ns");
+            detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        }
+        let (mut sandwiches, mut arbitrages, mut liquidations) = (0u64, 0u64, 0u64);
+        for d in &detections {
+            match d.kind {
+                MevKind::Sandwich => sandwiches += 1,
+                MevKind::Arbitrage => arbitrages += 1,
+                MevKind::Liquidation => liquidations += 1,
+            }
+        }
+        mev_obs::counter("detect.sandwich").add(sandwiches);
+        mev_obs::counter("detect.arbitrage").add(arbitrages);
+        mev_obs::counter("detect.liquidation").add(liquidations);
         Ok(MevDataset {
             detections,
             prices,
@@ -192,22 +210,51 @@ fn run_pool(
     let mut tagged: Vec<(usize, Vec<Detection>)> = Vec::with_capacity(records.len());
     let mut panicked: Option<u64> = None;
     let mut join_failed = false;
+    // Handles acquired once, outside the workers; each worker records its
+    // totals exactly once at exit, so the hot loop pays two `Instant`
+    // reads per block and zero shared-state traffic beyond the cursor.
+    mev_obs::counter("inspector.workers").add(threads as u64);
+    let h_blocks = mev_obs::histogram("inspector.worker_blocks");
+    let h_wait = mev_obs::histogram("inspector.queue_wait.ns");
+    let h_busy = mev_obs::histogram("inspector.worker_busy.ns");
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
+                let h_blocks = h_blocks.clone();
+                let h_wait = h_wait.clone();
+                let h_busy = h_busy.clone();
                 scope.spawn(move |_| -> Result<Vec<(usize, Vec<Detection>)>, u64> {
+                    let spawned = Instant::now();
+                    let mut first_pull_ns: Option<u64> = None;
+                    let mut busy_ns = 0u64;
+                    let mut pulled = 0u64;
                     let mut local = Vec::new();
+                    let mut failed: Option<u64> = None;
                     loop {
                         let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        first_pull_ns.get_or_insert_with(|| spawned.elapsed().as_nanos() as u64);
                         let Some(rec) = records.get(pos) else { break };
+                        let started = Instant::now();
                         let mut out = Vec::new();
-                        catch_unwind(AssertUnwindSafe(|| {
+                        if catch_unwind(AssertUnwindSafe(|| {
                             detect_record(rec, kinds, api, prices, &mut out);
                         }))
-                        .map_err(|_| rec.number)?;
+                        .is_err()
+                        {
+                            failed = Some(rec.number);
+                            break;
+                        }
+                        busy_ns += started.elapsed().as_nanos() as u64;
+                        pulled += 1;
                         local.push((pos, out));
                     }
-                    Ok(local)
+                    h_blocks.record(pulled);
+                    h_wait.record(first_pull_ns.unwrap_or(0));
+                    h_busy.record(busy_ns);
+                    match failed {
+                        Some(block) => Err(block),
+                        None => Ok(local),
+                    }
                 })
             })
             .collect();

@@ -71,9 +71,18 @@ pub fn is_private(observer: &Observer, hash: TxHash) -> bool {
 /// while the victim *was* observed pending (frontrunning other private
 /// transactions is impossible, so a private "victim" would be a false
 /// positive).
+///
+/// Flashbots labelling follows §3.3 as the detector applies it: a
+/// sandwich is a Flashbots sandwich only when **every** extractor
+/// transaction was part of a mined bundle. A single bundle-labelled hash
+/// (e.g. a back-run that rode an unrelated bundle) is not enough — the
+/// conservative reading that keeps this classifier consistent with the
+/// detector's `via_flashbots` flag.
 pub fn classify_sandwich(d: &Detection, observer: &Observer, api: &BlocksApi) -> PrivateClass {
     debug_assert_eq!(d.kind, MevKind::Sandwich);
-    if d.via_flashbots || d.tx_hashes.iter().any(|&h| api.is_flashbots_tx(h)) {
+    let all_bundled =
+        !d.tx_hashes.is_empty() && d.tx_hashes.iter().all(|&h| api.is_flashbots_tx(h));
+    if d.via_flashbots || all_bundled {
         return PrivateClass::Flashbots;
     }
     let front_back_private = d.tx_hashes.iter().all(|&h| is_private(observer, h));
@@ -99,7 +108,9 @@ pub fn private_stats(
     window: (u64, u64),
 ) -> PrivateStats {
     let mut stats = PrivateStats {
-        window_blocks: window.1.saturating_sub(window.0) + 1,
+        // Saturating on both steps: `(0, u64::MAX)` windows (the "whole
+        // chain" sentinel) would overflow the `+ 1`.
+        window_blocks: window.1.saturating_sub(window.0).saturating_add(1),
         ..PrivateStats::default()
     };
     let mut sandwich_blocks: std::collections::HashSet<u64> = std::collections::HashSet::new();
@@ -126,6 +137,7 @@ pub fn private_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mev_flashbots::{BundleRecord, FlashbotsBlockRecord};
     use mev_net::Network;
     use mev_types::{Address, H256};
     use rand::rngs::StdRng;
@@ -212,6 +224,66 @@ mod tests {
         let o = observer_seeing(&[hash(1)]);
         assert!(!is_private(&o, hash(1)));
         assert!(is_private(&o, hash(2)));
+    }
+
+    /// Pin the §3.3 semantics: a sandwich is Flashbots only when *both*
+    /// extractor transactions were bundle transactions (matching the
+    /// detector's `via_flashbots` AND), not when any one hash happens to
+    /// appear in a mined bundle.
+    #[test]
+    fn partial_bundle_label_is_not_flashbots() {
+        let mut api = BlocksApi::new();
+        api.record(FlashbotsBlockRecord {
+            block_number: 10_000_000,
+            miner: Address::from_index(9),
+            miner_reward: mev_types::Wei::ZERO,
+            bundles: vec![BundleRecord {
+                bundle_id: mev_flashbots::BundleId(1),
+                bundle_type: mev_flashbots::BundleType::Flashbots,
+                searcher: Address::from_index(1),
+                // Only the front-run rode a bundle.
+                tx_hashes: vec![hash(1)],
+                tip: mev_types::Wei::ZERO,
+            }],
+        });
+        let o = observer_seeing(&[hash(3)]);
+        let d = sandwich(hash(1), hash(2), hash(3), false);
+        assert_eq!(
+            classify_sandwich(&d, &o, &api),
+            PrivateClass::PrivateNonFlashbots,
+            "one bundled hash must not promote to Flashbots"
+        );
+        // Both hashes bundled ⇒ Flashbots, even when the detector ran
+        // against a stale API and left via_flashbots unset.
+        let mut full = BlocksApi::new();
+        full.record(FlashbotsBlockRecord {
+            block_number: 10_000_000,
+            miner: Address::from_index(9),
+            miner_reward: mev_types::Wei::ZERO,
+            bundles: vec![BundleRecord {
+                bundle_id: mev_flashbots::BundleId(1),
+                bundle_type: mev_flashbots::BundleType::Flashbots,
+                searcher: Address::from_index(1),
+                tx_hashes: vec![hash(1), hash(2)],
+                tip: mev_types::Wei::ZERO,
+            }],
+        });
+        assert_eq!(classify_sandwich(&d, &o, &full), PrivateClass::Flashbots);
+    }
+
+    /// The `(0, u64::MAX)` whole-chain window must not overflow the
+    /// window-size arithmetic.
+    #[test]
+    fn full_range_window_does_not_overflow() {
+        let dataset = crate::dataset::MevDataset::from_parts(
+            vec![sandwich(hash(1), hash(2), hash(3), true)],
+            mev_dex::PriceOracle::new(),
+        );
+        let o = observer_seeing(&[hash(3)]);
+        let stats = private_stats(&dataset, &o, &BlocksApi::new(), (0, u64::MAX));
+        assert_eq!(stats.window_blocks, u64::MAX);
+        assert_eq!(stats.total_sandwiches, 1);
+        assert_eq!(stats.flashbots, 1);
     }
 
     #[test]

@@ -29,13 +29,38 @@ pub struct FlashbotsBlockRecord {
 }
 
 /// The queryable dataset.
+///
+/// Only `records` is serialised; the lookup indices are rebuilt inside
+/// `Deserialize` (via the `BlocksApiWire` shadow struct), so a freshly
+/// deserialised API answers queries immediately — no `reindex()` call
+/// required.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[serde(from = "BlocksApiWire")]
 pub struct BlocksApi {
     records: Vec<FlashbotsBlockRecord>,
     #[serde(skip)]
     by_number: HashMap<u64, usize>,
     #[serde(skip)]
     tx_set: HashSet<TxHash>,
+}
+
+/// The on-disk shape of [`BlocksApi`]: just the records. Deserialising
+/// through it reindexes automatically.
+#[derive(serde::Deserialize)]
+struct BlocksApiWire {
+    records: Vec<FlashbotsBlockRecord>,
+}
+
+impl From<BlocksApiWire> for BlocksApi {
+    fn from(wire: BlocksApiWire) -> BlocksApi {
+        let mut api = BlocksApi {
+            records: wire.records,
+            by_number: HashMap::new(),
+            tx_set: HashSet::new(),
+        };
+        api.reindex();
+        api
+    }
 }
 
 impl BlocksApi {
@@ -220,13 +245,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_with_reindex() {
+    fn serde_roundtrip_reindexes_automatically() {
         let mut api = BlocksApi::new();
-        api.record(record(7, vec![(BundleType::Flashbots, vec![hash(1)])]));
+        api.record(record(
+            7,
+            vec![(BundleType::Flashbots, vec![hash(1), hash(2)])],
+        ));
+        api.record(record(9, vec![(BundleType::Rogue, vec![hash(3)])]));
         let json = serde_json::to_string(&api).unwrap();
-        let mut back: BlocksApi = serde_json::from_str(&json).unwrap();
-        back.reindex();
+        let back: BlocksApi = serde_json::from_str(&json).unwrap();
+        // No manual reindex(): Deserialize rebuilt the lookups.
         assert!(back.is_flashbots_block(7));
+        assert!(back.is_flashbots_block(9));
+        assert!(!back.is_flashbots_block(8));
         assert!(back.is_flashbots_tx(hash(1)));
+        assert!(back.is_flashbots_tx(hash(3)));
+        assert!(!back.is_flashbots_tx(hash(4)));
+        assert_eq!(back.block(9).unwrap().bundles.len(), 1);
+        // record() keeps working on the reindexed instance.
+        let mut grown = back;
+        grown.record(record(11, vec![(BundleType::Flashbots, vec![hash(5)])]));
+        assert!(grown.is_flashbots_tx(hash(5)));
     }
 }

@@ -1,0 +1,76 @@
+//! `mev-obs`: the pipeline's self-accounting layer.
+//!
+//! A zero-external-dependency, thread-safe metrics registry — atomic
+//! [`Counter`]s and [`Gauge`]s, lock-free log-bucketed [`Histogram`]s,
+//! RAII [`Span`] timers — plus a [`RunReport`] that serialises the whole
+//! registry to JSON. Measurement pipelines need to audit themselves
+//! (which heuristics ran, over how many blocks, at what cost) as much as
+//! they audit the chain; this crate is that accounting.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Cheap on hot paths.** Recording is a handful of relaxed atomic
+//!    ops; no locks, no allocation, no formatting. The only lock is a
+//!    short-held `Mutex` around the name→handle map, paid on handle
+//!    acquisition — callers on hot loops acquire once and reuse.
+//! 2. **Always on.** No feature gate: what is not compiled in is never
+//!    measured, and conditional compilation forks the build matrix.
+//! 3. **Zero dependencies.** The JSON emitter is hand-rolled so nothing
+//!    below `std` leaks into `mev-chain` and friends.
+//!
+//! ```
+//! let c = mev_obs::counter("demo.blocks");
+//! c.add(3);
+//! {
+//!     let _t = mev_obs::span("demo.decode.ns"); // records on drop
+//! }
+//! let report = mev_obs::report();
+//! assert!(report.counter("demo.blocks").unwrap() >= 3);
+//! assert!(report.to_json().contains("demo.decode.ns"));
+//! ```
+
+mod metrics;
+mod registry;
+mod report;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Span};
+pub use registry::{global, Registry};
+pub use report::RunReport;
+
+use std::sync::Arc;
+
+/// Fetch (or create) a named counter in the global registry.
+///
+/// The returned handle is a clone of the registry's: keep it around on
+/// hot paths instead of re-looking it up per event.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Fetch (or create) a named gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Fetch (or create) a named histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Start a wall-clock span against the named global histogram; the
+/// elapsed nanoseconds are recorded when the returned guard drops.
+/// Name span histograms with a `.ns` suffix by convention.
+pub fn span(name: &str) -> Span {
+    Span::enter(global().histogram(name))
+}
+
+/// Snapshot the global registry into a [`RunReport`].
+pub fn report() -> RunReport {
+    RunReport::capture(global())
+}
+
+/// Zero every metric in the global registry (handles stay valid).
+/// Benchmarks use this to isolate per-iteration numbers.
+pub fn reset() {
+    global().reset()
+}

@@ -1,0 +1,340 @@
+//! The metric primitives: all recording is relaxed atomics, so any thread
+//! can record concurrently with any snapshot. Totals are exact; snapshots
+//! taken mid-record may tear across *fields* (count vs. sum) but never
+//! within one, which is the usual and acceptable contract for process
+//! self-metrics.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Signed instantaneous value (queue depths, balances, last-seen heights).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, v: i64) {
+        self.0.fetch_sub(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: one per power of two of `u64`, plus the
+/// zero bucket (`bucket_of` maps value `v` to `64 − v.leading_zeros()`).
+pub const BUCKETS: usize = 65;
+
+/// Lock-free histogram over fixed log₂-scale buckets.
+///
+/// Recording is four relaxed atomic ops (count, sum, max, bucket) — no
+/// locks, no allocation — so it is safe on detector and builder hot
+/// paths. Quantiles come from the bucket layout and are therefore upper
+/// bounds with ≤2× resolution, which is plenty for span timings.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Bucket index of a value: 0 for 0, else one past its highest set bit.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Largest value a bucket can hold.
+fn bucket_upper_bound(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Consistent-enough copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the total from the bucket copies so quantiles are
+        // consistent with them even if records land mid-snapshot.
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper_bound(i);
+                }
+            }
+            bucket_upper_bound(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`]. Quantiles are bucket upper
+/// bounds (within 2× of the true value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// RAII wall-clock timer: records elapsed nanoseconds into its histogram
+/// when dropped. Obtain via [`crate::span`] or [`Span::enter`].
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    pub fn enter(hist: Arc<Histogram>) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.hist.record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(20);
+        assert_eq!(g.get(), -5);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn bucket_mapping_covers_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            assert!(v <= bucket_upper_bound(bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 26.5).abs() < 1e-9);
+        // p50: rank 2 of [1,2,3,100] → value 2 → bucket bound 3.
+        assert_eq!(s.p50, 3);
+        // p99: rank 4 → 100 → bucket [64,127] bound 127.
+        assert_eq!(s.p99, 127);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn histogram_reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = Span::enter(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i % 128);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+    }
+}

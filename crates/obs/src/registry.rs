@@ -1,0 +1,184 @@
+//! Name → metric interning. One short-held `Mutex` around three
+//! `BTreeMap`s: the lock is paid when a handle is first (or re-)fetched,
+//! never while recording. `BTreeMap` keeps report output sorted for free.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A set of named metrics. Most callers use the process-wide [`global`]
+/// registry via the crate-level shortcuts; separate instances exist for
+/// tests that must not observe each other.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic mid-insert cannot corrupt a BTreeMap insert of Arc
+        // clones in a way that matters for metrics; keep serving.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fetch or create the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.lock();
+        if let Some(c) = inner.counters.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        inner.counters.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Fetch or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        if let Some(g) = inner.gauges.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::new());
+        inner.gauges.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Fetch or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::new());
+        inner.histograms.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Zero every registered metric. Existing handles remain valid and
+    /// keep recording into the same metrics.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+
+    /// All counters with their current values, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges with their current values, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.lock()
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms with their current snapshots, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, crate::HistogramSnapshot)> {
+        self.lock()
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn namespaces_are_distinct() {
+        let r = Registry::new();
+        r.counter("m").add(1);
+        r.gauge("m").set(-7);
+        r.histogram("m").record(9);
+        assert_eq!(r.counters(), vec![("m".to_string(), 1)]);
+        assert_eq!(r.gauges(), vec![("m".to_string(), -7)]);
+        assert_eq!(r.histograms().len(), 1);
+        assert_eq!(r.histograms()[0].1.sum, 9);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(10);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("c").get(), 1);
+    }
+
+    #[test]
+    fn listing_is_name_sorted() {
+        let r = Registry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        r.counter("m").inc();
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        r.counter("shared").inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("shared").get(), 8_000);
+        assert_eq!(r.counters().len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! [`RunReport`]: a serialisable snapshot of a whole registry, plus the
+//! hand-rolled JSON emitter that keeps this crate dependency-free. The
+//! output is deterministic (name-sorted, fixed float formatting) so two
+//! identical runs produce byte-identical reports.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Registry;
+
+/// Everything the pipeline recorded, frozen at capture time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RunReport {
+    /// Snapshot a registry.
+    pub fn capture(registry: &Registry) -> RunReport {
+        RunReport {
+            counters: registry.counters(),
+            gauges: registry.gauges(),
+            histograms: registry.histograms(),
+        }
+    }
+
+    /// Value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a named gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Snapshot of a named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Pretty-printed JSON: three top-level objects keyed by metric name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            push_entry(&mut out, i, name);
+            out.push_str(&v.to_string());
+        }
+        close_obj(&mut out, self.counters.is_empty());
+        out.push_str(",\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            push_entry(&mut out, i, name);
+            out.push_str(&v.to_string());
+        }
+        close_obj(&mut out, self.gauges.is_empty());
+        out.push_str(",\n  \"histograms\": {");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            push_entry(&mut out, i, name);
+            out.push_str(&format!(
+                "{{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                fmt_f64(s.mean),
+                s.p50,
+                s.p90,
+                s.p99
+            ));
+        }
+        close_obj(&mut out, self.histograms.is_empty());
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the JSON report to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn push_entry(out: &mut String, i: usize, name: &str) {
+    if i > 0 {
+        out.push(',');
+    }
+    out.push_str("\n    \"");
+    out.push_str(&escape_json(name));
+    out.push_str("\": ");
+}
+
+fn close_obj(out: &mut String, was_empty: bool) {
+    if !was_empty {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+/// JSON-safe float: always finite output (registry means are finite by
+/// construction, but never emit `NaN`/`inf` into a report).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` prints a round-trippable literal with a decimal point.
+        format!("{x:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Escape a string for a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let r = Registry::new();
+        r.counter("blocks").add(7);
+        r.gauge("depth").set(-3);
+        r.histogram("lat.ns").record(1000);
+        RunReport::capture(&r)
+    }
+
+    #[test]
+    fn capture_freezes_values() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        c.add(1);
+        let report = RunReport::capture(&r);
+        c.add(100);
+        assert_eq!(report.counter("n"), Some(1));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let rep = sample();
+        assert_eq!(rep.counter("blocks"), Some(7));
+        assert_eq!(rep.gauge("depth"), Some(-3));
+        let h = rep.histogram("lat.ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1000);
+    }
+
+    #[test]
+    fn json_contains_all_sections_and_names() {
+        let json = sample().to_json();
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"blocks\": 7",
+            "\"depth\": -3",
+            "\"lat.ns\"",
+            "\"count\": 1",
+            "\"sum\": 1000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces ⇒ structurally plausible JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let json = RunReport::capture(&Registry::new()).to_json();
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let r = Registry::new();
+        r.counter("b").add(1);
+        r.counter("a").add(2);
+        let one = RunReport::capture(&r).to_json();
+        let two = RunReport::capture(&r).to_json();
+        assert_eq!(one, two);
+        assert!(one.find("\"a\"").unwrap() < one.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn escaping_and_floats() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.0");
+    }
+}

@@ -372,6 +372,7 @@ impl Simulation {
 
     /// Run to completion and return the recorded datasets.
     pub fn run(mut self) -> SimOutput {
+        let _run_timer = mev_obs::span("sim.run.ns");
         let genesis = self.s.genesis_block();
         let total = self.s.total_blocks();
         let mut parent_hash = H256::zero();
@@ -411,12 +412,21 @@ impl Simulation {
             self.stats.pools_tethered +=
                 self.world.dex.tether_to_oracle(&self.world.oracle, 500) as u64;
         }
-        self.step_gas_market(number, month);
-        self.generate_oracle_update(number, submit_ms);
-        self.generate_borrower(submit_ms);
-        self.generate_trades(number, month, submit_ms);
-        self.generate_payouts(number, month, submit_ms);
-        self.plan_mev(number, month, submit_ms);
+        {
+            // Activity generation (market, oracle, borrowers, trades,
+            // payouts) timed as one phase — it is all mempool-side work.
+            let _t = mev_obs::span("sim.phase.activity.ns");
+            self.step_gas_market(number, month);
+            self.generate_oracle_update(number, submit_ms);
+            self.generate_borrower(submit_ms);
+            self.generate_trades(number, month, submit_ms);
+            self.generate_payouts(number, month, submit_ms);
+        }
+        {
+            let _t = mev_obs::span("sim.phase.plan_mev.ns");
+            self.plan_mev(number, month, submit_ms);
+        }
+        let _t = mev_obs::span("sim.phase.build.ns");
         self.build_and_commit(number, ts, parent_hash)
     }
 
@@ -1493,6 +1503,10 @@ impl Simulation {
         let (bundles, private_subs) =
             prune_unexecutable(&self.world, bundles, private_subs, &public);
         self.stats.bundles_preflight_dropped += (n_before - bundles.len()) as u64;
+        // Bundle-flow accounting (mev-obs): a few adds per block.
+        mev_obs::counter("sim.bundles_selected").add(bundles.len() as u64);
+        mev_obs::counter("sim.bundles_preflight_dropped").add((n_before - bundles.len()) as u64);
+        mev_obs::counter("sim.private_submissions").add(private_subs.len() as u64);
         let candidates = assemble_candidates(&bundles, &private_subs, &public);
         let spec = BlockSpec {
             number,
@@ -1524,6 +1538,8 @@ impl Simulation {
 
         self.base_fee = base_fee_after(&self.forks, &built);
         let hash = built.block.hash();
+        mev_obs::counter("sim.blocks").inc();
+        mev_obs::counter("sim.txs").add(built.block.transactions.len() as u64);
         self.chain.push(built.block, built.receipts);
         self.stats.blocks += 1;
         hash

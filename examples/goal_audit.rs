@@ -5,12 +5,21 @@
 //! ```sh
 //! cargo run --release --example goal_audit            # quick scale
 //! cargo run --release --example goal_audit -- --full  # 1,000 blocks/month
+//! cargo run --release --example goal_audit -- --report runreport.json
 //! ```
+//!
+//! `--report <path>` writes the `mev-obs` RunReport (span timings, worker
+//! stats, per-kind detection counts across the whole run) as JSON.
 
 use flashpan::prelude::*;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let report_path = args
+        .windows(2)
+        .find(|w| w[0] == "--report")
+        .map(|w| w[1].clone());
     let scenario = if full {
         Scenario::default()
     } else {
@@ -58,4 +67,12 @@ fn main() {
 
     println!("=== §4.5 churn ===");
     println!("{}", render_churn(&lab.churn()));
+
+    if let Some(path) = report_path {
+        let report = mev_obs::report();
+        report
+            .write_to(std::path::Path::new(&path))
+            .expect("write RunReport");
+        eprintln!("RunReport written to {path}");
+    }
 }
