@@ -64,6 +64,7 @@ pub fn build_block(world: &mut World, spec: &BlockSpec, candidates: &[Transactio
             Ok(mut receipt) => {
                 receipt.index = receipts.len() as u32;
                 gas_used += receipt.gas_used;
+                // lint:allow(wei-math: Wei::add_assign is checked in mev-types — aborts on overflow, never wraps)
                 fees += receipt.miner_revenue();
                 receipts.push(receipt);
                 included.push(tx.clone());
@@ -97,6 +98,7 @@ pub fn build_block(world: &mut World, spec: &BlockSpec, candidates: &[Transactio
         },
         receipts,
         skipped,
+        // lint:allow(wei-math: Wei::add is checked in mev-types — aborts on overflow, never wraps)
         miner_revenue: BLOCK_REWARD + fees,
     }
 }
@@ -124,13 +126,19 @@ fn repair_nonce_order(txs: &mut [Transaction]) {
     for tx in txs.iter() {
         by_sender.entry(tx.from).or_default().push(tx.clone());
     }
+    // lint:allow(determinism: iteration order cannot reach the output — each list is sorted independently, writes go through slot lookups)
     for list in by_sender.values_mut() {
         list.sort_by_key(|t| t.nonce);
         list.reverse(); // pop from the back = lowest nonce first
     }
     for slot in txs.iter_mut() {
-        let list = by_sender.get_mut(&slot.from).expect("populated above");
-        *slot = list.pop().expect("counts match");
+        // Both lookups are infallible by construction (the map was
+        // populated from these very slots); skip defensively either way.
+        let Some(list) = by_sender.get_mut(&slot.from) else {
+            continue;
+        };
+        let Some(tx) = list.pop() else { continue };
+        *slot = tx;
     }
 }
 

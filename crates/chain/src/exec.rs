@@ -95,6 +95,7 @@ pub fn execute(world: &mut World, env: &BlockEnv, tx: &Transaction) -> Result<Re
         return Err(InvalidTx::FeeTooLow);
     }
     let price = tx.fee.effective_gas_price(env.base_fee);
+    // lint:allow(wei-math: Wei::add is checked in mev-types — aborts on overflow, never wraps)
     let worst_case = tx.gas_limit.cost(price) + native_value(&tx.action) + tx.coinbase_tip;
     if world.state.balance(tx.from) < worst_case {
         return Err(InvalidTx::InsufficientFunds);
@@ -116,6 +117,7 @@ pub fn execute(world: &mut World, env: &BlockEnv, tx: &Transaction) -> Result<Re
     let fee_total = gas_used.cost(price);
     let tip_per_gas = tx.fee.miner_tip_per_gas(env.base_fee);
     let miner_fee = gas_used.cost(tip_per_gas);
+    // lint:allow(wei-math: tip_per_gas ≤ price by construction, and Wei::sub is checked in mev-types)
     let burn = fee_total - miner_fee;
     assert!(
         world.state.debit(tx.from, fee_total),
@@ -527,8 +529,9 @@ fn run_flash_loan(
         }
     }
 
-    // Demand repayment + fee.
-    let owed = amount + fee;
+    // Demand repayment + fee. Saturating: an overflowing demand simply
+    // cannot be repaid and the loan reverts below.
+    let owed = amount.saturating_add(fee);
     if !world.state.burn_token(sender, token, owed) {
         rollback(world, logs);
         return Err(ActionError::FlashLoanNotRepaid);

@@ -69,6 +69,7 @@ pub fn next_base_fee(
         let delta_gas = (parent_gas_used.0 - target.0) as u128;
         let delta = parent_base_fee.mul_ratio(delta_gas, target.0 as u128).0
             / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        // lint:allow(wei-math: Wei::add is checked in mev-types; delta ≤ base_fee / 8 by the EIP-1559 bound)
         parent_base_fee + Wei(delta.max(1))
     } else {
         let delta_gas = (target.0 - parent_gas_used.0) as u128;

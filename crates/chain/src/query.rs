@@ -144,7 +144,11 @@ pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
     let mut entries = Vec::new();
     let mut block_number = from;
     while block_number <= to {
-        let receipts = chain.receipts(block_number).expect("range-checked");
+        // `from..=to` is clamped to the stored range above; a missing
+        // block would be a store inconsistency — stop paging, not panic.
+        let Some(receipts) = chain.receipts(block_number) else {
+            break;
+        };
         for r in receipts {
             for log in &r.logs {
                 if let Some(addr) = filter.address {

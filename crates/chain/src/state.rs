@@ -46,6 +46,7 @@ impl StateDb {
 
     /// Credit ether (issuance or transfer-in).
     pub fn credit(&mut self, addr: Address, amount: Wei) {
+        // lint:allow(wei-math: Wei::add_assign is checked in mev-types — aborts on overflow, never wraps)
         self.accounts.entry(addr).or_default().balance += amount;
     }
 
@@ -78,6 +79,7 @@ impl StateDb {
         if !self.debit(from, amount) {
             return false;
         }
+        // lint:allow(wei-math: Wei::add_assign is checked in mev-types — aborts on overflow, never wraps)
         self.burned += amount;
         true
     }
@@ -96,14 +98,16 @@ impl StateDb {
             .unwrap_or(0)
     }
 
-    /// Mint tokens (scenario seeding, pool payouts).
+    /// Mint tokens (scenario seeding, pool payouts). Saturating: token
+    /// supplies are synthetic, so a clamped balance beats a wrapped one.
     pub fn mint_token(&mut self, addr: Address, token: TokenId, amount: u128) {
-        *self
+        let bal = self
             .tokens
             .entry(addr)
             .or_default()
             .entry(token)
-            .or_default() += amount;
+            .or_default();
+        *bal = bal.saturating_add(amount);
     }
 
     /// Burn tokens; `false` if insufficient.
@@ -118,6 +122,7 @@ impl StateDb {
         if *bal < amount {
             return false;
         }
+        // lint:allow(wei-math: cannot underflow — guarded by the balance check above)
         *bal -= amount;
         true
     }
@@ -151,6 +156,7 @@ impl StateDb {
     /// Sum of all native balances plus burned wei — conserved by execution
     /// modulo explicit issuance. Used by conservation property tests.
     pub fn total_wei(&self) -> Wei {
+        // lint:allow(determinism: iteration order cannot reach the output — commutative sum) lint:allow(wei-math: Wei::sum/add are checked in mev-types — abort on overflow, never wrap)
         self.accounts.values().map(|a| a.balance).sum::<Wei>() + self.burned
     }
 

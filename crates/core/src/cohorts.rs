@@ -71,11 +71,11 @@ pub fn cohorts(dataset: &MevDataset, chain: &ChainStore) -> Vec<SearcherCohort> 
             MevKind::Liquidation => e.liquidations += 1,
         }
     }
+    // lint:allow(determinism: fully re-ordered by the total sort below — profit then address tie-break)
     let mut v: Vec<SearcherCohort> = map.into_values().collect();
     v.sort_by(|a, b| {
         b.total_profit_eth
-            .partial_cmp(&a.total_profit_eth)
-            .expect("finite")
+            .total_cmp(&a.total_profit_eth)
             .then(a.address.cmp(&b.address))
     });
     v
@@ -110,8 +110,10 @@ pub fn monthly_churn(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Month, Ch
     active
         .iter()
         .map(|(&m, set)| {
+            // lint:allow(determinism: iteration order cannot reach the output — both uses are bare counts)
             let joined = set.iter().filter(|a| lifetimes[*a].0 == m).count();
             let departed = lifetimes
+                // lint:allow(determinism: iteration order cannot reach the output — bare count)
                 .values()
                 .filter(|(_, last)| last.next() == m)
                 .count();

@@ -99,6 +99,7 @@ impl MevDataset {
         Inspector::new(chain, api)
             .threads(1)
             .run()
+            // lint:allow(panic: deprecated shim preserves the old abort-on-failure contract)
             .expect("serial inspection propagates panics directly")
     }
 
@@ -109,6 +110,7 @@ impl MevDataset {
         // behaviour while `Inspector::run` reports it as an error.
         Inspector::new(chain, api)
             .run()
+            // lint:allow(panic: deprecated shim preserves the old abort-on-failure contract)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

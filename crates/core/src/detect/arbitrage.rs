@@ -12,7 +12,7 @@ use crate::index::BlockRecord;
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
-use mev_types::{Block, Receipt};
+use mev_types::{wei_i128, Block, Receipt};
 use std::collections::HashSet;
 
 /// Detect arbitrage transactions in a block, appending to `out`.
@@ -82,8 +82,16 @@ pub fn detect_in_record(
             continue; // not profitable in asset terms: not an arbitrage
         }
         let number = rec.number;
-        let t = rec.tx(tx_index).expect("indexed swap has a tx column");
-        let gain = value_at(prices, start_token, amount_out - amount_in, number) as i128;
+        // Every indexed swap has a tx column by construction; skip
+        // (rather than panic) if an index is ever corrupt.
+        let Some(t) = rec.tx(tx_index) else { continue };
+        // `amount_out > amount_in` is guaranteed by the guard above.
+        let gain = wei_i128(value_at(
+            prices,
+            start_token,
+            amount_out.saturating_sub(amount_in),
+            number,
+        ));
         out.push(Detection {
             kind: MevKind::Arbitrage,
             block: number,
@@ -92,7 +100,7 @@ pub fn detect_in_record(
             victim: None,
             gross_wei: gain,
             costs_wei: t.cost_wei,
-            profit_wei: gain - t.cost_wei as i128,
+            profit_wei: gain.saturating_sub(wei_i128(t.cost_wei)),
             miner_revenue_wei: t.miner_revenue_wei,
             via_flashbots: api.is_flashbots_tx(t.hash),
             via_flash_loan: t.has_flash_loan,

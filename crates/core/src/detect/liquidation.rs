@@ -7,7 +7,7 @@ use crate::index::BlockRecord;
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
-use mev_types::{Block, LendingPlatformId, Receipt};
+use mev_types::{wei_i128, Block, LendingPlatformId, Receipt};
 
 /// Platforms the paper's liquidation detector covers.
 fn covered(platform: LendingPlatformId) -> bool {
@@ -51,11 +51,23 @@ pub fn detect_in_record(
         let number = rec.number;
         // Gain: collateral received minus debt repaid (§3.1.3 costs
         // include "the value of the liquidated debt").
-        let gain = value_at(prices, l.collateral_token, l.collateral_seized, number) as i128
-            - value_at(prices, l.debt_token, l.debt_repaid, number) as i128;
-        let t = rec
-            .tx(l.tx_index)
-            .expect("indexed liquidation has a tx column");
+        let gain = wei_i128(value_at(
+            prices,
+            l.collateral_token,
+            l.collateral_seized,
+            number,
+        ))
+        .saturating_sub(wei_i128(value_at(
+            prices,
+            l.debt_token,
+            l.debt_repaid,
+            number,
+        )));
+        // Every indexed liquidation has a tx column by construction;
+        // skip (rather than panic) if an index is ever corrupt.
+        let Some(t) = rec.tx(l.tx_index) else {
+            continue;
+        };
         out.push(Detection {
             kind: MevKind::Liquidation,
             block: number,
@@ -64,7 +76,7 @@ pub fn detect_in_record(
             victim: None,
             gross_wei: gain,
             costs_wei: t.cost_wei,
-            profit_wei: gain - t.cost_wei as i128,
+            profit_wei: gain.saturating_sub(wei_i128(t.cost_wei)),
             miner_revenue_wei: t.miner_revenue_wei,
             via_flashbots: api.is_flashbots_tx(t.hash),
             via_flash_loan: t.has_flash_loan,

@@ -14,7 +14,7 @@ use crate::index::BlockRecord;
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
-use mev_types::{Block, Receipt, U256};
+use mev_types::{wei_i128, Block, Receipt, U256};
 use std::collections::HashMap;
 
 /// Tolerance for matching `t2.amount_in` against `t1.amount_out`:
@@ -62,16 +62,24 @@ pub fn detect_in_record(
     if rec.swaps.len() < 3 {
         return;
     }
-    // Group swaps by pool, preserving block order.
-    let mut by_pool: HashMap<mev_types::PoolId, Vec<&SwapRecord>> = HashMap::new();
+    // Group swaps by pool in first-seen (tx-index) order: the cross-pool
+    // `claimed` set below makes pool visitation order observable, so hash
+    // iteration order would leak into which sandwich wins overlapping
+    // claims. The map is lookup-only; iteration walks `groups`.
+    let mut groups: Vec<(mev_types::PoolId, Vec<&SwapRecord>)> = Vec::new();
+    let mut slot: HashMap<mev_types::PoolId, usize> = HashMap::new();
     for s in &rec.swaps {
         if s.pool.exchange.sandwich_covered() {
-            by_pool.entry(s.pool).or_default().push(s);
+            let idx = *slot.entry(s.pool).or_insert_with(|| {
+                groups.push((s.pool, Vec::new()));
+                groups.len() - 1
+            });
+            groups[idx].1.push(s);
         }
     }
     let mut claimed: std::collections::HashSet<u32> = std::collections::HashSet::new();
 
-    for group in by_pool.values() {
+    for (_, group) in &groups {
         for (i, &t1) in group.iter().enumerate() {
             if claimed.contains(&t1.tx_index) {
                 continue;
@@ -96,18 +104,26 @@ pub fn detect_in_record(
                 });
                 let Some(&victim) = victim else { continue };
 
-                let front = rec.tx(t1.tx_index).expect("indexed swap has a tx column");
-                let back = rec.tx(t2.tx_index).expect("indexed swap has a tx column");
-                let victim_tx = rec
-                    .tx(victim.tx_index)
-                    .expect("indexed swap has a tx column");
+                // Every indexed swap has a tx column by construction;
+                // skip (rather than panic) if an index is ever corrupt.
+                let (Some(front), Some(back), Some(victim_tx)) = (
+                    rec.tx(t1.tx_index),
+                    rec.tx(t2.tx_index),
+                    rec.tx(victim.tx_index),
+                ) else {
+                    continue;
+                };
                 // Gain: what the back-run returned minus what the
                 // front-run spent, valued in ETH at this block.
                 let number = rec.number;
-                let gain = value_at(prices, t2.token_out, t2.amount_out, number) as i128
-                    - value_at(prices, t1.token_in, t1.amount_in, number) as i128;
-                let costs = front.cost_wei + back.cost_wei;
-                let miner_rev = front.miner_revenue_wei + back.miner_revenue_wei;
+                let gain =
+                    wei_i128(value_at(prices, t2.token_out, t2.amount_out, number)).saturating_sub(
+                        wei_i128(value_at(prices, t1.token_in, t1.amount_in, number)),
+                    );
+                let costs = front.cost_wei.saturating_add(back.cost_wei);
+                let miner_rev = front
+                    .miner_revenue_wei
+                    .saturating_add(back.miner_revenue_wei);
                 let via_flashbots =
                     api.is_flashbots_tx(front.hash) && api.is_flashbots_tx(back.hash);
                 // Flash loans cannot fund sandwiches (§2.3: two separate
@@ -123,7 +139,7 @@ pub fn detect_in_record(
                     victim: Some(victim_tx.hash),
                     gross_wei: gain,
                     costs_wei: costs,
-                    profit_wei: gain - costs as i128,
+                    profit_wei: gain.saturating_sub(wei_i128(costs)),
                     miner_revenue_wei: miner_rev,
                     via_flashbots,
                     via_flash_loan,

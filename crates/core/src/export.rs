@@ -52,6 +52,7 @@ pub fn detections_json(dataset: &MevDataset, chain: &ChainStore) -> String {
         .iter()
         .map(|d| DetectionRecord::from_detection(d, chain))
         .collect();
+    // lint:allow(panic: DetectionRecord derives Serialize with no custom impls — serialisation is infallible)
     serde_json::to_string_pretty(&records).expect("serialisable records")
 }
 
@@ -78,6 +79,7 @@ pub fn detections_csv(dataset: &MevDataset, chain: &ChainStore) -> String {
             r.via_flash_loan,
             r.miner,
         )
+        // lint:allow(panic: fmt::Write to a String cannot fail)
         .expect("write to string");
     }
     out

@@ -49,11 +49,13 @@ pub fn monthly_flashbots_hashrate(chain: &ChainStore, api: &BlocksApi) -> Vec<(M
     monthly_miner_blocks(chain)
         .into_iter()
         .map(|(month, counts)| {
+            // lint:allow(determinism: iteration order cannot reach the output — commutative u64 sum)
             let total: u64 = counts.values().sum();
             let fb: u64 = fb_miners
                 .get(&month)
                 .map(|miners| {
                     counts
+                        // lint:allow(determinism: iteration order cannot reach the output — filtered commutative sum)
                         .iter()
                         .filter(|(addr, _)| miners.contains(addr))
                         .map(|(_, &c)| c)
@@ -89,6 +91,7 @@ pub fn monthly_participation(
             .entry(rec.miner)
             .or_default() += 1;
     }
+    // lint:allow(determinism: fully re-ordered by the sort on the next line)
     let mut months: Vec<Month> = per_month.keys().copied().collect();
     months.sort();
     months
@@ -97,6 +100,7 @@ pub fn monthly_participation(
             let counts = &per_month[&m];
             let row = thresholds
                 .iter()
+                // lint:allow(determinism: iteration order cannot reach the output — bare count)
                 .map(|&n| (n, counts.values().filter(|&&c| c >= n).count()))
                 .collect();
             (m, row)
@@ -121,10 +125,12 @@ pub fn top_k_flashbots_block_share(api: &BlocksApi, k: usize) -> f64 {
     for rec in api.iter() {
         *counts.entry(rec.miner).or_default() += 1;
     }
+    // lint:allow(determinism: iteration order cannot reach the output — commutative u64 sum)
     let total: u64 = counts.values().sum();
     if total == 0 {
         return 0.0;
     }
+    // lint:allow(determinism: fully re-ordered by the descending sort on the next line)
     let mut v: Vec<u64> = counts.into_values().collect();
     v.sort_unstable_by(|a, b| b.cmp(a));
     v.into_iter().take(k).sum::<u64>() as f64 / total as f64

@@ -231,6 +231,7 @@ fn run_pool(
                     let mut local = Vec::new();
                     let mut failed: Option<u64> = None;
                     loop {
+                        // lint:allow(atomics: the cursor is a pure ticket dispenser — no memory is published through it, per-block data is owned)
                         let pos = cursor.fetch_add(1, Ordering::Relaxed);
                         first_pull_ns.get_or_insert_with(|| spawned.elapsed().as_nanos() as u64);
                         let Some(rec) = records.get(pos) else { break };
@@ -268,7 +269,9 @@ fn run_pool(
             }
         }
     })
-    .expect("all workers joined");
+    // `scope` only errors when a child panicked; workers catch their own
+    // panics above, so surface any residue as a pool failure, not a panic.
+    .unwrap_or_else(|_| join_failed = true);
     if let Some(block) = panicked {
         return Err(InspectError::WorkerPanic { block: Some(block) });
     }

@@ -5,15 +5,15 @@
 //! and the negative-profit audit of §5.2.
 
 use crate::dataset::{Detection, MevDataset, MevKind};
-use mev_types::Receipt;
+use mev_types::{wei_i128, Receipt};
 
 /// Sum `(sender costs, miner revenue)` over the MEV transactions.
 pub fn costs_and_miner_revenue(receipts: &[&Receipt]) -> (u128, u128) {
     let mut costs = 0u128;
     let mut rev = 0u128;
     for r in receipts {
-        costs += r.total_cost().0;
-        rev += r.miner_revenue().0;
+        costs = costs.saturating_add(r.total_cost().0);
+        rev = rev.saturating_add(r.miner_revenue().0);
     }
     (costs, rev)
 }
@@ -47,7 +47,7 @@ impl ProfitStats {
         let mean = eth.iter().sum::<f64>() / n;
         let var = eth.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         let mut sorted = eth.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         let negative: Vec<f64> = eth.iter().copied().filter(|&x| x < 0.0).collect();
         ProfitStats {
@@ -86,12 +86,12 @@ pub fn fig8(dataset: &MevDataset, miner_affiliated: &dyn Fn(mev_types::Address) 
     let mut s_non = Vec::new();
     for d in dataset.of_kind(MevKind::Sandwich) {
         if d.via_flashbots {
-            m_fb.push(d.miner_revenue_wei as i128);
+            m_fb.push(wei_i128(d.miner_revenue_wei));
             if !miner_affiliated(d.extractor) {
                 s_fb.push(d.profit_wei);
             }
         } else {
-            m_non.push(d.miner_revenue_wei as i128);
+            m_non.push(wei_i128(d.miner_revenue_wei));
             if !miner_affiliated(d.extractor) {
                 s_non.push(d.profit_wei);
             }

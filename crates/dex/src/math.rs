@@ -77,6 +77,7 @@ pub fn cp_spot_price_e18(reserve_in: u128, reserve_out: u128) -> Option<u128> {
 pub fn stableswap_d(x: u128, y: u128, amp: u64) -> u128 {
     let n: u128 = 2;
     let ann: u128 = amp as u128 * n * n;
+    // lint:allow(panic: explicit checked_add invariant — a sum past u128::MAX means corrupted pool state, not a math edge case)
     let s = x.checked_add(y).expect("stableswap balance overflow");
     if s == 0 {
         return 0;

@@ -8,7 +8,7 @@
 
 use crate::bundle::{Bundle, BundleId};
 use mev_types::{Address, Block, TxHash};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Submission failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +55,9 @@ pub struct Relay {
     queue: HashMap<u64, Vec<Bundle>>,
     banned_searchers: HashSet<Address>,
     banned_miners: HashSet<Address>,
-    /// Miners registered to receive bundles.
-    miners: HashSet<Address>,
+    /// Miners registered to receive bundles. Ordered so
+    /// [`active_miners`](Relay::active_miners) iterates deterministically.
+    miners: BTreeSet<Address>,
     /// Submission counter (for dashboard-style stats).
     pub submitted: u64,
     /// Maximum bundle size accepted. The largest bundle the paper observed
@@ -151,6 +152,7 @@ impl Relay {
 
     /// Drop bundles for heights at or below `head` (they can no longer land).
     pub fn expire(&mut self, head: u64) {
+        // lint:allow(determinism: retain's predicate only reads the key — visit order cannot reach the result)
         self.queue.retain(|&target, _| target > head);
     }
 
@@ -165,6 +167,7 @@ impl Relay {
 
     /// Pending bundle count across all target heights.
     pub fn pending(&self) -> usize {
+        // lint:allow(determinism: iteration order cannot reach the output — commutative usize sum)
         self.queue.values().map(Vec::len).sum()
     }
 }

@@ -1,0 +1,165 @@
+//! Baseline: freeze existing debt, fail only on *new* findings.
+//!
+//! The checked-in `lint_baseline.json` is a findings file (same format
+//! `--json` emits). A current finding is "new" when its identity key
+//! (file + rule + snippet — line numbers excluded, so unrelated edits
+//! that shift code do not un-baseline old debt) occurs more times in the
+//! current run than in the baseline.
+
+use crate::report::{from_json, Finding};
+use std::collections::BTreeMap;
+
+/// Parsed baseline: identity key → occurrence count.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, u32>,
+    /// Number of findings the baseline froze.
+    pub len: usize,
+}
+
+impl Baseline {
+    /// Build from findings (current or parsed-from-disk).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.key()).or_default() += 1;
+        }
+        Baseline {
+            counts,
+            len: findings.len(),
+        }
+    }
+
+    /// Parse the baseline file contents.
+    pub fn parse(json: &str) -> Result<Baseline, String> {
+        Ok(Baseline::from_findings(&from_json(json)?))
+    }
+
+    /// Split `current` into (new, baselined). Within one identity key the
+    /// *first* occurrences are treated as baselined and the excess as
+    /// new; findings arrive sorted, so this is deterministic.
+    pub fn diff(&self, current: &[Finding]) -> (Vec<Finding>, Vec<Finding>) {
+        let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+        let mut fresh = Vec::new();
+        let mut known = Vec::new();
+        for f in current {
+            let key = f.key();
+            let used = seen.entry(key.clone()).or_default();
+            *used += 1;
+            if *used <= self.counts.get(&key).copied().unwrap_or(0) {
+                known.push(f.clone());
+            } else {
+                fresh.push(f.clone());
+            }
+        }
+        (fresh, known)
+    }
+
+    /// Baselined findings that no longer occur — debt that was paid down.
+    /// Purely informational (stale entries never fail the build), but
+    /// surfaced so `--update-baseline` gets run and the ratchet tightens.
+    pub fn stale_count(&self, current: &[Finding]) -> usize {
+        let mut cur: BTreeMap<String, u32> = BTreeMap::new();
+        for f in current {
+            *cur.entry(f.key()).or_default() += 1;
+        }
+        self.counts
+            .iter()
+            .map(|(k, &n)| n.saturating_sub(cur.get(k).copied().unwrap_or(0)) as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{sort_findings, to_json};
+
+    fn finding(file: &str, line: u32, rule: &str, snippet: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col: 1,
+            rule: rule.to_string(),
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn baselined_findings_pass_new_ones_fail() {
+        let old = vec![finding("a.rs", 10, "panic", "x.unwrap();")];
+        let baseline = Baseline::from_findings(&old);
+        // Same finding moved to another line: still baselined.
+        let moved = vec![finding("a.rs", 42, "panic", "x.unwrap();")];
+        let (fresh, known) = baseline.diff(&moved);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 1);
+        // A second identical unwrap on a *different* snippet is new.
+        let mut cur = moved.clone();
+        cur.push(finding("a.rs", 50, "panic", "y.unwrap();"));
+        sort_findings(&mut cur);
+        let (fresh, known) = baseline.diff(&cur);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].snippet, "y.unwrap();");
+        assert_eq!(known.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_snippets_are_counted_not_collapsed() {
+        let old = vec![
+            finding("a.rs", 1, "panic", "x.unwrap();"),
+            finding("a.rs", 9, "panic", "x.unwrap();"),
+        ];
+        let baseline = Baseline::from_findings(&old);
+        let mut three = old.clone();
+        three.push(finding("a.rs", 20, "panic", "x.unwrap();"));
+        let (fresh, known) = baseline.diff(&three);
+        assert_eq!(known.len(), 2, "two occurrences were frozen");
+        assert_eq!(fresh.len(), 1, "the third is new");
+    }
+
+    #[test]
+    fn roundtrip_through_json_file_format() {
+        let mut old = vec![
+            finding("b.rs", 3, "wei-math", "a + b_wei"),
+            finding("a.rs", 1, "determinism", "for k in m.keys() {"),
+        ];
+        sort_findings(&mut old);
+        let baseline = Baseline::parse(&to_json(&old)).expect("parses");
+        assert_eq!(baseline.len, 2);
+        let (fresh, known) = baseline.diff(&old);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 2);
+        // Seed a brand-new violation: it must come out as fresh.
+        let mut cur = old.clone();
+        cur.push(finding("c.rs", 7, "atomics", "Ordering::Relaxed"));
+        sort_findings(&mut cur);
+        let (fresh, _) = baseline.diff(&cur);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, "atomics");
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let old = vec![
+            finding("a.rs", 1, "panic", "x.unwrap();"),
+            finding("a.rs", 2, "panic", "y.unwrap();"),
+        ];
+        let baseline = Baseline::from_findings(&old);
+        let (fresh, known) = baseline.diff(&old[..1]);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 1);
+        assert_eq!(baseline.stale_count(&old[..1]), 1);
+        assert_eq!(baseline.stale_count(&old), 0);
+    }
+
+    #[test]
+    fn empty_baseline_fails_everything() {
+        let baseline = Baseline::default();
+        let cur = vec![finding("a.rs", 1, "panic", "x.unwrap();")];
+        let (fresh, known) = baseline.diff(&cur);
+        assert_eq!(fresh.len(), 1);
+        assert!(known.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! A minimal Rust lexer — just enough token structure for `mev-lint`'s
+//! rules: identifiers, punctuation, literals, and line numbers, with
+//! comments and string contents stripped so rule matching never fires on
+//! prose or fixture text.
+//!
+//! This is deliberately not a full parser. The rules in
+//! [`crate::rules`] are token-pattern checks (the same shape a `syn`
+//! visitor would walk, minus type information — which `syn` does not
+//! have either); a hand-rolled lexer keeps the tool free of external
+//! dependencies so it builds in minimal environments and stays out of
+//! the library dependency graph.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text. For string/char literals this is the *delimiter only*
+    /// (`"`), never the contents; rule matching must not see literal text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the token's first byte.
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `in`, `as`, `mod`, …).
+    Ident,
+    /// Numeric literal (`10_000`, `0xff`, `1e18`).
+    Number,
+    /// String, raw-string, char or byte literal (contents stripped).
+    Literal,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Single punctuation byte: `. , ; : ( ) [ ] { } + - * / % = < > & | ! # ? @ ^ ~ $`.
+    Punct,
+}
+
+/// A line-comment found during lexing, for suppression-directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Unterminated constructs are tolerated (the file
+/// will not compile anyway); the lexer never panics on arbitrary input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            let n: usize = $n;
+            let mut k = 0;
+            while k < n && i < b.len() {
+                if b[i] == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+                k += 1;
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            let at_line = line;
+            while i < b.len() && b[i] != b'\n' {
+                advance!(1);
+            }
+            comments.push(Comment {
+                line: at_line,
+                text: src[start..i].to_string(),
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let at_line = line;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    advance!(2);
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    advance!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    advance!(1);
+                }
+            }
+            comments.push(Comment {
+                line: at_line,
+                text: src[start..i.min(src.len())].to_string(),
+            });
+            continue;
+        }
+        // Raw string / raw byte string: r"…", r#"…"#, br##"…"##.
+        if c == b'r' || c == b'b' {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    let (l0, c0) = (line, col);
+                    // Consume through the closing quote + hashes.
+                    advance!(k - i + 1);
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < b.len() && b[i + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                advance!(1 + hashes);
+                                break 'raw;
+                            }
+                        }
+                        advance!(1);
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: "\"".to_string(),
+                        line: l0,
+                        col: c0,
+                    });
+                    continue;
+                }
+            }
+        }
+        // String literal (or byte string).
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+            let (l0, c0) = (line, col);
+            if c == b'b' {
+                advance!(1);
+            }
+            advance!(1); // opening quote
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    advance!(2);
+                } else if b[i] == b'"' {
+                    advance!(1);
+                    break;
+                } else {
+                    advance!(1);
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: "\"".to_string(),
+                line: l0,
+                col: c0,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == b'\'' {
+            let (l0, c0) = (line, col);
+            // Lifetime: 'ident not followed by a closing quote.
+            let is_lifetime = i + 1 < b.len()
+                && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                && !(i + 2 < b.len() && b[i + 2] == b'\'');
+            if is_lifetime {
+                advance!(1);
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    advance!(1);
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: src[start..i].to_string(),
+                    line: l0,
+                    col: c0,
+                });
+            } else {
+                // Char literal: consume to closing quote, honouring escapes.
+                advance!(1);
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        advance!(2);
+                    } else if b[i] == b'\'' {
+                        advance!(1);
+                        break;
+                    } else {
+                        advance!(1);
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "'".to_string(),
+                    line: l0,
+                    col: c0,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword (incl. raw identifiers `r#type`).
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let (l0, c0) = (line, col);
+            let start = i;
+            if c == b'r' && i + 1 < b.len() && b[i + 1] == b'#' {
+                advance!(2);
+            }
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                advance!(1);
+            }
+            let text = src[start..i].trim_start_matches("r#").to_string();
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: l0,
+                col: c0,
+            });
+            continue;
+        }
+        // Number literal (digits, underscores, hex/bin/oct, float, suffix).
+        if c.is_ascii_digit() {
+            let (l0, c0) = (line, col);
+            let start = i;
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric()
+                    || b[i] == b'_'
+                    || b[i] == b'.' && {
+                        // `1..x` is a range, not a float: only consume the dot
+                        // when followed by a digit.
+                        i + 1 < b.len() && b[i + 1].is_ascii_digit()
+                    })
+            {
+                advance!(1);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: src[start..i].to_string(),
+                line: l0,
+                col: c0,
+            });
+            continue;
+        }
+        // Single punctuation byte.
+        let (l0, c0) = (line, col);
+        let text = (c as char).to_string();
+        advance!(1);
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text,
+            line: l0,
+            col: c0,
+        });
+    }
+
+    Lexed { tokens, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = a.unwrap();");
+        let texts: Vec<&str> = ts.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped_but_collected() {
+        let l = lex("a // panic!()\nb /* unwrap() */ c");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b", "c"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("panic!"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.tokens[1].line, 2);
+    }
+
+    #[test]
+    fn string_contents_are_stripped() {
+        let l = lex(r#"f("x.unwrap() for k in m.values()")"#);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "values"));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = lex(r##"let s = r#"has "quotes" and unwrap()"#; let t = "esc \" quote";"##);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "quotes" && t.text != "esc"));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let ts = kinds("0..4 1_000u128 0xff 1e18 1.5");
+        let nums: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "4", "1_000u128", "0xff", "1e18", "1.5"]);
+    }
+}

@@ -1,0 +1,41 @@
+//! `mev-lint` — workspace static analysis for the flashpan measurement
+//! pipeline.
+//!
+//! A dev-only tool crate (never a dependency of the library crates) that
+//! lexes every workspace source file and enforces five project
+//! invariants the test suite cannot guard by construction:
+//!
+//! | rule | slug | guards |
+//! |------|------|--------|
+//! | R1 | `determinism` | no `HashMap`/`HashSet` iteration in `core`/`analysis`/`chain`/`flashbots` library code — detector output order feeds serial-vs-pool bit-identity |
+//! | R2 | `wei-math` | no narrowing casts / bare `+ - *` on wei-typed values outside `crates/types` — the overflow class PR 2 fixed by hand |
+//! | R3 | `atomics` | `Ordering::Relaxed` only inside `crates/obs` |
+//! | R4 | `panic` | no `unwrap`/`expect`/`panic!`/`unreachable!` in `core`/`chain`/`dex`/`net` library code |
+//! | R5 | `deprecated` | no internal callers of the deprecated `inspect`/`inspect_parallel` shims |
+//!
+//! Findings diff against the checked-in `lint_baseline.json`: existing
+//! debt is frozen, only new violations fail. Suppress inline with
+//! `// lint:allow(rule: reason)` — the reason is mandatory.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use report::{sort_findings, Finding};
+use source::SourceFile;
+use std::path::Path;
+
+/// Lint every workspace file under `root`. Returns sorted findings.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for wf in walk::workspace_files(root)? {
+        let src = std::fs::read_to_string(&wf.abs)?;
+        let sf = SourceFile::parse(&wf.rel, &wf.crate_name, wf.is_test_file, &src);
+        findings.extend(rules::lint_file(&sf));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}

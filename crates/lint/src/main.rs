@@ -1,0 +1,148 @@
+//! `mev-lint` CLI.
+//!
+//! ```text
+//! mev-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (all findings baselined/suppressed), 1 new
+//! findings, 2 usage or I/O error.
+
+use mev_lint::baseline::Baseline;
+use mev_lint::report::{to_json, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint_baseline.json";
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn usage() -> String {
+    "usage: mev-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline]".to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        json: None,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(it.next().ok_or_else(usage)?.into()),
+            "--baseline" => args.baseline = Some(it.next().ok_or_else(usage)?.into()),
+            "--json" => args.json = Some(it.next().ok_or_else(usage)?.into()),
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Walk up from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_findings(header: &str, findings: &[Finding]) {
+    if findings.is_empty() {
+        return;
+    }
+    eprintln!("{header}");
+    for f in findings {
+        eprintln!(
+            "  {}:{}:{} [{}] {}",
+            f.file, f.line, f.col, f.rule, f.message
+        );
+        eprintln!("      {}", f.snippet);
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => find_root()
+            .ok_or("could not find a workspace root (run inside the repo or pass --root)")?,
+    };
+    let baseline_path = args.baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    let findings =
+        mev_lint::lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    if let Some(json_path) = &args.json {
+        write_text(json_path, &to_json(&findings))?;
+    }
+
+    if args.update_baseline {
+        write_text(&baseline_path, &to_json(&findings))?;
+        println!(
+            "mev-lint: baseline updated — {} finding(s) frozen in {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)
+            .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+    };
+
+    let (fresh, known) = baseline.diff(&findings);
+    let stale = baseline.stale_count(&findings);
+    println!(
+        "mev-lint: {} finding(s) — {} baselined, {} new{}",
+        findings.len(),
+        known.len(),
+        fresh.len(),
+        if stale > 0 {
+            format!(", {stale} baseline entr(ies) paid down (run --update-baseline to ratchet)")
+        } else {
+            String::new()
+        }
+    );
+    if fresh.is_empty() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    print_findings(
+        "new findings (fix, or suppress with `// lint:allow(rule: reason)`):",
+        &fresh,
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn write_text(path: &Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mev-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Finding type and its JSON round-trip.
+//!
+//! The findings file doubles as the baseline format, so the writer must
+//! be deterministic (sorted, fixed field order, one object per line) and
+//! the parser must read back exactly what the writer emits. Both are
+//! hand-rolled: the tool stays dependency-free so it builds anywhere the
+//! Rust toolchain exists, and never enters the library dependency graph.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule slug: `determinism`, `wei-math`, `atomics`, `panic`,
+    /// `deprecated` or `allow-syntax`.
+    pub rule: String,
+    /// Trimmed source line the finding sits on.
+    pub snippet: String,
+    /// Human explanation of what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// Baseline identity: file + rule + snippet, *not* the line number,
+    /// so unrelated edits that shift code downward do not un-baseline
+    /// old debt.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.file, self.rule, self.snippet)
+    }
+}
+
+/// Sort findings into the canonical emission order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.rule, &a.snippet)
+            .cmp(&(&b.file, b.line, b.col, &b.rule, &b.snippet))
+    });
+}
+
+/// Serialize findings as a deterministic JSON array, one object per line.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"snippet\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.rule),
+            json_str(&f.snippet),
+            json_str(&f.message),
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a findings JSON array (the subset `to_json` emits). Tolerates
+/// arbitrary whitespace and field order. Returns `Err` with a short
+/// description on malformed input.
+pub fn from_json(src: &str) -> Result<Vec<Finding>, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.eat(b'[')?;
+    let mut out = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        return Ok(out);
+    }
+    loop {
+        out.push(p.object()?);
+        p.ws();
+        match p.next()? {
+            b',' => p.ws(),
+            b']' => break,
+            c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let c = self.peek().ok_or("unexpected end of input")?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.next()? {
+            c if c == want => Ok(()),
+            c => Err(format!("expected '{}', got '{}'", want as char, c as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let c = self.next()?;
+                            v = v * 16
+                                + (c as char)
+                                    .to_digit(16)
+                                    .ok_or("bad \\u escape".to_string())?;
+                        }
+                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                    }
+                    c => return Err(format!("bad escape '\\{}'", c as char)),
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble multi-byte UTF-8 from the raw input.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.b.len());
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..end]).map_err(|_| "bad utf-8")?,
+                    );
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        let start = self.i;
+        while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err("expected number".to_string());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "bad number".to_string())
+    }
+
+    fn object(&mut self) -> Result<Finding, String> {
+        self.ws();
+        self.eat(b'{')?;
+        let mut f = Finding {
+            file: String::new(),
+            line: 0,
+            col: 0,
+            rule: String::new(),
+            snippet: String::new(),
+            message: String::new(),
+        };
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            match key.as_str() {
+                "line" => f.line = self.number()?,
+                "col" => f.col = self.number()?,
+                "file" => f.file = self.string()?,
+                "rule" => f.rule = self.string()?,
+                "snippet" => f.snippet = self.string()?,
+                "message" => f.message = self.string()?,
+                other => return Err(format!("unknown field '{other}'")),
+            }
+            self.ws();
+            match self.next()? {
+                b',' => continue,
+                b'}' => return Ok(f),
+                c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &str, snippet: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col: 3,
+            rule: rule.to_string(),
+            snippet: snippet.to_string(),
+            message: format!("msg for {rule}"),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_findings() {
+        let mut fs = vec![
+            finding("b.rs", 2, "panic", "x.unwrap();"),
+            finding("a.rs", 9, "wei-math", "a + b"),
+            finding("a.rs", 1, "determinism", "for k in m.keys() {"),
+        ];
+        sort_findings(&mut fs);
+        let json = to_json(&fs);
+        let back = from_json(&json).expect("parses");
+        assert_eq!(back, fs);
+        assert_eq!(back[0].file, "a.rs");
+        assert_eq!(back[0].line, 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let fs = vec![finding("a.rs", 1, "panic", r#"x.expect("no \ luck");"#)];
+        let json = to_json(&fs);
+        let back = from_json(&json).expect("parses");
+        assert_eq!(back[0].snippet, r#"x.expect("no \ luck");"#);
+    }
+
+    #[test]
+    fn empty_array_roundtrips() {
+        assert_eq!(to_json(&[]), "[\n]\n");
+        assert_eq!(from_json("[\n]\n").expect("parses"), vec![]);
+        assert_eq!(from_json("[]").expect("parses"), vec![]);
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let mut a = vec![
+            finding("z.rs", 5, "atomics", "Ordering::Relaxed"),
+            finding("a.rs", 5, "panic", "panic!()"),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        sort_findings(&mut a);
+        sort_findings(&mut b);
+        assert_eq!(to_json(&a), to_json(&b));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("[{\"file\":}]").is_err());
+        assert!(from_json("[{\"nope\":\"x\"}]").is_err());
+    }
+
+    #[test]
+    fn key_ignores_line_numbers() {
+        let a = finding("a.rs", 1, "panic", "x.unwrap();");
+        let b = finding("a.rs", 99, "panic", "x.unwrap();");
+        assert_eq!(a.key(), b.key());
+    }
+}

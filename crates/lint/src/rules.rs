@@ -1,0 +1,940 @@
+//! The five project rules.
+//!
+//! R1 `determinism` — no iteration over `HashMap`/`HashSet` in library
+//!     code of `core`, `analysis`, `chain` and `flashbots`: detector
+//!     output order feeds the serial-vs-pool bit-identity guarantee, and
+//!     hash iteration order varies run to run.
+//! R2 `wei-math`   — no narrowing `as` casts and no bare `+`/`-`/`*` on
+//!     balance/fee/amount-typed values outside `crates/types`; use
+//!     `checked_*`/`saturating_*` or the U256-widening helpers.
+//! R3 `atomics`    — `Ordering::Relaxed` only inside `crates/obs`.
+//! R4 `panic`      — no `unwrap()`/`expect()`/`panic!`/`unreachable!` in
+//!     non-test library code of `core`, `chain`, `dex`, `net`.
+//! R5 `deprecated` — no internal callers of the `#[deprecated]`
+//!     `MevDataset::inspect` / `inspect_parallel` shims.
+//!
+//! All rules are token-pattern checks over [`crate::lexer`] output; none
+//! have type information (a `syn` AST would not either), so R1 and R2
+//! are deliberately conservative heuristics: R1 only fires on receivers
+//! it saw *declared* as a hash collection in the same file, R2 only on
+//! identifiers whose names mark them as monetary quantities.
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_WEI_MATH: &str = "wei-math";
+pub const RULE_ATOMICS: &str = "atomics";
+pub const RULE_PANIC: &str = "panic";
+pub const RULE_DEPRECATED: &str = "deprecated";
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// All enforceable rule slugs (what `lint:allow` may name).
+pub const ALL_RULES: [&str; 5] = [
+    RULE_DETERMINISM,
+    RULE_WEI_MATH,
+    RULE_ATOMICS,
+    RULE_PANIC,
+    RULE_DEPRECATED,
+];
+
+/// Crates whose library code must iterate deterministically (R1).
+const R1_CRATES: [&str; 4] = ["core", "analysis", "chain", "flashbots"];
+/// Crates exempt from R2: `types` hosts the checked/widening helpers
+/// themselves.
+const R2_EXEMPT: [&str; 1] = ["types"];
+/// Crates allowed to use `Ordering::Relaxed` (R3).
+const R3_EXEMPT: [&str; 1] = ["obs"];
+/// Crates whose library code must not contain panic paths (R4).
+const R4_CRATES: [&str; 4] = ["core", "chain", "dex", "net"];
+/// The deprecated shims are *defined* here; every other file is an
+/// internal caller (R5).
+const R5_DEFINITION_FILE: &str = "crates/core/src/dataset.rs";
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "into_iter",
+];
+/// Numeric targets a cast can *lose* wei precision or sign into. `u128`
+/// is the canonical wei width (widening) and `f64` is reporting-only, so
+/// neither is flagged.
+const NARROWING_TARGETS: [&str; 11] = [
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "i128",
+];
+
+/// Identifier names treated as monetary quantities for R2.
+fn is_weiish(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    // f64/rate-domain suffixes are not wei quantities; `gwei` guards the
+    // `*_gwei` f64 reporting fields against the `wei` substring, and
+    // `weight`/`rebalanc(ed)` guard ordinary words that embed `wei` /
+    // `balance`.
+    for excl in [
+        "eth", "gwei", "bps", "ratio", "share", "pct", "rate", "weight", "rebalanc",
+    ] {
+        if lower.contains(excl) {
+            return false;
+        }
+    }
+    for m in [
+        "wei", "amount", "fee", "balance", "cost", "revenue", "gain", "profit", "tip", "reward",
+    ] {
+        if lower.contains(m) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rust keywords that terminate a backward expression scan.
+fn is_expr_boundary_kw(t: &str) -> bool {
+    matches!(
+        t,
+        "let"
+            | "return"
+            | "if"
+            | "else"
+            | "while"
+            | "match"
+            | "in"
+            | "for"
+            | "use"
+            | "pub"
+            | "fn"
+            | "where"
+            | "move"
+            | "mut"
+            | "ref"
+            | "const"
+            | "static"
+    )
+}
+
+/// Lint one already-parsed file. This is the unit the driver calls per
+/// file and the fixture tests call directly.
+pub fn lint_file(sf: &SourceFile) -> Vec<Finding> {
+    // The linter does not lint itself: its doc comments spell out the
+    // `lint:allow(rule: reason)` grammar, which would read as malformed
+    // directives, and it is a dev tool, not library code.
+    if sf.crate_name == "lint" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    r1_determinism(sf, &mut out);
+    r2_wei_math(sf, &mut out);
+    r3_atomics(sf, &mut out);
+    r4_panic(sf, &mut out);
+    r5_deprecated(sf, &mut out);
+    apply_allows(sf, out)
+}
+
+/// Convenience for tests: parse + lint a source string.
+pub fn lint_source(path: &str, crate_name: &str, is_test_file: bool, src: &str) -> Vec<Finding> {
+    lint_file(&SourceFile::parse(path, crate_name, is_test_file, src))
+}
+
+fn push(sf: &SourceFile, out: &mut Vec<Finding>, idx: usize, rule: &str, message: String) {
+    let t = &sf.tokens()[idx];
+    out.push(Finding {
+        file: sf.path.clone(),
+        line: t.line,
+        col: t.col,
+        rule: rule.to_string(),
+        snippet: sf.line_text(t.line).to_string(),
+        message,
+    });
+}
+
+/// Drop findings covered by a reasoned `lint:allow`; flag reasonless or
+/// unknown-rule allows so suppressions stay auditable.
+fn apply_allows(sf: &SourceFile, findings: Vec<Finding>) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    for f in findings {
+        match sf.allow_for(&f.rule, f.line) {
+            Some(a) if !a.reason.is_empty() => {} // suppressed
+            _ => out.push(f),
+        }
+    }
+    for a in &sf.allows {
+        if !ALL_RULES.contains(&a.rule.as_str()) {
+            out.push(Finding {
+                file: sf.path.clone(),
+                line: a.line,
+                col: 1,
+                rule: RULE_ALLOW_SYNTAX.to_string(),
+                snippet: sf.line_text(a.line).to_string(),
+                message: format!(
+                    "lint:allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    ALL_RULES.join(", ")
+                ),
+            });
+        } else if a.reason.is_empty() {
+            out.push(Finding {
+                file: sf.path.clone(),
+                line: a.line,
+                col: 1,
+                rule: RULE_ALLOW_SYNTAX.to_string(),
+                snippet: sf.line_text(a.line).to_string(),
+                message: format!(
+                    "lint:allow({}) needs a reason: `lint:allow({}: why this is sound)`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// R1: determinism
+// ---------------------------------------------------------------------
+
+/// Names bound to a `HashMap`/`HashSet` in this file: `x: HashMap<…>`
+/// declarations (let/field/param) and `x = HashMap::new()` initialisers.
+fn hash_bound_names(sf: &SourceFile) -> Vec<String> {
+    let toks = sf.tokens();
+    let mut names = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over a `std::collections::` path prefix and `&`/`&mut`.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text == ":" {
+            j -= 3; // `ident` `:` `:`
+        }
+        while j >= 1 && (toks[j - 1].text == "&" || toks[j - 1].text == "mut") {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text != ":" {
+            // Declaration `name : HashMap…`.
+            if toks[j - 2].kind == TokenKind::Ident && !is_expr_boundary_kw(&toks[j - 2].text) {
+                names.push(toks[j - 2].text.clone());
+            }
+        } else if j >= 2 && toks[j - 1].text == "=" {
+            // Initialiser `name = HashMap::…` (skip `==`).
+            if toks[j - 2].text != "=" && toks[j - 2].kind == TokenKind::Ident {
+                names.push(toks[j - 2].text.clone());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn r1_determinism(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if !R1_CRATES.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    let hash_names = hash_bound_names(sf);
+    let toks = sf.tokens();
+    for i in 0..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `recv.iter()` family: ident in ITER_METHODS preceded by `.`,
+        // receiver's terminal ident declared as a hash collection here.
+        if t.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].text == "."
+            && i + 1 < toks.len()
+            && toks[i + 1].text == "("
+        {
+            let recv = &toks[i - 2];
+            if recv.kind == TokenKind::Ident && hash_names.contains(&recv.text) {
+                push(
+                    sf,
+                    out,
+                    i,
+                    RULE_DETERMINISM,
+                    format!(
+                        "iteration over hash collection `{}` has nondeterministic order; use BTreeMap/BTreeSet, first-seen grouping, or sort before use",
+                        recv.text
+                    ),
+                );
+                continue;
+            }
+        }
+        // `for pat in [&][mut] name {`: terminal ident declared as a hash
+        // collection. Method-call receivers are handled above, so only
+        // fire when the loop expression is a bare (borrowed) path.
+        if t.kind == TokenKind::Ident && t.text == "in" && !sf.in_test(i) {
+            // Confirm this `in` belongs to a `for` (not `impl … for`).
+            let mut back = i;
+            let mut is_for = false;
+            while back > 0 {
+                back -= 1;
+                let bt = &toks[back];
+                if bt.text == "for" {
+                    is_for = true;
+                    break;
+                }
+                if bt.text == "{" || bt.text == ";" || bt.text == "}" {
+                    break;
+                }
+            }
+            if !is_for {
+                continue;
+            }
+            // Expression tokens from after `in` to the loop `{`.
+            let mut j = i + 1;
+            while j < toks.len() && (toks[j].text == "&" || toks[j].text == "mut") {
+                j += 1;
+            }
+            // Path: ident (`.` ident | `::`-free)*, ending right before `{`.
+            let mut terminal: Option<usize> = None;
+            while j < toks.len() {
+                if toks[j].kind == TokenKind::Ident {
+                    terminal = Some(j);
+                    j += 1;
+                    if j < toks.len() && toks[j].text == "." {
+                        j += 1;
+                        continue;
+                    }
+                    break;
+                }
+                terminal = None;
+                break;
+            }
+            let Some(term) = terminal else { continue };
+            // A call or further chain means it is not a bare path.
+            if j < toks.len() && toks[j].text != "{" {
+                continue;
+            }
+            if hash_names.contains(&toks[term].text) {
+                push(
+                    sf,
+                    out,
+                    term,
+                    RULE_DETERMINISM,
+                    format!(
+                        "`for … in {}` iterates a hash collection in nondeterministic order; use BTreeMap/BTreeSet, first-seen grouping, or sort before use",
+                        toks[term].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2: overflow-safe wei math
+// ---------------------------------------------------------------------
+
+/// Collect identifier names in the expression region before `idx`,
+/// walking backward until a statement boundary or an unbalanced opener.
+fn idents_before(sf: &SourceFile, idx: usize, limit: usize) -> Vec<String> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = idx;
+    let mut steps = 0usize;
+    while j > 0 && steps < limit {
+        j -= 1;
+        steps += 1;
+        let t = &toks[j];
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" | "," | "=" if depth == 0 => break,
+            _ => {}
+        }
+        if t.kind == TokenKind::Ident {
+            if is_expr_boundary_kw(&t.text) && depth == 0 {
+                break;
+            }
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Collect identifier names in the expression region after `idx`.
+fn idents_after(sf: &SourceFile, idx: usize, limit: usize) -> Vec<String> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = idx;
+    let mut steps = 0usize;
+    while j + 1 < toks.len() && steps < limit {
+        j += 1;
+        steps += 1;
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" | "," if depth == 0 => break,
+            _ => {}
+        }
+        if t.kind == TokenKind::Ident {
+            if is_expr_boundary_kw(&t.text) && depth == 0 {
+                break;
+            }
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+fn r2_wei_math(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if R2_EXEMPT.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    let toks = sf.tokens();
+    for i in 0..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // Narrowing `as` cast on a wei-ish expression.
+        if t.kind == TokenKind::Ident
+            && t.text == "as"
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokenKind::Ident
+            && NARROWING_TARGETS.contains(&toks[i + 1].text.as_str())
+        {
+            let src_idents = idents_before(sf, i, 40);
+            if let Some(name) = src_idents.iter().find(|n| is_weiish(n)) {
+                push(
+                    sf,
+                    out,
+                    i,
+                    RULE_WEI_MATH,
+                    format!(
+                        "narrowing cast `as {}` on wei-typed `{}` can overflow silently; use i128::try_from/wei_i128 or a checked conversion",
+                        toks[i + 1].text, name
+                    ),
+                );
+            }
+            continue;
+        }
+        // Bare `+` / `-` / `*` with a wei-ish operand.
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*") {
+            // `->`, `=>` neighbours, and `*` deref / `-` unary positions.
+            if i + 1 < toks.len() && toks[i + 1].text == ">" {
+                continue;
+            }
+            if i == 0 {
+                continue;
+            }
+            let prev = &toks[i - 1];
+            let prev_is_operand_end = matches!(prev.kind, TokenKind::Number)
+                || (prev.kind == TokenKind::Ident && !is_expr_boundary_kw(&prev.text))
+                || matches!(prev.text.as_str(), ")" | "]");
+            if !prev_is_operand_end {
+                continue; // unary minus, deref, `&*`, `<*const>`, …
+            }
+            // Generic turbofish `Vec<T>`-style angles: `T * U` cannot be
+            // distinguished perfectly; wei-ish names never name types, so
+            // the name gate below keeps this precise enough.
+            let left = idents_before(sf, i, 24);
+            let right = idents_after(sf, i, 24);
+            // An `as f64`/`as f32` cast in either operand means this is
+            // float arithmetic (reporting-domain), not wei overflow.
+            let is_float = |n: &String| n == "f64" || n == "f32";
+            if left.iter().any(is_float) || right.iter().any(is_float) {
+                continue;
+            }
+            let hit = left
+                .iter()
+                .find(|n| is_weiish(n))
+                .or_else(|| right.iter().find(|n| is_weiish(n)));
+            if let Some(name) = hit {
+                push(
+                    sf,
+                    out,
+                    i,
+                    RULE_WEI_MATH,
+                    format!(
+                        "bare `{}` on wei-typed `{}` can overflow; use checked_/saturating_ arithmetic or U256 widening",
+                        t.text, name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3: atomics hygiene
+// ---------------------------------------------------------------------
+
+fn r3_atomics(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if R3_EXEMPT.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    let toks = sf.tokens();
+    for i in 3..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        if toks[i].text == "Relaxed"
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "Ordering"
+        {
+            push(
+                sf,
+                out,
+                i,
+                RULE_ATOMICS,
+                "Ordering::Relaxed outside mev-obs: state why no ordering is needed or use Acquire/Release/SeqCst".to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R4: panic paths
+// ---------------------------------------------------------------------
+
+fn r4_panic(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if !R4_CRATES.contains(&sf.crate_name.as_str()) {
+        return;
+    }
+    let toks = sf.tokens();
+    for i in 0..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i >= 1
+                    && toks[i - 1].text == "."
+                    && i + 1 < toks.len()
+                    && toks[i + 1].text == "(" =>
+            {
+                push(
+                    sf,
+                    out,
+                    i,
+                    RULE_PANIC,
+                    format!(
+                        "`.{}()` in library code is a panic path; return an error, use a guarded fallback, or justify with lint:allow",
+                        t.text
+                    ),
+                );
+            }
+            "panic" | "unreachable"
+                if i + 1 < toks.len()
+                    && toks[i + 1].text == "!"
+                    // `core::panic::…` paths and `#[panic_handler]` attrs
+                    // never have a following bang, so this is a macro call.
+                    =>
+            {
+                push(
+                    sf,
+                    out,
+                    i,
+                    RULE_PANIC,
+                    format!("`{}!` in library code is a panic path; return an error instead", t.text),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R5: deprecation hygiene
+// ---------------------------------------------------------------------
+
+fn r5_deprecated(sf: &SourceFile, out: &mut Vec<Finding>) {
+    if sf.path == R5_DEFINITION_FILE {
+        return;
+    }
+    let toks = sf.tokens();
+    for i in 0..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_shim = t.text == "inspect_parallel"
+            || (t.text == "inspect"
+                && i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && toks[i - 3].text == "MevDataset");
+        if is_shim {
+            push(
+                sf,
+                out,
+                i,
+                RULE_DEPRECATED,
+                format!(
+                    "`{}` is a deprecated shim; use `Inspector::new(chain, api)…run()`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lint `src` as library code of `crate_name` and return the rule
+    /// slugs that fired, sorted.
+    fn rules_fired(crate_name: &str, src: &str) -> Vec<String> {
+        let mut v: Vec<String> = lint_source("crates/x/src/lib.rs", crate_name, false, src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        v.sort();
+        v
+    }
+
+    // -- R1 determinism ----------------------------------------------
+
+    #[test]
+    fn r1_flags_hashmap_method_iteration() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(by_pool: HashMap<u64, Vec<u32>>) {
+                for group in by_pool.values() {
+                    let _ = group;
+                }
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["determinism"]);
+    }
+
+    #[test]
+    fn r1_flags_bare_for_in_over_hashset() {
+        let src = r#"
+            fn f() {
+                let claimed = std::collections::HashSet::new();
+                for c in &claimed {
+                    let _ = c;
+                }
+            }
+        "#;
+        assert_eq!(rules_fired("chain", src), vec!["determinism"]);
+    }
+
+    #[test]
+    fn r1_ignores_btreemap_and_vec_iteration() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            fn f(m: BTreeMap<u64, u64>, v: Vec<u64>) {
+                for k in m.keys() {
+                    let _ = k;
+                }
+                for x in v.iter() {
+                    let _ = x;
+                }
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_out_of_scope_crates_and_test_code() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(m: HashMap<u64, u64>) -> u64 {
+                m.values().sum()
+            }
+        "#;
+        // `sim` is not an R1 crate.
+        assert!(rules_fired("sim", src).is_empty());
+        // Same code inside #[cfg(test)] in an R1 crate is fine.
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn f(m: HashMap<u64, u64>) -> u64 {
+                    m.values().sum()
+                }
+            }
+        "#;
+        assert!(rules_fired("core", test_src).is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_hashmap_lookup_without_iteration() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(m: HashMap<u64, u64>) -> Option<u64> {
+                m.get(&1).copied()
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    // -- R2 wei-math -------------------------------------------------
+
+    #[test]
+    fn r2_flags_narrowing_cast_on_wei_value() {
+        let src = r#"
+            fn f(amount_in: u128) -> i128 {
+                amount_in as i128
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["wei-math"]);
+    }
+
+    #[test]
+    fn r2_allows_widening_and_float_casts() {
+        let src = r#"
+            fn f(fee_wei: u64) -> (u128, f64) {
+                (fee_wei as u128, fee_wei as f64)
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_bare_arithmetic_on_wei_names() {
+        let src = r#"
+            fn f(cost_wei: u128, tip: u128) -> u128 {
+                cost_wei + tip
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["wei-math"]);
+    }
+
+    #[test]
+    fn r2_ignores_checked_and_non_monetary_arithmetic() {
+        let src = r#"
+            fn f(cost_wei: u128, tip: u128, i: usize, n: usize) -> (Option<u128>, usize) {
+                (cost_wei.checked_add(tip), i + n)
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    #[test]
+    fn r2_ignores_float_reporting_math_and_weight_like_names() {
+        let src = r#"
+            fn f(amount_in: u128, weight: u64, rebalanced: u64) -> (f64, u64, u64) {
+                let pct = amount_in as f64 * 0.5;
+                (pct, weight + 1, rebalanced * 2)
+            }
+        "#;
+        assert!(rules_fired("sim", src).is_empty());
+    }
+
+    #[test]
+    fn r2_exempts_the_types_crate() {
+        let src = r#"
+            fn f(amount: u128) -> i128 {
+                amount as i128
+            }
+        "#;
+        assert!(rules_fired("types", src).is_empty());
+    }
+
+    #[test]
+    fn r2_ignores_unary_minus_and_deref() {
+        let src = r#"
+            fn f(profit: &i128) -> i128 {
+                let x = *profit;
+                -x
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    // -- R3 atomics --------------------------------------------------
+
+    #[test]
+    fn r3_flags_relaxed_outside_obs() {
+        let src = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            fn f(c: &AtomicU64) -> u64 {
+                c.fetch_add(1, Ordering::Relaxed)
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["atomics"]);
+    }
+
+    #[test]
+    fn r3_allows_relaxed_in_obs_and_other_orderings_anywhere() {
+        let relaxed = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            fn f(c: &AtomicU64) -> u64 {
+                c.fetch_add(1, Ordering::Relaxed)
+            }
+        "#;
+        assert!(rules_fired("obs", relaxed).is_empty());
+        let seqcst = r#"
+            use std::sync::atomic::{AtomicU64, Ordering};
+            fn f(c: &AtomicU64) -> u64 {
+                c.fetch_add(1, Ordering::SeqCst)
+            }
+        "#;
+        assert!(rules_fired("core", seqcst).is_empty());
+    }
+
+    // -- R4 panic ----------------------------------------------------
+
+    #[test]
+    fn r4_flags_unwrap_expect_panic_unreachable() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                if x.is_none() {
+                    panic!("boom");
+                }
+                let a = x.unwrap();
+                let b = x.expect("present");
+                if a != b {
+                    unreachable!();
+                }
+                a
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["panic"; 4]);
+    }
+
+    #[test]
+    fn r4_ignores_tests_dev_targets_and_out_of_scope_crates() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap()
+            }
+        "#;
+        // `sim` is not an R4 crate.
+        assert!(rules_fired("sim", src).is_empty());
+        // Dev targets (tests/, benches/, bin/) are skipped wholesale.
+        assert!(lint_source("crates/core/tests/golden.rs", "core", true, src).is_empty());
+        // #[test] fns in library files are masked.
+        let test_src = r#"
+            #[test]
+            fn golden() {
+                let x: Option<u32> = Some(1);
+                x.unwrap();
+            }
+        "#;
+        assert!(rules_fired("core", test_src).is_empty());
+    }
+
+    #[test]
+    fn r4_ignores_unwrap_or_variants() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap_or(0).max(x.unwrap_or_default())
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    // -- R5 deprecated -----------------------------------------------
+
+    #[test]
+    fn r5_flags_shim_callers_but_not_the_definition_file() {
+        let src = r#"
+            fn f(ds: &MevDataset) {
+                let _ = ds.inspect_parallel(4);
+                let _ = MevDataset::inspect(ds);
+            }
+        "#;
+        let fired = rules_fired("core", src);
+        assert_eq!(fired, vec!["deprecated"; 2]);
+        // The file that defines the shims is exempt.
+        assert!(lint_source("crates/core/src/dataset.rs", "core", false, src).is_empty());
+    }
+
+    #[test]
+    fn r5_ignores_plain_inspect_methods() {
+        let src = r#"
+            fn f(it: impl Iterator<Item = u32>) -> u32 {
+                it.inspect(|x| { let _ = x; }).sum()
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
+    }
+
+    // -- Suppressions ------------------------------------------------
+
+    #[test]
+    fn reasoned_allow_suppresses_same_line_and_line_above() {
+        let same_line = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap() // lint:allow(panic: guarded by caller invariant)
+            }
+        "#;
+        assert!(rules_fired("core", same_line).is_empty());
+        let line_above = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // lint:allow(panic: guarded by caller invariant)
+                x.unwrap()
+            }
+        "#;
+        assert!(rules_fired("core", line_above).is_empty());
+    }
+
+    #[test]
+    fn allow_for_one_rule_does_not_cover_another() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // lint:allow(determinism: wrong rule for this line)
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["panic"]);
+    }
+
+    #[test]
+    fn reasonless_or_unknown_rule_allow_is_flagged() {
+        let reasonless = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // lint:allow(panic)
+                x.unwrap()
+            }
+        "#;
+        // The unwrap is NOT suppressed and the allow itself is flagged.
+        assert_eq!(
+            rules_fired("core", reasonless),
+            vec!["allow-syntax", "panic"]
+        );
+        let unknown = r#"
+            fn f() {
+                // lint:allow(no-such-rule: because)
+            }
+        "#;
+        assert_eq!(rules_fired("core", unknown), vec!["allow-syntax"]);
+    }
+
+    #[test]
+    fn lint_crate_is_never_linted() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap()
+            }
+        "#;
+        assert!(lint_source("crates/lint/src/rules.rs", "lint", false, src).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-file source model: lexed tokens plus the two pieces of context
+//! every rule needs — which tokens sit inside `#[cfg(test)]` / `#[test]`
+//! regions, and which lines carry `lint:allow(rule: reason)` suppressions.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A parsed `lint:allow(rule: reason)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the directive's comment starts on.
+    pub line: u32,
+    /// Rule slug inside the parentheses.
+    pub rule: String,
+    /// Reason text after the colon; empty when the author omitted it.
+    pub reason: String,
+}
+
+/// One workspace source file, lexed and annotated.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (stable across platforms).
+    pub path: String,
+    /// Directory name under `crates/` (e.g. `core`), or `flashpan` for
+    /// the root crate.
+    pub crate_name: String,
+    /// Whole file is test/dev code (under `tests/`, `benches/`,
+    /// `examples/` or a `bin/` directory).
+    pub is_test_file: bool,
+    pub lexed: Lexed,
+    /// Parallel to `lexed.tokens`: true inside `#[cfg(test)]`/`#[test]`
+    /// item bodies.
+    test_mask: Vec<bool>,
+    /// All suppression directives, in line order.
+    pub allows: Vec<Allow>,
+    /// Raw source lines, for finding snippets.
+    lines: Vec<String>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, crate_name: &str, is_test_file: bool, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_mask = compute_test_mask(&lexed.tokens);
+        let allows = parse_allows(&lexed);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            is_test_file,
+            lexed,
+            test_mask,
+            allows,
+            lines: src.lines().map(|l| l.to_string()).collect(),
+        }
+    }
+
+    /// Token at `idx` is inside a test region (or the whole file is one).
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.is_test_file || self.test_mask.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Trimmed source text of a 1-based line, for snippets.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// An allow for `rule` covering `line` (same line or the line above).
+    /// Returns the directive so the caller can check it carries a reason.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Mark tokens covered by `#[cfg(test)]` / `#[test]` items: after such an
+/// attribute, everything from the item's opening `{` to its matching `}`
+/// is test code. An intervening `;` before any `{` means the attribute
+/// decorated a braceless item — no region.
+fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Find the end of the attribute: the `]` matching our `[`.
+            let mut j = i + 1; // at `[`
+            let mut bdepth = 0i32;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => bdepth += 1,
+                    "]" => {
+                        bdepth -= 1;
+                        if bdepth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Scan forward for the item's opening brace; bail at `;`.
+            let mut k = j + 1;
+            let mut found = None;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "{" => {
+                        found = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(open) = found {
+                let mut depth = 0i32;
+                let mut m = open;
+                while m < tokens.len() {
+                    match tokens[m].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    mask[m] = true;
+                    m += 1;
+                }
+                if m < tokens.len() {
+                    mask[m] = true; // closing brace
+                }
+                i = m + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `tokens[i]` starts `#[test]`, `#[cfg(test)]` or `#[cfg(all(test, …))]`
+/// (any cfg attribute mentioning the bare ident `test`).
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].text != "#" || i + 1 >= tokens.len() || tokens[i + 1].text != "[" {
+        return false;
+    }
+    // Tokens inside the attribute's brackets.
+    let mut j = i + 1;
+    let mut bdepth = 0i32;
+    let mut inner: Vec<&str> = Vec::new();
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => bdepth += 1,
+            "]" => {
+                bdepth -= 1;
+                if bdepth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if bdepth >= 1 && tokens[j].kind == TokenKind::Ident {
+            inner.push(tokens[j].text.as_str());
+        }
+        j += 1;
+    }
+    match inner.first() {
+        Some(&"test") => inner.len() == 1,
+        Some(&"cfg") => inner.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Extract every `lint:allow(rule: reason)` directive from the comments.
+fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(end) = rest.find(')') else { break };
+            let body = &rest[..end];
+            rest = &rest[end + 1..];
+            let (rule, reason) = match body.split_once(':') {
+                Some((r, why)) => (r.trim(), why.trim()),
+                None => (body.trim(), ""),
+            };
+            out.push(Allow {
+                line: c.line,
+                rule: rule.to_string(),
+                reason: reason.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", "x", false, src)
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let f = sf("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}");
+        let toks = f.tokens();
+        let lib_idx = toks.iter().position(|t| t.text == "lib").unwrap();
+        let t_idx = toks.iter().position(|t| t.text == "t").unwrap();
+        let lib2_idx = toks.iter().position(|t| t.text == "lib2").unwrap();
+        assert!(!f.in_test(lib_idx));
+        assert!(f.in_test(t_idx));
+        assert!(!f.in_test(lib2_idx));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_masked() {
+        let f = sf("#[test]\nfn check() { body(); }\nfn lib() {}");
+        let toks = f.tokens();
+        let body_idx = toks.iter().position(|t| t.text == "body").unwrap();
+        let lib_idx = toks.iter().position(|t| t.text == "lib").unwrap();
+        assert!(f.in_test(body_idx));
+        assert!(!f.in_test(lib_idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let f = sf("#[cfg(feature = \"x\")]\nfn gated() { body(); }");
+        let toks = f.tokens();
+        let body_idx = toks.iter().position(|t| t.text == "body").unwrap();
+        assert!(!f.in_test(body_idx));
+    }
+
+    #[test]
+    fn braceless_attribute_target_makes_no_region() {
+        let f = sf("#[cfg(test)]\nuse foo::bar;\nfn lib() { body(); }");
+        let toks = f.tokens();
+        let body_idx = toks.iter().position(|t| t.text == "body").unwrap();
+        assert!(!f.in_test(body_idx));
+    }
+
+    #[test]
+    fn allows_parse_rule_and_reason() {
+        let f = sf("// lint:allow(panic: guarded by the len check above)\nx.unwrap();\n// lint:allow(determinism)\n");
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "panic");
+        assert_eq!(f.allows[0].reason, "guarded by the len check above");
+        assert_eq!(f.allows[0].line, 1);
+        assert_eq!(f.allows[1].rule, "determinism");
+        assert_eq!(f.allows[1].reason, "");
+        assert!(f.allow_for("panic", 2).is_some(), "line-above coverage");
+        assert!(f.allow_for("panic", 1).is_some(), "same-line coverage");
+        assert!(f.allow_for("panic", 3).is_none());
+    }
+
+    #[test]
+    fn whole_test_file_masks_everything() {
+        let f = SourceFile::parse("tests/it.rs", "flashpan", true, "fn x() { a.unwrap(); }");
+        assert!(f.in_test(0));
+    }
+}

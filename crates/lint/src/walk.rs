@@ -1,0 +1,110 @@
+//! Workspace file discovery and classification.
+//!
+//! Walks the repository for `.rs` files, skipping build output and VCS
+//! directories, and classifies each path into (crate name, test/dev
+//! flag). Paths come back sorted so every downstream stage — linting,
+//! JSON emission, baseline diffing — is deterministic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One discovered source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkspaceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// `crates/<name>` directory name, or `flashpan` for the root crate.
+    pub crate_name: String,
+    /// Test/dev code: under `tests/`, `benches/`, `examples/` or `bin/`.
+    pub is_test_file: bool,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "node_modules"];
+
+/// Collect every workspace `.rs` file under `root`, sorted by relative
+/// path.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<WorkspaceFile>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(classify(&path, rel));
+        }
+    }
+    Ok(())
+}
+
+fn classify(abs: &Path, rel: String) -> WorkspaceFile {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        "flashpan".to_string()
+    };
+    let is_test_file = parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples" | "bin"));
+    WorkspaceFile {
+        abs: abs.to_path_buf(),
+        rel,
+        crate_name,
+        is_test_file,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(rel: &str) -> WorkspaceFile {
+        classify(Path::new(rel), rel.to_string())
+    }
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(c("crates/core/src/detect/sandwich.rs").crate_name, "core");
+        assert_eq!(c("crates/lint/src/main.rs").crate_name, "lint");
+        assert_eq!(c("src/lib.rs").crate_name, "flashpan");
+        assert_eq!(c("tests/golden.rs").crate_name, "flashpan");
+    }
+
+    #[test]
+    fn test_and_dev_paths_are_flagged() {
+        assert!(c("tests/golden.rs").is_test_file);
+        assert!(c("crates/core/tests/detector_robustness.rs").is_test_file);
+        assert!(c("crates/bench/benches/throughput.rs").is_test_file);
+        assert!(c("crates/bench/src/bin/detect_throughput.rs").is_test_file);
+        assert!(c("examples/quickstart.rs").is_test_file);
+        assert!(!c("crates/core/src/index.rs").is_test_file);
+        assert!(!c("src/lib.rs").is_test_file);
+    }
+}

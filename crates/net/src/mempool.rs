@@ -93,6 +93,7 @@ impl Mempool {
                 .values()
                 .min_by_key(|p| (p.tx.bid_per_gas(), p.tx.hash()))
                 .map(|p| (p.tx.hash(), p.tx.bid_per_gas()))
+                // lint:allow(panic: cannot fail — guarded by the len >= max_size check above)
                 .expect("non-empty");
             if tx.bid_per_gas() <= cheapest.1 {
                 return Err(MempoolError::FeeTooLowToEvict);

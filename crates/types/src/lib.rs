@@ -30,7 +30,7 @@ pub use receipt::{ExecOutcome, Receipt};
 pub use time::{BlockTime, Day, Month, Timeline, SECONDS_PER_BLOCK};
 pub use tx::{Action, GroundTruth, SwapCall, Transaction, TxFee, TxHash};
 pub use u256::U256;
-pub use units::{eth, gwei, Gas, SignedWei, Wei, ETH, GWEI};
+pub use units::{eth, gwei, wei_i128, Gas, SignedWei, Wei, ETH, GWEI};
 
 /// Block header plus ordered transaction list.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]

@@ -24,6 +24,19 @@ pub const fn gwei(n: u128) -> Wei {
     Wei(n * GWEI)
 }
 
+/// Saturating `u128` → `i128` conversion for profit accounting.
+///
+/// Wei amounts above `i128::MAX` (≈ 1.7 × 10²⁰ ETH — far beyond total
+/// supply) clamp instead of wrapping negative, so a corrupt or
+/// adversarial amount can never flip the sign of a profit figure.
+pub const fn wei_i128(v: u128) -> i128 {
+    if v > i128::MAX as u128 {
+        i128::MAX
+    } else {
+        v as i128
+    }
+}
+
 /// An unsigned wei amount.
 #[derive(
     Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
@@ -335,5 +348,18 @@ mod tests {
     fn eth_f64_roundtrip_reasonable() {
         let w = Wei::from_eth_f64(1.5);
         assert!((w.as_eth_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wei_i128_is_exact_below_saturation() {
+        assert_eq!(wei_i128(0), 0);
+        assert_eq!(wei_i128(ETH), ETH as i128);
+        assert_eq!(wei_i128(i128::MAX as u128), i128::MAX);
+    }
+
+    #[test]
+    fn wei_i128_saturates_instead_of_wrapping() {
+        assert_eq!(wei_i128(u128::MAX), i128::MAX);
+        assert_eq!(wei_i128(i128::MAX as u128 + 1), i128::MAX);
     }
 }
