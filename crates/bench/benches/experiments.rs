@@ -9,7 +9,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mev_analysis::experiments::{render_fig8, render_fig9, render_sec41, render_sec63};
 use mev_bench::shared_lab;
-use std::sync::Once;
 
 fn print_once(tag: &str, body: impl FnOnce() -> String) {
     // Criterion runs each closure many times; print the regenerated

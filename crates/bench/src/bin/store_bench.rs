@@ -1,0 +1,151 @@
+//! Cold-vs-warm archive store benchmark, emitted as JSON for
+//! `BENCH_STORE.json`:
+//!
+//! ```sh
+//! cargo run -p mev-bench --release --bin store_bench
+//! cargo run -p mev-bench --release --bin store_bench -- --report runreport.json
+//! ```
+//!
+//! Simulates the quick scenario, ingests it into a scratch segmented
+//! store, then measures:
+//!
+//! * ingest throughput (blocks/s into sealed segments),
+//! * a **cold** full scan (every segment read and decoded),
+//! * a **warm** narrow-window scan (zone maps prune to the touched
+//!   segments) and an absent-address scan (blooms prune the rest),
+//! * store-backed detection vs the in-memory `Inspector` on the same
+//!   chain, asserting bit-identical detections.
+
+use mev_core::{Inspector, StoreRunOutcome};
+use mev_store::{LogFilter, StoreReader, StoreWriter};
+use mev_types::Address;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report_path = args
+        .windows(2)
+        .find(|w| w[0] == "--report")
+        .map(|w| w[1].clone());
+
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let blocks = chain.len() as u64;
+    let segment_blocks = 64u64;
+
+    let dir = std::env::temp_dir().join(format!("flashpan-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Ingest (one-shot; deleting and re-ingesting per rep would measure
+    // the filesystem cache, not the store).
+    let t = Instant::now();
+    let mut w =
+        StoreWriter::create(&dir, chain.timeline().clone(), segment_blocks).expect("create store");
+    let stats = w.ingest(chain).expect("ingest");
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(w);
+    assert_eq!(stats.appended, blocks);
+
+    let store = StoreReader::open(&dir).expect("open store");
+    let segments_total = store.segments().len() as u64;
+    let genesis = store.timeline().genesis_number;
+
+    let reps = 5;
+    // Cold: full unfiltered scan touches every segment. (`StoreReader`
+    // caches one segment; a full pass still decodes each one.)
+    let unbounded = LogFilter::new().limit(usize::MAX);
+    let (_, cold_stats) = store.get_logs_with_stats(&unbounded).expect("cold scan");
+    let cold_ms = time_ms(reps, || {
+        store.get_logs_with_stats(&unbounded).expect("cold")
+    });
+
+    // Warm: a narrow window inside one segment — zone maps prune the rest.
+    let narrow = LogFilter::new()
+        .from_block(genesis + segment_blocks + 1)
+        .to_block(genesis + segment_blocks + 10)
+        .limit(usize::MAX);
+    let (_, warm_stats) = store.get_logs_with_stats(&narrow).expect("warm scan");
+    let warm_ms = time_ms(reps, || store.get_logs_with_stats(&narrow).expect("warm"));
+    assert!(
+        warm_stats.segments_read < cold_stats.segments_read,
+        "pruned warm scan must read strictly fewer segments ({} vs {})",
+        warm_stats.segments_read,
+        cold_stats.segments_read
+    );
+
+    // Bloom: an address the chain never used — blooms prune segments the
+    // zone map cannot.
+    let absent = LogFilter::new()
+        .address(Address::from_index(0xDEAD_BEEF_DEAD))
+        .limit(usize::MAX);
+    let (absent_page, bloom_stats) = store.get_logs_with_stats(&absent).expect("bloom scan");
+    assert!(absent_page.entries.is_empty());
+
+    // Detection from the store vs in memory: identical results.
+    let in_memory = Inspector::new(chain, &out.blocks_api)
+        .run()
+        .expect("inspect");
+    let from_store = match Inspector::from_store(&store, &out.blocks_api)
+        .run()
+        .expect("store run")
+    {
+        StoreRunOutcome::Complete(ds) => ds,
+        StoreRunOutcome::Partial { .. } => unreachable!("unbounded run is complete"),
+    };
+    let identical = from_store.detections == in_memory.detections;
+    let detect_memory_ms = time_ms(reps, || {
+        Inspector::new(chain, &out.blocks_api)
+            .run()
+            .expect("inspect")
+    });
+    let detect_store_ms = time_ms(reps, || {
+        Inspector::from_store(&store, &out.blocks_api)
+            .run()
+            .expect("store run")
+    });
+
+    let verify = store.verify().expect("verify");
+
+    println!(
+        "{{\n  \"scenario\": \"quick\",\n  \"blocks\": {blocks},\n  \
+         \"segment_blocks\": {segment_blocks},\n  \"segments_total\": {segments_total},\n  \
+         \"store_bytes\": {},\n  \"ingest_ms\": {ingest_ms:.3},\n  \
+         \"ingest_blocks_per_s\": {:.0},\n  \
+         \"cold_full_scan_ms\": {cold_ms:.3},\n  \"cold_segments_read\": {},\n  \
+         \"warm_window_scan_ms\": {warm_ms:.3},\n  \"warm_segments_read\": {},\n  \
+         \"warm_pruned_by_zone\": {},\n  \
+         \"bloom_segments_pruned\": {},\n  \"bloom_false_positives\": {},\n  \
+         \"detect_in_memory_ms\": {detect_memory_ms:.3},\n  \
+         \"detect_from_store_ms\": {detect_store_ms:.3},\n  \
+         \"identical_detections\": {identical}\n}}",
+        verify.bytes,
+        blocks as f64 / (ingest_ms / 1e3),
+        cold_stats.segments_read,
+        warm_stats.segments_read,
+        warm_stats.pruned_by_zone,
+        bloom_stats.pruned_by_bloom,
+        bloom_stats.bloom_false_positives,
+    );
+    assert!(identical, "store-backed and in-memory detections diverged");
+
+    if let Some(path) = report_path {
+        let report = mev_obs::report();
+        assert!(report.counter("store.ingest.blocks").unwrap_or(0) > 0);
+        report
+            .write_to(std::path::Path::new(&path))
+            .expect("write RunReport");
+        eprintln!("RunReport written to {path}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

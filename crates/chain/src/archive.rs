@@ -95,10 +95,22 @@ impl ChainStore {
             .zip(self.receipts.iter().map(|r| r.as_slice()))
     }
 
-    /// Iterate `(block, receipts)` restricted to a height range (inclusive).
+    /// Iterate `(block, receipts)` restricted to a height range
+    /// (inclusive). Slices the backing storage directly, so the cost is
+    /// O(window), not O(chain) — callers paging a narrow window (log
+    /// queries, segment ingest) never touch blocks outside it.
     pub fn range(&self, from: u64, to: u64) -> impl Iterator<Item = (&Block, &[Receipt])> {
-        self.iter()
-            .filter(move |(b, _)| b.header.number >= from && b.header.number <= to)
+        let len = self.blocks.len() as u64;
+        let lo = from.saturating_sub(self.first_number).min(len) as usize;
+        let hi = if to < self.first_number {
+            0
+        } else {
+            (to - self.first_number + 1).min(len) as usize
+        };
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (0, 0) };
+        self.blocks[lo..hi]
+            .iter()
+            .zip(self.receipts[lo..hi].iter().map(|r| r.as_slice()))
     }
 
     /// All logs of a block, with their tx index.
@@ -240,6 +252,21 @@ mod tests {
             .map(|(b, _)| b.header.number)
             .collect();
         assert_eq!(got, vec![10_000_002, 10_000_003, 10_000_004]);
+    }
+
+    #[test]
+    fn range_handles_degenerate_windows() {
+        let s = store_with(10);
+        // Entirely below the chain.
+        assert_eq!(s.range(0, 9_999_999).count(), 0);
+        // Entirely above the chain.
+        assert_eq!(s.range(10_000_050, 10_000_060).count(), 0);
+        // Inverted window.
+        assert_eq!(s.range(10_000_005, 10_000_002).count(), 0);
+        // Clamped on both ends.
+        assert_eq!(s.range(0, u64::MAX).count(), 10);
+        // Single block.
+        assert_eq!(s.range(10_000_009, 10_000_009).count(), 1);
     }
 
     #[test]

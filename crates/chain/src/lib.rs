@@ -20,6 +20,9 @@ pub use builder::{
 };
 pub use exec::{action_gas, execute, seed_account, ActionError, BlockEnv, InvalidTx};
 pub use feemarket::{next_base_fee, ForkSchedule, INITIAL_BASE_FEE};
-pub use query::{get_logs, get_logs_all, Cursor, EventKind, LogEntry, LogFilter, LogPage};
+pub use query::{
+    get_logs, get_logs_all, get_logs_with_stats, Cursor, EventKind, LogEntry, LogFilter, LogPage,
+    QueryStats,
+};
 pub use state::{Account, StateDb};
 pub use world::World;

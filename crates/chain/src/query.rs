@@ -100,6 +100,13 @@ pub struct Cursor {
 }
 
 impl Cursor {
+    /// A cursor that resumes at `next_block`. Public so alternative
+    /// archive backends (e.g. the segmented on-disk store) can hand out
+    /// the same continuation tokens as the in-memory path.
+    pub fn at(next_block: u64) -> Cursor {
+        Cursor { next_block }
+    }
+
     /// The first block height the next page will read.
     pub fn next_block(&self) -> u64 {
         self.next_block
@@ -126,29 +133,45 @@ pub struct LogPage {
 /// Default per-call cap.
 const DEFAULT_LIMIT: usize = 10_000;
 
+/// What a [`get_logs_with_stats`] call actually touched — lets tests and
+/// benchmarks assert that scans are bounded by the filter window instead
+/// of walking the whole chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Blocks whose receipts were examined.
+    pub blocks_scanned: u64,
+}
+
 /// Execute a filter over the store.
 pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
+    get_logs_with_stats(chain, filter).0
+}
+
+/// [`get_logs`], also reporting how many blocks the scan touched. The
+/// scan is bounded by `from_block..=to_block` (and any [`Cursor`]
+/// position folded in via [`LogFilter::after`]): blocks outside the
+/// window are never read, so each page costs O(window), not O(chain).
+pub fn get_logs_with_stats(chain: &ChainStore, filter: &LogFilter) -> (LogPage, QueryStats) {
+    let mut stats = QueryStats::default();
+    let empty = LogPage {
+        entries: Vec::new(),
+        next: None,
+    };
     let head = match chain.head_number() {
         Some(h) => h,
-        None => {
-            return LogPage {
-                entries: Vec::new(),
-                next: None,
-            }
-        }
+        None => return (empty, stats),
     };
     let genesis = chain.timeline().genesis_number;
     let from = filter.from_block.unwrap_or(genesis).max(genesis);
     let to = filter.to_block.unwrap_or(head).min(head);
+    if from > to {
+        return (empty, stats);
+    }
     let limit = filter.limit.unwrap_or(DEFAULT_LIMIT).max(1);
     let mut entries = Vec::new();
-    let mut block_number = from;
-    while block_number <= to {
-        // `from..=to` is clamped to the stored range above; a missing
-        // block would be a store inconsistency — stop paging, not panic.
-        let Some(receipts) = chain.receipts(block_number) else {
-            break;
-        };
+    for (block, receipts) in chain.range(from, to) {
+        let block_number = block.header.number;
+        stats.blocks_scanned += 1;
         for r in receipts {
             for log in &r.logs {
                 if let Some(addr) = filter.address {
@@ -169,22 +192,27 @@ pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
                 });
             }
         }
-        block_number += 1;
         // Page boundary only between blocks, so pagination never splits a
         // block's logs.
-        if entries.len() >= limit && block_number <= to {
-            return LogPage {
-                entries,
-                next: Some(Cursor {
-                    next_block: block_number,
-                }),
-            };
+        if entries.len() >= limit && block_number < to {
+            return (
+                LogPage {
+                    entries,
+                    next: Some(Cursor {
+                        next_block: block_number + 1,
+                    }),
+                },
+                stats,
+            );
         }
     }
-    LogPage {
-        entries,
-        next: None,
-    }
+    (
+        LogPage {
+            entries,
+            next: None,
+        },
+        stats,
+    )
 }
 
 /// Convenience: stream every matching log by looping [`get_logs`] pages
@@ -354,6 +382,33 @@ mod tests {
         let resumed = get_logs_all(&c, &LogFilter::new().limit(4).after(restored));
         assert_eq!(first.entries.len() + resumed.len(), 15);
         assert_eq!(resumed.first().unwrap().block, restored.next_block());
+    }
+
+    #[test]
+    fn scan_is_bounded_by_the_filter_window() {
+        let c = chain();
+        let g = c.timeline().genesis_number;
+        // A 3-block window touches exactly 3 blocks of a 10-block chain.
+        let (_, stats) =
+            get_logs_with_stats(&c, &LogFilter::new().from_block(g + 4).to_block(g + 6));
+        assert_eq!(stats.blocks_scanned, 3);
+        // A cursor resume never re-reads blocks before the cursor.
+        let f = LogFilter::new().limit(4);
+        let (first, first_stats) = get_logs_with_stats(&c, &f);
+        let cursor = first.next.expect("more pages");
+        let (_, resume_stats) = get_logs_with_stats(&c, &f.clone().after(cursor));
+        assert!(first_stats.blocks_scanned < 10);
+        assert_eq!(resume_stats.blocks_scanned, 10 - (cursor.next_block() - g));
+        // An inverted window scans nothing.
+        let (page, none) =
+            get_logs_with_stats(&c, &LogFilter::new().from_block(g + 6).to_block(g + 2));
+        assert!(page.entries.is_empty());
+        assert_eq!(none.blocks_scanned, 0);
+    }
+
+    #[test]
+    fn cursor_at_round_trips() {
+        assert_eq!(Cursor::at(42).next_block(), 42);
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn detect_in_record(
 mod tests {
     use super::*;
     use crate::detect::testutil::*;
-    use mev_types::{Address, Log, TokenId, Wei};
+    use mev_types::{Address, Log, LogEvent, TokenId, Wei};
 
     fn liq_log(platform: LendingPlatformId, liquidator: Address) -> Log {
         Log::new(

@@ -216,6 +216,41 @@ impl BlockIndex {
         }
     }
 
+    /// One pass over a persistent segmented store: stream each committed
+    /// segment once, decode every block's receipts. Produces a
+    /// bit-identical index to [`BlockIndex::build`] over the chain the
+    /// store was ingested from, so store-backed and in-memory detection
+    /// runs agree exactly.
+    pub fn build_from_store(
+        store: &mev_store::StoreReader,
+    ) -> Result<BlockIndex, mev_store::StoreError> {
+        let _timer = mev_obs::span("index.build_from_store.ns");
+        let timeline = store.timeline().clone();
+        let first_number = timeline.genesis_number;
+        let mut records: Vec<BlockRecord> = Vec::with_capacity(store.block_count() as usize);
+        for seg in 0..store.segments().len() as u64 {
+            let entries = store.read_segment_entries(seg)?;
+            for entry in entries.iter() {
+                let number = entry.block.header.number;
+                records.push(BlockRecord::decode(
+                    &entry.block,
+                    &entry.receipts,
+                    timeline.at(number).month(),
+                ));
+            }
+        }
+        mev_obs::counter("index.blocks").add(records.len() as u64);
+        mev_obs::counter("index.txs").add(records.iter().map(|r| r.txs.len() as u64).sum());
+        mev_obs::counter("index.swaps").add(records.iter().map(|r| r.swaps.len() as u64).sum());
+        mev_obs::counter("index.liquidations")
+            .add(records.iter().map(|r| r.liquidations.len() as u64).sum());
+        mev_obs::counter("index.bytes").add(records.iter().map(|r| r.approx_bytes() as u64).sum());
+        Ok(BlockIndex {
+            first_number,
+            records,
+        })
+    }
+
     /// An index over no blocks (placeholder for hand-built datasets).
     pub fn empty() -> BlockIndex {
         BlockIndex::default()

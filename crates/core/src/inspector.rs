@@ -44,7 +44,8 @@ impl std::fmt::Display for InspectError {
 impl std::error::Error for InspectError {}
 
 /// Every detector, in the canonical (deterministic) per-block order.
-const ALL_KINDS: [MevKind; 3] = [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation];
+pub(crate) const ALL_KINDS: [MevKind; 3] =
+    [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation];
 
 /// Builder for a detection run over an archive.
 ///
@@ -178,7 +179,7 @@ impl<'a> Inspector<'a> {
 }
 
 /// Run the selected detectors over one block record, in canonical order.
-fn detect_record(
+pub(crate) fn detect_record(
     rec: &BlockRecord,
     kinds: &[MevKind],
     api: &BlocksApi,
@@ -198,7 +199,7 @@ fn detect_record(
 /// time, so a slow block never gates a whole fixed chunk. Each worker
 /// tags its per-block output with the block's position; the merge sorts
 /// by position, which makes the concatenation independent of scheduling.
-fn run_pool(
+pub(crate) fn run_pool(
     records: &[&BlockRecord],
     threads: usize,
     kinds: &[MevKind],

@@ -25,6 +25,7 @@ pub mod prices;
 pub mod private;
 pub mod profit;
 pub mod series;
+pub mod store_run;
 pub mod validate;
 
 pub use dataset::{Detection, MevDataset, MevKind};
@@ -32,3 +33,4 @@ pub use index::{BlockIndex, BlockRecord};
 pub use inspector::{InspectError, Inspector};
 pub use prices::price_feed_from_chain;
 pub use private::{PrivateClass, PrivateStats};
+pub use store_run::{StoreRun, StoreRunError, StoreRunOutcome};

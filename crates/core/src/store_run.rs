@@ -1,0 +1,505 @@
+//! Detection over the persistent segmented store, with per-segment
+//! resume checkpoints.
+//!
+//! [`StoreRun`] is the store-backed sibling of [`Inspector`]: it builds
+//! the [`BlockIndex`] straight from a [`StoreReader`], then detects one
+//! committed segment at a time on the same worker pool. After each
+//! segment its detections are appended to an atomically-replaced JSON
+//! checkpoint, so a killed run (crash, preemption, `--kill-after-segments`
+//! in the `archive_store` example) resumes from the last finished segment
+//! instead of block zero. The concatenation of per-segment results is
+//! bit-identical to a whole-archive [`Inspector::run`] over the chain the
+//! store was ingested from.
+
+use crate::dataset::{Detection, MevDataset, MevKind};
+use crate::index::BlockIndex;
+use crate::inspector::{detect_record, run_pool, InspectError, Inspector, ALL_KINDS};
+use mev_flashbots::BlocksApi;
+use mev_store::{atomic_write, StoreError, StoreReader};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Checkpoint format version; bumped on layout changes.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// A store-backed run failed.
+#[derive(Debug)]
+pub enum StoreRunError {
+    /// Reading the store failed.
+    Store(StoreError),
+    /// A detection worker failed.
+    Inspect(InspectError),
+    /// The checkpoint file could not be read, written, or does not match
+    /// this store/configuration.
+    Checkpoint { path: PathBuf, detail: String },
+}
+
+impl std::fmt::Display for StoreRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreRunError::Store(e) => write!(f, "store error: {e}"),
+            StoreRunError::Inspect(e) => write!(f, "detection error: {e}"),
+            StoreRunError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreRunError::Store(e) => Some(e),
+            StoreRunError::Inspect(e) => Some(e),
+            StoreRunError::Checkpoint { .. } => None,
+        }
+    }
+}
+
+impl From<StoreError> for StoreRunError {
+    fn from(e: StoreError) -> StoreRunError {
+        StoreRunError::Store(e)
+    }
+}
+
+impl From<InspectError> for StoreRunError {
+    fn from(e: InspectError) -> StoreRunError {
+        StoreRunError::Inspect(e)
+    }
+}
+
+/// One finished segment's results, as persisted in the checkpoint.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct SegmentResult {
+    index: u64,
+    first_block: u64,
+    last_block: u64,
+    detections: Vec<Detection>,
+}
+
+/// The resume checkpoint: identity of the run plus every finished
+/// segment's detections. Replaced atomically after each segment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Checkpoint {
+    version: u32,
+    /// Store identity: a checkpoint never resumes against a different
+    /// archive or configuration.
+    genesis_number: u64,
+    segment_blocks: u64,
+    kinds: Vec<MevKind>,
+    segments: Vec<SegmentResult>,
+}
+
+/// What a bounded [`StoreRun::run`] pass produced.
+#[derive(Debug)]
+pub enum StoreRunOutcome {
+    /// Every committed segment is detected; the assembled dataset.
+    Complete(MevDataset),
+    /// The pass stopped at its segment budget; run again (with the same
+    /// checkpoint) to continue.
+    Partial {
+        segments_done: u64,
+        segments_total: u64,
+    },
+}
+
+/// Builder for a resumable detection run over a [`StoreReader`].
+///
+/// ```ignore
+/// let outcome = Inspector::from_store(&store, &api)
+///     .threads(8)
+///     .checkpoint("run.ckpt.json")
+///     .run()?;
+/// ```
+pub struct StoreRun<'a> {
+    store: &'a StoreReader,
+    api: &'a BlocksApi,
+    threads: Option<usize>,
+    kinds: Vec<MevKind>,
+    checkpoint: Option<PathBuf>,
+    segment_limit: Option<u64>,
+}
+
+impl<'a> Inspector<'a> {
+    /// Detection over a persistent store instead of an in-memory chain.
+    pub fn from_store(store: &'a StoreReader, api: &'a BlocksApi) -> StoreRun<'a> {
+        StoreRun::new(store, api)
+    }
+}
+
+impl<'a> StoreRun<'a> {
+    /// A run over every committed segment, all detectors, no checkpoint.
+    pub fn new(store: &'a StoreReader, api: &'a BlocksApi) -> StoreRun<'a> {
+        StoreRun {
+            store,
+            api,
+            threads: None,
+            kinds: ALL_KINDS.to_vec(),
+            checkpoint: None,
+            segment_limit: None,
+        }
+    }
+
+    /// Worker-pool size per segment (same semantics as
+    /// [`Inspector::threads`]).
+    pub fn threads(mut self, n: usize) -> StoreRun<'a> {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Run only these detectors, normalised to canonical order.
+    pub fn kinds(mut self, kinds: impl IntoIterator<Item = MevKind>) -> StoreRun<'a> {
+        let requested: Vec<MevKind> = kinds.into_iter().collect();
+        self.kinds = ALL_KINDS
+            .iter()
+            .copied()
+            .filter(|k| requested.contains(k))
+            .collect();
+        self
+    }
+
+    /// Persist per-segment results to `path` and resume from it if it
+    /// already exists.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> StoreRun<'a> {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Detect at most `n` new segments this pass, then stop with
+    /// [`StoreRunOutcome::Partial`]. Used to bound a pass (and to
+    /// simulate kills in tests/CI).
+    pub fn segment_limit(mut self, n: u64) -> StoreRun<'a> {
+        self.segment_limit = Some(n);
+        self
+    }
+
+    /// A fresh checkpoint describing this run over this store.
+    fn fresh_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            genesis_number: self.store.timeline().genesis_number,
+            segment_blocks: self.store.segments().first().map(|s| s.blocks).unwrap_or(0),
+            kinds: self.kinds.clone(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Load and validate the checkpoint file, or start fresh when the
+    /// path is unset or absent.
+    fn load_checkpoint(&self) -> Result<Checkpoint, StoreRunError> {
+        let Some(path) = self.checkpoint.as_ref() else {
+            return Ok(self.fresh_checkpoint());
+        };
+        if !path.exists() {
+            return Ok(self.fresh_checkpoint());
+        }
+        let bytes = std::fs::read(path).map_err(|e| StoreRunError::Checkpoint {
+            path: path.clone(),
+            detail: format!("read failed: {e}"),
+        })?;
+        let ckpt: Checkpoint =
+            serde_json::from_slice(&bytes).map_err(|e| StoreRunError::Checkpoint {
+                path: path.clone(),
+                detail: format!("parse failed: {e}"),
+            })?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(StoreRunError::Checkpoint {
+                path: path.clone(),
+                detail: format!(
+                    "version {} unsupported (expected {CHECKPOINT_VERSION})",
+                    ckpt.version
+                ),
+            });
+        }
+        if ckpt.genesis_number != self.store.timeline().genesis_number {
+            return Err(StoreRunError::Checkpoint {
+                path: path.clone(),
+                detail: "checkpoint belongs to a different store (genesis mismatch)".to_string(),
+            });
+        }
+        if ckpt.kinds != self.kinds {
+            return Err(StoreRunError::Checkpoint {
+                path: path.clone(),
+                detail: "checkpoint was taken with a different detector selection".to_string(),
+            });
+        }
+        Ok(ckpt)
+    }
+
+    fn save_checkpoint(&self, ckpt: &Checkpoint) -> Result<(), StoreRunError> {
+        let Some(path) = self.checkpoint.as_ref() else {
+            return Ok(());
+        };
+        let bytes = serde_json::to_vec_pretty(ckpt).map_err(|e| StoreRunError::Checkpoint {
+            path: path.clone(),
+            detail: format!("serialize failed: {e}"),
+        })?;
+        atomic_write(path, &bytes)?;
+        Ok(())
+    }
+
+    /// Run detection over the store's committed segments, resuming from
+    /// (and updating) the checkpoint after each segment.
+    pub fn run(self) -> Result<StoreRunOutcome, StoreRunError> {
+        let _t = mev_obs::span("store_run.ns");
+        let index = Arc::new(BlockIndex::build_from_store(self.store)?);
+        let prices = index.price_feed();
+        let mut ckpt = self.load_checkpoint()?;
+        let segments = self.store.segments();
+        let segments_total = segments.len() as u64;
+        let threads_requested = self.threads;
+        let mut detected_this_pass = 0u64;
+
+        for meta in segments {
+            if let Some(done) = ckpt.segments.iter().find(|s| s.index == meta.index) {
+                // Already detected by a previous pass; sanity-check that
+                // the segment still covers the same blocks.
+                if done.first_block != meta.first_block || done.last_block != meta.last_block {
+                    return Err(StoreRunError::Checkpoint {
+                        path: self
+                            .checkpoint
+                            .clone()
+                            .unwrap_or_else(|| PathBuf::from("<none>")),
+                        detail: format!(
+                            "segment {} block range changed since the checkpoint",
+                            meta.index
+                        ),
+                    });
+                }
+                mev_obs::counter("store_run.segments_resumed").inc();
+                continue;
+            }
+            if let Some(limit) = self.segment_limit {
+                if detected_this_pass >= limit {
+                    self.save_checkpoint(&ckpt)?;
+                    return Ok(StoreRunOutcome::Partial {
+                        segments_done: ckpt.segments.len() as u64,
+                        segments_total,
+                    });
+                }
+            }
+            // The index is in height order, so a segment is a contiguous
+            // slice of its records.
+            let lo = (meta.first_block - self.store.timeline().genesis_number) as usize;
+            let hi = lo + meta.blocks as usize;
+            let records: Vec<_> = index.records()[lo..hi.min(index.len())].iter().collect();
+            let hw = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16);
+            let threads = threads_requested
+                .unwrap_or(hw)
+                .max(1)
+                .min(records.len().max(1));
+            let mut detections = if threads <= 1 {
+                let mut out = Vec::new();
+                for rec in &records {
+                    detect_record(rec, &self.kinds, self.api, &prices, &mut out);
+                }
+                out
+            } else {
+                run_pool(&records, threads, &self.kinds, self.api, &prices)?
+            };
+            // Same merge key as `Inspector::run`; segments are disjoint
+            // ascending block ranges, so per-segment sorting keeps the
+            // concatenation globally sorted — and bit-identical to a
+            // whole-archive run.
+            detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+            ckpt.segments.push(SegmentResult {
+                index: meta.index,
+                first_block: meta.first_block,
+                last_block: meta.last_block,
+                detections,
+            });
+            detected_this_pass += 1;
+            mev_obs::counter("store_run.segments_detected").inc();
+            self.save_checkpoint(&ckpt)?;
+        }
+
+        // All segments accounted for: assemble in segment order.
+        ckpt.segments.sort_by_key(|s| s.index);
+        let detections: Vec<Detection> = ckpt
+            .segments
+            .iter()
+            .flat_map(|s| s.detections.iter().cloned())
+            .collect();
+        mev_obs::counter("store_run.completed").inc();
+        Ok(StoreRunOutcome::Complete(MevDataset {
+            detections,
+            prices,
+            index,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::testutil::*;
+    use mev_chain::ChainStore;
+    use mev_store::testutil::scratch_dir;
+    use mev_store::StoreWriter;
+    use mev_types::{Address, Timeline, TokenId, Wei};
+
+    /// A chain with one sandwich per block (mirrors the inspector tests).
+    fn sandwich_chain(blocks: u64) -> ChainStore {
+        let mut chain = ChainStore::new(Timeline::paper_span(100));
+        let attacker = Address::from_index(7);
+        let victim = Address::from_index(8);
+        for i in 0..blocks {
+            let t0 = tx(attacker, 2 * i);
+            let t1 = tx(victim, i);
+            let t2 = tx(attacker, 2 * i + 1);
+            let r0 = receipt(
+                &t0,
+                0,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                )],
+                Wei::ZERO,
+            );
+            let r1 = receipt(
+                &t1,
+                1,
+                vec![swap_log(
+                    pool(),
+                    victim,
+                    TokenId::WETH,
+                    5 * E18,
+                    TokenId(1),
+                    9 * E18,
+                )],
+                Wei::ZERO,
+            );
+            let r2 = receipt(
+                &t2,
+                2,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId(1),
+                    20 * E18,
+                    TokenId::WETH,
+                    11 * E18,
+                )],
+                Wei::ZERO,
+            );
+            chain.push(block(10_000_000 + i, vec![t0, t1, t2]), vec![r0, r1, r2]);
+        }
+        chain
+    }
+
+    fn store_of(chain: &ChainStore, dir: &std::path::Path, segment_blocks: u64) -> StoreReader {
+        let mut w = StoreWriter::create(dir, chain.timeline().clone(), segment_blocks).unwrap();
+        w.ingest(chain).unwrap();
+        StoreReader::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_run_matches_in_memory_inspector() {
+        let dir = scratch_dir("store-run-match");
+        let chain = sandwich_chain(9);
+        let api = BlocksApi::new();
+        let store = store_of(&chain, &dir, 4);
+        let in_memory = Inspector::new(&chain, &api).threads(2).run().unwrap();
+        let outcome = Inspector::from_store(&store, &api)
+            .threads(2)
+            .run()
+            .unwrap();
+        let StoreRunOutcome::Complete(ds) = outcome else {
+            panic!("expected complete run");
+        };
+        assert_eq!(ds.detections, in_memory.detections);
+        assert_eq!(ds.detections.len(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_run_resumes_from_checkpoint() {
+        let dir = scratch_dir("store-run-resume");
+        let chain = sandwich_chain(10);
+        let api = BlocksApi::new();
+        let store = store_of(&chain, &dir, 3); // 3 sealed + 1 partial
+        let ckpt = dir.join("run.ckpt.json");
+
+        // First pass "dies" after 2 segments.
+        let outcome = Inspector::from_store(&store, &api)
+            .threads(1)
+            .checkpoint(&ckpt)
+            .segment_limit(2)
+            .run()
+            .unwrap();
+        let StoreRunOutcome::Partial {
+            segments_done,
+            segments_total,
+        } = outcome
+        else {
+            panic!("expected partial run");
+        };
+        assert_eq!(segments_done, 2);
+        assert_eq!(segments_total, 4);
+        assert!(ckpt.exists());
+
+        // Second pass resumes and completes; results match a clean
+        // in-memory run exactly.
+        let resumed = mev_obs::counter("store_run.segments_resumed").get();
+        let outcome = Inspector::from_store(&store, &api)
+            .threads(1)
+            .checkpoint(&ckpt)
+            .run()
+            .unwrap();
+        let StoreRunOutcome::Complete(ds) = outcome else {
+            panic!("expected complete run");
+        };
+        assert_eq!(
+            mev_obs::counter("store_run.segments_resumed").get() - resumed,
+            2
+        );
+        let in_memory = Inspector::new(&chain, &api).threads(1).run().unwrap();
+        assert_eq!(ds.detections, in_memory.detections);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_from_other_config_is_rejected() {
+        let dir = scratch_dir("store-run-ckpt-mismatch");
+        let chain = sandwich_chain(6);
+        let api = BlocksApi::new();
+        let store = store_of(&chain, &dir, 3);
+        let ckpt = dir.join("run.ckpt.json");
+        Inspector::from_store(&store, &api)
+            .checkpoint(&ckpt)
+            .segment_limit(1)
+            .run()
+            .unwrap();
+        // Different detector selection must refuse to resume.
+        let err = Inspector::from_store(&store, &api)
+            .kinds([MevKind::Sandwich])
+            .checkpoint(&ckpt)
+            .run();
+        assert!(matches!(err, Err(StoreRunError::Checkpoint { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kinds_selection_applies_to_store_runs() {
+        let dir = scratch_dir("store-run-kinds");
+        let chain = sandwich_chain(4);
+        let api = BlocksApi::new();
+        let store = store_of(&chain, &dir, 2);
+        let outcome = Inspector::from_store(&store, &api)
+            .kinds([MevKind::Liquidation])
+            .run()
+            .unwrap();
+        let StoreRunOutcome::Complete(ds) = outcome else {
+            panic!("expected complete run");
+        };
+        assert!(ds.detections.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -46,8 +46,10 @@ const R1_CRATES: [&str; 4] = ["core", "analysis", "chain", "flashbots"];
 const R2_EXEMPT: [&str; 1] = ["types"];
 /// Crates allowed to use `Ordering::Relaxed` (R3).
 const R3_EXEMPT: [&str; 1] = ["obs"];
-/// Crates whose library code must not contain panic paths (R4).
-const R4_CRATES: [&str; 4] = ["core", "chain", "dex", "net"];
+/// Crates whose library code must not contain panic paths (R4). The
+/// persistent store is included: corruption and I/O failure must surface
+/// as `StoreError`, never as a panic.
+const R4_CRATES: [&str; 5] = ["core", "chain", "dex", "net", "store"];
 /// The deprecated shims are *defined* here; every other file is an
 /// internal caller (R5).
 const R5_DEFINITION_FILE: &str = "crates/core/src/dataset.rs";
@@ -817,6 +819,16 @@ mod tests {
             }
         "#;
         assert_eq!(rules_fired("core", src), vec!["panic"; 4]);
+    }
+
+    #[test]
+    fn r4_covers_the_store_crate() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(rules_fired("store", src), vec!["panic"]);
     }
 
     #[test]

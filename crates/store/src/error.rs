@@ -1,0 +1,138 @@
+//! Store errors. Every corruption path — bad checksum, truncated frame,
+//! zone-map drift, manifest damage — surfaces as a variant here; the
+//! crate never panics on malformed input (enforced by the `mev-lint` R4
+//! panic-hygiene gate).
+
+use std::path::PathBuf;
+
+/// Anything that can go wrong opening, reading, or writing a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        op: &'static str,
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// The root directory has no `MANIFEST.json`.
+    MissingManifest { root: PathBuf },
+    /// The manifest exists but is not a valid store manifest.
+    ManifestInvalid { detail: String },
+    /// The manifest was written by an unsupported format version.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// A store already exists where `create` was asked to start fresh.
+    AlreadyExists { root: PathBuf },
+    /// A frame header or payload extends past the committed bytes — a
+    /// torn write or a truncated file.
+    TruncatedFrame { path: PathBuf, offset: u64 },
+    /// A frame's checksum does not match its payload.
+    ChecksumMismatch { path: PathBuf, offset: u64 },
+    /// A frame payload failed to decode, or declared an implausible
+    /// length.
+    Codec { path: PathBuf, detail: String },
+    /// A segment file named by the manifest is missing.
+    SegmentMissing { path: PathBuf },
+    /// A segment file is shorter than the bytes the manifest committed.
+    SegmentTruncated {
+        path: PathBuf,
+        committed: u64,
+        actual: u64,
+    },
+    /// A segment's decoded content disagrees with its manifest zone map
+    /// (block range, counts, or bloom).
+    ZoneMapMismatch { path: PathBuf, detail: String },
+    /// An appended block does not extend the store head by exactly one.
+    NonContiguous { expected: u64, got: u64 },
+    /// A block and its receipt list disagree on transaction count.
+    ReceiptCountMismatch {
+        block: u64,
+        txs: usize,
+        receipts: usize,
+    },
+    /// Re-ingest from a chain whose timeline differs from the store's.
+    TimelineMismatch { detail: String },
+}
+
+impl StoreError {
+    /// Wrap an I/O error with the operation and path it came from.
+    pub fn io(op: &'static str, path: &std::path::Path, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            StoreError::MissingManifest { root } => {
+                write!(f, "no MANIFEST.json under {}", root.display())
+            }
+            StoreError::ManifestInvalid { detail } => write!(f, "invalid manifest: {detail}"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "store format version {found} unsupported (this build reads {supported})"
+            ),
+            StoreError::AlreadyExists { root } => {
+                write!(f, "store already exists at {}", root.display())
+            }
+            StoreError::TruncatedFrame { path, offset } => {
+                write!(f, "truncated frame at byte {offset} of {}", path.display())
+            }
+            StoreError::ChecksumMismatch { path, offset } => write!(
+                f,
+                "frame checksum mismatch at byte {offset} of {}",
+                path.display()
+            ),
+            StoreError::Codec { path, detail } => {
+                write!(f, "undecodable frame in {}: {detail}", path.display())
+            }
+            StoreError::SegmentMissing { path } => {
+                write!(f, "segment file missing: {}", path.display())
+            }
+            StoreError::SegmentTruncated {
+                path,
+                committed,
+                actual,
+            } => write!(
+                f,
+                "segment {} truncated: manifest committed {committed} bytes, file has {actual}",
+                path.display()
+            ),
+            StoreError::ZoneMapMismatch { path, detail } => write!(
+                f,
+                "segment {} disagrees with its zone map: {detail}",
+                path.display()
+            ),
+            StoreError::NonContiguous { expected, got } => write!(
+                f,
+                "non-contiguous append: expected block {expected}, got {got}"
+            ),
+            StoreError::ReceiptCountMismatch {
+                block,
+                txs,
+                receipts,
+            } => write!(
+                f,
+                "block {block} has {txs} transactions but {receipts} receipts"
+            ),
+            StoreError::TimelineMismatch { detail } => {
+                write!(f, "ingest timeline mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Length-prefixed, checksummed frames — the unit of on-disk storage.
+//!
+//! A frame is `[len: u32 LE][kind: u8][crc32: u32 LE][payload: len bytes]`
+//! where the CRC-32 (IEEE polynomial, the same one Ethereum tooling and
+//! gzip use) covers the kind byte followed by the payload. The header is
+//! written before the payload so a writer can stream; the checksum in the
+//! header means a reader detects torn or bit-flipped frames before it
+//! attempts to decode them.
+//!
+//! Readers operate under a *committed byte limit* taken from the
+//! manifest: bytes past the limit are an uncommitted crash residue and
+//! are never read; a frame that crosses the limit, or a file that ends
+//! mid-frame, is a [`StoreError::TruncatedFrame`].
+
+use crate::error::StoreError;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Bytes of `[len][kind][crc32]` before each payload.
+pub const FRAME_HEADER_BYTES: u64 = 9;
+
+/// Largest payload a frame may declare. Segments hold a handful of
+/// blocks; anything past this is a corrupt length field, not data.
+pub const MAX_FRAME_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// CRC-32 (IEEE, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 over a kind byte plus payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a kind byte and payload — the frame checksum.
+pub fn frame_crc(kind: u8, payload: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(&[kind]);
+    c.update(payload);
+    c.finish()
+}
+
+/// Serialize a frame into `out`. Returns the frame's total encoded size.
+pub fn encode_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> u64 {
+    let len = payload.len() as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&frame_crc(kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    FRAME_HEADER_BYTES + payload.len() as u64
+}
+
+/// A decoded frame with its position in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: u8,
+    pub payload: Vec<u8>,
+    /// Byte offset of the frame header within the file.
+    pub offset: u64,
+}
+
+/// Streaming frame reader over any `Read`, bounded by the committed byte
+/// count recorded in the manifest.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    path: PathBuf,
+    offset: u64,
+    /// Committed bytes; reading stops exactly here.
+    limit: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// `limit` is the committed length of the stream: the reader yields
+    /// frames until `limit` and treats anything that crosses it as
+    /// truncation.
+    pub fn new(inner: R, path: &Path, limit: u64) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            path: path.to_path_buf(),
+            offset: 0,
+            limit,
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn truncated(&self) -> StoreError {
+        StoreError::TruncatedFrame {
+            path: self.path.clone(),
+            offset: self.offset,
+        }
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), StoreError> {
+        let mut read = 0;
+        while read < buf.len() {
+            match self.inner.read(&mut buf[read..]) {
+                Ok(0) => return Err(self.truncated()),
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(StoreError::io("read frame", &self.path, e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the next frame, or `None` at the committed limit.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, StoreError> {
+        if self.offset == self.limit {
+            return Ok(None);
+        }
+        if self.offset + FRAME_HEADER_BYTES > self.limit {
+            return Err(self.truncated());
+        }
+        let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+        self.fill(&mut header)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let kind = header[4];
+        let want_crc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(StoreError::Codec {
+                path: self.path.clone(),
+                detail: format!(
+                    "frame at byte {} declares implausible length {len}",
+                    self.offset
+                ),
+            });
+        }
+        if self.offset + FRAME_HEADER_BYTES + len as u64 > self.limit {
+            return Err(self.truncated());
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.fill(&mut payload)?;
+        if frame_crc(kind, &payload) != want_crc {
+            return Err(StoreError::ChecksumMismatch {
+                path: self.path.clone(),
+                offset: self.offset,
+            });
+        }
+        let frame = Frame {
+            kind,
+            payload,
+            offset: self.offset,
+        };
+        self.offset += FRAME_HEADER_BYTES + len as u64;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(bytes: &[u8]) -> Result<Vec<Frame>, StoreError> {
+        let mut r = FrameReader::new(bytes, Path::new("test.seg"), bytes.len() as u64);
+        let mut out = Vec::new();
+        while let Some(f) = r.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 — the standard check value.
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip_multiple_frames() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, b"hello");
+        encode_frame(&mut buf, 2, b"");
+        encode_frame(&mut buf, 2, &[0xAB; 1000]);
+        let frames = read_all(&buf).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].kind, 1);
+        assert_eq!(frames[0].payload, b"hello");
+        assert_eq!(frames[1].payload, b"");
+        assert_eq!(frames[2].payload, vec![0xAB; 1000]);
+        assert_eq!(frames[1].offset, FRAME_HEADER_BYTES + 5);
+    }
+
+    #[test]
+    fn corrupted_payload_is_checksum_error() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, b"payload-bytes");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        match read_all(&buf) {
+            Err(StoreError::ChecksumMismatch { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_detected() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, b"first");
+        encode_frame(&mut buf, 1, b"second");
+        // Cut mid-way through the second frame's payload.
+        buf.truncate(buf.len() - 3);
+        match read_all(&buf) {
+            Err(StoreError::TruncatedFrame { .. }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // Cut mid-way through the second frame's header.
+        let mut buf2 = Vec::new();
+        encode_frame(&mut buf2, 1, b"first");
+        let first_len = buf2.len();
+        encode_frame(&mut buf2, 1, b"second");
+        buf2.truncate(first_len + 4);
+        match read_all(&buf2) {
+            Err(StoreError::TruncatedFrame { .. }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_codec_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        // Pad so the header itself is readable under a large limit.
+        buf.extend_from_slice(&[0u8; 32]);
+        let mut r = FrameReader::new(&buf[..], Path::new("t"), u32::MAX as u64 + 64);
+        match r.next_frame() {
+            Err(StoreError::Codec { .. }) => {}
+            other => panic!("expected codec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_hides_uncommitted_tail() {
+        let mut buf = Vec::new();
+        let committed = encode_frame(&mut buf, 1, b"committed");
+        encode_frame(&mut buf, 1, b"uncommitted garbage");
+        let mut r = FrameReader::new(&buf[..], Path::new("t"), committed);
+        assert_eq!(r.next_frame().unwrap().unwrap().payload, b"committed");
+        assert!(r.next_frame().unwrap().is_none());
+    }
+}

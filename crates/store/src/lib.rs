@@ -1,0 +1,67 @@
+//! # mev-store
+//!
+//! A persistent, append-only, segmented archive store for
+//! blocks/transactions/receipts/logs — the durable substitute for the
+//! paper's 18 TB archive node. The in-memory [`ChainStore`] dies with
+//! the process and forces every `goal_audit`/`detect_throughput` run to
+//! rebuild the world; this crate makes the archive a *dataset*: ingest
+//! once, then re-open, re-query, and incrementally re-detect across
+//! processes and runs.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST.json          versioned, atomically replaced on commit
+//!   seg-00000.seg          fixed-span segments of frames
+//!   seg-00001.seg
+//!   ...
+//! ```
+//!
+//! * **Frames** — `[len u32][kind u8][crc32 u32][payload]`; CRC-32
+//!   (IEEE) over kind+payload detects torn and bit-flipped writes
+//!   ([`frame`]).
+//! * **Segments** — a header frame plus one block entry frame per block;
+//!   sealed segments hold exactly `segment_blocks` blocks ([`segment`]).
+//! * **Zone maps & blooms** — the manifest carries, per segment, its
+//!   block range and tx/log counts plus a 2048-bit bloom filter over
+//!   `(address, event-kind)` in the spirit of Ethereum's own log blooms
+//!   ([`bloom`]); `get_logs` prunes whole segments with them.
+//! * **Commit protocol** — write temp + fsync + rename of
+//!   `MANIFEST.json` ([`manifest::atomic_write`]); bytes beyond the
+//!   manifest's per-segment counts are crash residue, invisible to
+//!   readers and truncated on the next append.
+//!
+//! ## Layers
+//!
+//! [`StoreWriter`] ingests a [`ChainStore`] (incrementally: re-ingest
+//! appends only new blocks). [`StoreReader`] serves the archive-node
+//! query surface (`get_block`/`get_receipts`/`get_logs`) with
+//! segment pruning, full-store [`StoreReader::verify`], and
+//! [`StoreReader::load_chain`] rehydration. `mev-core` builds its
+//! `BlockIndex` straight from a reader and runs the `Inspector` over
+//! segments with per-segment resume checkpoints.
+//!
+//! Instrumented via `mev-obs`: `store.ingest.*`, `store.scan.*`,
+//! `store.segment_cache_hits`, and span timers `store.*.ns`.
+
+pub mod bloom;
+pub mod error;
+pub mod frame;
+pub mod manifest;
+pub mod reader;
+pub mod segment;
+pub mod testutil;
+pub mod writer;
+
+pub use bloom::{kind_of, kind_tag, LogBloom, BLOOM_BITS};
+pub use error::StoreError;
+pub use frame::{encode_frame, frame_crc, Crc32, Frame, FrameReader};
+pub use manifest::{atomic_write, Manifest, SegmentMeta, FORMAT_VERSION, MANIFEST_FILE};
+pub use reader::{ScanStats, StoreReader, VerifyReport};
+pub use segment::{segment_file_name, BlockEntry, SegmentHeader, SegmentWriter};
+pub use writer::{IngestStats, StoreWriter};
+
+// Re-exported so store users name the chain query surface without a
+// separate import.
+pub use mev_chain::{ChainStore, Cursor, EventKind, LogEntry, LogFilter, LogPage};

@@ -1,0 +1,358 @@
+//! The versioned `MANIFEST.json`: the store's single source of truth.
+//!
+//! Everything durable is committed by atomically replacing the manifest —
+//! write to a temp file, `fsync` it, `rename` over `MANIFEST.json`,
+//! `fsync` the directory. Segment bytes past what the manifest records
+//! are uncommitted crash residue and are ignored (and truncated away on
+//! the next append). A reader therefore always observes either the old
+//! or the new committed state, never a torn one.
+
+use crate::bloom::LogBloom;
+use crate::error::StoreError;
+use mev_types::Timeline;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Manifest file name under the store root.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+/// Magic string embedded in the manifest.
+pub const FORMAT_MAGIC: &str = "mev-store";
+
+/// Zone map plus bloom filter for one segment — everything a scan needs
+/// to decide whether to read the segment's bytes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SegmentMeta {
+    /// Position in the store; also determines the file name.
+    pub index: u64,
+    /// File name relative to the store root.
+    pub file: String,
+    /// Zone map: lowest block height in the segment.
+    pub first_block: u64,
+    /// Zone map: highest block height in the segment.
+    pub last_block: u64,
+    /// Blocks committed in this segment.
+    pub blocks: u64,
+    /// Transactions across the committed blocks.
+    pub tx_count: u64,
+    /// Logs across the committed blocks.
+    pub log_count: u64,
+    /// Committed byte length of the segment file.
+    pub bytes: u64,
+    /// Bloom filter over (address, event-kind) of the committed logs.
+    pub bloom: LogBloom,
+}
+
+impl SegmentMeta {
+    /// Does the zone map overlap the inclusive height window?
+    pub fn overlaps(&self, from: u64, to: u64) -> bool {
+        self.first_block <= to && self.last_block >= from
+    }
+}
+
+/// The committed state of a store.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Manifest {
+    /// Always [`FORMAT_MAGIC`].
+    pub format: String,
+    /// On-disk format version; bumped on incompatible layout changes.
+    pub version: u32,
+    /// Monotone commit counter — each successful commit increments it.
+    pub commit_seq: u64,
+    /// Target blocks per sealed segment.
+    pub segment_blocks: u64,
+    /// The block-number ↔ wall-clock mapping of the archived chain.
+    pub timeline: Timeline,
+    /// Committed segments in height order; the last may be partial.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    pub fn new(timeline: Timeline, segment_blocks: u64) -> Manifest {
+        Manifest {
+            format: FORMAT_MAGIC.to_string(),
+            version: FORMAT_VERSION,
+            commit_seq: 0,
+            segment_blocks: segment_blocks.max(1),
+            timeline,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Height of the last committed block, if any.
+    pub fn head_block(&self) -> Option<u64> {
+        self.segments.last().map(|s| s.last_block)
+    }
+
+    /// Total committed blocks.
+    pub fn block_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.blocks).sum()
+    }
+
+    /// Total committed transactions.
+    pub fn tx_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.tx_count).sum()
+    }
+
+    /// Total committed logs.
+    pub fn log_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.log_count).sum()
+    }
+
+    /// Total committed segment bytes.
+    pub fn byte_count(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// The segment whose zone map contains `block`, if committed.
+    pub fn segment_for(&self, block: u64) -> Option<&SegmentMeta> {
+        // Segments are contiguous and sorted; binary search the zone maps.
+        let idx = self.segments.partition_point(|s| s.last_block < block);
+        self.segments
+            .get(idx)
+            .filter(|s| s.first_block <= block && block <= s.last_block)
+    }
+
+    /// Structural validation: version, magic, contiguity of zone maps,
+    /// bloom width.
+    pub fn validate(&self) -> Result<(), StoreError> {
+        if self.format != FORMAT_MAGIC {
+            return Err(StoreError::ManifestInvalid {
+                detail: format!("format {:?} is not {FORMAT_MAGIC:?}", self.format),
+            });
+        }
+        if self.version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: self.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if self.segment_blocks == 0 {
+            return Err(StoreError::ManifestInvalid {
+                detail: "segment_blocks is zero".to_string(),
+            });
+        }
+        let mut expected = self.timeline.genesis_number;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.index != i as u64 {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!("segment {i} carries index {}", seg.index),
+                });
+            }
+            if seg.first_block != expected {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!(
+                        "segment {i} starts at block {} (expected {expected})",
+                        seg.first_block
+                    ),
+                });
+            }
+            if seg.last_block < seg.first_block
+                || seg.blocks != seg.last_block - seg.first_block + 1
+            {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!(
+                        "segment {i} zone map inconsistent: [{}, {}] with {} blocks",
+                        seg.first_block, seg.last_block, seg.blocks
+                    ),
+                });
+            }
+            if !seg.bloom.is_well_formed() {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!("segment {i} bloom has the wrong width"),
+                });
+            }
+            // Only the final segment may be partial.
+            if i + 1 < self.segments.len() && seg.blocks != self.segment_blocks {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!(
+                        "interior segment {i} holds {} blocks (sealed segments hold {})",
+                        seg.blocks, self.segment_blocks
+                    ),
+                });
+            }
+            expected = seg.last_block + 1;
+        }
+        Ok(())
+    }
+
+    /// Load and validate the manifest under `root`.
+    pub fn load(root: &Path) -> Result<Manifest, StoreError> {
+        let path = root.join(MANIFEST_FILE);
+        let raw = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingManifest {
+                    root: root.to_path_buf(),
+                })
+            }
+            Err(e) => return Err(StoreError::io("read manifest", &path, e)),
+        };
+        let manifest: Manifest =
+            serde_json::from_str(&raw).map_err(|e| StoreError::ManifestInvalid {
+                detail: e.to_string(),
+            })?;
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Atomically commit this manifest under `root`, bumping `commit_seq`.
+    pub fn commit(&mut self, root: &Path) -> Result<(), StoreError> {
+        self.commit_seq += 1;
+        let json = serde_json::to_string_pretty(self).map_err(|e| StoreError::ManifestInvalid {
+            detail: format!("serialize: {e}"),
+        })?;
+        atomic_write(&root.join(MANIFEST_FILE), json.as_bytes())
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, `rename`, directory `fsync`. Readers see the old or the new
+/// content, never a torn mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let tmp: PathBuf = match path.file_name() {
+        Some(name) => {
+            let mut tmp_name = std::ffi::OsString::from(".");
+            tmp_name.push(name);
+            tmp_name.push(".tmp");
+            dir.join(tmp_name)
+        }
+        None => {
+            return Err(StoreError::ManifestInvalid {
+                detail: format!("not a file path: {}", path.display()),
+            })
+        }
+    };
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io("create temp", &tmp, e))?;
+        f.write_all(bytes)
+            .map_err(|e| StoreError::io("write temp", &tmp, e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::io("fsync temp", &tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io("rename temp", path, e))?;
+    // Persist the rename itself. Directory fsync is advisory on some
+    // platforms; failure to open the directory is not a commit failure.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(index: u64, first: u64, last: u64) -> SegmentMeta {
+        SegmentMeta {
+            index,
+            file: format!("seg-{index:05}.seg"),
+            first_block: first,
+            last_block: last,
+            blocks: last - first + 1,
+            tx_count: 0,
+            log_count: 0,
+            bytes: 0,
+            bloom: LogBloom::new(),
+        }
+    }
+
+    fn manifest_with(segments: Vec<SegmentMeta>) -> Manifest {
+        let mut m = Manifest::new(Timeline::paper_span(100), 4);
+        m.segments = segments;
+        m
+    }
+
+    #[test]
+    fn validate_accepts_contiguous_segments() {
+        let g = 10_000_000;
+        let m = manifest_with(vec![
+            seg(0, g, g + 3),
+            seg(1, g + 4, g + 7),
+            seg(2, g + 8, g + 9),
+        ]);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.head_block(), Some(g + 9));
+        assert_eq!(m.block_count(), 10);
+    }
+
+    #[test]
+    fn validate_rejects_gaps_and_bad_indices() {
+        let g = 10_000_000;
+        let gap = manifest_with(vec![seg(0, g, g + 3), seg(1, g + 5, g + 8)]);
+        assert!(matches!(
+            gap.validate(),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+        let idx = manifest_with(vec![seg(3, g, g + 3)]);
+        assert!(matches!(
+            idx.validate(),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+        let interior_partial = manifest_with(vec![seg(0, g, g + 1), seg(1, g + 2, g + 5)]);
+        assert!(matches!(
+            interior_partial.validate(),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_versions() {
+        let mut m = manifest_with(vec![]);
+        m.version = 99;
+        assert!(matches!(
+            m.validate(),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        let mut m2 = manifest_with(vec![]);
+        m2.format = "something-else".to_string();
+        assert!(matches!(
+            m2.validate(),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_for_uses_zone_maps() {
+        let g = 10_000_000;
+        let m = manifest_with(vec![seg(0, g, g + 3), seg(1, g + 4, g + 7)]);
+        assert_eq!(m.segment_for(g).map(|s| s.index), Some(0));
+        assert_eq!(m.segment_for(g + 3).map(|s| s.index), Some(0));
+        assert_eq!(m.segment_for(g + 4).map(|s| s.index), Some(1));
+        assert_eq!(m.segment_for(g + 7).map(|s| s.index), Some(1));
+        assert!(m.segment_for(g + 8).is_none());
+        assert!(m.segment_for(g - 1).is_none());
+    }
+
+    #[test]
+    fn commit_and_load_round_trip() {
+        let dir = crate::testutil::scratch_dir("manifest-roundtrip");
+        let g = 10_000_000;
+        let mut m = manifest_with(vec![seg(0, g, g + 3)]);
+        m.commit(&dir).unwrap();
+        m.commit(&dir).unwrap();
+        let loaded = Manifest::load(&dir).unwrap();
+        assert_eq!(loaded.commit_seq, 2);
+        assert_eq!(loaded.segments, m.segments);
+        assert_eq!(loaded.timeline.genesis_number, m.timeline.genesis_number);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_and_garbage_manifests() {
+        let dir = crate::testutil::scratch_dir("manifest-garbage");
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(StoreError::MissingManifest { .. })
+        ));
+        std::fs::write(dir.join(MANIFEST_FILE), b"{ not json").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,493 @@
+//! [`StoreReader`]: the `ArchiveNode`-style query surface over a
+//! committed store — `get_block`/`get_receipts`/`get_logs` served with
+//! zone-map and bloom segment pruning instead of full scans, plus
+//! [`StoreReader::verify`] (full checksum + zone-map audit) and
+//! [`StoreReader::load_chain`] (rehydrate the in-memory [`ChainStore`]).
+
+use crate::error::StoreError;
+use crate::manifest::{Manifest, SegmentMeta};
+use crate::segment::{read_segment, BlockEntry};
+use mev_chain::{ChainStore, Cursor, LogEntry, LogFilter, LogPage};
+use mev_types::{Block, Receipt, Timeline};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Default per-call result cap, mirroring `mev_chain::query`.
+const DEFAULT_LIMIT: usize = 10_000;
+
+/// How a [`StoreReader::get_logs`] call decided which segments to touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Segments committed in the store.
+    pub segments_total: u64,
+    /// Segments skipped because their zone map misses the height window.
+    pub pruned_by_zone: u64,
+    /// Segments skipped because their bloom excludes the address/kind.
+    pub pruned_by_bloom: u64,
+    /// Segments actually read and decoded.
+    pub segments_read: u64,
+    /// Segments the bloom let through that contributed no matching log —
+    /// the filter's false positives (only counted when the filter names
+    /// an address or kind, i.e. when the bloom had a say).
+    pub bloom_false_positives: u64,
+}
+
+/// What [`StoreReader::verify`] audited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    pub segments: u64,
+    pub blocks: u64,
+    pub txs: u64,
+    pub logs: u64,
+    pub bytes: u64,
+}
+
+/// Read-only handle over a committed store.
+pub struct StoreReader {
+    root: PathBuf,
+    manifest: Manifest,
+    /// One-segment decode cache: scans walk segments in order and
+    /// point queries cluster, so caching the last decoded segment turns
+    /// repeated `get_block`/`get_receipts` in a region into one decode.
+    cache: Mutex<Option<(u64, Arc<Vec<BlockEntry>>)>>,
+}
+
+impl StoreReader {
+    /// Open a store: load + validate the manifest and check every named
+    /// segment file exists with at least its committed length (a shorter
+    /// file is truncation and fails here, on open).
+    pub fn open(root: &Path) -> Result<StoreReader, StoreError> {
+        let manifest = Manifest::load(root)?;
+        for seg in &manifest.segments {
+            let path = root.join(&seg.file);
+            let meta = match std::fs::metadata(&path) {
+                Ok(m) => m,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(StoreError::SegmentMissing { path })
+                }
+                Err(e) => return Err(StoreError::io("stat segment", &path, e)),
+            };
+            if meta.len() < seg.bytes {
+                return Err(StoreError::SegmentTruncated {
+                    path,
+                    committed: seg.bytes,
+                    actual: meta.len(),
+                });
+            }
+        }
+        Ok(StoreReader {
+            root: root.to_path_buf(),
+            manifest,
+            cache: Mutex::new(None),
+        })
+    }
+
+    pub fn timeline(&self) -> &Timeline {
+        &self.manifest.timeline
+    }
+
+    /// Height of the last committed block.
+    pub fn head_block(&self) -> Option<u64> {
+        self.manifest.head_block()
+    }
+
+    /// Committed block count.
+    pub fn block_count(&self) -> u64 {
+        self.manifest.block_count()
+    }
+
+    /// Committed segment metas, in height order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.manifest.segments
+    }
+
+    /// The manifest's commit sequence number.
+    pub fn commit_seq(&self) -> u64 {
+        self.manifest.commit_seq
+    }
+
+    /// Decode segment `index` (through the one-segment cache).
+    pub fn read_segment_entries(&self, index: u64) -> Result<Arc<Vec<BlockEntry>>, StoreError> {
+        if let Ok(cache) = self.cache.lock() {
+            if let Some((cached_index, entries)) = cache.as_ref() {
+                if *cached_index == index {
+                    mev_obs::counter("store.segment_cache_hits").inc();
+                    return Ok(Arc::clone(entries));
+                }
+            }
+        }
+        let meta = match self.manifest.segments.get(index as usize) {
+            Some(m) => m,
+            None => {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!("segment {index} not committed"),
+                })
+            }
+        };
+        mev_obs::counter("store.segments_read").inc();
+        let entries = Arc::new(read_segment(&self.root, meta)?);
+        if let Ok(mut cache) = self.cache.lock() {
+            *cache = Some((index, Arc::clone(&entries)));
+        }
+        Ok(entries)
+    }
+
+    /// Locate and decode the segment containing `block`, if committed.
+    fn entries_for_block(
+        &self,
+        block: u64,
+    ) -> Result<Option<(Arc<Vec<BlockEntry>>, u64)>, StoreError> {
+        let Some(meta) = self.manifest.segment_for(block) else {
+            return Ok(None);
+        };
+        let entries = self.read_segment_entries(meta.index)?;
+        Ok(Some((entries, meta.first_block)))
+    }
+
+    /// Fetch a block by height.
+    pub fn get_block(&self, number: u64) -> Result<Option<Block>, StoreError> {
+        Ok(self
+            .entries_for_block(number)?
+            .and_then(|(entries, first)| {
+                entries
+                    .get((number - first) as usize)
+                    .map(|e| e.block.clone())
+            }))
+    }
+
+    /// Fetch a block's receipts by height.
+    pub fn get_receipts(&self, number: u64) -> Result<Option<Vec<Receipt>>, StoreError> {
+        Ok(self
+            .entries_for_block(number)?
+            .and_then(|(entries, first)| {
+                entries
+                    .get((number - first) as usize)
+                    .map(|e| e.receipts.clone())
+            }))
+    }
+
+    /// `eth_getLogs` over the store, with segment pruning. Same filter
+    /// semantics and pagination contract as [`mev_chain::get_logs`]:
+    /// pages break only at block boundaries and the cursor resumes with
+    /// [`LogFilter::after`].
+    pub fn get_logs(&self, filter: &LogFilter) -> Result<LogPage, StoreError> {
+        self.get_logs_with_stats(filter).map(|(page, _)| page)
+    }
+
+    /// [`StoreReader::get_logs`] plus the pruning decisions it made.
+    pub fn get_logs_with_stats(
+        &self,
+        filter: &LogFilter,
+    ) -> Result<(LogPage, ScanStats), StoreError> {
+        let _t = mev_obs::span("store.get_logs.ns");
+        let mut stats = ScanStats {
+            segments_total: self.manifest.segments.len() as u64,
+            ..ScanStats::default()
+        };
+        let empty = LogPage {
+            entries: Vec::new(),
+            next: None,
+        };
+        let Some(head) = self.head_block() else {
+            return Ok((empty, stats));
+        };
+        let genesis = self.manifest.timeline.genesis_number;
+        let from = filter.from_block.unwrap_or(genesis).max(genesis);
+        let to = filter.to_block.unwrap_or(head).min(head);
+        if from > to {
+            return Ok((empty, stats));
+        }
+        let limit = filter.limit.unwrap_or(DEFAULT_LIMIT).max(1);
+        let bloom_eligible = filter.address.is_some() || filter.kind.is_some();
+        let mut entries: Vec<LogEntry> = Vec::new();
+        let mut next: Option<Cursor> = None;
+
+        'segments: for meta in &self.manifest.segments {
+            if !meta.overlaps(from, to) {
+                stats.pruned_by_zone += 1;
+                continue;
+            }
+            if !meta.bloom.may_match(filter) {
+                stats.pruned_by_bloom += 1;
+                mev_obs::counter("store.scan.segments_pruned_bloom").inc();
+                continue;
+            }
+            let decoded = self.read_segment_entries(meta.index)?;
+            stats.segments_read += 1;
+            let matched_before = entries.len();
+            for entry in decoded.iter() {
+                let number = entry.block.header.number;
+                if number < from {
+                    continue;
+                }
+                if number > to {
+                    break;
+                }
+                for r in &entry.receipts {
+                    for log in &r.logs {
+                        if let Some(addr) = filter.address {
+                            if log.address != addr {
+                                continue;
+                            }
+                        }
+                        if let Some(kind) = filter.kind {
+                            if !kind.matches(&log.event) {
+                                continue;
+                            }
+                        }
+                        entries.push(LogEntry {
+                            block: number,
+                            tx_index: r.index,
+                            tx_hash: r.tx_hash,
+                            log: log.clone(),
+                        });
+                    }
+                }
+                // Page boundary between blocks, exactly like the
+                // in-memory query surface.
+                if entries.len() >= limit && number < to {
+                    next = Some(Cursor::at(number + 1));
+                    if bloom_eligible && entries.len() == matched_before {
+                        stats.bloom_false_positives += 1;
+                    }
+                    break 'segments;
+                }
+            }
+            if bloom_eligible && entries.len() == matched_before {
+                stats.bloom_false_positives += 1;
+                mev_obs::counter("store.scan.bloom_false_positives").inc();
+            }
+        }
+        mev_obs::counter("store.scan.segments_scanned").add(stats.segments_read);
+        mev_obs::counter("store.scan.segments_pruned_zone").add(stats.pruned_by_zone);
+        Ok((LogPage { entries, next }, stats))
+    }
+
+    /// Stream every matching log by looping pages through their cursors.
+    pub fn get_logs_all(&self, filter: &LogFilter) -> Result<Vec<LogEntry>, StoreError> {
+        let mut out = Vec::new();
+        let mut f = filter.clone();
+        loop {
+            let page = self.get_logs(&f)?;
+            out.extend(page.entries);
+            match page.next {
+                Some(cursor) => f = f.after(cursor),
+                None => return Ok(out),
+            }
+        }
+    }
+
+    /// Rehydrate the full in-memory [`ChainStore`] (the cold path the
+    /// segment-pruned queries exist to avoid; used by compatibility
+    /// consumers and the bench's cold baseline).
+    pub fn load_chain(&self) -> Result<ChainStore, StoreError> {
+        let _t = mev_obs::span("store.load_chain.ns");
+        let mut chain = ChainStore::new(self.manifest.timeline.clone());
+        for meta in &self.manifest.segments {
+            let entries = self.read_segment_entries(meta.index)?;
+            for entry in entries.iter() {
+                chain.push(entry.block.clone(), entry.receipts.clone());
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Full integrity audit: re-read every frame of every segment
+    /// (checksums verified by the frame reader) and recompute each zone
+    /// map, count, and bloom against the manifest. Any divergence is a
+    /// [`StoreError`]; success returns the audited totals.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let _t = mev_obs::span("store.verify.ns");
+        let mut report = VerifyReport::default();
+        for meta in &self.manifest.segments {
+            let path = self.root.join(&meta.file);
+            // Bypass the cache: verification must touch the bytes.
+            let entries = read_segment(&self.root, meta)?;
+            let mut bloom = crate::bloom::LogBloom::new();
+            let mut tx_count = 0u64;
+            let mut log_count = 0u64;
+            for entry in &entries {
+                tx_count += entry.block.transactions.len() as u64;
+                for r in &entry.receipts {
+                    log_count += r.logs.len() as u64;
+                    for log in &r.logs {
+                        bloom.insert_log(log);
+                    }
+                }
+            }
+            if tx_count != meta.tx_count || log_count != meta.log_count {
+                return Err(StoreError::ZoneMapMismatch {
+                    path,
+                    detail: format!(
+                        "recomputed {tx_count} txs / {log_count} logs, manifest says {} / {}",
+                        meta.tx_count, meta.log_count
+                    ),
+                });
+            }
+            if bloom != meta.bloom {
+                return Err(StoreError::ZoneMapMismatch {
+                    path,
+                    detail: "recomputed bloom differs from manifest".to_string(),
+                });
+            }
+            report.segments += 1;
+            report.blocks += meta.blocks;
+            report.txs += tx_count;
+            report.logs += log_count;
+            report.bytes += meta.bytes;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{scratch_dir, test_chain};
+    use crate::writer::StoreWriter;
+    use mev_chain::EventKind;
+    use mev_types::Address;
+
+    /// Ingest the standard 10-block test chain with 4-block segments.
+    fn stored(label: &str) -> (PathBuf, ChainStore) {
+        let dir = scratch_dir(label);
+        let chain = test_chain(10, 2);
+        let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 4).unwrap();
+        w.ingest(&chain).unwrap();
+        (dir, chain)
+    }
+
+    #[test]
+    fn point_queries_match_chain() {
+        let (dir, chain) = stored("reader-point");
+        let r = StoreReader::open(&dir).unwrap();
+        assert_eq!(r.head_block(), chain.head_number());
+        assert_eq!(r.block_count(), 10);
+        for n in 10_000_000..10_000_010u64 {
+            assert_eq!(r.get_block(n).unwrap().as_ref(), chain.block(n));
+            assert_eq!(r.get_receipts(n).unwrap().as_deref(), chain.receipts(n));
+        }
+        assert!(r.get_block(10_000_010).unwrap().is_none());
+        assert!(r.get_block(9_999_999).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_logs_equals_in_memory_query() {
+        let (dir, chain) = stored("reader-logs");
+        let r = StoreReader::open(&dir).unwrap();
+        let filters = [
+            LogFilter::new(),
+            LogFilter::new().kind(EventKind::Swap),
+            LogFilter::new().address(Address::from_index(2)),
+            LogFilter::new().from_block(10_000_002).to_block(10_000_004),
+            LogFilter::new().limit(3),
+        ];
+        for f in &filters {
+            let mem = mev_chain::get_logs_all(&chain, f);
+            let stored = r.get_logs_all(f).unwrap();
+            assert_eq!(mem, stored, "filter {f:?} diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zone_map_prunes_out_of_window_segments() {
+        let (dir, _chain) = stored("reader-zone");
+        let r = StoreReader::open(&dir).unwrap();
+        // Window entirely inside segment 1 (blocks 4..=7).
+        let f = LogFilter::new().from_block(10_000_005).to_block(10_000_006);
+        let (_, stats) = r.get_logs_with_stats(&f).unwrap();
+        assert_eq!(stats.segments_total, 3);
+        assert_eq!(stats.segments_read, 1);
+        assert_eq!(stats.pruned_by_zone, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bloom_prunes_absent_addresses() {
+        let (dir, _chain) = stored("reader-bloom");
+        let r = StoreReader::open(&dir).unwrap();
+        // An address that never logs: every overlapping segment should
+        // be bloom-pruned (modulo astronomically unlikely collisions —
+        // the assertion tolerates none because the key set is tiny).
+        let f = LogFilter::new().address(Address::from_index(987_654));
+        let (page, stats) = r.get_logs_with_stats(&f).unwrap();
+        assert!(page.entries.is_empty());
+        assert_eq!(stats.segments_read + stats.pruned_by_bloom, 3);
+        assert!(
+            stats.pruned_by_bloom >= 2,
+            "bloom pruned {}",
+            stats.pruned_by_bloom
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_passes_clean_and_catches_tampering() {
+        let (dir, _chain) = stored("reader-verify");
+        let r = StoreReader::open(&dir).unwrap();
+        let report = r.verify().unwrap();
+        assert_eq!(report.segments, 3);
+        assert_eq!(report.blocks, 10);
+        assert_eq!(report.txs, 20);
+        // Flip one payload byte in the middle of segment 1.
+        let path = dir.join("seg-00001.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let r2 = StoreReader::open(&dir).unwrap();
+        assert!(r2.verify().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_chain_round_trips() {
+        let (dir, chain) = stored("reader-loadchain");
+        let r = StoreReader::open(&dir).unwrap();
+        let loaded = r.load_chain().unwrap();
+        assert_eq!(loaded.len(), chain.len());
+        for n in 10_000_000..10_000_010u64 {
+            assert_eq!(loaded.block(n), chain.block(n));
+            assert_eq!(loaded.receipts(n), chain.receipts(n));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_detects_missing_and_truncated_segments() {
+        let (dir, _chain) = stored("reader-open-missing");
+        let seg = dir.join("seg-00002.seg");
+        let len = std::fs::metadata(&seg).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 1)
+            .unwrap();
+        assert!(matches!(
+            StoreReader::open(&dir),
+            Err(StoreError::SegmentTruncated { .. })
+        ));
+        std::fs::remove_file(&seg).unwrap();
+        assert!(matches!(
+            StoreReader::open(&dir),
+            Err(StoreError::SegmentMissing { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_store_answers_empty() {
+        let dir = scratch_dir("reader-empty");
+        StoreWriter::create(&dir, mev_types::Timeline::paper_span(100), 4).unwrap();
+        let r = StoreReader::open(&dir).unwrap();
+        assert_eq!(r.head_block(), None);
+        assert!(r.get_block(10_000_000).unwrap().is_none());
+        let page = r.get_logs(&LogFilter::new()).unwrap();
+        assert!(page.entries.is_empty() && page.next.is_none());
+        assert_eq!(r.verify().unwrap().segments, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,414 @@
+//! Segment files: an append-only run of frames holding a fixed span of
+//! blocks.
+//!
+//! Layout: one `SegmentHeader` frame, then one `BlockEntry` frame per
+//! block in height order. Sealed segments hold exactly
+//! `Manifest::segment_blocks` blocks; the tail segment grows in place
+//! until it seals. The manifest's per-segment `bytes` field bounds what a
+//! reader may consume, so uncommitted tail bytes after a crash are
+//! invisible (and truncated before the next append).
+
+use crate::bloom::LogBloom;
+use crate::error::StoreError;
+use crate::frame::{encode_frame, Frame, FrameReader};
+use crate::manifest::{SegmentMeta, FORMAT_VERSION};
+use std::fs;
+use std::io::{BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame kind of the per-segment header.
+pub const FRAME_SEGMENT_HEADER: u8 = 1;
+/// Frame kind of a block entry.
+pub const FRAME_BLOCK_ENTRY: u8 = 2;
+
+/// File name of segment `index` under the store root.
+pub fn segment_file_name(index: u64) -> String {
+    format!("seg-{index:05}.seg")
+}
+
+/// First frame of every segment file.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SegmentHeader {
+    pub version: u32,
+    pub index: u64,
+    pub first_block: u64,
+}
+
+/// One archived block: the block body plus its receipts.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BlockEntry {
+    pub block: mev_types::Block,
+    pub receipts: Vec<mev_types::Receipt>,
+}
+
+fn decode_payload<T: serde::de::DeserializeOwned>(
+    path: &Path,
+    frame: &Frame,
+) -> Result<T, StoreError> {
+    serde_json::from_slice(&frame.payload).map_err(|e| StoreError::Codec {
+        path: path.to_path_buf(),
+        detail: format!("frame at byte {}: {e}", frame.offset),
+    })
+}
+
+fn encode_payload<T: serde::Serialize>(path: &Path, value: &T) -> Result<Vec<u8>, StoreError> {
+    serde_json::to_vec(value).map_err(|e| StoreError::Codec {
+        path: path.to_path_buf(),
+        detail: format!("encode: {e}"),
+    })
+}
+
+/// Open (appending) writer over one segment file, accumulating the zone
+/// map and bloom that will become its [`SegmentMeta`].
+pub struct SegmentWriter {
+    path: PathBuf,
+    file: fs::File,
+    index: u64,
+    first_block: u64,
+    last_block: Option<u64>,
+    blocks: u64,
+    tx_count: u64,
+    log_count: u64,
+    bytes: u64,
+    bloom: LogBloom,
+}
+
+impl SegmentWriter {
+    /// Start a fresh segment file (truncating any crash residue with the
+    /// same name) and write its header frame.
+    pub fn create(root: &Path, index: u64, first_block: u64) -> Result<SegmentWriter, StoreError> {
+        let path = root.join(segment_file_name(index));
+        let file =
+            fs::File::create(&path).map_err(|e| StoreError::io("create segment", &path, e))?;
+        let mut w = SegmentWriter {
+            path,
+            file,
+            index,
+            first_block,
+            last_block: None,
+            blocks: 0,
+            tx_count: 0,
+            log_count: 0,
+            bytes: 0,
+            bloom: LogBloom::new(),
+        };
+        let header = SegmentHeader {
+            version: FORMAT_VERSION,
+            index,
+            first_block,
+        };
+        let payload = encode_payload(&w.path, &header)?;
+        w.write_frame(FRAME_SEGMENT_HEADER, &payload)?;
+        Ok(w)
+    }
+
+    /// Re-open a committed partial segment for further appends. The file
+    /// is truncated to the committed length first, discarding any
+    /// uncommitted tail bytes from a crashed writer.
+    pub fn reopen(root: &Path, meta: &SegmentMeta) -> Result<SegmentWriter, StoreError> {
+        let path = root.join(&meta.file);
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| StoreError::io("open segment", &path, e))?;
+        file.set_len(meta.bytes)
+            .map_err(|e| StoreError::io("truncate segment", &path, e))?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io("seek segment", &path, e))?;
+        Ok(SegmentWriter {
+            path,
+            file,
+            index: meta.index,
+            first_block: meta.first_block,
+            last_block: Some(meta.last_block),
+            blocks: meta.blocks,
+            tx_count: meta.tx_count,
+            log_count: meta.log_count,
+            bytes: meta.bytes,
+            bloom: meta.bloom.clone(),
+        })
+    }
+
+    fn write_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let mut buf = Vec::with_capacity(payload.len() + 16);
+        let n = encode_frame(&mut buf, kind, payload);
+        self.file
+            .write_all(&buf)
+            .map_err(|e| StoreError::io("append frame", &self.path, e))?;
+        self.bytes += n;
+        Ok(())
+    }
+
+    /// Append one block entry, updating zone map, counts, and bloom.
+    pub fn append(&mut self, entry: &BlockEntry) -> Result<(), StoreError> {
+        let number = entry.block.header.number;
+        if entry.block.transactions.len() != entry.receipts.len() {
+            return Err(StoreError::ReceiptCountMismatch {
+                block: number,
+                txs: entry.block.transactions.len(),
+                receipts: entry.receipts.len(),
+            });
+        }
+        let payload = encode_payload(&self.path, entry)?;
+        self.write_frame(FRAME_BLOCK_ENTRY, &payload)?;
+        self.last_block = Some(number);
+        self.blocks += 1;
+        self.tx_count += entry.block.transactions.len() as u64;
+        for r in &entry.receipts {
+            self.log_count += r.logs.len() as u64;
+            for log in &r.logs {
+                self.bloom.insert_log(log);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush buffered bytes to durable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io("fsync segment", &self.path, e))
+    }
+
+    /// Blocks appended so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The zone map + bloom as of the last append. `None` until the
+    /// first block lands — empty segments are never committed.
+    pub fn meta(&self) -> Option<SegmentMeta> {
+        let last_block = self.last_block?;
+        Some(SegmentMeta {
+            index: self.index,
+            file: segment_file_name(self.index),
+            first_block: self.first_block,
+            last_block,
+            blocks: self.blocks,
+            tx_count: self.tx_count,
+            log_count: self.log_count,
+            bytes: self.bytes,
+            bloom: self.bloom.clone(),
+        })
+    }
+}
+
+/// Fully decode a committed segment: header check plus every block
+/// entry, bounded by the manifest's committed byte count. Returns the
+/// entries in height order.
+pub fn read_segment(root: &Path, meta: &SegmentMeta) -> Result<Vec<BlockEntry>, StoreError> {
+    let path = root.join(&meta.file);
+    let file = match fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::SegmentMissing { path })
+        }
+        Err(e) => return Err(StoreError::io("open segment", &path, e)),
+    };
+    let actual = file
+        .metadata()
+        .map_err(|e| StoreError::io("stat segment", &path, e))?
+        .len();
+    if actual < meta.bytes {
+        return Err(StoreError::SegmentTruncated {
+            path,
+            committed: meta.bytes,
+            actual,
+        });
+    }
+    let mut reader = FrameReader::new(BufReader::new(file), &path, meta.bytes);
+    let header_frame = match reader.next_frame()? {
+        Some(f) => f,
+        None => {
+            return Err(StoreError::Codec {
+                path,
+                detail: "segment has no header frame".to_string(),
+            })
+        }
+    };
+    if header_frame.kind != FRAME_SEGMENT_HEADER {
+        return Err(StoreError::Codec {
+            path,
+            detail: format!(
+                "first frame kind {} is not a segment header",
+                header_frame.kind
+            ),
+        });
+    }
+    let header: SegmentHeader = decode_payload(&path, &header_frame)?;
+    if header.index != meta.index || header.first_block != meta.first_block {
+        return Err(StoreError::ZoneMapMismatch {
+            path,
+            detail: format!(
+                "header says segment {} starting at {}, manifest says {} starting at {}",
+                header.index, header.first_block, meta.index, meta.first_block
+            ),
+        });
+    }
+    let mut entries: Vec<BlockEntry> = Vec::with_capacity(meta.blocks as usize);
+    let mut expected = meta.first_block;
+    while let Some(frame) = reader.next_frame()? {
+        if frame.kind != FRAME_BLOCK_ENTRY {
+            return Err(StoreError::Codec {
+                path,
+                detail: format!(
+                    "unexpected frame kind {} at byte {}",
+                    frame.kind, frame.offset
+                ),
+            });
+        }
+        let entry: BlockEntry = decode_payload(&path, &frame)?;
+        let number = entry.block.header.number;
+        if number != expected {
+            return Err(StoreError::ZoneMapMismatch {
+                path,
+                detail: format!("expected block {expected}, found {number}"),
+            });
+        }
+        expected = number + 1;
+        entries.push(entry);
+    }
+    if entries.len() as u64 != meta.blocks {
+        return Err(StoreError::ZoneMapMismatch {
+            path,
+            detail: format!(
+                "manifest commits {} blocks, segment holds {}",
+                meta.blocks,
+                entries.len()
+            ),
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{scratch_dir, test_block};
+
+    #[test]
+    fn write_seal_read_round_trip() {
+        let dir = scratch_dir("segment-roundtrip");
+        let g = 10_000_000;
+        let mut w = SegmentWriter::create(&dir, 0, g).unwrap();
+        for i in 0..4u64 {
+            let (block, receipts) = test_block(g + i, 2);
+            w.append(&BlockEntry { block, receipts }).unwrap();
+        }
+        w.sync().unwrap();
+        let meta = w.meta().unwrap();
+        assert_eq!(meta.blocks, 4);
+        assert_eq!(meta.first_block, g);
+        assert_eq!(meta.last_block, g + 3);
+        assert_eq!(meta.tx_count, 8);
+        let entries = read_segment(&dir, &meta).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[3].block.header.number, g + 3);
+        assert_eq!(entries[0].receipts.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_continues_partial_segment() {
+        let dir = scratch_dir("segment-reopen");
+        let g = 10_000_000;
+        let mut w = SegmentWriter::create(&dir, 0, g).unwrap();
+        let (block, receipts) = test_block(g, 1);
+        w.append(&BlockEntry { block, receipts }).unwrap();
+        w.sync().unwrap();
+        let committed = w.meta().unwrap();
+        drop(w);
+        // Crash residue after the committed bytes must be discarded.
+        {
+            use std::io::Write as _;
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join(&committed.file))
+                .unwrap();
+            f.write_all(b"torn half-frame garbage").unwrap();
+        }
+        let mut w2 = SegmentWriter::reopen(&dir, &committed).unwrap();
+        let (block, receipts) = test_block(g + 1, 1);
+        w2.append(&BlockEntry { block, receipts }).unwrap();
+        w2.sync().unwrap();
+        let meta = w2.meta().unwrap();
+        assert_eq!(meta.blocks, 2);
+        let entries = read_segment(&dir, &meta).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].block.header.number, g + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_detected_on_read() {
+        let dir = scratch_dir("segment-truncated");
+        let g = 10_000_000;
+        let mut w = SegmentWriter::create(&dir, 0, g).unwrap();
+        let (block, receipts) = test_block(g, 3);
+        w.append(&BlockEntry { block, receipts }).unwrap();
+        w.sync().unwrap();
+        let meta = w.meta().unwrap();
+        drop(w);
+        let path = dir.join(&meta.file);
+        let len = fs::metadata(&path).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        assert!(matches!(
+            read_segment(&dir, &meta),
+            Err(StoreError::SegmentTruncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_is_detected_on_read() {
+        let dir = scratch_dir("segment-bitflip");
+        let g = 10_000_000;
+        let mut w = SegmentWriter::create(&dir, 0, g).unwrap();
+        let (block, receipts) = test_block(g, 3);
+        w.append(&BlockEntry { block, receipts }).unwrap();
+        w.sync().unwrap();
+        let meta = w.meta().unwrap();
+        drop(w);
+        let path = dir.join(&meta.file);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_segment(&dir, &meta),
+            Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Codec { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_segment_file_is_reported() {
+        let dir = scratch_dir("segment-missing");
+        let meta = SegmentMeta {
+            index: 0,
+            file: segment_file_name(0),
+            first_block: 10_000_000,
+            last_block: 10_000_000,
+            blocks: 1,
+            tx_count: 0,
+            log_count: 0,
+            bytes: 64,
+            bloom: LogBloom::new(),
+        };
+        assert!(matches!(
+            read_segment(&dir, &meta),
+            Err(StoreError::SegmentMissing { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic fixtures shared by the store's unit, integration, and
+//! property tests (and the store bench). Kept panic-free so it can live
+//! in the library under the workspace panic-hygiene gates.
+
+use mev_chain::ChainStore;
+use mev_types::{
+    gwei, Action, Address, Block, BlockHeader, ExecOutcome, Gas, Log, LogEvent, Receipt, Timeline,
+    TokenId, Transaction, TxFee, Wei, H256,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory under the system temp dir. Best-effort
+/// creation: tests fail naturally on first use if the filesystem is
+/// unavailable.
+pub fn scratch_dir(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "mev-store-{label}-{pid}-{n}",
+        pid = std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// A deterministic block at `number` with `n_txs` transactions. Every
+/// transaction emits a Transfer from address `A(1)`; even-numbered
+/// blocks additionally emit a Swap from `A(2)` on their first
+/// transaction — so address- and kind-filters have something to select.
+pub fn test_block(number: u64, n_txs: u64) -> (Block, Vec<Receipt>) {
+    let tl = Timeline::paper_span(100);
+    let txs: Vec<Transaction> = (0..n_txs)
+        .map(|i| {
+            Transaction::new(
+                Address::from_index(number * 1000 + i),
+                0,
+                TxFee::Legacy {
+                    gas_price: gwei(50),
+                },
+                Gas(100_000),
+                Action::Other { gas: Gas(100_000) },
+                Wei::ZERO,
+                None,
+            )
+        })
+        .collect();
+    let receipts: Vec<Receipt> = txs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut logs = vec![Log::new(
+                Address::from_index(1),
+                LogEvent::Transfer {
+                    token: TokenId::WETH,
+                    from: t.from,
+                    to: Address::ZERO,
+                    amount: (number + i as u64) as u128,
+                },
+            )];
+            if number % 2 == 0 && i == 0 {
+                logs.push(Log::new(
+                    Address::from_index(2),
+                    LogEvent::Swap {
+                        pool: mev_types::PoolId {
+                            exchange: mev_types::ExchangeId::UniswapV2,
+                            index: 0,
+                        },
+                        sender: t.from,
+                        token_in: TokenId::WETH,
+                        amount_in: 1,
+                        token_out: TokenId(1),
+                        amount_out: 1,
+                    },
+                ));
+            }
+            Receipt {
+                tx_hash: t.hash(),
+                index: i as u32,
+                from: t.from,
+                outcome: ExecOutcome::Success,
+                gas_used: Gas(100_000),
+                effective_gas_price: gwei(50),
+                miner_fee: Gas(100_000).cost(gwei(50)),
+                coinbase_transfer: Wei::ZERO,
+                logs,
+            }
+        })
+        .collect();
+    let header = BlockHeader {
+        number,
+        parent_hash: H256::zero(),
+        miner: Address::from_index(7),
+        timestamp: tl.timestamp_of(number),
+        gas_used: Gas(100_000 * n_txs),
+        gas_limit: Gas(30_000_000),
+        base_fee: Wei::ZERO,
+    };
+    (
+        Block {
+            header,
+            transactions: txs,
+        },
+        receipts,
+    )
+}
+
+/// A deterministic `n`-block chain of [`test_block`]s on the paper
+/// timeline.
+pub fn test_chain(n: u64, txs_per_block: u64) -> ChainStore {
+    let tl = Timeline::paper_span(100);
+    let mut chain = ChainStore::new(tl.clone());
+    for i in 0..n {
+        let (block, receipts) = test_block(tl.genesis_number + i, txs_per_block);
+        chain.push(block, receipts);
+    }
+    chain
+}

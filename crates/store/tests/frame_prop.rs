@@ -1,0 +1,205 @@
+//! Property tests for the store frame codec (ISSUE 4 satellite):
+//! encode→decode round-trips for blocks/receipts/logs, corrupted
+//! checksums rejected as *errors* (never panics), truncated tails
+//! detected on open.
+
+use mev_store::frame::{encode_frame, FrameReader, FRAME_HEADER_BYTES};
+use mev_store::segment::BlockEntry;
+use mev_store::testutil::test_block;
+use mev_store::StoreError;
+use mev_types::{Address, Log, LogEvent, TokenId};
+use proptest::prelude::*;
+use std::path::Path;
+
+fn read_all(bytes: &[u8], limit: u64) -> Result<Vec<(u8, Vec<u8>)>, StoreError> {
+    let mut r = FrameReader::new(bytes, Path::new("prop.seg"), limit);
+    let mut out = Vec::new();
+    while let Some(f) = r.next_frame()? {
+        out.push((f.kind, f.payload));
+    }
+    Ok(out)
+}
+
+/// An arbitrary decoded log event, covering every variant.
+fn arb_event() -> impl Strategy<Value = LogEvent> {
+    let addr = (0u64..1_000_000).prop_map(Address::from_index);
+    let token = (0u32..64).prop_map(TokenId);
+    prop_oneof![
+        (token.clone(), addr.clone(), addr.clone(), any::<u128>()).prop_map(
+            |(token, from, to, amount)| LogEvent::Transfer {
+                token,
+                from,
+                to,
+                amount
+            }
+        ),
+        (
+            addr.clone(),
+            token.clone(),
+            any::<u128>(),
+            token.clone(),
+            any::<u128>()
+        )
+            .prop_map(|(sender, token_in, amount_in, token_out, amount_out)| {
+                LogEvent::Swap {
+                    pool: mev_types::PoolId {
+                        exchange: mev_types::ExchangeId::UniswapV2,
+                        index: 3,
+                    },
+                    sender,
+                    token_in,
+                    amount_in,
+                    token_out,
+                    amount_out,
+                }
+            }),
+        (addr.clone(), token.clone(), any::<u128>()).prop_map(|(user, token, amount)| {
+            LogEvent::Deposit {
+                platform: mev_types::LendingPlatformId::AaveV2,
+                user,
+                token,
+                amount,
+            }
+        }),
+        (
+            addr.clone(),
+            addr.clone(),
+            token.clone(),
+            any::<u128>(),
+            token.clone(),
+            any::<u128>()
+        )
+            .prop_map(
+                |(liquidator, borrower, debt_token, debt_repaid, collateral_token, seized)| {
+                    LogEvent::Liquidation {
+                        platform: mev_types::LendingPlatformId::Compound,
+                        liquidator,
+                        borrower,
+                        debt_token,
+                        debt_repaid,
+                        collateral_token,
+                        collateral_seized: seized,
+                    }
+                }
+            ),
+        (addr.clone(), token.clone(), any::<u128>(), any::<u128>()).prop_map(
+            |(initiator, token, amount, fee)| LogEvent::FlashLoan {
+                platform: mev_types::LendingPlatformId::AaveV2,
+                initiator,
+                token,
+                amount,
+                fee,
+            }
+        ),
+        (token, any::<u128>())
+            .prop_map(|(token, price_wei)| LogEvent::OracleUpdate { token, price_wei }),
+    ]
+}
+
+proptest! {
+    /// Arbitrary frame sequences round-trip exactly.
+    #[test]
+    fn frames_round_trip(
+        frames in prop::collection::vec((any::<u8>(), prop::collection::vec(any::<u8>(), 0..512)), 1..12)
+    ) {
+        let mut buf = Vec::new();
+        for (kind, payload) in &frames {
+            encode_frame(&mut buf, *kind, payload);
+        }
+        let decoded = read_all(&buf, buf.len() as u64).unwrap();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Flipping any single byte of a one-frame stream is rejected as an
+    /// error — and never panics. (A flip in the length field may also
+    /// surface as truncation or an implausible length; all are errors.)
+    #[test]
+    fn any_single_bitflip_is_rejected(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        pos_seed in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 2, &payload);
+        let pos = pos_seed.index(buf.len());
+        buf[pos] ^= 1 << bit;
+        let got = read_all(&buf, buf.len() as u64);
+        prop_assert!(got.is_err(), "corrupted frame decoded as {got:?}");
+    }
+
+    /// Cutting the stream anywhere that is not a frame boundary is
+    /// detected as truncation; cutting exactly on a boundary yields the
+    /// committed prefix.
+    #[test]
+    fn truncation_is_detected_on_open(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 1..8),
+        cut_seed in any::<prop::sample::Index>(),
+    ) {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0u64];
+        for p in &payloads {
+            encode_frame(&mut buf, 2, p);
+            boundaries.push(buf.len() as u64);
+        }
+        let cut = cut_seed.index(buf.len()) as u64; // 0 <= cut < len
+        let truncated = &buf[..cut as usize];
+        let got = read_all(truncated, cut);
+        if boundaries.contains(&cut) {
+            let n = boundaries.iter().position(|&b| b == cut).unwrap();
+            prop_assert_eq!(got.unwrap().len(), n);
+        } else {
+            prop_assert!(
+                matches!(got, Err(StoreError::TruncatedFrame { .. }) | Err(StoreError::Codec { .. })),
+                "mid-frame cut at {cut} not detected"
+            );
+        }
+    }
+
+    /// Blocks with arbitrary receipts/logs round-trip through the block
+    /// entry payload + frame codec bit-identically.
+    #[test]
+    fn block_entries_round_trip(
+        number in 10_000_000u64..10_000_500,
+        n_txs in 0u64..5,
+        extra_events in prop::collection::vec(arb_event(), 0..6),
+        emitter in 0u64..10_000,
+    ) {
+        let (block, mut receipts) = test_block(number, n_txs);
+        if let Some(last) = receipts.last_mut() {
+            for ev in &extra_events {
+                last.logs.push(Log::new(Address::from_index(emitter), ev.clone()));
+            }
+        }
+        let entry = BlockEntry { block, receipts };
+        let payload = serde_json::to_vec(&entry).unwrap();
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 2, &payload);
+        let frames = read_all(&buf, buf.len() as u64).unwrap();
+        prop_assert_eq!(frames.len(), 1);
+        let decoded: BlockEntry = serde_json::from_slice(&frames[0].1).unwrap();
+        prop_assert_eq!(decoded, entry);
+    }
+
+    /// The committed limit always hides an uncommitted tail, wherever
+    /// the commit boundary falls.
+    #[test]
+    fn committed_limit_hides_tail(
+        committed in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..5),
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = Vec::new();
+        for p in &committed {
+            encode_frame(&mut buf, 2, p);
+        }
+        let limit = buf.len() as u64;
+        buf.extend_from_slice(&garbage);
+        let frames = read_all(&buf, limit).unwrap();
+        prop_assert_eq!(frames.len(), committed.len());
+    }
+}
+
+#[test]
+fn header_constant_matches_layout() {
+    // 4 (len) + 1 (kind) + 4 (crc32).
+    assert_eq!(FRAME_HEADER_BYTES, 9);
+}

@@ -1,0 +1,1 @@
+// stub: never built for --lib checks

@@ -1,0 +1,75 @@
+//! Type-check stub for criterion: the API surface this workspace's
+//! benches use, with no-op bodies. Only `cargo check` runs against it.
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher;
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut _f: F) {}
+}
+
+pub struct BenchmarkGroup;
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut _f: F) -> &mut Self {
+        self
+    }
+    pub fn finish(self) {}
+}
+
+pub struct Criterion;
+impl Criterion {
+    pub fn default() -> Criterion {
+        Criterion
+    }
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+    pub fn measurement_time(self, _d: std::time::Duration) -> Criterion {
+        self
+    }
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut _f: F) -> &mut Criterion {
+        self
+    }
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,39 @@
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    pub struct Scope<'env> {
+        _m: PhantomData<&'env ()>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        _m: PhantomData<&'scope T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            unimplemented!()
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, _f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            unimplemented!()
+        }
+    }
+
+    pub fn scope<'env, F, R>(_f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        unimplemented!()
+    }
+}
+
+pub use thread::scope;

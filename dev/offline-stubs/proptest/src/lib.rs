@@ -1,0 +1,187 @@
+//! Type-check stub for proptest: mirrors the API surface this workspace
+//! uses. Bodies are unimplemented; only `cargo check` runs against it.
+
+pub struct ProptestConfig;
+impl ProptestConfig {
+    pub fn with_cases(_n: u32) -> ProptestConfig {
+        ProptestConfig
+    }
+}
+
+pub mod strategy {
+    pub trait Strategy {
+        type Value;
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map(self, f)
+        }
+    }
+
+    pub struct Map<S, F>(pub S, pub F);
+    impl<S: Clone, F: Clone> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map(self.0.clone(), self.1.clone())
+        }
+    }
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T> Strategy for std::ops::Range<T> {
+        type Value = T;
+    }
+    impl<T> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident.$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+            }
+        };
+    }
+    tuple_strategy!(A.a);
+    tuple_strategy!(A.a, B.b);
+    tuple_strategy!(A.a, B.b, C.c);
+    tuple_strategy!(A.a, B.b, C.c, D.d);
+    tuple_strategy!(A.a, B.b, C.c, D.d, E.e);
+    tuple_strategy!(A.a, B.b, C.c, D.d, E.e, F.f);
+
+    /// Draw a value from a strategy (stub: never actually called).
+    pub fn value_of<S: Strategy>(_s: S) -> S::Value {
+        unimplemented!()
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+
+    pub struct SizeRange;
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(_r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(_r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(_n: usize) -> SizeRange {
+            SizeRange
+        }
+    }
+
+    pub struct VecStrategy<S>(S);
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy(self.0.clone())
+        }
+    }
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    pub fn vec<S: Strategy>(s: S, _size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy(s)
+    }
+
+    pub struct HashSetStrategy<S>(S);
+    impl<S: Clone> Clone for HashSetStrategy<S> {
+        fn clone(&self) -> Self {
+            HashSetStrategy(self.0.clone())
+        }
+    }
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+    }
+
+    pub fn hash_set<S: Strategy>(s: S, _size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy(s)
+    }
+}
+
+pub mod sample {
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index;
+    impl Index {
+        pub fn index(&self, _len: usize) -> usize {
+            unimplemented!()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module alias the real prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(#![$cfg:meta])* $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_variables, unreachable_code)]
+            fn $name() {
+                $(let $pat = $crate::strategy::value_of($strat);)+
+                $body
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let __first = $first;
+        $(let _ = $rest;)*
+        __first
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($t:tt)*)?) => { assert!($cond) };
+}

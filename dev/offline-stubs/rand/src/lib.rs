@@ -1,0 +1,32 @@
+pub trait Rng {
+    fn gen_range<T, R: std::ops::RangeBounds<T>>(&mut self, _r: R) -> T {
+        unimplemented!()
+    }
+    fn gen_bool(&mut self, _p: f64) -> bool {
+        unimplemented!()
+    }
+    fn gen<T>(&mut self) -> T {
+        unimplemented!()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(_s: u64) -> Self {
+        unimplemented!()
+    }
+}
+
+pub mod rngs {
+    pub struct StdRng;
+    impl super::Rng for StdRng {}
+    impl super::SeedableRng for StdRng {}
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, _rng: &mut R) {}
+    }
+}

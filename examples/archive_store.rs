@@ -1,0 +1,250 @@
+//! `archive_store`: operate the persistent segmented archive from the
+//! command line — the cold/warm workflow the paper's 18 TB archive node
+//! implies but the in-memory `ChainStore` cannot give us.
+//!
+//! ```sh
+//! # Simulate the quick scenario once and ingest it (incremental: a
+//! # second run appends nothing).
+//! cargo run --release --example archive_store -- ingest --store /tmp/flashpan-store
+//!
+//! # Detect MEV straight from the store, checkpointing per segment.
+//! cargo run --release --example archive_store -- scan --store /tmp/flashpan-store \
+//!     --checkpoint /tmp/flashpan-store/run.ckpt.json
+//!
+//! # Simulate a kill: stop after 2 segments, then resume.
+//! cargo run --release --example archive_store -- scan --store /tmp/flashpan-store \
+//!     --checkpoint /tmp/flashpan-store/run.ckpt.json --kill-after-segments 2
+//!
+//! # Integrity-check every frame, zone map, and bloom filter.
+//! cargo run --release --example archive_store -- verify --store /tmp/flashpan-store
+//!
+//! # Inspect the manifest: segments, zone maps, bloom fill.
+//! cargo run --release --example archive_store -- stat --store /tmp/flashpan-store
+//! ```
+
+use flashpan::inspect::{Inspector, StoreRunOutcome};
+use flashpan::store::{StoreReader, StoreWriter};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    store: PathBuf,
+    segment_blocks: u64,
+    threads: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    kill_after_segments: Option<u64>,
+    report: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: archive_store <ingest|scan|verify|stat> --store DIR\n\
+         \n\
+         ingest  --store DIR [--segment-blocks N]     simulate quick + ingest (incremental)\n\
+         scan    --store DIR [--threads N] [--checkpoint PATH]\n\
+                 [--kill-after-segments N] [--report PATH]\n\
+                                                      resumable detection from the store\n\
+         verify  --store DIR                          re-read & checksum every frame\n\
+         stat    --store DIR                          manifest / zone-map / bloom summary"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse(argv: &[String]) -> Option<Args> {
+    let command = argv.first()?.clone();
+    let mut args = Args {
+        command,
+        store: PathBuf::new(),
+        segment_blocks: 256,
+        threads: None,
+        checkpoint: None,
+        kill_after_segments: None,
+        report: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = &argv[i];
+        let value = argv.get(i + 1);
+        match (flag.as_str(), value) {
+            ("--store", Some(v)) => args.store = PathBuf::from(v),
+            ("--segment-blocks", Some(v)) => args.segment_blocks = v.parse().ok()?,
+            ("--threads", Some(v)) => args.threads = Some(v.parse().ok()?),
+            ("--checkpoint", Some(v)) => args.checkpoint = Some(PathBuf::from(v)),
+            ("--kill-after-segments", Some(v)) => args.kill_after_segments = Some(v.parse().ok()?),
+            ("--report", Some(v)) => args.report = Some(PathBuf::from(v)),
+            _ => return None,
+        }
+        i += 2;
+    }
+    if args.store.as_os_str().is_empty() {
+        return None;
+    }
+    Some(args)
+}
+
+fn cmd_ingest(args: &Args) -> ExitCode {
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let mut w = match StoreWriter::open_or_create(
+        &args.store,
+        chain.timeline().clone(),
+        args.segment_blocks,
+    ) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match w.ingest(chain) {
+        Ok(stats) => {
+            println!(
+                "{{\"command\": \"ingest\", \"store\": {:?}, \"appended\": {}, \"skipped\": {}, \
+                 \"segments_sealed\": {}, \"head\": {:?}}}",
+                args.store,
+                stats.appended,
+                stats.skipped,
+                stats.segments_sealed,
+                w.committed_head()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ingest: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_scan(args: &Args) -> ExitCode {
+    let store = match StoreReader::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Detection needs the Flashbots labels; the deterministic quick sim
+    // reproduces the same API dataset the chain was recorded with.
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let mut run = Inspector::from_store(&store, &out.blocks_api);
+    if let Some(n) = args.threads {
+        run = run.threads(n);
+    }
+    if let Some(p) = args.checkpoint.as_ref() {
+        run = run.checkpoint(p);
+    }
+    if let Some(n) = args.kill_after_segments {
+        run = run.segment_limit(n);
+    }
+    let code = match run.run() {
+        Ok(StoreRunOutcome::Complete(ds)) => {
+            let (mut sandwiches, mut arbitrages, mut liquidations) = (0u64, 0u64, 0u64);
+            for d in &ds.detections {
+                match d.kind {
+                    flashpan::inspect::MevKind::Sandwich => sandwiches += 1,
+                    flashpan::inspect::MevKind::Arbitrage => arbitrages += 1,
+                    flashpan::inspect::MevKind::Liquidation => liquidations += 1,
+                }
+            }
+            println!(
+                "{{\"command\": \"scan\", \"outcome\": \"complete\", \"detections\": {}, \
+                 \"sandwiches\": {sandwiches}, \"arbitrages\": {arbitrages}, \
+                 \"liquidations\": {liquidations}}}",
+                ds.detections.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(StoreRunOutcome::Partial {
+            segments_done,
+            segments_total,
+        }) => {
+            println!(
+                "{{\"command\": \"scan\", \"outcome\": \"partial\", \"segments_done\": \
+                 {segments_done}, \"segments_total\": {segments_total}}}"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scan: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Some(path) = args.report.as_ref() {
+        match mev_obs::report().write_to(path) {
+            Ok(()) => eprintln!("RunReport written to {}", path.display()),
+            Err(e) => eprintln!("write report: {e}"),
+        }
+    }
+    code
+}
+
+fn cmd_verify(args: &Args) -> ExitCode {
+    let store = match StoreReader::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match store.verify() {
+        Ok(r) => {
+            println!(
+                "{{\"command\": \"verify\", \"ok\": true, \"segments\": {}, \"blocks\": {}, \
+                 \"txs\": {}, \"logs\": {}, \"bytes\": {}}}",
+                r.segments, r.blocks, r.txs, r.logs, r.bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("verify: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stat(args: &Args) -> ExitCode {
+    let store = match StoreReader::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "store {} — commit_seq {}, {} blocks, head {:?}",
+        args.store.display(),
+        store.commit_seq(),
+        store.block_count(),
+        store.head_block()
+    );
+    for s in store.segments() {
+        println!(
+            "  seg {:>3}: blocks {}..={} ({} blocks, {} txs, {} logs, {} bytes, bloom fill {:.3})",
+            s.index,
+            s.first_block,
+            s.last_block,
+            s.blocks,
+            s.tx_count,
+            s.log_count,
+            s.bytes,
+            s.bloom.fill_ratio()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(args) = parse(&argv) else {
+        return usage();
+    };
+    match args.command.as_str() {
+        "ingest" => cmd_ingest(&args),
+        "scan" => cmd_scan(&args),
+        "verify" => cmd_verify(&args),
+        "stat" => cmd_stat(&args),
+        _ => usage(),
+    }
+}

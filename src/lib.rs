@@ -23,7 +23,7 @@
 //!
 //! Crate map: [`types`], [`chain`], [`dex`], [`lending`], [`net`],
 //! [`flashbots`], [`agents`], [`sim`], [`inspect`] (mev-core),
-//! [`analysis`].
+//! [`store`] (the persistent segmented archive), [`analysis`].
 
 pub use mev_agents as agents;
 pub use mev_analysis as analysis;
@@ -34,6 +34,7 @@ pub use mev_flashbots as flashbots;
 pub use mev_lending as lending;
 pub use mev_net as net;
 pub use mev_sim as sim;
+pub use mev_store as store;
 pub use mev_types as types;
 
 /// The commonly-used surface in one import.
@@ -41,8 +42,12 @@ pub mod prelude {
     pub use mev_analysis::experiments::{
         render_churn, render_fig8, render_fig9, render_sec41, render_sec63, Lab,
     };
-    pub use mev_core::{BlockIndex, Detection, InspectError, Inspector, MevDataset, MevKind};
+    pub use mev_core::{
+        BlockIndex, Detection, InspectError, Inspector, MevDataset, MevKind, StoreRun,
+        StoreRunOutcome,
+    };
     pub use mev_sim::{Scenario, SimOutput, Simulation};
+    pub use mev_store::{StoreReader, StoreWriter};
     pub use mev_types::{Address, Month, TokenId, Wei};
 }
 

@@ -168,3 +168,38 @@ fn golden_measurement_is_reproducible_within_process() {
     assert_eq!(lab.dataset.detections, again.dataset.detections);
     assert_eq!(measure(lab), measure(&again));
 }
+
+/// A detection run served from the persistent store must be bit-identical
+/// to the in-memory golden run: ingest the quick chain into a scratch
+/// archive, re-open it cold, and inspect from the `StoreReader`.
+#[test]
+fn golden_store_backed_run_is_bit_identical() {
+    use flashpan::inspect::StoreRunOutcome;
+
+    let lab = lab();
+    let dir = std::env::temp_dir().join(format!("flashpan-golden-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let chain = &lab.out.chain;
+    let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 256).expect("create store");
+    let stats = w.ingest(chain).expect("ingest quick chain");
+    assert_eq!(stats.appended as usize, chain.len());
+    drop(w);
+
+    let store = StoreReader::open(&dir).expect("reopen store cold");
+    assert_eq!(store.block_count() as usize, chain.len());
+    store.verify().expect("archive verifies clean");
+
+    let outcome = Inspector::from_store(&store, &lab.out.blocks_api)
+        .run()
+        .expect("store-backed run");
+    let StoreRunOutcome::Complete(ds) = outcome else {
+        panic!("unbounded store run must complete");
+    };
+    assert_eq!(
+        ds.detections, lab.dataset.detections,
+        "store-backed detections diverge from the in-memory golden run"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
