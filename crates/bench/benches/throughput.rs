@@ -110,11 +110,83 @@ fn bench_detection(c: &mut Criterion) {
     group.finish();
 }
 
+/// The v2 interned columnar build in isolation — the comparison point
+/// BENCH_DETECTION.json pins against the PR 1 `index_build` group.
+fn bench_index_v2_build(c: &mut Criterion) {
+    let lab = shared_lab();
+    let chain = &lab.out.chain;
+    let txs: u64 = chain.iter().map(|(b, _)| b.transactions.len() as u64).sum();
+    let mut group = c.benchmark_group("index_v2_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(txs));
+    group.bench_function("build", |b| b.iter(|| BlockIndex::build(chain)));
+    group.finish();
+}
+
+/// Pooled detection over the v2 zero-copy views, cold (index built per
+/// iteration) and with a shared prebuilt index (the steady-state shape
+/// analyses actually run).
+fn bench_inspect_pool_v2(c: &mut Criterion) {
+    let lab = shared_lab();
+    let chain = &lab.out.chain;
+    let api = &lab.out.blocks_api;
+    let txs: u64 = chain.iter().map(|(b, _)| b.transactions.len() as u64).sum();
+    let mut group = c.benchmark_group("inspect_pool_v2");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(txs));
+    group.bench_function("cold", |b| {
+        b.iter(|| Inspector::new(chain, api).run().unwrap())
+    });
+    let index = Arc::new(BlockIndex::build(chain));
+    group.bench_function("prebuilt_index", |b| {
+        b.iter(|| {
+            Inspector::new(chain, api)
+                .with_index(index.clone())
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// The pipelined store decode: segment read-ahead drain and the full
+/// `build_from_store` path it feeds.
+fn bench_store_prefetch(c: &mut Criterion) {
+    let lab = shared_lab();
+    let chain = &lab.out.chain;
+    let dir = mev_store::testutil::scratch_dir("bench-store-prefetch");
+    let mut w =
+        mev_store::StoreWriter::create(&dir, chain.timeline().clone(), 64).expect("create store");
+    w.ingest(chain).expect("ingest chain");
+    let store = mev_store::StoreReader::open(&dir).expect("open store");
+    let blocks: u64 = chain.iter().count() as u64;
+    let mut group = c.benchmark_group("store_prefetch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(blocks));
+    group.bench_function("stream_segments_drain", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            store
+                .stream_segments(|_, entries| n += entries.len() as u64)
+                .expect("stream segments");
+            black_box(n)
+        })
+    });
+    group.bench_function("build_from_store", |b| {
+        b.iter(|| BlockIndex::build_from_store(&store).unwrap())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group!(
     throughput,
     bench_amm,
     bench_sandwich_planning,
     bench_simulation,
-    bench_detection
+    bench_detection,
+    bench_index_v2_build,
+    bench_inspect_pool_v2,
+    bench_store_prefetch
 );
 criterion_main!(throughput);

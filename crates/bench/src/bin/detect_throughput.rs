@@ -63,18 +63,50 @@ fn main() {
             .unwrap()
     });
 
+    // The pipelined store path: ingest the same chain, then time the
+    // prefetched decode and confirm it builds the identical index.
+    let store_dir = mev_store::testutil::scratch_dir("detect-throughput-store");
+    let mut writer = mev_store::StoreWriter::create(&store_dir, chain.timeline().clone(), 64)
+        .expect("create store");
+    writer.ingest(chain).expect("ingest chain");
+    let store = mev_store::StoreReader::open(&store_dir).expect("open store");
+    let store_index = BlockIndex::build_from_store(&store).expect("build from store");
+    let store_index_identical = store_index == *index;
+    let store_prefetch_ms = time_ms(reps, || BlockIndex::build_from_store(&store).unwrap());
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    let (interned_addresses, interned_tx_hashes) = index.intern_stats();
+    let parts = index.partition_stats();
+
     println!(
         "{{\n  \"scenario\": \"quick\",\n  \"blocks\": {blocks},\n  \"txs\": {txs},\n  \
          \"threads\": {threads},\n  \"chunked_baseline_ms\": {baseline_ms:.3},\n  \
          \"inspector_serial_ms\": {serial_ms:.3},\n  \"inspector_pool_ms\": {pool_ms:.3},\n  \
          \"index_build_ms\": {index_build_ms:.3},\n  \
          \"inspector_pool_prebuilt_index_ms\": {prebuilt_ms:.3},\n  \
+         \"index_v2_build_ms\": {index_build_ms:.3},\n  \
+         \"inspect_pool_v2_ms\": {prebuilt_ms:.3},\n  \
+         \"store_prefetch_ms\": {store_prefetch_ms:.3},\n  \
+         \"interned_addresses\": {interned_addresses},\n  \
+         \"interned_tx_hashes\": {interned_tx_hashes},\n  \
+         \"partition_swaps\": {},\n  \"partition_transfers\": {},\n  \
+         \"partition_liquidations\": {},\n  \"partition_flash_loans\": {},\n  \
          \"speedup_pool_vs_baseline\": {:.3},\n  \
-         \"speedup_prebuilt_vs_baseline\": {:.3},\n  \"identical_detections\": {identical}\n}}",
+         \"speedup_prebuilt_vs_baseline\": {:.3},\n  \
+         \"store_index_identical\": {store_index_identical},\n  \
+         \"identical_detections\": {identical}\n}}",
+        parts.swaps,
+        parts.transfers,
+        parts.liquidations,
+        parts.flash_loans,
         baseline_ms / pool_ms,
         baseline_ms / prebuilt_ms,
     );
     assert!(identical, "baseline and Inspector detections diverged");
+    assert!(
+        store_index_identical,
+        "store-built index diverged from the in-memory build"
+    );
 
     if let Some(path) = report_path {
         let report = mev_obs::report();

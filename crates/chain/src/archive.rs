@@ -95,6 +95,31 @@ impl ChainStore {
             .zip(self.receipts.iter().map(|r| r.as_slice()))
     }
 
+    /// Streaming decode handoff for the index builder: `(block, receipts,
+    /// month)` in height order, with the month resolved against the
+    /// timeline exactly as [`ChainStore::month_of`] does — but walking
+    /// the calendar once. The civil-date derivation loops over years
+    /// since 1970, so the per-block `month_of` call is the hidden cost of
+    /// a full-range scan; here each month boundary is computed once and
+    /// every block inside it hits a cached compare.
+    pub fn iter_with_months(&self) -> impl Iterator<Item = (&Block, &[Receipt], Month)> + '_ {
+        let timeline = &self.timeline;
+        // (month, timeline timestamp at which the next month starts)
+        let mut cached: Option<(Month, u64)> = None;
+        self.iter().map(move |(b, rs)| {
+            let ts = timeline.timestamp_of(b.header.number);
+            let month = match cached {
+                Some((m, until)) if ts < until => m,
+                _ => {
+                    let m = mev_types::time::month_of_timestamp(ts);
+                    cached = Some((m, m.next().start_timestamp()));
+                    m
+                }
+            };
+            (b, rs, month)
+        })
+    }
+
     /// Iterate `(block, receipts)` restricted to a height range
     /// (inclusive). Slices the backing storage directly, so the cost is
     /// O(window), not O(chain) — callers paging a narrow window (log
@@ -213,6 +238,20 @@ mod tests {
             s.push(b, r);
         }
         s
+    }
+
+    #[test]
+    fn iter_with_months_agrees_with_month_of() {
+        // Enough blocks to cross several month boundaries at 100
+        // blocks/month, so the cached boundary path is exercised.
+        let s = store_with(350);
+        let mut n = 0usize;
+        for (b, rs, month) in s.iter_with_months() {
+            assert_eq!(month, s.month_of(b.header.number));
+            assert_eq!(rs.len(), 2);
+            n += 1;
+        }
+        assert_eq!(n, 350);
     }
 
     #[test]

@@ -19,14 +19,40 @@ pub enum MevKind {
     Liquidation,
 }
 
-impl std::fmt::Display for MevKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl MevKind {
+    /// Paper-style display name, as a `&'static str` — label sites on
+    /// hot export/accounting loops borrow this instead of allocating a
+    /// `String` per detection.
+    pub fn display_name(self) -> &'static str {
+        match self {
             MevKind::Sandwich => "Sandwiching",
             MevKind::Arbitrage => "Arbitrage",
             MevKind::Liquidation => "Liquidation",
-        };
-        write!(f, "{s}")
+        }
+    }
+
+    /// Lowercase machine label (file names, JSON keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            MevKind::Sandwich => "sandwich",
+            MevKind::Arbitrage => "arbitrage",
+            MevKind::Liquidation => "liquidation",
+        }
+    }
+
+    /// The obs counter this kind's detections are tallied under.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            MevKind::Sandwich => "detect.sandwich",
+            MevKind::Arbitrage => "detect.arbitrage",
+            MevKind::Liquidation => "detect.liquidation",
+        }
+    }
+}
+
+impl std::fmt::Display for MevKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.display_name())
     }
 }
 

@@ -7,16 +7,14 @@
 //! Uniswap V2/V3 (not V1).
 
 use crate::dataset::{Detection, MevKind};
-use crate::detect::SwapRecord;
-use crate::index::BlockRecord;
+use crate::index::{BlockIndex, BlockView, SwapEvent};
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
 use mev_types::{wei_i128, Block, Receipt};
-use std::collections::HashSet;
 
 /// Detect arbitrage transactions in a block, appending to `out`.
-/// Convenience wrapper over [`detect_in_record`]; batch callers should
+/// Convenience wrapper over [`detect_in_view`]; batch callers should
 /// build a [`BlockIndex`](crate::BlockIndex) once.
 pub fn detect_in_block(
     block: &Block,
@@ -26,36 +24,37 @@ pub fn detect_in_block(
     out: &mut Vec<Detection>,
 ) {
     let month = mev_types::time::month_of_timestamp(block.header.timestamp);
-    detect_in_record(
-        &BlockRecord::decode(block, receipts, month),
-        api,
-        prices,
-        out,
-    );
+    let index = BlockIndex::of_block(block, receipts, month);
+    detect_in_view(&index.view_at(0), api, prices, out);
 }
 
 /// Detect arbitrage transactions in an indexed block, appending to `out`.
-pub fn detect_in_record(
-    rec: &BlockRecord,
+pub fn detect_in_view(
+    view: &BlockView<'_>,
     api: &BlocksApi,
     prices: &PriceOracle,
     out: &mut Vec<Detection>,
 ) {
-    // The swap column is grouped by transaction already (block order,
-    // then log order); walk it one transaction at a time.
+    let swaps = view.swaps();
+    // The swap partition is grouped by transaction already (block order,
+    // then log order); walk it one transaction at a time. The leg buffer
+    // is reused across transactions so the loop allocates at most once.
+    let mut legs: Vec<&SwapEvent> = Vec::new();
     let mut start = 0;
-    while start < rec.swaps.len() {
-        let tx_index = rec.swaps[start].tx_index;
+    while start < swaps.len() {
+        let tx_index = swaps[start].tx_index;
         let mut end = start;
-        while end < rec.swaps.len() && rec.swaps[end].tx_index == tx_index {
+        while end < swaps.len() && swaps[end].tx_index == tx_index {
             end += 1;
         }
         // Covered swap legs of this transaction, in log order. The index
         // only records successful swaps, so no outcome check is needed.
-        let legs: Vec<&SwapRecord> = rec.swaps[start..end]
-            .iter()
-            .filter(|s| s.pool.exchange.arbitrage_covered())
-            .collect();
+        legs.clear();
+        legs.extend(
+            swaps[start..end]
+                .iter()
+                .filter(|s| s.pool.exchange.arbitrage_covered()),
+        );
         start = end;
         if legs.len() < 2 {
             continue;
@@ -71,9 +70,14 @@ pub fn detect_in_record(
         if start_token != end_token {
             continue;
         }
-        // Cross-exchange requirement.
-        let exchanges: HashSet<_> = legs.iter().map(|l| l.pool.exchange).collect();
-        if exchanges.len() < 2 {
+        // Cross-exchange requirement: `ExchangeId` has 8 fieldless
+        // variants, so the distinct-exchange set is a `u8` bitmask
+        // instead of a `HashSet`.
+        let mut exchange_mask = 0u8;
+        for l in &legs {
+            exchange_mask |= 1u8 << (l.pool.exchange as u8);
+        }
+        if exchange_mask.count_ones() < 2 {
             continue;
         }
         let amount_in = legs[0].amount_in;
@@ -81,10 +85,10 @@ pub fn detect_in_record(
         if amount_out <= amount_in {
             continue; // not profitable in asset terms: not an arbitrage
         }
-        let number = rec.number;
+        let number = view.number();
         // Every indexed swap has a tx column by construction; skip
         // (rather than panic) if an index is ever corrupt.
-        let Some(t) = rec.tx(tx_index) else { continue };
+        let Some(t) = view.tx(tx_index) else { continue };
         // `amount_out > amount_in` is guaranteed by the guard above.
         let gain = wei_i128(value_at(
             prices,
@@ -92,19 +96,20 @@ pub fn detect_in_record(
             amount_out.saturating_sub(amount_in),
             number,
         ));
+        let hash = view.tx_hash(t.hash);
         out.push(Detection {
             kind: MevKind::Arbitrage,
             block: number,
-            extractor: t.from,
-            tx_hashes: vec![t.hash],
+            extractor: view.address(t.from),
+            tx_hashes: vec![hash],
             victim: None,
             gross_wei: gain,
             costs_wei: t.cost_wei,
             profit_wei: gain.saturating_sub(wei_i128(t.cost_wei)),
             miner_revenue_wei: t.miner_revenue_wei,
-            via_flashbots: api.is_flashbots_tx(t.hash),
+            via_flashbots: api.is_flashbots_tx(hash),
             via_flash_loan: t.has_flash_loan,
-            miner: rec.miner,
+            miner: view.miner(),
         });
     }
 }

@@ -3,7 +3,7 @@
 //! collateral against the repaid debt at the block's prices.
 
 use crate::dataset::{Detection, MevKind};
-use crate::index::BlockRecord;
+use crate::index::{BlockIndex, BlockView};
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
@@ -18,7 +18,7 @@ fn covered(platform: LendingPlatformId) -> bool {
 }
 
 /// Detect liquidations in a block, appending to `out`.
-/// Convenience wrapper over [`detect_in_record`]; batch callers should
+/// Convenience wrapper over [`detect_in_view`]; batch callers should
 /// build a [`BlockIndex`](crate::BlockIndex) once.
 pub fn detect_in_block(
     block: &Block,
@@ -28,27 +28,24 @@ pub fn detect_in_block(
     out: &mut Vec<Detection>,
 ) {
     let month = mev_types::time::month_of_timestamp(block.header.timestamp);
-    detect_in_record(
-        &BlockRecord::decode(block, receipts, month),
-        api,
-        prices,
-        out,
-    );
+    let index = BlockIndex::of_block(block, receipts, month);
+    detect_in_view(&index.view_at(0), api, prices, out);
 }
 
 /// Detect liquidations in an indexed block, appending to `out`.
-pub fn detect_in_record(
-    rec: &BlockRecord,
+pub fn detect_in_view(
+    view: &BlockView<'_>,
     api: &BlocksApi,
     prices: &PriceOracle,
     out: &mut Vec<Detection>,
 ) {
-    // The index only records liquidations from successful transactions.
-    for l in &rec.liquidations {
+    // The liquidation partition only holds events from successful
+    // transactions; iterate its zero-copy slice directly.
+    for l in view.liquidations() {
         if !covered(l.platform) {
             continue;
         }
-        let number = rec.number;
+        let number = view.number();
         // Gain: collateral received minus debt repaid (§3.1.3 costs
         // include "the value of the liquidated debt").
         let gain = wei_i128(value_at(
@@ -65,22 +62,23 @@ pub fn detect_in_record(
         )));
         // Every indexed liquidation has a tx column by construction;
         // skip (rather than panic) if an index is ever corrupt.
-        let Some(t) = rec.tx(l.tx_index) else {
+        let Some(t) = view.tx(l.tx_index) else {
             continue;
         };
+        let hash = view.tx_hash(t.hash);
         out.push(Detection {
             kind: MevKind::Liquidation,
             block: number,
-            extractor: l.liquidator,
-            tx_hashes: vec![t.hash],
+            extractor: view.address(l.liquidator),
+            tx_hashes: vec![hash],
             victim: None,
             gross_wei: gain,
             costs_wei: t.cost_wei,
             profit_wei: gain.saturating_sub(wei_i128(t.cost_wei)),
             miner_revenue_wei: t.miner_revenue_wei,
-            via_flashbots: api.is_flashbots_tx(t.hash),
+            via_flashbots: api.is_flashbots_tx(hash),
             via_flash_loan: t.has_flash_loan,
-            miner: rec.miner,
+            miner: view.miner(),
         });
     }
 }

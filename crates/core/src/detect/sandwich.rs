@@ -9,13 +9,11 @@
 //! Coverage matches the paper: Bancor, SushiSwap, Uniswap V1/V2/V3.
 
 use crate::dataset::{Detection, MevKind};
-use crate::detect::SwapRecord;
-use crate::index::BlockRecord;
+use crate::index::{BlockIndex, BlockView, SwapEvent};
 use crate::prices::value_at;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
 use mev_types::{wei_i128, Block, Receipt, U256};
-use std::collections::HashMap;
 
 /// Tolerance for matching `t2.amount_in` against `t1.amount_out`:
 /// ±1 % covers fee-on-transfer dust without admitting unrelated trades.
@@ -33,9 +31,9 @@ fn amounts_match(bought: u128, sold: u128) -> bool {
 }
 
 /// Detect every sandwich in a block, appending to `out`. Convenience
-/// wrapper that decodes the block into a [`BlockRecord`] first; batch
-/// callers should build a [`BlockIndex`](crate::BlockIndex) once and use
-/// [`detect_in_record`].
+/// wrapper that indexes the single block first; batch callers should
+/// build a [`BlockIndex`](crate::BlockIndex) once and use
+/// [`detect_in_view`].
 pub fn detect_in_block(
     block: &Block,
     receipts: &[Receipt],
@@ -44,44 +42,51 @@ pub fn detect_in_block(
     out: &mut Vec<Detection>,
 ) {
     let month = mev_types::time::month_of_timestamp(block.header.timestamp);
-    detect_in_record(
-        &BlockRecord::decode(block, receipts, month),
-        api,
-        prices,
-        out,
-    );
+    let index = BlockIndex::of_block(block, receipts, month);
+    detect_in_view(&index.view_at(0), api, prices, out);
 }
 
 /// Detect every sandwich in an indexed block, appending to `out`.
-pub fn detect_in_record(
-    rec: &BlockRecord,
+///
+/// Hot path: senders compare as dense interned `u32` ids and the
+/// cross-pool claim set is a `Vec<bool>` indexed by tx position — no
+/// byte-key hashing per swap.
+pub fn detect_in_view(
+    view: &BlockView<'_>,
     api: &BlocksApi,
     prices: &PriceOracle,
     out: &mut Vec<Detection>,
 ) {
-    if rec.swaps.len() < 3 {
+    let swaps = view.swaps();
+    if swaps.len() < 3 {
         return;
     }
     // Group swaps by pool in first-seen (tx-index) order: the cross-pool
-    // `claimed` set below makes pool visitation order observable, so hash
-    // iteration order would leak into which sandwich wins overlapping
-    // claims. The map is lookup-only; iteration walks `groups`.
-    let mut groups: Vec<(mev_types::PoolId, Vec<&SwapRecord>)> = Vec::new();
-    let mut slot: HashMap<mev_types::PoolId, usize> = HashMap::new();
-    for s in &rec.swaps {
+    // claim table below makes pool visitation order observable, so any
+    // hash-iteration order would leak into which sandwich wins
+    // overlapping claims. Pools per block are few, so the first-seen
+    // lookup is a linear scan over the group vector itself.
+    let mut groups: Vec<(mev_types::PoolId, Vec<&SwapEvent>)> = Vec::new();
+    for s in swaps {
         if s.pool.exchange.sandwich_covered() {
-            let idx = *slot.entry(s.pool).or_insert_with(|| {
-                groups.push((s.pool, Vec::new()));
-                groups.len() - 1
-            });
-            groups[idx].1.push(s);
+            match groups.iter_mut().find(|(p, _)| *p == s.pool) {
+                Some((_, g)) => g.push(s),
+                None => groups.push((s.pool, vec![s])),
+            }
         }
     }
-    let mut claimed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    // Dense claim table over tx positions (tx indices are block
+    // positions; `max` guards irregular indices).
+    let claim_len = swaps
+        .iter()
+        .map(|s| s.tx_index as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut claimed = vec![false; claim_len];
 
     for (_, group) in &groups {
         for (i, &t1) in group.iter().enumerate() {
-            if claimed.contains(&t1.tx_index) {
+            if claimed[t1.tx_index as usize] {
                 continue;
             }
             for &t2 in group.iter().skip(i + 1) {
@@ -89,7 +94,7 @@ pub fn detect_in_record(
                     || t2.token_in != t1.token_out
                     || t2.token_out != t1.token_in
                     || !amounts_match(t1.amount_out, t2.amount_in)
-                    || claimed.contains(&t2.tx_index)
+                    || claimed[t2.tx_index as usize]
                 {
                     continue;
                 }
@@ -107,15 +112,15 @@ pub fn detect_in_record(
                 // Every indexed swap has a tx column by construction;
                 // skip (rather than panic) if an index is ever corrupt.
                 let (Some(front), Some(back), Some(victim_tx)) = (
-                    rec.tx(t1.tx_index),
-                    rec.tx(t2.tx_index),
-                    rec.tx(victim.tx_index),
+                    view.tx(t1.tx_index),
+                    view.tx(t2.tx_index),
+                    view.tx(victim.tx_index),
                 ) else {
                     continue;
                 };
                 // Gain: what the back-run returned minus what the
                 // front-run spent, valued in ETH at this block.
-                let number = rec.number;
+                let number = view.number();
                 let gain =
                     wei_i128(value_at(prices, t2.token_out, t2.amount_out, number)).saturating_sub(
                         wei_i128(value_at(prices, t1.token_in, t1.amount_in, number)),
@@ -124,26 +129,30 @@ pub fn detect_in_record(
                 let miner_rev = front
                     .miner_revenue_wei
                     .saturating_add(back.miner_revenue_wei);
+                // Resolution back to raw hashes happens only on the cold
+                // emit path.
+                let front_hash = view.tx_hash(front.hash);
+                let back_hash = view.tx_hash(back.hash);
                 let via_flashbots =
-                    api.is_flashbots_tx(front.hash) && api.is_flashbots_tx(back.hash);
+                    api.is_flashbots_tx(front_hash) && api.is_flashbots_tx(back_hash);
                 // Flash loans cannot fund sandwiches (§2.3: two separate
                 // transactions), but record faithfully from the logs.
                 let via_flash_loan = front.has_flash_loan || back.has_flash_loan;
-                claimed.insert(t1.tx_index);
-                claimed.insert(t2.tx_index);
+                claimed[t1.tx_index as usize] = true;
+                claimed[t2.tx_index as usize] = true;
                 out.push(Detection {
                     kind: MevKind::Sandwich,
                     block: number,
-                    extractor: t1.from,
-                    tx_hashes: vec![front.hash, back.hash],
-                    victim: Some(victim_tx.hash),
+                    extractor: view.address(t1.from),
+                    tx_hashes: vec![front_hash, back_hash],
+                    victim: Some(view.tx_hash(victim_tx.hash)),
                     gross_wei: gain,
                     costs_wei: costs,
                     profit_wei: gain.saturating_sub(wei_i128(costs)),
                     miner_revenue_wei: miner_rev,
                     via_flashbots,
                     via_flash_loan,
-                    miner: rec.miner,
+                    miner: view.miner(),
                 });
                 break;
             }

@@ -5,12 +5,17 @@
 
 use crate::dataset::{Detection, MevDataset, MevKind};
 use mev_chain::ChainStore;
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// A flat, export-friendly view of one detection.
+///
+/// `kind` borrows the static display name on the export path and only
+/// allocates on deserialisation, so bulk exports do not pay one `String`
+/// per row for a three-valued label.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DetectionRecord {
-    pub kind: String,
+    pub kind: Cow<'static, str>,
     pub block: u64,
     pub month: String,
     pub extractor: String,
@@ -28,7 +33,7 @@ pub struct DetectionRecord {
 impl DetectionRecord {
     pub fn from_detection(d: &Detection, chain: &ChainStore) -> DetectionRecord {
         DetectionRecord {
-            kind: d.kind.to_string(),
+            kind: Cow::Borrowed(d.kind.display_name()),
             block: d.block,
             month: chain.month_of(d.block).to_string(),
             extractor: d.extractor.to_string(),

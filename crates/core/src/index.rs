@@ -1,20 +1,35 @@
-//! The shared block-event index: one pass over the archive node decodes
-//! every block's receipts into columnar per-block records that all three
-//! detectors, the series/figure runners, and the profit/private
-//! accounting consume — instead of each of them re-crawling the raw logs.
+//! The shared block-event index, v2: one pass over the archive decodes
+//! every block's receipts into an **interned, partitioned
+//! structure-of-arrays** that all three detectors, the series/figure
+//! runners, and the profit/private accounting consume.
+//!
+//! Layout (DESIGN.md §9):
+//! - every `Address` / `TxHash` seen during the decode is interned to a
+//!   dense `u32` id ([`mev_types::Interner`]), so detectors group and
+//!   compare senders by integer instead of hashing raw 20/32-byte keys
+//!   per event;
+//! - events land in per-kind column partitions (tx / swap / transfer /
+//!   liquidation / repay / flash-loan / oracle) with per-block offset
+//!   ranges, so each detector gets a zero-copy typed slice
+//!   ([`BlockIndex::swaps_in`], [`BlockView::swaps`]) over exactly its
+//!   own events;
+//! - [`BlockRecord::decode`] remains the single place raw logs are
+//!   decoded — the builder streams records into the columns and the
+//!   record itself stays available for one-off single-block decoding.
 //!
 //! The paper's pipeline (§3.1) crawls the same receipts once per event
-//! family; follow-up measurement studies scale the heuristics to much
-//! larger block ranges by indexing decoded events once and fanning the
-//! detectors out over the index. [`BlockIndex::build`] is that one pass.
-//! The trade-off is memory: the index holds a decoded copy of every
-//! swap/liquidation/fee column (a small fraction of the raw receipts),
-//! in exchange for detection touching each log exactly once.
+//! family; the index decodes once and fans the detectors out over typed
+//! partitions. The trade-off is memory: the index holds a decoded copy
+//! of every event column (a small fraction of the raw receipts), in
+//! exchange for detection touching each log exactly once and never
+//! re-hashing a raw key.
 
 use crate::detect::{swaps_of, SwapRecord};
 use mev_chain::ChainStore;
 use mev_dex::PriceOracle;
-use mev_types::{Address, LendingPlatformId, LogEvent, Month, TokenId, TxHash};
+use mev_types::{
+    AddrId, Address, HashId, Interner, LendingPlatformId, LogEvent, Month, PoolId, TokenId, TxHash,
+};
 
 /// Per-transaction accounting column: everything a detector needs to
 /// price a detection without re-reading the receipt.
@@ -56,7 +71,28 @@ pub struct RepayRecord {
     pub amount: u128,
 }
 
-/// One block's decoded event columns.
+/// A decoded ERC-20 `Transfer` event with its position in the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    pub tx_index: u32,
+    pub token: TokenId,
+    pub from: Address,
+    pub to: Address,
+    pub amount: u128,
+}
+
+/// A decoded `FlashLoan` event with its position in the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashLoanRecord {
+    pub tx_index: u32,
+    pub platform: LendingPlatformId,
+    pub initiator: Address,
+    pub token: TokenId,
+    pub amount: u128,
+    pub fee: u128,
+}
+
+/// One block's decoded event columns (the pre-interning decode unit).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockRecord {
     pub number: u64,
@@ -74,6 +110,10 @@ pub struct BlockRecord {
     pub liquidations: Vec<LiquidationRecord>,
     /// Successful repay events, in block then log order.
     pub repays: Vec<RepayRecord>,
+    /// Successful ERC-20 transfer events, in block then log order.
+    pub transfers: Vec<TransferRecord>,
+    /// Successful flash-loan events, in block then log order.
+    pub flash_loans: Vec<FlashLoanRecord>,
     /// Oracle price updates, in log order (feeds [`BlockIndex::price_feed`]).
     pub oracle_updates: Vec<(TokenId, u128)>,
     /// Σ effective gas price over the block's receipts, gwei — the Fig 6
@@ -92,6 +132,8 @@ impl BlockRecord {
         let mut txs = Vec::with_capacity(receipts.len());
         let mut liquidations = Vec::new();
         let mut repays = Vec::new();
+        let mut transfers = Vec::new();
+        let mut flash_loans = Vec::new();
         let mut oracle_updates = Vec::new();
         let mut gas_price_sum_gwei = 0.0;
         for r in receipts {
@@ -136,6 +178,32 @@ impl BlockRecord {
                         token,
                         amount,
                     }),
+                    LogEvent::Transfer {
+                        token,
+                        from,
+                        to,
+                        amount,
+                    } if r.outcome.is_success() => transfers.push(TransferRecord {
+                        tx_index: r.index,
+                        token,
+                        from,
+                        to,
+                        amount,
+                    }),
+                    LogEvent::FlashLoan {
+                        platform,
+                        initiator,
+                        token,
+                        amount,
+                        fee,
+                    } if r.outcome.is_success() => flash_loans.push(FlashLoanRecord {
+                        tx_index: r.index,
+                        platform,
+                        initiator,
+                        token,
+                        amount,
+                        fee,
+                    }),
                     LogEvent::OracleUpdate { token, price_wei } => {
                         oracle_updates.push((token, price_wei))
                     }
@@ -152,6 +220,8 @@ impl BlockRecord {
             swaps: swaps_of(receipts),
             liquidations,
             repays,
+            transfers,
+            flash_loans,
             oracle_updates,
             gas_price_sum_gwei,
         }
@@ -172,83 +242,243 @@ impl BlockRecord {
         self.txs.len()
     }
 
-    /// Approximate decoded size of the record's columns, in bytes (the
-    /// memory the index trades for single-pass decoding).
+    /// Approximate decoded size of the record's columns, in bytes.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<BlockRecord>()
             + self.txs.len() * std::mem::size_of::<TxRecord>()
             + self.swaps.len() * std::mem::size_of::<SwapRecord>()
             + self.liquidations.len() * std::mem::size_of::<LiquidationRecord>()
             + self.repays.len() * std::mem::size_of::<RepayRecord>()
+            + self.transfers.len() * std::mem::size_of::<TransferRecord>()
+            + self.flash_loans.len() * std::mem::size_of::<FlashLoanRecord>()
             + self.oracle_updates.len() * std::mem::size_of::<(TokenId, u128)>()
     }
 }
 
-/// The full decoded index: one [`BlockRecord`] per stored block, in
-/// height order. Built once, shared (behind an `Arc`) by every consumer.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct BlockIndex {
-    first_number: u64,
-    records: Vec<BlockRecord>,
+// ---------------------------------------------------------------------------
+// Interned column partitions
+// ---------------------------------------------------------------------------
+
+/// Per-transaction accounting event, interned. Mirrors [`TxRecord`] with
+/// the hash/sender swapped for dense ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxEvent {
+    pub index: u32,
+    pub hash: HashId,
+    pub from: AddrId,
+    pub cost_wei: u128,
+    pub miner_revenue_wei: u128,
+    pub success: bool,
+    pub has_flash_loan: bool,
 }
 
-impl BlockIndex {
-    /// One pass over the archive: decode every block's receipts.
-    pub fn build(chain: &ChainStore) -> BlockIndex {
-        let _timer = mev_obs::span("index.build.ns");
-        let first_number = chain.timeline().genesis_number;
-        let records: Vec<BlockRecord> = chain
-            .iter()
-            .map(|(block, receipts)| {
-                BlockRecord::decode(block, receipts, chain.month_of(block.header.number))
-            })
-            .collect();
-        // Decode accounting: length sums only, after the hot loop.
-        mev_obs::counter("index.blocks").add(records.len() as u64);
-        mev_obs::counter("index.txs").add(records.iter().map(|r| r.txs.len() as u64).sum());
-        mev_obs::counter("index.swaps").add(records.iter().map(|r| r.swaps.len() as u64).sum());
-        mev_obs::counter("index.liquidations")
-            .add(records.iter().map(|r| r.liquidations.len() as u64).sum());
-        mev_obs::counter("index.bytes").add(records.iter().map(|r| r.approx_bytes() as u64).sum());
-        BlockIndex {
-            first_number,
-            records,
+/// Interned swap event (mirrors [`SwapRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapEvent {
+    pub tx_index: u32,
+    pub from: AddrId,
+    pub pool: PoolId,
+    pub token_in: TokenId,
+    pub amount_in: u128,
+    pub token_out: TokenId,
+    pub amount_out: u128,
+}
+
+/// Interned ERC-20 transfer event (mirrors [`TransferRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferEvent {
+    pub tx_index: u32,
+    pub token: TokenId,
+    pub from: AddrId,
+    pub to: AddrId,
+    pub amount: u128,
+}
+
+/// Interned liquidation event (mirrors [`LiquidationRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiquidationEvent {
+    pub tx_index: u32,
+    pub platform: LendingPlatformId,
+    pub liquidator: AddrId,
+    pub debt_token: TokenId,
+    pub debt_repaid: u128,
+    pub collateral_token: TokenId,
+    pub collateral_seized: u128,
+}
+
+/// Interned repay event (mirrors [`RepayRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepayEvent {
+    pub tx_index: u32,
+    pub platform: LendingPlatformId,
+    pub user: AddrId,
+    pub token: TokenId,
+    pub amount: u128,
+}
+
+/// Interned flash-loan event (mirrors [`FlashLoanRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashLoanEvent {
+    pub tx_index: u32,
+    pub platform: LendingPlatformId,
+    pub initiator: AddrId,
+    pub token: TokenId,
+    pub amount: u128,
+    pub fee: u128,
+}
+
+/// Per-block header columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockMeta {
+    pub number: u64,
+    pub timestamp: u64,
+    pub month: Month,
+    pub miner: AddrId,
+    pub gas_price_sum_gwei: f64,
+}
+
+/// One event-kind partition: a flat item vector plus per-block offset
+/// ranges (`offsets.len() == blocks + 1`), so `of(pos)` is a zero-copy
+/// slice of exactly one block's events of this kind.
+#[derive(Debug, Clone, PartialEq)]
+struct Column<T> {
+    items: Vec<T>,
+    offsets: Vec<u32>,
+}
+
+impl<T> Column<T> {
+    fn new() -> Column<T> {
+        Column {
+            items: Vec::new(),
+            offsets: vec![0],
         }
     }
 
-    /// One pass over a persistent segmented store: stream each committed
-    /// segment once, decode every block's receipts. Produces a
-    /// bit-identical index to [`BlockIndex::build`] over the chain the
-    /// store was ingested from, so store-backed and in-memory detection
-    /// runs agree exactly.
+    /// Close the current block: events pushed since the last seal belong
+    /// to it.
+    fn seal_block(&mut self) {
+        self.offsets.push(self.items.len() as u32);
+    }
+
+    /// The events of the block at position `pos`.
+    fn of(&self, pos: usize) -> &[T] {
+        &self.items[self.offsets[pos] as usize..self.offsets[pos + 1] as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<T>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl<T> Default for Column<T> {
+    fn default() -> Self {
+        Column::new()
+    }
+}
+
+/// Cardinalities of the per-kind partitions (reported by
+/// `detect_throughput` and the obs counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    pub txs: usize,
+    pub swaps: usize,
+    pub transfers: usize,
+    pub liquidations: usize,
+    pub repays: usize,
+    pub flash_loans: usize,
+    pub oracle_updates: usize,
+}
+
+/// The full decoded index: interned, partitioned structure-of-arrays
+/// over every stored block, in height order. Built once, shared (behind
+/// an `Arc`) by every consumer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockIndex {
+    first_number: u64,
+    blocks: Vec<BlockMeta>,
+    addrs: Interner<Address>,
+    hashes: Interner<TxHash>,
+    txs: Column<TxEvent>,
+    swaps: Column<SwapEvent>,
+    transfers: Column<TransferEvent>,
+    liquidations: Column<LiquidationEvent>,
+    repays: Column<RepayEvent>,
+    flash_loans: Column<FlashLoanEvent>,
+    oracle_updates: Column<(TokenId, u128)>,
+}
+
+impl BlockIndex {
+    /// One pass over the archive: decode every block's receipts and
+    /// stream them into the interned partitions.
+    pub fn build(chain: &ChainStore) -> BlockIndex {
+        let _timer = mev_obs::span("index.build.ns");
+        let mut index = BlockIndex {
+            first_number: chain.timeline().genesis_number,
+            ..BlockIndex::default()
+        };
+        for (block, receipts, month) in chain.iter_with_months() {
+            index.push_record(&BlockRecord::decode(block, receipts, month));
+        }
+        index.record_build_stats();
+        index
+    }
+
+    /// One pass over a persistent segmented store, pipelined: a prefetch
+    /// thread reads and decodes segment N+1 off disk while this thread
+    /// interns segment N (see [`mev_store::StoreReader::stream_segments`]
+    /// for the backpressure rule). Produces a bit-identical index to
+    /// [`BlockIndex::build`] over the chain the store was ingested from,
+    /// so store-backed and in-memory detection runs agree exactly.
     pub fn build_from_store(
         store: &mev_store::StoreReader,
     ) -> Result<BlockIndex, mev_store::StoreError> {
         let _timer = mev_obs::span("index.build_from_store.ns");
-        let timeline = store.timeline().clone();
-        let first_number = timeline.genesis_number;
-        let mut records: Vec<BlockRecord> = Vec::with_capacity(store.block_count() as usize);
-        for seg in 0..store.segments().len() as u64 {
-            let entries = store.read_segment_entries(seg)?;
+        let timeline = store.timeline();
+        let mut index = BlockIndex {
+            first_number: timeline.genesis_number,
+            ..BlockIndex::default()
+        };
+        // Month resolution mirrors `ChainStore::iter_with_months`: cache
+        // the current month's end so the civil-date walk runs once per
+        // month, not once per block.
+        let mut cached: Option<(Month, u64)> = None;
+        store.stream_segments(|_seg, entries| {
             for entry in entries.iter() {
-                let number = entry.block.header.number;
-                records.push(BlockRecord::decode(
-                    &entry.block,
-                    &entry.receipts,
-                    timeline.at(number).month(),
-                ));
+                let ts = timeline.timestamp_of(entry.block.header.number);
+                let month = match cached {
+                    Some((m, until)) if ts < until => m,
+                    _ => {
+                        let m = mev_types::time::month_of_timestamp(ts);
+                        cached = Some((m, m.next().start_timestamp()));
+                        m
+                    }
+                };
+                index.push_record(&BlockRecord::decode(&entry.block, &entry.receipts, month));
             }
-        }
-        mev_obs::counter("index.blocks").add(records.len() as u64);
-        mev_obs::counter("index.txs").add(records.iter().map(|r| r.txs.len() as u64).sum());
-        mev_obs::counter("index.swaps").add(records.iter().map(|r| r.swaps.len() as u64).sum());
-        mev_obs::counter("index.liquidations")
-            .add(records.iter().map(|r| r.liquidations.len() as u64).sum());
-        mev_obs::counter("index.bytes").add(records.iter().map(|r| r.approx_bytes() as u64).sum());
-        Ok(BlockIndex {
-            first_number,
-            records,
-        })
+        })?;
+        index.record_build_stats();
+        Ok(index)
+    }
+
+    /// Index a single block (the per-block `detect_in_block` entry points
+    /// and hand-rolled tests use this). No obs accounting: this runs in
+    /// per-block hot loops.
+    pub fn of_block(
+        block: &mev_types::Block,
+        receipts: &[mev_types::Receipt],
+        month: Month,
+    ) -> BlockIndex {
+        let mut index = BlockIndex {
+            first_number: block.header.number,
+            ..BlockIndex::default()
+        };
+        index.push_record(&BlockRecord::decode(block, receipts, month));
+        index
     }
 
     /// An index over no blocks (placeholder for hand-built datasets).
@@ -256,23 +486,243 @@ impl BlockIndex {
         BlockIndex::default()
     }
 
-    /// All records, in height order.
-    pub fn records(&self) -> &[BlockRecord] {
-        &self.records
+    /// Intern one decoded record into the columns.
+    fn push_record(&mut self, rec: &BlockRecord) {
+        let miner = self.addrs.intern(rec.miner);
+        self.blocks.push(BlockMeta {
+            number: rec.number,
+            timestamp: rec.timestamp,
+            month: rec.month,
+            miner,
+            gas_price_sum_gwei: rec.gas_price_sum_gwei,
+        });
+        for t in &rec.txs {
+            let hash = self.hashes.intern(t.hash);
+            let from = self.addrs.intern(t.from);
+            self.txs.items.push(TxEvent {
+                index: t.index,
+                hash,
+                from,
+                cost_wei: t.cost_wei,
+                miner_revenue_wei: t.miner_revenue_wei,
+                success: t.success,
+                has_flash_loan: t.has_flash_loan,
+            });
+        }
+        for s in &rec.swaps {
+            let from = self.addrs.intern(s.from);
+            self.swaps.items.push(SwapEvent {
+                tx_index: s.tx_index,
+                from,
+                pool: s.pool,
+                token_in: s.token_in,
+                amount_in: s.amount_in,
+                token_out: s.token_out,
+                amount_out: s.amount_out,
+            });
+        }
+        for t in &rec.transfers {
+            let from = self.addrs.intern(t.from);
+            let to = self.addrs.intern(t.to);
+            self.transfers.items.push(TransferEvent {
+                tx_index: t.tx_index,
+                token: t.token,
+                from,
+                to,
+                amount: t.amount,
+            });
+        }
+        for l in &rec.liquidations {
+            let liquidator = self.addrs.intern(l.liquidator);
+            self.liquidations.items.push(LiquidationEvent {
+                tx_index: l.tx_index,
+                platform: l.platform,
+                liquidator,
+                debt_token: l.debt_token,
+                debt_repaid: l.debt_repaid,
+                collateral_token: l.collateral_token,
+                collateral_seized: l.collateral_seized,
+            });
+        }
+        for r in &rec.repays {
+            let user = self.addrs.intern(r.user);
+            self.repays.items.push(RepayEvent {
+                tx_index: r.tx_index,
+                platform: r.platform,
+                user,
+                token: r.token,
+                amount: r.amount,
+            });
+        }
+        for f in &rec.flash_loans {
+            let initiator = self.addrs.intern(f.initiator);
+            self.flash_loans.items.push(FlashLoanEvent {
+                tx_index: f.tx_index,
+                platform: f.platform,
+                initiator,
+                token: f.token,
+                amount: f.amount,
+                fee: f.fee,
+            });
+        }
+        self.oracle_updates
+            .items
+            .extend_from_slice(&rec.oracle_updates);
+        self.txs.seal_block();
+        self.swaps.seal_block();
+        self.transfers.seal_block();
+        self.liquidations.seal_block();
+        self.repays.seal_block();
+        self.flash_loans.seal_block();
+        self.oracle_updates.seal_block();
     }
 
-    /// The record of a block height, if indexed.
-    pub fn record(&self, number: u64) -> Option<&BlockRecord> {
-        self.records
-            .get(number.checked_sub(self.first_number)? as usize)
+    fn record_build_stats(&self) {
+        mev_obs::counter("index.blocks").add(self.blocks.len() as u64);
+        mev_obs::counter("index.txs").add(self.txs.len() as u64);
+        mev_obs::counter("index.swaps").add(self.swaps.len() as u64);
+        mev_obs::counter("index.liquidations").add(self.liquidations.len() as u64);
+        mev_obs::counter("index.bytes").add(self.approx_bytes() as u64);
+        mev_obs::gauge("index.intern.addresses").set(self.addrs.len() as i64);
+        mev_obs::gauge("index.intern.tx_hashes").set(self.hashes.len() as i64);
+        mev_obs::counter("index.partition.transfers").add(self.transfers.len() as u64);
+        mev_obs::counter("index.partition.repays").add(self.repays.len() as u64);
+        mev_obs::counter("index.partition.flash_loans").add(self.flash_loans.len() as u64);
+        mev_obs::counter("index.partition.oracle_updates").add(self.oracle_updates.len() as u64);
     }
 
+    /// Number of indexed blocks.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.blocks.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.blocks.is_empty()
+    }
+
+    /// Height of the block at position `pos`.
+    pub fn number_at(&self, pos: usize) -> u64 {
+        self.blocks[pos].number
+    }
+
+    /// Position of a block height, if indexed. Heights are contiguous
+    /// from the first indexed block.
+    pub fn position_of(&self, number: u64) -> Option<usize> {
+        let pos = number.checked_sub(self.first_number)? as usize;
+        (pos < self.blocks.len()).then_some(pos)
+    }
+
+    /// True if the height is indexed.
+    pub fn contains(&self, number: u64) -> bool {
+        self.position_of(number).is_some()
+    }
+
+    /// Zero-copy view of the block at position `pos`.
+    pub fn view_at(&self, pos: usize) -> BlockView<'_> {
+        debug_assert!(pos < self.blocks.len());
+        BlockView { index: self, pos }
+    }
+
+    /// Zero-copy view of a block height, if indexed.
+    pub fn view_of(&self, number: u64) -> Option<BlockView<'_>> {
+        self.position_of(number)
+            .map(|pos| BlockView { index: self, pos })
+    }
+
+    /// All block views, in height order.
+    pub fn views(&self) -> impl Iterator<Item = BlockView<'_>> {
+        (0..self.blocks.len()).map(move |pos| BlockView { index: self, pos })
+    }
+
+    /// Timestamp of a block height, if indexed (cheap: meta column only).
+    pub fn timestamp_of(&self, number: u64) -> Option<u64> {
+        self.position_of(number)
+            .map(|pos| self.blocks[pos].timestamp)
+    }
+
+    /// The swap partition of one block height — a zero-copy typed slice
+    /// (empty if the height is not indexed).
+    pub fn swaps_in(&self, number: u64) -> &[SwapEvent] {
+        self.position_of(number)
+            .map(|p| self.swaps.of(p))
+            .unwrap_or(&[])
+    }
+
+    /// The transfer partition of one block height.
+    pub fn transfers_in(&self, number: u64) -> &[TransferEvent] {
+        self.position_of(number)
+            .map(|p| self.transfers.of(p))
+            .unwrap_or(&[])
+    }
+
+    /// The liquidation partition of one block height.
+    pub fn liquidations_in(&self, number: u64) -> &[LiquidationEvent] {
+        self.position_of(number)
+            .map(|p| self.liquidations.of(p))
+            .unwrap_or(&[])
+    }
+
+    /// The repay partition of one block height.
+    pub fn repays_in(&self, number: u64) -> &[RepayEvent] {
+        self.position_of(number)
+            .map(|p| self.repays.of(p))
+            .unwrap_or(&[])
+    }
+
+    /// The flash-loan partition of one block height.
+    pub fn flash_loans_in(&self, number: u64) -> &[FlashLoanEvent] {
+        self.position_of(number)
+            .map(|p| self.flash_loans.of(p))
+            .unwrap_or(&[])
+    }
+
+    /// The tx accounting partition of one block height.
+    pub fn txs_in(&self, number: u64) -> &[TxEvent] {
+        self.position_of(number)
+            .map(|p| self.txs.of(p))
+            .unwrap_or(&[])
+    }
+
+    /// Resolve an interned address id.
+    pub fn address(&self, id: AddrId) -> Address {
+        self.addrs.resolve(id)
+    }
+
+    /// Resolve an interned tx-hash id.
+    pub fn tx_hash(&self, id: HashId) -> TxHash {
+        self.hashes.resolve(id)
+    }
+
+    /// Intern-table sizes: (distinct addresses, distinct tx hashes).
+    pub fn intern_stats(&self) -> (usize, usize) {
+        (self.addrs.len(), self.hashes.len())
+    }
+
+    /// Cardinality of every event partition.
+    pub fn partition_stats(&self) -> PartitionStats {
+        PartitionStats {
+            txs: self.txs.len(),
+            swaps: self.swaps.len(),
+            transfers: self.transfers.len(),
+            liquidations: self.liquidations.len(),
+            repays: self.repays.len(),
+            flash_loans: self.flash_loans.len(),
+            oracle_updates: self.oracle_updates.len(),
+        }
+    }
+
+    /// Approximate heap footprint of the columns and intern tables.
+    pub fn approx_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<BlockMeta>()
+            + self.addrs.approx_bytes()
+            + self.hashes.approx_bytes()
+            + self.txs.approx_bytes()
+            + self.swaps.approx_bytes()
+            + self.transfers.approx_bytes()
+            + self.liquidations.approx_bytes()
+            + self.repays.approx_bytes()
+            + self.flash_loans.approx_bytes()
+            + self.oracle_updates.approx_bytes()
     }
 
     /// Replay the indexed oracle events into a queryable price history —
@@ -281,12 +731,114 @@ impl BlockIndex {
     /// replays the raw logs.
     pub fn price_feed(&self) -> PriceOracle {
         let mut oracle = PriceOracle::new();
-        for rec in &self.records {
-            for &(token, price_wei) in &rec.oracle_updates {
-                oracle.update(token, rec.number, price_wei);
+        for pos in 0..self.blocks.len() {
+            let number = self.blocks[pos].number;
+            for &(token, price_wei) in self.oracle_updates.of(pos) {
+                oracle.update(token, number, price_wei);
             }
         }
         oracle
+    }
+}
+
+/// A zero-copy view of one indexed block: typed slices into the
+/// partitions plus id-resolution against the index's intern tables.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockView<'a> {
+    index: &'a BlockIndex,
+    pos: usize,
+}
+
+impl<'a> BlockView<'a> {
+    fn meta(&self) -> &'a BlockMeta {
+        &self.index.blocks[self.pos]
+    }
+
+    pub fn number(&self) -> u64 {
+        self.meta().number
+    }
+
+    pub fn timestamp(&self) -> u64 {
+        self.meta().timestamp
+    }
+
+    pub fn month(&self) -> Month {
+        self.meta().month
+    }
+
+    pub fn gas_price_sum_gwei(&self) -> f64 {
+        self.meta().gas_price_sum_gwei
+    }
+
+    /// The block's coinbase, resolved.
+    pub fn miner(&self) -> Address {
+        self.index.addrs.resolve(self.meta().miner)
+    }
+
+    /// The block's coinbase as a dense id.
+    pub fn miner_id(&self) -> AddrId {
+        self.meta().miner
+    }
+
+    /// Per-transaction accounting events, in block order.
+    pub fn txs(&self) -> &'a [TxEvent] {
+        self.index.txs.of(self.pos)
+    }
+
+    /// Successful swaps, in block then log order.
+    pub fn swaps(&self) -> &'a [SwapEvent] {
+        self.index.swaps.of(self.pos)
+    }
+
+    /// Successful ERC-20 transfers, in block then log order.
+    pub fn transfers(&self) -> &'a [TransferEvent] {
+        self.index.transfers.of(self.pos)
+    }
+
+    /// Successful liquidations, in block then log order.
+    pub fn liquidations(&self) -> &'a [LiquidationEvent] {
+        self.index.liquidations.of(self.pos)
+    }
+
+    /// Successful repays, in block then log order.
+    pub fn repays(&self) -> &'a [RepayEvent] {
+        self.index.repays.of(self.pos)
+    }
+
+    /// Successful flash loans, in block then log order.
+    pub fn flash_loans(&self) -> &'a [FlashLoanEvent] {
+        self.index.flash_loans.of(self.pos)
+    }
+
+    /// Oracle updates, in log order.
+    pub fn oracle_updates(&self) -> &'a [(TokenId, u128)] {
+        self.index.oracle_updates.of(self.pos)
+    }
+
+    /// Look up a transaction event by its block position.
+    pub fn tx(&self, index: u32) -> Option<&'a TxEvent> {
+        let txs = self.txs();
+        // Receipts are stored in block order, so `index` is usually the
+        // position; fall back to a search for irregular indices.
+        match txs.get(index as usize) {
+            Some(t) if t.index == index => Some(t),
+            _ => txs.iter().find(|t| t.index == index),
+        }
+    }
+
+    /// Number of transactions in the block.
+    pub fn tx_count(&self) -> usize {
+        self.txs().len()
+    }
+
+    /// Resolve an interned address id.
+    pub fn address(&self, id: AddrId) -> Address {
+        self.index.addrs.resolve(id)
+    }
+
+    /// Resolve an interned tx-hash id.
+    pub fn tx_hash(&self, id: HashId) -> TxHash {
+        self.index.hashes.resolve(id)
     }
 }
 
@@ -305,14 +857,18 @@ mod tests {
         let r0 = receipt(
             &t0,
             0,
-            vec![swap_log(
-                pool(),
-                a,
-                TokenId::WETH,
-                10 * E18,
-                TokenId(1),
-                20 * E18,
-            )],
+            vec![
+                swap_log(pool(), a, TokenId::WETH, 10 * E18, TokenId(1), 20 * E18),
+                mev_types::Log::new(
+                    Address::from_index(0x6000_0000_0000),
+                    LogEvent::Transfer {
+                        token: TokenId(1),
+                        from: a,
+                        to: b,
+                        amount: 20 * E18,
+                    },
+                ),
+            ],
             Wei(E18 / 100),
         );
         let mut r1 = receipt(
@@ -373,15 +929,83 @@ mod tests {
         assert!(rec.txs[2].has_flash_loan);
         assert!(!rec.txs[0].has_flash_loan);
         assert_eq!(rec.oracle_updates, vec![(TokenId(1), E18 / 2)]);
+        assert_eq!(rec.transfers.len(), 1);
+        assert_eq!(rec.transfers[0].amount, 20 * E18);
+        assert_eq!(rec.flash_loans.len(), 1);
+        assert_eq!(rec.flash_loans[0].fee, E18 / 1000);
         assert_eq!(rec.tx(1).unwrap().hash, rs[1].tx_hash);
         assert!(rec.tx(9).is_none());
+    }
+
+    #[test]
+    fn view_resolves_back_to_record() {
+        let (b, rs) = indexed_block();
+        let month = mev_types::Month::new(2020, 5);
+        let rec = BlockRecord::decode(&b, &rs, month);
+        let idx = BlockIndex::of_block(&b, &rs, month);
+        assert_eq!(idx.len(), 1);
+        let view = idx.view_of(10_000_000).expect("indexed");
+        assert_eq!(view.number(), rec.number);
+        assert_eq!(view.timestamp(), rec.timestamp);
+        assert_eq!(view.month(), rec.month);
+        assert_eq!(view.miner(), rec.miner);
+        assert_eq!(view.tx_count(), rec.tx_count());
+        // Every interned event resolves back to its decode-time fields.
+        for (e, t) in view.txs().iter().zip(&rec.txs) {
+            assert_eq!(e.index, t.index);
+            assert_eq!(view.tx_hash(e.hash), t.hash);
+            assert_eq!(view.address(e.from), t.from);
+            assert_eq!(e.cost_wei, t.cost_wei);
+            assert_eq!(e.miner_revenue_wei, t.miner_revenue_wei);
+            assert_eq!(e.success, t.success);
+            assert_eq!(e.has_flash_loan, t.has_flash_loan);
+        }
+        for (e, s) in view.swaps().iter().zip(&rec.swaps) {
+            assert_eq!(e.tx_index, s.tx_index);
+            assert_eq!(view.address(e.from), s.from);
+            assert_eq!(e.pool, s.pool);
+            assert_eq!((e.token_in, e.amount_in), (s.token_in, s.amount_in));
+            assert_eq!((e.token_out, e.amount_out), (s.token_out, s.amount_out));
+        }
+        for (e, t) in view.transfers().iter().zip(&rec.transfers) {
+            assert_eq!(view.address(e.from), t.from);
+            assert_eq!(view.address(e.to), t.to);
+            assert_eq!(e.amount, t.amount);
+        }
+        for (e, f) in view.flash_loans().iter().zip(&rec.flash_loans) {
+            assert_eq!(view.address(e.initiator), f.initiator);
+            assert_eq!((e.amount, e.fee), (f.amount, f.fee));
+        }
+        assert_eq!(view.oracle_updates(), &rec.oracle_updates[..]);
+        // Partition accessors keyed by height agree with the view.
+        assert_eq!(idx.swaps_in(10_000_000), view.swaps());
+        assert_eq!(idx.swaps_in(10_000_001), &[] as &[SwapEvent]);
+        // Repeated senders share one interned id.
+        let (addrs, hashes) = idx.intern_stats();
+        assert!(addrs >= 2, "at least senders a and b interned");
+        assert_eq!(hashes, 3, "one id per tx hash");
+        assert_eq!(idx.partition_stats().swaps, 1);
+    }
+
+    #[test]
+    fn tx_lookup_handles_irregular_indices() {
+        let (b, rs) = indexed_block();
+        let idx = BlockIndex::of_block(&b, &rs, mev_types::Month::new(2020, 5));
+        let view = idx.view_at(0);
+        assert_eq!(
+            view.tx(1).map(|t| view.tx_hash(t.hash)),
+            Some(rs[1].tx_hash)
+        );
+        assert!(view.tx(9).is_none());
     }
 
     #[test]
     fn empty_index_has_no_records() {
         let idx = BlockIndex::empty();
         assert!(idx.is_empty());
-        assert!(idx.record(10_000_000).is_none());
+        assert!(idx.view_of(10_000_000).is_none());
+        assert!(!idx.contains(10_000_000));
+        assert_eq!(idx.swaps_in(10_000_000), &[] as &[SwapEvent]);
         assert_eq!(idx.price_feed().price_at(TokenId(1), 10_000_000), None);
     }
 }

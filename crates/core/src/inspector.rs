@@ -9,7 +9,7 @@
 
 use crate::dataset::{Detection, MevDataset, MevKind};
 use crate::detect;
-use crate::index::{BlockIndex, BlockRecord};
+use crate::index::{BlockIndex, BlockView};
 use mev_chain::ChainStore;
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
@@ -127,10 +127,12 @@ impl<'a> Inspector<'a> {
             Arc::new(BlockIndex::build(self.chain))
         });
         let prices = index.price_feed();
-        let records: Vec<&BlockRecord> = index
-            .records()
-            .iter()
-            .filter(|r| self.range.as_ref().map_or(true, |g| g.contains(&r.number)))
+        let positions: Vec<usize> = (0..index.len())
+            .filter(|&pos| {
+                self.range
+                    .as_ref()
+                    .map_or(true, |g| g.contains(&index.number_at(pos)))
+            })
             .collect();
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -138,38 +140,40 @@ impl<'a> Inspector<'a> {
             .min(16);
         // Bugfix over the old `inspect_parallel`: never more workers than
         // blocks (tiny chains used to spawn idle threads).
-        let threads = self.threads.unwrap_or(hw).max(1).min(records.len().max(1));
+        let threads = self
+            .threads
+            .unwrap_or(hw)
+            .max(1)
+            .min(positions.len().max(1));
         let kinds = &self.kinds;
         let api = self.api;
         mev_obs::counter("inspector.runs").inc();
-        mev_obs::counter("inspector.blocks").add(records.len() as u64);
+        mev_obs::counter("inspector.blocks").add(positions.len() as u64);
 
         let mut detections = if threads <= 1 {
             // Serial: run inline; a detector panic propagates to the
             // caller as it always did.
             let mut out = Vec::new();
-            for rec in &records {
-                detect_record(rec, kinds, api, &prices, &mut out);
+            for &pos in &positions {
+                detect_view(&index.view_at(pos), kinds, api, &prices, &mut out);
             }
             out
         } else {
-            run_pool(&records, threads, kinds, api, &prices)?
+            run_pool(&index, &positions, threads, kinds, api, &prices)?
         };
         {
             let _t = mev_obs::span("inspector.merge.ns");
             detections.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
         }
-        let (mut sandwiches, mut arbitrages, mut liquidations) = (0u64, 0u64, 0u64);
+        let mut per_kind = [0u64; ALL_KINDS.len()];
         for d in &detections {
-            match d.kind {
-                MevKind::Sandwich => sandwiches += 1,
-                MevKind::Arbitrage => arbitrages += 1,
-                MevKind::Liquidation => liquidations += 1,
-            }
+            per_kind[d.kind as usize] += 1;
         }
-        mev_obs::counter("detect.sandwich").add(sandwiches);
-        mev_obs::counter("detect.arbitrage").add(arbitrages);
-        mev_obs::counter("detect.liquidation").add(liquidations);
+        for kind in ALL_KINDS {
+            // `counter_name` is a `&'static str` label — no per-run
+            // `format!` allocation on the accounting path.
+            mev_obs::counter(kind.counter_name()).add(per_kind[kind as usize]);
+        }
         Ok(MevDataset {
             detections,
             prices,
@@ -178,9 +182,9 @@ impl<'a> Inspector<'a> {
     }
 }
 
-/// Run the selected detectors over one block record, in canonical order.
-pub(crate) fn detect_record(
-    rec: &BlockRecord,
+/// Run the selected detectors over one block view, in canonical order.
+pub(crate) fn detect_view(
+    view: &BlockView<'_>,
     kinds: &[MevKind],
     api: &BlocksApi,
     prices: &PriceOracle,
@@ -188,9 +192,9 @@ pub(crate) fn detect_record(
 ) {
     for kind in kinds {
         match kind {
-            MevKind::Sandwich => detect::sandwich::detect_in_record(rec, api, prices, out),
-            MevKind::Arbitrage => detect::arbitrage::detect_in_record(rec, api, prices, out),
-            MevKind::Liquidation => detect::liquidation::detect_in_record(rec, api, prices, out),
+            MevKind::Sandwich => detect::sandwich::detect_in_view(view, api, prices, out),
+            MevKind::Arbitrage => detect::arbitrage::detect_in_view(view, api, prices, out),
+            MevKind::Liquidation => detect::liquidation::detect_in_view(view, api, prices, out),
         }
     }
 }
@@ -200,7 +204,8 @@ pub(crate) fn detect_record(
 /// tags its per-block output with the block's position; the merge sorts
 /// by position, which makes the concatenation independent of scheduling.
 pub(crate) fn run_pool(
-    records: &[&BlockRecord],
+    index: &BlockIndex,
+    positions: &[usize],
     threads: usize,
     kinds: &[MevKind],
     api: &BlocksApi,
@@ -208,7 +213,7 @@ pub(crate) fn run_pool(
 ) -> Result<Vec<Detection>, InspectError> {
     let cursor = AtomicUsize::new(0);
     let cursor = &cursor;
-    let mut tagged: Vec<(usize, Vec<Detection>)> = Vec::with_capacity(records.len());
+    let mut tagged: Vec<(usize, Vec<Detection>)> = Vec::with_capacity(positions.len());
     let mut panicked: Option<u64> = None;
     let mut join_failed = false;
     // Handles acquired once, outside the workers; each worker records its
@@ -235,15 +240,18 @@ pub(crate) fn run_pool(
                         // lint:allow(atomics: the cursor is a pure ticket dispenser — no memory is published through it, per-block data is owned)
                         let pos = cursor.fetch_add(1, Ordering::Relaxed);
                         first_pull_ns.get_or_insert_with(|| spawned.elapsed().as_nanos() as u64);
-                        let Some(rec) = records.get(pos) else { break };
+                        let Some(&block_pos) = positions.get(pos) else {
+                            break;
+                        };
+                        let view = index.view_at(block_pos);
                         let started = Instant::now();
                         let mut out = Vec::new();
                         if catch_unwind(AssertUnwindSafe(|| {
-                            detect_record(rec, kinds, api, prices, &mut out);
+                            detect_view(&view, kinds, api, prices, &mut out);
                         }))
                         .is_err()
                         {
-                            failed = Some(rec.number);
+                            failed = Some(view.number());
                             break;
                         }
                         busy_ns += started.elapsed().as_nanos() as u64;

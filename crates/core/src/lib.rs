@@ -29,7 +29,7 @@ pub mod store_run;
 pub mod validate;
 
 pub use dataset::{Detection, MevDataset, MevKind};
-pub use index::{BlockIndex, BlockRecord};
+pub use index::{BlockIndex, BlockRecord, BlockView};
 pub use inspector::{InspectError, Inspector};
 pub use prices::price_feed_from_chain;
 pub use private::{PrivateClass, PrivateStats};

@@ -119,7 +119,7 @@ pub fn private_stats(
             continue;
         }
         // Only blocks actually indexed count (windows may overrun the sim).
-        if !dataset.index.is_empty() && dataset.index.record(d.block).is_none() {
+        if !dataset.index.is_empty() && !dataset.index.contains(d.block) {
             continue;
         }
         sandwich_blocks.insert(d.block);

@@ -39,10 +39,10 @@ pub fn flashbots_block_ratio(chain: &ChainStore, api: &BlocksApi) -> Vec<(Month,
 /// [`flashbots_block_ratio`], no archive pass.
 pub fn flashbots_block_ratio_indexed(index: &BlockIndex, api: &BlocksApi) -> Vec<(Month, f64)> {
     let mut per_month: BTreeMap<Month, (u64, u64)> = BTreeMap::new();
-    for rec in index.records() {
-        let e = per_month.entry(rec.month).or_default();
+    for view in index.views() {
+        let e = per_month.entry(view.month()).or_default();
         e.0 += 1;
-        if api.is_flashbots_block(rec.number) {
+        if api.is_flashbots_block(view.number()) {
             e.1 += 1;
         }
     }
@@ -86,14 +86,14 @@ pub fn gas_price_daily(chain: &ChainStore) -> Vec<(Day, f64)> {
 /// per day — no receipt traversal.
 pub fn gas_price_daily_indexed(index: &BlockIndex) -> Vec<(Day, f64)> {
     let mut per_day: BTreeMap<Day, (f64, u64)> = BTreeMap::new();
-    for rec in index.records() {
-        if rec.tx_count() == 0 {
+    for view in index.views() {
+        if view.tx_count() == 0 {
             continue; // match the receipt traversal: no receipts, no entry
         }
-        let day = Day::from_timestamp(rec.timestamp);
+        let day = Day::from_timestamp(view.timestamp());
         let e = per_day.entry(day).or_default();
-        e.0 += rec.gas_price_sum_gwei;
-        e.1 += rec.tx_count() as u64;
+        e.0 += view.gas_price_sum_gwei();
+        e.1 += view.tx_count() as u64;
     }
     per_day
         .into_iter()
@@ -126,10 +126,10 @@ pub fn sandwiches_daily(dataset: &MevDataset, chain: &ChainStore) -> Vec<(Day, u
 pub fn sandwiches_daily_indexed(dataset: &MevDataset) -> Vec<(Day, u64, u64)> {
     let mut per_day: BTreeMap<Day, (u64, u64)> = BTreeMap::new();
     for d in dataset.of_kind(MevKind::Sandwich) {
-        let Some(rec) = dataset.index.record(d.block) else {
+        let Some(ts) = dataset.index.timestamp_of(d.block) else {
             continue;
         };
-        let day = Day::from_timestamp(rec.timestamp);
+        let day = Day::from_timestamp(ts);
         let e = per_day.entry(day).or_default();
         if d.via_flashbots {
             e.0 += 1;

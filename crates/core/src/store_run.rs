@@ -13,7 +13,7 @@
 
 use crate::dataset::{Detection, MevDataset, MevKind};
 use crate::index::BlockIndex;
-use crate::inspector::{detect_record, run_pool, InspectError, Inspector, ALL_KINDS};
+use crate::inspector::{detect_view, run_pool, InspectError, Inspector, ALL_KINDS};
 use mev_flashbots::BlocksApi;
 use mev_store::{atomic_write, StoreError, StoreReader};
 use std::path::PathBuf;
@@ -96,10 +96,13 @@ pub enum StoreRunOutcome {
     /// Every committed segment is detected; the assembled dataset.
     Complete(MevDataset),
     /// The pass stopped at its segment budget; run again (with the same
-    /// checkpoint) to continue.
+    /// checkpoint) to continue. The built [`BlockIndex`] rides along so a
+    /// resuming pass can share it via [`StoreRun::with_index`] instead of
+    /// re-decoding the whole store.
     Partial {
         segments_done: u64,
         segments_total: u64,
+        index: Arc<BlockIndex>,
     },
 }
 
@@ -118,6 +121,7 @@ pub struct StoreRun<'a> {
     kinds: Vec<MevKind>,
     checkpoint: Option<PathBuf>,
     segment_limit: Option<u64>,
+    index: Option<Arc<BlockIndex>>,
 }
 
 impl<'a> Inspector<'a> {
@@ -137,6 +141,7 @@ impl<'a> StoreRun<'a> {
             kinds: ALL_KINDS.to_vec(),
             checkpoint: None,
             segment_limit: None,
+            index: None,
         }
     }
 
@@ -170,6 +175,15 @@ impl<'a> StoreRun<'a> {
     /// simulate kills in tests/CI).
     pub fn segment_limit(mut self, n: u64) -> StoreRun<'a> {
         self.segment_limit = Some(n);
+        self
+    }
+
+    /// Reuse an already-built index instead of re-decoding the store —
+    /// resuming passes hand back the `index` from a
+    /// [`StoreRunOutcome::Partial`]. The index must have been built from
+    /// the same store (checked against the committed height).
+    pub fn with_index(mut self, index: Arc<BlockIndex>) -> StoreRun<'a> {
+        self.index = Some(index);
         self
     }
 
@@ -240,9 +254,15 @@ impl<'a> StoreRun<'a> {
 
     /// Run detection over the store's committed segments, resuming from
     /// (and updating) the checkpoint after each segment.
-    pub fn run(self) -> Result<StoreRunOutcome, StoreRunError> {
+    pub fn run(mut self) -> Result<StoreRunOutcome, StoreRunError> {
         let _t = mev_obs::span("store_run.ns");
-        let index = Arc::new(BlockIndex::build_from_store(self.store)?);
+        let index = match self.index.take() {
+            Some(shared) => {
+                mev_obs::counter("store_run.index_reused").inc();
+                shared
+            }
+            None => Arc::new(BlockIndex::build_from_store(self.store)?),
+        };
         let prices = index.price_feed();
         let mut ckpt = self.load_checkpoint()?;
         let segments = self.store.segments();
@@ -275,14 +295,15 @@ impl<'a> StoreRun<'a> {
                     return Ok(StoreRunOutcome::Partial {
                         segments_done: ckpt.segments.len() as u64,
                         segments_total,
+                        index,
                     });
                 }
             }
             // The index is in height order, so a segment is a contiguous
-            // slice of its records.
+            // run of its block positions.
             let lo = (meta.first_block - self.store.timeline().genesis_number) as usize;
-            let hi = lo + meta.blocks as usize;
-            let records: Vec<_> = index.records()[lo..hi.min(index.len())].iter().collect();
+            let hi = (lo + meta.blocks as usize).min(index.len());
+            let positions: Vec<usize> = (lo..hi).collect();
             let hw = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
@@ -290,15 +311,21 @@ impl<'a> StoreRun<'a> {
             let threads = threads_requested
                 .unwrap_or(hw)
                 .max(1)
-                .min(records.len().max(1));
+                .min(positions.len().max(1));
             let mut detections = if threads <= 1 {
                 let mut out = Vec::new();
-                for rec in &records {
-                    detect_record(rec, &self.kinds, self.api, &prices, &mut out);
+                for &pos in &positions {
+                    detect_view(
+                        &index.view_at(pos),
+                        &self.kinds,
+                        self.api,
+                        &prices,
+                        &mut out,
+                    );
                 }
                 out
             } else {
-                run_pool(&records, threads, &self.kinds, self.api, &prices)?
+                run_pool(&index, &positions, threads, &self.kinds, self.api, &prices)?
             };
             // Same merge key as `Inspector::run`; segments are disjoint
             // ascending block ranges, so per-segment sorting keeps the
@@ -316,12 +343,14 @@ impl<'a> StoreRun<'a> {
             self.save_checkpoint(&ckpt)?;
         }
 
-        // All segments accounted for: assemble in segment order.
+        // All segments accounted for: assemble in segment order, moving
+        // each segment's detections out of the checkpoint instead of
+        // cloning them (the checkpoint is dropped after this pass).
         ckpt.segments.sort_by_key(|s| s.index);
         let detections: Vec<Detection> = ckpt
             .segments
-            .iter()
-            .flat_map(|s| s.detections.iter().cloned())
+            .into_iter()
+            .flat_map(|s| s.detections)
             .collect();
         mev_obs::counter("store_run.completed").inc();
         Ok(StoreRunOutcome::Complete(MevDataset {
@@ -400,6 +429,20 @@ mod tests {
         StoreReader::open(dir).unwrap()
     }
 
+    /// The streaming (prefetched) store build must produce a
+    /// structurally identical index to the in-memory build — same intern
+    /// orders, same partition contents.
+    #[test]
+    fn index_built_from_store_matches_in_memory_build() {
+        let dir = scratch_dir("store-run-index-eq");
+        let chain = sandwich_chain(7);
+        let store = store_of(&chain, &dir, 3);
+        let from_store = BlockIndex::build_from_store(&store).unwrap();
+        let in_memory = BlockIndex::build(&chain);
+        assert_eq!(from_store, in_memory);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn store_run_matches_in_memory_inspector() {
         let dir = scratch_dir("store-run-match");
@@ -437,6 +480,7 @@ mod tests {
         let StoreRunOutcome::Partial {
             segments_done,
             segments_total,
+            index,
         } = outcome
         else {
             panic!("expected partial run");
@@ -445,14 +489,18 @@ mod tests {
         assert_eq!(segments_total, 4);
         assert!(ckpt.exists());
 
-        // Second pass resumes and completes; results match a clean
+        // Second pass resumes and completes, sharing the first pass's
+        // index instead of re-decoding the store; results match a clean
         // in-memory run exactly.
         let resumed = mev_obs::counter("store_run.segments_resumed").get();
+        let reused = mev_obs::counter("store_run.index_reused").get();
         let outcome = Inspector::from_store(&store, &api)
             .threads(1)
             .checkpoint(&ckpt)
+            .with_index(index)
             .run()
             .unwrap();
+        assert_eq!(mev_obs::counter("store_run.index_reused").get() - reused, 1);
         let StoreRunOutcome::Complete(ds) = outcome else {
             panic!("expected complete run");
         };

@@ -176,8 +176,9 @@ proptest! {
         prop_assert_eq!(&serial.detections, &reused.detections);
     }
 
-    /// The index's swap column is exactly `swaps_of` over the raw
-    /// receipts, block by block, and the tx columns match the receipts.
+    /// The interned swap partition resolves back to exactly `swaps_of`
+    /// over the raw receipts, block by block, and the tx partition
+    /// matches the receipts.
     #[test]
     fn block_index_agrees_with_direct_decoding(
         blocks in proptest::collection::vec(
@@ -192,13 +193,24 @@ proptest! {
         let index = BlockIndex::build(&chain);
         prop_assert_eq!(index.len(), chain.iter().count());
         for (block, receipts) in chain.iter() {
-            let rec = index.record(block.header.number).expect("indexed");
-            prop_assert_eq!(&rec.swaps, &mev_core::detect::swaps_of(receipts));
-            prop_assert_eq!(rec.tx_count(), receipts.len());
+            let view = index.view_of(block.header.number).expect("indexed");
+            let direct = mev_core::detect::swaps_of(receipts);
+            let swaps = view.swaps();
+            prop_assert_eq!(swaps.len(), direct.len());
+            for (ev, rec) in swaps.iter().zip(direct.iter()) {
+                prop_assert_eq!(ev.tx_index, rec.tx_index);
+                prop_assert_eq!(view.address(ev.from), rec.from);
+                prop_assert_eq!(ev.pool, rec.pool);
+                prop_assert_eq!(ev.token_in, rec.token_in);
+                prop_assert_eq!(ev.amount_in, rec.amount_in);
+                prop_assert_eq!(ev.token_out, rec.token_out);
+                prop_assert_eq!(ev.amount_out, rec.amount_out);
+            }
+            prop_assert_eq!(view.tx_count(), receipts.len());
             for r in receipts {
-                let t = rec.tx(r.index).expect("tx column");
-                prop_assert_eq!(t.hash, r.tx_hash);
-                prop_assert_eq!(t.from, r.from);
+                let t = view.tx(r.index).expect("tx column");
+                prop_assert_eq!(view.tx_hash(t.hash), r.tx_hash);
+                prop_assert_eq!(view.address(t.from), r.from);
                 prop_assert_eq!(t.cost_wei, r.total_cost().0);
                 prop_assert_eq!(t.miner_revenue_wei, r.miner_revenue().0);
                 prop_assert_eq!(t.success, r.outcome.is_success());
@@ -208,5 +220,40 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Cross-block interning is invisible to the detectors: a pooled
+    /// inspector run over the shared index is bit-identical to composing
+    /// the per-block `detect_in_block` wrappers (each of which interns a
+    /// single block from scratch) and sorting with the inspector's merge
+    /// key.
+    #[test]
+    fn inspector_matches_per_block_detection(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..20, proptest::collection::vec(event_strategy(), 0..6), any::<bool>()),
+                0..8,
+            ),
+            1..8,
+        ),
+        threads in 1usize..5,
+    ) {
+        let chain = chain_from_events(blocks);
+        let api = BlocksApi::new();
+        let pooled = Inspector::new(&chain, &api).threads(threads).run().expect("run");
+        let mut composed = Vec::new();
+        for (block, receipts) in chain.iter() {
+            mev_core::detect::sandwich::detect_in_block(
+                block, receipts, &api, &pooled.prices, &mut composed,
+            );
+            mev_core::detect::arbitrage::detect_in_block(
+                block, receipts, &api, &pooled.prices, &mut composed,
+            );
+            mev_core::detect::liquidation::detect_in_block(
+                block, receipts, &api, &pooled.prices, &mut composed,
+            );
+        }
+        composed.sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        prop_assert_eq!(&pooled.detections, &composed);
     }
 }

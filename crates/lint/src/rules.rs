@@ -55,6 +55,10 @@ const R4_CRATES: [&str; 5] = ["core", "chain", "dex", "net", "store"];
 const R5_DEFINITION_FILE: &str = "crates/core/src/dataset.rs";
 
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+/// Interner tables (R1): their probe-table layout is an implementation
+/// detail, so code must walk dense ids (`0..len()`) or the first-intern
+/// order `keys_in_order()` — never generic iteration adapters.
+const INTERN_TYPES: [&str; 1] = ["Interner"];
 const ITER_METHODS: [&str; 10] = [
     "iter",
     "iter_mut",
@@ -202,13 +206,13 @@ fn apply_allows(sf: &SourceFile, findings: Vec<Finding>) -> Vec<Finding> {
 // R1: determinism
 // ---------------------------------------------------------------------
 
-/// Names bound to a `HashMap`/`HashSet` in this file: `x: HashMap<…>`
+/// Names bound to one of `types` in this file: `x: HashMap<…>`
 /// declarations (let/field/param) and `x = HashMap::new()` initialisers.
-fn hash_bound_names(sf: &SourceFile) -> Vec<String> {
+fn bound_names(sf: &SourceFile, types: &[&str]) -> Vec<String> {
     let toks = sf.tokens();
     let mut names = Vec::new();
     for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+        if t.kind != TokenKind::Ident || !types.contains(&t.text.as_str()) {
             continue;
         }
         // Walk back over a `std::collections::` path prefix and `&`/`&mut`.
@@ -236,11 +240,30 @@ fn hash_bound_names(sf: &SourceFile) -> Vec<String> {
     names
 }
 
+/// R1 message for a flagged receiver: hash collections and interner
+/// tables get different steering.
+fn r1_message(name: &str, is_interner: bool, bare_for: bool) -> String {
+    if is_interner {
+        format!(
+            "iteration over interner table `{name}` exposes probe-table layout; walk dense ids (`0..len()`) with `resolve()`, or use `keys_in_order()`"
+        )
+    } else if bare_for {
+        format!(
+            "`for … in {name}` iterates a hash collection in nondeterministic order; use BTreeMap/BTreeSet, first-seen grouping, or sort before use"
+        )
+    } else {
+        format!(
+            "iteration over hash collection `{name}` has nondeterministic order; use BTreeMap/BTreeSet, first-seen grouping, or sort before use"
+        )
+    }
+}
+
 fn r1_determinism(sf: &SourceFile, out: &mut Vec<Finding>) {
     if !R1_CRATES.contains(&sf.crate_name.as_str()) {
         return;
     }
-    let hash_names = hash_bound_names(sf);
+    let hash_names = bound_names(sf, &HASH_TYPES);
+    let intern_names = bound_names(sf, &INTERN_TYPES);
     let toks = sf.tokens();
     for i in 0..toks.len() {
         if sf.in_test(i) {
@@ -257,18 +280,19 @@ fn r1_determinism(sf: &SourceFile, out: &mut Vec<Finding>) {
             && toks[i + 1].text == "("
         {
             let recv = &toks[i - 2];
-            if recv.kind == TokenKind::Ident && hash_names.contains(&recv.text) {
-                push(
-                    sf,
-                    out,
-                    i,
-                    RULE_DETERMINISM,
-                    format!(
-                        "iteration over hash collection `{}` has nondeterministic order; use BTreeMap/BTreeSet, first-seen grouping, or sort before use",
-                        recv.text
-                    ),
-                );
-                continue;
+            if recv.kind == TokenKind::Ident {
+                let is_hash = hash_names.contains(&recv.text);
+                let is_interner = intern_names.contains(&recv.text);
+                if is_hash || is_interner {
+                    push(
+                        sf,
+                        out,
+                        i,
+                        RULE_DETERMINISM,
+                        r1_message(&recv.text, is_interner, false),
+                    );
+                    continue;
+                }
             }
         }
         // `for pat in [&][mut] name {`: terminal ident declared as a hash
@@ -317,16 +341,15 @@ fn r1_determinism(sf: &SourceFile, out: &mut Vec<Finding>) {
             if j < toks.len() && toks[j].text != "{" {
                 continue;
             }
-            if hash_names.contains(&toks[term].text) {
+            let is_hash = hash_names.contains(&toks[term].text);
+            let is_interner = intern_names.contains(&toks[term].text);
+            if is_hash || is_interner {
                 push(
                     sf,
                     out,
                     term,
                     RULE_DETERMINISM,
-                    format!(
-                        "`for … in {}` iterates a hash collection in nondeterministic order; use BTreeMap/BTreeSet, first-seen grouping, or sort before use",
-                        toks[term].text
-                    ),
+                    r1_message(&toks[term].text, is_interner, true),
                 );
             }
         }
@@ -683,6 +706,50 @@ mod tests {
             }
         "#;
         assert!(rules_fired("core", test_src).is_empty());
+    }
+
+    #[test]
+    fn r1_flags_interner_method_iteration() {
+        let src = r#"
+            use mev_types::Interner;
+            fn f(addrs: Interner<Address>) {
+                for k in addrs.iter() {
+                    let _ = k;
+                }
+            }
+        "#;
+        assert_eq!(rules_fired("core", src), vec!["determinism"]);
+    }
+
+    #[test]
+    fn r1_flags_bare_for_in_over_interner() {
+        let src = r#"
+            fn f() {
+                let hashes = mev_types::Interner::new();
+                for h in &hashes {
+                    let _ = h;
+                }
+            }
+        "#;
+        let fired = rules_fired("core", src);
+        assert_eq!(fired, vec!["determinism"]);
+        // The message steers to the sanctioned accessors.
+        let findings = lint_source("crates/x/src/lib.rs", "core", false, src);
+        assert!(findings[0].message.contains("keys_in_order"));
+    }
+
+    #[test]
+    fn r1_allows_keys_in_order_and_resolve_on_interners() {
+        let src = r#"
+            use mev_types::Interner;
+            fn f(addrs: Interner<Address>) {
+                for k in addrs.keys_in_order() {
+                    let _ = k;
+                }
+                let _ = addrs.len();
+            }
+        "#;
+        assert!(rules_fired("core", src).is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod log;
 pub mod primitives;
 pub mod receipt;
@@ -24,6 +25,7 @@ pub mod units;
 
 pub use error::TypeError;
 pub use ids::{ExchangeId, LendingPlatformId, PoolId, TokenId};
+pub use intern::{AddrId, HashId, InternId, InternKey, Interner};
 pub use log::{Log, LogEvent};
 pub use primitives::{Address, H256};
 pub use receipt::{ExecOutcome, Receipt};

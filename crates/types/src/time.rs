@@ -40,6 +40,13 @@ impl Month {
         Month(self.0 + 1)
     }
 
+    /// Unix timestamp of 00:00 UTC on the first day of the month — the
+    /// boundary streaming decoders cache to avoid re-deriving the civil
+    /// date per block.
+    pub fn start_timestamp(&self) -> u64 {
+        timestamp_of_ymd(self.year() as u64, self.month() as u64, 1)
+    }
+
     /// Months from `self` up to and including `end`.
     pub fn range_inclusive(self, end: Month) -> impl Iterator<Item = Month> {
         (self.0..=end.0).map(Month)

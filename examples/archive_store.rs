@@ -159,6 +159,7 @@ fn cmd_scan(args: &Args) -> ExitCode {
         Ok(StoreRunOutcome::Partial {
             segments_done,
             segments_total,
+            ..
         }) => {
             println!(
                 "{{\"command\": \"scan\", \"outcome\": \"partial\", \"segments_done\": \

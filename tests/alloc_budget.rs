@@ -1,0 +1,100 @@
+//! Tier-2 allocation budget for the hot detection path.
+//!
+//! The v2 interned columnar `BlockIndex` exists so that steady-state
+//! detection allocates almost nothing per block: detectors read
+//! zero-copy event slices and group by dense `u32` ids, allocating only
+//! when they actually emit a `Detection`. This test pins that property
+//! with a counting global allocator: a serial `Inspector::run` over a
+//! prebuilt index must stay under a (generous) allocations-per-block
+//! ceiling, so an accidental per-swap `String`/`Vec`/`HashMap` revival
+//! shows up as a counted regression rather than a silent slowdown.
+//!
+//! Run explicitly (CI's perf-smoke job does):
+//!
+//! ```sh
+//! cargo test --test alloc_budget -- --ignored
+//! ```
+//!
+//! It is `#[ignore]`d in the default tier-1 pass because a process-wide
+//! counting allocator taxes every other test in the same binary and the
+//! measured count is only meaningful single-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations (alloc + realloc) process-wide.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// Ceiling on mean heap allocations per block for a serial run over a
+/// prebuilt index. The measured value on `Scenario::quick()` is far
+/// lower; the slack absorbs detection-vector growth doublings, per-kind
+/// emit allocations, and obs counter registration without inviting a
+/// flaky pin.
+const MAX_ALLOCATIONS_PER_BLOCK: u64 = 256;
+
+#[test]
+#[ignore = "tier-2: run via `cargo test --test alloc_budget -- --ignored` (CI perf-smoke)"]
+fn serial_inspect_over_prebuilt_index_stays_under_allocation_budget() {
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let api = &out.blocks_api;
+    let index = std::sync::Arc::new(mev_core::BlockIndex::build(chain));
+    let blocks = index.len() as u64;
+    assert!(blocks > 0, "quick scenario produced no blocks");
+
+    // Warm up once so lazily-registered obs metrics and detection-vector
+    // capacity discovery do not bill the measured pass.
+    let warm = mev_core::Inspector::new(chain, api)
+        .threads(1)
+        .with_index(index.clone())
+        .run()
+        .expect("warm-up run");
+
+    let before = allocations();
+    let measured = mev_core::Inspector::new(chain, api)
+        .threads(1)
+        .with_index(index.clone())
+        .run()
+        .expect("measured run");
+    let spent = allocations() - before;
+
+    assert_eq!(
+        warm.detections, measured.detections,
+        "warm-up and measured runs must agree"
+    );
+    let per_block = spent / blocks;
+    eprintln!(
+        "alloc budget: {spent} allocations over {blocks} blocks \
+         ({per_block}/block, ceiling {MAX_ALLOCATIONS_PER_BLOCK})"
+    );
+    assert!(
+        per_block <= MAX_ALLOCATIONS_PER_BLOCK,
+        "detection hot path regressed to {per_block} allocations/block \
+         (ceiling {MAX_ALLOCATIONS_PER_BLOCK}); look for per-block String/Vec/HashMap churn"
+    );
+}
