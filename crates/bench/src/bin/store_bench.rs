@@ -13,11 +13,14 @@
 //! * a **cold** full scan (every segment read and decoded),
 //! * a **warm** narrow-window scan (zone maps prune to the touched
 //!   segments) and an absent-address scan (blooms prune the rest),
+//! * a **postings** address query (planner routes it through the
+//!   sidecar indexes; zero data frames decoded) and a **rollup**
+//!   aggregate (answered from the manifest alone),
 //! * store-backed detection vs the in-memory `Inspector` on the same
 //!   chain, asserting bit-identical detections.
 
 use mev_core::{Inspector, StoreRunOutcome};
-use mev_store::{LogFilter, StoreReader, StoreWriter};
+use mev_store::{GroupBy, LogFilter, QueryPlan, StoreReader, StoreWriter};
 use mev_types::Address;
 use std::time::Instant;
 
@@ -65,7 +68,8 @@ fn main() {
     // Cold: full unfiltered scan touches every segment. (`StoreReader`
     // caches one segment; a full pass still decodes each one.)
     let unbounded = LogFilter::new().limit(usize::MAX);
-    let (_, cold_stats) = store.get_logs_with_stats(&unbounded).expect("cold scan");
+    let (cold_page, cold_stats) = store.get_logs_with_stats(&unbounded).expect("cold scan");
+    assert_eq!(cold_stats.plan, QueryPlan::FullScan);
     let cold_ms = time_ms(reps, || {
         store.get_logs_with_stats(&unbounded).expect("cold")
     });
@@ -91,6 +95,51 @@ fn main() {
         .limit(usize::MAX);
     let (absent_page, bloom_stats) = store.get_logs_with_stats(&absent).expect("bloom scan");
     assert!(absent_page.entries.is_empty());
+
+    // Postings: a warm address-history query on an address the chain
+    // actually used. The planner must route it through the sidecar
+    // indexes — index pages only, zero data frames decoded — and the
+    // answer must be bit-identical to the forced scan.
+    let hot_addr = cold_page
+        .entries
+        .first()
+        .map(|e| e.log.address)
+        .expect("quick scenario emits logs");
+    let addr_query = LogFilter::new().address(hot_addr).limit(usize::MAX);
+    let (postings_page, postings_stats) = store
+        .get_logs_with_stats(&addr_query)
+        .expect("postings query");
+    assert_eq!(postings_stats.plan, QueryPlan::Postings);
+    assert_eq!(postings_stats.segments_read, 0);
+    assert_eq!(postings_stats.data_frames_read, 0);
+    assert!(postings_stats.postings_pages_read > 0);
+    let (scan_page, _) = store
+        .get_logs_scan_with_stats(&addr_query)
+        .expect("forced scan");
+    assert_eq!(postings_page.entries, scan_page.entries);
+    let postings_ms = time_ms(reps, || {
+        store.get_logs_with_stats(&addr_query).expect("postings")
+    });
+
+    // Rollup: a whole-archive per-kind aggregate answered from the
+    // manifest tables without opening a single segment or sidecar.
+    let (rollup_rows, rollup_stats) = store
+        .aggregate(&LogFilter::new(), GroupBy::Kind)
+        .expect("rollup aggregate");
+    assert_eq!(rollup_stats.plan, QueryPlan::Rollup);
+    assert_eq!(rollup_stats.data_frames_read, 0);
+    let (fold_rows, _) = store
+        .aggregate_fold(&LogFilter::new(), GroupBy::Kind)
+        .expect("fold aggregate");
+    assert_eq!(
+        rollup_rows, fold_rows,
+        "rollup answer diverged from the fold"
+    );
+    let rollup_ms = time_ms(reps, || {
+        store
+            .aggregate(&LogFilter::new(), GroupBy::Kind)
+            .expect("rollup")
+    });
 
     // Detection from the store vs in memory: identical results.
     let in_memory = Inspector::new(chain, &out.blocks_api)
@@ -126,9 +175,14 @@ fn main() {
          \"warm_window_scan_ms\": {warm_ms:.3},\n  \"warm_segments_read\": {},\n  \
          \"warm_pruned_by_zone\": {},\n  \
          \"bloom_segments_pruned\": {},\n  \"bloom_false_positives\": {},\n  \
+         \"postings_query\": {{\"ms\": {postings_ms:.3}, \"plan\": \"{}\", \
+         \"entries\": {}, \"pages_read\": {}, \"data_frames_read\": {}}},\n  \
+         \"rollup_query\": {{\"ms\": {rollup_ms:.3}, \"plan\": \"{}\", \
+         \"rows\": {}, \"data_frames_read\": {}}},\n  \
          \"detect_in_memory_ms\": {detect_memory_ms:.3},\n  \
          \"detect_from_store_ms\": {detect_store_ms:.3},\n  \
-         \"identical_detections\": {identical}\n}}",
+         \"identical_detections\": {identical},\n  \
+         \"verified_indexes\": {}\n}}",
         verify.bytes,
         blocks as f64 / (ingest_ms / 1e3),
         cold_stats.segments_read,
@@ -136,12 +190,22 @@ fn main() {
         warm_stats.pruned_by_zone,
         bloom_stats.pruned_by_bloom,
         bloom_stats.bloom_false_positives,
+        postings_stats.plan.as_str(),
+        postings_page.entries.len(),
+        postings_stats.postings_pages_read,
+        postings_stats.data_frames_read,
+        rollup_stats.plan.as_str(),
+        rollup_rows.len(),
+        rollup_stats.data_frames_read,
+        verify.indexes,
     );
     assert!(identical, "store-backed and in-memory detections diverged");
 
     if let Some(path) = report_path {
         let report = mev_obs::report();
         assert!(report.counter("store.ingest.blocks").unwrap_or(0) > 0);
+        assert!(report.counter("store.plan.postings").unwrap_or(0) > 0);
+        assert!(report.counter("store.plan.rollup").unwrap_or(0) > 0);
         report
             .write_to(std::path::Path::new(&path))
             .expect("write RunReport");

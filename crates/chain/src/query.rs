@@ -1,14 +1,24 @@
 //! An `eth_getLogs`-style filter API over the archive store — the query
 //! surface the paper's collection scripts use ("crawling token transfer
 //! events", "crawling token swap events", "crawling liquidation events",
-//! §3.1). Filters compose: block range, emitting address, event family,
-//! and a result cap with continuation.
+//! §3.1). Filters compose: block range, emitting addresses, event
+//! families, and a result cap with continuation.
+//!
+//! This module also defines the *shared* query surface every archive
+//! backend implements: the [`ArchiveQuery`] trait with a single
+//! `(LogPage, QueryStats)` return shape, the [`Pages`] iterator that
+//! drives cursors, and the unified [`QueryStats`] both the in-memory
+//! [`ChainStore`] scan and the segmented on-disk store report. The store
+//! additionally has a planner ([`QueryPlan`]) choosing between a full
+//! scan, inverted postings, and rollup answers; the in-memory path is
+//! always a [`QueryPlan::FullScan`]. Every plan is required to be
+//! bit-identical to the full scan on the same filter.
 
 use crate::archive::ChainStore;
-use mev_types::{Address, Log, LogEvent, TxHash};
+use mev_types::{Address, Log, LogEvent, Timeline, TxHash};
 
 /// The event families a filter can select (the analogue of `topic0`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum EventKind {
     Transfer,
     Swap,
@@ -22,38 +32,157 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every family, in stable tag order ([`EventKind::tag`]).
+    pub const ALL: [EventKind; 9] = [
+        EventKind::Transfer,
+        EventKind::Swap,
+        EventKind::Deposit,
+        EventKind::Borrow,
+        EventKind::Repay,
+        EventKind::Liquidation,
+        EventKind::FlashLoan,
+        EventKind::OracleUpdate,
+        EventKind::Payout,
+    ];
+
     /// Does a log match this family?
     pub fn matches(&self, log: &LogEvent) -> bool {
-        matches!(
-            (self, log),
-            (EventKind::Transfer, LogEvent::Transfer { .. })
-                | (EventKind::Swap, LogEvent::Swap { .. })
-                | (EventKind::Deposit, LogEvent::Deposit { .. })
-                | (EventKind::Borrow, LogEvent::Borrow { .. })
-                | (EventKind::Repay, LogEvent::Repay { .. })
-                | (EventKind::Liquidation, LogEvent::Liquidation { .. })
-                | (EventKind::FlashLoan, LogEvent::FlashLoan { .. })
-                | (EventKind::OracleUpdate, LogEvent::OracleUpdate { .. })
-                | (EventKind::Payout, LogEvent::Payout { .. })
-        )
+        *self == EventKind::of(log)
+    }
+
+    /// The event family of a decoded log body.
+    pub fn of(event: &LogEvent) -> EventKind {
+        match event {
+            LogEvent::Transfer { .. } => EventKind::Transfer,
+            LogEvent::Swap { .. } => EventKind::Swap,
+            LogEvent::Deposit { .. } => EventKind::Deposit,
+            LogEvent::Borrow { .. } => EventKind::Borrow,
+            LogEvent::Repay { .. } => EventKind::Repay,
+            LogEvent::Liquidation { .. } => EventKind::Liquidation,
+            LogEvent::OracleUpdate { .. } => EventKind::OracleUpdate,
+            LogEvent::FlashLoan { .. } => EventKind::FlashLoan,
+            LogEvent::Payout { .. } => EventKind::Payout,
+        }
+    }
+
+    /// Stable numeric tag per family — part of the store's on-disk
+    /// format, so the mapping is frozen: new families append, existing
+    /// tags never move.
+    pub fn tag(self) -> u8 {
+        match self {
+            EventKind::Transfer => 0,
+            EventKind::Swap => 1,
+            EventKind::Deposit => 2,
+            EventKind::Borrow => 3,
+            EventKind::Repay => 4,
+            EventKind::Liquidation => 5,
+            EventKind::FlashLoan => 6,
+            EventKind::OracleUpdate => 7,
+            EventKind::Payout => 8,
+        }
+    }
+
+    /// Inverse of [`EventKind::tag`]; `None` for tags from a newer
+    /// format.
+    pub fn from_tag(tag: u8) -> Option<EventKind> {
+        EventKind::ALL.get(tag as usize).copied()
+    }
+
+    /// Lower-case family name, accepted back by [`EventKind::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Transfer => "transfer",
+            EventKind::Swap => "swap",
+            EventKind::Deposit => "deposit",
+            EventKind::Borrow => "borrow",
+            EventKind::Repay => "repay",
+            EventKind::Liquidation => "liquidation",
+            EventKind::FlashLoan => "flashloan",
+            EventKind::OracleUpdate => "oracleupdate",
+            EventKind::Payout => "payout",
+        }
+    }
+
+    /// Parse a family from its [`EventKind::name`] (case-insensitive).
+    pub fn parse(name: &str) -> Option<EventKind> {
+        let lower = name.to_ascii_lowercase();
+        EventKind::ALL.into_iter().find(|k| k.name() == lower)
     }
 }
 
 /// A log filter. All set fields must match (conjunction), like
-/// `eth_getLogs`.
+/// `eth_getLogs`; within `addresses` / `kinds` any element may match
+/// (disjunction), like `eth_getLogs`' address arrays.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[serde(from = "LogFilterWire")]
 pub struct LogFilter {
     /// Inclusive start height; chain start if unset.
     pub from_block: Option<u64>,
     /// Inclusive end height; chain head if unset.
     pub to_block: Option<u64>,
-    /// Emitting contract address.
-    pub address: Option<Address>,
-    /// Event family.
-    pub kind: Option<EventKind>,
+    /// Emitting contract addresses (any may match; empty = all).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub addresses: Vec<Address>,
+    /// Event families (any may match; empty = all).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub kinds: Vec<EventKind>,
     /// Maximum results per call (default 10,000, like a public RPC cap).
     pub limit: Option<usize>,
+    /// Continuation position from a previous page ([`LogFilter::after`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resume: Option<Cursor>,
 }
+
+/// Wire shape of a serialized [`LogFilter`]. Accepts both the current
+/// multi-value fields and the legacy single-value `address` / `kind`
+/// fields (pre-planner checkpoints), folding legacy scalars into the
+/// vectors — the serde back-compat half of the API redesign.
+#[derive(serde::Deserialize)]
+struct LogFilterWire {
+    #[serde(default)]
+    from_block: Option<u64>,
+    #[serde(default)]
+    to_block: Option<u64>,
+    #[serde(default)]
+    address: Option<Address>,
+    #[serde(default)]
+    kind: Option<EventKind>,
+    #[serde(default)]
+    addresses: Vec<Address>,
+    #[serde(default)]
+    kinds: Vec<EventKind>,
+    #[serde(default)]
+    limit: Option<usize>,
+    #[serde(default)]
+    resume: Option<Cursor>,
+}
+
+impl From<LogFilterWire> for LogFilter {
+    fn from(wire: LogFilterWire) -> LogFilter {
+        let mut filter = LogFilter {
+            from_block: wire.from_block,
+            to_block: wire.to_block,
+            addresses: wire.addresses,
+            kinds: wire.kinds,
+            limit: wire.limit,
+            resume: wire.resume,
+        };
+        if let Some(a) = wire.address {
+            if !filter.addresses.contains(&a) {
+                filter.addresses.push(a);
+            }
+        }
+        if let Some(k) = wire.kind {
+            if !filter.kinds.contains(&k) {
+                filter.kinds.push(k);
+            }
+        }
+        filter
+    }
+}
+
+/// Default per-call cap.
+pub const DEFAULT_LIMIT: usize = 10_000;
 
 impl LogFilter {
     pub fn new() -> LogFilter {
@@ -70,14 +199,30 @@ impl LogFilter {
         self
     }
 
+    /// Add one emitting contract address (deduplicating).
     pub fn address(mut self, a: Address) -> LogFilter {
-        self.address = Some(a);
+        if !self.addresses.contains(&a) {
+            self.addresses.push(a);
+        }
         self
     }
 
+    /// Add several emitting contract addresses (deduplicating).
+    pub fn addresses(self, addrs: impl IntoIterator<Item = Address>) -> LogFilter {
+        addrs.into_iter().fold(self, LogFilter::address)
+    }
+
+    /// Add one event family (deduplicating).
     pub fn kind(mut self, k: EventKind) -> LogFilter {
-        self.kind = Some(k);
+        if !self.kinds.contains(&k) {
+            self.kinds.push(k);
+        }
         self
+    }
+
+    /// Add several event families (deduplicating).
+    pub fn kinds(self, kinds: impl IntoIterator<Item = EventKind>) -> LogFilter {
+        kinds.into_iter().fold(self, LogFilter::kind)
     }
 
     pub fn limit(mut self, n: usize) -> LogFilter {
@@ -86,30 +231,86 @@ impl LogFilter {
     }
 
     /// Continue a paginated query from where a previous page stopped.
-    /// Equivalent to `from_block(cursor.next_block())`.
-    pub fn after(self, cursor: Cursor) -> LogFilter {
-        self.from_block(cursor.next_block)
+    pub fn after(mut self, cursor: Cursor) -> LogFilter {
+        self.resume = Some(cursor);
+        self
+    }
+
+    /// Does a log pass the address/kind predicate?
+    pub fn matches_log(&self, log: &Log) -> bool {
+        (self.addresses.is_empty() || self.addresses.contains(&log.address))
+            && (self.kinds.is_empty() || self.kinds.contains(&EventKind::of(&log.event)))
+    }
+
+    /// Whether the filter constrains address or kind at all (the inputs
+    /// blooms and postings can act on).
+    pub fn is_selective(&self) -> bool {
+        !self.addresses.is_empty() || !self.kinds.is_empty()
+    }
+
+    /// The effective per-page result cap.
+    pub fn effective_limit(&self) -> usize {
+        self.limit.unwrap_or(DEFAULT_LIMIT).max(1)
+    }
+
+    /// Clamp the filter (including any resume cursor) to an archive's
+    /// committed `[genesis, head]` range. Returns the inclusive scan
+    /// window plus the `(block, first_tx_index)` the resume cursor asks
+    /// to skip to, or `None` when the window is empty. Every backend
+    /// derives its scan bounds from this one place so pagination is
+    /// bit-identical across them.
+    pub fn window(&self, genesis: u64, head: u64) -> Option<(u64, u64, Option<(u64, u32)>)> {
+        let mut from = self.from_block.unwrap_or(genesis).max(genesis);
+        let mut skip = None;
+        if let Some(cursor) = self.resume {
+            from = from.max(cursor.next_block);
+            if cursor.next_tx_index > 0 {
+                skip = Some((cursor.next_block, cursor.next_tx_index));
+            }
+        }
+        let to = self.to_block.unwrap_or(head).min(head);
+        (from <= to).then_some((from, to, skip))
     }
 }
 
-/// A typed continuation token: where the next page starts. Serializable,
-/// so a crawl can checkpoint and resume across processes.
+/// A typed continuation token: where the next page starts, to
+/// transaction granularity. Serializable, so a crawl can checkpoint and
+/// resume across processes. Cursors serialized before the tx-granular
+/// fix (block only) deserialize with `next_tx_index = 0` — the old
+/// block-boundary semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Cursor {
     next_block: u64,
+    #[serde(default)]
+    next_tx_index: u32,
 }
 
 impl Cursor {
-    /// A cursor that resumes at `next_block`. Public so alternative
-    /// archive backends (e.g. the segmented on-disk store) can hand out
-    /// the same continuation tokens as the in-memory path.
+    /// A cursor that resumes at the first transaction of `next_block`.
     pub fn at(next_block: u64) -> Cursor {
-        Cursor { next_block }
+        Cursor::at_tx(next_block, 0)
+    }
+
+    /// A cursor that resumes at transaction `next_tx_index` of
+    /// `next_block`. Public so alternative archive backends (e.g. the
+    /// segmented on-disk store) hand out the same continuation tokens as
+    /// the in-memory path.
+    pub fn at_tx(next_block: u64, next_tx_index: u32) -> Cursor {
+        Cursor {
+            next_block,
+            next_tx_index,
+        }
     }
 
     /// The first block height the next page will read.
     pub fn next_block(&self) -> u64 {
         self.next_block
+    }
+
+    /// The first transaction index within [`Cursor::next_block`] the
+    /// next page will read.
+    pub fn next_tx_index(&self) -> u32 {
+        self.next_tx_index
     }
 }
 
@@ -126,23 +327,201 @@ pub struct LogEntry {
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogPage {
     pub entries: Vec<LogEntry>,
-    /// Resume with [`LogFilter::after`] if the page filled up.
+    /// Resume with [`LogFilter::after`] if the page filled up. `Some`
+    /// promises only that more matches *may* exist: the final page of an
+    /// exactly-limit-sized result is empty with `next: None`.
     pub next: Option<Cursor>,
 }
 
-/// Default per-call cap.
-const DEFAULT_LIMIT: usize = 10_000;
-
-/// What a [`get_logs_with_stats`] call actually touched — lets tests and
-/// benchmarks assert that scans are bounded by the filter window instead
-/// of walking the whole chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct QueryStats {
-    /// Blocks whose receipts were examined.
-    pub blocks_scanned: u64,
+/// How a query was answered. The in-memory chain always scans; the
+/// segmented store's planner may pick an index-only strategy instead,
+/// and every strategy is bit-identical to [`QueryPlan::FullScan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum QueryPlan {
+    /// Decode block entries across the filter window.
+    #[default]
+    FullScan,
+    /// Serve matches from per-segment inverted postings — only sidecar
+    /// index pages are read, never segment data frames.
+    Postings,
+    /// Answer an aggregate from persisted rollups without touching any
+    /// segment or index bytes.
+    Rollup,
 }
 
-/// Execute a filter over the store.
+impl QueryPlan {
+    /// Stable lower-snake name (used in reports and CI assertions).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryPlan::FullScan => "full_scan",
+            QueryPlan::Postings => "postings",
+            QueryPlan::Rollup => "rollup",
+        }
+    }
+}
+
+/// What a query actually touched — the single stats shape every
+/// [`ArchiveQuery`] backend reports. Lets tests and benchmarks assert
+/// that scans are bounded by the filter window and that planner-chosen
+/// index paths really avoid data frames. Segment-level fields stay zero
+/// on the in-memory backend (it has no segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// The strategy the planner picked (always `FullScan` in memory).
+    pub plan: QueryPlan,
+    /// Blocks whose receipts were examined.
+    pub blocks_scanned: u64,
+    /// Segments committed in the store.
+    pub segments_total: u64,
+    /// Segments skipped because their zone map misses the height window.
+    pub pruned_by_zone: u64,
+    /// Segments skipped because their bloom excludes every address/kind.
+    pub pruned_by_bloom: u64,
+    /// Segments whose data frames were read and decoded.
+    pub segments_read: u64,
+    /// Block-entry data frames decoded on behalf of this query.
+    pub data_frames_read: u64,
+    /// Sidecar index pages (postings + row chunks) read.
+    pub postings_pages_read: u64,
+    /// Rollup tables consulted.
+    pub rollup_reads: u64,
+    /// Segments the bloom let through that contributed no matching log —
+    /// the filter's false positives (only counted when the filter names
+    /// an address or kind, i.e. when the bloom had a say).
+    pub bloom_false_positives: u64,
+}
+
+impl QueryStats {
+    /// Segments skipped without touching their bytes, by any pruning.
+    pub fn segments_pruned(&self) -> u64 {
+        self.pruned_by_zone + self.pruned_by_bloom
+    }
+
+    /// Fold another page's stats into a running total (cumulative fields
+    /// sum; `segments_total` is a property of the store, not the page;
+    /// the plan of the latest page wins — pages of one query share it).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.plan = other.plan;
+        self.blocks_scanned += other.blocks_scanned;
+        self.segments_total = self.segments_total.max(other.segments_total);
+        self.pruned_by_zone += other.pruned_by_zone;
+        self.pruned_by_bloom += other.pruned_by_bloom;
+        self.segments_read += other.segments_read;
+        self.data_frames_read += other.data_frames_read;
+        self.postings_pages_read += other.postings_pages_read;
+        self.rollup_reads += other.rollup_reads;
+        self.bloom_false_positives += other.bloom_false_positives;
+    }
+}
+
+/// The query surface shared by every archive backend — the in-memory
+/// [`ChainStore`] and the segmented on-disk store answer the same
+/// filters with the same `(LogPage, QueryStats)` shape, so callers
+/// (detectors, audits, servers) are written once against this trait.
+///
+/// Backends differ only in their error channel: the in-memory store
+/// cannot fail (`Error = Infallible`), the on-disk store surfaces I/O
+/// and corruption errors.
+pub trait ArchiveQuery {
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// The block-number ↔ wall-clock mapping of the archived chain.
+    fn timeline(&self) -> &Timeline;
+
+    /// Height of the last archived block, if any.
+    fn head_block(&self) -> Option<u64>;
+
+    /// Execute a filter, reporting what the query touched.
+    fn get_logs_with_stats(&self, filter: &LogFilter)
+        -> Result<(LogPage, QueryStats), Self::Error>;
+
+    /// Execute a filter.
+    fn get_logs(&self, filter: &LogFilter) -> Result<LogPage, Self::Error> {
+        self.get_logs_with_stats(filter).map(|(page, _)| page)
+    }
+
+    /// Iterate every page of a filter, driving the continuation cursor.
+    /// The replacement for the deprecated `get_logs_all` shims.
+    fn pages(&self, filter: &LogFilter) -> Pages<'_, Self>
+    where
+        Self: Sized,
+    {
+        Pages {
+            archive: self,
+            filter: Some(filter.clone()),
+        }
+    }
+}
+
+/// Iterator over the pages of one filter ([`ArchiveQuery::pages`]).
+/// Yields `(page, stats)` per underlying call; stops after the first
+/// error or the page whose `next` is `None`.
+pub struct Pages<'a, Q: ArchiveQuery> {
+    archive: &'a Q,
+    filter: Option<LogFilter>,
+}
+
+impl<Q: ArchiveQuery> Pages<'_, Q> {
+    /// Drain every page into one entry vector — the one-call convenience
+    /// `get_logs_all` used to be.
+    pub fn collect_entries(self) -> Result<Vec<LogEntry>, Q::Error> {
+        let mut out = Vec::new();
+        for page in self {
+            out.extend(page?.0.entries);
+        }
+        Ok(out)
+    }
+
+    /// Drain every page, concatenating entries and accumulating stats.
+    pub fn collect_with_stats(self) -> Result<(Vec<LogEntry>, QueryStats), Q::Error> {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for page in self {
+            let (page, page_stats) = page?;
+            out.extend(page.entries);
+            stats.absorb(&page_stats);
+        }
+        Ok((out, stats))
+    }
+}
+
+impl<Q: ArchiveQuery> Iterator for Pages<'_, Q> {
+    type Item = Result<(LogPage, QueryStats), Q::Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let filter = self.filter.take()?;
+        match self.archive.get_logs_with_stats(&filter) {
+            Ok((page, stats)) => {
+                if let Some(cursor) = page.next {
+                    self.filter = Some(filter.after(cursor));
+                }
+                Some(Ok((page, stats)))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl ArchiveQuery for ChainStore {
+    type Error = std::convert::Infallible;
+
+    fn timeline(&self) -> &Timeline {
+        ChainStore::timeline(self)
+    }
+
+    fn head_block(&self) -> Option<u64> {
+        self.head_number()
+    }
+
+    fn get_logs_with_stats(
+        &self,
+        filter: &LogFilter,
+    ) -> Result<(LogPage, QueryStats), Self::Error> {
+        Ok(get_logs_with_stats(self, filter))
+    }
+}
+
+/// Execute a filter over the in-memory store.
 pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
     get_logs_with_stats(chain, filter).0
 }
@@ -151,6 +530,11 @@ pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
 /// scan is bounded by `from_block..=to_block` (and any [`Cursor`]
 /// position folded in via [`LogFilter::after`]): blocks outside the
 /// window are never read, so each page costs O(window), not O(chain).
+///
+/// Pagination contract (shared, bit-for-bit, with the on-disk store):
+/// pages break only at *transaction* boundaries — one transaction's logs
+/// are never split — and when the cap hits after transaction `t` of
+/// block `b`, the page carries `Cursor::at_tx(b, t + 1)`.
 pub fn get_logs_with_stats(chain: &ChainStore, filter: &LogFilter) -> (LogPage, QueryStats) {
     let mut stats = QueryStats::default();
     let empty = LogPage {
@@ -161,49 +545,42 @@ pub fn get_logs_with_stats(chain: &ChainStore, filter: &LogFilter) -> (LogPage, 
         Some(h) => h,
         None => return (empty, stats),
     };
-    let genesis = chain.timeline().genesis_number;
-    let from = filter.from_block.unwrap_or(genesis).max(genesis);
-    let to = filter.to_block.unwrap_or(head).min(head);
-    if from > to {
+    let genesis = ChainStore::timeline(chain).genesis_number;
+    let Some((from, to, skip)) = filter.window(genesis, head) else {
         return (empty, stats);
-    }
-    let limit = filter.limit.unwrap_or(DEFAULT_LIMIT).max(1);
+    };
+    let limit = filter.effective_limit();
     let mut entries = Vec::new();
     for (block, receipts) in chain.range(from, to) {
         let block_number = block.header.number;
         stats.blocks_scanned += 1;
         for r in receipts {
-            for log in &r.logs {
-                if let Some(addr) = filter.address {
-                    if log.address != addr {
-                        continue;
-                    }
+            if let Some((skip_block, first_tx)) = skip {
+                if block_number == skip_block && r.index < first_tx {
+                    continue;
                 }
-                if let Some(kind) = filter.kind {
-                    if !kind.matches(&log.event) {
-                        continue;
-                    }
-                }
-                entries.push(LogEntry {
-                    block: block_number,
-                    tx_index: r.index,
-                    tx_hash: r.tx_hash,
-                    log: log.clone(),
-                });
             }
-        }
-        // Page boundary only between blocks, so pagination never splits a
-        // block's logs.
-        if entries.len() >= limit && block_number < to {
-            return (
-                LogPage {
-                    entries,
-                    next: Some(Cursor {
-                        next_block: block_number + 1,
-                    }),
-                },
-                stats,
-            );
+            for log in &r.logs {
+                if filter.matches_log(log) {
+                    entries.push(LogEntry {
+                        block: block_number,
+                        tx_index: r.index,
+                        tx_hash: r.tx_hash,
+                        log: log.clone(),
+                    });
+                }
+            }
+            // Page boundary between transactions, so pagination never
+            // splits one transaction's logs (and never re-reads them).
+            if entries.len() >= limit {
+                return (
+                    LogPage {
+                        entries,
+                        next: Some(Cursor::at_tx(block_number, r.index + 1)),
+                    },
+                    stats,
+                );
+            }
         }
     }
     (
@@ -215,8 +592,12 @@ pub fn get_logs_with_stats(chain: &ChainStore, filter: &LogFilter) -> (LogPage, 
     )
 }
 
-/// Convenience: stream every matching log by looping [`get_logs`] pages
-/// through their cursors.
+/// Stream every matching log by looping [`get_logs`] pages through their
+/// cursors.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `ArchiveQuery::pages(filter).collect_entries()` instead"
+)]
 pub fn get_logs_all(chain: &ChainStore, filter: &LogFilter) -> Vec<LogEntry> {
     let mut out = Vec::new();
     let mut f = filter.clone();
@@ -238,6 +619,54 @@ mod tests {
         Transaction, TxFee, Wei, H256,
     };
 
+    fn make_tx(from_index: u64) -> Transaction {
+        Transaction::new(
+            Address::from_index(from_index),
+            0,
+            TxFee::Legacy {
+                gas_price: gwei(10),
+            },
+            Gas(100_000),
+            Action::Other { gas: Gas(100_000) },
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    fn make_receipt(tx: &Transaction, index: u32, logs: Vec<Log>) -> Receipt {
+        Receipt {
+            tx_hash: tx.hash(),
+            index,
+            from: tx.from,
+            outcome: ExecOutcome::Success,
+            gas_used: Gas(100_000),
+            effective_gas_price: gwei(10),
+            miner_fee: Wei::ZERO,
+            coinbase_transfer: Wei::ZERO,
+            logs,
+        }
+    }
+
+    fn push_block(c: &mut ChainStore, number: u64, txs: Vec<Transaction>, receipts: Vec<Receipt>) {
+        let tl = ChainStore::timeline(c).clone();
+        let header = BlockHeader {
+            number,
+            parent_hash: H256::zero(),
+            miner: Address::from_index(9),
+            timestamp: tl.timestamp_of(number),
+            gas_used: Gas(100_000),
+            gas_limit: Gas(30_000_000),
+            base_fee: Wei::ZERO,
+        };
+        c.push(
+            Block {
+                header,
+                transactions: txs,
+            },
+            receipts,
+        );
+    }
+
     /// 10 blocks; each block has one tx emitting a Transfer from address
     /// A(1) and, on even blocks, a Swap from address A(2).
     fn chain() -> ChainStore {
@@ -245,17 +674,7 @@ mod tests {
         let mut c = ChainStore::new(tl.clone());
         for i in 0..10u64 {
             let number = tl.genesis_number + i;
-            let tx = Transaction::new(
-                Address::from_index(100 + i),
-                0,
-                TxFee::Legacy {
-                    gas_price: gwei(10),
-                },
-                Gas(100_000),
-                Action::Other { gas: Gas(100_000) },
-                Wei::ZERO,
-                None,
-            );
+            let tx = make_tx(100 + i);
             let mut logs = vec![Log::new(
                 Address::from_index(1),
                 LogEvent::Transfer {
@@ -281,35 +700,42 @@ mod tests {
                     },
                 ));
             }
-            let receipt = Receipt {
-                tx_hash: tx.hash(),
-                index: 0,
-                from: tx.from,
-                outcome: ExecOutcome::Success,
-                gas_used: Gas(100_000),
-                effective_gas_price: gwei(10),
-                miner_fee: Wei::ZERO,
-                coinbase_transfer: Wei::ZERO,
-                logs,
-            };
-            let header = BlockHeader {
-                number,
-                parent_hash: H256::zero(),
-                miner: Address::from_index(9),
-                timestamp: tl.timestamp_of(number),
-                gas_used: Gas(100_000),
-                gas_limit: Gas(30_000_000),
-                base_fee: Wei::ZERO,
-            };
-            c.push(
-                Block {
-                    header,
-                    transactions: vec![tx],
-                },
-                vec![receipt],
-            );
+            let receipt = make_receipt(&tx, 0, logs);
+            push_block(&mut c, number, vec![tx], vec![receipt]);
         }
         c
+    }
+
+    /// 4 blocks of 3 transactions, each tx emitting one Transfer — a
+    /// fixture whose pages can fill mid-block.
+    fn multi_tx_chain() -> ChainStore {
+        let tl = Timeline::paper_span(100);
+        let mut c = ChainStore::new(tl.clone());
+        for i in 0..4u64 {
+            let number = tl.genesis_number + i;
+            let mut txs = Vec::new();
+            let mut receipts = Vec::new();
+            for t in 0..3u64 {
+                let tx = make_tx(1000 + i * 10 + t);
+                let log = Log::new(
+                    Address::from_index(1),
+                    LogEvent::Transfer {
+                        token: TokenId::WETH,
+                        from: Address::ZERO,
+                        to: Address::ZERO,
+                        amount: (i * 10 + t) as u128,
+                    },
+                );
+                receipts.push(make_receipt(&tx, t as u32, vec![log]));
+                txs.push(tx);
+            }
+            push_block(&mut c, number, txs, receipts);
+        }
+        c
+    }
+
+    fn all_entries(c: &ChainStore, f: &LogFilter) -> Vec<LogEntry> {
+        c.pages(f).collect_entries().unwrap()
     }
 
     #[test]
@@ -341,9 +767,40 @@ mod tests {
     }
 
     #[test]
+    fn multi_address_and_multi_kind_filters_are_disjunctions() {
+        let c = chain();
+        let both = get_logs(
+            &c,
+            &LogFilter::new().addresses([Address::from_index(1), Address::from_index(2)]),
+        );
+        assert_eq!(both.entries.len(), 15, "A(1) ∪ A(2) is everything");
+        let kinds = get_logs(
+            &c,
+            &LogFilter::new().kinds([EventKind::Swap, EventKind::Liquidation]),
+        );
+        assert_eq!(kinds.entries.len(), 5, "Swap ∪ Liquidation = the swaps");
+        // Conjunction across dimensions still applies.
+        let cross = get_logs(
+            &c,
+            &LogFilter::new()
+                .address(Address::from_index(1))
+                .kind(EventKind::Swap),
+        );
+        assert!(cross.entries.is_empty(), "A(1) never emits swaps");
+        // Builders deduplicate.
+        let dup = LogFilter::new()
+            .address(Address::from_index(1))
+            .address(Address::from_index(1))
+            .kind(EventKind::Swap)
+            .kind(EventKind::Swap);
+        assert_eq!(dup.addresses.len(), 1);
+        assert_eq!(dup.kinds.len(), 1);
+    }
+
+    #[test]
     fn block_range_filter() {
         let c = chain();
-        let g = c.timeline().genesis_number;
+        let g = ChainStore::timeline(&c).genesis_number;
         let page = get_logs(&c, &LogFilter::new().from_block(g + 2).to_block(g + 4));
         // Blocks g+2, g+3, g+4: 3 transfers + 2 swaps (g+2, g+4 even).
         assert_eq!(page.entries.len(), 5);
@@ -363,11 +820,38 @@ mod tests {
         let second = get_logs(&c, &f.clone().after(cursor));
         assert!(!second.entries.is_empty());
         // No overlap across pages.
-        let last_of_first = first.entries.last().unwrap().block;
-        assert!(second.entries.first().unwrap().block > last_of_first);
+        let last_of_first = first.entries.last().unwrap();
+        let first_of_second = second.entries.first().unwrap();
+        assert!(
+            (first_of_second.block, first_of_second.tx_index)
+                > (last_of_first.block, last_of_first.tx_index)
+        );
         // Streaming equals a single unbounded query.
-        let all = get_logs_all(&c, &LogFilter::new().limit(4));
+        let all = all_entries(&c, &LogFilter::new().limit(4));
         assert_eq!(all.len(), 15);
+        assert_eq!(all, get_logs(&c, &LogFilter::new()).entries);
+    }
+
+    #[test]
+    fn pagination_is_tx_granular_and_round_trips() {
+        // 4 blocks × 3 txs × 1 log; limit 2 cuts every page mid-block.
+        let c = multi_tx_chain();
+        let g = ChainStore::timeline(&c).genesis_number;
+        let f = LogFilter::new().limit(2);
+        let first = get_logs(&c, &f);
+        assert_eq!(first.entries.len(), 2);
+        let cursor = first.next.expect("more pages");
+        // The cursor resumes *within* block g, at tx 2 — not at g+1.
+        assert_eq!(cursor.next_block(), g);
+        assert_eq!(cursor.next_tx_index(), 2);
+        let second = get_logs(&c, &f.clone().after(cursor));
+        // Resume must not re-read the block's earlier entries.
+        assert_eq!(second.entries[0].block, g);
+        assert_eq!(second.entries[0].tx_index, 2);
+        // Full round trip: concatenated pages equal the unbounded query.
+        let all = all_entries(&c, &f);
+        assert_eq!(all, get_logs(&c, &LogFilter::new()).entries);
+        assert_eq!(all.len(), 12);
     }
 
     #[test]
@@ -379,19 +863,47 @@ mod tests {
         let json = serde_json::to_string(&cursor).unwrap();
         let restored: Cursor = serde_json::from_str(&json).unwrap();
         assert_eq!(restored, cursor);
-        let resumed = get_logs_all(&c, &LogFilter::new().limit(4).after(restored));
+        let resumed = all_entries(&c, &LogFilter::new().limit(4).after(restored));
         assert_eq!(first.entries.len() + resumed.len(), 15);
-        assert_eq!(resumed.first().unwrap().block, restored.next_block());
+        assert!(resumed.first().unwrap().block >= restored.next_block());
+    }
+
+    #[test]
+    fn legacy_serialized_forms_still_deserialize() {
+        // A block-granular cursor from an old checkpoint.
+        let cursor: Cursor = serde_json::from_str(r#"{"next_block": 10000004}"#).unwrap();
+        assert_eq!(cursor, Cursor::at_tx(10_000_004, 0));
+        // A filter with the legacy scalar address/kind fields.
+        let addr = Address::from_index(7);
+        let json = format!(
+            r#"{{"from_block": 1, "to_block": 2, "address": {}, "kind": "Swap", "limit": 5}}"#,
+            serde_json::to_string(&addr).unwrap()
+        );
+        let filter: LogFilter = serde_json::from_str(&json).unwrap();
+        assert_eq!(filter.addresses, vec![addr]);
+        assert_eq!(filter.kinds, vec![EventKind::Swap]);
+        assert_eq!(filter.limit, Some(5));
+        // The current multi-value form round-trips.
+        let f = LogFilter::new()
+            .address(Address::from_index(1))
+            .kind(EventKind::Transfer)
+            .limit(3);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: LogFilter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.addresses, f.addresses);
+        assert_eq!(back.kinds, f.kinds);
+        assert_eq!(back.limit, f.limit);
     }
 
     #[test]
     fn scan_is_bounded_by_the_filter_window() {
         let c = chain();
-        let g = c.timeline().genesis_number;
+        let g = ChainStore::timeline(&c).genesis_number;
         // A 3-block window touches exactly 3 blocks of a 10-block chain.
         let (_, stats) =
             get_logs_with_stats(&c, &LogFilter::new().from_block(g + 4).to_block(g + 6));
         assert_eq!(stats.blocks_scanned, 3);
+        assert_eq!(stats.plan, QueryPlan::FullScan);
         // A cursor resume never re-reads blocks before the cursor.
         let f = LogFilter::new().limit(4);
         let (first, first_stats) = get_logs_with_stats(&c, &f);
@@ -409,6 +921,8 @@ mod tests {
     #[test]
     fn cursor_at_round_trips() {
         assert_eq!(Cursor::at(42).next_block(), 42);
+        assert_eq!(Cursor::at(42).next_tx_index(), 0);
+        assert_eq!(Cursor::at_tx(42, 7).next_tx_index(), 7);
     }
 
     #[test]
@@ -430,5 +944,55 @@ mod tests {
         assert!(EventKind::Transfer.matches(&transfer));
         assert!(!EventKind::Swap.matches(&transfer));
         assert!(!EventKind::FlashLoan.matches(&transfer));
+        assert_eq!(EventKind::of(&transfer), EventKind::Transfer);
+    }
+
+    #[test]
+    fn event_kind_tags_are_frozen_and_round_trip() {
+        for (i, k) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.tag() as usize, i, "declaration order is tag order");
+            assert_eq!(EventKind::from_tag(k.tag()), Some(k));
+            assert_eq!(EventKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::Transfer.tag(), 0);
+        assert_eq!(EventKind::Payout.tag(), 8);
+        assert_eq!(EventKind::from_tag(9), None);
+        assert_eq!(EventKind::parse("SWAP"), Some(EventKind::Swap));
+        assert_eq!(EventKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn archive_query_trait_on_chain_store() {
+        let c = chain();
+        let f = LogFilter::new().kind(EventKind::Swap).limit(2);
+        // Trait methods mirror the free functions exactly.
+        let via_trait = ArchiveQuery::get_logs(&c, &f).unwrap();
+        assert_eq!(via_trait, get_logs(&c, &f));
+        assert_eq!(ArchiveQuery::head_block(&c), c.head_number());
+        assert_eq!(
+            ArchiveQuery::timeline(&c).genesis_number,
+            ChainStore::timeline(&c).genesis_number
+        );
+        // The pages iterator walks every page.
+        let pages: Vec<_> = c.pages(&f).map(|p| p.unwrap().0).collect();
+        assert!(pages.len() >= 3, "5 swaps at limit 2 is at least 3 pages");
+        let total: usize = pages.iter().map(|p| p.entries.len()).sum();
+        assert_eq!(total, 5);
+        // collect_with_stats sums the per-page scan work.
+        let (entries, stats) = c.pages(&f).collect_with_stats().unwrap();
+        assert_eq!(entries.len(), 5);
+        assert!(stats.blocks_scanned >= 10);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_get_logs_all_still_works() {
+        let c = chain();
+        let old = get_logs_all(&c, &LogFilter::new().limit(4));
+        let new = c
+            .pages(&LogFilter::new().limit(4))
+            .collect_entries()
+            .unwrap();
+        assert_eq!(old, new);
     }
 }

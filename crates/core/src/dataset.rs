@@ -5,7 +5,7 @@
 
 use crate::index::BlockIndex;
 use crate::inspector::Inspector;
-use mev_chain::ChainStore;
+use mev_chain::{ArchiveQuery, ChainStore, LogFilter};
 use mev_dex::PriceOracle;
 use mev_flashbots::BlocksApi;
 use mev_types::{Address, LogEvent, Month, TxHash};
@@ -166,6 +166,29 @@ impl MevDataset {
         (total, fb, fl, both)
     }
 
+    /// Cross-check the dataset's evidence against an archive backend
+    /// through the shared [`ArchiveQuery`] trait: every detection's MEV
+    /// transactions must appear among the logs the archive serves for
+    /// the detection's block. Runs identically over the in-memory
+    /// [`ChainStore`] and the on-disk store reader — that is the point:
+    /// the audit is written once against the trait.
+    pub fn audit_evidence<Q: ArchiveQuery>(&self, archive: &Q) -> Result<EvidenceAudit, Q::Error> {
+        let mut audit = EvidenceAudit::default();
+        for d in &self.detections {
+            audit.detections += 1;
+            let filter = LogFilter::new().from_block(d.block).to_block(d.block);
+            let entries = archive.pages(&filter).collect_entries()?;
+            let confirmed = d
+                .tx_hashes
+                .iter()
+                .all(|h| entries.iter().any(|e| e.tx_hash == *h));
+            if confirmed {
+                audit.confirmed += 1;
+            }
+        }
+        Ok(audit)
+    }
+
     /// Detections inside a month.
     pub fn in_month<'a>(
         &'a self,
@@ -175,6 +198,23 @@ impl MevDataset {
         self.detections
             .iter()
             .filter(move |d| chain.month_of(d.block) == month)
+    }
+}
+
+/// What [`MevDataset::audit_evidence`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvidenceAudit {
+    /// Detections checked.
+    pub detections: usize,
+    /// Detections whose every MEV transaction was found in the archive's
+    /// logs for its block.
+    pub confirmed: usize,
+}
+
+impl EvidenceAudit {
+    /// Every checked detection had its evidence in the archive.
+    pub fn is_complete(&self) -> bool {
+        self.confirmed == self.detections
     }
 }
 
@@ -198,6 +238,88 @@ mod tests {
         assert_eq!(MevKind::Sandwich.to_string(), "Sandwiching");
         assert_eq!(MevKind::Arbitrage.to_string(), "Arbitrage");
         assert_eq!(MevKind::Liquidation.to_string(), "Liquidation");
+    }
+
+    #[test]
+    fn evidence_audit_through_archive_query() {
+        use crate::detect::testutil::*;
+        use crate::Inspector;
+        use mev_flashbots::BlocksApi;
+        use mev_types::{Timeline, TokenId, Wei, H256};
+
+        // One sandwich per block: attacker swap / victim swap / attacker swap.
+        let mut chain = ChainStore::new(Timeline::paper_span(100));
+        let attacker = Address::from_index(7);
+        let victim = Address::from_index(8);
+        for i in 0..3u64 {
+            let t0 = tx(attacker, 2 * i);
+            let t1 = tx(victim, i);
+            let t2 = tx(attacker, 2 * i + 1);
+            let r0 = receipt(
+                &t0,
+                0,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId::WETH,
+                    10 * E18,
+                    TokenId(1),
+                    20 * E18,
+                )],
+                Wei::ZERO,
+            );
+            let r1 = receipt(
+                &t1,
+                1,
+                vec![swap_log(
+                    pool(),
+                    victim,
+                    TokenId::WETH,
+                    5 * E18,
+                    TokenId(1),
+                    9 * E18,
+                )],
+                Wei::ZERO,
+            );
+            let r2 = receipt(
+                &t2,
+                2,
+                vec![swap_log(
+                    pool(),
+                    attacker,
+                    TokenId(1),
+                    20 * E18,
+                    TokenId::WETH,
+                    11 * E18,
+                )],
+                Wei::ZERO,
+            );
+            chain.push(block(10_000_000 + i, vec![t0, t1, t2]), vec![r0, r1, r2]);
+        }
+        let ds = Inspector::new(&chain, &BlocksApi::new())
+            .threads(1)
+            .run()
+            .unwrap();
+        assert_eq!(ds.detections.len(), 3);
+
+        // The chain the dataset was computed from confirms every detection.
+        let audit = ds.audit_evidence(&chain).unwrap();
+        assert_eq!(
+            audit,
+            EvidenceAudit {
+                detections: 3,
+                confirmed: 3
+            }
+        );
+        assert!(audit.is_complete());
+
+        // Tampered evidence (a hash the archive never served) is caught.
+        let mut tampered = ds.clone();
+        tampered.detections[1].tx_hashes[0] = H256([0xAB; 32]);
+        let audit = tampered.audit_evidence(&chain).unwrap();
+        assert_eq!(audit.detections, 3);
+        assert_eq!(audit.confirmed, 2);
+        assert!(!audit.is_complete());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod series;
 pub mod store_run;
 pub mod validate;
 
-pub use dataset::{Detection, MevDataset, MevKind};
+pub use dataset::{Detection, EvidenceAudit, MevDataset, MevKind};
 pub use index::{BlockIndex, BlockRecord, BlockView};
 pub use inspector::{InspectError, Inspector};
 pub use prices::price_feed_from_chain;

@@ -33,6 +33,19 @@ impl RunReport {
             .map(|&(_, v)| v)
     }
 
+    /// All counters under a dotted prefix, name-sorted — e.g.
+    /// `counters_with_prefix("store.plan.")` surfaces how often each
+    /// query-planner strategy fired during the run.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
     /// Value of a named gauge, if present.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
@@ -163,6 +176,21 @@ mod tests {
         let h = rep.histogram("lat.ns").unwrap();
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 1000);
+    }
+
+    #[test]
+    fn prefix_lookup_filters_and_sorts() {
+        let r = Registry::new();
+        r.counter("store.plan.postings").add(3);
+        r.counter("store.plan.full_scan").add(1);
+        r.counter("store.scan.segments").add(9);
+        let rep = RunReport::capture(&r);
+        let plans: Vec<_> = rep.counters_with_prefix("store.plan.").collect();
+        assert_eq!(
+            plans,
+            vec![("store.plan.full_scan", 1), ("store.plan.postings", 3)]
+        );
+        assert_eq!(rep.counters_with_prefix("nope.").count(), 0);
     }
 
     #[test]

@@ -79,13 +79,21 @@ impl LogBloom {
 
     /// Could a log matching `filter`'s address/kind predicate live in
     /// this segment? `true` is "maybe", `false` is definitive. A filter
-    /// with neither address nor kind always returns `true`.
+    /// with neither addresses nor kinds always returns `true`.
+    ///
+    /// Multi-value filters are disjunctions within a dimension, so the
+    /// segment may match if *any* selected address/kind (or, when both
+    /// dimensions are constrained, any cross-product pair) tests
+    /// positive.
     pub fn may_match(&self, filter: &LogFilter) -> bool {
-        match (filter.address, filter.kind) {
-            (Some(a), Some(k)) => self.test(key_pair(a, k)),
-            (Some(a), None) => self.test(key_address(a)),
-            (None, Some(k)) => self.test(key_kind(k)),
-            (None, None) => true,
+        match (filter.addresses.is_empty(), filter.kinds.is_empty()) {
+            (true, true) => true,
+            (false, true) => filter.addresses.iter().any(|&a| self.test(key_address(a))),
+            (true, false) => filter.kinds.iter().any(|&k| self.test(key_kind(k))),
+            (false, false) => filter
+                .addresses
+                .iter()
+                .any(|&a| filter.kinds.iter().any(|&k| self.test(key_pair(a, k)))),
         }
     }
 
@@ -133,35 +141,16 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Stable numeric tag per event family — part of the on-disk format, so
-/// the mapping is frozen: new families append, existing tags never move.
+/// Stable numeric tag per event family — part of the on-disk format.
+/// The canonical mapping now lives on [`EventKind::tag`]; this wrapper
+/// stays for the store's existing call sites.
 pub fn kind_tag(kind: EventKind) -> u8 {
-    match kind {
-        EventKind::Transfer => 0,
-        EventKind::Swap => 1,
-        EventKind::Deposit => 2,
-        EventKind::Borrow => 3,
-        EventKind::Repay => 4,
-        EventKind::Liquidation => 5,
-        EventKind::FlashLoan => 6,
-        EventKind::OracleUpdate => 7,
-        EventKind::Payout => 8,
-    }
+    kind.tag()
 }
 
-/// The event family of a decoded log body.
+/// The event family of a decoded log body (see [`EventKind::of`]).
 pub fn kind_of(event: &LogEvent) -> EventKind {
-    match event {
-        LogEvent::Transfer { .. } => EventKind::Transfer,
-        LogEvent::Swap { .. } => EventKind::Swap,
-        LogEvent::Deposit { .. } => EventKind::Deposit,
-        LogEvent::Borrow { .. } => EventKind::Borrow,
-        LogEvent::Repay { .. } => EventKind::Repay,
-        LogEvent::Liquidation { .. } => EventKind::Liquidation,
-        LogEvent::FlashLoan { .. } => EventKind::FlashLoan,
-        LogEvent::OracleUpdate { .. } => EventKind::OracleUpdate,
-        LogEvent::Payout { .. } => EventKind::Payout,
-    }
+    EventKind::of(event)
 }
 
 fn key_address(a: Address) -> u64 {
@@ -229,6 +218,25 @@ mod tests {
         // Both parts present individually, but never together.
         let cross = LogFilter::new().address(a1).kind(EventKind::Transfer);
         assert!(!b.may_match(&cross));
+    }
+
+    #[test]
+    fn multi_value_filters_prune_only_when_every_combo_misses() {
+        let mut b = LogBloom::new();
+        let a1 = Address::from_index(1);
+        let a2 = Address::from_index(2);
+        b.insert(a1, EventKind::Swap);
+        // Any present member of a disjunction lets the segment through.
+        assert!(b.may_match(&LogFilter::new().addresses([Address::from_index(9), a1])));
+        assert!(b.may_match(&LogFilter::new().kinds([EventKind::Repay, EventKind::Swap])));
+        // Both dimensions constrained: prune only if every cross-product
+        // pair misses.
+        assert!(!b.may_match(&LogFilter::new().address(a2).kind(EventKind::Transfer)));
+        assert!(b.may_match(
+            &LogFilter::new()
+                .addresses([a2, a1])
+                .kinds([EventKind::Transfer, EventKind::Swap])
+        ));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! <root>/
 //!   MANIFEST.json          versioned, atomically replaced on commit
 //!   seg-00000.seg          fixed-span segments of frames
+//!   seg-00000.idx          per-segment sidecar index (postings + rows)
 //!   seg-00001.seg
+//!   seg-00001.idx
 //!   ...
 //! ```
 //!
@@ -27,29 +29,48 @@
 //!   block range and tx/log counts plus a 2048-bit bloom filter over
 //!   `(address, event-kind)` in the spirit of Ethereum's own log blooms
 //!   ([`bloom`]); `get_logs` prunes whole segments with them.
+//! * **Sidecar indexes** — per segment, inverted postings
+//!   (`address × kind → row ranges`) over interned address ids plus
+//!   columnar row chunks, in the same checksummed frame format
+//!   ([`postings`]); a selective filter reads index pages only, never
+//!   data frames.
+//! * **Rollups** — per-kind, per-address, and per-epoch counts and
+//!   saturating wei sums committed inside the manifest ([`rollup`]);
+//!   whole-archive aggregates are answered without opening a segment.
+//! * **Planner** — per query, picks full-scan vs postings vs rollup and
+//!   records the choice in [`QueryStats`] and `store.plan.*` counters
+//!   ([`planner`]); every strategy is bit-identical to the scan.
 //! * **Commit protocol** — write temp + fsync + rename of
-//!   `MANIFEST.json` ([`manifest::atomic_write`]); bytes beyond the
-//!   manifest's per-segment counts are crash residue, invisible to
-//!   readers and truncated on the next append.
+//!   `MANIFEST.json` ([`manifest::atomic_write`]); sidecars are
+//!   rewritten whole the same way before the manifest rename, and bytes
+//!   beyond the manifest's per-segment counts are crash residue,
+//!   invisible to readers and truncated on the next append. Archives
+//!   written before indexes existed (no `postings`/`rollups` in the
+//!   manifest) open fine and are served by scans.
 //!
 //! ## Layers
 //!
 //! [`StoreWriter`] ingests a [`ChainStore`] (incrementally: re-ingest
 //! appends only new blocks). [`StoreReader`] serves the archive-node
-//! query surface (`get_block`/`get_receipts`/`get_logs`) with
-//! segment pruning, full-store [`StoreReader::verify`], and
+//! query surface (`get_block`/`get_receipts`/`get_logs`/`aggregate`)
+//! through the shared [`ArchiveQuery`] trait, with full-store
+//! [`StoreReader::verify`] (segments, sidecars, and rollups) and
 //! [`StoreReader::load_chain`] rehydration. `mev-core` builds its
 //! `BlockIndex` straight from a reader and runs the `Inspector` over
 //! segments with per-segment resume checkpoints.
 //!
 //! Instrumented via `mev-obs`: `store.ingest.*`, `store.scan.*`,
-//! `store.segment_cache_hits`, and span timers `store.*.ns`.
+//! `store.plan.*`, `store.postings.*`, `store.segment_cache_hits`, and
+//! span timers `store.*.ns`.
 
 pub mod bloom;
 pub mod error;
 pub mod frame;
 pub mod manifest;
+pub mod planner;
+pub mod postings;
 pub mod reader;
+pub mod rollup;
 pub mod segment;
 pub mod testutil;
 pub mod writer;
@@ -58,10 +79,16 @@ pub use bloom::{kind_of, kind_tag, LogBloom, BLOOM_BITS};
 pub use error::StoreError;
 pub use frame::{encode_frame, frame_crc, Crc32, Frame, FrameReader};
 pub use manifest::{atomic_write, Manifest, SegmentMeta, FORMAT_VERSION, MANIFEST_FILE};
-pub use reader::{ScanStats, StoreReader, VerifyReport};
+pub use planner::{plan_aggregate, plan_logs, GroupBy};
+pub use postings::{index_file_name, IndexBuilder, IndexMeta, SegmentIndex};
+pub use reader::{AggregateKey, AggregateRow, StoreReader, VerifyReport};
+pub use rollup::{wei_value, RollupBlock, RollupStat};
 pub use segment::{segment_file_name, BlockEntry, SegmentHeader, SegmentWriter};
 pub use writer::{IngestStats, StoreWriter};
 
 // Re-exported so store users name the chain query surface without a
 // separate import.
-pub use mev_chain::{ChainStore, Cursor, EventKind, LogEntry, LogFilter, LogPage};
+pub use mev_chain::{
+    ArchiveQuery, ChainStore, Cursor, EventKind, LogEntry, LogFilter, LogPage, QueryPlan,
+    QueryStats,
+};

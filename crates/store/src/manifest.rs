@@ -9,6 +9,8 @@
 
 use crate::bloom::LogBloom;
 use crate::error::StoreError;
+use crate::postings::IndexMeta;
+use crate::rollup::RollupBlock;
 use mev_types::Timeline;
 use std::fs;
 use std::io::Write;
@@ -43,6 +45,11 @@ pub struct SegmentMeta {
     pub bytes: u64,
     /// Bloom filter over (address, event-kind) of the committed logs.
     pub bloom: LogBloom,
+    /// Committed sidecar index (`seg-XXXXX.idx`), when one exists.
+    /// Absent on archives written before secondary indexes; such
+    /// segments are answered by full scans.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub postings: Option<IndexMeta>,
 }
 
 impl SegmentMeta {
@@ -67,6 +74,13 @@ pub struct Manifest {
     pub timeline: Timeline,
     /// Committed segments in height order; the last may be partial.
     pub segments: Vec<SegmentMeta>,
+    /// Pre-aggregated per-address / per-kind / per-epoch rollups over
+    /// every committed block. Rides the same atomic commit as the
+    /// segment list, so it is never out of sync with the data. Absent on
+    /// archives written before rollups existed; the writer rebuilds it
+    /// on the next open.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rollups: Option<RollupBlock>,
 }
 
 impl Manifest {
@@ -78,6 +92,7 @@ impl Manifest {
             segment_blocks: segment_blocks.max(1),
             timeline,
             segments: Vec::new(),
+            rollups: None,
         }
     }
 
@@ -173,7 +188,52 @@ impl Manifest {
                     ),
                 });
             }
+            if let Some(idx) = &seg.postings {
+                if idx.rows != seg.log_count || idx.chunk_rows == 0 || idx.file.is_empty() {
+                    return Err(StoreError::ManifestInvalid {
+                        detail: format!(
+                            "segment {i} index meta inconsistent: {} rows for {} logs",
+                            idx.rows, seg.log_count
+                        ),
+                    });
+                }
+            }
             expected = seg.last_block + 1;
+        }
+        if let Some(rollups) = &self.rollups {
+            if Some(rollups.head_block) != self.head_block() {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!(
+                        "rollups cover head {} but the store head is {:?}",
+                        rollups.head_block,
+                        self.head_block()
+                    ),
+                });
+            }
+            if rollups.logs != self.log_count() {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!(
+                        "rollups fold {} logs but segments commit {}",
+                        rollups.logs,
+                        self.log_count()
+                    ),
+                });
+            }
+            if rollups.per_kind.len() != mev_chain::EventKind::ALL.len() {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!("rollups carry {} kind slots", rollups.per_kind.len()),
+                });
+            }
+            if rollups.per_addr.windows(2).any(|w| w[0].addr >= w[1].addr)
+                || rollups
+                    .per_epoch
+                    .windows(2)
+                    .any(|w| w[0].month >= w[1].month)
+            {
+                return Err(StoreError::ManifestInvalid {
+                    detail: "rollup tables are not strictly sorted".to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -257,6 +317,7 @@ mod tests {
             log_count: 0,
             bytes: 0,
             bloom: LogBloom::new(),
+            postings: None,
         }
     }
 
@@ -338,6 +399,71 @@ mod tests {
         assert_eq!(loaded.commit_seq, 2);
         assert_eq!(loaded.segments, m.segments);
         assert_eq!(loaded.timeline.genesis_number, m.timeline.genesis_number);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_checks_index_meta_and_rollups() {
+        let g = 10_000_000;
+        // Index meta whose row count disagrees with the segment's logs.
+        let mut bad_idx = manifest_with(vec![seg(0, g, g + 3)]);
+        bad_idx.segments[0].postings = Some(IndexMeta {
+            file: "seg-00000.idx".to_string(),
+            bytes: 100,
+            rows: 7,
+            addrs: 1,
+            chunk_rows: 512,
+        });
+        assert!(matches!(
+            bad_idx.validate(),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+        // Rollups whose head lags the committed head.
+        let mut stale = manifest_with(vec![seg(0, g, g + 3)]);
+        stale.rollups = Some(RollupBlock {
+            head_block: g,
+            logs: 0,
+            per_kind: vec![Default::default(); 9],
+            per_addr: vec![],
+            per_epoch: vec![],
+        });
+        assert!(matches!(
+            stale.validate(),
+            Err(StoreError::ManifestInvalid { .. })
+        ));
+        // In-sync rollups pass.
+        let mut ok = manifest_with(vec![seg(0, g, g + 3)]);
+        ok.rollups = Some(RollupBlock {
+            head_block: g + 3,
+            logs: 0,
+            per_kind: vec![Default::default(); 9],
+            per_addr: vec![],
+            per_epoch: vec![],
+        });
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn pre_index_manifests_still_load() {
+        // A manifest serialized before postings/rollups existed has
+        // neither field; both must deserialize as absent.
+        let dir = crate::testutil::scratch_dir("manifest-legacy");
+        let g = 10_000_000;
+        let m = manifest_with(vec![seg(0, g, g + 3)]);
+        let mut json = serde_json::to_value(&m).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("rollups");
+        for s in obj["segments"].as_array_mut().unwrap() {
+            s.as_object_mut().unwrap().remove("postings");
+        }
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            serde_json::to_string(&json).unwrap(),
+        )
+        .unwrap();
+        let loaded = Manifest::load(&dir).unwrap();
+        assert!(loaded.rollups.is_none());
+        assert!(loaded.segments[0].postings.is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,773 @@
+//! Per-segment secondary index: inverted postings plus columnar row
+//! chunks, persisted as a checksummed sidecar file next to the segment.
+//!
+//! Sealing a segment also writes `seg-XXXXX.idx`, framed exactly like
+//! segment files (`[len][kind][crc32][payload]`, committed-byte-limit
+//! reads):
+//!
+//! ```text
+//! [IndexHeader]  frame kind 3 — version, segment, rows, chunk size
+//! [PostingsTable] frame kind 4 — AddrId → per-kind row ranges,
+//!                 kind → row ranges, and the chunk offset table
+//! [RowChunk]*    frame kind 5 — ROWS_PER_CHUNK log rows per frame,
+//!                 columnar (block / tx_index / tx_hash / log)
+//! ```
+//!
+//! A *row* is one log of the segment, numbered in `(block, tx_index,
+//! log position)` order — the exact order a full scan of the segment
+//! emits, so serving a filter from postings is bit-identical to scanning.
+//! Row ids index the postings tables; `AddrId`s are dense u32 ids from a
+//! per-segment first-intern-order [`Interner`] (the same id discipline
+//! the detection `BlockIndex` uses), so the address table is
+//! `postings.addrs[addr_id]` with no hashing at query time.
+//!
+//! The postings frame carries byte offsets of every row-chunk frame
+//! *relative to the end of the postings frame*, so an address-history
+//! query seeks straight to the chunks it needs: a warm postings-planned
+//! query reads the two leading index frames plus the touched chunks and
+//! **zero** segment data frames.
+//!
+//! Crash safety mirrors the manifest: the sidecar is written complete to
+//! a temp file and atomically renamed, and its committed byte count
+//! rides `SegmentMeta::postings` through the atomic manifest commit. A
+//! sidecar that is missing, truncated, or fails any checksum degrades
+//! the segment to a full scan — never a query error.
+
+use crate::error::StoreError;
+use crate::frame::{encode_frame, Frame, FrameReader};
+use crate::manifest::{atomic_write, SegmentMeta, FORMAT_VERSION};
+use crate::segment::BlockEntry;
+use mev_chain::{EventKind, LogFilter};
+use mev_types::{Address, Interner, Log, TxHash};
+use std::fs;
+use std::io::{BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Frame kind of the index header (first frame of every sidecar).
+pub const FRAME_INDEX_HEADER: u8 = 3;
+/// Frame kind of the postings table (second frame).
+pub const FRAME_POSTINGS: u8 = 4;
+/// Frame kind of a columnar row chunk.
+pub const FRAME_ROW_CHUNK: u8 = 5;
+
+/// Rows per [`RowChunk`] frame. Fixed so `chunk = row / ROWS_PER_CHUNK`
+/// without consulting per-chunk metadata.
+pub const ROWS_PER_CHUNK: u32 = 512;
+
+/// Number of event families in the frozen tag space (`EventKind::ALL`).
+const KIND_SLOTS: usize = EventKind::ALL.len();
+
+/// Sidecar file name of segment `index` under the store root.
+pub fn index_file_name(index: u64) -> String {
+    format!("seg-{index:05}.idx")
+}
+
+/// First frame of every sidecar index file.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexHeader {
+    pub version: u32,
+    /// Segment this sidecar indexes.
+    pub segment: u64,
+    pub first_block: u64,
+    /// Total log rows in the segment.
+    pub rows: u64,
+    /// Rows per chunk frame ([`ROWS_PER_CHUNK`] at write time).
+    pub chunk_rows: u32,
+}
+
+/// Inclusive-start `(first_row, len)` run of consecutive rows.
+pub type RowRange = (u32, u32);
+
+/// The inverted postings of one segment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PostingsTable {
+    /// Addresses in first-intern order; the position *is* the `AddrId`.
+    pub addrs: Vec<Address>,
+    /// `addrs`-parallel: for each address, `(kind tag, row ranges)`
+    /// entries sorted by tag — the rows where that address emitted that
+    /// event family.
+    pub by_addr_kind: Vec<Vec<(u8, Vec<RowRange>)>>,
+    /// Kind tag → row ranges, for address-free kind filters.
+    pub by_kind: Vec<Vec<RowRange>>,
+    /// Byte offset of each row-chunk frame, relative to the first byte
+    /// after the postings frame (relative so this table's own encoded
+    /// size cannot perturb it).
+    pub chunk_offsets: Vec<u64>,
+}
+
+/// One columnar chunk of log rows.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RowChunk {
+    /// Row id of the first row in this chunk.
+    pub start_row: u32,
+    pub blocks: Vec<u64>,
+    pub tx_indices: Vec<u32>,
+    pub tx_hashes: Vec<TxHash>,
+    pub logs: Vec<Log>,
+}
+
+/// Committed shape of a segment's sidecar, recorded in `SegmentMeta` and
+/// thus in the atomically-committed manifest. Absent (`None`) on
+/// archives written before secondary indexes existed — those segments
+/// fall back to full scans.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexMeta {
+    pub file: String,
+    /// Committed sidecar bytes; reads never cross this.
+    pub bytes: u64,
+    pub rows: u64,
+    /// Distinct emitting addresses in the segment.
+    pub addrs: u64,
+    pub chunk_rows: u32,
+}
+
+fn codec(path: &Path, detail: String) -> StoreError {
+    StoreError::Codec {
+        path: path.to_path_buf(),
+        detail,
+    }
+}
+
+fn decode_payload<T: serde::de::DeserializeOwned>(
+    path: &Path,
+    frame: &Frame,
+) -> Result<T, StoreError> {
+    serde_json::from_slice(&frame.payload)
+        .map_err(|e| codec(path, format!("index frame at byte {}: {e}", frame.offset)))
+}
+
+fn encode_payload<T: serde::Serialize>(path: &Path, value: &T) -> Result<Vec<u8>, StoreError> {
+    serde_json::to_vec(value).map_err(|e| codec(path, format!("encode index: {e}")))
+}
+
+/// Extend the trailing range if `row` continues it, else open a new one.
+fn push_row(ranges: &mut Vec<RowRange>, row: u32) {
+    if let Some((start, len)) = ranges.last_mut() {
+        if *start + *len == row {
+            *len += 1;
+            return;
+        }
+    }
+    ranges.push((row, 1));
+}
+
+/// Sort and coalesce ranges from several postings lists into one
+/// ascending, non-overlapping run list.
+pub fn merge_ranges(mut ranges: Vec<RowRange>) -> Vec<RowRange> {
+    ranges.sort_unstable();
+    let mut out: Vec<RowRange> = Vec::with_capacity(ranges.len());
+    for (start, len) in ranges {
+        if let Some((last_start, last_len)) = out.last_mut() {
+            let last_end = *last_start + *last_len;
+            if start <= last_end {
+                let end = (start + len).max(last_end);
+                *last_len = end - *last_start;
+                continue;
+            }
+        }
+        out.push((start, len));
+    }
+    out
+}
+
+/// Accumulates a segment's postings and rows while the segment is being
+/// written; [`IndexBuilder::write`] persists the sidecar.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    interner: Interner<Address>,
+    by_addr_kind: Vec<Vec<(u8, Vec<RowRange>)>>,
+    by_kind: Vec<Vec<RowRange>>,
+    blocks: Vec<u64>,
+    tx_indices: Vec<u32>,
+    tx_hashes: Vec<TxHash>,
+    logs: Vec<Log>,
+}
+
+impl IndexBuilder {
+    pub fn new() -> IndexBuilder {
+        IndexBuilder {
+            interner: Interner::new(),
+            by_addr_kind: Vec::new(),
+            by_kind: vec![Vec::new(); KIND_SLOTS],
+            blocks: Vec::new(),
+            tx_indices: Vec::new(),
+            tx_hashes: Vec::new(),
+            logs: Vec::new(),
+        }
+    }
+
+    /// Rebuild the index of an already-written run of entries (reopened
+    /// tail segments, verification).
+    pub fn from_entries(entries: &[BlockEntry]) -> IndexBuilder {
+        let mut b = IndexBuilder::new();
+        for entry in entries {
+            b.add_block(entry);
+        }
+        b
+    }
+
+    /// Total log rows accumulated.
+    pub fn rows(&self) -> u64 {
+        self.logs.len() as u64
+    }
+
+    /// Distinct emitting addresses seen.
+    pub fn addrs(&self) -> u64 {
+        self.interner.len() as u64
+    }
+
+    /// Index one block's logs. Must be fed blocks in the same order they
+    /// are appended to the segment — row order is append order.
+    pub fn add_block(&mut self, entry: &BlockEntry) {
+        let number = entry.block.header.number;
+        for r in &entry.receipts {
+            for log in &r.logs {
+                let row = self.logs.len() as u32;
+                let tag = EventKind::of(&log.event).tag();
+                let aid = self.interner.intern(log.address).raw() as usize;
+                if self.by_addr_kind.len() <= aid {
+                    self.by_addr_kind.resize_with(aid + 1, Vec::new);
+                }
+                if let Some(entries) = self.by_addr_kind.get_mut(aid) {
+                    match entries.binary_search_by_key(&tag, |(t, _)| *t) {
+                        Ok(pos) => {
+                            if let Some((_, ranges)) = entries.get_mut(pos) {
+                                push_row(ranges, row);
+                            }
+                        }
+                        Err(pos) => entries.insert(pos, (tag, vec![(row, 1)])),
+                    }
+                }
+                if let Some(ranges) = self.by_kind.get_mut(tag as usize) {
+                    push_row(ranges, row);
+                }
+                self.blocks.push(number);
+                self.tx_indices.push(r.index);
+                self.tx_hashes.push(r.tx_hash);
+                self.logs.push(log.clone());
+            }
+        }
+    }
+
+    /// Encode the complete sidecar byte stream for segment
+    /// `segment_index` starting at `first_block`.
+    pub fn encode(
+        &self,
+        path: &Path,
+        segment_index: u64,
+        first_block: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        let rows = self.logs.len() as u64;
+        let chunk_rows = ROWS_PER_CHUNK;
+        // Encode every chunk first so the offset table is exact.
+        let mut chunk_payloads = Vec::new();
+        let mut chunk_offsets = Vec::new();
+        let mut rel = 0u64;
+        let mut start = 0usize;
+        while start < self.logs.len() {
+            let end = (start + chunk_rows as usize).min(self.logs.len());
+            let chunk = RowChunk {
+                start_row: start as u32,
+                blocks: self.blocks[start..end].to_vec(),
+                tx_indices: self.tx_indices[start..end].to_vec(),
+                tx_hashes: self.tx_hashes[start..end].to_vec(),
+                logs: self.logs[start..end].to_vec(),
+            };
+            let payload = encode_payload(path, &chunk)?;
+            chunk_offsets.push(rel);
+            rel += crate::frame::FRAME_HEADER_BYTES + payload.len() as u64;
+            chunk_payloads.push(payload);
+            start = end;
+        }
+        let postings = PostingsTable {
+            addrs: self.interner.keys_in_order().to_vec(),
+            by_addr_kind: self.by_addr_kind.clone(),
+            by_kind: self.by_kind.clone(),
+            chunk_offsets,
+        };
+        let header = IndexHeader {
+            version: FORMAT_VERSION,
+            segment: segment_index,
+            first_block,
+            rows,
+            chunk_rows,
+        };
+        let mut out = Vec::new();
+        let header_payload = encode_payload(path, &header)?;
+        encode_frame(&mut out, FRAME_INDEX_HEADER, &header_payload);
+        let postings_payload = encode_payload(path, &postings)?;
+        encode_frame(&mut out, FRAME_POSTINGS, &postings_payload);
+        for payload in &chunk_payloads {
+            encode_frame(&mut out, FRAME_ROW_CHUNK, payload);
+        }
+        Ok(out)
+    }
+
+    /// Write the sidecar for segment `segment_index` under `root`
+    /// (complete temp file + atomic rename, like the manifest) and
+    /// return the [`IndexMeta`] to commit.
+    pub fn write(
+        &self,
+        root: &Path,
+        segment_index: u64,
+        first_block: u64,
+    ) -> Result<IndexMeta, StoreError> {
+        let file = index_file_name(segment_index);
+        let path = root.join(&file);
+        let bytes = self.encode(&path, segment_index, first_block)?;
+        atomic_write(&path, &bytes)?;
+        Ok(IndexMeta {
+            file,
+            bytes: bytes.len() as u64,
+            rows: self.rows(),
+            addrs: self.addrs(),
+            chunk_rows: ROWS_PER_CHUNK,
+        })
+    }
+}
+
+impl Default for IndexBuilder {
+    fn default() -> IndexBuilder {
+        IndexBuilder::new()
+    }
+}
+
+/// An opened, validated sidecar: header and postings loaded, row chunks
+/// read on demand through [`RowReader`].
+pub struct SegmentIndex {
+    pub header: IndexHeader,
+    pub postings: PostingsTable,
+    path: PathBuf,
+    /// Committed sidecar bytes (from the manifest, not the file system).
+    committed_bytes: u64,
+    /// Absolute byte offset of the first row-chunk frame.
+    data_start: u64,
+    /// Index pages (frames) read while opening: header + postings.
+    pub pages_read: u64,
+}
+
+impl SegmentIndex {
+    /// Open and validate a segment's sidecar against its committed meta.
+    /// Any error here means the caller must fall back to scanning the
+    /// segment's data frames; results stay correct either way.
+    pub fn open(root: &Path, meta: &SegmentMeta) -> Result<SegmentIndex, StoreError> {
+        let im = meta.postings.as_ref().ok_or_else(|| {
+            codec(
+                root,
+                format!("segment {} has no committed index", meta.index),
+            )
+        })?;
+        let path = root.join(&im.file);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::SegmentMissing { path })
+            }
+            Err(e) => return Err(StoreError::io("open index", &path, e)),
+        };
+        let actual = file
+            .metadata()
+            .map_err(|e| StoreError::io("stat index", &path, e))?
+            .len();
+        if actual < im.bytes {
+            return Err(StoreError::SegmentTruncated {
+                path,
+                committed: im.bytes,
+                actual,
+            });
+        }
+        let mut reader = FrameReader::new(BufReader::new(file), &path, im.bytes);
+        let header_frame = reader
+            .next_frame()?
+            .ok_or_else(|| codec(&path, "index has no header frame".to_string()))?;
+        if header_frame.kind != FRAME_INDEX_HEADER {
+            return Err(codec(
+                &path,
+                format!(
+                    "first frame kind {} is not an index header",
+                    header_frame.kind
+                ),
+            ));
+        }
+        let header: IndexHeader = decode_payload(&path, &header_frame)?;
+        if header.version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: header.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if header.segment != meta.index
+            || header.first_block != meta.first_block
+            || header.rows != im.rows
+            || header.chunk_rows != im.chunk_rows
+            || header.chunk_rows == 0
+        {
+            return Err(codec(
+                &path,
+                format!(
+                    "index header (segment {}, first_block {}, rows {}, chunk_rows {}) \
+                     disagrees with manifest (segment {}, first_block {}, rows {}, chunk_rows {})",
+                    header.segment,
+                    header.first_block,
+                    header.rows,
+                    header.chunk_rows,
+                    meta.index,
+                    meta.first_block,
+                    im.rows,
+                    im.chunk_rows
+                ),
+            ));
+        }
+        let postings_frame = reader
+            .next_frame()?
+            .ok_or_else(|| codec(&path, "index has no postings frame".to_string()))?;
+        if postings_frame.kind != FRAME_POSTINGS {
+            return Err(codec(
+                &path,
+                format!(
+                    "second frame kind {} is not a postings table",
+                    postings_frame.kind
+                ),
+            ));
+        }
+        let postings: PostingsTable = decode_payload(&path, &postings_frame)?;
+        let want_chunks = header.rows.div_ceil(header.chunk_rows as u64);
+        if postings.addrs.len() != postings.by_addr_kind.len()
+            || postings.by_kind.len() != KIND_SLOTS
+            || postings.chunk_offsets.len() as u64 != want_chunks
+            || postings.chunk_offsets.first().is_some_and(|&o| o != 0)
+            || postings.chunk_offsets.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(codec(&path, "postings table is inconsistent".to_string()));
+        }
+        Ok(SegmentIndex {
+            header,
+            postings,
+            path,
+            committed_bytes: im.bytes,
+            data_start: reader.offset(),
+            pages_read: 2,
+        })
+    }
+
+    /// The ascending, coalesced row ranges a filter's address/kind
+    /// predicate selects. Row order is scan order, so walking these
+    /// ranges front to back reproduces a full scan of the matches.
+    pub fn rows_for_filter(&self, filter: &LogFilter) -> Vec<RowRange> {
+        let mut ranges: Vec<RowRange> = Vec::new();
+        if !filter.addresses.is_empty() {
+            for addr in &filter.addresses {
+                let Some(aid) = self.postings.addrs.iter().position(|a| a == addr) else {
+                    continue;
+                };
+                let Some(entries) = self.postings.by_addr_kind.get(aid) else {
+                    continue;
+                };
+                for (tag, rs) in entries {
+                    if filter.kinds.is_empty() || filter.kinds.iter().any(|k| k.tag() == *tag) {
+                        ranges.extend_from_slice(rs);
+                    }
+                }
+            }
+        } else if !filter.kinds.is_empty() {
+            for kind in &filter.kinds {
+                if let Some(rs) = self.postings.by_kind.get(kind.tag() as usize) {
+                    ranges.extend_from_slice(rs);
+                }
+            }
+        } else if self.header.rows > 0 {
+            ranges.push((0, self.header.rows as u32));
+        }
+        merge_ranges(ranges)
+    }
+
+    /// A chunk-caching row accessor over this sidecar.
+    pub fn rows(&self) -> RowReader<'_> {
+        RowReader {
+            index: self,
+            file: None,
+            current: None,
+            pages_read: 0,
+        }
+    }
+
+    fn read_chunk(&self, file: &mut fs::File, chunk_no: u32) -> Result<RowChunk, StoreError> {
+        let rel = *self
+            .postings
+            .chunk_offsets
+            .get(chunk_no as usize)
+            .ok_or_else(|| codec(&self.path, format!("chunk {chunk_no} out of range")))?;
+        let abs = self.data_start + rel;
+        if abs >= self.committed_bytes {
+            return Err(codec(
+                &self.path,
+                format!("chunk {chunk_no} offset {abs} past committed bytes"),
+            ));
+        }
+        file.seek(SeekFrom::Start(abs))
+            .map_err(|e| StoreError::io("seek index chunk", &self.path, e))?;
+        let mut reader = FrameReader::new(file, &self.path, self.committed_bytes - abs);
+        let frame = reader
+            .next_frame()?
+            .ok_or_else(|| codec(&self.path, format!("chunk {chunk_no} frame missing")))?;
+        if frame.kind != FRAME_ROW_CHUNK {
+            return Err(codec(
+                &self.path,
+                format!(
+                    "frame kind {} at chunk {chunk_no} is not a row chunk",
+                    frame.kind
+                ),
+            ));
+        }
+        let chunk: RowChunk = decode_payload(&self.path, &frame)?;
+        let rows = chunk.blocks.len();
+        if chunk.start_row != chunk_no * self.header.chunk_rows
+            || chunk.tx_indices.len() != rows
+            || chunk.tx_hashes.len() != rows
+            || chunk.logs.len() != rows
+            || rows == 0
+        {
+            return Err(codec(
+                &self.path,
+                format!("chunk {chunk_no} is inconsistent"),
+            ));
+        }
+        Ok(chunk)
+    }
+}
+
+/// One log row resolved from a chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowData {
+    pub block: u64,
+    pub tx_index: u32,
+    pub tx_hash: TxHash,
+    pub log: Log,
+}
+
+/// Random access to a sidecar's rows, caching the most recently read
+/// chunk. Ascending row access (the planner's access pattern) reads each
+/// touched chunk exactly once.
+pub struct RowReader<'a> {
+    index: &'a SegmentIndex,
+    file: Option<fs::File>,
+    current: Option<(u32, RowChunk)>,
+    /// Chunk frames read so far.
+    pub pages_read: u64,
+}
+
+impl RowReader<'_> {
+    /// Fetch row `row`, reading its chunk frame if not already cached.
+    pub fn get(&mut self, row: u32) -> Result<RowData, StoreError> {
+        let chunk_no = row / self.index.header.chunk_rows;
+        let cached = matches!(self.current, Some((no, _)) if no == chunk_no);
+        if !cached {
+            if self.file.is_none() {
+                let f = fs::File::open(&self.index.path)
+                    .map_err(|e| StoreError::io("open index", &self.index.path, e))?;
+                self.file = Some(f);
+            }
+            let Some(file) = self.file.as_mut() else {
+                return Err(codec(
+                    &self.index.path,
+                    "index file unavailable".to_string(),
+                ));
+            };
+            let chunk = self.index.read_chunk(file, chunk_no)?;
+            self.pages_read += 1;
+            self.current = Some((chunk_no, chunk));
+        }
+        let Some((_, chunk)) = self.current.as_ref() else {
+            return Err(codec(&self.index.path, "chunk cache empty".to_string()));
+        };
+        let i = (row - chunk.start_row) as usize;
+        match (
+            chunk.blocks.get(i),
+            chunk.tx_indices.get(i),
+            chunk.tx_hashes.get(i),
+            chunk.logs.get(i),
+        ) {
+            (Some(&block), Some(&tx_index), Some(&tx_hash), Some(log)) => Ok(RowData {
+                block,
+                tx_index,
+                tx_hash,
+                log: log.clone(),
+            }),
+            _ => Err(codec(
+                &self.index.path,
+                format!("row {row} out of chunk bounds"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::segment_file_name;
+    use crate::testutil::{scratch_dir, test_block};
+    use mev_types::Address;
+
+    fn entries(n_blocks: u64, txs: u64) -> Vec<BlockEntry> {
+        let g = 10_000_000;
+        (0..n_blocks)
+            .map(|i| {
+                let (block, receipts) = test_block(g + i, txs);
+                BlockEntry { block, receipts }
+            })
+            .collect()
+    }
+
+    fn meta_with_index(dir: &Path, entries: &[BlockEntry]) -> SegmentMeta {
+        let builder = IndexBuilder::from_entries(entries);
+        let first = entries[0].block.header.number;
+        let im = builder.write(dir, 0, first).unwrap();
+        SegmentMeta {
+            index: 0,
+            file: segment_file_name(0),
+            first_block: first,
+            last_block: entries.last().unwrap().block.header.number,
+            blocks: entries.len() as u64,
+            tx_count: 0,
+            log_count: im.rows,
+            bytes: 0,
+            bloom: crate::bloom::LogBloom::new(),
+            postings: Some(im),
+        }
+    }
+
+    #[test]
+    fn builder_rows_are_scan_order_and_round_trip() {
+        let dir = scratch_dir("postings-roundtrip");
+        let es = entries(6, 2);
+        let meta = meta_with_index(&dir, &es);
+        let idx = SegmentIndex::open(&dir, &meta).unwrap();
+        assert_eq!(idx.pages_read, 2);
+        // Walk every row and compare against a manual scan.
+        let mut expect = Vec::new();
+        for e in &es {
+            for r in &e.receipts {
+                for log in &r.logs {
+                    expect.push(RowData {
+                        block: e.block.header.number,
+                        tx_index: r.index,
+                        tx_hash: r.tx_hash,
+                        log: log.clone(),
+                    });
+                }
+            }
+        }
+        assert_eq!(idx.header.rows, expect.len() as u64);
+        let mut rows = idx.rows();
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(&rows.get(i as u32).unwrap(), want);
+        }
+        // 6 blocks × 2 txs ≤ 512 rows → a single chunk, read once.
+        assert_eq!(rows.pages_read, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn postings_select_the_scan_matches() {
+        let dir = scratch_dir("postings-select");
+        let es = entries(8, 2);
+        let meta = meta_with_index(&dir, &es);
+        let idx = SegmentIndex::open(&dir, &meta).unwrap();
+        // test_block: every tx emits a Transfer from A(1); even blocks'
+        // first tx also emits a Swap from A(2).
+        let swaps = idx.rows_for_filter(&LogFilter::new().address(Address::from_index(2)));
+        let total: u32 = swaps.iter().map(|(_, len)| len).sum();
+        assert_eq!(total, 4, "4 even blocks emit one swap each");
+        let by_kind = idx.rows_for_filter(&LogFilter::new().kind(EventKind::Swap));
+        assert_eq!(swaps, by_kind, "A(2) emits exactly the swaps");
+        let cross = idx.rows_for_filter(
+            &LogFilter::new()
+                .address(Address::from_index(2))
+                .kind(EventKind::Transfer),
+        );
+        assert!(cross.is_empty(), "A(2) never emits transfers");
+        let all = idx.rows_for_filter(&LogFilter::new());
+        assert_eq!(all, vec![(0, idx.header.rows as u32)]);
+        // Absent address selects nothing.
+        assert!(idx
+            .rows_for_filter(&LogFilter::new().address(Address::from_index(999)))
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_chunk_sidecars_seek_per_chunk() {
+        let dir = scratch_dir("postings-chunks");
+        // 300 blocks × 2 txs ≈ 750 rows → 2 chunks of 512.
+        let es = entries(300, 2);
+        let meta = meta_with_index(&dir, &es);
+        let idx = SegmentIndex::open(&dir, &meta).unwrap();
+        assert!(idx.header.rows > ROWS_PER_CHUNK as u64);
+        assert_eq!(idx.postings.chunk_offsets.len(), 2);
+        let mut rows = idx.rows();
+        let first = rows.get(0).unwrap();
+        assert_eq!(first.block, 10_000_000);
+        let last = rows.get((idx.header.rows - 1) as u32).unwrap();
+        assert_eq!(last.block, 10_000_000 + 299);
+        assert_eq!(rows.pages_read, 2);
+        // Re-reading within the cached chunk costs nothing.
+        rows.get((idx.header.rows - 2) as u32).unwrap();
+        assert_eq!(rows.pages_read, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_anywhere_is_rejected() {
+        let dir = scratch_dir("postings-bitflip");
+        let es = entries(4, 2);
+        let meta = meta_with_index(&dir, &es);
+        let path = dir.join(&meta.postings.as_ref().unwrap().file);
+        let clean = fs::read(&path).unwrap();
+        // Flip a bit in each structural region: header frame, postings
+        // frame, and the last chunk frame.
+        for pos in [12usize, clean.len() / 2, clean.len() - 3] {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            fs::write(&path, &bytes).unwrap();
+            let outcome = SegmentIndex::open(&dir, &meta).and_then(|idx| {
+                let ranges = idx.rows_for_filter(&LogFilter::new());
+                let mut rows = idx.rows();
+                for (start, len) in ranges {
+                    for row in start..start + len {
+                        rows.get(row)?;
+                    }
+                }
+                Ok(())
+            });
+            assert!(outcome.is_err(), "bitflip at byte {pos} went undetected");
+        }
+        fs::write(&path, &clean).unwrap();
+        assert!(SegmentIndex::open(&dir, &meta).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_ranges_coalesces_and_sorts() {
+        assert_eq!(merge_ranges(vec![]), vec![]);
+        assert_eq!(
+            merge_ranges(vec![(5, 2), (0, 3), (3, 2)]),
+            vec![(0, 7)],
+            "adjacent runs coalesce"
+        );
+        assert_eq!(
+            merge_ranges(vec![(10, 5), (0, 2), (12, 1)]),
+            vec![(0, 2), (10, 5)],
+            "contained runs collapse"
+        );
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let es = entries(5, 3);
+        let a = IndexBuilder::from_entries(&es);
+        let b = IndexBuilder::from_entries(&es);
+        let pa = a.encode(Path::new("a"), 0, 10_000_000).unwrap();
+        let pb = b.encode(Path::new("b"), 0, 10_000_000).unwrap();
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,292 @@
+//! Persisted rollups: pre-aggregated per-address, per-kind, and
+//! per-epoch (calendar month) log counts and saturating wei sums,
+//! committed inside `MANIFEST.json` through the store's atomic commit
+//! path.
+//!
+//! Every paper table is a group-by over crawled logs; rollups let the
+//! planner answer whole-archive aggregates (per-kind activity, monthly
+//! volume curves) from the manifest alone — zero segment or index bytes
+//! read. Because the rollup block rides the same atomic rename as the
+//! segment metadata, it is always exactly in sync with the committed
+//! blocks: a crash between appends loses the appends *and* their rollup
+//! contribution together.
+//!
+//! Wei sums are stored as raw `u128` and accumulated with
+//! `saturating_add` — aggregate volume across months can exceed any
+//! single balance, and a saturated sum is preferable to a panic or wrap
+//! in an accounting pipeline.
+
+use crate::segment::BlockEntry;
+use mev_chain::EventKind;
+use mev_types::{Address, LogEvent, Month, Timeline};
+use std::collections::BTreeMap;
+
+/// Count + saturating wei sum of one aggregation bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RollupStat {
+    pub count: u64,
+    /// Saturating sum of each log's wei-denominated principal amount
+    /// ([`wei_value`]).
+    pub wei_sum: u128,
+}
+
+impl RollupStat {
+    /// Fold one log's value in.
+    pub fn absorb(&mut self, wei: u128) {
+        self.count += 1;
+        self.wei_sum = self.wei_sum.saturating_add(wei);
+    }
+
+    /// Fold another bucket in (used when summing across rollup rows).
+    pub fn merge(&mut self, other: &RollupStat) {
+        self.count += other.count;
+        self.wei_sum = self.wei_sum.saturating_add(other.wei_sum);
+    }
+}
+
+/// One per-address rollup row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AddrRollup {
+    pub addr: Address,
+    pub stat: RollupStat,
+}
+
+/// One per-epoch (month) rollup row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EpochRollup {
+    pub month: Month,
+    pub stat: RollupStat,
+}
+
+/// The committed rollup tables, exactly covering blocks up to
+/// `head_block`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RollupBlock {
+    /// Height of the last block folded in — must equal the manifest's
+    /// committed head.
+    pub head_block: u64,
+    /// Total logs folded in.
+    pub logs: u64,
+    /// Indexed by the frozen [`EventKind::tag`] order (9 entries).
+    pub per_kind: Vec<RollupStat>,
+    /// Sorted by address, strictly ascending.
+    pub per_addr: Vec<AddrRollup>,
+    /// Sorted by month, strictly ascending.
+    pub per_epoch: Vec<EpochRollup>,
+}
+
+/// The wei-denominated principal of a log event — the amount each rollup
+/// sums. Events without a wei principal (oracle prints) contribute 0.
+pub fn wei_value(event: &LogEvent) -> u128 {
+    match event {
+        LogEvent::Transfer { amount, .. } => *amount,
+        LogEvent::Swap { amount_in, .. } => *amount_in,
+        LogEvent::Deposit { amount, .. } => *amount,
+        LogEvent::Borrow { amount, .. } => *amount,
+        LogEvent::Repay { amount, .. } => *amount,
+        LogEvent::Liquidation { debt_repaid, .. } => *debt_repaid,
+        LogEvent::FlashLoan { amount, .. } => *amount,
+        LogEvent::OracleUpdate { .. } => 0,
+        LogEvent::Payout { total, .. } => total.0,
+    }
+}
+
+/// Mutable accumulator behind the committed [`RollupBlock`]. The writer
+/// folds every appended block in and serializes a sorted snapshot at
+/// commit time; iteration is over `BTreeMap`s, so snapshots are
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct RollupBuilder {
+    head_block: Option<u64>,
+    logs: u64,
+    per_kind: Vec<RollupStat>,
+    per_addr: BTreeMap<Address, RollupStat>,
+    per_epoch: BTreeMap<Month, RollupStat>,
+}
+
+impl RollupBuilder {
+    pub fn new() -> RollupBuilder {
+        RollupBuilder {
+            head_block: None,
+            logs: 0,
+            per_kind: vec![RollupStat::default(); EventKind::ALL.len()],
+            per_addr: BTreeMap::new(),
+            per_epoch: BTreeMap::new(),
+        }
+    }
+
+    /// Resume from a committed rollup block (store reopen).
+    pub fn from_block(block: &RollupBlock) -> RollupBuilder {
+        let mut b = RollupBuilder::new();
+        b.head_block = Some(block.head_block);
+        b.logs = block.logs;
+        for (slot, stat) in b.per_kind.iter_mut().zip(block.per_kind.iter()) {
+            *slot = *stat;
+        }
+        b.per_addr = block.per_addr.iter().map(|r| (r.addr, r.stat)).collect();
+        b.per_epoch = block.per_epoch.iter().map(|r| (r.month, r.stat)).collect();
+        b
+    }
+
+    /// Height of the last block folded in.
+    pub fn head_block(&self) -> Option<u64> {
+        self.head_block
+    }
+
+    /// Fold one block's logs into every table.
+    pub fn add_block(&mut self, timeline: &Timeline, entry: &BlockEntry) {
+        let number = entry.block.header.number;
+        let month = timeline.at(number).month();
+        for r in &entry.receipts {
+            for log in &r.logs {
+                let wei = wei_value(&log.event);
+                let tag = EventKind::of(&log.event).tag() as usize;
+                if let Some(stat) = self.per_kind.get_mut(tag) {
+                    stat.absorb(wei);
+                }
+                self.per_addr.entry(log.address).or_default().absorb(wei);
+                self.per_epoch.entry(month).or_default().absorb(wei);
+                self.logs += 1;
+            }
+        }
+        self.head_block = Some(number);
+    }
+
+    /// Sorted, committable snapshot; `None` until a block has landed.
+    pub fn to_block(&self) -> Option<RollupBlock> {
+        let head_block = self.head_block?;
+        Some(RollupBlock {
+            head_block,
+            logs: self.logs,
+            per_kind: self.per_kind.clone(),
+            per_addr: self
+                .per_addr
+                .iter()
+                .map(|(&addr, &stat)| AddrRollup { addr, stat })
+                .collect(),
+            per_epoch: self
+                .per_epoch
+                .iter()
+                .map(|(&month, &stat)| EpochRollup { month, stat })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_block;
+    use mev_types::Address;
+
+    fn entries(n: u64, txs: u64) -> Vec<BlockEntry> {
+        let g = 10_000_000;
+        (0..n)
+            .map(|i| {
+                let (block, receipts) = test_block(g + i, txs);
+                BlockEntry { block, receipts }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builder_counts_match_a_manual_fold() {
+        let tl = Timeline::paper_span(100);
+        let es = entries(10, 2);
+        let mut b = RollupBuilder::new();
+        assert!(b.to_block().is_none(), "empty builder commits nothing");
+        for e in &es {
+            b.add_block(&tl, e);
+        }
+        let block = b.to_block().unwrap();
+        assert_eq!(block.head_block, 10_000_009);
+        // test_block: 2 transfers per block + 1 swap on the 5 even blocks.
+        assert_eq!(block.logs, 25);
+        assert_eq!(block.per_kind[EventKind::Transfer.tag() as usize].count, 20);
+        assert_eq!(block.per_kind[EventKind::Swap.tag() as usize].count, 5);
+        assert_eq!(block.per_kind[EventKind::Payout.tag() as usize].count, 0);
+        // Two emitting addresses, sorted.
+        assert_eq!(block.per_addr.len(), 2);
+        assert!(block.per_addr.windows(2).all(|w| w[0].addr < w[1].addr));
+        let a1 = block
+            .per_addr
+            .iter()
+            .find(|r| r.addr == Address::from_index(1))
+            .unwrap();
+        assert_eq!(a1.stat.count, 20);
+        // 10 blocks at 100 blocks/month land in one epoch.
+        assert_eq!(block.per_epoch.len(), 1);
+        assert_eq!(block.per_epoch[0].stat.count, 25);
+        // Totals agree across every table.
+        let kind_total: u64 = block.per_kind.iter().map(|s| s.count).sum();
+        let addr_total: u64 = block.per_addr.iter().map(|r| r.stat.count).sum();
+        assert_eq!(kind_total, block.logs);
+        assert_eq!(addr_total, block.logs);
+    }
+
+    #[test]
+    fn from_block_round_trips() {
+        let tl = Timeline::paper_span(100);
+        let es = entries(8, 3);
+        let mut b = RollupBuilder::new();
+        for e in &es[..5] {
+            b.add_block(&tl, e);
+        }
+        let snapshot = b.to_block().unwrap();
+        // Resuming from the snapshot and folding the rest equals folding
+        // everything in one pass.
+        let mut resumed = RollupBuilder::from_block(&snapshot);
+        let mut oneshot = RollupBuilder::new();
+        for e in &es[5..] {
+            resumed.add_block(&tl, e);
+        }
+        for e in &es {
+            oneshot.add_block(&tl, e);
+        }
+        assert_eq!(resumed.to_block(), oneshot.to_block());
+    }
+
+    #[test]
+    fn wei_sums_saturate() {
+        let mut s = RollupStat::default();
+        s.absorb(u128::MAX);
+        s.absorb(u128::MAX);
+        assert_eq!(s.wei_sum, u128::MAX);
+        assert_eq!(s.count, 2);
+        let mut t = RollupStat::default();
+        t.absorb(7);
+        t.merge(&s);
+        assert_eq!(t.wei_sum, u128::MAX);
+        assert_eq!(t.count, 3);
+    }
+
+    #[test]
+    fn wei_value_covers_every_family() {
+        use mev_types::{LendingPlatformId, TokenId, Wei};
+        assert_eq!(
+            wei_value(&LogEvent::OracleUpdate {
+                token: TokenId(1),
+                price_wei: 123
+            }),
+            0
+        );
+        assert_eq!(
+            wei_value(&LogEvent::Payout {
+                payer: Address::ZERO,
+                recipients: 3,
+                total: Wei(42)
+            }),
+            42
+        );
+        assert_eq!(
+            wei_value(&LogEvent::FlashLoan {
+                platform: LendingPlatformId::DyDx,
+                initiator: Address::ZERO,
+                token: TokenId(1),
+                amount: 9,
+                fee: 1
+            }),
+            9
+        );
+    }
+}

@@ -7,11 +7,19 @@
 //! until it seals. The manifest's per-segment `bytes` field bounds what a
 //! reader may consume, so uncommitted tail bytes after a crash are
 //! invisible (and truncated before the next append).
+//!
+//! Alongside each segment the writer maintains a sidecar index file
+//! (`seg-NNNNN.idx`, see [`crate::postings`]) built from the same
+//! appended entries. The sidecar is rewritten whole (atomic rename) at
+//! every commit, and the [`crate::postings::IndexMeta`] describing it
+//! rides the manifest — so a crash can never commit a segment without
+//! its matching index.
 
 use crate::bloom::LogBloom;
 use crate::error::StoreError;
 use crate::frame::{encode_frame, Frame, FrameReader};
 use crate::manifest::{SegmentMeta, FORMAT_VERSION};
+use crate::postings::{IndexBuilder, IndexMeta};
 use std::fs;
 use std::io::{BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -71,6 +79,10 @@ pub struct SegmentWriter {
     log_count: u64,
     bytes: u64,
     bloom: LogBloom,
+    index_builder: IndexBuilder,
+    /// Sidecar shape as of the last [`SegmentWriter::write_index`] (or
+    /// the committed state, after a reopen).
+    index_meta: Option<IndexMeta>,
 }
 
 impl SegmentWriter {
@@ -91,6 +103,8 @@ impl SegmentWriter {
             log_count: 0,
             bytes: 0,
             bloom: LogBloom::new(),
+            index_builder: IndexBuilder::new(),
+            index_meta: None,
         };
         let header = SegmentHeader {
             version: FORMAT_VERSION,
@@ -104,8 +118,13 @@ impl SegmentWriter {
 
     /// Re-open a committed partial segment for further appends. The file
     /// is truncated to the committed length first, discarding any
-    /// uncommitted tail bytes from a crashed writer.
+    /// uncommitted tail bytes from a crashed writer. The sidecar index
+    /// builder is rebuilt from the committed entries, so a stale or torn
+    /// `.idx` left by a crash is simply rewritten at the next commit.
     pub fn reopen(root: &Path, meta: &SegmentMeta) -> Result<SegmentWriter, StoreError> {
+        let entries = read_segment(root, meta)?;
+        let index_builder = IndexBuilder::from_entries(&entries);
+        drop(entries);
         let path = root.join(&meta.file);
         let file = fs::OpenOptions::new()
             .write(true)
@@ -127,6 +146,8 @@ impl SegmentWriter {
             log_count: meta.log_count,
             bytes: meta.bytes,
             bloom: meta.bloom.clone(),
+            index_builder,
+            index_meta: meta.postings.clone(),
         })
     }
 
@@ -161,6 +182,21 @@ impl SegmentWriter {
                 self.bloom.insert_log(log);
             }
         }
+        self.index_builder.add_block(entry);
+        Ok(())
+    }
+
+    /// Rewrite the segment's sidecar index to cover every appended block
+    /// (whole-file atomic rename) and remember its [`IndexMeta`] for the
+    /// next [`SegmentWriter::meta`]. No-op on an empty segment.
+    pub fn write_index(&mut self, root: &Path) -> Result<(), StoreError> {
+        if self.last_block.is_none() {
+            return Ok(());
+        }
+        let meta = self
+            .index_builder
+            .write(root, self.index, self.first_block)?;
+        self.index_meta = Some(meta);
         Ok(())
     }
 
@@ -194,6 +230,7 @@ impl SegmentWriter {
             log_count: self.log_count,
             bytes: self.bytes,
             bloom: self.bloom.clone(),
+            postings: self.index_meta.clone(),
         })
     }
 }
@@ -314,6 +351,41 @@ mod tests {
     }
 
     #[test]
+    fn write_index_commits_sidecar_and_reopen_rebuilds_it() {
+        let dir = scratch_dir("segment-sidecar");
+        let g = 10_000_000;
+        let mut w = SegmentWriter::create(&dir, 0, g).unwrap();
+        for i in 0..3u64 {
+            let (block, receipts) = test_block(g + i, 2);
+            w.append(&BlockEntry { block, receipts }).unwrap();
+        }
+        w.write_index(&dir).unwrap();
+        let meta = w.meta().unwrap();
+        let im = meta.postings.clone().unwrap();
+        // 2 transfers per block + swaps on the 2 even blocks.
+        assert_eq!(im.rows, meta.log_count);
+        assert_eq!(im.rows, 8);
+        assert_eq!(im.addrs, 2);
+        let sidecar = fs::read(dir.join(&im.file)).unwrap();
+        assert_eq!(sidecar.len() as u64, im.bytes);
+        drop(w);
+        // A reopened writer re-derives the same index from the committed
+        // entries: appending one more block and rewriting must equal a
+        // one-shot build over all four.
+        let mut w2 = SegmentWriter::reopen(&dir, &meta).unwrap();
+        let (block, receipts) = test_block(g + 3, 2);
+        w2.append(&BlockEntry { block, receipts }).unwrap();
+        w2.write_index(&dir).unwrap();
+        let reopened = fs::read(dir.join(&im.file)).unwrap();
+        let entries = read_segment(&dir, &w2.meta().unwrap()).unwrap();
+        let oneshot = crate::postings::IndexBuilder::from_entries(&entries)
+            .encode(&dir.join(&im.file), 0, g)
+            .unwrap();
+        assert_eq!(reopened, oneshot);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn reopen_continues_partial_segment() {
         let dir = scratch_dir("segment-reopen");
         let g = 10_000_000;
@@ -404,6 +476,7 @@ mod tests {
             log_count: 0,
             bytes: 64,
             bloom: LogBloom::new(),
+            postings: None,
         };
         assert!(matches!(
             read_segment(&dir, &meta),

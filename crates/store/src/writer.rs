@@ -8,7 +8,8 @@
 
 use crate::error::StoreError;
 use crate::manifest::{Manifest, SegmentMeta};
-use crate::segment::{BlockEntry, SegmentWriter};
+use crate::rollup::RollupBuilder;
+use crate::segment::{read_segment, BlockEntry, SegmentWriter};
 use mev_chain::ChainStore;
 use mev_types::{Block, Receipt, Timeline};
 use std::fs;
@@ -34,6 +35,8 @@ pub struct StoreWriter {
     next_block: u64,
     /// Segments sealed or grown since the last manifest commit.
     dirty: bool,
+    /// Running aggregate tables; snapshotted into the manifest at commit.
+    rollups: RollupBuilder,
 }
 
 impl StoreWriter {
@@ -58,6 +61,7 @@ impl StoreWriter {
             tail: None,
             next_block,
             dirty: true,
+            rollups: RollupBuilder::new(),
         };
         // Commit the empty store immediately so `open` and readers see a
         // valid (if empty) manifest.
@@ -76,6 +80,23 @@ impl StoreWriter {
                 tail = Some(SegmentWriter::reopen(root, last)?);
             }
         }
+        let rollups = match &manifest.rollups {
+            Some(block) => RollupBuilder::from_block(block),
+            // Pre-rollup archive: re-derive the tables from the committed
+            // segments once; the next commit persists them.
+            None => {
+                let mut b = RollupBuilder::new();
+                if !manifest.segments.is_empty() {
+                    for seg in &manifest.segments {
+                        for entry in read_segment(root, seg)? {
+                            b.add_block(&manifest.timeline, &entry);
+                        }
+                    }
+                    mev_obs::counter("store.rollup.rebuilt").inc();
+                }
+                b
+            }
+        };
         let next_block = manifest
             .head_block()
             .map(|h| h + 1)
@@ -86,6 +107,7 @@ impl StoreWriter {
             tail,
             next_block,
             dirty: false,
+            rollups,
         })
     }
 
@@ -133,6 +155,10 @@ impl StoreWriter {
             // here means a fresh segment starts at this block.
             self.tail = Some(SegmentWriter::create(&self.root, index, number)?);
         }
+        let entry = BlockEntry {
+            block: block.clone(),
+            receipts: receipts.to_vec(),
+        };
         let sealed = {
             let Some(tail) = self.tail.as_mut() else {
                 // Unreachable by construction; surface as corruption
@@ -141,13 +167,10 @@ impl StoreWriter {
                     detail: "tail segment vanished mid-append".to_string(),
                 });
             };
-            let entry = BlockEntry {
-                block: block.clone(),
-                receipts: receipts.to_vec(),
-            };
             tail.append(&entry)?;
             tail.blocks() >= self.manifest.segment_blocks
         };
+        self.rollups.add_block(&self.manifest.timeline, &entry);
         self.next_block = number + 1;
         self.dirty = true;
         if sealed {
@@ -156,10 +179,12 @@ impl StoreWriter {
         Ok(())
     }
 
-    /// Fsync the full tail segment, record its final meta, and drop it.
+    /// Fsync the full tail segment, write its final sidecar index,
+    /// record its meta, and drop it.
     fn seal_tail(&mut self) -> Result<(), StoreError> {
         if let Some(mut tail) = self.tail.take() {
             tail.sync()?;
+            tail.write_index(&self.root)?;
             if let Some(meta) = tail.meta() {
                 self.record_meta(meta);
                 mev_obs::counter("store.ingest.segments_sealed").inc();
@@ -182,7 +207,10 @@ impl StoreWriter {
     }
 
     /// Make every append durable: fsync the partial tail (if any),
-    /// record its zone map, and atomically replace the manifest.
+    /// rewrite its sidecar index, record its zone map, snapshot the
+    /// rollup tables, and atomically replace the manifest. The manifest
+    /// rename is the single commit point — segment bytes, index bytes,
+    /// and rollups land before it and become visible together.
     pub fn commit(&mut self) -> Result<(), StoreError> {
         if !self.dirty {
             return Ok(());
@@ -190,6 +218,7 @@ impl StoreWriter {
         let tail_meta = match self.tail.as_mut() {
             Some(tail) => {
                 tail.sync()?;
+                tail.write_index(&self.root)?;
                 tail.meta()
             }
             None => None,
@@ -197,6 +226,7 @@ impl StoreWriter {
         if let Some(meta) = tail_meta {
             self.record_meta(meta);
         }
+        self.manifest.rollups = self.rollups.to_block();
         self.manifest.validate()?;
         self.manifest.commit(&self.root)?;
         self.dirty = false;
@@ -288,6 +318,63 @@ mod tests {
         assert_eq!(more.appended, 5);
         assert_eq!(more.skipped, 6);
         assert_eq!(w2.committed_head(), Some(10_000_010));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollups_and_sidecars_ride_the_manifest_commit() {
+        let dir = scratch_dir("writer-rollups");
+        let chain = test_chain(10, 2);
+        let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 4).unwrap();
+        w.ingest(&chain).unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        let rollups = m.rollups.as_ref().unwrap();
+        assert_eq!(Some(rollups.head_block), m.head_block());
+        assert_eq!(rollups.logs, m.log_count());
+        // Every committed segment — sealed and tail alike — carries its
+        // sidecar, and the sidecar file is exactly the committed length.
+        for seg in &m.segments {
+            let im = seg.postings.as_ref().unwrap();
+            assert_eq!(im.rows, seg.log_count);
+            let len = fs::metadata(dir.join(&im.file)).unwrap().len();
+            assert_eq!(len, im.bytes);
+        }
+        // Growing the store keeps everything in sync.
+        drop(w);
+        let grown = test_chain(13, 2);
+        let mut w2 = StoreWriter::open(&dir).unwrap();
+        w2.ingest(&grown).unwrap();
+        let m2 = Manifest::load(&dir).unwrap();
+        assert_eq!(m2.rollups.as_ref().unwrap().logs, m2.log_count());
+        assert!(m2.segments.iter().all(|s| s.postings.is_some()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_rollup_archive_is_rebuilt_on_open() {
+        let dir = scratch_dir("writer-rebuild");
+        let chain = test_chain(6, 2);
+        let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 4).unwrap();
+        w.ingest(&chain).unwrap();
+        drop(w);
+        // Rewrite the manifest as an older archive would have written it:
+        // no rollups, no per-segment index metadata.
+        let path = dir.join(crate::manifest::MANIFEST_FILE);
+        let mut v: serde_json::Value = serde_json::from_slice(&fs::read(&path).unwrap()).unwrap();
+        v.as_object_mut().unwrap().remove("rollups");
+        for seg in v["segments"].as_array_mut().unwrap() {
+            seg.as_object_mut().unwrap().remove("postings");
+        }
+        fs::write(&path, serde_json::to_vec(&v).unwrap()).unwrap();
+        // Opening rebuilds the rollup tables from segment bytes; the next
+        // commit persists them again.
+        let grown = test_chain(7, 2);
+        let mut w2 = StoreWriter::open(&dir).unwrap();
+        w2.ingest(&grown).unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        let rollups = m.rollups.as_ref().unwrap();
+        assert_eq!(Some(rollups.head_block), m.head_block());
+        assert_eq!(rollups.logs, m.log_count());
         std::fs::remove_dir_all(&dir).ok();
     }
 

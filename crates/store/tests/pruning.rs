@@ -1,9 +1,11 @@
-//! Acceptance test for segment pruning: a warm re-scan with a narrow
+//! Acceptance test for query pruning: a warm re-scan with a narrow
 //! `LogFilter` window must read *strictly fewer* segments than a cold
-//! full scan, and pruning must never change the answer.
+//! full scan, selective filters must be served from sidecar postings
+//! without touching a data frame, and neither pruning nor the planner
+//! may ever change the answer.
 
 use mev_store::testutil::{scratch_dir, test_chain};
-use mev_store::{EventKind, LogFilter, StoreReader, StoreWriter};
+use mev_store::{ArchiveQuery, EventKind, LogFilter, QueryPlan, StoreReader, StoreWriter};
 use mev_types::Address;
 
 #[test]
@@ -17,23 +19,27 @@ fn warm_pruned_scan_reads_strictly_fewer_segments_than_cold_full_scan() {
     let reader = StoreReader::open(&dir).unwrap();
     let genesis = reader.timeline().genesis_number;
 
-    // Cold full scan: no height bounds, no address/kind — every segment
-    // must be read.
-    let cold = reader.get_logs_all(&LogFilter::new()).unwrap();
+    // Cold full scan: no height bounds, no address/kind — unselective,
+    // so the planner scans and every segment must be read.
+    let cold = reader.pages(&LogFilter::new()).collect_entries().unwrap();
     let (_, cold_stats) = reader
         .get_logs_with_stats(&LogFilter::new().limit(usize::MAX))
         .unwrap();
+    assert_eq!(cold_stats.plan, QueryPlan::FullScan);
     assert_eq!(cold_stats.segments_total, 8);
     assert_eq!(cold_stats.segments_read, 8);
     assert_eq!(cold_stats.pruned_by_zone + cold_stats.pruned_by_bloom, 0);
     assert!(!cold.is_empty());
 
-    // Warm narrow-window re-scan: 6 blocks inside segments 2..=3.
+    // Warm narrow-window re-scan: 6 blocks inside segments 2..=3. A
+    // window alone is not selective, so this still plans as a scan —
+    // zone maps do the pruning.
     let narrow = LogFilter::new()
         .from_block(genesis + 17)
         .to_block(genesis + 22)
         .limit(usize::MAX);
     let (page, warm_stats) = reader.get_logs_with_stats(&narrow).unwrap();
+    assert_eq!(warm_stats.plan, QueryPlan::FullScan);
     assert!(
         warm_stats.segments_read < cold_stats.segments_read,
         "warm scan read {} segments, cold read {}",
@@ -51,29 +57,46 @@ fn warm_pruned_scan_reads_strictly_fewer_segments_than_cold_full_scan() {
         .collect();
     assert_eq!(page.entries, expected);
 
-    // Bloom pruning: an address never emitted prunes every segment the
-    // zone map lets through.
+    // Bloom pruning: an address never emitted is selective, so the
+    // planner goes to the postings sidecars — and finds nothing without
+    // reading a single data frame.
     let absent = LogFilter::new()
         .address(Address::from_index(999_999))
         .limit(usize::MAX);
     let (page, bloom_stats) = reader.get_logs_with_stats(&absent).unwrap();
+    assert_eq!(bloom_stats.plan, QueryPlan::Postings);
     assert!(page.entries.is_empty());
-    // Every segment the bloom let through contributed nothing — all of
-    // them are accounted as false positives.
-    assert_eq!(bloom_stats.bloom_false_positives, bloom_stats.segments_read);
+    assert_eq!(bloom_stats.segments_read, 0);
+    assert_eq!(bloom_stats.data_frames_read, 0);
+    // Every segment is either pruned by its bloom or unmasked as a
+    // false positive by its (empty) postings.
+    assert_eq!(
+        bloom_stats.pruned_by_bloom + bloom_stats.bloom_false_positives,
+        8
+    );
     assert!(
         bloom_stats.pruned_by_bloom >= 6,
         "bloom pruned only {} of 8 segments",
         bloom_stats.pruned_by_bloom
     );
 
-    // Kind-only filter on a kind only even blocks emit (Swap).
+    // Kind-only filter on a kind only even blocks emit (Swap): also
+    // selective, also answered purely from the index.
     let swaps = LogFilter::new().kind(EventKind::Swap).limit(usize::MAX);
-    let (swap_page, _) = reader.get_logs_with_stats(&swaps).unwrap();
+    let (swap_page, swap_stats) = reader.get_logs_with_stats(&swaps).unwrap();
+    assert_eq!(swap_stats.plan, QueryPlan::Postings);
+    assert_eq!(swap_stats.data_frames_read, 0);
+    assert!(swap_stats.postings_pages_read > 0);
     assert!(swap_page
         .entries
         .iter()
         .all(|e| (e.block - genesis) % 2 == 0));
+    // The planner's choice is invisible in the answer: forcing the scan
+    // path yields bit-identical entries.
+    let (scan_page, scan_stats) = reader.get_logs_scan_with_stats(&swaps).unwrap();
+    assert_eq!(scan_stats.plan, QueryPlan::FullScan);
+    assert_eq!(swap_page.entries, scan_page.entries);
+    assert_eq!(swap_page.next, scan_page.next);
 
     std::fs::remove_dir_all(&dir).ok();
 }

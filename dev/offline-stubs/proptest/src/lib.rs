@@ -17,6 +17,32 @@ pub mod strategy {
         {
             Map(self, f)
         }
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            _whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter(self, f)
+        }
+    }
+
+    pub struct Filter<S, F>(pub S, pub F);
+    impl<S: Clone, F: Clone> Clone for Filter<S, F> {
+        fn clone(&self) -> Self {
+            Filter(self.0.clone(), self.1.clone())
+        }
+    }
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+    impl<T> Strategy for Just<T> {
+        type Value = T;
     }
 
     pub struct Map<S, F>(pub S, pub F);
@@ -124,6 +150,24 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::strategy::Strategy;
+
+    pub struct OptionStrategy<S>(S);
+    impl<S: Clone> Clone for OptionStrategy<S> {
+        fn clone(&self) -> Self {
+            OptionStrategy(self.0.clone())
+        }
+    }
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+    }
+
+    pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+        OptionStrategy(s)
+    }
+}
+
 pub mod sample {
     #[derive(Clone, Copy, Debug)]
     pub struct Index;
@@ -137,13 +181,14 @@ pub mod sample {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::sample;
-    pub use crate::strategy::{any, Strategy};
+    pub use crate::strategy::{any, Just, Strategy};
     pub use crate::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     /// The `prop::` module alias the real prelude exposes.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
         pub use crate::sample;
     }
 }

@@ -31,6 +31,12 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         unimplemented!()
     }
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        unimplemented!()
+    }
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        unimplemented!()
+    }
 }
 
 impl<I> std::ops::Index<I> for Value {
@@ -38,6 +44,40 @@ impl<I> std::ops::Index<I> for Value {
     fn index(&self, _i: I) -> &Value {
         unimplemented!()
     }
+}
+
+impl<I> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, _i: I) -> &mut Value {
+        unimplemented!()
+    }
+}
+
+pub struct Map<K, V>(std::marker::PhantomData<(K, V)>);
+
+impl Map<String, Value> {
+    pub fn remove(&mut self, _k: &str) -> Option<Value> {
+        unimplemented!()
+    }
+    pub fn get(&self, _k: &str) -> Option<&Value> {
+        unimplemented!()
+    }
+}
+
+impl<I> std::ops::Index<I> for Map<String, Value> {
+    type Output = Value;
+    fn index(&self, _i: I) -> &Value {
+        unimplemented!()
+    }
+}
+
+impl<I> std::ops::IndexMut<I> for Map<String, Value> {
+    fn index_mut(&mut self, _i: I) -> &mut Value {
+        unimplemented!()
+    }
+}
+
+pub fn to_value<T: ?Sized + serde::Serialize>(_v: &T) -> Result<Value> {
+    unimplemented!()
 }
 
 pub fn to_string<T: ?Sized + serde::Serialize>(_v: &T) -> Result<String> {

@@ -15,7 +15,18 @@
 //! cargo run --release --example archive_store -- scan --store /tmp/flashpan-store \
 //!     --checkpoint /tmp/flashpan-store/run.ckpt.json --kill-after-segments 2
 //!
-//! # Integrity-check every frame, zone map, and bloom filter.
+//! # Run a log query through the planner; stats (including the chosen
+//! # plan) come back as JSON — CI asserts a warm address query is
+//! # answered from the postings index without touching a data frame.
+//! cargo run --release --example archive_store -- query --store /tmp/flashpan-store \
+//!     --address-index 1 --limit 100
+//!
+//! # Aggregate straight from the persisted rollup tables.
+//! cargo run --release --example archive_store -- query --store /tmp/flashpan-store \
+//!     --group-by kind
+//!
+//! # Integrity-check every frame, zone map, bloom filter, sidecar
+//! # index, and rollup table.
 //! cargo run --release --example archive_store -- verify --store /tmp/flashpan-store
 //!
 //! # Inspect the manifest: segments, zone maps, bloom fill.
@@ -23,7 +34,8 @@
 //! ```
 
 use flashpan::inspect::{Inspector, StoreRunOutcome};
-use flashpan::store::{StoreReader, StoreWriter};
+use flashpan::store::{EventKind, GroupBy, LogFilter, StoreReader, StoreWriter};
+use flashpan::types::Address;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -35,17 +47,26 @@ struct Args {
     checkpoint: Option<PathBuf>,
     kill_after_segments: Option<u64>,
     report: Option<PathBuf>,
+    address_indexes: Vec<u64>,
+    kinds: Vec<String>,
+    from: Option<u64>,
+    to: Option<u64>,
+    limit: Option<usize>,
+    group_by: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: archive_store <ingest|scan|verify|stat> --store DIR\n\
+        "usage: archive_store <ingest|scan|query|verify|stat> --store DIR\n\
          \n\
          ingest  --store DIR [--segment-blocks N]     simulate quick + ingest (incremental)\n\
          scan    --store DIR [--threads N] [--checkpoint PATH]\n\
                  [--kill-after-segments N] [--report PATH]\n\
                                                       resumable detection from the store\n\
-         verify  --store DIR                          re-read & checksum every frame\n\
+         query   --store DIR [--address-index N]* [--kind NAME]*\n\
+                 [--from N] [--to N] [--limit N] [--group-by kind|address|epoch]\n\
+                                                      planner-routed log query / aggregate\n\
+         verify  --store DIR                          re-read & checksum every frame + index\n\
          stat    --store DIR                          manifest / zone-map / bloom summary"
     );
     ExitCode::FAILURE
@@ -61,6 +82,12 @@ fn parse(argv: &[String]) -> Option<Args> {
         checkpoint: None,
         kill_after_segments: None,
         report: None,
+        address_indexes: Vec::new(),
+        kinds: Vec::new(),
+        from: None,
+        to: None,
+        limit: None,
+        group_by: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -73,6 +100,12 @@ fn parse(argv: &[String]) -> Option<Args> {
             ("--checkpoint", Some(v)) => args.checkpoint = Some(PathBuf::from(v)),
             ("--kill-after-segments", Some(v)) => args.kill_after_segments = Some(v.parse().ok()?),
             ("--report", Some(v)) => args.report = Some(PathBuf::from(v)),
+            ("--address-index", Some(v)) => args.address_indexes.push(v.parse().ok()?),
+            ("--kind", Some(v)) => args.kinds.push(v.clone()),
+            ("--from", Some(v)) => args.from = Some(v.parse().ok()?),
+            ("--to", Some(v)) => args.to = Some(v.parse().ok()?),
+            ("--limit", Some(v)) => args.limit = Some(v.parse().ok()?),
+            ("--group-by", Some(v)) => args.group_by = Some(v.clone()),
             _ => return None,
         }
         i += 2;
@@ -181,6 +214,90 @@ fn cmd_scan(args: &Args) -> ExitCode {
     code
 }
 
+fn cmd_query(args: &Args) -> ExitCode {
+    let store = match StoreReader::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut filter = LogFilter::new();
+    for i in &args.address_indexes {
+        filter = filter.address(Address::from_index(*i));
+    }
+    for name in &args.kinds {
+        let Some(k) = EventKind::parse(name) else {
+            eprintln!("unknown event kind: {name}");
+            return ExitCode::FAILURE;
+        };
+        filter = filter.kind(k);
+    }
+    if let Some(b) = args.from {
+        filter = filter.from_block(b);
+    }
+    if let Some(b) = args.to {
+        filter = filter.to_block(b);
+    }
+    if let Some(n) = args.limit {
+        filter = filter.limit(n);
+    }
+    if let Some(group) = args.group_by.as_deref() {
+        let group_by = match group {
+            "kind" => GroupBy::Kind,
+            "address" => GroupBy::Address,
+            "epoch" => GroupBy::Epoch,
+            other => {
+                eprintln!("unknown group-by: {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match store.aggregate(&filter, group_by) {
+            Ok((rows, stats)) => {
+                println!(
+                    "{{\"command\": \"query\", \"plan\": \"{}\", \"rows\": {}, \
+                     \"rollup_reads\": {}, \"segments_read\": {}, \"data_frames_read\": {}}}",
+                    stats.plan.as_str(),
+                    rows.len(),
+                    stats.rollup_reads,
+                    stats.segments_read,
+                    stats.data_frames_read
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aggregate: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match store.get_logs_with_stats(&filter) {
+            Ok((page, stats)) => {
+                println!(
+                    "{{\"command\": \"query\", \"plan\": \"{}\", \"entries\": {}, \
+                     \"has_more\": {}, \"segments_read\": {}, \"data_frames_read\": {}, \
+                     \"postings_pages_read\": {}, \"pruned_by_zone\": {}, \
+                     \"pruned_by_bloom\": {}, \"bloom_false_positives\": {}}}",
+                    stats.plan.as_str(),
+                    page.entries.len(),
+                    page.next.is_some(),
+                    stats.segments_read,
+                    stats.data_frames_read,
+                    stats.postings_pages_read,
+                    stats.pruned_by_zone,
+                    stats.pruned_by_bloom,
+                    stats.bloom_false_positives
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("query: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn cmd_verify(args: &Args) -> ExitCode {
     let store = match StoreReader::open(&args.store) {
         Ok(s) => s,
@@ -193,8 +310,8 @@ fn cmd_verify(args: &Args) -> ExitCode {
         Ok(r) => {
             println!(
                 "{{\"command\": \"verify\", \"ok\": true, \"segments\": {}, \"blocks\": {}, \
-                 \"txs\": {}, \"logs\": {}, \"bytes\": {}}}",
-                r.segments, r.blocks, r.txs, r.logs, r.bytes
+                 \"txs\": {}, \"logs\": {}, \"bytes\": {}, \"indexes\": {}}}",
+                r.segments, r.blocks, r.txs, r.logs, r.bytes, r.indexes
             );
             ExitCode::SUCCESS
         }
@@ -244,6 +361,7 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "ingest" => cmd_ingest(&args),
         "scan" => cmd_scan(&args),
+        "query" => cmd_query(&args),
         "verify" => cmd_verify(&args),
         "stat" => cmd_stat(&args),
         _ => usage(),
