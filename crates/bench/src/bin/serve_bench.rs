@@ -1,0 +1,194 @@
+//! Concurrent-client benchmark of the `mev-serve` HTTP API, emitted as
+//! JSON for `BENCH_SERVE.json`:
+//!
+//! ```sh
+//! cargo run -p mev-bench --release --bin serve_bench
+//! cargo run -p mev-bench --release --bin serve_bench -- --clients 16 --requests 500
+//! cargo run -p mev-bench --release --bin serve_bench -- --report serve-runreport.json
+//! ```
+//!
+//! Simulates the quick scenario, ingests it into a scratch segmented
+//! store, runs detection once to populate `/detections`, then drives
+//! the server with N concurrent keep-alive clients (default 8, one
+//! worker per client) over a mixed workload: selective postings-served
+//! `/logs`, cursor-paged unselective `/logs`, rollup-served
+//! `/aggregates`, round-robin `/blocks/{n}`, and `/detections`. Every
+//! response is status-200-checked; per-request latencies are collected
+//! exactly and reported as p50/p90/p99 alongside aggregate request
+//! throughput. Before timing starts the bin asserts the warm selective
+//! `/logs` body truthfully reports `"plan":"postings"` with
+//! `"data_frames_read":0`, and `/aggregates` reports `"plan":"rollup"`.
+
+use mev_core::Inspector;
+use mev_serve::{ApiState, Client, ServeConfig, Server};
+use mev_store::{LogFilter, StoreReader, StoreWriter};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Exact percentile (nearest-rank on the sorted sample).
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank] as f64 / 1e3
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients: usize = arg(&args, "--clients")
+        .map(|v| v.parse().expect("--clients takes a number"))
+        .unwrap_or(8);
+    let requests_per_client: usize = arg(&args, "--requests")
+        .map(|v| v.parse().expect("--requests takes a number"))
+        .unwrap_or(200);
+    let report_path = arg(&args, "--report");
+    assert!(clients >= 2, "need at least 2 concurrent clients");
+
+    // Fixture: quick scenario into a scratch store, detection once.
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let dir = std::env::temp_dir().join(format!("flashpan-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 64).expect("create store");
+    w.ingest(chain).expect("ingest");
+    drop(w);
+    let reader = Arc::new(
+        StoreReader::open(&dir)
+            .expect("open store")
+            .with_segment_cache(8),
+    );
+    let dataset = Inspector::new(chain, &out.blocks_api)
+        .run()
+        .expect("inspect");
+    let detections = dataset.detections.len();
+    let genesis = reader.timeline().genesis_number;
+    let head = reader.head_block().expect("head");
+    let blocks = head - genesis + 1;
+
+    // A hot address for the postings-served workload leg.
+    let (first_page, _) = reader
+        .get_logs_with_stats(&LogFilter::new().limit(1))
+        .expect("probe");
+    let hot_addr = first_page
+        .entries
+        .first()
+        .map(|e| e.log.address)
+        .expect("quick scenario emits logs");
+
+    let state = ApiState::new(Arc::clone(&reader), dataset.detections);
+    let server = Server::start(
+        ServeConfig {
+            workers: clients,
+            queue_depth: clients * 4,
+            ..ServeConfig::default()
+        },
+        state,
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // Warm-up + truthfulness gate: the served stats must say what the
+    // planner actually did.
+    let mut probe = Client::connect(addr).expect("connect");
+    let selective = format!("/logs?address={hot_addr}&limit=64");
+    let warm = probe.get(&selective).expect("warm selective /logs");
+    assert_eq!(warm.status, 200);
+    assert!(
+        warm.body.contains(r#""plan":"postings""#),
+        "selective /logs must be postings-served: {}",
+        warm.body
+    );
+    assert!(
+        warm.body.contains(r#""data_frames_read":0"#),
+        "postings-served /logs must not decode data frames: {}",
+        warm.body
+    );
+    let agg = probe
+        .get("/aggregates?group=kind")
+        .expect("warm /aggregates");
+    assert_eq!(agg.status, 200);
+    assert!(
+        agg.body.contains(r#""plan":"rollup""#),
+        "whole-archive /aggregates must be rollup-served: {}",
+        agg.body
+    );
+    assert!(agg.body.contains(r#""data_frames_read":0"#));
+    drop(probe);
+
+    // Mixed workload: each client cycles selective logs, cursor-paged
+    // unselective logs, aggregates, blocks, detections.
+    let t = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let selective = selective.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut latencies_ns = Vec::with_capacity(requests_per_client);
+                let mut cursor: Option<String> = None;
+                for i in 0..requests_per_client {
+                    let target = match i % 5 {
+                        0 => selective.clone(),
+                        1 => match cursor.take() {
+                            Some(token) => format!("/logs?limit=256&cursor={token}"),
+                            None => "/logs?limit=256".to_string(),
+                        },
+                        2 => "/aggregates?group=kind".to_string(),
+                        3 => format!("/blocks/{}", genesis + ((c + i) as u64 % blocks)),
+                        _ => "/detections".to_string(),
+                    };
+                    let req = Instant::now();
+                    let response = client.get(&target).expect("request");
+                    latencies_ns.push(req.elapsed().as_nanos() as u64);
+                    assert_eq!(response.status, 200, "{target}: {}", response.body);
+                    if i % 5 == 1 {
+                        // Continue the paged walk where the server said.
+                        cursor = response
+                            .body
+                            .split(r#""next_cursor":""#)
+                            .nth(1)
+                            .and_then(|rest| rest.split('"').next())
+                            .map(str::to_string);
+                    }
+                }
+                latencies_ns
+            })
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(clients * requests_per_client);
+    for h in handles {
+        latencies_ns.extend(h.join().expect("client thread"));
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    latencies_ns.sort_unstable();
+    let total = latencies_ns.len();
+    let mean_us = latencies_ns.iter().sum::<u64>() as f64 / total as f64 / 1e3;
+
+    server.shutdown();
+
+    if let Some(path) = report_path {
+        std::fs::write(&path, mev_obs::report().to_json()).expect("write report");
+        eprintln!("RunReport written to {path}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "{{\n  \"scenario\": \"quick\",\n  \"blocks\": {blocks},\n  \
+         \"detections_served\": {detections},\n  \
+         \"clients\": {clients},\n  \"requests_per_client\": {requests_per_client},\n  \
+         \"requests_total\": {total},\n  \"wall_ms\": {wall_ms:.3},\n  \
+         \"req_per_s\": {:.0},\n  \"latency_mean_us\": {mean_us:.1},\n  \
+         \"latency_p50_us\": {:.1},\n  \"latency_p90_us\": {:.1},\n  \
+         \"latency_p99_us\": {:.1},\n  \"latency_max_us\": {:.1},\n  \
+         \"selective_logs_plan\": \"postings\",\n  \"aggregates_plan\": \"rollup\"\n}}",
+        total as f64 / (wall_ms / 1e3),
+        percentile_us(&latencies_ns, 50.0),
+        percentile_us(&latencies_ns, 90.0),
+        percentile_us(&latencies_ns, 99.0),
+        percentile_us(&latencies_ns, 100.0),
+    );
+}

@@ -20,11 +20,9 @@ pub use builder::{
 };
 pub use exec::{action_gas, execute, seed_account, ActionError, BlockEnv, InvalidTx};
 pub use feemarket::{next_base_fee, ForkSchedule, INITIAL_BASE_FEE};
-#[allow(deprecated)]
-pub use query::get_logs_all;
 pub use query::{
-    get_logs, get_logs_with_stats, ArchiveQuery, Cursor, EventKind, LogEntry, LogFilter, LogPage,
-    Pages, QueryPlan, QueryStats, DEFAULT_LIMIT,
+    get_logs, get_logs_with_stats, ArchiveQuery, Cursor, EventKind, FilterParamError, LogEntry,
+    LogFilter, LogPage, Pages, QueryPlan, QueryStats, DEFAULT_LIMIT,
 };
 pub use state::{Account, StateDb};
 pub use world::World;

@@ -253,6 +253,71 @@ impl LogFilter {
         self.limit.unwrap_or(DEFAULT_LIMIT).max(1)
     }
 
+    /// Build a filter from decoded HTTP query-string pairs — the inverse
+    /// of the serde wire form, for URL surfaces. Accepted parameters:
+    ///
+    /// | param     | value                                   | repeatable |
+    /// |-----------|-----------------------------------------|------------|
+    /// | `from`    | inclusive start height                  | no         |
+    /// | `to`      | inclusive end height                    | no         |
+    /// | `limit`   | per-page result cap                     | no         |
+    /// | `address` | `0x`-hex address or decimal sim index   | yes        |
+    /// | `kind`    | [`EventKind::name`] (case-insensitive)  | yes        |
+    /// | `cursor`  | [`Cursor::to_token`] continuation token | no         |
+    ///
+    /// Repeated `address` / `kind` pairs accumulate (deduplicating) into
+    /// the disjunctive vectors; unknown parameter names and malformed
+    /// values are errors so clients learn about typos instead of
+    /// silently getting the unfiltered firehose.
+    pub fn from_query_pairs<I, K, V>(pairs: I) -> Result<LogFilter, FilterParamError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: AsRef<str>,
+        V: AsRef<str>,
+    {
+        let mut filter = LogFilter::new();
+        for (key, value) in pairs {
+            let (key, value) = (key.as_ref(), value.as_ref());
+            let bad = |k: &str, v: &str| FilterParamError::BadValue {
+                param: k.to_string(),
+                value: v.to_string(),
+            };
+            match key {
+                "from" => {
+                    filter.from_block = Some(value.parse().map_err(|_| bad(key, value))?);
+                }
+                "to" => {
+                    filter.to_block = Some(value.parse().map_err(|_| bad(key, value))?);
+                }
+                "limit" => {
+                    filter.limit = Some(value.parse().map_err(|_| bad(key, value))?);
+                }
+                "address" => {
+                    let addr = if value.starts_with("0x") {
+                        value.parse::<Address>().map_err(|_| bad(key, value))?
+                    } else {
+                        Address::from_index(value.parse().map_err(|_| bad(key, value))?)
+                    };
+                    filter = filter.address(addr);
+                }
+                "kind" => {
+                    let kind = EventKind::parse(value).ok_or_else(|| bad(key, value))?;
+                    filter = filter.kind(kind);
+                }
+                "cursor" => {
+                    let cursor = Cursor::parse_token(value).ok_or_else(|| bad(key, value))?;
+                    filter.resume = Some(cursor);
+                }
+                _ => {
+                    return Err(FilterParamError::UnknownParam {
+                        param: key.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(filter)
+    }
+
     /// Clamp the filter (including any resume cursor) to an archive's
     /// committed `[genesis, head]` range. Returns the inclusive scan
     /// window plus the `(block, first_tx_index)` the resume cursor asks
@@ -272,6 +337,32 @@ impl LogFilter {
         (from <= to).then_some((from, to, skip))
     }
 }
+
+/// Why a query-string could not be turned into a [`LogFilter`]
+/// ([`LogFilter::from_query_pairs`]). Carries enough to render a
+/// client-facing 400 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterParamError {
+    /// A parameter name the filter surface does not define.
+    UnknownParam { param: String },
+    /// A known parameter whose value failed to parse.
+    BadValue { param: String, value: String },
+}
+
+impl std::fmt::Display for FilterParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterParamError::UnknownParam { param } => {
+                write!(f, "unknown query parameter `{param}`")
+            }
+            FilterParamError::BadValue { param, value } => {
+                write!(f, "invalid value `{value}` for query parameter `{param}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterParamError {}
 
 /// A typed continuation token: where the next page starts, to
 /// transaction granularity. Serializable, so a crawl can checkpoint and
@@ -311,6 +402,29 @@ impl Cursor {
     /// next page will read.
     pub fn next_tx_index(&self) -> u32 {
         self.next_tx_index
+    }
+
+    /// Compact `block.tx` token for URLs and logs — the form an HTTP
+    /// API hands to clients as a continuation parameter. The tx suffix
+    /// is omitted at block boundaries so block-only tokens stay short.
+    pub fn to_token(&self) -> String {
+        if self.next_tx_index == 0 {
+            self.next_block.to_string()
+        } else {
+            format!("{}.{}", self.next_block, self.next_tx_index)
+        }
+    }
+
+    /// Parse a [`Cursor::to_token`] string (`"BLOCK"` or `"BLOCK.TX"`).
+    /// Tolerates any numeric position, including a tx index at or past
+    /// the end of its block — the query engines resume such cursors at
+    /// the next block — so tokens from untrusted clients cannot make a
+    /// filter unrepresentable.
+    pub fn parse_token(s: &str) -> Option<Cursor> {
+        match s.split_once('.') {
+            None => s.parse().ok().map(Cursor::at),
+            Some((block, tx)) => Some(Cursor::at_tx(block.parse().ok()?, tx.parse().ok()?)),
+        }
     }
 }
 
@@ -358,6 +472,28 @@ impl QueryPlan {
             QueryPlan::Rollup => "rollup",
         }
     }
+
+    /// How many bytes a strategy touches relative to the others:
+    /// a rollup answer reads only the manifest, postings read sidecar
+    /// pages, a full scan decodes data frames. Folding multi-page stats
+    /// keeps the *most degraded* plan so a query that ever fell back to
+    /// scanning can never summarize itself as index-served.
+    fn degradation(self) -> u8 {
+        match self {
+            QueryPlan::Rollup => 0,
+            QueryPlan::Postings => 1,
+            QueryPlan::FullScan => 2,
+        }
+    }
+
+    /// The more degraded (more bytes touched) of two executed plans.
+    pub fn worse(self, other: QueryPlan) -> QueryPlan {
+        if other.degradation() > self.degradation() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// What a query actually touched — the single stats shape every
@@ -367,8 +503,20 @@ impl QueryPlan {
 /// on the in-memory backend (it has no segments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryStats {
-    /// The strategy the planner picked (always `FullScan` in memory).
+    /// The strategy that actually *executed* (always `FullScan` in
+    /// memory). When an index path degrades mid-query — e.g. a damaged
+    /// sidecar forces the postings strategy back onto the scan — this
+    /// field reports the executed fallback, never the optimistic choice;
+    /// [`QueryStats::planned`] keeps what the planner wanted.
     pub plan: QueryPlan,
+    /// The strategy the planner *chose* before execution. Differs from
+    /// [`QueryStats::plan`] exactly when the query degraded (see the
+    /// `store.postings.fallback` counter).
+    pub planned: QueryPlan,
+    /// Query calls folded into this stats value: 1 for a single page,
+    /// the page count for an accumulated total, 0 only for a fresh
+    /// accumulator that has absorbed nothing yet.
+    pub pages: u64,
     /// Blocks whose receipts were examined.
     pub blocks_scanned: u64,
     /// Segments committed in the store.
@@ -397,11 +545,23 @@ impl QueryStats {
         self.pruned_by_zone + self.pruned_by_bloom
     }
 
-    /// Fold another page's stats into a running total (cumulative fields
-    /// sum; `segments_total` is a property of the store, not the page;
-    /// the plan of the latest page wins — pages of one query share it).
+    /// Fold another page's stats into a running total. Cumulative fields
+    /// sum; `segments_total` is a property of the store, not the page.
+    /// The folded `plan`/`planned` keep the *most degraded* strategy any
+    /// page executed ([`QueryPlan::worse`]): if one page of a paginated
+    /// query fell back from postings to a scan, the total truthfully
+    /// reports `FullScan` even when later pages were index-served. A
+    /// fresh accumulator (`pages == 0`) adopts the first page's plans
+    /// verbatim so its `FullScan` default cannot poison the fold.
     pub fn absorb(&mut self, other: &QueryStats) {
-        self.plan = other.plan;
+        if self.pages == 0 {
+            self.plan = other.plan;
+            self.planned = other.planned;
+        } else if other.pages > 0 {
+            self.plan = self.plan.worse(other.plan);
+            self.planned = self.planned.worse(other.planned);
+        }
+        self.pages += other.pages;
         self.blocks_scanned += other.blocks_scanned;
         self.segments_total = self.segments_total.max(other.segments_total);
         self.pruned_by_zone += other.pruned_by_zone;
@@ -536,7 +696,10 @@ pub fn get_logs(chain: &ChainStore, filter: &LogFilter) -> LogPage {
 /// are never split — and when the cap hits after transaction `t` of
 /// block `b`, the page carries `Cursor::at_tx(b, t + 1)`.
 pub fn get_logs_with_stats(chain: &ChainStore, filter: &LogFilter) -> (LogPage, QueryStats) {
-    let mut stats = QueryStats::default();
+    let mut stats = QueryStats {
+        pages: 1,
+        ..QueryStats::default()
+    };
     let empty = LogPage {
         entries: Vec::new(),
         next: None,
@@ -904,13 +1067,21 @@ mod tests {
             get_logs_with_stats(&c, &LogFilter::new().from_block(g + 4).to_block(g + 6));
         assert_eq!(stats.blocks_scanned, 3);
         assert_eq!(stats.plan, QueryPlan::FullScan);
-        // A cursor resume never re-reads blocks before the cursor.
+        // A cursor resume never re-reads blocks before the cursor: an
+        // unbounded resume scans exactly the tail, and a limited one
+        // stops even earlier.
         let f = LogFilter::new().limit(4);
         let (first, first_stats) = get_logs_with_stats(&c, &f);
         let cursor = first.next.expect("more pages");
-        let (_, resume_stats) = get_logs_with_stats(&c, &f.clone().after(cursor));
         assert!(first_stats.blocks_scanned < 10);
-        assert_eq!(resume_stats.blocks_scanned, 10 - (cursor.next_block() - g));
+        let (tail, tail_stats) = get_logs_with_stats(&c, &LogFilter::new().after(cursor));
+        assert_eq!(tail_stats.blocks_scanned, 10 - (cursor.next_block() - g));
+        assert!(tail
+            .entries
+            .iter()
+            .all(|e| (e.block, e.tx_index) >= (cursor.next_block(), cursor.next_tx_index())));
+        let (_, resume_stats) = get_logs_with_stats(&c, &f.clone().after(cursor));
+        assert!(resume_stats.blocks_scanned <= tail_stats.blocks_scanned);
         // An inverted window scans nothing.
         let (page, none) =
             get_logs_with_stats(&c, &LogFilter::new().from_block(g + 6).to_block(g + 2));
@@ -982,6 +1153,141 @@ mod tests {
         let (entries, stats) = c.pages(&f).collect_with_stats().unwrap();
         assert_eq!(entries.len(), 5);
         assert!(stats.blocks_scanned >= 10);
+    }
+
+    #[test]
+    fn plan_worse_keeps_the_most_degraded_strategy() {
+        use QueryPlan::*;
+        assert_eq!(Rollup.worse(Postings), Postings);
+        assert_eq!(Postings.worse(Rollup), Postings);
+        assert_eq!(Postings.worse(FullScan), FullScan);
+        assert_eq!(FullScan.worse(Postings), FullScan);
+        assert_eq!(Rollup.worse(FullScan), FullScan);
+        for p in [FullScan, Postings, Rollup] {
+            assert_eq!(p.worse(p), p);
+        }
+    }
+
+    #[test]
+    fn absorb_reports_the_executed_plan_across_pages() {
+        // The satellite-1 contract at the stats layer: a paginated query
+        // where one page degraded to a scan must summarize itself as
+        // FullScan even when other pages were index-served, while
+        // `planned` keeps the planner's optimistic choice.
+        let postings_page = QueryStats {
+            plan: QueryPlan::Postings,
+            planned: QueryPlan::Postings,
+            pages: 1,
+            postings_pages_read: 2,
+            ..QueryStats::default()
+        };
+        let fallback_page = QueryStats {
+            plan: QueryPlan::FullScan,
+            planned: QueryPlan::Postings,
+            pages: 1,
+            data_frames_read: 3,
+            ..QueryStats::default()
+        };
+        let mut total = QueryStats::default();
+        assert_eq!(total.pages, 0, "fresh accumulator");
+        total.absorb(&postings_page);
+        assert_eq!(total.plan, QueryPlan::Postings, "default cannot poison");
+        total.absorb(&fallback_page);
+        total.absorb(&postings_page);
+        assert_eq!(total.plan, QueryPlan::FullScan, "executed plan sticks");
+        assert_eq!(total.planned, QueryPlan::Postings);
+        assert_eq!(total.pages, 3);
+        assert_eq!(total.postings_pages_read, 4);
+        assert_eq!(total.data_frames_read, 3);
+        // Folding a fresh (page-less) accumulator into another is a no-op
+        // on the plan fields.
+        let mut other = QueryStats {
+            plan: QueryPlan::Rollup,
+            planned: QueryPlan::Rollup,
+            pages: 1,
+            ..QueryStats::default()
+        };
+        other.absorb(&QueryStats::default());
+        assert_eq!(other.plan, QueryPlan::Rollup);
+        assert_eq!(other.pages, 1);
+    }
+
+    #[test]
+    fn cursor_tokens_round_trip() {
+        assert_eq!(Cursor::at(42).to_token(), "42");
+        assert_eq!(Cursor::at_tx(42, 7).to_token(), "42.7");
+        assert_eq!(Cursor::parse_token("42"), Some(Cursor::at(42)));
+        assert_eq!(Cursor::parse_token("42.7"), Some(Cursor::at_tx(42, 7)));
+        for c in [Cursor::at(0), Cursor::at(10_000_003), Cursor::at_tx(5, 1)] {
+            assert_eq!(Cursor::parse_token(&c.to_token()), Some(c));
+        }
+        // Out-of-range tx indices are representable (the engines resume
+        // them at the next block), garbage is not.
+        assert_eq!(
+            Cursor::parse_token("9.4294967295"),
+            Some(Cursor::at_tx(9, u32::MAX))
+        );
+        for bad in ["", ".", "a", "1.", ".2", "1.2.3", "-1", "1.-2", "1.x"] {
+            assert_eq!(Cursor::parse_token(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn filter_from_query_pairs() {
+        let a7 = Address::from_index(7);
+        let f = LogFilter::from_query_pairs([
+            ("from", "10000002".to_string()),
+            ("to", "10000008".to_string()),
+            ("limit", "5".to_string()),
+            ("address", "7".to_string()),
+            ("address", format!("{}", Address::from_index(9))),
+            ("address", "7".to_string()), // duplicates fold away
+            ("kind", "Swap".to_string()),
+            ("kind", "transfer".to_string()),
+            ("cursor", "10000004.2".to_string()),
+        ])
+        .unwrap();
+        assert_eq!(f.from_block, Some(10_000_002));
+        assert_eq!(f.to_block, Some(10_000_008));
+        assert_eq!(f.limit, Some(5));
+        assert_eq!(f.addresses, vec![a7, Address::from_index(9)]);
+        assert_eq!(f.kinds, vec![EventKind::Swap, EventKind::Transfer]);
+        assert_eq!(f.resume, Some(Cursor::at_tx(10_000_004, 2)));
+        // Hex and decimal-index spellings of the same address agree.
+        let hex = LogFilter::from_query_pairs([("address", format!("{a7}"))]).unwrap();
+        assert_eq!(hex.addresses, vec![a7]);
+        // No pairs means no constraints.
+        let empty = LogFilter::from_query_pairs(std::iter::empty::<(&str, &str)>()).unwrap();
+        assert!(!empty.is_selective());
+        assert!(empty.from_block.is_none() && empty.limit.is_none());
+        // Errors name the offending parameter.
+        let unknown = LogFilter::from_query_pairs([("fromblock", "1")]).unwrap_err();
+        assert_eq!(
+            unknown,
+            FilterParamError::UnknownParam {
+                param: "fromblock".into()
+            }
+        );
+        for (k, v) in [
+            ("from", "abc"),
+            ("to", "-3"),
+            ("limit", "lots"),
+            ("address", "0x123"),
+            ("address", "not-a-number"),
+            ("kind", "swaps"),
+            ("cursor", "1.2.3"),
+        ] {
+            let err = LogFilter::from_query_pairs([(k, v)]).unwrap_err();
+            assert_eq!(
+                err,
+                FilterParamError::BadValue {
+                    param: k.into(),
+                    value: v.into()
+                },
+                "{k}={v}"
+            );
+            assert!(err.to_string().contains(k));
+        }
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!     `checked_*`/`saturating_*` or the U256-widening helpers.
 //! R3 `atomics`    — `Ordering::Relaxed` only inside `crates/obs`.
 //! R4 `panic`      — no `unwrap()`/`expect()`/`panic!`/`unreachable!` in
-//!     non-test library code of `core`, `chain`, `dex`, `net`.
+//!     non-test library code of `core`, `chain`, `dex`, `net`, `store`,
+//!     `serve`.
 //! R5 `deprecated` — no internal callers of the `#[deprecated]`
-//!     `MevDataset::inspect` / `inspect_parallel` shims.
+//!     `MevDataset::inspect` / `inspect_parallel` / `get_logs_all`
+//!     shims.
 //!
 //! All rules are token-pattern checks over [`crate::lexer`] output; none
 //! have type information (a `syn` AST would not either), so R1 and R2
@@ -48,11 +50,16 @@ const R2_EXEMPT: [&str; 1] = ["types"];
 const R3_EXEMPT: [&str; 1] = ["obs"];
 /// Crates whose library code must not contain panic paths (R4). The
 /// persistent store is included: corruption and I/O failure must surface
-/// as `StoreError`, never as a panic.
-const R4_CRATES: [&str; 5] = ["core", "chain", "dex", "net", "store"];
-/// The deprecated shims are *defined* here; every other file is an
-/// internal caller (R5).
-const R5_DEFINITION_FILE: &str = "crates/core/src/dataset.rs";
+/// as `StoreError`, never as a panic — and the HTTP server must answer
+/// malformed requests with error responses, never by dying.
+const R4_CRATES: [&str; 6] = ["core", "chain", "dex", "net", "store", "serve"];
+/// The deprecated shims are *defined* in these files; every other file
+/// is an internal caller (R5).
+const R5_DEFINITION_FILES: [&str; 3] = [
+    "crates/core/src/dataset.rs",
+    "crates/chain/src/query.rs",
+    "crates/store/src/reader.rs",
+];
 
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 /// Interner tables (R1): their probe-table layout is an implementation
@@ -593,7 +600,7 @@ fn r4_panic(sf: &SourceFile, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------
 
 fn r5_deprecated(sf: &SourceFile, out: &mut Vec<Finding>) {
-    if sf.path == R5_DEFINITION_FILE {
+    if R5_DEFINITION_FILES.contains(&sf.path.as_str()) {
         return;
     }
     let toks = sf.tokens();
@@ -605,13 +612,13 @@ fn r5_deprecated(sf: &SourceFile, out: &mut Vec<Finding>) {
         if t.kind != TokenKind::Ident {
             continue;
         }
-        let is_shim = t.text == "inspect_parallel"
+        let inspect_shim = t.text == "inspect_parallel"
             || (t.text == "inspect"
                 && i >= 3
                 && toks[i - 1].text == ":"
                 && toks[i - 2].text == ":"
                 && toks[i - 3].text == "MevDataset");
-        if is_shim {
+        if inspect_shim {
             push(
                 sf,
                 out,
@@ -621,6 +628,19 @@ fn r5_deprecated(sf: &SourceFile, out: &mut Vec<Finding>) {
                     "`{}` is a deprecated shim; use `Inspector::new(chain, api)…run()`",
                     t.text
                 ),
+            );
+        }
+        // The query-surface shims deprecated with the ArchiveQuery
+        // trait: one-call page draining lives on `pages(filter)` now.
+        if t.text == "get_logs_all" {
+            push(
+                sf,
+                out,
+                i,
+                RULE_DEPRECATED,
+                "`get_logs_all` is a deprecated shim; use \
+                 `ArchiveQuery::pages(filter).collect_entries()`"
+                    .to_string(),
             );
         }
     }
@@ -954,6 +974,33 @@ mod tests {
             }
         "#;
         assert!(rules_fired("core", src).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_get_logs_all_callers_but_not_its_definition_files() {
+        let src = r#"
+            fn f(chain: &ChainStore, reader: &StoreReader, filter: &LogFilter) {
+                let _ = get_logs_all(chain, filter);
+                let _ = reader.get_logs_all(filter);
+            }
+        "#;
+        let fired = rules_fired("core", src);
+        assert_eq!(fired, vec!["deprecated"; 2]);
+        // Both files that define a `get_logs_all` shim are exempt.
+        assert!(lint_source("crates/chain/src/query.rs", "chain", false, src).is_empty());
+        assert!(lint_source("crates/store/src/reader.rs", "store", false, src).is_empty());
+        // Test code may keep exercising the shims.
+        assert!(lint_source("crates/x/tests/t.rs", "x", true, src).is_empty());
+    }
+
+    #[test]
+    fn r4_covers_the_serve_crate() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(rules_fired("serve", src), vec!["panic"]);
     }
 
     // -- Suppressions ------------------------------------------------

@@ -1,0 +1,186 @@
+//! Response wire shapes and their encoders. Every endpoint's JSON is
+//! produced here — the integration tests call the same encoders on
+//! direct [`ArchiveQuery`](mev_chain::ArchiveQuery) results to assert
+//! served responses are bit-identical to first-party queries.
+
+use mev_chain::{Cursor, EventKind, LogEntry, LogPage, QueryStats};
+use mev_core::Detection;
+use mev_store::{AggregateKey, AggregateRow, GroupBy};
+use mev_types::{Address, Block, LogEvent, Receipt, TxHash};
+
+/// What a query touched, flattened for clients. `plan` is the strategy
+/// that *executed*; `planned` is what the planner chose — they differ
+/// exactly when the query degraded (e.g. postings → scan on a damaged
+/// sidecar).
+#[derive(Debug, serde::Serialize)]
+pub struct StatsWire {
+    pub plan: &'static str,
+    pub planned: &'static str,
+    pub pages: u64,
+    pub blocks_scanned: u64,
+    pub segments_total: u64,
+    pub pruned_by_zone: u64,
+    pub pruned_by_bloom: u64,
+    pub segments_read: u64,
+    pub data_frames_read: u64,
+    pub postings_pages_read: u64,
+    pub rollup_reads: u64,
+    pub bloom_false_positives: u64,
+}
+
+impl From<&QueryStats> for StatsWire {
+    fn from(s: &QueryStats) -> StatsWire {
+        StatsWire {
+            plan: s.plan.as_str(),
+            planned: s.planned.as_str(),
+            pages: s.pages,
+            blocks_scanned: s.blocks_scanned,
+            segments_total: s.segments_total,
+            pruned_by_zone: s.pruned_by_zone,
+            pruned_by_bloom: s.pruned_by_bloom,
+            segments_read: s.segments_read,
+            data_frames_read: s.data_frames_read,
+            postings_pages_read: s.postings_pages_read,
+            rollup_reads: s.rollup_reads,
+            bloom_false_positives: s.bloom_false_positives,
+        }
+    }
+}
+
+/// One matched log with its chain coordinates.
+#[derive(Debug, serde::Serialize)]
+pub struct LogEntryWire<'a> {
+    pub block: u64,
+    pub tx_index: u32,
+    pub tx_hash: &'a TxHash,
+    pub address: &'a Address,
+    /// The event family, as its lower-case [`EventKind::name`].
+    pub kind: &'static str,
+    pub event: &'a LogEvent,
+}
+
+impl<'a> From<&'a LogEntry> for LogEntryWire<'a> {
+    fn from(e: &'a LogEntry) -> LogEntryWire<'a> {
+        LogEntryWire {
+            block: e.block,
+            tx_index: e.tx_index,
+            tx_hash: &e.tx_hash,
+            address: &e.log.address,
+            kind: EventKind::of(&e.log.event).name(),
+            event: &e.log.event,
+        }
+    }
+}
+
+/// `GET /logs` body.
+#[derive(Debug, serde::Serialize)]
+pub struct LogsResponse<'a> {
+    pub entries: Vec<LogEntryWire<'a>>,
+    /// Continuation token ([`Cursor::to_token`]) when the page filled.
+    /// Pass back as `cursor=` to fetch the next page.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub next_cursor: Option<String>,
+    pub stats: StatsWire,
+}
+
+/// Encode a `(page, stats)` answer exactly as `GET /logs` serves it.
+pub fn encode_logs(page: &LogPage, stats: &QueryStats) -> Result<String, serde_json::Error> {
+    serde_json::to_string(&LogsResponse {
+        entries: page.entries.iter().map(LogEntryWire::from).collect(),
+        next_cursor: page.next.as_ref().map(Cursor::to_token),
+        stats: stats.into(),
+    })
+}
+
+/// `GET /detections` body.
+#[derive(Debug, serde::Serialize)]
+pub struct DetectionsResponse<'a> {
+    pub count: usize,
+    pub detections: Vec<&'a Detection>,
+}
+
+/// Encode a filtered detection set exactly as `GET /detections` serves
+/// it.
+pub fn encode_detections(detections: &[&Detection]) -> Result<String, serde_json::Error> {
+    serde_json::to_string(&DetectionsResponse {
+        count: detections.len(),
+        detections: detections.to_vec(),
+    })
+}
+
+/// `GET /blocks/{n}` body.
+#[derive(Debug, serde::Serialize)]
+pub struct BlockResponse<'a> {
+    pub block: &'a Block,
+    pub receipts: &'a [Receipt],
+}
+
+/// Encode a block + receipts exactly as `GET /blocks/{n}` serves it.
+pub fn encode_block(block: &Block, receipts: &[Receipt]) -> Result<String, serde_json::Error> {
+    serde_json::to_string(&BlockResponse { block, receipts })
+}
+
+/// One aggregate bucket, key rendered to a string: the event-family
+/// name, the `0x`-hex address, or the epoch month (`YYYY-MM`).
+#[derive(Debug, serde::Serialize)]
+pub struct AggregateRowWire {
+    pub key: String,
+    pub count: u64,
+    pub wei_sum: u128,
+}
+
+/// `GET /aggregates` body.
+#[derive(Debug, serde::Serialize)]
+pub struct AggregatesResponse {
+    /// The grouping dimension: `kind`, `address`, or `epoch`.
+    pub group: &'static str,
+    pub rows: Vec<AggregateRowWire>,
+    pub stats: StatsWire,
+}
+
+/// The query-parameter spelling of a [`GroupBy`] dimension.
+pub fn group_name(group: GroupBy) -> &'static str {
+    match group {
+        GroupBy::Kind => "kind",
+        GroupBy::Address => "address",
+        GroupBy::Epoch => "epoch",
+    }
+}
+
+/// Encode an aggregate answer exactly as `GET /aggregates` serves it.
+pub fn encode_aggregates(
+    group: GroupBy,
+    rows: &[AggregateRow],
+    stats: &QueryStats,
+) -> Result<String, serde_json::Error> {
+    serde_json::to_string(&AggregatesResponse {
+        group: group_name(group),
+        rows: rows
+            .iter()
+            .map(|r| AggregateRowWire {
+                key: match r.key {
+                    AggregateKey::Kind(k) => k.name().to_string(),
+                    AggregateKey::Addr(a) => a.to_string(),
+                    AggregateKey::Epoch(m) => m.to_string(),
+                },
+                count: r.stat.count,
+                wei_sum: r.stat.wei_sum,
+            })
+            .collect(),
+        stats: stats.into(),
+    })
+}
+
+/// Error body every non-200 answer carries.
+#[derive(Debug, serde::Serialize)]
+pub struct ErrorBody<'a> {
+    pub error: &'a str,
+}
+
+/// Encode an error body; falls back to a hand-built literal if the
+/// message itself will not serialize (it always will — this keeps the
+/// encoder total without a panic path).
+pub fn encode_error(message: &str) -> String {
+    serde_json::to_string(&ErrorBody { error: message })
+        .unwrap_or_else(|_| r#"{"error":"unserializable error"}"#.to_string())
+}

@@ -1,0 +1,92 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection —
+//! just enough for the integration tests and `serve_bench` to drive the
+//! server without an external HTTP library.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One keep-alive connection to the server. Requests are issued
+/// serially; concurrency comes from one [`Client`] per thread.
+pub struct Client {
+    stream: TcpStream,
+    /// Bytes read past the previous response (headers of the next one).
+    carry: Vec<u8>,
+}
+
+/// A decoded response: status code and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+fn protocol_err(detail: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail.to_string())
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+            carry: Vec::new(),
+        })
+    }
+
+    /// Issue `GET {target}` (path plus query string) and read the full
+    /// response off the shared connection.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        let request =
+            format!("GET {target} HTTP/1.1\r\nHost: mev-serve\r\nConnection: keep-alive\r\n\r\n");
+        self.stream.write_all(request.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut buf = std::mem::take(&mut self.carry);
+        // Head first.
+        let head_end = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            if !self.fill(&mut buf)? {
+                return Err(protocol_err("connection closed before response head"));
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| protocol_err("bad status line"))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .ok_or_else(|| protocol_err("missing content-length"))?;
+        // Then exactly content-length body bytes.
+        while buf.len() < head_end + content_length {
+            if !self.fill(&mut buf)? {
+                return Err(protocol_err("connection closed mid-body"));
+            }
+        }
+        let body = String::from_utf8_lossy(&buf[head_end..head_end + content_length]).into_owned();
+        // Anything further belongs to the next response.
+        self.carry = buf.split_off(head_end + content_length);
+        Ok(ClientResponse { status, body })
+    }
+
+    /// Read one chunk; `false` on EOF.
+    fn fill(&mut self, buf: &mut Vec<u8>) -> std::io::Result<bool> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        Ok(true)
+    }
+}

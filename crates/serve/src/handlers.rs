@@ -1,0 +1,116 @@
+//! Request routing and per-endpoint handlers. Every endpoint is a pure
+//! function of the shared [`ApiState`] and the parsed request; workers
+//! call [`handle`] and write whatever comes back. Each endpoint bumps
+//! `serve.<endpoint>.requests` / `serve.<endpoint>.errors` counters and
+//! records wall-clock latency in the `serve.<endpoint>.ns` histogram.
+
+use crate::api_types;
+use crate::http::{Request, Response};
+use crate::validation;
+use mev_core::Detection;
+use mev_store::StoreReader;
+use std::sync::Arc;
+
+/// Everything the handlers read: the archive reader (internally cached
+/// and thread-safe) and the detection set served by `/detections`.
+#[derive(Clone)]
+pub struct ApiState {
+    pub reader: Arc<StoreReader>,
+    pub detections: Arc<Vec<Detection>>,
+}
+
+impl ApiState {
+    pub fn new(reader: Arc<StoreReader>, detections: Vec<Detection>) -> ApiState {
+        ApiState {
+            reader,
+            detections: Arc::new(detections),
+        }
+    }
+}
+
+/// Route a request to its endpoint. Unknown paths are 404.
+pub fn handle(state: &ApiState, request: &Request) -> Response {
+    let endpoint = match request.path.as_str() {
+        "/logs" => "logs",
+        "/detections" => "detections",
+        "/aggregates" => "aggregates",
+        "/stats" => "stats",
+        p if p.starts_with("/blocks/") => "blocks",
+        _ => {
+            return Response::json(
+                404,
+                api_types::encode_error(&format!("no such endpoint: {}", request.path)),
+            )
+        }
+    };
+    mev_obs::counter(&format!("serve.{endpoint}.requests")).inc();
+    let _t = mev_obs::span(&format!("serve.{endpoint}.ns"));
+    let result = match endpoint {
+        "logs" => logs(state, request),
+        "detections" => detections(state, request),
+        "aggregates" => aggregates(state, request),
+        "blocks" => blocks(state, request),
+        _ => stats(),
+    };
+    match result {
+        Ok(response) => response,
+        Err((status, message)) => {
+            mev_obs::counter(&format!("serve.{endpoint}.errors")).inc();
+            Response::json(status, api_types::encode_error(&message))
+        }
+    }
+}
+
+/// Client errors are 400 with the validation message; store failures
+/// (I/O, corruption) are 500 — the query layer has already degraded
+/// around anything survivable.
+type HandlerResult = Result<Response, (u16, String)>;
+
+fn internal(e: impl std::fmt::Display) -> (u16, String) {
+    (500, e.to_string())
+}
+
+fn logs(state: &ApiState, request: &Request) -> HandlerResult {
+    let filter = validation::logs_filter(&request.query).map_err(|e| (400, e))?;
+    let (page, stats) = state
+        .reader
+        .get_logs_with_stats(&filter)
+        .map_err(internal)?;
+    let body = api_types::encode_logs(&page, &stats).map_err(internal)?;
+    Ok(Response::json(200, body))
+}
+
+fn detections(state: &ApiState, request: &Request) -> HandlerResult {
+    let query = validation::detections_query(&request.query).map_err(|e| (400, e))?;
+    let matched: Vec<&Detection> = state
+        .detections
+        .iter()
+        .filter(|d| query.matches(d))
+        .collect();
+    let body = api_types::encode_detections(&matched).map_err(internal)?;
+    Ok(Response::json(200, body))
+}
+
+fn aggregates(state: &ApiState, request: &Request) -> HandlerResult {
+    let (group, filter) = validation::aggregate_params(&request.query).map_err(|e| (400, e))?;
+    let (rows, stats) = state.reader.aggregate(&filter, group).map_err(internal)?;
+    let body = api_types::encode_aggregates(group, &rows, &stats).map_err(internal)?;
+    Ok(Response::json(200, body))
+}
+
+fn blocks(state: &ApiState, request: &Request) -> HandlerResult {
+    let number = validation::block_number(&request.path).map_err(|e| (400, e))?;
+    let block = state.reader.get_block(number).map_err(internal)?;
+    let receipts = state.reader.get_receipts(number).map_err(internal)?;
+    match (block, receipts) {
+        (Some(block), Some(receipts)) => {
+            let body = api_types::encode_block(&block, &receipts).map_err(internal)?;
+            Ok(Response::json(200, body))
+        }
+        _ => Err((404, format!("block {number} is not archived"))),
+    }
+}
+
+fn stats() -> HandlerResult {
+    Ok(Response::json(200, mev_obs::report().to_json()))
+}

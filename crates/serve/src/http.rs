@@ -1,0 +1,299 @@
+//! Hand-rolled minimal HTTP/1.1: exactly what a query API needs and
+//! nothing more. Requests are `GET` with a path and query string (no
+//! bodies); responses are JSON with `Content-Length` framing;
+//! connections default to `keep-alive` per HTTP/1.1 and honor
+//! `Connection: close`. Anything outside that envelope gets a clean
+//! error status, never a panic — the parser faces untrusted bytes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request head (request line + headers). Generous for any
+/// real filter query; a client streaming more than this is not speaking
+/// our protocol.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method-checked, split into path and decoded query
+/// pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Percent-decoded path, always starting with `/`.
+    pub path: String,
+    /// Decoded query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Whether the connection should survive this exchange.
+    pub keep_alive: bool,
+}
+
+/// Why a connection stopped yielding requests.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean end of stream between requests — not an error.
+    Closed,
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed GET request. The server answers
+    /// with the status and closes.
+    Malformed { status: u16, detail: String },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed { status, detail } => {
+                write!(f, "malformed request ({status}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn malformed(status: u16, detail: impl Into<String>) -> HttpError {
+    HttpError::Malformed {
+        status,
+        detail: detail.into(),
+    }
+}
+
+/// Read one request head off the stream. `buf` is the caller's reusable
+/// scratch (a worker reuses one buffer for its whole connection); bytes
+/// past the head (pipelined requests) are left in `buf` for the next
+/// call.
+pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<Request, HttpError> {
+    let head_end = loop {
+        if let Some(end) = find_head_end(buf) {
+            break end;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(malformed(431, "request head too large"));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(malformed(400, "connection closed mid-request"))
+                }
+            }
+            Ok(n) => n,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head: Vec<u8> = buf.drain(..head_end).collect();
+    let head = String::from_utf8_lossy(&head).into_owned();
+    parse_head(&head)
+}
+
+/// Index just past the `\r\n\r\n` (or lenient `\n\n`) head terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+fn parse_head(head: &str) -> Result<Request, HttpError> {
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() {
+        return Err(malformed(400, "empty request line"));
+    }
+    if method != "GET" {
+        return Err(malformed(405, format!("method {method} not allowed")));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(505, format!("version {version} unsupported")));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+        if name.eq_ignore_ascii_case("content-length") && value.trim() != "0" {
+            return Err(malformed(400, "GET requests must not carry a body"));
+        }
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path =
+        percent_decode(raw_path).ok_or_else(|| malformed(400, "bad percent-encoding in path"))?;
+    if !path.starts_with('/') {
+        return Err(malformed(400, "path must be absolute"));
+    }
+    let query = parse_query(raw_query)
+        .ok_or_else(|| malformed(400, "bad percent-encoding in query string"))?;
+    Ok(Request {
+        path,
+        query,
+        keep_alive,
+    })
+}
+
+/// Split a raw query string into decoded pairs. `a=1&b=2`; a key with no
+/// `=` becomes `(key, "")`; empty components are skipped.
+pub fn parse_query(raw: &str) -> Option<Vec<(String, String)>> {
+    let mut pairs = Vec::new();
+    for component in raw.split('&') {
+        if component.is_empty() {
+            continue;
+        }
+        let (k, v) = match component.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (component, ""),
+        };
+        pairs.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Some(pairs)
+}
+
+/// Decode `%XX` escapes and form-encoded `+` spaces. `None` on a
+/// truncated or non-hex escape.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
+                let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response ready to write: status plus a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, body }
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write a response; `keep_alive` selects the `Connection` header.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("%2Fx%3d1").as_deref(), Some("/x=1"));
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%2"), None);
+        assert_eq!(percent_decode("%ff"), None, "not UTF-8");
+    }
+
+    #[test]
+    fn query_pairs_parse_in_order() {
+        let pairs = parse_query("address=7&kind=swap&kind=transfer&flag&x=").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("address".to_string(), "7".to_string()),
+                ("kind".to_string(), "swap".to_string()),
+                ("kind".to_string(), "transfer".to_string()),
+                ("flag".to_string(), String::new()),
+                ("x".to_string(), String::new()),
+            ]
+        );
+        assert_eq!(parse_query("").unwrap(), vec![]);
+        assert!(parse_query("a=%q").is_none());
+    }
+
+    #[test]
+    fn head_parsing() {
+        let req = parse_head("GET /logs?limit=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/logs");
+        assert_eq!(req.query, vec![("limit".to_string(), "5".to_string())]);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let close = parse_head("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse_head("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        assert!(matches!(
+            parse_head("POST /logs HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed { status: 405, .. })
+        ));
+        assert!(matches!(
+            parse_head("GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed { status: 505, .. })
+        ));
+        assert!(matches!(
+            parse_head("\r\n\r\n"),
+            Err(HttpError::Malformed { status: 400, .. })
+        ));
+        assert!(matches!(
+            parse_head("GET /x HTTP/1.1\r\nContent-Length: 3\r\n\r\n"),
+            Err(HttpError::Malformed { status: 400, .. })
+        ));
+    }
+}

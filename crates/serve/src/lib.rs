@@ -1,0 +1,272 @@
+//! # mev-serve
+//!
+//! A zero-dependency HTTP/JSON query API over the archive store — the
+//! serving tier for the paper's result tables: `GET /logs` (the
+//! `eth_getLogs` filter surface with cursor continuation),
+//! `GET /detections` (the MEV dataset), `GET /blocks/{n}`,
+//! `GET /aggregates` (planner-routed group-bys, rollup-served when
+//! warm), and `GET /stats` (the mev-obs RunReport).
+//!
+//! No async runtime and no HTTP framework, matching the workspace's
+//! no-external-engines idiom: a std [`TcpListener`], an accept loop
+//! feeding a bounded connection queue, and a small worker pool. Each
+//! worker owns a connection for its keep-alive lifetime and reuses one
+//! decode buffer across requests.
+
+pub mod api_types;
+pub mod handlers;
+pub mod http;
+pub mod validation;
+
+mod client;
+
+pub use client::Client;
+pub use handlers::ApiState;
+pub use http::{Request, Response};
+
+use http::HttpError;
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server tuning. The defaults suit tests and small deployments; the
+/// bench drives one worker per concurrent client.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Accepted connections queued ahead of the workers; past this the
+    /// server answers 503 instead of stalling the accept loop.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// How long a worker blocks on an idle keep-alive connection before
+/// re-checking the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    /// False once the accept loop has exited; workers drain and stop.
+    open: bool,
+}
+
+/// The bounded handoff between the accept loop and the workers.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn new() -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                conns: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        // A poisoned queue mutex means a worker panicked while holding
+        // it; the queue state itself (a VecDeque and a bool) is still
+        // coherent, so keep serving.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue if below `depth`; past it the connection comes back to
+    /// the caller to shed.
+    fn push(&self, conn: TcpStream, depth: usize) -> Result<(), TcpStream> {
+        let mut inner = self.lock();
+        if inner.conns.len() >= depth {
+            return Err(conn);
+        }
+        inner.conns.push_back(conn);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a connection or close; `None` means shut down.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(conn) = inner.conns.pop_front() {
+                return Some(conn);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.lock().open = false;
+        self.ready.notify_all();
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop and joins every worker.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and worker pool, and return
+    /// immediately. The server runs until [`Server::shutdown`] or drop.
+    pub fn start(config: ServeConfig, state: ApiState) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue::new());
+        let depth = config.queue_depth.max(1);
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                loop {
+                    let conn = match listener.accept() {
+                        Ok((conn, _)) => conn,
+                        Err(_) => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    mev_obs::counter("serve.connections").inc();
+                    if let Err(mut shed) = queue.push(conn, depth) {
+                        // Shed load without stalling the accept loop:
+                        // the conn is answered 503 inline and dropped.
+                        // Best effort; the client may already be gone.
+                        mev_obs::counter("serve.queue.shed").inc();
+                        let _ = http::write_response(
+                            &mut shed,
+                            &Response::json(503, api_types::encode_error("server overloaded")),
+                            false,
+                        );
+                    }
+                }
+                queue.close();
+            })
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let queue = Arc::clone(&queue);
+                let state = state.clone();
+                std::thread::spawn(move || {
+                    while let Some(conn) = queue.pop() {
+                        serve_connection(conn, &state, &stop);
+                    }
+                })
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            stop,
+            queue,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve one connection for its keep-alive lifetime. The read buffer is
+/// reused across the connection's requests; the worker returns to the
+/// queue when the peer closes, errors, sends `Connection: close`, or
+/// the server shuts down.
+fn serve_connection(mut conn: TcpStream, state: &ApiState, stop: &AtomicBool) {
+    // Bounded reads so an idle connection cannot pin a worker across
+    // shutdown.
+    if conn.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match http::read_request(&mut conn, &mut buf) {
+            Ok(request) => {
+                let response = handlers::handle(state, &request);
+                if http::write_response(&mut conn, &response, request.keep_alive).is_err() {
+                    return;
+                }
+                if !request.keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: loop back and re-check the stop flag
+                // (any partial bytes stay in `buf` for the retry).
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed { status, detail }) => {
+                mev_obs::counter("serve.http.malformed").inc();
+                let body = api_types::encode_error(&detail);
+                let _ = http::write_response(&mut conn, &Response::json(status, body), false);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Query-parameter validation: decoded pairs in, typed query out, or a
+//! client-facing message for the 400 body. The `LogFilter` mapping
+//! itself lives with the filter ([`LogFilter::from_query_pairs`]); this
+//! module layers the endpoint-specific parameters on top.
+
+use mev_chain::{EventKind, LogFilter};
+use mev_core::{Detection, MevKind};
+use mev_store::GroupBy;
+use mev_types::Address;
+
+/// Borrow decoded pairs as `(&str, &str)` for the chain-side parser.
+fn as_strs(pairs: &[(String, String)]) -> impl Iterator<Item = (&str, &str)> {
+    pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+}
+
+/// `GET /logs`: every parameter is a [`LogFilter`] parameter.
+pub fn logs_filter(pairs: &[(String, String)]) -> Result<LogFilter, String> {
+    LogFilter::from_query_pairs(as_strs(pairs)).map_err(|e| e.to_string())
+}
+
+/// `GET /aggregates`: a required `group` dimension plus any
+/// [`LogFilter`] parameters.
+pub fn aggregate_params(pairs: &[(String, String)]) -> Result<(GroupBy, LogFilter), String> {
+    let mut group = None;
+    let mut rest = Vec::new();
+    for (k, v) in pairs {
+        if k == "group" {
+            let parsed = match v.as_str() {
+                "kind" => GroupBy::Kind,
+                "address" => GroupBy::Address,
+                "epoch" => GroupBy::Epoch,
+                other => {
+                    return Err(format!(
+                        "invalid value `{other}` for query parameter `group` \
+                         (expected kind, address, or epoch)"
+                    ))
+                }
+            };
+            if group.replace(parsed).is_some() {
+                return Err("query parameter `group` given more than once".to_string());
+            }
+        } else {
+            rest.push((k.as_str(), v.as_str()));
+        }
+    }
+    let Some(group) = group else {
+        return Err("missing required query parameter `group`".to_string());
+    };
+    let filter = LogFilter::from_query_pairs(rest).map_err(|e| e.to_string())?;
+    Ok((group, filter))
+}
+
+/// The `GET /detections` predicate: all set fields must match, like a
+/// [`LogFilter`] over detections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DetectionQuery {
+    pub from_block: Option<u64>,
+    pub to_block: Option<u64>,
+    pub extractor: Option<Address>,
+    pub kind: Option<MevKind>,
+}
+
+impl DetectionQuery {
+    pub fn matches(&self, d: &Detection) -> bool {
+        self.from_block.is_none_or(|b| d.block >= b)
+            && self.to_block.is_none_or(|b| d.block <= b)
+            && self.extractor.is_none_or(|a| d.extractor == a)
+            && self.kind.is_none_or(|k| d.kind == k)
+    }
+}
+
+/// `GET /detections`: `from` / `to` height window, `address` (the
+/// extractor, hex or decimal sim index), `kind` (sandwich / arbitrage /
+/// liquidation).
+pub fn detections_query(pairs: &[(String, String)]) -> Result<DetectionQuery, String> {
+    let mut q = DetectionQuery::default();
+    for (k, v) in pairs {
+        let bad = || format!("invalid value `{v}` for query parameter `{k}`");
+        match k.as_str() {
+            "from" => q.from_block = Some(v.parse().map_err(|_| bad())?),
+            "to" => q.to_block = Some(v.parse().map_err(|_| bad())?),
+            "address" => {
+                let addr = if v.starts_with("0x") {
+                    v.parse::<Address>().map_err(|_| bad())?
+                } else {
+                    Address::from_index(v.parse().map_err(|_| bad())?)
+                };
+                q.extractor = Some(addr);
+            }
+            "kind" => {
+                let kind = [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation]
+                    .into_iter()
+                    .find(|m| m.label() == v.to_ascii_lowercase())
+                    .ok_or_else(bad)?;
+                q.kind = Some(kind);
+            }
+            other => return Err(format!("unknown query parameter `{other}`")),
+        }
+    }
+    Ok(q)
+}
+
+/// `GET /blocks/{n}`: the height from the path tail.
+pub fn block_number(path: &str) -> Result<u64, String> {
+    let tail = path.strip_prefix("/blocks/").unwrap_or("");
+    tail.parse()
+        .map_err(|_| format!("invalid block height `{tail}` in path"))
+}
+
+/// A `kind=` value usable on `/logs` (documented helper for clients).
+pub fn known_event_kinds() -> impl Iterator<Item = &'static str> {
+    EventKind::ALL.into_iter().map(EventKind::name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(raw: &[(&str, &str)]) -> Vec<(String, String)> {
+        raw.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn logs_filter_maps_and_rejects() {
+        let f = logs_filter(&pairs(&[
+            ("address", "2"),
+            ("kind", "swap"),
+            ("limit", "3"),
+        ]))
+        .unwrap();
+        assert_eq!(f.addresses, vec![Address::from_index(2)]);
+        assert_eq!(f.kinds, vec![EventKind::Swap]);
+        assert_eq!(f.limit, Some(3));
+        let err = logs_filter(&pairs(&[("bogus", "1")])).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_params_require_one_group() {
+        let (g, f) = aggregate_params(&pairs(&[("group", "kind"), ("from", "5")])).unwrap();
+        assert_eq!(g, GroupBy::Kind);
+        assert_eq!(f.from_block, Some(5));
+        assert!(aggregate_params(&pairs(&[])).unwrap_err().contains("group"));
+        assert!(aggregate_params(&pairs(&[("group", "week")]))
+            .unwrap_err()
+            .contains("week"));
+        assert!(
+            aggregate_params(&pairs(&[("group", "kind"), ("group", "epoch")]))
+                .unwrap_err()
+                .contains("more than once")
+        );
+    }
+
+    #[test]
+    fn detections_query_matches_conjunctively() {
+        let q = detections_query(&pairs(&[
+            ("kind", "Sandwich"),
+            ("address", "4"),
+            ("from", "100"),
+            ("to", "200"),
+        ]))
+        .unwrap();
+        assert_eq!(q.kind, Some(MevKind::Sandwich));
+        assert_eq!(q.extractor, Some(Address::from_index(4)));
+        let mut d = Detection {
+            kind: MevKind::Sandwich,
+            block: 150,
+            extractor: Address::from_index(4),
+            tx_hashes: vec![],
+            victim: None,
+            gross_wei: 0,
+            costs_wei: 0,
+            profit_wei: 0,
+            miner_revenue_wei: 0,
+            via_flashbots: false,
+            via_flash_loan: false,
+            miner: Address::ZERO,
+        };
+        assert!(q.matches(&d));
+        d.block = 250;
+        assert!(!q.matches(&d));
+        d.block = 150;
+        d.kind = MevKind::Arbitrage;
+        assert!(!q.matches(&d));
+        assert!(detections_query(&pairs(&[("kind", "theft")])).is_err());
+        assert!(detections_query(&pairs(&[("victim", "1")])).is_err());
+    }
+
+    #[test]
+    fn block_path_parsing() {
+        assert_eq!(block_number("/blocks/10000003"), Ok(10_000_003));
+        assert!(block_number("/blocks/").is_err());
+        assert!(block_number("/blocks/abc").is_err());
+        assert!(block_number("/blocks/-1").is_err());
+    }
+
+    #[test]
+    fn event_kind_names_are_exposed() {
+        let names: Vec<_> = known_event_kinds().collect();
+        assert!(names.contains(&"swap") && names.len() == 9);
+    }
+}

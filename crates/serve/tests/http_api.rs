@@ -1,0 +1,231 @@
+//! End-to-end API test: a real server on an ephemeral port over a real
+//! archive, driven through real sockets. Every endpoint is exercised,
+//! and every 200 body is asserted **bit-identical** to the same
+//! encoder run on a direct `ArchiveQuery` call — the server adds
+//! transport, never interpretation.
+
+use mev_chain::{Cursor, LogFilter};
+use mev_core::{Detection, MevKind};
+use mev_serve::{ApiState, Client, ServeConfig, Server};
+use mev_store::testutil::{scratch_dir, test_chain};
+use mev_store::{GroupBy, StoreReader, StoreWriter};
+use mev_types::Address;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+const GENESIS: u64 = 10_000_000;
+
+fn detection(kind: MevKind, block: u64, extractor: u64) -> Detection {
+    Detection {
+        kind,
+        block,
+        extractor: Address::from_index(extractor),
+        tx_hashes: vec![],
+        victim: None,
+        gross_wei: 2_000,
+        costs_wei: 500,
+        profit_wei: 1_500,
+        miner_revenue_wei: 500,
+        via_flashbots: kind == MevKind::Sandwich,
+        via_flash_loan: false,
+        miner: Address::from_index(9),
+    }
+}
+
+/// Archive + server fixture: 10 blocks × 3 txs in 4-block segments,
+/// two hand-made detections, 4 workers.
+fn served(label: &str) -> (std::path::PathBuf, Arc<StoreReader>, Server) {
+    let dir = scratch_dir(label);
+    let chain = test_chain(10, 3);
+    let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 4).unwrap();
+    w.ingest(&chain).unwrap();
+    let reader = Arc::new(StoreReader::open(&dir).unwrap().with_segment_cache(4));
+    let detections = vec![
+        detection(MevKind::Sandwich, GENESIS + 2, 4),
+        detection(MevKind::Arbitrage, GENESIS + 5, 5),
+    ];
+    let state = ApiState::new(Arc::clone(&reader), detections);
+    let config = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, state).unwrap();
+    (dir, reader, server)
+}
+
+#[test]
+fn logs_endpoint_is_bit_identical_to_direct_queries() {
+    let (dir, reader, server) = served("serve-logs");
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unfiltered: everything, one page, scan plan.
+    let direct = reader.get_logs_with_stats(&LogFilter::new()).unwrap();
+    let expected = mev_serve::api_types::encode_logs(&direct.0, &direct.1).unwrap();
+    let got = client.get("/logs").unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(
+        got.body, expected,
+        "served /logs diverged from direct query"
+    );
+
+    // Selective and warm: postings-served, zero data frames, truthfully.
+    let filter = LogFilter::new()
+        .address(Address::from_index(2))
+        .kind(mev_chain::EventKind::Swap);
+    let direct = reader.get_logs_with_stats(&filter).unwrap();
+    let expected = mev_serve::api_types::encode_logs(&direct.0, &direct.1).unwrap();
+    let got = client.get("/logs?address=2&kind=swap").unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(got.body, expected);
+    assert!(got.body.contains(r#""plan":"postings""#), "{}", got.body);
+    assert!(got.body.contains(r#""data_frames_read":0"#), "{}", got.body);
+
+    // Client errors are 400 with the offending parameter named.
+    let bad = client.get("/logs?bogus=1").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("bogus"));
+    let bad = client.get("/logs?kind=swaps").unwrap();
+    assert_eq!(bad.status, 400);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cursor_continuation_pages_through_the_archive() {
+    let (dir, reader, server) = served("serve-cursor");
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Page 1: limit 4 over 30 transfers must carry a continuation.
+    let filter = LogFilter::new().address(Address::from_index(1)).limit(4);
+    let (direct_page, direct_stats) = reader.get_logs_with_stats(&filter).unwrap();
+    let expected = mev_serve::api_types::encode_logs(&direct_page, &direct_stats).unwrap();
+    let got = client.get("/logs?address=1&limit=4").unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(got.body, expected);
+
+    // The served token continues exactly where the direct cursor does.
+    let token = direct_page.next.expect("page must fill").to_token();
+    let v: serde_json::Value = serde_json::from_str(&got.body).unwrap();
+    let served_token = v.get("next_cursor").and_then(|c| c.as_str()).unwrap();
+    assert_eq!(served_token, token);
+
+    // Page 2 via the token: bit-identical to the direct continuation.
+    let resumed = filter.clone().after(Cursor::parse_token(&token).unwrap());
+    let (page2, stats2) = reader.get_logs_with_stats(&resumed).unwrap();
+    let expected2 = mev_serve::api_types::encode_logs(&page2, &stats2).unwrap();
+    let got2 = client
+        .get(&format!("/logs?address=1&limit=4&cursor={token}"))
+        .unwrap();
+    assert_eq!(got2.status, 200);
+    assert_eq!(got2.body, expected2);
+    // And the two pages really are disjoint, consecutive work.
+    assert_ne!(got.body, got2.body);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn aggregates_blocks_detections_and_stats_endpoints() {
+    let (dir, reader, server) = served("serve-endpoints");
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Warm whole-window aggregate: rollup-served, zero data frames.
+    for (group, param) in [
+        (GroupBy::Kind, "kind"),
+        (GroupBy::Address, "address"),
+        (GroupBy::Epoch, "epoch"),
+    ] {
+        let (rows, stats) = reader.aggregate(&LogFilter::new(), group).unwrap();
+        let expected = mev_serve::api_types::encode_aggregates(group, &rows, &stats).unwrap();
+        let got = client.get(&format!("/aggregates?group={param}")).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, expected, "group={param}");
+    }
+    let warm = client.get("/aggregates?group=kind").unwrap();
+    assert!(warm.body.contains(r#""plan":"rollup""#), "{}", warm.body);
+    assert!(warm.body.contains(r#""data_frames_read":0"#));
+    assert_eq!(client.get("/aggregates").unwrap().status, 400);
+    assert_eq!(client.get("/aggregates?group=week").unwrap().status, 400);
+
+    // Blocks: bit-identical, 404 past the head, 400 on garbage.
+    let n = GENESIS + 3;
+    let block = reader.get_block(n).unwrap().unwrap();
+    let receipts = reader.get_receipts(n).unwrap().unwrap();
+    let expected = mev_serve::api_types::encode_block(&block, &receipts).unwrap();
+    let got = client.get(&format!("/blocks/{n}")).unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(got.body, expected);
+    assert_eq!(client.get("/blocks/10000099").unwrap().status, 404);
+    assert_eq!(client.get("/blocks/abc").unwrap().status, 400);
+
+    // Detections: filterable by kind, extractor address, and window.
+    let all = client.get("/detections").unwrap();
+    assert_eq!(all.status, 200);
+    assert!(all.body.contains(r#""count":2"#), "{}", all.body);
+    let sandwiches = client.get("/detections?kind=sandwich").unwrap();
+    assert!(sandwiches.body.contains(r#""count":1"#));
+    assert!(sandwiches.body.contains(r#""kind":"Sandwich""#));
+    let by_addr = client.get("/detections?address=5").unwrap();
+    assert!(by_addr.body.contains(r#""count":1"#));
+    assert!(by_addr.body.contains(r#""kind":"Arbitrage""#));
+    let windowed = client
+        .get(&format!("/detections?from={}&to={}", GENESIS, GENESIS + 3))
+        .unwrap();
+    assert!(windowed.body.contains(r#""count":1"#));
+    assert_eq!(client.get("/detections?kind=theft").unwrap().status, 400);
+
+    // Stats: the RunReport, carrying this server's endpoint counters.
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert!(stats.body.contains("serve.logs.requests"), "{}", stats.body);
+    assert!(stats.body.contains("serve.aggregates.requests"));
+    assert!(stats.body.contains("serve.blocks.requests"));
+    assert!(stats.body.contains("serve.detections.requests"));
+
+    // Unknown endpoint.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_concurrency_and_protocol_errors() {
+    let (dir, reader, server) = served("serve-concurrent");
+    let addr = server.addr();
+
+    // One connection serves many requests (keep-alive), and several
+    // concurrent clients get identical, correct answers.
+    let filter = LogFilter::new().address(Address::from_index(2));
+    let direct = reader.get_logs_with_stats(&filter).unwrap();
+    let expected = mev_serve::api_types::encode_logs(&direct.0, &direct.1).unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..5 {
+                    let got = client.get("/logs?address=2").unwrap();
+                    assert_eq!(got.status, 200);
+                    assert_eq!(got.body, expected);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // A non-GET method is answered 405 and the connection closed.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /logs HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    raw.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

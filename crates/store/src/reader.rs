@@ -31,8 +31,13 @@ pub struct VerifyReport {
     pub logs: u64,
     pub bytes: u64,
     /// Sidecar index files byte-compared against a deterministic
-    /// re-encode of their segment's entries.
+    /// re-encode of their segment's entries, opened under the committed
+    /// [`crate::postings::IndexMeta`], and meta-audited (row / interned
+    /// address counts, chunk geometry) against the rebuild.
     pub indexes: u64,
+    /// Committed rollup blocks recomputed from every segment (1 when the
+    /// manifest carries rollups, 0 otherwise).
+    pub rollups: u64,
 }
 
 /// One row of an [`StoreReader::aggregate`] answer.
@@ -51,14 +56,51 @@ pub enum AggregateKey {
     Epoch(Month),
 }
 
+/// A small LRU of decoded segments, keyed by segment index. Entries are
+/// `Arc`-shared so a hit is a pointer clone, never a re-decode; the list
+/// is tiny (single digits) so a linear probe beats any map. Capacity 1
+/// reproduces the original one-segment cache: scans walk segments in
+/// order and point queries cluster. A server fronting many concurrent
+/// clients raises the capacity ([`StoreReader::with_segment_cache`]) so
+/// each client's hot segment stays decoded.
+struct SegmentCache {
+    capacity: usize,
+    /// Most-recently-used first.
+    entries: Vec<(u64, Arc<Vec<BlockEntry>>)>,
+}
+
+impl SegmentCache {
+    fn new(capacity: usize) -> SegmentCache {
+        SegmentCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up a segment, refreshing its recency on a hit.
+    fn get(&mut self, index: u64) -> Option<Arc<Vec<BlockEntry>>> {
+        let pos = self.entries.iter().position(|(i, _)| *i == index)?;
+        let hit = self.entries.remove(pos);
+        let entries = Arc::clone(&hit.1);
+        self.entries.insert(0, hit);
+        Some(entries)
+    }
+
+    /// Insert (or refresh) a decoded segment, evicting the
+    /// least-recently-used entry past capacity.
+    fn put(&mut self, index: u64, entries: &Arc<Vec<BlockEntry>>) {
+        self.entries.retain(|(i, _)| *i != index);
+        self.entries.insert(0, (index, Arc::clone(entries)));
+        self.entries.truncate(self.capacity);
+    }
+}
+
 /// Read-only handle over a committed store.
 pub struct StoreReader {
     root: PathBuf,
     manifest: Manifest,
-    /// One-segment decode cache: scans walk segments in order and
-    /// point queries cluster, so caching the last decoded segment turns
-    /// repeated `get_block`/`get_receipts` in a region into one decode.
-    cache: Mutex<Option<(u64, Arc<Vec<BlockEntry>>)>>,
+    /// Decoded-segment LRU (see [`SegmentCache`]).
+    cache: Mutex<SegmentCache>,
 }
 
 impl StoreReader {
@@ -87,8 +129,16 @@ impl StoreReader {
         Ok(StoreReader {
             root: root.to_path_buf(),
             manifest,
-            cache: Mutex::new(None),
+            cache: Mutex::new(SegmentCache::new(1)),
         })
+    }
+
+    /// Widen the decoded-segment LRU to hold `capacity` segments (the
+    /// default is one). A serving deployment sizes this to its hot set;
+    /// each cached segment costs its decoded entries in memory.
+    pub fn with_segment_cache(mut self, capacity: usize) -> StoreReader {
+        self.cache = Mutex::new(SegmentCache::new(capacity));
+        self
     }
 
     pub fn timeline(&self) -> &Timeline {
@@ -115,14 +165,12 @@ impl StoreReader {
         self.manifest.commit_seq
     }
 
-    /// Decode segment `index` (through the one-segment cache).
+    /// Decode segment `index` (through the decoded-segment LRU).
     pub fn read_segment_entries(&self, index: u64) -> Result<Arc<Vec<BlockEntry>>, StoreError> {
-        if let Ok(cache) = self.cache.lock() {
-            if let Some((cached_index, entries)) = cache.as_ref() {
-                if *cached_index == index {
-                    mev_obs::counter("store.segment_cache_hits").inc();
-                    return Ok(Arc::clone(entries));
-                }
+        if let Ok(mut cache) = self.cache.lock() {
+            if let Some(entries) = cache.get(index) {
+                mev_obs::counter("store.segment_cache_hits").inc();
+                return Ok(entries);
             }
         }
         let meta = match self.manifest.segments.get(index as usize) {
@@ -136,7 +184,7 @@ impl StoreReader {
         mev_obs::counter("store.segments_read").inc();
         let entries = Arc::new(read_segment(&self.root, meta)?);
         if let Ok(mut cache) = self.cache.lock() {
-            *cache = Some((index, Arc::clone(&entries)));
+            cache.put(index, &entries);
         }
         Ok(entries)
     }
@@ -262,8 +310,16 @@ impl StoreReader {
                 // A torn, stale, or bitflipped sidecar must never fail a
                 // query the data frames can still answer: degrade to the
                 // scan path and leave the sidecar for `verify` to call
-                // out. The stats then truthfully report a FullScan.
-                Err(_) => mev_obs::counter("store.postings.fallback").inc(),
+                // out. The stats then report the *executed* FullScan in
+                // `plan` while `planned` keeps the planner's choice — so
+                // a served page can never claim `postings` alongside
+                // nonzero data frames, even after multi-page folding.
+                Err(_) => {
+                    mev_obs::counter("store.postings.fallback").inc();
+                    let (page, mut stats) = self.get_logs_scan_with_stats(filter)?;
+                    stats.planned = QueryPlan::Postings;
+                    return Ok((page, stats));
+                }
             }
         }
         self.get_logs_scan_with_stats(filter)
@@ -277,6 +333,7 @@ impl StoreReader {
         filter: &LogFilter,
     ) -> Result<(LogPage, QueryStats), StoreError> {
         let mut stats = QueryStats {
+            pages: 1,
             segments_total: self.manifest.segments.len() as u64,
             ..QueryStats::default()
         };
@@ -374,6 +431,8 @@ impl StoreReader {
     fn postings_logs(&self, filter: &LogFilter) -> Result<(LogPage, QueryStats), StoreError> {
         let mut stats = QueryStats {
             plan: QueryPlan::Postings,
+            planned: QueryPlan::Postings,
+            pages: 1,
             segments_total: self.manifest.segments.len() as u64,
             ..QueryStats::default()
         };
@@ -489,6 +548,8 @@ impl StoreReader {
             if let Some(rollups) = &self.manifest.rollups {
                 let stats = QueryStats {
                     plan: QueryPlan::Rollup,
+                    planned: QueryPlan::Rollup,
+                    pages: 1,
                     segments_total: self.manifest.segments.len() as u64,
                     rollup_reads: 1,
                     ..QueryStats::default()
@@ -683,11 +744,8 @@ impl StoreReader {
                 // Sidecar encoding is deterministic, so a byte compare
                 // against a rebuild from the (already checksummed)
                 // entries proves the index reproduces the data exactly.
-                let rebuilt = crate::postings::IndexBuilder::from_entries(&entries).encode(
-                    &idx_path,
-                    meta.index,
-                    meta.first_block,
-                )?;
+                let builder = crate::postings::IndexBuilder::from_entries(&entries);
+                let rebuilt = builder.encode(&idx_path, meta.index, meta.first_block)?;
                 if rebuilt.len() as u64 != im.bytes
                     || committed.get(..rebuilt.len()) != Some(rebuilt.as_slice())
                 {
@@ -696,6 +754,27 @@ impl StoreReader {
                         detail: "sidecar index differs from a rebuild of its segment".to_string(),
                     });
                 }
+                // The byte compare proves file ↔ data; the manifest's
+                // `IndexMeta` counts are a separate trust surface (they
+                // gate `SegmentIndex::open`), so audit them against the
+                // rebuild too — a tampered `chunk_rows` otherwise turns
+                // into a permanent silent postings→scan fallback and a
+                // tampered `addrs` was checked nowhere at all.
+                if im.rows != builder.rows() || im.addrs != builder.addrs() {
+                    return Err(StoreError::ManifestInvalid {
+                        detail: format!(
+                            "index meta for {} commits {} rows / {} addrs, rebuild has {} / {}",
+                            im.file,
+                            im.rows,
+                            im.addrs,
+                            builder.rows(),
+                            builder.addrs()
+                        ),
+                    });
+                }
+                // And the sidecar must open under its committed meta —
+                // the same gate every postings query passes through.
+                SegmentIndex::open(&self.root, meta)?;
                 report.indexes += 1;
             }
             report.segments += 1;
@@ -711,6 +790,7 @@ impl StoreReader {
                         .to_string(),
                 });
             }
+            report.rollups += 1;
         }
         Ok(report)
     }
@@ -919,6 +999,102 @@ mod tests {
     }
 
     #[test]
+    fn fallback_pages_report_executed_plan() {
+        // Satellite-1 regression: a paginated query where early pages
+        // degrade postings→scan (damaged sidecar) but later pages are
+        // postings-served (cursor past the damaged segment, which the
+        // zone map then prunes) must fold to the *executed* FullScan.
+        // Pre-fix, absorb let the last page overwrite the plan, so the
+        // combined stats claimed `postings` with nonzero data frames.
+        let (dir, chain) = stored("reader-fallback-plan");
+        let path = dir.join("seg-00000.idx");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = StoreReader::open(&dir).unwrap();
+        let f = LogFilter::new().address(Address::from_index(1)).limit(3);
+        // A single degraded page reports both sides of the story.
+        let (_, first) = r.get_logs_with_stats(&f).unwrap();
+        assert_eq!(first.plan, QueryPlan::FullScan, "executed");
+        assert_eq!(first.planned, QueryPlan::Postings, "intended");
+        assert!(first.data_frames_read > 0);
+        // A page that starts past the damaged segment is index-served.
+        let beyond = f.clone().after(Cursor::at(10_000_004));
+        let (_, later) = r.get_logs_with_stats(&beyond).unwrap();
+        assert_eq!(later.plan, QueryPlan::Postings);
+        assert_eq!(later.planned, QueryPlan::Postings);
+        assert_eq!(later.data_frames_read, 0);
+        // The multi-page fold keeps the degraded plan truthfully...
+        let (entries, stats) = r.pages(&f).collect_with_stats().unwrap();
+        assert!(stats.pages > 1, "fixture must actually paginate");
+        assert!(stats.data_frames_read > 0);
+        assert_eq!(
+            stats.plan,
+            QueryPlan::FullScan,
+            "fold must keep the executed fallback"
+        );
+        assert_eq!(stats.planned, QueryPlan::Postings);
+        // ...and the answer itself is still bit-identical to memory.
+        assert_eq!(entries, chain.pages(&f).collect_entries().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_catches_tampered_index_meta() {
+        // Satellite-2 regression: the manifest's IndexMeta counts gate
+        // `SegmentIndex::open`, but pre-fix nothing audited them —
+        // `validate()` only checks `chunk_rows != 0` and `rows ==
+        // log_count`, and the old verify byte-compared the sidecar file
+        // without consulting the meta. A tampered `chunk_rows` meant
+        // every postings query silently fell back to the scan forever; a
+        // tampered `addrs` was checked nowhere at all.
+        let (dir, _chain) = stored("reader-verify-meta");
+        let manifest_path = dir.join("MANIFEST.json");
+        let clean = std::fs::read_to_string(&manifest_path).unwrap();
+        let tamper = |field: &str, value: u64| {
+            let mut v: serde_json::Value = serde_json::from_str(&clean).unwrap();
+            v["segments"][0]["postings"][field] = serde_json::to_value(&value).unwrap();
+            std::fs::write(&manifest_path, serde_json::to_string(&v).unwrap()).unwrap();
+        };
+        tamper("chunk_rows", 7);
+        let r = StoreReader::open(&dir).unwrap();
+        // The damage is invisible to queries (they degrade to the scan)…
+        assert!(r.get_logs(&LogFilter::new()).is_ok());
+        // …so verify must call it out.
+        assert!(r.verify().is_err(), "tampered chunk_rows must fail verify");
+        tamper("addrs", 999);
+        let r2 = StoreReader::open(&dir).unwrap();
+        assert!(r2.verify().is_err(), "tampered addrs must fail verify");
+        std::fs::write(&manifest_path, &clean).unwrap();
+        assert!(StoreReader::open(&dir).unwrap().verify().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_cache_lru_keeps_hot_segments() {
+        let (dir, _chain) = stored("reader-lru");
+        // Capacity 1 (the default): alternating segments always re-decode.
+        let r1 = StoreReader::open(&dir).unwrap();
+        let a = r1.read_segment_entries(0).unwrap();
+        r1.read_segment_entries(1).unwrap();
+        let a2 = r1.read_segment_entries(0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &a2), "one-slot cache evicted segment 0");
+        // Capacity 2: both stay decoded, hits share the same Arc.
+        let r2 = StoreReader::open(&dir).unwrap().with_segment_cache(2);
+        let b = r2.read_segment_entries(0).unwrap();
+        let c = r2.read_segment_entries(1).unwrap();
+        assert!(Arc::ptr_eq(&b, &r2.read_segment_entries(0).unwrap()));
+        assert!(Arc::ptr_eq(&c, &r2.read_segment_entries(1).unwrap()));
+        // A third segment evicts the least recently used (segment 1).
+        r2.read_segment_entries(0).unwrap();
+        r2.read_segment_entries(2).unwrap();
+        assert!(Arc::ptr_eq(&b, &r2.read_segment_entries(0).unwrap()));
+        assert!(!Arc::ptr_eq(&c, &r2.read_segment_entries(1).unwrap()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn aggregates_answer_from_rollups_and_match_the_fold() {
         let (dir, _chain) = stored("reader-aggregate");
         let r = StoreReader::open(&dir).unwrap();
@@ -959,6 +1135,7 @@ mod tests {
         assert_eq!(report.blocks, 10);
         assert_eq!(report.txs, 20);
         assert_eq!(report.indexes, 3, "every segment's sidecar audited");
+        assert_eq!(report.rollups, 1, "committed rollup block audited");
         // Flip one payload byte in the middle of segment 1.
         let path = dir.join("seg-00001.seg");
         let mut bytes = std::fs::read(&path).unwrap();

@@ -310,8 +310,8 @@ fn cmd_verify(args: &Args) -> ExitCode {
         Ok(r) => {
             println!(
                 "{{\"command\": \"verify\", \"ok\": true, \"segments\": {}, \"blocks\": {}, \
-                 \"txs\": {}, \"logs\": {}, \"bytes\": {}, \"indexes\": {}}}",
-                r.segments, r.blocks, r.txs, r.logs, r.bytes, r.indexes
+                 \"txs\": {}, \"logs\": {}, \"bytes\": {}, \"indexes\": {}, \"rollups\": {}}}",
+                r.segments, r.blocks, r.txs, r.logs, r.bytes, r.indexes, r.rollups
             );
             ExitCode::SUCCESS
         }

@@ -1,0 +1,200 @@
+//! `serve`: stand up the HTTP/JSON query API over a flashpan archive.
+//!
+//! ```sh
+//! # Demo mode: simulate Scenario::quick() into a scratch store, run
+//! # detection, and serve chain + detections on the default port.
+//! cargo run --release --bin serve
+//!
+//! # Serve an existing archive (e.g. one built by the archive_store
+//! # example). /detections is empty unless --detect is given.
+//! cargo run --release --bin serve -- --store /tmp/flashpan-store
+//!
+//! # --detect re-runs the deterministic quick scenario (the same one
+//! # `archive_store ingest` writes) and runs store-backed detection to
+//! # populate /detections. It refuses archives with a different shape.
+//! cargo run --release --bin serve -- --store /tmp/flashpan-store --detect
+//! ```
+//!
+//! Prints one JSON line once the socket is bound, then serves until
+//! killed. Endpoints: `/logs`, `/detections`, `/blocks/{n}`,
+//! `/aggregates`, `/stats` — see DESIGN.md §11.
+
+use flashpan::chain::ArchiveQuery;
+use flashpan::inspect::{Inspector, StoreRunOutcome};
+use flashpan::serve::{ApiState, ServeConfig, Server};
+use flashpan::store::{StoreReader, StoreWriter};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    store: Option<PathBuf>,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    cache_segments: usize,
+    detect: bool,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = Args {
+        store: None,
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 8,
+        queue_depth: 64,
+        cache_segments: 8,
+        detect: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, value) = (argv[i].as_str(), argv.get(i + 1));
+        let took_value = match (flag, value) {
+            ("--store", Some(v)) => {
+                args.store = Some(PathBuf::from(v));
+                true
+            }
+            ("--addr", Some(v)) => {
+                args.addr = v.clone();
+                true
+            }
+            ("--workers", Some(v)) => {
+                args.workers = v.parse().ok()?;
+                true
+            }
+            ("--queue-depth", Some(v)) => {
+                args.queue_depth = v.parse().ok()?;
+                true
+            }
+            ("--cache-segments", Some(v)) => {
+                args.cache_segments = v.parse().ok()?;
+                true
+            }
+            ("--detect", _) => {
+                args.detect = true;
+                false
+            }
+            _ => return None,
+        };
+        i += if took_value { 2 } else { 1 };
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprintln!(
+            "usage: serve [--store DIR] [--addr HOST:PORT] [--workers N] \
+             [--queue-depth N] [--cache-segments N] [--detect]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    // Demo mode simulates the quick scenario into a scratch archive;
+    // either way detection needs the simulation's blocks API, so the
+    // sim runs whenever detection is wanted.
+    let mut scratch = None;
+    let (store_dir, sim_out) = match args.store.clone() {
+        Some(dir) => {
+            let out = args
+                .detect
+                .then(|| mev_sim::Simulation::new(mev_sim::Scenario::quick()).run());
+            (dir, out)
+        }
+        None => {
+            let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+            let dir = std::env::temp_dir().join(format!("flashpan-serve-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut w = match StoreWriter::create(&dir, out.chain.timeline().clone(), 64) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("create scratch store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = w.ingest(&out.chain) {
+                eprintln!("ingest scratch store: {e}");
+                return ExitCode::FAILURE;
+            }
+            drop(w);
+            scratch = Some(dir.clone());
+            (dir, Some(out))
+        }
+    };
+
+    let reader = match StoreReader::open(&store_dir) {
+        Ok(r) => Arc::new(r.with_segment_cache(args.cache_segments)),
+        Err(e) => {
+            eprintln!("open store {}: {e}", store_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let detections = match &sim_out {
+        Some(out) if args.detect || args.store.is_none() => {
+            // Store-backed detection is only meaningful if this archive
+            // really is the quick scenario's chain.
+            let sim_head = out.chain.head_block();
+            if reader.head_block() != sim_head {
+                eprintln!(
+                    "--detect expects a Scenario::quick() archive (head {:?}, expected {sim_head:?})",
+                    reader.head_block()
+                );
+                return ExitCode::FAILURE;
+            }
+            match Inspector::from_store(&reader, &out.blocks_api).run() {
+                Ok(StoreRunOutcome::Complete(ds)) => ds.detections,
+                Ok(StoreRunOutcome::Partial { .. }) => {
+                    eprintln!("detection unexpectedly partial on an unbounded run");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("detect: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => Vec::new(),
+    };
+
+    let detection_count = detections.len();
+    let state = ApiState::new(Arc::clone(&reader), detections);
+    let server = match Server::start(
+        ServeConfig {
+            addr: args.addr,
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+        },
+        state,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{{\"listening\": \"{}\", \"store\": \"{}\", \"blocks\": {}, \"segments\": {}, \
+         \"detections\": {}, \"workers\": {}}}",
+        server.addr(),
+        store_dir.display(),
+        reader
+            .head_block()
+            .map_or(0, |h| h - reader.timeline().genesis_number + 1),
+        reader.segments().len(),
+        detection_count,
+        args.workers,
+    );
+    // Stdout may be piped (CI tails the file for the port); make the
+    // readiness line visible now.
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed. The scratch archive (demo mode) dies with the
+    // temp dir; a real --store archive is never touched.
+    let _keep = scratch.take();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
