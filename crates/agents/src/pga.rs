@@ -9,7 +9,7 @@
 //! burned as gas fees — is what the sealed-bid comparison in the paper's
 //! Figure 8 ultimately hinges on.
 
-use mev_types::{Gas, Wei};
+use mev_types::{bump_pct, Gas, Wei};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -76,7 +76,7 @@ pub fn run_auction(
             .find(|&&i| leader != Some(i))
             .expect("at least one non-leader while len > 1 or no leader");
         let raise_pct = MIN_RAISE_PCT + rng.gen_range(0..10);
-        let next_fee = current_fee + current_fee * raise_pct / 100 + 1;
+        let next_fee = bump_pct(current_fee, raise_pct);
         if next_fee > caps[raiser] {
             // Raiser folds.
             active.retain(|&i| i != raiser);
@@ -124,6 +124,35 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn raise_formula_matches_naive_at_auction_scale() {
+        // The saturating bump must be bit-identical to the historical
+        // `fee + fee * pct / 100 + 1` raise at realistic fee magnitudes.
+        let floor = Gas(150_000).cost(gwei(30)).0;
+        for pct in MIN_RAISE_PCT..MIN_RAISE_PCT + 10 {
+            assert_eq!(bump_pct(floor, pct), floor + floor * pct / 100 + 1);
+        }
+    }
+
+    #[test]
+    fn escalation_terminates_at_extreme_caps_without_overflow() {
+        // Boundary: caps near u128::MAX. The naive raise would overflow
+        // mid-escalation; the saturating raise pins at the cap and the
+        // auction still settles on a winner.
+        let b = [
+            Bidder {
+                valuation: Wei(u128::MAX),
+                max_burn_share: 1.0,
+            },
+            Bidder {
+                valuation: Wei(u128::MAX),
+                max_burn_share: 1.0,
+            },
+        ];
+        let out = run_auction(&b, Gas(150_000), gwei(30), &mut rng()).unwrap();
+        assert!(out.winning_fee.0 > 0);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! provided by [`copy_with_higher_fee`].
 
 use mev_dex::{DexState, Pool};
-use mev_types::{Action, PoolId, SwapCall, TokenId, Transaction, TxFee, Wei};
+use mev_types::{
+    bump_pct, signed_delta, wei_i128, Action, PoolId, SwapCall, TokenId, Transaction, TxFee, Wei,
+};
 
 /// A planned two-leg arbitrage: buy `token` on `buy_pool`, sell on
 /// `sell_pool`, both against `base` (WETH in practice).
@@ -104,7 +106,7 @@ pub fn size_arbitrage(
         amount_in: best_x,
         mid_amount: mid,
         amount_out: out,
-        gross_profit: out as i128 - best_x as i128,
+        gross_profit: signed_delta(out, best_x),
     };
     (plan.gross_profit > 0).then_some(plan)
 }
@@ -150,7 +152,7 @@ pub fn find_arbitrage(
                 let depth_cap = sell.reserve_of(base).unwrap_or(max_capital) / 2;
                 let cap = max_capital.min(depth_cap.max(1));
                 if let Some(plan) = size_arbitrage(buy, sell, base, token, cap) {
-                    if plan.gross_profit >= min_profit as i128
+                    if plan.gross_profit >= wei_i128(min_profit)
                         && best.map_or(true, |b| plan.gross_profit > b.gross_profit)
                     {
                         best = Some(plan);
@@ -247,8 +249,8 @@ pub fn find_triangle_arbitrage(
                         let Some((o1, o2, o3)) = round(x) else {
                             continue;
                         };
-                        let gross = o3 as i128 - x as i128;
-                        if gross < min_profit as i128 {
+                        let gross = signed_delta(o3, x);
+                        if gross < wei_i128(min_profit) {
                             continue;
                         }
                         if best.map_or(true, |b| gross > b.gross_profit) {
@@ -303,14 +305,14 @@ pub fn copy_with_higher_fee(
     };
     let new_fee = match victim.fee {
         TxFee::Legacy { gas_price } => TxFee::Legacy {
-            gas_price: Wei(gas_price.0 + gas_price.0 * fee_bump_pct / 100 + 1),
+            gas_price: Wei(bump_pct(gas_price.0, fee_bump_pct)),
         },
         TxFee::Eip1559 {
             max_fee,
             max_priority,
         } => TxFee::Eip1559 {
-            max_fee: Wei(max_fee.0 + max_fee.0 * fee_bump_pct / 100 + 1),
-            max_priority: Wei(max_priority.0 + max_priority.0 * fee_bump_pct / 100 + 1),
+            max_fee: Wei(bump_pct(max_fee.0, fee_bump_pct)),
+            max_priority: Wei(bump_pct(max_priority.0, fee_bump_pct)),
         },
     };
     Some(Transaction::new(
@@ -331,6 +333,60 @@ mod tests {
     use mev_types::{gwei, Address, Gas, GroundTruth};
 
     const E18: u128 = 10u128.pow(18);
+
+    fn route_tx(fee: TxFee) -> Transaction {
+        let leg = SwapCall {
+            pool: PoolId {
+                exchange: mev_types::ExchangeId::UniswapV2,
+                index: 0,
+            },
+            token_in: TokenId::WETH,
+            token_out: TokenId(1),
+            amount_in: E18,
+            min_amount_out: 0,
+        };
+        Transaction::new(
+            Address::from_index(9),
+            0,
+            fee,
+            Gas(200_000),
+            Action::Route(vec![leg]),
+            Wei::ZERO,
+            None,
+        )
+    }
+
+    #[test]
+    fn fee_bump_matches_naive_formula_at_market_scale() {
+        // Decision pin: the widened bump is bit-identical to the old
+        // `fee + fee * pct / 100 + 1` at realistic gas prices.
+        let victim = route_tx(TxFee::Eip1559 {
+            max_fee: gwei(100),
+            max_priority: gwei(2),
+        });
+        let copied = copy_with_higher_fee(&victim, Address::from_index(1), 0, 15).unwrap();
+        let TxFee::Eip1559 {
+            max_fee,
+            max_priority,
+        } = copied.fee
+        else {
+            panic!("fee kind preserved");
+        };
+        assert_eq!(max_fee.0, gwei(100).0 + gwei(100).0 * 15 / 100 + 1);
+        assert_eq!(max_priority.0, gwei(2).0 + gwei(2).0 * 15 / 100 + 1);
+    }
+
+    #[test]
+    fn fee_bump_saturates_at_boundary_instead_of_overflowing() {
+        let victim = route_tx(TxFee::Legacy {
+            gas_price: Wei(u128::MAX),
+        });
+        let copied = copy_with_higher_fee(&victim, Address::from_index(1), 0, 15).unwrap();
+        let TxFee::Legacy { gas_price } = copied.fee else {
+            panic!("fee kind preserved");
+        };
+        assert_eq!(gas_price, Wei(u128::MAX));
+    }
 
     /// Uniswap prices TKN1 at 2.0/WETH; Sushi at 2.2/WETH (TKN1 cheap on
     /// Sushi ⇒ buy on Sushi, sell on Uniswap).

@@ -8,7 +8,7 @@
 
 use mev_dex::PriceOracle;
 use mev_lending::{LendingState, UnhealthyLoan};
-use mev_types::{Action, Transaction, U256};
+use mev_types::{add_ratio, signed_delta, Action, Transaction, U256};
 
 const E18: u128 = 10u128.pow(18);
 
@@ -59,12 +59,12 @@ pub fn plan_liquidations(lending: &LendingState, oracle: &PriceOracle) -> Vec<Li
             }
             let repay_wei = oracle.to_wei(loan.debt_token, repay_amount)?;
             let bonus_bps = lending.platform(loan.platform).config.liquidation_bonus_bps as u128;
-            let seize_wei = repay_wei + repay_wei * bonus_bps / 10_000;
+            let seize_wei = add_ratio(repay_wei, bonus_bps, 10_000);
             Some(LiquidationPlan {
                 loan,
                 repay_amount,
                 expected_seize_wei: seize_wei,
-                gross_profit_wei: seize_wei as i128 - repay_wei as i128,
+                gross_profit_wei: signed_delta(seize_wei, repay_wei),
             })
         })
         .collect();
@@ -148,6 +148,27 @@ mod tests {
         // Bonus is 5 % of repay value.
         let repay_wei = plans[0].repay_amount; // WETH debt: 1:1 with wei
         assert_eq!(plans[0].gross_profit_wei as u128, repay_wei * 500 / 10_000);
+    }
+
+    #[test]
+    fn seize_formula_matches_naive_bonus_at_market_scale() {
+        // Decision pin: the widened bonus is bit-identical to the old
+        // `repay + repay * bps / 10_000` at realistic repay sizes.
+        let (lending, mut oracle) = setup();
+        oracle.update(TokenId(1), 10, E18);
+        let plans = plan_liquidations(&lending, &oracle);
+        for p in &plans {
+            let repay_wei = oracle.to_wei(p.loan.debt_token, p.repay_amount).unwrap();
+            assert_eq!(
+                p.expected_seize_wei,
+                repay_wei + repay_wei * 500 / 10_000,
+                "5 % bonus on {repay_wei}"
+            );
+            assert_eq!(
+                p.gross_profit_wei,
+                (p.expected_seize_wei - repay_wei) as i128
+            );
+        }
     }
 
     #[test]

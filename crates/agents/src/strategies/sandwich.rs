@@ -7,7 +7,7 @@
 //! for every engine type, not just constant product.
 
 use mev_dex::Pool;
-use mev_types::SwapCall;
+use mev_types::{signed_delta, SwapCall};
 
 /// A planned sandwich.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,7 @@ fn simulate(pool: &Pool, victim: &SwapCall, front_in: u128) -> Option<SandwichPl
         front_out,
         victim_out,
         back_out,
-        gross_profit: back_out as i128 - front_in as i128,
+        gross_profit: signed_delta(back_out, front_in),
     })
 }
 
@@ -141,6 +141,22 @@ mod tests {
         let p = pool();
         let quote = p.quote(TokenId::WETH, amount_in).unwrap();
         victim(amount_in, quote * (10_000 - tolerance_bps) / 10_000)
+    }
+
+    #[test]
+    fn gross_profit_is_the_signed_difference_of_the_legs() {
+        // Decision pin: profit accounting is exactly back_out - front_in
+        // (as it was with bare casts), just clamped at the i128 boundary.
+        let v = victim_with_slippage(20 * E18, 300);
+        let plan = plan_sandwich(&pool(), &v, 10_000 * E18).unwrap();
+        assert_eq!(
+            plan.gross_profit,
+            plan.back_out as i128 - plan.front_in as i128
+        );
+        assert_eq!(
+            plan.gross_profit,
+            mev_types::signed_delta(plan.back_out, plan.front_in)
+        );
     }
 
     #[test]

@@ -10,16 +10,16 @@
 use crate::dataset::{MevDataset, MevKind};
 use mev_chain::ChainStore;
 use mev_types::{GroundTruth, TxHash};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Index of ground-truth labels over mined, successful transactions.
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruthIndex {
-    pub sandwich_fronts: HashSet<TxHash>,
-    pub sandwich_backs: HashSet<TxHash>,
-    pub arbitrages: HashSet<TxHash>,
-    pub liquidations: HashSet<TxHash>,
-    pub ordinary_trades: HashSet<TxHash>,
+    pub sandwich_fronts: BTreeSet<TxHash>,
+    pub sandwich_backs: BTreeSet<TxHash>,
+    pub arbitrages: BTreeSet<TxHash>,
+    pub liquidations: BTreeSet<TxHash>,
+    pub ordinary_trades: BTreeSet<TxHash>,
 }
 
 impl GroundTruthIndex {
@@ -56,7 +56,7 @@ impl GroundTruthIndex {
     }
 
     /// The planted positives for a detector kind.
-    fn truth_for(&self, kind: MevKind) -> &HashSet<TxHash> {
+    fn truth_for(&self, kind: MevKind) -> &BTreeSet<TxHash> {
         match kind {
             MevKind::Sandwich => &self.sandwich_fronts,
             MevKind::Arbitrage => &self.arbitrages,
@@ -102,7 +102,7 @@ pub fn score(dataset: &MevDataset, index: &GroundTruthIndex, kind: MevKind) -> D
     let truth = index.truth_for(kind);
     let mut tp = 0;
     let mut fp = 0;
-    let mut detected: HashSet<TxHash> = HashSet::new();
+    let mut detected: BTreeSet<TxHash> = BTreeSet::new();
     for d in dataset.of_kind(kind) {
         let anchor = d.tx_hashes[0];
         if truth.contains(&anchor) {

@@ -47,6 +47,7 @@ pub fn cp_amount_in(
     let numerator = U256::from(reserve_in)
         .mul_u128(amount_out)
         .mul_u128(BPS as u128);
+    // lint:allow(wei-math: amount_out >= reserve_out returns None above, so the difference cannot underflow)
     let denominator = U256::from(reserve_out - amount_out).mul_u128((BPS - fee_bps) as u128);
     let (q, r) = numerator.div(denominator);
     let mut v = q.checked_u128()?;

@@ -81,7 +81,7 @@ impl Bundle {
             .iter()
             .map(|t| t.gas_limit.cost(t.fee.miner_tip_per_gas(base_fee)))
             .sum();
-        self.total_tip() + fees
+        self.total_tip().saturating_add(fees)
     }
 
     /// Value per gas — the greedy-packing key.

@@ -122,7 +122,8 @@ impl StakeBook {
 
     /// Add stake for a searcher.
     pub fn stake(&mut self, who: Address, amount: u128) {
-        *self.stakes.entry(who).or_default() += amount;
+        let staked = self.stakes.entry(who).or_default();
+        *staked = staked.saturating_add(amount);
     }
 
     /// Withdraw stake; returns the amount actually released.

@@ -1,13 +1,22 @@
 //! Baseline: freeze existing debt, fail only on *new* findings.
 //!
-//! The checked-in `lint_baseline.json` is a findings file (same format
-//! `--json` emits). A current finding is "new" when its identity key
-//! (file + rule + snippet — line numbers excluded, so unrelated edits
-//! that shift code do not un-baseline old debt) occurs more times in the
-//! current run than in the baseline.
+//! The checked-in `lint_baseline.json` is, since v2, an object with a
+//! per-rule count header plus the frozen findings:
+//!
+//! ```json
+//! {"version":2,"counts":{"panic":3,"wei-math":25},"findings":[ … ]}
+//! ```
+//!
+//! The legacy bare-array format (just the findings, as `--json` emits)
+//! still parses; the header counts are informational — identity always
+//! derives from the findings themselves. A current finding is "new"
+//! when its identity key (file + rule + snippet — line numbers
+//! excluded, so unrelated edits that shift code do not un-baseline old
+//! debt) occurs more times in the current run than in the baseline.
 
-use crate::report::{from_json, Finding};
+use crate::report::{from_json, to_json, Finding};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Parsed baseline: identity key → occurrence count.
 #[derive(Debug, Default)]
@@ -30,9 +39,18 @@ impl Baseline {
         }
     }
 
-    /// Parse the baseline file contents.
+    /// Parse the baseline file contents — v2 object or legacy array.
     pub fn parse(json: &str) -> Result<Baseline, String> {
-        Ok(Baseline::from_findings(&from_json(json)?))
+        let trimmed = json.trim_start();
+        if trimmed.starts_with('[') {
+            return Ok(Baseline::from_findings(&from_json(json)?));
+        }
+        if !trimmed.starts_with('{') {
+            return Err("baseline must be a JSON object (v2) or array (legacy)".to_string());
+        }
+        let arr = extract_findings_array(json)
+            .ok_or_else(|| "v2 baseline has no \"findings\" array".to_string())?;
+        Ok(Baseline::from_findings(&from_json(arr)?))
     }
 
     /// Split `current` into (new, baselined). Within one identity key the
@@ -68,6 +86,76 @@ impl Baseline {
             .map(|(k, &n)| n.saturating_sub(cur.get(k).copied().unwrap_or(0)) as usize)
             .sum()
     }
+}
+
+/// Serialize findings in the v2 baseline format: a per-rule count
+/// header (the ratchet's human-auditable summary) plus the findings in
+/// the same element format `--json` emits.
+pub fn to_v2_json(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule.as_str()).or_default() += 1;
+    }
+    let mut out = String::from("{\"version\":2,\"counts\":{");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{rule}\":{n}");
+    }
+    out.push_str("},\"findings\":");
+    // Reuse the findings serializer; its trailing newline becomes the
+    // object's closing line.
+    let arr = to_json(findings);
+    out.push_str(arr.trim_end());
+    out.push_str("}\n");
+    out
+}
+
+/// Locate the `"findings": [ … ]` substring inside a v2 baseline
+/// object, tolerating brackets inside JSON strings.
+fn extract_findings_array(json: &str) -> Option<&str> {
+    let key = "\"findings\"";
+    let at = json.find(key)?;
+    let rest = &json[at + key.len()..];
+    let open_rel = rest.find('[')?;
+    // Everything between the key and the bracket must be `:` and space.
+    if !rest[..open_rel]
+        .trim()
+        .trim_start_matches(':')
+        .trim()
+        .is_empty()
+    {
+        return None;
+    }
+    let bytes = rest.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open_rel) {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if b == b'\\' {
+                escape = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open_rel..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -152,6 +240,39 @@ mod tests {
         assert_eq!(known.len(), 1);
         assert_eq!(baseline.stale_count(&old[..1]), 1);
         assert_eq!(baseline.stale_count(&old), 0);
+    }
+
+    #[test]
+    fn v2_object_format_roundtrips() {
+        let mut old = vec![
+            finding("b.rs", 3, "wei-math", "a + b_wei"),
+            finding("b.rs", 9, "wei-math", "c * fee"),
+            finding("a.rs", 1, "determinism", "for k in m.keys() {"),
+        ];
+        sort_findings(&mut old);
+        let v2 = to_v2_json(&old);
+        assert!(v2.starts_with("{\"version\":2,"));
+        assert!(v2.contains("\"counts\":{\"determinism\":1,\"wei-math\":2}"));
+        let baseline = Baseline::parse(&v2).expect("v2 parses");
+        assert_eq!(baseline.len, 3);
+        let (fresh, known) = baseline.diff(&old);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 3);
+        // Deterministic bytes.
+        assert_eq!(v2, to_v2_json(&old));
+    }
+
+    #[test]
+    fn v2_parse_tolerates_brackets_in_snippets() {
+        let old = vec![finding("a.rs", 1, "panic", "m[\"k]\"].unwrap();")];
+        let baseline = Baseline::parse(&to_v2_json(&old)).expect("parses");
+        assert_eq!(baseline.len, 1);
+    }
+
+    #[test]
+    fn non_json_baseline_is_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"version\":2}").is_err());
     }
 
     #[test]

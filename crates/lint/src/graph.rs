@@ -1,0 +1,1128 @@
+//! Pass 2, graph rules: the four cross-file checks that run over the
+//! merged [`SymbolGraph`] plus the retained token streams.
+//!
+//! R6 `lock-order`          — one global acquisition order over named
+//!     `Mutex`/`RwLock` fields; nested acquisitions that invert an
+//!     already-observed order are flagged, as is any blocking call
+//!     (`recv()`, `accept()`, file IO) made while a lock is held.
+//! R7 `crash-safety`        — in `crates/store`, a `fs::rename` that
+//!     publishes a temp file must be reachable from a `sync_all` /
+//!     `sync_data` call (same fn, a transitive callee, or a transitive
+//!     caller); otherwise a crash can publish unsynced bytes.
+//! R8 `error-swallow`       — `let _ = …;` or a bare `.ok();` that
+//!     discards a `Result` produced by another *workspace* function in
+//!     library code of `core` / `chain` / `store` / `serve`.
+//! R9 `determinism-escape`  — a `HashMap`/`HashSet` escaping through a
+//!     `pub` return type or `pub` field into a crate R1 holds to
+//!     deterministic iteration, flagged at the escape site (closing
+//!     R1's same-file blind spot).
+//!
+//! Like the lexical rules these are type-free token heuristics; each one
+//! resolves names through the symbol graph conservatively (unknown
+//! receivers never match) so that std calls and foreign types cannot
+//! produce findings.
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::{
+    filter_allows, R1_CRATES, RULE_CRASH_SAFETY, RULE_DETERMINISM_ESCAPE, RULE_ERROR_SWALLOW,
+    RULE_LOCK_ORDER,
+};
+use crate::source::SourceFile;
+use crate::symbols::{Call, FnSym, Recv, SymbolGraph, Vis};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose library code R8 holds to explicit error handling.
+pub const R8_CRATES: [&str; 4] = ["core", "chain", "store", "serve"];
+
+/// Run all graph rules. `sources[i]` must be the parsed source of
+/// `graph.files[i]` (the pass-1 driver guarantees the pairing).
+/// Suppressions are applied here so fixtures exercise them end to end.
+pub fn lint_graph(sources: &[SourceFile], graph: &SymbolGraph) -> Vec<Finding> {
+    let mut out = Vec::new();
+    r6_lock_order(sources, graph, &mut out);
+    r7_crash_safety(graph, &mut out);
+    r8_error_swallow(sources, graph, &mut out);
+    r9_determinism_escape(sources, graph, &mut out);
+    // Route every finding through its anchor file's allow directives.
+    let by_path: BTreeMap<&str, &SourceFile> =
+        sources.iter().map(|s| (s.path.as_str(), s)).collect();
+    let mut kept = Vec::new();
+    for f in out {
+        match by_path.get(f.file.as_str()) {
+            Some(sf) => kept.extend(filter_allows(sf, vec![f])),
+            None => kept.push(f),
+        }
+    }
+    kept
+}
+
+fn finding(sf: &SourceFile, line: u32, col: u32, rule: &str, message: String) -> Finding {
+    Finding {
+        file: sf.path.clone(),
+        line,
+        col,
+        rule: rule.to_string(),
+        snippet: sf.line_text(line).to_string(),
+        message,
+    }
+}
+
+/// Resolve a call site to workspace fn indices, conservatively:
+/// * free / lowercase-path calls match only free workspace fns;
+/// * `Type::name` matches fns in `impl Type`;
+/// * `self.name(…)` matches the caller's own impl type;
+/// * method calls on any other receiver never match (their receiver type
+///   is unknown, and std methods must not resolve).
+fn resolve(graph: &SymbolGraph, caller: &FnSym, c: &Call) -> Vec<usize> {
+    let free = |name: &str| -> Vec<usize> {
+        graph
+            .fns_by_name
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| graph.fn_at(i).impl_type.is_none())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    match &c.recv {
+        Recv::None => free(&c.name),
+        Recv::SelfDot => caller
+            .impl_type
+            .as_ref()
+            .and_then(|t| graph.fns_by_qual.get(&format!("{t}::{}", c.name)))
+            .cloned()
+            .unwrap_or_default(),
+        Recv::Path(q) => {
+            if q.chars().next().map(char::is_uppercase).unwrap_or(false) {
+                graph
+                    .fns_by_qual
+                    .get(&format!("{q}::{}", c.name))
+                    .cloned()
+                    .unwrap_or_default()
+            } else {
+                free(&c.name)
+            }
+        }
+        Recv::Other(_) => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// R6: lock-order
+// ---------------------------------------------------------------------
+
+/// Per-file structural context for guard-scope computation.
+struct BraceCtx {
+    /// Opening-delimiter token index → closing partner.
+    close: BTreeMap<usize, usize>,
+    /// Token index → innermost enclosing `{` token index.
+    encl: Vec<Option<usize>>,
+}
+
+impl BraceCtx {
+    fn build(sf: &SourceFile) -> BraceCtx {
+        let toks = sf.tokens();
+        let mut close = BTreeMap::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut bstack: Vec<usize> = Vec::new();
+        let mut encl = vec![None; toks.len()];
+        for (i, t) in toks.iter().enumerate() {
+            encl[i] = bstack.last().copied();
+            match t.text.as_str() {
+                "{" => {
+                    stack.push(i);
+                    bstack.push(i);
+                }
+                "(" | "[" => stack.push(i),
+                "}" => {
+                    if let Some(open) = stack.pop() {
+                        close.insert(open, i);
+                    }
+                    bstack.pop();
+                }
+                ")" | "]" => {
+                    if let Some(open) = stack.pop() {
+                        close.insert(open, i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        BraceCtx { close, encl }
+    }
+}
+
+/// One lock acquisition with the token span over which its guard lives.
+#[derive(Debug, Clone)]
+struct Acq {
+    lock: String,
+    tok: usize,
+    line: u32,
+    col: u32,
+    scope_end: usize,
+}
+
+/// The guard scope of an acquisition whose method-name token is `i`:
+/// * header position (`if let … = m.lock() {`) → the following block;
+/// * `let g = …;` → to the enclosing block's `}`, or an explicit
+///   `drop(g)`;
+/// * a plain temporary (`m.lock().field = x;`) → the statement's `;`.
+fn guard_scope(sf: &SourceFile, ctx: &BraceCtx, i: usize, fn_end: usize) -> usize {
+    let toks = sf.tokens();
+    // Statement start: nearest `;` / `{` / `}` behind the acquisition.
+    let mut s = i;
+    while s > 0 && !matches!(toks[s - 1].text.as_str(), ";" | "{" | "}") {
+        s -= 1;
+    }
+    let mut binding: Option<&str> = None;
+    if toks.get(s).map(|t| t.text == "let").unwrap_or(false) {
+        let mut n = s + 1;
+        if toks.get(n).map(|t| t.text == "mut").unwrap_or(false) {
+            n += 1;
+        }
+        if let Some(t) = toks.get(n) {
+            if t.kind == TokenKind::Ident && t.text != "_" {
+                binding = Some(&t.text);
+            }
+        }
+    }
+    // Forward scan for the expression's end at nesting depth zero.
+    let mut depth = 0i32;
+    let mut k = i + 1;
+    let stmt_end = loop {
+        if k > fn_end {
+            return fn_end;
+        }
+        match toks[k].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" => {
+                if depth > 0 {
+                    // Closure body inside the argument list.
+                    k = ctx.close.get(&k).copied().unwrap_or(fn_end);
+                } else {
+                    // Header acquisition: scope is the following block.
+                    return ctx.close.get(&k).copied().unwrap_or(fn_end).min(fn_end);
+                }
+            }
+            ";" if depth <= 0 => break k,
+            "}" if depth <= 0 => return k.min(fn_end),
+            _ => {}
+        }
+        k += 1;
+    };
+    match binding {
+        None => stmt_end,
+        Some(name) => {
+            let block_end = ctx
+                .encl
+                .get(i)
+                .copied()
+                .flatten()
+                .and_then(|open| ctx.close.get(&open).copied())
+                .unwrap_or(fn_end)
+                .min(fn_end);
+            // Truncate at an explicit `drop(name)`.
+            let mut m = stmt_end;
+            while m + 3 <= block_end {
+                if toks[m].text == "drop"
+                    && toks[m + 1].text == "("
+                    && toks[m + 2].text == name
+                    && toks.get(m + 3).map(|t| t.text == ")").unwrap_or(false)
+                {
+                    return m;
+                }
+                m += 1;
+            }
+            block_end
+        }
+    }
+}
+
+/// Blocking operations a held lock must not span. `Condvar::wait` is the
+/// sanctioned exception (it releases the lock while parked) and is not
+/// listed.
+fn blocking_call(c: &Call) -> Option<String> {
+    match &c.recv {
+        Recv::Path(q) if matches!(q.as_str(), "fs" | "File" | "OpenOptions") => {
+            Some(format!("{}::{}", q, c.name))
+        }
+        Recv::SelfDot | Recv::Other(_) => {
+            if matches!(
+                c.name.as_str(),
+                "recv"
+                    | "recv_timeout"
+                    | "accept"
+                    | "sync_all"
+                    | "sync_data"
+                    | "write_all"
+                    | "read_exact"
+                    | "read_to_string"
+                    | "read_to_end"
+            ) {
+                Some(format!(".{}()", c.name))
+            } else {
+                None
+            }
+        }
+        Recv::Path(_) | Recv::None => None,
+    }
+}
+
+/// The acquisitions (direct plus one level of guard-returning-helper
+/// inheritance) of one fn, in token order.
+fn fn_acquisitions(
+    sf: &SourceFile,
+    ctx: &BraceCtx,
+    graph: &SymbolGraph,
+    f: &FnSym,
+    direct_of: &BTreeMap<String, Vec<String>>,
+) -> Vec<Acq> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    for c in &f.calls {
+        // Direct: `.lock()` / `.read()` / `.write()` on a known lock.
+        if matches!(c.name.as_str(), "lock" | "read" | "write")
+            && c.tok >= 2
+            && toks[c.tok - 1].text == "."
+            && toks[c.tok - 2].kind == TokenKind::Ident
+        {
+            let term = toks[c.tok - 2].text.as_str();
+            if let Some(lock) = resolve_lock(sf, graph, f, c, term) {
+                out.push(Acq {
+                    lock,
+                    tok: c.tok,
+                    line: c.line,
+                    col: c.col,
+                    scope_end: guard_scope(sf, ctx, c.tok, f.tok_end),
+                });
+                continue;
+            }
+        }
+        // Inherited: a call to a helper that returns a guard over exactly
+        // one known lock (e.g. `Queue::lock`).
+        for idx in resolve(graph, f, c) {
+            let callee = graph.fn_at(idx);
+            if !callee.ret.contains("Guard") {
+                continue;
+            }
+            if let Some(locks) = direct_of.get(&callee.qual) {
+                if locks.len() == 1 {
+                    out.push(Acq {
+                        lock: locks[0].clone(),
+                        tok: c.tok,
+                        line: c.line,
+                        col: c.col,
+                        scope_end: guard_scope(sf, ctx, c.tok, f.tok_end),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out.sort_by_key(|a| a.tok);
+    out
+}
+
+/// Identify the lock behind a `.lock()`/`.read()`/`.write()` receiver:
+/// a same-file local lock binding, `self.field` against the caller's
+/// impl type, or a field name unique across the workspace.
+fn resolve_lock(
+    sf: &SourceFile,
+    graph: &SymbolGraph,
+    f: &FnSym,
+    c: &Call,
+    term: &str,
+) -> Option<String> {
+    let file_syms = graph.files.iter().find(|fs| fs.path == sf.path)?;
+    // Local `let m = Mutex::new(…)` binding in this file.
+    for s in &file_syms.syncs {
+        if s.id == term && s.kind != "condvar" && s.kind != "channel" {
+            if lock_method_matches(&c.name, &s.kind) {
+                return Some(s.id.clone());
+            }
+        }
+    }
+    // `self.field.lock()` against the caller's impl type.
+    if matches!(c.recv, Recv::SelfDot) {
+        if let Some(ty) = &f.impl_type {
+            let id = format!("{ty}.{term}");
+            if let Some(kind) = graph.lock_fields.get(&id) {
+                if lock_method_matches(&c.name, kind) {
+                    return Some(id);
+                }
+            }
+        }
+    }
+    // Unambiguous field name anywhere in the workspace.
+    let matches: Vec<(&String, &String)> = graph
+        .lock_fields
+        .iter()
+        .filter(|(id, _)| id.rsplit('.').next() == Some(term))
+        .collect();
+    if let [(id, kind)] = matches.as_slice() {
+        if lock_method_matches(&c.name, kind) {
+            return Some((*id).clone());
+        }
+    }
+    None
+}
+
+fn lock_method_matches(method: &str, kind: &str) -> bool {
+    match method {
+        "lock" => kind == "mutex",
+        "read" | "write" => kind == "rwlock",
+        _ => false,
+    }
+}
+
+fn r6_lock_order(sources: &[SourceFile], graph: &SymbolGraph, out: &mut Vec<Finding>) {
+    // Direct acquisitions per fn qual (for helper inheritance): a cheap
+    // pre-pass that only needs receiver idents, no scopes.
+    let mut direct_of: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (fi, fs) in graph.files.iter().enumerate() {
+        let sf = &sources[fi];
+        let toks = sf.tokens();
+        for f in &fs.fns {
+            if f.in_test {
+                continue;
+            }
+            let mut locks = Vec::new();
+            for c in &f.calls {
+                if matches!(c.name.as_str(), "lock" | "read" | "write")
+                    && c.tok >= 2
+                    && toks[c.tok - 1].text == "."
+                    && toks[c.tok - 2].kind == TokenKind::Ident
+                {
+                    let term = toks[c.tok - 2].text.clone();
+                    if let Some(lock) = resolve_lock(sf, graph, f, c, &term) {
+                        if !locks.contains(&lock) {
+                            locks.push(lock);
+                        }
+                    }
+                }
+            }
+            direct_of.insert(f.qual.clone(), locks);
+        }
+    }
+
+    // Edge instances in deterministic order (files sorted, fns and
+    // acquisitions in token order).
+    struct EdgeInst {
+        outer: String,
+        inner: String,
+        file_idx: usize,
+        line: u32,
+        col: u32,
+    }
+    let mut instances: Vec<EdgeInst> = Vec::new();
+    for (fi, fs) in graph.files.iter().enumerate() {
+        if fs.crate_name == "lint" {
+            continue;
+        }
+        let sf = &sources[fi];
+        let ctx = BraceCtx::build(sf);
+        for f in &fs.fns {
+            if f.in_test || sf.in_test(f.tok_start) {
+                continue;
+            }
+            let acqs = fn_acquisitions(sf, &ctx, graph, f, &direct_of);
+            for (ai, a) in acqs.iter().enumerate() {
+                // Nested acquisitions inside a's scope.
+                for b in &acqs[ai + 1..] {
+                    if b.tok <= a.scope_end && b.lock != a.lock {
+                        instances.push(EdgeInst {
+                            outer: a.lock.clone(),
+                            inner: b.lock.clone(),
+                            file_idx: fi,
+                            line: b.line,
+                            col: b.col,
+                        });
+                    }
+                }
+                // Blocking operations under the guard.
+                for c in &f.calls {
+                    if c.tok > a.tok && c.tok <= a.scope_end {
+                        if let Some(op) = blocking_call(c) {
+                            out.push(finding(
+                                sf,
+                                c.line,
+                                c.col,
+                                RULE_LOCK_ORDER,
+                                format!(
+                                    "`{op}` while `{}` is held blocks every contender of the \
+                                     lock; release the guard first",
+                                    a.lock
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // First observed direction per unordered pair wins; later inversions
+    // are flagged at their site.
+    let mut established: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+    for e in &instances {
+        let fwd = (e.outer.clone(), e.inner.clone());
+        let rev = (e.inner.clone(), e.outer.clone());
+        if let Some(&(ffi, fline)) = established.get(&rev) {
+            let sf = &sources[e.file_idx];
+            out.push(finding(
+                sf,
+                e.line,
+                e.col,
+                RULE_LOCK_ORDER,
+                format!(
+                    "`{}` acquired while `{}` is held, inverting the order established at \
+                     {}:{} (`{}` before `{}`); keep one global acquisition order",
+                    e.inner, e.outer, sources[ffi].path, fline, e.inner, e.outer
+                ),
+            ));
+        } else {
+            established.entry(fwd).or_insert((e.file_idx, e.line));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R7: crash-safety
+// ---------------------------------------------------------------------
+
+fn r7_crash_safety(graph: &SymbolGraph, out: &mut Vec<Finding>) {
+    // Workspace call graph, forward and reverse.
+    let n = graph.fn_table.len();
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut syncs_directly: Vec<bool> = vec![false; n];
+    for i in 0..n {
+        let f = graph.fn_at(i);
+        for c in &f.calls {
+            if matches!(c.name.as_str(), "sync_all" | "sync_data") {
+                syncs_directly[i] = true;
+            }
+            for j in resolve(graph, f, c) {
+                if j != i {
+                    fwd[i].push(j);
+                    rev[j].push(i);
+                }
+            }
+        }
+    }
+    let reaches_sync = |starts: &[usize], edges: &Vec<Vec<usize>>| -> bool {
+        let mut seen: BTreeSet<usize> = starts.iter().copied().collect();
+        let mut stack: Vec<usize> = starts.to_vec();
+        while let Some(i) = stack.pop() {
+            if syncs_directly[i] {
+                return true;
+            }
+            for &j in &edges[i] {
+                if seen.insert(j) {
+                    stack.push(j);
+                }
+            }
+        }
+        false
+    };
+    for i in 0..n {
+        let (fi, _) = graph.fn_table[i];
+        let fs = &graph.files[fi];
+        if !fs.path.starts_with("crates/store/") {
+            continue;
+        }
+        let f = graph.fn_at(i);
+        for c in &f.calls {
+            let is_rename = c.name == "rename" && matches!(&c.recv, Recv::Path(q) if q == "fs");
+            if !is_rename {
+                continue;
+            }
+            if reaches_sync(&[i], &fwd) || reaches_sync(&[i], &rev) {
+                continue;
+            }
+            out.push(Finding {
+                file: fs.path.clone(),
+                line: c.line,
+                col: c.col,
+                rule: RULE_CRASH_SAFETY.to_string(),
+                snippet: String::new(),
+                message: format!(
+                    "`fs::rename` in `{}` publishes a file with no `sync_all`/`sync_data` \
+                     on any interprocedural path; a crash can surface truncated data",
+                    f.qual
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R8: error-swallow
+// ---------------------------------------------------------------------
+
+/// All resolved candidates exist and every one returns a `Result`.
+fn returns_workspace_result(graph: &SymbolGraph, caller: &FnSym, c: &Call) -> bool {
+    let cands = resolve(graph, caller, c);
+    !cands.is_empty() && cands.iter().all(|&i| graph.fn_at(i).ret.contains("Result"))
+}
+
+fn r8_error_swallow(sources: &[SourceFile], graph: &SymbolGraph, out: &mut Vec<Finding>) {
+    for (fi, fs) in graph.files.iter().enumerate() {
+        if !R8_CRATES.contains(&fs.crate_name.as_str()) {
+            continue;
+        }
+        let sf = &sources[fi];
+        if sf.is_test_file {
+            continue;
+        }
+        let toks = sf.tokens();
+        for f in &fs.fns {
+            if f.in_test || sf.in_test(f.tok_start) {
+                continue;
+            }
+            // `let _ = call(…);` — the root call of the discarded
+            // expression is the first call site in the statement.
+            for i in f.tok_start..f.tok_end.saturating_sub(2) {
+                if toks[i].text != "let" || toks[i + 1].text != "_" || toks[i + 2].text != "=" {
+                    continue;
+                }
+                let mut depth = 0i32;
+                let mut end = i + 3;
+                while end <= f.tok_end {
+                    match toks[end].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth <= 0 => break,
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                let root = f.calls.iter().find(|c| c.tok > i + 2 && c.tok < end);
+                if let Some(c) = root {
+                    if returns_workspace_result(graph, f, c) {
+                        out.push(finding(
+                            sf,
+                            toks[i].line,
+                            toks[i].col,
+                            RULE_ERROR_SWALLOW,
+                            format!(
+                                "`let _ =` discards the `Result` of workspace fn `{}`; \
+                                 handle or propagate the error",
+                                c.name
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Bare `….ok();` statements.
+            for c in &f.calls {
+                if c.name != "ok"
+                    || toks.get(c.tok + 1).map(|t| t.text != "(").unwrap_or(true)
+                    || toks.get(c.tok + 2).map(|t| t.text != ")").unwrap_or(true)
+                    || toks.get(c.tok + 3).map(|t| t.text != ";").unwrap_or(true)
+                {
+                    continue;
+                }
+                // Statement start; `let`-bound `.ok()` is a value use (or
+                // already covered by the `let _ =` arm above).
+                let mut s = c.tok;
+                while s > f.tok_start && !matches!(toks[s - 1].text.as_str(), ";" | "{" | "}") {
+                    s -= 1;
+                }
+                if toks.get(s).map(|t| t.text == "let").unwrap_or(false) {
+                    continue;
+                }
+                let root = f.calls.iter().find(|r| r.tok >= s && r.tok < c.tok);
+                if let Some(r) = root {
+                    if returns_workspace_result(graph, f, r) {
+                        out.push(finding(
+                            sf,
+                            c.line,
+                            c.col,
+                            RULE_ERROR_SWALLOW,
+                            format!(
+                                "bare `.ok()` discards the `Result` of workspace fn `{}`; \
+                                 handle or propagate the error",
+                                r.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R9: determinism-escape
+// ---------------------------------------------------------------------
+
+fn ty_has_hash(ty: &str) -> bool {
+    ty.split(' ')
+        .any(|seg| seg == "HashMap" || seg == "HashSet")
+}
+
+fn r9_determinism_escape(sources: &[SourceFile], graph: &SymbolGraph, out: &mut Vec<Finding>) {
+    // Idents visible in R1-crate library code, for cross-crate escapes.
+    let mut r1_idents: BTreeSet<&str> = BTreeSet::new();
+    for sf in sources {
+        if !R1_CRATES.contains(&sf.crate_name.as_str()) || sf.is_test_file {
+            continue;
+        }
+        for (i, t) in sf.tokens().iter().enumerate() {
+            if t.kind == TokenKind::Ident && !sf.in_test(i) {
+                r1_idents.insert(&t.text);
+            }
+        }
+    }
+    for (fi, fs) in graph.files.iter().enumerate() {
+        if fs.crate_name == "lint" {
+            continue;
+        }
+        let sf = &sources[fi];
+        if sf.is_test_file {
+            continue;
+        }
+        let in_r1 = R1_CRATES.contains(&fs.crate_name.as_str());
+        // Escape through `pub` fields.
+        for s in &fs.structs {
+            if s.in_test {
+                continue;
+            }
+            for fld in &s.fields {
+                if fld.vis == Vis::Private || !ty_has_hash(&fld.ty) {
+                    continue;
+                }
+                let escapes = if in_r1 {
+                    true
+                } else {
+                    s.vis == Vis::Pub && fld.vis == Vis::Pub && r1_idents.contains(s.name.as_str())
+                };
+                if escapes {
+                    out.push(finding(
+                        sf,
+                        fld.line,
+                        1,
+                        RULE_DETERMINISM_ESCAPE,
+                        format!(
+                            "pub field `{}.{}: {}` leaks hash iteration order into \
+                             determinism-sensitive crates; use BTreeMap/BTreeSet or a sorted view",
+                            s.name, fld.name, fld.ty
+                        ),
+                    ));
+                }
+            }
+        }
+        // Escape through `pub` return types.
+        for f in &fs.fns {
+            if f.in_test || f.vis == Vis::Private || !ty_has_hash(&f.ret) {
+                continue;
+            }
+            let escapes = if in_r1 {
+                true
+            } else {
+                f.vis == Vis::Pub && r1_idents.contains(f.name.as_str())
+            };
+            if escapes {
+                out.push(finding(
+                    sf,
+                    f.line,
+                    1,
+                    RULE_DETERMINISM_ESCAPE,
+                    format!(
+                        "pub fn `{}` returns `{}`, leaking hash iteration order into \
+                         determinism-sensitive crates; return a BTree collection or sorted Vec",
+                        f.qual, f.ret
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{extract, FileSymbols};
+
+    /// Build a mini-workspace from (path, crate, src) triples (sorted by
+    /// path by the caller) and run the graph rules.
+    fn graph_findings(files: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, c, s)| SourceFile::parse(p, c, false, s))
+            .collect();
+        let syms: Vec<FileSymbols> = sources.iter().map(extract).collect();
+        let graph = SymbolGraph::build(syms);
+        lint_graph(&sources, &graph)
+    }
+
+    fn slugs(findings: &[Finding]) -> Vec<String> {
+        let mut v: Vec<String> = findings.iter().map(|f| f.rule.clone()).collect();
+        v.sort();
+        v
+    }
+
+    // -- R6 lock-order -------------------------------------------------
+
+    const TWO_LOCKS: &str = r#"
+        pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+    "#;
+
+    #[test]
+    fn r6_flags_inverted_acquisition_order() {
+        let src = r#"
+            pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                pub fn first(&self) {
+                    let ga = self.a.lock().unwrap();
+                    let gb = self.b.lock().unwrap();
+                    drop(gb);
+                    drop(ga);
+                }
+                pub fn second(&self) {
+                    let gb = self.b.lock().unwrap();
+                    let ga = self.a.lock().unwrap();
+                    drop(ga);
+                    drop(gb);
+                }
+            }
+        "#;
+        let found = graph_findings(&[("crates/x/src/lib.rs", "x", src)]);
+        assert_eq!(slugs(&found), vec!["lock-order"]);
+        assert!(found[0].message.contains("inverting the order"));
+        // The finding anchors at the second fn's inner acquisition.
+        assert!(found[0].line > 10);
+    }
+
+    #[test]
+    fn r6_flags_blocking_call_under_guard() {
+        let src = r#"
+            pub struct S { a: Mutex<u32> }
+            impl S {
+                pub fn drain(&self, rx: &Receiver<u32>) {
+                    let g = self.a.lock().unwrap();
+                    let v = rx.recv();
+                    drop(g);
+                    consume(v);
+                }
+            }
+        "#;
+        let found = graph_findings(&[("crates/x/src/lib.rs", "x", src)]);
+        assert_eq!(slugs(&found), vec!["lock-order"]);
+        assert!(found[0].message.contains(".recv()"));
+        assert!(found[0].message.contains("S.a"));
+    }
+
+    #[test]
+    fn r6_clean_when_guard_dropped_before_blocking_and_order_consistent() {
+        let src = r#"
+            pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                pub fn first(&self) {
+                    let ga = self.a.lock().unwrap();
+                    let gb = self.b.lock().unwrap();
+                    drop(gb);
+                    drop(ga);
+                }
+                pub fn also_ordered(&self, rx: &Receiver<u32>) {
+                    let ga = self.a.lock().unwrap();
+                    let gb = self.b.lock().unwrap();
+                    drop(gb);
+                    drop(ga);
+                    let v = rx.recv();
+                    consume(v);
+                }
+            }
+        "#;
+        assert!(graph_findings(&[("crates/x/src/lib.rs", "x", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_temporary_guard_releases_at_statement_end() {
+        let src = r#"
+            pub struct S { a: Mutex<State>, b: Mutex<u32> }
+            impl S {
+                pub fn flip(&self) {
+                    self.a.lock().unwrap().open = false;
+                    let gb = self.b.lock().unwrap();
+                    drop(gb);
+                    self.b.lock().unwrap().probe();
+                    let ga = self.a.lock().unwrap();
+                    drop(ga);
+                }
+            }
+        "#;
+        // Neither nesting exists: every guard dies at its `;` or drop.
+        assert!(graph_findings(&[("crates/x/src/lib.rs", "x", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_inherits_through_guard_returning_helper() {
+        let src = r#"
+            pub struct Q { inner: Mutex<u32>, other: Mutex<u32> }
+            impl Q {
+                fn lock(&self) -> MutexGuard<'_, u32> {
+                    self.inner.lock().unwrap()
+                }
+                pub fn cross(&self) {
+                    let g = self.lock();
+                    let h = self.other.lock().unwrap();
+                    drop(h);
+                    drop(g);
+                }
+                pub fn inverted(&self) {
+                    let h = self.other.lock().unwrap();
+                    let g = self.lock();
+                    drop(g);
+                    drop(h);
+                }
+            }
+        "#;
+        let found = graph_findings(&[("crates/x/src/lib.rs", "x", src)]);
+        assert_eq!(slugs(&found), vec!["lock-order"]);
+        assert!(found[0].message.contains("Q.inner"));
+    }
+
+    #[test]
+    fn r6_condvar_wait_is_not_blocking() {
+        let src = r#"
+            pub struct Q { inner: Mutex<u32>, ready: Condvar }
+            impl Q {
+                pub fn pop(&self) -> u32 {
+                    let mut g = self.inner.lock().unwrap();
+                    loop {
+                        g = self.ready.wait(g).unwrap();
+                        if *g > 0 { return *g; }
+                    }
+                }
+            }
+        "#;
+        assert!(graph_findings(&[("crates/x/src/lib.rs", "x", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_allow_suppresses_with_reason() {
+        let src = r#"
+            pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                pub fn first(&self) {
+                    let ga = self.a.lock().unwrap();
+                    let gb = self.b.lock().unwrap();
+                    drop(gb);
+                    drop(ga);
+                }
+                pub fn second(&self) {
+                    let gb = self.b.lock().unwrap();
+                    // lint:allow(lock-order: shutdown-only path, first() cannot run concurrently)
+                    let ga = self.a.lock().unwrap();
+                    drop(ga);
+                    drop(gb);
+                }
+            }
+        "#;
+        assert!(graph_findings(&[("crates/x/src/lib.rs", "x", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_test_code_is_exempt() {
+        let src = r#"
+            pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+            #[cfg(test)]
+            mod tests {
+                fn nested(s: &S, rx: &Receiver<u32>) {
+                    let ga = s.a.lock().unwrap();
+                    let v = rx.recv();
+                    drop(ga);
+                }
+            }
+        "#;
+        assert!(graph_findings(&[("crates/x/src/lib.rs", "x", src)]).is_empty());
+        let _ = TWO_LOCKS;
+    }
+
+    // -- R7 crash-safety -----------------------------------------------
+
+    #[test]
+    fn r7_flags_rename_with_no_sync_on_any_path() {
+        let src = r#"
+            pub fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {
+                fs::rename(tmp, dst)
+            }
+        "#;
+        let found = graph_findings(&[("crates/store/src/fx.rs", "store", src)]);
+        assert_eq!(slugs(&found), vec!["crash-safety"]);
+    }
+
+    #[test]
+    fn r7_clean_when_caller_syncs_before_calling_the_renamer() {
+        let src = r#"
+            fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {
+                fs::rename(tmp, dst)
+            }
+            pub fn write_atomic(f: &File, tmp: &Path, dst: &Path) -> io::Result<()> {
+                f.sync_all()?;
+                publish(tmp, dst)
+            }
+        "#;
+        assert!(graph_findings(&[("crates/store/src/fx.rs", "store", src)]).is_empty());
+    }
+
+    #[test]
+    fn r7_clean_when_callee_syncs() {
+        let src = r#"
+            fn settle(f: &File) -> io::Result<()> {
+                f.sync_data()
+            }
+            pub fn publish(f: &File, tmp: &Path, dst: &Path) -> io::Result<()> {
+                settle(f)?;
+                fs::rename(tmp, dst)
+            }
+        "#;
+        assert!(graph_findings(&[("crates/store/src/fx.rs", "store", src)]).is_empty());
+    }
+
+    #[test]
+    fn r7_only_watches_the_store_crate() {
+        let src = r#"
+            pub fn rotate(tmp: &Path, dst: &Path) -> io::Result<()> {
+                fs::rename(tmp, dst)
+            }
+        "#;
+        assert!(graph_findings(&[("crates/obs/src/fx.rs", "obs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r7_allow_suppresses_with_reason() {
+        let src = r#"
+            pub fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {
+                // lint:allow(crash-safety: scratch index, rebuilt from segments on startup)
+                fs::rename(tmp, dst)
+            }
+        "#;
+        assert!(graph_findings(&[("crates/store/src/fx.rs", "store", src)]).is_empty());
+    }
+
+    // -- R8 error-swallow ------------------------------------------------
+
+    #[test]
+    fn r8_flags_let_underscore_discard_of_workspace_result() {
+        let src = r#"
+            pub fn emit(x: u32) -> Result<(), Error> { ship(x) }
+            pub fn run() {
+                let _ = emit(1);
+            }
+        "#;
+        let found = graph_findings(&[("crates/serve/src/fx.rs", "serve", src)]);
+        assert_eq!(slugs(&found), vec!["error-swallow"]);
+        assert!(found[0].message.contains("emit"));
+    }
+
+    #[test]
+    fn r8_flags_bare_ok_discard() {
+        let src = r#"
+            pub fn emit(x: u32) -> Result<(), Error> { ship(x) }
+            pub fn run() {
+                emit(1).ok();
+            }
+        "#;
+        let found = graph_findings(&[("crates/store/src/fx.rs", "store", src)]);
+        assert_eq!(slugs(&found), vec!["error-swallow"]);
+    }
+
+    #[test]
+    fn r8_ignores_non_workspace_and_non_result_calls() {
+        let src = r#"
+            pub fn depth() -> usize { 3 }
+            pub fn run(worker: JoinHandle<()>, d: &File) {
+                let _ = worker.join();
+                let _ = d.sync_all();
+                let _ = TcpStream::connect(addr);
+                let _ = depth();
+                let kept = compute().ok();
+                consume(kept);
+            }
+        "#;
+        assert!(graph_findings(&[("crates/serve/src/fx.rs", "serve", src)]).is_empty());
+    }
+
+    #[test]
+    fn r8_only_watches_designated_crates() {
+        let src = r#"
+            pub fn emit(x: u32) -> Result<(), Error> { ship(x) }
+            pub fn run() {
+                let _ = emit(1);
+            }
+        "#;
+        assert!(graph_findings(&[("crates/agents/src/fx.rs", "agents", src)]).is_empty());
+    }
+
+    #[test]
+    fn r8_allow_suppresses_with_reason() {
+        let src = r#"
+            pub fn emit(x: u32) -> Result<(), Error> { ship(x) }
+            pub fn run() {
+                // lint:allow(error-swallow: best-effort 503 on an already-doomed connection)
+                let _ = emit(1);
+            }
+        "#;
+        assert!(graph_findings(&[("crates/serve/src/fx.rs", "serve", src)]).is_empty());
+    }
+
+    // -- R9 determinism-escape -------------------------------------------
+
+    #[test]
+    fn r9_flags_pub_hash_field_and_return_in_r1_crate() {
+        let src = r#"
+            pub struct Index {
+                pub seen: HashSet<u64>,
+                private_ok: HashSet<u64>,
+            }
+            pub fn table() -> HashMap<u32, u32> { HashMap::new() }
+            fn private_table() -> HashMap<u32, u32> { HashMap::new() }
+        "#;
+        let found = graph_findings(&[("crates/core/src/fx.rs", "core", src)]);
+        assert_eq!(slugs(&found), vec!["determinism-escape"; 2]);
+    }
+
+    #[test]
+    fn r9_flags_cross_crate_escape_referenced_from_r1() {
+        let producer = r#"
+            pub fn positions_by_owner() -> HashMap<u64, u64> { HashMap::new() }
+        "#;
+        let consumer = r#"
+            pub fn summarize() -> usize {
+                positions_by_owner().len()
+            }
+        "#;
+        let found = graph_findings(&[
+            ("crates/core/src/user.rs", "core", consumer),
+            ("crates/lending/src/fx.rs", "lending", producer),
+        ]);
+        assert_eq!(slugs(&found), vec!["determinism-escape"]);
+        assert_eq!(found[0].file, "crates/lending/src/fx.rs");
+    }
+
+    #[test]
+    fn r9_clean_when_unreferenced_or_btree() {
+        let producer = r#"
+            pub fn unreferenced() -> HashMap<u64, u64> { HashMap::new() }
+            pub fn sorted_view() -> BTreeMap<u64, u64> { BTreeMap::new() }
+        "#;
+        assert!(graph_findings(&[("crates/lending/src/fx.rs", "lending", producer)]).is_empty());
+    }
+
+    #[test]
+    fn r9_allow_suppresses_with_reason() {
+        let src = r#"
+            pub struct Index {
+                // lint:allow(determinism-escape: only membership-tested, never iterated)
+                pub seen: HashSet<u64>,
+            }
+        "#;
+        assert!(graph_findings(&[("crates/core/src/fx.rs", "core", src)]).is_empty());
+    }
+}

@@ -1,41 +1,146 @@
 //! `mev-lint` — workspace static analysis for the flashpan measurement
 //! pipeline.
 //!
-//! A dev-only tool crate (never a dependency of the library crates) that
-//! lexes every workspace source file and enforces five project
-//! invariants the test suite cannot guard by construction:
+//! A dev-only tool crate (never a dependency of the library crates)
+//! that analyzes the workspace in two passes:
+//!
+//! **Pass 1** lexes every source file and extracts a per-file symbol
+//! graph (fn/struct definitions with declared types, call sites, `use`
+//! edges, `#[deprecated]` spans, lock/Condvar/channel construction
+//! sites, file-IO call sites) on a small thread pool; results merge
+//! deterministically by path and serialize as `lint_symbols.json`.
+//!
+//! **Pass 2** runs the per-file lexical rules plus the cross-file graph
+//! rules:
 //!
 //! | rule | slug | guards |
 //! |------|------|--------|
 //! | R1 | `determinism` | no `HashMap`/`HashSet` iteration in `core`/`analysis`/`chain`/`flashbots` library code — detector output order feeds serial-vs-pool bit-identity |
 //! | R2 | `wei-math` | no narrowing casts / bare `+ - *` on wei-typed values outside `crates/types` — the overflow class PR 2 fixed by hand |
 //! | R3 | `atomics` | `Ordering::Relaxed` only inside `crates/obs` |
-//! | R4 | `panic` | no `unwrap`/`expect`/`panic!`/`unreachable!` in `core`/`chain`/`dex`/`net` library code |
-//! | R5 | `deprecated` | no internal callers of the deprecated `inspect`/`inspect_parallel` shims |
+//! | R4 | `panic` | no `unwrap`/`expect`/`panic!`/`unreachable!` in `core`/`chain`/`dex`/`net`/`store`/`serve` library code |
+//! | R5 | `deprecated` | no internal callers of `#[deprecated]` shims (exemption keyed on the item span) |
+//! | R6 | `lock-order` | one global lock acquisition order; no blocking calls under a held guard |
+//! | R7 | `crash-safety` | `fs::rename` in `crates/store` must have `sync_all`/`sync_data` on an interprocedural path |
+//! | R8 | `error-swallow` | no `let _ =` / bare `.ok()` discarding a workspace `Result` in `core`/`chain`/`store`/`serve` |
+//! | R9 | `determinism-escape` | no `HashMap`/`HashSet` escaping through pub surfaces into R1 crates |
 //!
 //! Findings diff against the checked-in `lint_baseline.json`: existing
 //! debt is frozen, only new violations fail. Suppress inline with
 //! `// lint:allow(rule: reason)` — the reason is mandatory.
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod symbols;
 pub mod walk;
 
 use report::{sort_findings, Finding};
 use source::SourceFile;
+use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Lint every workspace file under `root`. Returns sorted findings.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for wf in walk::workspace_files(root)? {
-        let src = std::fs::read_to_string(&wf.abs)?;
-        let sf = SourceFile::parse(&wf.rel, &wf.crate_name, wf.is_test_file, &src);
-        findings.extend(rules::lint_file(&sf));
+/// Driver options.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Pass-1 worker threads; `0` picks the machine's parallelism.
+    pub threads: usize,
+    /// When set, pass 2 reports findings only for these repo-relative
+    /// paths. Pass 1 still covers the whole workspace so cross-file
+    /// resolution stays complete.
+    pub changed: Option<BTreeSet<String>>,
+}
+
+/// Full analysis result: sorted findings plus the merged symbol graph
+/// (for `lint_symbols.json` and diagnostics).
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub graph: symbols::SymbolGraph,
+}
+
+/// Two-pass analysis of the workspace under `root`.
+pub fn analyze(root: &Path, opts: &Options) -> std::io::Result<Analysis> {
+    let files = walk::workspace_files(root)?;
+    let n = files.len();
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     }
+    .clamp(1, 16)
+    .min(n.max(1));
+
+    // Pass 1: parse + extract on a worker pool. Workers claim file
+    // indices from a shared cursor and write into per-index slots, so
+    // the merged order is the sorted walk order no matter how the
+    // scheduler interleaves them.
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<(SourceFile, symbols::FileSymbols)>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let first_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let wf = &files[i];
+                match std::fs::read_to_string(&wf.abs) {
+                    Ok(src) => {
+                        let sf = SourceFile::parse(&wf.rel, &wf.crate_name, wf.is_test_file, &src);
+                        let syms = symbols::extract(&sf);
+                        slots.lock().unwrap()[i] = Some((sf, syms));
+                    }
+                    Err(e) => {
+                        first_err.lock().unwrap().get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_err.into_inner().unwrap() {
+        return Err(e);
+    }
+    let mut sources = Vec::with_capacity(n);
+    let mut syms = Vec::with_capacity(n);
+    for slot in slots.into_inner().unwrap() {
+        let (sf, sy) = slot.expect("pass 1 fills every slot unless it errored");
+        sources.push(sf);
+        syms.push(sy);
+    }
+    let graph = symbols::SymbolGraph::build(syms);
+
+    // Pass 2: lexical rules per file, then graph rules over everything.
+    let mut findings = Vec::new();
+    for sf in &sources {
+        if let Some(changed) = &opts.changed {
+            if !changed.contains(&sf.path) {
+                continue;
+            }
+        }
+        findings.extend(rules::lint_file(sf));
+    }
+    let mut graph_findings = graph::lint_graph(&sources, &graph);
+    if let Some(changed) = &opts.changed {
+        graph_findings.retain(|f| changed.contains(&f.file));
+    }
+    findings.extend(graph_findings);
     sort_findings(&mut findings);
-    Ok(findings)
+    Ok(Analysis { findings, graph })
+}
+
+/// Lint every workspace file under `root` with default options.
+/// Returns sorted findings.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    analyze(root, &Options::default()).map(|a| a.findings)
 }

@@ -1,43 +1,80 @@
 //! `mev-lint` CLI.
 //!
 //! ```text
-//! mev-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline]
+//! mev-lint [--root DIR] [--baseline FILE] [--json FILE] [--sarif FILE]
+//!          [--symbols FILE] [--format text|sarif] [--changed GIT_REF]
+//!          [--threads N] [--update-baseline]
 //! ```
+//!
+//! * `--json FILE`    — write all findings as the findings-array JSON.
+//! * `--sarif FILE`   — write *fresh* (non-baselined) findings as SARIF
+//!   2.1.0 for CI code-scanning annotations.
+//! * `--symbols FILE` — write the pass-1 symbol graph
+//!   (`lint_symbols.json`).
+//! * `--format sarif` — print the fresh findings as SARIF on stdout
+//!   instead of the human report.
+//! * `--changed REF`  — report findings only for files changed since
+//!   the git ref (pass 1 still scans the whole workspace so cross-file
+//!   resolution stays complete).
+//! * `--threads N`    — pass-1 worker threads (default: machine
+//!   parallelism).
 //!
 //! Exit codes: 0 clean (all findings baselined/suppressed), 1 new
 //! findings, 2 usage or I/O error.
 
-use mev_lint::baseline::Baseline;
+use mev_lint::baseline::{to_v2_json, Baseline};
 use mev_lint::report::{to_json, Finding};
+use mev_lint::sarif::to_sarif;
+use mev_lint::Options;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const BASELINE_FILE: &str = "lint_baseline.json";
 
+#[derive(Default)]
 struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    symbols: Option<PathBuf>,
+    format_sarif: bool,
+    changed: Option<String>,
+    threads: usize,
     update_baseline: bool,
 }
 
 fn usage() -> String {
-    "usage: mev-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline]".to_string()
+    "usage: mev-lint [--root DIR] [--baseline FILE] [--json FILE] [--sarif FILE] \
+     [--symbols FILE] [--format text|sarif] [--changed GIT_REF] [--threads N] \
+     [--update-baseline]"
+        .to_string()
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        root: None,
-        baseline: None,
-        json: None,
-        update_baseline: false,
-    };
+    let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => args.root = Some(it.next().ok_or_else(usage)?.into()),
             "--baseline" => args.baseline = Some(it.next().ok_or_else(usage)?.into()),
             "--json" => args.json = Some(it.next().ok_or_else(usage)?.into()),
+            "--sarif" => args.sarif = Some(it.next().ok_or_else(usage)?.into()),
+            "--symbols" => args.symbols = Some(it.next().ok_or_else(usage)?.into()),
+            "--format" => match it.next().ok_or_else(usage)?.as_str() {
+                "sarif" => args.format_sarif = true,
+                "text" => args.format_sarif = false,
+                other => return Err(format!("unknown format `{other}` (text|sarif)")),
+            },
+            "--changed" => args.changed = Some(it.next().ok_or_else(usage)?),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--update-baseline" => args.update_baseline = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -63,6 +100,27 @@ fn find_root() -> Option<PathBuf> {
     }
 }
 
+/// Repo-relative paths changed since `git_ref`, via `git diff`.
+fn changed_files(root: &Path, git_ref: &str) -> Result<BTreeSet<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", git_ref])
+        .output()
+        .map_err(|e| format!("running git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {git_ref} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| l.ends_with(".rs"))
+        .collect())
+}
+
 fn print_findings(header: &str, findings: &[Finding]) {
     if findings.is_empty() {
         return;
@@ -86,15 +144,33 @@ fn run() -> Result<ExitCode, String> {
     };
     let baseline_path = args.baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
 
-    let findings =
-        mev_lint::lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let changed = match &args.changed {
+        Some(git_ref) => Some(changed_files(&root, git_ref)?),
+        None => None,
+    };
+    let opts = Options {
+        threads: args.threads,
+        changed,
+    };
 
+    let started = std::time::Instant::now();
+    let analysis =
+        mev_lint::analyze(&root, &opts).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let elapsed = started.elapsed();
+    let findings = analysis.findings;
+
+    if let Some(symbols_path) = &args.symbols {
+        write_text(symbols_path, &analysis.graph.to_json())?;
+    }
     if let Some(json_path) = &args.json {
         write_text(json_path, &to_json(&findings))?;
     }
 
     if args.update_baseline {
-        write_text(&baseline_path, &to_json(&findings))?;
+        if args.changed.is_some() {
+            return Err("--update-baseline needs a full run; drop --changed".to_string());
+        }
+        write_text(&baseline_path, &to_v2_json(&findings))?;
         println!(
             "mev-lint: baseline updated — {} finding(s) frozen in {}",
             findings.len(),
@@ -112,9 +188,25 @@ fn run() -> Result<ExitCode, String> {
 
     let (fresh, known) = baseline.diff(&findings);
     let stale = baseline.stale_count(&findings);
+    if let Some(sarif_path) = &args.sarif {
+        write_text(sarif_path, &to_sarif(&fresh))?;
+    }
+    if args.format_sarif {
+        print!("{}", to_sarif(&fresh));
+        return Ok(if fresh.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     println!(
-        "mev-lint: {} finding(s) — {} baselined, {} new{}",
+        "mev-lint: {} finding(s) in {:.2?}{} — {} baselined, {} new{}",
         findings.len(),
+        elapsed,
+        match &args.changed {
+            Some(r) => format!(" (changed vs {r})"),
+            None => String::new(),
+        },
         known.len(),
         fresh.len(),
         if stale > 0 {

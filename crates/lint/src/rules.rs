@@ -30,19 +30,30 @@ pub const RULE_WEI_MATH: &str = "wei-math";
 pub const RULE_ATOMICS: &str = "atomics";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_DEPRECATED: &str = "deprecated";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_CRASH_SAFETY: &str = "crash-safety";
+pub const RULE_ERROR_SWALLOW: &str = "error-swallow";
+pub const RULE_DETERMINISM_ESCAPE: &str = "determinism-escape";
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
 
-/// All enforceable rule slugs (what `lint:allow` may name).
-pub const ALL_RULES: [&str; 5] = [
+/// All enforceable rule slugs (what `lint:allow` may name). R1–R5 are
+/// the per-file lexical rules in this module; R6–R9 are the cross-file
+/// graph rules in [`crate::graph`].
+pub const ALL_RULES: [&str; 9] = [
     RULE_DETERMINISM,
     RULE_WEI_MATH,
     RULE_ATOMICS,
     RULE_PANIC,
     RULE_DEPRECATED,
+    RULE_LOCK_ORDER,
+    RULE_CRASH_SAFETY,
+    RULE_ERROR_SWALLOW,
+    RULE_DETERMINISM_ESCAPE,
 ];
 
-/// Crates whose library code must iterate deterministically (R1).
-const R1_CRATES: [&str; 4] = ["core", "analysis", "chain", "flashbots"];
+/// Crates whose library code must iterate deterministically (R1, and the
+/// escape-site analysis of R9).
+pub const R1_CRATES: [&str; 4] = ["core", "analysis", "chain", "flashbots"];
 /// Crates exempt from R2: `types` hosts the checked/widening helpers
 /// themselves.
 const R2_EXEMPT: [&str; 1] = ["types"];
@@ -53,13 +64,6 @@ const R3_EXEMPT: [&str; 1] = ["obs"];
 /// as `StoreError`, never as a panic — and the HTTP server must answer
 /// malformed requests with error responses, never by dying.
 const R4_CRATES: [&str; 6] = ["core", "chain", "dex", "net", "store", "serve"];
-/// The deprecated shims are *defined* in these files; every other file
-/// is an internal caller (R5).
-const R5_DEFINITION_FILES: [&str; 3] = [
-    "crates/core/src/dataset.rs",
-    "crates/chain/src/query.rs",
-    "crates/store/src/reader.rs",
-];
 
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 /// Interner tables (R1): their probe-table layout is an implementation
@@ -168,16 +172,21 @@ fn push(sf: &SourceFile, out: &mut Vec<Finding>, idx: usize, rule: &str, message
     });
 }
 
+/// Drop findings covered by a reasoned `lint:allow`. Shared with the
+/// graph rules, which route their cross-file findings through the
+/// anchor file's directives; unlike [`apply_allows`] this never emits
+/// `allow-syntax` findings (those are reported once per file).
+pub fn filter_allows(sf: &SourceFile, findings: Vec<Finding>) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| !matches!(sf.allow_for(&f.rule, f.line), Some(a) if !a.reason.is_empty()))
+        .collect()
+}
+
 /// Drop findings covered by a reasoned `lint:allow`; flag reasonless or
 /// unknown-rule allows so suppressions stay auditable.
 fn apply_allows(sf: &SourceFile, findings: Vec<Finding>) -> Vec<Finding> {
-    let mut out: Vec<Finding> = Vec::new();
-    for f in findings {
-        match sf.allow_for(&f.rule, f.line) {
-            Some(a) if !a.reason.is_empty() => {} // suppressed
-            _ => out.push(f),
-        }
-    }
+    let mut out: Vec<Finding> = filter_allows(sf, findings);
     for a in &sf.allows {
         if !ALL_RULES.contains(&a.rule.as_str()) {
             out.push(Finding {
@@ -600,12 +609,15 @@ fn r4_panic(sf: &SourceFile, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------
 
 fn r5_deprecated(sf: &SourceFile, out: &mut Vec<Finding>) {
-    if R5_DEFINITION_FILES.contains(&sf.path.as_str()) {
-        return;
-    }
+    // Exempt the definition sites themselves: tokens inside a
+    // `#[deprecated]` item's own span (attribute through closing brace)
+    // are the shim, not a caller. Keyed on the item span, not the file,
+    // so other code in a defining file still gets checked.
+    let def_spans = crate::symbols::deprecated_spans(sf);
+    let in_def = |i: usize| def_spans.iter().any(|&(a, b)| a <= i && i <= b);
     let toks = sf.tokens();
     for i in 0..toks.len() {
-        if sf.in_test(i) {
+        if sf.in_test(i) || in_def(i) {
             continue;
         }
         let t = &toks[i];
@@ -953,7 +965,7 @@ mod tests {
     // -- R5 deprecated -----------------------------------------------
 
     #[test]
-    fn r5_flags_shim_callers_but_not_the_definition_file() {
+    fn r5_flags_shim_callers_in_any_file() {
         let src = r#"
             fn f(ds: &MevDataset) {
                 let _ = ds.inspect_parallel(4);
@@ -962,8 +974,30 @@ mod tests {
         "#;
         let fired = rules_fired("core", src);
         assert_eq!(fired, vec!["deprecated"; 2]);
-        // The file that defines the shims is exempt.
-        assert!(lint_source("crates/core/src/dataset.rs", "core", false, src).is_empty());
+        // Callers fire even inside a file that also defines a shim — the
+        // exemption keys on the item span, not the path.
+        let in_defining_file = lint_source("crates/core/src/dataset.rs", "core", false, src);
+        assert_eq!(in_defining_file.len(), 2);
+    }
+
+    #[test]
+    fn r5_exempts_the_deprecated_item_span_only() {
+        let src = r#"
+            #[deprecated(since = "0.4", note = "use pages()")]
+            pub fn get_logs_all(c: &ChainStore, f: &LogFilter) -> Vec<LogEntry> {
+                drain_pages(c, f)
+            }
+
+            fn caller(c: &ChainStore, f: &LogFilter) -> Vec<LogEntry> {
+                get_logs_all(c, f)
+            }
+        "#;
+        let found = lint_source("crates/chain/src/query.rs", "chain", false, src);
+        // Only the caller outside the deprecated item's span fires; the
+        // definition (attribute through closing brace) is exempt.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "deprecated");
+        assert_eq!(found[0].line, 8);
     }
 
     #[test]
@@ -977,7 +1011,7 @@ mod tests {
     }
 
     #[test]
-    fn r5_flags_get_logs_all_callers_but_not_its_definition_files() {
+    fn r5_flags_get_logs_all_callers_everywhere_but_test_code() {
         let src = r#"
             fn f(chain: &ChainStore, reader: &StoreReader, filter: &LogFilter) {
                 let _ = get_logs_all(chain, filter);
@@ -986,9 +1020,12 @@ mod tests {
         "#;
         let fired = rules_fired("core", src);
         assert_eq!(fired, vec!["deprecated"; 2]);
-        // Both files that define a `get_logs_all` shim are exempt.
-        assert!(lint_source("crates/chain/src/query.rs", "chain", false, src).is_empty());
-        assert!(lint_source("crates/store/src/reader.rs", "store", false, src).is_empty());
+        // Span-keyed exemption: callers in the former definition files
+        // fire too, now that no whole-file carve-out exists.
+        assert_eq!(
+            lint_source("crates/chain/src/query.rs", "chain", false, src).len(),
+            2
+        );
         // Test code may keep exercising the shims.
         assert!(lint_source("crates/x/tests/t.rs", "x", true, src).is_empty());
     }

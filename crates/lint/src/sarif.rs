@@ -1,0 +1,115 @@
+//! SARIF 2.1.0 output for CI code-scanning annotations.
+//!
+//! Deliberately minimal: one run, one driver, one result per finding,
+//! rule metadata derived from the slugs actually present. Hand-rolled
+//! like the rest of the JSON in this crate so the tool stays
+//! dependency-free, and deterministic byte-for-byte for a given finding
+//! list.
+
+use crate::report::Finding;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Serialize findings (typically the *fresh* set — the ones that gate
+/// CI) as a SARIF 2.1.0 log.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"$schema\":{},\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"mev-lint\",\"informationUri\":\
+         \"https://example.invalid/mev-lint\",\"rules\":[",
+        js(SCHEMA)
+    );
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            js(r),
+            js(r)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            js(&f.rule),
+            js(&f.message),
+            js(&f.file),
+            f.line.max(1),
+            f.col.max(1),
+        );
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col: 5,
+            rule: rule.to_string(),
+            snippet: "x.unwrap();".to_string(),
+            message: format!("{rule} fired"),
+        }
+    }
+
+    #[test]
+    fn sarif_shape_and_determinism() {
+        let fs = vec![
+            finding("panic", "crates/core/src/a.rs", 10),
+            finding("lock-order", "crates/serve/src/lib.rs", 99),
+        ];
+        let s = to_sarif(&fs);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"panic\""));
+        assert!(s.contains("\"ruleId\":\"lock-order\""));
+        assert!(s.contains("\"startLine\":99"));
+        // Rule metadata deduplicated + sorted; output deterministic.
+        assert_eq!(s.matches("\"id\":\"panic\"").count(), 1);
+        assert_eq!(s, to_sarif(&fs));
+    }
+
+    #[test]
+    fn empty_findings_still_valid() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\":[]"));
+    }
+}

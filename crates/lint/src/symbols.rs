@@ -1,0 +1,1093 @@
+//! Pass 1: per-file symbol extraction and the merged workspace
+//! [`SymbolGraph`].
+//!
+//! One structural walk over each file's token stream records what the
+//! cross-file rules (R6–R9) need: `fn` definitions with declared
+//! parameter/return types and call sites, `struct` definitions with
+//! field types, `use` edges, `#[deprecated]` item spans, lock / Condvar
+//! / channel construction sites, and file-IO call sites. The walk is
+//! still lexical — brace matching plus a handful of token patterns, no
+//! type inference — which is exactly the fidelity the pass-2 rules are
+//! written against.
+//!
+//! The per-file results merge (in sorted path order, independent of
+//! pass-1 scheduling) into a [`SymbolGraph`], which also serializes as
+//! the deterministic `lint_symbols.json` artifact.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Item visibility, as declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` — escapes the crate.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)` — crate-internal.
+    PubScoped,
+    Private,
+}
+
+impl Vis {
+    fn as_str(self) -> &'static str {
+        match self {
+            Vis::Pub => "pub",
+            Vis::PubScoped => "pub(scoped)",
+            Vis::Private => "",
+        }
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// Free call: `name(…)`.
+    None,
+    /// Method call rooted in `self`: `self.name(…)` / `self.f.name(…)`.
+    SelfDot,
+    /// Path call `Qual::name(…)`; holds the qualifier segment.
+    Path(String),
+    /// Method call on some other receiver; holds the terminal ident.
+    Other(String),
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub name: String,
+    pub recv: Recv,
+    pub line: u32,
+    pub col: u32,
+    /// Token index of the callee name, for pass-2 scope checks.
+    pub tok: usize,
+}
+
+/// One `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    pub name: String,
+    /// `Type::name` inside an `impl Type`, else `name`.
+    pub qual: String,
+    pub impl_type: Option<String>,
+    pub vis: Vis,
+    /// Declared parameter types, space-joined tokens.
+    pub params: Vec<String>,
+    /// Declared return type, space-joined tokens; empty for `()`.
+    pub ret: String,
+    pub line: u32,
+    /// Token span `[start, end]` covering signature and body.
+    pub tok_start: usize,
+    pub tok_end: usize,
+    pub calls: Vec<Call>,
+    /// Defined inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+}
+
+/// One struct field.
+#[derive(Debug, Clone)]
+pub struct FieldSym {
+    pub name: String,
+    /// Space-joined declared type tokens.
+    pub ty: String,
+    pub vis: Vis,
+    pub line: u32,
+}
+
+/// One `struct` definition.
+#[derive(Debug, Clone)]
+pub struct StructSym {
+    pub name: String,
+    pub vis: Vis,
+    pub line: u32,
+    pub fields: Vec<FieldSym>,
+    pub in_test: bool,
+}
+
+/// A lock / Condvar / channel construction or declaration site.
+#[derive(Debug, Clone)]
+pub struct SyncSite {
+    /// Identity: `Struct.field` for fields, the binding name for locals.
+    pub id: String,
+    /// `mutex`, `rwlock`, `condvar` or `channel`.
+    pub kind: String,
+    pub line: u32,
+}
+
+/// A `#[deprecated]` item: name plus the token/line span of the whole
+/// item (attribute through closing brace or `;`).
+#[derive(Debug, Clone)]
+pub struct DeprecatedItem {
+    pub name: String,
+    pub start_line: u32,
+    pub end_line: u32,
+    pub tok_start: usize,
+    pub tok_end: usize,
+}
+
+/// Everything pass 1 extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    pub path: String,
+    pub crate_name: String,
+    pub fns: Vec<FnSym>,
+    pub structs: Vec<StructSym>,
+    /// `use` paths, space-stripped (`std::sync::Mutex`).
+    pub uses: Vec<String>,
+    pub deprecated: Vec<DeprecatedItem>,
+    pub syncs: Vec<SyncSite>,
+}
+
+/// Names that, as a call's path qualifier or method name, mark file IO.
+pub const IO_PATH_QUALS: [&str; 3] = ["fs", "File", "OpenOptions"];
+pub const IO_METHODS: [&str; 7] = [
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "read_exact",
+    "read_to_string",
+    "read_to_end",
+    "flush",
+];
+
+/// Is this call site file IO? Path calls through `fs::` / `File::` /
+/// `OpenOptions::` always are; method calls only for the byte-moving
+/// methods above (a bare `.read()`/`.write()` is ambiguous with RwLock
+/// acquisition and is deliberately not IO here).
+pub fn call_is_io(c: &Call) -> bool {
+    match &c.recv {
+        Recv::Path(q) => IO_PATH_QUALS.contains(&q.as_str()),
+        Recv::SelfDot | Recv::Other(_) => IO_METHODS.contains(&c.name.as_str()),
+        Recv::None => false,
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+fn is_call_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "if" | "while" | "match" | "for" | "return" | "loop" | "fn" | "as" | "in" | "where"
+    )
+}
+
+/// Extract the symbols of one parsed file.
+pub fn extract(sf: &SourceFile) -> FileSymbols {
+    let toks = sf.tokens();
+    let mut out = FileSymbols {
+        path: sf.path.clone(),
+        crate_name: sf.crate_name.clone(),
+        ..FileSymbols::default()
+    };
+    let close = match_braces(sf);
+
+    // impl-context stack: (type name, closing-brace token index).
+    let mut impls: Vec<(String, usize)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        while let Some(&(_, end)) = impls.last() {
+            if i > end {
+                impls.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident && t.text != "#" {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "#" => {
+                // `#[deprecated…]` attribute → record the following item.
+                if let Some((dep, next)) = parse_deprecated(sf, i, &close) {
+                    out.deprecated.push(dep);
+                    i = next;
+                    continue;
+                }
+                i += 1;
+            }
+            "use" => {
+                // Join path tokens to the terminating `;`.
+                let mut j = i + 1;
+                let mut path = String::new();
+                while j < toks.len() && toks[j].text != ";" {
+                    path.push_str(&toks[j].text);
+                    j += 1;
+                }
+                out.uses.push(path);
+                i = j + 1;
+            }
+            "impl" => {
+                // `impl [Trait for] Type {` → the type is the last path
+                // segment before the `{` (after `for` when present).
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut last_ident: Option<String> = None;
+                let mut after_for: Option<String> = None;
+                while j < toks.len() && toks[j].text != "{" {
+                    match toks[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "for" if angle == 0 => {
+                            after_for = None; // restart capture after `for`
+                            last_ident = None;
+                        }
+                        _ => {}
+                    }
+                    if toks[j].kind == TokenKind::Ident && angle == 0 && toks[j].text != "for" {
+                        last_ident = Some(toks[j].text.clone());
+                        if after_for.is_none() {
+                            after_for = last_ident.clone();
+                        }
+                    }
+                    j += 1;
+                }
+                if j < toks.len() {
+                    if let Some(ty) = last_ident {
+                        impls.push((ty, close.get(&j).copied().unwrap_or(toks.len() - 1)));
+                    }
+                }
+                i = j + 1;
+            }
+            "struct" => {
+                if let Some((s, next)) = parse_struct(sf, i, &close, &mut out.syncs) {
+                    out.structs.push(s);
+                    i = next;
+                    continue;
+                }
+                i += 1;
+            }
+            "fn" => {
+                let impl_type = impls.last().map(|(ty, _)| ty.clone());
+                if let Some((f, next)) = parse_fn(sf, i, &close, impl_type, &mut out.syncs) {
+                    out.fns.push(f);
+                    i = next;
+                    continue;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Map every opening `{`/`(`/`[` token index to its closing partner.
+fn match_braces(sf: &SourceFile) -> BTreeMap<usize, usize> {
+    let mut close = BTreeMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in sf.tokens().iter().enumerate() {
+        match t.text.as_str() {
+            "{" | "(" | "[" => stack.push(i),
+            "}" | ")" | "]" => {
+                if let Some(open) = stack.pop() {
+                    close.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    close
+}
+
+/// Visibility of the item whose keyword sits at `kw`: look back over
+/// `pub` / `pub(crate)` / `pub(super)` / `pub(in …)`.
+fn vis_before(sf: &SourceFile, kw: usize) -> Vis {
+    let toks = sf.tokens();
+    if kw == 0 {
+        return Vis::Private;
+    }
+    let mut j = kw - 1;
+    // Skip qualifiers that may sit between `pub` and the keyword.
+    while j > 0
+        && matches!(
+            toks[j].text.as_str(),
+            "const" | "unsafe" | "async" | "extern" | "\""
+        )
+    {
+        j -= 1;
+    }
+    if toks[j].text == "pub" {
+        return Vis::Pub;
+    }
+    // `pub ( crate )` ends in `)` just before the keyword.
+    if toks[j].text == ")" {
+        let mut k = j;
+        while k > 0 && toks[k].text != "(" {
+            k -= 1;
+        }
+        if k >= 1 && toks[k - 1].text == "pub" {
+            return Vis::PubScoped;
+        }
+    }
+    Vis::Private
+}
+
+/// Space-join token texts in `[a, b)`.
+fn join(sf: &SourceFile, a: usize, b: usize) -> String {
+    let toks = sf.tokens();
+    let mut s = String::new();
+    for t in &toks[a..b.min(toks.len())] {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// Parse `#[deprecated…]` at `hash` and the item that follows it.
+/// Returns the record and the token index to resume at (just past the
+/// attribute — the item itself still gets walked for fns/structs).
+fn parse_deprecated(
+    sf: &SourceFile,
+    hash: usize,
+    close: &BTreeMap<usize, usize>,
+) -> Option<(DeprecatedItem, usize)> {
+    let toks = sf.tokens();
+    if toks.get(hash + 1)?.text != "[" || toks.get(hash + 2)?.text != "deprecated" {
+        return None;
+    }
+    let attr_end = close.get(&(hash + 1)).copied()?;
+    // Skip any further attributes between this one and the item.
+    let mut j = attr_end + 1;
+    while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+        j = close.get(&(j + 1)).copied()? + 1;
+    }
+    // Find the item's name: first ident after an item keyword.
+    let mut name = None;
+    let mut k = j;
+    let mut item_end = None;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "fn" | "struct" | "enum" | "trait" | "type" | "mod" | "const" | "static" => {
+                if name.is_none() {
+                    if let Some(n) = toks.get(k + 1) {
+                        if n.kind == TokenKind::Ident {
+                            name = Some(n.text.clone());
+                        }
+                    }
+                }
+            }
+            "{" => {
+                item_end = close.get(&k).copied();
+                break;
+            }
+            ";" => {
+                item_end = Some(k);
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let end = item_end.unwrap_or(k.min(toks.len().saturating_sub(1)));
+    Some((
+        DeprecatedItem {
+            name: name?,
+            start_line: toks[hash].line,
+            end_line: toks.get(end).map(|t| t.line).unwrap_or(toks[hash].line),
+            tok_start: hash,
+            tok_end: end,
+        },
+        attr_end + 1,
+    ))
+}
+
+/// Parse `struct Name { fields }` with `struct` at `kw`. Tuple and unit
+/// structs are recorded without fields.
+fn parse_struct(
+    sf: &SourceFile,
+    kw: usize,
+    close: &BTreeMap<usize, usize>,
+    syncs: &mut Vec<SyncSite>,
+) -> Option<(StructSym, usize)> {
+    let toks = sf.tokens();
+    let name_tok = toks.get(kw + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut s = StructSym {
+        name: name_tok.text.clone(),
+        vis: vis_before(sf, kw),
+        line: name_tok.line,
+        fields: Vec::new(),
+        in_test: sf.in_test(kw),
+    };
+    // Scan past generics to the body `{`, or stop at `;` / `(`.
+    let mut j = kw + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle == 0 => break,
+            ";" | "(" if angle == 0 => return Some((s, j + 1)),
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return Some((s, j));
+    }
+    let body_end = close.get(&j).copied().unwrap_or(toks.len() - 1);
+    // Fields: `vis? name : TYPE ,` at the body's own depth.
+    let mut k = j + 1;
+    while k < body_end {
+        // Skip field attributes.
+        while k + 1 < body_end && toks[k].text == "#" && toks[k + 1].text == "[" {
+            k = close.get(&(k + 1)).copied().unwrap_or(k + 1) + 1;
+        }
+        if toks[k].kind == TokenKind::Ident
+            && k + 1 < body_end
+            && toks[k + 1].text == ":"
+            && toks.get(k + 2).map(|t| t.text != ":").unwrap_or(false)
+        {
+            let fname = toks[k].text.clone();
+            let fvis = if k > 0 && (toks[k - 1].text == "pub" || toks[k - 1].text == ")") {
+                vis_before(sf, k)
+            } else {
+                Vis::Private
+            };
+            // Type runs to the `,` (or body end) at nesting depth 0.
+            let ty_start = k + 2;
+            let mut depth = 0i32;
+            let mut m = ty_start;
+            while m < body_end {
+                match toks[m].text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            let ty = join(sf, ty_start, m);
+            for (marker, kind) in [
+                ("Mutex", "mutex"),
+                ("RwLock", "rwlock"),
+                ("Condvar", "condvar"),
+            ] {
+                if ty.split(' ').any(|seg| seg == marker) {
+                    syncs.push(SyncSite {
+                        id: format!("{}.{}", s.name, fname),
+                        kind: kind.to_string(),
+                        line: toks[k].line,
+                    });
+                }
+            }
+            s.fields.push(FieldSym {
+                name: fname,
+                ty,
+                vis: fvis,
+                line: toks[k].line,
+            });
+            k = m + 1;
+        } else {
+            k += 1;
+        }
+    }
+    Some((s, body_end + 1))
+}
+
+/// Parse `fn name(params) -> Ret { body }` with `fn` at `kw`.
+fn parse_fn(
+    sf: &SourceFile,
+    kw: usize,
+    close: &BTreeMap<usize, usize>,
+    impl_type: Option<String>,
+    syncs: &mut Vec<SyncSite>,
+) -> Option<(FnSym, usize)> {
+    let toks = sf.tokens();
+    let name_tok = toks.get(kw + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // Parameter list: the first `(` after the name (past generics).
+    let mut j = kw + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" if angle <= 0 => break,
+            "{" | ";" if angle <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let params_end = close.get(&j).copied()?;
+    let params = split_params(sf, j + 1, params_end);
+    // Return type: `-> …` up to `{`, `;` or `where`.
+    let mut ret = String::new();
+    let mut k = params_end + 1;
+    if k + 1 < toks.len() && toks[k].text == "-" && toks[k + 1].text == ">" {
+        let ret_start = k + 2;
+        let mut m = ret_start;
+        let mut depth = 0i32;
+        while m < toks.len() {
+            match toks[m].text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "{" | ";" if depth == 0 => break,
+                "where" if depth == 0 => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        ret = join(sf, ret_start, m);
+        k = m;
+    }
+    // Body: first `{` at item level; a `;` first means a trait method
+    // signature or extern decl — no body.
+    let mut body_open = None;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => {
+                body_open = Some(k);
+                break;
+            }
+            ";" => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let qual = match &impl_type {
+        Some(ty) => format!("{ty}::{name}"),
+        None => name.clone(),
+    };
+    let (tok_end, calls) = match body_open {
+        Some(open) => {
+            let end = close.get(&open).copied().unwrap_or(toks.len() - 1);
+            let calls = collect_calls(sf, open + 1, end, syncs, &qual);
+            (end, calls)
+        }
+        None => (k.min(toks.len().saturating_sub(1)), Vec::new()),
+    };
+    Some((
+        FnSym {
+            name,
+            qual,
+            impl_type,
+            vis: vis_before(sf, kw),
+            params,
+            ret,
+            line: name_tok.line,
+            tok_start: kw,
+            tok_end,
+            calls,
+            in_test: sf.in_test(kw),
+        },
+        tok_end + 1,
+    ))
+}
+
+/// Declared types of the parameters in `(a, b)` token span.
+fn split_params(sf: &SourceFile, start: usize, end: usize) -> Vec<String> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut seg_start = start;
+    let mut k = start;
+    while k <= end {
+        let at_end = k == end;
+        let is_comma = !at_end && matches!(toks[k].text.as_str(), ",") && depth == 0;
+        if !at_end {
+            match toks[k].text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+        }
+        if is_comma || at_end {
+            // `pat : TYPE` — keep the type side; bare `self` kept as-is.
+            let seg_toks = &toks[seg_start..k];
+            let colon = seg_toks.iter().enumerate().position(|(n, t)| {
+                t.text == ":"
+                    && seg_toks.get(n + 1).map(|t| t.text != ":").unwrap_or(true)
+                    && seg_toks
+                        .get(n.wrapping_sub(1))
+                        .map(|t| t.text != ":")
+                        .unwrap_or(true)
+            });
+            let ty = match colon {
+                Some(c) => join(sf, seg_start + c + 1, k),
+                None => join(sf, seg_start, k),
+            };
+            if !ty.is_empty() {
+                out.push(ty);
+            }
+            seg_start = k + 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Call sites (and local lock/channel constructions) inside `[start, end)`.
+fn collect_calls(
+    sf: &SourceFile,
+    start: usize,
+    end: usize,
+    syncs: &mut Vec<SyncSite>,
+    fn_qual: &str,
+) -> Vec<Call> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || is_call_keyword(&t.text) {
+            continue;
+        }
+        if toks.get(i + 1).map(|n| n.text != "(").unwrap_or(true) {
+            continue;
+        }
+        // A nested `fn name(…)` definition is not a call site.
+        if i > start && toks[i - 1].text == "fn" {
+            continue;
+        }
+        let recv = if i >= 2 && toks[i - 1].text == "." {
+            // Walk the receiver chain back to its root.
+            let terminal = if toks[i - 2].kind == TokenKind::Ident {
+                toks[i - 2].text.clone()
+            } else {
+                String::new()
+            };
+            let mut r = i - 2;
+            while r >= 2 && toks[r - 1].text == "." && toks[r - 2].kind == TokenKind::Ident {
+                r -= 2;
+            }
+            if toks.get(r).map(|t| t.text == "self").unwrap_or(false) && terminal != "self" {
+                Recv::SelfDot
+            } else if toks[r].text == "self" {
+                Recv::SelfDot
+            } else {
+                Recv::Other(terminal)
+            }
+        } else if i >= 3 && toks[i - 1].text == ":" && toks[i - 2].text == ":" {
+            if toks[i - 3].kind == TokenKind::Ident {
+                Recv::Path(toks[i - 3].text.clone())
+            } else {
+                Recv::None
+            }
+        } else {
+            Recv::None
+        };
+        // Local lock / channel construction: `Mutex::new(…)` etc. bound
+        // by a `let`.
+        if let Recv::Path(q) = &recv {
+            let kind = match (q.as_str(), t.text.as_str()) {
+                ("Mutex", "new") => Some("mutex"),
+                ("RwLock", "new") => Some("rwlock"),
+                ("Condvar", "new") => Some("condvar"),
+                ("mpsc", "channel") | ("mpsc", "sync_channel") => Some("channel"),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                // Look back for `let [mut] NAME =` on this statement.
+                let mut b = i;
+                let mut bound = None;
+                let mut steps = 0;
+                while b > start && steps < 16 {
+                    b -= 1;
+                    steps += 1;
+                    let bt = &toks[b];
+                    if bt.text == ";" || bt.text == "{" || bt.text == "}" {
+                        break;
+                    }
+                    if bt.text == "let" {
+                        let mut n = b + 1;
+                        if toks.get(n).map(|t| t.text == "mut").unwrap_or(false) {
+                            n += 1;
+                        }
+                        if let Some(nt) = toks.get(n) {
+                            if nt.kind == TokenKind::Ident {
+                                bound = Some(nt.text.clone());
+                            }
+                        }
+                        break;
+                    }
+                }
+                syncs.push(SyncSite {
+                    id: bound.unwrap_or_else(|| format!("{fn_qual}#anon")),
+                    kind: kind.to_string(),
+                    line: t.line,
+                });
+            }
+        }
+        out.push(Call {
+            name: t.text.clone(),
+            recv,
+            line: t.line,
+            col: t.col,
+            tok: i,
+        });
+    }
+    out
+}
+
+/// Token spans of `#[deprecated]` items in this file (attribute through
+/// closing brace or `;`) — the definition sites R5 must not flag.
+pub fn deprecated_spans(sf: &SourceFile) -> Vec<(usize, usize)> {
+    let close = match_braces(sf);
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" {
+            if let Some((d, next)) = parse_deprecated(sf, i, &close) {
+                out.push((d.tok_start, d.tok_end));
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The merged graph
+// ---------------------------------------------------------------------
+
+/// The whole-workspace symbol graph, merged deterministically from
+/// per-file results in sorted path order.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    pub files: Vec<FileSymbols>,
+    /// Lock-field identities `Struct.field` → kind, across the workspace.
+    pub lock_fields: BTreeMap<String, String>,
+    /// fn name → indices into the flat fn table.
+    pub fns_by_name: BTreeMap<String, Vec<usize>>,
+    /// fn qual (`Type::name`) → indices.
+    pub fns_by_qual: BTreeMap<String, Vec<usize>>,
+    /// Flat fn table: (file index, fn index).
+    pub fn_table: Vec<(usize, usize)>,
+    /// Deprecated item names, workspace-wide.
+    pub deprecated_names: BTreeSet<String>,
+}
+
+impl SymbolGraph {
+    /// Merge per-file symbol sets. `files` must already be sorted by
+    /// path (the pass-1 driver guarantees this regardless of worker
+    /// scheduling).
+    pub fn build(files: Vec<FileSymbols>) -> SymbolGraph {
+        let mut g = SymbolGraph {
+            files,
+            ..SymbolGraph::default()
+        };
+        for (fi, fs) in g.files.iter().enumerate() {
+            for s in &fs.syncs {
+                if s.id.contains('.') && s.kind != "channel" {
+                    g.lock_fields.insert(s.id.clone(), s.kind.clone());
+                }
+            }
+            for d in &fs.deprecated {
+                g.deprecated_names.insert(d.name.clone());
+            }
+            for (si, f) in fs.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let idx = g.fn_table.len();
+                g.fn_table.push((fi, si));
+                g.fns_by_name.entry(f.name.clone()).or_default().push(idx);
+                g.fns_by_qual.entry(f.qual.clone()).or_default().push(idx);
+            }
+        }
+        g
+    }
+
+    pub fn fn_at(&self, idx: usize) -> &FnSym {
+        let (fi, si) = self.fn_table[idx];
+        &self.files[fi].fns[si]
+    }
+
+    pub fn file_of_fn(&self, idx: usize) -> &FileSymbols {
+        &self.files[self.fn_table[idx].0]
+    }
+
+    /// Serialize the graph as deterministic JSON (`lint_symbols.json`).
+    /// Call lists are emitted as sorted unique callee names to keep the
+    /// artifact compact; IO call sites keep their lines.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"files\":[\n");
+        for (i, f) in self.files.iter().enumerate() {
+            let _ = write!(
+                out,
+                " {{\"path\":{},\"crate\":{},",
+                js(&f.path),
+                js(&f.crate_name)
+            );
+            out.push_str("\"fns\":[");
+            for (j, func) in f.fns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let callees: BTreeSet<&str> = func.calls.iter().map(|c| c.name.as_str()).collect();
+                let io: Vec<String> = {
+                    let mut v: Vec<String> = func
+                        .calls
+                        .iter()
+                        .filter(|c| call_is_io(c))
+                        .map(|c| format!("{}@{}", c.name, c.line))
+                        .collect();
+                    v.sort();
+                    v.dedup();
+                    v
+                };
+                let _ = write!(
+                    out,
+                    "{{\"qual\":{},\"line\":{},\"vis\":{},\"params\":[{}],\"ret\":{},\"calls\":[{}],\"io\":[{}],\"test\":{}}}",
+                    js(&func.qual),
+                    func.line,
+                    js(func.vis.as_str()),
+                    func.params.iter().map(|p| js(p)).collect::<Vec<_>>().join(","),
+                    js(&func.ret),
+                    callees.iter().map(|c| js(c)).collect::<Vec<_>>().join(","),
+                    io.iter().map(|c| js(c)).collect::<Vec<_>>().join(","),
+                    func.in_test,
+                );
+            }
+            out.push_str("],\"structs\":[");
+            for (j, s) in f.structs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"line\":{},\"vis\":{},\"fields\":[{}]}}",
+                    js(&s.name),
+                    s.line,
+                    js(s.vis.as_str()),
+                    s.fields
+                        .iter()
+                        .map(|fl| format!(
+                            "{{\"name\":{},\"ty\":{},\"vis\":{}}}",
+                            js(&fl.name),
+                            js(&fl.ty),
+                            js(fl.vis.as_str())
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                );
+            }
+            out.push_str("],\"uses\":[");
+            out.push_str(&f.uses.iter().map(|u| js(u)).collect::<Vec<_>>().join(","));
+            out.push_str("],\"deprecated\":[");
+            out.push_str(
+                &f.deprecated
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"name\":{},\"lines\":[{},{}]}}",
+                            js(&d.name),
+                            d.start_line,
+                            d.end_line
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push_str("],\"syncs\":[");
+            out.push_str(
+                &f.syncs
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"id\":{},\"kind\":{},\"line\":{}}}",
+                            js(&s.id),
+                            js(&s.kind),
+                            s.line
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.files.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols(src: &str) -> FileSymbols {
+        extract(&SourceFile::parse("crates/x/src/lib.rs", "x", false, src))
+    }
+
+    #[test]
+    fn extracts_fns_with_types_and_quals() {
+        let s = symbols(
+            r#"
+            pub struct Q { inner: u32 }
+            impl Q {
+                pub fn push(&self, conn: TcpStream, depth: usize) -> Result<(), TcpStream> {
+                    self.lock();
+                }
+                fn lock(&self) -> MutexGuard<'_, u32> { self.inner.lock() }
+            }
+            pub(crate) fn free(x: u64) {}
+            "#,
+        );
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].qual, "Q::push");
+        assert_eq!(s.fns[0].vis, Vis::Pub);
+        assert_eq!(s.fns[0].params, vec!["& self", "TcpStream", "usize"]);
+        assert_eq!(s.fns[0].ret, "Result < ( ) , TcpStream >");
+        assert_eq!(s.fns[1].qual, "Q::lock");
+        assert!(s.fns[1].ret.contains("MutexGuard"));
+        assert_eq!(s.fns[2].qual, "free");
+        assert_eq!(s.fns[2].vis, Vis::PubScoped);
+    }
+
+    #[test]
+    fn extracts_struct_fields_and_lock_sites() {
+        let s = symbols(
+            r#"
+            pub struct Queue {
+                inner: Mutex<QueueInner>,
+                ready: Condvar,
+                pub depth: usize,
+            }
+            "#,
+        );
+        assert_eq!(s.structs.len(), 1);
+        assert_eq!(s.structs[0].fields.len(), 3);
+        assert_eq!(s.structs[0].fields[2].vis, Vis::Pub);
+        let ids: Vec<&str> = s.syncs.iter().map(|l| l.id.as_str()).collect();
+        assert_eq!(ids, vec!["Queue.inner", "Queue.ready"]);
+        assert_eq!(s.syncs[0].kind, "mutex");
+        assert_eq!(s.syncs[1].kind, "condvar");
+    }
+
+    #[test]
+    fn records_call_sites_with_receivers() {
+        let s = symbols(
+            r#"
+            fn f(q: &Q) {
+                helper();
+                q.pop();
+                self_less::path_call();
+                std::fs::rename("a", "b");
+            }
+            "#,
+        );
+        let calls = &s.fns[0].calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "helper" && c.recv == Recv::None));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "pop" && c.recv == Recv::Other("q".into())));
+        assert!(calls
+            .iter()
+            .any(|c| c.name == "path_call" && c.recv == Recv::Path("self_less".into())));
+        let rename = calls.iter().find(|c| c.name == "rename").unwrap();
+        assert_eq!(rename.recv, Recv::Path("fs".into()));
+        assert!(call_is_io(rename));
+    }
+
+    #[test]
+    fn deprecated_items_carry_their_span() {
+        let s = symbols(
+            "fn before() {}\n#[deprecated(since = \"0.2\", note = \"use X\")]\npub fn old_shim(x: u32) -> u32 {\n    x\n}\nfn after() { old_shim(1); }\n",
+        );
+        assert_eq!(s.deprecated.len(), 1);
+        let d = &s.deprecated[0];
+        assert_eq!(d.name, "old_shim");
+        assert_eq!(d.start_line, 2);
+        assert_eq!(d.end_line, 5);
+    }
+
+    #[test]
+    fn local_lock_constructions_are_recorded() {
+        let s = symbols(
+            r#"
+            fn f() {
+                let m = Mutex::new(0u32);
+                let (tx, rx) = mpsc::channel();
+            }
+            "#,
+        );
+        let kinds: Vec<(&str, &str)> = s
+            .syncs
+            .iter()
+            .map(|l| (l.id.as_str(), l.kind.as_str()))
+            .collect();
+        assert!(kinds.contains(&("m", "mutex")));
+        assert!(kinds.iter().any(|(_, k)| *k == "channel"));
+    }
+
+    #[test]
+    fn graph_merges_and_indexes_fns() {
+        let a = extract(&SourceFile::parse(
+            "crates/a/src/lib.rs",
+            "a",
+            false,
+            "pub fn shared() -> Result<u32, ()> { Ok(1) }",
+        ));
+        let b = extract(&SourceFile::parse(
+            "crates/b/src/lib.rs",
+            "b",
+            false,
+            "struct T; impl T { pub fn shared(&self) -> u32 { 2 } }",
+        ));
+        let g = SymbolGraph::build(vec![a, b]);
+        assert_eq!(g.fns_by_name["shared"].len(), 2);
+        assert_eq!(g.fns_by_qual["T::shared"].len(), 1);
+        let json = g.to_json();
+        assert!(json.contains("\"qual\":\"T::shared\""));
+        // Deterministic: same inputs, same bytes.
+        assert_eq!(json, g.to_json());
+    }
+
+    #[test]
+    fn test_region_fns_are_excluded_from_indexes() {
+        let s = extract(&SourceFile::parse(
+            "crates/a/src/lib.rs",
+            "a",
+            false,
+            "#[cfg(test)]\nmod tests { fn helper() -> Result<u32, ()> { Ok(1) } }\n",
+        ));
+        let g = SymbolGraph::build(vec![s]);
+        assert!(!g.fns_by_name.contains_key("helper"));
+    }
+}

@@ -1,0 +1,47 @@
+//! End-to-end determinism: two analyses of the real workspace must be
+//! byte-identical — findings JSON and the pass-1 symbol graph — even
+//! though pass 1 runs on a thread pool. The merge is keyed by sorted
+//! path, so scheduling must not leak into any serialized artifact.
+
+use mev_lint::report::to_json;
+use mev_lint::Options;
+use std::path::PathBuf;
+
+/// Walk up from the test binary's manifest dir to the workspace root.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        assert!(dir.pop(), "no workspace root above CARGO_MANIFEST_DIR");
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let root = workspace_root();
+    let opts_a = Options {
+        threads: 4,
+        ..Options::default()
+    };
+    let opts_b = Options {
+        threads: 1,
+        ..Options::default()
+    };
+    let a = mev_lint::analyze(&root, &opts_a).expect("first analysis");
+    let b = mev_lint::analyze(&root, &opts_b).expect("second analysis");
+    assert_eq!(
+        to_json(&a.findings),
+        to_json(&b.findings),
+        "findings differ between runs"
+    );
+    assert_eq!(
+        a.graph.to_json(),
+        b.graph.to_json(),
+        "symbol graph differs between runs"
+    );
+}

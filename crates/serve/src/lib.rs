@@ -167,6 +167,7 @@ impl Server {
                         // the conn is answered 503 inline and dropped.
                         // Best effort; the client may already be gone.
                         mev_obs::counter("serve.queue.shed").inc();
+                        // lint:allow(error-swallow: best-effort 503 to a shed client that may already be gone; the accept loop must not stall on it)
                         let _ = http::write_response(
                             &mut shed,
                             &Response::json(503, api_types::encode_error("server overloaded")),
@@ -264,6 +265,7 @@ fn serve_connection(mut conn: TcpStream, state: &ApiState, stop: &AtomicBool) {
             Err(HttpError::Malformed { status, detail }) => {
                 mev_obs::counter("serve.http.malformed").inc();
                 let body = api_types::encode_error(&detail);
+                // lint:allow(error-swallow: the connection is being torn down for a malformed request; a failed error reply has no one left to tell)
                 let _ = http::write_response(&mut conn, &Response::json(status, body), false);
                 return;
             }

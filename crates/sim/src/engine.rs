@@ -31,8 +31,8 @@ use mev_flashbots::{
 };
 use mev_net::{Mempool, Network, Observer};
 use mev_types::{
-    eth, gwei, Action, Address, Gas, GroundTruth, Month, SwapCall, TokenId, Transaction, TxFee,
-    TxHash, Wei, H256,
+    eth, gwei, wei_i128, Action, Address, Gas, GroundTruth, Month, SwapCall, TokenId, Transaction,
+    TxFee, TxHash, Wei, H256,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -463,7 +463,7 @@ impl Simulation {
     fn market_fee(&mut self) -> TxFee {
         let p = self.gas_market.sample_user_price(&mut self.rng);
         TxFee::Legacy {
-            gas_price: p.max(self.base_fee + gwei(1)),
+            gas_price: p.max(self.base_fee.saturating_add(gwei(1))),
         }
     }
 
@@ -475,7 +475,7 @@ impl Simulation {
     /// The near-zero gas price Flashbots bundle txs ride on.
     fn bundle_fee(&self) -> TxFee {
         TxFee::Legacy {
-            gas_price: self.base_fee + gwei(1),
+            gas_price: self.base_fee.saturating_add(gwei(1)),
         }
     }
 
@@ -886,7 +886,7 @@ impl Simulation {
                 let back_fee = TxFee::Legacy {
                     gas_price: victim_bid
                         .saturating_sub(Wei(1))
-                        .max(self.base_fee + gwei(1)),
+                        .max(self.base_fee.saturating_add(gwei(1))),
                 };
                 let n0 = self.take_nonce(searcher);
                 let front = Transaction::new(
@@ -1184,7 +1184,7 @@ impl Simulation {
             return;
         }
         // Passive: already-unhealthy loans above the profitability floor.
-        let min_profit = self.s.searchers.min_profit as i128;
+        let min_profit = wei_i128(self.s.searchers.min_profit);
         let plans = plan_liquidations(&self.world.lending, &self.world.oracle);
         for plan in plans
             .into_iter()
@@ -1304,7 +1304,7 @@ impl Simulation {
                         gas_price: u
                             .bid_per_gas()
                             .saturating_sub(Wei(1))
-                            .max(self.base_fee + gwei(1)),
+                            .max(self.base_fee.saturating_add(gwei(1))),
                     },
                     None => self.market_fee(),
                 };
@@ -1571,7 +1571,7 @@ impl Simulation {
                 .filter_map(|h| receipt_of.get(h))
                 .map(|r| r.miner_revenue())
                 .sum();
-            total_reward += tip;
+            total_reward = total_reward.saturating_add(tip);
             records.push(BundleRecord {
                 bundle_id: if b.id.0 != 0 {
                     b.id

@@ -32,7 +32,9 @@ pub use receipt::{ExecOutcome, Receipt};
 pub use time::{BlockTime, Day, Month, Timeline, SECONDS_PER_BLOCK};
 pub use tx::{Action, GroundTruth, SwapCall, Transaction, TxFee, TxHash};
 pub use u256::U256;
-pub use units::{eth, gwei, wei_i128, Gas, SignedWei, Wei, ETH, GWEI};
+pub use units::{
+    add_ratio, bump_pct, eth, gwei, signed_delta, wei_i128, Gas, SignedWei, Wei, ETH, GWEI,
+};
 
 /// Block header plus ordered transaction list.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]

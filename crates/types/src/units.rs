@@ -37,6 +37,39 @@ pub const fn wei_i128(v: u128) -> i128 {
     }
 }
 
+/// Saturating signed difference `a - b` for profit accounting.
+///
+/// Both operands widen through [`wei_i128`], so amounts beyond
+/// `i128::MAX` clamp rather than wrapping the sign of the result.
+pub const fn signed_delta(a: u128, b: u128) -> i128 {
+    wei_i128(a).saturating_sub(wei_i128(b))
+}
+
+/// `v + v·pct/100 + 1`: raise `v` by `pct` percent and one extra unit
+/// to strictly outbid, with a 256-bit intermediate product and
+/// saturation instead of overflow.
+pub fn bump_pct(v: u128, pct: u128) -> u128 {
+    let raise = crate::u256::U256::from(v)
+        .mul_u128(pct)
+        .div_u128(100)
+        .checked_u128()
+        .unwrap_or(u128::MAX);
+    v.saturating_add(raise).saturating_add(1)
+}
+
+/// `v + v·num/den`: add a rational share of `v` to itself with a
+/// 256-bit intermediate product and saturation instead of overflow.
+/// Panics on a zero denominator, like [`Wei::mul_ratio`].
+pub fn add_ratio(v: u128, num: u128, den: u128) -> u128 {
+    assert!(den != 0, "add_ratio by zero denominator");
+    let share = crate::u256::U256::from(v)
+        .mul_u128(num)
+        .div_u128(den)
+        .checked_u128()
+        .unwrap_or(u128::MAX);
+    v.saturating_add(share)
+}
+
 /// An unsigned wei amount.
 #[derive(
     Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
@@ -60,6 +93,11 @@ impl Wei {
     /// Value in gwei as `f64`.
     pub fn as_gwei_f64(&self) -> f64 {
         self.0 as f64 / GWEI as f64
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_add(rhs.0))
     }
 
     /// Saturating subtraction.
@@ -361,5 +399,62 @@ mod tests {
     fn wei_i128_saturates_instead_of_wrapping() {
         assert_eq!(wei_i128(u128::MAX), i128::MAX);
         assert_eq!(wei_i128(i128::MAX as u128 + 1), i128::MAX);
+    }
+
+    #[test]
+    fn signed_delta_matches_plain_subtraction_in_range() {
+        assert_eq!(signed_delta(10, 3), 7);
+        assert_eq!(signed_delta(3, 10), -7);
+        assert_eq!(signed_delta(ETH, ETH), 0);
+    }
+
+    #[test]
+    fn signed_delta_saturates_at_extremes() {
+        assert_eq!(signed_delta(u128::MAX, 0), i128::MAX);
+        assert_eq!(signed_delta(0, u128::MAX), i128::MIN + 1);
+        // a - b with both above i128::MAX clamps both sides first.
+        assert_eq!(signed_delta(u128::MAX, u128::MAX - 1), 0);
+    }
+
+    #[test]
+    fn bump_pct_matches_naive_formula_in_range() {
+        // naive: v + v * pct / 100 + 1
+        assert_eq!(bump_pct(1000, 12), 1000 + 120 + 1);
+        assert_eq!(bump_pct(0, 50), 1);
+        assert_eq!(bump_pct(99, 1), 99 + 0 + 1);
+        assert_eq!(bump_pct(50 * GWEI, 10), 55 * GWEI + 1);
+    }
+
+    #[test]
+    fn bump_pct_saturates_instead_of_overflowing() {
+        // naive v * pct overflows u128 here; widened form saturates.
+        assert_eq!(bump_pct(u128::MAX, 10), u128::MAX);
+        assert_eq!(bump_pct(u128::MAX / 2, 300), u128::MAX);
+    }
+
+    #[test]
+    fn add_ratio_matches_naive_formula_in_range() {
+        // naive: v + v * num / den
+        assert_eq!(add_ratio(10_000, 500, 10_000), 10_500);
+        assert_eq!(add_ratio(1, 1, 2), 1);
+        assert_eq!(add_ratio(ETH, 0, 10_000), ETH);
+    }
+
+    #[test]
+    fn add_ratio_saturates_instead_of_overflowing() {
+        assert_eq!(add_ratio(u128::MAX, 1, 1), u128::MAX);
+        assert_eq!(add_ratio(u128::MAX / 2, 30_000, 10_000), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_ratio by zero denominator")]
+    fn add_ratio_zero_denominator_panics() {
+        let _ = add_ratio(1, 1, 0);
+    }
+
+    #[test]
+    fn wei_saturating_add() {
+        assert_eq!(eth(1).saturating_add(eth(2)), eth(3));
+        assert_eq!(Wei(u128::MAX).saturating_add(Wei(1)), Wei(u128::MAX));
     }
 }
