@@ -20,6 +20,9 @@ pub enum MevKind {
 }
 
 impl MevKind {
+    /// Every detector, in the canonical (deterministic) per-block order.
+    pub const ALL: [MevKind; 3] = [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation];
+
     /// Paper-style display name, as a `&'static str` — label sites on
     /// hot export/accounting loops borrow this instead of allocating a
     /// `String` per detection.

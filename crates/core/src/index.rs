@@ -31,6 +31,26 @@ use mev_types::{
     AddrId, Address, HashId, Interner, LendingPlatformId, LogEvent, Month, PoolId, TokenId, TxHash,
 };
 
+/// Refused incremental extension: the pushed block does not extend the
+/// index's contiguous tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexExtendError {
+    /// The block's height is not [`BlockIndex::next_number`].
+    NonContiguous { expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for IndexExtendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexExtendError::NonContiguous { expected, got } => {
+                write!(f, "index extension expects block {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexExtendError {}
+
 /// Per-transaction accounting column: everything a detector needs to
 /// price a detection without re-reading the receipt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -484,6 +504,79 @@ impl BlockIndex {
     /// An index over no blocks (placeholder for hand-built datasets).
     pub fn empty() -> BlockIndex {
         BlockIndex::default()
+    }
+
+    /// An empty index anchored at `first_number`, ready to be grown in
+    /// place with [`BlockIndex::extend_block`]. The incremental entry
+    /// point of the live-follow pipeline: extending block by block is
+    /// structurally identical to a from-scratch [`BlockIndex::build`]
+    /// over the same chain (same intern ids, partitions, and offsets),
+    /// because interning is pure insertion order.
+    pub fn new_at(first_number: u64) -> BlockIndex {
+        BlockIndex {
+            first_number,
+            ..BlockIndex::default()
+        }
+    }
+
+    /// Height the next extended block must carry: the anchor when empty,
+    /// one past the tail otherwise (heights are contiguous).
+    pub fn next_number(&self) -> u64 {
+        self.first_number + self.blocks.len() as u64
+    }
+
+    /// Append one block to the index's tail. The height must be exactly
+    /// [`BlockIndex::next_number`]; anything else is a gap or a rewind
+    /// and is refused.
+    pub fn extend_block(
+        &mut self,
+        block: &mev_types::Block,
+        receipts: &[mev_types::Receipt],
+        month: Month,
+    ) -> Result<(), IndexExtendError> {
+        let number = block.header.number;
+        if number != self.next_number() {
+            return Err(IndexExtendError::NonContiguous {
+                expected: self.next_number(),
+                got: number,
+            });
+        }
+        self.push_record(&BlockRecord::decode(block, receipts, month));
+        Ok(())
+    }
+
+    /// Extend the index with every chain block past the current tail,
+    /// returning how many were appended. The chain must cover the
+    /// index's next height (a chain behind the index appends nothing;
+    /// a chain whose first block is past it is a gap). Month resolution
+    /// caches the current month's end exactly like
+    /// [`ChainStore::iter_with_months`], so repeated small-tail calls
+    /// stay cheap.
+    pub fn extend_from_chain(&mut self, chain: &ChainStore) -> Result<usize, IndexExtendError> {
+        let Some(head) = chain.head_number() else {
+            return Ok(0);
+        };
+        let from = self.next_number();
+        if from > head {
+            return Ok(0);
+        }
+        let timeline = chain.timeline();
+        let mut cached: Option<(Month, u64)> = None;
+        let mut appended = 0usize;
+        for (block, receipts) in chain.range(from, head) {
+            let ts = timeline.timestamp_of(block.header.number);
+            let month = match cached {
+                Some((m, until)) if ts < until => m,
+                _ => {
+                    let m = mev_types::time::month_of_timestamp(ts);
+                    cached = Some((m, m.next().start_timestamp()));
+                    m
+                }
+            };
+            self.extend_block(block, receipts, month)?;
+            appended += 1;
+        }
+        Ok(appended)
     }
 
     /// Intern one decoded record into the columns.

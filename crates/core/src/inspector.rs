@@ -44,8 +44,7 @@ impl std::fmt::Display for InspectError {
 impl std::error::Error for InspectError {}
 
 /// Every detector, in the canonical (deterministic) per-block order.
-pub(crate) const ALL_KINDS: [MevKind; 3] =
-    [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation];
+pub(crate) const ALL_KINDS: [MevKind; 3] = MevKind::ALL;
 
 /// Builder for a detection run over an archive.
 ///
@@ -180,6 +179,45 @@ impl<'a> Inspector<'a> {
             index,
         })
     }
+}
+
+/// Detect over an explicit set of index positions — the shard entry
+/// point of the live-follow pipeline: each height-range shard calls this
+/// with its own positions and thread budget, and a deterministic merge
+/// of the shard outputs reproduces a whole-archive [`Inspector::run`].
+///
+/// `kinds` must already be in canonical order (as
+/// [`Inspector::kinds`] normalises, or a subsequence of
+/// [`MevKind::ALL`]). Output is ordered by position with each block's
+/// detections in canonical emission order — i.e. exactly the
+/// pre-final-sort order of [`Inspector::run`] restricted to
+/// `positions` — and is bit-identical for any `threads`.
+pub fn detect_positions(
+    index: &BlockIndex,
+    positions: &[usize],
+    threads: usize,
+    kinds: &[MevKind],
+    api: &BlocksApi,
+    prices: &PriceOracle,
+) -> Result<Vec<Detection>, InspectError> {
+    let threads = threads.max(1).min(positions.len().max(1));
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for &pos in positions {
+            let view = index.view_at(pos);
+            if catch_unwind(AssertUnwindSafe(|| {
+                detect_view(&view, kinds, api, prices, &mut out);
+            }))
+            .is_err()
+            {
+                return Err(InspectError::WorkerPanic {
+                    block: Some(view.number()),
+                });
+            }
+        }
+        return Ok(out);
+    }
+    run_pool(index, positions, threads, kinds, api, prices)
 }
 
 /// Run the selected detectors over one block view, in canonical order.

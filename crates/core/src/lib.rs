@@ -29,8 +29,8 @@ pub mod store_run;
 pub mod validate;
 
 pub use dataset::{Detection, EvidenceAudit, MevDataset, MevKind};
-pub use index::{BlockIndex, BlockRecord, BlockView};
-pub use inspector::{InspectError, Inspector};
+pub use index::{BlockIndex, BlockRecord, BlockView, IndexExtendError};
+pub use inspector::{detect_positions, InspectError, Inspector};
 pub use prices::price_feed_from_chain;
 pub use private::{PrivateClass, PrivateStats};
 pub use store_run::{StoreRun, StoreRunError, StoreRunOutcome};

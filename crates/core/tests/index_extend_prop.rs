@@ -1,0 +1,266 @@
+//! Incremental-extension guard for the live-follow pipeline: growing a
+//! [`BlockIndex`] in place — in arbitrary batch sizes, straddling the
+//! store's segment/shard boundaries — must be *structurally* identical
+//! to a from-scratch build over the same chain: same intern ids, same
+//! partitions, same offsets. `BlockIndex` derives `PartialEq` over all
+//! of that, so whole-index equality is the strongest possible check.
+
+use mev_chain::ChainStore;
+use mev_core::{BlockIndex, IndexExtendError};
+use mev_types::{
+    gwei, Action, Address, Block, BlockHeader, ExchangeId, ExecOutcome, Gas, LendingPlatformId,
+    Log, LogEvent, PoolId, Receipt, Timeline, TokenId, Transaction, TxFee, Wei, H256,
+};
+use proptest::prelude::*;
+
+const E18: u128 = 10u128.pow(18);
+
+/// Random event generator covering every log family the index decodes.
+fn event_strategy() -> impl Strategy<Value = LogEvent> {
+    let addr = (0u64..20).prop_map(Address::from_index);
+    let token = (0u32..4).prop_map(TokenId);
+    let pool = (0u8..4, 0u32..3).prop_map(|(e, i)| PoolId {
+        exchange: match e {
+            0 => ExchangeId::UniswapV2,
+            1 => ExchangeId::SushiSwap,
+            2 => ExchangeId::Curve,
+            _ => ExchangeId::UniswapV1,
+        },
+        index: i,
+    });
+    let amount = 0u128..10u128.pow(30);
+    prop_oneof![
+        (
+            pool,
+            addr.clone(),
+            token.clone(),
+            amount.clone(),
+            token.clone(),
+            amount.clone()
+        )
+            .prop_map(
+                |(pool, sender, token_in, amount_in, token_out, amount_out)| LogEvent::Swap {
+                    pool,
+                    sender,
+                    token_in,
+                    amount_in,
+                    token_out,
+                    amount_out
+                }
+            ),
+        (addr.clone(), addr.clone(), token.clone(), amount.clone()).prop_map(
+            |(from, to, token, amount)| LogEvent::Transfer {
+                token,
+                from,
+                to,
+                amount
+            }
+        ),
+        (
+            addr.clone(),
+            addr.clone(),
+            token.clone(),
+            amount.clone(),
+            token.clone(),
+            amount.clone()
+        )
+            .prop_map(
+                |(
+                    liquidator,
+                    borrower,
+                    debt_token,
+                    debt_repaid,
+                    collateral_token,
+                    collateral_seized,
+                )| {
+                    LogEvent::Liquidation {
+                        platform: LendingPlatformId::AaveV2,
+                        liquidator,
+                        borrower,
+                        debt_token,
+                        debt_repaid,
+                        collateral_token,
+                        collateral_seized,
+                    }
+                }
+            ),
+        (addr, token.clone(), amount.clone()).prop_map(|(initiator, token, amount)| {
+            LogEvent::FlashLoan {
+                platform: LendingPlatformId::AaveV2,
+                initiator,
+                token,
+                amount,
+                fee: amount / 1_000,
+            }
+        }),
+        (token, amount).prop_map(|(token, price_wei)| LogEvent::OracleUpdate { token, price_wei }),
+    ]
+}
+
+type BlockSpec = Vec<(u64, Vec<LogEvent>, bool)>;
+
+fn make_block(tl: &Timeline, number: u64, block_events: BlockSpec) -> (Block, Vec<Receipt>) {
+    let mut txs = Vec::new();
+    let mut receipts = Vec::new();
+    for (j, (from, events, success)) in block_events.into_iter().enumerate() {
+        let t = Transaction::new(
+            Address::from_index(from),
+            (number * 1_000 + j as u64) % 7,
+            TxFee::Legacy {
+                gas_price: gwei(1 + j as u128),
+            },
+            Gas(150_000),
+            Action::Other { gas: Gas(150_000) },
+            Wei::ZERO,
+            None,
+        );
+        receipts.push(Receipt {
+            tx_hash: t.hash(),
+            index: j as u32,
+            from: t.from,
+            outcome: if success {
+                ExecOutcome::Success
+            } else {
+                ExecOutcome::Reverted
+            },
+            gas_used: Gas(150_000),
+            effective_gas_price: gwei(1 + j as u128),
+            miner_fee: Gas(150_000).cost(gwei(1)),
+            coinbase_transfer: Wei(j as u128 * E18 / 100),
+            logs: events
+                .into_iter()
+                .map(|e| Log::new(Address::from_index(500), e))
+                .collect(),
+        });
+        txs.push(t);
+    }
+    let header = BlockHeader {
+        number,
+        parent_hash: H256::zero(),
+        miner: Address::from_index(900 + (number % 3)),
+        timestamp: tl.timestamp_of(number),
+        gas_used: Gas(150_000),
+        gas_limit: Gas(30_000_000),
+        base_fee: Wei::ZERO,
+    };
+    (
+        Block {
+            header,
+            transactions: txs,
+        },
+        receipts,
+    )
+}
+
+fn chain_from_events(blocks: Vec<BlockSpec>) -> ChainStore {
+    let tl = Timeline::paper_span(100);
+    let mut store = ChainStore::new(tl.clone());
+    for (i, block_events) in blocks.into_iter().enumerate() {
+        let number = tl.genesis_number + i as u64;
+        let (block, receipts) = make_block(&tl, number, block_events);
+        store.push(block, receipts);
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Extending in place — batch by batch, with batch sizes that cross
+    /// segment/shard stripe boundaries at will — produces an index
+    /// structurally equal to a from-scratch build: `PartialEq` covers
+    /// the intern tables (ids are insertion-order), every event
+    /// partition, and the per-block offset arrays. Each batch is
+    /// followed by an empty-tail re-extend, which must be a no-op.
+    #[test]
+    fn incremental_extension_equals_scratch_build(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..20, proptest::collection::vec(event_strategy(), 0..6), any::<bool>()),
+                0..8,
+            ),
+            1..12,
+        ),
+        batches in proptest::collection::vec(1usize..5, 1..12),
+    ) {
+        let chain = chain_from_events(blocks);
+        let scratch = BlockIndex::build(&chain);
+        let genesis = chain.timeline().genesis_number;
+
+        let mut growing = ChainStore::new(chain.timeline().clone());
+        let mut incremental = BlockIndex::new_at(genesis);
+        prop_assert_eq!(incremental.extend_from_chain(&growing).expect("empty chain"), 0);
+
+        let total = chain.len();
+        let mut fed = 0usize;
+        let mut batch_sizes = batches.into_iter().cycle();
+        while fed < total {
+            let n = batch_sizes.next().expect("cycle").min(total - fed);
+            for _ in 0..n {
+                let number = genesis + fed as u64;
+                let block = chain.block(number).expect("source block").clone();
+                let receipts = chain.receipts(number).expect("source receipts").to_vec();
+                growing.push(block, receipts);
+                fed += 1;
+            }
+            prop_assert_eq!(incremental.extend_from_chain(&growing).expect("contiguous tail"), n);
+            // Empty-tail edge: re-extending with nothing new is a no-op.
+            prop_assert_eq!(incremental.extend_from_chain(&growing).expect("empty tail"), 0);
+            prop_assert_eq!(incremental.len(), fed);
+            prop_assert_eq!(incremental.next_number(), genesis + fed as u64);
+        }
+        prop_assert_eq!(&incremental, &scratch);
+    }
+}
+
+/// Single-block tails: growing one block at a time through a whole span
+/// (every batch the minimal size) still matches the scratch build.
+#[test]
+fn single_block_tails_equal_scratch_build() {
+    let tl = Timeline::paper_span(100);
+    let specs: Vec<BlockSpec> = (0..7)
+        .map(|i| {
+            vec![(
+                i as u64,
+                vec![LogEvent::OracleUpdate {
+                    token: TokenId(1),
+                    price_wei: (i as u128 + 1) * E18,
+                }],
+                true,
+            )]
+        })
+        .collect();
+    let chain = chain_from_events(specs);
+    let scratch = BlockIndex::build(&chain);
+
+    let mut growing = ChainStore::new(tl.clone());
+    let mut incremental = BlockIndex::new_at(tl.genesis_number);
+    for (block, receipts) in chain.iter() {
+        growing.push(block.clone(), receipts.to_vec());
+        assert_eq!(
+            incremental
+                .extend_from_chain(&growing)
+                .expect("one-block tail"),
+            1
+        );
+    }
+    assert_eq!(incremental, scratch);
+}
+
+/// The contiguity contract: a gap or a rewind is refused, not absorbed.
+#[test]
+fn non_contiguous_extension_is_refused() {
+    let tl = Timeline::paper_span(100);
+    let genesis = tl.genesis_number;
+    let (block, receipts) = make_block(&tl, genesis + 5, vec![(1, vec![], true)]);
+    let mut index = BlockIndex::new_at(genesis);
+    let month = mev_types::time::month_of_timestamp(tl.timestamp_of(genesis + 5));
+    assert_eq!(
+        index.extend_block(&block, &receipts, month),
+        Err(IndexExtendError::NonContiguous {
+            expected: genesis,
+            got: genesis + 5,
+        })
+    );
+    assert!(index.is_empty(), "a refused extension must not mutate");
+}

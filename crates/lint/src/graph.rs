@@ -33,7 +33,7 @@ use crate::symbols::{Call, FnSym, Recv, SymbolGraph, Vis};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose library code R8 holds to explicit error handling.
-pub const R8_CRATES: [&str; 4] = ["core", "chain", "store", "serve"];
+pub const R8_CRATES: [&str; 5] = ["core", "chain", "store", "serve", "live"];
 
 /// Run all graph rules. `sources[i]` must be the parsed source of
 /// `graph.files[i]` (the pass-1 driver guarantees the pairing).

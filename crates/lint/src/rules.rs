@@ -61,9 +61,11 @@ const R2_EXEMPT: [&str; 1] = ["types"];
 const R3_EXEMPT: [&str; 1] = ["obs"];
 /// Crates whose library code must not contain panic paths (R4). The
 /// persistent store is included: corruption and I/O failure must surface
-/// as `StoreError`, never as a panic — and the HTTP server must answer
-/// malformed requests with error responses, never by dying.
-const R4_CRATES: [&str; 6] = ["core", "chain", "dex", "net", "store", "serve"];
+/// as `StoreError`, never as a panic — the HTTP server must answer
+/// malformed requests with error responses, never by dying — and the
+/// live follower must keep following: a panic in the service loop
+/// orphans the store/checkpoint pair mid-cycle.
+const R4_CRATES: [&str; 7] = ["core", "chain", "dex", "net", "store", "serve", "live"];
 
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 /// Interner tables (R1): their probe-table layout is an implementation

@@ -1,0 +1,115 @@
+//! Durable follower progress. The archive store is the checkpoint for
+//! the *data* (its per-segment commit boundaries already survive a
+//! kill); this file persists the *detection* side — how far detection
+//! got, which blocks are still provisional, and the detections
+//! themselves — plus enough scenario identity to refuse a resume
+//! against the wrong chain. Written atomically after every advance
+//! cycle, so a crash between the store commit and the checkpoint write
+//! merely re-detects the uncovered suffix.
+
+use crate::error::LiveError;
+use mev_core::{Detection, MevKind};
+use std::path::Path;
+
+/// Bumped on incompatible layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Serialized follower progress.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LiveCheckpoint {
+    pub version: u32,
+    /// Scenario identity: a resume against a store written under a
+    /// different seed or span is refused, not silently re-detected.
+    pub seed: u64,
+    pub genesis: u64,
+    pub total_blocks: u64,
+    pub segment_blocks: u64,
+    pub kinds: Vec<MevKind>,
+    /// Index positions `0..detected_blocks` have been detected.
+    pub detected_blocks: u64,
+    /// Block numbers detected but not yet price-final.
+    pub provisional: Vec<u64>,
+    /// The detection set as of `detected_blocks`, globally sorted.
+    pub detections: Vec<Detection>,
+}
+
+impl LiveCheckpoint {
+    pub fn save(&self, path: &Path) -> Result<(), LiveError> {
+        let bytes = serde_json::to_vec(self).map_err(|e| LiveError::Checkpoint {
+            path: path.to_path_buf(),
+            detail: format!("encode: {e}"),
+        })?;
+        mev_store::atomic_write(path, &bytes).map_err(LiveError::Store)
+    }
+
+    /// Load a checkpoint if one exists; `Ok(None)` when absent.
+    pub fn load(path: &Path) -> Result<Option<LiveCheckpoint>, LiveError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(LiveError::Checkpoint {
+                    path: path.to_path_buf(),
+                    detail: format!("read: {e}"),
+                })
+            }
+        };
+        let cp: LiveCheckpoint =
+            serde_json::from_slice(&bytes).map_err(|e| LiveError::Checkpoint {
+                path: path.to_path_buf(),
+                detail: format!("decode: {e}"),
+            })?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(LiveError::Checkpoint {
+                path: path.to_path_buf(),
+                detail: format!(
+                    "version {} (this build reads {CHECKPOINT_VERSION})",
+                    cp.version
+                ),
+            });
+        }
+        Ok(Some(cp))
+    }
+
+    /// Refuse a checkpoint written for a different run identity.
+    pub fn validate(
+        &self,
+        path: &Path,
+        seed: u64,
+        genesis: u64,
+        total_blocks: u64,
+        segment_blocks: u64,
+        kinds: &[MevKind],
+    ) -> Result<(), LiveError> {
+        let mut mismatches = Vec::new();
+        if self.seed != seed {
+            mismatches.push(format!("seed {} != {seed}", self.seed));
+        }
+        if self.genesis != genesis {
+            mismatches.push(format!("genesis {} != {genesis}", self.genesis));
+        }
+        if self.total_blocks != total_blocks {
+            mismatches.push(format!(
+                "total_blocks {} != {total_blocks}",
+                self.total_blocks
+            ));
+        }
+        if self.segment_blocks != segment_blocks {
+            mismatches.push(format!(
+                "segment_blocks {} != {segment_blocks}",
+                self.segment_blocks
+            ));
+        }
+        if self.kinds != kinds {
+            mismatches.push(format!("kinds {:?} != {kinds:?}", self.kinds));
+        }
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(LiveError::Checkpoint {
+                path: path.to_path_buf(),
+                detail: mismatches.join("; "),
+            })
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The live-follow error surface: everything the pipeline, session, and
+//! service can fail with, folded into one enum so callers hold a single
+//! `Result<_, LiveError>` across the store, index, and detection layers.
+
+use mev_core::{IndexExtendError, InspectError};
+use mev_store::StoreError;
+use std::path::PathBuf;
+
+/// Any failure of the live-follow pipeline.
+#[derive(Debug)]
+pub enum LiveError {
+    /// The archive store failed (I/O, corruption, timeline mismatch).
+    Store(StoreError),
+    /// A detection worker panicked.
+    Inspect(InspectError),
+    /// The incremental index was handed a non-contiguous block.
+    Index(IndexExtendError),
+    /// The checkpoint file is unreadable, unwritable, or inconsistent
+    /// with the session's configuration.
+    Checkpoint { path: PathBuf, detail: String },
+    /// On resume, the replayed simulation disagrees with the persisted
+    /// archive — the store was written by a different scenario/seed.
+    ChainMismatch { detail: String },
+    /// The follower thread is gone (already shut down or crashed), so
+    /// the command cannot be delivered or answered.
+    ServiceStopped,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Store(e) => write!(f, "store: {e}"),
+            LiveError::Inspect(e) => write!(f, "inspect: {e}"),
+            LiveError::Index(e) => write!(f, "index: {e}"),
+            LiveError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint {}: {detail}", path.display())
+            }
+            LiveError::ChainMismatch { detail } => {
+                write!(f, "resumed chain mismatch: {detail}")
+            }
+            LiveError::ServiceStopped => write!(f, "live-follow service is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Store(e) => Some(e),
+            LiveError::Inspect(e) => Some(e),
+            LiveError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> LiveError {
+        LiveError::Store(e)
+    }
+}
+
+impl From<InspectError> for LiveError {
+    fn from(e: InspectError) -> LiveError {
+        LiveError::Inspect(e)
+    }
+}
+
+impl From<IndexExtendError> for LiveError {
+    fn from(e: IndexExtendError) -> LiveError {
+        LiveError::Index(e)
+    }
+}

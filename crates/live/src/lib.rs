@@ -1,0 +1,38 @@
+//! # mev-live
+//!
+//! Live-follow detection: tail a producing chain instead of analysing a
+//! finished archive. Each wake/advance cycle the simulation appends
+//! blocks, [`StoreWriter::ingest_tail`](mev_store::StoreWriter) persists
+//! exactly the new suffix, the columnar [`BlockIndex`](mev_core::BlockIndex)
+//! extends in place, and the detectors run over the new tail only —
+//! sharded by height range (shard stripes align with the store's
+//! per-segment checkpoint boundaries) with one detection pool per shard
+//! and a deterministic height/tx-order merge.
+//!
+//! The pinned invariant, enforced by the identity tests and `live_bench`:
+//! a live-followed run's final detection set is **bit-identical** to a
+//! cold batch [`Inspector::run`](mev_core::Inspector) over the same
+//! chain — same detections, same order, same wei values. See
+//! [`pipeline`] for how provisional (not yet price-final) blocks make
+//! that hold while still serving fresh results every cycle.
+//!
+//! Layers, bottom up:
+//!
+//! - [`TailPipeline`] — incremental index + oracle + sharded detection;
+//! - [`LiveSession`] — pipeline + simulation + store writer +
+//!   checkpoint, with crash-safe resume (deterministic sim replay,
+//!   verified against the archived head);
+//! - [`LiveRun`] — the session on its own follower thread behind a
+//!   command channel, with graceful shutdown/join.
+
+pub mod checkpoint;
+pub mod error;
+pub mod pipeline;
+pub mod service;
+pub mod session;
+
+pub use checkpoint::{LiveCheckpoint, CHECKPOINT_VERSION};
+pub use error::LiveError;
+pub use pipeline::{AdvanceStats, ShardPlan, TailPipeline};
+pub use service::LiveRun;
+pub use session::{CycleReport, LiveConfig, LiveOutcome, LiveSession};

@@ -1,0 +1,343 @@
+//! The incremental detection core: an in-place-extended [`BlockIndex`],
+//! an incrementally-replayed price oracle, and height-range-sharded
+//! [`detect_positions`] pools whose merged output is bit-identical to a
+//! cold [`Inspector::run`](mev_core::Inspector) over the same chain.
+//!
+//! ## Why provisional blocks exist
+//!
+//! The cold batch path values every detection against the price feed of
+//! the *whole* archive: `value_at` consults `to_wei_at(token, block)`
+//! (the last oracle update at or before the block) and only falls back
+//! to the latest price overall when the token has no update yet at that
+//! height. A live follower has not seen the future updates, so its
+//! fallback would differ. The fix rides on one observation: a block is
+//! **price-final** once every non-WETH token its detectors value — swap
+//! `token_in`/`token_out` and liquidation `collateral_token`/
+//! `debt_token` — has at least one oracle update at or before the block.
+//! For such blocks `to_wei_at` answers, the fallback is never consulted,
+//! and future updates cannot change the value. Blocks that are not yet
+//! price-final are detected anyway (so the served dataset tracks the
+//! tip) but kept on a provisional list and re-detected on every advance;
+//! [`TailPipeline::finalize`] re-detects the stragglers once the oracle
+//! is complete, at which point the output is exactly the batch run's.
+//!
+//! Detection *emission* (which MEV events exist, their hashes, victims,
+//! ordering) never depends on prices — only the wei valuations do — so
+//! re-detection only ever rewrites values, never the shape of the set.
+
+use crate::error::LiveError;
+use mev_chain::ChainStore;
+use mev_core::{detect_positions, BlockIndex, Detection, InspectError, MevKind};
+use mev_dex::PriceOracle;
+use mev_flashbots::BlocksApi;
+use mev_types::TokenId;
+use std::time::Instant;
+
+/// Sharding and detection knobs for the pipeline.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Genesis block number (shard assignment is relative to it).
+    pub genesis: u64,
+    /// Height-range shards; each gets its own detection pool.
+    pub shards: usize,
+    /// Worker threads per shard pool.
+    pub threads_per_shard: usize,
+    /// Blocks per shard stripe — aligned with the store's segment size
+    /// so shard boundaries coincide with checkpoint boundaries.
+    pub segment_blocks: u64,
+    /// Detectors to run, already in canonical order.
+    pub kinds: Vec<MevKind>,
+}
+
+impl ShardPlan {
+    pub fn new(genesis: u64, segment_blocks: u64) -> ShardPlan {
+        ShardPlan {
+            genesis,
+            shards: 2,
+            threads_per_shard: 2,
+            segment_blocks: segment_blocks.max(1),
+            kinds: MevKind::ALL.to_vec(),
+        }
+    }
+
+    /// Normalise a detector selection to canonical order (the same rule
+    /// as `Inspector::kinds`), so caller ordering cannot change output.
+    pub fn kinds(mut self, kinds: impl IntoIterator<Item = MevKind>) -> ShardPlan {
+        let requested: Vec<MevKind> = kinds.into_iter().collect();
+        self.kinds = MevKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| requested.contains(k))
+            .collect();
+        self
+    }
+
+    /// Segment-aligned round-robin shard for a block height.
+    pub fn shard_of(&self, number: u64) -> usize {
+        let stripe = number.saturating_sub(self.genesis) / self.segment_blocks;
+        (stripe % self.shards.max(1) as u64) as usize
+    }
+}
+
+/// What one [`TailPipeline::advance`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvanceStats {
+    /// Blocks newly appended to the index this cycle.
+    pub extended: usize,
+    /// Previously-provisional blocks re-detected this cycle.
+    pub redetected: usize,
+    /// Blocks still provisional after this cycle.
+    pub provisional: usize,
+}
+
+/// The incremental detection state for one followed chain.
+pub struct TailPipeline {
+    plan: ShardPlan,
+    index: BlockIndex,
+    prices: PriceOracle,
+    detections: Vec<Detection>,
+    /// Block numbers detected but not yet price-final, ascending.
+    provisional: Vec<u64>,
+    /// Index positions `0..detected` have been detected at least once.
+    detected: usize,
+    started: Instant,
+}
+
+impl TailPipeline {
+    pub fn new(plan: ShardPlan) -> TailPipeline {
+        let genesis = plan.genesis;
+        TailPipeline {
+            plan,
+            index: BlockIndex::new_at(genesis),
+            prices: PriceOracle::new(),
+            detections: Vec::new(),
+            provisional: Vec::new(),
+            detected: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The detections so far: globally sorted exactly as
+    /// `Inspector::run` sorts (block, then first tx hash, stable).
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Consume the pipeline, yielding the detection set without a copy.
+    pub fn into_detections(self) -> Vec<Detection> {
+        self.detections
+    }
+
+    /// Block numbers detected but not yet price-final.
+    pub fn provisional(&self) -> &[u64] {
+        &self.provisional
+    }
+
+    /// Blocks detected so far.
+    pub fn detected_blocks(&self) -> u64 {
+        self.detected as u64
+    }
+
+    /// Height the index extends through (exclusive).
+    pub fn next_number(&self) -> u64 {
+        self.index.next_number()
+    }
+
+    /// Restore state persisted by a checkpoint: the chain prefix is
+    /// re-indexed, the oracle replayed through the already-detected
+    /// prefix, and the detection set/provisional list adopted as-is.
+    /// `detected_blocks` is clamped to what the chain actually holds, so
+    /// a checkpoint written just before a crash mid-ingest resumes by
+    /// re-detecting the uncovered suffix.
+    pub fn restore(
+        &mut self,
+        chain: &ChainStore,
+        detections: Vec<Detection>,
+        provisional: Vec<u64>,
+        detected_blocks: u64,
+    ) -> Result<(), LiveError> {
+        self.index.extend_from_chain(chain)?;
+        self.detected = (detected_blocks as usize).min(self.index.len());
+        for pos in 0..self.detected {
+            let view = self.index.view_at(pos);
+            let number = view.number();
+            for &(token, price_wei) in view.oracle_updates() {
+                self.prices.update(token, number, price_wei);
+            }
+        }
+        self.detections = detections;
+        self.provisional = provisional;
+        self.provisional.sort_unstable();
+        Ok(())
+    }
+
+    /// Extend the index over the chain's new tail, replay its oracle
+    /// updates, detect the tail plus every still-provisional block on
+    /// the shard pools, and fold the results into the sorted set.
+    pub fn advance(
+        &mut self,
+        chain: &ChainStore,
+        api: &BlocksApi,
+    ) -> Result<AdvanceStats, LiveError> {
+        let _t = mev_obs::span("live.advance.ns");
+        let before = self.index.len();
+        self.index.extend_from_chain(chain)?;
+        let extended = self.index.len() - before;
+        mev_obs::gauge("live.tail_lag").set((self.index.len() - self.detected) as i64);
+
+        // Feed the new tail's oracle updates before judging price
+        // finality: an update at block B counts for valuations at B.
+        for pos in self.detected..self.index.len() {
+            let view = self.index.view_at(pos);
+            let number = view.number();
+            for &(token, price_wei) in view.oracle_updates() {
+                self.prices.update(token, number, price_wei);
+            }
+        }
+
+        // Re-detect provisional blocks (their valuations may have moved)
+        // together with the fresh tail. Provisional numbers are all
+        // below `detected`, so the combined list stays ascending.
+        let mut positions: Vec<usize> = self
+            .provisional
+            .iter()
+            .filter_map(|&n| self.index.position_of(n))
+            .collect();
+        let redetected = positions.len();
+        positions.extend(self.detected..self.index.len());
+        if !self.provisional.is_empty() {
+            let stale: std::collections::HashSet<u64> = self.provisional.iter().copied().collect();
+            self.detections.retain(|d| !stale.contains(&d.block));
+        }
+
+        let fresh = self.detect_sharded(&positions, api)?;
+        self.provisional = positions
+            .iter()
+            .map(|&pos| self.index.number_at(pos))
+            .filter(|&n| !self.price_final(n))
+            .collect();
+        self.detections.extend(fresh);
+        self.detections
+            .sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        self.detected = self.index.len();
+
+        mev_obs::counter("live.cycles").inc();
+        mev_obs::counter("live.blocks").add(extended as u64);
+        mev_obs::counter("live.redetected").add(redetected as u64);
+        mev_obs::gauge("live.tail_lag").set(0);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            mev_obs::gauge("live.blocks_per_s").set((self.detected as f64 / elapsed) as i64);
+        }
+        Ok(AdvanceStats {
+            extended,
+            redetected,
+            provisional: self.provisional.len(),
+        })
+    }
+
+    /// Re-detect every remaining provisional block against the (now
+    /// complete) oracle. After this the detection set is bit-identical
+    /// to `Inspector::run` over the same chain. Returns how many blocks
+    /// were finalized.
+    pub fn finalize(&mut self, api: &BlocksApi) -> Result<usize, LiveError> {
+        if self.provisional.is_empty() {
+            return Ok(0);
+        }
+        let _t = mev_obs::span("live.finalize.ns");
+        let positions: Vec<usize> = self
+            .provisional
+            .iter()
+            .filter_map(|&n| self.index.position_of(n))
+            .collect();
+        let stale: std::collections::HashSet<u64> = self.provisional.iter().copied().collect();
+        self.detections.retain(|d| !stale.contains(&d.block));
+        let fresh = self.detect_sharded(&positions, api)?;
+        self.detections.extend(fresh);
+        self.detections
+            .sort_by_key(|d| (d.block, d.tx_hashes.first().cloned()));
+        let finalized = positions.len();
+        self.provisional.clear();
+        Ok(finalized)
+    }
+
+    /// Fan the positions out over the height-range shards, one
+    /// `detect_positions` pool per shard, and concatenate in shard
+    /// order. Each position's block lives in exactly one shard and each
+    /// shard's output is position-ordered with canonical per-block
+    /// emission order, so the stable global sort in the caller
+    /// reproduces the batch merge exactly.
+    fn detect_sharded(
+        &self,
+        positions: &[usize],
+        api: &BlocksApi,
+    ) -> Result<Vec<Detection>, LiveError> {
+        if positions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _t = mev_obs::span("live.detect.ns");
+        let shards = self.plan.shards.max(1);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for &pos in positions {
+            buckets[self.plan.shard_of(self.index.number_at(pos))].push(pos);
+        }
+        let outputs: Vec<Result<Vec<Detection>, InspectError>> = if shards == 1 {
+            vec![detect_positions(
+                &self.index,
+                &buckets[0],
+                self.plan.threads_per_shard,
+                &self.plan.kinds,
+                api,
+                &self.prices,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, bucket)| {
+                        let index = &self.index;
+                        let prices = &self.prices;
+                        let kinds = &self.plan.kinds;
+                        let threads = self.plan.threads_per_shard;
+                        scope.spawn(move || {
+                            let _busy = mev_obs::span(&format!("live.shard{i}.busy.ns"));
+                            detect_positions(index, bucket, threads, kinds, api, prices)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // A panicked shard thread surfaces as the same
+                        // error a panicked pool worker does.
+                        h.join()
+                            .unwrap_or(Err(InspectError::WorkerPanic { block: None }))
+                    })
+                    .collect()
+            })
+        };
+        let mut merged = Vec::new();
+        for out in outputs {
+            merged.extend(out?);
+        }
+        Ok(merged)
+    }
+
+    /// True once every token the block's detectors value has an oracle
+    /// update at or before the block (see the module docs).
+    fn price_final(&self, number: u64) -> bool {
+        let anchored = |token: TokenId| {
+            token == TokenId::WETH || self.prices.price_at(token, number).is_some()
+        };
+        self.index
+            .swaps_in(number)
+            .iter()
+            .all(|s| anchored(s.token_in) && anchored(s.token_out))
+            && self
+                .index
+                .liquidations_in(number)
+                .iter()
+                .all(|l| anchored(l.collateral_token) && anchored(l.debt_token))
+    }
+}

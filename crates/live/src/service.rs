@@ -1,0 +1,126 @@
+//! The follower service: a [`LiveSession`] owned by a dedicated thread,
+//! driven over a command channel. [`LiveRun`] is the calling side —
+//! `advance` and `drain` are rendezvous calls (the caller gets the
+//! cycle report back), `shutdown` finalizes the run and joins the
+//! thread, and plain `Drop` still joins gracefully (mirroring
+//! mev-serve's `Server`), abandoning the run's outcome but never
+//! leaking the thread.
+
+use crate::error::LiveError;
+use crate::session::{CycleReport, LiveOutcome, LiveSession};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+enum Command {
+    /// Produce up to N blocks, then ingest/detect/checkpoint/publish.
+    Advance(u64, mpsc::Sender<Result<CycleReport, LiveError>>),
+    /// Advance in `batch`-block cycles until the chain is exhausted.
+    Drain(u64, mpsc::Sender<Result<CycleReport, LiveError>>),
+    /// Stop taking commands; finalize and return the outcome via join.
+    Shutdown,
+}
+
+/// Handle to a running live-follow service.
+pub struct LiveRun {
+    commands: mpsc::Sender<Command>,
+    follower: Option<JoinHandle<Result<LiveOutcome, LiveError>>>,
+}
+
+impl LiveRun {
+    /// Move the session onto its follower thread and return the handle.
+    pub fn start(session: LiveSession) -> LiveRun {
+        let (commands, inbox) = mpsc::channel::<Command>();
+        let follower = std::thread::spawn(move || follow(session, inbox));
+        LiveRun {
+            commands,
+            follower: Some(follower),
+        }
+    }
+
+    /// One wake/advance cycle of up to `blocks` blocks; blocks the
+    /// caller until the cycle completes and returns its report.
+    pub fn advance(&self, blocks: u64) -> Result<CycleReport, LiveError> {
+        self.request(|reply| Command::Advance(blocks, reply))
+    }
+
+    /// Advance in `batch`-block cycles until the chain is exhausted;
+    /// returns the last cycle's report. Provisional blocks are *not*
+    /// finalized — that happens at [`LiveRun::shutdown`].
+    pub fn drain(&self, batch: u64) -> Result<CycleReport, LiveError> {
+        self.request(|reply| Command::Drain(batch, reply))
+    }
+
+    /// Finish the run: the follower drives the chain to exhaustion,
+    /// finalizes provisional blocks, and hands back the outcome.
+    pub fn shutdown(mut self) -> Result<LiveOutcome, LiveError> {
+        if self.commands.send(Command::Shutdown).is_err() {
+            // Follower already gone; join below surfaces what happened.
+        }
+        match self.follower.take() {
+            Some(handle) => match handle.join() {
+                Ok(outcome) => outcome,
+                Err(_) => Err(LiveError::ServiceStopped),
+            },
+            None => Err(LiveError::ServiceStopped),
+        }
+    }
+
+    fn request<F>(&self, command: F) -> Result<CycleReport, LiveError>
+    where
+        F: FnOnce(mpsc::Sender<Result<CycleReport, LiveError>>) -> Command,
+    {
+        let (reply, answer) = mpsc::channel();
+        self.commands
+            .send(command(reply))
+            .map_err(|_| LiveError::ServiceStopped)?;
+        answer.recv().map_err(|_| LiveError::ServiceStopped)?
+    }
+}
+
+impl Drop for LiveRun {
+    fn drop(&mut self) {
+        if self.commands.send(Command::Shutdown).is_err() {
+            // Channel closed: the follower already exited.
+        }
+        if let Some(handle) = self.follower.take() {
+            if handle.join().is_err() {
+                // A panicked follower has nothing left to clean up.
+            }
+        }
+    }
+}
+
+/// The follower loop: run commands until shutdown (or every handle is
+/// dropped), then finalize the session.
+fn follow(
+    mut session: LiveSession,
+    inbox: mpsc::Receiver<Command>,
+) -> Result<LiveOutcome, LiveError> {
+    loop {
+        match inbox.recv() {
+            Ok(Command::Advance(blocks, reply)) => {
+                let report = session.advance(blocks);
+                if reply.send(report).is_err() {
+                    // Caller gave up on the reply; the cycle still ran.
+                }
+            }
+            Ok(Command::Drain(batch, reply)) => {
+                let report = drain(&mut session, batch.max(1));
+                if reply.send(report).is_err() {
+                    // Caller gave up on the reply; the drain still ran.
+                }
+            }
+            Ok(Command::Shutdown) | Err(_) => break,
+        }
+    }
+    session.finish()
+}
+
+fn drain(session: &mut LiveSession, batch: u64) -> Result<CycleReport, LiveError> {
+    loop {
+        let report = session.advance(batch)?;
+        if report.done {
+            return Ok(report);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! One live-followed run: the producing simulation, the persisting
+//! store writer, and the incremental detection pipeline advancing in
+//! lockstep. A session either starts fresh or resumes against an
+//! existing archive — the simulation is deterministically replayed up
+//! to the store's committed head (the store cannot reconstruct the
+//! Flashbots API or mempool state, but the scenario seed can), the
+//! replayed head is verified byte-for-byte against the archived block,
+//! and detection progress is restored from the checkpoint file.
+
+use crate::checkpoint::{LiveCheckpoint, CHECKPOINT_VERSION};
+use crate::error::LiveError;
+use crate::pipeline::{ShardPlan, TailPipeline};
+use mev_core::{Detection, MevKind};
+use mev_sim::{Scenario, SimOutput, Simulation};
+use mev_store::{StoreReader, StoreWriter};
+use std::path::PathBuf;
+
+/// Everything a live-followed run needs to start (or resume).
+#[derive(Clone)]
+pub struct LiveConfig {
+    /// The producing chain (seed and span identify the run).
+    pub scenario: Scenario,
+    /// The archive directory; created when absent, resumed when present.
+    pub store_dir: PathBuf,
+    /// Detection-progress checkpoint file; `None` disables it (a resume
+    /// then re-detects everything the store holds).
+    pub checkpoint: Option<PathBuf>,
+    /// Height-range shards, each with its own detection pool.
+    pub shards: usize,
+    /// Worker threads per shard pool.
+    pub threads_per_shard: usize,
+    /// Store segment size; shard stripes align to it so shard
+    /// boundaries coincide with the store's checkpoint boundaries.
+    pub segment_blocks: u64,
+    /// Detectors to run (normalised to canonical order at start).
+    pub kinds: Vec<MevKind>,
+}
+
+impl LiveConfig {
+    pub fn new(scenario: Scenario, store_dir: impl Into<PathBuf>) -> LiveConfig {
+        LiveConfig {
+            scenario,
+            store_dir: store_dir.into(),
+            checkpoint: None,
+            shards: 2,
+            threads_per_shard: 2,
+            segment_blocks: 64,
+            kinds: MevKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// What one advance cycle did.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct CycleReport {
+    /// 1-based cycle count within this process.
+    pub cycle: u64,
+    /// Blocks the simulation produced this cycle.
+    pub stepped: u64,
+    /// Blocks newly persisted to the store this cycle.
+    pub appended: u64,
+    /// Chain head after the cycle.
+    pub head: Option<u64>,
+    /// Detections in the current set.
+    pub detections: u64,
+    /// Blocks still awaiting price finality.
+    pub provisional: u64,
+    /// The producing chain is exhausted.
+    pub done: bool,
+}
+
+/// The result of a completed (finalized) live-followed run.
+pub struct LiveOutcome {
+    /// The finished simulation (chain, Flashbots API, ground truth).
+    pub output: SimOutput,
+    /// The final detection set — bit-identical to a cold
+    /// `Inspector::run` over `output.chain`.
+    pub detections: Vec<Detection>,
+    /// Advance cycles executed by this process.
+    pub cycles: u64,
+    /// The session resumed an existing archive.
+    pub resumed: bool,
+    /// Blocks deterministically replayed to catch up on resume.
+    pub replayed: u64,
+}
+
+/// A live-followed run in progress.
+pub struct LiveSession {
+    cfg: LiveConfig,
+    sim: Simulation,
+    writer: StoreWriter,
+    pipeline: TailPipeline,
+    cycle_hook: Option<Box<dyn FnMut(&[Detection]) + Send>>,
+    cycles: u64,
+    resumed: bool,
+    replayed: u64,
+}
+
+impl LiveSession {
+    /// Open (or create) the archive, replay the simulation up to its
+    /// committed head, verify the replayed head against the archived
+    /// block, and restore detection progress from the checkpoint.
+    pub fn start(mut cfg: LiveConfig) -> Result<LiveSession, LiveError> {
+        cfg.kinds = MevKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| cfg.kinds.contains(k))
+            .collect();
+        let genesis = cfg.scenario.genesis_block();
+        let mut sim = Simulation::new(cfg.scenario.clone());
+        let writer = StoreWriter::open_or_create(
+            &cfg.store_dir,
+            cfg.scenario.timeline(),
+            cfg.segment_blocks,
+        )?;
+        let mut plan = ShardPlan::new(genesis, cfg.segment_blocks);
+        plan.shards = cfg.shards.max(1);
+        plan.threads_per_shard = cfg.threads_per_shard.max(1);
+        plan = plan.kinds(cfg.kinds.iter().copied());
+        let mut pipeline = TailPipeline::new(plan);
+
+        let mut resumed = false;
+        let mut replayed = 0u64;
+        if let Some(head) = writer.committed_head() {
+            resumed = true;
+            let target = head + 1 - genesis;
+            while sim.blocks_produced() < target {
+                if sim.step_block().is_none() {
+                    return Err(LiveError::ChainMismatch {
+                        detail: format!(
+                            "archive holds {target} blocks but the scenario produces only {}",
+                            sim.blocks_produced()
+                        ),
+                    });
+                }
+                replayed += 1;
+            }
+            let reader = StoreReader::open(&cfg.store_dir)?;
+            let archived = reader.get_block(head)?;
+            let produced = sim.chain().block(head);
+            if archived.as_ref() != produced {
+                return Err(LiveError::ChainMismatch {
+                    detail: format!(
+                        "replayed block {head} does not match the archived block \
+                         (store written under a different scenario or seed?)"
+                    ),
+                });
+            }
+            if let Some(path) = &cfg.checkpoint {
+                if let Some(cp) = LiveCheckpoint::load(path)? {
+                    cp.validate(
+                        path,
+                        cfg.scenario.seed,
+                        genesis,
+                        cfg.scenario.total_blocks(),
+                        cfg.segment_blocks,
+                        &cfg.kinds,
+                    )?;
+                    pipeline.restore(
+                        sim.chain(),
+                        cp.detections,
+                        cp.provisional,
+                        cp.detected_blocks,
+                    )?;
+                    mev_obs::counter("live.resumes").inc();
+                }
+            }
+        }
+        Ok(LiveSession {
+            cfg,
+            sim,
+            writer,
+            pipeline,
+            cycle_hook: None,
+            cycles: 0,
+            resumed,
+            replayed,
+        })
+    }
+
+    /// Run `hook` with the full (sorted) detection set after every
+    /// advance cycle — the live publishing point (e.g. into a serve
+    /// `DetectionsHandle`).
+    pub fn set_cycle_hook(&mut self, hook: impl FnMut(&[Detection]) + Send + 'static) {
+        self.cycle_hook = Some(Box::new(hook));
+    }
+
+    /// The session resumed an existing archive.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Blocks deterministically replayed to catch up on resume.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// The current (sorted) detection set.
+    pub fn detections(&self) -> &[Detection] {
+        self.pipeline.detections()
+    }
+
+    /// The producing chain is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.sim.is_done()
+    }
+
+    /// One wake/advance cycle: produce up to `blocks` new blocks,
+    /// persist the tail, extend the index, detect, checkpoint, publish.
+    pub fn advance(&mut self, blocks: u64) -> Result<CycleReport, LiveError> {
+        let mut stepped = 0u64;
+        while stepped < blocks {
+            if self.sim.step_block().is_none() {
+                break;
+            }
+            stepped += 1;
+        }
+        let ingest = self.writer.ingest_tail(self.sim.chain())?;
+        self.pipeline
+            .advance(self.sim.chain(), self.sim.blocks_api())?;
+        self.cycles += 1;
+        self.save_checkpoint()?;
+        self.publish();
+        Ok(self.report(stepped, ingest.appended))
+    }
+
+    /// Drive the chain to exhaustion, finalize every provisional block,
+    /// and return the finished run. The returned detection set is
+    /// bit-identical to a cold batch `Inspector::run` over the chain.
+    pub fn finish(mut self) -> Result<LiveOutcome, LiveError> {
+        let mut stepped = 0u64;
+        while self.sim.step_block().is_some() {
+            stepped += 1;
+        }
+        self.writer.ingest_tail(self.sim.chain())?;
+        self.pipeline
+            .advance(self.sim.chain(), self.sim.blocks_api())?;
+        self.pipeline.finalize(self.sim.blocks_api())?;
+        if stepped > 0 {
+            self.cycles += 1;
+        }
+        self.save_checkpoint()?;
+        self.publish();
+        let LiveSession {
+            sim,
+            pipeline,
+            cycles,
+            resumed,
+            replayed,
+            ..
+        } = self;
+        Ok(LiveOutcome {
+            output: sim.finish(),
+            detections: pipeline.into_detections(),
+            cycles,
+            resumed,
+            replayed,
+        })
+    }
+
+    fn publish(&mut self) {
+        if let Some(hook) = self.cycle_hook.as_mut() {
+            hook(self.pipeline.detections());
+        }
+    }
+
+    fn save_checkpoint(&self) -> Result<(), LiveError> {
+        let Some(path) = &self.cfg.checkpoint else {
+            return Ok(());
+        };
+        LiveCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed: self.cfg.scenario.seed,
+            genesis: self.cfg.scenario.genesis_block(),
+            total_blocks: self.cfg.scenario.total_blocks(),
+            segment_blocks: self.cfg.segment_blocks,
+            kinds: self.cfg.kinds.clone(),
+            detected_blocks: self.pipeline.detected_blocks(),
+            provisional: self.pipeline.provisional().to_vec(),
+            detections: self.pipeline.detections().to_vec(),
+        }
+        .save(path)
+    }
+
+    fn report(&self, stepped: u64, appended: u64) -> CycleReport {
+        CycleReport {
+            cycle: self.cycles,
+            stepped,
+            appended,
+            head: self.sim.chain().head_number(),
+            detections: self.pipeline.detections().len() as u64,
+            provisional: self.pipeline.provisional().len() as u64,
+            done: self.sim.is_done(),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The subsystem's pinned contract, end to end: a live-followed run —
+//! incremental ingest, in-place index extension, sharded detection,
+//! provisional re-valuation — produces a detection set **bit-identical**
+//! to a cold batch `Inspector::run` over the same finished chain. Plus
+//! the operational guarantees around it: shard-count independence,
+//! crash/resume from the store + checkpoint, and the `LiveRun` service
+//! handle's graceful lifecycle.
+
+use mev_core::Inspector;
+use mev_live::{LiveConfig, LiveRun, LiveSession};
+use mev_sim::{Scenario, Simulation};
+use std::path::PathBuf;
+
+/// A span long enough to cross Flashbots launch and several segment
+/// boundaries, small enough for a test binary.
+fn tiny() -> Scenario {
+    let mut s = Scenario::quick();
+    s.months = 11;
+    s.blocks_per_month = 30;
+    s
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flashpan-live-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean scratch dir");
+    }
+    dir
+}
+
+fn live_config(scenario: Scenario, dir: &PathBuf, shards: usize) -> LiveConfig {
+    let mut cfg = LiveConfig::new(scenario, dir);
+    cfg.checkpoint = Some(dir.join("live.ckpt.json"));
+    cfg.shards = shards;
+    cfg.threads_per_shard = 2;
+    cfg.segment_blocks = 32;
+    cfg
+}
+
+/// ≥2 shards, ≥2 advance cycles, then finalize: bit-identical to the
+/// cold batch run (same detections, same order, same wei values).
+#[test]
+fn live_follow_matches_cold_batch_run() {
+    let dir = scratch_dir("identity");
+    let mut session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("start");
+    let mut cycles = 0u64;
+    loop {
+        let report = session.advance(90).expect("advance");
+        cycles += 1;
+        if report.done {
+            break;
+        }
+    }
+    assert!(cycles >= 2, "the span must take several advance cycles");
+    let outcome = session.finish().expect("finish");
+
+    let cold = Inspector::new(&outcome.output.chain, &outcome.output.blocks_api)
+        .threads(4)
+        .run()
+        .expect("cold run");
+    assert!(!cold.detections.is_empty(), "the span must contain MEV");
+    assert_eq!(
+        cold.detections, outcome.detections,
+        "live-followed detections must be bit-identical to the cold batch run"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Shard count is a parallelism knob, never an output knob.
+#[test]
+fn shard_count_does_not_change_output() {
+    let one = scratch_dir("shards1");
+    let three = scratch_dir("shards3");
+    let run = |dir: &PathBuf, shards: usize| {
+        let mut session = LiveSession::start(live_config(tiny(), dir, shards)).expect("start");
+        while !session.advance(70).expect("advance").done {}
+        session.finish().expect("finish").detections
+    };
+    assert_eq!(run(&one, 1), run(&three, 3));
+    std::fs::remove_dir_all(&one).expect("cleanup");
+    std::fs::remove_dir_all(&three).expect("cleanup");
+}
+
+/// Kill mid-follow (drop the session without finalizing), resume from
+/// the store + checkpoint, and still end bit-identical to the cold run.
+/// Also exercises the resume fast path: the second session must not
+/// re-detect the prefix the checkpoint already covers.
+#[test]
+fn crash_and_resume_matches_cold_batch_run() {
+    let dir = scratch_dir("resume");
+    {
+        let mut session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("first start");
+        session.advance(80).expect("cycle 1");
+        let report = session.advance(80).expect("cycle 2");
+        assert!(!report.done, "the crash must happen mid-follow");
+        // Simulated crash: the session is dropped without finish();
+        // the store and checkpoint keep their last atomic commits.
+    }
+    let mut session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("resume");
+    assert!(session.resumed(), "second start must resume the archive");
+    assert!(
+        session.replayed() >= 160,
+        "replay must cover the persisted prefix"
+    );
+    assert!(
+        !session.detections().is_empty(),
+        "checkpointed detections must be restored, not re-derived"
+    );
+    while !session.advance(80).expect("advance").done {}
+    let outcome = session.finish().expect("finish");
+    assert!(outcome.resumed);
+
+    let cold = Inspector::new(&outcome.output.chain, &outcome.output.blocks_api)
+        .threads(4)
+        .run()
+        .expect("cold run");
+    assert_eq!(
+        cold.detections, outcome.detections,
+        "a resumed follow must still match the cold batch run"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A resume against a store written under a different seed is refused.
+#[test]
+fn resume_against_wrong_seed_is_refused() {
+    let dir = scratch_dir("mismatch");
+    {
+        let mut session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("start");
+        session.advance(60).expect("advance");
+    }
+    let mut other = tiny();
+    other.seed ^= 0xDEAD_BEEF;
+    // No checkpoint for the mismatched scenario: the replayed-head
+    // verification itself must catch the divergence.
+    let mut cfg = live_config(other, &dir, 2);
+    cfg.checkpoint = None;
+    match LiveSession::start(cfg) {
+        Err(mev_live::LiveError::ChainMismatch { .. }) => {}
+        Err(e) => panic!("expected ChainMismatch, got {e}"),
+        Ok(_) => panic!("a mismatched seed must not resume"),
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The service handle: advance and drain rendezvous with the follower
+/// thread, shutdown finalizes and joins, and the outcome matches the
+/// cold batch run. Dropping a handle must also join gracefully.
+#[test]
+fn live_run_handle_drives_the_follower() {
+    let dir = scratch_dir("service");
+    let session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("start");
+    let run = LiveRun::start(session);
+    let first = run.advance(50).expect("advance");
+    assert_eq!(first.cycle, 1);
+    assert!(!first.done);
+    let last = run.drain(90).expect("drain");
+    assert!(last.done, "drain must exhaust the chain");
+    let outcome = run.shutdown().expect("shutdown");
+
+    let cold = Inspector::new(&outcome.output.chain, &outcome.output.blocks_api)
+        .threads(4)
+        .run()
+        .expect("cold run");
+    assert_eq!(cold.detections, outcome.detections);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    // Drop-without-shutdown must not hang or leak the follower thread.
+    let dir2 = scratch_dir("service-drop");
+    let session = LiveSession::start(live_config(tiny(), &dir2, 2)).expect("start 2");
+    let run = LiveRun::start(session);
+    run.advance(40).expect("advance 2");
+    drop(run);
+    std::fs::remove_dir_all(&dir2).expect("cleanup 2");
+}
+
+/// The sim-side hook fires once per appended block with the block that
+/// was just committed — the push-channel integration point.
+#[test]
+fn block_hook_sees_every_appended_block() {
+    let mut s = tiny();
+    s.months = 2;
+    let total = s.total_blocks();
+    let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut sim = Simulation::new(s);
+    {
+        let seen = std::sync::Arc::clone(&seen);
+        sim.set_block_hook(move |block, receipts| {
+            assert_eq!(block.transactions.len(), receipts.len());
+            seen.lock().expect("hook lock").push(block.header.number);
+        });
+    }
+    let out = sim.run();
+    let seen = seen.lock().expect("final lock");
+    assert_eq!(seen.len() as u64, total);
+    assert_eq!(seen.first().copied(), Some(out.scenario.genesis_block()));
+    assert!(
+        seen.windows(2).all(|w| w[1] == w[0] + 1),
+        "in order, no gaps"
+    );
+}

@@ -9,22 +9,77 @@ use crate::http::{Request, Response};
 use crate::validation;
 use mev_core::Detection;
 use mev_store::StoreReader;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+/// A shared, live-updatable view of the detection set served by
+/// `/detections`. A batch deployment sets it once at startup; a live
+/// follower clones the handle and replaces the snapshot after each
+/// advance cycle, so the server tracks the chain tip without restarting.
+#[derive(Clone, Default)]
+pub struct DetectionsHandle {
+    inner: Arc<RwLock<Arc<Vec<Detection>>>>,
+}
+
+impl DetectionsHandle {
+    pub fn new(detections: Vec<Detection>) -> DetectionsHandle {
+        DetectionsHandle {
+            inner: Arc::new(RwLock::new(Arc::new(detections))),
+        }
+    }
+
+    /// The current snapshot (a cheap `Arc` clone; readers never block
+    /// each other beyond the lock acquisition).
+    pub fn snapshot(&self) -> Arc<Vec<Detection>> {
+        // A poisoned lock only means a publisher panicked mid-`replace`;
+        // the stored snapshot is always a complete, previously published
+        // vector, so recover it rather than propagating the panic.
+        match self.inner.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Publish a new snapshot, replacing the previous one atomically
+    /// from the readers' point of view.
+    pub fn replace(&self, detections: Vec<Detection>) {
+        let fresh = Arc::new(detections);
+        match self.inner.write() {
+            Ok(mut guard) => *guard = fresh,
+            Err(poisoned) => *poisoned.into_inner() = fresh,
+        }
+    }
+
+    /// Number of detections in the current snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Everything the handlers read: the archive reader (internally cached
 /// and thread-safe) and the detection set served by `/detections`.
 #[derive(Clone)]
 pub struct ApiState {
     pub reader: Arc<StoreReader>,
-    pub detections: Arc<Vec<Detection>>,
+    pub detections: DetectionsHandle,
 }
 
 impl ApiState {
     pub fn new(reader: Arc<StoreReader>, detections: Vec<Detection>) -> ApiState {
         ApiState {
             reader,
-            detections: Arc::new(detections),
+            detections: DetectionsHandle::new(detections),
         }
+    }
+
+    /// Build around an existing (possibly already shared) handle — the
+    /// live-follow wiring, where a follower keeps publishing into the
+    /// handle while the server serves from it.
+    pub fn with_handle(reader: Arc<StoreReader>, detections: DetectionsHandle) -> ApiState {
+        ApiState { reader, detections }
     }
 }
 
@@ -82,11 +137,8 @@ fn logs(state: &ApiState, request: &Request) -> HandlerResult {
 
 fn detections(state: &ApiState, request: &Request) -> HandlerResult {
     let query = validation::detections_query(&request.query).map_err(|e| (400, e))?;
-    let matched: Vec<&Detection> = state
-        .detections
-        .iter()
-        .filter(|d| query.matches(d))
-        .collect();
+    let snapshot = state.detections.snapshot();
+    let matched: Vec<&Detection> = snapshot.iter().filter(|d| query.matches(d)).collect();
     let body = api_types::encode_detections(&matched).map_err(internal)?;
     Ok(Response::json(200, body))
 }

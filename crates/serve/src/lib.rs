@@ -21,7 +21,7 @@ pub mod validation;
 mod client;
 
 pub use client::Client;
-pub use handlers::ApiState;
+pub use handlers::{ApiState, DetectionsHandle};
 pub use http::{Request, Response};
 
 use http::HttpError;

@@ -229,3 +229,46 @@ fn keep_alive_concurrency_and_protocol_errors() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn live_handle_republish_updates_served_detections() {
+    let dir = scratch_dir("serve-live-handle");
+    let chain = test_chain(10, 3);
+    let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 4).unwrap();
+    w.ingest(&chain).unwrap();
+    let reader = Arc::new(StoreReader::open(&dir).unwrap());
+
+    // The live-follow wiring: the server shares a DetectionsHandle with
+    // a publisher that keeps replacing the snapshot as the tip advances.
+    let handle =
+        mev_serve::DetectionsHandle::new(vec![detection(MevKind::Sandwich, GENESIS + 2, 4)]);
+    let state = ApiState::with_handle(Arc::clone(&reader), handle.clone());
+    let server = Server::start(ServeConfig::default(), state).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let got = client.get("/detections").unwrap();
+    assert_eq!(got.status, 200);
+    assert!(got.body.contains(r#""count":1"#), "{}", got.body);
+
+    // An advance cycle publishes a strictly larger snapshot; the
+    // already-running server must serve it on the next request.
+    let grown = vec![
+        detection(MevKind::Sandwich, GENESIS + 2, 4),
+        detection(MevKind::Arbitrage, GENESIS + 5, 5),
+        detection(MevKind::Liquidation, GENESIS + 7, 6),
+    ];
+    handle.replace(grown.clone());
+    let refs: Vec<&Detection> = grown.iter().collect();
+    let expected = mev_serve::api_types::encode_detections(&refs).unwrap();
+    let got = client.get("/detections").unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(got.body, expected, "served set must track the handle");
+
+    // Filters apply to the live snapshot too.
+    let got = client.get("/detections?kind=liquidation").unwrap();
+    assert_eq!(got.status, 200);
+    assert!(got.body.contains(r#""count":1"#), "{}", got.body);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -31,8 +31,8 @@ use mev_flashbots::{
 };
 use mev_net::{Mempool, Network, Observer};
 use mev_types::{
-    eth, gwei, wei_i128, Action, Address, Gas, GroundTruth, Month, SwapCall, TokenId, Transaction,
-    TxFee, TxHash, Wei, H256,
+    eth, gwei, wei_i128, Action, Address, Block, Gas, GroundTruth, Month, Receipt, SwapCall,
+    TokenId, Transaction, TxFee, TxHash, Wei, H256,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +85,14 @@ pub struct Simulation {
     sel_cfg: SelectionConfig,
     fb_launch_block: u64,
     giant_payout_done: bool,
+    /// Hash of the last committed block (`H256::zero()` before genesis).
+    parent_hash: H256,
+    /// Blocks committed so far; `genesis_block() + produced` is the next height.
+    produced: u64,
+    /// Block-appended notification hook: called with each block and its
+    /// receipts immediately after commit (live followers tail the chain
+    /// through this without polling).
+    block_hook: Option<Box<dyn FnMut(&Block, &[Receipt]) + Send>>,
 }
 
 impl Simulation {
@@ -367,19 +375,78 @@ impl Simulation {
             fb_launch_block,
             s,
             giant_payout_done: false,
+            parent_hash: H256::zero(),
+            produced: 0,
+            block_hook: None,
         }
     }
 
     /// Run to completion and return the recorded datasets.
     pub fn run(mut self) -> SimOutput {
         let _run_timer = mev_obs::span("sim.run.ns");
-        let genesis = self.s.genesis_block();
-        let total = self.s.total_blocks();
-        let mut parent_hash = H256::zero();
-        for i in 0..total {
-            let number = genesis + i;
-            parent_hash = self.step(number, parent_hash);
+        while self.step_block().is_some() {}
+        self.finish()
+    }
+
+    /// Produce and commit the next block; returns its height, or `None`
+    /// once the scenario is exhausted. Driving this in a loop followed by
+    /// [`Simulation::finish`] is bit-identical to [`Simulation::run`].
+    pub fn step_block(&mut self) -> Option<u64> {
+        if self.produced >= self.s.total_blocks() {
+            return None;
         }
+        let number = self.s.genesis_block() + self.produced;
+        self.parent_hash = self.step(number, self.parent_hash);
+        self.produced += 1;
+        // Take the hook out so the borrow of `self.chain` below does not
+        // conflict with the mutable borrow the closure call needs.
+        if let Some(mut hook) = self.block_hook.take() {
+            if let (Some(block), Some(receipts)) =
+                (self.chain.block(number), self.chain.receipts(number))
+            {
+                hook(block, receipts);
+            }
+            self.block_hook = Some(hook);
+        }
+        Some(number)
+    }
+
+    /// True once every scheduled block has been produced.
+    pub fn is_done(&self) -> bool {
+        self.produced >= self.s.total_blocks()
+    }
+
+    /// Blocks committed so far.
+    pub fn blocks_produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// The chain as recorded so far (grows as blocks are stepped).
+    pub fn chain(&self) -> &ChainStore {
+        &self.chain
+    }
+
+    /// The Flashbots blocks API recorder as populated so far.
+    pub fn blocks_api(&self) -> &BlocksApi {
+        &self.blocks_api
+    }
+
+    /// The scenario this simulation was built from.
+    pub fn scenario(&self) -> &Scenario {
+        &self.s
+    }
+
+    /// Register a block-appended notification hook, invoked with each
+    /// block and its receipts immediately after commit. Replaces any
+    /// previously registered hook.
+    pub fn set_block_hook(&mut self, hook: impl FnMut(&Block, &[Receipt]) + Send + 'static) {
+        self.block_hook = Some(Box::new(hook));
+    }
+
+    /// Seal the run and hand back the recorded datasets. Valid at any
+    /// point — a partially stepped simulation yields the chain produced
+    /// so far.
+    pub fn finish(mut self) -> SimOutput {
         self.stats.mempool_remaining = self.mempool.len() as u64;
         self.stats.banned_miners = self
             .miners

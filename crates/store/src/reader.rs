@@ -201,11 +201,31 @@ impl StoreReader {
     /// spends blocked waiting for the disk is recorded in the
     /// `store.prefetch.stall.ns` counter (`store.prefetch.segments`
     /// counts deliveries).
-    pub fn stream_segments<F>(&self, mut consume: F) -> Result<(), StoreError>
+    pub fn stream_segments<F>(&self, consume: F) -> Result<(), StoreError>
     where
         F: FnMut(u64, Arc<Vec<BlockEntry>>),
     {
-        let total = self.manifest.segments.len() as u64;
+        self.stream_segments_in(0..self.manifest.segments.len() as u64, consume)
+    }
+
+    /// [`StoreReader::stream_segments`] over a sub-range of segment
+    /// indices — the shard-range read path: a live follower resuming
+    /// from a checkpoint (or a per-shard `Inspector` pool) streams only
+    /// its height range's segments, with the same one-segment read-ahead
+    /// and backpressure rule. The range is clamped to the committed
+    /// segment count.
+    pub fn stream_segments_in<F>(
+        &self,
+        segments: std::ops::Range<u64>,
+        mut consume: F,
+    ) -> Result<(), StoreError>
+    where
+        F: FnMut(u64, Arc<Vec<BlockEntry>>),
+    {
+        let committed = self.manifest.segments.len() as u64;
+        let first = segments.start.min(committed);
+        let end = segments.end.min(committed);
+        let total = end.saturating_sub(first);
         if total == 0 {
             return Ok(());
         }
@@ -213,7 +233,7 @@ impl StoreReader {
             let (send, recv) =
                 std::sync::mpsc::sync_channel::<Result<(u64, Arc<Vec<BlockEntry>>), StoreError>>(1);
             scope.spawn(move || {
-                for seg in 0..total {
+                for seg in first..end {
                     let item = self.read_segment_entries(seg).map(|e| (seg, e));
                     let stop = item.is_err();
                     // A send error means the consumer bailed; either way
@@ -860,6 +880,32 @@ mod tests {
         assert_eq!(seen, vec![0, 1, 2]);
         let expected: Vec<u64> = chain.iter().map(|(b, _)| b.header.number).collect();
         assert_eq!(blocks, expected, "height order preserved");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_segments_in_walks_only_the_requested_range() {
+        let (dir, chain) = stored("reader-stream-range");
+        let r = StoreReader::open(&dir).unwrap();
+        // Middle shard only: segment 1 of the 3 committed (blocks 4..=7).
+        let mut seen: Vec<u64> = Vec::new();
+        let mut blocks: Vec<u64> = Vec::new();
+        r.stream_segments_in(1..2, |seg, entries| {
+            seen.push(seg);
+            blocks.extend(entries.iter().map(|e| e.block.header.number));
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1]);
+        let expected: Vec<u64> = chain
+            .range(10_000_004, 10_000_007)
+            .map(|(b, _)| b.header.number)
+            .collect();
+        assert_eq!(blocks, expected);
+        // Ranges past the committed count clamp instead of erroring.
+        let mut calls = 0u32;
+        r.stream_segments_in(2..99, |_, _| calls += 1).unwrap();
+        assert_eq!(calls, 1);
+        r.stream_segments_in(7..9, |_, _| unreachable!()).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,141 @@
+//! `live_bench`: throughput benchmark of the live-follow pipeline and
+//! the bit-identity assertion behind `BENCH_LIVE.json`.
+//!
+//! ```sh
+//! cargo run --release --bin live_bench
+//! cargo run --release --bin live_bench -- --shards 4 --threads 2 \
+//!     --batch 100 --report live-runreport.json
+//! ```
+//!
+//! Follows `Scenario::quick()` into a scratch store in fixed-size
+//! advance cycles (simulate → ingest tail → extend index → sharded
+//! detect → checkpoint), then runs the cold batch `Inspector::run` over
+//! the same finished chain and asserts the detection sets are
+//! bit-identical. Reports sustained follower throughput (blocks/s over
+//! the whole follow, also surfaced as the `live.blocks_per_s` gauge in
+//! the RunReport) next to the cold batch time. Exits non-zero if the
+//! identity fails.
+
+use flashpan::inspect::Inspector;
+use flashpan::live::{LiveConfig, LiveSession};
+use flashpan::sim::Scenario;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    shards: usize,
+    threads: usize,
+    segment_blocks: u64,
+    batch: u64,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = Args {
+        shards: 2,
+        threads: 2,
+        segment_blocks: 64,
+        batch: 100,
+        report: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, value) = (argv[i].as_str(), argv.get(i + 1));
+        match (flag, value) {
+            ("--shards", Some(v)) => args.shards = v.parse().ok()?,
+            ("--threads", Some(v)) => args.threads = v.parse().ok()?,
+            ("--segment-blocks", Some(v)) => args.segment_blocks = v.parse().ok()?,
+            ("--batch", Some(v)) => args.batch = v.parse().ok()?,
+            ("--report", Some(v)) => args.report = Some(PathBuf::from(v)),
+            _ => return None,
+        }
+        i += 2;
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprintln!(
+            "usage: live_bench [--shards N] [--threads N] [--segment-blocks N] [--batch N] \
+             [--report FILE]"
+        );
+        return ExitCode::from(2);
+    };
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("live_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let scenario = Scenario::quick();
+    let store_dir =
+        std::env::temp_dir().join(format!("flashpan-live-bench-{}", std::process::id()));
+    if store_dir.exists() {
+        std::fs::remove_dir_all(&store_dir)?;
+    }
+
+    let mut cfg = LiveConfig::new(scenario, &store_dir);
+    cfg.checkpoint = Some(store_dir.join("live.ckpt.json"));
+    cfg.shards = args.shards.max(2);
+    cfg.threads_per_shard = args.threads.max(1);
+    cfg.segment_blocks = args.segment_blocks.max(1);
+    let mut session = LiveSession::start(cfg)?;
+
+    let live_start = Instant::now();
+    let mut cycles = 0u64;
+    loop {
+        let report = session.advance(args.batch.max(1))?;
+        cycles += 1;
+        if report.done {
+            break;
+        }
+    }
+    let outcome = session.finish()?;
+    let live_ms = live_start.elapsed().as_secs_f64() * 1e3;
+    let blocks = outcome.output.chain.len() as u64;
+    let blocks_per_s = if live_ms > 0.0 {
+        blocks as f64 / (live_ms / 1e3)
+    } else {
+        0.0
+    };
+
+    let cold_start = Instant::now();
+    let cold = Inspector::new(&outcome.output.chain, &outcome.output.blocks_api)
+        .threads(args.shards.max(2) * args.threads.max(1))
+        .run()?;
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let bit_identical = cold.detections == outcome.detections;
+    let sustained_gauge = mev_obs::report().gauge("live.blocks_per_s").unwrap_or(0);
+
+    println!("{{");
+    println!("  \"bench\": \"live_follow\",");
+    println!("  \"blocks\": {blocks},");
+    println!("  \"cycles\": {cycles},");
+    println!("  \"shards\": {},", args.shards.max(2));
+    println!("  \"threads_per_shard\": {},", args.threads.max(1));
+    println!("  \"batch_blocks\": {},", args.batch.max(1));
+    println!("  \"detections\": {},", outcome.detections.len());
+    println!("  \"live_follow_ms\": {live_ms:.1},");
+    println!("  \"blocks_per_s\": {blocks_per_s:.1},");
+    println!("  \"live_blocks_per_s_gauge\": {sustained_gauge},");
+    println!("  \"cold_batch_ms\": {cold_ms:.1},");
+    println!("  \"bit_identical\": {bit_identical}");
+    println!("}}");
+
+    if let Some(path) = &args.report {
+        std::fs::write(path, mev_obs::report().to_json())?;
+    }
+    std::fs::remove_dir_all(&store_dir)?;
+    Ok(if bit_identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,212 @@
+//! `live_follow`: tail a producing chain with the mev-live follower and
+//! (optionally) serve the advancing detection set over HTTP.
+//!
+//! ```sh
+//! # Follow the quick scenario to completion in 200-block cycles,
+//! # persisting to ./live-store with a detection checkpoint.
+//! cargo run --release --bin live_follow -- --store live-store \
+//!     --checkpoint live-store/live.ckpt.json
+//!
+//! # Kill the follower after 2 cycles (simulates a crash: the process
+//! # exits without finalizing), then resume from the store + checkpoint.
+//! cargo run --release --bin live_follow -- --store live-store \
+//!     --checkpoint live-store/live.ckpt.json --kill-after-cycles 2
+//! cargo run --release --bin live_follow -- --store live-store \
+//!     --checkpoint live-store/live.ckpt.json
+//! ```
+//!
+//! Prints one JSON line per cycle, then a final summary including
+//! `"bit_identical"` — the run's detections compared against a cold
+//! batch `Inspector::run` over the same finished chain. Exit code 0
+//! only if the follow completed and the identity held.
+
+use flashpan::inspect::Inspector;
+use flashpan::live::{LiveConfig, LiveSession};
+use flashpan::serve::{ApiState, DetectionsHandle, ServeConfig, Server};
+use flashpan::sim::Scenario;
+use flashpan::store::StoreReader;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    store: PathBuf,
+    checkpoint: Option<PathBuf>,
+    shards: usize,
+    threads: usize,
+    segment_blocks: u64,
+    batch: u64,
+    kill_after_cycles: Option<u64>,
+    serve_addr: Option<String>,
+    report: Option<PathBuf>,
+    months: Option<u32>,
+    blocks_per_month: Option<u64>,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = Args {
+        store: PathBuf::from("live-store"),
+        checkpoint: None,
+        shards: 2,
+        threads: 2,
+        segment_blocks: 64,
+        batch: 200,
+        kill_after_cycles: None,
+        serve_addr: None,
+        report: None,
+        months: None,
+        blocks_per_month: None,
+        seed: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, value) = (argv[i].as_str(), argv.get(i + 1));
+        match (flag, value) {
+            ("--store", Some(v)) => args.store = PathBuf::from(v),
+            ("--checkpoint", Some(v)) => args.checkpoint = Some(PathBuf::from(v)),
+            ("--shards", Some(v)) => args.shards = v.parse().ok()?,
+            ("--threads", Some(v)) => args.threads = v.parse().ok()?,
+            ("--segment-blocks", Some(v)) => args.segment_blocks = v.parse().ok()?,
+            ("--batch", Some(v)) => args.batch = v.parse().ok()?,
+            ("--kill-after-cycles", Some(v)) => args.kill_after_cycles = Some(v.parse().ok()?),
+            ("--serve", Some(v)) => args.serve_addr = Some(v.clone()),
+            ("--report", Some(v)) => args.report = Some(PathBuf::from(v)),
+            ("--months", Some(v)) => args.months = Some(v.parse().ok()?),
+            ("--blocks-per-month", Some(v)) => args.blocks_per_month = Some(v.parse().ok()?),
+            ("--seed", Some(v)) => args.seed = Some(v.parse().ok()?),
+            _ => return None,
+        }
+        i += 2;
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprintln!(
+            "usage: live_follow [--store DIR] [--checkpoint FILE] [--shards N] [--threads N] \
+             [--segment-blocks N] [--batch N] [--kill-after-cycles N] [--serve ADDR] \
+             [--report FILE] [--months N] [--blocks-per-month N] [--seed N]"
+        );
+        return ExitCode::from(2);
+    };
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("live_follow: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut scenario = Scenario::quick();
+    if let Some(months) = args.months {
+        scenario.months = months;
+    }
+    if let Some(blocks) = args.blocks_per_month {
+        scenario.blocks_per_month = blocks;
+    }
+    if let Some(seed) = args.seed {
+        scenario.seed = seed;
+    }
+
+    let mut cfg = LiveConfig::new(scenario, &args.store);
+    cfg.checkpoint = args.checkpoint.clone();
+    cfg.shards = args.shards.max(1);
+    cfg.threads_per_shard = args.threads.max(1);
+    cfg.segment_blocks = args.segment_blocks.max(1);
+    let mut session = LiveSession::start(cfg)?;
+    println!(
+        "{{\"event\": \"started\", \"resumed\": {}, \"replayed\": {}}}",
+        session.resumed(),
+        session.replayed()
+    );
+
+    // Optional live server: detections republished after every cycle,
+    // /stats serving the follower's live RunReport (live.* gauges).
+    let handle = DetectionsHandle::new(session.detections().to_vec());
+    let server = match &args.serve_addr {
+        Some(addr) => {
+            let reader = Arc::new(StoreReader::open(&args.store)?);
+            let state = ApiState::with_handle(reader, handle.clone());
+            let server = Server::start(
+                ServeConfig {
+                    addr: addr.clone(),
+                    ..ServeConfig::default()
+                },
+                state,
+            )?;
+            println!(
+                "{{\"event\": \"serving\", \"addr\": \"{}\"}}",
+                server.addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    {
+        let handle = handle.clone();
+        session.set_cycle_hook(move |detections| handle.replace(detections.to_vec()));
+    }
+
+    loop {
+        let report = session.advance(args.batch)?;
+        println!(
+            "{{\"event\": \"cycle\", \"cycle\": {}, \"stepped\": {}, \"appended\": {}, \
+             \"head\": {}, \"detections\": {}, \"provisional\": {}, \"done\": {}}}",
+            report.cycle,
+            report.stepped,
+            report.appended,
+            report.head.map_or(-1i64, |h| h as i64),
+            report.detections,
+            report.provisional,
+            report.done
+        );
+        if args.kill_after_cycles == Some(report.cycle) {
+            println!(
+                "{{\"event\": \"killed\", \"killed\": true, \"cycle\": {}}}",
+                report.cycle
+            );
+            // Simulate a crash: exit without finalizing or joining
+            // anything. The store and checkpoint hold whatever their
+            // last atomic commits held.
+            std::process::exit(0);
+        }
+        if report.done {
+            break;
+        }
+    }
+
+    let outcome = session.finish()?;
+
+    // The pinned contract: the live-followed detections are
+    // bit-identical to a cold batch run over the same finished chain.
+    let cold = Inspector::new(&outcome.output.chain, &outcome.output.blocks_api)
+        .threads(args.threads.max(1))
+        .run()?;
+    let bit_identical = cold.detections == outcome.detections;
+    println!(
+        "{{\"event\": \"finished\", \"blocks\": {}, \"cycles\": {}, \"resumed\": {}, \
+         \"detections\": {}, \"bit_identical\": {}}}",
+        outcome.output.chain.len(),
+        outcome.cycles,
+        outcome.resumed,
+        outcome.detections.len(),
+        bit_identical
+    );
+
+    if let Some(path) = &args.report {
+        std::fs::write(path, mev_obs::report().to_json())?;
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    Ok(if bit_identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

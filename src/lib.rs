@@ -24,7 +24,8 @@
 //! Crate map: [`types`], [`chain`], [`dex`], [`lending`], [`net`],
 //! [`flashbots`], [`agents`], [`sim`], [`inspect`] (mev-core),
 //! [`store`] (the persistent segmented archive), [`serve`] (the HTTP
-//! query API over it), [`analysis`].
+//! query API over it), [`live`] (the incremental live-follow service),
+//! [`analysis`].
 
 pub use mev_agents as agents;
 pub use mev_analysis as analysis;
@@ -33,6 +34,7 @@ pub use mev_core as inspect;
 pub use mev_dex as dex;
 pub use mev_flashbots as flashbots;
 pub use mev_lending as lending;
+pub use mev_live as live;
 pub use mev_net as net;
 pub use mev_serve as serve;
 pub use mev_sim as sim;

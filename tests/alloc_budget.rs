@@ -57,6 +57,15 @@ fn allocations() -> u64 {
 /// flaky pin.
 const MAX_ALLOCATIONS_PER_BLOCK: u64 = 256;
 
+/// Ceiling on mean heap allocations per block for the live-follow path
+/// (incremental index extension + oracle replay + sharded detection +
+/// sorted merge, measured across every advance cycle). Higher than the
+/// prebuilt-index budget because following also pays the per-block
+/// record decode and column interning the batch path amortises into its
+/// one-off `BlockIndex::build`, plus per-cycle shard thread spawns and
+/// detection-set re-sorts — all amortised over the cycle's window here.
+const MAX_LIVE_ALLOCATIONS_PER_BLOCK: u64 = 768;
+
 #[test]
 #[ignore = "tier-2: run via `cargo test --test alloc_budget -- --ignored` (CI perf-smoke)"]
 fn serial_inspect_over_prebuilt_index_stays_under_allocation_budget() {
@@ -96,5 +105,89 @@ fn serial_inspect_over_prebuilt_index_stays_under_allocation_budget() {
         per_block <= MAX_ALLOCATIONS_PER_BLOCK,
         "detection hot path regressed to {per_block} allocations/block \
          (ceiling {MAX_ALLOCATIONS_PER_BLOCK}); look for per-block String/Vec/HashMap churn"
+    );
+}
+
+/// The streaming/live counterpart: follow a prerecorded chain window by
+/// window through a [`mev_live::TailPipeline`] and bill *only* the
+/// follower's work — `extend_from_chain` (decode + intern), oracle
+/// replay, sharded `detect_positions`, and the sorted merge. The chain
+/// windows are replayed into the growing store outside the measured
+/// regions, so block production/cloning never counts against the
+/// follower budget.
+#[test]
+#[ignore = "tier-2: run via `cargo test --test alloc_budget -- --ignored` (CI perf-smoke)"]
+fn live_follow_pipeline_stays_under_allocation_budget() {
+    use mev_live::{ShardPlan, TailPipeline};
+
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let api = &out.blocks_api;
+    let genesis = chain.timeline().genesis_number;
+    let blocks = chain.len() as u64;
+    assert!(blocks > 0, "quick scenario produced no blocks");
+
+    let plan = || {
+        let mut p = ShardPlan::new(genesis, 64);
+        p.shards = 2;
+        p.threads_per_shard = 1;
+        p
+    };
+
+    // Warm up a full follow once so lazily-registered obs metrics
+    // (live.* counters, per-shard span names) and allocator warmup do
+    // not bill the measured pass.
+    {
+        let mut warm = TailPipeline::new(plan());
+        warm.advance(chain, api).expect("warm-up advance");
+        warm.finalize(api).expect("warm-up finalize");
+    }
+
+    const WINDOW: u64 = 64;
+    let mut growing = mev_chain::ChainStore::new(chain.timeline().clone());
+    let mut pipeline = TailPipeline::new(plan());
+    let mut spent = 0u64;
+    let mut next = genesis;
+    let head = chain.head_number().expect("non-empty chain");
+    while next <= head {
+        let upto = (next + WINDOW - 1).min(head);
+        // Unmeasured: replay the prerecorded window into the followed
+        // chain (stands in for the producing simulation).
+        for (block, receipts) in chain.range(next, upto) {
+            growing.push(block.clone(), receipts.to_vec());
+        }
+        next = upto + 1;
+        // Measured: one advance cycle of the follower.
+        let before = allocations();
+        pipeline.advance(&growing, api).expect("advance");
+        spent += allocations() - before;
+    }
+    let before = allocations();
+    pipeline.finalize(api).expect("finalize");
+    spent += allocations() - before;
+
+    // The followed result must be the batch result (the identity the
+    // live tests pin; asserted here so the budget never pins a broken
+    // pipeline).
+    let cold = mev_core::Inspector::new(chain, api)
+        .threads(1)
+        .run()
+        .expect("cold run");
+    assert_eq!(
+        cold.detections,
+        pipeline.detections(),
+        "live-followed detections must match the cold batch run"
+    );
+
+    let per_block = spent / blocks;
+    eprintln!(
+        "live alloc budget: {spent} allocations over {blocks} blocks \
+         ({per_block}/block, ceiling {MAX_LIVE_ALLOCATIONS_PER_BLOCK})"
+    );
+    assert!(
+        per_block <= MAX_LIVE_ALLOCATIONS_PER_BLOCK,
+        "live-follow hot path regressed to {per_block} allocations/block \
+         (ceiling {MAX_LIVE_ALLOCATIONS_PER_BLOCK}); look for per-block \
+         String/Vec/HashMap churn in extend/detect/merge"
     );
 }
