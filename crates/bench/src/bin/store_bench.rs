@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! cargo run -p mev-bench --release --bin store_bench
+//! cargo run -p mev-bench --release --bin store_bench -- --threads 4
 //! cargo run -p mev-bench --release --bin store_bench -- --report runreport.json
 //! ```
 //!
@@ -10,17 +11,27 @@
 //! store, then measures:
 //!
 //! * ingest throughput (blocks/s into sealed segments),
-//! * a **cold** full scan (every segment read and decoded),
+//! * a **cold** full scan (every segment mapped and decoded),
 //! * a **warm** narrow-window scan (zone maps prune to the touched
 //!   segments) and an absent-address scan (blooms prune the rest),
 //! * a **postings** address query (planner routes it through the
 //!   sidecar indexes; zero data frames decoded) and a **rollup**
 //!   aggregate (answered from the manifest alone),
+//! * the **parallel decode** pipeline: `BlockIndex::build_from_store`
+//!   at `--threads 1` vs `--threads N`, asserted structurally equal to
+//!   each other and to the in-memory build,
+//! * **compaction**: tiering the sealed segments, re-verifying, and
+//!   re-running the cold scan for the identical digest,
 //! * store-backed detection vs the in-memory `Inspector` on the same
 //!   chain, asserting bit-identical detections.
+//!
+//! The `detection_digest` / `scan_digest` fields are stable CRC-32s of
+//! the result sets: two invocations at different `--threads` values (or
+//! before/after compaction) must print identical digests — CI greps
+//! exactly that.
 
-use mev_core::{Inspector, StoreRunOutcome};
-use mev_store::{GroupBy, LogFilter, QueryPlan, StoreReader, StoreWriter};
+use mev_core::{BlockIndex, Inspector, StoreRunOutcome};
+use mev_store::{Crc32, GroupBy, LogFilter, QueryPlan, StoreReader, StoreWriter};
 use mev_types::Address;
 use std::time::Instant;
 
@@ -35,12 +46,27 @@ fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// Order-sensitive CRC-32 over the debug form of a result set — the
+/// digest two runs must agree on byte for byte.
+fn digest<T: std::fmt::Debug>(items: &[T]) -> String {
+    let mut c = Crc32::new();
+    for item in items {
+        c.update(format!("{item:?}\n").as_bytes());
+    }
+    format!("{:08x}", c.finish())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let report_path = args
         .windows(2)
         .find(|w| w[0] == "--report")
         .map(|w| w[1].clone());
+    let threads: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .map(|w| w[1].parse().expect("--threads takes a number"))
+        .unwrap_or(1);
 
     let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
     let chain = &out.chain;
@@ -60,12 +86,15 @@ fn main() {
     drop(w);
     assert_eq!(stats.appended, blocks);
 
-    let store = StoreReader::open(&dir).expect("open store");
+    let store = StoreReader::open(&dir)
+        .expect("open store")
+        .with_decode_threads(threads);
     let segments_total = store.segments().len() as u64;
     let genesis = store.timeline().genesis_number;
 
     let reps = 5;
-    // Cold: full unfiltered scan touches every segment. (`StoreReader`
+    // Cold: full unfiltered scan touches every segment — each one mapped
+    // and decoded through the zero-copy frame reader. (`StoreReader`
     // caches one segment; a full pass still decodes each one.)
     let unbounded = LogFilter::new().limit(usize::MAX);
     let (cold_page, cold_stats) = store.get_logs_with_stats(&unbounded).expect("cold scan");
@@ -73,6 +102,7 @@ fn main() {
     let cold_ms = time_ms(reps, || {
         store.get_logs_with_stats(&unbounded).expect("cold")
     });
+    let scan_digest = digest(&cold_page.entries);
 
     // Warm: a narrow window inside one segment — zone maps prune the rest.
     let narrow = LogFilter::new()
@@ -89,7 +119,7 @@ fn main() {
     );
 
     // Bloom: an address the chain never used — blooms prune segments the
-    // zone map cannot.
+    // zone map cannot. Probes run word-wise over the compiled query.
     let absent = LogFilter::new()
         .address(Address::from_index(0xDEAD_BEEF_DEAD))
         .limit(usize::MAX);
@@ -141,6 +171,26 @@ fn main() {
             .expect("rollup")
     });
 
+    // Parallel decode: the streaming index build at --threads 1 vs
+    // --threads N must produce structurally equal indexes, both equal
+    // to the in-memory build. Bit-identity is the contract parallelism
+    // rides on; the timing is the tentpole's payoff.
+    let serial_store = StoreReader::open(&dir).expect("open store serial");
+    let in_memory_index = BlockIndex::build(chain);
+    let serial_index = BlockIndex::build_from_store(&serial_store).expect("serial build");
+    let parallel_index = BlockIndex::build_from_store(&store).expect("parallel build");
+    assert_eq!(serial_index, in_memory_index, "serial build != in-memory");
+    assert_eq!(
+        parallel_index, in_memory_index,
+        "parallel build != in-memory at {threads} threads"
+    );
+    let build_serial_ms = time_ms(reps, || {
+        BlockIndex::build_from_store(&serial_store).expect("serial build")
+    });
+    let build_parallel_ms = time_ms(reps, || {
+        BlockIndex::build_from_store(&store).expect("parallel build")
+    });
+
     // Detection from the store vs in memory: identical results.
     let in_memory = Inspector::new(chain, &out.blocks_api)
         .run()
@@ -153,6 +203,7 @@ fn main() {
         StoreRunOutcome::Partial { .. } => unreachable!("unbounded run is complete"),
     };
     let identical = from_store.detections == in_memory.detections;
+    let detection_digest = digest(&from_store.detections);
     let detect_memory_ms = time_ms(reps, || {
         Inspector::new(chain, &out.blocks_api)
             .run()
@@ -165,13 +216,47 @@ fn main() {
     });
 
     let verify = store.verify().expect("verify");
+    drop(serial_store);
+    drop(store);
+
+    // Compaction: tier the sealed segments, re-verify, and re-run the
+    // cold scan — same digest, fewer files.
+    let mut w = StoreWriter::open(&dir).expect("reopen for compaction");
+    let t = Instant::now();
+    let compaction = w.compact(4).expect("compact");
+    let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(compaction.committed);
+    drop(w);
+    let compacted = StoreReader::open(&dir)
+        .expect("open compacted store")
+        .with_decode_threads(threads);
+    let compacted_verify = compacted.verify().expect("verify compacted");
+    let (compacted_page, _) = compacted
+        .get_logs_with_stats(&unbounded)
+        .expect("compacted cold scan");
+    assert_eq!(
+        digest(&compacted_page.entries),
+        scan_digest,
+        "compaction changed the scan answer"
+    );
+    let compacted_index = BlockIndex::build_from_store(&compacted).expect("compacted build");
+    assert_eq!(
+        compacted_index, in_memory_index,
+        "compaction changed the built index"
+    );
+    let compacted_cold_ms = time_ms(reps, || {
+        compacted
+            .get_logs_with_stats(&unbounded)
+            .expect("compacted cold")
+    });
 
     println!(
         "{{\n  \"scenario\": \"quick\",\n  \"blocks\": {blocks},\n  \
          \"segment_blocks\": {segment_blocks},\n  \"segments_total\": {segments_total},\n  \
          \"store_bytes\": {},\n  \"ingest_ms\": {ingest_ms:.3},\n  \
          \"ingest_blocks_per_s\": {:.0},\n  \
-         \"cold_full_scan_ms\": {cold_ms:.3},\n  \"cold_segments_read\": {},\n  \
+         \"mmap_scan\": {{\"cold_full_scan_ms\": {cold_ms:.3}, \"cold_segments_read\": {}, \
+         \"scan_digest\": \"{scan_digest}\"}},\n  \
          \"warm_window_scan_ms\": {warm_ms:.3},\n  \"warm_segments_read\": {},\n  \
          \"warm_pruned_by_zone\": {},\n  \
          \"bloom_segments_pruned\": {},\n  \"bloom_false_positives\": {},\n  \
@@ -179,9 +264,16 @@ fn main() {
          \"entries\": {}, \"pages_read\": {}, \"data_frames_read\": {}}},\n  \
          \"rollup_query\": {{\"ms\": {rollup_ms:.3}, \"plan\": \"{}\", \
          \"rows\": {}, \"data_frames_read\": {}}},\n  \
+         \"parallel_decode\": {{\"threads\": {threads}, \
+         \"build_serial_ms\": {build_serial_ms:.3}, \
+         \"build_parallel_ms\": {build_parallel_ms:.3}, \"identical\": true}},\n  \
+         \"compaction\": {{\"ms\": {compact_ms:.3}, \"segments_before\": {}, \
+         \"segments_after\": {}, \"tiers_written\": {}, \"files_removed\": {}, \
+         \"bytes_after\": {}, \"cold_full_scan_ms\": {compacted_cold_ms:.3}}},\n  \
          \"detect_in_memory_ms\": {detect_memory_ms:.3},\n  \
          \"detect_from_store_ms\": {detect_store_ms:.3},\n  \
          \"identical_detections\": {identical},\n  \
+         \"detection_digest\": \"{detection_digest}\",\n  \
          \"verified_indexes\": {}\n}}",
         verify.bytes,
         blocks as f64 / (ingest_ms / 1e3),
@@ -197,6 +289,11 @@ fn main() {
         rollup_stats.plan.as_str(),
         rollup_rows.len(),
         rollup_stats.data_frames_read,
+        compaction.segments_before,
+        compaction.segments_after,
+        compaction.tiers_written,
+        compaction.files_removed,
+        compacted_verify.bytes,
         verify.indexes,
     );
     assert!(identical, "store-backed and in-memory detections diverged");
@@ -206,6 +303,11 @@ fn main() {
         assert!(report.counter("store.ingest.blocks").unwrap_or(0) > 0);
         assert!(report.counter("store.plan.postings").unwrap_or(0) > 0);
         assert!(report.counter("store.plan.rollup").unwrap_or(0) > 0);
+        assert!(report.counter("store.mmap.maps").unwrap_or(0) > 0);
+        assert!(
+            report.counter("store.scan.bloom_probe_words").unwrap_or(0) > 0,
+            "word-wise bloom probing must be visible in store.scan.*"
+        );
         report
             .write_to(std::path::Path::new(&path))
             .expect("write RunReport");

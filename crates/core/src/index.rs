@@ -448,12 +448,16 @@ impl BlockIndex {
         index
     }
 
-    /// One pass over a persistent segmented store, pipelined: a prefetch
-    /// thread reads and decodes segment N+1 off disk while this thread
-    /// interns segment N (see [`mev_store::StoreReader::stream_segments`]
-    /// for the backpressure rule). Produces a bit-identical index to
-    /// [`BlockIndex::build`] over the chain the store was ingested from,
-    /// so store-backed and in-memory detection runs agree exactly.
+    /// One pass over a persistent segmented store, parallel: segments are
+    /// read, CRC-checked, and decoded to [`BlockRecord`]s on the reader's
+    /// worker pool (sized by
+    /// [`mev_store::StoreReader::with_decode_threads`]), then interned
+    /// here strictly in height order. Decoding is per-block pure, so
+    /// parallelism changes only who decodes; interning is insertion-order
+    /// dependent, so it stays on this thread — the result is bit-identical
+    /// to [`BlockIndex::build`] over the chain the store was ingested
+    /// from, at every thread count, and store-backed and in-memory
+    /// detection runs agree exactly.
     pub fn build_from_store(
         store: &mev_store::StoreReader,
     ) -> Result<BlockIndex, mev_store::StoreError> {
@@ -463,24 +467,39 @@ impl BlockIndex {
             first_number: timeline.genesis_number,
             ..BlockIndex::default()
         };
-        // Month resolution mirrors `ChainStore::iter_with_months`: cache
-        // the current month's end so the civil-date walk runs once per
-        // month, not once per block.
-        let mut cached: Option<(Month, u64)> = None;
-        store.stream_segments(|_seg, entries| {
-            for entry in entries.iter() {
-                let ts = timeline.timestamp_of(entry.block.header.number);
-                let month = match cached {
-                    Some((m, until)) if ts < until => m,
-                    _ => {
-                        let m = mev_types::time::month_of_timestamp(ts);
-                        cached = Some((m, m.next().start_timestamp()));
-                        m
-                    }
-                };
-                index.push_record(&BlockRecord::decode(&entry.block, &entry.receipts, month));
-            }
-        })?;
+        mev_obs::gauge("index.build.decode_threads").set(store.decode_threads() as i64);
+        store.stream_segments_mapped(
+            0..u64::MAX,
+            |_seg, entries| {
+                // Worker-side decode. Month resolution mirrors
+                // `ChainStore::iter_with_months` — cache the current
+                // month's end so the civil-date walk runs once per month.
+                // The cache is pure memoization of `month_of_timestamp`,
+                // so a per-segment cache yields the same records as the
+                // serial build's whole-run cache.
+                let mut cached: Option<(Month, u64)> = None;
+                entries
+                    .iter()
+                    .map(|entry| {
+                        let ts = timeline.timestamp_of(entry.block.header.number);
+                        let month = match cached {
+                            Some((m, until)) if ts < until => m,
+                            _ => {
+                                let m = mev_types::time::month_of_timestamp(ts);
+                                cached = Some((m, m.next().start_timestamp()));
+                                m
+                            }
+                        };
+                        BlockRecord::decode(&entry.block, &entry.receipts, month)
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |_seg, records| {
+                for rec in &records {
+                    index.push_record(rec);
+                }
+            },
+        )?;
         index.record_build_stats();
         Ok(index)
     }

@@ -443,6 +443,43 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Parallel decode is an implementation detail: at every thread
+    /// count and prefetch depth the built index is structurally
+    /// identical to the serial and in-memory builds, and the detection
+    /// set is bit-identical too.
+    #[test]
+    fn parallel_store_build_is_bit_identical_at_every_thread_count() {
+        let dir = scratch_dir("store-run-parallel-eq");
+        let chain = sandwich_chain(11);
+        let store = store_of(&chain, &dir, 2);
+        let in_memory = BlockIndex::build(&chain);
+        assert_eq!(BlockIndex::build_from_store(&store).unwrap(), in_memory);
+        let api = BlocksApi::new();
+        let baseline = Inspector::new(&chain, &api).threads(2).run().unwrap();
+        for threads in [2, 3, 8] {
+            for depth in [1, 4] {
+                let store = StoreReader::open(&dir)
+                    .unwrap()
+                    .with_decode_threads(threads)
+                    .with_prefetch_depth(depth);
+                let parallel = BlockIndex::build_from_store(&store).unwrap();
+                assert_eq!(parallel, in_memory, "threads={threads} depth={depth}");
+                let outcome = Inspector::from_store(&store, &api)
+                    .threads(2)
+                    .run()
+                    .unwrap();
+                let StoreRunOutcome::Complete(ds) = outcome else {
+                    panic!("expected complete run at threads={threads}");
+                };
+                assert_eq!(
+                    ds.detections, baseline.detections,
+                    "detections diverged at threads={threads} depth={depth}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn store_run_matches_in_memory_inspector() {
         let dir = scratch_dir("store-run-match");

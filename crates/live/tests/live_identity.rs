@@ -121,6 +121,42 @@ fn crash_and_resume_matches_cold_batch_run() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Compacting the archive between sessions is invisible to the
+/// follower: the resumed session reopens the tiered store, verifies the
+/// replayed head against it, keeps appending through its (renumbered)
+/// tail, and still ends bit-identical to the cold batch run.
+#[test]
+fn resume_after_compaction_matches_cold_batch_run() {
+    let dir = scratch_dir("compacted");
+    {
+        let mut session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("first start");
+        session.advance(80).expect("cycle 1");
+        let report = session.advance(80).expect("cycle 2");
+        assert!(!report.done, "compaction must happen mid-follow");
+    }
+    // Offline maintenance between sessions: tier up the archive.
+    let mut w = mev_store::StoreWriter::open(&dir).expect("open for compaction");
+    let stats = w.compact(2).expect("compact");
+    assert!(stats.committed);
+    assert!(stats.tiers_written >= 1, "the prefix must actually compact");
+    drop(w);
+
+    let mut session = LiveSession::start(live_config(tiny(), &dir, 2)).expect("resume");
+    assert!(session.resumed(), "second start must resume the archive");
+    while !session.advance(80).expect("advance").done {}
+    let outcome = session.finish().expect("finish");
+
+    let cold = Inspector::new(&outcome.output.chain, &outcome.output.blocks_api)
+        .threads(4)
+        .run()
+        .expect("cold run");
+    assert_eq!(
+        cold.detections, outcome.detections,
+        "a follow resumed over a compacted archive must match the cold batch run"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 /// A resume against a store written under a different seed is refused.
 #[test]
 fn resume_against_wrong_seed_is_refused() {

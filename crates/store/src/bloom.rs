@@ -122,6 +122,107 @@ impl Default for LogBloom {
     }
 }
 
+/// A [`LogFilter`]'s bloom probes, compiled once per query instead of
+/// re-hashed per segment. Each candidate key's three probe bits are
+/// merged into per-word masks, so testing a candidate against a segment
+/// is at most three word loads and compares — and usually fewer, since
+/// probes of one key often share a word. Bit-identical to
+/// [`LogBloom::may_match`] by construction: same keys, same probe bits,
+/// same disjunction-of-conjunctions shape.
+#[derive(Debug, Clone)]
+pub struct BloomQuery {
+    /// One entry per candidate key (an address, a kind, or a pair);
+    /// a candidate passes when every `(word, mask)` is fully set.
+    candidates: Vec<Vec<(usize, u64)>>,
+    /// True for a filter with neither addresses nor kinds: always match.
+    unconstrained: bool,
+}
+
+impl BloomQuery {
+    /// Compile `filter`'s probe set (same key families as
+    /// [`LogBloom::may_match`]: addresses alone, kinds alone, or the
+    /// cross-product of pairs when both dimensions are constrained).
+    pub fn compile(filter: &LogFilter) -> BloomQuery {
+        let keys: Vec<u64> = match (filter.addresses.is_empty(), filter.kinds.is_empty()) {
+            (true, true) => {
+                return BloomQuery {
+                    candidates: Vec::new(),
+                    unconstrained: true,
+                }
+            }
+            (false, true) => filter.addresses.iter().map(|&a| key_address(a)).collect(),
+            (true, false) => filter.kinds.iter().map(|&k| key_kind(k)).collect(),
+            (false, false) => filter
+                .addresses
+                .iter()
+                .flat_map(|&a| filter.kinds.iter().map(move |&k| key_pair(a, k)))
+                .collect(),
+        };
+        let candidates = keys
+            .into_iter()
+            .map(|key| {
+                let mut probes: Vec<(usize, u64)> = Vec::with_capacity(PROBES as usize);
+                let mut state = key;
+                for _ in 0..PROBES {
+                    state = splitmix64(state);
+                    let bit = (state % BLOOM_BITS as u64) as usize;
+                    let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+                    match probes.iter_mut().find(|(w, _)| *w == word) {
+                        Some((_, m)) => *m |= mask,
+                        None => probes.push((word, mask)),
+                    }
+                }
+                probes
+            })
+            .collect();
+        BloomQuery {
+            candidates,
+            unconstrained: false,
+        }
+    }
+
+    /// Could a log matching the compiled filter live behind `bloom`?
+    /// Exactly [`LogBloom::may_match`]'s answer for the same filter.
+    pub fn matches(&self, bloom: &LogBloom) -> bool {
+        self.matches_counting(bloom).0
+    }
+
+    /// [`BloomQuery::matches`] plus the number of bloom words actually
+    /// loaded — the `store.scan.bloom_probe_words` evidence that probes
+    /// are batched word-wise (≤ 3 per candidate, short-circuiting).
+    pub fn matches_counting(&self, bloom: &LogBloom) -> (bool, u64) {
+        if self.unconstrained {
+            return (true, 0);
+        }
+        let mut words_tested = 0u64;
+        for candidate in &self.candidates {
+            let mut hit = true;
+            for &(word, mask) in candidate {
+                words_tested += 1;
+                let set = bloom
+                    .words
+                    .get(word)
+                    .map(|w| w & mask == mask)
+                    .unwrap_or(false);
+                if !set {
+                    hit = false;
+                    break;
+                }
+            }
+            if hit {
+                return (true, words_tested);
+            }
+        }
+        (false, words_tested)
+    }
+
+    /// Total `(word, mask)` probes across all candidates — the upper
+    /// bound on words tested per segment.
+    pub fn probe_words(&self) -> u64 {
+        self.candidates.iter().map(|c| c.len() as u64).sum()
+    }
+}
+
 /// SplitMix64 — a tiny, well-distributed mixer; consecutive applications
 /// derive the probe sequence from a key.
 fn splitmix64(x: u64) -> u64 {
@@ -284,6 +385,46 @@ mod tests {
         // Frozen on-disk values.
         assert_eq!(kind_tag(EventKind::Transfer), 0);
         assert_eq!(kind_tag(EventKind::Payout), 8);
+    }
+
+    #[test]
+    fn compiled_query_agrees_with_may_match() {
+        let mut b = LogBloom::new();
+        for i in 0..12u64 {
+            b.insert(
+                Address::from_index(i),
+                if i % 2 == 0 {
+                    EventKind::Swap
+                } else {
+                    EventKind::Transfer
+                },
+            );
+        }
+        let filters = [
+            LogFilter::new(),
+            LogFilter::new().address(Address::from_index(3)),
+            LogFilter::new().address(Address::from_index(900)),
+            LogFilter::new().kind(EventKind::Swap),
+            LogFilter::new().kind(EventKind::Liquidation),
+            LogFilter::new()
+                .addresses([Address::from_index(2), Address::from_index(901)])
+                .kinds([EventKind::Swap, EventKind::Repay]),
+            LogFilter::new()
+                .address(Address::from_index(3))
+                .kind(EventKind::Swap),
+        ];
+        for f in &filters {
+            let q = BloomQuery::compile(f);
+            assert_eq!(q.matches(&b), b.may_match(f), "filter {f:?}");
+            let (_, words) = q.matches_counting(&b);
+            assert!(words <= q.probe_words());
+            assert!(q.probe_words() <= 3 * q.candidates.len() as u64);
+        }
+        // An unconstrained query costs zero word loads.
+        assert_eq!(
+            BloomQuery::compile(&LogFilter::new()).matches_counting(&b),
+            (true, 0)
+        );
     }
 
     #[test]

@@ -190,6 +190,105 @@ impl<R: Read> FrameReader<R> {
     }
 }
 
+/// A frame whose payload borrows the underlying byte image (an mmap'd
+/// segment) instead of owning a copy — the zero-copy twin of [`Frame`].
+/// The CRC has already been verified over the borrowed bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSlice<'a> {
+    pub kind: u8,
+    pub payload: &'a [u8],
+    /// Byte offset of the frame header within the file image.
+    pub offset: u64,
+}
+
+/// Frame reader over an in-memory byte image (an [`crate::mmap::Mmap`]
+/// or any `&[u8]`), bounded by the committed byte count exactly like
+/// [`FrameReader`] — same `None`-at-limit rule and the same
+/// [`StoreError`] variants for every corruption shape, so the two paths
+/// are interchangeable. Payloads are borrowed, never copied.
+pub struct SliceFrameReader<'a> {
+    bytes: &'a [u8],
+    path: PathBuf,
+    offset: u64,
+    /// Committed bytes; reading stops exactly here.
+    limit: u64,
+}
+
+impl<'a> SliceFrameReader<'a> {
+    /// `limit` is the committed length of the stream; it must not exceed
+    /// `bytes.len()` (callers stat the file against the manifest first —
+    /// a shorter image surfaces as [`StoreError::TruncatedFrame`], never
+    /// an out-of-bounds read).
+    pub fn new(bytes: &'a [u8], path: &Path, limit: u64) -> SliceFrameReader<'a> {
+        SliceFrameReader {
+            bytes,
+            path: path.to_path_buf(),
+            offset: 0,
+            limit: limit.min(bytes.len() as u64),
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn truncated(&self) -> StoreError {
+        StoreError::TruncatedFrame {
+            path: self.path.clone(),
+            offset: self.offset,
+        }
+    }
+
+    /// Read the next frame, or `None` at the committed limit.
+    pub fn next_frame(&mut self) -> Result<Option<FrameSlice<'a>>, StoreError> {
+        if self.offset == self.limit {
+            return Ok(None);
+        }
+        if self.offset + FRAME_HEADER_BYTES > self.limit {
+            return Err(self.truncated());
+        }
+        let at = self.offset as usize;
+        let header = match self.bytes.get(at..at + FRAME_HEADER_BYTES as usize) {
+            Some(h) => h,
+            None => return Err(self.truncated()),
+        };
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let kind = header[4];
+        let want_crc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(StoreError::Codec {
+                path: self.path.clone(),
+                detail: format!(
+                    "frame at byte {} declares implausible length {len}",
+                    self.offset
+                ),
+            });
+        }
+        if self.offset + FRAME_HEADER_BYTES + len as u64 > self.limit {
+            return Err(self.truncated());
+        }
+        let start = at + FRAME_HEADER_BYTES as usize;
+        let payload = match self.bytes.get(start..start + len as usize) {
+            Some(p) => p,
+            None => return Err(self.truncated()),
+        };
+        if frame_crc(kind, payload) != want_crc {
+            return Err(StoreError::ChecksumMismatch {
+                path: self.path.clone(),
+                offset: self.offset,
+            });
+        }
+        let frame = FrameSlice {
+            kind,
+            payload,
+            offset: self.offset,
+        };
+        self.offset += FRAME_HEADER_BYTES + len as u64;
+        Ok(Some(frame))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +383,78 @@ mod tests {
         let mut r = FrameReader::new(&buf[..], Path::new("t"), committed);
         assert_eq!(r.next_frame().unwrap().unwrap().payload, b"committed");
         assert!(r.next_frame().unwrap().is_none());
+    }
+
+    /// Drain a `SliceFrameReader`, returning owned frames for comparison.
+    fn slice_read_all(bytes: &[u8], limit: u64) -> Result<Vec<Frame>, StoreError> {
+        let mut r = SliceFrameReader::new(bytes, Path::new("test.seg"), limit);
+        let mut out = Vec::new();
+        while let Some(f) = r.next_frame()? {
+            out.push(Frame {
+                kind: f.kind,
+                payload: f.payload.to_vec(),
+                offset: f.offset,
+            });
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn slice_reader_matches_stream_reader_on_clean_input() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, b"hello");
+        encode_frame(&mut buf, 2, b"");
+        let committed = buf.len() as u64;
+        encode_frame(&mut buf, 1, b"uncommitted garbage");
+        let streamed = {
+            let mut r = FrameReader::new(&buf[..], Path::new("test.seg"), committed);
+            let mut out = Vec::new();
+            while let Some(f) = r.next_frame().unwrap() {
+                out.push(f);
+            }
+            out
+        };
+        let sliced = slice_read_all(&buf, committed).unwrap();
+        assert_eq!(streamed, sliced);
+    }
+
+    #[test]
+    fn slice_reader_errors_match_stream_reader_errors() {
+        // Bit-flipped payload → ChecksumMismatch at the same offset.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, b"payload-bytes");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        match slice_read_all(&buf, buf.len() as u64) {
+            Err(StoreError::ChecksumMismatch { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // Cut mid-payload and mid-header → TruncatedFrame, as the stream
+        // reader reports, whether the limit or the slice itself is short.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, b"first");
+        let first_len = buf.len() as u64;
+        encode_frame(&mut buf, 1, b"second");
+        for cut in [buf.len() - 3, first_len as usize + 4] {
+            match slice_read_all(&buf[..cut], cut as u64) {
+                Err(StoreError::TruncatedFrame { .. }) => {}
+                other => panic!("expected truncation at cut {cut}, got {other:?}"),
+            }
+            match slice_read_all(&buf, cut as u64) {
+                Err(StoreError::TruncatedFrame { .. }) => {}
+                other => panic!("expected truncation at limit {cut}, got {other:?}"),
+            }
+        }
+        // Implausible declared length → Codec error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]);
+        let mut r = SliceFrameReader::new(&buf, Path::new("t"), u32::MAX as u64 + 64);
+        match r.next_frame() {
+            Err(StoreError::Codec { .. }) => {}
+            other => panic!("expected codec error, got {other:?}"),
+        }
     }
 }

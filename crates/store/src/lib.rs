@@ -67,6 +67,7 @@ pub mod bloom;
 pub mod error;
 pub mod frame;
 pub mod manifest;
+pub mod mmap;
 pub mod planner;
 pub mod postings;
 pub mod reader;
@@ -75,16 +76,19 @@ pub mod segment;
 pub mod testutil;
 pub mod writer;
 
-pub use bloom::{kind_of, kind_tag, LogBloom, BLOOM_BITS};
+pub use bloom::{kind_of, kind_tag, BloomQuery, LogBloom, BLOOM_BITS};
 pub use error::StoreError;
-pub use frame::{encode_frame, frame_crc, Crc32, Frame, FrameReader};
+pub use frame::{encode_frame, frame_crc, Crc32, Frame, FrameReader, FrameSlice, SliceFrameReader};
 pub use manifest::{atomic_write, Manifest, SegmentMeta, FORMAT_VERSION, MANIFEST_FILE};
+pub use mmap::Mmap;
 pub use planner::{plan_aggregate, plan_logs, GroupBy};
-pub use postings::{index_file_name, IndexBuilder, IndexMeta, SegmentIndex};
+pub use postings::{index_file_name, sidecar_file_name, IndexBuilder, IndexMeta, SegmentIndex};
 pub use reader::{AggregateKey, AggregateRow, StoreReader, VerifyReport};
 pub use rollup::{wei_value, RollupBlock, RollupStat};
-pub use segment::{segment_file_name, BlockEntry, SegmentHeader, SegmentWriter};
-pub use writer::{IngestStats, StoreWriter};
+pub use segment::{
+    compacted_file_name, segment_file_name, BlockEntry, SegmentHeader, SegmentWriter,
+};
+pub use writer::{CompactionStats, IngestStats, StoreWriter};
 
 // Re-exported so store users name the chain query surface without a
 // separate import.

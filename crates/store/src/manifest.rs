@@ -179,11 +179,15 @@ impl Manifest {
                     detail: format!("segment {i} bloom has the wrong width"),
                 });
             }
-            // Only the final segment may be partial.
-            if i + 1 < self.segments.len() && seg.blocks != self.segment_blocks {
+            // Only the final segment may be partial. Compacted tiers are
+            // whole multiples of the base span, so interior segments
+            // hold a positive multiple of `segment_blocks`.
+            if i + 1 < self.segments.len()
+                && (seg.blocks == 0 || seg.blocks % self.segment_blocks != 0)
+            {
                 return Err(StoreError::ManifestInvalid {
                     detail: format!(
-                        "interior segment {i} holds {} blocks (sealed segments hold {})",
+                        "interior segment {i} holds {} blocks (sealed segments hold a positive multiple of {})",
                         seg.blocks, self.segment_blocks
                     ),
                 });
@@ -413,6 +417,7 @@ mod tests {
             rows: 7,
             addrs: 1,
             chunk_rows: 512,
+            dict_addrs: false,
         });
         assert!(matches!(
             bad_idx.validate(),

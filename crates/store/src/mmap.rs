@@ -1,0 +1,223 @@
+//! A minimal read-only memory map over a segment file — the zero-copy
+//! substrate of the scan path. No `memmap` crate: on Unix this calls
+//! `mmap(2)`/`munmap(2)` directly through two `extern "C"` declarations
+//! (glibc is already linked); everywhere else (and whenever the syscall
+//! fails) it degrades to reading the file into an owned buffer, so every
+//! caller sees the same `&[u8]` either way.
+//!
+//! ## Safety argument
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: nothing can write through
+//! it, and writes by others are not required to be visible. The slice it
+//! exposes is valid because:
+//!
+//! * **Lifetime** — the pointer lives exactly as long as the [`Mmap`]
+//!   value; `Drop` unmaps it, and the borrow checker pins every borrowed
+//!   frame slice to the `Mmap`'s lifetime. The map is created over a
+//!   `File` we opened ourselves and may outlive that `File` (POSIX keeps
+//!   a mapping valid after its descriptor closes).
+//! * **Bounds** — we map exactly the byte length we stat'd, and readers
+//!   additionally clamp to the *committed* byte count from the manifest,
+//!   which `read_segment` has already checked is ≤ the file length.
+//! * **Truncation** — the store is append-only: committed bytes of a
+//!   segment are never shortened while a reader is live (compaction
+//!   replaces files under *new* names and deletes the old ones only
+//!   after the manifest commit; POSIX keeps an unlinked-but-mapped file
+//!   alive until the last map goes away). A hostile concurrent
+//!   `truncate(2)` could still SIGBUS any mmap consumer — the same
+//!   exposure every mmap-based store accepts; corrupt *contents* are
+//!   handled gracefully (CRC), corrupt *metadata* is checked up front.
+//! * **Alignment/validity** — the slice type is `u8`, so any alignment
+//!   and any bit pattern are valid.
+
+use crate::error::StoreError;
+use std::fs;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed(p: *mut c_void) -> bool {
+        p as usize == usize::MAX
+    }
+}
+
+/// A read-only view of a file's bytes: an `mmap` region when the
+/// platform grants one, an owned buffer otherwise. Either way,
+/// [`Mmap::as_slice`] is the whole committed file image.
+pub struct Mmap {
+    /// Base of the kernel mapping; null when `owned` backs the bytes.
+    ptr: *mut u8,
+    len: usize,
+    /// The buffered-read fallback (non-Unix, zero-length, or mmap error).
+    owned: Option<Vec<u8>>,
+}
+
+// SAFETY: the region is read-only for the lifetime of the value and the
+// raw pointer is never exposed; sharing immutable bytes across threads
+// is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the first `len` bytes of `path`'s already-opened file. The
+    /// caller must have verified the file is at least `len` bytes long
+    /// (readers stat against the manifest's committed length first).
+    pub fn map(file: &fs::File, len: u64, path: &Path) -> Result<Mmap, StoreError> {
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+                owned: Some(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a live descriptor for the whole call; we
+            // request a fresh read-only private mapping and check the
+            // result before using it. See the module-level argument for
+            // why dereferencing the region stays sound afterwards.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len as usize,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if !sys::map_failed(ptr) && !ptr.is_null() {
+                mev_obs::counter("store.mmap.maps").inc();
+                return Ok(Mmap {
+                    ptr: ptr as *mut u8,
+                    len: len as usize,
+                    owned: None,
+                });
+            }
+            // Fall through to the buffered read; a refused map (ulimit,
+            // exotic filesystem) must not fail the query.
+        }
+        Mmap::read_fallback(file, len, path)
+    }
+
+    /// The degraded path: read the committed bytes into an owned buffer.
+    fn read_fallback(file: &fs::File, len: u64, path: &Path) -> Result<Mmap, StoreError> {
+        use std::io::Read;
+        mev_obs::counter("store.mmap.fallback_reads").inc();
+        let mut buf = vec![0u8; len as usize];
+        let mut take = file;
+        let mut read = 0usize;
+        while read < buf.len() {
+            match take.read(&mut buf[read..]) {
+                Ok(0) => {
+                    // Shorter than the stat'd length: surface as the
+                    // same truncation error a frame read would.
+                    return Err(StoreError::TruncatedFrame {
+                        path: path.to_path_buf(),
+                        offset: read as u64,
+                    });
+                }
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(StoreError::io("read segment", path, e)),
+            }
+        }
+        Ok(Mmap {
+            ptr: std::ptr::null_mut(),
+            len: len as usize,
+            owned: Some(buf),
+        })
+    }
+
+    /// The mapped (or buffered) bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.owned {
+            Some(v) => v.as_slice(),
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes (module-level argument); u8 has no alignment or
+            // validity requirements.
+            None => unsafe { std::slice::from_raw_parts(self.ptr, self.len) },
+        }
+    }
+
+    /// True when the kernel granted a real mapping (false on the
+    /// buffered fallback) — tests and counters use this.
+    pub fn is_mapped(&self) -> bool {
+        self.owned.is_none()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.owned.is_none() && !self.ptr.is_null() {
+            // SAFETY: `ptr`/`len` are exactly what mmap returned; after
+            // this the value is gone, so no slice can outlive the unmap
+            // (borrows of `as_slice` pin `self`).
+            unsafe {
+                sys::munmap(self.ptr as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+
+    #[test]
+    fn map_exposes_the_file_bytes() {
+        let dir = scratch_dir("mmap-basic");
+        let path = dir.join("f.bin");
+        let bytes: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &bytes).unwrap();
+        let file = fs::File::open(&path).unwrap();
+        let map = Mmap::map(&file, bytes.len() as u64, &path).unwrap();
+        assert_eq!(map.as_slice(), bytes.as_slice());
+        #[cfg(unix)]
+        assert!(map.is_mapped(), "unix should grant a real mapping");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn map_clamps_to_requested_length() {
+        let dir = scratch_dir("mmap-clamp");
+        let path = dir.join("f.bin");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let file = fs::File::open(&path).unwrap();
+        let map = Mmap::map(&file, 100, &path).unwrap();
+        assert_eq!(map.as_slice().len(), 100);
+        assert!(map.as_slice().iter().all(|&b| b == 7));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_length_map_is_empty() {
+        let dir = scratch_dir("mmap-empty");
+        let path = dir.join("f.bin");
+        std::fs::write(&path, b"").unwrap();
+        let file = fs::File::open(&path).unwrap();
+        let map = Mmap::map(&file, 0, &path).unwrap();
+        assert!(map.as_slice().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -132,6 +132,7 @@ mod tests {
                 rows: 0,
                 addrs: 0,
                 chunk_rows: 512,
+                dict_addrs: false,
             }),
         }
     }

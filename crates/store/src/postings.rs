@@ -62,6 +62,18 @@ pub fn index_file_name(index: u64) -> String {
     format!("seg-{index:05}.idx")
 }
 
+/// Sidecar file name belonging to an arbitrary segment file name —
+/// `seg-00003.seg → seg-00003.idx`, `seg-c7-00001.seg →
+/// seg-c7-00001.idx`. Keeping the bases equal means a segment and its
+/// sidecar are always adjacent in a directory listing and can never
+/// collide across the plain/compacted namespaces.
+pub fn sidecar_file_name(segment_file: &str) -> String {
+    format!(
+        "{}.idx",
+        segment_file.strip_suffix(".seg").unwrap_or(segment_file)
+    )
+}
+
 /// First frame of every sidecar index file.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IndexHeader {
@@ -95,7 +107,13 @@ pub struct PostingsTable {
     pub chunk_offsets: Vec<u64>,
 }
 
-/// One columnar chunk of log rows.
+/// One columnar chunk of log rows. Two encodings share the frame kind:
+/// the plain one carries whole [`Log`]s in `logs`; the
+/// dictionary-compressed one (compacted tiers) leaves `logs` empty and
+/// instead carries `addr_ids` (dense u32 ids into the postings address
+/// table — the same id discipline as the postings themselves) plus the
+/// address-free `events` column. Readers reconstruct
+/// `Log { address: addrs[addr_id], event }` losslessly.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RowChunk {
     /// Row id of the first row in this chunk.
@@ -104,6 +122,11 @@ pub struct RowChunk {
     pub tx_indices: Vec<u32>,
     pub tx_hashes: Vec<TxHash>,
     pub logs: Vec<Log>,
+    /// Dictionary encoding (empty on plain chunks).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub addr_ids: Vec<u32>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub events: Vec<mev_types::LogEvent>,
 }
 
 /// Committed shape of a segment's sidecar, recorded in `SegmentMeta` and
@@ -119,6 +142,11 @@ pub struct IndexMeta {
     /// Distinct emitting addresses in the segment.
     pub addrs: u64,
     pub chunk_rows: u32,
+    /// Row chunks carry dictionary-compressed address/event columns
+    /// instead of whole logs (written by compaction). Defaults false so
+    /// pre-compaction manifests decode unchanged.
+    #[serde(default)]
+    pub dict_addrs: bool,
 }
 
 fn codec(path: &Path, detail: String) -> StoreError {
@@ -250,12 +278,26 @@ impl IndexBuilder {
     }
 
     /// Encode the complete sidecar byte stream for segment
-    /// `segment_index` starting at `first_block`.
+    /// `segment_index` starting at `first_block` (plain row chunks).
     pub fn encode(
         &self,
         path: &Path,
         segment_index: u64,
         first_block: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        self.encode_with(path, segment_index, first_block, false)
+    }
+
+    /// [`IndexBuilder::encode`] with an explicit row-chunk encoding:
+    /// `dict_addrs` swaps the `logs` column for dictionary-compressed
+    /// `addr_ids` + `events` columns (ids into the postings address
+    /// table).
+    pub fn encode_with(
+        &self,
+        path: &Path,
+        segment_index: u64,
+        first_block: u64,
+        dict_addrs: bool,
     ) -> Result<Vec<u8>, StoreError> {
         let rows = self.logs.len() as u64;
         let chunk_rows = ROWS_PER_CHUNK;
@@ -264,14 +306,32 @@ impl IndexBuilder {
         let mut chunk_offsets = Vec::new();
         let mut rel = 0u64;
         let mut start = 0usize;
+        let mut interner = self.interner.clone();
         while start < self.logs.len() {
             let end = (start + chunk_rows as usize).min(self.logs.len());
+            let slice = &self.logs[start..end];
+            let (logs, addr_ids, events) = if dict_addrs {
+                (
+                    Vec::new(),
+                    // `intern` on an already-seen key returns its id;
+                    // every address here was interned by `add_block`.
+                    slice
+                        .iter()
+                        .map(|l| interner.intern(l.address).raw())
+                        .collect(),
+                    slice.iter().map(|l| l.event.clone()).collect(),
+                )
+            } else {
+                (slice.to_vec(), Vec::new(), Vec::new())
+            };
             let chunk = RowChunk {
                 start_row: start as u32,
                 blocks: self.blocks[start..end].to_vec(),
                 tx_indices: self.tx_indices[start..end].to_vec(),
                 tx_hashes: self.tx_hashes[start..end].to_vec(),
-                logs: self.logs[start..end].to_vec(),
+                logs,
+                addr_ids,
+                events,
             };
             let payload = encode_payload(path, &chunk)?;
             chunk_offsets.push(rel);
@@ -312,9 +372,38 @@ impl IndexBuilder {
         segment_index: u64,
         first_block: u64,
     ) -> Result<IndexMeta, StoreError> {
-        let file = index_file_name(segment_index);
+        self.write_named(
+            root,
+            index_file_name(segment_index),
+            segment_index,
+            first_block,
+        )
+    }
+
+    /// [`IndexBuilder::write`] under an explicit sidecar file name
+    /// (plain row chunks).
+    pub fn write_named(
+        &self,
+        root: &Path,
+        file: String,
+        segment_index: u64,
+        first_block: u64,
+    ) -> Result<IndexMeta, StoreError> {
+        self.write_named_with(root, file, segment_index, first_block, false)
+    }
+
+    /// [`IndexBuilder::write_named`] with an explicit row-chunk encoding
+    /// — compaction passes `dict_addrs = true`.
+    pub fn write_named_with(
+        &self,
+        root: &Path,
+        file: String,
+        segment_index: u64,
+        first_block: u64,
+        dict_addrs: bool,
+    ) -> Result<IndexMeta, StoreError> {
         let path = root.join(&file);
-        let bytes = self.encode(&path, segment_index, first_block)?;
+        let bytes = self.encode_with(&path, segment_index, first_block, dict_addrs)?;
         atomic_write(&path, &bytes)?;
         Ok(IndexMeta {
             file,
@@ -322,6 +411,7 @@ impl IndexBuilder {
             rows: self.rows(),
             addrs: self.addrs(),
             chunk_rows: ROWS_PER_CHUNK,
+            dict_addrs,
         })
     }
 }
@@ -396,8 +486,10 @@ impl SegmentIndex {
                 supported: FORMAT_VERSION,
             });
         }
-        if header.segment != meta.index
-            || header.first_block != meta.first_block
+        // The header's recorded segment position may lag the manifest's
+        // after compaction renumbers survivors in place; `first_block`
+        // alone pins content identity.
+        if header.first_block != meta.first_block
             || header.rows != im.rows
             || header.chunk_rows != im.chunk_rows
             || header.chunk_rows == 0
@@ -405,13 +497,11 @@ impl SegmentIndex {
             return Err(codec(
                 &path,
                 format!(
-                    "index header (segment {}, first_block {}, rows {}, chunk_rows {}) \
-                     disagrees with manifest (segment {}, first_block {}, rows {}, chunk_rows {})",
-                    header.segment,
+                    "index header (first_block {}, rows {}, chunk_rows {}) \
+                     disagrees with manifest (first_block {}, rows {}, chunk_rows {})",
                     header.first_block,
                     header.rows,
                     header.chunk_rows,
-                    meta.index,
                     meta.first_block,
                     im.rows,
                     im.chunk_rows
@@ -521,10 +611,22 @@ impl SegmentIndex {
         }
         let chunk: RowChunk = decode_payload(&self.path, &frame)?;
         let rows = chunk.blocks.len();
+        // Either the plain `logs` column or the dictionary pair must be
+        // row-parallel (and ids must land inside the address table).
+        let columns_ok = if chunk.logs.is_empty() && rows > 0 {
+            chunk.addr_ids.len() == rows
+                && chunk.events.len() == rows
+                && chunk
+                    .addr_ids
+                    .iter()
+                    .all(|&id| (id as usize) < self.postings.addrs.len())
+        } else {
+            chunk.logs.len() == rows && chunk.addr_ids.is_empty() && chunk.events.is_empty()
+        };
         if chunk.start_row != chunk_no * self.header.chunk_rows
             || chunk.tx_indices.len() != rows
             || chunk.tx_hashes.len() != rows
-            || chunk.logs.len() != rows
+            || !columns_ok
             || rows == 0
         {
             return Err(codec(
@@ -581,17 +683,35 @@ impl RowReader<'_> {
             return Err(codec(&self.index.path, "chunk cache empty".to_string()));
         };
         let i = (row - chunk.start_row) as usize;
+        let log = match chunk.logs.get(i) {
+            Some(log) => Some(log.clone()),
+            // Dictionary-compressed chunk: rebuild the log from the
+            // address table and the event column.
+            None => match (chunk.addr_ids.get(i), chunk.events.get(i)) {
+                (Some(&aid), Some(event)) => {
+                    self.index
+                        .postings
+                        .addrs
+                        .get(aid as usize)
+                        .map(|&address| Log {
+                            address,
+                            event: event.clone(),
+                        })
+                }
+                _ => None,
+            },
+        };
         match (
             chunk.blocks.get(i),
             chunk.tx_indices.get(i),
             chunk.tx_hashes.get(i),
-            chunk.logs.get(i),
+            log,
         ) {
             (Some(&block), Some(&tx_index), Some(&tx_hash), Some(log)) => Ok(RowData {
                 block,
                 tx_index,
                 tx_hash,
-                log: log.clone(),
+                log,
             }),
             _ => Err(codec(
                 &self.index.path,
@@ -759,6 +879,46 @@ mod tests {
             vec![(0, 2), (10, 5)],
             "contained runs collapse"
         );
+    }
+
+    #[test]
+    fn dict_compressed_rows_round_trip_bit_identically() {
+        let dir = scratch_dir("postings-dict");
+        let es = entries(300, 2);
+        let builder = IndexBuilder::from_entries(&es);
+        let first = es[0].block.header.number;
+        let plain = builder
+            .write_named_with(&dir, "plain.idx".to_string(), 0, first, false)
+            .unwrap();
+        let dict = builder
+            .write_named_with(&dir, "dict.idx".to_string(), 0, first, true)
+            .unwrap();
+        assert!(dict.dict_addrs && !plain.dict_addrs);
+        assert!(
+            dict.bytes < plain.bytes,
+            "dictionary column should shrink the sidecar ({} vs {})",
+            dict.bytes,
+            plain.bytes
+        );
+        let mk_meta = |im: &IndexMeta| SegmentMeta {
+            index: 0,
+            file: segment_file_name(0),
+            first_block: first,
+            last_block: es.last().unwrap().block.header.number,
+            blocks: es.len() as u64,
+            tx_count: 0,
+            log_count: im.rows,
+            bytes: 0,
+            bloom: crate::bloom::LogBloom::new(),
+            postings: Some(im.clone()),
+        };
+        let pi = SegmentIndex::open(&dir, &mk_meta(&plain)).unwrap();
+        let di = SegmentIndex::open(&dir, &mk_meta(&dict)).unwrap();
+        let (mut pr, mut dr) = (pi.rows(), di.rows());
+        for row in 0..pi.header.rows as u32 {
+            assert_eq!(pr.get(row).unwrap(), dr.get(row).unwrap(), "row {row}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -56,42 +56,79 @@ pub enum AggregateKey {
     Epoch(Month),
 }
 
-/// A small LRU of decoded segments, keyed by segment index. Entries are
-/// `Arc`-shared so a hit is a pointer clone, never a re-decode; the list
-/// is tiny (single digits) so a linear probe beats any map. Capacity 1
-/// reproduces the original one-segment cache: scans walk segments in
-/// order and point queries cluster. A server fronting many concurrent
-/// clients raises the capacity ([`StoreReader::with_segment_cache`]) so
-/// each client's hot segment stays decoded.
+/// An LRU of decoded segments, keyed by segment index. Entries are
+/// `Arc`-shared so a hit is a pointer clone, never a re-decode. Recency
+/// is a generation stamp bumped per touch: a hit is one `HashMap` probe
+/// plus a stamp write — O(1) under the lock, so concurrent serve workers
+/// no longer serialize behind a linear recency-list rewrite. Only an
+/// insert past capacity scans for the minimum stamp (eviction is rare
+/// and the map is small). Capacity 1 reproduces the original one-segment
+/// cache; a server fronting many concurrent clients raises the capacity
+/// ([`StoreReader::with_segment_cache`]) so each client's hot segment
+/// stays decoded.
 struct SegmentCache {
     capacity: usize,
-    /// Most-recently-used first.
-    entries: Vec<(u64, Arc<Vec<BlockEntry>>)>,
+    /// Monotone touch counter; the stamp of the next access.
+    clock: u64,
+    /// Segment index → (last-touch stamp, decoded entries).
+    entries: std::collections::HashMap<u64, (u64, Arc<Vec<BlockEntry>>)>,
+    hits: u64,
+    lookups: u64,
 }
 
 impl SegmentCache {
     fn new(capacity: usize) -> SegmentCache {
         SegmentCache {
             capacity: capacity.max(1),
-            entries: Vec::new(),
+            clock: 0,
+            entries: std::collections::HashMap::new(),
+            hits: 0,
+            lookups: 0,
         }
     }
 
-    /// Look up a segment, refreshing its recency on a hit.
+    /// Look up a segment, refreshing its recency stamp on a hit, and
+    /// keep the hit/lookup tallies behind the
+    /// `store.segment_cache.hit_ratio` gauge.
     fn get(&mut self, index: u64) -> Option<Arc<Vec<BlockEntry>>> {
-        let pos = self.entries.iter().position(|(i, _)| *i == index)?;
-        let hit = self.entries.remove(pos);
-        let entries = Arc::clone(&hit.1);
-        self.entries.insert(0, hit);
-        Some(entries)
+        self.lookups += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let found = self.entries.get_mut(&index).map(|(stamp, entries)| {
+            *stamp = clock;
+            Arc::clone(entries)
+        });
+        if found.is_some() {
+            self.hits += 1;
+        }
+        self.publish_hit_ratio();
+        found
     }
 
-    /// Insert (or refresh) a decoded segment, evicting the
-    /// least-recently-used entry past capacity.
+    /// Insert (or refresh) a decoded segment, evicting the entry with
+    /// the oldest stamp once past capacity.
     fn put(&mut self, index: u64, entries: &Arc<Vec<BlockEntry>>) {
-        self.entries.retain(|(i, _)| *i != index);
-        self.entries.insert(0, (index, Arc::clone(entries)));
-        self.entries.truncate(self.capacity);
+        self.clock += 1;
+        self.entries
+            .insert(index, (self.clock, Arc::clone(entries)));
+        while self.entries.len() > self.capacity {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(&i, _)| i)
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+
+    /// Export the lifetime hit ratio (per mille) into the RunReport.
+    fn publish_hit_ratio(&self) {
+        if let Some(per_mille) = (self.hits * 1000).checked_div(self.lookups) {
+            mev_obs::gauge("store.segment_cache.hit_ratio").set(per_mille as i64);
+        }
     }
 }
 
@@ -101,6 +138,11 @@ pub struct StoreReader {
     manifest: Manifest,
     /// Decoded-segment LRU (see [`SegmentCache`]).
     cache: Mutex<SegmentCache>,
+    /// Worker threads for streaming segment decode (1 = serial).
+    decode_threads: usize,
+    /// Prefetch channel depth override; defaults to the decode pool
+    /// size.
+    prefetch_depth: Option<usize>,
 }
 
 impl StoreReader {
@@ -130,6 +172,8 @@ impl StoreReader {
             root: root.to_path_buf(),
             manifest,
             cache: Mutex::new(SegmentCache::new(1)),
+            decode_threads: 1,
+            prefetch_depth: None,
         })
     }
 
@@ -139,6 +183,30 @@ impl StoreReader {
     pub fn with_segment_cache(mut self, capacity: usize) -> StoreReader {
         self.cache = Mutex::new(SegmentCache::new(capacity));
         self
+    }
+
+    /// Decode up to `threads` segments concurrently in the streaming
+    /// read path ([`StoreReader::stream_segments`] and friends). The
+    /// default (1) keeps the single prefetcher; any value is safe —
+    /// delivery order and results are identical at every thread count.
+    pub fn with_decode_threads(mut self, threads: usize) -> StoreReader {
+        self.decode_threads = threads.max(1);
+        self
+    }
+
+    /// Cap how many decoded segments may sit in the streaming handoff
+    /// channel ahead of the consumer. Defaults to the decode pool size,
+    /// so the peak resident set is about `2 × threads` decoded segments
+    /// (in-flight + buffered).
+    pub fn with_prefetch_depth(mut self, depth: usize) -> StoreReader {
+        self.prefetch_depth = Some(depth.max(1));
+        self
+    }
+
+    /// The streaming decode pool size (see
+    /// [`StoreReader::with_decode_threads`]).
+    pub fn decode_threads(&self) -> usize {
+        self.decode_threads
     }
 
     pub fn timeline(&self) -> &Timeline {
@@ -190,13 +258,14 @@ impl StoreReader {
     }
 
     /// Stream every committed segment through `consume`, in height
-    /// order, with one-segment read-ahead: a prefetch thread reads and
-    /// CRC-checks segment N+1 off disk while the caller's closure works
-    /// on segment N.
+    /// order, with read-ahead: worker threads (the
+    /// [`StoreReader::with_decode_threads`] pool; one by default) read
+    /// and CRC-check upcoming segments off disk while the caller's
+    /// closure works on the current one.
     ///
-    /// Backpressure rule: the handoff channel holds at most **one**
-    /// decoded segment, so the prefetch thread can never run more than
-    /// one segment ahead of the consumer — peak memory is bounded at two
+    /// Backpressure rule: at most [`StoreReader::with_prefetch_depth`]
+    /// decoded segments (default: the pool size) sit in the handoff
+    /// channel, so peak memory is bounded at roughly `depth + threads`
     /// decoded segments regardless of archive size. Time the consumer
     /// spends blocked waiting for the disk is recorded in the
     /// `store.prefetch.stall.ns` counter (`store.prefetch.segments`
@@ -211,17 +280,43 @@ impl StoreReader {
     /// [`StoreReader::stream_segments`] over a sub-range of segment
     /// indices — the shard-range read path: a live follower resuming
     /// from a checkpoint (or a per-shard `Inspector` pool) streams only
-    /// its height range's segments, with the same one-segment read-ahead
-    /// and backpressure rule. The range is clamped to the committed
+    /// its height range's segments, with the same read-ahead and
+    /// backpressure rule. The range is clamped to the committed
     /// segment count.
     pub fn stream_segments_in<F>(
         &self,
         segments: std::ops::Range<u64>,
-        mut consume: F,
+        consume: F,
     ) -> Result<(), StoreError>
     where
         F: FnMut(u64, Arc<Vec<BlockEntry>>),
     {
+        self.stream_segments_mapped(segments, |_, entries| entries, consume)
+    }
+
+    /// The general streaming read path: decode segments on the worker
+    /// pool, `map` each decoded segment **on the worker thread** (this
+    /// is where parallel per-segment work happens — e.g. `mev-core`
+    /// decodes `BlockRecord`s here), then hand the mapped values to
+    /// `consume` strictly in segment order on the calling thread.
+    ///
+    /// Workers claim segment indices from a shared cursor; a consumer-
+    /// side reorder buffer restores height order, so results are
+    /// bit-identical at every thread count — parallelism changes only
+    /// who decodes, never what the consumer observes (errors included:
+    /// the first failing segment in height order is the one reported).
+    pub fn stream_segments_mapped<T, M, F>(
+        &self,
+        segments: std::ops::Range<u64>,
+        map: M,
+        mut consume: F,
+    ) -> Result<(), StoreError>
+    where
+        T: Send,
+        M: Fn(u64, Arc<Vec<BlockEntry>>) -> T + Sync,
+        F: FnMut(u64, T),
+    {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
         let committed = self.manifest.segments.len() as u64;
         let first = segments.start.min(committed);
         let end = segments.end.min(committed);
@@ -229,42 +324,91 @@ impl StoreReader {
         if total == 0 {
             return Ok(());
         }
+        let workers = self.decode_threads.max(1).min(total as usize);
+        let depth = self.prefetch_depth.unwrap_or(workers).max(1);
+        let map = &map;
+        // Shared worker state lives outside the scope so scoped spawns
+        // may borrow it for the scope's full lifetime.
+        let cursor = AtomicU64::new(first);
+        let stop = AtomicBool::new(false);
+        let cursor = &cursor;
+        let stop = &stop;
         std::thread::scope(|scope| {
-            let (send, recv) =
-                std::sync::mpsc::sync_channel::<Result<(u64, Arc<Vec<BlockEntry>>), StoreError>>(1);
-            scope.spawn(move || {
-                for seg in first..end {
-                    let item = self.read_segment_entries(seg).map(|e| (seg, e));
-                    let stop = item.is_err();
-                    // A send error means the consumer bailed; either way
-                    // the prefetcher is done.
-                    if send.send(item).is_err() || stop {
+            let (send, recv) = std::sync::mpsc::sync_channel::<(u64, Result<T, StoreError>)>(depth);
+            for _ in 0..workers {
+                let send = send.clone();
+                scope.spawn(move || loop {
+                    // lint:allow(atomics: advisory early-exit flag — a stale read only decodes one extra segment; no data is published through it)
+                    if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                }
-            });
+                    // lint:allow(atomics: the counter only hands out unique claims; decoded data synchronizes through the channel send below)
+                    let seg = cursor.fetch_add(1, Ordering::Relaxed);
+                    if seg >= end {
+                        break;
+                    }
+                    let item = self.read_segment_entries(seg).map(|e| map(seg, e));
+                    let failed = item.is_err();
+                    if failed {
+                        // Stop claims; already-claimed segments still
+                        // get sent, so in-order delivery below cannot
+                        // stall waiting for a hole.
+                        // lint:allow(atomics: advisory — late observers merely decode segments the consumer will discard)
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    // A send error means the consumer bailed; either way
+                    // this worker is done.
+                    if send.send((seg, item)).is_err() || failed {
+                        break;
+                    }
+                });
+            }
+            drop(send);
+            // Reorder buffer: results arrive in completion order, the
+            // consumer sees them in segment order.
+            let mut pending: BTreeMap<u64, Result<T, StoreError>> = BTreeMap::new();
             let mut stall_ns = 0u64;
             let mut delivered = 0u64;
+            let mut next = first;
             let result = loop {
-                if delivered == total {
+                if next == end {
                     break Ok(());
                 }
-                let wait = std::time::Instant::now();
-                let item = match recv.recv() {
-                    Ok(item) => item,
-                    // The prefetcher only disconnects after an error,
-                    // which a prior iteration already surfaced.
-                    Err(_) => break Ok(()),
-                };
-                stall_ns += wait.elapsed().as_nanos() as u64;
-                match item {
-                    Ok((seg, entries)) => {
-                        delivered += 1;
-                        consume(seg, entries);
+                let item = match pending.remove(&next) {
+                    Some(item) => item,
+                    None => {
+                        let wait = std::time::Instant::now();
+                        match recv.recv() {
+                            Ok((seg, item)) => {
+                                stall_ns += wait.elapsed().as_nanos() as u64;
+                                pending.insert(seg, item);
+                                continue;
+                            }
+                            // Workers only disconnect after an error,
+                            // which is buffered (or already surfaced).
+                            Err(_) => match pending.remove(&next) {
+                                Some(item) => item,
+                                None => break Ok(()),
+                            },
+                        }
                     }
-                    Err(e) => break Err(e),
+                };
+                match item {
+                    Ok(mapped) => {
+                        delivered += 1;
+                        consume(next, mapped);
+                        next += 1;
+                    }
+                    Err(e) => {
+                        // lint:allow(atomics: advisory — dropping the receiver below is what actually unblocks the workers)
+                        stop.store(true, Ordering::Relaxed);
+                        break Err(e);
+                    }
                 }
             };
+            // Dropping the receiver fails any blocked sends, so workers
+            // exit and the scope joins cleanly even on the error path.
+            drop(recv);
             mev_obs::counter("store.prefetch.segments").add(delivered);
             mev_obs::counter("store.prefetch.stall.ns").add(stall_ns);
             result
@@ -272,6 +416,7 @@ impl StoreReader {
     }
 
     /// Locate and decode the segment containing `block`, if committed.
+    #[allow(clippy::type_complexity)]
     fn entries_for_block(
         &self,
         block: u64,
@@ -371,13 +516,19 @@ impl StoreReader {
         let limit = filter.effective_limit();
         let selective = filter.is_selective();
         let mut entries: Vec<LogEntry> = Vec::new();
+        // Hash the filter's probe set once; per segment the bloom test
+        // is a handful of word compares.
+        let bloom_query = crate::bloom::BloomQuery::compile(filter);
+        let mut probe_words = 0u64;
 
         for meta in &self.manifest.segments {
             if !meta.overlaps(from, to) {
                 stats.pruned_by_zone += 1;
                 continue;
             }
-            if !meta.bloom.may_match(filter) {
+            let (may_match, words) = bloom_query.matches_counting(&meta.bloom);
+            probe_words += words;
+            if !may_match {
                 stats.pruned_by_bloom += 1;
                 mev_obs::counter("store.scan.segments_pruned_bloom").inc();
                 continue;
@@ -417,6 +568,7 @@ impl StoreReader {
                         mev_obs::counter("store.scan.segments_scanned").add(stats.segments_read);
                         mev_obs::counter("store.scan.segments_pruned_zone")
                             .add(stats.pruned_by_zone);
+                        mev_obs::counter("store.scan.bloom_probe_words").add(probe_words);
                         return Ok((
                             LogPage {
                                 entries,
@@ -434,6 +586,7 @@ impl StoreReader {
         }
         mev_obs::counter("store.scan.segments_scanned").add(stats.segments_read);
         mev_obs::counter("store.scan.segments_pruned_zone").add(stats.pruned_by_zone);
+        mev_obs::counter("store.scan.bloom_probe_words").add(probe_words);
         Ok((
             LogPage {
                 entries,
@@ -472,13 +625,17 @@ impl StoreReader {
         // (block, tx_index) of the last pushed entry: the page breaks at
         // transaction boundaries, so one transaction's logs never split.
         let mut last_tx: Option<(u64, u32)> = None;
+        let bloom_query = crate::bloom::BloomQuery::compile(filter);
+        let mut probe_words = 0u64;
 
         for meta in &self.manifest.segments {
             if !meta.overlaps(from, to) {
                 stats.pruned_by_zone += 1;
                 continue;
             }
-            if !meta.bloom.may_match(filter) {
+            let (may_match, words) = bloom_query.matches_counting(&meta.bloom);
+            probe_words += words;
+            if !may_match {
                 stats.pruned_by_bloom += 1;
                 mev_obs::counter("store.scan.segments_pruned_bloom").inc();
                 continue;
@@ -542,6 +699,7 @@ impl StoreReader {
         }
         mev_obs::counter("store.postings.pages_read").add(stats.postings_pages_read);
         mev_obs::counter("store.scan.segments_pruned_zone").add(stats.pruned_by_zone);
+        mev_obs::counter("store.scan.bloom_probe_words").add(probe_words);
         let next = match (entries.len() >= limit, last_tx) {
             // Same trailing-cursor rule as the scan: a full page always
             // carries a cursor, even when no matches remain.
@@ -761,11 +919,23 @@ impl StoreReader {
                         actual: committed.len() as u64,
                     });
                 }
+                // The sidecar must open under its committed meta — the
+                // same gate every postings query passes through. Opened
+                // first because the byte compare below re-encodes with
+                // the header's own recorded segment number: compaction
+                // renumbers survivors without rewriting their files, so
+                // the on-disk number may (validly) lag `meta.index`.
+                let idx = SegmentIndex::open(&self.root, meta)?;
                 // Sidecar encoding is deterministic, so a byte compare
                 // against a rebuild from the (already checksummed)
                 // entries proves the index reproduces the data exactly.
                 let builder = crate::postings::IndexBuilder::from_entries(&entries);
-                let rebuilt = builder.encode(&idx_path, meta.index, meta.first_block)?;
+                let rebuilt = builder.encode_with(
+                    &idx_path,
+                    idx.header.segment,
+                    meta.first_block,
+                    im.dict_addrs,
+                )?;
                 if rebuilt.len() as u64 != im.bytes
                     || committed.get(..rebuilt.len()) != Some(rebuilt.as_slice())
                 {
@@ -792,9 +962,6 @@ impl StoreReader {
                         ),
                     });
                 }
-                // And the sidecar must open under its committed meta —
-                // the same gate every postings query passes through.
-                SegmentIndex::open(&self.root, meta)?;
                 report.indexes += 1;
             }
             report.segments += 1;
@@ -906,6 +1073,68 @@ mod tests {
         r.stream_segments_in(2..99, |_, _| calls += 1).unwrap();
         assert_eq!(calls, 1);
         r.stream_segments_in(7..9, |_, _| unreachable!()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_streaming_is_identical_at_every_thread_count() {
+        let (dir, chain) = stored("reader-stream-parallel");
+        let expected: Vec<u64> = chain.iter().map(|(b, _)| b.header.number).collect();
+        for threads in [1usize, 2, 3, 8] {
+            for depth in [1usize, 4] {
+                let r = StoreReader::open(&dir)
+                    .unwrap()
+                    .with_decode_threads(threads)
+                    .with_prefetch_depth(depth);
+                let mut seen: Vec<u64> = Vec::new();
+                let mut blocks: Vec<u64> = Vec::new();
+                // Map runs on the workers; consume must still observe
+                // segment order.
+                r.stream_segments_mapped(
+                    0..u64::MAX,
+                    |_, entries| {
+                        entries
+                            .iter()
+                            .map(|e| e.block.header.number)
+                            .collect::<Vec<u64>>()
+                    },
+                    |seg, nums| {
+                        seen.push(seg);
+                        blocks.extend(nums);
+                    },
+                )
+                .unwrap();
+                assert_eq!(seen, vec![0, 1, 2], "threads {threads} depth {depth}");
+                assert_eq!(blocks, expected, "threads {threads} depth {depth}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_streaming_surfaces_the_first_error_in_segment_order() {
+        let (dir, _chain) = stored("reader-stream-error");
+        // Flip a payload byte in the middle of segment 1.
+        let path = dir.join("seg-00001.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        for threads in [1usize, 4] {
+            let r = StoreReader::open(&dir)
+                .unwrap()
+                .with_decode_threads(threads);
+            let mut seen: Vec<u64> = Vec::new();
+            let err = r.stream_segments(|seg, _| seen.push(seg)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::ChecksumMismatch { .. } | StoreError::Codec { .. }
+                ),
+                "threads {threads}: {err:?}"
+            );
+            assert_eq!(seen, vec![0], "threads {threads}: clean prefix only");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,11 +17,12 @@
 
 use crate::bloom::LogBloom;
 use crate::error::StoreError;
-use crate::frame::{encode_frame, Frame, FrameReader};
+use crate::frame::{encode_frame, FrameSlice, SliceFrameReader};
 use crate::manifest::{SegmentMeta, FORMAT_VERSION};
+use crate::mmap::Mmap;
 use crate::postings::{IndexBuilder, IndexMeta};
 use std::fs;
-use std::io::{BufReader, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Frame kind of the per-segment header.
@@ -32,6 +33,14 @@ pub const FRAME_BLOCK_ENTRY: u8 = 2;
 /// File name of segment `index` under the store root.
 pub fn segment_file_name(index: u64) -> String {
     format!("seg-{index:05}.seg")
+}
+
+/// File name of a compacted tier written at commit sequence `seq`,
+/// landing at position `pos`. The `seg-c` prefix is disjoint from the
+/// `seg-NNNNN` namespace, and seeding by the (monotone) commit sequence
+/// keeps names fresh across crashed compactions.
+pub fn compacted_file_name(seq: u64, pos: u64) -> String {
+    format!("seg-c{seq}-{pos:05}.seg")
 }
 
 /// First frame of every segment file.
@@ -51,9 +60,9 @@ pub struct BlockEntry {
 
 fn decode_payload<T: serde::de::DeserializeOwned>(
     path: &Path,
-    frame: &Frame,
+    frame: &FrameSlice<'_>,
 ) -> Result<T, StoreError> {
-    serde_json::from_slice(&frame.payload).map_err(|e| StoreError::Codec {
+    serde_json::from_slice(frame.payload).map_err(|e| StoreError::Codec {
         path: path.to_path_buf(),
         detail: format!("frame at byte {}: {e}", frame.offset),
     })
@@ -70,6 +79,10 @@ fn encode_payload<T: serde::Serialize>(path: &Path, value: &T) -> Result<Vec<u8>
 /// map and bloom that will become its [`SegmentMeta`].
 pub struct SegmentWriter {
     path: PathBuf,
+    /// On-disk file name; fixed at creation and never changed by a
+    /// [`SegmentWriter::renumber`] (compaction shifts positions, not
+    /// files).
+    file_name: String,
     file: fs::File,
     index: u64,
     first_block: u64,
@@ -89,11 +102,24 @@ impl SegmentWriter {
     /// Start a fresh segment file (truncating any crash residue with the
     /// same name) and write its header frame.
     pub fn create(root: &Path, index: u64, first_block: u64) -> Result<SegmentWriter, StoreError> {
-        let path = root.join(segment_file_name(index));
+        SegmentWriter::create_named(root, segment_file_name(index), index, first_block)
+    }
+
+    /// [`SegmentWriter::create`] under an explicit file name — compaction
+    /// writes merged tiers into the `seg-c…` namespace so a crash can
+    /// never clobber a live segment file.
+    pub fn create_named(
+        root: &Path,
+        file_name: String,
+        index: u64,
+        first_block: u64,
+    ) -> Result<SegmentWriter, StoreError> {
+        let path = root.join(&file_name);
         let file =
             fs::File::create(&path).map_err(|e| StoreError::io("create segment", &path, e))?;
         let mut w = SegmentWriter {
             path,
+            file_name,
             file,
             index,
             first_block,
@@ -137,6 +163,7 @@ impl SegmentWriter {
             .map_err(|e| StoreError::io("seek segment", &path, e))?;
         Ok(SegmentWriter {
             path,
+            file_name: meta.file.clone(),
             file,
             index: meta.index,
             first_block: meta.first_block,
@@ -190,12 +217,22 @@ impl SegmentWriter {
     /// (whole-file atomic rename) and remember its [`IndexMeta`] for the
     /// next [`SegmentWriter::meta`]. No-op on an empty segment.
     pub fn write_index(&mut self, root: &Path) -> Result<(), StoreError> {
+        self.write_index_with(root, false)
+    }
+
+    /// [`SegmentWriter::write_index`] with an explicit row-chunk
+    /// encoding — compaction writes dictionary-compressed sidecars.
+    pub fn write_index_with(&mut self, root: &Path, dict_addrs: bool) -> Result<(), StoreError> {
         if self.last_block.is_none() {
             return Ok(());
         }
-        let meta = self
-            .index_builder
-            .write(root, self.index, self.first_block)?;
+        let meta = self.index_builder.write_named_with(
+            root,
+            crate::postings::sidecar_file_name(&self.file_name),
+            self.index,
+            self.first_block,
+            dict_addrs,
+        )?;
         self.index_meta = Some(meta);
         Ok(())
     }
@@ -216,13 +253,21 @@ impl SegmentWriter {
         self.index
     }
 
+    /// Reassign this writer's manifest position after compaction shifted
+    /// earlier segments. The on-disk file (and its header frame) keep
+    /// their original name/number — readers identify content by
+    /// `first_block`, not position.
+    pub fn renumber(&mut self, index: u64) {
+        self.index = index;
+    }
+
     /// The zone map + bloom as of the last append. `None` until the
     /// first block lands — empty segments are never committed.
     pub fn meta(&self) -> Option<SegmentMeta> {
         let last_block = self.last_block?;
         Some(SegmentMeta {
             index: self.index,
-            file: segment_file_name(self.index),
+            file: self.file_name.clone(),
             first_block: self.first_block,
             last_block,
             blocks: self.blocks,
@@ -238,6 +283,10 @@ impl SegmentWriter {
 /// Fully decode a committed segment: header check plus every block
 /// entry, bounded by the manifest's committed byte count. Returns the
 /// entries in height order.
+///
+/// The committed byte image is memory-mapped (buffered fallback when the
+/// platform refuses) and frames are CRC-verified over borrowed slices —
+/// the decode never copies a payload.
 pub fn read_segment(root: &Path, meta: &SegmentMeta) -> Result<Vec<BlockEntry>, StoreError> {
     let path = root.join(&meta.file);
     let file = match fs::File::open(&path) {
@@ -258,7 +307,9 @@ pub fn read_segment(root: &Path, meta: &SegmentMeta) -> Result<Vec<BlockEntry>, 
             actual,
         });
     }
-    let mut reader = FrameReader::new(BufReader::new(file), &path, meta.bytes);
+    let map = Mmap::map(&file, meta.bytes, &path)?;
+    drop(file);
+    let mut reader = SliceFrameReader::new(map.as_slice(), &path, meta.bytes);
     let header_frame = match reader.next_frame()? {
         Some(f) => f,
         None => {
@@ -278,12 +329,15 @@ pub fn read_segment(root: &Path, meta: &SegmentMeta) -> Result<Vec<BlockEntry>, 
         });
     }
     let header: SegmentHeader = decode_payload(&path, &header_frame)?;
-    if header.index != meta.index || header.first_block != meta.first_block {
+    // Compaction renumbers surviving segments in place without rewriting
+    // them, so the header's recorded position may lag the manifest's —
+    // content identity is pinned by `first_block` alone.
+    if header.first_block != meta.first_block {
         return Err(StoreError::ZoneMapMismatch {
             path,
             detail: format!(
-                "header says segment {} starting at {}, manifest says {} starting at {}",
-                header.index, header.first_block, meta.index, meta.first_block
+                "header says first block {}, manifest says {}",
+                header.first_block, meta.first_block
             ),
         });
     }

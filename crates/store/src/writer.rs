@@ -9,7 +9,7 @@
 use crate::error::StoreError;
 use crate::manifest::{Manifest, SegmentMeta};
 use crate::rollup::RollupBuilder;
-use crate::segment::{read_segment, BlockEntry, SegmentWriter};
+use crate::segment::{compacted_file_name, read_segment, BlockEntry, SegmentWriter};
 use mev_chain::ChainStore;
 use mev_types::{Block, Receipt, Timeline};
 use std::fs;
@@ -26,6 +26,25 @@ pub struct IngestStats {
     pub segments_sealed: u64,
 }
 
+/// What a [`StoreWriter::compact`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    pub segments_before: u64,
+    pub segments_after: u64,
+    /// Merged tier files written this pass.
+    pub tiers_written: u64,
+    /// Source segments that went into a merged tier.
+    pub segments_merged: u64,
+    /// Blocks now living in a newly-written tier.
+    pub blocks_merged: u64,
+    /// Replaced segment/sidecar files and crash orphans deleted.
+    pub files_removed: u64,
+    /// False only when the crash-before-commit test hook fired: the new
+    /// tier files exist on disk but the old manifest is still the live
+    /// one.
+    pub committed: bool,
+}
+
 /// Append-only writer over a store directory.
 pub struct StoreWriter {
     root: PathBuf,
@@ -37,6 +56,9 @@ pub struct StoreWriter {
     dirty: bool,
     /// Running aggregate tables; snapshotted into the manifest at commit.
     rollups: RollupBuilder,
+    /// Crash-simulation test hook (see
+    /// [`StoreWriter::simulate_crash_before_commit`]).
+    crash_before_commit: bool,
 }
 
 impl StoreWriter {
@@ -62,6 +84,7 @@ impl StoreWriter {
             next_block,
             dirty: true,
             rollups: RollupBuilder::new(),
+            crash_before_commit: false,
         };
         // Commit the empty store immediately so `open` and readers see a
         // valid (if empty) manifest.
@@ -101,14 +124,19 @@ impl StoreWriter {
             .head_block()
             .map(|h| h + 1)
             .unwrap_or(manifest.timeline.genesis_number);
-        Ok(StoreWriter {
+        let w = StoreWriter {
             root: root.to_path_buf(),
             manifest,
             tail,
             next_block,
             dirty: false,
             rollups,
-        })
+            crash_before_commit: false,
+        };
+        // A crash mid-compaction can leave fresh tier files that never
+        // made it into a manifest; they are dead weight, never live data.
+        w.remove_orphans();
+        Ok(w)
     }
 
     /// Open if a manifest exists, otherwise create.
@@ -153,7 +181,10 @@ impl StoreWriter {
             let index = self.manifest.segments.len() as u64;
             // A committed partial tail was reopened by `open`; reaching
             // here means a fresh segment starts at this block.
-            self.tail = Some(SegmentWriter::create(&self.root, index, number)?);
+            let file = self.fresh_segment_file(index);
+            self.tail = Some(SegmentWriter::create_named(
+                &self.root, file, index, number,
+            )?);
         }
         let entry = BlockEntry {
             block: block.clone(),
@@ -177,6 +208,27 @@ impl StoreWriter {
             self.seal_tail()?;
         }
         Ok(())
+    }
+
+    /// Name for a fresh tail segment at `index`. Normally the canonical
+    /// `seg-{index:05}.seg`, but compaction lets surviving segments keep
+    /// file names that no longer match their position, so the canonical
+    /// name may already belong to a live file — skip forward until free.
+    fn fresh_segment_file(&self, index: u64) -> String {
+        let referenced: std::collections::HashSet<&str> = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.file.as_str())
+            .collect();
+        let mut k = index;
+        loop {
+            let name = crate::segment::segment_file_name(k);
+            if !referenced.contains(name.as_str()) {
+                return name;
+            }
+            k += 1;
+        }
     }
 
     /// Fsync the full tail segment, write its final sidecar index,
@@ -302,6 +354,168 @@ impl StoreWriter {
             mev_obs::counter("store.ingest.segments_sealed").get() - sealed_before;
         mev_obs::counter("store.ingest.blocks").add(stats.appended);
         Ok(stats)
+    }
+
+    /// Merge runs of small sealed segments into larger tiers holding up to
+    /// `factor` × `segment_blocks` blocks each, with the address column of
+    /// the rebuilt sidecars dictionary-compressed. The partial tail (if
+    /// any) is never rewritten, only renumbered. The swap is atomic: new
+    /// tier files and sidecars are written and fsynced first, then one
+    /// manifest rename makes them live; a crash at any earlier point
+    /// leaves the old manifest fully live and the next open sweeps the
+    /// orphaned tier files.
+    pub fn compact(&mut self, factor: u64) -> Result<CompactionStats, StoreError> {
+        self.compact_opts(factor, true)
+    }
+
+    /// [`StoreWriter::compact`] with an explicit choice of sidecar
+    /// encoding for the rebuilt tiers.
+    pub fn compact_opts(
+        &mut self,
+        factor: u64,
+        dict_addrs: bool,
+    ) -> Result<CompactionStats, StoreError> {
+        let _t = mev_obs::span("store.compact.ns");
+        // Start from a committed state so the manifest we rewrite is the
+        // one on disk and the tail's committed meta is current.
+        self.commit()?;
+        let segment_blocks = self.manifest.segment_blocks;
+        let tier_blocks = factor.max(2) * segment_blocks;
+        let mut stats = CompactionStats {
+            segments_before: self.manifest.segments.len() as u64,
+            committed: true,
+            ..CompactionStats::default()
+        };
+
+        // Greedily group consecutive segments into tiers. Sealed segments
+        // accumulate until the tier is full; the partial tail always
+        // stands alone (it is still being appended to, in place).
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_blocks = 0u64;
+        for (i, seg) in self.manifest.segments.iter().enumerate() {
+            let partial = seg.blocks < segment_blocks;
+            if (partial || current_blocks + seg.blocks > tier_blocks) && !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+                current_blocks = 0;
+            }
+            if partial {
+                groups.push(vec![i]);
+            } else {
+                current.push(i);
+                current_blocks += seg.blocks;
+            }
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+        if !groups.iter().any(|g| g.len() >= 2) {
+            stats.segments_after = stats.segments_before;
+            return Ok(stats);
+        }
+
+        // Fresh tier files are named after the commit sequence the swap
+        // will carry; the sequence only moves forward, so a crashed pass
+        // can never collide with a committed file.
+        let name_seq = self.manifest.commit_seq + 1;
+        let mut new_segments: Vec<SegmentMeta> = Vec::with_capacity(groups.len());
+        for (pos, group) in groups.iter().enumerate() {
+            if group.len() == 1 {
+                let mut meta = self.manifest.segments[group[0]].clone();
+                meta.index = pos as u64;
+                new_segments.push(meta);
+                continue;
+            }
+            let first_block = self.manifest.segments[group[0]].first_block;
+            let mut w = SegmentWriter::create_named(
+                &self.root,
+                compacted_file_name(name_seq, pos as u64),
+                pos as u64,
+                first_block,
+            )?;
+            for &i in group {
+                let src = &self.manifest.segments[i];
+                for entry in read_segment(&self.root, src)? {
+                    w.append(&entry)?;
+                }
+                stats.segments_merged += 1;
+            }
+            w.sync()?;
+            w.write_index_with(&self.root, dict_addrs)?;
+            let Some(meta) = w.meta() else {
+                return Err(StoreError::ManifestInvalid {
+                    detail: format!("compacted tier {pos} sealed empty"),
+                });
+            };
+            stats.blocks_merged += meta.blocks;
+            stats.tiers_written += 1;
+            new_segments.push(meta);
+        }
+
+        if self.crash_before_commit {
+            // Test hook: the new tier files are on disk but the manifest
+            // swap never happens — exactly a crash between fsync and
+            // rename. The in-memory view stays on the old manifest too.
+            stats.committed = false;
+            return Ok(stats);
+        }
+
+        let old_segments = std::mem::replace(&mut self.manifest.segments, new_segments);
+        if let Err(e) = self.manifest.validate() {
+            self.manifest.segments = old_segments;
+            return Err(e);
+        }
+        self.manifest.commit(&self.root)?;
+        if let Some(tail) = self.tail.as_mut() {
+            tail.renumber(self.manifest.segments.len() as u64 - 1);
+        }
+        stats.segments_after = self.manifest.segments.len() as u64;
+        stats.files_removed = self.remove_orphans();
+        mev_obs::counter("store.compact.tiers").add(stats.tiers_written);
+        mev_obs::counter("store.compact.segments_merged").add(stats.segments_merged);
+        Ok(stats)
+    }
+
+    /// Crash-simulation hook for compaction tests: when set, the next
+    /// [`StoreWriter::compact`] writes its tier files but returns just
+    /// before the manifest swap, as a crash there would.
+    pub fn simulate_crash_before_commit(&mut self, yes: bool) {
+        self.crash_before_commit = yes;
+    }
+
+    /// Delete store files the live manifest does not reference: segment
+    /// and sidecar files replaced by a committed compaction, tier files
+    /// from a compaction that crashed before its commit, and stray
+    /// atomic-write temporaries. Best-effort; returns the count removed.
+    fn remove_orphans(&self) -> u64 {
+        let mut referenced = std::collections::HashSet::new();
+        for seg in &self.manifest.segments {
+            referenced.insert(seg.file.clone());
+            // Protect the conventional sidecar name even when the meta
+            // predates postings (pre-rollup archives degrade to scans and
+            // may still adopt the sidecar later).
+            referenced.insert(crate::postings::sidecar_file_name(&seg.file));
+            if let Some(im) = &seg.postings {
+                referenced.insert(im.file.clone());
+            }
+        }
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        let mut removed = 0u64;
+        for entry in dir.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale_store_file = name.starts_with("seg-")
+                && (name.ends_with(".seg") || name.ends_with(".idx"))
+                && !referenced.contains(name);
+            let stale_tmp = name.starts_with('.') && name.ends_with(".tmp");
+            if (stale_store_file || stale_tmp) && fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        mev_obs::counter("store.compact.orphans_removed").add(removed);
+        removed
     }
 }
 
@@ -475,6 +689,92 @@ mod tests {
             w.ingest(&chain),
             Err(StoreError::TimelineMismatch { .. })
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_merges_sealed_segments_into_tiers() {
+        let dir = scratch_dir("writer-compact");
+        let chain = test_chain(11, 2);
+        let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 2).unwrap();
+        w.ingest(&chain).unwrap();
+        // 5 sealed segments of 2 + a partial tail of 1.
+        assert_eq!(Manifest::load(&dir).unwrap().segments.len(), 6);
+        let stats = w.compact(2).unwrap();
+        assert!(stats.committed);
+        assert_eq!(stats.segments_before, 6);
+        // [0,1] and [2,3] merge into 4-block tiers; segment 4 is a lone
+        // sealed segment and the tail stands alone: 4 segments remain.
+        assert_eq!(stats.segments_after, 4);
+        assert_eq!(stats.tiers_written, 2);
+        assert_eq!(stats.segments_merged, 4);
+        assert_eq!(stats.blocks_merged, 8);
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.segments.len(), 4);
+        assert_eq!(m.head_block(), Some(10_000_010));
+        // Every block survives, bit-identical, through the new metas.
+        let mut numbers = Vec::new();
+        for seg in &m.segments {
+            for entry in read_segment(&dir, seg).unwrap() {
+                numbers.push(entry.block.header.number);
+            }
+        }
+        assert_eq!(numbers, (10_000_000..=10_000_010).collect::<Vec<_>>());
+        // Replaced files are gone; the store keeps appending fine.
+        assert!(!dir.join("seg-00000.seg").exists());
+        let grown = test_chain(14, 2);
+        w.ingest(&grown).unwrap();
+        assert_eq!(w.committed_head(), Some(10_000_013));
+        drop(w);
+        let w2 = StoreWriter::open(&dir).unwrap();
+        assert_eq!(w2.committed_head(), Some(10_000_013));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_without_enough_segments_is_a_no_op() {
+        let dir = scratch_dir("writer-compact-noop");
+        let chain = test_chain(5, 2);
+        let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 4).unwrap();
+        w.ingest(&chain).unwrap();
+        let before = Manifest::load(&dir).unwrap();
+        let stats = w.compact(4).unwrap();
+        assert!(stats.committed);
+        assert_eq!(stats.tiers_written, 0);
+        assert_eq!(stats.segments_before, stats.segments_after);
+        assert_eq!(Manifest::load(&dir).unwrap().segments, before.segments);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_before_commit_leaves_the_old_manifest_live() {
+        let dir = scratch_dir("writer-compact-crash");
+        let chain = test_chain(9, 2);
+        let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 2).unwrap();
+        w.ingest(&chain).unwrap();
+        let before = Manifest::load(&dir).unwrap();
+        w.simulate_crash_before_commit(true);
+        let stats = w.compact(2).unwrap();
+        assert!(!stats.committed);
+        assert_eq!(stats.tiers_written, 2);
+        // The manifest on disk is untouched and every file it names is
+        // still present and readable.
+        let after = Manifest::load(&dir).unwrap();
+        assert_eq!(after.segments, before.segments);
+        assert_eq!(after.commit_seq, before.commit_seq);
+        for seg in &after.segments {
+            read_segment(&dir, seg).unwrap();
+        }
+        // Orphaned tier files exist until the next open sweeps them.
+        let orphan = dir.join(compacted_file_name(before.commit_seq + 1, 0));
+        assert!(orphan.exists());
+        drop(w);
+        let mut w2 = StoreWriter::open(&dir).unwrap();
+        assert!(!orphan.exists(), "open() must sweep crashed tier files");
+        // A clean retry then succeeds.
+        let stats = w2.compact(2).unwrap();
+        assert!(stats.committed);
+        assert_eq!(stats.tiers_written, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

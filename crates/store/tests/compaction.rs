@@ -1,0 +1,189 @@
+//! Compaction is invisible to readers.
+//!
+//! `StoreWriter::compact` merges runs of small sealed segments into
+//! larger tiers behind the usual single-rename manifest commit. These
+//! tests pin the contract from the query side: every [`ArchiveQuery`]
+//! answer — full log sets, page-by-page entries *and* continuation
+//! cursors, and aggregates — is bit-identical before and after
+//! compaction; `verify()` passes over the rewritten store (including
+//! its dictionary-compressed sidecars); and a crash at any point before
+//! the manifest swap leaves the old store fully live, with the orphaned
+//! tier files swept on the next open.
+
+use mev_store::testutil::{scratch_dir, test_chain};
+use mev_store::{ArchiveQuery, EventKind, GroupBy, LogFilter, Manifest, StoreReader, StoreWriter};
+use mev_types::Address;
+
+const BLOCKS: u64 = 17;
+const TXS_PER_BLOCK: u64 = 3;
+
+fn build(label: &str) -> std::path::PathBuf {
+    let dir = scratch_dir(label);
+    let chain = test_chain(BLOCKS, TXS_PER_BLOCK);
+    let mut w = StoreWriter::create(&dir, chain.timeline().clone(), 2).unwrap();
+    w.ingest(&chain).unwrap();
+    dir
+}
+
+/// Filters spanning the planner's strategies: unselective scans,
+/// postings-served selective filters, windowed subsets, and small
+/// limits that force multi-page cursor chains.
+fn filters(genesis: u64) -> Vec<LogFilter> {
+    vec![
+        LogFilter::new(),
+        LogFilter::new().address(Address::from_index(1)),
+        LogFilter::new().address(Address::from_index(2)),
+        LogFilter::new().kind(EventKind::Swap),
+        LogFilter::new()
+            .address(Address::from_index(2))
+            .kind(EventKind::Swap),
+        LogFilter::new()
+            .from_block(genesis + 3)
+            .to_block(genesis + 12),
+        LogFilter::new().limit(4),
+        LogFilter::new().address(Address::from_index(1)).limit(5),
+    ]
+}
+
+/// Every observable query answer for one store: per-filter page chains
+/// (entries and cursors, page by page) and all three aggregates.
+fn observe(reader: &StoreReader) -> Vec<String> {
+    let genesis = reader.timeline().genesis_number;
+    let mut out = Vec::new();
+    for filter in filters(genesis) {
+        for page in reader.pages(&filter) {
+            let (page, _) = page.unwrap();
+            out.push(format!("{:?} next={:?}", page.entries, page.next));
+        }
+        for group_by in [GroupBy::Kind, GroupBy::Address, GroupBy::Epoch] {
+            let (rows, _) = reader.aggregate(&filter, group_by).unwrap();
+            out.push(format!("{rows:?}"));
+        }
+    }
+    out
+}
+
+#[test]
+fn queries_are_bit_identical_across_compaction() {
+    let dir = build("compaction-identity");
+    let reader = StoreReader::open(&dir).unwrap();
+    let before = observe(&reader);
+    drop(reader);
+
+    let mut w = StoreWriter::open(&dir).unwrap();
+    let stats = w.compact(3).unwrap();
+    assert!(stats.committed);
+    assert!(stats.tiers_written >= 2, "fixture must actually compact");
+    assert!(stats.segments_after < stats.segments_before);
+    drop(w);
+
+    let reader = StoreReader::open(&dir).unwrap();
+    assert_eq!(observe(&reader), before);
+    // The rewritten tiers — dictionary-compressed sidecars included —
+    // pass a full verification sweep.
+    let report = reader.verify().unwrap();
+    assert_eq!(report.segments, stats.segments_after);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_is_idempotent_and_stacks() {
+    let dir = build("compaction-stacking");
+    let reader = StoreReader::open(&dir).unwrap();
+    let before = observe(&reader);
+    drop(reader);
+
+    let mut w = StoreWriter::open(&dir).unwrap();
+    let first = w.compact(2).unwrap();
+    assert!(first.tiers_written >= 2);
+    // Re-compacting at the same factor finds full tiers and a partial
+    // tail only: nothing merges.
+    let again = w.compact(2).unwrap();
+    assert_eq!(again.tiers_written, 0);
+    assert_eq!(again.segments_after, first.segments_after);
+    // A larger factor stacks tiers into bigger tiers.
+    let wider = w.compact(4).unwrap();
+    assert!(wider.tiers_written >= 1);
+    assert!(wider.segments_after < first.segments_after);
+    drop(w);
+
+    let reader = StoreReader::open(&dir).unwrap();
+    assert_eq!(observe(&reader), before);
+    reader.verify().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_keeps_growing_after_compaction() {
+    let dir = build("compaction-grow");
+    let mut w = StoreWriter::open(&dir).unwrap();
+    w.compact(3).unwrap();
+    // Ingest the grown chain; the renumbered tail and fresh segments
+    // append exactly as they would have without compaction.
+    let grown = test_chain(BLOCKS + 7, TXS_PER_BLOCK);
+    let stats = w.ingest(&grown).unwrap();
+    assert_eq!(stats.appended, 7);
+    drop(w);
+    let reader = StoreReader::open(&dir).unwrap();
+    assert_eq!(
+        reader.head_block(),
+        Some(reader.timeline().genesis_number + BLOCKS + 6)
+    );
+    // Post-growth answers match an uncompacted store over the same
+    // chain, page chains and aggregates alike.
+    let plain_dir = scratch_dir("compaction-grow-plain");
+    let mut plain = StoreWriter::create(&plain_dir, grown.timeline().clone(), 2).unwrap();
+    plain.ingest(&grown).unwrap();
+    let plain_reader = StoreReader::open(&plain_dir).unwrap();
+    assert_eq!(observe(&reader), observe(&plain_reader));
+    reader.verify().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&plain_dir).ok();
+}
+
+#[test]
+fn crash_before_manifest_swap_leaves_the_old_store_fully_live() {
+    let dir = build("compaction-crash");
+    let reader = StoreReader::open(&dir).unwrap();
+    let before = observe(&reader);
+    drop(reader);
+    let manifest_before = Manifest::load(&dir).unwrap();
+
+    let mut w = StoreWriter::open(&dir).unwrap();
+    w.simulate_crash_before_commit(true);
+    let stats = w.compact(3).unwrap();
+    assert!(!stats.committed);
+    assert!(stats.tiers_written >= 2);
+    drop(w);
+
+    // The old manifest is byte-for-byte the live one and answers every
+    // query exactly as before the attempt.
+    let manifest_after = Manifest::load(&dir).unwrap();
+    assert_eq!(manifest_after.segments, manifest_before.segments);
+    assert_eq!(manifest_after.commit_seq, manifest_before.commit_seq);
+    let reader = StoreReader::open(&dir).unwrap();
+    assert_eq!(observe(&reader), before);
+    reader.verify().unwrap();
+    drop(reader);
+
+    // The next writer open sweeps the crashed pass's tier files...
+    let w2 = StoreWriter::open(&dir).unwrap();
+    let stray: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|n| n.starts_with("seg-c"))
+        .collect();
+    assert!(stray.is_empty(), "orphaned tier files survived: {stray:?}");
+    drop(w2);
+
+    // ...and a clean retry compacts for real with identical answers.
+    let mut w3 = StoreWriter::open(&dir).unwrap();
+    let stats = w3.compact(3).unwrap();
+    assert!(stats.committed);
+    drop(w3);
+    let reader = StoreReader::open(&dir).unwrap();
+    assert_eq!(observe(&reader), before);
+    reader.verify().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,17 @@
 //! cargo run --release --example archive_store -- query --store /tmp/flashpan-store \
 //!     --group-by kind
 //!
+//! # Compact small sealed segments into larger tiers (offline
+//! # maintenance; the single manifest rename is the commit point).
+//! cargo run --release --example archive_store -- compact --store /tmp/flashpan-store \
+//!     --factor 4
+//!
+//! # Simulate a crash after the tier files are written but before the
+//! # manifest swap: the old store stays fully live, the next open
+//! # sweeps the orphans — CI exercises exactly this.
+//! cargo run --release --example archive_store -- compact --store /tmp/flashpan-store \
+//!     --factor 4 --crash-before-commit
+//!
 //! # Integrity-check every frame, zone map, bloom filter, sidecar
 //! # index, and rollup table.
 //! cargo run --release --example archive_store -- verify --store /tmp/flashpan-store
@@ -53,11 +64,13 @@ struct Args {
     to: Option<u64>,
     limit: Option<usize>,
     group_by: Option<String>,
+    factor: u64,
+    crash_before_commit: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: archive_store <ingest|scan|query|verify|stat> --store DIR\n\
+        "usage: archive_store <ingest|scan|query|compact|verify|stat> --store DIR\n\
          \n\
          ingest  --store DIR [--segment-blocks N]     simulate quick + ingest (incremental)\n\
          scan    --store DIR [--threads N] [--checkpoint PATH]\n\
@@ -66,6 +79,8 @@ fn usage() -> ExitCode {
          query   --store DIR [--address-index N]* [--kind NAME]*\n\
                  [--from N] [--to N] [--limit N] [--group-by kind|address|epoch]\n\
                                                       planner-routed log query / aggregate\n\
+         compact --store DIR [--factor N] [--crash-before-commit]\n\
+                                                      merge small sealed segments into tiers\n\
          verify  --store DIR                          re-read & checksum every frame + index\n\
          stat    --store DIR                          manifest / zone-map / bloom summary"
     );
@@ -88,10 +103,17 @@ fn parse(argv: &[String]) -> Option<Args> {
         to: None,
         limit: None,
         group_by: None,
+        factor: 4,
+        crash_before_commit: false,
     };
     let mut i = 1;
     while i < argv.len() {
         let flag = &argv[i];
+        if flag == "--crash-before-commit" {
+            args.crash_before_commit = true;
+            i += 1;
+            continue;
+        }
         let value = argv.get(i + 1);
         match (flag.as_str(), value) {
             ("--store", Some(v)) => args.store = PathBuf::from(v),
@@ -106,6 +128,7 @@ fn parse(argv: &[String]) -> Option<Args> {
             ("--to", Some(v)) => args.to = Some(v.parse().ok()?),
             ("--limit", Some(v)) => args.limit = Some(v.parse().ok()?),
             ("--group-by", Some(v)) => args.group_by = Some(v.clone()),
+            ("--factor", Some(v)) => args.factor = v.parse().ok()?,
             _ => return None,
         }
         i += 2;
@@ -298,6 +321,41 @@ fn cmd_query(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_compact(args: &Args) -> ExitCode {
+    let mut w = match StoreWriter::open(&args.store) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.crash_before_commit {
+        w.simulate_crash_before_commit(true);
+    }
+    match w.compact(args.factor) {
+        Ok(stats) => {
+            println!(
+                "{{\"command\": \"compact\", \"factor\": {}, \"committed\": {}, \
+                 \"segments_before\": {}, \"segments_after\": {}, \"tiers_written\": {}, \
+                 \"segments_merged\": {}, \"blocks_merged\": {}, \"files_removed\": {}}}",
+                args.factor,
+                stats.committed,
+                stats.segments_before,
+                stats.segments_after,
+                stats.tiers_written,
+                stats.segments_merged,
+                stats.blocks_merged,
+                stats.files_removed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("compact: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_verify(args: &Args) -> ExitCode {
     let store = match StoreReader::open(&args.store) {
         Ok(s) => s,
@@ -362,6 +420,7 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(&args),
         "scan" => cmd_scan(&args),
         "query" => cmd_query(&args),
+        "compact" => cmd_compact(&args),
         "verify" => cmd_verify(&args),
         "stat" => cmd_stat(&args),
         _ => usage(),

@@ -108,6 +108,66 @@ fn serial_inspect_over_prebuilt_index_stays_under_allocation_budget() {
     );
 }
 
+/// Ceiling on mean heap allocations per block for the streaming
+/// store-backed index build ([`mev_core::BlockIndex::build_from_store`]
+/// on a multi-thread decode pool). Much higher than the detection
+/// budgets because this path *is* the build: every block pays its JSON
+/// frame decode (per-tx, per-log vector and string allocations) plus
+/// column interning — costs the prebuilt-index budget amortises away.
+/// The ceiling bounds regression creep (an accidental per-row re-decode
+/// or per-block clone doubles the count), not steady-state detection.
+const MAX_STREAMING_BUILD_ALLOCATIONS_PER_BLOCK: u64 = 4096;
+
+/// The streaming store-backed build: decode segments on a worker pool,
+/// intern in order, and stay under a per-block allocation ceiling. The
+/// store ingest is unmeasured setup; only `build_from_store` is billed.
+#[test]
+#[ignore = "tier-2: run via `cargo test --test alloc_budget -- --ignored` (CI perf-smoke)"]
+fn streaming_parallel_store_build_stays_under_allocation_budget() {
+    let out = mev_sim::Simulation::new(mev_sim::Scenario::quick()).run();
+    let chain = &out.chain;
+    let blocks = chain.len() as u64;
+    assert!(blocks > 0, "quick scenario produced no blocks");
+
+    let dir =
+        std::env::temp_dir().join(format!("flashpan-alloc-store-build-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut w =
+        mev_store::StoreWriter::create(&dir, chain.timeline().clone(), 64).expect("create store");
+    w.ingest(chain).expect("ingest");
+    drop(w);
+    let store = mev_store::StoreReader::open(&dir)
+        .expect("open store")
+        .with_decode_threads(4);
+
+    // Warm up once so obs registration, thread-pool spin-up, and month
+    // table faults do not bill the measured pass.
+    let warm = mev_core::BlockIndex::build_from_store(&store).expect("warm-up build");
+
+    let before = allocations();
+    let measured = mev_core::BlockIndex::build_from_store(&store).expect("measured build");
+    let spent = allocations() - before;
+
+    assert_eq!(warm, measured, "warm-up and measured builds must agree");
+    assert_eq!(
+        measured,
+        mev_core::BlockIndex::build(chain),
+        "store-backed build must be bit-identical to the in-memory build"
+    );
+    let per_block = spent / blocks;
+    eprintln!(
+        "streaming build alloc budget: {spent} allocations over {blocks} blocks \
+         ({per_block}/block, ceiling {MAX_STREAMING_BUILD_ALLOCATIONS_PER_BLOCK})"
+    );
+    assert!(
+        per_block <= MAX_STREAMING_BUILD_ALLOCATIONS_PER_BLOCK,
+        "streaming store build regressed to {per_block} allocations/block \
+         (ceiling {MAX_STREAMING_BUILD_ALLOCATIONS_PER_BLOCK}); look for per-row \
+         re-decodes or per-block clones in the decode/intern pipeline"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The streaming/live counterpart: follow a prerecorded chain window by
 /// window through a [`mev_live::TailPipeline`] and bill *only* the
 /// follower's work — `extend_from_chain` (decode + intern), oracle
